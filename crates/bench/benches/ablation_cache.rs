@@ -1,0 +1,90 @@
+//! A1 (ablation): cache design choices under a Zipf workload — LRU+TTL
+//! (the shipped design) vs generous TTL-only vs no cache at all.
+//!
+//! Expected shape: LRU keeps the hot head of the Zipf distribution inside
+//! a small capacity; TTL-only with unbounded-ish capacity does marginally
+//! better at much higher memory; no cache pays the full remote latency
+//! every time.
+
+use cogsdk_bench::BENCH_SEED;
+use cogsdk_core::ResponseCache;
+use cogsdk_json::json;
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::{Request, SimEnv, SimService};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const DOCS: usize = 2_000;
+const LOOKUPS: usize = 20_000;
+
+fn run_config(capacity: usize, ttl_secs: u64, label: &str) {
+    let env = SimEnv::with_seed(BENCH_SEED);
+    let svc = SimService::builder("nlu", "nlu")
+        .latency(LatencyModel::constant_ms(50.0))
+        .build(&env);
+    let cache = ResponseCache::new(env.clock().clone(), capacity, Duration::from_secs(ttl_secs));
+    let mut rng = env.rng().fork();
+    let mut remote_calls = 0u64;
+    for _ in 0..LOOKUPS {
+        let doc = rng.zipf(DOCS, 1.05);
+        let req = Request::new("analyze", json!({"doc": (doc)}));
+        let key = req.cache_key();
+        if capacity == 0 || cache.get(&key).is_none() {
+            let out = svc.invoke(&req);
+            remote_calls += 1;
+            if capacity > 0 {
+                if let Ok(resp) = out.result {
+                    cache.put(key, resp.payload);
+                }
+            }
+        }
+        // Background time passes between requests so TTLs matter.
+        env.clock().advance(Duration::from_millis(200));
+    }
+    let stats = cache.stats();
+    println!(
+        "[ablation_cache] {label:26} remote_calls={remote_calls:6} hit_rate={:.3} evictions={} mem={} entries",
+        stats.hit_rate(),
+        stats.evictions,
+        capacity.min(DOCS)
+    );
+}
+
+fn report_series() {
+    println!("[ablation_cache] {LOOKUPS} Zipf(1.05) lookups over {DOCS} docs, 200ms apart:");
+    run_config(0, 1, "no cache");
+    run_config(64, 300, "LRU-64, TTL 5min");
+    run_config(256, 300, "LRU-256, TTL 5min");
+    run_config(256, 30, "LRU-256, TTL 30s");
+    run_config(DOCS * 2, 300, "TTL-only (no eviction)");
+    run_config(DOCS * 2, u64::MAX / 2, "unbounded, no expiry");
+}
+
+fn bench(c: &mut Criterion) {
+    report_series();
+    let env = SimEnv::with_seed(BENCH_SEED);
+    let cache = ResponseCache::new(env.clock().clone(), 256, Duration::from_secs(300));
+    for i in 0..256 {
+        cache.put(format!("k{i}"), json!({"v": (i)}));
+    }
+    c.bench_function("cache_get_hit_at_capacity", |b| {
+        b.iter(|| cache.get(std::hint::black_box("k128")))
+    });
+    let mut i = 0u64;
+    c.bench_function("cache_put_with_eviction", |b| {
+        b.iter(|| {
+            i += 1;
+            cache.put(format!("new{i}"), json!({"v": 1}));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

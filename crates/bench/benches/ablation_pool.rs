@@ -1,0 +1,97 @@
+//! A3 (ablation): thread-pool size vs fan-out latency — §2.1's "to
+//! prevent the number of threads from becoming too large in corner cases,
+//! we use thread pools of limited size."
+//!
+//! Expected shape: wall time of a k-way fan-out falls with pool size
+//! until pool ≥ k, then flattens; a size-1 pool degenerates to sequential.
+
+use cogsdk_bench::BENCH_SEED;
+use cogsdk_core::ThreadPool;
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::{Request, SimEnv, SimService};
+use cogsdk_json::json;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SCALE: f64 = 0.02; // 1 modeled ms -> 20 real µs
+const FANOUT: usize = 16;
+
+fn report_series() {
+    println!("[ablation_pool] {FANOUT}-way fan-out over 50ms services (scaled real time):");
+    for pool_size in [1usize, 2, 4, 8, 16, 32] {
+        let env = SimEnv::with_seed_scaled(BENCH_SEED, SCALE);
+        let services: Vec<Arc<SimService>> = (0..FANOUT)
+            .map(|i| {
+                SimService::builder(format!("svc-{i}"), "cls")
+                    .latency(LatencyModel::constant_ms(50.0))
+                    .build(&env)
+            })
+            .collect();
+        let pool = ThreadPool::new(pool_size);
+        let start = Instant::now();
+        let futures: Vec<_> = services
+            .iter()
+            .map(|svc| {
+                let svc = svc.clone();
+                pool.submit(move || svc.invoke(&Request::new("op", json!({"x": 1}))))
+            })
+            .collect();
+        for f in &futures {
+            f.wait();
+        }
+        let elapsed = start.elapsed();
+        // Ideal: ceil(FANOUT / pool) * 50ms * SCALE.
+        let ideal =
+            Duration::from_secs_f64(FANOUT.div_ceil(pool_size) as f64 * 0.050 * SCALE);
+        println!(
+            "[ablation_pool]   pool={pool_size:2}: wall={elapsed:?} (ideal ≈ {ideal:?})"
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report_series();
+    // CPU-side dispatch overhead by pool size (virtual time: no sleeps).
+    let env = SimEnv::with_seed(BENCH_SEED);
+    let services: Vec<Arc<SimService>> = (0..FANOUT)
+        .map(|i| {
+            SimService::builder(format!("svc-{i}"), "cls")
+                .latency(LatencyModel::constant_ms(50.0))
+                .build(&env)
+        })
+        .collect();
+    let mut group = c.benchmark_group("pool_dispatch");
+    for pool_size in [1usize, 4, 16] {
+        let pool = ThreadPool::new(pool_size);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pool_size),
+            &pool,
+            |b, pool| {
+                b.iter(|| {
+                    let futures: Vec<_> = services
+                        .iter()
+                        .map(|svc| {
+                            let svc = svc.clone();
+                            pool.submit(move || {
+                                svc.invoke(&Request::new("op", json!({"x": 1})))
+                            })
+                        })
+                        .collect();
+                    futures.iter().filter(|f| f.wait().result.is_ok()).count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! A2 (ablation): scoring formula — Eq. 1 raw weights vs Eq. 2
+//! normalized weights vs a custom formula — under heterogeneous metric
+//! scales.
+//!
+//! Expected shape: Eq. 1 is scale-sensitive (micro-dollar costs swamp
+//! millisecond latencies unless weights are hand-tuned); Eq. 2 is robust
+//! to unit choices because every term is normalized to [0, 1].
+
+use cogsdk_bench::BENCH_SEED;
+use cogsdk_core::rank::RankOptions;
+use cogsdk_core::score::ScoringFormula;
+use cogsdk_core::RichSdk;
+use cogsdk_json::json;
+use cogsdk_sim::cost::{CostModel, MicroDollars};
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::{Request, SimEnv, SimService};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Ground truth: "balanced-best" has the best overall profile once every
+/// metric is viewed on its own scale.
+fn setup() -> (SimEnv, RichSdk) {
+    let env = SimEnv::with_seed(BENCH_SEED);
+    let sdk = RichSdk::new(&env);
+    sdk.register(
+        SimService::builder("balanced-best", "cls")
+            .latency(LatencyModel::lognormal_ms(20.0, 0.2))
+            .cost(CostModel::PerCall(MicroDollars::from_micros(300)))
+            .quality(0.9)
+            .build(&env),
+    );
+    sdk.register(
+        SimService::builder("cheap-slow", "cls")
+            .latency(LatencyModel::lognormal_ms(120.0, 0.2))
+            .cost(CostModel::PerCall(MicroDollars::from_micros(50)))
+            .quality(0.55)
+            .build(&env),
+    );
+    sdk.register(
+        SimService::builder("fast-exorbitant", "cls")
+            .latency(LatencyModel::lognormal_ms(8.0, 0.2))
+            .cost(CostModel::PerCall(MicroDollars::from_micros(9_000)))
+            .quality(0.7)
+            .build(&env),
+    );
+    let req = Request::new("op", json!({"x": 1}));
+    for _ in 0..25 {
+        for name in ["balanced-best", "cheap-slow", "fast-exorbitant"] {
+            let _ = sdk.invoke(name, &req);
+        }
+    }
+    (env, sdk)
+}
+
+fn report_series() {
+    let (_env, sdk) = setup();
+    println!("[ablation_scoring] equal-intent weights across formulas:");
+    let formulas: Vec<(&str, ScoringFormula)> = vec![
+        ("Eq.1 naive (1,1,1)", ScoringFormula::weighted(1.0, 1.0, 1.0)),
+        ("Eq.1 tuned (1,0.01,100)", ScoringFormula::weighted(1.0, 0.01, 100.0)),
+        ("Eq.2 (1,1,1)", ScoringFormula::normalized(1.0, 1.0, 1.0)),
+        (
+            "custom (latency p50/quality)",
+            ScoringFormula::custom(|i, m| {
+                (i.response_ms / m.response_ms.max(1e-9)) / i.quality.max(0.01)
+            }),
+        ),
+    ];
+    for (label, formula) in formulas {
+        let ranked = sdk.rank(
+            "cls",
+            &RankOptions {
+                formula,
+                ..RankOptions::default()
+            },
+        );
+        println!(
+            "[ablation_scoring]   {label:28} winner={:16} order=({})",
+            ranked[0].service.name(),
+            ranked
+                .iter()
+                .map(|r| r.service.name())
+                .collect::<Vec<_>>()
+                .join(" > ")
+        );
+    }
+    println!(
+        "[ablation_scoring] note: Eq.1 with naive unit weights is dominated by the \
+         micro-dollar scale; Eq.2 needs no tuning."
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report_series();
+    let (_env, sdk) = setup();
+    for (id, formula) in [
+        ("score_eq1", ScoringFormula::weighted(1.0, 0.01, 100.0)),
+        ("score_eq2", ScoringFormula::normalized(1.0, 1.0, 1.0)),
+        (
+            "score_custom",
+            ScoringFormula::custom(|i, m| i.response_ms / m.response_ms.max(1e-9) - i.quality),
+        ),
+    ] {
+        let options = RankOptions {
+            formula,
+            ..RankOptions::default()
+        };
+        c.bench_function(id, |b| b.iter(|| sdk.rank(std::hint::black_box("cls"), &options)));
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! E15 (Figure 1, external data services): the knowledge-source
+//! (DBpedia-style), finance and vision services behind the SDK — lookup
+//! and SPARQL-over-HTTP costs, finance→KB analytics throughput, and the
+//! recall/price trade-off across the vision fleet.
+//!
+//! Paper-predicted shape: knowledge lookups are dominated by modeled wire
+//! latency (hence worth caching); data-service output feeds the Figure-5
+//! loop directly; higher-quality vision vendors cost more and recall
+//! more.
+
+use cogsdk_bench::BENCH_SEED;
+use cogsdk_core::RichSdk;
+use cogsdk_datasvc::finance::{finance_service, history_to_csv};
+use cogsdk_datasvc::knowledge::knowledge_service;
+use cogsdk_datasvc::vision::{vision_fleet, ImageDescriptor};
+use cogsdk_json::{json, Json};
+use cogsdk_kb::{KbOptions, PersonalKnowledgeBase};
+use cogsdk_sim::{Request, SimEnv};
+use cogsdk_store::MemoryKv;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn report_series() {
+    // --- Series 1: cached vs uncached knowledge lookups ------------------
+    let env = SimEnv::with_seed(BENCH_SEED);
+    let sdk = RichSdk::new(&env);
+    sdk.register(knowledge_service(&env, "dbpedia-sim"));
+    let req = Request::new("lookup", json!({"op": "lookup", "entity": "United States"}));
+    let t0 = env.clock().now();
+    sdk.invoke_cached("dbpedia-sim", &req).unwrap();
+    let t1 = env.clock().now();
+    for _ in 0..99 {
+        sdk.invoke_cached("dbpedia-sim", &req).unwrap();
+    }
+    let t2 = env.clock().now();
+    println!(
+        "[fig1_data_services] entity lookup: first={:?}, next 99 cached={:?}",
+        t1.since(t0),
+        t2.since(t1)
+    );
+
+    // SPARQL through the service.
+    let q = Request::new(
+        "sparql",
+        json!({"op": "sparql", "query":
+            "SELECT ?c WHERE { ?c <db:continent> <db:europe> . ?c <db:population_millions> ?p . FILTER (?p > 50) }"}),
+    );
+    let resp = loop {
+        if let Ok(r) = sdk.invoke("dbpedia-sim", &q) {
+            break r;
+        }
+    };
+    let n = resp.payload.get("bindings").and_then(Json::as_array).map_or(0, <[Json]>::len);
+    println!("[fig1_data_services] sparql: {n} large European countries found via service");
+
+    // --- Series 2: finance -> KB -> signals pipeline ----------------------
+    let stocks = finance_service(&env, "stocks");
+    sdk.register(stocks);
+    let kb = PersonalKnowledgeBase::new(Arc::new(MemoryKv::new()), KbOptions::default());
+    let t0 = std::time::Instant::now();
+    let mut signals = 0;
+    for ticker in ["IBM", "ACME", "GLOBEX", "HOOLI"] {
+        let resp = loop {
+            if let Ok(r) = sdk.invoke(
+                "stocks",
+                &Request::new("history", json!({"op": "history", "ticker": (ticker), "days": 120})),
+            ) {
+                break r;
+            }
+        };
+        let csv = history_to_csv(&resp.payload).unwrap();
+        let table = format!("px_{ticker}");
+        kb.ingest_csv(&table, &csv).unwrap();
+        kb.regress_and_store(&table, "day", "price", ticker).unwrap();
+    }
+    signals += kb
+        .infer_rules("[(?m kb:trend \"increasing\") -> (?m kb:signal kb:Bullish)]")
+        .unwrap();
+    println!(
+        "[fig1_data_services] finance→KB: 4 tickers regressed, {signals} signals, wall {:?}",
+        t0.elapsed()
+    );
+
+    // --- Series 3: vision fleet recall vs cost ----------------------------
+    let fleet = vision_fleet(&env);
+    let images: Vec<ImageDescriptor> = (0..40).map(ImageDescriptor::generate).collect();
+    for vendor in &fleet {
+        let mut truth = 0usize;
+        let mut found = 0usize;
+        for image in &images {
+            let resp = loop {
+                let o = vendor.invoke(&Request::new("classify", json!({"image": (image.to_json())})));
+                if let Ok(r) = o.result {
+                    break r;
+                }
+            };
+            truth += image.labels.len();
+            found += resp
+                .payload
+                .get("labels")
+                .and_then(Json::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|l| l.get("label").and_then(Json::as_str))
+                .filter(|l| image.labels.iter().any(|t| t == l))
+                .count();
+        }
+        println!(
+            "[fig1_data_services] {}: recall={:.2} advertised_quality={:.2}",
+            vendor.name(),
+            found as f64 / truth as f64,
+            vendor.quality()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report_series();
+    let env = SimEnv::with_seed(BENCH_SEED);
+    let knowledge = knowledge_service(&env, "dbpedia-sim");
+    let lookup = Request::new("lookup", json!({"op": "lookup", "entity": "Germany"}));
+    c.bench_function("knowledge_lookup_cpu", |b| {
+        b.iter(|| knowledge.invoke(std::hint::black_box(&lookup)))
+    });
+    let sparql = Request::new(
+        "sparql",
+        json!({"op": "sparql", "query": "SELECT ?c WHERE { ?c <db:continent> <db:europe> . }"}),
+    );
+    c.bench_function("knowledge_sparql_cpu", |b| {
+        b.iter(|| knowledge.invoke(std::hint::black_box(&sparql)))
+    });
+    let stocks = finance_service(&env, "stocks");
+    let hist = Request::new("history", json!({"op": "history", "ticker": "IBM", "days": 120}));
+    c.bench_function("finance_history_120d_cpu", |b| {
+        b.iter(|| stocks.invoke(std::hint::black_box(&hist)))
+    });
+    let vision = vision_fleet(&env).remove(0);
+    let image = ImageDescriptor::generate(5);
+    let classify = Request::new("classify", json!({"image": (image.to_json())}));
+    c.bench_function("vision_classify_cpu", |b| {
+        b.iter(|| vision.invoke(std::hint::black_box(&classify)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! E5 (Figure 2, sync vs async invocation): blocking sequential calls vs
+//! `ListenableFuture` async vs pooled parallel fan-out (§2, §2.1).
+//!
+//! Paper-predicted shape: sequential ≈ sum of latencies; parallel ≈ max
+//! of latencies; async submission returns to the caller immediately.
+//! Uses scaled real time (1 modeled ms = 20 real µs) so thread overlap is
+//! physically real.
+
+use cogsdk_bench::BENCH_SEED;
+use cogsdk_core::invoke::RedundantMode;
+use cogsdk_core::rank::RankOptions;
+use cogsdk_core::RichSdk;
+use cogsdk_json::json;
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::{Request, SimEnv, SimService};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+const SCALE: f64 = 0.02; // 1 modeled ms -> 20 real µs
+
+fn scaled_sdk(k: usize) -> (SimEnv, RichSdk) {
+    let env = SimEnv::with_seed_scaled(BENCH_SEED, SCALE);
+    let sdk = RichSdk::new(&env);
+    for i in 0..k {
+        sdk.register(
+            SimService::builder(format!("svc-{i}"), "nlu")
+                .latency(LatencyModel::constant_ms(50.0))
+                .build(&env),
+        );
+    }
+    (env, sdk)
+}
+
+fn req() -> Request {
+    Request::new("analyze", json!({"text": "doc"}))
+}
+
+fn report_series() {
+    // --- Series: sequential vs parallel wall time across k services -----
+    println!("[fig2_async] k identical 50ms services, scaled real time:");
+    for k in [1usize, 2, 4, 8] {
+        let (_env, sdk) = scaled_sdk(k);
+        let start = Instant::now();
+        for i in 0..k {
+            sdk.invoke(&format!("svc-{i}"), &req()).unwrap();
+        }
+        let sequential = start.elapsed();
+
+        let (_env2, sdk2) = scaled_sdk(k);
+        let start = Instant::now();
+        sdk2.invoke_redundant_parallel("nlu", &req(), &RankOptions::default(), k, RedundantMode::All)
+            .unwrap();
+        let parallel = start.elapsed();
+        println!(
+            "[fig2_async]   k={k}: sequential={sequential:?} parallel={parallel:?} speedup={:.2}x",
+            sequential.as_secs_f64() / parallel.as_secs_f64()
+        );
+    }
+
+    // --- Series: async submission latency vs completion latency ---------
+    let (_env, sdk) = scaled_sdk(1);
+    let start = Instant::now();
+    let future = sdk.invoke_async("svc-0", req());
+    let submit = start.elapsed();
+    future.wait();
+    let complete = start.elapsed();
+    println!(
+        "[fig2_async] async submit returned in {submit:?}; completion took {complete:?} \
+         (caller was free the whole time)"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report_series();
+    // Criterion measures the CPU-side machinery on virtual time (no real
+    // sleeps) so numbers are stable.
+    let env = SimEnv::with_seed(BENCH_SEED);
+    let sdk = RichSdk::new(&env);
+    for i in 0..4 {
+        sdk.register(
+            SimService::builder(format!("svc-{i}"), "nlu")
+                .latency(LatencyModel::constant_ms(50.0))
+                .build(&env),
+        );
+    }
+    c.bench_function("sync_invoke_virtual", |b| {
+        b.iter(|| sdk.invoke("svc-0", std::hint::black_box(&req())).unwrap())
+    });
+    c.bench_function("async_submit_and_wait", |b| {
+        b.iter(|| sdk.invoke_async("svc-0", std::hint::black_box(req())).wait())
+    });
+    c.bench_function("parallel_fanout_4_virtual", |b| {
+        b.iter(|| {
+            sdk.invoke_redundant_parallel(
+                "nlu",
+                std::hint::black_box(&req()),
+                &RankOptions::default(),
+                4,
+                RedundantMode::All,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! E1 (Figure 2, caching): hit vs miss latency, hit-rate under a Zipf
+//! workload, and quota savings from caching (§2, §2.2).
+//!
+//! Paper-predicted shape: a cache hit costs orders of magnitude less than
+//! a remote call; under a skewed workload most requests hit; cached
+//! clients survive on a fraction of the quota.
+
+use cogsdk_bench::BENCH_SEED;
+use cogsdk_core::rank::RankOptions;
+use cogsdk_core::RichSdk;
+use cogsdk_json::json;
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::quota::Quota;
+use cogsdk_sim::{Request, SimEnv, SimService};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn setup() -> (SimEnv, RichSdk) {
+    let env = SimEnv::with_seed(BENCH_SEED);
+    let sdk = RichSdk::new(&env);
+    sdk.register(
+        SimService::builder("nlu", "nlu")
+            .latency(LatencyModel::lognormal_ms(60.0, 0.4))
+            .build(&env),
+    );
+    (env, sdk)
+}
+
+fn report_series() {
+    // --- Series 1: virtual latency of miss vs hit -----------------------
+    let (env, sdk) = setup();
+    let req = Request::new("analyze", json!({"text": "doc-0"}));
+    let t0 = env.clock().now();
+    sdk.invoke_cached("nlu", &req).unwrap();
+    let t1 = env.clock().now();
+    sdk.invoke_cached("nlu", &req).unwrap();
+    let t2 = env.clock().now();
+    println!("[fig2_caching] miss latency = {:?}", t1.since(t0));
+    println!("[fig2_caching] hit latency  = {:?} (modeled remote work avoided)", t2.since(t1));
+
+    // --- Series 2: hit rate under Zipf(s) over 500 distinct documents ---
+    for s in [0.8, 1.0, 1.2] {
+        let (env, sdk) = setup();
+        let mut rng = env.rng().fork();
+        let n = 5_000;
+        for _ in 0..n {
+            let doc = rng.zipf(500, s);
+            let req = Request::new("analyze", json!({"text": (format!("doc-{doc}"))}));
+            sdk.invoke_cached("nlu", &req).unwrap();
+        }
+        let stats = sdk.cache().stats();
+        println!(
+            "[fig2_caching] zipf s={s}: hit_rate={:.3} ({} hits / {} lookups)",
+            stats.hit_rate(),
+            stats.hits,
+            stats.hits + stats.misses
+        );
+    }
+
+    // --- Series 3: quota savings (§2.2 limited invocation quotas) -------
+    for cached in [false, true] {
+        let env = SimEnv::with_seed(BENCH_SEED);
+        let sdk = RichSdk::new(&env);
+        sdk.register(
+            SimService::builder("metered", "nlu")
+                .latency(LatencyModel::constant_ms(10.0))
+                .quota(Quota::new(500, Duration::from_secs(86_400)))
+                .build(&env),
+        );
+        let mut rng = env.rng().fork();
+        let mut ok = 0;
+        let n = 2_000;
+        for _ in 0..n {
+            let doc = rng.zipf(200, 1.1);
+            let req = Request::new("analyze", json!({"text": (format!("doc-{doc}"))}));
+            let success = if cached {
+                sdk.invoke_cached("metered", &req).is_ok()
+            } else {
+                sdk.invoke("metered", &req).is_ok()
+            };
+            if success {
+                ok += 1;
+            }
+        }
+        println!(
+            "[fig2_caching] quota 500/day, {n} requests, cached={cached}: answered={ok} ({:.1}%)",
+            100.0 * ok as f64 / n as f64
+        );
+    }
+    let _ = RankOptions::default();
+}
+
+fn bench(c: &mut Criterion) {
+    report_series();
+    let (_env, sdk) = setup();
+    let req = Request::new("analyze", json!({"text": "hot-doc"}));
+    sdk.invoke_cached("nlu", &req).unwrap();
+    c.bench_function("cache_hit_overhead", |b| {
+        b.iter(|| sdk.invoke_cached("nlu", std::hint::black_box(&req)).unwrap())
+    });
+    let (_env2, sdk2) = setup();
+    let mut i = 0u64;
+    c.bench_function("cache_miss_full_call", |b| {
+        b.iter(|| {
+            i += 1;
+            let req = Request::new("analyze", json!({"text": (format!("cold-{i}"))}));
+            sdk2.invoke_cached("nlu", std::hint::black_box(&req)).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    targets = bench
+}
+criterion_main!(benches);

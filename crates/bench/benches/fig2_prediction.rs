@@ -1,0 +1,145 @@
+//! E4 (Figure 2, latency prediction): predictor error and selection
+//! win-rate for mean / median / EWMA / regression-on-size predictors,
+//! including the paper's s1/s2 size crossover (§2).
+//!
+//! Paper-predicted shape: conditioning on the latency parameter (size)
+//! dominates unconditioned predictors whenever latency actually depends
+//! on size; selection driven by the regression predictor picks the true
+//! cheapest service on both sides of the crossover.
+
+use cogsdk_bench::BENCH_SEED;
+use cogsdk_core::predict::Predictor;
+use cogsdk_core::rank::RankOptions;
+use cogsdk_core::score::ScoringFormula;
+use cogsdk_core::RichSdk;
+use cogsdk_json::json;
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::{Request, SimEnv, SimService};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Trains both paper services (s1 cheap-small, s2 cheap-large) over a
+/// spread of sizes.
+fn trained_sdk() -> (SimEnv, RichSdk) {
+    let env = SimEnv::with_seed(BENCH_SEED);
+    let sdk = RichSdk::new(&env);
+    sdk.register(
+        SimService::builder("s1", "storage")
+            .latency(LatencyModel::SizeLinear { base_ms: 1.0, per_byte_ms: 0.010, jitter: 0.1 })
+            .build(&env),
+    );
+    sdk.register(
+        SimService::builder("s2", "storage")
+            .latency(LatencyModel::SizeLinear { base_ms: 25.0, per_byte_ms: 0.001, jitter: 0.1 })
+            .build(&env),
+    );
+    for i in 1..=40 {
+        // The payload really is this big: the fabric samples latency from
+        // the actual request size, and the declared latency parameter
+        // matches it.
+        let payload = json!({"b": ("x".repeat(i * 250))});
+        let size = payload.size_bytes() as f64;
+        let req = Request::new("put", payload).with_param("size", size);
+        sdk.invoke("s1", &req).unwrap();
+        sdk.invoke("s2", &req).unwrap();
+    }
+    (env, sdk)
+}
+
+fn report_series() {
+    let (_env, sdk) = trained_sdk();
+    let history = sdk.monitor().history("s1").unwrap();
+
+    // --- Series 1: predictor error at extrapolated size ------------------
+    println!("[fig2_prediction] predictor error for s1 at size=20000 (truth = 201ms):");
+    let truth = 1.0 + 0.010 * 20_000.0;
+    let params = vec![("size".to_string(), 20_000.0)];
+    for (name, predictor) in [
+        ("mean", Predictor::Mean),
+        ("median", Predictor::Median),
+        ("ewma(0.3)", Predictor::Ewma(0.3)),
+        ("knn(5)", Predictor::KnnOn("size".into(), 5)),
+        ("regression", Predictor::RegressionOn("size".into())),
+    ] {
+        let predicted = predictor.predict(&history, &params).unwrap();
+        println!(
+            "[fig2_prediction]   {name:12} predicted={predicted:7.2}ms  |err|={:7.2}ms",
+            (predicted - truth).abs()
+        );
+    }
+
+    // --- Series 2: selection win rate across the size spectrum -----------
+    println!("[fig2_prediction] selection win-rate (pick = true cheapest):");
+    for (name, predictor) in [
+        ("mean", Predictor::Mean),
+        ("regression", Predictor::RegressionOn("size".into())),
+    ] {
+        let mut wins = 0;
+        let sizes: Vec<f64> = (1..=60).map(|i| i as f64 * 250.0).collect();
+        for &size in &sizes {
+            let options = RankOptions {
+                predictor: predictor.clone(),
+                formula: ScoringFormula::weighted(1.0, 0.0, 0.0),
+                default_latency_ms: 100.0,
+                params: vec![("size".into(), size)],
+                availability_penalty: false,
+            };
+            let picked = sdk.rank("storage", &options)[0].service.name().to_string();
+            let s1_true = 1.0 + 0.010 * size;
+            let s2_true = 25.0 + 0.001 * size;
+            let best = if s1_true <= s2_true { "s1" } else { "s2" };
+            if picked == best {
+                wins += 1;
+            }
+        }
+        println!(
+            "[fig2_prediction]   {name:12} win rate = {wins}/{} ({:.0}%)",
+            sizes.len(),
+            100.0 * wins as f64 / sizes.len() as f64
+        );
+    }
+
+    // --- Series 3: crossover location -------------------------------------
+    let mut crossover = None;
+    for size in (1..=120).map(|i| i as f64 * 50.0) {
+        let options = RankOptions {
+            predictor: Predictor::RegressionOn("size".into()),
+            formula: ScoringFormula::weighted(1.0, 0.0, 0.0),
+            default_latency_ms: 100.0,
+            params: vec![("size".into(), size)],
+            availability_penalty: false,
+        };
+        if sdk.rank("storage", &options)[0].service.name() == "s2" {
+            crossover = Some(size);
+            break;
+        }
+    }
+    println!(
+        "[fig2_prediction] measured crossover ≈ {crossover:?} bytes (analytic 24/0.009 ≈ 2667)"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report_series();
+    let (_env, sdk) = trained_sdk();
+    let history = sdk.monitor().history("s1").unwrap();
+    let params = vec![("size".to_string(), 5_000.0)];
+    let regression = Predictor::RegressionOn("size".into());
+    c.bench_function("predict_regression_on_40_points", |b| {
+        b.iter(|| regression.predict(std::hint::black_box(&history), &params))
+    });
+    let mean = Predictor::Mean;
+    c.bench_function("predict_mean_on_40_points", |b| {
+        b.iter(|| mean.predict(std::hint::black_box(&history), &params))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! E2 (Figure 2, ranking): Eq. 1 / Eq. 2 scoring cost, rank stability,
+//! and the quality-weight crossover (§2).
+//!
+//! Paper-predicted shape: ranking is cheap bookkeeping; low γ picks the
+//! fast cheap service, high γ flips the ranking to the high-quality one,
+//! with a crossover in between.
+
+use cogsdk_bench::BENCH_SEED;
+use cogsdk_core::rank::RankOptions;
+use cogsdk_core::score::ScoringFormula;
+use cogsdk_core::RichSdk;
+use cogsdk_json::json;
+use cogsdk_sim::cost::{CostModel, MicroDollars};
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::{Request, SimEnv, SimService};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn setup() -> (SimEnv, RichSdk) {
+    let env = SimEnv::with_seed(BENCH_SEED);
+    let sdk = RichSdk::new(&env);
+    sdk.register(
+        SimService::builder("fast-cheap-poor", "nlu")
+            .latency(LatencyModel::lognormal_ms(15.0, 0.3))
+            .cost(CostModel::PerCall(MicroDollars::from_micros(100)))
+            .quality(0.55)
+            .build(&env),
+    );
+    sdk.register(
+        SimService::builder("slow-pricey-good", "nlu")
+            .latency(LatencyModel::lognormal_ms(90.0, 0.3))
+            .cost(CostModel::PerCall(MicroDollars::from_micros(900)))
+            .quality(0.95)
+            .build(&env),
+    );
+    sdk.register(
+        SimService::builder("middling", "nlu")
+            .latency(LatencyModel::lognormal_ms(45.0, 0.3))
+            .cost(CostModel::PerCall(MicroDollars::from_micros(400)))
+            .quality(0.75)
+            .build(&env),
+    );
+    // Warm the monitor so rankings are data-driven.
+    let req = Request::new("analyze", json!({"text": "warmup"}));
+    for _ in 0..25 {
+        for name in ["fast-cheap-poor", "slow-pricey-good", "middling"] {
+            let _ = sdk.invoke(name, &req);
+        }
+    }
+    (env, sdk)
+}
+
+fn report_series() {
+    let (_env, sdk) = setup();
+    // --- Series: winner as a function of the quality weight gamma -------
+    println!("[fig2_ranking] gamma sweep (alpha=1, beta=1):");
+    let mut crossover = None;
+    for gamma in [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 8.0] {
+        let ranked = sdk.rank(
+            "nlu",
+            &RankOptions {
+                formula: ScoringFormula::normalized(1.0, 1.0, gamma),
+                ..RankOptions::default()
+            },
+        );
+        let winner = ranked[0].service.name().to_string();
+        if winner == "slow-pricey-good" && crossover.is_none() {
+            crossover = Some(gamma);
+        }
+        println!(
+            "[fig2_ranking]   gamma={gamma:<4} winner={winner:18} scores=({})",
+            ranked
+                .iter()
+                .map(|r| format!("{}={:+.3}", r.service.name(), r.score))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    println!("[fig2_ranking] quality-weight crossover at gamma ≈ {crossover:?}");
+
+    // --- Series: Eq.1 vs Eq.2 agreement on the winner -------------------
+    let eq1 = sdk.rank(
+        "nlu",
+        &RankOptions {
+            // Eq.1 raw weights need scale-aware tuning: ms and micro-$
+            // are on wildly different scales.
+            formula: ScoringFormula::weighted(1.0, 0.01, 100.0),
+            ..RankOptions::default()
+        },
+    );
+    let eq2 = sdk.rank(
+        "nlu",
+        &RankOptions {
+            formula: ScoringFormula::normalized(1.0, 1.0, 1.0),
+            ..RankOptions::default()
+        },
+    );
+    println!(
+        "[fig2_ranking] Eq.1 winner={} | Eq.2 winner={}",
+        eq1[0].service.name(),
+        eq2[0].service.name()
+    );
+
+    // --- Series: rank stability across repeated rankings ----------------
+    let order: Vec<String> = sdk
+        .rank("nlu", &RankOptions::default())
+        .iter()
+        .map(|r| r.service.name().to_string())
+        .collect();
+    let stable = (0..50).all(|_| {
+        sdk.rank("nlu", &RankOptions::default())
+            .iter()
+            .map(|r| r.service.name().to_string())
+            .collect::<Vec<_>>()
+            == order
+    });
+    println!("[fig2_ranking] rank stable over 50 re-rankings: {stable}");
+}
+
+fn bench(c: &mut Criterion) {
+    report_series();
+    let (_env, sdk) = setup();
+    let options = RankOptions::default();
+    c.bench_function("rank_3_services_eq2", |b| {
+        b.iter(|| sdk.rank(std::hint::black_box("nlu"), &options))
+    });
+    let options_eq1 = RankOptions {
+        formula: ScoringFormula::weighted(1.0, 0.01, 100.0),
+        ..RankOptions::default()
+    };
+    c.bench_function("rank_3_services_eq1", |b| {
+        b.iter(|| sdk.rank(std::hint::black_box("nlu"), &options_eq1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    targets = bench
+}
+criterion_main!(benches);

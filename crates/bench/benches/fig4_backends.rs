@@ -1,0 +1,164 @@
+//! E7 (Figure 4, storage backends): put/get cost across the knowledge
+//! base's storage forms — in-memory KV, file-backed KV, relational
+//! table, RDF graph — and local vs simulated-remote (§2, §3).
+//!
+//! Paper-predicted shape: "Local storage will generally incur
+//! significantly lower latency" than the remote store; among local forms,
+//! richer structure costs more per operation.
+
+use cogsdk_bench::BENCH_SEED;
+use cogsdk_kb::{KbOptions, PersonalKnowledgeBase};
+use cogsdk_rdf::{Graph, Statement, Term};
+use cogsdk_sim::cost::CostModel;
+use cogsdk_sim::failure::FailurePlan;
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::SimEnv;
+use cogsdk_store::kv::{remote_kv_service, RemoteKv};
+use cogsdk_store::table::{ColumnType, Predicate, Schema, Table, Value};
+use cogsdk_store::{KeyValueStore, MemoryKv};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn report_series() {
+    // --- Series: local vs remote virtual latency -------------------------
+    let env = SimEnv::with_seed(BENCH_SEED);
+    let remote = RemoteKv::new(remote_kv_service(
+        &env,
+        "cloud-kv",
+        LatencyModel::size_linear_ms(12.0, 0.0005),
+        FailurePlan::reliable(),
+        CostModel::Free,
+    ));
+    let local = MemoryKv::new();
+    let value = Bytes::from(vec![7u8; 4096]);
+    let t0 = env.clock().now();
+    for i in 0..100 {
+        remote.put(&format!("k{i}"), value.clone()).unwrap();
+    }
+    let remote_elapsed = env.clock().now().since(t0);
+    let t1 = env.clock().now();
+    for i in 0..100 {
+        local.put(&format!("k{i}"), value.clone()).unwrap();
+    }
+    let local_elapsed = env.clock().now().since(t1);
+    println!(
+        "[fig4_backends] 100 puts of 4 KiB: remote(virtual)={remote_elapsed:?} local={local_elapsed:?}"
+    );
+    println!(
+        "[fig4_backends] paper claim: local ≪ remote — factor here is effectively unbounded \
+         (local costs no virtual time)"
+    );
+}
+
+fn sample_table(rows: usize) -> Table {
+    let schema = Schema::new(vec![
+        ("id", ColumnType::Int),
+        ("name", ColumnType::Text),
+        ("value", ColumnType::Float),
+    ])
+    .unwrap();
+    let mut t = Table::new(schema);
+    for i in 0..rows {
+        t.insert(vec![
+            Value::Int(i as i64),
+            Value::Text(format!("row-{i}")),
+            Value::Float(i as f64 * 1.5),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+fn sample_graph(n: usize) -> Graph {
+    let mut g = Graph::new();
+    for i in 0..n {
+        g.insert(Statement::new(
+            Term::iri(format!("kb:s{i}")),
+            Term::iri("kb:value"),
+            Term::integer(i as i64),
+        ));
+    }
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    report_series();
+
+    // KV put+get.
+    let kv = MemoryKv::new();
+    let value = Bytes::from(vec![7u8; 1024]);
+    let mut i = 0u64;
+    c.bench_function("backend_memory_kv_put_get_1k", |b| {
+        b.iter(|| {
+            i += 1;
+            let key = format!("k{}", i % 1000);
+            kv.put(&key, value.clone()).unwrap();
+            kv.get(&key).unwrap()
+        })
+    });
+
+    // File-backed KV.
+    let dir = std::env::temp_dir().join(format!("cogsdk-bench-{}", std::process::id()));
+    let filekv = cogsdk_store::kv::FileKv::open(&dir).unwrap();
+    let mut j = 0u64;
+    c.bench_function("backend_file_kv_put_get_1k", |b| {
+        b.iter(|| {
+            j += 1;
+            let key = format!("k{}", j % 64);
+            filekv.put(&key, value.clone()).unwrap();
+            filekv.get(&key).unwrap()
+        })
+    });
+
+    // Relational insert + select.
+    c.bench_function("backend_table_insert_1000_rows", |b| {
+        b.iter(|| sample_table(std::hint::black_box(1000)))
+    });
+    let table = sample_table(1000);
+    c.bench_function("backend_table_select_predicate", |b| {
+        b.iter(|| {
+            table
+                .select(&Predicate::Gt("value".into(), 900.0), &["id", "name"])
+                .unwrap()
+        })
+    });
+
+    // RDF insert + pattern match.
+    c.bench_function("backend_rdf_insert_1000_triples", |b| {
+        b.iter(|| sample_graph(std::hint::black_box(1000)))
+    });
+    let graph = sample_graph(1000);
+    let p = Term::iri("kb:value");
+    c.bench_function("backend_rdf_match_by_predicate", |b| {
+        b.iter(|| graph.match_pattern(None, Some(std::hint::black_box(&p)), None))
+    });
+
+    // Whole-KB ingest path (CSV -> table -> RDF).
+    let mut csv = String::from("id,name,value\n");
+    for i in 0..200 {
+        csv.push_str(&format!("{i},row-{i},{}\n", i as f64 * 1.5));
+    }
+    let mut run = 0u64;
+    c.bench_function("backend_kb_csv_to_rdf_200_rows", |b| {
+        b.iter(|| {
+            run += 1;
+            let kb = PersonalKnowledgeBase::new(Arc::new(MemoryKv::new()), KbOptions::default());
+            kb.ingest_csv("t", std::hint::black_box(&csv)).unwrap();
+            kb.table_to_rdf("t", "id", "kb").unwrap()
+        })
+    });
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! E8 (Figure 4, enhanced data store client): encryption and compression
+//! costs, bytes-on-the-wire reduction, and the client cache's effect on
+//! remote reads (§3, reference [11]).
+//!
+//! Paper-predicted shape: compression cuts wire bytes for structured
+//! data (less network, lower storage bills); encryption adds CPU but no
+//! wire growth beyond a small envelope; the cache absorbs repeat reads.
+
+use cogsdk_store::compress::{compress, decompress, ratio};
+use cogsdk_store::crypto::{decrypt, encrypt, Key};
+use cogsdk_store::enhanced::{EnhancedClient, EnhancedOptions};
+use cogsdk_store::{KeyValueStore, MemoryKv};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A JSON-ish structured payload (compressible, like real KB data).
+fn structured_payload(records: usize) -> Bytes {
+    let mut s = String::from("[");
+    for i in 0..records {
+        s.push_str(&format!(
+            "{{\"country\":\"country_{}\",\"gdp\":{}.5,\"year\":{}}},",
+            i % 40,
+            1000 + i,
+            2000 + (i % 20)
+        ));
+    }
+    s.push(']');
+    Bytes::from(s.into_bytes())
+}
+
+fn report_series() {
+    // --- Series 1: wire-byte reduction by configuration ------------------
+    println!("[fig4_enhanced_client] 64 KiB structured payload, bytes on wire:");
+    let payload = structured_payload(800);
+    for (label, compress_on, encrypt_on) in [
+        ("plain", false, false),
+        ("compress", true, false),
+        ("encrypt", false, true),
+        ("compress+encrypt", true, true),
+    ] {
+        let client = EnhancedClient::new(
+            Arc::new(MemoryKv::new()),
+            EnhancedOptions {
+                cache_capacity: 0,
+                compress: compress_on,
+                encryption_key: encrypt_on.then(|| Key::derive("bench")),
+            },
+        );
+        client.put("k", payload.clone()).unwrap();
+        let s = client.stats();
+        println!(
+            "[fig4_enhanced_client]   {label:18} in={} wire={} ratio={:.3}",
+            s.bytes_in,
+            s.bytes_on_wire,
+            s.bytes_on_wire as f64 / s.bytes_in as f64
+        );
+    }
+
+    // --- Series 2: compression ratio vs payload structure ----------------
+    let random: Bytes = {
+        let mut v = Vec::with_capacity(65536);
+        let mut x = 0x2545F491u32;
+        for _ in 0..65536 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            v.push((x >> 24) as u8);
+        }
+        Bytes::from(v)
+    };
+    for (label, data) in [("structured json", structured_payload(800)), ("random bytes", random)]
+    {
+        let packed = compress(&data);
+        println!(
+            "[fig4_enhanced_client] compression of {label}: ratio={:.3}",
+            ratio(&data, &packed)
+        );
+    }
+
+    // --- Series 3: cache absorbs repeat reads ----------------------------
+    let client = EnhancedClient::new(
+        Arc::new(MemoryKv::new()),
+        EnhancedOptions {
+            cache_capacity: 1024,
+            compress: true,
+            encryption_key: Some(Key::derive("bench")),
+        },
+    );
+    client.put("hot", structured_payload(100)).unwrap();
+    for _ in 0..100 {
+        client.get("hot").unwrap();
+    }
+    let s = client.stats();
+    println!(
+        "[fig4_enhanced_client] 100 repeat reads: hits={} misses={} (decrypt+decompress skipped on hits)",
+        s.cache_hits, s.cache_misses
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report_series();
+    let payload = structured_payload(800);
+    let key = Key::derive("bench");
+
+    let mut group = c.benchmark_group("enhanced_client");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("compress_64k", |b| {
+        b.iter(|| compress(std::hint::black_box(&payload)))
+    });
+    let packed = compress(&payload);
+    group.bench_function("decompress_64k", |b| {
+        b.iter(|| decompress(std::hint::black_box(&packed)).unwrap())
+    });
+    group.bench_function("encrypt_64k", |b| {
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            encrypt(&key, nonce, std::hint::black_box(&payload))
+        })
+    });
+    let ct = encrypt(&key, 42, &payload);
+    group.bench_function("decrypt_64k", |b| {
+        b.iter(|| decrypt(&key, std::hint::black_box(&ct)).unwrap())
+    });
+
+    let client = EnhancedClient::new(
+        Arc::new(MemoryKv::new()),
+        EnhancedOptions {
+            cache_capacity: 64,
+            compress: true,
+            encryption_key: Some(key),
+        },
+    );
+    client.put("hot", payload.clone()).unwrap();
+    group.bench_function("cached_read_64k", |b| {
+        b.iter(|| client.get(std::hint::black_box("hot")).unwrap())
+    });
+    group.bench_function("uncached_read_64k", |b| {
+        b.iter(|| {
+            client.invalidate_cache();
+            client.get(std::hint::black_box("hot")).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

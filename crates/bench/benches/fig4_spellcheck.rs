@@ -1,0 +1,82 @@
+//! E9 (Figure 4, spell checker): the knowledge base's local spell checker
+//! vs the simulated remote spell service (§3).
+//!
+//! Paper-predicted shape: "the spell checker included with the knowledge
+//! base is generally faster as it avoids the overheads of remote
+//! communication. Some online spell checkers also cost money." Local wins
+//! on latency and is free; corrections are equivalent (same dictionary).
+
+use cogsdk_bench::BENCH_SEED;
+use cogsdk_json::json;
+use cogsdk_sim::{Request, SimEnv};
+use cogsdk_text::services::remote_spell_service;
+use cogsdk_text::SpellChecker;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const SAMPLE: &str = "the goverment annouced a new energie policy for the \
+                      markets and the technolgy sector with stong growth";
+
+fn report_series() {
+    let env = SimEnv::with_seed(BENCH_SEED);
+    let remote = remote_spell_service(&env);
+    let local = SpellChecker::with_builtin_dictionary();
+
+    // --- Series 1: latency and cost over 50 checks -----------------------
+    let t0 = env.clock().now();
+    let local_fixes = (0..50).map(|_| local.check_text(SAMPLE).len()).next_back().unwrap();
+    let local_elapsed = env.clock().now().since(t0);
+
+    let t1 = env.clock().now();
+    let mut cost = cogsdk_sim::cost::MicroDollars::ZERO;
+    let mut remote_fixes = 0;
+    for _ in 0..50 {
+        let out = remote.invoke(&Request::new("check", json!({"text": (SAMPLE)})));
+        cost = cost.saturating_add(out.cost);
+        if let Ok(resp) = out.result {
+            remote_fixes = resp
+                .payload
+                .get("corrections")
+                .and_then(cogsdk_json::Json::as_array)
+                .map_or(0, <[cogsdk_json::Json]>::len);
+        }
+    }
+    let remote_elapsed = env.clock().now().since(t1);
+    println!(
+        "[fig4_spellcheck] 50 checks: local={local_elapsed:?} $0 | remote(virtual)={remote_elapsed:?} {cost}"
+    );
+    println!(
+        "[fig4_spellcheck] corrections found: local={local_fixes} remote={remote_fixes} (same dictionary)"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report_series();
+    let local = SpellChecker::with_builtin_dictionary();
+    c.bench_function("spellcheck_local_sentence", |b| {
+        b.iter(|| local.check_text(std::hint::black_box(SAMPLE)))
+    });
+    c.bench_function("spellcheck_local_single_word_d1", |b| {
+        b.iter(|| local.correct(std::hint::black_box("goverment")))
+    });
+    c.bench_function("spellcheck_local_single_word_d2", |b| {
+        b.iter(|| local.correct(std::hint::black_box("gvrment")))
+    });
+    // The remote path: Criterion measures the CPU-side cost (virtual
+    // latency is on the clock, not the wall).
+    let env = SimEnv::with_seed(BENCH_SEED);
+    let remote = remote_spell_service(&env);
+    c.bench_function("spellcheck_remote_cpu_overhead", |b| {
+        b.iter(|| remote.invoke(&Request::new("check", json!({"text": (SAMPLE)}))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

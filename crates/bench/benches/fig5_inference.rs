@@ -1,0 +1,183 @@
+//! E10 (Figure 5): the analyze → store-as-RDF → infer loop — regression
+//! over ingested data, facts into the triple store, reasoners generating
+//! knowledge "beyond that produced by just the mathematical analysis
+//! itself" (§3).
+//!
+//! Paper-predicted shape: inference yields strictly more facts than
+//! ingestion + statistics alone; reasoner cost grows with graph size.
+
+use cogsdk_kb::{KbOptions, PersonalKnowledgeBase};
+use cogsdk_rdf::owl::OwlLiteReasoner;
+use cogsdk_rdf::{GenericRuleReasoner, Graph, RdfsReasoner, Statement, Term, TransitiveReasoner};
+use cogsdk_store::MemoryKv;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn revenue_csv(quarters: usize) -> String {
+    let mut csv = String::from("quarter,revenue\n");
+    for q in 0..quarters {
+        csv.push_str(&format!("{q},{}\n", 1000.0 + 42.0 * q as f64));
+    }
+    csv
+}
+
+const RULES: &str = "\
+[(?m kb:trend \"increasing\") -> (?m kb:classification kb:GrowthIndicator)]
+[(?m kb:classification kb:GrowthIndicator) -> (?m kb:action kb:IncreaseInvestment)]
+";
+
+fn report_series() {
+    // --- Series 1: facts before vs after the Figure-5 loop ---------------
+    let kb = PersonalKnowledgeBase::new(Arc::new(MemoryKv::new()), KbOptions::default());
+    kb.ingest_csv("revenue", &revenue_csv(12)).unwrap();
+    kb.table_to_rdf("revenue", "quarter", "kb").unwrap();
+    let after_ingest = kb.statement_count();
+    kb.regress_and_store("revenue", "quarter", "revenue", "acme").unwrap();
+    let after_analysis = kb.statement_count();
+    let inferred = kb.infer_rules(RULES).unwrap();
+    println!(
+        "[fig5_inference] facts: ingest={after_ingest} +analysis={} +inference={inferred} total={}",
+        after_analysis - after_ingest,
+        kb.statement_count()
+    );
+
+    // --- Series 2: reasoner scaling with graph size ----------------------
+    for n in [100usize, 1_000, 5_000] {
+        let mut g = Graph::new();
+        // A subclass chain of depth 10 with n/10 instances each.
+        for d in 0..10 {
+            g.insert(Statement::new(
+                Term::iri(format!("c{d}")),
+                Term::iri("rdfs:subClassOf"),
+                Term::iri(format!("c{}", d + 1)),
+            ));
+        }
+        for i in 0..n {
+            g.insert(Statement::new(
+                Term::iri(format!("inst{i}")),
+                Term::iri("rdf:type"),
+                Term::iri(format!("c{}", i % 10)),
+            ));
+        }
+        let start = std::time::Instant::now();
+        let inferred = RdfsReasoner::new().infer(&g);
+        println!(
+            "[fig5_inference] rdfs over {} stated facts: {} inferred in {:?}",
+            g.len(),
+            inferred.len(),
+            start.elapsed()
+        );
+    }
+
+    // --- Series 2b: the OWL/Lite reasoner over an alias-rich graph -------
+    {
+        let mut g = Graph::new();
+        g.insert(Statement::new(
+            Term::iri("kb:partOf"),
+            Term::iri("rdf:type"),
+            Term::iri("owl:TransitiveProperty"),
+        ));
+        for i in 0..50 {
+            g.insert(Statement::new(
+                Term::iri(format!("n{i}")),
+                Term::iri("kb:partOf"),
+                Term::iri(format!("n{}", i + 1)),
+            ));
+            g.insert(Statement::new(
+                Term::iri(format!("alias{i}")),
+                Term::iri("owl:sameAs"),
+                Term::iri(format!("n{i}")),
+            ));
+        }
+        let start = std::time::Instant::now();
+        let inferred = OwlLiteReasoner::owl_only().infer(&g);
+        println!(
+            "[fig5_inference] owl-lite over {} facts (transitivity + 50 sameAs aliases): {} inferred in {:?}",
+            g.len(),
+            inferred.len(),
+            start.elapsed()
+        );
+    }
+
+    // --- Series 3: transitive closure on a chain -------------------------
+    for len in [10usize, 50, 100] {
+        let mut g = Graph::new();
+        for i in 0..len {
+            g.insert(Statement::new(
+                Term::iri(format!("n{i}")),
+                Term::iri("kb:precedes"),
+                Term::iri(format!("n{}", i + 1)),
+            ));
+        }
+        let start = std::time::Instant::now();
+        let closure = TransitiveReasoner::new(vec![Term::iri("kb:precedes")]).infer(&g);
+        println!(
+            "[fig5_inference] transitive chain len={len}: {} new edges in {:?}",
+            closure.len(),
+            start.elapsed()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report_series();
+
+    c.bench_function("fig5_full_loop_12_quarters", |b| {
+        b.iter(|| {
+            let kb =
+                PersonalKnowledgeBase::new(Arc::new(MemoryKv::new()), KbOptions::default());
+            kb.ingest_csv("revenue", std::hint::black_box(&revenue_csv(12))).unwrap();
+            kb.table_to_rdf("revenue", "quarter", "kb").unwrap();
+            kb.regress_and_store("revenue", "quarter", "revenue", "acme").unwrap();
+            kb.infer_rules(RULES).unwrap()
+        })
+    });
+
+    // Reasoners in isolation over a mid-sized graph.
+    let mut g = Graph::new();
+    for d in 0..10 {
+        g.insert(Statement::new(
+            Term::iri(format!("c{d}")),
+            Term::iri("rdfs:subClassOf"),
+            Term::iri(format!("c{}", d + 1)),
+        ));
+    }
+    for i in 0..500 {
+        g.insert(Statement::new(
+            Term::iri(format!("inst{i}")),
+            Term::iri("rdf:type"),
+            Term::iri(format!("c{}", i % 10)),
+        ));
+    }
+    c.bench_function("rdfs_reasoner_500_instances", |b| {
+        b.iter(|| RdfsReasoner::new().infer(std::hint::black_box(&g)))
+    });
+
+    let rules = GenericRuleReasoner::from_rules_text(
+        "[(?x rdf:type c0), (?y rdf:type c1) -> (?x kb:peer ?y)]",
+    )
+    .unwrap();
+    c.bench_function("rule_reasoner_cross_join", |b| {
+        b.iter(|| rules.infer(std::hint::black_box(&g)))
+    });
+
+    // SPARQL over the inferred graph.
+    let mut closed = g.clone();
+    closed.extend_from(&RdfsReasoner::new().infer(&g));
+    let query =
+        cogsdk_rdf::Query::parse("SELECT ?x WHERE { ?x <rdf:type> <c9> . } LIMIT 50").unwrap();
+    c.bench_function("sparql_type_query_closed_graph", |b| {
+        b.iter(|| query.execute(std::hint::black_box(&closed)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

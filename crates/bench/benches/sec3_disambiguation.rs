@@ -1,0 +1,101 @@
+//! E13 (§3, entity disambiguation): alias-resolution accuracy vs naive
+//! string matching, and the redundant-entry proliferation the paper warns
+//! about.
+//!
+//! Paper-predicted shape: naive matching splits one entity into as many
+//! records as it has aliases ("we might mistakenly conclude that 'United
+//! States of America' refers to a different country than 'USA'");
+//! disambiguation collapses them to one.
+
+use cogsdk_kb::{KbOptions, PersonalKnowledgeBase};
+use cogsdk_sim::rng::Rng;
+use cogsdk_store::MemoryKv;
+use cogsdk_text::lexicon::builtin_entities;
+use cogsdk_text::EntityCatalog;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn report_series() {
+    let entities = builtin_entities();
+    let catalog = EntityCatalog::builtin();
+    let mut rng = Rng::new(404);
+
+    // --- Series 1: distinct records with vs without disambiguation -------
+    // Generate 2000 mentions drawn from random aliases of 30 entities.
+    let sample: Vec<&str> = (0..2000)
+        .map(|_| {
+            let e = rng.choose(&entities[..30]);
+            *rng.choose(e.aliases)
+        })
+        .collect();
+    let naive_records: HashSet<&str> = sample.iter().copied().collect();
+    let resolved_records: HashSet<String> = sample
+        .iter()
+        .filter_map(|s| catalog.resolve(s).map(|r| r.id))
+        .collect();
+    println!(
+        "[sec3_disambiguation] 2000 mentions of 30 entities: naive records={} disambiguated records={}",
+        naive_records.len(),
+        resolved_records.len()
+    );
+
+    // --- Series 2: resolution accuracy over every alias ------------------
+    let mut total = 0;
+    let mut correct = 0;
+    for e in &entities {
+        for alias in e.aliases {
+            total += 1;
+            if catalog.resolve(alias).is_some_and(|r| r.id == e.id) {
+                correct += 1;
+            }
+        }
+    }
+    println!(
+        "[sec3_disambiguation] alias resolution accuracy: {correct}/{total} ({:.1}%)",
+        100.0 * correct as f64 / total as f64
+    );
+
+    // --- Series 3: KB-level redundancy prevention ------------------------
+    let kb = PersonalKnowledgeBase::new(Arc::new(MemoryKv::new()), KbOptions::default());
+    for alias in ["USA", "US", "United States", "America", "the states", "United States of America"] {
+        kb.add_fact(alias, "population", "331 million").unwrap();
+    }
+    println!(
+        "[sec3_disambiguation] 6 differently-phrased facts stored as {} statement(s)",
+        kb.statement_count()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report_series();
+    let catalog = EntityCatalog::builtin();
+    c.bench_function("resolve_short_alias", |b| {
+        b.iter(|| catalog.resolve(std::hint::black_box("usa")))
+    });
+    c.bench_function("resolve_long_alias", |b| {
+        b.iter(|| catalog.resolve(std::hint::black_box("United States of America")))
+    });
+    c.bench_function("resolve_miss", |b| {
+        b.iter(|| catalog.resolve(std::hint::black_box("atlantis")))
+    });
+    let mut with_synonyms = EntityCatalog::builtin();
+    with_synonyms.add_synonym_file(
+        "influenza: flu, the flu, grippe\ndiabetes: type 2 diabetes, diabetes mellitus\n",
+    )
+    .unwrap();
+    c.bench_function("resolve_custom_synonym", |b| {
+        b.iter(|| with_synonyms.resolve(std::hint::black_box("type 2 diabetes")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! E14 (§3, offline operation): disconnected reads and analytics served
+//! locally, and the cost/correctness of resynchronization after
+//! reconnecting.
+//!
+//! Paper-predicted shape: offline work proceeds at local speed; resync
+//! pushes exactly the dirty keys; nothing is lost across the outage.
+
+use cogsdk_kb::{KbOptions, PersonalKnowledgeBase};
+use cogsdk_store::sync::LocalFirstStore;
+use cogsdk_store::{KeyValueStore, MemoryKv};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn report_series() {
+    // --- Series 1: offline KB session + resync ---------------------------
+    let cloud = Arc::new(MemoryKv::new());
+    let kb = PersonalKnowledgeBase::new(cloud.clone(), KbOptions::default());
+    kb.ingest_csv("sensor", "hour,temp\n0,18.0\n1,18.6\n2,19.1\n3,19.7\n").unwrap();
+    kb.persist_graph("snap").unwrap();
+    kb.set_connected(false);
+    let start = std::time::Instant::now();
+    let facts = kb.regress_and_store("sensor", "hour", "temp", "warming").unwrap();
+    let inferred = kb
+        .infer_rules("[(?m kb:trend \"increasing\") -> (?m kb:alert kb:Rising)]")
+        .unwrap();
+    kb.persist_graph("snap").unwrap();
+    let offline_work = start.elapsed();
+    println!(
+        "[sec3_offline] offline analytics: slope={:+.3}, {} inferred fact(s), wall {:?}",
+        facts.slope, inferred, offline_work
+    );
+    println!("[sec3_offline] dirty keys while offline: {:?}", kb.dirty_keys());
+    kb.set_connected(true);
+    let start = std::time::Instant::now();
+    let report = kb.synchronize();
+    println!(
+        "[sec3_offline] resync: pushed={:?} failed={:?} in {:?}",
+        report.pushed,
+        report.failed,
+        start.elapsed()
+    );
+
+    // --- Series 2: resync cost vs number of dirty keys -------------------
+    for dirty in [10usize, 100, 1_000] {
+        let local = Arc::new(MemoryKv::new());
+        let remote = Arc::new(MemoryKv::new());
+        let store = LocalFirstStore::new(local, remote);
+        store.set_connected(false);
+        for i in 0..dirty {
+            store.put(&format!("k{i}"), Bytes::from(vec![0u8; 256])).unwrap();
+        }
+        store.set_connected(true);
+        let start = std::time::Instant::now();
+        let report = store.synchronize();
+        println!(
+            "[sec3_offline] resync of {} keys: {:?} ({} pushed)",
+            dirty,
+            start.elapsed(),
+            report.pushed.len()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report_series();
+
+    // Offline write path (local only) vs connected write path (local +
+    // remote mirror).
+    let offline = LocalFirstStore::new(Arc::new(MemoryKv::new()), Arc::new(MemoryKv::new()));
+    offline.set_connected(false);
+    let value = Bytes::from(vec![1u8; 1024]);
+    let mut i = 0u64;
+    c.bench_function("offline_write_1k", |b| {
+        b.iter(|| {
+            i += 1;
+            offline.put(&format!("k{}", i % 512), value.clone()).unwrap()
+        })
+    });
+    let online = LocalFirstStore::new(Arc::new(MemoryKv::new()), Arc::new(MemoryKv::new()));
+    let mut j = 0u64;
+    c.bench_function("online_write_through_1k", |b| {
+        b.iter(|| {
+            j += 1;
+            online.put(&format!("k{}", j % 512), value.clone()).unwrap()
+        })
+    });
+
+    // Resynchronization of a 100-key backlog.
+    c.bench_function("resync_100_dirty_keys", |b| {
+        b.iter_with_setup(
+            || {
+                let store =
+                    LocalFirstStore::new(Arc::new(MemoryKv::new()), Arc::new(MemoryKv::new()));
+                store.set_connected(false);
+                for i in 0..100 {
+                    store.put(&format!("k{i}"), value.clone()).unwrap();
+                }
+                store.set_connected(true);
+                store
+            },
+            |store| store.synchronize(),
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Benchmark harness crate.
+//!
+//! The library target only hosts shared helpers; the experiments live in
+//! `benches/` (one Criterion target per figure/claim — see the
+//! experiment index in DESIGN.md and the results in EXPERIMENTS.md).
+
+use cogsdk_core::RichSdk;
+use cogsdk_sim::SimEnv;
+
+/// Standard seed for benchmark reproducibility.
+pub const BENCH_SEED: u64 = 0xC0_95DC;
+
+/// Builds a `(SimEnv, RichSdk)` pair on the standard seed.
+pub fn bench_env() -> (SimEnv, RichSdk) {
+    let env = SimEnv::with_seed(BENCH_SEED);
+    let sdk = RichSdk::new(&env);
+    (env, sdk)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_env_constructs() {
+        let (_env, sdk) = super::bench_env();
+        assert!(sdk.registry().is_empty());
+    }
+}

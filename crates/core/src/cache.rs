@@ -1,0 +1,308 @@
+//! Response caching.
+//!
+//! §2: "the rich SDK allows responses from services to be cached. That
+//! way, if a subsequent request is made for the same data, the data can be
+//! obtained from the cache which avoids the overhead for making a call to
+//! a remote service." The paper also notes the two caveats this module
+//! implements: caching must be *opt-in per operation* (storage writes must
+//! not be served from cache) and cached values can become obsolete, hence
+//! TTL-based expiry.
+
+use cogsdk_json::Json;
+use cogsdk_sim::clock::{SimClock, SimTime};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Cache effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// Lookups that missed (expired entries count as misses).
+    pub misses: u64,
+    /// Entries evicted by capacity pressure.
+    pub evictions: u64,
+    /// Lookups that found only an expired entry.
+    pub expirations: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    value: Json,
+    stored_at: SimTime,
+    ttl: Duration,
+    /// LRU stamp: larger = more recently used.
+    used_at: u64,
+}
+
+/// A TTL + LRU response cache keyed by request cache keys, driven by the
+/// simulation clock.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_core::ResponseCache;
+/// use cogsdk_sim::SimEnv;
+/// use cogsdk_json::json;
+/// use std::time::Duration;
+///
+/// let env = SimEnv::with_seed(1);
+/// let cache = ResponseCache::new(env.clock().clone(), 100, Duration::from_secs(60));
+/// cache.put("key", json!({"cached": true}));
+/// assert_eq!(cache.get("key"), Some(json!({"cached": true})));
+/// env.clock().advance(Duration::from_secs(61));
+/// assert_eq!(cache.get("key"), None); // expired
+/// ```
+#[derive(Debug)]
+pub struct ResponseCache {
+    clock: SimClock,
+    capacity: usize,
+    default_ttl: Duration,
+    state: Mutex<CacheState>,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    entries: HashMap<String, Entry>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl ResponseCache {
+    /// Creates a cache with the given capacity and default TTL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `default_ttl` is zero.
+    pub fn new(clock: SimClock, capacity: usize, default_ttl: Duration) -> ResponseCache {
+        assert!(!default_ttl.is_zero(), "TTL must be positive");
+        ResponseCache {
+            clock,
+            capacity,
+            default_ttl,
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// The configured capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().stats
+    }
+
+    /// Number of live (possibly stale) entries.
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a fresh entry; expired entries are removed and miss.
+    pub fn get(&self, key: &str) -> Option<Json> {
+        let now = self.clock.now();
+        let mut state = self.state.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        match state.entries.get_mut(key) {
+            Some(entry) => {
+                if now.since(entry.stored_at) >= entry.ttl {
+                    state.entries.remove(key);
+                    state.stats.expirations += 1;
+                    state.stats.misses += 1;
+                    None
+                } else {
+                    entry.used_at = tick;
+                    let value = entry.value.clone();
+                    state.stats.hits += 1;
+                    Some(value)
+                }
+            }
+            None => {
+                state.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a value under the default TTL.
+    pub fn put(&self, key: impl Into<String>, value: Json) {
+        self.put_with_ttl(key, value, self.default_ttl);
+    }
+
+    /// Stores a value with an explicit TTL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl` is zero.
+    pub fn put_with_ttl(&self, key: impl Into<String>, value: Json, ttl: Duration) {
+        assert!(!ttl.is_zero(), "TTL must be positive");
+        if self.capacity == 0 {
+            return;
+        }
+        let now = self.clock.now();
+        let mut state = self.state.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        state.entries.insert(
+            key.into(),
+            Entry {
+                value,
+                stored_at: now,
+                ttl,
+                used_at: tick,
+            },
+        );
+        while state.entries.len() > self.capacity {
+            // Evict the least recently used entry.
+            let lru = state
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.used_at)
+                .map(|(k, _)| k.clone())
+                .expect("nonempty");
+            state.entries.remove(&lru);
+            state.stats.evictions += 1;
+        }
+    }
+
+    /// Invalidates one key (consistency hook for writes-through): returns
+    /// whether an entry was present.
+    pub fn invalidate(&self, key: &str) -> bool {
+        self.state.lock().entries.remove(key).is_some()
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        self.state.lock().entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsdk_json::json;
+    use cogsdk_sim::SimEnv;
+
+    fn cache(capacity: usize, ttl_secs: u64) -> (SimEnv, ResponseCache) {
+        let env = SimEnv::with_seed(1);
+        let c = ResponseCache::new(
+            env.clock().clone(),
+            capacity,
+            Duration::from_secs(ttl_secs),
+        );
+        (env, c)
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (_env, c) = cache(10, 60);
+        c.put("a", json!({"v": 1}));
+        assert_eq!(c.get("a"), Some(json!({"v": 1})));
+        assert_eq!(c.get("missing"), None);
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn entries_expire_by_ttl() {
+        let (env, c) = cache(10, 10);
+        c.put("a", json!(1));
+        env.clock().advance(Duration::from_secs(9));
+        assert!(c.get("a").is_some());
+        env.clock().advance(Duration::from_secs(2));
+        assert!(c.get("a").is_none());
+        assert_eq!(c.stats().expirations, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn per_entry_ttl_overrides_default() {
+        let (env, c) = cache(10, 1000);
+        c.put_with_ttl("short", json!(1), Duration::from_secs(1));
+        c.put("long", json!(2));
+        env.clock().advance(Duration::from_secs(2));
+        assert!(c.get("short").is_none());
+        assert!(c.get("long").is_some());
+    }
+
+    #[test]
+    fn lru_eviction_under_capacity_pressure() {
+        let (_env, c) = cache(2, 60);
+        c.put("a", json!(1));
+        c.put("b", json!(2));
+        c.get("a"); // a becomes most recent
+        c.put("c", json!(3)); // evicts b
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_none());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_same_key_updates_value() {
+        let (_env, c) = cache(10, 60);
+        c.put("a", json!(1));
+        c.put("a", json!(2));
+        assert_eq!(c.get("a"), Some(json!(2)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let (_env, c) = cache(10, 60);
+        c.put("a", json!(1));
+        c.put("b", json!(2));
+        assert!(c.invalidate("a"));
+        assert!(!c.invalidate("a"));
+        assert!(c.get("a").is_none());
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let (_env, c) = cache(0, 60);
+        c.put("a", json!(1));
+        assert!(c.get("a").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "TTL")]
+    fn zero_ttl_rejected() {
+        let (_env, c) = cache(1, 60);
+        c.put_with_ttl("a", json!(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn refreshing_an_entry_resets_its_clock() {
+        let (env, c) = cache(10, 10);
+        c.put("a", json!(1));
+        env.clock().advance(Duration::from_secs(8));
+        c.put("a", json!(1)); // refresh
+        env.clock().advance(Duration::from_secs(8));
+        assert!(c.get("a").is_some(), "refreshed entry must survive");
+    }
+}

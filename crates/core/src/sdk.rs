@@ -1,0 +1,528 @@
+//! The `RichSdk` facade: every Figure-2 feature behind one handle.
+
+use crate::cache::ResponseCache;
+use crate::future::ListenableFuture;
+use crate::invoke::{
+    invoke_failover, invoke_with_retry, FailoverSuccess, InvocationPolicy, RedundantLeg,
+    RedundantMode,
+};
+use crate::monitor::ServiceMonitor;
+use crate::nlu::NluSupport;
+use crate::pool::ThreadPool;
+use crate::rank::{rank_class, RankOptions, RankedService};
+use crate::registry::ServiceRegistry;
+use crate::SdkError;
+use cogsdk_sim::service::{Request, Response, ServiceError, SimService};
+use cogsdk_sim::SimEnv;
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The rich SDK.
+///
+/// Construct once per application, register the services in play, then
+/// invoke — synchronously, asynchronously, cached, by explicit name, or
+/// by class with ranked selection and failover.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_core::RichSdk;
+/// use cogsdk_core::rank::RankOptions;
+/// use cogsdk_sim::{SimEnv, SimService, Request};
+/// use cogsdk_sim::latency::LatencyModel;
+/// use cogsdk_json::json;
+///
+/// let env = SimEnv::with_seed(1);
+/// let sdk = RichSdk::new(&env);
+/// sdk.register(SimService::builder("kv-a", "storage")
+///     .latency(LatencyModel::constant_ms(5.0)).build(&env));
+/// sdk.register(SimService::builder("kv-b", "storage")
+///     .latency(LatencyModel::constant_ms(50.0)).build(&env));
+///
+/// // Select the best storage service automatically.
+/// let ok = sdk.invoke_class("storage", &Request::new("op", json!({"k": 1})),
+///                           &RankOptions::default()).unwrap();
+/// assert_eq!(ok.service, "kv-a");
+/// ```
+pub struct RichSdk {
+    registry: Arc<ServiceRegistry>,
+    monitor: Arc<ServiceMonitor>,
+    cache: Arc<ResponseCache>,
+    pool: Arc<ThreadPool>,
+    policy: RwLock<InvocationPolicy>,
+    nlu: NluSupport,
+}
+
+impl std::fmt::Debug for RichSdk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RichSdk")
+            .field("services", &self.registry.names())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Default response-cache capacity (entries).
+const DEFAULT_CACHE_CAPACITY: usize = 4_096;
+/// Default response-cache TTL.
+const DEFAULT_CACHE_TTL: Duration = Duration::from_secs(300);
+/// Default worker-pool size (§2.1: "thread pools of limited size").
+const DEFAULT_POOL_SIZE: usize = 8;
+
+impl RichSdk {
+    /// Creates an SDK bound to a simulation environment with default
+    /// cache, pool and policy.
+    pub fn new(env: &SimEnv) -> RichSdk {
+        RichSdk::with_config(env, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_TTL, DEFAULT_POOL_SIZE)
+    }
+
+    /// Creates an SDK with explicit cache capacity/TTL and pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_ttl` is zero or `pool_size` is zero.
+    pub fn with_config(
+        env: &SimEnv,
+        cache_capacity: usize,
+        cache_ttl: Duration,
+        pool_size: usize,
+    ) -> RichSdk {
+        let monitor = Arc::new(ServiceMonitor::new());
+        let pool = Arc::new(ThreadPool::new(pool_size));
+        RichSdk {
+            registry: Arc::new(ServiceRegistry::new()),
+            cache: Arc::new(ResponseCache::new(
+                env.clock().clone(),
+                cache_capacity,
+                cache_ttl,
+            )),
+            nlu: NluSupport::new(monitor.clone(), pool.clone()),
+            monitor,
+            pool,
+            policy: RwLock::new(InvocationPolicy::default()),
+        }
+    }
+
+    /// Registers a service.
+    pub fn register(&self, service: Arc<SimService>) {
+        self.registry.register(service);
+    }
+
+    /// Replaces the retry/failover policy.
+    pub fn set_policy(&self, policy: InvocationPolicy) {
+        *self.policy.write() = policy;
+    }
+
+    /// The service registry.
+    pub fn registry(&self) -> &Arc<ServiceRegistry> {
+        &self.registry
+    }
+
+    /// The monitor collecting per-service data.
+    pub fn monitor(&self) -> &Arc<ServiceMonitor> {
+        &self.monitor
+    }
+
+    /// The response cache.
+    pub fn cache(&self) -> &Arc<ResponseCache> {
+        &self.cache
+    }
+
+    /// The worker pool.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+
+    /// The NLU support layer (§2.2).
+    pub fn nlu(&self) -> &NluSupport {
+        &self.nlu
+    }
+
+    /// Records a user quality rating for a service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rating` is outside `[0, 1]`.
+    pub fn rate_quality(&self, service: &str, rating: f64) {
+        self.monitor.rate_quality(service, rating);
+    }
+
+    fn service(&self, name: &str) -> Result<Arc<SimService>, SdkError> {
+        self.registry
+            .get(name)
+            .ok_or_else(|| SdkError::UnknownService(name.to_string()))
+    }
+
+    /// Invokes a named service synchronously with the configured retry
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// [`SdkError::UnknownService`], [`SdkError::Rejected`], or
+    /// [`SdkError::AllFailed`] when retries are exhausted.
+    pub fn invoke(&self, name: &str, request: &Request) -> Result<Response, SdkError> {
+        let service = self.service(name)?;
+        let retries = self.policy.read().retries_for(name);
+        let outcome = invoke_with_retry(&service, request, retries, &self.monitor);
+        match outcome.result {
+            Ok(r) => Ok(r),
+            Err(ServiceError::BadRequest(m)) => Err(SdkError::Rejected(m)),
+            Err(e) => Err(SdkError::AllFailed(format!("{name}: {e}"))),
+        }
+    }
+
+    /// Invokes with read-through caching: a fresh cached response for the
+    /// same request is returned without a service call (§2). Returns the
+    /// response and whether it was served from cache.
+    ///
+    /// Only use for idempotent read operations — the paper is explicit
+    /// that storage-style operations must bypass the cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`invoke`](RichSdk::invoke).
+    pub fn invoke_cached(
+        &self,
+        name: &str,
+        request: &Request,
+    ) -> Result<(Response, bool), SdkError> {
+        let key = format!("{name}::{}", request.cache_key());
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok((Response::new(hit), true));
+        }
+        let response = self.invoke(name, request)?;
+        self.cache.put(key, response.payload.clone());
+        Ok((response, false))
+    }
+
+    /// Invokes a *mutating* operation: bypasses the cache entirely (§2:
+    /// "if a remote service is performing a storage operation in a remote
+    /// server, then the remote service call needs to take place") and
+    /// invalidates any cached responses for the given read requests, so
+    /// subsequent cached reads cannot observe the pre-write value (§2's
+    /// "consistency issues may arise in which a cached value is
+    /// obsolete").
+    ///
+    /// # Errors
+    ///
+    /// As for [`invoke`](RichSdk::invoke).
+    pub fn invoke_write(
+        &self,
+        name: &str,
+        request: &Request,
+        invalidates: &[&Request],
+    ) -> Result<Response, SdkError> {
+        let response = self.invoke(name, request)?;
+        for read in invalidates {
+            self.cache.invalidate(&format!("{name}::{}", read.cache_key()));
+        }
+        Ok(response)
+    }
+
+    /// Invokes asynchronously on the worker pool, returning a
+    /// [`ListenableFuture`] (§2's asynchronous invocation).
+    pub fn invoke_async(
+        &self,
+        name: &str,
+        request: Request,
+    ) -> ListenableFuture<Result<Response, SdkError>> {
+        let registry = self.registry.clone();
+        let monitor = self.monitor.clone();
+        let retries = self.policy.read().retries_for(name);
+        let name = name.to_string();
+        self.pool.submit(move || {
+            let Some(service) = registry.get(&name) else {
+                return Err(SdkError::UnknownService(name));
+            };
+            let outcome = invoke_with_retry(&service, &request, retries, &monitor);
+            match outcome.result {
+                Ok(r) => Ok(r),
+                Err(ServiceError::BadRequest(m)) => Err(SdkError::Rejected(m)),
+                Err(e) => Err(SdkError::AllFailed(format!("{name}: {e}"))),
+            }
+        })
+    }
+
+    /// Ranks the services of a class (§2's Eq. 1 / Eq. 2 machinery).
+    pub fn rank(&self, class: &str, options: &RankOptions) -> Vec<RankedService> {
+        rank_class(&self.registry, &self.monitor, class, options)
+    }
+
+    /// Selects from a class by rank and invokes with failover down the
+    /// ranking (§2.1).
+    ///
+    /// # Errors
+    ///
+    /// [`SdkError::EmptyClass`] if no services are registered for
+    /// `class`; otherwise as for failover.
+    pub fn invoke_class(
+        &self,
+        class: &str,
+        request: &Request,
+        options: &RankOptions,
+    ) -> Result<FailoverSuccess, SdkError> {
+        let ranked = self.rank(class, options);
+        if ranked.is_empty() {
+            return Err(SdkError::EmptyClass(class.to_string()));
+        }
+        let candidates: Vec<Arc<SimService>> =
+            ranked.into_iter().map(|r| r.service).collect();
+        let policy = self.policy.read().clone();
+        invoke_failover(&candidates, request, &policy, &self.monitor)
+    }
+
+    /// Invokes the top `k` ranked services of a class *in parallel* on
+    /// the worker pool and applies the redundancy mode (§2.1's
+    /// multi-service invocation).
+    ///
+    /// # Errors
+    ///
+    /// [`SdkError::EmptyClass`] when the class is empty, or
+    /// [`SdkError::AllFailed`] when the mode's success requirement is not
+    /// met.
+    pub fn invoke_redundant_parallel(
+        &self,
+        class: &str,
+        request: &Request,
+        options: &RankOptions,
+        k: usize,
+        mode: RedundantMode,
+    ) -> Result<Vec<RedundantLeg>, SdkError> {
+        let ranked = self.rank(class, options);
+        if ranked.is_empty() {
+            return Err(SdkError::EmptyClass(class.to_string()));
+        }
+        let candidates: Vec<Arc<SimService>> = ranked
+            .into_iter()
+            .take(k.max(1))
+            .map(|r| r.service)
+            .collect();
+        let monitor = self.monitor.clone();
+        let policy = self.policy.read().clone();
+        let request = request.clone();
+        let legs: Vec<RedundantLeg> = self.pool.map_all(candidates, move |service| {
+            let retries = policy.retries_for(service.name());
+            let outcome = invoke_with_retry(&service, &request, retries, &monitor);
+            RedundantLeg {
+                service: service.name().to_string(),
+                result: outcome.result,
+            }
+        });
+        let successes = legs.iter().filter(|l| l.result.is_ok()).count();
+        match mode {
+            RedundantMode::All => Ok(legs),
+            RedundantMode::FirstSuccess if successes > 0 => Ok(legs),
+            RedundantMode::Quorum(need) if successes >= need => Ok(legs),
+            RedundantMode::FirstSuccess => {
+                Err(SdkError::AllFailed("no service responded".into()))
+            }
+            RedundantMode::Quorum(need) => Err(SdkError::AllFailed(format!(
+                "quorum not met: {successes}/{need}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsdk_json::json;
+    use cogsdk_sim::failure::FailurePlan;
+    use cogsdk_sim::latency::LatencyModel;
+
+    fn setup() -> (SimEnv, RichSdk) {
+        let env = SimEnv::with_seed(21);
+        let sdk = RichSdk::new(&env);
+        sdk.register(
+            SimService::builder("fast", "storage")
+                .latency(LatencyModel::constant_ms(5.0))
+                .build(&env),
+        );
+        sdk.register(
+            SimService::builder("slow", "storage")
+                .latency(LatencyModel::constant_ms(50.0))
+                .build(&env),
+        );
+        (env, sdk)
+    }
+
+    fn req() -> Request {
+        Request::new("get", json!({"key": "k1"}))
+    }
+
+    #[test]
+    fn invoke_by_name() {
+        let (_env, sdk) = setup();
+        let resp = sdk.invoke("fast", &req()).unwrap();
+        assert_eq!(resp.payload, json!({"key": "k1"}));
+        assert!(matches!(
+            sdk.invoke("nope", &req()),
+            Err(SdkError::UnknownService(_))
+        ));
+    }
+
+    #[test]
+    fn invoke_cached_avoids_second_call() {
+        let (env, sdk) = setup();
+        let t0 = env.clock().now();
+        let (_, hit1) = sdk.invoke_cached("slow", &req()).unwrap();
+        let t1 = env.clock().now();
+        let (resp2, hit2) = sdk.invoke_cached("slow", &req()).unwrap();
+        let t2 = env.clock().now();
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(resp2.payload, json!({"key": "k1"}));
+        assert_eq!(t1.since(t0), Duration::from_millis(50));
+        assert_eq!(t2.since(t1), Duration::ZERO, "cache hit costs no latency");
+        let (fast_calls, _) = sdk.registry().get("slow").unwrap().stats();
+        assert_eq!(fast_calls, 1);
+    }
+
+    #[test]
+    fn cache_key_includes_service_name() {
+        let (_env, sdk) = setup();
+        sdk.invoke_cached("fast", &req()).unwrap();
+        let (_, hit) = sdk.invoke_cached("slow", &req()).unwrap();
+        assert!(!hit, "different service, different cache slot");
+    }
+
+    #[test]
+    fn invoke_async_completes_with_listener() {
+        let (_env, sdk) = setup();
+        let future = sdk.invoke_async("fast", req());
+        let result = future.wait();
+        assert!(result.is_ok());
+        // Listener on an already-complete future fires immediately.
+        let fired = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let fired2 = fired.clone();
+        future.add_listener(move |r| {
+            assert!(r.is_ok());
+            fired2.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert!(fired.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    fn invoke_class_selects_fastest_after_warmup() {
+        let (_env, sdk) = setup();
+        // Warm the monitor so prediction has data.
+        for _ in 0..3 {
+            sdk.invoke("fast", &req()).unwrap();
+            sdk.invoke("slow", &req()).unwrap();
+        }
+        let ok = sdk
+            .invoke_class("storage", &req(), &RankOptions::default())
+            .unwrap();
+        assert_eq!(ok.service, "fast");
+        assert!(matches!(
+            sdk.invoke_class("nope", &req(), &RankOptions::default()),
+            Err(SdkError::EmptyClass(_))
+        ));
+    }
+
+    #[test]
+    fn invoke_class_fails_over_when_best_is_down() {
+        let env = SimEnv::with_seed(33);
+        let sdk = RichSdk::new(&env);
+        // Advertised quality makes the dead service rank first (no
+        // history exists yet, so ranking trusts metadata).
+        sdk.register(
+            SimService::builder("best-but-down", "s")
+                .latency(LatencyModel::constant_ms(1.0))
+                .failures(FailurePlan::flaky(1.0))
+                .quality(0.99)
+                .build(&env),
+        );
+        sdk.register(
+            SimService::builder("backup", "s")
+                .latency(LatencyModel::constant_ms(30.0))
+                .quality(0.1)
+                .build(&env),
+        );
+        let ok = sdk.invoke_class("s", &req(), &RankOptions::default()).unwrap();
+        assert_eq!(ok.service, "backup");
+        assert_eq!(ok.services_tried, 2);
+    }
+
+    #[test]
+    fn redundant_parallel_all_returns_k_legs() {
+        let (_env, sdk) = setup();
+        let legs = sdk
+            .invoke_redundant_parallel("storage", &req(), &RankOptions::default(), 2, RedundantMode::All)
+            .unwrap();
+        assert_eq!(legs.len(), 2);
+        assert!(legs.iter().all(|l| l.result.is_ok()));
+    }
+
+    #[test]
+    fn redundant_parallel_quorum_failure() {
+        let env = SimEnv::with_seed(34);
+        let sdk = RichSdk::new(&env);
+        for name in ["d1", "d2"] {
+            sdk.register(
+                SimService::builder(name, "s")
+                    .failures(FailurePlan::flaky(1.0))
+                    .build(&env),
+            );
+        }
+        let err = sdk
+            .invoke_redundant_parallel("s", &req(), &RankOptions::default(), 2, RedundantMode::Quorum(1))
+            .unwrap_err();
+        assert!(matches!(err, SdkError::AllFailed(_)));
+    }
+
+    #[test]
+    fn invoke_write_invalidates_stale_cache_entries() {
+        let (_env, sdk) = setup();
+        let read = Request::new("get", json!({"key": "k1"}));
+        // Prime the cache.
+        sdk.invoke_cached("fast", &read).unwrap();
+        let (_, hit) = sdk.invoke_cached("fast", &read).unwrap();
+        assert!(hit);
+        // A write through the SDK invalidates the read's cache slot.
+        let write = Request::new("put", json!({"key": "k1", "value": 2}));
+        sdk.invoke_write("fast", &write, &[&read]).unwrap();
+        let (_, hit) = sdk.invoke_cached("fast", &read).unwrap();
+        assert!(!hit, "stale entry must be gone after the write");
+    }
+
+    #[test]
+    fn consensus_quality_rating_orders_vendor_fleet() {
+        use cogsdk_text::analysis::Analyzer;
+        use cogsdk_text::services::standard_fleet;
+        let env = SimEnv::with_seed(88);
+        let sdk = RichSdk::new(&env);
+        let fleet = standard_fleet(&env, Arc::new(Analyzer::with_default_lexicons()));
+        let texts: Vec<String> = cogsdk_text::corpus::CorpusGenerator::new(5)
+            .generate(15)
+            .into_iter()
+            .map(|d| d.body)
+            .collect();
+        let ratings = sdk.nlu().rate_quality_by_consensus(&fleet, &texts);
+        assert_eq!(ratings.len(), 3, "{ratings:?}");
+        let get = |name: &str| ratings.iter().find(|(n, _)| n == name).unwrap().1;
+        // Auto-ratings must reproduce the fleet's intrinsic quality order
+        // without any human-supplied rater.
+        assert!(
+            get("nlu-alpha") > get("nlu-gamma"),
+            "alpha {} vs gamma {}",
+            get("nlu-alpha"),
+            get("nlu-gamma")
+        );
+        // And they land in the monitor for ranking to use.
+        assert!(sdk.monitor().history("nlu-alpha").unwrap().mean_quality().is_some());
+    }
+
+    #[test]
+    fn monitoring_collects_across_invocations() {
+        let (_env, sdk) = setup();
+        for _ in 0..5 {
+            sdk.invoke("fast", &req()).unwrap();
+        }
+        let h = sdk.monitor().history("fast").unwrap();
+        assert_eq!(h.observations().len(), 5);
+        assert_eq!(h.availability(), Some(1.0));
+        sdk.rate_quality("fast", 0.9);
+        assert_eq!(sdk.monitor().history("fast").unwrap().mean_quality(), Some(0.9));
+    }
+}

@@ -1,0 +1,250 @@
+//! A simulated stock / financial data service.
+//!
+//! §1 and Figure 1 list "stock and financial data services" among the
+//! endpoints the rich SDK mediates. This service serves deterministic
+//! geometric-random-walk daily price series per ticker — realistic enough
+//! for the knowledge base's regression/trend analytics, reproducible from
+//! the ticker name alone (no shared RNG state).
+//!
+//! Protocol (class `"finance"`):
+//! * `{"op": "quote", "ticker": "IBM"}` → `{"ticker", "day", "price"}`
+//! * `{"op": "history", "ticker": "IBM", "days": 30}` →
+//!   `{"ticker", "prices": [{"day", "price"}, …]}`
+
+use cogsdk_json::{json, Json};
+use cogsdk_sim::cost::{CostModel, MicroDollars};
+use cogsdk_sim::failure::FailurePlan;
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::rng::Rng;
+use cogsdk_sim::service::SimService;
+use cogsdk_sim::SimEnv;
+use std::sync::Arc;
+
+/// Maximum history length a single request may ask for.
+pub const MAX_HISTORY_DAYS: usize = 3_650;
+
+/// A deterministic daily price series for one ticker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceSeries {
+    /// The ticker symbol (upper-cased).
+    pub ticker: String,
+    /// Daily closing prices, day 0 first.
+    pub prices: Vec<f64>,
+}
+
+impl PriceSeries {
+    /// Generates the series for `ticker`: a geometric random walk whose
+    /// seed, start price and drift derive from the ticker name, so every
+    /// caller (and every test) sees the same market.
+    pub fn generate(ticker: &str, days: usize) -> PriceSeries {
+        let ticker = ticker.to_uppercase();
+        let seed = ticker
+            .bytes()
+            .fold(0x0BAD_5EED_u64, |acc, b| acc.wrapping_mul(131).wrapping_add(u64::from(b)));
+        let mut rng = Rng::new(seed);
+        let start = 20.0 + rng.next_f64() * 180.0;
+        // Annualized drift in [-10%, +20%], daily volatility ~1.5%.
+        let daily_drift = rng.uniform(-0.10, 0.20) / 252.0;
+        let mut prices = Vec::with_capacity(days);
+        let mut price = start;
+        for _ in 0..days {
+            prices.push((price * 100.0).round() / 100.0);
+            let shock = rng.normal(daily_drift, 0.015);
+            price = (price * (1.0 + shock)).max(0.01);
+        }
+        PriceSeries { ticker, prices }
+    }
+
+    /// The latest price in the series.
+    pub fn last(&self) -> Option<f64> {
+        self.prices.last().copied()
+    }
+
+    /// Simple daily returns.
+    pub fn returns(&self) -> Vec<f64> {
+        self.prices
+            .windows(2)
+            .map(|w| (w[1] - w[0]) / w[0])
+            .collect()
+    }
+}
+
+/// Builds the finance data service.
+pub fn finance_service(env: &SimEnv, name: impl Into<String>) -> Arc<SimService> {
+    SimService::builder(name, "finance")
+        .latency(LatencyModel::lognormal_ms(35.0, 0.3))
+        .cost(CostModel::Tiered {
+            free_calls: 100,
+            then: MicroDollars::from_micros(200),
+        })
+        .failures(FailurePlan::flaky(0.01))
+        .quality(0.9)
+        .handler(move |req| {
+            let op = req
+                .payload
+                .get("op")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "missing 'op'".to_string())?;
+            let ticker = req
+                .payload
+                .get("ticker")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "missing 'ticker'".to_string())?;
+            if ticker.is_empty() || !ticker.chars().all(|c| c.is_ascii_alphanumeric()) {
+                return Err(format!("invalid ticker: {ticker:?}"));
+            }
+            match op {
+                "quote" => {
+                    let series = PriceSeries::generate(ticker, 252);
+                    Ok(json!({
+                        "ticker": (series.ticker.as_str()),
+                        "day": (series.prices.len() - 1),
+                        "price": (series.last().expect("nonempty")),
+                    }))
+                }
+                "history" => {
+                    let days = req
+                        .payload
+                        .get("days")
+                        .and_then(Json::as_usize)
+                        .unwrap_or(30);
+                    if days == 0 || days > MAX_HISTORY_DAYS {
+                        return Err(format!("days must be in 1..={MAX_HISTORY_DAYS}"));
+                    }
+                    let series = PriceSeries::generate(ticker, days);
+                    let prices: Vec<Json> = series
+                        .prices
+                        .iter()
+                        .enumerate()
+                        .map(|(day, price)| json!({"day": (day), "price": (*price)}))
+                        .collect();
+                    Ok(json!({
+                        "ticker": (series.ticker.as_str()),
+                        "prices": (Json::Array(prices)),
+                    }))
+                }
+                other => Err(format!("unknown op: {other}")),
+            }
+        })
+        .build(env)
+}
+
+/// Renders a price history response as CSV (`day,price` with header) —
+/// the bridge into the knowledge base's CSV ingestion.
+pub fn history_to_csv(history: &Json) -> Option<String> {
+    let prices = history.get("prices")?.as_array()?;
+    let mut csv = String::from("day,price\n");
+    for p in prices {
+        csv.push_str(&format!(
+            "{},{}\n",
+            p.get("day")?.as_i64()?,
+            p.get("price")?.as_f64()?
+        ));
+    }
+    Some(csv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsdk_sim::service::Request;
+
+    fn ok_invoke(svc: &SimService, payload: Json) -> Json {
+        loop {
+            let out = svc.invoke(&Request::new("fin", payload.clone()));
+            match out.result {
+                Ok(resp) => return resp.payload,
+                Err(cogsdk_sim::ServiceError::BadRequest(m)) => panic!("bad request: {m}"),
+                Err(_) => continue,
+            }
+        }
+    }
+
+    #[test]
+    fn series_deterministic_per_ticker() {
+        let a = PriceSeries::generate("IBM", 100);
+        let b = PriceSeries::generate("ibm", 100);
+        assert_eq!(a, b, "case-insensitive determinism");
+        let c = PriceSeries::generate("MSFT", 100);
+        assert_ne!(a.prices, c.prices);
+        assert!(a.prices.iter().all(|&p| p > 0.0));
+        assert_eq!(a.prices.len(), 100);
+    }
+
+    #[test]
+    fn returns_have_plausible_volatility() {
+        let series = PriceSeries::generate("IBM", 1_000);
+        let returns = series.returns();
+        let mean = returns.iter().sum::<f64>() / returns.len() as f64;
+        let sd = (returns.iter().map(|r| (r - mean).powi(2)).sum::<f64>()
+            / returns.len() as f64)
+            .sqrt();
+        assert!((0.005..0.04).contains(&sd), "daily sd={sd}");
+        assert!(mean.abs() < 0.01, "daily mean={mean}");
+    }
+
+    #[test]
+    fn quote_and_history_protocol() {
+        let env = SimEnv::with_seed(1);
+        let svc = finance_service(&env, "stocks");
+        let quote = ok_invoke(&svc, json!({"op": "quote", "ticker": "IBM"}));
+        assert_eq!(quote.get("ticker").and_then(Json::as_str), Some("IBM"));
+        assert!(quote.get("price").and_then(Json::as_f64).unwrap() > 0.0);
+
+        let hist = ok_invoke(&svc, json!({"op": "history", "ticker": "IBM", "days": 10}));
+        let prices = hist.get("prices").unwrap().as_array().unwrap();
+        assert_eq!(prices.len(), 10);
+        // The quote equals the 252-day series' last day, and history is a
+        // prefix of the same walk.
+        let series = PriceSeries::generate("IBM", 252);
+        assert_eq!(
+            prices[5].get("price").and_then(Json::as_f64),
+            Some(series.prices[5])
+        );
+    }
+
+    #[test]
+    fn history_to_csv_bridges_to_kb() {
+        let env = SimEnv::with_seed(2);
+        let svc = finance_service(&env, "stocks");
+        let hist = ok_invoke(&svc, json!({"op": "history", "ticker": "ACME", "days": 5}));
+        let csv = history_to_csv(&hist).unwrap();
+        assert!(csv.starts_with("day,price\n0,"));
+        assert_eq!(csv.lines().count(), 6);
+    }
+
+    #[test]
+    fn invalid_requests_reject() {
+        let env = SimEnv::with_seed(3);
+        let svc = finance_service(&env, "stocks");
+        for bad in [
+            json!({"op": "quote"}),
+            json!({"op": "quote", "ticker": "BAD TICKER"}),
+            json!({"op": "history", "ticker": "IBM", "days": 0}),
+            json!({"op": "history", "ticker": "IBM", "days": 100000}),
+            json!({"op": "dance", "ticker": "IBM"}),
+        ] {
+            loop {
+                let out = svc.invoke(&Request::new("fin", bad.clone()));
+                match out.result {
+                    Err(cogsdk_sim::ServiceError::BadRequest(_)) => break,
+                    Err(_) => continue,
+                    Ok(_) => panic!("should reject {bad}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiered_quota_charges_after_free_calls() {
+        let env = SimEnv::with_seed(4);
+        let svc = finance_service(&env, "stocks");
+        let mut total = MicroDollars::ZERO;
+        for _ in 0..150 {
+            let out = svc.invoke(&Request::new("fin", json!({"op": "quote", "ticker": "IBM"})));
+            total = total.saturating_add(out.cost);
+        }
+        // ~50 charged calls at 200 micro-dollars (minus any failed calls).
+        assert!(total.as_micros() >= 40 * 200, "total={total}");
+    }
+}

@@ -1,0 +1,204 @@
+//! Image search — the §2.2 visual analogue of web search.
+//!
+//! "Search engines can identify images matching a query; these images can
+//! be passed to an image analysis service and/or stored locally. Similar
+//! types of analyses can be performed on other types of data such as
+//! image files." This module provides a deterministic image corpus and a
+//! search service over it, ranked by label overlap, so the SDK's
+//! search→analyze→aggregate machinery works for images exactly as it does
+//! for text.
+//!
+//! Protocol (class `"image-search"`):
+//! `{"query": "dog outdoor", "limit": 8}` →
+//! `{"images": [{"id", "labels": […]}, …]}` (best match first; ties by id).
+
+use crate::vision::ImageDescriptor;
+use cogsdk_json::{json, Json};
+use cogsdk_sim::cost::CostModel;
+use cogsdk_sim::failure::FailurePlan;
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::service::SimService;
+use cogsdk_sim::SimEnv;
+use std::sync::Arc;
+
+/// Default result count when the query omits `limit`.
+pub const DEFAULT_LIMIT: usize = 10;
+
+/// A deterministic image corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageCorpus {
+    images: Vec<ImageDescriptor>,
+}
+
+impl ImageCorpus {
+    /// Generates `n` images seeded from `seed` (each image's own seed is
+    /// `seed * 1e6 + index`, so corpora of different sizes share prefixes).
+    pub fn generate(seed: u64, n: usize) -> ImageCorpus {
+        ImageCorpus {
+            images: (0..n as u64)
+                .map(|i| ImageDescriptor::generate(seed.wrapping_mul(1_000_003) + i))
+                .collect(),
+        }
+    }
+
+    /// All images.
+    pub fn images(&self) -> &[ImageDescriptor] {
+        &self.images
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Searches by label overlap with the whitespace-split query words;
+    /// images matching zero words are excluded.
+    pub fn search(&self, query: &str, limit: usize) -> Vec<&ImageDescriptor> {
+        let words: Vec<String> = query
+            .split_whitespace()
+            .map(str::to_lowercase)
+            .collect();
+        if words.is_empty() {
+            return Vec::new();
+        }
+        let mut scored: Vec<(usize, &ImageDescriptor)> = self
+            .images
+            .iter()
+            .filter_map(|img| {
+                let overlap = words
+                    .iter()
+                    .filter(|w| img.labels.iter().any(|l| l == *w))
+                    .count();
+                (overlap > 0).then_some((overlap, img))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.id.cmp(&b.1.id)));
+        scored.into_iter().take(limit).map(|(_, img)| img).collect()
+    }
+
+    /// Looks an image up by id.
+    pub fn by_id(&self, id: &str) -> Option<&ImageDescriptor> {
+        self.images.iter().find(|img| img.id == id)
+    }
+}
+
+/// Builds the image-search service over a shared corpus.
+pub fn image_search_service(
+    env: &SimEnv,
+    name: impl Into<String>,
+    corpus: Arc<ImageCorpus>,
+) -> Arc<SimService> {
+    SimService::builder(name, "image-search")
+        .latency(LatencyModel::lognormal_ms(65.0, 0.4))
+        .cost(CostModel::Free)
+        .failures(FailurePlan::flaky(0.02))
+        .quality(0.85)
+        .handler(move |req| {
+            let query = req
+                .payload
+                .get("query")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "missing required field 'query'".to_string())?;
+            let limit = req
+                .payload
+                .get("limit")
+                .and_then(Json::as_usize)
+                .unwrap_or(DEFAULT_LIMIT);
+            let hits: Vec<Json> = corpus
+                .search(query, limit)
+                .into_iter()
+                .map(ImageDescriptor::to_json)
+                .collect();
+            Ok(json!({"query": (query), "images": (Json::Array(hits))}))
+        })
+        .build(env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsdk_sim::service::Request;
+
+    #[test]
+    fn corpus_generation_is_deterministic_and_prefix_stable() {
+        let a = ImageCorpus::generate(7, 50);
+        let b = ImageCorpus::generate(7, 50);
+        assert_eq!(a, b);
+        let bigger = ImageCorpus::generate(7, 80);
+        assert_eq!(&bigger.images()[..50], a.images());
+    }
+
+    #[test]
+    fn search_ranks_by_overlap() {
+        let corpus = ImageCorpus::generate(3, 300);
+        let hits = corpus.search("dog outdoor", 20);
+        assert!(!hits.is_empty());
+        // Every hit matches at least one query word.
+        for img in &hits {
+            assert!(img.labels.iter().any(|l| l == "dog" || l == "outdoor"));
+        }
+        // Two-word matches come before one-word matches.
+        let overlaps: Vec<usize> = hits
+            .iter()
+            .map(|img| {
+                ["dog", "outdoor"]
+                    .iter()
+                    .filter(|w| img.labels.iter().any(|l| l == *w))
+                    .count()
+            })
+            .collect();
+        assert!(overlaps.windows(2).all(|w| w[0] >= w[1]), "{overlaps:?}");
+    }
+
+    #[test]
+    fn search_edge_cases() {
+        let corpus = ImageCorpus::generate(3, 100);
+        assert!(corpus.search("", 10).is_empty());
+        assert!(corpus.search("zebra-unicorn-nonsense", 10).is_empty());
+        assert_eq!(corpus.search("dog", 2).len().min(2), corpus.search("dog", 2).len());
+        assert!(!corpus.is_empty());
+        assert_eq!(corpus.len(), 100);
+    }
+
+    #[test]
+    fn service_protocol() {
+        let env = SimEnv::with_seed(1);
+        let corpus = Arc::new(ImageCorpus::generate(3, 200));
+        let svc = image_search_service(&env, "img-search", corpus.clone());
+        let payload = loop {
+            let out = svc.invoke(&Request::new(
+                "search",
+                json!({"query": "person indoor", "limit": 5}),
+            ));
+            if let Ok(resp) = out.result {
+                break resp.payload;
+            }
+        };
+        let images = payload.get("images").unwrap().as_array().unwrap();
+        assert!(!images.is_empty() && images.len() <= 5);
+        // Returned ids exist in the corpus.
+        for img in images {
+            let id = img.get("id").unwrap().as_str().unwrap();
+            assert!(corpus.by_id(id).is_some());
+        }
+    }
+
+    #[test]
+    fn missing_query_rejects() {
+        let env = SimEnv::with_seed(2);
+        let svc = image_search_service(&env, "img-search", Arc::new(ImageCorpus::generate(1, 10)));
+        loop {
+            let out = svc.invoke(&Request::new("search", json!({})));
+            match out.result {
+                Err(cogsdk_sim::ServiceError::BadRequest(_)) => break,
+                Err(_) => continue,
+                Ok(_) => panic!("should reject"),
+            }
+        }
+    }
+}

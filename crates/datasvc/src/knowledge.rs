@@ -1,0 +1,295 @@
+//! A DBpedia/Wikidata-style knowledge source service.
+//!
+//! §2.3: "Online versions of DBpedia are available which can be queried
+//! over HTTP." The service owns a curated RDF graph of world facts over
+//! the built-in entity catalog and answers three operations:
+//!
+//! * `{"op": "sparql", "query": "..."}` → `{"bindings": [{var: term}, …]}`
+//! * `{"op": "lookup", "entity": "<surface form>"}` → the paper's §3
+//!   disambiguation payload: `{"website": …, "dbpedia": …, "yago": …}`
+//! * `{"op": "describe", "entity": "<canonical id>"}` → all statements
+//!   about the entity.
+
+use cogsdk_json::{json, Json};
+use cogsdk_rdf::model::Literal;
+use cogsdk_rdf::{Graph, Query, Statement, Term};
+use cogsdk_sim::cost::CostModel;
+use cogsdk_sim::failure::FailurePlan;
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::service::SimService;
+use cogsdk_sim::SimEnv;
+use cogsdk_text::disambig::EntityCatalog;
+use cogsdk_text::lexicon::EntityType;
+use std::sync::Arc;
+
+/// Curated world facts about the built-in entities: types, and for
+/// countries a capital, population (millions) and continent where the
+/// catalog knows one.
+pub fn world_facts() -> Graph {
+    let catalog = EntityCatalog::builtin();
+    let mut graph = Graph::new();
+    for e in catalog.entities() {
+        let subject = Term::iri(format!("db:{}", e.id));
+        graph.insert(Statement::new(
+            subject.clone(),
+            Term::iri("rdf:type"),
+            Term::iri(format!("db:{}", e.kind.label())),
+        ));
+        graph.insert(Statement::new(
+            subject.clone(),
+            Term::iri("db:label"),
+            Term::string(e.name),
+        ));
+        graph.insert(Statement::new(
+            subject,
+            Term::iri("db:dbpedia"),
+            Term::string(e.dbpedia_url()),
+        ));
+    }
+    // Country enrichments (population in millions, 2016-era figures, and
+    // capitals) — enough structure for joins and filters.
+    let country_facts: &[(&str, &str, i64, &str)] = &[
+        ("united_states", "washington", 323, "north_america"),
+        ("united_kingdom", "london", 66, "europe"),
+        ("germany", "berlin", 82, "europe"),
+        ("france", "paris", 67, "europe"),
+        ("china", "beijing", 1379, "asia"),
+        ("japan", "tokyo", 127, "asia"),
+        ("india", "new_delhi", 1324, "asia"),
+        ("brazil", "brasilia", 208, "south_america"),
+        ("canada", "ottawa", 36, "north_america"),
+        ("australia", "canberra", 24, "oceania"),
+        ("russia", "moscow", 144, "europe"),
+        ("south_korea", "seoul", 51, "asia"),
+        ("mexico", "mexico_city", 123, "north_america"),
+        ("italy", "rome", 61, "europe"),
+        ("spain", "madrid", 47, "europe"),
+        ("netherlands", "amsterdam", 17, "europe"),
+        ("switzerland", "bern", 8, "europe"),
+        ("sweden", "stockholm", 10, "europe"),
+        ("norway", "oslo", 5, "europe"),
+        ("singapore", "singapore_city", 6, "asia"),
+        ("egypt", "cairo", 96, "africa"),
+        ("south_africa", "pretoria", 56, "africa"),
+        ("argentina", "buenos_aires", 44, "south_america"),
+        ("turkey", "ankara", 80, "asia"),
+        ("poland", "warsaw", 38, "europe"),
+    ];
+    for (id, capital, population, continent) in country_facts {
+        let subject = Term::iri(format!("db:{id}"));
+        graph.insert(Statement::new(
+            subject.clone(),
+            Term::iri("db:capital"),
+            Term::iri(format!("db:{capital}")),
+        ));
+        graph.insert(Statement::new(
+            subject.clone(),
+            Term::iri("db:population_millions"),
+            Term::integer(*population),
+        ));
+        graph.insert(Statement::new(
+            subject,
+            Term::iri("db:continent"),
+            Term::iri(format!("db:{continent}")),
+        ));
+    }
+    graph
+}
+
+fn term_to_json(term: &Term) -> Json {
+    match term {
+        Term::Iri(iri) => json!({"type": "iri", "value": (iri.as_str())}),
+        Term::Blank(b) => json!({"type": "bnode", "value": (b.as_str())}),
+        Term::Literal(Literal::String(s)) => {
+            json!({"type": "literal", "value": (s.as_str())})
+        }
+        Term::Literal(Literal::Integer(i)) => json!({"type": "literal", "value": (*i)}),
+        Term::Literal(Literal::Double(d)) => json!({"type": "literal", "value": (*d)}),
+        Term::Literal(Literal::Boolean(b)) => json!({"type": "literal", "value": (*b)}),
+    }
+}
+
+/// Builds the knowledge-source service (class `"knowledge"`).
+pub fn knowledge_service(env: &SimEnv, name: impl Into<String>) -> Arc<SimService> {
+    let graph = world_facts();
+    let catalog = EntityCatalog::builtin();
+    SimService::builder(name, "knowledge")
+        .latency(LatencyModel::lognormal_ms(70.0, 0.4))
+        .cost(CostModel::Free)
+        .failures(FailurePlan::flaky(0.02))
+        .quality(0.92)
+        .handler(move |req| {
+            let op = req
+                .payload
+                .get("op")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "missing 'op'".to_string())?;
+            match op {
+                "sparql" => {
+                    let text = req
+                        .payload
+                        .get("query")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| "missing 'query'".to_string())?;
+                    let query = Query::parse(text).map_err(|e| e.to_string())?;
+                    let solutions = query.execute(&graph);
+                    let bindings: Vec<Json> = solutions
+                        .iter()
+                        .map(|sol| {
+                            sol.iter()
+                                .map(|(var, term)| (var.clone(), term_to_json(term)))
+                                .collect()
+                        })
+                        .collect();
+                    Ok(json!({"bindings": (Json::Array(bindings))}))
+                }
+                "lookup" => {
+                    // The paper's §3 example: "The US is a country" →
+                    // website + dbpedia + yago URLs.
+                    let surface = req
+                        .payload
+                        .get("entity")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| "missing 'entity'".to_string())?;
+                    let resolved = catalog
+                        .resolve(surface)
+                        .ok_or_else(|| format!("404 unknown entity: {surface}"))?;
+                    let website = match resolved.kind {
+                        EntityType::Country => {
+                            format!("http://www.{}.example.gov/", resolved.id)
+                        }
+                        _ => format!("http://www.{}.example.com/", resolved.id),
+                    };
+                    Ok(json!({
+                        "id": (resolved.id.as_str()),
+                        "name": (resolved.name.as_str()),
+                        "type": (resolved.kind.label()),
+                        "website": (website),
+                        "dbpedia": (resolved.dbpedia.as_str()),
+                        "yago": (resolved.yago.as_str()),
+                    }))
+                }
+                "describe" => {
+                    let id = req
+                        .payload
+                        .get("entity")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| "missing 'entity'".to_string())?;
+                    let subject = Term::iri(format!("db:{id}"));
+                    let statements = graph.match_pattern(Some(&subject), None, None);
+                    if statements.is_empty() {
+                        return Err(format!("404 no facts about: {id}"));
+                    }
+                    let facts: Vec<Json> = statements
+                        .iter()
+                        .map(|st| {
+                            json!({
+                                "predicate": (st.predicate.to_string()),
+                                "object": (term_to_json(&st.object)),
+                            })
+                        })
+                        .collect();
+                    Ok(json!({"entity": (id), "facts": (Json::Array(facts))}))
+                }
+                other => Err(format!("unknown op: {other}")),
+            }
+        })
+        .build(env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsdk_sim::service::Request;
+
+    fn ok_invoke(svc: &SimService, payload: Json) -> Json {
+        loop {
+            let out = svc.invoke(&Request::new("kb", payload.clone()));
+            match out.result {
+                Ok(resp) => return resp.payload,
+                Err(cogsdk_sim::ServiceError::BadRequest(m)) => panic!("bad request: {m}"),
+                Err(_) => continue,
+            }
+        }
+    }
+
+    #[test]
+    fn world_facts_cover_catalog() {
+        let g = world_facts();
+        // 70 entities × (type + label + dbpedia) + 25 countries × 3.
+        assert!(g.len() >= 70 * 3 + 25 * 3 - 10, "len={}", g.len());
+        assert!(g.contains(&Statement::new(
+            Term::iri("db:united_states"),
+            Term::iri("db:capital"),
+            Term::iri("db:washington"),
+        )));
+    }
+
+    #[test]
+    fn sparql_over_http_like_protocol() {
+        let env = SimEnv::with_seed(1);
+        let svc = knowledge_service(&env, "dbpedia-sim");
+        let body = ok_invoke(
+            &svc,
+            json!({"op": "sparql", "query":
+                "SELECT ?c ?p WHERE { ?c <db:population_millions> ?p . FILTER (?p > 1000) } ORDER BY ?c"}),
+        );
+        let bindings = body.get("bindings").unwrap().as_array().unwrap();
+        assert_eq!(bindings.len(), 2); // china, india
+        assert_eq!(
+            bindings[0].pointer("/c/value").and_then(Json::as_str),
+            Some("db:china")
+        );
+    }
+
+    #[test]
+    fn lookup_matches_paper_disambiguation_payload() {
+        let env = SimEnv::with_seed(2);
+        let svc = knowledge_service(&env, "dbpedia-sim");
+        let body = ok_invoke(&svc, json!({"op": "lookup", "entity": "US"}));
+        assert_eq!(body.get("id").and_then(Json::as_str), Some("united_states"));
+        assert_eq!(
+            body.get("dbpedia").and_then(Json::as_str),
+            Some("http://dbpedia.org/resource/United_States")
+        );
+        assert_eq!(
+            body.get("yago").and_then(Json::as_str),
+            Some("http://yago-knowledge.org/resource/United_States")
+        );
+        assert!(body.get("website").and_then(Json::as_str).unwrap().contains("gov"));
+    }
+
+    #[test]
+    fn describe_returns_entity_facts() {
+        let env = SimEnv::with_seed(3);
+        let svc = knowledge_service(&env, "dbpedia-sim");
+        let body = ok_invoke(&svc, json!({"op": "describe", "entity": "germany"}));
+        let facts = body.get("facts").unwrap().as_array().unwrap();
+        assert!(facts.len() >= 5, "{facts:?}");
+        assert!(facts
+            .iter()
+            .any(|f| f.pointer("/object/value").and_then(Json::as_str) == Some("db:berlin")));
+    }
+
+    #[test]
+    fn unknown_ops_and_entities_reject() {
+        let env = SimEnv::with_seed(4);
+        let svc = knowledge_service(&env, "dbpedia-sim");
+        for bad in [
+            json!({"op": "nope"}),
+            json!({"op": "lookup", "entity": "atlantis"}),
+            json!({"op": "describe", "entity": "atlantis"}),
+            json!({"op": "sparql", "query": "garbage"}),
+            json!({}),
+        ] {
+            loop {
+                let out = svc.invoke(&Request::new("kb", bad.clone()));
+                match out.result {
+                    Err(cogsdk_sim::ServiceError::BadRequest(_)) => break,
+                    Err(_) => continue,
+                    Ok(_) => panic!("should reject {bad}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Simulated external data services — the rest of the paper's Figure 1.
+//!
+//! Besides NLU and search (which live in `cogsdk-text` and
+//! `cogsdk-search`), Figure 1 surrounds the rich SDK with:
+//!
+//! * **DBpedia / Wikidata / Yago** knowledge sources — "information
+//!   retrieval services which provide data from data repositories" that
+//!   "can be queried over HTTP" (§1, §2.3). [`knowledge`] builds a
+//!   curated fact graph over the built-in entity catalog and serves it as
+//!   a SPARQL-over-HTTP-style service, including the paper's
+//!   entity-disambiguation response format (website/dbpedia/yago URLs).
+//! * **Stock and financial data services** (§1, Fig. 1). [`finance`]
+//!   serves deterministic random-walk price histories per ticker — the
+//!   numeric feedstock the knowledge base's regression analytics consume.
+//! * **Visual recognition services** (§1, §2.2: "Search engines can
+//!   identify images matching a query; these images can be passed to an
+//!   image analysis service"). [`vision`] classifies synthetic image
+//!   descriptors with vendor-specific quality, mirroring the NLU vendor
+//!   fleet design.
+//!
+//! All services are [`SimService`](cogsdk_sim::SimService)s: they plug
+//! into the same registry, monitor, ranking and failover machinery as
+//! every other endpoint.
+
+pub mod finance;
+pub mod images;
+pub mod knowledge;
+pub mod vision;
+
+pub use finance::{finance_service, PriceSeries};
+pub use images::{image_search_service, ImageCorpus};
+pub use knowledge::{knowledge_service, world_facts};
+pub use vision::{vision_fleet, vision_service, ImageDescriptor};

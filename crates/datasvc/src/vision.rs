@@ -1,0 +1,273 @@
+//! Simulated visual recognition services.
+//!
+//! §1 lists "video recognition"; §2.2: "Search engines can identify
+//! images matching a query; these images can be passed to an image
+//! analysis service and/or stored locally." Since no real pixels exist in
+//! this environment, an *image* is a synthetic descriptor carrying its
+//! ground-truth labels (what a perfect classifier would say). Vendors
+//! classify descriptors with quality-dependent recall and confidence
+//! noise — the same vendor-fleet design as the NLU services, so all the
+//! SDK's comparison/consensus machinery applies unchanged.
+//!
+//! Protocol (class `"vision"`): `{"image": {"id", "labels": […]}}` →
+//! `{"labels": [{"label", "confidence"}, …]}`.
+
+use cogsdk_json::{json, Json};
+use cogsdk_sim::cost::{CostModel, MicroDollars};
+use cogsdk_sim::failure::FailurePlan;
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::rng::Rng;
+use cogsdk_sim::service::SimService;
+use cogsdk_sim::SimEnv;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The label vocabulary vendors draw confusions from.
+pub const LABELS: &[&str] = &[
+    "person", "crowd", "building", "skyline", "car", "truck", "bicycle",
+    "road", "tree", "forest", "flower", "dog", "cat", "bird", "horse",
+    "food", "drink", "table", "chair", "screen", "phone", "laptop",
+    "chart", "document", "logo", "mountain", "beach", "ocean", "river",
+    "sky", "night", "indoor", "outdoor", "sport", "stadium",
+];
+
+/// A synthetic image: an id plus its ground-truth labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageDescriptor {
+    /// Stable image identifier.
+    pub id: String,
+    /// Ground-truth labels (what a perfect classifier returns).
+    pub labels: Vec<String>,
+}
+
+impl ImageDescriptor {
+    /// Generates a deterministic image with 2–5 labels from `seed`.
+    pub fn generate(seed: u64) -> ImageDescriptor {
+        let mut rng = Rng::new(seed ^ 0xD15C_0DE5);
+        let n = 2 + rng.below(4) as usize;
+        let mut labels: Vec<String> = Vec::new();
+        while labels.len() < n {
+            let l = (*rng.choose(LABELS)).to_string();
+            if !labels.contains(&l) {
+                labels.push(l);
+            }
+        }
+        ImageDescriptor {
+            id: format!("img-{seed:08x}"),
+            labels,
+        }
+    }
+
+    /// The JSON form the services accept.
+    pub fn to_json(&self) -> Json {
+        json!({
+            "id": (self.id.as_str()),
+            "labels": (Json::Array(self.labels.iter().map(|l| Json::from(l.as_str())).collect())),
+        })
+    }
+}
+
+fn unit_hash(vendor: &str, item: &str) -> f64 {
+    let mut h = DefaultHasher::new();
+    vendor.hash(&mut h);
+    item.hash(&mut h);
+    (h.finish() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Builds one vision vendor with the given recall (probability of
+/// reporting each true label) and hallucination rate (probability of
+/// adding one wrong label).
+///
+/// # Panics
+///
+/// Panics if `recall` or `hallucination` is outside `[0, 1]`.
+pub fn vision_service(
+    env: &SimEnv,
+    name: impl Into<String>,
+    recall: f64,
+    hallucination: f64,
+) -> Arc<SimService> {
+    assert!((0.0..=1.0).contains(&recall), "recall in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&hallucination),
+        "hallucination in [0, 1]"
+    );
+    let name = name.into();
+    let vendor = name.clone();
+    SimService::builder(name, "vision")
+        .latency(LatencyModel::lognormal_ms(150.0, 0.4))
+        .cost(CostModel::PerCall(MicroDollars::from_micros(1_500)))
+        .failures(FailurePlan::flaky(0.02))
+        .quality(recall * (1.0 - hallucination))
+        .handler(move |req| {
+            let image = req
+                .payload
+                .get("image")
+                .ok_or_else(|| "missing 'image'".to_string())?;
+            let id = image
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "image missing 'id'".to_string())?;
+            let truth = image
+                .get("labels")
+                .and_then(Json::as_array)
+                .ok_or_else(|| "image missing 'labels'".to_string())?;
+            let mut out: Vec<Json> = Vec::new();
+            for label in truth.iter().filter_map(Json::as_str) {
+                let roll = unit_hash(&vendor, &format!("{id}:{label}"));
+                if roll < recall {
+                    // Confidence correlates with how "easily" the vendor
+                    // saw it, deterministic per (vendor, image, label).
+                    let confidence = 0.55 + 0.44 * (1.0 - roll / recall.max(1e-9));
+                    out.push(json!({"label": (label), "confidence": (confidence)}));
+                }
+            }
+            let hroll = unit_hash(&vendor, &format!("{id}:hallucinate"));
+            if hroll < hallucination {
+                let idx = (unit_hash(&vendor, &format!("{id}:which")) * LABELS.len() as f64)
+                    as usize;
+                let wrong = LABELS[idx.min(LABELS.len() - 1)];
+                if !truth.iter().filter_map(Json::as_str).any(|l| l == wrong) {
+                    out.push(json!({"label": (wrong), "confidence": 0.51}));
+                }
+            }
+            Ok(json!({"image": (id), "labels": (Json::Array(out))}))
+        })
+        .build(env)
+}
+
+/// The standard three-vendor vision fleet (quality-ordered, like the NLU
+/// fleet).
+pub fn vision_fleet(env: &SimEnv) -> Vec<Arc<SimService>> {
+    vec![
+        vision_service(env, "vision-alpha", 0.95, 0.02),
+        vision_service(env, "vision-beta", 0.80, 0.08),
+        vision_service(env, "vision-gamma", 0.60, 0.20),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsdk_sim::service::Request;
+
+    fn classify(svc: &SimService, image: &ImageDescriptor) -> Vec<(String, f64)> {
+        loop {
+            let out = svc.invoke(&Request::new("classify", json!({"image": (image.to_json())})));
+            match out.result {
+                Ok(resp) => {
+                    return resp
+                        .payload
+                        .get("labels")
+                        .and_then(Json::as_array)
+                        .unwrap_or(&[])
+                        .iter()
+                        .filter_map(|l| {
+                            Some((
+                                l.get("label")?.as_str()?.to_string(),
+                                l.get("confidence")?.as_f64()?,
+                            ))
+                        })
+                        .collect()
+                }
+                Err(cogsdk_sim::ServiceError::BadRequest(m)) => panic!("{m}"),
+                Err(_) => continue,
+            }
+        }
+    }
+
+    #[test]
+    fn image_generation_is_deterministic() {
+        let a = ImageDescriptor::generate(7);
+        let b = ImageDescriptor::generate(7);
+        assert_eq!(a, b);
+        assert!((2..=5).contains(&a.labels.len()));
+    }
+
+    #[test]
+    fn perfect_recall_returns_all_truth() {
+        let env = SimEnv::with_seed(1);
+        let svc = vision_service(&env, "v-perfect", 1.0, 0.0);
+        let image = ImageDescriptor::generate(42);
+        let labels = classify(&svc, &image);
+        let found: Vec<&str> = labels.iter().map(|(l, _)| l.as_str()).collect();
+        for truth in &image.labels {
+            assert!(found.contains(&truth.as_str()), "missing {truth}");
+        }
+        assert!(labels.iter().all(|(_, c)| (0.0..=1.0).contains(c)));
+    }
+
+    #[test]
+    fn recall_controls_measured_recall() {
+        let env = SimEnv::with_seed(2);
+        let svc = vision_service(&env, "v-half", 0.5, 0.0);
+        let mut truth_total = 0usize;
+        let mut found_total = 0usize;
+        for seed in 0..200 {
+            let image = ImageDescriptor::generate(seed);
+            let labels = classify(&svc, &image);
+            truth_total += image.labels.len();
+            found_total += labels
+                .iter()
+                .filter(|(l, _)| image.labels.contains(l))
+                .count();
+        }
+        let recall = found_total as f64 / truth_total as f64;
+        assert!((recall - 0.5).abs() < 0.08, "recall={recall}");
+    }
+
+    #[test]
+    fn hallucinations_add_wrong_labels() {
+        let env = SimEnv::with_seed(3);
+        let svc = vision_service(&env, "v-dreamy", 1.0, 0.5);
+        let mut wrong = 0usize;
+        for seed in 0..100 {
+            let image = ImageDescriptor::generate(seed);
+            let labels = classify(&svc, &image);
+            wrong += labels
+                .iter()
+                .filter(|(l, _)| !image.labels.contains(l))
+                .count();
+        }
+        assert!((30..=70).contains(&wrong), "hallucinated {wrong}/100");
+    }
+
+    #[test]
+    fn classification_is_deterministic_per_vendor() {
+        let env = SimEnv::with_seed(4);
+        let svc = vision_service(&env, "v-a", 0.7, 0.1);
+        let image = ImageDescriptor::generate(9);
+        assert_eq!(classify(&svc, &image), classify(&svc, &image));
+    }
+
+    #[test]
+    fn fleet_quality_ordering() {
+        let env = SimEnv::with_seed(5);
+        let fleet = vision_fleet(&env);
+        assert_eq!(fleet.len(), 3);
+        assert!(fleet[0].quality() > fleet[1].quality());
+        assert!(fleet[1].quality() > fleet[2].quality());
+        assert!(fleet.iter().all(|s| s.class() == "vision"));
+    }
+
+    #[test]
+    fn malformed_image_rejects() {
+        let env = SimEnv::with_seed(6);
+        let svc = vision_service(&env, "v-a", 0.9, 0.0);
+        for bad in [
+            json!({}),
+            json!({"image": {"id": "x"}}),
+            json!({"image": {"labels": ["dog"]}}),
+        ] {
+            loop {
+                let out = svc.invoke(&Request::new("classify", bad.clone()));
+                match out.result {
+                    Err(cogsdk_sim::ServiceError::BadRequest(_)) => break,
+                    Err(_) => continue,
+                    Ok(_) => panic!("should reject {bad}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! A strict recursive-descent JSON parser.
+
+use crate::{Json, Number};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing invalid JSON text.
+///
+/// Carries the byte offset of the first offending character and a short
+/// description of what was expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseJsonError {
+    offset: usize,
+    message: String,
+}
+
+impl ParseJsonError {
+    /// Byte offset into the input where parsing failed.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParseJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParseJsonError {}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns [`ParseJsonError`] if the input is not a single valid JSON value
+/// optionally surrounded by whitespace.
+pub fn parse(input: &str) -> Result<Json, ParseJsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Nesting depth bound: protects against stack exhaustion on adversarial
+/// deeply nested inputs (a service could in principle return one).
+const MAX_DEPTH: usize = 256;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseJsonError {
+        ParseJsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseJsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseJsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseJsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("maximum nesting depth exceeded"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseJsonError> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ',' or '}' in object"));
+                }
+            }
+        }
+        self.depth -= 1;
+        Ok(Json::Object(entries))
+    }
+
+    fn array(&mut self) -> Result<Json, ParseJsonError> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ',' or ']' in array"));
+                }
+            }
+        }
+        self.depth -= 1;
+        Ok(Json::Array(items))
+    }
+
+    fn string(&mut self) -> Result<String, ParseJsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes at once.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // Safety of from_utf8: the input is a &str, and we only
+                // stopped on ASCII boundaries, so the run is valid UTF-8.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("input was valid UTF-8"));
+            }
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let cp = self.hex4()?;
+                        let ch = if (0xD800..=0xDBFF).contains(&cp) {
+                            // High surrogate: a \uXXXX low surrogate must follow.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("expected low surrogate escape"));
+                            }
+                            let low = self.hex4()?;
+                            if !(0xDC00..=0xDFFF).contains(&low) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            let combined =
+                                0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(combined)
+                                .ok_or_else(|| self.err("invalid surrogate pair"))?
+                        } else if (0xDC00..=0xDFFF).contains(&cp) {
+                            return Err(self.err("unexpected low surrogate"));
+                        } else {
+                            char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
+                        };
+                        out.push(ch);
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseJsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseJsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected digit")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Number(Number::Int(i)));
+            }
+            // Integer overflow: fall back to float like other parsers do.
+        }
+        let f: f64 = text
+            .parse()
+            .map_err(|_| self.err("number out of range"))?;
+        if !f.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Number(Number::Float(f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap().as_i64(), Some(42));
+        assert_eq!(parse("-7").unwrap().as_i64(), Some(-7));
+        assert_eq!(parse("2.5").unwrap().as_f64(), Some(2.5));
+        assert_eq!(parse("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(parse("-1.5e-2").unwrap().as_f64(), Some(-0.015));
+        assert_eq!(parse("\"hi\"").unwrap().as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse(r#"{"a": [1, {"b": null}, "x"], "c": true}"#).unwrap();
+        assert_eq!(v.pointer("/a/1/b"), Some(&Json::Null));
+        assert_eq!(v.pointer("/a/2").and_then(Json::as_str), Some("x"));
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = parse(r#""a\n\t\"\\\/ A é""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\n\t\"\\/ A é"));
+    }
+
+    #[test]
+    fn parses_surrogate_pairs() {
+        let v = parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn rejects_lone_surrogates() {
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse(r#""\ude00""#).is_err());
+        assert!(parse(r#""\ud83dA""#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "", "  ", "{", "[", "{\"a\":}", "[1,]", "{\"a\":1,}", "01", "1.",
+            "1e", "+1", "nul", "tru", "\"unterminated", "\"ctrl\u{01}\"",
+            "{\"a\" 1}", "[1 2]", "1 2", "NaN", "Infinity", "'single'",
+        ] {
+            assert!(parse(bad).is_err(), "should reject: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn reports_error_offsets() {
+        let err = parse("[1, x]").unwrap_err();
+        assert_eq!(err.offset(), 4);
+        assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn integer_overflow_falls_back_to_float() {
+        let v = parse("99999999999999999999").unwrap();
+        assert!(v.as_i64().is_none());
+        assert!(v.as_f64().unwrap() > 9.9e18);
+    }
+
+    #[test]
+    fn rejects_excessive_nesting() {
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn deeply_nested_within_limit_parses() {
+        let depth = 200;
+        let text = "[".repeat(depth) + &"]".repeat(depth);
+        assert!(parse(&text).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_preserved_in_order() {
+        let v = parse(r#"{"k": 1, "k": 2, "j": 3}"#).unwrap();
+        let entries = v.as_object().unwrap();
+        assert_eq!(entries.len(), 3, "duplicates preserved structurally");
+        assert_eq!(v.get("k").and_then(Json::as_i64), Some(2), "last wins on access");
+    }
+
+    #[test]
+    fn minimal_and_maximal_integers() {
+        assert_eq!(parse("9223372036854775807").unwrap().as_i64(), Some(i64::MAX));
+        assert_eq!(parse("-9223372036854775808").unwrap().as_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn whitespace_tolerated_everywhere() {
+        let v = parse(" \n\t{ \"a\" :\r [ 1 , 2 ] } \n").unwrap();
+        assert_eq!(v, json!({"a": [1, 2]}));
+    }
+}

@@ -1,0 +1,143 @@
+//! Compact and pretty JSON serialization.
+
+use crate::Json;
+use std::fmt::Write as _;
+
+/// Serializes `value`, pretty-printing with the given indent width if
+/// `indent` is `Some`.
+///
+/// # Panics
+///
+/// Panics if the value contains a non-finite float; such a value cannot be
+/// represented in JSON and indicates a bug in the producer.
+pub(crate) fn to_string(value: &Json, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, indent, 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Json, indent: Option<usize>, level: usize) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Number(n) => {
+            assert!(
+                n.as_f64().is_finite(),
+                "cannot serialize non-finite number to JSON"
+            );
+            let _ = write!(out, "{n}");
+        }
+        Json::String(s) => write_string(out, s),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Json::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..(width * level) {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{json, Json};
+
+    #[test]
+    fn compact_output() {
+        let v = json!({"a": [1, 2.5, "x"], "b": null, "c": false});
+        assert_eq!(v.to_json(), r#"{"a":[1,2.5,"x"],"b":null,"c":false}"#);
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let v = json!({"a": [1]});
+        assert_eq!(v.to_string_pretty(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(json!([]).to_json(), "[]");
+        assert_eq!(Json::object().to_json(), "{}");
+        assert_eq!(json!([]).to_string_pretty(), "[]");
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let v = Json::from("a\"b\\c\nd\u{0001}e");
+        assert_eq!(v.to_json(), "\"a\\\"b\\\\c\\nd\\u0001e\"");
+    }
+
+    #[test]
+    fn float_round_trip_keeps_type() {
+        let v = json!({"x": 3.0});
+        let back = Json::parse(&v.to_json()).unwrap();
+        assert_eq!(back.pointer("/x").and_then(Json::as_f64), Some(3.0));
+        assert!(back.pointer("/x").and_then(Json::as_i64).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_float_panics() {
+        let _ = Json::from(f64::NAN).to_json();
+    }
+}

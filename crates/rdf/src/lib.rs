@@ -1,0 +1,71 @@
+//! An RDF triple store with reasoning and a SPARQL-subset query engine.
+//!
+//! The paper's personalized knowledge base stores data as RDF statements in
+//! Apache Jena and relies on four Jena capabilities it lists explicitly
+//! (§3): a transitive reasoner, an RDF-Schema rule reasoner, a generic rule
+//! reasoner "that supports user-defined rules … forward chaining, tabled
+//! backward chaining", and a SPARQL query engine. This crate implements
+//! that subset from scratch:
+//!
+//! * [`model`] — terms ([`Term`]), statements ([`Statement`]) and
+//!   namespace/prefix handling.
+//! * [`graph`] — an indexed triple store ([`Graph`]) with SPO/POS/OSP
+//!   indexes and pattern matching.
+//! * [`reason`] + [`owl`] — the four reasoners (transitive, RDFS subset,
+//!   generic rules, OWL/Lite subset).
+//! * [`query`] — `SELECT … WHERE { … FILTER … } ORDER BY … LIMIT …`.
+//!
+//! # Examples
+//!
+//! ```
+//! use cogsdk_rdf::{Graph, Statement, Term};
+//!
+//! let mut g = Graph::new();
+//! g.insert(Statement::new(
+//!     Term::iri("ex:java_hashmap"),
+//!     Term::iri("ex:implements"),
+//!     Term::iri("ex:java_map"),
+//! ));
+//! assert_eq!(g.len(), 1);
+//! let hits = g.match_pattern(None, Some(&Term::iri("ex:implements")), None);
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+pub mod graph;
+pub mod model;
+pub mod owl;
+pub mod query;
+pub mod reason;
+pub mod weighted;
+
+pub use graph::Graph;
+pub use model::{Literal, Statement, Term};
+pub use owl::OwlLiteReasoner;
+pub use query::{Query, Solution};
+pub use reason::{GenericRuleReasoner, RdfsReasoner, Rule, TransitiveReasoner};
+pub use weighted::{WeightedGraph, WeightedReasoner};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by parsing (rules, queries) or evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RdfError {
+    message: String,
+}
+
+impl RdfError {
+    pub(crate) fn new(message: impl Into<String>) -> RdfError {
+        RdfError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rdf error: {}", self.message)
+    }
+}
+
+impl Error for RdfError {}

@@ -1,0 +1,305 @@
+//! RDF terms and statements.
+//!
+//! §3: "RDF models consist of statements. A statement has three parts: a
+//! subject, predicate, and object" — the paper's example being
+//! `("Java HashMap class", "implements", "Java Map interface")`.
+
+use std::fmt;
+
+/// A typed RDF literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A plain string literal.
+    String(String),
+    /// An integer literal (`xsd:integer`).
+    Integer(i64),
+    /// A double literal (`xsd:double`).
+    Double(f64),
+    /// A boolean literal (`xsd:boolean`).
+    Boolean(bool),
+}
+
+impl Literal {
+    /// Numeric view of integer/double literals.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Literal::Integer(i) => Some(*i as f64),
+            Literal::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::String(s) => write!(f, "\"{s}\""),
+            Literal::Integer(i) => write!(f, "{i}"),
+            Literal::Double(d) => write!(f, "{d}"),
+            Literal::Boolean(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl Eq for Literal {}
+
+impl Ord for Literal {
+    fn cmp(&self, other: &Literal) -> std::cmp::Ordering {
+        use Literal::*;
+        match (self, other) {
+            (String(a), String(b)) => a.cmp(b),
+            (Integer(a), Integer(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            (Boolean(a), Boolean(b)) => a.cmp(b),
+            // Cross-type order: String < Integer < Double < Boolean.
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl PartialOrd for Literal {
+    fn partial_cmp(&self, other: &Literal) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn rank(l: &Literal) -> u8 {
+    match l {
+        Literal::String(_) => 0,
+        Literal::Integer(_) => 1,
+        Literal::Double(_) => 2,
+        Literal::Boolean(_) => 3,
+    }
+}
+
+impl std::hash::Hash for Literal {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        rank(self).hash(state);
+        match self {
+            Literal::String(s) => s.hash(state),
+            Literal::Integer(i) => i.hash(state),
+            Literal::Double(d) => d.to_bits().hash(state),
+            Literal::Boolean(b) => b.hash(state),
+        }
+    }
+}
+
+/// An RDF term: IRI, literal, or blank node.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// An IRI (possibly in `prefix:local` compact form).
+    Iri(String),
+    /// A literal value.
+    Literal(Literal),
+    /// A blank node with a local label.
+    Blank(String),
+}
+
+impl Term {
+    /// Creates an IRI term.
+    pub fn iri(value: impl Into<String>) -> Term {
+        Term::Iri(value.into())
+    }
+
+    /// Creates a string literal.
+    pub fn string(value: impl Into<String>) -> Term {
+        Term::Literal(Literal::String(value.into()))
+    }
+
+    /// Creates an integer literal.
+    pub fn integer(value: i64) -> Term {
+        Term::Literal(Literal::Integer(value))
+    }
+
+    /// Creates a double literal.
+    pub fn double(value: f64) -> Term {
+        Term::Literal(Literal::Double(value))
+    }
+
+    /// Creates a boolean literal.
+    pub fn boolean(value: bool) -> Term {
+        Term::Literal(Literal::Boolean(value))
+    }
+
+    /// Creates a blank node.
+    pub fn blank(label: impl Into<String>) -> Term {
+        Term::Blank(label.into())
+    }
+
+    /// The IRI string, if this is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The literal, if this is a literal.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Whether the term may appear in subject position (IRI or blank).
+    pub fn is_resource(&self) -> bool {
+        matches!(self, Term::Iri(_) | Term::Blank(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(s) => write!(f, "<{s}>"),
+            Term::Literal(l) => write!(f, "{l}"),
+            Term::Blank(b) => write!(f, "_:{b}"),
+        }
+    }
+}
+
+/// Well-known vocabulary IRIs (compact forms used across the workspace).
+pub mod vocab {
+    /// `rdf:type`.
+    pub const TYPE: &str = "rdf:type";
+    /// `rdfs:subClassOf`.
+    pub const SUB_CLASS_OF: &str = "rdfs:subClassOf";
+    /// `rdfs:subPropertyOf`.
+    pub const SUB_PROPERTY_OF: &str = "rdfs:subPropertyOf";
+    /// `rdfs:domain`.
+    pub const DOMAIN: &str = "rdfs:domain";
+    /// `rdfs:range`.
+    pub const RANGE: &str = "rdfs:range";
+    /// `owl:inverseOf`.
+    pub const INVERSE_OF: &str = "owl:inverseOf";
+    /// `owl:sameAs`.
+    pub const SAME_AS: &str = "owl:sameAs";
+    /// `owl:SymmetricProperty`.
+    pub const SYMMETRIC_PROPERTY: &str = "owl:SymmetricProperty";
+    /// `owl:TransitiveProperty`.
+    pub const TRANSITIVE_PROPERTY: &str = "owl:TransitiveProperty";
+    /// `owl:FunctionalProperty`.
+    pub const FUNCTIONAL_PROPERTY: &str = "owl:FunctionalProperty";
+}
+
+/// One RDF statement (triple).
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_rdf::{Statement, Term};
+///
+/// // The paper's example sentence as a triple.
+/// let st = Statement::new(
+///     Term::iri("ex:JavaHashMap"),
+///     Term::iri("ex:implements"),
+///     Term::iri("ex:JavaMapInterface"),
+/// );
+/// assert_eq!(st.to_string(), "<ex:JavaHashMap> <ex:implements> <ex:JavaMapInterface> .");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Statement {
+    /// The subject (IRI or blank node).
+    pub subject: Term,
+    /// The predicate (IRI).
+    pub predicate: Term,
+    /// The object (any term).
+    pub object: Term,
+}
+
+impl Statement {
+    /// Creates a statement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subject` is a literal or `predicate` is not an IRI —
+    /// both are structurally invalid RDF.
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Statement {
+        assert!(subject.is_resource(), "statement subject must be a resource");
+        assert!(
+            matches!(predicate, Term::Iri(_)),
+            "statement predicate must be an IRI"
+        );
+        Statement {
+            subject,
+            predicate,
+            object,
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Term::iri("ex:a").as_iri(), Some("ex:a"));
+        assert_eq!(Term::string("x").as_iri(), None);
+        assert_eq!(
+            Term::integer(3).as_literal().and_then(Literal::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            Term::double(2.5).as_literal().and_then(Literal::as_f64),
+            Some(2.5)
+        );
+        assert!(Term::blank("b0").is_resource());
+        assert!(!Term::boolean(true).is_resource());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::iri("ex:a").to_string(), "<ex:a>");
+        assert_eq!(Term::string("hi").to_string(), "\"hi\"");
+        assert_eq!(Term::integer(-4).to_string(), "-4");
+        assert_eq!(Term::blank("n1").to_string(), "_:n1");
+    }
+
+    #[test]
+    #[should_panic(expected = "subject")]
+    fn literal_subject_rejected() {
+        let _ = Statement::new(Term::string("x"), Term::iri("p"), Term::iri("o"));
+    }
+
+    #[test]
+    #[should_panic(expected = "predicate")]
+    fn non_iri_predicate_rejected() {
+        let _ = Statement::new(Term::iri("s"), Term::blank("p"), Term::iri("o"));
+    }
+
+    #[test]
+    fn terms_order_totally() {
+        let mut terms = vec![
+            Term::boolean(true),
+            Term::iri("b"),
+            Term::double(1.5),
+            Term::iri("a"),
+            Term::string("z"),
+            Term::blank("x"),
+            Term::integer(2),
+        ];
+        terms.sort();
+        // Sorting must be deterministic and not panic on mixed types.
+        assert_eq!(terms.len(), 7);
+        let mut terms2 = terms.clone();
+        terms2.sort();
+        assert_eq!(terms, terms2);
+    }
+
+    #[test]
+    fn literal_equality_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Term::double(1.0));
+        set.insert(Term::double(1.0));
+        set.insert(Term::integer(1));
+        assert_eq!(set.len(), 2, "double 1.0 and integer 1 are distinct terms");
+    }
+}

@@ -1,0 +1,297 @@
+//! An incomplete OWL/Lite reasoner — the third Jena reasoner the paper
+//! lists (§3): "Reasoners which support an incomplete implementation of
+//! the OWL/Lite subset of the OWL/Full language."
+//!
+//! Supported entailments (run to fixpoint together with the RDFS rules):
+//!
+//! * `owl:inverseOf` — `(p owl:inverseOf q), (s p o) ⇒ (o q s)` and the
+//!   mirror direction (inverseOf is itself symmetric).
+//! * `owl:SymmetricProperty` — `(s p o) ⇒ (o p s)`.
+//! * `owl:TransitiveProperty` — transitive closure per such property.
+//! * `owl:FunctionalProperty` — `(s p o₁), (s p o₂) ⇒ (o₁ owl:sameAs o₂)`.
+//! * `owl:sameAs` — symmetric and transitive, and statements are copied
+//!   across aliases in subject and object position (smushing).
+
+use crate::graph::Graph;
+use crate::model::{vocab, Statement, Term};
+use crate::reason::{RdfsReasoner, TransitiveReasoner};
+
+/// The OWL/Lite-subset reasoner.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_rdf::{Graph, Statement, Term};
+/// use cogsdk_rdf::owl::OwlLiteReasoner;
+///
+/// let mut g = Graph::new();
+/// g.insert(Statement::new(
+///     Term::iri("ex:hasParent"), Term::iri("owl:inverseOf"), Term::iri("ex:hasChild")));
+/// g.insert(Statement::new(
+///     Term::iri("ex:alice"), Term::iri("ex:hasParent"), Term::iri("ex:bob")));
+///
+/// let inferred = OwlLiteReasoner::new().infer(&g);
+/// assert!(inferred.contains(&Statement::new(
+///     Term::iri("ex:bob"), Term::iri("ex:hasChild"), Term::iri("ex:alice"))));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OwlLiteReasoner {
+    /// Also run the RDFS subset (subclass/subproperty/domain/range), as
+    /// Jena's OWL reasoners do. Defaults to true.
+    pub include_rdfs: bool,
+}
+
+impl OwlLiteReasoner {
+    /// Creates the reasoner with RDFS entailments included.
+    pub fn new() -> OwlLiteReasoner {
+        OwlLiteReasoner { include_rdfs: true }
+    }
+
+    /// Creates the reasoner with only the OWL rules (no RDFS).
+    pub fn owl_only() -> OwlLiteReasoner {
+        OwlLiteReasoner {
+            include_rdfs: false,
+        }
+    }
+
+    /// Runs to fixpoint; returns only the newly entailed statements.
+    pub fn infer(&self, graph: &Graph) -> Graph {
+        let type_p = Term::iri(vocab::TYPE);
+        let inverse_of = Term::iri(vocab::INVERSE_OF);
+        let same_as = Term::iri(vocab::SAME_AS);
+        let symmetric = Term::iri(vocab::SYMMETRIC_PROPERTY);
+        let transitive = Term::iri(vocab::TRANSITIVE_PROPERTY);
+        let functional = Term::iri(vocab::FUNCTIONAL_PROPERTY);
+
+        let mut working = graph.clone();
+        let mut inferred = Graph::new();
+        loop {
+            let mut fresh: Vec<Statement> = Vec::new();
+
+            if self.include_rdfs {
+                fresh.extend(RdfsReasoner::new().infer(&working).iter());
+            }
+
+            // owl:inverseOf (both directions; the declaration itself is
+            // symmetric).
+            let mut inverse_pairs: Vec<(Term, Term)> = Vec::new();
+            for decl in working.match_pattern(None, Some(&inverse_of), None) {
+                if let (Term::Iri(_), Term::Iri(_)) = (&decl.subject, &decl.object) {
+                    inverse_pairs.push((decl.subject.clone(), decl.object.clone()));
+                    inverse_pairs.push((decl.object, decl.subject));
+                }
+            }
+            for (p, q) in &inverse_pairs {
+                for st in working.match_pattern(None, Some(p), None) {
+                    if st.object.is_resource() {
+                        fresh.push(Statement::new(st.object, q.clone(), st.subject));
+                    }
+                }
+            }
+
+            // owl:SymmetricProperty.
+            for decl in working.match_pattern(None, Some(&type_p), Some(&symmetric)) {
+                if !matches!(decl.subject, Term::Iri(_)) {
+                    continue;
+                }
+                for st in working.match_pattern(None, Some(&decl.subject), None) {
+                    if st.object.is_resource() {
+                        fresh.push(Statement::new(st.object, st.predicate, st.subject));
+                    }
+                }
+            }
+
+            // owl:TransitiveProperty: closure per declared property.
+            let transitive_props: Vec<Term> = working
+                .match_pattern(None, Some(&type_p), Some(&transitive))
+                .into_iter()
+                .map(|st| st.subject)
+                .filter(|t| matches!(t, Term::Iri(_)))
+                .collect();
+            if !transitive_props.is_empty() {
+                fresh.extend(TransitiveReasoner::new(transitive_props).infer(&working).iter());
+            }
+
+            // owl:FunctionalProperty: two objects for one subject are the
+            // same individual.
+            for decl in working.match_pattern(None, Some(&type_p), Some(&functional)) {
+                if !matches!(decl.subject, Term::Iri(_)) {
+                    continue;
+                }
+                let uses = working.match_pattern(None, Some(&decl.subject), None);
+                for a in &uses {
+                    for b in &uses {
+                        if a.subject == b.subject
+                            && a.object != b.object
+                            && a.object.is_resource()
+                            && b.object.is_resource()
+                        {
+                            fresh.push(Statement::new(
+                                a.object.clone(),
+                                same_as.clone(),
+                                b.object.clone(),
+                            ));
+                        }
+                    }
+                }
+            }
+
+            // owl:sameAs: symmetric, transitive, and smushing.
+            let same_pairs: Vec<(Term, Term)> = working
+                .match_pattern(None, Some(&same_as), None)
+                .into_iter()
+                .filter(|st| st.subject.is_resource() && st.object.is_resource())
+                .map(|st| (st.subject, st.object))
+                .collect();
+            for (a, b) in &same_pairs {
+                if a == b {
+                    continue;
+                }
+                fresh.push(Statement::new(b.clone(), same_as.clone(), a.clone()));
+                // Transitivity through shared members.
+                for (c, d) in &same_pairs {
+                    if b == c && a != d {
+                        fresh.push(Statement::new(a.clone(), same_as.clone(), d.clone()));
+                    }
+                }
+                // Copy statements across the alias, both positions.
+                for st in working.match_pattern(Some(a), None, None) {
+                    if st.predicate != same_as {
+                        fresh.push(Statement::new(b.clone(), st.predicate, st.object));
+                    }
+                }
+                for st in working.match_pattern(None, None, Some(a)) {
+                    if st.predicate != same_as {
+                        fresh.push(Statement::new(st.subject, st.predicate, b.clone()));
+                    }
+                }
+            }
+
+            let mut added = 0;
+            for st in fresh {
+                if st.subject == st.object && st.predicate == same_as {
+                    continue; // skip trivial reflexive sameAs
+                }
+                if !working.contains(&st) {
+                    working.insert(st.clone());
+                    inferred.insert(st);
+                    added += 1;
+                }
+            }
+            if added == 0 {
+                break;
+            }
+        }
+        inferred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(s: &str, p: &str, o: &str) -> Statement {
+        Statement::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    #[test]
+    fn inverse_of_entailments_both_directions() {
+        let mut g = Graph::new();
+        g.insert(st("hasParent", vocab::INVERSE_OF, "hasChild"));
+        g.insert(st("alice", "hasParent", "bob"));
+        g.insert(st("bob", "hasChild", "carol"));
+        let inf = OwlLiteReasoner::owl_only().infer(&g);
+        assert!(inf.contains(&st("bob", "hasChild", "alice")));
+        assert!(inf.contains(&st("carol", "hasParent", "bob")), "mirror direction");
+    }
+
+    #[test]
+    fn symmetric_property() {
+        let mut g = Graph::new();
+        g.insert(st("marriedTo", vocab::TYPE, vocab::SYMMETRIC_PROPERTY));
+        g.insert(st("alice", "marriedTo", "bob"));
+        let inf = OwlLiteReasoner::owl_only().infer(&g);
+        assert!(inf.contains(&st("bob", "marriedTo", "alice")));
+        assert_eq!(inf.len(), 1);
+    }
+
+    #[test]
+    fn transitive_property() {
+        let mut g = Graph::new();
+        g.insert(st("locatedIn", vocab::TYPE, vocab::TRANSITIVE_PROPERTY));
+        g.insert(st("office", "locatedIn", "building"));
+        g.insert(st("building", "locatedIn", "city"));
+        g.insert(st("city", "locatedIn", "country"));
+        let inf = OwlLiteReasoner::owl_only().infer(&g);
+        assert!(inf.contains(&st("office", "locatedIn", "country")));
+        assert_eq!(
+            inf.match_pattern(None, Some(&Term::iri("locatedIn")), None).len(),
+            3
+        );
+    }
+
+    #[test]
+    fn functional_property_derives_same_as() {
+        let mut g = Graph::new();
+        g.insert(st("hasBirthMother", vocab::TYPE, vocab::FUNCTIONAL_PROPERTY));
+        g.insert(st("alice", "hasBirthMother", "person_x"));
+        g.insert(st("alice", "hasBirthMother", "person_y"));
+        let inf = OwlLiteReasoner::owl_only().infer(&g);
+        assert!(inf.contains(&st("person_x", vocab::SAME_AS, "person_y")));
+        assert!(inf.contains(&st("person_y", vocab::SAME_AS, "person_x")));
+    }
+
+    #[test]
+    fn same_as_smushes_statements_across_aliases() {
+        // The paper's disambiguation story at the OWL level: two ids for
+        // one country share all facts.
+        let mut g = Graph::new();
+        g.insert(st("usa", vocab::SAME_AS, "united_states"));
+        g.insert(st("usa", "capital", "washington"));
+        g.insert(st("germany", "ally", "united_states"));
+        let inf = OwlLiteReasoner::owl_only().infer(&g);
+        assert!(inf.contains(&st("united_states", "capital", "washington")));
+        assert!(inf.contains(&st("germany", "ally", "usa")));
+        assert!(inf.contains(&st("united_states", vocab::SAME_AS, "usa")));
+    }
+
+    #[test]
+    fn same_as_is_transitive() {
+        let mut g = Graph::new();
+        g.insert(st("a", vocab::SAME_AS, "b"));
+        g.insert(st("b", vocab::SAME_AS, "c"));
+        g.insert(st("a", "p", "v"));
+        let inf = OwlLiteReasoner::owl_only().infer(&g);
+        assert!(inf.contains(&st("a", vocab::SAME_AS, "c")));
+        assert!(inf.contains(&st("c", "p", "v")), "facts reach transitive aliases");
+        // No reflexive sameAs noise.
+        assert!(!inf.contains(&st("a", vocab::SAME_AS, "a")));
+    }
+
+    #[test]
+    fn combined_with_rdfs_rules() {
+        let mut g = Graph::new();
+        g.insert(st("hasCapital", vocab::INVERSE_OF, "capitalOf"));
+        g.insert(st("capitalOf", vocab::DOMAIN, "City"));
+        g.insert(st("germany", "hasCapital", "berlin"));
+        let inf = OwlLiteReasoner::new().infer(&g);
+        // inverseOf gives (berlin capitalOf germany); rdfs2 then types
+        // berlin as a City — an entailment neither subset finds alone.
+        assert!(inf.contains(&st("berlin", "capitalOf", "germany")));
+        assert!(inf.contains(&st("berlin", vocab::TYPE, "City")));
+    }
+
+    #[test]
+    fn terminates_on_cycles_and_empty_graph() {
+        assert!(OwlLiteReasoner::new().infer(&Graph::new()).is_empty());
+        let mut g = Graph::new();
+        g.insert(st("p", vocab::TYPE, vocab::SYMMETRIC_PROPERTY));
+        g.insert(st("p", vocab::TYPE, vocab::TRANSITIVE_PROPERTY));
+        g.insert(st("a", "p", "b"));
+        g.insert(st("b", "p", "a"));
+        let inf = OwlLiteReasoner::owl_only().infer(&g);
+        // Symmetric + transitive on a 2-cycle: at most the loops a-p-a,
+        // b-p-b beyond the stated edges.
+        assert!(inf.len() <= 2, "{inf:?}");
+    }
+}

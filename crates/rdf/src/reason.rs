@@ -1,0 +1,918 @@
+//! Reasoners: transitive closure, an RDFS subset, and a generic rule
+//! engine with forward and backward chaining.
+//!
+//! These mirror the Jena reasoners the paper lists (§3):
+//!
+//! * "A transitive reasoner with support for storing and traversing class
+//!   and property lattices" → [`TransitiveReasoner`];
+//! * "An RDF Schema rule reasoner which implements a configurable subset
+//!   of the RDF Schema entailments" → [`RdfsReasoner`];
+//! * "A generic rule reasoner that supports user-defined rules … forward
+//!   chaining, tabled backward chaining" → [`GenericRuleReasoner`] with a
+//!   Jena-style rule syntax.
+
+use crate::graph::Graph;
+use crate::model::{vocab, Statement, Term};
+use crate::RdfError;
+use std::collections::{HashMap, HashSet};
+
+/// Computes the transitive closure of chosen predicates.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_rdf::{Graph, Statement, Term, TransitiveReasoner};
+///
+/// let mut g = Graph::new();
+/// let sub = Term::iri("rdfs:subClassOf");
+/// g.insert(Statement::new(Term::iri("ex:cat"), sub.clone(), Term::iri("ex:mammal")));
+/// g.insert(Statement::new(Term::iri("ex:mammal"), sub.clone(), Term::iri("ex:animal")));
+///
+/// let inferred = TransitiveReasoner::new(vec![sub.clone()]).infer(&g);
+/// assert!(inferred.contains(&Statement::new(
+///     Term::iri("ex:cat"), sub, Term::iri("ex:animal"))));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransitiveReasoner {
+    predicates: Vec<Term>,
+}
+
+impl TransitiveReasoner {
+    /// Creates a reasoner closing over the given predicates.
+    pub fn new(predicates: Vec<Term>) -> TransitiveReasoner {
+        TransitiveReasoner { predicates }
+    }
+
+    /// The standard class/property-lattice reasoner
+    /// (`rdfs:subClassOf` + `rdfs:subPropertyOf`).
+    pub fn for_lattices() -> TransitiveReasoner {
+        TransitiveReasoner::new(vec![
+            Term::iri(vocab::SUB_CLASS_OF),
+            Term::iri(vocab::SUB_PROPERTY_OF),
+        ])
+    }
+
+    /// Returns the *new* statements entailed by transitivity (excluding
+    /// those already present).
+    pub fn infer(&self, graph: &Graph) -> Graph {
+        let mut inferred = Graph::new();
+        for predicate in &self.predicates {
+            // Collect edges and compute closure per predicate.
+            let edges: Vec<(Term, Term)> = graph
+                .match_pattern(None, Some(predicate), None)
+                .into_iter()
+                .map(|st| (st.subject, st.object))
+                .collect();
+            let mut succ: HashMap<Term, HashSet<Term>> = HashMap::new();
+            for (s, o) in &edges {
+                succ.entry(s.clone()).or_default().insert(o.clone());
+            }
+            // Floyd–Warshall-style saturation via BFS from each node.
+            for start in succ.keys().cloned().collect::<Vec<_>>() {
+                let mut reached: HashSet<Term> = HashSet::new();
+                let mut stack: Vec<Term> =
+                    succ[&start].iter().cloned().collect();
+                while let Some(node) = stack.pop() {
+                    if !reached.insert(node.clone()) {
+                        continue;
+                    }
+                    if let Some(next) = succ.get(&node) {
+                        stack.extend(next.iter().cloned());
+                    }
+                }
+                for target in reached {
+                    if target != start && target.is_resource() {
+                        let st = Statement::new(start.clone(), predicate.clone(), target);
+                        if !graph.contains(&st) {
+                            inferred.insert(st);
+                        }
+                    }
+                }
+            }
+        }
+        inferred
+    }
+}
+
+/// The RDFS entailment subset the knowledge base uses: rules rdfs2
+/// (domain), rdfs3 (range), rdfs5/rdfs7 (subPropertyOf), rdfs9/rdfs11
+/// (subClassOf).
+#[derive(Debug, Clone, Default)]
+pub struct RdfsReasoner {
+    _private: (),
+}
+
+impl RdfsReasoner {
+    /// Creates the reasoner.
+    pub fn new() -> RdfsReasoner {
+        RdfsReasoner::default()
+    }
+
+    /// Runs the RDFS rules to fixpoint; returns only the new statements.
+    pub fn infer(&self, graph: &Graph) -> Graph {
+        let type_p = Term::iri(vocab::TYPE);
+        let sub_class = Term::iri(vocab::SUB_CLASS_OF);
+        let sub_prop = Term::iri(vocab::SUB_PROPERTY_OF);
+        let domain = Term::iri(vocab::DOMAIN);
+        let range = Term::iri(vocab::RANGE);
+
+        let mut working = graph.clone();
+        let mut inferred = Graph::new();
+        loop {
+            let mut fresh: Vec<Statement> = Vec::new();
+            // rdfs5/rdfs11: transitivity of the two lattice predicates.
+            fresh.extend(
+                TransitiveReasoner::for_lattices()
+                    .infer(&working)
+                    .iter(),
+            );
+            // rdfs2: (p domain C), (s p o) => (s type C).
+            for dom in working.match_pattern(None, Some(&domain), None) {
+                for use_site in working.match_pattern(None, Some(&dom.subject), None) {
+                    fresh.push(Statement::new(
+                        use_site.subject.clone(),
+                        type_p.clone(),
+                        dom.object.clone(),
+                    ));
+                }
+            }
+            // rdfs3: (p range C), (s p o), o resource => (o type C).
+            for ran in working.match_pattern(None, Some(&range), None) {
+                for use_site in working.match_pattern(None, Some(&ran.subject), None) {
+                    if use_site.object.is_resource() {
+                        fresh.push(Statement::new(
+                            use_site.object.clone(),
+                            type_p.clone(),
+                            ran.object.clone(),
+                        ));
+                    }
+                }
+            }
+            // rdfs7: (p subPropertyOf q), (s p o) => (s q o).
+            for sp in working.match_pattern(None, Some(&sub_prop), None) {
+                if !matches!(sp.object, Term::Iri(_)) {
+                    continue;
+                }
+                for use_site in working.match_pattern(None, Some(&sp.subject), None) {
+                    fresh.push(Statement::new(
+                        use_site.subject.clone(),
+                        sp.object.clone(),
+                        use_site.object.clone(),
+                    ));
+                }
+            }
+            // rdfs9: (C subClassOf D), (s type C) => (s type D).
+            for sc in working.match_pattern(None, Some(&sub_class), None) {
+                for inst in
+                    working.match_pattern(None, Some(&type_p), Some(&sc.subject))
+                {
+                    fresh.push(Statement::new(
+                        inst.subject.clone(),
+                        type_p.clone(),
+                        sc.object.clone(),
+                    ));
+                }
+            }
+            let mut added = 0;
+            for st in fresh {
+                if !working.contains(&st) {
+                    working.insert(st.clone());
+                    inferred.insert(st);
+                    added += 1;
+                }
+            }
+            if added == 0 {
+                break;
+            }
+        }
+        inferred
+    }
+}
+
+/// A term or variable in a rule pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatternTerm {
+    /// A concrete term.
+    Term(Term),
+    /// A named variable (`?x`).
+    Var(String),
+}
+
+impl PatternTerm {
+    fn bind(&self, bindings: &HashMap<String, Term>) -> Option<Term> {
+        match self {
+            PatternTerm::Term(t) => Some(t.clone()),
+            PatternTerm::Var(v) => bindings.get(v).cloned(),
+        }
+    }
+}
+
+/// A triple pattern in a rule body or head.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TriplePattern {
+    /// Subject slot.
+    pub subject: PatternTerm,
+    /// Predicate slot.
+    pub predicate: PatternTerm,
+    /// Object slot.
+    pub object: PatternTerm,
+}
+
+impl TriplePattern {
+    /// Parses a single pattern from `(term term term)` syntax — the same
+    /// term grammar as rules (`?var`, IRIs, quoted strings, numbers,
+    /// booleans).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RdfError`] on malformed patterns.
+    pub fn parse(text: &str) -> Result<TriplePattern, RdfError> {
+        let patterns = parse_patterns(text)?;
+        match patterns.len() {
+            1 => Ok(patterns.into_iter().next().expect("len checked")),
+            n => Err(RdfError::new(format!("expected exactly one pattern, found {n}"))),
+        }
+    }
+
+    /// Matches this pattern against the graph under existing `bindings`,
+    /// returning the extended binding sets. Public so downstream layers
+    /// (the query engine, the weighted reasoner) can reuse the matcher.
+    pub fn solve_bindings(
+        &self,
+        graph: &Graph,
+        bindings: &HashMap<String, Term>,
+    ) -> Vec<HashMap<String, Term>> {
+        self.solve(graph, bindings)
+    }
+
+    /// Instantiates the pattern under complete bindings, if every slot is
+    /// bound and structurally valid.
+    pub fn instantiate_bindings(&self, bindings: &HashMap<String, Term>) -> Option<Statement> {
+        self.instantiate(bindings)
+    }
+
+    /// Matches this pattern against the graph under existing `bindings`,
+    /// returning the extended binding sets.
+    fn solve(&self, graph: &Graph, bindings: &HashMap<String, Term>) -> Vec<HashMap<String, Term>> {
+        let s = self.subject.bind(bindings);
+        let p = self.predicate.bind(bindings);
+        let o = self.object.bind(bindings);
+        graph
+            .match_pattern(s.as_ref(), p.as_ref(), o.as_ref())
+            .into_iter()
+            .filter_map(|st| {
+                let mut out = bindings.clone();
+                for (slot, term) in [
+                    (&self.subject, st.subject),
+                    (&self.predicate, st.predicate),
+                    (&self.object, st.object),
+                ] {
+                    if let PatternTerm::Var(v) = slot {
+                        match out.get(v) {
+                            Some(bound) if *bound != term => return None,
+                            Some(_) => {}
+                            None => {
+                                out.insert(v.clone(), term);
+                            }
+                        }
+                    }
+                }
+                Some(out)
+            })
+            .collect()
+    }
+
+    fn instantiate(&self, bindings: &HashMap<String, Term>) -> Option<Statement> {
+        let s = self.subject.bind(bindings)?;
+        let p = self.predicate.bind(bindings)?;
+        let o = self.object.bind(bindings)?;
+        if !s.is_resource() || !matches!(p, Term::Iri(_)) {
+            return None;
+        }
+        Some(Statement::new(s, p, o))
+    }
+}
+
+/// A user-defined rule: `premises → conclusions`.
+///
+/// Parsed from Jena-like syntax:
+///
+/// ```text
+/// [(?a ex:parent ?b), (?b ex:parent ?c) -> (?a ex:grandparent ?c)]
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Patterns that must all match.
+    pub premises: Vec<TriplePattern>,
+    /// Patterns asserted for each match.
+    pub conclusions: Vec<TriplePattern>,
+}
+
+impl Rule {
+    /// Parses a rule from the bracketed arrow syntax above. String
+    /// literals are written in double quotes; integers bare; variables as
+    /// `?name`; everything else is an IRI.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RdfError`] for syntax violations.
+    pub fn parse(text: &str) -> Result<Rule, RdfError> {
+        let inner = text
+            .trim()
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .ok_or_else(|| RdfError::new("rule must be enclosed in [ ]"))?;
+        let (body, head) = inner
+            .split_once("->")
+            .ok_or_else(|| RdfError::new("rule needs '->'"))?;
+        let premises = parse_patterns(body)?;
+        let conclusions = parse_patterns(head)?;
+        if premises.is_empty() || conclusions.is_empty() {
+            return Err(RdfError::new("rule needs at least one premise and one conclusion"));
+        }
+        // Head variables must be bound in the body (no free invention).
+        let bound: HashSet<&String> = premises
+            .iter()
+            .flat_map(|p| [&p.subject, &p.predicate, &p.object])
+            .filter_map(|t| match t {
+                PatternTerm::Var(v) => Some(v),
+                PatternTerm::Term(_) => None,
+            })
+            .collect();
+        for c in &conclusions {
+            for t in [&c.subject, &c.predicate, &c.object] {
+                if let PatternTerm::Var(v) = t {
+                    if !bound.contains(v) {
+                        return Err(RdfError::new(format!(
+                            "conclusion variable ?{v} is not bound by any premise"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(Rule {
+            premises,
+            conclusions,
+        })
+    }
+}
+
+fn parse_patterns(text: &str) -> Result<Vec<TriplePattern>, RdfError> {
+    let mut patterns = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let start = rest
+            .find('(')
+            .ok_or_else(|| RdfError::new("expected '('"))?;
+        let end = rest[start..]
+            .find(')')
+            .ok_or_else(|| RdfError::new("unclosed '('"))?
+            + start;
+        let inside = &rest[start + 1..end];
+        let parts = split_pattern_terms(inside)?;
+        if parts.len() != 3 {
+            return Err(RdfError::new(format!(
+                "pattern needs exactly 3 terms, got {}: ({inside})",
+                parts.len()
+            )));
+        }
+        patterns.push(TriplePattern {
+            subject: parts[0].clone(),
+            predicate: parts[1].clone(),
+            object: parts[2].clone(),
+        });
+        rest = rest[end + 1..].trim_start_matches([',', ' ', '\n', '\t']);
+    }
+    Ok(patterns)
+}
+
+fn split_pattern_terms(inside: &str) -> Result<Vec<PatternTerm>, RdfError> {
+    let mut out = Vec::new();
+    let mut chars = inside.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        if c == '"' {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => break,
+                    Some(ch) => s.push(ch),
+                    None => return Err(RdfError::new("unterminated string literal")),
+                }
+            }
+            out.push(PatternTerm::Term(Term::string(s)));
+            continue;
+        }
+        let mut word = String::new();
+        while let Some(&ch) = chars.peek() {
+            if ch.is_whitespace() {
+                break;
+            }
+            word.push(ch);
+            chars.next();
+        }
+        out.push(parse_word(&word)?);
+    }
+    Ok(out)
+}
+
+fn parse_word(word: &str) -> Result<PatternTerm, RdfError> {
+    if let Some(var) = word.strip_prefix('?') {
+        if var.is_empty() {
+            return Err(RdfError::new("empty variable name"));
+        }
+        return Ok(PatternTerm::Var(var.to_string()));
+    }
+    if let Ok(i) = word.parse::<i64>() {
+        return Ok(PatternTerm::Term(Term::integer(i)));
+    }
+    if let Ok(f) = word.parse::<f64>() {
+        return Ok(PatternTerm::Term(Term::double(f)));
+    }
+    if word == "true" || word == "false" {
+        return Ok(PatternTerm::Term(Term::boolean(word == "true")));
+    }
+    Ok(PatternTerm::Term(Term::iri(word)))
+}
+
+/// The generic rule reasoner.
+#[derive(Debug, Clone, Default)]
+pub struct GenericRuleReasoner {
+    rules: Vec<Rule>,
+}
+
+impl GenericRuleReasoner {
+    /// Creates a reasoner over explicit rules.
+    pub fn new(rules: Vec<Rule>) -> GenericRuleReasoner {
+        GenericRuleReasoner { rules }
+    }
+
+    /// Parses one rule per non-empty, non-`#` line of `text`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse error, tagged with its line number.
+    pub fn from_rules_text(text: &str) -> Result<GenericRuleReasoner, RdfError> {
+        let mut rules = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let rule = Rule::parse(line)
+                .map_err(|e| RdfError::new(format!("line {}: {e}", lineno + 1)))?;
+            rules.push(rule);
+        }
+        Ok(GenericRuleReasoner { rules })
+    }
+
+    /// The rules in use.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Forward chaining to fixpoint: returns only the newly inferred
+    /// statements.
+    pub fn infer(&self, graph: &Graph) -> Graph {
+        let mut working = graph.clone();
+        let mut inferred = Graph::new();
+        loop {
+            let mut added = 0usize;
+            for rule in &self.rules {
+                let mut bindings = vec![HashMap::new()];
+                for premise in &rule.premises {
+                    let mut next = Vec::new();
+                    for b in &bindings {
+                        next.extend(premise.solve(&working, b));
+                    }
+                    bindings = next;
+                    if bindings.is_empty() {
+                        break;
+                    }
+                }
+                for b in &bindings {
+                    for conclusion in &rule.conclusions {
+                        if let Some(st) = conclusion.instantiate(b) {
+                            if !working.contains(&st) {
+                                working.insert(st.clone());
+                                inferred.insert(st);
+                                added += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if added == 0 {
+                break;
+            }
+        }
+        inferred
+    }
+
+    /// Backward chaining: proves whether `goal` (a possibly-variable
+    /// pattern) holds, returning all binding solutions. Memoizes goals to
+    /// terminate on recursive rule sets ("tabled" in Jena's terminology).
+    pub fn prove(
+        &self,
+        graph: &Graph,
+        goal: &TriplePattern,
+        max_depth: usize,
+    ) -> Vec<HashMap<String, Term>> {
+        let mut visited = HashSet::new();
+        self.prove_inner(graph, goal, &HashMap::new(), max_depth, &mut visited)
+    }
+
+    fn prove_inner(
+        &self,
+        graph: &Graph,
+        goal: &TriplePattern,
+        bindings: &HashMap<String, Term>,
+        depth: usize,
+        visited: &mut HashSet<String>,
+    ) -> Vec<HashMap<String, Term>> {
+        // Ground facts first.
+        let mut solutions = goal.solve(graph, bindings);
+        if depth == 0 {
+            return solutions;
+        }
+        // Table the goal to cut cycles (by its bound shape).
+        let key = format!(
+            "{:?}|{:?}|{:?}",
+            goal.subject.bind(bindings),
+            goal.predicate.bind(bindings),
+            goal.object.bind(bindings)
+        );
+        if !visited.insert(key.clone()) {
+            return solutions;
+        }
+        for rule in &self.rules {
+            for conclusion in &rule.conclusions {
+                // Unify the goal with this conclusion via a fresh renaming.
+                let Some(unifier) = unify_goal(goal, conclusion, bindings) else {
+                    continue;
+                };
+                // Prove all premises under the unifier. Premises run in
+                // the renamed rule namespace so rule variables never
+                // collide with goal variables.
+                let mut partials = vec![unifier];
+                for premise in &rule.premises {
+                    let premise = premise.renamed();
+                    let mut next = Vec::new();
+                    for b in &partials {
+                        next.extend(self.prove_inner(graph, &premise, b, depth - 1, visited));
+                    }
+                    partials = next;
+                    if partials.is_empty() {
+                        break;
+                    }
+                }
+                // Project rule-internal bindings back onto goal variables.
+                for b in partials {
+                    let mut out = bindings.clone();
+                    let mut ok = true;
+                    for (slot_goal, slot_rule) in [
+                        (&goal.subject, &conclusion.subject),
+                        (&goal.predicate, &conclusion.predicate),
+                        (&goal.object, &conclusion.object),
+                    ] {
+                        if let PatternTerm::Var(gv) = slot_goal {
+                            let value = match slot_rule {
+                                PatternTerm::Term(t) => Some(t.clone()),
+                                PatternTerm::Var(rv) => b.get(&renamed(rv)).cloned(),
+                            };
+                            match value {
+                                Some(v) => match out.get(gv) {
+                                    Some(prev) if *prev != v => {
+                                        ok = false;
+                                        break;
+                                    }
+                                    _ => {
+                                        out.insert(gv.clone(), v);
+                                    }
+                                },
+                                None => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if ok {
+                        solutions.push(out);
+                    }
+                }
+            }
+        }
+        visited.remove(&key);
+        dedup_bindings(solutions)
+    }
+}
+
+/// Renames a rule variable into a reserved namespace so rule-internal
+/// variables never collide with goal variables.
+fn renamed(var: &str) -> String {
+    format!("__rule_{var}")
+}
+
+/// Unifies a goal pattern with a rule conclusion, producing initial
+/// bindings for the rule body (over renamed rule variables).
+fn unify_goal(
+    goal: &TriplePattern,
+    conclusion: &TriplePattern,
+    goal_bindings: &HashMap<String, Term>,
+) -> Option<HashMap<String, Term>> {
+    let mut out: HashMap<String, Term> = HashMap::new();
+    for (g, c) in [
+        (&goal.subject, &conclusion.subject),
+        (&goal.predicate, &conclusion.predicate),
+        (&goal.object, &conclusion.object),
+    ] {
+        let goal_value = match g {
+            PatternTerm::Term(t) => Some(t.clone()),
+            PatternTerm::Var(v) => goal_bindings.get(v).cloned(),
+        };
+        match (goal_value, c) {
+            (Some(gv), PatternTerm::Term(ct)) => {
+                if gv != *ct {
+                    return None;
+                }
+            }
+            (Some(gv), PatternTerm::Var(cv)) => {
+                let key = renamed(cv);
+                match out.get(&key) {
+                    Some(prev) if *prev != gv => return None,
+                    _ => {
+                        out.insert(key, gv);
+                    }
+                }
+            }
+            (None, _) => {
+                // Goal slot unbound: no constraint flows into the rule.
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Rule bodies run over renamed variables; premises must see them. A
+/// premise pattern's variables are renamed on the fly by wrapping solve:
+/// we achieve this by renaming in `prove_inner` via pattern rewriting.
+impl TriplePattern {
+    /// Returns a copy with all variables renamed into the rule namespace.
+    pub(crate) fn renamed(&self) -> TriplePattern {
+        let map = |t: &PatternTerm| match t {
+            PatternTerm::Var(v) => PatternTerm::Var(renamed(v)),
+            PatternTerm::Term(t) => PatternTerm::Term(t.clone()),
+        };
+        TriplePattern {
+            subject: map(&self.subject),
+            predicate: map(&self.predicate),
+            object: map(&self.object),
+        }
+    }
+}
+
+fn dedup_bindings(mut v: Vec<HashMap<String, Term>>) -> Vec<HashMap<String, Term>> {
+    let mut seen = HashSet::new();
+    v.retain(|b| {
+        let mut items: Vec<(String, String)> = b
+            .iter()
+            .map(|(k, t)| (k.clone(), format!("{t}")))
+            .collect();
+        items.sort();
+        seen.insert(format!("{items:?}"))
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+
+    fn st(s: &str, p: &str, o: &str) -> Statement {
+        Statement::new(iri(s), iri(p), iri(o))
+    }
+
+    #[test]
+    fn transitive_closure_over_chain() {
+        let mut g = Graph::new();
+        g.insert(st("a", "sub", "b"));
+        g.insert(st("b", "sub", "c"));
+        g.insert(st("c", "sub", "d"));
+        let inferred = TransitiveReasoner::new(vec![iri("sub")]).infer(&g);
+        assert_eq!(inferred.len(), 3); // a->c, a->d, b->d
+        assert!(inferred.contains(&st("a", "sub", "d")));
+        assert!(!inferred.contains(&st("a", "sub", "b")), "already stated");
+    }
+
+    #[test]
+    fn transitive_closure_handles_cycles() {
+        let mut g = Graph::new();
+        g.insert(st("a", "sub", "b"));
+        g.insert(st("b", "sub", "a"));
+        let inferred = TransitiveReasoner::new(vec![iri("sub")]).infer(&g);
+        // No self-loops emitted, nothing new beyond the cycle itself.
+        assert!(inferred.is_empty(), "{inferred:?}");
+    }
+
+    #[test]
+    fn rdfs_subclass_instance_inheritance() {
+        let mut g = Graph::new();
+        g.insert(st("ex:cat", vocab::SUB_CLASS_OF, "ex:mammal"));
+        g.insert(st("ex:mammal", vocab::SUB_CLASS_OF, "ex:animal"));
+        g.insert(st("ex:tom", vocab::TYPE, "ex:cat"));
+        let inferred = RdfsReasoner::new().infer(&g);
+        assert!(inferred.contains(&st("ex:tom", vocab::TYPE, "ex:mammal")));
+        assert!(inferred.contains(&st("ex:tom", vocab::TYPE, "ex:animal")));
+        assert!(inferred.contains(&st("ex:cat", vocab::SUB_CLASS_OF, "ex:animal")));
+    }
+
+    #[test]
+    fn rdfs_domain_and_range() {
+        let mut g = Graph::new();
+        g.insert(st("ex:employs", vocab::DOMAIN, "ex:Company"));
+        g.insert(st("ex:employs", vocab::RANGE, "ex:Person"));
+        g.insert(st("ex:ibm", "ex:employs", "ex:alice"));
+        let inferred = RdfsReasoner::new().infer(&g);
+        assert!(inferred.contains(&st("ex:ibm", vocab::TYPE, "ex:Company")));
+        assert!(inferred.contains(&st("ex:alice", vocab::TYPE, "ex:Person")));
+    }
+
+    #[test]
+    fn rdfs_subproperty_inheritance() {
+        let mut g = Graph::new();
+        g.insert(st("ex:hasCEO", vocab::SUB_PROPERTY_OF, "ex:hasEmployee"));
+        g.insert(st("ex:ibm", "ex:hasCEO", "ex:arvind"));
+        let inferred = RdfsReasoner::new().infer(&g);
+        assert!(inferred.contains(&st("ex:ibm", "ex:hasEmployee", "ex:arvind")));
+    }
+
+    #[test]
+    fn rdfs_rules_cascade_to_fixpoint() {
+        // subPropertyOf feeds domain: needs two iterations.
+        let mut g = Graph::new();
+        g.insert(st("ex:p", vocab::SUB_PROPERTY_OF, "ex:q"));
+        g.insert(st("ex:q", vocab::DOMAIN, "ex:C"));
+        g.insert(st("ex:s", "ex:p", "ex:o"));
+        let inferred = RdfsReasoner::new().infer(&g);
+        assert!(inferred.contains(&st("ex:s", "ex:q", "ex:o")));
+        assert!(inferred.contains(&st("ex:s", vocab::TYPE, "ex:C")));
+    }
+
+    #[test]
+    fn rule_parsing_round_trip() {
+        let rule =
+            Rule::parse("[(?a ex:parent ?b), (?b ex:parent ?c) -> (?a ex:grandparent ?c)]")
+                .unwrap();
+        assert_eq!(rule.premises.len(), 2);
+        assert_eq!(rule.conclusions.len(), 1);
+        assert_eq!(
+            rule.conclusions[0].predicate,
+            PatternTerm::Term(iri("ex:grandparent"))
+        );
+    }
+
+    #[test]
+    fn rule_parsing_literals() {
+        let rule = Rule::parse("[(?x ex:age 42) -> (?x ex:label \"answer\")]").unwrap();
+        assert_eq!(
+            rule.premises[0].object,
+            PatternTerm::Term(Term::integer(42))
+        );
+        assert_eq!(
+            rule.conclusions[0].object,
+            PatternTerm::Term(Term::string("answer"))
+        );
+    }
+
+    #[test]
+    fn rule_parsing_errors() {
+        assert!(Rule::parse("no brackets").is_err());
+        assert!(Rule::parse("[(?a p ?b)]").is_err()); // no arrow
+        assert!(Rule::parse("[(?a p) -> (?a q ?b)]").is_err()); // arity
+        assert!(Rule::parse("[(?a p ?b) -> (?a q ?c)]").is_err()); // unbound head var
+        assert!(Rule::parse("[ -> (?a q ?b)]").is_err()); // empty body
+    }
+
+    #[test]
+    fn forward_chaining_grandparents() {
+        let mut g = Graph::new();
+        g.insert(st("alice", "parent", "bob"));
+        g.insert(st("bob", "parent", "carol"));
+        g.insert(st("carol", "parent", "dave"));
+        let r = GenericRuleReasoner::from_rules_text(
+            "# family rules\n[(?a parent ?b), (?b parent ?c) -> (?a grandparent ?c)]\n",
+        )
+        .unwrap();
+        let inferred = r.infer(&g);
+        assert!(inferred.contains(&st("alice", "grandparent", "carol")));
+        assert!(inferred.contains(&st("bob", "grandparent", "dave")));
+        assert_eq!(inferred.len(), 2);
+    }
+
+    #[test]
+    fn forward_chaining_recursive_ancestor_terminates() {
+        let mut g = Graph::new();
+        g.insert(st("a", "parent", "b"));
+        g.insert(st("b", "parent", "c"));
+        g.insert(st("c", "parent", "d"));
+        let r = GenericRuleReasoner::from_rules_text(
+            "[(?x parent ?y) -> (?x ancestor ?y)]\n\
+             [(?x parent ?y), (?y ancestor ?z) -> (?x ancestor ?z)]",
+        )
+        .unwrap();
+        let inferred = r.infer(&g);
+        // ancestor: a-b,a-c,a-d,b-c,b-d,c-d = 6
+        assert_eq!(
+            inferred
+                .match_pattern(None, Some(&iri("ancestor")), None)
+                .len(),
+            6
+        );
+    }
+
+    #[test]
+    fn forward_chaining_multiple_conclusions() {
+        let mut g = Graph::new();
+        g.insert(st("x", "is", "bird"));
+        let r = GenericRuleReasoner::from_rules_text(
+            "[(?a is bird) -> (?a can fly), (?a has feathers)]",
+        )
+        .unwrap();
+        let inferred = r.infer(&g);
+        assert!(inferred.contains(&st("x", "can", "fly")));
+        assert!(inferred.contains(&st("x", "has", "feathers")));
+    }
+
+    #[test]
+    fn backward_chaining_proves_derived_facts() {
+        let mut g = Graph::new();
+        g.insert(st("alice", "parent", "bob"));
+        g.insert(st("bob", "parent", "carol"));
+        let r = GenericRuleReasoner::from_rules_text(
+            "[(?a parent ?b), (?b parent ?c) -> (?a grandparent ?c)]",
+        )
+        .unwrap();
+        // Rename body premises into the rule namespace for proving.
+        let goal = TriplePattern {
+            subject: PatternTerm::Var("who".into()),
+            predicate: PatternTerm::Term(iri("grandparent")),
+            object: PatternTerm::Term(iri("carol")),
+        };
+        let solutions = r.prove(&g, &goal, 4);
+        assert!(
+            solutions
+                .iter()
+                .any(|b| b.get("who") == Some(&iri("alice"))),
+            "{solutions:?}"
+        );
+    }
+
+    #[test]
+    fn backward_chaining_ground_fact() {
+        let mut g = Graph::new();
+        g.insert(st("a", "p", "b"));
+        let r = GenericRuleReasoner::new(vec![]);
+        let goal = TriplePattern {
+            subject: PatternTerm::Term(iri("a")),
+            predicate: PatternTerm::Term(iri("p")),
+            object: PatternTerm::Term(iri("b")),
+        };
+        assert_eq!(r.prove(&g, &goal, 3).len(), 1);
+        let goal_missing = TriplePattern {
+            subject: PatternTerm::Term(iri("a")),
+            predicate: PatternTerm::Term(iri("p")),
+            object: PatternTerm::Term(iri("zzz")),
+        };
+        assert!(r.prove(&g, &goal_missing, 3).is_empty());
+    }
+
+    #[test]
+    fn backward_chaining_recursive_rules_terminate() {
+        let mut g = Graph::new();
+        g.insert(st("a", "parent", "b"));
+        g.insert(st("b", "parent", "c"));
+        let r = GenericRuleReasoner::from_rules_text(
+            "[(?x parent ?y) -> (?x ancestor ?y)]\n\
+             [(?x parent ?y), (?y ancestor ?z) -> (?x ancestor ?z)]",
+        )
+        .unwrap();
+        let goal = TriplePattern {
+            subject: PatternTerm::Term(iri("a")),
+            predicate: PatternTerm::Term(iri("ancestor")),
+            object: PatternTerm::Var("z".into()),
+        };
+        let solutions = r.prove(&g, &goal, 8);
+        let zs: HashSet<&Term> = solutions.iter().filter_map(|b| b.get("z")).collect();
+        assert!(zs.contains(&iri("b")), "{solutions:?}");
+        assert!(zs.contains(&iri("c")), "{solutions:?}");
+    }
+}

@@ -1,0 +1,343 @@
+//! Confidence-weighted facts and inference — the paper's stated future
+//! work, implemented.
+//!
+//! §5: "We would like ways of determining accuracy levels of data stored
+//! within the personalized knowledge base, using these accuracy levels
+//! during the process of inferring new facts, and assigning accuracy
+//! levels to newly inferred facts."
+//!
+//! [`WeightedGraph`] attaches a confidence in `[0, 1]` to statements
+//! (unannotated statements default to 1.0 — plainly asserted facts).
+//! [`WeightedReasoner`] forward-chains user rules where each conclusion's
+//! confidence is `rule_strength × min(premise confidences)` (Gödel
+//! t-norm: a chain of inferences is only as strong as its weakest link),
+//! and re-derivations keep the **maximum** confidence over derivations.
+
+use crate::graph::Graph;
+use crate::model::Statement;
+use crate::reason::{GenericRuleReasoner, Rule};
+use crate::RdfError;
+use std::collections::HashMap;
+
+/// A graph whose statements carry confidence levels.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_rdf::weighted::WeightedGraph;
+/// use cogsdk_rdf::{Statement, Term};
+///
+/// let mut wg = WeightedGraph::new();
+/// let st = Statement::new(Term::iri("a"), Term::iri("p"), Term::iri("b"));
+/// wg.insert_with_confidence(st.clone(), 0.8);
+/// assert_eq!(wg.confidence(&st), Some(0.8));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WeightedGraph {
+    graph: Graph,
+    /// Overrides; statements in `graph` but absent here have confidence 1.
+    confidence: HashMap<Statement, f64>,
+}
+
+impl WeightedGraph {
+    /// Creates an empty weighted graph.
+    pub fn new() -> WeightedGraph {
+        WeightedGraph::default()
+    }
+
+    /// Wraps an existing graph; every statement starts at confidence 1.0.
+    pub fn from_graph(graph: Graph) -> WeightedGraph {
+        WeightedGraph {
+            graph,
+            confidence: HashMap::new(),
+        }
+    }
+
+    /// The underlying graph (for querying and plain reasoning).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Inserts a fully trusted statement (confidence 1.0).
+    pub fn insert(&mut self, st: Statement) -> bool {
+        self.confidence.remove(&st);
+        self.graph.insert(st)
+    }
+
+    /// Inserts a statement with an explicit confidence. Re-inserting
+    /// keeps the **higher** confidence (corroboration never lowers
+    /// trust).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is outside `[0, 1]`.
+    pub fn insert_with_confidence(&mut self, st: Statement, confidence: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&confidence),
+            "confidence must be in [0, 1]"
+        );
+        let added = self.graph.insert(st.clone());
+        let entry = self.confidence.entry(st).or_insert(confidence);
+        *entry = entry.max(confidence);
+        added
+    }
+
+    /// The confidence of a statement: `None` if absent, `Some(1.0)` for
+    /// plain assertions, the recorded value otherwise.
+    pub fn confidence(&self, st: &Statement) -> Option<f64> {
+        if !self.graph.contains(st) {
+            return None;
+        }
+        Some(self.confidence.get(st).copied().unwrap_or(1.0))
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// All statements below the given confidence threshold — the
+    /// review queue for weakly supported knowledge.
+    pub fn below_confidence(&self, threshold: f64) -> Vec<(Statement, f64)> {
+        let mut out: Vec<(Statement, f64)> = self
+            .graph
+            .iter()
+            .filter_map(|st| {
+                let c = self.confidence(&st)?;
+                (c < threshold).then_some((st, c))
+            })
+            .collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
+        out
+    }
+}
+
+/// Forward-chaining inference with confidence propagation.
+#[derive(Debug, Clone)]
+pub struct WeightedReasoner {
+    rules: Vec<Rule>,
+    rule_strength: f64,
+}
+
+impl WeightedReasoner {
+    /// Creates a reasoner from parsed rules with a uniform rule strength
+    /// in `(0, 1]` (how much an inference step itself dilutes trust).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rule_strength` is outside `(0, 1]`.
+    pub fn new(rules: Vec<Rule>, rule_strength: f64) -> WeightedReasoner {
+        assert!(
+            rule_strength > 0.0 && rule_strength <= 1.0,
+            "rule strength must be in (0, 1]"
+        );
+        WeightedReasoner {
+            rules,
+            rule_strength,
+        }
+    }
+
+    /// Parses Jena-like rule text (one rule per line).
+    ///
+    /// # Errors
+    ///
+    /// Propagates rule parse errors.
+    pub fn from_rules_text(text: &str, rule_strength: f64) -> Result<WeightedReasoner, RdfError> {
+        let parsed = GenericRuleReasoner::from_rules_text(text)?;
+        Ok(WeightedReasoner::new(parsed.rules().to_vec(), rule_strength))
+    }
+
+    /// Runs to fixpoint over `wg`, inserting inferred statements with
+    /// propagated confidence. Returns the newly added statements with
+    /// their confidences (statements whose confidence merely *improved*
+    /// are not re-reported).
+    pub fn infer(&self, wg: &mut WeightedGraph) -> Vec<(Statement, f64)> {
+        let mut added = Vec::new();
+        loop {
+            let mut progress = false;
+            for rule in &self.rules {
+                // Enumerate premise bindings, tracking the weakest premise
+                // confidence along every binding path.
+                let mut paths: Vec<(HashMap<String, crate::Term>, f64)> =
+                    vec![(HashMap::new(), 1.0)];
+                for premise in &rule.premises {
+                    let mut next = Vec::new();
+                    for (bindings, strength) in &paths {
+                        for extended in premise.solve_bindings(wg.graph(), bindings) {
+                            // The matched premise instance's confidence.
+                            let premise_conf = premise
+                                .instantiate_bindings(&extended)
+                                .and_then(|st| wg.confidence(&st))
+                                .unwrap_or(1.0);
+                            next.push((extended, strength.min(premise_conf)));
+                        }
+                    }
+                    paths = next;
+                    if paths.is_empty() {
+                        break;
+                    }
+                }
+                for (bindings, strength) in paths {
+                    for conclusion in &rule.conclusions {
+                        let Some(st) = conclusion.instantiate_bindings(&bindings) else {
+                            continue;
+                        };
+                        let new_conf = (self.rule_strength * strength).clamp(0.0, 1.0);
+                        match wg.confidence(&st) {
+                            None => {
+                                wg.insert_with_confidence(st.clone(), new_conf);
+                                added.push((st, new_conf));
+                                progress = true;
+                            }
+                            Some(existing) if new_conf > existing + 1e-12 => {
+                                wg.insert_with_confidence(st, new_conf);
+                                // Improved confidence can strengthen
+                                // downstream chains: keep iterating.
+                                progress = true;
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                }
+            }
+            if !progress {
+                return added;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Term;
+
+    fn st(s: &str, p: &str, o: &str) -> Statement {
+        Statement::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    #[test]
+    fn confidence_defaults_and_overrides() {
+        let mut wg = WeightedGraph::new();
+        wg.insert(st("a", "p", "b"));
+        wg.insert_with_confidence(st("c", "p", "d"), 0.6);
+        assert_eq!(wg.confidence(&st("a", "p", "b")), Some(1.0));
+        assert_eq!(wg.confidence(&st("c", "p", "d")), Some(0.6));
+        assert_eq!(wg.confidence(&st("x", "p", "y")), None);
+        assert_eq!(wg.len(), 2);
+    }
+
+    #[test]
+    fn corroboration_keeps_higher_confidence() {
+        let mut wg = WeightedGraph::new();
+        wg.insert_with_confidence(st("a", "p", "b"), 0.5);
+        wg.insert_with_confidence(st("a", "p", "b"), 0.9);
+        wg.insert_with_confidence(st("a", "p", "b"), 0.3);
+        assert_eq!(wg.confidence(&st("a", "p", "b")), Some(0.9));
+        // A plain assertion restores full trust.
+        wg.insert(st("a", "p", "b"));
+        assert_eq!(wg.confidence(&st("a", "p", "b")), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn out_of_range_confidence_rejected() {
+        WeightedGraph::new().insert_with_confidence(st("a", "p", "b"), 1.5);
+    }
+
+    #[test]
+    fn inference_propagates_weakest_link() {
+        let mut wg = WeightedGraph::new();
+        wg.insert_with_confidence(st("alice", "parent", "bob"), 0.9);
+        wg.insert_with_confidence(st("bob", "parent", "carol"), 0.6);
+        let reasoner = WeightedReasoner::from_rules_text(
+            "[(?a parent ?b), (?b parent ?c) -> (?a grandparent ?c)]",
+            1.0,
+        )
+        .unwrap();
+        let added = reasoner.infer(&mut wg);
+        assert_eq!(added.len(), 1);
+        let (fact, conf) = &added[0];
+        assert_eq!(*fact, st("alice", "grandparent", "carol"));
+        assert!((conf - 0.6).abs() < 1e-12, "min(0.9, 0.6) = 0.6, got {conf}");
+    }
+
+    #[test]
+    fn rule_strength_dilutes_chained_inference() {
+        // ancestor chains: each hop multiplies by rule strength.
+        let mut wg = WeightedGraph::new();
+        wg.insert_with_confidence(st("a", "parent", "b"), 1.0);
+        wg.insert_with_confidence(st("b", "parent", "c"), 1.0);
+        wg.insert_with_confidence(st("c", "parent", "d"), 1.0);
+        let reasoner = WeightedReasoner::from_rules_text(
+            "[(?x parent ?y) -> (?x ancestor ?y)]\n\
+             [(?x parent ?y), (?y ancestor ?z) -> (?x ancestor ?z)]",
+            0.9,
+        )
+        .unwrap();
+        reasoner.infer(&mut wg);
+        // a ancestor b: one rule application → 0.9.
+        assert!((wg.confidence(&st("a", "ancestor", "b")).unwrap() - 0.9).abs() < 1e-9);
+        // a ancestor c: parent(a,b) + ancestor(b,c)@0.9 → 0.9 * 0.9.
+        assert!((wg.confidence(&st("a", "ancestor", "c")).unwrap() - 0.81).abs() < 1e-9);
+        // a ancestor d: three hops → 0.9^3.
+        assert!((wg.confidence(&st("a", "ancestor", "d")).unwrap() - 0.729).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rederivation_keeps_best_confidence() {
+        // Two derivation paths with different strengths: the stronger
+        // one must win.
+        let mut wg = WeightedGraph::new();
+        wg.insert_with_confidence(st("x", "weak_sign", "y"), 0.3);
+        wg.insert_with_confidence(st("x", "strong_sign", "y"), 0.95);
+        let reasoner = WeightedReasoner::from_rules_text(
+            "[(?a weak_sign ?b) -> (?a linked ?b)]\n\
+             [(?a strong_sign ?b) -> (?a linked ?b)]",
+            1.0,
+        )
+        .unwrap();
+        let added = reasoner.infer(&mut wg);
+        assert_eq!(added.len(), 1, "one new statement, two derivations");
+        assert!((wg.confidence(&st("x", "linked", "y")).unwrap() - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn below_confidence_surfaces_weak_facts_sorted() {
+        let mut wg = WeightedGraph::new();
+        wg.insert(st("a", "p", "b"));
+        wg.insert_with_confidence(st("c", "p", "d"), 0.4);
+        wg.insert_with_confidence(st("e", "p", "f"), 0.2);
+        let weak = wg.below_confidence(0.5);
+        assert_eq!(weak.len(), 2);
+        assert_eq!(weak[0].0, st("e", "p", "f"));
+        assert_eq!(weak[1].0, st("c", "p", "d"));
+    }
+
+    #[test]
+    fn inference_terminates_on_cyclic_rules() {
+        let mut wg = WeightedGraph::new();
+        wg.insert_with_confidence(st("a", "knows", "b"), 0.8);
+        wg.insert_with_confidence(st("b", "knows", "a"), 0.8);
+        let reasoner = WeightedReasoner::from_rules_text(
+            "[(?x knows ?y) -> (?y knows ?x)]",
+            0.9,
+        )
+        .unwrap();
+        let added = reasoner.infer(&mut wg);
+        // Both facts already exist with higher confidence than any
+        // derivation could produce: nothing to add, no infinite loop.
+        assert!(added.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rule strength")]
+    fn zero_rule_strength_rejected() {
+        let _ = WeightedReasoner::new(vec![], 0.0);
+    }
+}

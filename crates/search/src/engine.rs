@@ -1,0 +1,250 @@
+//! Ranked retrieval: two genuinely different search engines.
+//!
+//! The paper lets applications pick among "a variety of search engines"
+//! (§2.2). Two rankers over the same corpus produce different orderings —
+//! exactly the situation in which the SDK's quality evaluation and service
+//! ranking become meaningful.
+
+use crate::index::SearchIndex;
+use std::sync::Arc;
+
+/// Which ranking function an engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankerKind {
+    /// Okapi BM25 (k1 = 1.2, b = 0.75).
+    Bm25,
+    /// TF-IDF with cosine-style length normalization.
+    TfIdf,
+}
+
+/// One search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Document id in the backing index.
+    pub doc_id: usize,
+    /// The document URL.
+    pub url: String,
+    /// The document title.
+    pub title: String,
+    /// A snippet (title, truncated).
+    pub snippet: String,
+    /// Ranking score (engine-specific scale).
+    pub score: f64,
+}
+
+/// A search engine: a ranker over a shared index.
+#[derive(Debug, Clone)]
+pub struct SearchEngine {
+    name: String,
+    ranker: RankerKind,
+    index: Arc<SearchIndex>,
+}
+
+impl SearchEngine {
+    /// Creates an engine with a name (used as its service identity).
+    pub fn new(name: impl Into<String>, ranker: RankerKind, index: Arc<SearchIndex>) -> SearchEngine {
+        SearchEngine {
+            name: name.into(),
+            ranker,
+            index,
+        }
+    }
+
+    /// The engine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ranker in use.
+    pub fn ranker(&self) -> RankerKind {
+        self.ranker
+    }
+
+    /// The backing index.
+    pub fn index(&self) -> &Arc<SearchIndex> {
+        &self.index
+    }
+
+    /// Searches the whole corpus.
+    pub fn search(&self, query: &str, limit: usize) -> Vec<SearchHit> {
+        self.search_filtered(query, limit, |_| true)
+    }
+
+    /// Searches news stories only, boosting recent documents — the
+    /// paper's "searches can also be restricted to news stories".
+    pub fn search_news(&self, query: &str, limit: usize) -> Vec<SearchHit> {
+        let mut hits = self.scored(query, |d| d);
+        // Recency boost: newer stories (higher day) score higher.
+        for h in &mut hits {
+            let doc = &self.index.doc(h.doc_id).doc;
+            if !doc.is_news {
+                h.score = f64::NEG_INFINITY;
+            } else {
+                h.score *= 1.0 + doc.day as f64 / 365.0;
+            }
+        }
+        hits.retain(|h| h.score.is_finite());
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc_id.cmp(&b.doc_id)));
+        hits.truncate(limit);
+        hits
+    }
+
+    fn search_filtered(
+        &self,
+        query: &str,
+        limit: usize,
+        keep: impl Fn(usize) -> bool,
+    ) -> Vec<SearchHit> {
+        let mut hits = self.scored(query, |d| d);
+        hits.retain(|h| keep(h.doc_id));
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc_id.cmp(&b.doc_id)));
+        hits.truncate(limit);
+        hits
+    }
+
+    fn scored(&self, query: &str, _f: impl Fn(usize) -> usize) -> Vec<SearchHit> {
+        let terms = SearchIndex::query_terms(query);
+        if terms.is_empty() || self.index.is_empty() {
+            return Vec::new();
+        }
+        let n = self.index.len() as f64;
+        let avgdl = self.index.avg_doc_length();
+        let mut scores: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        for term in &terms {
+            let postings = self.index.postings(term);
+            if postings.is_empty() {
+                continue;
+            }
+            let df = postings.len() as f64;
+            match self.ranker {
+                RankerKind::Bm25 => {
+                    let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+                    const K1: f64 = 1.2;
+                    const B: f64 = 0.75;
+                    for p in postings {
+                        let dl = self.index.doc(p.doc).length as f64;
+                        let tf = p.tf as f64;
+                        let s = idf * tf * (K1 + 1.0) / (tf + K1 * (1.0 - B + B * dl / avgdl));
+                        *scores.entry(p.doc).or_insert(0.0) += s;
+                    }
+                }
+                RankerKind::TfIdf => {
+                    let idf = (n / df).ln() + 1.0;
+                    for p in postings {
+                        let dl = self.index.doc(p.doc).length as f64;
+                        let tf = 1.0 + (p.tf as f64).ln();
+                        *scores.entry(p.doc).or_insert(0.0) += tf * idf / dl.sqrt();
+                    }
+                }
+            }
+        }
+        scores
+            .into_iter()
+            .map(|(doc_id, score)| {
+                let d = &self.index.doc(doc_id).doc;
+                let snippet: String = d.title.chars().take(80).collect();
+                SearchHit {
+                    doc_id,
+                    url: d.url.clone(),
+                    title: d.title.clone(),
+                    snippet,
+                    score,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsdk_text::corpus::GeneratedDoc;
+
+    fn mkdoc(id: usize, title: &str, body: &str, is_news: bool, day: u32) -> GeneratedDoc {
+        GeneratedDoc {
+            id,
+            title: title.to_string(),
+            url: format!("https://t.example/{id}"),
+            body: body.to_string(),
+            topic: "technology".into(),
+            is_news,
+            day,
+            slant: 0.0,
+            planted_entities: vec![],
+        }
+    }
+
+    fn small_index() -> Arc<SearchIndex> {
+        let mut idx = SearchIndex::new();
+        idx.add(mkdoc(0, "solar energy boom", "solar solar panels energy growth", false, 10));
+        idx.add(mkdoc(1, "wind power", "wind turbines energy energy", true, 100));
+        idx.add(mkdoc(2, "solar news", "solar market update", true, 300));
+        idx.add(mkdoc(3, "cooking recipes", "pasta tomato basil", false, 50));
+        Arc::new(idx)
+    }
+
+    #[test]
+    fn relevant_documents_rank_above_irrelevant() {
+        let e = SearchEngine::new("t", RankerKind::Bm25, small_index());
+        let hits = e.search("solar energy", 10);
+        assert_eq!(hits[0].doc_id, 0);
+        assert!(hits.iter().all(|h| h.doc_id != 3));
+    }
+
+    #[test]
+    fn results_sorted_descending_with_stable_ties() {
+        for ranker in [RankerKind::Bm25, RankerKind::TfIdf] {
+            let e = SearchEngine::new("t", ranker, small_index());
+            let hits = e.search("energy", 10);
+            assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+        }
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let e = SearchEngine::new("t", RankerKind::Bm25, small_index());
+        assert_eq!(e.search("solar energy wind", 2).len(), 2);
+    }
+
+    #[test]
+    fn empty_query_and_unknown_terms() {
+        let e = SearchEngine::new("t", RankerKind::Bm25, small_index());
+        assert!(e.search("", 5).is_empty());
+        assert!(e.search("zebra quark", 5).is_empty());
+    }
+
+    #[test]
+    fn news_search_filters_and_boosts_recent() {
+        let e = SearchEngine::new("t", RankerKind::Bm25, small_index());
+        let hits = e.search_news("solar energy", 10);
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| [1, 2].contains(&h.doc_id)), "{hits:?}");
+    }
+
+    #[test]
+    fn rankers_produce_different_orderings_on_real_corpus() {
+        let idx = Arc::new(SearchIndex::with_generated_corpus(17, 200));
+        let bm25 = SearchEngine::new("a", RankerKind::Bm25, idx.clone());
+        let tfidf = SearchEngine::new("b", RankerKind::TfIdf, idx);
+        let mut differ = false;
+        for q in ["market growth", "vaccine results", "energy sector", "software plans"] {
+            let a: Vec<usize> = bm25.search(q, 10).iter().map(|h| h.doc_id).collect();
+            let b: Vec<usize> = tfidf.search(q, 10).iter().map(|h| h.doc_id).collect();
+            if a != b {
+                differ = true;
+            }
+            // Top results still overlap substantially (same corpus).
+            let overlap = a.iter().filter(|d| b.contains(d)).count();
+            assert!(overlap >= a.len().min(b.len()) / 2, "{q}: {a:?} vs {b:?}");
+        }
+        assert!(differ, "two rankers should disagree somewhere");
+    }
+
+    #[test]
+    fn engine_metadata() {
+        let e = SearchEngine::new("bongo", RankerKind::TfIdf, small_index());
+        assert_eq!(e.name(), "bongo");
+        assert_eq!(e.ranker(), RankerKind::TfIdf);
+        assert_eq!(e.index().len(), 4);
+    }
+}

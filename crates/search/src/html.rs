@@ -1,0 +1,148 @@
+//! HTML rendering and text extraction.
+//!
+//! §2.2: "Our rich SDK can also fetch HTML documents corresponding to URLs
+//! returned from a Web search. These HTML documents can then be passed to
+//! natural language understanding services." Documents in the simulated
+//! web are served as HTML pages; this module renders them and extracts the
+//! text back out.
+
+use cogsdk_text::corpus::GeneratedDoc;
+
+/// Renders a generated document as a small HTML page.
+///
+/// # Examples
+///
+/// ```
+/// # use cogsdk_text::corpus::CorpusGenerator;
+/// let doc = &CorpusGenerator::new(1).generate(1)[0];
+/// let html = cogsdk_search::html::render(doc);
+/// assert!(html.starts_with("<!DOCTYPE html>"));
+/// let text = cogsdk_search::html::extract_text(&html);
+/// assert!(text.contains(&doc.title));
+/// ```
+pub fn render(doc: &GeneratedDoc) -> String {
+    let kind = if doc.is_news { "news" } else { "reference" };
+    format!(
+        "<!DOCTYPE html>\n<html>\n<head>\n  <title>{title}</title>\n  <meta name=\"topic\" content=\"{topic}\">\n  <meta name=\"kind\" content=\"{kind}\">\n</head>\n<body>\n  <h1>{title}</h1>\n  <article>\n    <p>{body}</p>\n  </article>\n  <footer>day {day}</footer>\n</body>\n</html>\n",
+        title = escape(&doc.title),
+        topic = escape(&doc.topic),
+        body = escape(&doc.body),
+        day = doc.day,
+    )
+}
+
+/// Extracts visible text from HTML: strips tags, script/style contents,
+/// and decodes the entities [`render`] produces.
+pub fn extract_text(html: &str) -> String {
+    // Tag names are ASCII: compare case-insensitively on raw bytes so
+    // offsets stay valid regardless of non-ASCII content around them.
+    fn starts_ignore_case(haystack: &str, at: usize, needle: &str) -> bool {
+        haystack
+            .as_bytes()
+            .get(at..at + needle.len())
+            .is_some_and(|w| w.eq_ignore_ascii_case(needle.as_bytes()))
+    }
+    let mut out = String::new();
+    let mut chars = html.char_indices().peekable();
+    let mut skip_until: Option<&str> = None;
+    while let Some((i, c)) = chars.next() {
+        if let Some(end_tag) = skip_until {
+            if starts_ignore_case(html, i, end_tag) {
+                skip_until = None;
+                // Consume through the closing '>'.
+                for (_, c2) in chars.by_ref() {
+                    if c2 == '>' {
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
+        if c == '<' {
+            if starts_ignore_case(html, i, "<script") {
+                skip_until = Some("</script");
+                continue;
+            }
+            if starts_ignore_case(html, i, "<style") {
+                skip_until = Some("</style");
+                continue;
+            }
+            // Generic tag: consume to '>'.
+            for (_, c2) in chars.by_ref() {
+                if c2 == '>' {
+                    break;
+                }
+            }
+            // Tags separate words.
+            if !out.ends_with(' ') && !out.is_empty() {
+                out.push(' ');
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    let decoded = out
+        .replace("&amp;", "&")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&#39;", "'");
+    // Collapse whitespace runs.
+    decoded.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+        .replace('\'', "&#39;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsdk_text::corpus::CorpusGenerator;
+
+    #[test]
+    fn render_round_trips_body_text() {
+        let docs = CorpusGenerator::new(5).generate(5);
+        for d in &docs {
+            let html = render(d);
+            let text = extract_text(&html);
+            assert!(text.contains(&d.body), "body lost for doc {}", d.id);
+        }
+    }
+
+    #[test]
+    fn extract_strips_tags_and_scripts() {
+        let html = "<html><script>var x = '<b>';</script><body><p>Hello <b>world</b></p><style>p{}</style> done</body></html>";
+        assert_eq!(extract_text(html), "Hello world done");
+    }
+
+    #[test]
+    fn entities_escaped_and_decoded() {
+        let mut doc = CorpusGenerator::new(1).generate(1).remove(0);
+        doc.title = "AT&T <rocks> \"quotes\"".into();
+        doc.body = "it's fine".into();
+        let html = render(&doc);
+        assert!(!html.contains("<rocks>"));
+        let text = extract_text(&html);
+        assert!(text.contains("AT&T <rocks> \"quotes\""), "{text}");
+        assert!(text.contains("it's fine"));
+    }
+
+    #[test]
+    fn empty_html_extracts_empty() {
+        assert_eq!(extract_text(""), "");
+        assert_eq!(extract_text("<br><hr>"), "");
+    }
+
+    #[test]
+    fn metadata_embedded() {
+        let doc = CorpusGenerator::new(2).generate(1).remove(0);
+        let html = render(&doc);
+        assert!(html.contains(&format!("content=\"{}\"", doc.topic)));
+        assert!(html.contains(&format!("day {}", doc.day)));
+    }
+}

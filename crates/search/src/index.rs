@@ -1,0 +1,219 @@
+//! Inverted index over a document corpus.
+
+use cogsdk_text::corpus::{CorpusGenerator, GeneratedDoc};
+use cogsdk_text::tokenize::{stem, tokenize};
+use std::collections::HashMap;
+
+/// One indexed document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexedDoc {
+    /// Position in the index (doc id).
+    pub id: usize,
+    /// The generated source document.
+    pub doc: GeneratedDoc,
+    /// Number of indexable terms in the document.
+    pub length: usize,
+}
+
+/// A posting: document id and term frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Document id.
+    pub doc: usize,
+    /// Occurrences of the term in the document.
+    pub tf: u32,
+}
+
+/// An inverted index with document store.
+///
+/// Terms are stemmed and lowercased; stopwords are *kept* (they carry
+/// almost no score weight under either ranker and keeping them simplifies
+/// phrase-ish queries).
+#[derive(Debug, Default)]
+pub struct SearchIndex {
+    docs: Vec<IndexedDoc>,
+    postings: HashMap<String, Vec<Posting>>,
+    total_terms: usize,
+}
+
+impl SearchIndex {
+    /// Creates an empty index.
+    pub fn new() -> SearchIndex {
+        SearchIndex::default()
+    }
+
+    /// Generates a fresh deterministic corpus of `n` documents (seeded)
+    /// and indexes it.
+    pub fn with_generated_corpus(seed: u64, n: usize) -> SearchIndex {
+        let mut index = SearchIndex::new();
+        for doc in CorpusGenerator::new(seed).generate(n) {
+            index.add(doc);
+        }
+        index
+    }
+
+    /// Indexes one document; returns its doc id.
+    pub fn add(&mut self, doc: GeneratedDoc) -> usize {
+        let id = self.docs.len();
+        let text = format!("{} {}", doc.title, doc.body);
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        let mut length = 0usize;
+        for tok in tokenize(&text) {
+            let term = stem(&tok.lower());
+            if term.is_empty() {
+                continue;
+            }
+            *counts.entry(term).or_insert(0) += 1;
+            length += 1;
+        }
+        for (term, tf) in counts {
+            self.postings
+                .entry(term)
+                .or_default()
+                .push(Posting { doc: id, tf });
+        }
+        self.total_terms += length;
+        self.docs.push(IndexedDoc { id, doc, length });
+        id
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Average document length in terms (for BM25).
+    pub fn avg_doc_length(&self) -> f64 {
+        if self.docs.is_empty() {
+            0.0
+        } else {
+            self.total_terms as f64 / self.docs.len() as f64
+        }
+    }
+
+    /// Document frequency of a (raw, unstemmed) term.
+    pub fn doc_freq(&self, term: &str) -> usize {
+        self.postings
+            .get(&stem(&term.to_lowercase()))
+            .map_or(0, Vec::len)
+    }
+
+    /// Postings list for a (raw) term.
+    pub fn postings(&self, term: &str) -> &[Posting] {
+        self.postings
+            .get(&stem(&term.to_lowercase()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The document with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn doc(&self, id: usize) -> &IndexedDoc {
+        &self.docs[id]
+    }
+
+    /// Looks up a document by its URL.
+    pub fn by_url(&self, url: &str) -> Option<&IndexedDoc> {
+        self.docs.iter().find(|d| d.doc.url == url)
+    }
+
+    /// All indexed documents.
+    pub fn docs(&self) -> &[IndexedDoc] {
+        &self.docs
+    }
+
+    /// Tokenizes a query into index terms.
+    pub fn query_terms(query: &str) -> Vec<String> {
+        tokenize(query)
+            .into_iter()
+            .map(|t| stem(&t.lower()))
+            .filter(|t| !t.is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: usize, title: &str, body: &str) -> GeneratedDoc {
+        GeneratedDoc {
+            id,
+            title: title.to_string(),
+            url: format!("https://t.example/{id}"),
+            body: body.to_string(),
+            topic: "technology".into(),
+            is_news: false,
+            day: 0,
+            slant: 0.0,
+            planted_entities: vec![],
+        }
+    }
+
+    #[test]
+    fn add_and_retrieve() {
+        let mut idx = SearchIndex::new();
+        let id = idx.add(doc(0, "Solar power", "Solar panels convert light."));
+        assert_eq!(id, 0);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.doc(0).doc.title, "Solar power");
+        assert!(idx.by_url("https://t.example/0").is_some());
+        assert!(idx.by_url("https://missing").is_none());
+    }
+
+    #[test]
+    fn postings_count_term_frequency() {
+        let mut idx = SearchIndex::new();
+        idx.add(doc(0, "solar solar", "solar wind"));
+        idx.add(doc(1, "wind", "wind wind"));
+        assert_eq!(idx.doc_freq("solar"), 1);
+        assert_eq!(idx.doc_freq("wind"), 2);
+        let p = idx.postings("solar");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].tf, 3);
+        assert_eq!(idx.doc_freq("fusion"), 0);
+        assert!(idx.postings("fusion").is_empty());
+    }
+
+    #[test]
+    fn terms_are_stemmed_and_case_folded() {
+        let mut idx = SearchIndex::new();
+        idx.add(doc(0, "Batteries", "The battery improves."));
+        assert!(idx.doc_freq("battery") > 0);
+        assert_eq!(idx.doc_freq("BATTERY"), idx.doc_freq("battery"));
+        // "batteries" stems to "battery" so both map to the same postings.
+        assert_eq!(idx.postings("batteries")[0].tf, 2);
+    }
+
+    #[test]
+    fn avg_doc_length_updates() {
+        let mut idx = SearchIndex::new();
+        assert_eq!(idx.avg_doc_length(), 0.0);
+        idx.add(doc(0, "a b", "c d"));
+        idx.add(doc(1, "a b c d", "e f g h"));
+        assert!((idx.avg_doc_length() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_corpus_indexes() {
+        let idx = SearchIndex::with_generated_corpus(3, 40);
+        assert_eq!(idx.len(), 40);
+        assert!(idx.avg_doc_length() > 10.0);
+    }
+
+    #[test]
+    fn query_terms_normalize() {
+        assert_eq!(
+            SearchIndex::query_terms("Solar Panels!"),
+            vec!["solar", "panel"]
+        );
+        assert!(SearchIndex::query_terms("...").is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! Simulated web search engines.
+//!
+//! §2.2 of the paper: "We provide the ability to perform Web searches,
+//! analyze all of the documents returned by a Web search, and aggregate the
+//! results… Users can use a variety of search engines such as Google, Bing,
+//! and Yahoo! Searches can also be restricted to news stories." This crate
+//! is the search substrate: a deterministic corpus (from
+//! [`cogsdk_text::corpus`]) behind an inverted index, with **two ranking
+//! engines** (BM25 and TF-IDF cosine) so the SDK has genuinely different
+//! "search engines" to choose between, plus an HTML layer so documents can
+//! be fetched, stored and re-analyzed like real web pages.
+//!
+//! # Examples
+//!
+//! ```
+//! use cogsdk_search::{SearchIndex, engine::{SearchEngine, RankerKind}};
+//!
+//! let index = SearchIndex::with_generated_corpus(7, 100);
+//! let engine = SearchEngine::new("demo", RankerKind::Bm25, index.into());
+//! let hits = engine.search("market growth", 5);
+//! assert!(!hits.is_empty());
+//! assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+//! ```
+
+pub mod engine;
+pub mod html;
+pub mod index;
+pub mod services;
+
+pub use engine::{RankerKind, SearchEngine, SearchHit};
+pub use index::SearchIndex;

@@ -1,0 +1,225 @@
+//! Search engines and the simulated web as remote services.
+//!
+//! * Search services (class `"search"`): request
+//!   `{"query": "...", "limit": n, "news": bool}` →
+//!   `{"hits": [{"url", "title", "snippet", "score"}, …]}`.
+//! * The web-fetch service (class `"web"`): request `{"url": "..."}` →
+//!   `{"html": "..."}`; 404s surface as bad requests.
+
+use crate::engine::{RankerKind, SearchEngine};
+use crate::html;
+use crate::index::SearchIndex;
+use cogsdk_json::{json, Json};
+use cogsdk_sim::cost::{CostModel, MicroDollars};
+use cogsdk_sim::failure::FailurePlan;
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::service::SimService;
+use cogsdk_sim::SimEnv;
+use std::sync::Arc;
+
+/// Default number of hits when a query does not specify a limit.
+pub const DEFAULT_LIMIT: usize = 10;
+
+/// Builds a search service around an engine.
+pub fn search_service(
+    env: &SimEnv,
+    engine: SearchEngine,
+    latency: LatencyModel,
+    failures: FailurePlan,
+) -> Arc<SimService> {
+    let name = engine.name().to_string();
+    SimService::builder(name, "search")
+        .latency(latency)
+        .cost(CostModel::PerCall(MicroDollars::from_micros(20)))
+        .failures(failures)
+        .quality(match engine.ranker() {
+            RankerKind::Bm25 => 0.9,
+            RankerKind::TfIdf => 0.75,
+        })
+        .handler(move |req| {
+            let query = req
+                .payload
+                .get("query")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "missing required field 'query'".to_string())?;
+            let limit = req
+                .payload
+                .get("limit")
+                .and_then(Json::as_usize)
+                .unwrap_or(DEFAULT_LIMIT);
+            let news = req
+                .payload
+                .get("news")
+                .and_then(Json::as_bool)
+                .unwrap_or(false);
+            let hits = if news {
+                engine.search_news(query, limit)
+            } else {
+                engine.search(query, limit)
+            };
+            Ok(json!({
+                "query": (query),
+                "hits": (Json::Array(
+                    hits.iter()
+                        .map(|h| json!({
+                            "url": (h.url.as_str()),
+                            "title": (h.title.as_str()),
+                            "snippet": (h.snippet.as_str()),
+                            "score": (h.score),
+                        }))
+                        .collect(),
+                )),
+            }))
+        })
+        .build(env)
+}
+
+/// Builds the simulated web: a fetch service that serves every indexed
+/// document as an HTML page.
+pub fn web_fetch_service(env: &SimEnv, index: Arc<SearchIndex>) -> Arc<SimService> {
+    SimService::builder("web-fetch", "web")
+        .latency(LatencyModel::lognormal_ms(80.0, 0.5))
+        .failures(FailurePlan::flaky(0.03))
+        .handler(move |req| {
+            let url = req
+                .payload
+                .get("url")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "missing required field 'url'".to_string())?;
+            let doc = index
+                .by_url(url)
+                .ok_or_else(|| format!("404 not found: {url}"))?;
+            Ok(json!({
+                "url": (url),
+                "html": (html::render(&doc.doc)),
+            }))
+        })
+        .build(env)
+}
+
+/// Builds the standard two-engine fleet over one shared corpus:
+/// `search-alpha` (BM25, slower, better) and `search-beta` (TF-IDF,
+/// faster, worse), plus the `web-fetch` service.
+pub fn standard_web(
+    env: &SimEnv,
+    seed: u64,
+    corpus_size: usize,
+) -> (Vec<Arc<SimService>>, Arc<SimService>, Arc<SearchIndex>) {
+    let index = Arc::new(SearchIndex::with_generated_corpus(seed, corpus_size));
+    let engines = vec![
+        search_service(
+            env,
+            SearchEngine::new("search-alpha", RankerKind::Bm25, index.clone()),
+            LatencyModel::lognormal_ms(90.0, 0.4),
+            FailurePlan::flaky(0.02),
+        ),
+        search_service(
+            env,
+            SearchEngine::new("search-beta", RankerKind::TfIdf, index.clone()),
+            LatencyModel::lognormal_ms(45.0, 0.4),
+            FailurePlan::flaky(0.04),
+        ),
+    ];
+    let web = web_fetch_service(env, index.clone());
+    (engines, web, index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogsdk_sim::service::Request;
+
+    fn ok_invoke(svc: &SimService, req: &Request) -> Json {
+        loop {
+            let o = svc.invoke(req);
+            if let Ok(resp) = o.result {
+                return resp.payload;
+            }
+        }
+    }
+
+    #[test]
+    fn search_service_returns_hits() {
+        let env = SimEnv::with_seed(1);
+        let (engines, _web, _idx) = standard_web(&env, 7, 150);
+        let body = ok_invoke(
+            &engines[0],
+            &Request::new("search", json!({"query": "market growth", "limit": 5})),
+        );
+        let hits = body.get("hits").unwrap().as_array().unwrap();
+        assert!(!hits.is_empty() && hits.len() <= 5);
+        assert!(hits[0].get("url").unwrap().as_str().unwrap().starts_with("https://"));
+    }
+
+    #[test]
+    fn news_flag_restricts_results() {
+        let env = SimEnv::with_seed(2);
+        let (engines, _web, idx) = standard_web(&env, 7, 150);
+        let body = ok_invoke(
+            &engines[1],
+            &Request::new("search", json!({"query": "market", "news": true, "limit": 20})),
+        );
+        for hit in body.get("hits").unwrap().as_array().unwrap() {
+            let url = hit.get("url").unwrap().as_str().unwrap();
+            assert!(idx.by_url(url).unwrap().doc.is_news, "{url}");
+        }
+    }
+
+    #[test]
+    fn missing_query_is_bad_request() {
+        let env = SimEnv::with_seed(3);
+        let (engines, _web, _idx) = standard_web(&env, 7, 50);
+        // Retry through random flakiness until we get a definitive answer.
+        loop {
+            let o = engines[0].invoke(&Request::new("search", json!({})));
+            match o.result {
+                Err(cogsdk_sim::ServiceError::BadRequest(msg)) => {
+                    assert!(msg.contains("query"));
+                    break;
+                }
+                Err(_) => continue,
+                Ok(_) => panic!("should not succeed"),
+            }
+        }
+    }
+
+    #[test]
+    fn web_fetch_serves_searchable_urls() {
+        let env = SimEnv::with_seed(4);
+        let (engines, web, _idx) = standard_web(&env, 7, 100);
+        let search = ok_invoke(
+            &engines[0],
+            &Request::new("search", json!({"query": "energy", "limit": 3})),
+        );
+        let url = search.pointer("/hits/0/url").unwrap().as_str().unwrap();
+        let page = ok_invoke(&web, &Request::new("fetch", json!({"url": (url)})));
+        let html = page.get("html").unwrap().as_str().unwrap();
+        assert!(html.contains("<!DOCTYPE html>"));
+        assert!(!crate::html::extract_text(html).is_empty());
+    }
+
+    #[test]
+    fn web_fetch_unknown_url_404s() {
+        let env = SimEnv::with_seed(5);
+        let (_e, web, _i) = standard_web(&env, 7, 10);
+        loop {
+            let o = web.invoke(&Request::new("fetch", json!({"url": "https://nope.example/x"})));
+            match o.result {
+                Err(cogsdk_sim::ServiceError::BadRequest(msg)) => {
+                    assert!(msg.contains("404"));
+                    break;
+                }
+                Err(_) => continue,
+                Ok(_) => panic!("should not succeed"),
+            }
+        }
+    }
+
+    #[test]
+    fn two_engines_share_one_corpus_but_rank_differently() {
+        let env = SimEnv::with_seed(6);
+        let (engines, _web, _idx) = standard_web(&env, 11, 200);
+        assert_eq!(engines.len(), 2);
+        assert!(engines[0].quality() > engines[1].quality());
+    }
+}

@@ -1,0 +1,208 @@
+//! Virtual time.
+//!
+//! Tests and deterministic experiments never sleep: modeled latency advances
+//! a shared virtual clock instead. Wall-clock benchmarks can opt into real,
+//! scaled-down sleeps via [`TimeMode::Scaled`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An instant on the simulation timeline, in microseconds since simulation
+/// start.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_sim::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::from_micros(1_500);
+/// assert_eq!(t.since(SimTime::ZERO), Duration::from_micros(1_500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from microseconds since simulation start.
+    pub fn from_micros(micros: u64) -> SimTime {
+        SimTime(micros)
+    }
+
+    /// Creates a time from milliseconds since simulation start.
+    pub fn from_millis(millis: u64) -> SimTime {
+        SimTime(millis * 1_000)
+    }
+
+    /// Microseconds since simulation start.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Elapsed duration since `earlier`, saturating to zero if `earlier` is
+    /// in the future.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_micros(self.0.saturating_sub(earlier.0))
+    }
+
+    /// This time plus `d`.
+    pub fn after(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.as_micros() as u64))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.0 as f64 / 1_000.0)
+    }
+}
+
+/// A shared, monotonically advancing virtual clock.
+///
+/// Clones share state; advancing one advances them all. All operations are
+/// lock-free and safe to call from service threads.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.micros.load(Ordering::SeqCst))
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    pub fn advance(&self, d: Duration) -> SimTime {
+        let add = d.as_micros() as u64;
+        SimTime(self.micros.fetch_add(add, Ordering::SeqCst) + add)
+    }
+
+    /// Moves the clock forward to `t` if `t` is later than now; returns the
+    /// (possibly unchanged) current time. Used when concurrent simulated
+    /// calls complete "at" different virtual instants.
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        let mut cur = self.micros.load(Ordering::SeqCst);
+        while cur < t.0 {
+            match self.micros.compare_exchange(
+                cur,
+                t.0,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return t,
+                Err(seen) => cur = seen,
+            }
+        }
+        SimTime(cur)
+    }
+}
+
+/// How modeled service latency is realized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeMode {
+    /// Latency only advances the virtual clock; calls return immediately.
+    /// Fully deterministic; used by tests and analytical experiments.
+    Virtual,
+    /// Latency additionally causes a real `thread::sleep` of
+    /// `latency * scale`. Used for wall-clock benchmarks of threaded paths
+    /// (a scale of `0.001` makes a modeled second cost one real
+    /// millisecond).
+    Scaled(f64),
+}
+
+impl TimeMode {
+    /// Realizes a modeled latency: advances `clock` and, in scaled mode,
+    /// sleeps proportionally.
+    pub fn realize(&self, clock: &SimClock, latency: Duration) {
+        clock.advance(latency);
+        if let TimeMode::Scaled(scale) = *self {
+            if scale > 0.0 {
+                std::thread::sleep(latency.mul_f64(scale));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let c = SimClock::new();
+        c.advance(Duration::from_millis(2));
+        c.advance(Duration::from_micros(500));
+        assert_eq!(c.now().as_micros(), 2_500);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let c = SimClock::new();
+        c.advance(Duration::from_millis(10));
+        let t = c.advance_to(SimTime::from_millis(5));
+        assert_eq!(t, SimTime::from_millis(10));
+        let t = c.advance_to(SimTime::from_millis(20));
+        assert_eq!(t, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = SimTime::from_millis(1);
+        let late = SimTime::from_millis(4);
+        assert_eq!(late.since(early), Duration::from_millis(3));
+        assert_eq!(early.since(late), Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_advances_are_consistent() {
+        let c = SimClock::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(Duration::from_micros(1));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.now().as_micros(), 8_000);
+    }
+
+    #[test]
+    fn display_formats_millis() {
+        assert_eq!(SimTime::from_micros(1_500).to_string(), "1.500ms");
+    }
+
+    #[test]
+    fn virtual_mode_does_not_sleep() {
+        let c = SimClock::new();
+        let start = std::time::Instant::now();
+        TimeMode::Virtual.realize(&c, Duration::from_secs(3600));
+        assert!(start.elapsed() < Duration::from_millis(100));
+        assert_eq!(c.now(), SimTime::from_micros(3_600_000_000));
+    }
+
+    #[test]
+    fn scaled_mode_sleeps_proportionally() {
+        let c = SimClock::new();
+        let start = std::time::Instant::now();
+        TimeMode::Scaled(0.001).realize(&c, Duration::from_millis(1000));
+        let real = start.elapsed();
+        assert!(real >= Duration::from_millis(1), "slept {real:?}");
+        assert!(real < Duration::from_millis(500), "slept {real:?}");
+    }
+}

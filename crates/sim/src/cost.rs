@@ -1,0 +1,190 @@
+//! Monetary cost models.
+//!
+//! §2: "These services may have costs associated with them. The cost may be
+//! both monetary as well as computational". The SDK's ranking formulas
+//! (Eq. 1 and Eq. 2) take a predicted monetary cost `c`; these models supply
+//! the ground truth the predictions are trained on.
+
+/// Monetary cost in micro-dollars (1 µ$ = 10⁻⁶ USD), kept integral so
+/// accounting is exact.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_sim::cost::MicroDollars;
+///
+/// let c = MicroDollars::from_dollars(0.002);
+/// assert_eq!(c.as_micros(), 2_000);
+/// assert!((c.as_dollars() - 0.002).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MicroDollars(u64);
+
+impl MicroDollars {
+    /// Zero cost.
+    pub const ZERO: MicroDollars = MicroDollars(0);
+
+    /// Creates a cost from micro-dollars.
+    pub fn from_micros(micros: u64) -> MicroDollars {
+        MicroDollars(micros)
+    }
+
+    /// Creates a cost from (fractional) dollars, rounding to the nearest
+    /// micro-dollar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dollars` is negative or not finite.
+    pub fn from_dollars(dollars: f64) -> MicroDollars {
+        assert!(
+            dollars.is_finite() && dollars >= 0.0,
+            "cost must be a finite non-negative amount"
+        );
+        MicroDollars((dollars * 1e6).round() as u64)
+    }
+
+    /// The amount in micro-dollars.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The amount in dollars.
+    pub fn as_dollars(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, other: MicroDollars) -> MicroDollars {
+        MicroDollars(self.0.saturating_add(other.0))
+    }
+}
+
+impl std::fmt::Display for MicroDollars {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "${:.6}", self.as_dollars())
+    }
+}
+
+impl std::iter::Sum for MicroDollars {
+    fn sum<I: Iterator<Item = MicroDollars>>(iter: I) -> MicroDollars {
+        iter.fold(MicroDollars::ZERO, MicroDollars::saturating_add)
+    }
+}
+
+/// How a service charges for invocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostModel {
+    /// No charge.
+    Free,
+    /// A flat charge per call.
+    PerCall(MicroDollars),
+    /// A flat charge plus a per-kilobyte charge on the request payload.
+    PerCallPlusBytes {
+        /// Flat component per call.
+        per_call: MicroDollars,
+        /// Charge per 1024 payload bytes (pro-rated).
+        per_kib: MicroDollars,
+    },
+    /// The first `free_calls` in a billing window are free, then `then` per
+    /// call — the common freemium tier for cognitive services.
+    Tiered {
+        /// Number of free calls before charging starts.
+        free_calls: u64,
+        /// Charge per call beyond the free tier.
+        then: MicroDollars,
+    },
+}
+
+impl CostModel {
+    /// The charge for the `call_index`-th call (0-based, within the billing
+    /// window) with a payload of `payload_bytes`.
+    pub fn charge(&self, call_index: u64, payload_bytes: usize) -> MicroDollars {
+        match *self {
+            CostModel::Free => MicroDollars::ZERO,
+            CostModel::PerCall(c) => c,
+            CostModel::PerCallPlusBytes { per_call, per_kib } => {
+                let byte_cost =
+                    (per_kib.as_micros() as u128 * payload_bytes as u128 / 1024) as u64;
+                per_call.saturating_add(MicroDollars::from_micros(byte_cost))
+            }
+            CostModel::Tiered { free_calls, then } => {
+                if call_index < free_calls {
+                    MicroDollars::ZERO
+                } else {
+                    then
+                }
+            }
+        }
+    }
+
+    /// The expected per-call charge for a typical payload, used as the
+    /// `c` term in the paper's ranking formulas.
+    pub fn typical_charge(&self, payload_bytes: usize) -> MicroDollars {
+        match *self {
+            // Mid-tier estimate: assume the free tier is exhausted.
+            CostModel::Tiered { then, .. } => then,
+            _ => self.charge(u64::MAX, payload_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_charges_nothing() {
+        assert_eq!(CostModel::Free.charge(0, 10_000), MicroDollars::ZERO);
+    }
+
+    #[test]
+    fn per_call_is_flat() {
+        let m = CostModel::PerCall(MicroDollars::from_micros(500));
+        assert_eq!(m.charge(0, 0), m.charge(99, 1_000_000));
+        assert_eq!(m.charge(0, 0).as_micros(), 500);
+    }
+
+    #[test]
+    fn per_byte_component_prorates() {
+        let m = CostModel::PerCallPlusBytes {
+            per_call: MicroDollars::from_micros(100),
+            per_kib: MicroDollars::from_micros(1024),
+        };
+        assert_eq!(m.charge(0, 1024).as_micros(), 100 + 1024);
+        assert_eq!(m.charge(0, 512).as_micros(), 100 + 512);
+        assert_eq!(m.charge(0, 0).as_micros(), 100);
+    }
+
+    #[test]
+    fn tiered_free_then_charged() {
+        let m = CostModel::Tiered {
+            free_calls: 3,
+            then: MicroDollars::from_micros(250),
+        };
+        assert_eq!(m.charge(0, 0), MicroDollars::ZERO);
+        assert_eq!(m.charge(2, 0), MicroDollars::ZERO);
+        assert_eq!(m.charge(3, 0).as_micros(), 250);
+        assert_eq!(m.typical_charge(0).as_micros(), 250);
+    }
+
+    #[test]
+    fn dollars_round_trip() {
+        let c = MicroDollars::from_dollars(1.25);
+        assert_eq!(c.as_micros(), 1_250_000);
+        assert_eq!(c.to_string(), "$1.250000");
+    }
+
+    #[test]
+    fn sum_of_costs() {
+        let total: MicroDollars = (0..4)
+            .map(|_| MicroDollars::from_micros(100))
+            .sum();
+        assert_eq!(total.as_micros(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_dollars_rejected() {
+        let _ = MicroDollars::from_dollars(-0.5);
+    }
+}

@@ -1,0 +1,148 @@
+//! A name-indexed registry of simulated services.
+//!
+//! Figure 1 of the paper shows the rich SDK surrounded by many services of
+//! different kinds. The fabric is that surrounding world: it owns every
+//! simulated endpoint and lets clients look services up by name or by
+//! functionality class (candidates "providing similar functionality", §2.1).
+
+use crate::service::SimService;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Registry of all simulated services in an experiment.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_sim::{Fabric, SimEnv, SimService};
+///
+/// let env = SimEnv::with_seed(1);
+/// let fabric = Fabric::new();
+/// fabric.register(SimService::builder("nlu-a", "nlu").build(&env));
+/// fabric.register(SimService::builder("nlu-b", "nlu").build(&env));
+/// fabric.register(SimService::builder("search-1", "search").build(&env));
+///
+/// assert_eq!(fabric.by_class("nlu").len(), 2);
+/// assert!(fabric.get("search-1").is_some());
+/// ```
+#[derive(Default)]
+pub struct Fabric {
+    services: RwLock<BTreeMap<String, Arc<SimService>>>,
+}
+
+impl fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = self.services.read().keys().cloned().collect();
+        f.debug_struct("Fabric").field("services", &names).finish()
+    }
+}
+
+impl Fabric {
+    /// Creates an empty fabric.
+    pub fn new() -> Fabric {
+        Fabric::default()
+    }
+
+    /// Registers a service, replacing any previous service with the same
+    /// name. Returns the replaced service, if any.
+    pub fn register(&self, service: Arc<SimService>) -> Option<Arc<SimService>> {
+        self.services
+            .write()
+            .insert(service.name().to_string(), service)
+    }
+
+    /// Looks a service up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<SimService>> {
+        self.services.read().get(name).cloned()
+    }
+
+    /// All services in a functionality class, in name order.
+    pub fn by_class(&self, class: &str) -> Vec<Arc<SimService>> {
+        self.services
+            .read()
+            .values()
+            .filter(|s| s.class() == class)
+            .cloned()
+            .collect()
+    }
+
+    /// All registered service names, in order.
+    pub fn names(&self) -> Vec<String> {
+        self.services.read().keys().cloned().collect()
+    }
+
+    /// Removes a service by name, returning it if present.
+    pub fn deregister(&self, name: &str) -> Option<Arc<SimService>> {
+        self.services.write().remove(name)
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.services.read().len()
+    }
+
+    /// Whether the fabric has no services.
+    pub fn is_empty(&self) -> bool {
+        self.services.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimEnv;
+
+    #[test]
+    fn register_and_lookup() {
+        let env = SimEnv::with_seed(1);
+        let fabric = Fabric::new();
+        assert!(fabric.is_empty());
+        fabric.register(SimService::builder("a", "x").build(&env));
+        assert_eq!(fabric.len(), 1);
+        assert!(fabric.get("a").is_some());
+        assert!(fabric.get("b").is_none());
+    }
+
+    #[test]
+    fn replace_returns_old_service() {
+        let env = SimEnv::with_seed(1);
+        let fabric = Fabric::new();
+        fabric.register(SimService::builder("a", "x").quality(0.1).build(&env));
+        let old = fabric.register(SimService::builder("a", "x").quality(0.9).build(&env));
+        assert_eq!(old.unwrap().quality(), 0.1);
+        assert_eq!(fabric.get("a").unwrap().quality(), 0.9);
+    }
+
+    #[test]
+    fn by_class_filters_and_orders() {
+        let env = SimEnv::with_seed(1);
+        let fabric = Fabric::new();
+        fabric.register(SimService::builder("nlu-b", "nlu").build(&env));
+        fabric.register(SimService::builder("nlu-a", "nlu").build(&env));
+        fabric.register(SimService::builder("kv-1", "storage").build(&env));
+        let nlu = fabric.by_class("nlu");
+        let names: Vec<&str> = nlu.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["nlu-a", "nlu-b"]);
+        assert!(fabric.by_class("missing").is_empty());
+    }
+
+    #[test]
+    fn deregister_removes() {
+        let env = SimEnv::with_seed(1);
+        let fabric = Fabric::new();
+        fabric.register(SimService::builder("a", "x").build(&env));
+        assert!(fabric.deregister("a").is_some());
+        assert!(fabric.deregister("a").is_none());
+        assert!(fabric.is_empty());
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let env = SimEnv::with_seed(1);
+        let fabric = Fabric::new();
+        fabric.register(SimService::builder("svc", "x").build(&env));
+        assert!(format!("{fabric:?}").contains("svc"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Failure injection.
+//!
+//! §2.1 of the paper: "Remote services can sometimes be unresponsive. If a
+//! service is unresponsive, the rich SDK has the ability to retry a service
+//! multiple times" and to fail over to other services. The failure plan
+//! produces the unresponsiveness the SDK must tolerate: independent per-call
+//! failures and scheduled burst outages (whole windows where a service is
+//! down, as in a real incident).
+
+use crate::clock::SimTime;
+use crate::rng::Rng;
+use std::time::Duration;
+
+/// The way a simulated call fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// The service did not answer within its timeout.
+    Timeout,
+    /// The service answered with a 5xx-style error.
+    ServerError,
+    /// The service is down for a scheduled outage window.
+    Outage,
+}
+
+/// An interval during which a service is entirely unavailable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// First instant of the outage.
+    pub start: SimTime,
+    /// First instant after the outage.
+    pub end: SimTime,
+}
+
+impl OutageWindow {
+    /// Creates a window; `start` must precede `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn new(start: SimTime, end: SimTime) -> OutageWindow {
+        assert!(start < end, "outage window must have positive length");
+        OutageWindow { start, end }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// Per-service failure behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_sim::failure::FailurePlan;
+///
+/// // 5% of calls time out; no scheduled outages.
+/// let plan = FailurePlan::flaky(0.05);
+/// assert!((plan.failure_rate() - 0.05).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    timeout_rate: f64,
+    error_rate: f64,
+    outages: Vec<OutageWindow>,
+    /// Brown-out windows: the service answers, but slower by a factor.
+    degradations: Vec<(OutageWindow, f64)>,
+}
+
+impl FailurePlan {
+    /// A service that never fails.
+    pub fn reliable() -> FailurePlan {
+        FailurePlan::default()
+    }
+
+    /// A service whose calls independently time out with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn flaky(p: f64) -> FailurePlan {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        FailurePlan {
+            timeout_rate: p,
+            ..FailurePlan::default()
+        }
+    }
+
+    /// Adds an independent server-error probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_error_rate(mut self, p: f64) -> FailurePlan {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.error_rate = p;
+        self
+    }
+
+    /// Schedules a burst outage window.
+    pub fn with_outage(mut self, window: OutageWindow) -> FailurePlan {
+        self.outages.push(window);
+        self
+    }
+
+    /// Schedules a brown-out: inside `window` the service still answers
+    /// but its latency is multiplied by `factor` — the degraded-regime
+    /// signal the SDK's EWMA predictor exists to track.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0`.
+    pub fn with_degradation(mut self, window: OutageWindow, factor: f64) -> FailurePlan {
+        assert!(factor >= 1.0, "degradation factor must be >= 1");
+        self.degradations.push((window, factor));
+        self
+    }
+
+    /// The combined latency multiplier at `now` (1.0 outside brown-outs;
+    /// overlapping windows multiply).
+    pub fn latency_factor(&self, now: SimTime) -> f64 {
+        self.degradations
+            .iter()
+            .filter(|(w, _)| w.contains(now))
+            .map(|(_, f)| f)
+            .product()
+    }
+
+    /// Total per-call failure probability outside outage windows.
+    pub fn failure_rate(&self) -> f64 {
+        // P(timeout or error) with independent draws.
+        1.0 - (1.0 - self.timeout_rate) * (1.0 - self.error_rate)
+    }
+
+    /// Decides whether a call made at `now` fails, and how.
+    pub fn decide(&self, now: SimTime, rng: &mut Rng) -> Option<FailureKind> {
+        if self.outages.iter().any(|w| w.contains(now)) {
+            return Some(FailureKind::Outage);
+        }
+        if rng.chance(self.timeout_rate) {
+            return Some(FailureKind::Timeout);
+        }
+        if rng.chance(self.error_rate) {
+            return Some(FailureKind::ServerError);
+        }
+        None
+    }
+
+    /// The latency a failing call consumes before the failure is observed:
+    /// timeouts burn the full timeout budget; errors and outages are
+    /// detected quickly.
+    pub fn failure_latency(kind: FailureKind, timeout: Duration) -> Duration {
+        match kind {
+            FailureKind::Timeout => timeout,
+            FailureKind::ServerError => Duration::from_millis(30),
+            FailureKind::Outage => Duration::from_millis(5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_never_fails() {
+        let plan = FailurePlan::reliable();
+        let mut rng = Rng::new(1);
+        for _ in 0..1_000 {
+            assert_eq!(plan.decide(SimTime::ZERO, &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn flaky_rate_is_respected() {
+        let plan = FailurePlan::flaky(0.2);
+        let mut rng = Rng::new(2);
+        let n = 50_000;
+        let failures = (0..n)
+            .filter(|_| plan.decide(SimTime::ZERO, &mut rng).is_some())
+            .count();
+        let rate = failures as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn combined_rates_compose_independently() {
+        let plan = FailurePlan::flaky(0.1).with_error_rate(0.1);
+        assert!((plan.failure_rate() - 0.19).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outage_window_dominates() {
+        let plan = FailurePlan::reliable().with_outage(OutageWindow::new(
+            SimTime::from_millis(100),
+            SimTime::from_millis(200),
+        ));
+        let mut rng = Rng::new(3);
+        assert_eq!(plan.decide(SimTime::from_millis(50), &mut rng), None);
+        assert_eq!(
+            plan.decide(SimTime::from_millis(150), &mut rng),
+            Some(FailureKind::Outage)
+        );
+        assert_eq!(plan.decide(SimTime::from_millis(200), &mut rng), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn empty_outage_window_rejected() {
+        let _ = OutageWindow::new(SimTime::from_millis(5), SimTime::from_millis(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flaky_rejects_bad_probability() {
+        let _ = FailurePlan::flaky(1.5);
+    }
+
+    #[test]
+    fn degradation_windows_multiply_latency() {
+        let plan = FailurePlan::reliable()
+            .with_degradation(
+                OutageWindow::new(SimTime::from_millis(100), SimTime::from_millis(300)),
+                3.0,
+            )
+            .with_degradation(
+                OutageWindow::new(SimTime::from_millis(200), SimTime::from_millis(400)),
+                2.0,
+            );
+        assert_eq!(plan.latency_factor(SimTime::from_millis(50)), 1.0);
+        assert_eq!(plan.latency_factor(SimTime::from_millis(150)), 3.0);
+        assert_eq!(plan.latency_factor(SimTime::from_millis(250)), 6.0);
+        assert_eq!(plan.latency_factor(SimTime::from_millis(350)), 2.0);
+        assert_eq!(plan.latency_factor(SimTime::from_millis(500)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn degradation_below_one_rejected() {
+        let _ = FailurePlan::reliable().with_degradation(
+            OutageWindow::new(SimTime::ZERO, SimTime::from_millis(1)),
+            0.5,
+        );
+    }
+
+    #[test]
+    fn failure_latency_shapes() {
+        let t = Duration::from_secs(2);
+        assert_eq!(
+            FailurePlan::failure_latency(FailureKind::Timeout, t),
+            Duration::from_secs(2)
+        );
+        assert!(FailurePlan::failure_latency(FailureKind::ServerError, t) < t);
+        assert!(FailurePlan::failure_latency(FailureKind::Outage, t) < t);
+    }
+}

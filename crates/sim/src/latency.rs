@@ -1,0 +1,269 @@
+//! Latency models for simulated services.
+//!
+//! The paper (§2) observes that service latency often depends on *latency
+//! parameters* such as the size of an argument ("the time for storing an
+//! object of size `a` will generally increase with `a`", and different
+//! services grow at different rates, creating crossovers). [`LatencyModel`]
+//! reproduces exactly those shapes.
+
+use crate::rng::Rng;
+use std::time::Duration;
+
+/// A distribution over response latencies, possibly depending on the
+/// request payload size.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_sim::latency::LatencyModel;
+/// use cogsdk_sim::rng::Rng;
+///
+/// // A service cheap for small payloads but with a steep per-byte cost.
+/// let m = LatencyModel::size_linear_ms(5.0, 0.01);
+/// let mut rng = Rng::new(1);
+/// let small = m.sample(&mut rng, 100);
+/// let large = m.sample(&mut rng, 100_000);
+/// assert!(large > small);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyModel {
+    /// Always exactly this latency.
+    Constant(Duration),
+    /// Uniform between the two bounds.
+    Uniform(Duration, Duration),
+    /// Normal with the given mean/standard deviation (milliseconds),
+    /// truncated below at `floor`.
+    Normal {
+        /// Mean latency in milliseconds.
+        mean_ms: f64,
+        /// Standard deviation in milliseconds.
+        std_ms: f64,
+        /// Minimum latency; samples are clamped up to this.
+        floor: Duration,
+    },
+    /// Log-normal: the heavy-tailed shape measured for real web services.
+    LogNormal {
+        /// Median latency in milliseconds (`exp(mu)`).
+        median_ms: f64,
+        /// Shape parameter sigma of the underlying normal.
+        sigma: f64,
+    },
+    /// Base latency plus a per-byte cost of the request payload — the
+    /// paper's size-dependent "latency parameter" model.
+    SizeLinear {
+        /// Fixed per-call latency in milliseconds.
+        base_ms: f64,
+        /// Additional milliseconds per payload byte.
+        per_byte_ms: f64,
+        /// Multiplicative jitter half-width (0.1 = ±10%).
+        jitter: f64,
+    },
+}
+
+impl LatencyModel {
+    /// A constant latency of `ms` milliseconds.
+    pub fn constant_ms(ms: f64) -> LatencyModel {
+        LatencyModel::Constant(Duration::from_secs_f64(ms / 1_000.0))
+    }
+
+    /// Uniform latency between `lo_ms` and `hi_ms` milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo_ms > hi_ms`.
+    pub fn uniform_ms(lo_ms: f64, hi_ms: f64) -> LatencyModel {
+        assert!(lo_ms <= hi_ms, "uniform bounds out of order");
+        LatencyModel::Uniform(
+            Duration::from_secs_f64(lo_ms / 1_000.0),
+            Duration::from_secs_f64(hi_ms / 1_000.0),
+        )
+    }
+
+    /// Normal latency, truncated at 0.1 ms.
+    pub fn normal_ms(mean_ms: f64, std_ms: f64) -> LatencyModel {
+        LatencyModel::Normal {
+            mean_ms,
+            std_ms,
+            floor: Duration::from_micros(100),
+        }
+    }
+
+    /// Log-normal latency with the given median and shape.
+    pub fn lognormal_ms(median_ms: f64, sigma: f64) -> LatencyModel {
+        LatencyModel::LogNormal { median_ms, sigma }
+    }
+
+    /// Size-dependent latency with ±10% jitter.
+    pub fn size_linear_ms(base_ms: f64, per_byte_ms: f64) -> LatencyModel {
+        LatencyModel::SizeLinear {
+            base_ms,
+            per_byte_ms,
+            jitter: 0.1,
+        }
+    }
+
+    /// Draws one latency for a request of `payload_bytes`.
+    pub fn sample(&self, rng: &mut Rng, payload_bytes: usize) -> Duration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform(lo, hi) => {
+                let lo_us = lo.as_micros() as f64;
+                let hi_us = hi.as_micros() as f64;
+                Duration::from_micros(rng.uniform(lo_us, hi_us) as u64)
+            }
+            LatencyModel::Normal {
+                mean_ms,
+                std_ms,
+                floor,
+            } => {
+                let ms = rng.normal(mean_ms, std_ms).max(0.0);
+                Duration::from_secs_f64(ms / 1_000.0).max(floor)
+            }
+            LatencyModel::LogNormal { median_ms, sigma } => {
+                let ms = rng.lognormal(median_ms.max(f64::MIN_POSITIVE).ln(), sigma);
+                Duration::from_secs_f64(ms / 1_000.0)
+            }
+            LatencyModel::SizeLinear {
+                base_ms,
+                per_byte_ms,
+                jitter,
+            } => {
+                let nominal = base_ms + per_byte_ms * payload_bytes as f64;
+                let factor = 1.0 + rng.uniform(-jitter, jitter);
+                Duration::from_secs_f64((nominal * factor).max(0.0) / 1_000.0)
+            }
+        }
+    }
+
+    /// The model's expected latency for a given payload size, in
+    /// milliseconds. Used by experiments as ground truth when evaluating the
+    /// SDK's predictors.
+    pub fn expected_ms(&self, payload_bytes: usize) -> f64 {
+        match *self {
+            LatencyModel::Constant(d) => d.as_secs_f64() * 1_000.0,
+            LatencyModel::Uniform(lo, hi) => {
+                (lo.as_secs_f64() + hi.as_secs_f64()) / 2.0 * 1_000.0
+            }
+            LatencyModel::Normal { mean_ms, .. } => mean_ms,
+            LatencyModel::LogNormal { median_ms, sigma } => {
+                median_ms * (sigma * sigma / 2.0).exp()
+            }
+            LatencyModel::SizeLinear {
+                base_ms,
+                per_byte_ms,
+                ..
+            } => base_ms + per_byte_ms * payload_bytes as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_exact() {
+        let mut rng = Rng::new(1);
+        let m = LatencyModel::constant_ms(12.5);
+        assert_eq!(m.sample(&mut rng, 0), Duration::from_micros(12_500));
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = Rng::new(2);
+        let m = LatencyModel::uniform_ms(10.0, 20.0);
+        for _ in 0..1_000 {
+            let d = m.sample(&mut rng, 0);
+            assert!(d >= Duration::from_millis(10) && d <= Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = LatencyModel::uniform_ms(5.0, 1.0);
+    }
+
+    #[test]
+    fn normal_respects_floor() {
+        let mut rng = Rng::new(3);
+        let m = LatencyModel::normal_ms(0.05, 10.0);
+        for _ in 0..1_000 {
+            assert!(m.sample(&mut rng, 0) >= Duration::from_micros(100));
+        }
+    }
+
+    #[test]
+    fn normal_sample_mean_matches() {
+        let mut rng = Rng::new(4);
+        let m = LatencyModel::normal_ms(50.0, 5.0);
+        let n = 10_000;
+        let mean_ms: f64 = (0..n)
+            .map(|_| m.sample(&mut rng, 0).as_secs_f64() * 1_000.0)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean_ms - 50.0).abs() < 0.5, "mean={mean_ms}");
+    }
+
+    #[test]
+    fn lognormal_is_heavy_tailed() {
+        let mut rng = Rng::new(5);
+        let m = LatencyModel::lognormal_ms(20.0, 0.8);
+        let samples: Vec<f64> = (0..10_000)
+            .map(|_| m.sample(&mut rng, 0).as_secs_f64() * 1_000.0)
+            .collect();
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[5_000];
+        let p99 = sorted[9_900];
+        assert!((median - 20.0).abs() < 2.0, "median={median}");
+        assert!(p99 > median * 3.0, "p99={p99} median={median}");
+    }
+
+    #[test]
+    fn size_linear_grows_with_payload() {
+        let mut rng = Rng::new(6);
+        let m = LatencyModel::size_linear_ms(1.0, 0.001);
+        let avg = |rng: &mut Rng, size| {
+            (0..200)
+                .map(|_| m.sample(rng, size).as_secs_f64())
+                .sum::<f64>()
+                / 200.0
+        };
+        let small = avg(&mut rng, 1_000);
+        let large = avg(&mut rng, 100_000);
+        assert!(large > small * 10.0, "small={small} large={large}");
+    }
+
+    #[test]
+    fn expected_ms_matches_empirical_mean() {
+        let mut rng = Rng::new(7);
+        for m in [
+            LatencyModel::constant_ms(5.0),
+            LatencyModel::uniform_ms(1.0, 3.0),
+            LatencyModel::normal_ms(40.0, 4.0),
+            LatencyModel::size_linear_ms(2.0, 0.01),
+        ] {
+            let n = 20_000;
+            let emp: f64 = (0..n)
+                .map(|_| m.sample(&mut rng, 500).as_secs_f64() * 1_000.0)
+                .sum::<f64>()
+                / n as f64;
+            let exp = m.expected_ms(500);
+            assert!(
+                (emp - exp).abs() / exp < 0.05,
+                "{m:?}: empirical={emp} expected={exp}"
+            );
+        }
+    }
+
+    #[test]
+    fn crossover_between_two_size_linear_services() {
+        // The paper's motivating example: s1 cheapest for small objects,
+        // s2 cheapest for large objects.
+        let s1 = LatencyModel::size_linear_ms(1.0, 0.010);
+        let s2 = LatencyModel::size_linear_ms(20.0, 0.001);
+        assert!(s1.expected_ms(100) < s2.expected_ms(100));
+        assert!(s1.expected_ms(10_000) > s2.expected_ms(10_000));
+    }
+}

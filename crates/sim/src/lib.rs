@@ -1,0 +1,156 @@
+//! Deterministic simulated-service fabric.
+//!
+//! The paper's rich SDK talks to live cloud endpoints (IBM Watson NLU, web
+//! search engines, cloud data stores). This crate replaces the network with
+//! an in-process fabric that produces the same *signals* those endpoints
+//! produce — latency, failures, monetary cost, quota exhaustion, and JSON
+//! payloads — reproducibly, from a seed.
+//!
+//! Everything the rich SDK does (monitoring, latency prediction, ranking,
+//! retry/failover, caching, async invocation) observes only these signals,
+//! so the substitution preserves the behaviour under study. See DESIGN.md.
+//!
+//! # Architecture
+//!
+//! * [`clock`] — a virtual clock ([`SimClock`]) advanced explicitly, plus a
+//!   [`TimeMode`] that optionally converts modeled latency into real
+//!   (scaled-down) sleeps for wall-clock benchmarks.
+//! * [`rng`] — a seedable SplitMix64 RNG with the distributions the fabric
+//!   needs (uniform, normal, lognormal, exponential, Zipf).
+//! * [`latency`] — pluggable latency models, including size-dependent ones
+//!   (the paper's "latency parameters", §2).
+//! * [`failure`] — per-call Bernoulli failures and scheduled burst outages.
+//! * [`cost`] — monetary cost models (per-call, per-byte, tiered).
+//! * [`quota`] — fixed-window invocation quotas (§2.2: "a limited quota of
+//!   service invocations in a time period").
+//! * [`service`] — [`SimService`]: one simulated remote endpoint combining
+//!   all of the above around a user-provided handler.
+//! * [`fabric`] — a name-indexed registry of services.
+//!
+//! # Examples
+//!
+//! ```
+//! use cogsdk_sim::{SimEnv, service::{SimService, Request}};
+//! use cogsdk_sim::latency::LatencyModel;
+//! use cogsdk_json::json;
+//!
+//! let env = SimEnv::with_seed(7);
+//! let svc = SimService::builder("echo", "demo")
+//!     .latency(LatencyModel::constant_ms(20.0))
+//!     .handler(|req| Ok(req.payload.clone()))
+//!     .build(&env);
+//!
+//! let out = svc.invoke(&Request::new("echo", json!({"x": 1})));
+//! assert!(out.result.is_ok());
+//! assert_eq!(out.latency.as_millis(), 20);
+//! ```
+
+pub mod clock;
+pub mod cost;
+pub mod fabric;
+pub mod failure;
+pub mod latency;
+pub mod quota;
+pub mod rng;
+pub mod service;
+
+pub use clock::{SimClock, SimTime, TimeMode};
+pub use fabric::Fabric;
+pub use rng::SharedRng;
+pub use service::{Outcome, Request, Response, ServiceError, SimService};
+
+use std::sync::Arc;
+
+/// Shared simulation environment: clock, RNG, and time mode.
+///
+/// Cheap to clone; all clones share the same underlying state, so every
+/// component in a simulation sees one consistent timeline and random stream.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_sim::SimEnv;
+/// use std::time::Duration;
+///
+/// let env = SimEnv::with_seed(42);
+/// let t0 = env.clock().now();
+/// env.clock().advance(Duration::from_millis(5));
+/// assert_eq!(env.clock().now().since(t0), Duration::from_millis(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimEnv {
+    clock: SimClock,
+    rng: SharedRng,
+    mode: Arc<TimeMode>,
+}
+
+impl SimEnv {
+    /// Creates an environment with the given RNG seed, virtual time, and the
+    /// clock at zero.
+    pub fn with_seed(seed: u64) -> SimEnv {
+        SimEnv {
+            clock: SimClock::new(),
+            rng: SharedRng::new(seed),
+            mode: Arc::new(TimeMode::Virtual),
+        }
+    }
+
+    /// Creates an environment whose services *really sleep* their modeled
+    /// latency multiplied by `scale` (e.g. `0.01` turns a modeled 100 ms
+    /// into a real 1 ms). Use for wall-clock benchmarks of threaded paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is negative or not finite.
+    pub fn with_seed_scaled(seed: u64, scale: f64) -> SimEnv {
+        assert!(scale.is_finite() && scale >= 0.0, "scale must be >= 0");
+        SimEnv {
+            clock: SimClock::new(),
+            rng: SharedRng::new(seed),
+            mode: Arc::new(TimeMode::Scaled(scale)),
+        }
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The shared random stream.
+    pub fn rng(&self) -> &SharedRng {
+        &self.rng
+    }
+
+    /// How modeled latency is realized; see [`TimeMode`].
+    pub fn time_mode(&self) -> &TimeMode {
+        &self.mode
+    }
+}
+
+impl Default for SimEnv {
+    fn default() -> SimEnv {
+        SimEnv::with_seed(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_clock_and_rng() {
+        let a = SimEnv::with_seed(1);
+        let b = a.clone();
+        a.clock().advance(std::time::Duration::from_secs(1));
+        assert_eq!(b.clock().now(), a.clock().now());
+        let x = a.rng().next_u64();
+        let y = b.rng().next_u64();
+        assert_ne!(x, y, "clones draw from one shared stream");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn negative_scale_rejected() {
+        let _ = SimEnv::with_seed_scaled(0, -1.0);
+    }
+}

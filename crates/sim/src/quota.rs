@@ -1,0 +1,167 @@
+//! Fixed-window invocation quotas.
+//!
+//! §2.2: "For some services, the client may have a limited quota of service
+//! invocations in a time period (e.g. one day). There is thus an incentive
+//! to limit the number of service invocations." Caching exists in large
+//! part to stay under these quotas; experiment E1 measures exactly that.
+
+use crate::clock::SimTime;
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// A fixed-window rate limit: at most `limit` calls per `window`.
+///
+/// Thread-safe; a service holds one and consumes from it per call.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_sim::quota::Quota;
+/// use cogsdk_sim::SimTime;
+/// use std::time::Duration;
+///
+/// let q = Quota::new(2, Duration::from_secs(60));
+/// assert!(q.try_consume(SimTime::ZERO));
+/// assert!(q.try_consume(SimTime::ZERO));
+/// assert!(!q.try_consume(SimTime::ZERO)); // exhausted
+/// // A new window resets the budget.
+/// assert!(q.try_consume(SimTime::from_millis(60_001)));
+/// ```
+#[derive(Debug)]
+pub struct Quota {
+    limit: u64,
+    window: Duration,
+    state: Mutex<WindowState>,
+}
+
+#[derive(Debug, Default)]
+struct WindowState {
+    window_start: SimTime,
+    used: u64,
+    total_used: u64,
+    total_rejected: u64,
+}
+
+impl Quota {
+    /// Creates a quota of `limit` calls per `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(limit: u64, window: Duration) -> Quota {
+        assert!(!window.is_zero(), "quota window must be positive");
+        Quota {
+            limit,
+            window,
+            state: Mutex::new(WindowState::default()),
+        }
+    }
+
+    /// An effectively unlimited quota.
+    pub fn unlimited() -> Quota {
+        Quota::new(u64::MAX, Duration::from_secs(1))
+    }
+
+    /// Attempts to consume one call at virtual time `now`. Returns `false`
+    /// if the current window's budget is exhausted.
+    pub fn try_consume(&self, now: SimTime) -> bool {
+        let mut s = self.state.lock();
+        if now.since(s.window_start) >= self.window {
+            // Fixed windows anchored at the first call of each window.
+            s.window_start = now;
+            s.used = 0;
+        }
+        if s.used < self.limit {
+            s.used += 1;
+            s.total_used += 1;
+            true
+        } else {
+            s.total_rejected += 1;
+            false
+        }
+    }
+
+    /// Remaining budget in the window active at `now`.
+    pub fn remaining(&self, now: SimTime) -> u64 {
+        let s = self.state.lock();
+        if now.since(s.window_start) >= self.window {
+            self.limit
+        } else {
+            self.limit - s.used.min(self.limit)
+        }
+    }
+
+    /// Lifetime counters: `(granted, rejected)`.
+    pub fn totals(&self) -> (u64, u64) {
+        let s = self.state.lock();
+        (s.total_used, s.total_rejected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enforces_limit_within_window() {
+        let q = Quota::new(3, Duration::from_secs(10));
+        let now = SimTime::ZERO;
+        assert!(q.try_consume(now));
+        assert!(q.try_consume(now));
+        assert!(q.try_consume(now));
+        assert!(!q.try_consume(now));
+        assert_eq!(q.remaining(now), 0);
+        assert_eq!(q.totals(), (3, 1));
+    }
+
+    #[test]
+    fn window_rollover_resets_budget() {
+        let q = Quota::new(1, Duration::from_secs(1));
+        assert!(q.try_consume(SimTime::ZERO));
+        assert!(!q.try_consume(SimTime::from_millis(999)));
+        assert!(q.try_consume(SimTime::from_millis(1_000)));
+    }
+
+    #[test]
+    fn remaining_reports_full_budget_after_window() {
+        let q = Quota::new(5, Duration::from_secs(1));
+        q.try_consume(SimTime::ZERO);
+        assert_eq!(q.remaining(SimTime::ZERO), 4);
+        assert_eq!(q.remaining(SimTime::from_millis(2_000)), 5);
+    }
+
+    #[test]
+    fn unlimited_never_rejects() {
+        let q = Quota::unlimited();
+        for i in 0..10_000 {
+            assert!(q.try_consume(SimTime::from_micros(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = Quota::new(1, Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_consumption_respects_limit() {
+        let q = std::sync::Arc::new(Quota::new(1_000, Duration::from_secs(3600)));
+        let granted: usize = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        (0..500)
+                            .filter(|_| q.try_consume(SimTime::ZERO))
+                            .count()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(granted, 1_000);
+    }
+}

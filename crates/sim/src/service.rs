@@ -1,0 +1,597 @@
+//! A simulated remote service endpoint.
+//!
+//! [`SimService`] plays the role of one cloud endpoint (an NLU service, a
+//! search engine, a storage service…). It combines a request handler with a
+//! latency model, failure plan, cost model, quota and timeout, and exposes
+//! exactly what a remote HTTP endpoint exposes to a client: a JSON response
+//! or an error, after some latency, for some monetary cost.
+
+use crate::clock::SimTime;
+use crate::cost::{CostModel, MicroDollars};
+use crate::failure::{FailureKind, FailurePlan};
+use crate::latency::LatencyModel;
+use crate::quota::Quota;
+use crate::rng::Rng;
+use crate::SimEnv;
+use cogsdk_json::Json;
+use parking_lot::Mutex;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A request to a (simulated) remote service.
+///
+/// `params` carries the paper's *latency parameters* (§2): named numeric
+/// features such as payload size that a latency predictor may condition on.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_sim::Request;
+/// use cogsdk_json::json;
+///
+/// let req = Request::new("analyze", json!({"text": "hello"}))
+///     .with_param("text_len", 5.0);
+/// assert_eq!(req.param("text_len"), Some(5.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The operation name (think: URL path).
+    pub operation: String,
+    /// The JSON body.
+    pub payload: Json,
+    /// Named latency parameters for prediction (§2).
+    pub params: Vec<(String, f64)>,
+}
+
+impl Request {
+    /// Creates a request for `operation` with the given JSON body.
+    pub fn new(operation: impl Into<String>, payload: Json) -> Request {
+        Request {
+            operation: operation.into(),
+            payload,
+            params: Vec::new(),
+        }
+    }
+
+    /// Attaches a named latency parameter.
+    pub fn with_param(mut self, name: impl Into<String>, value: f64) -> Request {
+        self.params.push((name.into(), value));
+        self
+    }
+
+    /// Looks up a latency parameter by name.
+    pub fn param(&self, name: &str) -> Option<f64> {
+        self.params
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The payload size in bytes; the default latency parameter.
+    pub fn size_bytes(&self) -> usize {
+        self.payload.size_bytes()
+    }
+
+    /// A stable key identifying this request for caching: operation plus
+    /// serialized payload.
+    pub fn cache_key(&self) -> String {
+        format!("{}::{}", self.operation, self.payload.to_json())
+    }
+}
+
+/// A successful service response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The JSON body returned by the service.
+    pub payload: Json,
+}
+
+impl Response {
+    /// Creates a response around a JSON body.
+    pub fn new(payload: Json) -> Response {
+        Response { payload }
+    }
+
+    /// The response size in bytes (for bandwidth accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.payload.size_bytes()
+    }
+}
+
+/// Why a service call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No response within the service timeout.
+    Timeout,
+    /// The service is unavailable (outage or 5xx).
+    Unavailable,
+    /// The invocation quota for the current window is exhausted.
+    QuotaExceeded,
+    /// The request was rejected by the service as invalid.
+    BadRequest(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Timeout => write!(f, "service call timed out"),
+            ServiceError::Unavailable => write!(f, "service unavailable"),
+            ServiceError::QuotaExceeded => write!(f, "invocation quota exceeded"),
+            ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl Error for ServiceError {}
+
+impl ServiceError {
+    /// Whether retrying the same service later could plausibly succeed.
+    /// Quota and bad-request failures are not retryable; see §2.1.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServiceError::Timeout | ServiceError::Unavailable)
+    }
+}
+
+/// Everything observable about one service invocation.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The response or the failure.
+    pub result: Result<Response, ServiceError>,
+    /// Time the call took (virtual).
+    pub latency: Duration,
+    /// Monetary charge incurred (zero for failed calls).
+    pub cost: MicroDollars,
+    /// Virtual time at which the call started.
+    pub started: SimTime,
+}
+
+/// The server-side logic of a simulated service.
+pub type Handler = dyn Fn(&Request) -> Result<Json, String> + Send + Sync;
+
+/// One simulated remote endpoint.
+///
+/// Construct with [`SimService::builder`]. Cheap to share via `Arc`; all
+/// internal state is thread-safe.
+pub struct SimService {
+    name: String,
+    class: String,
+    latency: LatencyModel,
+    failures: FailurePlan,
+    cost: CostModel,
+    quota: Quota,
+    timeout: Duration,
+    quality: f64,
+    handler: Box<Handler>,
+    env: SimEnv,
+    rng: Mutex<Rng>,
+    calls: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl fmt::Debug for SimService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimService")
+            .field("name", &self.name)
+            .field("class", &self.class)
+            .field("latency", &self.latency)
+            .field("quality", &self.quality)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimService {
+    /// Starts building a service with the given unique name and
+    /// functionality class (services in one class are interchangeable
+    /// candidates for selection, §2.1).
+    pub fn builder(name: impl Into<String>, class: impl Into<String>) -> SimServiceBuilder {
+        SimServiceBuilder {
+            name: name.into(),
+            class: class.into(),
+            latency: LatencyModel::constant_ms(10.0),
+            failures: FailurePlan::reliable(),
+            cost: CostModel::Free,
+            quota: None,
+            timeout: Duration::from_secs(5),
+            quality: 0.8,
+        }
+    }
+
+    /// The service's unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The functionality class (e.g. `"nlu"`, `"search"`, `"storage"`).
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+
+    /// The intrinsic quality of this service's responses in `[0, 1]`.
+    /// Experiments use this as ground truth when evaluating the SDK's
+    /// quality raters.
+    pub fn quality(&self) -> f64 {
+        self.quality
+    }
+
+    /// The latency model (exposed so experiments can compute ground-truth
+    /// expectations).
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The per-call timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Realizes a client-side delay (e.g. retry backoff) on this
+    /// service's timeline: advances the virtual clock and sleeps in
+    /// scaled time mode.
+    pub fn realize_delay(&self, delay: Duration) {
+        self.env.time_mode().realize(self.env.clock(), delay);
+    }
+
+    /// Lifetime counters `(calls, failures)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.calls.load(Ordering::Relaxed),
+            self.failed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Invokes the service synchronously, producing a full [`Outcome`].
+    ///
+    /// The modeled latency advances the shared virtual clock (and sleeps in
+    /// scaled time mode). Failed calls incur no monetary cost; timeouts
+    /// consume the full timeout budget.
+    pub fn invoke(&self, request: &Request) -> Outcome {
+        let started = self.env.clock().now();
+        let call_index = self.calls.fetch_add(1, Ordering::Relaxed);
+
+        if !self.quota.try_consume(started) {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            // Quota rejection is local bookkeeping: near-instant, free.
+            let latency = Duration::from_micros(50);
+            self.env.time_mode().realize(self.env.clock(), latency);
+            return Outcome {
+                result: Err(ServiceError::QuotaExceeded),
+                latency,
+                cost: MicroDollars::ZERO,
+                started,
+            };
+        }
+
+        if let Some(kind) = {
+            let mut rng = self.rng.lock();
+            self.failures.decide(started, &mut rng)
+        } {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            let latency = FailurePlan::failure_latency(kind, self.timeout);
+            self.env.time_mode().realize(self.env.clock(), latency);
+            let err = match kind {
+                FailureKind::Timeout => ServiceError::Timeout,
+                FailureKind::ServerError | FailureKind::Outage => ServiceError::Unavailable,
+            };
+            return Outcome {
+                result: Err(err),
+                latency,
+                cost: MicroDollars::ZERO,
+                started,
+            };
+        }
+
+        let sampled = {
+            let mut rng = self.rng.lock();
+            let base = self.latency.sample(&mut rng, request.size_bytes());
+            // Brown-outs (§2's time-varying performance): the call still
+            // succeeds, just slower.
+            base.mul_f64(self.failures.latency_factor(started))
+        };
+        if sampled > self.timeout {
+            // The request would have taken too long: the client observes a
+            // timeout after exactly its timeout budget.
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            self.env.time_mode().realize(self.env.clock(), self.timeout);
+            return Outcome {
+                result: Err(ServiceError::Timeout),
+                latency: self.timeout,
+                cost: MicroDollars::ZERO,
+                started,
+            };
+        }
+
+        self.env.time_mode().realize(self.env.clock(), sampled);
+        match (self.handler)(request) {
+            Ok(payload) => Outcome {
+                result: Ok(Response::new(payload)),
+                latency: sampled,
+                cost: self.cost.charge(call_index, request.size_bytes()),
+                started,
+            },
+            Err(msg) => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                Outcome {
+                    result: Err(ServiceError::BadRequest(msg)),
+                    latency: sampled,
+                    cost: MicroDollars::ZERO,
+                    started,
+                }
+            }
+        }
+    }
+}
+
+/// Builder for [`SimService`]; see [`SimService::builder`].
+pub struct SimServiceBuilder {
+    name: String,
+    class: String,
+    latency: LatencyModel,
+    failures: FailurePlan,
+    cost: CostModel,
+    quota: Option<Quota>,
+    timeout: Duration,
+    quality: f64,
+}
+
+impl fmt::Debug for SimServiceBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimServiceBuilder")
+            .field("name", &self.name)
+            .field("class", &self.class)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimServiceBuilder {
+    /// Sets the latency model (default: constant 10 ms).
+    pub fn latency(mut self, model: LatencyModel) -> Self {
+        self.latency = model;
+        self
+    }
+
+    /// Sets the failure plan (default: reliable).
+    pub fn failures(mut self, plan: FailurePlan) -> Self {
+        self.failures = plan;
+        self
+    }
+
+    /// Sets the cost model (default: free).
+    pub fn cost(mut self, model: CostModel) -> Self {
+        self.cost = model;
+        self
+    }
+
+    /// Sets an invocation quota (default: unlimited).
+    pub fn quota(mut self, quota: Quota) -> Self {
+        self.quota = Some(quota);
+        self
+    }
+
+    /// Sets the per-call timeout (default: 5 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        assert!(!timeout.is_zero(), "timeout must be positive");
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets the intrinsic response quality in `[0, 1]` (default: 0.8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quality` is outside `[0, 1]`.
+    pub fn quality(mut self, quality: f64) -> Self {
+        assert!((0.0..=1.0).contains(&quality), "quality must be in [0, 1]");
+        self.quality = quality;
+        self
+    }
+
+    /// Sets the server-side handler. A service without a handler echoes
+    /// its request payload.
+    pub fn handler(
+        self,
+        f: impl Fn(&Request) -> Result<Json, String> + Send + Sync + 'static,
+    ) -> SimServiceBuilderWithHandler {
+        SimServiceBuilderWithHandler {
+            inner: self,
+            handler: Box::new(f),
+        }
+    }
+
+    /// Builds the service with the default echo handler.
+    pub fn build(self, env: &SimEnv) -> Arc<SimService> {
+        self.handler(|req| Ok(req.payload.clone())).build(env)
+    }
+}
+
+/// Final builder stage carrying the handler.
+pub struct SimServiceBuilderWithHandler {
+    inner: SimServiceBuilder,
+    handler: Box<Handler>,
+}
+
+impl fmt::Debug for SimServiceBuilderWithHandler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimServiceBuilderWithHandler")
+            .field("name", &self.inner.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimServiceBuilderWithHandler {
+    /// Builds the service, binding it to `env`'s clock, RNG and time mode.
+    pub fn build(self, env: &SimEnv) -> Arc<SimService> {
+        let b = self.inner;
+        Arc::new(SimService {
+            rng: Mutex::new(env.rng().fork()),
+            name: b.name,
+            class: b.class,
+            latency: b.latency,
+            failures: b.failures,
+            cost: b.cost,
+            quota: b.quota.unwrap_or_else(Quota::unlimited),
+            timeout: b.timeout,
+            quality: b.quality,
+            handler: self.handler,
+            env: env.clone(),
+            calls: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::OutageWindow;
+    use cogsdk_json::json;
+
+    fn env() -> SimEnv {
+        SimEnv::with_seed(42)
+    }
+
+    #[test]
+    fn echo_service_round_trips_payload() {
+        let env = env();
+        let svc = SimService::builder("echo", "demo").build(&env);
+        let out = svc.invoke(&Request::new("op", json!({"k": 1})));
+        assert_eq!(out.result.unwrap().payload, json!({"k": 1}));
+        assert_eq!(out.latency, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn invocation_advances_virtual_clock() {
+        let env = env();
+        let svc = SimService::builder("svc", "demo")
+            .latency(LatencyModel::constant_ms(25.0))
+            .build(&env);
+        svc.invoke(&Request::new("op", Json::Null));
+        assert_eq!(env.clock().now().as_micros(), 25_000);
+    }
+
+    #[test]
+    fn handler_error_becomes_bad_request() {
+        let env = env();
+        let svc = SimService::builder("svc", "demo")
+            .handler(|_| Err("missing field".into()))
+            .build(&env);
+        let out = svc.invoke(&Request::new("op", Json::Null));
+        assert_eq!(
+            out.result.unwrap_err(),
+            ServiceError::BadRequest("missing field".into())
+        );
+        assert_eq!(out.cost, MicroDollars::ZERO);
+    }
+
+    #[test]
+    fn latency_beyond_timeout_is_a_timeout() {
+        let env = env();
+        let svc = SimService::builder("slow", "demo")
+            .latency(LatencyModel::constant_ms(10_000.0))
+            .timeout(Duration::from_millis(100))
+            .build(&env);
+        let out = svc.invoke(&Request::new("op", Json::Null));
+        assert_eq!(out.result.unwrap_err(), ServiceError::Timeout);
+        assert_eq!(out.latency, Duration::from_millis(100));
+        assert_eq!(env.clock().now().as_micros(), 100_000);
+    }
+
+    #[test]
+    fn quota_exhaustion_rejects_cheaply() {
+        let env = env();
+        let svc = SimService::builder("limited", "demo")
+            .quota(Quota::new(1, Duration::from_secs(3600)))
+            .build(&env);
+        let req = Request::new("op", Json::Null);
+        assert!(svc.invoke(&req).result.is_ok());
+        let out = svc.invoke(&req);
+        assert_eq!(out.result.unwrap_err(), ServiceError::QuotaExceeded);
+        assert!(out.latency < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn outage_makes_service_unavailable() {
+        let env = env();
+        let svc = SimService::builder("svc", "demo")
+            .failures(FailurePlan::reliable().with_outage(OutageWindow::new(
+                SimTime::ZERO,
+                SimTime::from_millis(1_000),
+            )))
+            .build(&env);
+        let out = svc.invoke(&Request::new("op", Json::Null));
+        assert_eq!(out.result.unwrap_err(), ServiceError::Unavailable);
+        // After the outage the service recovers.
+        env.clock().advance(Duration::from_secs(2));
+        assert!(svc.invoke(&Request::new("op", Json::Null)).result.is_ok());
+    }
+
+    #[test]
+    fn flaky_service_fails_at_configured_rate() {
+        let env = env();
+        let svc = SimService::builder("flaky", "demo")
+            .latency(LatencyModel::constant_ms(1.0))
+            .failures(FailurePlan::flaky(0.3))
+            .build(&env);
+        let n = 5_000;
+        let failures = (0..n)
+            .filter(|_| svc.invoke(&Request::new("op", Json::Null)).result.is_err())
+            .count();
+        let rate = failures as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "rate={rate}");
+        let (calls, failed) = svc.stats();
+        assert_eq!(calls, n as u64);
+        assert_eq!(failed, failures as u64);
+    }
+
+    #[test]
+    fn successful_calls_are_charged_failures_are_not() {
+        let env = env();
+        let svc = SimService::builder("paid", "demo")
+            .cost(CostModel::PerCall(MicroDollars::from_micros(100)))
+            .failures(FailurePlan::flaky(0.5))
+            .latency(LatencyModel::constant_ms(1.0))
+            .build(&env);
+        for _ in 0..100 {
+            let out = svc.invoke(&Request::new("op", Json::Null));
+            match out.result {
+                Ok(_) => assert_eq!(out.cost.as_micros(), 100),
+                Err(_) => assert_eq!(out.cost, MicroDollars::ZERO),
+            }
+        }
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(ServiceError::Timeout.is_retryable());
+        assert!(ServiceError::Unavailable.is_retryable());
+        assert!(!ServiceError::QuotaExceeded.is_retryable());
+        assert!(!ServiceError::BadRequest("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn cache_key_distinguishes_payloads_and_operations() {
+        let a = Request::new("op1", json!({"x": 1}));
+        let b = Request::new("op1", json!({"x": 2}));
+        let c = Request::new("op2", json!({"x": 1}));
+        assert_ne!(a.cache_key(), b.cache_key());
+        assert_ne!(a.cache_key(), c.cache_key());
+        assert_eq!(a.cache_key(), a.clone().cache_key());
+    }
+
+    #[test]
+    fn service_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Arc<SimService>>();
+    }
+}

@@ -1,0 +1,121 @@
+//! Correlation measures.
+//!
+//! §2: "Latency values can also be correlated with one or more parameters."
+//! These functions quantify that correlation so the SDK can decide whether
+//! a latency parameter is worth conditioning a predictor on.
+
+use crate::StatsError;
+
+/// Pearson product-moment correlation coefficient in `[-1, 1]`.
+///
+/// # Errors
+///
+/// Returns [`StatsError`] if the slices differ in length, have fewer than
+/// two elements, or either is constant.
+///
+/// # Examples
+///
+/// ```
+/// let r = cogsdk_stats::pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::new("x and y must have equal length"));
+    }
+    if x.len() < 2 {
+        return Err(StatsError::new("correlation needs at least two points"));
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (xi, yi) in x.iter().zip(y) {
+        sxy += (xi - mx) * (yi - my);
+        sxx += (xi - mx).powi(2);
+        syy += (yi - my).powi(2);
+    }
+    if sxx.abs() < 1e-12 || syy.abs() < 1e-12 {
+        return Err(StatsError::new("correlation undefined for constant input"));
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation: Pearson over the ranks, robust to monotone
+/// nonlinearity. Ties receive their average rank.
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Average ranks (1-based) with ties sharing their mean rank.
+fn ranks(data: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.sort_by(|&a, &b| data[a].total_cmp(&data[b]));
+    let mut out = vec![0.0; data.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && data[idx[j + 1]] == data[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j all tie: average their 1-based ranks.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, -1.0, 1.0, -1.0];
+        let r = pearson(&x, &y).unwrap();
+        assert!(r.abs() < 0.5, "r={r}");
+    }
+
+    #[test]
+    fn constant_input_errors() {
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[5.0, 5.0]).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_errors() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_sees_monotone_nonlinear_as_perfect() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|x: &f64| x.exp()).collect();
+        let p = pearson(&x, &y).unwrap();
+        let s = spearman(&x, &y).unwrap();
+        assert!(s > 0.999, "s={s}");
+        assert!(p < s, "pearson {p} should be below spearman {s}");
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Descriptive statistics over slices of `f64`.
+
+use crate::StatsError;
+
+/// Arithmetic mean; `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cogsdk_stats::descriptive::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(cogsdk_stats::descriptive::mean(&[]), None);
+/// ```
+pub fn mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() {
+        None
+    } else {
+        Some(data.iter().sum::<f64>() / data.len() as f64)
+    }
+}
+
+/// Median (average of the two middle elements for even lengths); `None`
+/// for an empty slice.
+pub fn median(data: &[f64]) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    Some(if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    })
+}
+
+/// Population variance; `None` for an empty slice.
+pub fn variance(data: &[f64]) -> Option<f64> {
+    let m = mean(data)?;
+    Some(data.iter().map(|x| (x - m).powi(2)).sum::<f64>() / data.len() as f64)
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn std_dev(data: &[f64]) -> Option<f64> {
+    variance(data).map(f64::sqrt)
+}
+
+/// The `q`-th percentile (0–100) using linear interpolation between order
+/// statistics; `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 100]`.
+pub fn percentile(data: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&q), "percentile must be in [0, 100]");
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// A one-pass summary of a data set.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_stats::Summary;
+///
+/// let s = Summary::from_slice(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// assert_eq!(s.mean(), 2.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    variance: f64,
+    min: f64,
+    max: f64,
+    median: f64,
+    p95: f64,
+    p99: f64,
+}
+
+impl Summary {
+    /// Summarizes `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `data` is empty.
+    pub fn from_slice(data: &[f64]) -> Result<Summary, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::new("summary of empty data"));
+        }
+        Ok(Summary {
+            count: data.len(),
+            mean: mean(data).expect("nonempty"),
+            variance: variance(data).expect("nonempty"),
+            min: data.iter().copied().fold(f64::INFINITY, f64::min),
+            max: data.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            median: median(data).expect("nonempty"),
+            p95: percentile(data, 95.0).expect("nonempty"),
+            p99: percentile(data, 99.0).expect("nonempty"),
+        })
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Median observation.
+    pub fn median(&self) -> f64 {
+        self.median
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.p95
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.p99
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} med={:.3} p95={:.3} p99={:.3} max={:.3}",
+            self.count,
+            self.mean,
+            self.std_dev(),
+            self.min,
+            self.median,
+            self.p95,
+            self.p99,
+            self.max
+        )
+    }
+}
+
+/// A fixed-bucket histogram for latency distributions (§2: the SDK
+/// "maintains histories of latencies allowing users to compare latency
+/// distributions").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `buckets` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Histogram {
+        assert!(lo < hi, "histogram bounds out of order");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.buckets.len();
+            let width = (self.hi - self.lo) / n as f64;
+            let idx = (((value - self.lo) / width) as usize).min(n - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Counts per bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total recorded observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_of_known_data() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&data), Some(5.0));
+        assert_eq!(median(&data), Some(4.5));
+        assert_eq!(std_dev(&data), Some(2.0));
+    }
+
+    #[test]
+    fn median_odd_length() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(variance(&[]), None);
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&data, 0.0), Some(10.0));
+        assert_eq!(percentile(&data, 100.0), Some(40.0));
+        assert_eq!(percentile(&data, 50.0), Some(25.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 100]")]
+    fn percentile_rejects_out_of_range_q() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn summary_matches_parts() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = Summary::from_slice(&data).unwrap();
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.count(), 5);
+        assert!(s.to_string().contains("n=5"));
+    }
+
+    #[test]
+    fn summary_of_empty_errors() {
+        assert!(Summary::from_slice(&[]).is_err());
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [0.5, 1.0, 2.5, 9.9, 10.0, -1.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn histogram_rejects_bad_bounds() {
+        let _ = Histogram::new(5.0, 5.0, 3);
+    }
+}

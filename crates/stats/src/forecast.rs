@@ -1,0 +1,164 @@
+//! Time-weighted forecasting.
+//!
+//! Latency series drift as services warm up, degrade, and recover. An
+//! exponentially weighted moving average tracks the recent regime instead
+//! of averaging over all history; the SDK offers it as one of its latency
+//! predictors (experiment E4 compares them).
+
+/// An exponentially weighted moving average.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_stats::Ewma;
+///
+/// let mut ewma = Ewma::new(0.5);
+/// ewma.observe(10.0);
+/// ewma.observe(20.0);
+/// assert_eq!(ewma.value(), Some(15.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+    count: u64,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` (higher = faster to
+    /// follow recent observations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`.
+    pub fn new(alpha: f64) -> Ewma {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        Ewma {
+            alpha,
+            value: None,
+            count: 0,
+        }
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        self.value = Some(match self.value {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        });
+    }
+
+    /// The current smoothed value; `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Number of observations consumed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// A fixed-capacity sliding window mean, the simpler alternative to
+/// [`Ewma`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlidingMean {
+    capacity: usize,
+    window: std::collections::VecDeque<f64>,
+    sum: f64,
+}
+
+impl SlidingMean {
+    /// Creates a window holding the last `capacity` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> SlidingMean {
+        assert!(capacity > 0, "capacity must be positive");
+        SlidingMean {
+            capacity,
+            window: std::collections::VecDeque::with_capacity(capacity),
+            sum: 0.0,
+        }
+    }
+
+    /// Feeds one observation, evicting the oldest if full.
+    pub fn observe(&mut self, x: f64) {
+        if self.window.len() == self.capacity {
+            self.sum -= self.window.pop_front().expect("window is full");
+        }
+        self.window.push_back(x);
+        self.sum += x;
+    }
+
+    /// The current window mean; `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.window.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_starts_at_first_observation() {
+        let mut e = Ewma::new(0.2);
+        assert_eq!(e.value(), None);
+        e.observe(42.0);
+        assert_eq!(e.value(), Some(42.0));
+        assert_eq!(e.count(), 1);
+    }
+
+    #[test]
+    fn ewma_tracks_regime_change_faster_than_global_mean() {
+        let mut e = Ewma::new(0.3);
+        let mut all = Vec::new();
+        for _ in 0..50 {
+            e.observe(10.0);
+        }
+        all.extend(std::iter::repeat_n(10.0, 50));
+        for _ in 0..10 {
+            e.observe(100.0);
+        }
+        all.extend(std::iter::repeat_n(100.0, 10));
+        let global_mean = all.iter().sum::<f64>() / all.len() as f64;
+        let ewma = e.value().unwrap();
+        assert!(
+            ewma > global_mean + 40.0,
+            "ewma {ewma} should react faster than mean {global_mean}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_zero_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn sliding_mean_evicts_oldest() {
+        let mut s = SlidingMean::new(2);
+        assert_eq!(s.value(), None);
+        s.observe(1.0);
+        s.observe(3.0);
+        assert_eq!(s.value(), Some(2.0));
+        s.observe(5.0); // evicts 1.0
+        assert_eq!(s.value(), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn sliding_mean_rejects_zero_capacity() {
+        let _ = SlidingMean::new(0);
+    }
+}

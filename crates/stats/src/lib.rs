@@ -1,0 +1,63 @@
+//! Statistical and mathematical analysis for the cogsdk workspace.
+//!
+//! The paper's personalized knowledge base "has the ability to perform
+//! statistical and mathematical analysis on numerical data. Regression
+//! analysis can be used to predict new data values from existing values"
+//! (§3), using the Apache Commons Math library. This crate is the in-repo
+//! substitute: descriptive statistics, ordinary-least-squares and
+//! polynomial regression, correlation, exponential smoothing, and the small
+//! dense linear algebra they need.
+//!
+//! The rich SDK also uses this crate for latency prediction conditioned on
+//! *latency parameters* (§2).
+//!
+//! # Examples
+//!
+//! ```
+//! use cogsdk_stats::regression::LinearRegression;
+//!
+//! // Latency grows linearly with payload size: recover the trend.
+//! let sizes = [1.0, 2.0, 3.0, 4.0];
+//! let latencies = [10.0, 12.0, 14.0, 16.0];
+//! let fit = LinearRegression::fit(&sizes, &latencies).unwrap();
+//! assert!((fit.slope() - 2.0).abs() < 1e-9);
+//! assert!((fit.predict(10.0) - 28.0).abs() < 1e-9);
+//! ```
+
+pub mod correlation;
+pub mod descriptive;
+pub mod forecast;
+pub mod matrix;
+pub mod regression;
+
+pub use correlation::{pearson, spearman};
+pub use descriptive::Summary;
+pub use forecast::Ewma;
+pub use matrix::Matrix;
+pub use regression::{LinearRegression, MultipleRegression, PolynomialRegression};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a statistical computation is undefined for its
+/// input (too few points, degenerate design matrix, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsError {
+    message: String,
+}
+
+impl StatsError {
+    pub(crate) fn new(message: impl Into<String>) -> StatsError {
+        StatsError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "statistics error: {}", self.message)
+    }
+}
+
+impl Error for StatsError {}

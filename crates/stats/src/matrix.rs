@@ -1,0 +1,288 @@
+//! Small dense matrices and linear solving — just enough linear algebra
+//! for least-squares normal equations.
+
+use crate::StatsError;
+use std::fmt;
+
+/// A row-major dense matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_stats::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
+/// let x = a.solve(&[2.0, 8.0]).unwrap();
+/// assert_eq!(x, vec![1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `rows` is empty or ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Matrix, StatsError> {
+        let r = rows.len();
+        if r == 0 {
+            return Err(StatsError::new("matrix needs at least one row"));
+        }
+        let c = rows[0].len();
+        if c == 0 || rows.iter().any(|row| row.len() != c) {
+            return Err(StatsError::new("matrix rows must be nonempty and equal length"));
+        }
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets element `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if the inner dimensions disagree.
+    pub fn mul(&self, other: &Matrix) -> Result<Matrix, StatsError> {
+        if self.cols != other.rows {
+            return Err(StatsError::new("matrix product dimension mismatch"));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.set(i, j, out.get(i, j) + a * other.get(k, j));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if v.len() != self.cols {
+            return Err(StatsError::new("matrix-vector dimension mismatch"));
+        }
+        Ok((0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self.get(i, j) * v[j]).sum())
+            .collect())
+    }
+
+    /// Solves `self * x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if the matrix is not square, the dimensions
+    /// disagree, or the system is singular (to working precision).
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if self.rows != self.cols {
+            return Err(StatsError::new("solve requires a square matrix"));
+        }
+        if b.len() != self.rows {
+            return Err(StatsError::new("solve right-hand side length mismatch"));
+        }
+        let n = self.rows;
+        // Augmented matrix [A | b].
+        let mut a = vec![0.0; n * (n + 1)];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * (n + 1) + j] = self.get(i, j);
+            }
+            a[i * (n + 1) + n] = b[i];
+        }
+        for col in 0..n {
+            // Partial pivot: largest magnitude in this column.
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| {
+                    a[r1 * (n + 1) + col]
+                        .abs()
+                        .total_cmp(&a[r2 * (n + 1) + col].abs())
+                })
+                .expect("nonempty range");
+            let pivot = a[pivot_row * (n + 1) + col];
+            if pivot.abs() < 1e-12 {
+                return Err(StatsError::new("singular system"));
+            }
+            if pivot_row != col {
+                for j in 0..=n {
+                    a.swap(col * (n + 1) + j, pivot_row * (n + 1) + j);
+                }
+            }
+            for row in 0..n {
+                if row == col {
+                    continue;
+                }
+                let factor = a[row * (n + 1) + col] / a[col * (n + 1) + col];
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..=n {
+                    a[row * (n + 1) + j] -= factor * a[col * (n + 1) + j];
+                }
+            }
+        }
+        Ok((0..n)
+            .map(|i| a[i * (n + 1) + n] / a[i * (n + 1) + i])
+            .collect())
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:10.4}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_and_multiply() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let at = a.transpose();
+        assert_eq!(at.rows(), 2);
+        assert_eq!(at.cols(), 3);
+        let ata = at.mul(&a).unwrap();
+        assert_eq!(ata.get(0, 0), 35.0);
+        assert_eq!(ata.get(0, 1), 44.0);
+        assert_eq!(ata.get(1, 1), 56.0);
+    }
+
+    #[test]
+    fn solve_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        assert_eq!(a.solve(&[3.0, 4.0]).unwrap(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert_eq!(a.solve(&[5.0, 7.0]).unwrap(), vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn solve_general_3x3() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, -1.0],
+            &[-3.0, -1.0, 2.0],
+            &[-2.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (got, want) in x.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-9, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn solve_singular_errors() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(a.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        assert!(a.solve(&[1.0]).is_err());
+        assert!(a.mul(&a).is_err());
+        assert!(a.mul_vec(&[1.0]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[&[1.0], [1.0, 2.0][..].as_ref()]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_computes_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.mul_vec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a.get(2, 0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Regression analysis: simple, multiple, and polynomial least squares.
+//!
+//! Used by the rich SDK to predict service latency from latency parameters
+//! (§2) and by the knowledge base for predictive analytics (§3, Fig. 5).
+
+use crate::matrix::Matrix;
+use crate::StatsError;
+
+/// Simple ordinary-least-squares fit `y = intercept + slope * x`.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_stats::LinearRegression;
+///
+/// let fit = LinearRegression::fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]).unwrap();
+/// assert!((fit.intercept() - 1.0).abs() < 1e-12);
+/// assert!((fit.slope() - 2.0).abs() < 1e-12);
+/// assert!(fit.r_squared() > 0.999);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    intercept: f64,
+    slope: f64,
+    r_squared: f64,
+    n: usize,
+}
+
+impl LinearRegression {
+    /// Fits the least-squares line through `(x[i], y[i])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if fewer than two points are given, the
+    /// lengths differ, or all `x` values are identical.
+    pub fn fit(x: &[f64], y: &[f64]) -> Result<LinearRegression, StatsError> {
+        if x.len() != y.len() {
+            return Err(StatsError::new("x and y must have equal length"));
+        }
+        if x.len() < 2 {
+            return Err(StatsError::new("regression needs at least two points"));
+        }
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let sxx: f64 = x.iter().map(|xi| (xi - mx).powi(2)).sum();
+        if sxx.abs() < 1e-12 {
+            return Err(StatsError::new("all x values identical"));
+        }
+        let sxy: f64 = x.iter().zip(y).map(|(xi, yi)| (xi - mx) * (yi - my)).sum();
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let ss_tot: f64 = y.iter().map(|yi| (yi - my).powi(2)).sum();
+        let ss_res: f64 = x
+            .iter()
+            .zip(y)
+            .map(|(xi, yi)| (yi - (intercept + slope * xi)).powi(2))
+            .sum();
+        let r_squared = if ss_tot.abs() < 1e-12 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Ok(LinearRegression {
+            intercept,
+            slope,
+            r_squared,
+            n: x.len(),
+        })
+    }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// The fitted slope.
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+
+    /// The coefficient of determination R².
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Number of points the model was fitted on.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Predicts `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Multiple linear regression `y = b0 + b1*x1 + … + bk*xk` via normal
+/// equations.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_stats::MultipleRegression;
+///
+/// // y = 1 + 2*a + 3*b
+/// let rows = vec![
+///     (vec![0.0, 0.0], 1.0),
+///     (vec![1.0, 0.0], 3.0),
+///     (vec![0.0, 1.0], 4.0),
+///     (vec![1.0, 1.0], 6.0),
+/// ];
+/// let xs: Vec<&[f64]> = rows.iter().map(|(x, _)| x.as_slice()).collect();
+/// let ys: Vec<f64> = rows.iter().map(|(_, y)| *y).collect();
+/// let fit = MultipleRegression::fit(&xs, &ys).unwrap();
+/// assert!((fit.predict(&[2.0, 2.0]).unwrap() - 11.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultipleRegression {
+    /// `coefficients[0]` is the intercept; `coefficients[i]` multiplies
+    /// feature `i-1`.
+    coefficients: Vec<f64>,
+    r_squared: f64,
+    n: usize,
+}
+
+impl MultipleRegression {
+    /// Fits the model on rows of features `xs[i]` with targets `ys[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if the shapes disagree, there are fewer rows
+    /// than coefficients, or the design matrix is singular.
+    pub fn fit(xs: &[&[f64]], ys: &[f64]) -> Result<MultipleRegression, StatsError> {
+        if xs.len() != ys.len() {
+            return Err(StatsError::new("xs and ys must have equal length"));
+        }
+        if xs.is_empty() {
+            return Err(StatsError::new("regression needs data"));
+        }
+        let k = xs[0].len();
+        if xs.iter().any(|row| row.len() != k) {
+            return Err(StatsError::new("feature rows must have equal length"));
+        }
+        if xs.len() < k + 1 {
+            return Err(StatsError::new("need at least k+1 rows for k features"));
+        }
+        // Design matrix with a leading 1s column for the intercept.
+        let mut design = Matrix::zeros(xs.len(), k + 1);
+        for (i, row) in xs.iter().enumerate() {
+            design.set(i, 0, 1.0);
+            for (j, &v) in row.iter().enumerate() {
+                design.set(i, j + 1, v);
+            }
+        }
+        let dt = design.transpose();
+        let dtd = dt.mul(&design)?;
+        let dty = dt.mul_vec(&{
+            // mul_vec multiplies by a cols-length vector; dt has xs.len()
+            // columns, so pass the targets.
+            ys.to_vec()
+        })?;
+        let coefficients = dtd.solve(&dty)?;
+        let my = ys.iter().sum::<f64>() / ys.len() as f64;
+        let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(row, y)| {
+                let pred = coefficients[0]
+                    + row
+                        .iter()
+                        .zip(&coefficients[1..])
+                        .map(|(x, c)| x * c)
+                        .sum::<f64>();
+                (y - pred).powi(2)
+            })
+            .sum();
+        let r_squared = if ss_tot.abs() < 1e-12 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Ok(MultipleRegression {
+            coefficients,
+            r_squared,
+            n: xs.len(),
+        })
+    }
+
+    /// The fitted coefficients, intercept first.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The coefficient of determination R².
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Number of rows the model was fitted on.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Predicts `y` for a feature row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `features.len()` does not match the model.
+    pub fn predict(&self, features: &[f64]) -> Result<f64, StatsError> {
+        if features.len() + 1 != self.coefficients.len() {
+            return Err(StatsError::new("feature count mismatch"));
+        }
+        Ok(self.coefficients[0]
+            + features
+                .iter()
+                .zip(&self.coefficients[1..])
+                .map(|(x, c)| x * c)
+                .sum::<f64>())
+    }
+}
+
+/// Polynomial least-squares fit `y = c0 + c1*x + … + cd*x^d`.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_stats::PolynomialRegression;
+///
+/// let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+/// let y: Vec<f64> = x.iter().map(|x| 2.0 + x * x).collect();
+/// let fit = PolynomialRegression::fit(&x, &y, 2).unwrap();
+/// assert!((fit.predict(5.0) - 27.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolynomialRegression {
+    coefficients: Vec<f64>,
+}
+
+impl PolynomialRegression {
+    /// Fits a degree-`degree` polynomial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if there are fewer than `degree + 1` points
+    /// or the Vandermonde system is singular.
+    pub fn fit(x: &[f64], y: &[f64], degree: usize) -> Result<PolynomialRegression, StatsError> {
+        if x.len() != y.len() {
+            return Err(StatsError::new("x and y must have equal length"));
+        }
+        if x.len() < degree + 1 {
+            return Err(StatsError::new("not enough points for requested degree"));
+        }
+        let rows: Vec<Vec<f64>> = x
+            .iter()
+            .map(|&xi| (1..=degree).map(|d| xi.powi(d as i32)).collect())
+            .collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let fit = MultipleRegression::fit(&row_refs, y)?;
+        Ok(PolynomialRegression {
+            coefficients: fit.coefficients().to_vec(),
+        })
+    }
+
+    /// Coefficients, constant term first.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Evaluates the polynomial at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        // Horner's rule, highest degree first.
+        self.coefficients
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc * x + c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_fit_recovers_planted_line() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|x| 3.0 - 0.5 * x).collect();
+        let fit = LinearRegression::fit(&x, &y).unwrap();
+        assert!((fit.intercept() - 3.0).abs() < 1e-9);
+        assert!((fit.slope() + 0.5).abs() < 1e-9);
+        assert!((fit.r_squared() - 1.0).abs() < 1e-9);
+        assert_eq!(fit.n(), 50);
+    }
+
+    #[test]
+    fn simple_fit_with_noise_keeps_trend() {
+        // Deterministic pseudo-noise.
+        let x: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 10.0 + 2.0 * x + ((i * 7919) % 13) as f64 - 6.0)
+            .collect();
+        let fit = LinearRegression::fit(&x, &y).unwrap();
+        assert!((fit.slope() - 2.0).abs() < 0.05, "slope={}", fit.slope());
+        assert!(fit.r_squared() > 0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert!(LinearRegression::fit(&[1.0], &[1.0]).is_err());
+        assert!(LinearRegression::fit(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(LinearRegression::fit(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn constant_target_has_unit_r_squared() {
+        let fit = LinearRegression::fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope(), 0.0);
+        assert_eq!(fit.r_squared(), 1.0);
+    }
+
+    #[test]
+    fn multiple_regression_recovers_coefficients() {
+        // y = 2 + 1*a - 3*b + 0.5*c over a grid.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    let (a, b, c) = (a as f64, b as f64, c as f64);
+                    xs.push(vec![a, b, c]);
+                    ys.push(2.0 + a - 3.0 * b + 0.5 * c);
+                }
+            }
+        }
+        let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        let fit = MultipleRegression::fit(&refs, &ys).unwrap();
+        let c = fit.coefficients();
+        for (got, want) in c.iter().zip([2.0, 1.0, -3.0, 0.5]) {
+            assert!((got - want).abs() < 1e-9, "{c:?}");
+        }
+        assert!(fit.r_squared() > 0.999);
+    }
+
+    #[test]
+    fn multiple_regression_shape_errors() {
+        assert!(MultipleRegression::fit(&[], &[]).is_err());
+        let xs: Vec<&[f64]> = vec![&[1.0, 2.0], &[1.0]];
+        assert!(MultipleRegression::fit(&xs, &[1.0, 2.0]).is_err());
+        let xs: Vec<&[f64]> = vec![&[1.0, 2.0]];
+        assert!(MultipleRegression::fit(&xs, &[1.0]).is_err(), "too few rows");
+    }
+
+    #[test]
+    fn multiple_predict_feature_count_mismatch() {
+        let xs: Vec<&[f64]> = vec![&[0.0], &[1.0], &[2.0]];
+        let fit = MultipleRegression::fit(&xs, &[0.0, 1.0, 2.0]).unwrap();
+        assert!(fit.predict(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn polynomial_recovers_quadratic() {
+        let x: Vec<f64> = (-5..=5).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|x| 1.0 - 2.0 * x + 0.5 * x * x).collect();
+        let fit = PolynomialRegression::fit(&x, &y, 2).unwrap();
+        let c = fit.coefficients();
+        for (got, want) in c.iter().zip([1.0, -2.0, 0.5]) {
+            assert!((got - want).abs() < 1e-6, "{c:?}");
+        }
+        assert!((fit.predict(10.0) - (1.0 - 20.0 + 50.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn polynomial_needs_enough_points() {
+        assert!(PolynomialRegression::fit(&[1.0, 2.0], &[1.0, 2.0], 2).is_err());
+    }
+}

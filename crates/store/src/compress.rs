@@ -1,0 +1,271 @@
+//! Compression: an LZ77-window compressor with a run-length fallback.
+//!
+//! §3: "Compression can be applied to reduce disk and memory requirements
+//! for storing data… If the personal knowledge base compresses data before
+//! sending it to the remote data store, less network bandwidth will be
+//! required" and metered cloud storage costs less. This is the gzip
+//! stand-in: a real, working compressor whose ratio/throughput trade-offs
+//! the enhanced-client experiments (E8) measure.
+//!
+//! Format: a 1-byte header (`0` = stored, `1` = LZ) followed by either raw
+//! bytes or a token stream of literals and `(distance, length)` copies.
+
+use crate::StoreError;
+use bytes::Bytes;
+
+/// Window size for back-references (64 KiB, 16-bit distances).
+const WINDOW: usize = 65_535;
+/// Minimum profitable match length.
+const MIN_MATCH: usize = 4;
+/// Maximum encodable match length.
+const MAX_MATCH: usize = 255 + MIN_MATCH;
+
+/// Compresses `data`.
+///
+/// Falls back to stored form when compression would not shrink the input,
+/// so output is never more than one byte larger than the input.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_store::compress::{compress, decompress};
+/// use bytes::Bytes;
+///
+/// let data = Bytes::from("abcabcabcabcabcabc".repeat(20));
+/// let packed = compress(&data);
+/// assert!(packed.len() < data.len());
+/// assert_eq!(decompress(&packed).unwrap(), data);
+/// ```
+pub fn compress(data: &[u8]) -> Bytes {
+    let lz = lz_compress(data);
+    if lz.len() < data.len() {
+        let mut out = Vec::with_capacity(lz.len() + 1);
+        out.push(1u8);
+        out.extend_from_slice(&lz);
+        Bytes::from(out)
+    } else {
+        let mut out = Vec::with_capacity(data.len() + 1);
+        out.push(0u8);
+        out.extend_from_slice(data);
+        Bytes::from(out)
+    }
+}
+
+/// Decompresses the output of [`compress`].
+///
+/// # Errors
+///
+/// [`StoreError::Malformed`] for truncated or corrupt input.
+pub fn decompress(data: &[u8]) -> Result<Bytes, StoreError> {
+    let Some((&tag, rest)) = data.split_first() else {
+        return Err(StoreError::Malformed("empty compressed payload".into()));
+    };
+    match tag {
+        0 => Ok(Bytes::copy_from_slice(rest)),
+        1 => lz_decompress(rest),
+        other => Err(StoreError::Malformed(format!("unknown format tag {other}"))),
+    }
+}
+
+/// The achieved compression ratio (compressed / original); 1.0 means no
+/// gain. Empty input has ratio 1.0.
+pub fn ratio(original: &[u8], compressed: &[u8]) -> f64 {
+    if original.is_empty() {
+        1.0
+    } else {
+        compressed.len() as f64 / original.len() as f64
+    }
+}
+
+/// Token stream:
+/// * `0x00 len` followed by `len` literal bytes (len 1–255);
+/// * `0x01 d_hi d_lo len` — copy `len + MIN_MATCH` bytes from `distance`
+///   back.
+fn lz_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // One candidate position per 4-byte-prefix hash. A single-entry table
+    // trades some ratio for simplicity and O(n) worst-case time.
+    const HASH_BITS: u32 = 15;
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let hash = |w: &[u8]| -> usize {
+        let v = u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
+        (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+    };
+    let mut literals: Vec<u8> = Vec::new();
+    let flush_literals = |out: &mut Vec<u8>, lits: &mut Vec<u8>| {
+        for chunk in lits.chunks(255) {
+            out.push(0x00);
+            out.push(chunk.len() as u8);
+            out.extend_from_slice(chunk);
+        }
+        lits.clear();
+    };
+    let mut i = 0;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(&data[i..i + 4]);
+            let candidate = head[h];
+            head[h] = i;
+            if candidate != usize::MAX {
+                let dist = i - candidate;
+                if dist <= WINDOW {
+                    let max = (data.len() - i).min(MAX_MATCH);
+                    let mut len = 0;
+                    while len < max && data[candidate + len] == data[i + len] {
+                        len += 1;
+                    }
+                    if len >= MIN_MATCH {
+                        best_len = len;
+                        best_dist = dist;
+                    }
+                }
+            }
+        }
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, &mut literals);
+            out.push(0x01);
+            out.push((best_dist >> 8) as u8);
+            out.push((best_dist & 0xFF) as u8);
+            out.push((best_len - MIN_MATCH) as u8);
+            i += best_len;
+        } else {
+            literals.push(data[i]);
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, &mut literals);
+    out
+}
+
+fn lz_decompress(stream: &[u8]) -> Result<Bytes, StoreError> {
+    let mut out: Vec<u8> = Vec::with_capacity(stream.len() * 2);
+    let mut i = 0;
+    let truncated = || StoreError::Malformed("truncated LZ stream".into());
+    while i < stream.len() {
+        match stream[i] {
+            0x00 => {
+                let len = *stream.get(i + 1).ok_or_else(truncated)? as usize;
+                if len == 0 {
+                    return Err(StoreError::Malformed("zero-length literal run".into()));
+                }
+                let start = i + 2;
+                let end = start + len;
+                if end > stream.len() {
+                    return Err(truncated());
+                }
+                out.extend_from_slice(&stream[start..end]);
+                i = end;
+            }
+            0x01 => {
+                if i + 4 > stream.len() {
+                    return Err(truncated());
+                }
+                let dist = ((stream[i + 1] as usize) << 8) | stream[i + 2] as usize;
+                let len = stream[i + 3] as usize + MIN_MATCH;
+                if dist == 0 || dist > out.len() {
+                    return Err(StoreError::Malformed("invalid back-reference".into()));
+                }
+                let start = out.len() - dist;
+                // Overlapping copies must go byte-by-byte.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+                i += 4;
+            }
+            other => {
+                return Err(StoreError::Malformed(format!("bad token {other:#x}")));
+            }
+        }
+    }
+    Ok(Bytes::from(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_empty_and_tiny() {
+        for data in [&b""[..], b"a", b"ab", b"abc"] {
+            let c = compress(data);
+            assert_eq!(decompress(&c).unwrap(), Bytes::copy_from_slice(data));
+        }
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let data = b"the quick brown fox ".repeat(100);
+        let c = compress(&data);
+        assert!(
+            c.len() < data.len() / 5,
+            "ratio {} too poor",
+            ratio(&data, &c)
+        );
+        assert_eq!(decompress(&c).unwrap(), Bytes::from(data));
+    }
+
+    #[test]
+    fn json_like_payload_compresses() {
+        let record = r#"{"country":"united_states","gdp":21000.5,"developed":true},"#;
+        let data = record.repeat(50);
+        let c = compress(data.as_bytes());
+        assert!(ratio(data.as_bytes(), &c) < 0.5);
+        assert_eq!(decompress(&c).unwrap(), Bytes::from(data.into_bytes()));
+    }
+
+    #[test]
+    fn incompressible_data_stays_stored() {
+        // Pseudo-random bytes: LZ should find nothing and fall back.
+        let mut data = Vec::with_capacity(4096);
+        let mut x = 0x12345678u32;
+        for _ in 0..4096 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            data.push((x >> 24) as u8);
+        }
+        let c = compress(&data);
+        assert_eq!(c.len(), data.len() + 1, "stored form adds exactly 1 byte");
+        assert_eq!(decompress(&c).unwrap(), Bytes::from(data));
+    }
+
+    #[test]
+    fn overlapping_matches_decode_correctly() {
+        // "aaaa..." forces distance-1 copies with overlap.
+        let data = vec![b'a'; 1000];
+        let c = compress(&data);
+        assert!(c.len() < 40, "run should collapse, got {}", c.len());
+        assert_eq!(decompress(&c).unwrap(), Bytes::from(data));
+    }
+
+    #[test]
+    fn corrupt_streams_error_not_panic() {
+        // Note `[1]` alone is valid: the LZ encoding of empty input.
+        for bad in [
+            &[][..],
+            &[1, 0x00],                // literal without length
+            &[1, 0x00, 5, b'a'],       // truncated literal
+            &[1, 0x01, 0, 1],          // truncated copy
+            &[1, 0x01, 0, 5, 0],       // back-ref beyond output
+            &[1, 0x02],                // bad token
+            &[1, 0x00, 0],             // zero-length literal
+            &[7, 1, 2],                // unknown tag
+        ] {
+            assert!(decompress(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn binary_data_round_trips() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), Bytes::from(data));
+    }
+
+    #[test]
+    fn ratio_helper() {
+        assert_eq!(ratio(b"", b""), 1.0);
+        assert_eq!(ratio(b"abcd", b"ab"), 0.5);
+    }
+}

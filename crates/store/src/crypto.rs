@@ -1,0 +1,228 @@
+//! Client-side encryption with integrity protection.
+//!
+//! §3: "The personalized knowledge base provides encryption to preserve
+//! data confidentiality. Data can be encrypted before it is stored
+//! persistently… if the remote data store is not trusted, then the
+//! personal knowledge base might need to encrypt confidential data before
+//! sending it" regardless of what the store itself offers.
+//!
+//! **This is a pedagogical cipher, not production cryptography.** It is an
+//! XTEA block cipher (64-bit blocks, 128-bit key, 64 rounds) in counter
+//! mode with a keyed tag for tamper detection. The experiments only rely
+//! on its *placement* (client-side, before the wire) and *cost*; a real
+//! deployment would substitute AES-GCM without any interface change.
+
+use crate::StoreError;
+use bytes::Bytes;
+
+/// A 128-bit symmetric key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Key([u32; 4]);
+
+impl Key {
+    /// Creates a key from 16 bytes.
+    pub fn from_bytes(bytes: [u8; 16]) -> Key {
+        let mut words = [0u32; 4];
+        for (i, chunk) in bytes.chunks(4).enumerate() {
+            words[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        Key(words)
+    }
+
+    /// Derives a key from a passphrase (iterated mixing; again, a stand-in
+    /// for a real KDF).
+    pub fn derive(passphrase: &str) -> Key {
+        let mut state = [0x9E3779B9u32, 0x243F6A88, 0xB7E15162, 0xDEADBEEF];
+        for (i, b) in passphrase.bytes().enumerate() {
+            let slot = i % 4;
+            state[slot] = state[slot]
+                .wrapping_mul(16777619)
+                .wrapping_add(u32::from(b))
+                .rotate_left(13);
+            // Diffuse across words.
+            state[(slot + 1) % 4] ^= state[slot];
+        }
+        for _ in 0..64 {
+            for i in 0..4 {
+                state[i] = state[i]
+                    .wrapping_add(state[(i + 1) % 4].rotate_left(7))
+                    .rotate_left(11);
+            }
+        }
+        Key(state)
+    }
+}
+
+const ROUNDS: u32 = 32;
+const DELTA: u32 = 0x9E3779B9;
+
+/// Encrypts one 64-bit block with XTEA.
+fn encrypt_block(key: &Key, block: u64) -> u64 {
+    let mut v0 = (block >> 32) as u32;
+    let mut v1 = block as u32;
+    let k = key.0;
+    let mut sum = 0u32;
+    for _ in 0..ROUNDS {
+        v0 = v0.wrapping_add(
+            ((v1 << 4 ^ v1 >> 5).wrapping_add(v1)) ^ (sum.wrapping_add(k[(sum & 3) as usize])),
+        );
+        sum = sum.wrapping_add(DELTA);
+        v1 = v1.wrapping_add(
+            ((v0 << 4 ^ v0 >> 5).wrapping_add(v0))
+                ^ (sum.wrapping_add(k[((sum >> 11) & 3) as usize])),
+        );
+    }
+    (u64::from(v0) << 32) | u64::from(v1)
+}
+
+/// Encrypts `plaintext` under `key` with a fresh `nonce`.
+///
+/// Layout of the output: `nonce (8 bytes) || ciphertext || tag (8 bytes)`.
+/// The same `(key, nonce)` pair must never be reused for different
+/// plaintexts (counter-mode caveat); the enhanced client derives nonces
+/// from a per-client counter.
+pub fn encrypt(key: &Key, nonce: u64, plaintext: &[u8]) -> Bytes {
+    let mut out = Vec::with_capacity(plaintext.len() + 16);
+    out.extend_from_slice(&nonce.to_le_bytes());
+    // CTR keystream.
+    for (i, chunk) in plaintext.chunks(8).enumerate() {
+        let ks = encrypt_block(key, nonce ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let ks_bytes = ks.to_le_bytes();
+        for (j, &b) in chunk.iter().enumerate() {
+            out.push(b ^ ks_bytes[j]);
+        }
+    }
+    let tag = tag(key, nonce, &out[8..]);
+    out.extend_from_slice(&tag.to_le_bytes());
+    Bytes::from(out)
+}
+
+/// Decrypts and verifies the output of [`encrypt`].
+///
+/// # Errors
+///
+/// [`StoreError::IntegrityFailure`] if the tag does not verify (wrong key
+/// or tampered data); [`StoreError::Malformed`] if the envelope is too
+/// short.
+pub fn decrypt(key: &Key, data: &[u8]) -> Result<Bytes, StoreError> {
+    if data.len() < 16 {
+        return Err(StoreError::Malformed("ciphertext too short".into()));
+    }
+    let nonce = u64::from_le_bytes(data[..8].try_into().expect("8 bytes"));
+    let body = &data[8..data.len() - 8];
+    let got_tag = u64::from_le_bytes(data[data.len() - 8..].try_into().expect("8 bytes"));
+    if tag(key, nonce, body) != got_tag {
+        return Err(StoreError::IntegrityFailure);
+    }
+    let mut out = Vec::with_capacity(body.len());
+    for (i, chunk) in body.chunks(8).enumerate() {
+        let ks = encrypt_block(key, nonce ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let ks_bytes = ks.to_le_bytes();
+        for (j, &b) in chunk.iter().enumerate() {
+            out.push(b ^ ks_bytes[j]);
+        }
+    }
+    Ok(Bytes::from(out))
+}
+
+/// A keyed tag over the ciphertext (encrypt-then-MAC shape).
+fn tag(key: &Key, nonce: u64, ciphertext: &[u8]) -> u64 {
+    let mut acc = nonce ^ 0xA5A5_5A5A_0F0F_F0F0;
+    for chunk in ciphertext.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        acc = encrypt_block(key, acc ^ u64::from_le_bytes(word));
+    }
+    // Bind the length to reject truncation.
+    encrypt_block(key, acc ^ ciphertext.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> Key {
+        Key::derive("correct horse battery staple")
+    }
+
+    #[test]
+    fn round_trip_various_sizes() {
+        let k = key();
+        for size in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+            let data: Vec<u8> = (0..size).map(|i| (i * 31) as u8).collect();
+            let ct = encrypt(&k, size as u64, &data);
+            assert_eq!(decrypt(&k, &ct).unwrap(), Bytes::from(data), "size {size}");
+        }
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let k = key();
+        let data = b"attack at dawn, attack at dawn!!";
+        let ct = encrypt(&k, 1, data);
+        assert!(!ct.windows(data.len()).any(|w| w == &data[..]));
+    }
+
+    #[test]
+    fn different_nonces_different_ciphertexts() {
+        let k = key();
+        let data = b"same plaintext";
+        assert_ne!(encrypt(&k, 1, data), encrypt(&k, 2, data));
+    }
+
+    #[test]
+    fn wrong_key_fails_integrity() {
+        let ct = encrypt(&key(), 7, b"secret");
+        let other = Key::derive("other passphrase");
+        assert_eq!(decrypt(&other, &ct), Err(StoreError::IntegrityFailure));
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let k = key();
+        let ct = encrypt(&k, 9, b"important ledger entry");
+        // Flip each byte in turn; every flip must be caught.
+        for i in 0..ct.len() {
+            let mut bad = ct.to_vec();
+            bad[i] ^= 0x40;
+            assert_eq!(decrypt(&k, &bad), Err(StoreError::IntegrityFailure), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let k = key();
+        let ct = encrypt(&k, 3, b"0123456789abcdef");
+        let shortened = &ct[..ct.len() - 9];
+        assert!(decrypt(&k, shortened).is_err());
+        assert!(matches!(
+            decrypt(&k, &ct[..10]),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn key_derivation_is_deterministic_and_sensitive() {
+        assert_eq!(Key::derive("abc"), Key::derive("abc"));
+        assert_ne!(Key::derive("abc"), Key::derive("abd"));
+        assert_ne!(Key::derive(""), Key::derive("a"));
+    }
+
+    #[test]
+    fn from_bytes_round_trip() {
+        let k = Key::from_bytes(*b"0123456789abcdef");
+        let ct = encrypt(&k, 5, b"payload");
+        assert_eq!(decrypt(&k, &ct).unwrap(), Bytes::from(&b"payload"[..]));
+    }
+
+    #[test]
+    fn known_block_vector_changes_bits() {
+        // Sanity: encryption is not the identity and is deterministic.
+        let k = Key::from_bytes([0u8; 16]);
+        let c1 = encrypt_block(&k, 0);
+        let c2 = encrypt_block(&k, 0);
+        assert_eq!(c1, c2);
+        assert_ne!(c1, 0);
+        assert_ne!(encrypt_block(&k, 1), c1);
+    }
+}

@@ -1,0 +1,303 @@
+//! Comma-separated values.
+//!
+//! §3: "Support is provided for reading and writing comma-separated value
+//! (CSV) files", both as a storage format and as the interchange format
+//! with external analysis tools (MATLAB, Excel, R, …). RFC-4180-style
+//! quoting: fields containing commas, quotes or newlines are quoted;
+//! quotes are doubled.
+
+use crate::table::{ColumnType, Row, Schema, Table, Value};
+use crate::StoreError;
+
+/// Serializes rows of string fields to CSV text.
+pub fn write_records(records: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for record in records {
+        for (i, field) in record.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&quote(field));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CSV text into rows of string fields.
+///
+/// # Errors
+///
+/// [`StoreError::Malformed`] for unterminated quotes or stray quotes in
+/// unquoted fields.
+///
+/// # Examples
+///
+/// ```
+/// let rows = cogsdk_store::csv::parse_records("a,\"b,c\"\nd,e\n").unwrap();
+/// assert_eq!(rows, vec![vec!["a", "b,c"], vec!["d", "e"]]);
+/// ```
+pub fn parse_records(text: &str) -> Result<Vec<Vec<String>>, StoreError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut field_started_quoted = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' if field.is_empty() && !field_started_quoted => {
+                in_quotes = true;
+                field_started_quoted = true;
+            }
+            '"' => {
+                return Err(StoreError::Malformed(
+                    "stray quote in unquoted field".into(),
+                ));
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+                field_started_quoted = false;
+            }
+            '\r' => {
+                // Tolerate CRLF: swallow the CR if an LF follows.
+                if chars.peek() != Some(&'\n') {
+                    field.push('\r');
+                }
+            }
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+                field_started_quoted = false;
+            }
+            other => field.push(other),
+        }
+    }
+    if in_quotes {
+        return Err(StoreError::Malformed("unterminated quoted field".into()));
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Serializes a [`Table`] to CSV with a header row.
+pub fn table_to_csv(table: &Table) -> String {
+    let mut records: Vec<Vec<String>> = Vec::with_capacity(table.len() + 1);
+    records.push(
+        table
+            .schema()
+            .columns()
+            .iter()
+            .map(|(name, _)| name.clone())
+            .collect(),
+    );
+    for row in table.rows() {
+        records.push(row.iter().map(ToString::to_string).collect());
+    }
+    write_records(&records)
+}
+
+/// Parses CSV (with header) into a [`Table`], inferring column types.
+///
+/// Type inference per column over the data rows: all-parse-as-int → Int,
+/// else all-parse-as-float → Float, else all true/false → Bool, else
+/// Text. Empty fields become NULL.
+///
+/// # Errors
+///
+/// [`StoreError::Malformed`] for empty input, ragged rows, or invalid CSV.
+pub fn csv_to_table(text: &str) -> Result<Table, StoreError> {
+    let records = parse_records(text)?;
+    let Some((header, data)) = records.split_first() else {
+        return Err(StoreError::Malformed("empty CSV".into()));
+    };
+    for (i, r) in data.iter().enumerate() {
+        if r.len() != header.len() {
+            return Err(StoreError::Malformed(format!(
+                "row {} has {} fields, header has {}",
+                i + 2,
+                r.len(),
+                header.len()
+            )));
+        }
+    }
+    let types: Vec<ColumnType> = (0..header.len())
+        .map(|c| infer_type(data.iter().map(|r| r[c].as_str())))
+        .collect();
+    let schema = Schema::new(
+        header
+            .iter()
+            .cloned()
+            .zip(types.iter().copied())
+            .collect::<Vec<_>>(),
+    )?;
+    let mut table = Table::new(schema);
+    for r in data {
+        let row: Row = r
+            .iter()
+            .zip(&types)
+            .map(|(field, ty)| parse_value(field, *ty))
+            .collect();
+        table.insert(row)?;
+    }
+    Ok(table)
+}
+
+fn infer_type<'a>(mut fields: impl Iterator<Item = &'a str>) -> ColumnType {
+    let mut ty = ColumnType::Int;
+    let mut saw_value = false;
+    for f in fields.by_ref() {
+        if f.is_empty() {
+            continue; // NULL fits anything
+        }
+        saw_value = true;
+        ty = match ty {
+            ColumnType::Int if f.parse::<i64>().is_ok() => ColumnType::Int,
+            ColumnType::Int | ColumnType::Float if f.parse::<f64>().is_ok() => ColumnType::Float,
+            ColumnType::Int | ColumnType::Float | ColumnType::Bool
+                if f == "true" || f == "false" =>
+            {
+                ColumnType::Bool
+            }
+            _ => return ColumnType::Text,
+        };
+    }
+    if saw_value {
+        ty
+    } else {
+        ColumnType::Text
+    }
+}
+
+fn parse_value(field: &str, ty: ColumnType) -> Value {
+    if field.is_empty() {
+        return Value::Null;
+    }
+    match ty {
+        ColumnType::Int => field.parse().map(Value::Int).unwrap_or(Value::Null),
+        ColumnType::Float => field.parse().map(Value::Float).unwrap_or(Value::Null),
+        ColumnType::Bool => Value::Bool(field == "true"),
+        ColumnType::Text => Value::Text(field.to_string()),
+    }
+}
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_round_trip() {
+        let rows = vec![
+            vec!["a".to_string(), "b".to_string()],
+            vec!["c".to_string(), "d".to_string()],
+        ];
+        let text = write_records(&rows);
+        assert_eq!(text, "a,b\nc,d\n");
+        assert_eq!(parse_records(&text).unwrap(), rows);
+    }
+
+    #[test]
+    fn quoting_round_trip() {
+        let rows = vec![vec![
+            "has,comma".to_string(),
+            "has\"quote".to_string(),
+            "has\nnewline".to_string(),
+            "plain".to_string(),
+        ]];
+        let text = write_records(&rows);
+        assert_eq!(parse_records(&text).unwrap(), rows);
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let rows = parse_records("a,b\r\nc,d\r\n").unwrap();
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn final_line_without_newline() {
+        let rows = parse_records("a,b\nc,d").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["c", "d"]);
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        let rows = parse_records("a,,c\n,,\n").unwrap();
+        assert_eq!(rows[0], vec!["a", "", "c"]);
+        assert_eq!(rows[1], vec!["", "", ""]);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(parse_records("\"unterminated").is_err());
+        assert!(parse_records("ab\"cd,e").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_no_records() {
+        assert!(parse_records("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn table_round_trip_with_type_inference() {
+        let csv = "country,gdp,population,developed\n\
+                   united_states,21000.5,331,true\n\
+                   germany,4200.0,83,true\n\
+                   unknown,,,false\n";
+        let table = csv_to_table(csv).unwrap();
+        assert_eq!(table.len(), 3);
+        let cols = table.schema().columns();
+        assert_eq!(cols[0].1, ColumnType::Text);
+        assert_eq!(cols[1].1, ColumnType::Float);
+        assert_eq!(cols[2].1, ColumnType::Int);
+        assert_eq!(cols[3].1, ColumnType::Bool);
+        assert_eq!(table.rows()[2][1], Value::Null);
+        // Round trip back to CSV and parse again: same table.
+        let again = csv_to_table(&table_to_csv(&table)).unwrap();
+        assert_eq!(again, table);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(csv_to_table("a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn all_empty_column_becomes_text() {
+        let t = csv_to_table("a,b\n1,\n2,\n").unwrap();
+        assert_eq!(t.schema().columns()[1].1, ColumnType::Text);
+    }
+
+    #[test]
+    fn int_column_with_float_value_widens() {
+        let t = csv_to_table("x\n1\n2.5\n").unwrap();
+        assert_eq!(t.schema().columns()[0].1, ColumnType::Float);
+        assert_eq!(t.rows()[0][0], Value::Float(1.0));
+    }
+}

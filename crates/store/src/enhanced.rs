@@ -1,0 +1,392 @@
+//! The enhanced data store client.
+//!
+//! Reference \[11\] of the paper ("Providing Enhanced Functionality for Data
+//! Store Clients", ICDE 2017) describes clients that add caching,
+//! encryption and compression in front of cloud data stores; the
+//! personalized knowledge base "uses enhanced data store clients which
+//! reduce the latency for accessing remote data stores via caching" (§3).
+//!
+//! [`EnhancedClient`] wraps any [`KeyValueStore`] (typically the remote
+//! one) and layers, in order: client-side LRU cache → compression →
+//! encryption. It keeps byte counters so experiments can report
+//! bytes-on-the-wire savings.
+
+use crate::compress;
+use crate::crypto::{self, Key};
+use crate::kv::KeyValueStore;
+use crate::StoreError;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration for an [`EnhancedClient`].
+#[derive(Debug, Clone)]
+pub struct EnhancedOptions {
+    /// Cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Compress values before upload.
+    pub compress: bool,
+    /// Encrypt values before upload (after compression).
+    pub encryption_key: Option<Key>,
+}
+
+impl Default for EnhancedOptions {
+    fn default() -> EnhancedOptions {
+        EnhancedOptions {
+            cache_capacity: 1024,
+            compress: false,
+            encryption_key: None,
+        }
+    }
+}
+
+/// Operation counters exposed for experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnhancedStats {
+    /// Cache hits on `get`.
+    pub cache_hits: u64,
+    /// Cache misses on `get` (remote fetches).
+    pub cache_misses: u64,
+    /// Total plaintext bytes passed to `put`.
+    pub bytes_in: u64,
+    /// Total bytes actually sent to the remote store.
+    pub bytes_on_wire: u64,
+}
+
+/// A caching, compressing, encrypting client over a remote store.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_store::{EnhancedClient, MemoryKv, KeyValueStore};
+/// use cogsdk_store::enhanced::EnhancedOptions;
+/// use bytes::Bytes;
+/// use std::sync::Arc;
+///
+/// let remote = Arc::new(MemoryKv::new());
+/// let client = EnhancedClient::new(remote, EnhancedOptions::default());
+/// client.put("k", Bytes::from("v")).unwrap();
+/// assert_eq!(client.get("k").unwrap(), Bytes::from("v"));
+/// assert_eq!(client.stats().cache_hits, 1); // served locally
+/// ```
+pub struct EnhancedClient {
+    remote: Arc<dyn KeyValueStore>,
+    options: EnhancedOptions,
+    cache: Mutex<LruCache>,
+    nonce: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_on_wire: AtomicU64,
+}
+
+impl std::fmt::Debug for EnhancedClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnhancedClient")
+            .field("options", &self.options)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EnhancedClient {
+    /// Wraps `remote` with the given options.
+    pub fn new(remote: Arc<dyn KeyValueStore>, options: EnhancedOptions) -> EnhancedClient {
+        EnhancedClient {
+            cache: Mutex::new(LruCache::new(options.cache_capacity)),
+            remote,
+            options,
+            nonce: AtomicU64::new(1),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_on_wire: AtomicU64::new(0),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> EnhancedStats {
+        EnhancedStats {
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_on_wire: self.bytes_on_wire.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached entry (used by consistency experiments).
+    pub fn invalidate_cache(&self) {
+        self.cache.lock().clear();
+    }
+
+    fn encode(&self, value: &Bytes) -> Bytes {
+        let mut data = value.clone();
+        if self.options.compress {
+            data = compress::compress(&data);
+        }
+        if let Some(key) = &self.options.encryption_key {
+            let nonce = self.nonce.fetch_add(1, Ordering::Relaxed);
+            data = crypto::encrypt(key, nonce, &data);
+        }
+        data
+    }
+
+    fn decode(&self, data: Bytes) -> Result<Bytes, StoreError> {
+        let mut data = data;
+        if let Some(key) = &self.options.encryption_key {
+            data = crypto::decrypt(key, &data)?;
+        }
+        if self.options.compress {
+            data = compress::decompress(&data)?;
+        }
+        Ok(data)
+    }
+}
+
+impl KeyValueStore for EnhancedClient {
+    fn put(&self, key: &str, value: Bytes) -> Result<(), StoreError> {
+        self.bytes_in
+            .fetch_add(value.len() as u64, Ordering::Relaxed);
+        let encoded = self.encode(&value);
+        self.bytes_on_wire
+            .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+        self.remote.put(key, encoded)?;
+        // Write-through cache of the plaintext.
+        self.cache.lock().put(key.to_string(), value);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes, StoreError> {
+        if let Some(hit) = self.cache.lock().get(key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let raw = self.remote.get(key)?;
+        let value = self.decode(raw)?;
+        self.cache.lock().put(key.to_string(), value.clone());
+        Ok(value)
+    }
+
+    fn delete(&self, key: &str) -> Result<bool, StoreError> {
+        self.cache.lock().remove(key);
+        self.remote.delete(key)
+    }
+
+    fn keys(&self) -> Result<Vec<String>, StoreError> {
+        self.remote.keys()
+    }
+}
+
+/// A small LRU cache over byte values.
+#[derive(Debug)]
+struct LruCache {
+    capacity: usize,
+    map: HashMap<String, Bytes>,
+    order: Vec<String>, // front = least recently used
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> LruCache {
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<Bytes> {
+        let hit = self.map.get(key).cloned();
+        if hit.is_some() {
+            self.touch(key);
+        }
+        hit
+    }
+
+    fn put(&mut self, key: String, value: Bytes) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push(key);
+        } else {
+            self.touch(&key);
+        }
+        while self.map.len() > self.capacity {
+            let evict = self.order.remove(0);
+            self.map.remove(&evict);
+        }
+    }
+
+    fn remove(&mut self, key: &str) {
+        if self.map.remove(key).is_some() {
+            self.order.retain(|k| k != key);
+        }
+    }
+
+    fn touch(&mut self, key: &str) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos);
+            self.order.push(k);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::MemoryKv;
+
+    fn remote() -> Arc<MemoryKv> {
+        Arc::new(MemoryKv::new())
+    }
+
+    #[test]
+    fn plain_client_round_trips() {
+        let client = EnhancedClient::new(remote(), EnhancedOptions::default());
+        client.put("k", Bytes::from("hello")).unwrap();
+        assert_eq!(client.get("k").unwrap(), Bytes::from("hello"));
+        assert!(client.delete("k").unwrap());
+        assert!(client.get("k").is_err());
+    }
+
+    #[test]
+    fn cache_serves_repeat_reads() {
+        let r = remote();
+        let client = EnhancedClient::new(r.clone(), EnhancedOptions::default());
+        client.put("k", Bytes::from("v")).unwrap();
+        for _ in 0..5 {
+            client.get("k").unwrap();
+        }
+        let s = client.stats();
+        assert_eq!(s.cache_hits, 5);
+        assert_eq!(s.cache_misses, 0);
+        // After invalidation the next read goes remote.
+        client.invalidate_cache();
+        client.get("k").unwrap();
+        assert_eq!(client.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn compression_reduces_wire_bytes() {
+        let client = EnhancedClient::new(
+            remote(),
+            EnhancedOptions {
+                compress: true,
+                ..EnhancedOptions::default()
+            },
+        );
+        let value = Bytes::from("repetitive payload ".repeat(200));
+        client.put("k", value.clone()).unwrap();
+        let s = client.stats();
+        assert!(s.bytes_on_wire < s.bytes_in / 3, "{s:?}");
+        client.invalidate_cache();
+        assert_eq!(client.get("k").unwrap(), value);
+    }
+
+    #[test]
+    fn encryption_hides_plaintext_on_remote() {
+        let r = remote();
+        let key = Key::derive("kb secret");
+        let client = EnhancedClient::new(
+            r.clone(),
+            EnhancedOptions {
+                encryption_key: Some(key),
+                ..EnhancedOptions::default()
+            },
+        );
+        client.put("k", Bytes::from("very confidential")).unwrap();
+        let on_remote = r.get("k").unwrap();
+        assert!(!on_remote
+            .windows(b"confidential".len())
+            .any(|w| w == b"confidential"));
+        client.invalidate_cache();
+        assert_eq!(client.get("k").unwrap(), Bytes::from("very confidential"));
+    }
+
+    #[test]
+    fn compress_then_encrypt_round_trips() {
+        let key = Key::derive("both layers");
+        let client = EnhancedClient::new(
+            remote(),
+            EnhancedOptions {
+                compress: true,
+                encryption_key: Some(key),
+                cache_capacity: 0, // force remote round trips
+            },
+        );
+        let value = Bytes::from("abcabcabc".repeat(100));
+        client.put("k", value.clone()).unwrap();
+        assert_eq!(client.get("k").unwrap(), value);
+        let s = client.stats();
+        assert_eq!(s.cache_hits, 0);
+        assert!(s.bytes_on_wire < s.bytes_in, "{s:?}");
+    }
+
+    #[test]
+    fn wrong_key_on_shared_remote_fails_closed() {
+        let r = remote();
+        let writer = EnhancedClient::new(
+            r.clone(),
+            EnhancedOptions {
+                encryption_key: Some(Key::derive("alice")),
+                ..EnhancedOptions::default()
+            },
+        );
+        writer.put("k", Bytes::from("for alice only")).unwrap();
+        let reader = EnhancedClient::new(
+            r,
+            EnhancedOptions {
+                encryption_key: Some(Key::derive("mallory")),
+                ..EnhancedOptions::default()
+            },
+        );
+        assert_eq!(reader.get("k"), Err(StoreError::IntegrityFailure));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        let r = remote();
+        let client = EnhancedClient::new(
+            r,
+            EnhancedOptions {
+                cache_capacity: 2,
+                ..EnhancedOptions::default()
+            },
+        );
+        client.put("a", Bytes::from("1")).unwrap();
+        client.put("b", Bytes::from("2")).unwrap();
+        client.get("a").unwrap(); // a is now most recent
+        client.put("c", Bytes::from("3")).unwrap(); // evicts b
+        let before = client.stats();
+        client.get("a").unwrap();
+        client.get("c").unwrap();
+        assert_eq!(client.stats().cache_hits, before.cache_hits + 2);
+        client.get("b").unwrap(); // must go remote
+        assert_eq!(client.stats().cache_misses, before.cache_misses + 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let client = EnhancedClient::new(
+            remote(),
+            EnhancedOptions {
+                cache_capacity: 0,
+                ..EnhancedOptions::default()
+            },
+        );
+        client.put("k", Bytes::from("v")).unwrap();
+        client.get("k").unwrap();
+        client.get("k").unwrap();
+        let s = client.stats();
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.cache_misses, 2);
+    }
+}

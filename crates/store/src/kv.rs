@@ -1,0 +1,500 @@
+//! Key-value stores.
+//!
+//! One trait, three implementations: an in-memory map, a file-backed store
+//! (the paper's "local storage … in a file system"), and a simulated
+//! remote cloud store reachable only through a [`SimService`].
+
+use crate::StoreError;
+use bytes::Bytes;
+use cogsdk_json::{json, Json};
+use cogsdk_sim::cost::CostModel;
+use cogsdk_sim::failure::FailurePlan;
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::service::{Request, SimService};
+use cogsdk_sim::SimEnv;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A byte-oriented key-value store.
+///
+/// All methods take `&self`; implementations are internally synchronized
+/// so stores can be shared across the SDK's worker threads.
+pub trait KeyValueStore: Send + Sync {
+    /// Stores `value` under `key`, replacing any previous value.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; remote stores surface unavailability.
+    fn put(&self, key: &str, value: Bytes) -> Result<(), StoreError>;
+
+    /// Retrieves the value under `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if absent.
+    fn get(&self, key: &str) -> Result<Bytes, StoreError>;
+
+    /// Deletes `key`, returning whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; deleting an absent key is *not* an error.
+    fn delete(&self, key: &str) -> Result<bool, StoreError>;
+
+    /// All keys in unspecified order.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific.
+    fn keys(&self) -> Result<Vec<String>, StoreError>;
+
+    /// Number of stored entries.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific.
+    fn len(&self) -> Result<usize, StoreError> {
+        Ok(self.keys()?.len())
+    }
+
+    /// Whether the store is empty.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific.
+    fn is_empty(&self) -> Result<bool, StoreError> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// An in-memory key-value store.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_store::{KeyValueStore, MemoryKv};
+/// use bytes::Bytes;
+///
+/// let kv = MemoryKv::new();
+/// kv.put("k", Bytes::from("v")).unwrap();
+/// assert_eq!(kv.get("k").unwrap(), Bytes::from("v"));
+/// assert!(kv.delete("k").unwrap());
+/// assert!(kv.get("k").is_err());
+/// ```
+#[derive(Debug, Default)]
+pub struct MemoryKv {
+    map: RwLock<BTreeMap<String, Bytes>>,
+}
+
+impl MemoryKv {
+    /// Creates an empty store.
+    pub fn new() -> MemoryKv {
+        MemoryKv::default()
+    }
+}
+
+impl KeyValueStore for MemoryKv {
+    fn put(&self, key: &str, value: Bytes) -> Result<(), StoreError> {
+        self.map.write().insert(key.to_string(), value);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes, StoreError> {
+        self.map
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound(key.to_string()))
+    }
+
+    fn delete(&self, key: &str) -> Result<bool, StoreError> {
+        Ok(self.map.write().remove(key).is_some())
+    }
+
+    fn keys(&self) -> Result<Vec<String>, StoreError> {
+        Ok(self.map.read().keys().cloned().collect())
+    }
+}
+
+/// A file-backed key-value store: one file per key inside a directory.
+///
+/// Keys are percent-encoded into file names, so arbitrary key strings are
+/// safe.
+#[derive(Debug)]
+pub struct FileKv {
+    dir: PathBuf,
+}
+
+impl FileKv {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::RemoteUnavailable`] if the directory cannot be
+    /// created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<FileKv, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::RemoteUnavailable(format!("create {dir:?}: {e}")))?;
+        Ok(FileKv { dir })
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        let mut name = String::with_capacity(key.len());
+        for b in key.bytes() {
+            match b {
+                b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' => {
+                    name.push(b as char)
+                }
+                other => name.push_str(&format!("%{other:02x}")),
+            }
+        }
+        self.dir.join(name + ".kv")
+    }
+}
+
+impl KeyValueStore for FileKv {
+    fn put(&self, key: &str, value: Bytes) -> Result<(), StoreError> {
+        std::fs::write(self.path_for(key), &value)
+            .map_err(|e| StoreError::RemoteUnavailable(format!("write: {e}")))
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes, StoreError> {
+        match std::fs::read(self.path_for(key)) {
+            Ok(data) => Ok(Bytes::from(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StoreError::NotFound(key.to_string()))
+            }
+            Err(e) => Err(StoreError::RemoteUnavailable(format!("read: {e}"))),
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<bool, StoreError> {
+        match std::fs::remove_file(self.path_for(key)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(StoreError::RemoteUnavailable(format!("delete: {e}"))),
+        }
+    }
+
+    fn keys(&self) -> Result<Vec<String>, StoreError> {
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| StoreError::RemoteUnavailable(format!("readdir: {e}")))?;
+        let mut keys = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::RemoteUnavailable(e.to_string()))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(stem) = name.strip_suffix(".kv") else {
+                continue;
+            };
+            // Percent-decode.
+            let mut key = String::new();
+            let bytes = stem.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                // Both hex digits must exist: a foreign file with a
+                // truncated escape must not slice out of bounds.
+                if bytes[i] == b'%' && i + 2 < bytes.len() {
+                    let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+                    if let Ok(v) = u8::from_str_radix(hex, 16) {
+                        key.push(v as char);
+                        i += 3;
+                        continue;
+                    }
+                }
+                key.push(bytes[i] as char);
+                i += 1;
+            }
+            keys.push(key);
+        }
+        keys.sort();
+        Ok(keys)
+    }
+}
+
+/// Builds a simulated *remote cloud* key-value store service.
+///
+/// Protocol (class `"storage"`):
+/// * `{"op": "put", "key": k, "value": hex}` → `{"ok": true}`
+/// * `{"op": "get", "key": k}` → `{"value": hex}` (404 → bad request)
+/// * `{"op": "delete", "key": k}` → `{"existed": bool}`
+///
+/// Latency is size-dependent ([`LatencyModel::SizeLinear`]), the exact
+/// setting the paper's latency-parameter prediction targets.
+pub fn remote_kv_service(
+    env: &SimEnv,
+    name: impl Into<String>,
+    latency: LatencyModel,
+    failures: FailurePlan,
+    cost: CostModel,
+) -> Arc<SimService> {
+    let backing = MemoryKv::new();
+    SimService::builder(name, "storage")
+        .latency(latency)
+        .failures(failures)
+        .cost(cost)
+        .handler(move |req| {
+            let op = req
+                .payload
+                .get("op")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "missing 'op'".to_string())?;
+            let key = req
+                .payload
+                .get("key")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "missing 'key'".to_string())?;
+            match op {
+                "put" => {
+                    let hex = req
+                        .payload
+                        .get("value")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| "missing 'value'".to_string())?;
+                    let bytes = hex_decode(hex).map_err(|e| e.to_string())?;
+                    backing
+                        .put(key, bytes)
+                        .map_err(|e| e.to_string())?;
+                    Ok(json!({"ok": true}))
+                }
+                "get" => match backing.get(key) {
+                    Ok(v) => Ok(json!({"value": (hex_encode(&v))})),
+                    Err(StoreError::NotFound(_)) => Err(format!("404 no such key: {key}")),
+                    Err(e) => Err(e.to_string()),
+                },
+                "delete" => {
+                    let existed = backing.delete(key).map_err(|e| e.to_string())?;
+                    Ok(json!({"existed": (existed)}))
+                }
+                other => Err(format!("unknown op: {other}")),
+            }
+        })
+        .build(env)
+}
+
+/// A [`KeyValueStore`] view over a remote storage service: each operation
+/// is one service invocation.
+#[derive(Debug, Clone)]
+pub struct RemoteKv {
+    service: Arc<SimService>,
+}
+
+impl RemoteKv {
+    /// Wraps a storage-class service.
+    pub fn new(service: Arc<SimService>) -> RemoteKv {
+        RemoteKv { service }
+    }
+
+    /// The underlying service (e.g. to inspect cost/latency counters).
+    pub fn service(&self) -> &Arc<SimService> {
+        &self.service
+    }
+
+    fn call(&self, payload: Json) -> Result<Json, StoreError> {
+        let size = payload.size_bytes();
+        let req = Request::new("kv", payload).with_param("size", size as f64);
+        let out = self.service.invoke(&req);
+        match out.result {
+            Ok(resp) => Ok(resp.payload),
+            Err(cogsdk_sim::ServiceError::BadRequest(msg)) if msg.starts_with("404") => {
+                Err(StoreError::NotFound(msg))
+            }
+            Err(e) => Err(StoreError::RemoteUnavailable(e.to_string())),
+        }
+    }
+}
+
+impl KeyValueStore for RemoteKv {
+    fn put(&self, key: &str, value: Bytes) -> Result<(), StoreError> {
+        self.call(json!({"op": "put", "key": (key), "value": (hex_encode(&value))}))
+            .map(|_| ())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes, StoreError> {
+        let resp = self.call(json!({"op": "get", "key": (key)}))?;
+        let hex = resp
+            .get("value")
+            .and_then(Json::as_str)
+            .ok_or_else(|| StoreError::Malformed("missing value".into()))?;
+        hex_decode(hex)
+    }
+
+    fn delete(&self, key: &str) -> Result<bool, StoreError> {
+        let resp = self.call(json!({"op": "delete", "key": (key)}))?;
+        Ok(resp.get("existed").and_then(Json::as_bool).unwrap_or(false))
+    }
+
+    fn keys(&self) -> Result<Vec<String>, StoreError> {
+        // The remote protocol deliberately has no listing op (most cloud
+        // KV APIs meter scans); offline sync tracks its own key set.
+        Err(StoreError::Conflict("remote store does not support key listing".into()))
+    }
+}
+
+/// Hex-encodes bytes (the wire encoding for binary values in JSON).
+pub fn hex_encode(data: &[u8]) -> String {
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decodes [`hex_encode`] output.
+///
+/// # Errors
+///
+/// [`StoreError::Malformed`] on odd length or non-hex characters.
+pub fn hex_decode(s: &str) -> Result<Bytes, StoreError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(StoreError::Malformed("odd-length hex".into()));
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or_else(|| StoreError::Malformed("bad hex digit".into()))?;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or_else(|| StoreError::Malformed("bad hex digit".into()))?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Ok(Bytes::from(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(kv: &dyn KeyValueStore) {
+        assert!(kv.is_empty().unwrap());
+        kv.put("a", Bytes::from("1")).unwrap();
+        kv.put("b/with slash", Bytes::from(vec![0u8, 255, 7])).unwrap();
+        assert_eq!(kv.get("a").unwrap(), Bytes::from("1"));
+        assert_eq!(kv.get("b/with slash").unwrap(), Bytes::from(vec![0u8, 255, 7]));
+        assert!(matches!(kv.get("missing"), Err(StoreError::NotFound(_))));
+        kv.put("a", Bytes::from("2")).unwrap();
+        assert_eq!(kv.get("a").unwrap(), Bytes::from("2"));
+        let mut keys = kv.keys().unwrap();
+        keys.sort();
+        assert_eq!(keys, vec!["a", "b/with slash"]);
+        assert!(kv.delete("a").unwrap());
+        assert!(!kv.delete("a").unwrap());
+        assert_eq!(kv.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn memory_kv_contract() {
+        exercise(&MemoryKv::new());
+    }
+
+    #[test]
+    fn file_kv_contract() {
+        let dir = std::env::temp_dir().join(format!("cogsdk-filekv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let kv = FileKv::open(&dir).unwrap();
+        exercise(&kv);
+        // Persistence across handles.
+        let kv2 = FileKv::open(&dir).unwrap();
+        assert_eq!(kv2.get("b/with slash").unwrap(), Bytes::from(vec![0u8, 255, 7]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_kv_keys_tolerate_foreign_malformed_names() {
+        // A file with a truncated percent escape (not produced by this
+        // store) must not panic key listing.
+        let dir = std::env::temp_dir().join(format!("cogsdk-filekv-mal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let kv = FileKv::open(&dir).unwrap();
+        kv.put("good key", Bytes::from("v")).unwrap();
+        std::fs::write(dir.join("trunc%2.kv"), b"x").unwrap();
+        std::fs::write(dir.join("bad%zz.kv"), b"x").unwrap();
+        let keys = kv.keys().unwrap();
+        assert!(keys.contains(&"good key".to_string()), "{keys:?}");
+        assert_eq!(keys.len(), 3, "foreign names listed verbatim: {keys:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        let hex = hex_encode(&data);
+        assert_eq!(hex_decode(&hex).unwrap(), Bytes::from(data));
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+        assert_eq!(hex_decode("").unwrap(), Bytes::new());
+    }
+
+    #[test]
+    fn remote_kv_round_trip() {
+        let env = SimEnv::with_seed(1);
+        let svc = remote_kv_service(
+            &env,
+            "cloud-kv",
+            LatencyModel::constant_ms(10.0),
+            FailurePlan::reliable(),
+            CostModel::Free,
+        );
+        let kv = RemoteKv::new(svc);
+        kv.put("k", Bytes::from("hello")).unwrap();
+        assert_eq!(kv.get("k").unwrap(), Bytes::from("hello"));
+        assert!(matches!(kv.get("nope"), Err(StoreError::NotFound(_))));
+        assert!(kv.delete("k").unwrap());
+        assert!(!kv.delete("k").unwrap());
+        assert!(kv.keys().is_err(), "remote listing unsupported");
+    }
+
+    #[test]
+    fn remote_kv_latency_grows_with_value_size() {
+        let env = SimEnv::with_seed(2);
+        let svc = remote_kv_service(
+            &env,
+            "cloud-kv",
+            LatencyModel::size_linear_ms(2.0, 0.001),
+            FailurePlan::reliable(),
+            CostModel::Free,
+        );
+        let kv = RemoteKv::new(svc);
+        let t0 = env.clock().now();
+        kv.put("small", Bytes::from(vec![0u8; 10])).unwrap();
+        let t1 = env.clock().now();
+        kv.put("large", Bytes::from(vec![0u8; 100_000])).unwrap();
+        let t2 = env.clock().now();
+        let small = t1.since(t0);
+        let large = t2.since(t1);
+        assert!(large > small * 10, "small={small:?} large={large:?}");
+    }
+
+    #[test]
+    fn remote_kv_surfaces_outage_as_unavailable() {
+        let env = SimEnv::with_seed(3);
+        let svc = remote_kv_service(
+            &env,
+            "down-kv",
+            LatencyModel::constant_ms(1.0),
+            FailurePlan::flaky(1.0),
+            CostModel::Free,
+        );
+        let kv = RemoteKv::new(svc);
+        assert!(matches!(
+            kv.put("k", Bytes::from("v")),
+            Err(StoreError::RemoteUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn stores_are_object_safe_and_shareable() {
+        let kv: Arc<dyn KeyValueStore> = Arc::new(MemoryKv::new());
+        let kv2 = kv.clone();
+        std::thread::spawn(move || {
+            kv2.put("t", Bytes::from("1")).unwrap();
+        })
+        .join()
+        .unwrap();
+        assert_eq!(kv.get("t").unwrap(), Bytes::from("1"));
+    }
+}

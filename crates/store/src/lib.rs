@@ -1,0 +1,70 @@
+//! Storage substrates for the personalized knowledge base.
+//!
+//! §3 of the paper: "The personal knowledge base can store data
+//! persistently in a variety of forms including files, relational database
+//! management systems (RDBMS), key-value stores, and RDF triple stores",
+//! with client-side caching, encryption and compression provided by
+//! *enhanced data store clients* (reference \[11\] of the paper).
+//!
+//! This crate provides every storage form except RDF (which lives in
+//! `cogsdk-rdf`):
+//!
+//! * [`kv`] — key-value stores (in-memory and file-backed) behind one
+//!   trait, plus a simulated *remote* cloud store.
+//! * [`table`] — a mini relational engine (schemas, typed rows, predicate
+//!   selects) standing in for MySQL.
+//! * [`csv`] — reading/writing comma-separated values with quoting.
+//! * [`compress`] — an LZ77-window + RLE compressor (gzip stand-in).
+//! * [`crypto`] — an XTEA-CTR cipher with an integrity tag. **Pedagogical,
+//!   not production crypto**: the experiments only measure where
+//!   encryption happens and what it costs, per DESIGN.md.
+//! * [`enhanced`] — the enhanced data store client: caching, encryption
+//!   and compression layered over any remote store.
+//! * [`sync`] — offline operation and reconnect synchronization.
+
+pub mod compress;
+pub mod crypto;
+pub mod csv;
+pub mod enhanced;
+pub mod kv;
+pub mod sync;
+pub mod table;
+
+pub use enhanced::EnhancedClient;
+pub use kv::{KeyValueStore, MemoryKv};
+pub use table::{ColumnType, Predicate, Row, Schema, Table, TableStore, Value};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for storage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The named table/key/column does not exist.
+    NotFound(String),
+    /// The operation conflicts with existing schema or data.
+    Conflict(String),
+    /// A value failed validation against the schema.
+    TypeMismatch(String),
+    /// The remote store could not be reached.
+    RemoteUnavailable(String),
+    /// Data failed integrity verification (tampering or corruption).
+    IntegrityFailure,
+    /// Malformed input (e.g. unparsable CSV).
+    Malformed(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound(what) => write!(f, "not found: {what}"),
+            StoreError::Conflict(what) => write!(f, "conflict: {what}"),
+            StoreError::TypeMismatch(what) => write!(f, "type mismatch: {what}"),
+            StoreError::RemoteUnavailable(what) => write!(f, "remote unavailable: {what}"),
+            StoreError::IntegrityFailure => write!(f, "integrity verification failed"),
+            StoreError::Malformed(what) => write!(f, "malformed input: {what}"),
+        }
+    }
+}
+
+impl Error for StoreError {}

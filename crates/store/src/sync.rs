@@ -1,0 +1,343 @@
+//! Offline operation and reconnect synchronization.
+//!
+//! §3: "The personalized knowledge base tries to accommodate scenarios
+//! where the computer(s) on which it runs may be disconnected from the
+//! network. Caching and local storage can be used when remote data sources
+//! and services are not accessible… it may be appropriate to synchronize
+//! the contents of local storage and the cloud data store after
+//! connectivity … is re-established."
+//!
+//! [`LocalFirstStore`] writes to a local store immediately, tracks dirty
+//! keys, and flushes them to the remote store when connected. Reads are
+//! local-first with remote fallback. Disconnection is explicit, modeling
+//! the client's own knowledge of its link state; remote failures while
+//! "connected" also leave keys dirty for the next flush.
+
+use crate::kv::KeyValueStore;
+use crate::StoreError;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Report of one synchronization pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Keys successfully pushed to the remote store.
+    pub pushed: Vec<String>,
+    /// Keys that failed and remain dirty.
+    pub failed: Vec<String>,
+    /// Tombstoned keys whose remote deletion succeeded.
+    pub deleted: Vec<String>,
+}
+
+/// A local-first store with explicit connectivity and resync.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_store::sync::LocalFirstStore;
+/// use cogsdk_store::{KeyValueStore, MemoryKv};
+/// use bytes::Bytes;
+/// use std::sync::Arc;
+///
+/// let local = Arc::new(MemoryKv::new());
+/// let remote = Arc::new(MemoryKv::new());
+/// let store = LocalFirstStore::new(local, remote.clone());
+///
+/// store.set_connected(false);
+/// store.put("k", Bytes::from("v")).unwrap();      // works offline
+/// assert!(remote.get("k").is_err());               // not yet remote
+///
+/// store.set_connected(true);
+/// let report = store.synchronize();
+/// assert_eq!(report.pushed, vec!["k"]);
+/// assert_eq!(remote.get("k").unwrap(), Bytes::from("v"));
+/// ```
+pub struct LocalFirstStore {
+    local: Arc<dyn KeyValueStore>,
+    remote: Arc<dyn KeyValueStore>,
+    connected: AtomicBool,
+    dirty: Mutex<BTreeSet<String>>,
+    tombstones: Mutex<BTreeSet<String>>,
+}
+
+impl std::fmt::Debug for LocalFirstStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalFirstStore")
+            .field("connected", &self.is_connected())
+            .field("dirty", &self.dirty_keys())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LocalFirstStore {
+    /// Creates a store over a local and a remote backend; starts
+    /// connected.
+    pub fn new(local: Arc<dyn KeyValueStore>, remote: Arc<dyn KeyValueStore>) -> LocalFirstStore {
+        LocalFirstStore {
+            local,
+            remote,
+            connected: AtomicBool::new(true),
+            dirty: Mutex::new(BTreeSet::new()),
+            tombstones: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    /// Sets the (client-observed) connectivity state.
+    pub fn set_connected(&self, connected: bool) {
+        self.connected.store(connected, Ordering::SeqCst);
+    }
+
+    /// Whether the client currently believes it is connected.
+    pub fn is_connected(&self) -> bool {
+        self.connected.load(Ordering::SeqCst)
+    }
+
+    /// Keys written locally but not yet durable remotely.
+    pub fn dirty_keys(&self) -> Vec<String> {
+        self.dirty.lock().iter().cloned().collect()
+    }
+
+    /// Pushes all dirty writes and tombstoned deletes to the remote store.
+    /// Keys whose push fails stay dirty for the next pass.
+    pub fn synchronize(&self) -> SyncReport {
+        let mut report = SyncReport::default();
+        if !self.is_connected() {
+            report.failed = self.dirty_keys();
+            return report;
+        }
+        let dirty: Vec<String> = self.dirty.lock().iter().cloned().collect();
+        for key in dirty {
+            let push = self
+                .local
+                .get(&key)
+                .and_then(|value| self.remote.put(&key, value));
+            match push {
+                Ok(()) => {
+                    self.dirty.lock().remove(&key);
+                    report.pushed.push(key);
+                }
+                Err(_) => report.failed.push(key),
+            }
+        }
+        let tombs: Vec<String> = self.tombstones.lock().iter().cloned().collect();
+        for key in tombs {
+            match self.remote.delete(&key) {
+                Ok(_) => {
+                    self.tombstones.lock().remove(&key);
+                    report.deleted.push(key);
+                }
+                Err(_) => report.failed.push(key),
+            }
+        }
+        report
+    }
+}
+
+impl KeyValueStore for LocalFirstStore {
+    fn put(&self, key: &str, value: Bytes) -> Result<(), StoreError> {
+        self.local.put(key, value.clone())?;
+        self.tombstones.lock().remove(key);
+        if self.is_connected() {
+            match self.remote.put(key, value) {
+                Ok(()) => return Ok(()),
+                Err(_) => {
+                    // Remote hiccup: stay available, mark dirty (the
+                    // paper's "occasionally stored in the cloud" model).
+                    self.dirty.lock().insert(key.to_string());
+                    return Ok(());
+                }
+            }
+        }
+        self.dirty.lock().insert(key.to_string());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes, StoreError> {
+        match self.local.get(key) {
+            Ok(v) => Ok(v),
+            Err(StoreError::NotFound(_)) if self.is_connected() => {
+                let v = self.remote.get(key)?;
+                // Populate local for subsequent offline reads.
+                self.local.put(key, v.clone())?;
+                Ok(v)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<bool, StoreError> {
+        let existed_locally = self.local.delete(key)?;
+        self.dirty.lock().remove(key);
+        if self.is_connected() {
+            if let Ok(existed_remotely) = self.remote.delete(key) {
+                return Ok(existed_locally || existed_remotely);
+            }
+        }
+        self.tombstones.lock().insert(key.to_string());
+        Ok(existed_locally)
+    }
+
+    fn keys(&self) -> Result<Vec<String>, StoreError> {
+        self.local.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::MemoryKv;
+
+    /// A remote that can be forced to fail.
+    struct FlakyRemote {
+        inner: MemoryKv,
+        failing: AtomicBool,
+    }
+
+    impl FlakyRemote {
+        fn new() -> FlakyRemote {
+            FlakyRemote {
+                inner: MemoryKv::new(),
+                failing: AtomicBool::new(false),
+            }
+        }
+        fn set_failing(&self, f: bool) {
+            self.failing.store(f, Ordering::SeqCst);
+        }
+        fn check(&self) -> Result<(), StoreError> {
+            if self.failing.load(Ordering::SeqCst) {
+                Err(StoreError::RemoteUnavailable("injected".into()))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    impl KeyValueStore for FlakyRemote {
+        fn put(&self, key: &str, value: Bytes) -> Result<(), StoreError> {
+            self.check()?;
+            self.inner.put(key, value)
+        }
+        fn get(&self, key: &str) -> Result<Bytes, StoreError> {
+            self.check()?;
+            self.inner.get(key)
+        }
+        fn delete(&self, key: &str) -> Result<bool, StoreError> {
+            self.check()?;
+            self.inner.delete(key)
+        }
+        fn keys(&self) -> Result<Vec<String>, StoreError> {
+            self.check()?;
+            self.inner.keys()
+        }
+    }
+
+    fn setup() -> (Arc<MemoryKv>, Arc<FlakyRemote>, LocalFirstStore) {
+        let local = Arc::new(MemoryKv::new());
+        let remote = Arc::new(FlakyRemote::new());
+        let store = LocalFirstStore::new(local.clone(), remote.clone());
+        (local, remote, store)
+    }
+
+    #[test]
+    fn connected_writes_go_through_immediately() {
+        let (_local, remote, store) = setup();
+        store.put("k", Bytes::from("v")).unwrap();
+        assert_eq!(remote.inner.get("k").unwrap(), Bytes::from("v"));
+        assert!(store.dirty_keys().is_empty());
+    }
+
+    #[test]
+    fn offline_writes_queue_and_flush() {
+        let (_local, remote, store) = setup();
+        store.set_connected(false);
+        store.put("a", Bytes::from("1")).unwrap();
+        store.put("b", Bytes::from("2")).unwrap();
+        assert_eq!(store.dirty_keys(), vec!["a", "b"]);
+        assert!(remote.inner.get("a").is_err());
+        // Reads still served locally while offline.
+        assert_eq!(store.get("a").unwrap(), Bytes::from("1"));
+
+        store.set_connected(true);
+        let report = store.synchronize();
+        assert_eq!(report.pushed, vec!["a", "b"]);
+        assert!(report.failed.is_empty());
+        assert_eq!(remote.inner.get("b").unwrap(), Bytes::from("2"));
+        assert!(store.dirty_keys().is_empty());
+    }
+
+    #[test]
+    fn sync_while_disconnected_reports_failures() {
+        let (_l, _r, store) = setup();
+        store.set_connected(false);
+        store.put("k", Bytes::from("v")).unwrap();
+        let report = store.synchronize();
+        assert_eq!(report.failed, vec!["k"]);
+        assert!(report.pushed.is_empty());
+        assert_eq!(store.dirty_keys(), vec!["k"]);
+    }
+
+    #[test]
+    fn remote_failure_while_connected_leaves_dirty() {
+        let (_l, remote, store) = setup();
+        remote.set_failing(true);
+        store.put("k", Bytes::from("v")).unwrap(); // still succeeds locally
+        assert_eq!(store.dirty_keys(), vec!["k"]);
+        remote.set_failing(false);
+        let report = store.synchronize();
+        assert_eq!(report.pushed, vec!["k"]);
+        assert_eq!(remote.inner.get("k").unwrap(), Bytes::from("v"));
+    }
+
+    #[test]
+    fn last_write_wins_after_reconnect() {
+        let (_l, remote, store) = setup();
+        store.put("k", Bytes::from("v1")).unwrap();
+        store.set_connected(false);
+        store.put("k", Bytes::from("v2")).unwrap();
+        store.set_connected(true);
+        store.synchronize();
+        assert_eq!(remote.inner.get("k").unwrap(), Bytes::from("v2"));
+    }
+
+    #[test]
+    fn offline_deletes_tombstone_and_replay() {
+        let (_l, remote, store) = setup();
+        store.put("k", Bytes::from("v")).unwrap();
+        store.set_connected(false);
+        assert!(store.delete("k").unwrap());
+        // Remote still has it until resync.
+        assert_eq!(remote.inner.get("k").unwrap(), Bytes::from("v"));
+        store.set_connected(true);
+        let report = store.synchronize();
+        assert_eq!(report.deleted, vec!["k"]);
+        assert!(remote.inner.get("k").is_err());
+    }
+
+    #[test]
+    fn get_falls_back_to_remote_and_populates_local() {
+        let (local, remote, store) = setup();
+        remote.inner.put("only-remote", Bytes::from("r")).unwrap();
+        assert_eq!(store.get("only-remote").unwrap(), Bytes::from("r"));
+        assert_eq!(local.get("only-remote").unwrap(), Bytes::from("r"));
+        // Now works offline too.
+        store.set_connected(false);
+        assert_eq!(store.get("only-remote").unwrap(), Bytes::from("r"));
+    }
+
+    #[test]
+    fn write_after_delete_clears_tombstone() {
+        let (_l, remote, store) = setup();
+        store.set_connected(false);
+        store.put("k", Bytes::from("v1")).unwrap();
+        store.delete("k").unwrap();
+        store.put("k", Bytes::from("v2")).unwrap();
+        store.set_connected(true);
+        let report = store.synchronize();
+        assert_eq!(report.pushed, vec!["k"]);
+        assert!(report.deleted.is_empty());
+        assert_eq!(remote.inner.get("k").unwrap(), Bytes::from("v2"));
+    }
+}

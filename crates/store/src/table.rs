@@ -1,0 +1,654 @@
+//! A mini relational engine — the MySQL stand-in.
+//!
+//! Supports exactly what the knowledge base needs (§3): typed schemas,
+//! insert/select/update/delete with predicates, projections, and
+//! conversion to and from CSV (see [`crate::csv`]) and RDF (in
+//! `cogsdk-kb`).
+
+use crate::StoreError;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+/// A cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Text.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Whether this value inhabits `ty` (NULL inhabits every type).
+    pub fn matches(&self, ty: ColumnType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Int(_), ColumnType::Int)
+                | (Value::Float(_), ColumnType::Float)
+                | (Value::Text(_), ColumnType::Text)
+                | (Value::Bool(_), ColumnType::Bool)
+        )
+    }
+
+    /// Numeric view (Int and Float only).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Text view.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Text(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+/// A row: one value per schema column.
+pub type Row = Vec<Value>;
+
+/// A table schema.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_store::{Schema, ColumnType};
+///
+/// let schema = Schema::new(vec![
+///     ("country", ColumnType::Text),
+///     ("gdp", ColumnType::Float),
+/// ]).unwrap();
+/// assert_eq!(schema.column_index("gdp"), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<(String, ColumnType)>,
+}
+
+impl Schema {
+    /// Creates a schema from `(name, type)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Conflict`] for duplicate or empty column names, or an
+    /// empty column list.
+    pub fn new<N: Into<String>>(columns: Vec<(N, ColumnType)>) -> Result<Schema, StoreError> {
+        let columns: Vec<(String, ColumnType)> =
+            columns.into_iter().map(|(n, t)| (n.into(), t)).collect();
+        if columns.is_empty() {
+            return Err(StoreError::Conflict("schema needs at least one column".into()));
+        }
+        for (i, (name, _)) in columns.iter().enumerate() {
+            if name.is_empty() {
+                return Err(StoreError::Conflict("empty column name".into()));
+            }
+            if columns[..i].iter().any(|(n, _)| n == name) {
+                return Err(StoreError::Conflict(format!("duplicate column: {name}")));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[(String, ColumnType)] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|(n, _)| n == name)
+    }
+
+    /// Validates a row against the schema.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::TypeMismatch`] if the arity or any cell type is wrong.
+    pub fn validate(&self, row: &Row) -> Result<(), StoreError> {
+        if row.len() != self.columns.len() {
+            return Err(StoreError::TypeMismatch(format!(
+                "expected {} values, got {}",
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        for (value, (name, ty)) in row.iter().zip(&self.columns) {
+            if !value.matches(*ty) {
+                return Err(StoreError::TypeMismatch(format!(
+                    "column {name} expects {ty:?}, got {value:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A row predicate for selects, updates and deletes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// Column equals value.
+    Eq(String, Value),
+    /// Column differs from value (NULL-safe: NULL != anything).
+    Ne(String, Value),
+    /// Numeric column strictly less than.
+    Lt(String, f64),
+    /// Numeric column strictly greater than.
+    Gt(String, f64),
+    /// Text column contains substring.
+    Contains(String, String),
+    /// Column is NULL.
+    IsNull(String),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Combines with logical AND.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Combines with logical OR.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    fn eval(&self, schema: &Schema, row: &Row) -> Result<bool, StoreError> {
+        let col = |name: &str| -> Result<&Value, StoreError> {
+            schema
+                .column_index(name)
+                .map(|i| &row[i])
+                .ok_or_else(|| StoreError::NotFound(format!("column {name}")))
+        };
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::Eq(c, v) => col(c)? == v,
+            Predicate::Ne(c, v) => {
+                let cell = col(c)?;
+                !matches!(cell, Value::Null) && cell != v
+            }
+            Predicate::Lt(c, x) => col(c)?.as_f64().is_some_and(|v| v < *x),
+            Predicate::Gt(c, x) => col(c)?.as_f64().is_some_and(|v| v > *x),
+            Predicate::Contains(c, s) => col(c)?.as_text().is_some_and(|t| t.contains(s)),
+            Predicate::IsNull(c) => matches!(col(c)?, Value::Null),
+            Predicate::And(a, b) => a.eval(schema, row)? && b.eval(schema, row)?,
+            Predicate::Or(a, b) => a.eval(schema, row)? || b.eval(schema, row)?,
+            Predicate::Not(p) => !p.eval(schema, row)?,
+        })
+    }
+}
+
+/// One table: a schema plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(schema: Schema) -> Table {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a validated row.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::TypeMismatch`] if the row does not fit the schema.
+    pub fn insert(&mut self, row: Row) -> Result<(), StoreError> {
+        self.schema.validate(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Selects rows matching `predicate`, projecting the named columns
+    /// (empty projection = all columns).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for unknown columns in the predicate or
+    /// projection.
+    pub fn select(&self, predicate: &Predicate, projection: &[&str]) -> Result<Vec<Row>, StoreError> {
+        let proj_idx: Vec<usize> = projection
+            .iter()
+            .map(|name| {
+                self.schema
+                    .column_index(name)
+                    .ok_or_else(|| StoreError::NotFound(format!("column {name}")))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut out = Vec::new();
+        for row in &self.rows {
+            if predicate.eval(&self.schema, row)? {
+                if proj_idx.is_empty() {
+                    out.push(row.clone());
+                } else {
+                    out.push(proj_idx.iter().map(|&i| row[i].clone()).collect());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Updates `column` to `value` on matching rows; returns the count.
+    ///
+    /// # Errors
+    ///
+    /// Unknown column or type mismatch.
+    pub fn update(
+        &mut self,
+        predicate: &Predicate,
+        column: &str,
+        value: Value,
+    ) -> Result<usize, StoreError> {
+        let idx = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| StoreError::NotFound(format!("column {column}")))?;
+        let ty = self.schema.columns()[idx].1;
+        if !value.matches(ty) {
+            return Err(StoreError::TypeMismatch(format!(
+                "column {column} expects {ty:?}"
+            )));
+        }
+        let mut count = 0;
+        // Two passes keep the borrow checker happy: evaluate, then mutate.
+        let matches: Vec<bool> = self
+            .rows
+            .iter()
+            .map(|row| predicate.eval(&self.schema, row))
+            .collect::<Result<_, _>>()?;
+        for (row, hit) in self.rows.iter_mut().zip(matches) {
+            if hit {
+                row[idx] = value.clone();
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+
+    /// Deletes matching rows; returns the count.
+    ///
+    /// # Errors
+    ///
+    /// Unknown predicate column.
+    pub fn delete_rows(&mut self, predicate: &Predicate) -> Result<usize, StoreError> {
+        let before = self.rows.len();
+        let matches: Vec<bool> = self
+            .rows
+            .iter()
+            .map(|row| predicate.eval(&self.schema, row))
+            .collect::<Result<_, _>>()?;
+        let mut it = matches.into_iter();
+        self.rows.retain(|_| !it.next().expect("same length"));
+        Ok(before - self.rows.len())
+    }
+}
+
+/// A named collection of tables — the "database".
+#[derive(Debug, Default)]
+pub struct TableStore {
+    tables: RwLock<BTreeMap<String, Table>>,
+}
+
+impl TableStore {
+    /// Creates an empty store.
+    pub fn new() -> TableStore {
+        TableStore::default()
+    }
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Conflict`] if the name is taken.
+    pub fn create_table(&self, name: impl Into<String>, schema: Schema) -> Result<(), StoreError> {
+        let name = name.into();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&name) {
+            return Err(StoreError::Conflict(format!("table exists: {name}")));
+        }
+        tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    /// Drops a table, returning it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if absent.
+    pub fn drop_table(&self, name: &str) -> Result<Table, StoreError> {
+        self.tables
+            .write()
+            .remove(name)
+            .ok_or_else(|| StoreError::NotFound(format!("table {name}")))
+    }
+
+    /// Runs `f` with read access to a table.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if absent.
+    pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&Table) -> R) -> Result<R, StoreError> {
+        let tables = self.tables.read();
+        let table = tables
+            .get(name)
+            .ok_or_else(|| StoreError::NotFound(format!("table {name}")))?;
+        Ok(f(table))
+    }
+
+    /// Runs `f` with write access to a table.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if absent.
+    pub fn with_table_mut<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut Table) -> R,
+    ) -> Result<R, StoreError> {
+        let mut tables = self.tables.write();
+        let table = tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NotFound(format!("table {name}")))?;
+        Ok(f(table))
+    }
+
+    /// Inserts a row into a named table.
+    ///
+    /// # Errors
+    ///
+    /// Missing table or schema mismatch.
+    pub fn insert(&self, table: &str, row: Row) -> Result<(), StoreError> {
+        self.with_table_mut(table, |t| t.insert(row))?
+    }
+
+    /// Selects from a named table.
+    ///
+    /// # Errors
+    ///
+    /// Missing table or unknown columns.
+    pub fn select(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        projection: &[&str],
+    ) -> Result<Vec<Row>, StoreError> {
+        self.with_table(table, |t| t.select(predicate, projection))?
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn country_table() -> Table {
+        let schema = Schema::new(vec![
+            ("country", ColumnType::Text),
+            ("gdp", ColumnType::Float),
+            ("population", ColumnType::Int),
+            ("developed", ColumnType::Bool),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.insert(vec!["united_states".into(), 21000.0.into(), Value::Int(331), true.into()]).unwrap();
+        t.insert(vec!["germany".into(), 4200.0.into(), Value::Int(83), true.into()]).unwrap();
+        t.insert(vec!["india".into(), 3700.0.into(), Value::Int(1400), false.into()]).unwrap();
+        t.insert(vec!["unknown".into(), Value::Null, Value::Null, false.into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn schema_rejects_duplicates_and_empty() {
+        assert!(Schema::new::<String>(vec![]).is_err());
+        assert!(Schema::new(vec![("a", ColumnType::Int), ("a", ColumnType::Int)]).is_err());
+        assert!(Schema::new(vec![("", ColumnType::Int)]).is_err());
+    }
+
+    #[test]
+    fn insert_validates_types_and_arity() {
+        let mut t = country_table();
+        assert!(matches!(
+            t.insert(vec!["x".into()]),
+            Err(StoreError::TypeMismatch(_))
+        ));
+        assert!(matches!(
+            t.insert(vec![Value::Int(1), 1.0.into(), Value::Int(1), true.into()]),
+            Err(StoreError::TypeMismatch(_))
+        ));
+        // NULL fits any column.
+        t.insert(vec![Value::Null, Value::Null, Value::Null, Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn select_with_predicates() {
+        let t = country_table();
+        let rich = t.select(&Predicate::Gt("gdp".into(), 4000.0), &[]).unwrap();
+        assert_eq!(rich.len(), 2);
+        let dev = t
+            .select(&Predicate::Eq("developed".into(), Value::Bool(true)), &["country"])
+            .unwrap();
+        assert_eq!(dev.len(), 2);
+        assert_eq!(dev[0], vec![Value::Text("united_states".into())]);
+        let nulls = t.select(&Predicate::IsNull("gdp".into()), &["country"]).unwrap();
+        assert_eq!(nulls.len(), 1);
+    }
+
+    #[test]
+    fn compound_predicates() {
+        let t = country_table();
+        let p = Predicate::Gt("gdp".into(), 3000.0)
+            .and(Predicate::Eq("developed".into(), Value::Bool(false)));
+        assert_eq!(t.select(&p, &[]).unwrap().len(), 1);
+        let p = Predicate::Eq("country".into(), "germany".into())
+            .or(Predicate::Eq("country".into(), "india".into()));
+        assert_eq!(t.select(&p, &[]).unwrap().len(), 2);
+        let p = Predicate::Not(Box::new(Predicate::True));
+        assert!(t.select(&p, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ne_is_null_safe() {
+        let t = country_table();
+        // NULL gdp row must not match Ne.
+        let p = Predicate::Ne("gdp".into(), Value::Float(21000.0));
+        assert_eq!(t.select(&p, &[]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn contains_predicate() {
+        let t = country_table();
+        let p = Predicate::Contains("country".into(), "united".into());
+        assert_eq!(t.select(&p, &[]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let t = country_table();
+        assert!(t.select(&Predicate::Eq("nope".into(), Value::Null), &[]).is_err());
+        assert!(t.select(&Predicate::True, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut t = country_table();
+        let n = t
+            .update(&Predicate::Eq("country".into(), "india".into()), "developed", true.into())
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(
+            t.select(&Predicate::Eq("developed".into(), Value::Bool(true)), &[]).unwrap().len(),
+            3
+        );
+        assert!(matches!(
+            t.update(&Predicate::True, "gdp", Value::Text("x".into())),
+            Err(StoreError::TypeMismatch(_))
+        ));
+        let removed = t.delete_rows(&Predicate::IsNull("gdp".into())).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn table_store_lifecycle() {
+        let store = TableStore::new();
+        let schema = Schema::new(vec![("k", ColumnType::Text)]).unwrap();
+        store.create_table("t", schema.clone()).unwrap();
+        assert!(matches!(
+            store.create_table("t", schema),
+            Err(StoreError::Conflict(_))
+        ));
+        store.insert("t", vec!["v".into()]).unwrap();
+        let rows = store.select("t", &Predicate::True, &[]).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(store.table_names(), vec!["t"]);
+        assert!(store.insert("missing", vec!["v".into()]).is_err());
+        store.drop_table("t").unwrap();
+        assert!(store.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn update_returns_zero_on_no_match() {
+        let mut t = country_table();
+        let n = t
+            .update(&Predicate::Eq("country".into(), "narnia".into()), "developed", true.into())
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(matches!(
+            t.update(&Predicate::True, "nope", Value::Null),
+            Err(StoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn delete_rows_with_always_true_empties_table() {
+        let mut t = country_table();
+        let n = t.delete_rows(&Predicate::True).unwrap();
+        assert_eq!(n, 4);
+        assert!(t.is_empty());
+        // Deleting again removes nothing.
+        assert_eq!(t.delete_rows(&Predicate::True).unwrap(), 0);
+    }
+
+    #[test]
+    fn select_projection_order_matches_request() {
+        let t = country_table();
+        let rows = t
+            .select(&Predicate::Eq("country".into(), "germany".into()), &["population", "country"])
+            .unwrap();
+        assert_eq!(rows[0][0], Value::Int(83));
+        assert_eq!(rows[0][1], Value::Text("germany".into()));
+    }
+
+    #[test]
+    fn value_conversions_and_display() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("ss"), Value::Text("ss".into()));
+        assert_eq!(Value::Int(5).as_f64(), Some(5.0));
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.to_string(), "");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+}

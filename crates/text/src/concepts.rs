@@ -1,0 +1,129 @@
+//! Concept / taxonomy classification.
+//!
+//! Maps a document onto the built-in category taxonomy by counting trigger
+//! words — the "concepts, taxonomies" output of the paper's NLU services
+//! (§2.2).
+
+use crate::lexicon::Lexicons;
+use crate::tokenize::tokenize;
+use std::collections::HashMap;
+
+/// A taxonomy category with a confidence score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Concept {
+    /// Category label (e.g. `"finance"`).
+    pub label: String,
+    /// Confidence in `(0, 1]`; the top category has the highest value.
+    pub confidence: f64,
+}
+
+/// Classifies `text` into up to `limit` taxonomy categories.
+///
+/// Confidence is the category's share of all trigger-word hits, so the
+/// values over the returned set sum to at most 1.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_text::{concepts, Lexicons};
+///
+/// let lex = Lexicons::builtin();
+/// let cs = concepts::classify(
+///     "The bank reported earnings; investors traded stocks.", &lex, 3);
+/// assert_eq!(cs[0].label, "finance");
+/// ```
+pub fn classify(text: &str, lexicons: &Lexicons, limit: usize) -> Vec<Concept> {
+    let mut hits: HashMap<&str, usize> = HashMap::new();
+    let mut total = 0usize;
+    for tok in tokenize(text) {
+        let w = tok.lower();
+        for (category, triggers) in &lexicons.taxonomy {
+            if triggers.contains(&w.as_str()) {
+                *hits.entry(category).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+    }
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut scored: Vec<Concept> = hits
+        .into_iter()
+        .map(|(label, count)| Concept {
+            label: label.to_string(),
+            confidence: count as f64 / total as f64,
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.confidence
+            .total_cmp(&a.confidence)
+            .then_with(|| a.label.cmp(&b.label))
+    });
+    scored.truncate(limit);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex() -> Lexicons {
+        Lexicons::builtin()
+    }
+
+    #[test]
+    fn finance_text_classified_as_finance() {
+        let cs = classify(
+            "Stocks rallied as the bank posted record earnings and investors cheered the dividend.",
+            &lex(),
+            3,
+        );
+        assert_eq!(cs[0].label, "finance");
+        assert!(cs[0].confidence > 0.5);
+    }
+
+    #[test]
+    fn mixed_text_ranks_dominant_topic_first() {
+        let cs = classify(
+            "The hospital treated patients with the new vaccine while the stock market dipped.",
+            &lex(),
+            5,
+        );
+        assert_eq!(cs[0].label, "health");
+        assert!(cs.iter().any(|c| c.label == "finance"));
+    }
+
+    #[test]
+    fn confidences_sum_to_one_over_full_set() {
+        let cs = classify(
+            "software algorithm market earnings vaccine hospital",
+            &lex(),
+            10,
+        );
+        let sum: f64 = cs.iter().map(|c| c.confidence).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum={sum}");
+    }
+
+    #[test]
+    fn no_triggers_yields_empty() {
+        assert!(classify("lorem ipsum dolor", &lex(), 5).is_empty());
+        assert!(classify("", &lex(), 5).is_empty());
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let cs = classify(
+            "software market vaccine election research game energy climate company school",
+            &lex(),
+            2,
+        );
+        assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_tie_break_is_alphabetical() {
+        let cs = classify("software market", &lex(), 2);
+        assert_eq!(cs[0].label, "finance");
+        assert_eq!(cs[1].label, "technology");
+    }
+}

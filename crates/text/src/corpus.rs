@@ -1,0 +1,261 @@
+//! Synthetic document corpus generation.
+//!
+//! The paper's experiments need "several text documents", "documents
+//! returned by a Web search", and "news stories" (§2.2). This generator
+//! produces a deterministic corpus of short articles — each about known
+//! entities, slanted positive or negative, in a topic category — that the
+//! search substrate indexes and the NLU substrate analyzes. Because the
+//! generator plants the entities, topics and sentiment, experiments have
+//! ground truth to score aggregation against.
+
+use crate::lexicon::{builtin_entities, EntityDef, Lexicons};
+use cogsdk_sim::rng::Rng;
+
+/// One generated document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedDoc {
+    /// Stable document id.
+    pub id: usize,
+    /// Title (first sentence).
+    pub title: String,
+    /// Simulated URL where the document "lives".
+    pub url: String,
+    /// Body text.
+    pub body: String,
+    /// The topic category the document was generated in.
+    pub topic: String,
+    /// Whether the document is a news story (vs. a reference page).
+    pub is_news: bool,
+    /// Publication day (for news recency experiments).
+    pub day: u32,
+    /// Planted sentiment slant in [-1, 1]: the ground truth an analysis
+    /// should approximately recover.
+    pub slant: f64,
+    /// Canonical ids of the entities planted in this document.
+    pub planted_entities: Vec<String>,
+}
+
+/// Deterministic corpus generator.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_text::corpus::CorpusGenerator;
+///
+/// let docs = CorpusGenerator::new(7).generate(50);
+/// assert_eq!(docs.len(), 50);
+/// // Deterministic: same seed, same corpus.
+/// assert_eq!(CorpusGenerator::new(7).generate(50), docs);
+/// ```
+#[derive(Debug)]
+pub struct CorpusGenerator {
+    rng: Rng,
+    entities: Vec<EntityDef>,
+    lexicons: Lexicons,
+}
+
+impl CorpusGenerator {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> CorpusGenerator {
+        CorpusGenerator {
+            rng: Rng::new(seed),
+            entities: builtin_entities(),
+            lexicons: Lexicons::builtin(),
+        }
+    }
+
+    /// Generates `n` documents.
+    pub fn generate(&mut self, n: usize) -> Vec<GeneratedDoc> {
+        (0..n).map(|id| self.generate_one(id)).collect()
+    }
+
+    fn generate_one(&mut self, id: usize) -> GeneratedDoc {
+        let topics: Vec<&&str> = self.lexicons.taxonomy.keys().collect();
+        let topic = (**self.rng.choose(&topics)).to_string();
+        let triggers = self.lexicons.taxonomy[topic.as_str()].clone();
+
+        // Plant 1–3 entities.
+        let n_entities = 1 + self.rng.below(3) as usize;
+        let mut planted = Vec::new();
+        for _ in 0..n_entities {
+            let e = self.rng.choose(&self.entities).clone();
+            if !planted.iter().any(|p: &EntityDef| p.id == e.id) {
+                planted.push(e);
+            }
+        }
+
+        // Slant: strength and sign of the sentiment vocabulary used.
+        let slant = self.rng.uniform(-1.0, 1.0);
+        let (pos_words, neg_words): (Vec<&str>, Vec<&str>) = {
+            let mut pos = Vec::new();
+            let mut neg = Vec::new();
+            for (w, v) in &self.lexicons.sentiment {
+                if *v > 0.0 {
+                    pos.push(*w);
+                } else {
+                    neg.push(*w);
+                }
+            }
+            pos.sort_unstable();
+            neg.sort_unstable();
+            (pos, neg)
+        };
+
+        let is_news = self.rng.chance(0.6);
+        let day = self.rng.below(365) as u32;
+
+        let mut sentences: Vec<String> = Vec::new();
+        let n_sentences = 4 + self.rng.below(5) as usize;
+        for s in 0..n_sentences {
+            let entity = &planted[s % planted.len()];
+            // Pick the display-cased alias (use name for the first
+            // mention, then a random alias to exercise disambiguation).
+            let surface = if s == 0 {
+                entity.name.to_string()
+            } else {
+                {
+                    // Explicit deref: `choose` returns `&&str`, and the
+                    // inference for `T = str` fails without it.
+                    #[allow(clippy::explicit_auto_deref)]
+                    let alias: &str = *self.rng.choose(entity.aliases);
+                    title_case(alias)
+                }
+            };
+            let trigger_a = *self.rng.choose(&triggers);
+            let trigger_b = *self.rng.choose(&triggers);
+            let sentiment_word = if self.rng.next_f64() < (slant + 1.0) / 2.0 {
+                *self.rng.choose(&pos_words)
+            } else {
+                *self.rng.choose(&neg_words)
+            };
+            let template = self.rng.below(4);
+            let sentence = match template {
+                0 => format!(
+                    "{surface} announced {sentiment_word} {trigger_a} results this quarter"
+                ),
+                1 => format!(
+                    "Analysts called the {trigger_a} {trigger_b} plans of {surface} {sentiment_word}"
+                ),
+                2 => format!(
+                    "The {trigger_a} report described {surface} as {sentiment_word} for the {trigger_b} sector"
+                ),
+                _ => format!(
+                    "{surface} faces {sentiment_word} {trigger_a} conditions in the {trigger_b} market"
+                ),
+            };
+            sentences.push(sentence);
+        }
+        let title = sentences[0].clone();
+        let body = sentences.join(". ") + ".";
+        let host = if is_news { "news.example.com" } else { "ref.example.org" };
+        GeneratedDoc {
+            url: format!("https://{host}/{topic}/{id}"),
+            id,
+            title,
+            body,
+            topic,
+            is_news,
+            day,
+            slant,
+            planted_entities: planted.iter().map(|e| e.id.to_string()).collect(),
+        }
+    }
+}
+
+fn title_case(s: &str) -> String {
+    s.split(' ')
+        .map(|w| {
+            let mut cs = w.chars();
+            match cs.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + cs.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{Analyzer, NluConfig};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CorpusGenerator::new(99).generate(20);
+        let b = CorpusGenerator::new(99).generate(20);
+        assert_eq!(a, b);
+        let c = CorpusGenerator::new(100).generate(20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn documents_have_sane_structure() {
+        let docs = CorpusGenerator::new(1).generate(30);
+        for d in &docs {
+            assert!(!d.title.is_empty());
+            assert!(d.body.len() > d.title.len());
+            assert!(d.url.starts_with("https://"));
+            assert!(!d.planted_entities.is_empty());
+            assert!(d.day < 365);
+            assert!((-1.0..=1.0).contains(&d.slant));
+        }
+        assert!(docs.iter().any(|d| d.is_news));
+        assert!(docs.iter().any(|d| !d.is_news));
+    }
+
+    #[test]
+    fn planted_entities_are_recoverable_by_ner() {
+        let docs = CorpusGenerator::new(5).generate(20);
+        let analyzer = Analyzer::with_default_lexicons();
+        let mut recovered = 0usize;
+        let mut planted_total = 0usize;
+        for d in &docs {
+            let r = analyzer.analyze(&d.body, &NluConfig::perfect());
+            let found: Vec<&str> = r.entities.iter().map(|e| e.canonical.as_str()).collect();
+            for p in &d.planted_entities {
+                planted_total += 1;
+                if found.contains(&p.as_str()) {
+                    recovered += 1;
+                }
+            }
+        }
+        let recall = recovered as f64 / planted_total as f64;
+        assert!(recall > 0.9, "NER recall on planted entities: {recall}");
+    }
+
+    #[test]
+    fn slant_correlates_with_measured_sentiment() {
+        let docs = CorpusGenerator::new(11).generate(60);
+        let analyzer = Analyzer::with_default_lexicons();
+        let slants: Vec<f64> = docs.iter().map(|d| d.slant).collect();
+        let measured: Vec<f64> = docs
+            .iter()
+            .map(|d| analyzer.analyze(&d.body, &NluConfig::perfect()).sentiment.score)
+            .collect();
+        let r = cogsdk_stats_free_pearson(&slants, &measured);
+        assert!(r > 0.5, "slant/sentiment correlation too weak: {r}");
+    }
+
+    // A tiny local Pearson to avoid a dev-dependency cycle with
+    // cogsdk-stats (which does not depend on this crate, but keeping the
+    // text crate leaf-light is deliberate).
+    fn cogsdk_stats_free_pearson(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+        let sxx: f64 = x.iter().map(|a| (a - mx).powi(2)).sum();
+        let syy: f64 = y.iter().map(|b| (b - my).powi(2)).sum();
+        sxy / (sxx * syy).sqrt()
+    }
+
+    #[test]
+    fn topics_cover_taxonomy() {
+        let docs = CorpusGenerator::new(3).generate(200);
+        let mut topics: Vec<&str> = docs.iter().map(|d| d.topic.as_str()).collect();
+        topics.sort_unstable();
+        topics.dedup();
+        assert!(topics.len() >= 8, "topics seen: {topics:?}");
+    }
+}

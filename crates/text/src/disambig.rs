@@ -1,0 +1,278 @@
+//! Named entity disambiguation.
+//!
+//! §3 of the paper: "the same entity can be referred to in different ways.
+//! For example, the country United States of America is also referred to as
+//! USA, US, United States, America, and even the states." Resolving every
+//! surface form to one canonical identifier "prevents the proliferation of
+//! redundant database entries". Users can also "provide their own files
+//! which identify synonyms which map to the same entity" for domains with
+//! no existing service.
+
+use crate::lexicon::{builtin_entities, EntityDef, EntityType};
+use crate::tokenize::normalize;
+use std::collections::HashMap;
+
+/// A successfully disambiguated entity reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedEntity {
+    /// Canonical identifier (e.g. `united_states`).
+    pub id: String,
+    /// Display name (e.g. `United States`).
+    pub name: String,
+    /// Entity type.
+    pub kind: EntityType,
+    /// DBpedia-style reference URL.
+    pub dbpedia: String,
+    /// YAGO-style reference URL.
+    pub yago: String,
+}
+
+/// A catalog mapping surface forms to canonical entities.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_text::EntityCatalog;
+///
+/// let catalog = EntityCatalog::builtin();
+/// let a = catalog.resolve("United States of America").unwrap();
+/// let b = catalog.resolve("USA").unwrap();
+/// assert_eq!(a.id, b.id); // one entity, not two
+/// ```
+#[derive(Debug, Clone)]
+pub struct EntityCatalog {
+    entities: Vec<EntityDef>,
+    /// normalized alias -> index into `entities`.
+    alias_index: HashMap<String, usize>,
+    /// User-provided synonyms: normalized surface -> canonical id string
+    /// (for domains not covered by any service, e.g. disease names, §3).
+    custom: HashMap<String, String>,
+}
+
+impl EntityCatalog {
+    /// Builds the catalog from the built-in gazetteer.
+    pub fn builtin() -> EntityCatalog {
+        EntityCatalog::from_entities(builtin_entities())
+    }
+
+    /// Builds a catalog from explicit entity definitions.
+    pub fn from_entities(entities: Vec<EntityDef>) -> EntityCatalog {
+        let mut alias_index = HashMap::new();
+        for (i, e) in entities.iter().enumerate() {
+            for alias in e.aliases {
+                alias_index.insert(normalize_alias(alias), i);
+            }
+        }
+        EntityCatalog {
+            entities,
+            alias_index,
+            custom: HashMap::new(),
+        }
+    }
+
+    /// Registers user-provided synonym pairs `(surface, canonical_id)`.
+    /// Later registrations win over earlier ones but never over the
+    /// built-in gazetteer.
+    pub fn add_synonyms<I, S1, S2>(&mut self, pairs: I)
+    where
+        I: IntoIterator<Item = (S1, S2)>,
+        S1: AsRef<str>,
+        S2: Into<String>,
+    {
+        for (surface, id) in pairs {
+            self.custom
+                .insert(normalize_alias(surface.as_ref()), id.into());
+        }
+    }
+
+    /// Parses a synonym file in the paper's simple format — one entity per
+    /// line, `canonical_id: surface1, surface2, …` — and registers it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-numbered message for lines without a `:` separator.
+    pub fn add_synonym_file(&mut self, contents: &str) -> Result<usize, String> {
+        let mut added = 0;
+        for (lineno, line) in contents.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (id, surfaces) = line
+                .split_once(':')
+                .ok_or_else(|| format!("line {}: missing ':' separator", lineno + 1))?;
+            let id = id.trim().to_string();
+            for surface in surfaces.split(',') {
+                let surface = surface.trim();
+                if !surface.is_empty() {
+                    self.custom.insert(normalize_alias(surface), id.clone());
+                    added += 1;
+                }
+            }
+        }
+        Ok(added)
+    }
+
+    /// Resolves a surface form to its canonical entity, if known.
+    ///
+    /// Custom synonyms resolve too, but produce synthetic entries (no
+    /// gazetteer URLs) unless the canonical id is itself in the gazetteer.
+    pub fn resolve(&self, surface: &str) -> Option<ResolvedEntity> {
+        let key = normalize_alias(surface);
+        if let Some(&i) = self.alias_index.get(&key) {
+            return Some(self.materialize(i));
+        }
+        if let Some(id) = self.custom.get(&key) {
+            // The custom id may map onto a known entity.
+            if let Some(i) = self.entities.iter().position(|e| e.id == *id) {
+                return Some(self.materialize(i));
+            }
+            return Some(ResolvedEntity {
+                id: id.clone(),
+                name: id.clone(),
+                kind: EntityType::Technology,
+                dbpedia: String::new(),
+                yago: String::new(),
+            });
+        }
+        None
+    }
+
+    /// Looks an entity up by its canonical id.
+    pub fn by_id(&self, id: &str) -> Option<ResolvedEntity> {
+        self.entities
+            .iter()
+            .position(|e| e.id == id)
+            .map(|i| self.materialize(i))
+    }
+
+    /// All entity definitions in the catalog.
+    pub fn entities(&self) -> &[EntityDef] {
+        &self.entities
+    }
+
+    /// The number of registered custom synonyms.
+    pub fn custom_len(&self) -> usize {
+        self.custom.len()
+    }
+
+    fn materialize(&self, i: usize) -> ResolvedEntity {
+        let e = &self.entities[i];
+        ResolvedEntity {
+            id: e.id.to_string(),
+            name: e.name.to_string(),
+            kind: e.kind,
+            dbpedia: e.dbpedia_url(),
+            yago: e.yago_url(),
+        }
+    }
+}
+
+impl Default for EntityCatalog {
+    fn default() -> EntityCatalog {
+        EntityCatalog::builtin()
+    }
+}
+
+/// Normalizes an alias: lowercase, collapse whitespace, strip punctuation
+/// around words.
+fn normalize_alias(s: &str) -> String {
+    s.split_whitespace()
+        .map(normalize)
+        .filter(|w| !w.is_empty())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_all_aliases_resolve_to_one_entity() {
+        let c = EntityCatalog::builtin();
+        let expect = c.resolve("United States of America").unwrap();
+        for alias in ["USA", "US", "United States", "America", "the states", "u.s."] {
+            let got = c.resolve(alias).unwrap_or_else(|| panic!("unresolved: {alias}"));
+            assert_eq!(got.id, expect.id, "{alias}");
+        }
+        assert_eq!(expect.dbpedia, "http://dbpedia.org/resource/United_States");
+    }
+
+    #[test]
+    fn naive_string_match_would_split_what_we_merge() {
+        // The failure mode the paper warns about: naive matching treats
+        // distinct strings as distinct entities.
+        let c = EntityCatalog::builtin();
+        let s1 = "United States of America";
+        let s2 = "USA";
+        assert_ne!(s1, s2, "naive comparison says different");
+        assert_eq!(c.resolve(s1).unwrap().id, c.resolve(s2).unwrap().id);
+    }
+
+    #[test]
+    fn unknown_surface_is_none() {
+        let c = EntityCatalog::builtin();
+        assert!(c.resolve("Atlantis").is_none());
+        assert!(c.resolve("").is_none());
+    }
+
+    #[test]
+    fn resolution_is_case_and_whitespace_insensitive() {
+        let c = EntityCatalog::builtin();
+        assert_eq!(
+            c.resolve("  uNiTeD   sTaTeS  ").unwrap().id,
+            "united_states"
+        );
+    }
+
+    #[test]
+    fn custom_synonyms_resolve() {
+        let mut c = EntityCatalog::builtin();
+        c.add_synonyms([("the big apple", "new_york"), ("GERD", "gastro_reflux")]);
+        // Synonym onto a gazetteer entity gets full URLs.
+        let ny = c.resolve("The Big Apple").unwrap();
+        assert_eq!(ny.id, "new_york");
+        assert!(!ny.dbpedia.is_empty());
+        // Synonym onto an unknown domain id resolves synthetically.
+        let gerd = c.resolve("gerd").unwrap();
+        assert_eq!(gerd.id, "gastro_reflux");
+        assert!(gerd.dbpedia.is_empty());
+    }
+
+    #[test]
+    fn builtin_gazetteer_wins_over_custom() {
+        let mut c = EntityCatalog::builtin();
+        c.add_synonyms([("usa", "some_other_thing")]);
+        assert_eq!(c.resolve("USA").unwrap().id, "united_states");
+    }
+
+    #[test]
+    fn synonym_file_round_trip() {
+        let mut c = EntityCatalog::builtin();
+        let file = "\
+# disease synonyms (paper §3: domains with no disambiguation service)
+influenza: flu, the flu, grippe
+diabetes_mellitus: diabetes, type 2 diabetes
+";
+        let added = c.add_synonym_file(file).unwrap();
+        assert_eq!(added, 5);
+        assert_eq!(c.resolve("the flu").unwrap().id, "influenza");
+        assert_eq!(c.resolve("Type 2 Diabetes").unwrap().id, "diabetes_mellitus");
+        assert_eq!(c.custom_len(), 5);
+    }
+
+    #[test]
+    fn synonym_file_rejects_malformed_lines() {
+        let mut c = EntityCatalog::builtin();
+        let err = c.add_synonym_file("no separator here").unwrap_err();
+        assert!(err.contains("line 1"));
+    }
+
+    #[test]
+    fn by_id_lookup() {
+        let c = EntityCatalog::builtin();
+        assert_eq!(c.by_id("ibm").unwrap().name, "IBM");
+        assert!(c.by_id("nope").is_none());
+    }
+}

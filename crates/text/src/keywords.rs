@@ -1,0 +1,205 @@
+//! Keyword extraction by TF-IDF.
+//!
+//! §2.2: language understanding services "extract things such as named
+//! entities, keywords, concepts, taxonomies, and sentiment from a
+//! document… Named entities are disambiguated, while keywords are not."
+
+use crate::lexicon::Lexicons;
+use crate::tokenize::{stem, tokenize};
+use std::collections::HashMap;
+
+/// An extracted keyword with its relevance score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Keyword {
+    /// The keyword in stemmed, lowercase form.
+    pub text: String,
+    /// Relevance in `[0, 1]`, 1 being the most relevant in the document.
+    pub relevance: f64,
+    /// Raw occurrence count in the document.
+    pub count: usize,
+}
+
+/// Document-frequency statistics for IDF weighting, built from a corpus.
+#[derive(Debug, Clone, Default)]
+pub struct DocumentFrequencies {
+    docs: usize,
+    freq: HashMap<String, usize>,
+}
+
+impl DocumentFrequencies {
+    /// Creates empty statistics (IDF falls back to a constant).
+    pub fn new() -> DocumentFrequencies {
+        DocumentFrequencies::default()
+    }
+
+    /// Folds one document into the statistics.
+    pub fn add_document(&mut self, text: &str, lexicons: &Lexicons) {
+        self.docs += 1;
+        let mut seen = std::collections::HashSet::new();
+        for tok in tokenize(text) {
+            let raw = tok.lower();
+            let w = stem(&raw);
+            if w.len() < 2
+                || lexicons.stopwords.contains(raw.as_str())
+                || lexicons.stopwords.contains(w.as_str())
+            {
+                continue;
+            }
+            if seen.insert(w.clone()) {
+                *self.freq.entry(w).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Number of documents folded in.
+    pub fn len(&self) -> usize {
+        self.docs
+    }
+
+    /// Whether any documents have been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.docs == 0
+    }
+
+    /// Smoothed inverse document frequency of `word`.
+    pub fn idf(&self, word: &str) -> f64 {
+        if self.docs == 0 {
+            return 1.0;
+        }
+        let df = self.freq.get(word).copied().unwrap_or(0);
+        ((1.0 + self.docs as f64) / (1.0 + df as f64)).ln() + 1.0
+    }
+}
+
+/// Extracts up to `limit` keywords from `text`, scored by TF-IDF and
+/// normalized so the top keyword has relevance 1.0.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_text::{keywords, Lexicons};
+///
+/// let lex = Lexicons::builtin();
+/// let df = keywords::DocumentFrequencies::new();
+/// let kws = keywords::extract(
+///     "The vaccine trial results: the vaccine was effective.",
+///     &lex, &df, 5);
+/// assert_eq!(kws[0].text, "vaccine");
+/// assert_eq!(kws[0].count, 2);
+/// ```
+pub fn extract(
+    text: &str,
+    lexicons: &Lexicons,
+    df: &DocumentFrequencies,
+    limit: usize,
+) -> Vec<Keyword> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut total = 0usize;
+    for tok in tokenize(text) {
+        let raw = tok.lower();
+        let w = stem(&raw);
+        if w.len() < 2
+            || lexicons.stopwords.contains(raw.as_str())
+            || lexicons.stopwords.contains(w.as_str())
+        {
+            continue;
+        }
+        // Purely numeric tokens are not keywords.
+        if w.chars().all(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        *counts.entry(w).or_insert(0) += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut scored: Vec<(String, usize, f64)> = counts
+        .into_iter()
+        .map(|(w, c)| {
+            let tf = c as f64 / total as f64;
+            let s = tf * df.idf(&w);
+            (w, c, s)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+    scored.truncate(limit);
+    let top = scored.first().map(|(_, _, s)| *s).unwrap_or(1.0);
+    scored
+        .into_iter()
+        .map(|(text, count, s)| Keyword {
+            text,
+            count,
+            relevance: if top > 0.0 { s / top } else { 0.0 },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex() -> Lexicons {
+        Lexicons::builtin()
+    }
+
+    #[test]
+    fn repeated_content_words_rank_first() {
+        let kws = extract(
+            "Solar power and solar panels: solar energy is growing. Energy!",
+            &lex(),
+            &DocumentFrequencies::new(),
+            10,
+        );
+        assert_eq!(kws[0].text, "solar");
+        assert_eq!(kws[0].count, 3);
+        assert!((kws[0].relevance - 1.0).abs() < 1e-12);
+        assert!(kws.iter().any(|k| k.text == "energy" && k.count == 2));
+    }
+
+    #[test]
+    fn stopwords_and_numbers_excluded() {
+        let kws = extract("the and of 42 1234 data", &lex(), &DocumentFrequencies::new(), 10);
+        let words: Vec<&str> = kws.iter().map(|k| k.text.as_str()).collect();
+        assert_eq!(words, vec!["data"]);
+    }
+
+    #[test]
+    fn empty_text_yields_no_keywords() {
+        assert!(extract("", &lex(), &DocumentFrequencies::new(), 5).is_empty());
+        assert!(extract("the of and", &lex(), &DocumentFrequencies::new(), 5).is_empty());
+    }
+
+    #[test]
+    fn idf_downweights_corpus_wide_words() {
+        let lexicons = lex();
+        let mut df = DocumentFrequencies::new();
+        // "market" appears in every document; "fusion" in one.
+        for i in 0..20 {
+            df.add_document(&format!("market report number {i}"), &lexicons);
+        }
+        df.add_document("fusion breakthrough market", &lexicons);
+        assert_eq!(df.len(), 21);
+        let kws = extract("fusion market fusion market", &lexicons, &df, 5);
+        assert_eq!(kws[0].text, "fusion");
+        assert!(kws[0].relevance > kws[1].relevance);
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let kws = extract(
+            "alpha beta gamma delta epsilon zeta eta theta",
+            &lex(),
+            &DocumentFrequencies::new(),
+            3,
+        );
+        assert_eq!(kws.len(), 3);
+    }
+
+    #[test]
+    fn stemming_collapses_word_forms() {
+        let kws = extract("vaccines vaccine", &lex(), &DocumentFrequencies::new(), 5);
+        assert_eq!(kws.len(), 1);
+        assert_eq!(kws[0].count, 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! Natural-language-understanding substrate.
+//!
+//! The paper's key use case (§2.2) is "to help applications use intelligent
+//! services which understand language": named entity recognition with
+//! disambiguation, keyword extraction, concept/taxonomy classification,
+//! document- and entity-level sentiment, relation extraction, and a local
+//! spell checker. Real deployments call IBM Watson NLU and its competitors;
+//! this crate implements the same analyses locally (dictionary/lexicon
+//! driven) so multiple simulated "vendors" with different quality and
+//! latency profiles can be spun up deterministically.
+//!
+//! The analyses are intentionally classical (gazetteer NER, TF-IDF
+//! keywords, lexicon sentiment with negation, pattern-based relations,
+//! Norvig-style spell checking): the SDK under study treats NLU services as
+//! opaque JSON-producing endpoints, so what matters is output *schema* and
+//! controllable quality differences between vendors, not state-of-the-art
+//! accuracy.
+//!
+//! # Examples
+//!
+//! ```
+//! use cogsdk_text::analysis::{Analyzer, NluConfig};
+//!
+//! let analyzer = Analyzer::with_default_lexicons();
+//! let doc = analyzer.analyze("The USA signed an excellent trade deal with IBM.",
+//!                            &NluConfig::perfect());
+//! assert!(doc.entities.iter().any(|e| e.canonical == "united_states"));
+//! assert!(doc.sentiment.score > 0.0);
+//! ```
+
+pub mod analysis;
+pub mod concepts;
+pub mod corpus;
+pub mod disambig;
+pub mod keywords;
+pub mod lexicon;
+pub mod ner;
+pub mod relations;
+pub mod sentiment;
+pub mod services;
+pub mod spell;
+pub mod tokenize;
+
+pub use analysis::{Analyzer, DocumentAnalysis, NluConfig};
+pub use disambig::EntityCatalog;
+pub use lexicon::Lexicons;
+pub use spell::SpellChecker;

@@ -1,0 +1,174 @@
+//! Named entity recognition: longest-match gazetteer scanning.
+//!
+//! Produces *disambiguated* mentions (§2.2: "Named entities are
+//! disambiguated, while keywords are not"): every mention carries the
+//! canonical id from the [`EntityCatalog`].
+//!
+//! [`EntityCatalog`]: crate::disambig::EntityCatalog
+
+use crate::disambig::EntityCatalog;
+use crate::lexicon::EntityType;
+use crate::tokenize::{tokenize, Token};
+
+/// One recognized entity mention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mention {
+    /// The surface text as matched (original casing).
+    pub surface: String,
+    /// Canonical entity id after disambiguation.
+    pub canonical: String,
+    /// Display name of the canonical entity.
+    pub name: String,
+    /// Entity type.
+    pub kind: EntityType,
+    /// Index of the first token of the mention.
+    pub token_index: usize,
+    /// Number of tokens in the mention.
+    pub token_len: usize,
+    /// Sentence index of the mention.
+    pub sentence: usize,
+}
+
+/// Recognizes entity mentions in `text` against `catalog`, preferring the
+/// longest alias at each position.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_text::{ner, EntityCatalog};
+///
+/// let catalog = EntityCatalog::builtin();
+/// let mentions = ner::recognize("IBM opened a lab in New York City.", &catalog);
+/// let ids: Vec<&str> = mentions.iter().map(|m| m.canonical.as_str()).collect();
+/// assert_eq!(ids, vec!["ibm", "new_york"]);
+/// ```
+pub fn recognize(text: &str, catalog: &EntityCatalog) -> Vec<Mention> {
+    let tokens = tokenize(text);
+    recognize_tokens(&tokens, catalog)
+}
+
+/// The maximum alias length in tokens the matcher will try.
+const MAX_ALIAS_TOKENS: usize = 6;
+
+/// Recognizes mentions over a pre-tokenized text.
+pub fn recognize_tokens(tokens: &[Token], catalog: &EntityCatalog) -> Vec<Mention> {
+    let mut mentions = Vec::new();
+    // Possessive forms ("IBM's") refer to the same entity as the bare name.
+    let lowered: Vec<String> = tokens
+        .iter()
+        .map(|t| {
+            let w = t.lower();
+            w.strip_suffix("'s").map(str::to_string).unwrap_or(w)
+        })
+        .collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut matched = None;
+        let max_len = MAX_ALIAS_TOKENS.min(tokens.len() - i);
+        // Longest match first.
+        for len in (1..=max_len).rev() {
+            // Aliases never cross sentence boundaries.
+            if tokens[i + len - 1].sentence != tokens[i].sentence {
+                continue;
+            }
+            let candidate = lowered[i..i + len].join(" ");
+            if let Some(resolved) = catalog.resolve(&candidate) {
+                matched = Some((len, resolved));
+                break;
+            }
+        }
+        if let Some((len, resolved)) = matched {
+            let surface = tokens[i..i + len]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            mentions.push(Mention {
+                surface,
+                canonical: resolved.id,
+                name: resolved.name,
+                kind: resolved.kind,
+                token_index: i,
+                token_len: len,
+                sentence: tokens[i].sentence,
+            });
+            i += len;
+        } else {
+            i += 1;
+        }
+    }
+    mentions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> EntityCatalog {
+        EntityCatalog::builtin()
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        // "United States of America" should match as one mention, not as
+        // "United States" + stray tokens.
+        let m = recognize("The United States of America grew.", &catalog());
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].canonical, "united_states");
+        assert_eq!(m[0].surface, "United States of America");
+        assert_eq!(m[0].token_len, 4);
+    }
+
+    #[test]
+    fn multiple_mentions_in_order() {
+        let m = recognize("IBM and Microsoft compete in France.", &catalog());
+        let ids: Vec<&str> = m.iter().map(|x| x.canonical.as_str()).collect();
+        assert_eq!(ids, vec!["ibm", "microsoft", "france"]);
+    }
+
+    #[test]
+    fn different_aliases_share_canonical_id() {
+        let m = recognize("The USA and America and the United States.", &catalog());
+        assert!(m.len() >= 3);
+        assert!(m.iter().all(|x| x.canonical == "united_states"));
+    }
+
+    #[test]
+    fn mentions_do_not_cross_sentences() {
+        // "New" ends one sentence, "York" begins the next: no mention.
+        let m = recognize("It was new. York is elsewhere.", &catalog());
+        assert!(m.is_empty(), "{m:?}");
+    }
+
+    #[test]
+    fn sentence_and_position_metadata() {
+        let m = recognize("Paris is nice. IBM ships code.", &catalog());
+        assert_eq!(m[0].sentence, 0);
+        assert_eq!(m[1].sentence, 1);
+        assert_eq!(m[1].canonical, "ibm");
+        assert!(m[1].token_index >= 3);
+    }
+
+    #[test]
+    fn no_entities_in_plain_text() {
+        let m = recognize("nothing interesting happens here", &catalog());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn custom_synonyms_are_recognized() {
+        let mut c = catalog();
+        c.add_synonyms([("big blue machines", "ibm")]);
+        let m = recognize("Big Blue Machines released results.", &c);
+        assert_eq!(m[0].canonical, "ibm");
+    }
+
+    #[test]
+    fn case_insensitive_matching_preserves_surface() {
+        let m = recognize("GERMANY and germany", &catalog());
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].surface, "GERMANY");
+        assert_eq!(m[1].surface, "germany");
+        assert_eq!(m[0].canonical, m[1].canonical);
+    }
+}

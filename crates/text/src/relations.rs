@@ -1,0 +1,158 @@
+//! Relation extraction between entity mentions.
+//!
+//! §2.1: "if a text document is being analyzed for named entity recognition
+//! or relationship extraction, it may be desirable to use multiple …
+//! services. The results from these services could be combined." This
+//! module implements the local relationship-extraction substrate: a
+//! pattern-based extractor that links two entity mentions in the same
+//! sentence through a known relation verb.
+
+use crate::ner::Mention;
+use crate::tokenize::Token;
+
+/// A `(subject, predicate, object)` relation between two entities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    /// Canonical id of the subject entity.
+    pub subject: String,
+    /// The normalized relation predicate (e.g. `"acquired"`).
+    pub predicate: String,
+    /// Canonical id of the object entity.
+    pub object: String,
+    /// Sentence the relation was found in.
+    pub sentence: usize,
+}
+
+/// Relation-bearing verbs the extractor recognizes, mapped to their
+/// normalized predicate.
+const RELATION_VERBS: &[(&str, &str)] = &[
+    ("acquired", "acquired"),
+    ("acquires", "acquired"),
+    ("bought", "acquired"),
+    ("buys", "acquired"),
+    ("founded", "founded"),
+    ("founds", "founded"),
+    ("established", "founded"),
+    ("partnered", "partnered_with"),
+    ("partners", "partnered_with"),
+    ("sued", "sued"),
+    ("sues", "sued"),
+    ("invested", "invested_in"),
+    ("invests", "invested_in"),
+    ("joined", "joined"),
+    ("joins", "joined"),
+    ("leads", "leads"),
+    ("led", "leads"),
+    ("visited", "visited"),
+    ("visits", "visited"),
+    ("supplies", "supplies"),
+    ("supplied", "supplies"),
+    ("competes", "competes_with"),
+    ("competed", "competes_with"),
+];
+
+/// Extracts relations: for each pair of consecutive mentions in one
+/// sentence, if a relation verb occurs strictly between them, a relation
+/// is emitted with the left mention as subject.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_text::{relations, ner, tokenize, EntityCatalog};
+///
+/// let catalog = EntityCatalog::builtin();
+/// let text = "IBM acquired Oracle last year.";
+/// let tokens = tokenize::tokenize(text);
+/// let mentions = ner::recognize_tokens(&tokens, &catalog);
+/// let rels = relations::extract(&tokens, &mentions);
+/// assert_eq!(rels[0].subject, "ibm");
+/// assert_eq!(rels[0].predicate, "acquired");
+/// assert_eq!(rels[0].object, "oracle");
+/// ```
+pub fn extract(tokens: &[Token], mentions: &[Mention]) -> Vec<Relation> {
+    let mut relations = Vec::new();
+    for pair in mentions.windows(2) {
+        let (left, right) = (&pair[0], &pair[1]);
+        if left.sentence != right.sentence {
+            continue;
+        }
+        let between_start = left.token_index + left.token_len;
+        let between_end = right.token_index;
+        if between_start >= between_end {
+            continue;
+        }
+        for tok in &tokens[between_start..between_end] {
+            let w = tok.lower();
+            if let Some((_, predicate)) = RELATION_VERBS.iter().find(|(v, _)| *v == w) {
+                relations.push(Relation {
+                    subject: left.canonical.clone(),
+                    predicate: (*predicate).to_string(),
+                    object: right.canonical.clone(),
+                    sentence: left.sentence,
+                });
+                break;
+            }
+        }
+    }
+    relations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disambig::EntityCatalog;
+    use crate::ner::recognize_tokens;
+    use crate::tokenize::tokenize;
+
+    fn rels(text: &str) -> Vec<Relation> {
+        let catalog = EntityCatalog::builtin();
+        let tokens = tokenize(text);
+        let mentions = recognize_tokens(&tokens, &catalog);
+        extract(&tokens, &mentions)
+    }
+
+    #[test]
+    fn verb_variants_normalize_to_one_predicate() {
+        for text in ["IBM acquired Oracle.", "IBM buys Oracle.", "IBM bought Oracle."] {
+            let r = rels(text);
+            assert_eq!(r.len(), 1, "{text}");
+            assert_eq!(r[0].predicate, "acquired", "{text}");
+        }
+    }
+
+    #[test]
+    fn subject_object_order_is_textual() {
+        let r = rels("Microsoft sued Google.");
+        assert_eq!(r[0].subject, "microsoft");
+        assert_eq!(r[0].object, "google");
+    }
+
+    #[test]
+    fn relation_requires_verb_between_mentions() {
+        assert!(rels("IBM Oracle collaborate quietly.").is_empty());
+        assert!(rels("IBM and Oracle.").is_empty());
+    }
+
+    #[test]
+    fn relations_do_not_cross_sentences() {
+        assert!(rels("IBM acquired. Oracle celebrated.").is_empty());
+    }
+
+    #[test]
+    fn multiple_relations_in_one_document() {
+        let r = rels("IBM acquired Oracle. Google partnered Samsung.");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].predicate, "acquired");
+        assert_eq!(r[1].predicate, "partnered_with");
+        assert_eq!(r[1].sentence, 1);
+    }
+
+    #[test]
+    fn chain_of_three_mentions_yields_pairwise_relations() {
+        let r = rels("IBM acquired Oracle acquired Intel.");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].object, "oracle");
+        assert_eq!(r[1].subject, "oracle");
+        assert_eq!(r[1].object, "intel");
+    }
+}

@@ -1,0 +1,215 @@
+//! NLU vendors as simulated remote services.
+//!
+//! Wraps the analyzer ([`Analyzer`]) into [`SimService`] endpoints:
+//!
+//! [`Analyzer`]: crate::analysis::Analyzer
+//! each vendor has its own quality profile ([`NluConfig`]), latency model,
+//! cost model and failure plan, reproducing the heterogeneous fleet of
+//! "natural language understanding services … available from several
+//! companies including IBM, Amazon, Google, and Microsoft" (§2.2).
+//!
+//! Wire protocol (all vendors):
+//! request `{"text": "..."}` → response: the
+//! [`DocumentAnalysis`](crate::DocumentAnalysis) JSON schema.
+
+use crate::analysis::{Analyzer, NluConfig};
+use cogsdk_json::Json;
+use cogsdk_sim::cost::{CostModel, MicroDollars};
+use cogsdk_sim::failure::FailurePlan;
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::service::SimService;
+use cogsdk_sim::SimEnv;
+use std::sync::Arc;
+
+/// Specification of one NLU vendor.
+#[derive(Debug, Clone)]
+pub struct NluVendorSpec {
+    /// Unique service name (e.g. `"nlu-alpha"`).
+    pub name: String,
+    /// Quality profile.
+    pub config: NluConfig,
+    /// Latency model.
+    pub latency: LatencyModel,
+    /// Cost model.
+    pub cost: CostModel,
+    /// Failure plan.
+    pub failures: FailurePlan,
+}
+
+impl NluVendorSpec {
+    /// A reasonable default spec for a named vendor.
+    pub fn new(name: impl Into<String>, config: NluConfig) -> NluVendorSpec {
+        NluVendorSpec {
+            name: name.into(),
+            config,
+            latency: LatencyModel::lognormal_ms(60.0, 0.4),
+            cost: CostModel::PerCall(MicroDollars::from_micros(300)),
+            failures: FailurePlan::flaky(0.02),
+        }
+    }
+}
+
+/// Builds one NLU service from a spec, sharing `analyzer`.
+pub fn nlu_service(env: &SimEnv, analyzer: Arc<Analyzer>, spec: NluVendorSpec) -> Arc<SimService> {
+    let config = spec.config.clone();
+    SimService::builder(spec.name, "nlu")
+        .latency(spec.latency)
+        .cost(spec.cost)
+        .failures(spec.failures)
+        .quality(config.quality())
+        .handler(move |req| {
+            let text = req
+                .payload
+                .get("text")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "missing required field 'text'".to_string())?;
+            Ok(analyzer.analyze(text, &config).to_json())
+        })
+        .build(env)
+}
+
+/// Builds the standard three-vendor fleet used across experiments:
+///
+/// * `nlu-alpha` — high quality, slow, expensive;
+/// * `nlu-beta` — medium quality, fast, mid-priced;
+/// * `nlu-gamma` — low quality, fastest, cheap, flakier.
+pub fn standard_fleet(env: &SimEnv, analyzer: Arc<Analyzer>) -> Vec<Arc<SimService>> {
+    let specs = vec![
+        NluVendorSpec {
+            name: "nlu-alpha".into(),
+            config: NluConfig::vendor("alpha", 0.98, 0.02),
+            latency: LatencyModel::lognormal_ms(120.0, 0.3),
+            cost: CostModel::PerCall(MicroDollars::from_micros(1_000)),
+            failures: FailurePlan::flaky(0.01),
+        },
+        NluVendorSpec {
+            name: "nlu-beta".into(),
+            config: NluConfig::vendor("beta", 0.85, 0.10),
+            latency: LatencyModel::lognormal_ms(60.0, 0.4),
+            cost: CostModel::PerCall(MicroDollars::from_micros(400)),
+            failures: FailurePlan::flaky(0.03),
+        },
+        NluVendorSpec {
+            name: "nlu-gamma".into(),
+            config: NluConfig::vendor("gamma", 0.65, 0.25),
+            latency: LatencyModel::lognormal_ms(25.0, 0.5),
+            cost: CostModel::PerCall(MicroDollars::from_micros(100)),
+            failures: FailurePlan::flaky(0.08),
+        },
+    ];
+    specs
+        .into_iter()
+        .map(|s| nlu_service(env, analyzer.clone(), s))
+        .collect()
+}
+
+/// Builds a simulated *remote* spell-check service (the slow, metered
+/// alternative to the local [`SpellChecker`](crate::SpellChecker), §3).
+///
+/// Protocol: `{"text": "..."}` →
+/// `{"corrections": [{"word": w, "suggestion": s|null}, …]}`.
+pub fn remote_spell_service(env: &SimEnv) -> Arc<SimService> {
+    let checker = crate::spell::SpellChecker::with_builtin_dictionary();
+    SimService::builder("spell-remote", "spellcheck")
+        .latency(LatencyModel::lognormal_ms(45.0, 0.4))
+        .cost(CostModel::PerCall(MicroDollars::from_micros(50)))
+        .failures(FailurePlan::flaky(0.02))
+        .handler(move |req| {
+            let text = req
+                .payload
+                .get("text")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "missing required field 'text'".to_string())?;
+            let mut corrections = Json::Array(Vec::new());
+            for (word, fix) in checker.check_text(text) {
+                let mut item = Json::object();
+                item.insert("word", word);
+                item.insert("suggestion", fix);
+                corrections.push(item);
+            }
+            let mut out = Json::object();
+            out.insert("corrections", corrections);
+            Ok(out)
+        })
+        .build(env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::DocumentAnalysis;
+    use cogsdk_json::json;
+    use cogsdk_sim::service::Request;
+
+    #[test]
+    fn nlu_service_analyzes_text_over_json() {
+        let env = SimEnv::with_seed(1);
+        let analyzer = Arc::new(Analyzer::with_default_lexicons());
+        let svc = nlu_service(
+            &env,
+            analyzer,
+            NluVendorSpec::new("nlu-test", NluConfig::perfect()),
+        );
+        // Make reliability certain for this test.
+        let req = Request::new("analyze", json!({"text": "IBM reported excellent growth."}));
+        let out = loop {
+            let o = svc.invoke(&req);
+            if o.result.is_ok() {
+                break o;
+            }
+        };
+        let analysis = DocumentAnalysis::from_json(&out.result.unwrap().payload);
+        assert_eq!(analysis.entities[0].canonical, "ibm");
+        assert!(analysis.sentiment.score > 0.0);
+    }
+
+    #[test]
+    fn nlu_service_rejects_missing_text() {
+        let env = SimEnv::with_seed(2);
+        let analyzer = Arc::new(Analyzer::with_default_lexicons());
+        let mut spec = NluVendorSpec::new("nlu-test", NluConfig::perfect());
+        spec.failures = FailurePlan::reliable();
+        let svc = nlu_service(&env, analyzer, spec);
+        let out = svc.invoke(&Request::new("analyze", json!({"nope": 1})));
+        assert!(matches!(
+            out.result,
+            Err(cogsdk_sim::ServiceError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn standard_fleet_has_quality_ordering() {
+        let env = SimEnv::with_seed(3);
+        let analyzer = Arc::new(Analyzer::with_default_lexicons());
+        let fleet = standard_fleet(&env, analyzer);
+        assert_eq!(fleet.len(), 3);
+        assert!(fleet[0].quality() > fleet[1].quality());
+        assert!(fleet[1].quality() > fleet[2].quality());
+        assert!(fleet.iter().all(|s| s.class() == "nlu"));
+        // Cheapest is fastest in expectation.
+        assert!(
+            fleet[2].latency_model().expected_ms(100)
+                < fleet[0].latency_model().expected_ms(100)
+        );
+    }
+
+    #[test]
+    fn remote_spell_service_corrects() {
+        let env = SimEnv::with_seed(4);
+        let svc = remote_spell_service(&env);
+        let req = Request::new("check", json!({"text": "the markt is good"}));
+        let out = loop {
+            let o = svc.invoke(&req);
+            if o.result.is_ok() {
+                break o;
+            }
+        };
+        let body = out.result.unwrap().payload;
+        let corrections = body.get("corrections").unwrap().as_array().unwrap();
+        assert_eq!(corrections.len(), 1);
+        assert_eq!(
+            corrections[0].pointer("/suggestion").and_then(Json::as_str),
+            Some("market")
+        );
+    }
+}

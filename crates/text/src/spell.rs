@@ -1,0 +1,230 @@
+//! A local spell checker.
+//!
+//! §3: "the spell checker included with the knowledge base is generally
+//! faster as it avoids the overheads of remote communication. Some online
+//! spell checkers also cost money." Norvig-style: candidates within edit
+//! distance ≤ 2, ranked by corpus frequency (the language model in
+//! [`Lexicons::word_freq`](crate::Lexicons)).
+
+use crate::lexicon::Lexicons;
+use crate::tokenize::tokenize;
+use std::collections::HashMap;
+
+/// A dictionary-driven spell checker.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_text::SpellChecker;
+///
+/// let sc = SpellChecker::with_builtin_dictionary();
+/// assert!(sc.is_correct("market"));
+/// assert_eq!(sc.correct("markt"), Some("market".to_string()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpellChecker {
+    freq: HashMap<String, u64>,
+}
+
+impl SpellChecker {
+    /// Builds a checker over the built-in word-frequency dictionary.
+    pub fn with_builtin_dictionary() -> SpellChecker {
+        SpellChecker {
+            freq: Lexicons::builtin().word_freq,
+        }
+    }
+
+    /// Builds a checker over an explicit word → frequency table.
+    pub fn from_frequencies(freq: HashMap<String, u64>) -> SpellChecker {
+        SpellChecker { freq }
+    }
+
+    /// Adds (or boosts) a dictionary word.
+    pub fn add_word(&mut self, word: impl Into<String>, frequency: u64) {
+        let w = word.into().to_lowercase();
+        let entry = self.freq.entry(w).or_insert(0);
+        *entry = (*entry).max(frequency);
+    }
+
+    /// Dictionary size.
+    pub fn len(&self) -> usize {
+        self.freq.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.freq.is_empty()
+    }
+
+    /// Whether `word` is in the dictionary (case-insensitive). Single
+    /// characters and numbers count as correct.
+    pub fn is_correct(&self, word: &str) -> bool {
+        let w = word.to_lowercase();
+        w.chars().count() <= 1
+            || w.chars().all(|c| c.is_ascii_digit())
+            || self.freq.contains_key(&w)
+    }
+
+    /// Suggests the best correction for `word`, or `None` if the word is
+    /// already correct or no candidate within edit distance 2 exists.
+    pub fn correct(&self, word: &str) -> Option<String> {
+        if self.is_correct(word) {
+            return None;
+        }
+        let w = word.to_lowercase();
+        self.best(edits1(&w))
+            .or_else(|| {
+                // Distance 2: expand the distance-1 set once more. Bounded
+                // input keeps this tractable.
+                let mut second = Vec::new();
+                for e1 in edits1(&w) {
+                    second.extend(edits1(&e1));
+                }
+                self.best(second)
+            })
+    }
+
+    /// Checks a whole text, returning `(misspelled_word, Option<fix>)`
+    /// pairs in order of appearance.
+    pub fn check_text(&self, text: &str) -> Vec<(String, Option<String>)> {
+        tokenize(text)
+            .into_iter()
+            .filter(|t| !self.is_correct(&t.text))
+            .map(|t| {
+                let fix = self.correct(&t.text);
+                (t.text, fix)
+            })
+            .collect()
+    }
+
+    fn best(&self, candidates: Vec<String>) -> Option<String> {
+        candidates
+            .into_iter()
+            .filter_map(|c| self.freq.get(&c).map(|&f| (c, f)))
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            .map(|(c, _)| c)
+    }
+}
+
+/// All strings at edit distance exactly 1 from `w` (deletes, transposes,
+/// replaces, inserts) over a–z.
+fn edits1(w: &str) -> Vec<String> {
+    let chars: Vec<char> = w.chars().collect();
+    let n = chars.len();
+    let mut out = Vec::with_capacity(54 * n + 25);
+    let alphabet = 'a'..='z';
+    for i in 0..n {
+        // delete
+        let mut d: String = chars[..i].iter().collect();
+        d.extend(&chars[i + 1..]);
+        out.push(d);
+        // transpose
+        if i + 1 < n {
+            let mut t = chars.clone();
+            t.swap(i, i + 1);
+            out.push(t.into_iter().collect());
+        }
+        // replace
+        for c in alphabet.clone() {
+            if c != chars[i] {
+                let mut r = chars.clone();
+                r[i] = c;
+                out.push(r.into_iter().collect());
+            }
+        }
+    }
+    // insert
+    for i in 0..=n {
+        for c in alphabet.clone() {
+            let mut ins: String = chars[..i].iter().collect();
+            ins.push(c);
+            ins.extend(&chars[i..]);
+            out.push(ins);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc() -> SpellChecker {
+        SpellChecker::with_builtin_dictionary()
+    }
+
+    #[test]
+    fn correct_words_pass() {
+        let sc = sc();
+        for w in ["market", "Market", "data", "service", "a", "42"] {
+            assert!(sc.is_correct(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn distance_one_typos_fixed() {
+        let sc = sc();
+        assert_eq!(sc.correct("markt"), Some("market".into())); // delete
+        assert_eq!(sc.correct("marekt"), Some("market".into())); // transpose
+        assert_eq!(sc.correct("narket"), Some("market".into())); // replace
+        assert_eq!(sc.correct("marrket"), Some("market".into())); // insert
+    }
+
+    #[test]
+    fn distance_two_typos_fixed() {
+        let sc = sc();
+        assert_eq!(sc.correct("algortm"), Some("algorithm".into()));
+        // Frequency decides among equidistant candidates: "mrkt" is edit
+        // distance 2 from both "market" and the far more common "make".
+        assert_eq!(sc.correct("mrkt"), Some("make".into()));
+    }
+
+    #[test]
+    fn gibberish_has_no_suggestion() {
+        let sc = sc();
+        assert_eq!(sc.correct("zzxqjv"), None);
+    }
+
+    #[test]
+    fn already_correct_words_return_none() {
+        assert_eq!(sc().correct("market"), None);
+    }
+
+    #[test]
+    fn frequency_breaks_ties() {
+        // "tha" is distance 1 from both "the" (very common) and "than";
+        // the more frequent word must win.
+        let sc = sc();
+        assert_eq!(sc.correct("tha"), Some("the".into()));
+    }
+
+    #[test]
+    fn custom_words_extend_dictionary() {
+        let mut sc = sc();
+        assert!(!sc.is_correct("cogsdk"));
+        sc.add_word("cogsdk", 100);
+        assert!(sc.is_correct("cogsdk"));
+        assert_eq!(sc.correct("cogsdkk"), Some("cogsdk".into()));
+    }
+
+    #[test]
+    fn check_text_reports_in_order() {
+        let sc = sc();
+        let found = sc.check_text("The markt and the servce grew.");
+        assert_eq!(found.len(), 3, "{found:?}"); // markt, servce, grew(?)
+    }
+
+    #[test]
+    fn check_text_on_clean_input_is_empty() {
+        let sc = sc();
+        assert!(sc.check_text("the market is good").is_empty());
+    }
+
+    #[test]
+    fn empty_dictionary_behaves() {
+        let sc = SpellChecker::from_frequencies(HashMap::new());
+        assert!(sc.is_empty());
+        assert!(!sc.is_correct("word"));
+        assert_eq!(sc.correct("word"), None);
+    }
+}

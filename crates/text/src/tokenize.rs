@@ -1,0 +1,188 @@
+//! Tokenization and text normalization.
+
+/// A token with its position in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text as it appeared (original casing).
+    pub text: String,
+    /// Byte offset of the token start in the source.
+    pub start: usize,
+    /// Index of the sentence this token belongs to.
+    pub sentence: usize,
+}
+
+impl Token {
+    /// Lower-cased form used for lexicon lookups.
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+}
+
+/// Splits text into word tokens, tracking sentence boundaries.
+///
+/// A token is a maximal run of alphanumeric characters, apostrophes and
+/// hyphens. Sentences end at `.`, `!` or `?`.
+///
+/// # Examples
+///
+/// ```
+/// let toks = cogsdk_text::tokenize::tokenize("Hello world! It's fine.");
+/// let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+/// assert_eq!(words, vec!["Hello", "world", "It's", "fine"]);
+/// assert_eq!(toks[0].sentence, 0);
+/// assert_eq!(toks[2].sentence, 1);
+/// ```
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut sentence = 0usize;
+    let mut cur = String::new();
+    let mut cur_start = 0usize;
+    for (i, ch) in text.char_indices() {
+        if ch.is_alphanumeric() || ch == '\'' || ch == '-' {
+            if cur.is_empty() {
+                cur_start = i;
+            }
+            cur.push(ch);
+        } else {
+            if !cur.is_empty() {
+                tokens.push(Token {
+                    text: std::mem::take(&mut cur),
+                    start: cur_start,
+                    sentence,
+                });
+            }
+            if matches!(ch, '.' | '!' | '?') {
+                sentence += 1;
+            }
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(Token {
+            text: cur,
+            start: cur_start,
+            sentence,
+        });
+    }
+    tokens
+}
+
+/// Splits text into sentence strings.
+///
+/// # Examples
+///
+/// ```
+/// let s = cogsdk_text::tokenize::sentences("One. Two! Three?");
+/// assert_eq!(s, vec!["One", "Two", "Three"]);
+/// ```
+pub fn sentences(text: &str) -> Vec<String> {
+    text.split(['.', '!', '?'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Lower-cases and strips non-alphanumeric edges: the normal form used as
+/// dictionary keys.
+pub fn normalize(word: &str) -> String {
+    word.trim_matches(|c: char| !c.is_alphanumeric())
+        .to_lowercase()
+}
+
+/// A crude English stemmer handling plural `-s`/`-es` and `-ing`/`-ed`
+/// suffixes. Enough to make keyword counting collapse trivial variants.
+pub fn stem(word: &str) -> String {
+    let w = word.to_lowercase();
+    let strip = |s: &str, suffix: &str, min_stem: usize| -> Option<String> {
+        s.strip_suffix(suffix)
+            .filter(|stem| stem.len() >= min_stem)
+            .map(str::to_string)
+    };
+    if let Some(s) = strip(&w, "sses", 3) {
+        return s + "ss";
+    }
+    if let Some(s) = strip(&w, "ies", 3) {
+        return s + "y";
+    }
+    if let Some(s) = strip(&w, "ing", 4) {
+        return s;
+    }
+    if let Some(s) = strip(&w, "ed", 4) {
+        return s;
+    }
+    if w.ends_with("ss") || w.ends_with("us") {
+        return w;
+    }
+    if let Some(s) = strip(&w, "s", 3) {
+        return s;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_tracks_offsets() {
+        let toks = tokenize("ab cd");
+        assert_eq!(toks[0].start, 0);
+        assert_eq!(toks[1].start, 3);
+    }
+
+    #[test]
+    fn tokenize_keeps_hyphens_and_apostrophes() {
+        let toks = tokenize("state-of-the-art isn't bad");
+        let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(words, vec!["state-of-the-art", "isn't", "bad"]);
+    }
+
+    #[test]
+    fn tokenize_empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("...!?").is_empty());
+    }
+
+    #[test]
+    fn sentence_counting() {
+        let toks = tokenize("A b. C! D? E");
+        let sents: Vec<usize> = toks.iter().map(|t| t.sentence).collect();
+        assert_eq!(sents, vec![0, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sentences_splits_and_trims() {
+        assert_eq!(
+            sentences("  First thing.  Second thing!  "),
+            vec!["First thing", "Second thing"]
+        );
+        assert!(sentences("").is_empty());
+    }
+
+    #[test]
+    fn normalize_strips_punctuation() {
+        assert_eq!(normalize("(Hello!)"), "hello");
+        assert_eq!(normalize("U.S."), "u.s");
+        assert_eq!(normalize("---"), "");
+    }
+
+    #[test]
+    fn stemming_collapses_variants() {
+        assert_eq!(stem("companies"), "company");
+        assert_eq!(stem("running"), "runn");
+        assert_eq!(stem("walked"), "walk");
+        assert_eq!(stem("services"), "service");
+        assert_eq!(stem("class"), "class");
+        assert_eq!(stem("bus"), "bus");
+        assert_eq!(stem("cats"), "cat");
+        // Short words are left alone.
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("ing"), "ing");
+    }
+
+    #[test]
+    fn token_lower() {
+        let toks = tokenize("HeLLo");
+        assert_eq!(toks[0].lower(), "hello");
+    }
+}

@@ -1,0 +1,75 @@
+//! Visual recognition with a multi-vendor fleet (§1, §2.2): classify a
+//! batch of images with three vision services of different quality and
+//! combine their outputs — labels seen by more vendors earn higher
+//! confidence, exactly the paper's §2.1 redundant-invocation rationale.
+//!
+//! Run with: `cargo run --example image_consensus`
+
+use cogsdk::datasvc::vision::{vision_fleet, ImageDescriptor};
+use cogsdk::json::{json, Json};
+use cogsdk::sdk::RichSdk;
+use cogsdk::sim::{Request, SimEnv};
+use std::collections::BTreeMap;
+
+fn main() {
+    let env = SimEnv::with_seed(555);
+    let sdk = RichSdk::new(&env);
+    let fleet = vision_fleet(&env);
+    for vendor in &fleet {
+        sdk.register(vendor.clone());
+    }
+
+    let images: Vec<ImageDescriptor> = (0..6).map(ImageDescriptor::generate).collect();
+    println!("classifying {} images with {} vendors\n", images.len(), fleet.len());
+
+    let mut correct_by_vendor: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for image in &images {
+        println!("{} (truth: {})", image.id, image.labels.join(", "));
+        // Ask every vendor (redundant invocation, comparison use case).
+        let mut votes: BTreeMap<String, Vec<&str>> = BTreeMap::new();
+        for vendor in &fleet {
+            let Ok(resp) = sdk.invoke(
+                vendor.name(),
+                &Request::new("classify", json!({"image": (image.to_json())})),
+            ) else {
+                continue;
+            };
+            let labels: Vec<String> = resp
+                .payload
+                .get("labels")
+                .and_then(Json::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|l| l.get("label").and_then(Json::as_str).map(str::to_string))
+                .collect();
+            let stats = correct_by_vendor.entry(vendor.name().to_string()).or_insert((0, 0));
+            stats.0 += labels.iter().filter(|l| image.labels.contains(l)).count();
+            stats.1 += image.labels.len();
+            for label in labels {
+                votes.entry(label).or_default().push(vendor.name());
+            }
+        }
+        // Consensus: fraction of vendors agreeing.
+        let mut ranked: Vec<(&String, usize)> =
+            votes.iter().map(|(l, v)| (l, v.len())).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        for (label, n) in ranked {
+            let marker = if image.labels.contains(label) { " " } else { "!" };
+            println!("  {marker} {label:12} {n}/{} vendors", fleet.len());
+        }
+        println!();
+    }
+
+    println!("per-vendor recall over the batch:");
+    for (vendor, (found, truth)) in correct_by_vendor {
+        println!(
+            "  {vendor:14} {found}/{truth} ({:.0}%)",
+            100.0 * found as f64 / truth as f64
+        );
+    }
+    println!(
+        "\n('!' marks hallucinated labels — note they rarely win a consensus vote)\n\
+         total vision spend: {}",
+        sdk.monitor().total_cost()
+    );
+}

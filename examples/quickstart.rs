@@ -1,0 +1,105 @@
+//! Quickstart: register services, invoke with caching, ranking, retries
+//! and async futures — the Figure-2 feature tour in ~80 lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cogsdk::json::json;
+use cogsdk::sdk::rank::RankOptions;
+use cogsdk::sdk::RichSdk;
+use cogsdk::sim::cost::{CostModel, MicroDollars};
+use cogsdk::sim::failure::FailurePlan;
+use cogsdk::sim::latency::LatencyModel;
+use cogsdk::sim::{Request, SimEnv, SimService};
+
+fn main() {
+    // A deterministic simulated world: latency, failures and costs all
+    // derive from this seed.
+    let env = SimEnv::with_seed(7);
+    let sdk = RichSdk::new(&env);
+
+    // Register three interchangeable storage services with different
+    // latency/cost/quality profiles (paper §2.1: "multiple services
+    // providing similar functionality").
+    sdk.register(
+        SimService::builder("kv-fast", "storage")
+            .latency(LatencyModel::lognormal_ms(8.0, 0.3))
+            .cost(CostModel::PerCall(MicroDollars::from_micros(200)))
+            .quality(0.7)
+            .build(&env),
+    );
+    sdk.register(
+        SimService::builder("kv-cheap", "storage")
+            .latency(LatencyModel::lognormal_ms(40.0, 0.4))
+            .cost(CostModel::Free)
+            .quality(0.6)
+            .build(&env),
+    );
+    sdk.register(
+        SimService::builder("kv-flaky", "storage")
+            .latency(LatencyModel::lognormal_ms(5.0, 0.3))
+            .failures(FailurePlan::flaky(0.4))
+            .quality(0.5)
+            .build(&env),
+    );
+
+    let request = Request::new("get", json!({"key": "user:42"}));
+
+    // 1. Plain invocation with retries.
+    let resp = sdk.invoke("kv-fast", &request).expect("service reachable");
+    println!("direct invoke      -> {}", resp.payload);
+
+    // 2. Cached invocation: the second call never leaves the process.
+    let (_, hit1) = sdk.invoke_cached("kv-cheap", &request).unwrap();
+    let (_, hit2) = sdk.invoke_cached("kv-cheap", &request).unwrap();
+    println!("cache              -> first hit: {hit1}, second hit: {hit2}");
+
+    // 3. Warm the monitor, then let the SDK *select* the best service.
+    for _ in 0..20 {
+        for name in ["kv-fast", "kv-cheap", "kv-flaky"] {
+            let _ = sdk.invoke(name, &request);
+        }
+    }
+    let ranked = sdk.rank("storage", &RankOptions::default());
+    println!("ranking            ->");
+    for r in &ranked {
+        println!(
+            "  {:8} score={:+.3}  r={:6.2}ms  c={:5.0}u$  q={:.2}",
+            r.service.name(),
+            r.score,
+            r.inputs.response_ms,
+            r.inputs.cost_micros,
+            r.inputs.quality
+        );
+    }
+
+    // 4. Class invocation = ranked selection + automatic failover.
+    let ok = sdk
+        .invoke_class("storage", &request, &RankOptions::default())
+        .unwrap();
+    println!(
+        "class invoke       -> answered by {} after trying {} service(s)",
+        ok.service, ok.services_tried
+    );
+
+    // 5. Asynchronous invocation with a completion listener
+    //    (the paper's ListenableFuture).
+    let future = sdk.invoke_async("kv-fast", request.clone());
+    future.add_listener(|result| {
+        let status = if result.is_ok() { "ok" } else { "failed" };
+        println!("async listener     -> completed: {status}");
+    });
+    future.wait();
+
+    // 6. What did all of that cost, and how did the services behave?
+    let monitor = sdk.monitor();
+    for name in ["kv-fast", "kv-cheap", "kv-flaky"] {
+        let h = monitor.history(name).expect("monitored");
+        println!(
+            "monitor            -> {:8} availability={:.2} mean={:.2}ms",
+            name,
+            h.availability().unwrap_or(0.0),
+            h.mean_latency_ms().unwrap_or(0.0),
+        );
+    }
+    println!("total spend        -> {}", monitor.total_cost());
+}

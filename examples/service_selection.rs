@@ -1,0 +1,102 @@
+//! Service selection under size-dependent latency (§2): the paper's
+//! `s1`/`s2` example. "Service s1 may have the lowest latency for storing
+//! small objects, while s2 may have the lowest latency for storing large
+//! objects" — the SDK learns both latency curves from observations and
+//! routes each request to the service with the lowest *predicted* latency
+//! for its payload size.
+//!
+//! Run with: `cargo run --example service_selection`
+
+use cogsdk::json::{json, Json};
+use cogsdk::sdk::predict::Predictor;
+use cogsdk::sdk::rank::RankOptions;
+use cogsdk::sdk::score::ScoringFormula;
+use cogsdk::sdk::RichSdk;
+use cogsdk::sim::latency::LatencyModel;
+use cogsdk::sim::{Request, SimEnv, SimService};
+
+fn payload_of(bytes: usize) -> Json {
+    json!({"blob": ("x".repeat(bytes))})
+}
+
+fn main() {
+    let env = SimEnv::with_seed(99);
+    let sdk = RichSdk::new(&env);
+
+    // s1: tiny base latency, steep per-byte cost. s2: the opposite.
+    sdk.register(
+        SimService::builder("s1", "storage")
+            .latency(LatencyModel::size_linear_ms(1.0, 0.010))
+            .build(&env),
+    );
+    sdk.register(
+        SimService::builder("s2", "storage")
+            .latency(LatencyModel::size_linear_ms(25.0, 0.001))
+            .build(&env),
+    );
+
+    // Training phase: store objects of many sizes on both services while
+    // the monitor records (size, latency) pairs.
+    println!("training on 60 stores of varied size...");
+    for i in 1..=30 {
+        let size = i * 300;
+        let payload = payload_of(size);
+        let req = Request::new("put", payload).with_param("size", size as f64);
+        sdk.invoke("s1", &req).unwrap();
+        sdk.invoke("s2", &req).unwrap();
+    }
+
+    // Selection phase: rank by *predicted* latency at each request size.
+    println!("\n{:>9} | {:>10} | {:>10} | chosen", "size (B)", "pred s1", "pred s2");
+    let mut crossover = None;
+    for size in [200, 500, 1000, 2000, 2667, 3000, 5000, 10_000, 50_000] {
+        let options = RankOptions {
+            predictor: Predictor::RegressionOn("size".into()),
+            formula: ScoringFormula::weighted(1.0, 0.0, 0.0), // latency only
+            default_latency_ms: 100.0,
+            params: vec![("size".into(), size as f64)],
+            availability_penalty: false,
+        };
+        let ranked = sdk.rank("storage", &options);
+        let by_name = |n: &str| {
+            ranked
+                .iter()
+                .find(|r| r.service.name() == n)
+                .map(|r| r.inputs.response_ms)
+                .unwrap_or(f64::NAN)
+        };
+        let winner = ranked[0].service.name().to_string();
+        if winner == "s2" && crossover.is_none() {
+            crossover = Some(size);
+        }
+        println!(
+            "{size:>9} | {:>8.2}ms | {:>8.2}ms | {winner}",
+            by_name("s1"),
+            by_name("s2"),
+        );
+    }
+    // Analytic crossover: 1 + 0.010x = 25 + 0.001x  =>  x = 24/0.009 ≈ 2667.
+    println!(
+        "\nobserved crossover near {} bytes (analytic: ~2667 bytes)",
+        crossover.map_or("none".to_string(), |s| s.to_string())
+    );
+
+    // Route real traffic through invoke_class and confirm the routing.
+    let small = Request::new("put", payload_of(300)).with_param("size", 300.0);
+    let large = Request::new("put", payload_of(30_000)).with_param("size", 30_000.0);
+    let options = RankOptions {
+        predictor: Predictor::RegressionOn("size".into()),
+        formula: ScoringFormula::weighted(1.0, 0.0, 0.0),
+        default_latency_ms: 100.0,
+        params: vec![("size".into(), 300.0)],
+        availability_penalty: false,
+    };
+    let ok = sdk.invoke_class("storage", &small, &options).unwrap();
+    println!("\n300 B object    -> routed to {}", ok.service);
+    let options = RankOptions {
+        params: vec![("size".into(), 30_000.0)],
+        ..options
+    };
+    let ok = sdk.invoke_class("storage", &large, &options).unwrap();
+    println!("30 000 B object -> routed to {}", ok.service);
+}

@@ -1,0 +1,53 @@
+//! cogsdk: a rich SDK for data analytics applications that use cognitive
+//! services, plus a personalized knowledge base built on top of it.
+//!
+//! This crate is the facade over the workspace — a from-scratch Rust
+//! reproduction of *Supporting Data Analytics Applications Which Utilize
+//! Cognitive Services* (Iyengar, ICDCS 2017). See `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the reproduced experiments.
+//!
+//! # Layout
+//!
+//! * [`sdk`] ([`cogsdk_core`]) — the rich SDK: monitoring, latency
+//!   prediction, ranking (Eq. 1 / Eq. 2), retry/failover/redundancy,
+//!   caching, sync/async invocation, NLU aggregation pipelines.
+//! * [`kb`] ([`cogsdk_kb`]) — the personalized knowledge base:
+//!   multi-format storage, conversion, disambiguation, analytics +
+//!   inference, encryption/compression, offline operation.
+//! * Substrates: [`sim`] (service fabric), [`text`] (NLU), [`search`]
+//!   (web search + HTML), [`store`] (KV/tables/CSV/crypto/compression),
+//!   [`rdf`] (triple store + four reasoners + SPARQL subset + weighted
+//!   inference), [`stats`] (regression & statistics), [`datasvc`]
+//!   (knowledge source / finance / image search / vision fleets),
+//!   [`json`] (wire format).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cogsdk::sdk::RichSdk;
+//! use cogsdk::sim::{SimEnv, SimService, Request};
+//! use cogsdk::sim::latency::LatencyModel;
+//! use cogsdk::json::json;
+//!
+//! let env = SimEnv::with_seed(7);
+//! let sdk = RichSdk::new(&env);
+//! sdk.register(SimService::builder("kv", "storage")
+//!     .latency(LatencyModel::constant_ms(10.0))
+//!     .build(&env));
+//!
+//! let (resp, _cached) = sdk
+//!     .invoke_cached("kv", &Request::new("get", json!({"key": "answer"})))
+//!     .unwrap();
+//! assert_eq!(resp.payload, json!({"key": "answer"}));
+//! ```
+
+pub use cogsdk_core as sdk;
+pub use cogsdk_datasvc as datasvc;
+pub use cogsdk_json as json;
+pub use cogsdk_kb as kb;
+pub use cogsdk_rdf as rdf;
+pub use cogsdk_search as search;
+pub use cogsdk_sim as sim;
+pub use cogsdk_stats as stats;
+pub use cogsdk_store as store;
+pub use cogsdk_text as text;

@@ -1,0 +1,231 @@
+//! Integration: the personalized knowledge base across `cogsdk-kb`,
+//! `cogsdk-rdf`, `cogsdk-store`, `cogsdk-stats` and `cogsdk-text` —
+//! Figure 5's analyze→store→infer loop, format-conversion fidelity,
+//! encrypted persistence, and disconnected operation.
+
+use cogsdk::kb::{KbOptions, PersonalKnowledgeBase};
+use cogsdk::rdf::{Statement, Term};
+use cogsdk::store::{KeyValueStore, MemoryKv};
+use std::sync::Arc;
+
+fn kb() -> PersonalKnowledgeBase {
+    PersonalKnowledgeBase::new(Arc::new(MemoryKv::new()), KbOptions::default())
+}
+
+#[test]
+fn figure5_loop_generates_knowledge_beyond_statistics() {
+    let kb = kb();
+    // Ingest: a company's quarterly revenue, growing.
+    let mut csv = String::from("quarter,revenue\n");
+    for q in 0..12 {
+        csv.push_str(&format!("{q},{}\n", 1000.0 + 55.0 * q as f64));
+    }
+    kb.ingest_csv("revenue", &csv).unwrap();
+
+    // Analyze + store results as RDF.
+    let facts = kb
+        .regress_and_store("revenue", "quarter", "revenue", "acme revenue")
+        .unwrap();
+    assert!((facts.slope - 55.0).abs() < 1e-6);
+
+    // Infer: symbolic rules over the numeric analysis.
+    let inferred = kb
+        .infer_rules(
+            "[(?m kb:trend \"increasing\") -> (?m kb:classification kb:GrowthIndicator)]\n\
+             [(?m kb:classification kb:GrowthIndicator) -> (?m kb:action kb:IncreaseInvestment)]",
+        )
+        .unwrap();
+    assert_eq!(inferred, 2, "rule chain fires transitively");
+    let rows = kb
+        .query("SELECT ?m WHERE { ?m <kb:action> <kb:IncreaseInvestment> . }")
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0]["m"], Term::iri("kb:model_acme_revenue"));
+}
+
+#[test]
+fn csv_table_rdf_conversion_preserves_values() {
+    let kb = kb();
+    kb.ingest_csv(
+        "cities",
+        "city,population,coastal\nnyc,8400000,true\nberlin,3700000,false\n",
+    )
+    .unwrap();
+    kb.table_to_rdf("cities", "city", "kb").unwrap();
+    // Values must survive the conversion typed.
+    let rows = kb
+        .query("SELECT ?p WHERE { <kb:nyc> <kb:population> ?p . }")
+        .unwrap();
+    assert_eq!(rows[0]["p"], Term::integer(8_400_000));
+    let rows = kb
+        .query("SELECT ?c WHERE { ?c <kb:coastal> true . }")
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0]["c"], Term::iri("kb:nyc"));
+    // And back out as CSV.
+    let out = kb.export_csv("cities").unwrap();
+    assert!(out.contains("nyc,8400000,true"));
+}
+
+#[test]
+fn disambiguated_ingestion_prevents_redundant_entries() {
+    // The paper's motivating scenario: the same country referenced five
+    // ways must produce one subject, not five.
+    let kb = kb();
+    let phrasings = [
+        "The USA expanded.",
+        "The United States of America expanded.",
+        "America expanded.",
+        "The United States expanded.",
+        "The US expanded.",
+    ];
+    for text in phrasings {
+        kb.ingest_text(text);
+    }
+    let rows = kb
+        .query("SELECT ?d WHERE { ?d <kb:mentions> <kb:united_states> . }")
+        .unwrap();
+    assert_eq!(rows.len(), phrasings.len());
+    // No other country-like subject appeared.
+    let all_mentions = kb
+        .query("SELECT ?d ?e WHERE { ?d <kb:mentions> ?e . }")
+        .unwrap();
+    assert!(all_mentions
+        .iter()
+        .all(|r| r["e"] == Term::iri("kb:united_states")));
+}
+
+#[test]
+fn rdfs_plus_user_rules_compose() {
+    let kb = kb();
+    kb.add_statement(Statement::new(
+        Term::iri("kb:organization"),
+        Term::iri("rdfs:subClassOf"),
+        Term::iri("kb:legal_person"),
+    ));
+    kb.add_statement(Statement::new(
+        Term::iri("kb:legal_person"),
+        Term::iri("rdfs:subClassOf"),
+        Term::iri("kb:agent"),
+    ));
+    kb.ingest_text("IBM acquired Oracle.");
+    kb.infer_rdfs();
+    // Chained subclass reasoning: organization ⊑ legal_person ⊑ agent.
+    let rows = kb
+        .query("SELECT ?x WHERE { ?x <rdf:type> <kb:agent> . }")
+        .unwrap();
+    let xs: Vec<&Term> = rows.iter().map(|r| &r["x"]).collect();
+    assert!(xs.contains(&&Term::iri("kb:ibm")), "{xs:?}");
+    assert!(xs.contains(&&Term::iri("kb:oracle")));
+    // User rule over the extracted relation.
+    let n = kb
+        .infer_rules("[(?a kb:acquired ?b) -> (?b kb:owned_by ?a)]")
+        .unwrap();
+    assert_eq!(n, 1);
+    let rows = kb
+        .query("SELECT ?o WHERE { <kb:oracle> <kb:owned_by> ?o . }")
+        .unwrap();
+    assert_eq!(rows[0]["o"], Term::iri("kb:ibm"));
+}
+
+#[test]
+fn encrypted_compressed_snapshots_are_opaque_and_recoverable() {
+    let remote = Arc::new(MemoryKv::new());
+    let kb = PersonalKnowledgeBase::new(
+        remote.clone(),
+        KbOptions {
+            encryption_passphrase: Some("attic key".into()),
+            compress: true,
+            cache_capacity: 4,
+        },
+    );
+    for i in 0..20 {
+        kb.add_statement(Statement::new(
+            Term::iri(format!("kb:subject_{i}")),
+            Term::iri("kb:confidential_salary"),
+            Term::integer(100_000 + i),
+        ));
+    }
+    kb.persist_graph("hr").unwrap();
+    let on_remote = remote.get("hr").unwrap();
+    // No plaintext predicate or value text leaks.
+    assert!(!on_remote
+        .windows(b"confidential".len())
+        .any(|w| w == b"confidential"));
+    // A second KB with the right passphrase recovers everything.
+    let kb2 = PersonalKnowledgeBase::new(
+        remote.clone(),
+        KbOptions {
+            encryption_passphrase: Some("attic key".into()),
+            compress: true,
+            cache_capacity: 4,
+        },
+    );
+    assert_eq!(kb2.load_graph("hr").unwrap(), 20);
+    // The wrong passphrase fails closed.
+    let kb3 = PersonalKnowledgeBase::new(
+        remote,
+        KbOptions {
+            encryption_passphrase: Some("wrong".into()),
+            compress: true,
+            cache_capacity: 4,
+        },
+    );
+    assert!(kb3.load_graph("hr").is_err());
+}
+
+#[test]
+fn offline_work_survives_reconnect_cycle() {
+    let cloud = Arc::new(MemoryKv::new());
+    let kb = PersonalKnowledgeBase::new(cloud.clone(), KbOptions::default());
+    kb.add_fact("IBM", "hq", "New York").unwrap();
+    kb.persist_graph("facts").unwrap();
+    assert!(cloud.get("facts").is_ok());
+
+    kb.set_connected(false);
+    kb.add_fact("Google", "hq", "California").unwrap();
+    kb.persist_graph("facts").unwrap();
+    kb.ingest_csv("x", "a,b\n1,2\n").unwrap();
+    let facts_offline = kb.statement_count();
+    assert_eq!(kb.dirty_keys(), vec!["facts"]);
+
+    kb.set_connected(true);
+    let report = kb.synchronize();
+    assert_eq!(report.pushed, vec!["facts"]);
+    assert!(report.failed.is_empty());
+
+    // A fresh KB reading the cloud sees the offline-era facts.
+    let kb2 = PersonalKnowledgeBase::new(cloud, KbOptions::default());
+    assert_eq!(kb2.load_graph("facts").unwrap(), facts_offline);
+}
+
+#[test]
+fn spell_checker_matches_remote_service_quality_locally() {
+    // §3: the local spell checker vs the remote service — identical
+    // dictionary here, so identical corrections, but zero service calls.
+    let env = cogsdk::sim::SimEnv::with_seed(3001);
+    let remote = cogsdk::text::services::remote_spell_service(&env);
+    let kb = kb();
+    let text = "the goverment annouced a new policyy";
+    let local_fixes = kb.spell_check(text);
+    // Remote round trip.
+    let req = cogsdk::sim::Request::new(
+        "check",
+        cogsdk::json::json!({"text": (text)}),
+    );
+    let remote_payload = loop {
+        let o = remote.invoke(&req);
+        if let Ok(resp) = o.result {
+            break resp.payload;
+        }
+    };
+    let remote_fixes = remote_payload
+        .get("corrections")
+        .and_then(cogsdk::json::Json::as_array)
+        .unwrap()
+        .len();
+    assert_eq!(local_fixes.len(), remote_fixes);
+    // And the local path consumed zero virtual time, while the remote
+    // call advanced the clock.
+    assert!(env.clock().now().as_micros() > 0);
+}

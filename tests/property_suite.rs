@@ -1,0 +1,330 @@
+//! Cross-crate property-based tests: invariants that must hold for
+//! arbitrary inputs, spanning the storage, RDF, SDK and text layers.
+
+use cogsdk::json::{json, Json};
+use cogsdk::rdf::{Graph, Statement, Term};
+use cogsdk::sdk::score::{ClassMaxima, ScoreInputs, ScoringFormula};
+use cogsdk::sdk::ResponseCache;
+use cogsdk::sim::SimEnv;
+use cogsdk::store::compress::{compress, decompress};
+use cogsdk::store::crypto::{decrypt, encrypt, Key};
+use cogsdk::store::csv;
+use proptest::prelude::*;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Storage invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn compression_round_trips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let packed = compress(&data);
+        prop_assert!(packed.len() <= data.len() + 1, "never grows by more than the tag byte");
+        prop_assert_eq!(decompress(&packed).unwrap().to_vec(), data);
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decompress(&data);
+    }
+
+    #[test]
+    fn crypto_round_trips_and_rejects_tampering(
+        data in prop::collection::vec(any::<u8>(), 0..1024),
+        passphrase in "[a-z]{1,16}",
+        nonce in any::<u64>(),
+        flip in any::<(u16, u8)>(),
+    ) {
+        let key = Key::derive(&passphrase);
+        let ct = encrypt(&key, nonce, &data);
+        prop_assert_eq!(decrypt(&key, &ct).unwrap().to_vec(), data);
+        // Any single-byte corruption must be detected.
+        let pos = flip.0 as usize % ct.len();
+        let bit = flip.1 | 1; // never a zero XOR
+        let mut bad = ct.to_vec();
+        bad[pos] ^= bit;
+        prop_assert!(decrypt(&key, &bad).is_err());
+    }
+
+    #[test]
+    fn csv_records_round_trip(
+        rows in prop::collection::vec(
+            prop::collection::vec("[ -~]{0,20}", 1..6), 0..20)
+    ) {
+        // Ragged rows are legal at the record layer; normalize widths so
+        // comparisons are meaningful.
+        let width = rows.first().map_or(1, Vec::len);
+        let rows: Vec<Vec<String>> = rows
+            .into_iter()
+            .map(|mut r| {
+                r.resize(width, String::new());
+                r
+            })
+            .collect();
+        let text = csv::write_records(&rows);
+        let parsed = csv::parse_records(&text).unwrap();
+        // write_records emits nothing for fully-empty input rows at the
+        // tail; compare only when content exists.
+        let expect: Vec<Vec<String>> = rows
+            .into_iter()
+            .filter(|r| !(r.len() == 1 && r[0].is_empty()))
+            .collect();
+        let got: Vec<Vec<String>> = parsed
+            .into_iter()
+            .filter(|r| !(r.len() == 1 && r[0].is_empty()))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+// ---------------------------------------------------------------------
+// RDF invariants
+// ---------------------------------------------------------------------
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        "[a-z]{1,8}".prop_map(Term::iri),
+        "[a-z ]{0,12}".prop_map(Term::string),
+        any::<i64>().prop_map(Term::integer),
+        any::<bool>().prop_map(Term::boolean),
+    ]
+}
+
+fn arb_statement() -> impl Strategy<Value = Statement> {
+    ("[a-z]{1,6}", "[a-z]{1,6}", arb_term())
+        .prop_map(|(s, p, o)| Statement::new(Term::iri(s), Term::iri(p), o))
+}
+
+proptest! {
+    #[test]
+    fn graph_indexes_stay_consistent(
+        inserts in prop::collection::vec(arb_statement(), 0..60),
+        remove_mask in prop::collection::vec(any::<bool>(), 0..60),
+    ) {
+        let mut graph = Graph::new();
+        for st in &inserts {
+            graph.insert(st.clone());
+        }
+        for (st, remove) in inserts.iter().zip(&remove_mask) {
+            if *remove {
+                graph.remove(st);
+            }
+        }
+        // Every pattern-match view must agree with full iteration.
+        let all: Vec<Statement> = graph.iter().collect();
+        prop_assert_eq!(all.len(), graph.len());
+        for st in &all {
+            prop_assert!(graph.contains(st));
+            prop_assert!(graph
+                .match_pattern(Some(&st.subject), None, None)
+                .contains(st));
+            prop_assert!(graph
+                .match_pattern(None, Some(&st.predicate), None)
+                .contains(st));
+            prop_assert!(graph
+                .match_pattern(None, None, Some(&st.object))
+                .contains(st));
+            prop_assert_eq!(
+                graph.match_pattern(Some(&st.subject), Some(&st.predicate), Some(&st.object)).len(),
+                1
+            );
+        }
+        // Removed statements are gone from every index.
+        for (st, remove) in inserts.iter().zip(&remove_mask) {
+            if *remove && !all.contains(st) {
+                prop_assert!(graph.match_pattern(Some(&st.subject), Some(&st.predicate), Some(&st.object)).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn graph_text_serialization_round_trips(
+        statements in prop::collection::vec(arb_statement(), 0..40)
+    ) {
+        let graph: Graph = statements.into_iter().collect();
+        let text = cogsdk::kb::convert::graph_to_text(&graph);
+        let back = cogsdk::kb::convert::text_to_graph(&text).unwrap();
+        prop_assert_eq!(back, graph);
+    }
+}
+
+// ---------------------------------------------------------------------
+// SDK invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn cache_never_exceeds_capacity(
+        capacity in 1usize..32,
+        keys in prop::collection::vec("[a-e]{1,3}", 1..200),
+    ) {
+        let env = SimEnv::with_seed(1);
+        let cache = ResponseCache::new(env.clock().clone(), capacity, Duration::from_secs(60));
+        for (i, key) in keys.iter().enumerate() {
+            cache.put(key.clone(), json!({"i": (i)}));
+            prop_assert!(cache.len() <= capacity);
+        }
+        // Every hit returns the latest value put under that key.
+        for key in &keys {
+            if let Some(v) = cache.get(key) {
+                let i = v.get("i").and_then(Json::as_usize).unwrap();
+                prop_assert_eq!(&keys[i], key);
+            }
+        }
+    }
+
+    #[test]
+    fn scores_rank_monotonically_in_each_metric(
+        r1 in 1.0f64..1000.0, r2 in 1.0f64..1000.0,
+        c in 0.0f64..10_000.0, q in 0.0f64..1.0,
+    ) {
+        // Holding cost and quality fixed, a slower service never scores
+        // better (lower) than a faster one — for Eq.1 and Eq.2 alike.
+        let a = ScoreInputs { response_ms: r1.min(r2), cost_micros: c, quality: q };
+        let b = ScoreInputs { response_ms: r1.max(r2), cost_micros: c, quality: q };
+        let maxima = ClassMaxima::over(&[a, b]);
+        for formula in [
+            ScoringFormula::weighted(1.0, 0.001, 1.0),
+            ScoringFormula::normalized(1.0, 1.0, 1.0),
+        ] {
+            prop_assert!(formula.score(&a, &maxima) <= formula.score(&b, &maxima) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn retry_attempt_counts_bounded(retries in 0usize..6) {
+        use cogsdk::sdk::invoke::invoke_with_retry_counted;
+        use cogsdk::sdk::ServiceMonitor;
+        use cogsdk::sim::failure::FailurePlan;
+        use cogsdk::sim::{Request, SimService};
+        let env = SimEnv::with_seed(retries as u64);
+        let monitor = ServiceMonitor::new();
+        let dead = SimService::builder("dead", "c")
+            .failures(FailurePlan::flaky(1.0))
+            .build(&env);
+        let (outcome, attempts) =
+            invoke_with_retry_counted(&dead, &Request::new("op", Json::Null), retries, &monitor);
+        prop_assert!(outcome.result.is_err());
+        prop_assert_eq!(attempts, retries + 1);
+        prop_assert_eq!(
+            monitor.history("dead").unwrap().observations().len(),
+            retries + 1
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Text invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn analyzer_never_panics_on_arbitrary_text(text in "\\PC{0,300}") {
+        use cogsdk::text::analysis::{Analyzer, NluConfig};
+        let analyzer = Analyzer::with_default_lexicons();
+        let result = analyzer.analyze(&text, &NluConfig::perfect());
+        prop_assert!(result.sentiment.score.abs() <= 1.0);
+        for e in &result.entities {
+            prop_assert!(!e.canonical.is_empty());
+        }
+    }
+
+    #[test]
+    fn html_extraction_never_panics_and_strips_tags(html in "\\PC{0,300}") {
+        let text = cogsdk::search::html::extract_text(&html);
+        // No complete tags survive extraction.
+        prop_assert!(!text.contains("</"));
+    }
+
+    #[test]
+    fn spell_checker_suggestions_are_dictionary_words(word in "[a-z]{2,8}") {
+        use cogsdk::text::SpellChecker;
+        let sc = SpellChecker::with_builtin_dictionary();
+        if let Some(fix) = sc.correct(&word) {
+            prop_assert!(sc.is_correct(&fix), "suggested non-word {fix}");
+            prop_assert_ne!(fix, word);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Query-engine and reasoner invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn sparql_single_pattern_matches_naive_scan(
+        statements in prop::collection::vec(arb_statement(), 0..40),
+        probe in arb_statement(),
+    ) {
+        use cogsdk::rdf::Query;
+        let graph: Graph = statements.into_iter().collect();
+        // Query by the probe's predicate with free subject/object.
+        let Term::Iri(p) = &probe.predicate else { unreachable!() };
+        let q = Query::parse(&format!("SELECT ?s ?o WHERE {{ ?s <{p}> ?o . }}")).unwrap();
+        let rows = q.execute(&graph);
+        let naive: Vec<Statement> =
+            graph.match_pattern(None, Some(&probe.predicate), None);
+        prop_assert_eq!(rows.len(), naive.len());
+        for st in naive {
+            prop_assert!(rows
+                .iter()
+                .any(|r| r["s"] == st.subject && r["o"] == st.object));
+        }
+    }
+
+    #[test]
+    fn owl_symmetric_closure_is_actually_symmetric(
+        edges in prop::collection::vec(("[a-d]{1}", "[a-d]{1}"), 0..12),
+    ) {
+        use cogsdk::rdf::owl::OwlLiteReasoner;
+        let mut graph = Graph::new();
+        graph.insert(Statement::new(
+            Term::iri("p"),
+            Term::iri("rdf:type"),
+            Term::iri("owl:SymmetricProperty"),
+        ));
+        for (s, o) in &edges {
+            graph.insert(Statement::new(Term::iri(s.clone()), Term::iri("p"), Term::iri(o.clone())));
+        }
+        let mut closed = graph.clone();
+        closed.extend_from(&OwlLiteReasoner::owl_only().infer(&graph));
+        // Closure property: every (s p o) has (o p s).
+        for st in closed.match_pattern(None, Some(&Term::iri("p")), None) {
+            let mirror = Statement::new(st.object.clone(), st.predicate.clone(), st.subject.clone());
+            prop_assert!(closed.contains(&mirror), "missing mirror of {st}");
+        }
+    }
+
+    #[test]
+    fn weighted_inference_confidences_stay_in_unit_interval(
+        confs in prop::collection::vec(0.0f64..=1.0, 1..8),
+        strength in 0.1f64..=1.0,
+    ) {
+        use cogsdk::rdf::weighted::{WeightedGraph, WeightedReasoner};
+        let mut wg = WeightedGraph::new();
+        for (i, c) in confs.iter().enumerate() {
+            wg.insert_with_confidence(
+                Statement::new(
+                    Term::iri(format!("n{i}")),
+                    Term::iri("next"),
+                    Term::iri(format!("n{}", i + 1)),
+                ),
+                *c,
+            );
+        }
+        let reasoner = WeightedReasoner::from_rules_text(
+            "[(?a next ?b) -> (?a reach ?b)]\n[(?a next ?b), (?b reach ?c) -> (?a reach ?c)]",
+            strength,
+        )
+        .unwrap();
+        let added = reasoner.infer(&mut wg);
+        for (st, conf) in added {
+            prop_assert!((0.0..=1.0).contains(&conf), "{st} conf={conf}");
+            // An inferred fact can never exceed the weakest ingredient
+            // times one application of the rule.
+            prop_assert!(conf <= strength + 1e-12);
+        }
+    }
+}
