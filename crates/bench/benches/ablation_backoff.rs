@@ -48,9 +48,7 @@ fn report_series() {
         ("exponential", Backoff::standard_exponential()),
     ] {
         let (ok, elapsed) = trial(200, 4, backoff);
-        println!(
-            "[ablation_backoff]   {label:12} success={ok} virtual_time={elapsed:?}"
-        );
+        println!("[ablation_backoff]   {label:12} success={ok} virtual_time={elapsed:?}");
     }
     println!("[ablation_backoff] outage-length sweep with exponential backoff (4 retries):");
     for outage_ms in [50u64, 200, 500, 1_000, 5_000] {
@@ -87,7 +85,11 @@ fn bench(c: &mut Criterion) {
     });
     c.bench_function("backoff_schedule_computation", |b| {
         let exp = Backoff::standard_exponential();
-        b.iter(|| (0..8).map(|i| exp.delay(std::hint::black_box(i))).sum::<Duration>())
+        b.iter(|| {
+            (0..8)
+                .map(|i| exp.delay(std::hint::black_box(i)))
+                .sum::<Duration>()
+        })
     });
 }
 

@@ -1,0 +1,110 @@
+//! A-OBS (ablation): instrumentation overhead on the cached hot path.
+//!
+//! The telemetry layer claims to cost near zero when disabled (one branch
+//! per probe) and only a few percent when enabled. This bench measures
+//! `RichSdk::invoke_cached` hitting a warm cache — the fastest end-to-end
+//! path the SDK has, i.e. the worst case for relative overhead — under
+//! three configurations: telemetry disabled, enabled, and enabled with a
+//! deliberately tiny ring buffer (steady-state drop path).
+
+use cogsdk_bench::BENCH_SEED;
+use cogsdk_core::RichSdk;
+use cogsdk_json::json;
+use cogsdk_obs::Telemetry;
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::{Request, SimEnv, SimService};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+fn sdk_with(telemetry: Telemetry) -> (SimEnv, RichSdk, Request) {
+    let env = SimEnv::with_seed(BENCH_SEED);
+    let sdk = RichSdk::with_telemetry(&env, telemetry);
+    sdk.register(
+        SimService::builder("nlu", "nlu")
+            .latency(LatencyModel::constant_ms(5.0))
+            .build(&env),
+    );
+    let req = Request::new("analyze", json!({"doc": 7}));
+    // Warm the cache so every measured call is a pure hit.
+    sdk.invoke_cached("nlu", &req).unwrap();
+    (env, sdk, req)
+}
+
+/// Wall-clock time for `n` cache-hit invocations.
+fn time_hits(sdk: &RichSdk, req: &Request, n: usize) -> Duration {
+    let start = Instant::now();
+    for _ in 0..n {
+        let (_, hit) = sdk.invoke_cached("nlu", req).unwrap();
+        assert!(hit);
+    }
+    start.elapsed()
+}
+
+fn report_overhead() {
+    const N: usize = 200_000;
+    let (_e1, off_sdk, off_req) = sdk_with(Telemetry::disabled());
+    let (_e2, on_sdk, on_req) = sdk_with(Telemetry::new());
+    // Interleave the two measurements to cancel out drift.
+    let (mut off, mut on) = (Duration::ZERO, Duration::ZERO);
+    for _ in 0..5 {
+        off += time_hits(&off_sdk, &off_req, N / 5);
+        on += time_hits(&on_sdk, &on_req, N / 5);
+    }
+    let off_ns = off.as_nanos() as f64 / N as f64;
+    let on_ns = on.as_nanos() as f64 / N as f64;
+    println!(
+        "[ablation_obs] cache-hit path over {N} calls: disabled={off_ns:.0}ns/call enabled={on_ns:.0}ns/call overhead={:+.1}%",
+        (on_ns / off_ns - 1.0) * 100.0
+    );
+    println!(
+        "[ablation_obs] enabled run recorded {} events, dropped {}",
+        on_sdk.telemetry().tracer().len(),
+        on_sdk.telemetry().tracer().dropped()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report_overhead();
+
+    let (_e1, off_sdk, off_req) = sdk_with(Telemetry::disabled());
+    c.bench_function("invoke_cached_hit_telemetry_off", |b| {
+        b.iter(|| {
+            off_sdk
+                .invoke_cached(std::hint::black_box("nlu"), &off_req)
+                .unwrap()
+        })
+    });
+
+    let (_e2, on_sdk, on_req) = sdk_with(Telemetry::new());
+    c.bench_function("invoke_cached_hit_telemetry_on", |b| {
+        b.iter(|| {
+            on_sdk
+                .invoke_cached(std::hint::black_box("nlu"), &on_req)
+                .unwrap()
+        })
+    });
+
+    // Steady state for a long-running process: the ring is full and every
+    // emit also pops the oldest event.
+    let (_e3, ring_sdk, ring_req) = sdk_with(Telemetry::with_event_capacity(64));
+    for _ in 0..256 {
+        ring_sdk.invoke_cached("nlu", &ring_req).unwrap();
+    }
+    c.bench_function("invoke_cached_hit_telemetry_ring_full", |b| {
+        b.iter(|| {
+            ring_sdk
+                .invoke_cached(std::hint::black_box("nlu"), &ring_req)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -7,9 +7,9 @@
 
 use cogsdk_bench::BENCH_SEED;
 use cogsdk_core::ThreadPool;
+use cogsdk_json::json;
 use cogsdk_sim::latency::LatencyModel;
 use cogsdk_sim::{Request, SimEnv, SimService};
-use cogsdk_json::json;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -42,11 +42,8 @@ fn report_series() {
         }
         let elapsed = start.elapsed();
         // Ideal: ceil(FANOUT / pool) * 50ms * SCALE.
-        let ideal =
-            Duration::from_secs_f64(FANOUT.div_ceil(pool_size) as f64 * 0.050 * SCALE);
-        println!(
-            "[ablation_pool]   pool={pool_size:2}: wall={elapsed:?} (ideal ≈ {ideal:?})"
-        );
+        let ideal = Duration::from_secs_f64(FANOUT.div_ceil(pool_size) as f64 * 0.050 * SCALE);
+        println!("[ablation_pool]   pool={pool_size:2}: wall={elapsed:?} (ideal ≈ {ideal:?})");
     }
 }
 
@@ -64,24 +61,18 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("pool_dispatch");
     for pool_size in [1usize, 4, 16] {
         let pool = ThreadPool::new(pool_size);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(pool_size),
-            &pool,
-            |b, pool| {
-                b.iter(|| {
-                    let futures: Vec<_> = services
-                        .iter()
-                        .map(|svc| {
-                            let svc = svc.clone();
-                            pool.submit(move || {
-                                svc.invoke(&Request::new("op", json!({"x": 1})))
-                            })
-                        })
-                        .collect();
-                    futures.iter().filter(|f| f.wait().result.is_ok()).count()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(pool_size), &pool, |b, pool| {
+            b.iter(|| {
+                let futures: Vec<_> = services
+                    .iter()
+                    .map(|svc| {
+                        let svc = svc.clone();
+                        pool.submit(move || svc.invoke(&Request::new("op", json!({"x": 1}))))
+                    })
+                    .collect();
+                futures.iter().filter(|f| f.wait().result.is_ok()).count()
+            })
+        });
     }
     group.finish();
 }

@@ -56,8 +56,14 @@ fn report_series() {
     let (_env, sdk) = setup();
     println!("[ablation_scoring] equal-intent weights across formulas:");
     let formulas: Vec<(&str, ScoringFormula)> = vec![
-        ("Eq.1 naive (1,1,1)", ScoringFormula::weighted(1.0, 1.0, 1.0)),
-        ("Eq.1 tuned (1,0.01,100)", ScoringFormula::weighted(1.0, 0.01, 100.0)),
+        (
+            "Eq.1 naive (1,1,1)",
+            ScoringFormula::weighted(1.0, 1.0, 1.0),
+        ),
+        (
+            "Eq.1 tuned (1,0.01,100)",
+            ScoringFormula::weighted(1.0, 0.01, 100.0),
+        ),
         ("Eq.2 (1,1,1)", ScoringFormula::normalized(1.0, 1.0, 1.0)),
         (
             "custom (latency p50/quality)",
@@ -105,7 +111,9 @@ fn bench(c: &mut Criterion) {
             formula,
             ..RankOptions::default()
         };
-        c.bench_function(id, |b| b.iter(|| sdk.rank(std::hint::black_box("cls"), &options)));
+        c.bench_function(id, |b| {
+            b.iter(|| sdk.rank(std::hint::black_box("cls"), &options))
+        });
     }
 }
 

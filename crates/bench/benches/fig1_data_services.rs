@@ -51,7 +51,11 @@ fn report_series() {
             break r;
         }
     };
-    let n = resp.payload.get("bindings").and_then(Json::as_array).map_or(0, <[Json]>::len);
+    let n = resp
+        .payload
+        .get("bindings")
+        .and_then(Json::as_array)
+        .map_or(0, <[Json]>::len);
     println!("[fig1_data_services] sparql: {n} large European countries found via service");
 
     // --- Series 2: finance -> KB -> signals pipeline ----------------------
@@ -64,7 +68,10 @@ fn report_series() {
         let resp = loop {
             if let Ok(r) = sdk.invoke(
                 "stocks",
-                &Request::new("history", json!({"op": "history", "ticker": (ticker), "days": 120})),
+                &Request::new(
+                    "history",
+                    json!({"op": "history", "ticker": (ticker), "days": 120}),
+                ),
             ) {
                 break r;
             }
@@ -72,7 +79,8 @@ fn report_series() {
         let csv = history_to_csv(&resp.payload).unwrap();
         let table = format!("px_{ticker}");
         kb.ingest_csv(&table, &csv).unwrap();
-        kb.regress_and_store(&table, "day", "price", ticker).unwrap();
+        kb.regress_and_store(&table, "day", "price", ticker)
+            .unwrap();
     }
     signals += kb
         .infer_rules("[(?m kb:trend \"increasing\") -> (?m kb:signal kb:Bullish)]")
@@ -90,7 +98,10 @@ fn report_series() {
         let mut found = 0usize;
         for image in &images {
             let resp = loop {
-                let o = vendor.invoke(&Request::new("classify", json!({"image": (image.to_json())})));
+                let o = vendor.invoke(&Request::new(
+                    "classify",
+                    json!({"image": (image.to_json())}),
+                ));
                 if let Ok(r) = o.result {
                     break r;
                 }
@@ -131,7 +142,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| knowledge.invoke(std::hint::black_box(&sparql)))
     });
     let stocks = finance_service(&env, "stocks");
-    let hist = Request::new("history", json!({"op": "history", "ticker": "IBM", "days": 120}));
+    let hist = Request::new(
+        "history",
+        json!({"op": "history", "ticker": "IBM", "days": 120}),
+    );
     c.bench_function("finance_history_120d_cpu", |b| {
         b.iter(|| stocks.invoke(std::hint::black_box(&hist)))
     });

@@ -48,8 +48,14 @@ fn report_series() {
 
         let (_env2, sdk2) = scaled_sdk(k);
         let start = Instant::now();
-        sdk2.invoke_redundant_parallel("nlu", &req(), &RankOptions::default(), k, RedundantMode::All)
-            .unwrap();
+        sdk2.invoke_redundant_parallel(
+            "nlu",
+            &req(),
+            &RankOptions::default(),
+            k,
+            RedundantMode::All,
+        )
+        .unwrap();
         let parallel = start.elapsed();
         println!(
             "[fig2_async]   k={k}: sequential={sequential:?} parallel={parallel:?} speedup={:.2}x",
@@ -87,7 +93,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| sdk.invoke("svc-0", std::hint::black_box(&req())).unwrap())
     });
     c.bench_function("async_submit_and_wait", |b| {
-        b.iter(|| sdk.invoke_async("svc-0", std::hint::black_box(req())).wait())
+        b.iter(|| {
+            sdk.invoke_async("svc-0", std::hint::black_box(req()))
+                .wait()
+        })
     });
     c.bench_function("parallel_fanout_4_virtual", |b| {
         b.iter(|| {

@@ -36,7 +36,10 @@ fn report_series() {
     sdk.invoke_cached("nlu", &req).unwrap();
     let t2 = env.clock().now();
     println!("[fig2_caching] miss latency = {:?}", t1.since(t0));
-    println!("[fig2_caching] hit latency  = {:?} (modeled remote work avoided)", t2.since(t1));
+    println!(
+        "[fig2_caching] hit latency  = {:?} (modeled remote work avoided)",
+        t2.since(t1)
+    );
 
     // --- Series 2: hit rate under Zipf(s) over 500 distinct documents ---
     for s in [0.8, 1.0, 1.2] {
@@ -96,7 +99,10 @@ fn bench(c: &mut Criterion) {
     let req = Request::new("analyze", json!({"text": "hot-doc"}));
     sdk.invoke_cached("nlu", &req).unwrap();
     c.bench_function("cache_hit_overhead", |b| {
-        b.iter(|| sdk.invoke_cached("nlu", std::hint::black_box(&req)).unwrap())
+        b.iter(|| {
+            sdk.invoke_cached("nlu", std::hint::black_box(&req))
+                .unwrap()
+        })
     });
     let (_env2, sdk2) = setup();
     let mut i = 0u64;
@@ -104,7 +110,8 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let req = Request::new("analyze", json!({"text": (format!("cold-{i}"))}));
-            sdk2.invoke_cached("nlu", std::hint::black_box(&req)).unwrap()
+            sdk2.invoke_cached("nlu", std::hint::black_box(&req))
+                .unwrap()
         })
     });
 }

@@ -40,7 +40,11 @@ fn report_series() {
         for retries in [0usize, 1, 2, 4] {
             let n = 3_000;
             let ok = (0..n)
-                .filter(|_| invoke_with_retry(&svc, &req(), retries, &monitor).result.is_ok())
+                .filter(|_| {
+                    invoke_with_retry(&svc, &req(), retries, &monitor)
+                        .result
+                        .is_ok()
+                })
                 .count();
             row.push_str(&format!(
                 " k={retries}:{:.3}|{:.3}",
@@ -56,9 +60,8 @@ fn report_series() {
     for m in [1usize, 2, 3, 4] {
         let env = SimEnv::with_seed(BENCH_SEED + m as u64);
         let monitor = ServiceMonitor::new();
-        let candidates: Vec<Arc<SimService>> = (0..m)
-            .map(|i| flaky(&env, &format!("s{i}"), 0.5))
-            .collect();
+        let candidates: Vec<Arc<SimService>> =
+            (0..m).map(|i| flaky(&env, &format!("s{i}"), 0.5)).collect();
         let policy = InvocationPolicy {
             default_retries: 0,
             ..InvocationPolicy::default()
@@ -77,7 +80,11 @@ fn report_series() {
     // --- Series 3: latency cost of resilience ----------------------------
     let env = SimEnv::with_seed(BENCH_SEED);
     let monitor = ServiceMonitor::new();
-    let candidates = vec![flaky(&env, "a", 0.5), flaky(&env, "b", 0.5), flaky(&env, "c", 0.0)];
+    let candidates = vec![
+        flaky(&env, "a", 0.5),
+        flaky(&env, "b", 0.5),
+        flaky(&env, "c", 0.0),
+    ];
     let policy = InvocationPolicy {
         default_retries: 1,
         ..InvocationPolicy::default()
@@ -112,7 +119,14 @@ fn bench(c: &mut Criterion) {
         ..InvocationPolicy::default()
     };
     c.bench_function("failover_two_services", |b| {
-        b.iter(|| invoke_failover(&dead_then_alive, std::hint::black_box(&req()), &policy, &monitor))
+        b.iter(|| {
+            invoke_failover(
+                &dead_then_alive,
+                std::hint::black_box(&req()),
+                &policy,
+                &monitor,
+            )
+        })
     });
 }
 

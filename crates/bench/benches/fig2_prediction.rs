@@ -25,12 +25,20 @@ fn trained_sdk() -> (SimEnv, RichSdk) {
     let sdk = RichSdk::new(&env);
     sdk.register(
         SimService::builder("s1", "storage")
-            .latency(LatencyModel::SizeLinear { base_ms: 1.0, per_byte_ms: 0.010, jitter: 0.1 })
+            .latency(LatencyModel::SizeLinear {
+                base_ms: 1.0,
+                per_byte_ms: 0.010,
+                jitter: 0.1,
+            })
             .build(&env),
     );
     sdk.register(
         SimService::builder("s2", "storage")
-            .latency(LatencyModel::SizeLinear { base_ms: 25.0, per_byte_ms: 0.001, jitter: 0.1 })
+            .latency(LatencyModel::SizeLinear {
+                base_ms: 25.0,
+                per_byte_ms: 0.001,
+                jitter: 0.1,
+            })
             .build(&env),
     );
     for i in 1..=40 {

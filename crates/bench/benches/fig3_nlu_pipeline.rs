@@ -46,7 +46,11 @@ fn report_series() {
     // --- Series 1: per-stage virtual latency -----------------------------
     let w = world();
     let t0 = w.env.clock().now();
-    let hits = w.sdk.nlu().web_search(&w.search, "market growth", 8, false).unwrap();
+    let hits = w
+        .sdk
+        .nlu()
+        .web_search(&w.search, "market growth", 8, false)
+        .unwrap();
     let t1 = w.env.clock().now();
     let docs: Vec<String> = hits
         .iter()
@@ -88,7 +92,12 @@ fn report_series() {
 
     // --- Series 3: throughput of the end-to-end pipeline -----------------
     let w = world();
-    let queries = ["energy sector", "vaccine research", "software plans", "election results"];
+    let queries = [
+        "energy sector",
+        "vaccine research",
+        "software plans",
+        "election results",
+    ];
     let t0 = w.env.clock().now();
     let mut total_docs = 0;
     for q in queries {
@@ -110,7 +119,11 @@ fn bench(c: &mut Criterion) {
     report_series();
     let w = world();
     // Pre-fetch documents once; measure the pure-CPU analysis path.
-    let hits = w.sdk.nlu().web_search(&w.search, "market", 6, false).unwrap();
+    let hits = w
+        .sdk
+        .nlu()
+        .web_search(&w.search, "market", 6, false)
+        .unwrap();
     let texts: Vec<String> = hits
         .iter()
         .filter_map(|h| {
@@ -122,7 +135,11 @@ fn bench(c: &mut Criterion) {
         })
         .collect();
     c.bench_function("analyze_and_aggregate_6_docs", |b| {
-        b.iter(|| w.sdk.nlu().analyze_documents(&w.nlu, std::hint::black_box(&texts)))
+        b.iter(|| {
+            w.sdk
+                .nlu()
+                .analyze_documents(&w.nlu, std::hint::black_box(&texts))
+        })
     });
     let analyses: Vec<cogsdk_text::DocumentAnalysis> = texts
         .iter()

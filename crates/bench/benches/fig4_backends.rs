@@ -6,6 +6,7 @@
 //! significantly lower latency" than the remote store; among local forms,
 //! richer structure costs more per operation.
 
+use bytes::Bytes;
 use cogsdk_bench::BENCH_SEED;
 use cogsdk_kb::{KbOptions, PersonalKnowledgeBase};
 use cogsdk_rdf::{Graph, Statement, Term};
@@ -16,7 +17,6 @@ use cogsdk_sim::SimEnv;
 use cogsdk_store::kv::{remote_kv_service, RemoteKv};
 use cogsdk_store::table::{ColumnType, Predicate, Schema, Table, Value};
 use cogsdk_store::{KeyValueStore, MemoryKv};
-use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use std::time::Duration;

@@ -6,11 +6,11 @@
 //! data (less network, lower storage bills); encryption adds CPU but no
 //! wire growth beyond a small envelope; the cache absorbs repeat reads.
 
+use bytes::Bytes;
 use cogsdk_store::compress::{compress, decompress, ratio};
 use cogsdk_store::crypto::{decrypt, encrypt, Key};
 use cogsdk_store::enhanced::{EnhancedClient, EnhancedOptions};
 use cogsdk_store::{KeyValueStore, MemoryKv};
-use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::sync::Arc;
 use std::time::Duration;
@@ -68,8 +68,10 @@ fn report_series() {
         }
         Bytes::from(v)
     };
-    for (label, data) in [("structured json", structured_payload(800)), ("random bytes", random)]
-    {
+    for (label, data) in [
+        ("structured json", structured_payload(800)),
+        ("random bytes", random),
+    ] {
         let packed = compress(&data);
         println!(
             "[fig4_enhanced_client] compression of {label}: ratio={:.3}",

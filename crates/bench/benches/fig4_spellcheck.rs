@@ -24,7 +24,10 @@ fn report_series() {
 
     // --- Series 1: latency and cost over 50 checks -----------------------
     let t0 = env.clock().now();
-    let local_fixes = (0..50).map(|_| local.check_text(SAMPLE).len()).next_back().unwrap();
+    let local_fixes = (0..50)
+        .map(|_| local.check_text(SAMPLE).len())
+        .next_back()
+        .unwrap();
     let local_elapsed = env.clock().now().since(t0);
 
     let t1 = env.clock().now();

@@ -33,7 +33,8 @@ fn report_series() {
     kb.ingest_csv("revenue", &revenue_csv(12)).unwrap();
     kb.table_to_rdf("revenue", "quarter", "kb").unwrap();
     let after_ingest = kb.statement_count();
-    kb.regress_and_store("revenue", "quarter", "revenue", "acme").unwrap();
+    kb.regress_and_store("revenue", "quarter", "revenue", "acme")
+        .unwrap();
     let after_analysis = kb.statement_count();
     let inferred = kb.infer_rules(RULES).unwrap();
     println!(
@@ -125,11 +126,12 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("fig5_full_loop_12_quarters", |b| {
         b.iter(|| {
-            let kb =
-                PersonalKnowledgeBase::new(Arc::new(MemoryKv::new()), KbOptions::default());
-            kb.ingest_csv("revenue", std::hint::black_box(&revenue_csv(12))).unwrap();
+            let kb = PersonalKnowledgeBase::new(Arc::new(MemoryKv::new()), KbOptions::default());
+            kb.ingest_csv("revenue", std::hint::black_box(&revenue_csv(12)))
+                .unwrap();
             kb.table_to_rdf("revenue", "quarter", "kb").unwrap();
-            kb.regress_and_store("revenue", "quarter", "revenue", "acme").unwrap();
+            kb.regress_and_store("revenue", "quarter", "revenue", "acme")
+                .unwrap();
             kb.infer_rules(RULES).unwrap()
         })
     });

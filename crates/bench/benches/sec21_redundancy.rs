@@ -88,8 +88,16 @@ fn report_series() {
     let text = "IBM acquired Oracle. Germany, France, Japan, Brazil, India and \
                 Canada signed agreements while Microsoft, Google and Amazon watched.";
     let consensus = sdk.nlu().consensus_analyze(&fleet, text);
-    let unanimous = consensus.entities.iter().filter(|e| e.confidence >= 0.99).count();
-    let contested = consensus.entities.iter().filter(|e| e.confidence < 0.99).count();
+    let unanimous = consensus
+        .entities
+        .iter()
+        .filter(|e| e.confidence >= 0.99)
+        .count();
+    let contested = consensus
+        .entities
+        .iter()
+        .filter(|e| e.confidence < 0.99)
+        .count();
     println!(
         "[sec21_redundancy] consensus over {} vendors: {} unanimous entities, {} contested",
         consensus.responding_services.len(),
@@ -136,7 +144,10 @@ fn bench(c: &mut Criterion) {
     let fleet = standard_fleet(&env, Arc::new(Analyzer::with_default_lexicons()));
     let text = "IBM acquired Oracle while Germany and France watched.";
     c.bench_function("consensus_3_vendors", |b| {
-        b.iter(|| sdk2.nlu().consensus_analyze(&fleet, std::hint::black_box(text)))
+        b.iter(|| {
+            sdk2.nlu()
+                .consensus_analyze(&fleet, std::hint::black_box(text))
+        })
     });
 }
 

@@ -39,7 +39,10 @@ fn post(path: &str, body: &str) -> String {
 
 fn report_series() {
     let (_env, gw) = gateway();
-    let raw = post("/invoke/echo", r#"{"operation": "op", "payload": {"x": 1}}"#);
+    let raw = post(
+        "/invoke/echo",
+        r#"{"operation": "op", "payload": {"x": 1}}"#,
+    );
 
     // In-process vs through-the-text-layer (same SDK call underneath).
     let iterations = 5_000;
@@ -75,7 +78,10 @@ fn report_series() {
 fn bench(c: &mut Criterion) {
     report_series();
     let (_env, gw) = gateway();
-    let raw = post("/invoke/echo", r#"{"operation": "op", "payload": {"x": 1}}"#);
+    let raw = post(
+        "/invoke/echo",
+        r#"{"operation": "op", "payload": {"x": 1}}"#,
+    );
     c.bench_function("gateway_handle_text", |b| {
         b.iter(|| gw.handle_text(std::hint::black_box(&raw)))
     });

@@ -59,7 +59,14 @@ fn report_series() {
 
     // --- Series 3: KB-level redundancy prevention ------------------------
     let kb = PersonalKnowledgeBase::new(Arc::new(MemoryKv::new()), KbOptions::default());
-    for alias in ["USA", "US", "United States", "America", "the states", "United States of America"] {
+    for alias in [
+        "USA",
+        "US",
+        "United States",
+        "America",
+        "the states",
+        "United States of America",
+    ] {
         kb.add_fact(alias, "population", "331 million").unwrap();
     }
     println!(
@@ -81,10 +88,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| catalog.resolve(std::hint::black_box("atlantis")))
     });
     let mut with_synonyms = EntityCatalog::builtin();
-    with_synonyms.add_synonym_file(
-        "influenza: flu, the flu, grippe\ndiabetes: type 2 diabetes, diabetes mellitus\n",
-    )
-    .unwrap();
+    with_synonyms
+        .add_synonym_file(
+            "influenza: flu, the flu, grippe\ndiabetes: type 2 diabetes, diabetes mellitus\n",
+        )
+        .unwrap();
     c.bench_function("resolve_custom_synonym", |b| {
         b.iter(|| with_synonyms.resolve(std::hint::black_box("type 2 diabetes")))
     });

@@ -5,10 +5,10 @@
 //! Paper-predicted shape: offline work proceeds at local speed; resync
 //! pushes exactly the dirty keys; nothing is lost across the outage.
 
+use bytes::Bytes;
 use cogsdk_kb::{KbOptions, PersonalKnowledgeBase};
 use cogsdk_store::sync::LocalFirstStore;
 use cogsdk_store::{KeyValueStore, MemoryKv};
-use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use std::time::Duration;
@@ -17,11 +17,14 @@ fn report_series() {
     // --- Series 1: offline KB session + resync ---------------------------
     let cloud = Arc::new(MemoryKv::new());
     let kb = PersonalKnowledgeBase::new(cloud.clone(), KbOptions::default());
-    kb.ingest_csv("sensor", "hour,temp\n0,18.0\n1,18.6\n2,19.1\n3,19.7\n").unwrap();
+    kb.ingest_csv("sensor", "hour,temp\n0,18.0\n1,18.6\n2,19.1\n3,19.7\n")
+        .unwrap();
     kb.persist_graph("snap").unwrap();
     kb.set_connected(false);
     let start = std::time::Instant::now();
-    let facts = kb.regress_and_store("sensor", "hour", "temp", "warming").unwrap();
+    let facts = kb
+        .regress_and_store("sensor", "hour", "temp", "warming")
+        .unwrap();
     let inferred = kb
         .infer_rules("[(?m kb:trend \"increasing\") -> (?m kb:alert kb:Rising)]")
         .unwrap();
@@ -31,7 +34,10 @@ fn report_series() {
         "[sec3_offline] offline analytics: slope={:+.3}, {} inferred fact(s), wall {:?}",
         facts.slope, inferred, offline_work
     );
-    println!("[sec3_offline] dirty keys while offline: {:?}", kb.dirty_keys());
+    println!(
+        "[sec3_offline] dirty keys while offline: {:?}",
+        kb.dirty_keys()
+    );
     kb.set_connected(true);
     let start = std::time::Instant::now();
     let report = kb.synchronize();
@@ -49,7 +55,9 @@ fn report_series() {
         let store = LocalFirstStore::new(local, remote);
         store.set_connected(false);
         for i in 0..dirty {
-            store.put(&format!("k{i}"), Bytes::from(vec![0u8; 256])).unwrap();
+            store
+                .put(&format!("k{i}"), Bytes::from(vec![0u8; 256]))
+                .unwrap();
         }
         store.set_connected(true);
         let start = std::time::Instant::now();
@@ -75,7 +83,9 @@ fn bench(c: &mut Criterion) {
     c.bench_function("offline_write_1k", |b| {
         b.iter(|| {
             i += 1;
-            offline.put(&format!("k{}", i % 512), value.clone()).unwrap()
+            offline
+                .put(&format!("k{}", i % 512), value.clone())
+                .unwrap()
         })
     });
     let online = LocalFirstStore::new(Arc::new(MemoryKv::new()), Arc::new(MemoryKv::new()));

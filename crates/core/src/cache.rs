@@ -9,6 +9,7 @@
 //! TTL-based expiry.
 
 use cogsdk_json::Json;
+use cogsdk_obs::{EventKind, SpanCtx, Telemetry};
 use cogsdk_sim::clock::{SimClock, SimTime};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -71,6 +72,7 @@ pub struct ResponseCache {
     clock: SimClock,
     capacity: usize,
     default_ttl: Duration,
+    telemetry: Telemetry,
     state: Mutex<CacheState>,
 }
 
@@ -81,6 +83,9 @@ struct CacheState {
     stats: CacheStats,
 }
 
+/// The `cache` metric label for [`ResponseCache`] series.
+const CACHE_LABEL: (&str, &str) = ("cache", "response");
+
 impl ResponseCache {
     /// Creates a cache with the given capacity and default TTL.
     ///
@@ -88,11 +93,27 @@ impl ResponseCache {
     ///
     /// Panics if `default_ttl` is zero.
     pub fn new(clock: SimClock, capacity: usize, default_ttl: Duration) -> ResponseCache {
+        ResponseCache::with_telemetry(clock, capacity, default_ttl, Telemetry::disabled())
+    }
+
+    /// As [`ResponseCache::new`], with hit/miss/evict events and
+    /// counters flowing into `telemetry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `default_ttl` is zero.
+    pub fn with_telemetry(
+        clock: SimClock,
+        capacity: usize,
+        default_ttl: Duration,
+        telemetry: Telemetry,
+    ) -> ResponseCache {
         assert!(!default_ttl.is_zero(), "TTL must be positive");
         ResponseCache {
             clock,
             capacity,
             default_ttl,
+            telemetry,
             state: Mutex::new(CacheState::default()),
         }
     }
@@ -119,29 +140,60 @@ impl ResponseCache {
 
     /// Looks up a fresh entry; expired entries are removed and miss.
     pub fn get(&self, key: &str) -> Option<Json> {
+        let ctx = self.telemetry.tracer().new_trace();
+        self.get_traced(key, &ctx)
+    }
+
+    /// As [`ResponseCache::get`], emitting the hit/miss event under the
+    /// caller's span so cache probes appear inside invocation traces.
+    pub fn get_traced(&self, key: &str, ctx: &SpanCtx) -> Option<Json> {
         let now = self.clock.now();
         let mut state = self.state.lock();
         state.tick += 1;
         let tick = state.tick;
-        match state.entries.get_mut(key) {
+        let (value, expired) = match state.entries.get_mut(key) {
             Some(entry) => {
                 if now.since(entry.stored_at) >= entry.ttl {
                     state.entries.remove(key);
                     state.stats.expirations += 1;
                     state.stats.misses += 1;
-                    None
+                    (None, true)
                 } else {
                     entry.used_at = tick;
                     let value = entry.value.clone();
                     state.stats.hits += 1;
-                    Some(value)
+                    (Some(value), false)
                 }
             }
             None => {
                 state.stats.misses += 1;
-                None
+                (None, false)
+            }
+        };
+        drop(state);
+        if self.telemetry.is_enabled() {
+            let hit = value.is_some();
+            self.telemetry.tracer().emit(ctx, || {
+                if hit {
+                    EventKind::CacheHit {
+                        key: key.to_string(),
+                    }
+                } else {
+                    EventKind::CacheMiss {
+                        key: key.to_string(),
+                    }
+                }
+            });
+            let metrics = self.telemetry.metrics();
+            metrics.inc_counter(
+                "cache_requests_total",
+                &[CACHE_LABEL, ("result", if hit { "hit" } else { "miss" })],
+            );
+            if expired {
+                metrics.inc_counter("cache_expirations_total", &[CACHE_LABEL]);
             }
         }
+        value
     }
 
     /// Stores a value under the default TTL.
@@ -182,6 +234,15 @@ impl ResponseCache {
                 .expect("nonempty");
             state.entries.remove(&lru);
             state.stats.evictions += 1;
+            if self.telemetry.is_enabled() {
+                let ctx = self.telemetry.tracer().new_trace();
+                self.telemetry
+                    .tracer()
+                    .emit(&ctx, || EventKind::CacheEvict { key: lru.clone() });
+                self.telemetry
+                    .metrics()
+                    .inc_counter("cache_evictions_total", &[CACHE_LABEL]);
+            }
         }
     }
 
@@ -205,11 +266,7 @@ mod tests {
 
     fn cache(capacity: usize, ttl_secs: u64) -> (SimEnv, ResponseCache) {
         let env = SimEnv::with_seed(1);
-        let c = ResponseCache::new(
-            env.clock().clone(),
-            capacity,
-            Duration::from_secs(ttl_secs),
-        );
+        let c = ResponseCache::new(env.clock().clone(), capacity, Duration::from_secs(ttl_secs));
         (env, c)
     }
 
@@ -294,6 +351,39 @@ mod tests {
     fn zero_ttl_rejected() {
         let (_env, c) = cache(1, 60);
         c.put_with_ttl("a", json!(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats() {
+        let env = SimEnv::with_seed(2);
+        let t = Telemetry::new();
+        let c = ResponseCache::with_telemetry(
+            env.clock().clone(),
+            1,
+            Duration::from_secs(60),
+            t.clone(),
+        );
+        c.put("a", json!(1));
+        assert!(c.get("a").is_some()); // hit
+        assert!(c.get("b").is_none()); // miss
+        c.put("b", json!(2)); // evicts a
+        let hit = t.metrics().counter_value(
+            "cache_requests_total",
+            &[("cache", "response"), ("result", "hit")],
+        );
+        let miss = t.metrics().counter_value(
+            "cache_requests_total",
+            &[("cache", "response"), ("result", "miss")],
+        );
+        assert_eq!(hit, Some(c.stats().hits));
+        assert_eq!(miss, Some(c.stats().misses));
+        assert_eq!(
+            t.metrics()
+                .counter_value("cache_evictions_total", &[("cache", "response")]),
+            Some(c.stats().evictions)
+        );
+        let names: Vec<&str> = t.tracer().events().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(names, vec!["cache_hit", "cache_miss", "cache_evict"]);
     }
 
     #[test]

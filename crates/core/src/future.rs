@@ -65,7 +65,9 @@ impl<T> Clone for ListenableFuture<T> {
 impl<T> std::fmt::Debug for ListenableFuture<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let done = self.shared.state.lock().value.is_some();
-        f.debug_struct("ListenableFuture").field("done", &done).finish()
+        f.debug_struct("ListenableFuture")
+            .field("done", &done)
+            .finish()
     }
 }
 
@@ -244,7 +246,10 @@ mod tests {
         let f: ListenableFuture<i32> = ListenableFuture::new();
         assert!(f.wait_timeout(Duration::from_millis(10)).is_none());
         f.complete(3);
-        assert_eq!(f.wait_timeout(Duration::from_millis(10)).map(|v| *v), Some(3));
+        assert_eq!(
+            f.wait_timeout(Duration::from_millis(10)).map(|v| *v),
+            Some(3)
+        );
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! | `POST /invoke-class/{class}` | request JSON | ranked selection + failover |
 //! | `GET /services` | — | registered service names |
 //! | `GET /monitor/{service}` | — | availability and latency summary |
+//! | `GET /metrics` | — | Prometheus text exposition of the SDK's metrics |
+//! | `GET /trace` | — | JSON-Lines dump of the trace event ring buffer |
 //!
 //! The request parser/serializer is self-contained ([`parse_request`],
 //! [`format_response`]) so the protocol layer is unit-testable without
@@ -24,6 +26,7 @@ use crate::rank::RankOptions;
 use crate::sdk::RichSdk;
 use crate::SdkError;
 use cogsdk_json::{json, Json};
+use cogsdk_obs::{prometheus_text, trace_jsonl};
 use cogsdk_sim::service::Request;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener};
@@ -46,8 +49,10 @@ pub struct HttpRequest {
 pub struct HttpResponse {
     /// Status code.
     pub status: u16,
-    /// JSON body.
+    /// Response body.
     pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
 }
 
 impl HttpResponse {
@@ -55,6 +60,15 @@ impl HttpResponse {
         HttpResponse {
             status: 200,
             body: body.to_json(),
+            content_type: "application/json",
+        }
+    }
+
+    fn text(content_type: &'static str, body: String) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            body,
+            content_type,
         }
     }
 
@@ -62,6 +76,7 @@ impl HttpResponse {
         HttpResponse {
             status,
             body: json!({"error": (message.to_string())}).to_json(),
+            content_type: "application/json",
         }
     }
 }
@@ -112,9 +127,10 @@ pub fn format_response(resp: &HttpResponse) -> String {
         _ => "Unknown",
     };
     format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
         resp.status,
         reason,
+        resp.content_type,
         resp.body.len(),
         resp.body
     )
@@ -139,11 +155,26 @@ impl HttpGateway {
 
     /// Routes one parsed request. Pure: no I/O.
     pub fn handle(&self, request: &HttpRequest) -> HttpResponse {
-        let segments: Vec<&str> = request
-            .path
-            .split('/')
-            .filter(|s| !s.is_empty())
-            .collect();
+        let response = self.route(request);
+        let metrics = self.sdk.telemetry().metrics();
+        if metrics.is_enabled() {
+            // First path segment bounds label cardinality.
+            let route = request
+                .path
+                .split('/')
+                .find(|s| !s.is_empty())
+                .unwrap_or("/");
+            let status = response.status.to_string();
+            metrics.inc_counter(
+                "gateway_requests_total",
+                &[("route", route), ("status", &status)],
+            );
+        }
+        response
+    }
+
+    fn route(&self, request: &HttpRequest) -> HttpResponse {
+        let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
         match (request.method.as_str(), segments.as_slice()) {
             ("GET", ["services"]) => {
                 let names: Vec<Json> = self
@@ -155,6 +186,14 @@ impl HttpGateway {
                     .collect();
                 HttpResponse::ok(json!({"services": (Json::Array(names))}))
             }
+            ("GET", ["metrics"]) => HttpResponse::text(
+                "text/plain; version=0.0.4",
+                prometheus_text(self.sdk.telemetry().metrics()),
+            ),
+            ("GET", ["trace"]) => HttpResponse::text(
+                "application/x-ndjson",
+                trace_jsonl(&self.sdk.telemetry().tracer().events()),
+            ),
             ("GET", ["monitor", service]) => match self.sdk.monitor().history(service) {
                 Some(history) => {
                     let mut body = Json::object();
@@ -246,10 +285,7 @@ impl HttpGateway {
     }
 }
 
-fn serve_connection(
-    gateway: &HttpGateway,
-    stream: std::net::TcpStream,
-) -> std::io::Result<()> {
+fn serve_connection(gateway: &HttpGateway, stream: std::net::TcpStream) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     // Read header block.
@@ -305,10 +341,8 @@ fn parse_body(body: &str) -> Result<Request, String> {
 
 fn sdk_error_response(error: &SdkError) -> HttpResponse {
     match error {
-        SdkError::UnknownService(_) | SdkError::EmptyClass(_) => {
-            HttpResponse::error(404, error)
-        }
-        SdkError::Rejected(_) => HttpResponse::error(400, error),
+        SdkError::UnknownService(_) | SdkError::EmptyClass(_) => HttpResponse::error(404, error),
+        SdkError::Rejected(_) | SdkError::InvalidRating(_) => HttpResponse::error(400, error),
         SdkError::AllFailed(_) => HttpResponse::error(502, error),
     }
 }
@@ -449,12 +483,84 @@ mod tests {
         let resp = HttpResponse {
             status: 200,
             body: "{\"x\":1}".into(),
+            content_type: "application/json",
         };
         let text = format_response(&resp);
         assert!(text.contains("Content-Length: 7"));
+        assert!(text.contains("Content-Type: application/json"));
         assert!(text.ends_with("{\"x\":1}"));
-        let unknown = HttpResponse { status: 418, body: String::new() };
+        let unknown = HttpResponse {
+            status: 418,
+            body: String::new(),
+            content_type: "text/plain",
+        };
         assert!(format_response(&unknown).starts_with("HTTP/1.1 418 Unknown"));
+    }
+
+    fn telemetry_gateway() -> (SimEnv, Arc<HttpGateway>) {
+        let env = SimEnv::with_seed(78);
+        let sdk = Arc::new(RichSdk::with_telemetry(&env, cogsdk_obs::Telemetry::new()));
+        sdk.register(
+            SimService::builder("echo", "demo")
+                .latency(LatencyModel::constant_ms(5.0))
+                .build(&env),
+        );
+        sdk.register(
+            SimService::builder("flaky", "demo")
+                .latency(LatencyModel::constant_ms(5.0))
+                .failures(cogsdk_sim::failure::FailurePlan::flaky(1.0))
+                .build(&env),
+        );
+        (env, Arc::new(HttpGateway::new(sdk)))
+    }
+
+    #[test]
+    fn metrics_route_exposes_prometheus_text() {
+        let (_env, gw) = telemetry_gateway();
+        gw.handle_text(&post("/invoke/echo", r#"{"payload": 1}"#));
+        // Inject failures so the error-kind breakdown has data.
+        for _ in 0..2 {
+            gw.handle_text(&post("/invoke/flaky", r#"{"payload": 1}"#));
+        }
+        let raw = gw.handle_text("GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        assert!(raw.contains("Content-Type: text/plain"), "{raw}");
+        let body = raw.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.contains("# TYPE sdk_attempts_total counter"), "{body}");
+        assert!(
+            body.contains(r#"sdk_attempts_total{outcome="ok",service="echo"} 1"#),
+            "{body}"
+        );
+        assert!(body.contains("sdk_errors_total{kind="), "{body}");
+        assert!(body.contains("sdk_attempt_latency_ms_bucket"), "{body}");
+        // The gateway counts its own requests too.
+        assert!(
+            body.contains(r#"gateway_requests_total{route="invoke""#),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn trace_route_streams_jsonl_events() {
+        let (_env, gw) = telemetry_gateway();
+        gw.handle_text(&post("/invoke/echo", r#"{"payload": 1}"#));
+        let raw = gw.handle_text("GET /trace HTTP/1.1\r\n\r\n");
+        assert!(raw.contains("Content-Type: application/x-ndjson"), "{raw}");
+        let body = raw.split("\r\n\r\n").nth(1).unwrap();
+        let lines: Vec<&str> = body.lines().filter(|l| !l.is_empty()).collect();
+        assert!(lines.len() >= 3, "{body}"); // invoke_start, attempt, invoke_end
+        for line in &lines {
+            Json::parse(line).expect("each trace line is standalone JSON");
+        }
+        assert!(body.contains("\"event\":\"invoke_start\""), "{body}");
+        assert!(body.contains("\"event\":\"attempt\""), "{body}");
+    }
+
+    #[test]
+    fn metrics_route_on_untelemetered_sdk_is_empty_but_ok() {
+        let (_env, gw) = gateway();
+        let raw = gw.handle_text("GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
     }
 
     #[test]

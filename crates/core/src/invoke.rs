@@ -9,12 +9,21 @@
 //! desirable to invoke more than one service instead of just picking a
 //! single one" — for redundancy or to combine/compare outputs.
 
-use crate::monitor::ServiceMonitor;
+use crate::monitor::{duration_ms, ServiceMonitor};
 use crate::SdkError;
+use cogsdk_obs::{EventKind, SpanCtx, Telemetry};
 use cogsdk_sim::service::{Outcome, Request, Response, ServiceError, SimService};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// The metric/event outcome label for a service result.
+pub fn outcome_kind(result: &Result<Response, ServiceError>) -> &'static str {
+    match result {
+        Ok(_) => "ok",
+        Err(e) => e.kind(),
+    }
+}
 
 /// How long to wait between retry attempts.
 ///
@@ -142,16 +151,41 @@ pub fn invoke_with_backoff(
     backoff: Backoff,
     monitor: &ServiceMonitor,
 ) -> (Outcome, usize) {
+    let telemetry = Telemetry::disabled();
+    let ctx = telemetry.tracer().new_trace();
+    invoke_with_backoff_traced(
+        service, request, retries, backoff, monitor, &telemetry, &ctx,
+    )
+}
+
+/// As [`invoke_with_backoff`], emitting one [`EventKind::Attempt`] per
+/// attempt and an [`EventKind::RetryBackoff`] per backoff sleep under
+/// `ctx`, plus attempt/error counters and the attempt-latency histogram.
+pub fn invoke_with_backoff_traced(
+    service: &Arc<SimService>,
+    request: &Request,
+    retries: usize,
+    backoff: Backoff,
+    monitor: &ServiceMonitor,
+    telemetry: &Telemetry,
+    ctx: &SpanCtx,
+) -> (Outcome, usize) {
     let mut last = None;
     for attempt in 1..=retries + 1 {
         if attempt > 1 {
             let delay = backoff.delay(attempt - 2);
             if !delay.is_zero() {
+                telemetry.tracer().emit(ctx, || EventKind::RetryBackoff {
+                    service: service.name().to_string(),
+                    retry: attempt - 1,
+                    delay_ms: duration_ms(delay),
+                });
                 service.realize_delay(delay);
             }
         }
         let outcome = service.invoke(request);
         monitor.record(service.name(), &outcome, request.params.clone());
+        record_attempt(telemetry, ctx, service.name(), attempt, &outcome);
         match &outcome.result {
             Ok(_) => return (outcome, attempt),
             Err(e) if !e.is_retryable() => return (outcome, attempt),
@@ -159,6 +193,42 @@ pub fn invoke_with_backoff(
         }
     }
     (last.expect("at least one attempt was made"), retries + 1)
+}
+
+fn record_attempt(
+    telemetry: &Telemetry,
+    ctx: &SpanCtx,
+    service: &str,
+    attempt: usize,
+    outcome: &Outcome,
+) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    let kind = outcome_kind(&outcome.result);
+    let latency_ms = duration_ms(outcome.latency);
+    telemetry.tracer().emit(ctx, || EventKind::Attempt {
+        service: service.to_string(),
+        attempt,
+        outcome: kind,
+        latency_ms,
+    });
+    let metrics = telemetry.metrics();
+    metrics.inc_counter(
+        "sdk_attempts_total",
+        &[("service", service), ("outcome", kind)],
+    );
+    metrics.observe(
+        "sdk_attempt_latency_ms",
+        &[("service", service)],
+        latency_ms,
+    );
+    if let Err(e) = &outcome.result {
+        metrics.inc_counter(
+            "sdk_errors_total",
+            &[("service", service), ("kind", e.kind())],
+        );
+    }
 }
 
 /// The result of a successful failover: which service answered and how.
@@ -172,6 +242,10 @@ pub struct FailoverSuccess {
     pub services_tried: usize,
     /// Total attempts across all services.
     pub attempts: usize,
+    /// Latency of the successful attempt in (virtual) milliseconds —
+    /// what a latency prediction for the winning service should be
+    /// compared against.
+    pub latency_ms: f64,
 }
 
 /// Tries `candidates` in order (callers pass them ranked best-first),
@@ -188,15 +262,45 @@ pub fn invoke_failover(
     policy: &InvocationPolicy,
     monitor: &ServiceMonitor,
 ) -> Result<FailoverSuccess, SdkError> {
+    let telemetry = Telemetry::disabled();
+    let ctx = telemetry.tracer().new_trace();
+    invoke_failover_traced(candidates, request, policy, monitor, &telemetry, &ctx)
+}
+
+/// As [`invoke_failover`], emitting an [`EventKind::FailoverLeg`] child
+/// span per candidate (with the attempts nested under it).
+pub fn invoke_failover_traced(
+    candidates: &[Arc<SimService>],
+    request: &Request,
+    policy: &InvocationPolicy,
+    monitor: &ServiceMonitor,
+    telemetry: &Telemetry,
+    ctx: &SpanCtx,
+) -> Result<FailoverSuccess, SdkError> {
     if candidates.is_empty() {
         return Err(SdkError::EmptyClass("<no candidates>".into()));
     }
     let mut attempts = 0usize;
     let mut last_error = String::new();
     for (i, service) in candidates.iter().take(policy.max_services).enumerate() {
+        let leg = telemetry.tracer().child(ctx);
+        telemetry.tracer().emit(&leg, || EventKind::FailoverLeg {
+            service: service.name().to_string(),
+            rank: i,
+        });
+        telemetry
+            .metrics()
+            .inc_counter("sdk_failover_legs_total", &[("service", service.name())]);
         let retries = policy.retries_for(service.name());
-        let (outcome, made) =
-            invoke_with_backoff(service, request, retries, policy.backoff, monitor);
+        let (outcome, made) = invoke_with_backoff_traced(
+            service,
+            request,
+            retries,
+            policy.backoff,
+            monitor,
+            telemetry,
+            &leg,
+        );
         attempts += made;
         match outcome.result {
             Ok(response) => {
@@ -205,6 +309,7 @@ pub fn invoke_failover(
                     response,
                     services_tried: i + 1,
                     attempts,
+                    latency_ms: duration_ms(outcome.latency),
                 })
             }
             Err(ServiceError::BadRequest(msg)) => return Err(SdkError::Rejected(msg)),
@@ -238,14 +343,39 @@ pub fn invoke_redundant(
     policy: &InvocationPolicy,
     monitor: &ServiceMonitor,
 ) -> Result<Vec<RedundantLeg>, SdkError> {
+    let telemetry = Telemetry::disabled();
+    let ctx = telemetry.tracer().new_trace();
+    invoke_redundant_traced(candidates, request, mode, policy, monitor, &telemetry, &ctx)
+}
+
+/// As [`invoke_redundant`], emitting [`EventKind::RedundantLegWon`] for
+/// the leg whose response wins (the first success) and
+/// [`EventKind::RedundantLegLost`] for every other leg.
+pub fn invoke_redundant_traced(
+    candidates: &[Arc<SimService>],
+    request: &Request,
+    mode: RedundantMode,
+    policy: &InvocationPolicy,
+    monitor: &ServiceMonitor,
+    telemetry: &Telemetry,
+    ctx: &SpanCtx,
+) -> Result<Vec<RedundantLeg>, SdkError> {
     if candidates.is_empty() {
         return Err(SdkError::EmptyClass("<no candidates>".into()));
     }
     let mut legs = Vec::new();
     for service in candidates.iter().take(policy.max_services) {
+        let leg_ctx = telemetry.tracer().child(ctx);
         let retries = policy.retries_for(service.name());
-        let (outcome, _) =
-            invoke_with_backoff(service, request, retries, policy.backoff, monitor);
+        let (outcome, _) = invoke_with_backoff_traced(
+            service,
+            request,
+            retries,
+            policy.backoff,
+            monitor,
+            telemetry,
+            &leg_ctx,
+        );
         let success = outcome.result.is_ok();
         legs.push(RedundantLeg {
             service: service.name().to_string(),
@@ -253,6 +383,31 @@ pub fn invoke_redundant(
         });
         if mode == RedundantMode::FirstSuccess && success {
             break;
+        }
+    }
+    if telemetry.is_enabled() {
+        let winner = legs.iter().position(|l| l.result.is_ok());
+        for (i, leg) in legs.iter().enumerate() {
+            let won = winner == Some(i);
+            telemetry.tracer().emit(ctx, || {
+                if won {
+                    EventKind::RedundantLegWon {
+                        service: leg.service.clone(),
+                    }
+                } else {
+                    EventKind::RedundantLegLost {
+                        service: leg.service.clone(),
+                        outcome: outcome_kind(&leg.result),
+                    }
+                }
+            });
+            telemetry.metrics().inc_counter(
+                "sdk_redundant_legs_total",
+                &[
+                    ("service", &leg.service),
+                    ("result", if won { "won" } else { "lost" }),
+                ],
+            );
         }
     }
     let successes = legs.iter().filter(|l| l.result.is_ok()).count();
@@ -305,7 +460,10 @@ mod tests {
         let flaky = svc(&env, "flaky", 0.5);
         let mut successes = 0;
         for _ in 0..100 {
-            if invoke_with_retry(&flaky, &req(), 5, &monitor).result.is_ok() {
+            if invoke_with_retry(&flaky, &req(), 5, &monitor)
+                .result
+                .is_ok()
+            {
                 successes += 1;
             }
         }
@@ -334,7 +492,9 @@ mod tests {
         let limited = SimService::builder("limited", "demo")
             .quota(Quota::new(1, Duration::from_secs(3600)))
             .build(&env);
-        assert!(invoke_with_retry(&limited, &req(), 0, &monitor).result.is_ok());
+        assert!(invoke_with_retry(&limited, &req(), 0, &monitor)
+            .result
+            .is_ok());
         let out = invoke_with_retry(&limited, &req(), 10, &monitor);
         assert!(matches!(out.result, Err(ServiceError::QuotaExceeded)));
         // 1 success + 1 quota rejection = 2 observations, not 12.
@@ -387,9 +547,13 @@ mod tests {
             .handler(|_| Err("malformed".into()))
             .build(&env);
         let alive = svc(&env, "alive", 0.0);
-        let err =
-            invoke_failover(&[rejecting, alive], &req(), &InvocationPolicy::default(), &monitor)
-                .unwrap_err();
+        let err = invoke_failover(
+            &[rejecting, alive],
+            &req(),
+            &InvocationPolicy::default(),
+            &monitor,
+        )
+        .unwrap_err();
         assert!(matches!(err, SdkError::Rejected(_)), "{err:?}");
     }
 
@@ -413,12 +577,19 @@ mod tests {
     fn redundant_all_returns_every_leg() {
         let env = SimEnv::with_seed(11);
         let monitor = ServiceMonitor::new();
-        let candidates = vec![svc(&env, "a", 0.0), svc(&env, "b", 0.0), svc(&env, "c", 1.0)];
+        let candidates = vec![
+            svc(&env, "a", 0.0),
+            svc(&env, "b", 0.0),
+            svc(&env, "c", 1.0),
+        ];
         let legs = invoke_redundant(
             &candidates,
             &req(),
             RedundantMode::All,
-            &InvocationPolicy { default_retries: 0, ..InvocationPolicy::default() },
+            &InvocationPolicy {
+                default_retries: 0,
+                ..InvocationPolicy::default()
+            },
             &monitor,
         )
         .unwrap();
@@ -448,11 +619,31 @@ mod tests {
     fn redundant_quorum_enforced() {
         let env = SimEnv::with_seed(13);
         let monitor = ServiceMonitor::new();
-        let candidates = vec![svc(&env, "a", 0.0), svc(&env, "b", 1.0), svc(&env, "c", 1.0)];
-        let policy = InvocationPolicy { default_retries: 0, ..InvocationPolicy::default() };
-        assert!(invoke_redundant(&candidates, &req(), RedundantMode::Quorum(1), &policy, &monitor).is_ok());
-        let err = invoke_redundant(&candidates, &req(), RedundantMode::Quorum(2), &policy, &monitor)
-            .unwrap_err();
+        let candidates = vec![
+            svc(&env, "a", 0.0),
+            svc(&env, "b", 1.0),
+            svc(&env, "c", 1.0),
+        ];
+        let policy = InvocationPolicy {
+            default_retries: 0,
+            ..InvocationPolicy::default()
+        };
+        assert!(invoke_redundant(
+            &candidates,
+            &req(),
+            RedundantMode::Quorum(1),
+            &policy,
+            &monitor
+        )
+        .is_ok());
+        let err = invoke_redundant(
+            &candidates,
+            &req(),
+            RedundantMode::Quorum(2),
+            &policy,
+            &monitor,
+        )
+        .unwrap_err();
         assert!(matches!(err, SdkError::AllFailed(_)));
     }
 
@@ -511,6 +702,13 @@ mod tests {
             invoke_failover(&[], &req(), &InvocationPolicy::default(), &monitor),
             Err(SdkError::EmptyClass(_))
         ));
-        assert!(invoke_redundant(&[], &req(), RedundantMode::All, &InvocationPolicy::default(), &monitor).is_err());
+        assert!(invoke_redundant(
+            &[],
+            &req(),
+            RedundantMode::All,
+            &InvocationPolicy::default(),
+            &monitor
+        )
+        .is_err());
     }
 }

@@ -73,6 +73,8 @@ pub enum SdkError {
     AllFailed(String),
     /// The request was rejected as invalid by the service.
     Rejected(String),
+    /// A quality rating outside `[0, 1]` was supplied.
+    InvalidRating(String),
 }
 
 impl fmt::Display for SdkError {
@@ -82,6 +84,20 @@ impl fmt::Display for SdkError {
             SdkError::EmptyClass(class) => write!(f, "no services in class: {class}"),
             SdkError::AllFailed(last) => write!(f, "all candidate services failed; last: {last}"),
             SdkError::Rejected(msg) => write!(f, "request rejected: {msg}"),
+            SdkError::InvalidRating(msg) => write!(f, "invalid quality rating: {msg}"),
+        }
+    }
+}
+
+impl SdkError {
+    /// A stable machine-readable error kind, for metric labels.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SdkError::UnknownService(_) => "unknown_service",
+            SdkError::EmptyClass(_) => "empty_class",
+            SdkError::AllFailed(_) => "all_failed",
+            SdkError::Rejected(_) => "rejected",
+            SdkError::InvalidRating(_) => "invalid_rating",
         }
     }
 }

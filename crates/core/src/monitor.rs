@@ -7,6 +7,7 @@
 //! past latency measurements along with the latency parameters resulting
 //! in each latency measurement."
 
+use crate::SdkError;
 use cogsdk_sim::cost::MicroDollars;
 use cogsdk_sim::service::Outcome;
 use cogsdk_stats::descriptive::{Histogram, Summary};
@@ -26,6 +27,9 @@ pub struct Observation {
     /// The latency parameters attached to the request (§2), e.g. payload
     /// size.
     pub params: Vec<(String, f64)>,
+    /// The failure kind (e.g. `"timeout"`) when `success` is false and
+    /// the kind is known; feeds the per-kind error breakdown.
+    pub error_kind: Option<&'static str>,
 }
 
 /// Upper bound on retained observations per service; see
@@ -137,6 +141,44 @@ impl ServiceHistory {
         (xs, ys)
     }
 
+    /// The `p`-th percentile of successful-call latencies (nearest-rank
+    /// over the retained window); `None` with no successful calls or `p`
+    /// outside `(0, 100]`.
+    pub fn latency_percentile(&self, p: f64) -> Option<f64> {
+        if !(0.0..=100.0).contains(&p) || p == 0.0 {
+            return None;
+        }
+        let mut latencies = self.success_latencies();
+        if latencies.is_empty() {
+            return None;
+        }
+        latencies.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
+        Some(latencies[rank.clamp(1, latencies.len()) - 1])
+    }
+
+    /// The 95th-percentile successful-call latency in ms.
+    pub fn p95_latency_ms(&self) -> Option<f64> {
+        self.latency_percentile(95.0)
+    }
+
+    /// The 99th-percentile successful-call latency in ms.
+    pub fn p99_latency_ms(&self) -> Option<f64> {
+        self.latency_percentile(99.0)
+    }
+
+    /// Failure counts broken down by error kind. Failures recorded
+    /// without a kind (raw recordings) count under `"unknown"`.
+    pub fn failure_kinds(&self) -> BTreeMap<&'static str, usize> {
+        let mut kinds = BTreeMap::new();
+        for o in &self.observations {
+            if !o.success {
+                *kinds.entry(o.error_kind.unwrap_or("unknown")).or_insert(0) += 1;
+            }
+        }
+        kinds
+    }
+
     /// `(latency_param_value, latency_ms)` pairs for a named parameter,
     /// the training set for size-conditioned prediction.
     pub fn param_series(&self, param: &str) -> (Vec<f64>, Vec<f64>) {
@@ -180,18 +222,22 @@ impl ServiceMonitor {
         ServiceMonitor::default()
     }
 
-    /// Records the outcome of one invocation.
+    /// Records the outcome of one invocation, including the failure kind
+    /// for the per-kind error breakdown.
     pub fn record(&self, service: &str, outcome: &Outcome, params: Vec<(String, f64)>) {
-        self.record_raw(
+        self.push(
             service,
-            duration_ms(outcome.latency),
-            outcome.result.is_ok(),
-            outcome.cost.as_micros(),
-            params,
+            Observation {
+                latency_ms: duration_ms(outcome.latency),
+                success: outcome.result.is_ok(),
+                cost_micros: outcome.cost.as_micros(),
+                params,
+                error_kind: outcome.result.as_ref().err().map(|e| e.kind()),
+            },
         );
     }
 
-    /// Records an observation from raw components.
+    /// Records an observation from raw components (no failure kind).
     ///
     /// Histories are bounded sliding windows ([`MAX_OBSERVATIONS`] most
     /// recent observations): unbounded growth would make every ranking
@@ -204,14 +250,23 @@ impl ServiceMonitor {
         cost_micros: u64,
         params: Vec<(String, f64)>,
     ) {
+        self.push(
+            service,
+            Observation {
+                latency_ms,
+                success,
+                cost_micros,
+                params,
+                error_kind: None,
+            },
+        );
+    }
+
+    fn push(&self, service: &str, observation: Observation) {
+        let cost_micros = observation.cost_micros;
         let mut map = self.histories.write();
         let history = map.entry(service.to_string()).or_default();
-        history.observations.push(Observation {
-            latency_ms,
-            success,
-            cost_micros,
-            params,
-        });
+        history.observations.push(observation);
         history.total_cost_micros = history.total_cost_micros.saturating_add(cost_micros);
         if history.observations.len() > MAX_OBSERVATIONS {
             // Drop the oldest half in one amortized move.
@@ -222,17 +277,23 @@ impl ServiceMonitor {
     /// Records a user-supplied quality rating (§2: "Users can also provide
     /// methods to rate the quality of different services").
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `rating` is outside `[0, 1]`.
-    pub fn rate_quality(&self, service: &str, rating: f64) {
-        assert!((0.0..=1.0).contains(&rating), "rating must be in [0, 1]");
+    /// [`SdkError::InvalidRating`] if `rating` is outside `[0, 1]` (NaN
+    /// included).
+    pub fn rate_quality(&self, service: &str, rating: f64) -> Result<(), SdkError> {
+        if !(0.0..=1.0).contains(&rating) {
+            return Err(SdkError::InvalidRating(format!(
+                "{rating} for {service}: must be in [0, 1]"
+            )));
+        }
         let mut map = self.histories.write();
         let history = map.entry(service.to_string()).or_default();
         history.quality_ratings.push(rating);
         if history.quality_ratings.len() > MAX_OBSERVATIONS {
             history.quality_ratings.drain(..MAX_OBSERVATIONS / 2);
         }
+        Ok(())
     }
 
     /// A snapshot of one service's history.
@@ -318,15 +379,69 @@ mod tests {
     #[test]
     fn quality_ratings_average() {
         let m = ServiceMonitor::new();
-        m.rate_quality("svc", 0.8);
-        m.rate_quality("svc", 0.6);
+        m.rate_quality("svc", 0.8).unwrap();
+        m.rate_quality("svc", 0.6).unwrap();
         assert_eq!(m.history("svc").unwrap().mean_quality(), Some(0.7));
     }
 
     #[test]
-    #[should_panic(expected = "[0, 1]")]
-    fn bad_rating_panics() {
-        ServiceMonitor::new().rate_quality("svc", 1.5);
+    fn bad_rating_is_rejected_not_recorded() {
+        let m = ServiceMonitor::new();
+        for bad in [1.5, -0.1, f64::NAN] {
+            let err = m.rate_quality("svc", bad).unwrap_err();
+            assert!(matches!(err, SdkError::InvalidRating(_)), "{bad}: {err}");
+            assert!(err.to_string().contains("[0, 1]"), "{err}");
+        }
+        // A rejected rating must leave no trace in the history.
+        assert!(m.history("svc").is_none());
+        m.rate_quality("svc", 1.0).unwrap(); // boundary values are valid
+        m.rate_quality("svc", 0.0).unwrap();
+        assert_eq!(m.history("svc").unwrap().mean_quality(), Some(0.5));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let m = ServiceMonitor::new();
+        for i in 1..=100 {
+            m.record_raw("svc", i as f64, true, 0, vec![]);
+        }
+        let h = m.history("svc").unwrap();
+        assert_eq!(h.p95_latency_ms(), Some(95.0));
+        assert_eq!(h.p99_latency_ms(), Some(99.0));
+        assert_eq!(h.latency_percentile(50.0), Some(50.0));
+        assert_eq!(h.latency_percentile(100.0), Some(100.0));
+        assert_eq!(h.latency_percentile(0.0), None);
+        assert_eq!(h.latency_percentile(101.0), None);
+        assert!(ServiceHistory::default().p95_latency_ms().is_none());
+    }
+
+    #[test]
+    fn failure_kinds_break_down_errors() {
+        use cogsdk_sim::cost::MicroDollars;
+        use cogsdk_sim::service::{Outcome, ServiceError};
+        use std::time::Duration;
+
+        let m = ServiceMonitor::new();
+        for error in [
+            ServiceError::Timeout,
+            ServiceError::Timeout,
+            ServiceError::Unavailable,
+        ] {
+            let outcome = Outcome {
+                result: Err(error),
+                latency: Duration::from_millis(5),
+                cost: MicroDollars::from_micros(0),
+                started: cogsdk_sim::SimTime::ZERO,
+            };
+            m.record("svc", &outcome, vec![]);
+        }
+        m.record_raw("svc", 1.0, false, 0, vec![]); // kind unknown
+        m.record_raw("svc", 1.0, true, 0, vec![]);
+        let kinds = m.history("svc").unwrap().failure_kinds();
+        assert_eq!(kinds.get("timeout"), Some(&2));
+        assert_eq!(kinds.get("unavailable"), Some(&1));
+        assert_eq!(kinds.get("unknown"), Some(&1));
+        assert_eq!(kinds.values().sum::<usize>(), 4);
     }
 
     #[test]

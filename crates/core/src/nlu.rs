@@ -304,11 +304,7 @@ impl NluSupport {
     /// §2.2 "passing multiple files to a service and aggregating the
     /// results" feature. Documents whose analysis fails are skipped (and
     /// reported in the count difference).
-    pub fn analyze_documents(
-        &self,
-        nlu: &Arc<SimService>,
-        texts: &[String],
-    ) -> AggregateAnalysis {
+    pub fn analyze_documents(&self, nlu: &Arc<SimService>, texts: &[String]) -> AggregateAnalysis {
         let analyses: Vec<DocumentAnalysis> = texts
             .iter()
             .filter_map(|t| self.analyze_text(nlu, t).ok())
@@ -340,11 +336,7 @@ impl NluSupport {
 
     /// Runs the same document through several NLU services and combines
     /// the outputs with per-item confidence (§2.1).
-    pub fn consensus_analyze(
-        &self,
-        services: &[Arc<SimService>],
-        text: &str,
-    ) -> ConsensusAnalysis {
+    pub fn consensus_analyze(&self, services: &[Arc<SimService>], text: &str) -> ConsensusAnalysis {
         let mut responding = Vec::new();
         let mut entity_votes: BTreeMap<String, (Vec<String>, f64)> = BTreeMap::new();
         let mut relation_votes: BTreeMap<(String, String, String), usize> = BTreeMap::new();
@@ -421,7 +413,11 @@ impl NluSupport {
                 if let Ok(analysis) = self.analyze_text(svc, text) {
                     per_service.push((
                         svc.name().to_string(),
-                        analysis.entities.iter().map(|e| e.canonical.clone()).collect(),
+                        analysis
+                            .entities
+                            .iter()
+                            .map(|e| e.canonical.clone())
+                            .collect(),
                     ));
                 }
             }
@@ -445,7 +441,10 @@ impl NluSupport {
                 continue;
             }
             for (name, entities) in &per_service {
-                let tp = entities.iter().filter(|e| majority.contains(&e.as_str())).count();
+                let tp = entities
+                    .iter()
+                    .filter(|e| majority.contains(&e.as_str()))
+                    .count();
                 let precision = if entities.is_empty() {
                     0.0
                 } else {
@@ -465,7 +464,9 @@ impl NluSupport {
         let mut out = Vec::new();
         for (name, (sum, n)) in sums {
             let mean = (sum / n as f64).clamp(0.0, 1.0);
-            self.monitor.rate_quality(&name, mean);
+            self.monitor
+                .rate_quality(&name, mean)
+                .expect("consensus rating is clamped to [0, 1]");
             out.push((name, mean));
         }
         out
@@ -632,7 +633,9 @@ mod tests {
         let env = SimEnv::with_seed(1);
         let nlu = perfect_nlu(&env);
         let s = support();
-        let a = s.analyze_text(&nlu, "Microsoft praised excellent results.").unwrap();
+        let a = s
+            .analyze_text(&nlu, "Microsoft praised excellent results.")
+            .unwrap();
         assert_eq!(a.entities[0].canonical, "microsoft");
         assert!(a.sentiment.score > 0.0);
     }

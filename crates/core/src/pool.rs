@@ -5,9 +5,12 @@
 //! cases, we use thread pools of limited size."
 
 use crate::future::ListenableFuture;
+use cogsdk_obs::{EventKind, Telemetry};
 use crossbeam::channel::{unbounded, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -28,11 +31,16 @@ pub struct ThreadPool {
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     size: usize,
+    telemetry: Telemetry,
+    /// Jobs submitted but not yet picked up by a worker.
+    queued: Arc<AtomicUsize>,
 }
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadPool").field("size", &self.size).finish()
+        f.debug_struct("ThreadPool")
+            .field("size", &self.size)
+            .finish()
     }
 }
 
@@ -43,6 +51,17 @@ impl ThreadPool {
     ///
     /// Panics if `size == 0`.
     pub fn new(size: usize) -> ThreadPool {
+        ThreadPool::with_telemetry(size, Telemetry::disabled())
+    }
+
+    /// As [`ThreadPool::new`], emitting enqueue/dequeue events, a
+    /// queue-depth gauge, and a queue-wait histogram into `telemetry` —
+    /// making queueing delay under pool saturation visible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn with_telemetry(size: usize, telemetry: Telemetry) -> ThreadPool {
         assert!(size > 0, "thread pool needs at least one worker");
         let (sender, receiver) = unbounded::<Job>();
         let workers = (0..size)
@@ -62,12 +81,19 @@ impl ThreadPool {
             sender: Some(sender),
             workers,
             size,
+            telemetry,
+            queued: Arc::new(AtomicUsize::new(0)),
         }
     }
 
     /// Number of workers.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Jobs submitted but not yet started by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
     }
 
     /// Submits a job; the returned future completes with its result.
@@ -84,12 +110,40 @@ impl ThreadPool {
     ) -> ListenableFuture<T> {
         let future = ListenableFuture::new();
         let future2 = future.clone();
+        let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        let payload: Job = if self.telemetry.is_enabled() {
+            let ctx = self.telemetry.tracer().new_trace();
+            self.telemetry
+                .tracer()
+                .emit(&ctx, || EventKind::PoolEnqueue { queue_depth: depth });
+            let metrics = self.telemetry.metrics();
+            metrics.inc_counter("pool_jobs_total", &[]);
+            metrics.set_gauge("pool_queue_depth", &[], depth as f64);
+            let telemetry = self.telemetry.clone();
+            let queued = self.queued.clone();
+            let enqueued_at = Instant::now();
+            Box::new(move || {
+                let depth = queued.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+                let wait_ms = enqueued_at.elapsed().as_secs_f64() * 1e3;
+                telemetry.tracer().emit(&ctx, || EventKind::PoolDequeue {
+                    queue_wait_ms: wait_ms,
+                });
+                let metrics = telemetry.metrics();
+                metrics.observe("pool_queue_wait_ms", &[], wait_ms);
+                metrics.set_gauge("pool_queue_depth", &[], depth as f64);
+                future2.complete(job());
+            })
+        } else {
+            let queued = self.queued.clone();
+            Box::new(move || {
+                queued.fetch_sub(1, Ordering::Relaxed);
+                future2.complete(job());
+            })
+        };
         self.sender
             .as_ref()
             .expect("pool is live until dropped")
-            .send(Box::new(move || {
-                future2.complete(job());
-            }))
+            .send(payload)
             .expect("workers outlive the sender");
         future
     }
@@ -206,5 +260,33 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_size_rejected() {
         let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn telemetry_tracks_queue_wait_and_depth() {
+        let t = Telemetry::new();
+        let pool = ThreadPool::with_telemetry(1, t.clone());
+        let futures: Vec<_> = (0..4)
+            .map(|_| pool.submit(|| std::thread::sleep(Duration::from_millis(5))))
+            .collect();
+        for f in &futures {
+            f.wait();
+        }
+        assert_eq!(t.metrics().counter_value("pool_jobs_total", &[]), Some(4));
+        let wait = t.metrics().histogram("pool_queue_wait_ms", &[]).unwrap();
+        assert_eq!(wait.count, 4);
+        // A single worker serializes 5ms jobs: the last job queues ≥ 10ms.
+        assert!(wait.sum >= 10.0, "queue wait sum {} too small", wait.sum);
+        let events = t.tracer().events();
+        let enqueues = events
+            .iter()
+            .filter(|e| e.kind.name() == "pool_enqueue")
+            .count();
+        let dequeues = events
+            .iter()
+            .filter(|e| e.kind.name() == "pool_dequeue")
+            .count();
+        assert_eq!((enqueues, dequeues), (4, 4));
+        assert_eq!(pool.queue_depth(), 0);
     }
 }

@@ -235,7 +235,10 @@ mod tests {
         let p = Predictor::KnnOn("size".into(), 2);
         // Nearest to 150 are sizes 100 (6ms) and 200 (7ms).
         assert_eq!(p.predict(&h, &params(150.0)), Some(6.5));
-        assert_eq!(Predictor::KnnOn("size".into(), 0).predict(&h, &params(150.0)), None);
+        assert_eq!(
+            Predictor::KnnOn("size".into(), 0).predict(&h, &params(150.0)),
+            None
+        );
     }
 
     #[test]
@@ -281,7 +284,10 @@ mod tests {
         let h = history_linear();
         let auto = Predictor::Auto("size".into());
         let reg = Predictor::RegressionOn("size".into());
-        assert_eq!(auto.predict(&h, &params(3200.0)), reg.predict(&h, &params(3200.0)));
+        assert_eq!(
+            auto.predict(&h, &params(3200.0)),
+            reg.predict(&h, &params(3200.0))
+        );
 
         // Size-independent service: Auto falls back to the median even
         // though a "size" parameter is present.
@@ -318,7 +324,10 @@ mod tests {
         let h = m.history("s").unwrap();
         let p = Predictor::MultiRegressionOn(vec!["size".into(), "batch".into()]);
         let pred = p
-            .predict(&h, &[("size".to_string(), 10_000.0), ("batch".to_string(), 8.0)])
+            .predict(
+                &h,
+                &[("size".to_string(), 10_000.0), ("batch".to_string(), 8.0)],
+            )
             .unwrap();
         let truth = 1.0 + 0.01 * 10_000.0 + 2.0 * 8.0;
         assert!((pred - truth).abs() < 1e-6, "pred={pred} truth={truth}");
@@ -326,8 +335,20 @@ mod tests {
         assert_eq!(p.predict(&h, &params(100.0)), None);
         // Too little data -> None.
         let m2 = ServiceMonitor::new();
-        m2.record_raw("s", 1.0, true, 0, vec![("size".into(), 1.0), ("batch".into(), 1.0)]);
-        assert_eq!(p.predict(&m2.history("s").unwrap(), &[("size".to_string(), 1.0), ("batch".to_string(), 1.0)]), None);
+        m2.record_raw(
+            "s",
+            1.0,
+            true,
+            0,
+            vec![("size".into(), 1.0), ("batch".into(), 1.0)],
+        );
+        assert_eq!(
+            p.predict(
+                &m2.history("s").unwrap(),
+                &[("size".to_string(), 1.0), ("batch".to_string(), 1.0)]
+            ),
+            None
+        );
     }
 
     #[test]

@@ -82,10 +82,9 @@ pub fn rank_class(
                 Some(mean) => ColdStart::ClassMean(mean),
                 None => ColdStart::UserDefault(options.default_latency_ms),
             };
-            let mut response_ms =
-                options
-                    .predictor
-                    .predict_or(&history, &options.params, fallback);
+            let mut response_ms = options
+                .predictor
+                .predict_or(&history, &options.params, fallback);
             if options.availability_penalty {
                 // Expected attempts until success is 1/availability for
                 // independent failures; floor avoids infinite penalties
@@ -198,8 +197,8 @@ mod tests {
         let (_env, reg, monitor) = setup();
         // Users rate fast-cheap terribly.
         for _ in 0..5 {
-            monitor.rate_quality("fast-cheap", 0.05);
-            monitor.rate_quality("slow-good", 0.95);
+            monitor.rate_quality("fast-cheap", 0.05).unwrap();
+            monitor.rate_quality("slow-good", 0.95).unwrap();
         }
         let options = RankOptions {
             formula: ScoringFormula::normalized(0.1, 0.1, 5.0),
@@ -246,8 +245,20 @@ mod tests {
         reg.register(SimService::builder("s2", "storage").build(&env));
         // s1: 1ms + 0.01*size; s2: 20ms + 0.001*size (training data).
         for size in (1..=20).map(|i| i as f64 * 500.0) {
-            monitor.record_raw("s1", 1.0 + 0.010 * size, true, 0, vec![("size".into(), size)]);
-            monitor.record_raw("s2", 20.0 + 0.001 * size, true, 0, vec![("size".into(), size)]);
+            monitor.record_raw(
+                "s1",
+                1.0 + 0.010 * size,
+                true,
+                0,
+                vec![("size".into(), size)],
+            );
+            monitor.record_raw(
+                "s2",
+                20.0 + 0.001 * size,
+                true,
+                0,
+                vec![("size".into(), size)],
+            );
         }
         let rank_at = |size: f64| {
             let options = RankOptions {
@@ -297,7 +308,10 @@ mod tests {
         assert_eq!(penalized[0].service.name(), "steady");
         // Effective latency of the flaky one: 5ms / 0.1 = 50ms — reported
         // through the inputs for transparency.
-        let flaky = penalized.iter().find(|r| r.service.name() == "fast-flaky").unwrap();
+        let flaky = penalized
+            .iter()
+            .find(|r| r.service.name() == "fast-flaky")
+            .unwrap();
         assert!((flaky.inputs.response_ms - 50.0).abs() < 0.5);
     }
 

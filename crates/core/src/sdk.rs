@@ -3,15 +3,16 @@
 use crate::cache::ResponseCache;
 use crate::future::ListenableFuture;
 use crate::invoke::{
-    invoke_failover, invoke_with_retry, FailoverSuccess, InvocationPolicy, RedundantLeg,
-    RedundantMode,
+    invoke_failover_traced, invoke_with_backoff_traced, outcome_kind, FailoverSuccess,
+    InvocationPolicy, RedundantLeg, RedundantMode,
 };
-use crate::monitor::ServiceMonitor;
+use crate::monitor::{duration_ms, ServiceMonitor};
 use crate::nlu::NluSupport;
 use crate::pool::ThreadPool;
 use crate::rank::{rank_class, RankOptions, RankedService};
 use crate::registry::ServiceRegistry;
 use crate::SdkError;
+use cogsdk_obs::{EventKind, SpanCtx, Telemetry};
 use cogsdk_sim::service::{Request, Response, ServiceError, SimService};
 use cogsdk_sim::SimEnv;
 use parking_lot::RwLock;
@@ -52,6 +53,7 @@ pub struct RichSdk {
     pool: Arc<ThreadPool>,
     policy: RwLock<InvocationPolicy>,
     nlu: NluSupport,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for RichSdk {
@@ -71,9 +73,28 @@ const DEFAULT_POOL_SIZE: usize = 8;
 
 impl RichSdk {
     /// Creates an SDK bound to a simulation environment with default
-    /// cache, pool and policy.
+    /// cache, pool and policy. Telemetry is disabled (the no-op tracer
+    /// costs one branch per probe).
     pub fn new(env: &SimEnv) -> RichSdk {
-        RichSdk::with_config(env, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_TTL, DEFAULT_POOL_SIZE)
+        RichSdk::with_config(
+            env,
+            DEFAULT_CACHE_CAPACITY,
+            DEFAULT_CACHE_TTL,
+            DEFAULT_POOL_SIZE,
+        )
+    }
+
+    /// As [`RichSdk::new`], with every layer (invocations, cache, pool,
+    /// monitor ratings) emitting trace events and metrics into
+    /// `telemetry`.
+    pub fn with_telemetry(env: &SimEnv, telemetry: Telemetry) -> RichSdk {
+        RichSdk::with_telemetry_config(
+            env,
+            DEFAULT_CACHE_CAPACITY,
+            DEFAULT_CACHE_TTL,
+            DEFAULT_POOL_SIZE,
+            telemetry,
+        )
     }
 
     /// Creates an SDK with explicit cache capacity/TTL and pool size.
@@ -87,19 +108,44 @@ impl RichSdk {
         cache_ttl: Duration,
         pool_size: usize,
     ) -> RichSdk {
+        RichSdk::with_telemetry_config(
+            env,
+            cache_capacity,
+            cache_ttl,
+            pool_size,
+            Telemetry::disabled(),
+        )
+    }
+
+    /// Full-control constructor: explicit cache/pool configuration plus a
+    /// telemetry sink threaded through the cache, pool and every
+    /// invocation path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_ttl` is zero or `pool_size` is zero.
+    pub fn with_telemetry_config(
+        env: &SimEnv,
+        cache_capacity: usize,
+        cache_ttl: Duration,
+        pool_size: usize,
+        telemetry: Telemetry,
+    ) -> RichSdk {
         let monitor = Arc::new(ServiceMonitor::new());
-        let pool = Arc::new(ThreadPool::new(pool_size));
+        let pool = Arc::new(ThreadPool::with_telemetry(pool_size, telemetry.clone()));
         RichSdk {
             registry: Arc::new(ServiceRegistry::new()),
-            cache: Arc::new(ResponseCache::new(
+            cache: Arc::new(ResponseCache::with_telemetry(
                 env.clock().clone(),
                 cache_capacity,
                 cache_ttl,
+                telemetry.clone(),
             )),
             nlu: NluSupport::new(monitor.clone(), pool.clone()),
             monitor,
             pool,
             policy: RwLock::new(InvocationPolicy::default()),
+            telemetry,
         }
     }
 
@@ -138,13 +184,19 @@ impl RichSdk {
         &self.nlu
     }
 
+    /// The telemetry sink this SDK emits into (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Records a user quality rating for a service.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `rating` is outside `[0, 1]`.
-    pub fn rate_quality(&self, service: &str, rating: f64) {
-        self.monitor.rate_quality(service, rating);
+    /// [`SdkError::InvalidRating`] if `rating` is outside `[0, 1]`; the
+    /// rating is not recorded.
+    pub fn rate_quality(&self, service: &str, rating: f64) -> Result<(), SdkError> {
+        self.monitor.rate_quality(service, rating)
     }
 
     fn service(&self, name: &str) -> Result<Arc<SimService>, SdkError> {
@@ -162,8 +214,43 @@ impl RichSdk {
     /// [`SdkError::AllFailed`] when retries are exhausted.
     pub fn invoke(&self, name: &str, request: &Request) -> Result<Response, SdkError> {
         let service = self.service(name)?;
-        let retries = self.policy.read().retries_for(name);
-        let outcome = invoke_with_retry(&service, request, retries, &self.monitor);
+        let ctx = self.telemetry.tracer().new_trace();
+        self.invoke_traced(&service, request, &ctx)
+    }
+
+    /// Shared single-service invocation: wraps the retry loop in an
+    /// `invoke_start`/`invoke_end` span pair under `ctx`.
+    fn invoke_traced(
+        &self,
+        service: &Arc<SimService>,
+        request: &Request,
+        ctx: &SpanCtx,
+    ) -> Result<Response, SdkError> {
+        let name = service.name();
+        self.telemetry
+            .tracer()
+            .emit(ctx, || EventKind::InvokeStart {
+                class: service.class().to_string(),
+                operation: request.operation.clone(),
+            });
+        let (retries, backoff) = {
+            let policy = self.policy.read();
+            (policy.retries_for(name), policy.backoff)
+        };
+        let (outcome, _) = invoke_with_backoff_traced(
+            service,
+            request,
+            retries,
+            backoff,
+            &self.monitor,
+            &self.telemetry,
+            ctx,
+        );
+        self.telemetry.tracer().emit(ctx, || EventKind::InvokeEnd {
+            service: name.to_string(),
+            outcome: outcome_kind(&outcome.result),
+            latency_ms: duration_ms(outcome.latency),
+        });
         match outcome.result {
             Ok(r) => Ok(r),
             Err(ServiceError::BadRequest(m)) => Err(SdkError::Rejected(m)),
@@ -186,11 +273,13 @@ impl RichSdk {
         name: &str,
         request: &Request,
     ) -> Result<(Response, bool), SdkError> {
+        let ctx = self.telemetry.tracer().new_trace();
         let key = format!("{name}::{}", request.cache_key());
-        if let Some(hit) = self.cache.get(&key) {
+        if let Some(hit) = self.cache.get_traced(&key, &ctx) {
             return Ok((Response::new(hit), true));
         }
-        let response = self.invoke(name, request)?;
+        let service = self.service(name)?;
+        let response = self.invoke_traced(&service, request, &ctx)?;
         self.cache.put(key, response.payload.clone());
         Ok((response, false))
     }
@@ -214,7 +303,8 @@ impl RichSdk {
     ) -> Result<Response, SdkError> {
         let response = self.invoke(name, request)?;
         for read in invalidates {
-            self.cache.invalidate(&format!("{name}::{}", read.cache_key()));
+            self.cache
+                .invalidate(&format!("{name}::{}", read.cache_key()));
         }
         Ok(response)
     }
@@ -228,13 +318,29 @@ impl RichSdk {
     ) -> ListenableFuture<Result<Response, SdkError>> {
         let registry = self.registry.clone();
         let monitor = self.monitor.clone();
-        let retries = self.policy.read().retries_for(name);
+        let telemetry = self.telemetry.clone();
+        let (retries, backoff) = {
+            let policy = self.policy.read();
+            (policy.retries_for(name), policy.backoff)
+        };
         let name = name.to_string();
         self.pool.submit(move || {
             let Some(service) = registry.get(&name) else {
                 return Err(SdkError::UnknownService(name));
             };
-            let outcome = invoke_with_retry(&service, &request, retries, &monitor);
+            let ctx = telemetry.tracer().new_trace();
+            telemetry.tracer().emit(&ctx, || EventKind::InvokeStart {
+                class: service.class().to_string(),
+                operation: request.operation.clone(),
+            });
+            let (outcome, _) = invoke_with_backoff_traced(
+                &service, &request, retries, backoff, &monitor, &telemetry, &ctx,
+            );
+            telemetry.tracer().emit(&ctx, || EventKind::InvokeEnd {
+                service: name.clone(),
+                outcome: outcome_kind(&outcome.result),
+                latency_ms: duration_ms(outcome.latency),
+            });
             match outcome.result {
                 Ok(r) => Ok(r),
                 Err(ServiceError::BadRequest(m)) => Err(SdkError::Rejected(m)),
@@ -265,10 +371,66 @@ impl RichSdk {
         if ranked.is_empty() {
             return Err(SdkError::EmptyClass(class.to_string()));
         }
-        let candidates: Vec<Arc<SimService>> =
-            ranked.into_iter().map(|r| r.service).collect();
+        let ctx = self.telemetry.tracer().new_trace();
+        self.telemetry
+            .tracer()
+            .emit(&ctx, || EventKind::InvokeStart {
+                class: class.to_string(),
+                operation: request.operation.clone(),
+            });
+        // Latency predictions the ranking was based on, so the winner's
+        // observed latency can be compared against what was promised.
+        let predictions: Vec<(String, f64)> = ranked
+            .iter()
+            .map(|r| (r.service.name().to_string(), r.inputs.response_ms))
+            .collect();
+        let candidates: Vec<Arc<SimService>> = ranked.into_iter().map(|r| r.service).collect();
         let policy = self.policy.read().clone();
-        invoke_failover(&candidates, request, &policy, &self.monitor)
+        let result = invoke_failover_traced(
+            &candidates,
+            request,
+            &policy,
+            &self.monitor,
+            &self.telemetry,
+            &ctx,
+        );
+        if self.telemetry.is_enabled() {
+            match &result {
+                Ok(ok) => {
+                    if let Some((_, predicted)) =
+                        predictions.iter().find(|(name, _)| *name == ok.service)
+                    {
+                        let predicted = *predicted;
+                        self.telemetry
+                            .tracer()
+                            .emit(&ctx, || EventKind::PredictionIssued {
+                                service: ok.service.clone(),
+                                predicted_ms: predicted,
+                                observed_ms: ok.latency_ms,
+                            });
+                        self.telemetry.metrics().observe(
+                            "sdk_prediction_error_ms",
+                            &[("service", &ok.service)],
+                            (ok.latency_ms - predicted).abs(),
+                        );
+                    }
+                    self.telemetry.tracer().emit(&ctx, || EventKind::InvokeEnd {
+                        service: ok.service.clone(),
+                        outcome: "ok",
+                        latency_ms: ok.latency_ms,
+                    });
+                }
+                Err(e) => {
+                    let kind = e.kind();
+                    self.telemetry.tracer().emit(&ctx, || EventKind::InvokeEnd {
+                        service: class.to_string(),
+                        outcome: kind,
+                        latency_ms: 0.0,
+                    });
+                }
+            }
+        }
+        result
     }
 
     /// Invokes the top `k` ranked services of a class *in parallel* on
@@ -300,22 +462,60 @@ impl RichSdk {
         let monitor = self.monitor.clone();
         let policy = self.policy.read().clone();
         let request = request.clone();
+        let telemetry = self.telemetry.clone();
+        let ctx = telemetry.tracer().new_trace();
+        telemetry.tracer().emit(&ctx, || EventKind::InvokeStart {
+            class: class.to_string(),
+            operation: request.operation.clone(),
+        });
         let legs: Vec<RedundantLeg> = self.pool.map_all(candidates, move |service| {
+            let leg_ctx = telemetry.tracer().child(&ctx);
             let retries = policy.retries_for(service.name());
-            let outcome = invoke_with_retry(&service, &request, retries, &monitor);
+            let (outcome, _) = invoke_with_backoff_traced(
+                &service,
+                &request,
+                retries,
+                policy.backoff,
+                &monitor,
+                &telemetry,
+                &leg_ctx,
+            );
             RedundantLeg {
                 service: service.name().to_string(),
                 result: outcome.result,
             }
         });
+        if self.telemetry.is_enabled() {
+            let winner = legs.iter().position(|l| l.result.is_ok());
+            for (i, leg) in legs.iter().enumerate() {
+                let won = winner == Some(i);
+                self.telemetry.tracer().emit(&ctx, || {
+                    if won {
+                        EventKind::RedundantLegWon {
+                            service: leg.service.clone(),
+                        }
+                    } else {
+                        EventKind::RedundantLegLost {
+                            service: leg.service.clone(),
+                            outcome: outcome_kind(&leg.result),
+                        }
+                    }
+                });
+                self.telemetry.metrics().inc_counter(
+                    "sdk_redundant_legs_total",
+                    &[
+                        ("service", &leg.service),
+                        ("result", if won { "won" } else { "lost" }),
+                    ],
+                );
+            }
+        }
         let successes = legs.iter().filter(|l| l.result.is_ok()).count();
         match mode {
             RedundantMode::All => Ok(legs),
             RedundantMode::FirstSuccess if successes > 0 => Ok(legs),
             RedundantMode::Quorum(need) if successes >= need => Ok(legs),
-            RedundantMode::FirstSuccess => {
-                Err(SdkError::AllFailed("no service responded".into()))
-            }
+            RedundantMode::FirstSuccess => Err(SdkError::AllFailed("no service responded".into())),
             RedundantMode::Quorum(need) => Err(SdkError::AllFailed(format!(
                 "quorum not met: {successes}/{need}"
             ))),
@@ -439,7 +639,9 @@ mod tests {
                 .quality(0.1)
                 .build(&env),
         );
-        let ok = sdk.invoke_class("s", &req(), &RankOptions::default()).unwrap();
+        let ok = sdk
+            .invoke_class("s", &req(), &RankOptions::default())
+            .unwrap();
         assert_eq!(ok.service, "backup");
         assert_eq!(ok.services_tried, 2);
     }
@@ -448,7 +650,13 @@ mod tests {
     fn redundant_parallel_all_returns_k_legs() {
         let (_env, sdk) = setup();
         let legs = sdk
-            .invoke_redundant_parallel("storage", &req(), &RankOptions::default(), 2, RedundantMode::All)
+            .invoke_redundant_parallel(
+                "storage",
+                &req(),
+                &RankOptions::default(),
+                2,
+                RedundantMode::All,
+            )
             .unwrap();
         assert_eq!(legs.len(), 2);
         assert!(legs.iter().all(|l| l.result.is_ok()));
@@ -466,7 +674,13 @@ mod tests {
             );
         }
         let err = sdk
-            .invoke_redundant_parallel("s", &req(), &RankOptions::default(), 2, RedundantMode::Quorum(1))
+            .invoke_redundant_parallel(
+                "s",
+                &req(),
+                &RankOptions::default(),
+                2,
+                RedundantMode::Quorum(1),
+            )
             .unwrap_err();
         assert!(matches!(err, SdkError::AllFailed(_)));
     }
@@ -510,7 +724,69 @@ mod tests {
             get("nlu-gamma")
         );
         // And they land in the monitor for ranking to use.
-        assert!(sdk.monitor().history("nlu-alpha").unwrap().mean_quality().is_some());
+        assert!(sdk
+            .monitor()
+            .history("nlu-alpha")
+            .unwrap()
+            .mean_quality()
+            .is_some());
+    }
+
+    #[test]
+    fn telemetry_reconstructs_failover_trace() {
+        use cogsdk_obs::Telemetry;
+        let env = SimEnv::with_seed(35);
+        let t = Telemetry::new();
+        let sdk = RichSdk::with_telemetry(&env, t.clone());
+        sdk.register(
+            SimService::builder("primary-down", "s")
+                .latency(LatencyModel::constant_ms(1.0))
+                .failures(FailurePlan::flaky(1.0))
+                .quality(0.99)
+                .build(&env),
+        );
+        sdk.register(
+            SimService::builder("backup", "s")
+                .latency(LatencyModel::constant_ms(30.0))
+                .quality(0.1)
+                .build(&env),
+        );
+        let ok = sdk
+            .invoke_class("s", &req(), &RankOptions::default())
+            .unwrap();
+        assert_eq!(ok.service, "backup");
+        let trace = t.tracer().events().last().unwrap().trace;
+        let events = t.tracer().events_for(trace);
+        let names: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(names.first(), Some(&"invoke_start"));
+        assert_eq!(names.last(), Some(&"invoke_end"));
+        assert_eq!(names.iter().filter(|n| **n == "failover_leg").count(), 2);
+        // Default policy: 2 retries on the dead primary + 1 backup hit.
+        assert_eq!(names.iter().filter(|n| **n == "attempt").count(), 4);
+        assert!(names.contains(&"prediction_issued"));
+        // Attempts nest under failover-leg child spans of the root.
+        let root = events.first().unwrap().span;
+        assert!(events
+            .iter()
+            .filter(|e| e.kind.name() == "failover_leg")
+            .all(|e| e.parent == Some(root)));
+        // Metrics agree with the trace.
+        assert_eq!(t.metrics().counter_sum("sdk_attempts_total"), 4);
+        assert_eq!(
+            t.metrics()
+                .counter_value(
+                    "sdk_errors_total",
+                    &[("kind", "unavailable"), ("service", "primary-down")]
+                )
+                .unwrap_or(0)
+                + t.metrics()
+                    .counter_value(
+                        "sdk_errors_total",
+                        &[("kind", "timeout"), ("service", "primary-down")]
+                    )
+                    .unwrap_or(0),
+            3
+        );
     }
 
     #[test]
@@ -522,7 +798,14 @@ mod tests {
         let h = sdk.monitor().history("fast").unwrap();
         assert_eq!(h.observations().len(), 5);
         assert_eq!(h.availability(), Some(1.0));
-        sdk.rate_quality("fast", 0.9);
-        assert_eq!(sdk.monitor().history("fast").unwrap().mean_quality(), Some(0.9));
+        sdk.rate_quality("fast", 0.9).unwrap();
+        assert!(matches!(
+            sdk.rate_quality("fast", 1.5),
+            Err(SdkError::InvalidRating(_))
+        ));
+        assert_eq!(
+            sdk.monitor().history("fast").unwrap().mean_quality(),
+            Some(0.9)
+        );
     }
 }

@@ -38,9 +38,9 @@ impl PriceSeries {
     /// caller (and every test) sees the same market.
     pub fn generate(ticker: &str, days: usize) -> PriceSeries {
         let ticker = ticker.to_uppercase();
-        let seed = ticker
-            .bytes()
-            .fold(0x0BAD_5EED_u64, |acc, b| acc.wrapping_mul(131).wrapping_add(u64::from(b)));
+        let seed = ticker.bytes().fold(0x0BAD_5EED_u64, |acc, b| {
+            acc.wrapping_mul(131).wrapping_add(u64::from(b))
+        });
         let mut rng = Rng::new(seed);
         let start = 20.0 + rng.next_f64() * 180.0;
         // Annualized drift in [-10%, +20%], daily volatility ~1.5%.
@@ -176,9 +176,8 @@ mod tests {
         let series = PriceSeries::generate("IBM", 1_000);
         let returns = series.returns();
         let mean = returns.iter().sum::<f64>() / returns.len() as f64;
-        let sd = (returns.iter().map(|r| (r - mean).powi(2)).sum::<f64>()
-            / returns.len() as f64)
-            .sqrt();
+        let sd =
+            (returns.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / returns.len() as f64).sqrt();
         assert!((0.005..0.04).contains(&sd), "daily sd={sd}");
         assert!(mean.abs() < 0.01, "daily mean={mean}");
     }
@@ -241,7 +240,10 @@ mod tests {
         let svc = finance_service(&env, "stocks");
         let mut total = MicroDollars::ZERO;
         for _ in 0..150 {
-            let out = svc.invoke(&Request::new("fin", json!({"op": "quote", "ticker": "IBM"})));
+            let out = svc.invoke(&Request::new(
+                "fin",
+                json!({"op": "quote", "ticker": "IBM"}),
+            ));
             total = total.saturating_add(out.cost);
         }
         // ~50 charged calls at 200 micro-dollars (minus any failed calls).

@@ -59,10 +59,7 @@ impl ImageCorpus {
     /// Searches by label overlap with the whitespace-split query words;
     /// images matching zero words are excluded.
     pub fn search(&self, query: &str, limit: usize) -> Vec<&ImageDescriptor> {
-        let words: Vec<String> = query
-            .split_whitespace()
-            .map(str::to_lowercase)
-            .collect();
+        let words: Vec<String> = query.split_whitespace().map(str::to_lowercase).collect();
         if words.is_empty() {
             return Vec::new();
         }
@@ -160,7 +157,10 @@ mod tests {
         let corpus = ImageCorpus::generate(3, 100);
         assert!(corpus.search("", 10).is_empty());
         assert!(corpus.search("zebra-unicorn-nonsense", 10).is_empty());
-        assert_eq!(corpus.search("dog", 2).len().min(2), corpus.search("dog", 2).len());
+        assert_eq!(
+            corpus.search("dog", 2).len().min(2),
+            corpus.search("dog", 2).len()
+        );
         assert!(!corpus.is_empty());
         assert_eq!(corpus.len(), 100);
     }

@@ -256,7 +256,11 @@ mod tests {
             body.get("yago").and_then(Json::as_str),
             Some("http://yago-knowledge.org/resource/United_States")
         );
-        assert!(body.get("website").and_then(Json::as_str).unwrap().contains("gov"));
+        assert!(body
+            .get("website")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("gov"));
     }
 
     #[test]

@@ -25,11 +25,10 @@ use std::sync::Arc;
 
 /// The label vocabulary vendors draw confusions from.
 pub const LABELS: &[&str] = &[
-    "person", "crowd", "building", "skyline", "car", "truck", "bicycle",
-    "road", "tree", "forest", "flower", "dog", "cat", "bird", "horse",
-    "food", "drink", "table", "chair", "screen", "phone", "laptop",
-    "chart", "document", "logo", "mountain", "beach", "ocean", "river",
-    "sky", "night", "indoor", "outdoor", "sport", "stadium",
+    "person", "crowd", "building", "skyline", "car", "truck", "bicycle", "road", "tree", "forest",
+    "flower", "dog", "cat", "bird", "horse", "food", "drink", "table", "chair", "screen", "phone",
+    "laptop", "chart", "document", "logo", "mountain", "beach", "ocean", "river", "sky", "night",
+    "indoor", "outdoor", "sport", "stadium",
 ];
 
 /// A synthetic image: an id plus its ground-truth labels.
@@ -125,8 +124,8 @@ pub fn vision_service(
             }
             let hroll = unit_hash(&vendor, &format!("{id}:hallucinate"));
             if hroll < hallucination {
-                let idx = (unit_hash(&vendor, &format!("{id}:which")) * LABELS.len() as f64)
-                    as usize;
+                let idx =
+                    (unit_hash(&vendor, &format!("{id}:which")) * LABELS.len() as f64) as usize;
                 let wrong = LABELS[idx.min(LABELS.len() - 1)];
                 if !truth.iter().filter_map(Json::as_str).any(|l| l == wrong) {
                     out.push(json!({"label": (wrong), "confidence": 0.51}));
@@ -154,7 +153,10 @@ mod tests {
 
     fn classify(svc: &SimService, image: &ImageDescriptor) -> Vec<(String, f64)> {
         loop {
-            let out = svc.invoke(&Request::new("classify", json!({"image": (image.to_json())})));
+            let out = svc.invoke(&Request::new(
+                "classify",
+                json!({"image": (image.to_json())}),
+            ));
             match out.result {
                 Ok(resp) => {
                     return resp

@@ -193,7 +193,10 @@ impl<'a> Parser<'a> {
             if self.pos > start {
                 // Safety of from_utf8: the input is a &str, and we only
                 // stopped on ASCII boundaries, so the run is valid UTF-8.
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("input was valid UTF-8"));
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("input was valid UTF-8"),
+                );
             }
             match self.bump() {
                 Some(b'"') => return Ok(out),
@@ -217,8 +220,7 @@ impl<'a> Parser<'a> {
                             if !(0xDC00..=0xDFFF).contains(&low) {
                                 return Err(self.err("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                             char::from_u32(combined)
                                 .ok_or_else(|| self.err("invalid surrogate pair"))?
                         } else if (0xDC00..=0xDFFF).contains(&cp) {
@@ -239,7 +241,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ParseJsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
@@ -293,9 +297,7 @@ impl<'a> Parser<'a> {
             }
             // Integer overflow: fall back to float like other parsers do.
         }
-        let f: f64 = text
-            .parse()
-            .map_err(|_| self.err("number out of range"))?;
+        let f: f64 = text.parse().map_err(|_| self.err("number out of range"))?;
         if !f.is_finite() {
             return Err(self.err("number out of range"));
         }
@@ -350,9 +352,27 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         for bad in [
-            "", "  ", "{", "[", "{\"a\":}", "[1,]", "{\"a\":1,}", "01", "1.",
-            "1e", "+1", "nul", "tru", "\"unterminated", "\"ctrl\u{01}\"",
-            "{\"a\" 1}", "[1 2]", "1 2", "NaN", "Infinity", "'single'",
+            "",
+            "  ",
+            "{",
+            "[",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\":1,}",
+            "01",
+            "1.",
+            "1e",
+            "+1",
+            "nul",
+            "tru",
+            "\"unterminated",
+            "\"ctrl\u{01}\"",
+            "{\"a\" 1}",
+            "[1 2]",
+            "1 2",
+            "NaN",
+            "Infinity",
+            "'single'",
         ] {
             assert!(parse(bad).is_err(), "should reject: {bad:?}");
         }
@@ -390,13 +410,23 @@ mod tests {
         let v = parse(r#"{"k": 1, "k": 2, "j": 3}"#).unwrap();
         let entries = v.as_object().unwrap();
         assert_eq!(entries.len(), 3, "duplicates preserved structurally");
-        assert_eq!(v.get("k").and_then(Json::as_i64), Some(2), "last wins on access");
+        assert_eq!(
+            v.get("k").and_then(Json::as_i64),
+            Some(2),
+            "last wins on access"
+        );
     }
 
     #[test]
     fn minimal_and_maximal_integers() {
-        assert_eq!(parse("9223372036854775807").unwrap().as_i64(), Some(i64::MAX));
-        assert_eq!(parse("-9223372036854775808").unwrap().as_i64(), Some(i64::MIN));
+        assert_eq!(
+            parse("9223372036854775807").unwrap().as_i64(),
+            Some(i64::MAX)
+        );
+        assert_eq!(
+            parse("-9223372036854775808").unwrap().as_i64(),
+            Some(i64::MIN)
+        );
     }
 
     #[test]

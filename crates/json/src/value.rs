@@ -398,7 +398,12 @@ mod tests {
         let mut v = json!({"a": 1, "b": 2});
         let old = v.insert("a", 10);
         assert_eq!(old.and_then(|j| j.as_i64()), Some(1));
-        let keys: Vec<&str> = v.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
         assert_eq!(keys, vec!["a", "b"]);
     }
 

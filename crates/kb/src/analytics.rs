@@ -53,7 +53,11 @@ impl RegressionFacts {
                 Term::iri("rdf:type"),
                 Term::iri("kb:RegressionModel"),
             ),
-            Statement::new(model.clone(), Term::iri("kb:slope"), Term::double(self.slope)),
+            Statement::new(
+                model.clone(),
+                Term::iri("kb:slope"),
+                Term::double(self.slope),
+            ),
             Statement::new(
                 model.clone(),
                 Term::iri("kb:intercept"),
@@ -64,7 +68,11 @@ impl RegressionFacts {
                 Term::iri("kb:r_squared"),
                 Term::double(self.r_squared),
             ),
-            Statement::new(model.clone(), Term::iri("kb:n"), Term::integer(self.n as i64)),
+            Statement::new(
+                model.clone(),
+                Term::iri("kb:n"),
+                Term::integer(self.n as i64),
+            ),
             Statement::new(model, Term::iri("kb:trend"), Term::string(trend)),
         ]
     }
@@ -139,14 +147,26 @@ pub fn summarize_column(
             Term::iri("rdf:type"),
             Term::iri("kb:ColumnSummary"),
         ),
-        Statement::new(subject.clone(), Term::iri("kb:mean"), Term::double(summary.mean())),
+        Statement::new(
+            subject.clone(),
+            Term::iri("kb:mean"),
+            Term::double(summary.mean()),
+        ),
         Statement::new(
             subject.clone(),
             Term::iri("kb:median"),
             Term::double(summary.median()),
         ),
-        Statement::new(subject.clone(), Term::iri("kb:min"), Term::double(summary.min())),
-        Statement::new(subject.clone(), Term::iri("kb:max"), Term::double(summary.max())),
+        Statement::new(
+            subject.clone(),
+            Term::iri("kb:min"),
+            Term::double(summary.min()),
+        ),
+        Statement::new(
+            subject.clone(),
+            Term::iri("kb:max"),
+            Term::double(summary.max()),
+        ),
         Statement::new(
             subject,
             Term::iri("kb:std_dev"),
@@ -228,10 +248,9 @@ mod tests {
         let facts = regress_table(&t, "year", "revenue", "m").unwrap();
         let stmts = facts.to_statements();
         assert_eq!(stmts.len(), 6);
-        assert!(stmts
-            .iter()
-            .any(|s| s.predicate == Term::iri("kb:trend")
-                && s.object == Term::string("increasing")));
+        assert!(stmts.iter().any(
+            |s| s.predicate == Term::iri("kb:trend") && s.object == Term::string("increasing")
+        ));
     }
 
     #[test]
@@ -248,7 +267,9 @@ mod tests {
         let inferred = reasoner.infer(&graph);
         assert_eq!(inferred.len(), 1);
         graph.extend_from(&inferred);
-        assert!(graph.iter().any(|s| s.predicate == Term::iri("kb:classification")));
+        assert!(graph
+            .iter()
+            .any(|s| s.predicate == Term::iri("kb:classification")));
     }
 
     #[test]
@@ -267,13 +288,8 @@ mod tests {
     #[test]
     fn column_pairs_with_predicate() {
         let t = growth_table();
-        let pairs = column_pairs(
-            &t,
-            &Predicate::Gt("year".into(), 6.5),
-            "year",
-            "revenue",
-        )
-        .unwrap();
+        let pairs =
+            column_pairs(&t, &Predicate::Gt("year".into(), 6.5), "year", "revenue").unwrap();
         assert_eq!(pairs, vec![(7.0, 170.0), (8.0, 180.0), (9.0, 190.0)]);
     }
 }

@@ -183,9 +183,7 @@ fn parse_term_token(input: &str) -> Result<(Term, &str), String> {
         return Ok((Term::iri(&rest[..end]), &rest[end + 1..]));
     }
     if let Some(rest) = input.strip_prefix("_:") {
-        let end = rest
-            .find(char::is_whitespace)
-            .unwrap_or(rest.len());
+        let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
         return Ok((Term::blank(&rest[..end]), &rest[end..]));
     }
     if let Some(rest) = input.strip_prefix('"') {
@@ -255,8 +253,7 @@ mod tests {
         let us_gdp = stmts
             .iter()
             .find(|s| {
-                s.subject == Term::iri("ex:united_states")
-                    && s.predicate == Term::iri("ex:gdp")
+                s.subject == Term::iri("ex:united_states") && s.predicate == Term::iri("ex:gdp")
             })
             .unwrap();
         assert_eq!(us_gdp.object, Term::double(21000.5));
@@ -288,17 +285,41 @@ mod tests {
     #[test]
     fn graph_text_round_trip() {
         let mut g = Graph::new();
-        g.insert(Statement::new(Term::iri("ex:a"), Term::iri("ex:p"), Term::iri("ex:b")));
-        g.insert(Statement::new(Term::iri("ex:a"), Term::iri("ex:n"), Term::integer(-5)));
-        g.insert(Statement::new(Term::iri("ex:a"), Term::iri("ex:d"), Term::double(2.5)));
-        g.insert(Statement::new(Term::iri("ex:a"), Term::iri("ex:f"), Term::double(3.0)));
-        g.insert(Statement::new(Term::iri("ex:a"), Term::iri("ex:b"), Term::boolean(true)));
+        g.insert(Statement::new(
+            Term::iri("ex:a"),
+            Term::iri("ex:p"),
+            Term::iri("ex:b"),
+        ));
+        g.insert(Statement::new(
+            Term::iri("ex:a"),
+            Term::iri("ex:n"),
+            Term::integer(-5),
+        ));
+        g.insert(Statement::new(
+            Term::iri("ex:a"),
+            Term::iri("ex:d"),
+            Term::double(2.5),
+        ));
+        g.insert(Statement::new(
+            Term::iri("ex:a"),
+            Term::iri("ex:f"),
+            Term::double(3.0),
+        ));
+        g.insert(Statement::new(
+            Term::iri("ex:a"),
+            Term::iri("ex:b"),
+            Term::boolean(true),
+        ));
         g.insert(Statement::new(
             Term::iri("ex:a"),
             Term::iri("ex:s"),
             Term::string("with \"quotes\" and \\slash\\"),
         ));
-        g.insert(Statement::new(Term::blank("n0"), Term::iri("ex:p"), Term::string("x")));
+        g.insert(Statement::new(
+            Term::blank("n0"),
+            Term::iri("ex:p"),
+            Term::string("x"),
+        ));
         let text = graph_to_text(&g);
         let back = text_to_graph(&text).unwrap();
         assert_eq!(back, g);
@@ -313,11 +334,11 @@ mod tests {
     #[test]
     fn text_parser_rejects_malformed_lines() {
         for bad in [
-            "<a> <p>",              // no dot, two terms
-            "<a> <p> .",            // two terms
-            "<a> <p> <b> <c> .",    // four terms
-            "\"lit\" <p> <b> .",    // literal subject
-            "<a> \"p\" <b> .",      // literal predicate
+            "<a> <p>",           // no dot, two terms
+            "<a> <p> .",         // two terms
+            "<a> <p> <b> <c> .", // four terms
+            "\"lit\" <p> <b> .", // literal subject
+            "<a> \"p\" <b> .",   // literal predicate
             "<a> <p> \"unterminated .",
             "<a> <p> what .",
         ] {
@@ -330,7 +351,11 @@ mod tests {
     #[test]
     fn float_round_trip_preserves_type() {
         let mut g = Graph::new();
-        g.insert(Statement::new(Term::iri("s"), Term::iri("p"), Term::double(4.0)));
+        g.insert(Statement::new(
+            Term::iri("s"),
+            Term::iri("p"),
+            Term::double(4.0),
+        ));
         let back = text_to_graph(&graph_to_text(&g)).unwrap();
         let st = back.iter().next().unwrap();
         assert_eq!(st.object, Term::double(4.0));

@@ -104,10 +104,7 @@ pub fn describe_remote(
     monitor: &ServiceMonitor,
     entity_id: &str,
 ) -> Result<RemoteFacts, KbError> {
-    let request = Request::new(
-        "describe",
-        json!({"op": "describe", "entity": (entity_id)}),
-    );
+    let request = Request::new("describe", json!({"op": "describe", "entity": (entity_id)}));
     let outcome = invoke_with_retry(service, &request, 2, monitor);
     let payload = match outcome.result {
         Ok(resp) => resp.payload,
@@ -172,36 +169,37 @@ mod tests {
         pub fn mini_knowledge_service(env: &SimEnv) -> Arc<SimService> {
             SimService::builder("mini-kb", "knowledge")
                 .latency(LatencyModel::constant_ms(5.0))
-                .handler(|req| {
-                    match req.payload.get("op").and_then(Json::as_str) {
-                        Some("sparql") => Ok(json!({
-                            "bindings": [
-                                {"c": {"type": "iri", "value": "db:germany"},
-                                 "p": {"type": "literal", "value": 82}},
-                                {"c": {"type": "iri", "value": "db:france"},
-                                 "p": {"type": "literal", "value": 67}},
-                            ],
-                        })),
-                        Some("describe") => {
-                            let entity =
-                                req.payload.get("entity").and_then(Json::as_str).unwrap_or("");
-                            if entity != "germany" {
-                                return Err(format!("404 no facts about: {entity}"));
-                            }
-                            Ok(json!({
-                                "entity": "germany",
-                                "facts": [
-                                    {"predicate": "<db:capital>",
-                                     "object": {"type": "iri", "value": "db:berlin"}},
-                                    {"predicate": "<db:population_millions>",
-                                     "object": {"type": "literal", "value": 82}},
-                                    {"predicate": "<db:label>",
-                                     "object": {"type": "literal", "value": "Germany"}},
-                                ],
-                            }))
+                .handler(|req| match req.payload.get("op").and_then(Json::as_str) {
+                    Some("sparql") => Ok(json!({
+                        "bindings": [
+                            {"c": {"type": "iri", "value": "db:germany"},
+                             "p": {"type": "literal", "value": 82}},
+                            {"c": {"type": "iri", "value": "db:france"},
+                             "p": {"type": "literal", "value": 67}},
+                        ],
+                    })),
+                    Some("describe") => {
+                        let entity = req
+                            .payload
+                            .get("entity")
+                            .and_then(Json::as_str)
+                            .unwrap_or("");
+                        if entity != "germany" {
+                            return Err(format!("404 no facts about: {entity}"));
                         }
-                        _ => Err("unknown op".into()),
+                        Ok(json!({
+                            "entity": "germany",
+                            "facts": [
+                                {"predicate": "<db:capital>",
+                                 "object": {"type": "iri", "value": "db:berlin"}},
+                                {"predicate": "<db:population_millions>",
+                                 "object": {"type": "literal", "value": 82}},
+                                {"predicate": "<db:label>",
+                                 "object": {"type": "literal", "value": "Germany"}},
+                            ],
+                        }))
                     }
+                    _ => Err("unknown op".into()),
                 })
                 .build(env)
         }

@@ -4,11 +4,14 @@ use crate::analytics::{regress_table, RegressionFacts};
 use crate::convert::{graph_to_text, sanitize, table_to_statements, text_to_graph};
 use crate::KbError;
 use bytes::Bytes;
-use cogsdk_rdf::query::Solution;
-use cogsdk_rdf::weighted::{WeightedGraph, WeightedReasoner};
+use cogsdk_obs::Telemetry;
 use cogsdk_rdf::owl::OwlLiteReasoner;
+use cogsdk_rdf::query::Solution;
 use cogsdk_rdf::reason::TriplePattern;
-use cogsdk_rdf::{GenericRuleReasoner, Graph, Query, RdfsReasoner, Statement, Term, TransitiveReasoner};
+use cogsdk_rdf::weighted::{WeightedGraph, WeightedReasoner};
+use cogsdk_rdf::{
+    GenericRuleReasoner, Graph, Query, RdfsReasoner, Statement, Term, TransitiveReasoner,
+};
 use cogsdk_store::crypto::Key;
 use cogsdk_store::csv::{csv_to_table, table_to_csv};
 use cogsdk_store::enhanced::{EnhancedClient, EnhancedOptions};
@@ -18,7 +21,7 @@ use cogsdk_store::table::{Schema, Table, TableStore};
 use cogsdk_text::analysis::{Analyzer, NluConfig};
 use cogsdk_text::disambig::{EntityCatalog, ResolvedEntity};
 use cogsdk_text::SpellChecker;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -73,6 +76,13 @@ pub struct PersonalKnowledgeBase {
     analyzer: Analyzer,
     spell: SpellChecker,
     store: LocalFirstStore,
+    /// Retained handle on the enhanced client so its cache counters can
+    /// be surfaced through telemetry.
+    enhanced: Arc<EnhancedClient>,
+    telemetry: Telemetry,
+    /// Cache counters already pushed into the metrics registry
+    /// (hits, misses) — publishing is delta-based.
+    published_cache: Mutex<(u64, u64)>,
     doc_counter: AtomicUsize,
 }
 
@@ -89,15 +99,23 @@ impl PersonalKnowledgeBase {
     /// Creates a knowledge base persisting to `remote` through an
     /// enhanced client configured by `options`.
     pub fn new(remote: Arc<dyn KeyValueStore>, options: KbOptions) -> PersonalKnowledgeBase {
+        PersonalKnowledgeBase::with_telemetry(remote, options, Telemetry::disabled())
+    }
+
+    /// As [`PersonalKnowledgeBase::new`], publishing the enhanced
+    /// client's cache hit/miss counters into `telemetry` (labeled
+    /// `cache="kb-enhanced"`) whenever the store is touched.
+    pub fn with_telemetry(
+        remote: Arc<dyn KeyValueStore>,
+        options: KbOptions,
+        telemetry: Telemetry,
+    ) -> PersonalKnowledgeBase {
         let enhanced = Arc::new(EnhancedClient::new(
             remote,
             EnhancedOptions {
                 cache_capacity: options.cache_capacity,
                 compress: options.compress,
-                encryption_key: options
-                    .encryption_passphrase
-                    .as_deref()
-                    .map(Key::derive),
+                encryption_key: options.encryption_passphrase.as_deref().map(Key::derive),
             },
         ));
         PersonalKnowledgeBase {
@@ -107,8 +125,45 @@ impl PersonalKnowledgeBase {
             catalog: RwLock::new(EntityCatalog::builtin()),
             analyzer: Analyzer::with_default_lexicons(),
             spell: SpellChecker::with_builtin_dictionary(),
-            store: LocalFirstStore::new(Arc::new(MemoryKv::new()), enhanced),
+            store: LocalFirstStore::new(Arc::new(MemoryKv::new()), enhanced.clone()),
+            enhanced,
+            telemetry,
+            published_cache: Mutex::new((0, 0)),
             doc_counter: AtomicUsize::new(0),
+        }
+    }
+
+    /// Remote-store cache effectiveness counters (hits/misses of the
+    /// enhanced client's read cache).
+    pub fn store_cache_stats(&self) -> cogsdk_store::enhanced::EnhancedStats {
+        self.enhanced.stats()
+    }
+
+    /// Pushes the enhanced client's cache counters into the metrics
+    /// registry as `cache_requests_total{cache="kb-enhanced",result=…}`.
+    /// Delta-based: safe to call as often as convenient. Invoked
+    /// automatically by the persistence entry points.
+    pub fn publish_cache_metrics(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let stats = self.enhanced.stats();
+        let mut last = self.published_cache.lock();
+        let hits = stats.cache_hits.saturating_sub(last.0);
+        let misses = stats.cache_misses.saturating_sub(last.1);
+        *last = (stats.cache_hits, stats.cache_misses);
+        drop(last);
+        let metrics = self.telemetry.metrics();
+        const KB_CACHE: (&str, &str) = ("cache", "kb-enhanced");
+        if hits > 0 {
+            metrics.add_counter("cache_requests_total", &[KB_CACHE, ("result", "hit")], hits);
+        }
+        if misses > 0 {
+            metrics.add_counter(
+                "cache_requests_total",
+                &[KB_CACHE, ("result", "miss")],
+                misses,
+            );
         }
     }
 
@@ -578,7 +633,10 @@ impl PersonalKnowledgeBase {
             .filter(|(st, &c)| c < threshold && graph.contains(st))
             .map(|(st, &c)| (st.clone(), c))
             .collect();
-        out.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.to_string().cmp(&b.0.to_string())));
+        out.sort_by(|a, b| {
+            a.1.total_cmp(&b.1)
+                .then_with(|| a.0.to_string().cmp(&b.0.to_string()))
+        });
         out
     }
 
@@ -631,7 +689,9 @@ impl PersonalKnowledgeBase {
     /// the next synchronization instead of failing).
     pub fn persist_graph(&self, key: &str) -> Result<(), KbError> {
         let text = graph_to_text(&self.graph.read());
-        Ok(self.store.put(key, Bytes::from(text.into_bytes()))?)
+        let result = self.store.put(key, Bytes::from(text.into_bytes()));
+        self.publish_cache_metrics();
+        Ok(result?)
     }
 
     /// Loads a previously persisted graph under `key`, *replacing* the
@@ -641,9 +701,11 @@ impl PersonalKnowledgeBase {
     ///
     /// Missing key or corrupt data.
     pub fn load_graph(&self, key: &str) -> Result<usize, KbError> {
-        let bytes = self.store.get(key)?;
-        let text = String::from_utf8(bytes.to_vec())
-            .map_err(|e| KbError::Corrupt(e.to_string()))?;
+        let bytes = self.store.get(key);
+        self.publish_cache_metrics();
+        let bytes = bytes?;
+        let text =
+            String::from_utf8(bytes.to_vec()).map_err(|e| KbError::Corrupt(e.to_string()))?;
         let graph = text_to_graph(&text)?;
         let n = graph.len();
         *self.graph.write() = graph;
@@ -658,7 +720,9 @@ impl PersonalKnowledgeBase {
 
     /// Pushes offline writes to the remote store after reconnecting.
     pub fn synchronize(&self) -> SyncReport {
-        self.store.synchronize()
+        let report = self.store.synchronize();
+        self.publish_cache_metrics();
+        report
     }
 
     /// Keys written locally but not yet remote.
@@ -674,6 +738,50 @@ mod tests {
 
     fn kb() -> PersonalKnowledgeBase {
         PersonalKnowledgeBase::new(Arc::new(MemoryKv::new()), KbOptions::default())
+    }
+
+    #[test]
+    fn telemetry_publishes_kb_cache_counters() {
+        let remote: Arc<dyn KeyValueStore> = Arc::new(MemoryKv::new());
+        // Writer KB seeds the shared remote store.
+        let writer = PersonalKnowledgeBase::new(remote.clone(), KbOptions::default());
+        writer.add_statement(Statement::new(
+            Term::iri("kb:a"),
+            Term::iri("kb:b"),
+            Term::iri("kb:c"),
+        ));
+        writer.persist_graph("g").unwrap();
+        // Reader KB has an empty local store, so loads fall through to
+        // the enhanced client and register in its cache counters.
+        let t = Telemetry::new();
+        let reader = PersonalKnowledgeBase::with_telemetry(
+            remote,
+            KbOptions {
+                cache_capacity: 8,
+                ..KbOptions::default()
+            },
+            t.clone(),
+        );
+        reader.load_graph("g").unwrap();
+        let stats = reader.store_cache_stats();
+        assert!(
+            stats.cache_misses >= 1,
+            "remote read must register a cache miss: {stats:?}"
+        );
+        let count = |result: &str| {
+            t.metrics()
+                .counter_value(
+                    "cache_requests_total",
+                    &[("cache", "kb-enhanced"), ("result", result)],
+                )
+                .unwrap_or(0)
+        };
+        assert_eq!(count("hit"), stats.cache_hits);
+        assert_eq!(count("miss"), stats.cache_misses);
+        // Publishing is delta-based: republish with no traffic adds nothing.
+        reader.publish_cache_metrics();
+        assert_eq!(count("hit"), stats.cache_hits);
+        assert_eq!(count("miss"), stats.cache_misses);
     }
 
     const GDP_CSV: &str = "country,gdp,year\nusa,20000.0,2015\nusa,21000.0,2016\ngermany,4100.0,2015\ngermany,4200.0,2016\n";
@@ -806,7 +914,9 @@ mod tests {
     fn spell_checking_local() {
         let kb = kb();
         let found = kb.spell_check("the markt grew");
-        assert!(found.iter().any(|(w, s)| w == "markt" && s.as_deref() == Some("market")));
+        assert!(found
+            .iter()
+            .any(|(w, s)| w == "markt" && s.as_deref() == Some("market")));
     }
 
     #[test]
@@ -885,8 +995,10 @@ mod tests {
     #[test]
     fn weighted_inference_assigns_accuracy_to_new_facts() {
         let kb = kb();
-        kb.add_fact_with_confidence("IBM", "supplies", "Microsoft", 0.9).unwrap();
-        kb.add_fact_with_confidence("Microsoft", "supplies", "Google", 0.5).unwrap();
+        kb.add_fact_with_confidence("IBM", "supplies", "Microsoft", 0.9)
+            .unwrap();
+        kb.add_fact_with_confidence("Microsoft", "supplies", "Google", 0.5)
+            .unwrap();
         let added = kb
             .infer_rules_weighted(
                 "[(?a kb:supplies ?b), (?b kb:supplies ?c) -> (?a kb:indirect_supplier_of ?c)]",
@@ -910,8 +1022,10 @@ mod tests {
     fn conflicting_sources_are_detected_and_resolved_by_trust() {
         let kb = kb();
         // Two sources disagree on Germany's capital; one is official.
-        kb.add_fact_with_confidence("Germany", "capital", "Berlin", 0.95).unwrap();
-        kb.add_fact_with_confidence("Germany", "capital", "Bonn", 0.40).unwrap();
+        kb.add_fact_with_confidence("Germany", "capital", "Berlin", 0.95)
+            .unwrap();
+        kb.add_fact_with_confidence("Germany", "capital", "Bonn", 0.40)
+            .unwrap();
         // And an unrelated consistent fact.
         kb.add_fact("Germany", "continent", "Europe").unwrap();
         let conflicts = kb.conflicts();
@@ -921,7 +1035,11 @@ mod tests {
         assert_eq!(p, &Term::iri("kb:capital"));
         assert_eq!(candidates.len(), 2);
         // "Berlin" disambiguates to the catalog city; "Bonn" does not.
-        assert_eq!(candidates[0].0, Term::iri("kb:berlin"), "most trusted first");
+        assert_eq!(
+            candidates[0].0,
+            Term::iri("kb:berlin"),
+            "most trusted first"
+        );
         assert!((candidates[0].1 - 0.95).abs() < 1e-9);
 
         // Resolving a different predicate touches nothing.
@@ -940,8 +1058,10 @@ mod tests {
     fn weak_facts_review_queue() {
         let kb = kb();
         kb.add_fact("IBM", "hq", "New York").unwrap();
-        kb.add_fact_with_confidence("IBM", "rumor a", "x1", 0.2).unwrap();
-        kb.add_fact_with_confidence("IBM", "rumor b", "x2", 0.45).unwrap();
+        kb.add_fact_with_confidence("IBM", "rumor a", "x1", 0.2)
+            .unwrap();
+        kb.add_fact_with_confidence("IBM", "rumor b", "x2", 0.45)
+            .unwrap();
         let weak = kb.weak_facts(0.5);
         assert_eq!(weak.len(), 2);
         assert!(weak[0].1 <= weak[1].1, "sorted weakest first");
@@ -982,9 +1102,7 @@ mod tests {
             .unwrap()
             .is_empty());
         // ...yet the goal proves on demand.
-        let proofs = kb
-            .prove(rules, "(kb:ibm kb:reaches ?who)", 6)
-            .unwrap();
+        let proofs = kb.prove(rules, "(kb:ibm kb:reaches ?who)", 6).unwrap();
         let whos: Vec<&Term> = proofs.iter().filter_map(|b| b.get("who")).collect();
         assert!(whos.contains(&&Term::iri("kb:microsoft")), "{whos:?}");
         assert!(whos.contains(&&Term::iri("kb:google")), "{whos:?}");

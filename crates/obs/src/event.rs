@@ -1,0 +1,264 @@
+//! Typed trace events.
+//!
+//! Every interesting moment in an invocation — an attempt, a backoff
+//! sleep, a failover leg, a cache probe, a pool handoff — is recorded as
+//! one [`Event`]: a sequence number, span coordinates, a timestamp, and a
+//! typed [`EventKind`]. Events are data, not log lines; exporters and the
+//! trace-tree renderer decide how to show them.
+
+use std::fmt;
+
+/// Identifies one trace (one logical SDK operation end to end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifies one span (one unit of work inside a trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The coordinates an emitting call site needs: which trace, which span,
+/// and the span's parent (if any). Cheap to copy; threaded by value
+/// through the invocation layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanCtx {
+    /// The trace this work belongs to.
+    pub trace: TraceId,
+    /// This unit of work.
+    pub span: SpanId,
+    /// The enclosing span, if this is nested work.
+    pub parent: Option<SpanId>,
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// An SDK entry point began (class may be a single service's name for
+    /// direct invocations).
+    InvokeStart {
+        /// Service class (or service name) being invoked.
+        class: String,
+        /// The request operation.
+        operation: String,
+    },
+    /// The SDK entry point finished.
+    InvokeEnd {
+        /// The service that produced the final outcome (empty if none).
+        service: String,
+        /// Outcome kind: `"ok"` or an error kind.
+        outcome: &'static str,
+        /// End-to-end latency in (virtual) milliseconds.
+        latency_ms: f64,
+    },
+    /// One attempt against one service.
+    Attempt {
+        /// The service attempted.
+        service: String,
+        /// 1-based attempt number within the retry budget.
+        attempt: usize,
+        /// Outcome kind: `"ok"` or an error kind.
+        outcome: &'static str,
+        /// Attempt latency in (virtual) milliseconds.
+        latency_ms: f64,
+    },
+    /// A backoff sleep before a retry.
+    RetryBackoff {
+        /// The service being retried.
+        service: String,
+        /// 1-based retry number (first retry = 1).
+        retry: usize,
+        /// The backoff delay in milliseconds.
+        delay_ms: f64,
+    },
+    /// Failover moved on to the next ranked candidate.
+    FailoverLeg {
+        /// The candidate service.
+        service: String,
+        /// 0-based position in the ranked candidate list.
+        rank: usize,
+    },
+    /// A redundant-invocation leg that supplied the winning response.
+    RedundantLegWon {
+        /// The winning service.
+        service: String,
+    },
+    /// A redundant-invocation leg that did not win.
+    RedundantLegLost {
+        /// The losing service.
+        service: String,
+        /// Outcome kind of the losing leg.
+        outcome: &'static str,
+    },
+    /// A cache probe found a live entry.
+    CacheHit {
+        /// The cache key.
+        key: String,
+    },
+    /// A cache probe missed (absent or expired).
+    CacheMiss {
+        /// The cache key.
+        key: String,
+    },
+    /// An entry was evicted to make room.
+    CacheEvict {
+        /// The evicted key.
+        key: String,
+    },
+    /// A job was enqueued on the thread pool.
+    PoolEnqueue {
+        /// Jobs waiting (including this one) at enqueue time.
+        queue_depth: usize,
+    },
+    /// A worker dequeued a job.
+    PoolDequeue {
+        /// How long the job waited in the queue (wall-clock ms).
+        queue_wait_ms: f64,
+    },
+    /// A ranked invocation completed; compares the ranking's latency
+    /// prediction with what was observed.
+    PredictionIssued {
+        /// The service the prediction was for.
+        service: String,
+        /// Predicted response time (ms).
+        predicted_ms: f64,
+        /// Observed response time (ms).
+        observed_ms: f64,
+    },
+}
+
+impl EventKind {
+    /// Stable machine name of the variant (used as the JSONL `event`
+    /// field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::InvokeStart { .. } => "invoke_start",
+            EventKind::InvokeEnd { .. } => "invoke_end",
+            EventKind::Attempt { .. } => "attempt",
+            EventKind::RetryBackoff { .. } => "retry_backoff",
+            EventKind::FailoverLeg { .. } => "failover_leg",
+            EventKind::RedundantLegWon { .. } => "redundant_leg_won",
+            EventKind::RedundantLegLost { .. } => "redundant_leg_lost",
+            EventKind::CacheHit { .. } => "cache_hit",
+            EventKind::CacheMiss { .. } => "cache_miss",
+            EventKind::CacheEvict { .. } => "cache_evict",
+            EventKind::PoolEnqueue { .. } => "pool_enqueue",
+            EventKind::PoolDequeue { .. } => "pool_dequeue",
+            EventKind::PredictionIssued { .. } => "prediction_issued",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::InvokeStart { class, operation } => {
+                write!(f, "invoke_start class={class} operation={operation}")
+            }
+            EventKind::InvokeEnd {
+                service,
+                outcome,
+                latency_ms,
+            } => write!(
+                f,
+                "invoke_end service={service} outcome={outcome} latency={latency_ms:.1}ms"
+            ),
+            EventKind::Attempt {
+                service,
+                attempt,
+                outcome,
+                latency_ms,
+            } => write!(
+                f,
+                "attempt #{attempt} service={service} outcome={outcome} latency={latency_ms:.1}ms"
+            ),
+            EventKind::RetryBackoff {
+                service,
+                retry,
+                delay_ms,
+            } => write!(
+                f,
+                "retry_backoff #{retry} service={service} delay={delay_ms:.1}ms"
+            ),
+            EventKind::FailoverLeg { service, rank } => {
+                write!(f, "failover_leg rank={rank} service={service}")
+            }
+            EventKind::RedundantLegWon { service } => {
+                write!(f, "redundant_leg_won service={service}")
+            }
+            EventKind::RedundantLegLost { service, outcome } => {
+                write!(f, "redundant_leg_lost service={service} outcome={outcome}")
+            }
+            EventKind::CacheHit { key } => write!(f, "cache_hit key={key}"),
+            EventKind::CacheMiss { key } => write!(f, "cache_miss key={key}"),
+            EventKind::CacheEvict { key } => write!(f, "cache_evict key={key}"),
+            EventKind::PoolEnqueue { queue_depth } => {
+                write!(f, "pool_enqueue queue_depth={queue_depth}")
+            }
+            EventKind::PoolDequeue { queue_wait_ms } => {
+                write!(f, "pool_dequeue queue_wait={queue_wait_ms:.3}ms")
+            }
+            EventKind::PredictionIssued {
+                service,
+                predicted_ms,
+                observed_ms,
+            } => write!(
+                f,
+                "prediction service={service} predicted={predicted_ms:.1}ms observed={observed_ms:.1}ms"
+            ),
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global sequence number (total order across all traces).
+    pub seq: u64,
+    /// The trace this event belongs to.
+    pub trace: TraceId,
+    /// The span that emitted it.
+    pub span: SpanId,
+    /// The emitting span's parent, if any.
+    pub parent: Option<SpanId>,
+    /// Milliseconds since the tracer was created (wall clock).
+    pub at_ms: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        let kind = EventKind::CacheHit { key: "k".into() };
+        assert_eq!(kind.name(), "cache_hit");
+        assert_eq!(kind.to_string(), "cache_hit key=k");
+    }
+
+    #[test]
+    fn display_formats_latency() {
+        let kind = EventKind::Attempt {
+            service: "svc".into(),
+            attempt: 2,
+            outcome: "timeout",
+            latency_ms: 12.34,
+        };
+        assert_eq!(
+            kind.to_string(),
+            "attempt #2 service=svc outcome=timeout latency=12.3ms"
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Exporters: Prometheus text exposition, JSON Lines, and a trace-tree
+//! renderer.
+//!
+//! The Prometheus format is the standard `name{label="v"} value`
+//! exposition (histograms as `_bucket`/`_sum`/`_count` with cumulative
+//! `le` buckets). JSONL emits one JSON object per event, built through
+//! `cogsdk-json` so escaping is correct. The tree renderer reconstructs
+//! the span hierarchy of a trace for humans.
+
+use crate::event::Event;
+use crate::metrics::{HistogramSnapshot, MetricsRegistry, Sample};
+use cogsdk_json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders every metric in Prometheus text exposition format.
+pub fn prometheus_text(metrics: &MetricsRegistry) -> String {
+    let snap = metrics.snapshot();
+    let mut out = String::new();
+    let mut last_name = None::<String>;
+    for Sample {
+        name,
+        labels,
+        value,
+    } in &snap.counters
+    {
+        type_header(&mut out, &mut last_name, name, "counter");
+        let _ = writeln!(out, "{}{} {}", name, label_block(labels, None), value);
+    }
+    for Sample {
+        name,
+        labels,
+        value,
+    } in &snap.gauges
+    {
+        type_header(&mut out, &mut last_name, name, "gauge");
+        let _ = writeln!(
+            out,
+            "{}{} {}",
+            name,
+            label_block(labels, None),
+            fmt_f64(*value)
+        );
+    }
+    for HistogramSnapshot {
+        name,
+        labels,
+        buckets,
+        sum,
+        count,
+    } in &snap.histograms
+    {
+        type_header(&mut out, &mut last_name, name, "histogram");
+        let mut cumulative = 0u64;
+        for (bound, bucket_count) in buckets {
+            cumulative += bucket_count;
+            let le = if bound.is_infinite() {
+                "+Inf".to_string()
+            } else {
+                fmt_f64(*bound)
+            };
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                name,
+                label_block(labels, Some(&le)),
+                cumulative
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{}_sum{} {}",
+            name,
+            label_block(labels, None),
+            fmt_f64(*sum)
+        );
+        let _ = writeln!(out, "{}_count{} {}", name, label_block(labels, None), count);
+    }
+    out
+}
+
+fn type_header(out: &mut String, last: &mut Option<String>, name: &str, kind: &str) {
+    if last.as_deref() != Some(name) {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        *last = Some(name.to_string());
+    }
+}
+
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats a float the way Prometheus expects (no exponent for the
+/// values this SDK produces; integral values keep a trailing `.0`-free
+/// form only when exact).
+fn fmt_f64(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Converts one event to a JSON object.
+pub fn event_to_json(event: &Event) -> Json {
+    let mut obj = Json::object();
+    obj.insert("seq", event.seq as i64);
+    obj.insert("trace", event.trace.0 as i64);
+    obj.insert("span", event.span.0 as i64);
+    if let Some(parent) = event.parent {
+        obj.insert("parent", parent.0 as i64);
+    }
+    obj.insert("at_ms", event.at_ms);
+    obj.insert("event", event.kind.name());
+    obj.insert("detail", event.kind.to_string());
+    obj
+}
+
+/// Renders events as JSON Lines: one object per line, in input order.
+pub fn trace_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event_to_json(event).to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a human-readable tree of the given events, grouped by trace,
+/// with child spans indented under their parents.
+pub fn render_trace_tree(events: &[Event]) -> String {
+    // Parent links: a span's parent is whatever its events report.
+    let mut parent_of: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+    for e in events {
+        parent_of.entry(e.span.0).or_insert(e.parent.map(|p| p.0));
+    }
+    let depth_of = |span: u64| -> usize {
+        let mut depth = 0;
+        let mut cursor = span;
+        // Bounded walk guards against cyclic links in corrupt input.
+        for _ in 0..64 {
+            match parent_of.get(&cursor).copied().flatten() {
+                Some(parent) => {
+                    depth += 1;
+                    cursor = parent;
+                }
+                None => break,
+            }
+        }
+        depth
+    };
+    let mut out = String::new();
+    let mut current_trace = None;
+    for e in events {
+        if current_trace != Some(e.trace) {
+            let _ = writeln!(out, "trace {}", e.trace);
+            current_trace = Some(e.trace);
+        }
+        let indent = "  ".repeat(depth_of(e.span.0) + 1);
+        let _ = writeln!(out, "{indent}[{:9.3}ms] {} {}", e.at_ms, e.span, e.kind);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn prometheus_counters_and_labels() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("sdk_calls_total", &[("service", "a"), ("outcome", "ok")]);
+        let text = prometheus_text(&m);
+        assert!(text.contains("# TYPE sdk_calls_total counter"), "{text}");
+        assert!(
+            text.contains("sdk_calls_total{outcome=\"ok\",service=\"a\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative() {
+        let m = MetricsRegistry::new();
+        m.observe("lat_ms", &[], 0.4);
+        m.observe("lat_ms", &[], 3.0);
+        let text = prometheus_text(&m);
+        assert!(text.contains("lat_ms_bucket{le=\"0.5\"} 1"), "{text}");
+        assert!(text.contains("lat_ms_bucket{le=\"4\"} 2"), "{text}");
+        assert!(text.contains("lat_ms_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("lat_ms_count 2"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("x", &[("k", "a\"b\\c")]);
+        let text = prometheus_text(&m);
+        assert!(text.contains("x{k=\"a\\\"b\\\\c\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_parser() {
+        let t = Tracer::new();
+        let root = t.new_trace();
+        let child = t.child(&root);
+        t.emit(&root, || EventKind::InvokeStart {
+            class: "demo".into(),
+            operation: "op \"quoted\"".into(),
+        });
+        t.emit(&child, || EventKind::CacheMiss { key: "k1".into() });
+        let jsonl = trace_jsonl(&t.events());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(
+            first.get("event").and_then(Json::as_str),
+            Some("invoke_start")
+        );
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(
+            second.get("parent").and_then(Json::as_i64),
+            Some(root.span.0 as i64)
+        );
+    }
+
+    #[test]
+    fn tree_indents_children() {
+        let t = Tracer::new();
+        let root = t.new_trace();
+        let child = t.child(&root);
+        t.emit(&root, || EventKind::InvokeStart {
+            class: "demo".into(),
+            operation: "op".into(),
+        });
+        t.emit(&child, || EventKind::FailoverLeg {
+            service: "svc".into(),
+            rank: 0,
+        });
+        let tree = render_trace_tree(&t.events());
+        let lines: Vec<&str> = tree.lines().collect();
+        assert!(lines[0].starts_with("trace "));
+        let root_indent = lines[1].chars().take_while(|c| *c == ' ').count();
+        let child_indent = lines[2].chars().take_while(|c| *c == ' ').count();
+        assert!(child_indent > root_indent, "{tree}");
+    }
+}

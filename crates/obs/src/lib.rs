@@ -1,0 +1,144 @@
+//! Observability for the rich SDK: structured invocation tracing, a
+//! labeled metrics registry, and Prometheus/JSONL exporters.
+//!
+//! The paper's rich SDK monitors services to *drive decisions* (ranking,
+//! failover, prediction — §2); this crate makes the same machinery
+//! *inspectable*. Three layers:
+//!
+//! 1. **Tracing** ([`Tracer`], [`Event`], [`EventKind`]): every
+//!    invocation step — attempts, backoff sleeps, failover legs,
+//!    redundant-leg races, cache probes, pool handoffs, predicted-vs-
+//!    observed latency — lands in a bounded ring buffer as a typed event
+//!    with span coordinates.
+//! 2. **Metrics** ([`MetricsRegistry`]): labeled counters, gauges, and
+//!    log-bucketed latency histograms, including an error breakdown by
+//!    failure kind.
+//! 3. **Exporters** ([`prometheus_text`], [`trace_jsonl`],
+//!    [`render_trace_tree`]): Prometheus text exposition for `/metrics`,
+//!    JSON Lines for `/trace`, and a human-readable trace tree.
+//!
+//! The [`Telemetry`] bundle carries a tracer + registry pair through the
+//! SDK. [`Telemetry::disabled`] is the default everywhere: emission
+//! becomes a single branch and no strings are built, so instrumented
+//! code costs near-zero until someone turns telemetry on.
+//!
+//! # Examples
+//!
+//! ```
+//! use cogsdk_obs::{EventKind, Telemetry};
+//!
+//! let telemetry = Telemetry::new();
+//! let ctx = telemetry.tracer().new_trace();
+//! telemetry.tracer().emit(&ctx, || EventKind::CacheMiss { key: "k".into() });
+//! telemetry.metrics().inc_counter("cache_requests_total", &[("result", "miss")]);
+//!
+//! assert_eq!(telemetry.tracer().events().len(), 1);
+//! let text = cogsdk_obs::prometheus_text(telemetry.metrics());
+//! assert!(text.contains("cache_requests_total{result=\"miss\"} 1"));
+//! ```
+
+mod event;
+mod export;
+mod metrics;
+mod tracer;
+
+pub use event::{Event, EventKind, SpanCtx, SpanId, TraceId};
+pub use export::{event_to_json, prometheus_text, render_trace_tree, trace_jsonl};
+pub use metrics::{
+    HistogramSnapshot, MetricsRegistry, MetricsSnapshot, Sample, LATENCY_BUCKETS_MS,
+};
+pub use tracer::{Tracer, DEFAULT_EVENT_CAPACITY};
+
+use std::sync::{Arc, OnceLock};
+
+/// A tracer + metrics pair, cloned cheaply through every SDK layer.
+#[derive(Clone)]
+pub struct Telemetry {
+    tracer: Tracer,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    /// Live telemetry with the default event capacity.
+    pub fn new() -> Telemetry {
+        Telemetry {
+            tracer: Tracer::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
+        }
+    }
+
+    /// Live telemetry retaining up to `event_capacity` trace events.
+    pub fn with_event_capacity(event_capacity: usize) -> Telemetry {
+        Telemetry {
+            tracer: Tracer::with_capacity(event_capacity),
+            metrics: Arc::new(MetricsRegistry::new()),
+        }
+    }
+
+    /// The shared no-op bundle: emission is a branch, nothing allocates.
+    pub fn disabled() -> Telemetry {
+        static DISABLED: OnceLock<Telemetry> = OnceLock::new();
+        DISABLED
+            .get_or_init(|| Telemetry {
+                tracer: Tracer::disabled(),
+                metrics: Arc::new(MetricsRegistry::disabled()),
+            })
+            .clone()
+    }
+
+    /// Whether this bundle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// The tracer half.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The metrics half.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_shared_and_inert() {
+        let a = Telemetry::disabled();
+        let b = Telemetry::disabled();
+        assert!(!a.is_enabled());
+        assert!(Arc::ptr_eq(&a.metrics, &b.metrics));
+        a.metrics().inc_counter("x", &[]);
+        assert_eq!(a.metrics().counter_value("x", &[]), None);
+    }
+
+    #[test]
+    fn enabled_records_both_halves() {
+        let t = Telemetry::new();
+        assert!(t.is_enabled());
+        let ctx = t.tracer().new_trace();
+        t.tracer()
+            .emit(&ctx, || EventKind::PoolEnqueue { queue_depth: 1 });
+        t.metrics().inc_counter("jobs", &[]);
+        assert_eq!(t.tracer().len(), 1);
+        assert_eq!(t.metrics().counter_value("jobs", &[]), Some(1));
+    }
+}

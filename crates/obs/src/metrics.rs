@@ -1,0 +1,346 @@
+//! The labeled metrics registry.
+//!
+//! Counters, gauges, and log-bucketed histograms keyed by metric name
+//! plus a sorted label set — the Prometheus data model, sized for a
+//! single process. Write paths take `&[(&str, &str)]` so a disabled
+//! registry allocates nothing: labels stay on the caller's stack and the
+//! whole call is one branch.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Histogram bucket upper bounds in milliseconds: 0.5 ms doubling up to
+/// ~65 s, plus an implicit `+Inf` bucket.
+pub const LATENCY_BUCKETS_MS: [f64; 18] = [
+    0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0,
+    16384.0, 32768.0, 65536.0,
+];
+
+/// A metric identity: name plus sorted labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl Key {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Key {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Key {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    /// Per-bucket counts; `counts[i]` counts values `<= LATENCY_BUCKETS_MS[i]`
+    /// exclusive of earlier buckets; the final slot is the `+Inf` bucket.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; LATENCY_BUCKETS_MS.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    histograms: BTreeMap<Key, Histogram>,
+}
+
+/// One exported counter or gauge sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample<T> {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Current value.
+    pub value: T,
+}
+
+/// One exported histogram, with non-cumulative per-bucket counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// `(upper_bound_ms, count_in_bucket)`; the final entry is the
+    /// `+Inf` bucket with bound `f64::INFINITY`.
+    pub buckets: Vec<(f64, u64)>,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// A point-in-time copy of every metric, for exporters.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by (name, labels).
+    pub counters: Vec<Sample<u64>>,
+    /// All gauges, sorted by (name, labels).
+    pub gauges: Vec<Sample<f64>>,
+    /// All histograms, sorted by (name, labels).
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Process-local metrics store. A disabled registry ignores all writes.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    state: Mutex<State>,
+}
+
+impl MetricsRegistry {
+    /// A live registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            enabled: true,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// A registry that drops every write (near-zero cost).
+    pub fn disabled() -> MetricsRegistry {
+        MetricsRegistry {
+            enabled: false,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// Whether writes are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds 1 to a counter.
+    pub fn inc_counter(&self, name: &str, labels: &[(&str, &str)]) {
+        self.add_counter(name, labels, 1);
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn add_counter(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        let key = Key::new(name, labels);
+        *self.state.lock().counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let key = Key::new(name, labels);
+        self.state.lock().gauges.insert(key, value);
+    }
+
+    /// Adds `delta` (possibly negative) to a gauge.
+    pub fn add_gauge(&self, name: &str, labels: &[(&str, &str)], delta: f64) {
+        if !self.enabled {
+            return;
+        }
+        let key = Key::new(name, labels);
+        *self.state.lock().gauges.entry(key).or_insert(0.0) += delta;
+    }
+
+    /// Records one observation in a log-bucketed histogram.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let key = Key::new(name, labels);
+        self.state
+            .lock()
+            .histograms
+            .entry(key)
+            .or_insert_with(Histogram::new)
+            .observe(value);
+    }
+
+    /// Current value of one counter series, if it exists.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = Key::new(name, labels);
+        self.state.lock().counters.get(&key).copied()
+    }
+
+    /// Sum of a counter across every label set (for reconciliation
+    /// checks).
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.state
+            .lock()
+            .counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Current value of one gauge series, if it exists.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = Key::new(name, labels);
+        self.state.lock().gauges.get(&key).copied()
+    }
+
+    /// Snapshot of one histogram series, if it exists.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistogramSnapshot> {
+        let key = Key::new(name, labels);
+        let state = self.state.lock();
+        let h = state.histograms.get(&key)?;
+        Some(snapshot_histogram(&key, h))
+    }
+
+    /// Total observation count of a histogram across every label set.
+    pub fn histogram_total_count(&self, name: &str) -> u64 {
+        self.state
+            .lock()
+            .histograms
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, h)| h.count)
+            .sum()
+    }
+
+    /// A point-in-time copy of everything, for exporters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let state = self.state.lock();
+        MetricsSnapshot {
+            counters: state
+                .counters
+                .iter()
+                .map(|(k, &v)| Sample {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    value: v,
+                })
+                .collect(),
+            gauges: state
+                .gauges
+                .iter()
+                .map(|(k, &v)| Sample {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    value: v,
+                })
+                .collect(),
+            histograms: state
+                .histograms
+                .iter()
+                .map(|(k, h)| snapshot_histogram(k, h))
+                .collect(),
+        }
+    }
+
+    /// Forgets every recorded series.
+    pub fn clear(&self) {
+        let mut state = self.state.lock();
+        *state = State::default();
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+fn snapshot_histogram(key: &Key, h: &Histogram) -> HistogramSnapshot {
+    let mut buckets: Vec<(f64, u64)> = LATENCY_BUCKETS_MS
+        .iter()
+        .zip(&h.counts)
+        .map(|(&bound, &count)| (bound, count))
+        .collect();
+    buckets.push((f64::INFINITY, h.counts[LATENCY_BUCKETS_MS.len()]));
+    HistogramSnapshot {
+        name: key.name.clone(),
+        labels: key.labels.clone(),
+        buckets,
+        sum: h.sum,
+        count: h.count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("calls", &[("service", "a")]);
+        m.inc_counter("calls", &[("service", "a")]);
+        m.inc_counter("calls", &[("service", "b")]);
+        assert_eq!(m.counter_value("calls", &[("service", "a")]), Some(2));
+        assert_eq!(m.counter_value("calls", &[("service", "b")]), Some(1));
+        assert_eq!(m.counter_sum("calls"), 3);
+    }
+
+    #[test]
+    fn label_order_is_irrelevant() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("x", &[("b", "2"), ("a", "1")]);
+        assert_eq!(m.counter_value("x", &[("a", "1"), ("b", "2")]), Some(1));
+    }
+
+    #[test]
+    fn histogram_buckets_values_logarithmically() {
+        let m = MetricsRegistry::new();
+        m.observe("lat", &[], 0.3); // <= 0.5
+        m.observe("lat", &[], 3.0); // <= 4
+        m.observe("lat", &[], 1e9); // +Inf
+        let snap = m.histogram("lat", &[]).unwrap();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.buckets[0], (0.5, 1));
+        assert_eq!(snap.buckets[3], (4.0, 1));
+        let (inf_bound, inf_count) = *snap.buckets.last().unwrap();
+        assert!(inf_bound.is_infinite());
+        assert_eq!(inf_count, 1);
+        assert!((snap.sum - (0.3 + 3.0 + 1e9)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gauges_set_and_add() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("depth", &[], 4.0);
+        m.add_gauge("depth", &[], -1.0);
+        assert_eq!(m.gauge_value("depth", &[]), Some(3.0));
+    }
+
+    #[test]
+    fn disabled_registry_ignores_writes() {
+        let m = MetricsRegistry::disabled();
+        m.inc_counter("calls", &[]);
+        m.observe("lat", &[], 1.0);
+        m.set_gauge("g", &[], 1.0);
+        assert_eq!(m.counter_value("calls", &[]), None);
+        assert!(m.snapshot().counters.is_empty());
+    }
+}

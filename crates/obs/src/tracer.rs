@@ -1,0 +1,243 @@
+//! The lock-cheap structured tracer.
+//!
+//! A [`Tracer`] is a cloneable handle that is either *enabled* (an
+//! `Arc` around a bounded ring buffer of [`Event`]s) or *disabled*
+//! (`None`). Disabled emission is one branch; call sites pass the event
+//! as a closure so no strings are built unless somebody is listening.
+
+use crate::event::{Event, EventKind, SpanCtx, SpanId, TraceId};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default ring-buffer capacity (events retained before the oldest are
+/// dropped).
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+struct TracerInner {
+    /// Global event sequence number.
+    seq: AtomicU64,
+    /// Next trace id.
+    traces: AtomicU64,
+    /// Next span id.
+    spans: AtomicU64,
+    /// Wall-clock epoch for event timestamps.
+    started: Instant,
+    /// Bounded event log; oldest events fall off the front.
+    events: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    /// Events discarded because the ring was full.
+    dropped: AtomicU64,
+}
+
+/// Structured trace recorder. Clones share the same buffer.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => f
+                .debug_struct("Tracer")
+                .field("events", &inner.events.lock().len())
+                .field("capacity", &inner.capacity)
+                .finish(),
+            None => f.write_str("Tracer(disabled)"),
+        }
+    }
+}
+
+impl Tracer {
+    /// An enabled tracer retaining up to [`DEFAULT_EVENT_CAPACITY`]
+    /// events.
+    pub fn new() -> Tracer {
+        Tracer::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An enabled tracer retaining up to `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                seq: AtomicU64::new(0),
+                traces: AtomicU64::new(1),
+                spans: AtomicU64::new(1),
+                started: Instant::now(),
+                events: Mutex::new(VecDeque::new()),
+                capacity: capacity.max(1),
+                dropped: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// The no-op tracer: every operation is a single branch.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Starts a new trace with a fresh root span.
+    pub fn new_trace(&self) -> SpanCtx {
+        match &self.inner {
+            Some(inner) => SpanCtx {
+                trace: TraceId(inner.traces.fetch_add(1, Ordering::Relaxed)),
+                span: SpanId(inner.spans.fetch_add(1, Ordering::Relaxed)),
+                parent: None,
+            },
+            None => SpanCtx {
+                trace: TraceId(0),
+                span: SpanId(0),
+                parent: None,
+            },
+        }
+    }
+
+    /// Opens a child span under `parent` (same trace).
+    pub fn child(&self, parent: &SpanCtx) -> SpanCtx {
+        match &self.inner {
+            Some(inner) => SpanCtx {
+                trace: parent.trace,
+                span: SpanId(inner.spans.fetch_add(1, Ordering::Relaxed)),
+                parent: Some(parent.span),
+            },
+            None => *parent,
+        }
+    }
+
+    /// Records an event under `ctx`. The closure runs only when the
+    /// tracer is enabled, so a disabled tracer pays no string building.
+    pub fn emit(&self, ctx: &SpanCtx, kind: impl FnOnce() -> EventKind) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let event = Event {
+            seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+            trace: ctx.trace,
+            span: ctx.span,
+            parent: ctx.parent,
+            at_ms: inner.started.elapsed().as_secs_f64() * 1e3,
+            kind: kind(),
+        };
+        let mut events = inner.events.lock();
+        if events.len() >= inner.capacity {
+            events.pop_front();
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(event);
+    }
+
+    /// Snapshot of every retained event, in sequence order.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => inner.events.lock().iter().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshot of the retained events of one trace.
+    pub fn events_for(&self, trace: TraceId) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => inner
+                .events
+                .lock()
+                .iter()
+                .filter(|e| e.trace == trace)
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.events.lock().len(),
+            None => 0,
+        }
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events discarded because the ring buffer was full.
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.dropped.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Discards all retained events (sequence numbers keep counting).
+    pub fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            inner.events.lock().clear();
+        }
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        let ctx = t.new_trace();
+        t.emit(&ctx, || panic!("must not build the event"));
+        assert!(!t.is_enabled());
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_within_a_trace() {
+        let t = Tracer::new();
+        let root = t.new_trace();
+        let child = t.child(&root);
+        assert_eq!(child.trace, root.trace);
+        assert_eq!(child.parent, Some(root.span));
+        assert_ne!(child.span, root.span);
+
+        let other = t.new_trace();
+        assert_ne!(other.trace, root.trace);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let t = Tracer::with_capacity(3);
+        let ctx = t.new_trace();
+        for i in 0..5usize {
+            t.emit(&ctx, || EventKind::PoolEnqueue { queue_depth: i });
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(events[0].seq, 2, "oldest two fell off");
+    }
+
+    #[test]
+    fn events_for_filters_by_trace() {
+        let t = Tracer::new();
+        let a = t.new_trace();
+        let b = t.new_trace();
+        t.emit(&a, || EventKind::PoolEnqueue { queue_depth: 0 });
+        t.emit(&b, || EventKind::PoolEnqueue { queue_depth: 1 });
+        t.emit(&a, || EventKind::PoolDequeue { queue_wait_ms: 0.5 });
+        assert_eq!(t.events_for(a.trace).len(), 2);
+        assert_eq!(t.events_for(b.trace).len(), 1);
+    }
+}

@@ -50,11 +50,7 @@ impl Graph {
 
     /// Removes a statement; returns whether it was present.
     pub fn remove(&mut self, st: &Statement) -> bool {
-        let key = (
-            st.subject.clone(),
-            st.predicate.clone(),
-            st.object.clone(),
-        );
+        let key = (st.subject.clone(), st.predicate.clone(), st.object.clone());
         let removed = self.spo.remove(&key);
         if removed {
             let (s, p, o) = key;
@@ -66,11 +62,8 @@ impl Graph {
 
     /// Whether the graph contains the statement.
     pub fn contains(&self, st: &Statement) -> bool {
-        self.spo.contains(&(
-            st.subject.clone(),
-            st.predicate.clone(),
-            st.object.clone(),
-        ))
+        self.spo
+            .contains(&(st.subject.clone(), st.predicate.clone(), st.object.clone()))
     }
 
     /// Number of statements.
@@ -127,25 +120,19 @@ impl Graph {
                 }
             }
             (Some(s), p, o) => self
-                .scan(&self.spo, s, |t| {
-                    (t.0.clone(), t.1.clone(), t.2.clone())
-                })
+                .scan(&self.spo, s, |t| (t.0.clone(), t.1.clone(), t.2.clone()))
                 .into_iter()
                 .filter(|(_, tp, to)| p.is_none_or(|p| p == tp) && o.is_none_or(|o| o == to))
                 .map(to_statement)
                 .collect(),
             (None, Some(p), o) => self
-                .scan(&self.pos, p, |t| {
-                    (t.2.clone(), t.0.clone(), t.1.clone())
-                })
+                .scan(&self.pos, p, |t| (t.2.clone(), t.0.clone(), t.1.clone()))
                 .into_iter()
                 .filter(|(_, _, to)| o.is_none_or(|o| o == to))
                 .map(to_statement)
                 .collect(),
             (None, None, Some(o)) => self
-                .scan(&self.osp, o, |t| {
-                    (t.1.clone(), t.2.clone(), t.0.clone())
-                })
+                .scan(&self.osp, o, |t| (t.1.clone(), t.2.clone(), t.0.clone()))
                 .into_iter()
                 .map(to_statement)
                 .collect(),
@@ -276,7 +263,9 @@ mod tests {
     #[test]
     fn extend_from_counts_new_statements() {
         let mut g = sample();
-        let other: Graph = vec![st("a", "p", "x"), st("c", "p", "x")].into_iter().collect();
+        let other: Graph = vec![st("a", "p", "x"), st("c", "p", "x")]
+            .into_iter()
+            .collect();
         assert_eq!(g.extend_from(&other), 1);
         assert_eq!(g.len(), 6);
     }

@@ -215,7 +215,10 @@ impl Statement {
     /// Panics if `subject` is a literal or `predicate` is not an IRI —
     /// both are structurally invalid RDF.
     pub fn new(subject: Term, predicate: Term, object: Term) -> Statement {
-        assert!(subject.is_resource(), "statement subject must be a resource");
+        assert!(
+            subject.is_resource(),
+            "statement subject must be a resource"
+        );
         assert!(
             matches!(predicate, Term::Iri(_)),
             "statement predicate must be an IRI"

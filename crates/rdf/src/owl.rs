@@ -109,7 +109,11 @@ impl OwlLiteReasoner {
                 .filter(|t| matches!(t, Term::Iri(_)))
                 .collect();
             if !transitive_props.is_empty() {
-                fresh.extend(TransitiveReasoner::new(transitive_props).infer(&working).iter());
+                fresh.extend(
+                    TransitiveReasoner::new(transitive_props)
+                        .infer(&working)
+                        .iter(),
+                );
             }
 
             // owl:FunctionalProperty: two objects for one subject are the
@@ -202,7 +206,10 @@ mod tests {
         g.insert(st("bob", "hasChild", "carol"));
         let inf = OwlLiteReasoner::owl_only().infer(&g);
         assert!(inf.contains(&st("bob", "hasChild", "alice")));
-        assert!(inf.contains(&st("carol", "hasParent", "bob")), "mirror direction");
+        assert!(
+            inf.contains(&st("carol", "hasParent", "bob")),
+            "mirror direction"
+        );
     }
 
     #[test]
@@ -225,7 +232,8 @@ mod tests {
         let inf = OwlLiteReasoner::owl_only().infer(&g);
         assert!(inf.contains(&st("office", "locatedIn", "country")));
         assert_eq!(
-            inf.match_pattern(None, Some(&Term::iri("locatedIn")), None).len(),
+            inf.match_pattern(None, Some(&Term::iri("locatedIn")), None)
+                .len(),
             3
         );
     }
@@ -233,7 +241,11 @@ mod tests {
     #[test]
     fn functional_property_derives_same_as() {
         let mut g = Graph::new();
-        g.insert(st("hasBirthMother", vocab::TYPE, vocab::FUNCTIONAL_PROPERTY));
+        g.insert(st(
+            "hasBirthMother",
+            vocab::TYPE,
+            vocab::FUNCTIONAL_PROPERTY,
+        ));
         g.insert(st("alice", "hasBirthMother", "person_x"));
         g.insert(st("alice", "hasBirthMother", "person_y"));
         let inf = OwlLiteReasoner::owl_only().infer(&g);
@@ -263,7 +275,10 @@ mod tests {
         g.insert(st("a", "p", "v"));
         let inf = OwlLiteReasoner::owl_only().infer(&g);
         assert!(inf.contains(&st("a", vocab::SAME_AS, "c")));
-        assert!(inf.contains(&st("c", "p", "v")), "facts reach transitive aliases");
+        assert!(
+            inf.contains(&st("c", "p", "v")),
+            "facts reach transitive aliases"
+        );
         // No reflexive sameAs noise.
         assert!(!inf.contains(&st("a", vocab::SAME_AS, "a")));
     }

@@ -67,7 +67,10 @@ impl Filter {
             op => {
                 // Ordered comparison: numeric if both numeric, else string
                 // order over display forms.
-                let ord = match (l.as_literal().and_then(Literal::as_f64), r.as_literal().and_then(Literal::as_f64)) {
+                let ord = match (
+                    l.as_literal().and_then(Literal::as_f64),
+                    r.as_literal().and_then(Literal::as_f64),
+                ) {
                     (Some(a), Some(b)) => a.partial_cmp(&b),
                     _ => Some(l.to_string().cmp(&r.to_string())),
                 };
@@ -75,9 +78,15 @@ impl Filter {
                 matches!(
                     (op, ord),
                     (CmpOp::Lt, std::cmp::Ordering::Less)
-                        | (CmpOp::Le, std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                        | (
+                            CmpOp::Le,
+                            std::cmp::Ordering::Less | std::cmp::Ordering::Equal
+                        )
                         | (CmpOp::Gt, std::cmp::Ordering::Greater)
-                        | (CmpOp::Ge, std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                        | (
+                            CmpOp::Ge,
+                            std::cmp::Ordering::Greater | std::cmp::Ordering::Equal
+                        )
                 )
             }
         }
@@ -179,7 +188,9 @@ impl Query {
                     }
                 }
                 other => {
-                    return Err(RdfError::new(format!("unexpected trailing token {other:?}")))
+                    return Err(RdfError::new(format!(
+                        "unexpected trailing token {other:?}"
+                    )))
                 }
             }
         }
@@ -375,7 +386,10 @@ fn tokenize(text: &str) -> Result<Vec<Token>, RdfError> {
                 let mut w = String::new();
                 while let Some(&ch) = chars.peek() {
                     if ch.is_whitespace()
-                        || matches!(ch, '{' | '}' | '(' | ')' | '?' | '<' | '"' | '>' | '=' | '!')
+                        || matches!(
+                            ch,
+                            '{' | '}' | '(' | ')' | '?' | '<' | '"' | '>' | '=' | '!'
+                        )
                         || (ch == '.' && !w.chars().next().is_some_and(|f| f.is_ascii_digit()))
                     {
                         break;
@@ -520,9 +534,21 @@ mod tests {
             ("ex:de", 4200.0, 83, "Germany"),
             ("ex:in", 3700.0, 1400, "India"),
         ] {
-            g.insert(Statement::new(Term::iri(country), gdp.clone(), Term::double(g_val)));
-            g.insert(Statement::new(Term::iri(country), pop.clone(), Term::integer(p_val)));
-            g.insert(Statement::new(Term::iri(country), name.clone(), Term::string(n)));
+            g.insert(Statement::new(
+                Term::iri(country),
+                gdp.clone(),
+                Term::double(g_val),
+            ));
+            g.insert(Statement::new(
+                Term::iri(country),
+                pop.clone(),
+                Term::integer(p_val),
+            ));
+            g.insert(Statement::new(
+                Term::iri(country),
+                name.clone(),
+                Term::string(n),
+            ));
         }
         g
     }
@@ -532,7 +558,9 @@ mod tests {
         let q = Query::parse("SELECT ?c ?g WHERE { ?c <ex:gdp> ?g . }").unwrap();
         let rows = q.execute(&sample());
         assert_eq!(rows.len(), 3);
-        assert!(rows.iter().all(|r| r.contains_key("c") && r.contains_key("g")));
+        assert!(rows
+            .iter()
+            .all(|r| r.contains_key("c") && r.contains_key("g")));
     }
 
     #[test]
@@ -562,10 +590,8 @@ mod tests {
 
     #[test]
     fn filter_equality_on_strings() {
-        let q = Query::parse(
-            "SELECT ?c WHERE { ?c <ex:name> ?n . FILTER (?n = \"India\") }",
-        )
-        .unwrap();
+        let q =
+            Query::parse("SELECT ?c WHERE { ?c <ex:name> ?n . FILTER (?n = \"India\") }").unwrap();
         let rows = q.execute(&sample());
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0]["c"], Term::iri("ex:in"));
@@ -573,19 +599,15 @@ mod tests {
 
     #[test]
     fn filter_not_equal() {
-        let q = Query::parse(
-            "SELECT ?c WHERE { ?c <ex:name> ?n . FILTER (?n != \"India\") }",
-        )
-        .unwrap();
+        let q =
+            Query::parse("SELECT ?c WHERE { ?c <ex:name> ?n . FILTER (?n != \"India\") }").unwrap();
         assert_eq!(q.execute(&sample()).len(), 2);
     }
 
     #[test]
     fn order_by_and_limit() {
-        let q = Query::parse(
-            "SELECT ?c ?g WHERE { ?c <ex:gdp> ?g . } ORDER BY ?g LIMIT 2",
-        )
-        .unwrap();
+        let q =
+            Query::parse("SELECT ?c ?g WHERE { ?c <ex:gdp> ?g . } ORDER BY ?g LIMIT 2").unwrap();
         let rows = q.execute(&sample());
         assert_eq!(rows.len(), 2);
         // Ascending by gdp: India (3700) first.
@@ -618,9 +640,21 @@ mod tests {
     fn shared_variable_enforces_join_consistency() {
         // ?x must be the same across both patterns.
         let mut g = Graph::new();
-        g.insert(Statement::new(Term::iri("a"), Term::iri("p"), Term::iri("b")));
-        g.insert(Statement::new(Term::iri("b"), Term::iri("q"), Term::iri("c")));
-        g.insert(Statement::new(Term::iri("x"), Term::iri("q"), Term::iri("y")));
+        g.insert(Statement::new(
+            Term::iri("a"),
+            Term::iri("p"),
+            Term::iri("b"),
+        ));
+        g.insert(Statement::new(
+            Term::iri("b"),
+            Term::iri("q"),
+            Term::iri("c"),
+        ));
+        g.insert(Statement::new(
+            Term::iri("x"),
+            Term::iri("q"),
+            Term::iri("y"),
+        ));
         let q = Query::parse("SELECT ?m WHERE { ?s <p> ?m . ?m <q> ?o . }").unwrap();
         let rows = q.execute(&g);
         assert_eq!(rows.len(), 1);
@@ -648,8 +682,16 @@ mod tests {
     #[test]
     fn integer_and_boolean_literals_in_patterns() {
         let mut g = Graph::new();
-        g.insert(Statement::new(Term::iri("s"), Term::iri("age"), Term::integer(42)));
-        g.insert(Statement::new(Term::iri("s"), Term::iri("alive"), Term::boolean(true)));
+        g.insert(Statement::new(
+            Term::iri("s"),
+            Term::iri("age"),
+            Term::integer(42),
+        ));
+        g.insert(Statement::new(
+            Term::iri("s"),
+            Term::iri("alive"),
+            Term::boolean(true),
+        ));
         let q = Query::parse("SELECT ?s WHERE { ?s <age> 42 . ?s <alive> true . }").unwrap();
         assert_eq!(q.execute(&g).len(), 1);
     }

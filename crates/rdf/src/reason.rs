@@ -70,8 +70,7 @@ impl TransitiveReasoner {
             // Floyd–Warshall-style saturation via BFS from each node.
             for start in succ.keys().cloned().collect::<Vec<_>>() {
                 let mut reached: HashSet<Term> = HashSet::new();
-                let mut stack: Vec<Term> =
-                    succ[&start].iter().cloned().collect();
+                let mut stack: Vec<Term> = succ[&start].iter().cloned().collect();
                 while let Some(node) = stack.pop() {
                     if !reached.insert(node.clone()) {
                         continue;
@@ -121,11 +120,7 @@ impl RdfsReasoner {
         loop {
             let mut fresh: Vec<Statement> = Vec::new();
             // rdfs5/rdfs11: transitivity of the two lattice predicates.
-            fresh.extend(
-                TransitiveReasoner::for_lattices()
-                    .infer(&working)
-                    .iter(),
-            );
+            fresh.extend(TransitiveReasoner::for_lattices().infer(&working).iter());
             // rdfs2: (p domain C), (s p o) => (s type C).
             for dom in working.match_pattern(None, Some(&domain), None) {
                 for use_site in working.match_pattern(None, Some(&dom.subject), None) {
@@ -163,9 +158,7 @@ impl RdfsReasoner {
             }
             // rdfs9: (C subClassOf D), (s type C) => (s type D).
             for sc in working.match_pattern(None, Some(&sub_class), None) {
-                for inst in
-                    working.match_pattern(None, Some(&type_p), Some(&sc.subject))
-                {
+                for inst in working.match_pattern(None, Some(&type_p), Some(&sc.subject)) {
                     fresh.push(Statement::new(
                         inst.subject.clone(),
                         type_p.clone(),
@@ -230,7 +223,9 @@ impl TriplePattern {
         let patterns = parse_patterns(text)?;
         match patterns.len() {
             1 => Ok(patterns.into_iter().next().expect("len checked")),
-            n => Err(RdfError::new(format!("expected exactly one pattern, found {n}"))),
+            n => Err(RdfError::new(format!(
+                "expected exactly one pattern, found {n}"
+            ))),
         }
     }
 
@@ -328,7 +323,9 @@ impl Rule {
         let premises = parse_patterns(body)?;
         let conclusions = parse_patterns(head)?;
         if premises.is_empty() || conclusions.is_empty() {
-            return Err(RdfError::new("rule needs at least one premise and one conclusion"));
+            return Err(RdfError::new(
+                "rule needs at least one premise and one conclusion",
+            ));
         }
         // Head variables must be bound in the body (no free invention).
         let bound: HashSet<&String> = premises
@@ -679,10 +676,8 @@ impl TriplePattern {
 fn dedup_bindings(mut v: Vec<HashMap<String, Term>>) -> Vec<HashMap<String, Term>> {
     let mut seen = HashSet::new();
     v.retain(|b| {
-        let mut items: Vec<(String, String)> = b
-            .iter()
-            .map(|(k, t)| (k.clone(), format!("{t}")))
-            .collect();
+        let mut items: Vec<(String, String)> =
+            b.iter().map(|(k, t)| (k.clone(), format!("{t}"))).collect();
         items.sort();
         seen.insert(format!("{items:?}"))
     });
@@ -769,9 +764,8 @@ mod tests {
 
     #[test]
     fn rule_parsing_round_trip() {
-        let rule =
-            Rule::parse("[(?a ex:parent ?b), (?b ex:parent ?c) -> (?a ex:grandparent ?c)]")
-                .unwrap();
+        let rule = Rule::parse("[(?a ex:parent ?b), (?b ex:parent ?c) -> (?a ex:grandparent ?c)]")
+            .unwrap();
         assert_eq!(rule.premises.len(), 2);
         assert_eq!(rule.conclusions.len(), 1);
         assert_eq!(

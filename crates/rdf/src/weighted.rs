@@ -149,7 +149,10 @@ impl WeightedReasoner {
     /// Propagates rule parse errors.
     pub fn from_rules_text(text: &str, rule_strength: f64) -> Result<WeightedReasoner, RdfError> {
         let parsed = GenericRuleReasoner::from_rules_text(text)?;
-        Ok(WeightedReasoner::new(parsed.rules().to_vec(), rule_strength))
+        Ok(WeightedReasoner::new(
+            parsed.rules().to_vec(),
+            rule_strength,
+        ))
     }
 
     /// Runs to fixpoint over `wg`, inserting inferred statements with
@@ -264,7 +267,10 @@ mod tests {
         assert_eq!(added.len(), 1);
         let (fact, conf) = &added[0];
         assert_eq!(*fact, st("alice", "grandparent", "carol"));
-        assert!((conf - 0.6).abs() < 1e-12, "min(0.9, 0.6) = 0.6, got {conf}");
+        assert!(
+            (conf - 0.6).abs() < 1e-12,
+            "min(0.9, 0.6) = 0.6, got {conf}"
+        );
     }
 
     #[test]
@@ -324,11 +330,8 @@ mod tests {
         let mut wg = WeightedGraph::new();
         wg.insert_with_confidence(st("a", "knows", "b"), 0.8);
         wg.insert_with_confidence(st("b", "knows", "a"), 0.8);
-        let reasoner = WeightedReasoner::from_rules_text(
-            "[(?x knows ?y) -> (?y knows ?x)]",
-            0.9,
-        )
-        .unwrap();
+        let reasoner =
+            WeightedReasoner::from_rules_text("[(?x knows ?y) -> (?y knows ?x)]", 0.9).unwrap();
         let added = reasoner.infer(&mut wg);
         // Both facts already exist with higher confidence than any
         // derivation could produce: nothing to add, no infinite loop.

@@ -42,7 +42,11 @@ pub struct SearchEngine {
 
 impl SearchEngine {
     /// Creates an engine with a name (used as its service identity).
-    pub fn new(name: impl Into<String>, ranker: RankerKind, index: Arc<SearchIndex>) -> SearchEngine {
+    pub fn new(
+        name: impl Into<String>,
+        ranker: RankerKind,
+        index: Arc<SearchIndex>,
+    ) -> SearchEngine {
         SearchEngine {
             name: name.into(),
             ranker,
@@ -176,8 +180,20 @@ mod tests {
 
     fn small_index() -> Arc<SearchIndex> {
         let mut idx = SearchIndex::new();
-        idx.add(mkdoc(0, "solar energy boom", "solar solar panels energy growth", false, 10));
-        idx.add(mkdoc(1, "wind power", "wind turbines energy energy", true, 100));
+        idx.add(mkdoc(
+            0,
+            "solar energy boom",
+            "solar solar panels energy growth",
+            false,
+            10,
+        ));
+        idx.add(mkdoc(
+            1,
+            "wind power",
+            "wind turbines energy energy",
+            true,
+            100,
+        ));
         idx.add(mkdoc(2, "solar news", "solar market update", true, 300));
         idx.add(mkdoc(3, "cooking recipes", "pasta tomato basil", false, 50));
         Arc::new(idx)
@@ -227,7 +243,12 @@ mod tests {
         let bm25 = SearchEngine::new("a", RankerKind::Bm25, idx.clone());
         let tfidf = SearchEngine::new("b", RankerKind::TfIdf, idx);
         let mut differ = false;
-        for q in ["market growth", "vaccine results", "energy sector", "software plans"] {
+        for q in [
+            "market growth",
+            "vaccine results",
+            "energy sector",
+            "software plans",
+        ] {
             let a: Vec<usize> = bm25.search(q, 10).iter().map(|h| h.doc_id).collect();
             let b: Vec<usize> = tfidf.search(q, 10).iter().map(|h| h.doc_id).collect();
             if a != b {

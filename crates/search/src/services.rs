@@ -148,7 +148,12 @@ mod tests {
         );
         let hits = body.get("hits").unwrap().as_array().unwrap();
         assert!(!hits.is_empty() && hits.len() <= 5);
-        assert!(hits[0].get("url").unwrap().as_str().unwrap().starts_with("https://"));
+        assert!(hits[0]
+            .get("url")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("https://"));
     }
 
     #[test]
@@ -157,7 +162,10 @@ mod tests {
         let (engines, _web, idx) = standard_web(&env, 7, 150);
         let body = ok_invoke(
             &engines[1],
-            &Request::new("search", json!({"query": "market", "news": true, "limit": 20})),
+            &Request::new(
+                "search",
+                json!({"query": "market", "news": true, "limit": 20}),
+            ),
         );
         for hit in body.get("hits").unwrap().as_array().unwrap() {
             let url = hit.get("url").unwrap().as_str().unwrap();
@@ -203,7 +211,10 @@ mod tests {
         let env = SimEnv::with_seed(5);
         let (_e, web, _i) = standard_web(&env, 7, 10);
         loop {
-            let o = web.invoke(&Request::new("fetch", json!({"url": "https://nope.example/x"})));
+            let o = web.invoke(&Request::new(
+                "fetch",
+                json!({"url": "https://nope.example/x"}),
+            ));
             match o.result {
                 Err(cogsdk_sim::ServiceError::BadRequest(msg)) => {
                     assert!(msg.contains("404"));

@@ -93,12 +93,10 @@ impl SimClock {
     pub fn advance_to(&self, t: SimTime) -> SimTime {
         let mut cur = self.micros.load(Ordering::SeqCst);
         while cur < t.0 {
-            match self.micros.compare_exchange(
-                cur,
-                t.0,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
+            match self
+                .micros
+                .compare_exchange(cur, t.0, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => return t,
                 Err(seen) => cur = seen,
             }

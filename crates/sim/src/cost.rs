@@ -103,8 +103,7 @@ impl CostModel {
             CostModel::Free => MicroDollars::ZERO,
             CostModel::PerCall(c) => c,
             CostModel::PerCallPlusBytes { per_call, per_kib } => {
-                let byte_cost =
-                    (per_kib.as_micros() as u128 * payload_bytes as u128 / 1024) as u64;
+                let byte_cost = (per_kib.as_micros() as u128 * payload_bytes as u128 / 1024) as u64;
                 per_call.saturating_add(MicroDollars::from_micros(byte_cost))
             }
             CostModel::Tiered { free_calls, then } => {
@@ -176,9 +175,7 @@ mod tests {
 
     #[test]
     fn sum_of_costs() {
-        let total: MicroDollars = (0..4)
-            .map(|_| MicroDollars::from_micros(100))
-            .sum();
+        let total: MicroDollars = (0..4).map(|_| MicroDollars::from_micros(100)).sum();
         assert_eq!(total.as_micros(), 400);
     }
 

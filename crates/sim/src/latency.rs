@@ -141,13 +141,9 @@ impl LatencyModel {
     pub fn expected_ms(&self, payload_bytes: usize) -> f64 {
         match *self {
             LatencyModel::Constant(d) => d.as_secs_f64() * 1_000.0,
-            LatencyModel::Uniform(lo, hi) => {
-                (lo.as_secs_f64() + hi.as_secs_f64()) / 2.0 * 1_000.0
-            }
+            LatencyModel::Uniform(lo, hi) => (lo.as_secs_f64() + hi.as_secs_f64()) / 2.0 * 1_000.0,
             LatencyModel::Normal { mean_ms, .. } => mean_ms,
-            LatencyModel::LogNormal { median_ms, sigma } => {
-                median_ms * (sigma * sigma / 2.0).exp()
-            }
+            LatencyModel::LogNormal { median_ms, sigma } => median_ms * (sigma * sigma / 2.0).exp(),
             LatencyModel::SizeLinear {
                 base_ms,
                 per_byte_ms,

@@ -151,11 +151,7 @@ mod tests {
             (0..8)
                 .map(|_| {
                     let q = q.clone();
-                    s.spawn(move || {
-                        (0..500)
-                            .filter(|_| q.try_consume(SimTime::ZERO))
-                            .count()
-                    })
+                    s.spawn(move || (0..500).filter(|_| q.try_consume(SimTime::ZERO)).count())
                 })
                 .collect::<Vec<_>>()
                 .into_iter()

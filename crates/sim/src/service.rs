@@ -64,10 +64,7 @@ impl Request {
 
     /// Looks up a latency parameter by name.
     pub fn param(&self, name: &str) -> Option<f64> {
-        self.params
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+        self.params.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// The payload size in bytes; the default latency parameter.
@@ -132,6 +129,17 @@ impl ServiceError {
     /// Quota and bad-request failures are not retryable; see §2.1.
     pub fn is_retryable(&self) -> bool {
         matches!(self, ServiceError::Timeout | ServiceError::Unavailable)
+    }
+
+    /// A stable machine-readable failure kind, for metric labels and
+    /// per-kind failure accounting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::Timeout => "timeout",
+            ServiceError::Unavailable => "unavailable",
+            ServiceError::QuotaExceeded => "quota_exceeded",
+            ServiceError::BadRequest(_) => "bad_request",
+        }
     }
 }
 

@@ -49,7 +49,9 @@ impl Matrix {
         }
         let c = rows[0].len();
         if c == 0 || rows.iter().any(|row| row.len() != c) {
-            return Err(StatsError::new("matrix rows must be nonempty and equal length"));
+            return Err(StatsError::new(
+                "matrix rows must be nonempty and equal length",
+            ));
         }
         let mut m = Matrix::zeros(r, c);
         for (i, row) in rows.iter().enumerate() {
@@ -244,12 +246,8 @@ mod tests {
 
     #[test]
     fn solve_general_3x3() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
         let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
         let expect = [2.0, 3.0, -1.0];
         for (got, want) in x.iter().zip(expect) {

@@ -350,7 +350,10 @@ mod tests {
         let xs: Vec<&[f64]> = vec![&[1.0, 2.0], &[1.0]];
         assert!(MultipleRegression::fit(&xs, &[1.0, 2.0]).is_err());
         let xs: Vec<&[f64]> = vec![&[1.0, 2.0]];
-        assert!(MultipleRegression::fit(&xs, &[1.0]).is_err(), "too few rows");
+        assert!(
+            MultipleRegression::fit(&xs, &[1.0]).is_err(),
+            "too few rows"
+        );
     }
 
     #[test]

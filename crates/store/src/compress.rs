@@ -244,13 +244,13 @@ mod tests {
         // Note `[1]` alone is valid: the LZ encoding of empty input.
         for bad in [
             &[][..],
-            &[1, 0x00],                // literal without length
-            &[1, 0x00, 5, b'a'],       // truncated literal
-            &[1, 0x01, 0, 1],          // truncated copy
-            &[1, 0x01, 0, 5, 0],       // back-ref beyond output
-            &[1, 0x02],                // bad token
-            &[1, 0x00, 0],             // zero-length literal
-            &[7, 1, 2],                // unknown tag
+            &[1, 0x00],          // literal without length
+            &[1, 0x00, 5, b'a'], // truncated literal
+            &[1, 0x01, 0, 1],    // truncated copy
+            &[1, 0x01, 0, 5, 0], // back-ref beyond output
+            &[1, 0x02],          // bad token
+            &[1, 0x00, 0],       // zero-length literal
+            &[7, 1, 2],          // unknown tag
         ] {
             assert!(decompress(bad).is_err(), "{bad:?}");
         }

@@ -185,7 +185,11 @@ mod tests {
         for i in 0..ct.len() {
             let mut bad = ct.to_vec();
             bad[i] ^= 0x40;
-            assert_eq!(decrypt(&k, &bad), Err(StoreError::IntegrityFailure), "byte {i}");
+            assert_eq!(
+                decrypt(&k, &bad),
+                Err(StoreError::IntegrityFailure),
+                "byte {i}"
+            );
         }
     }
 

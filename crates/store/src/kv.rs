@@ -254,9 +254,7 @@ pub fn remote_kv_service(
                         .and_then(Json::as_str)
                         .ok_or_else(|| "missing 'value'".to_string())?;
                     let bytes = hex_decode(hex).map_err(|e| e.to_string())?;
-                    backing
-                        .put(key, bytes)
-                        .map_err(|e| e.to_string())?;
+                    backing.put(key, bytes).map_err(|e| e.to_string())?;
                     Ok(json!({"ok": true}))
                 }
                 "get" => match backing.get(key) {
@@ -329,7 +327,9 @@ impl KeyValueStore for RemoteKv {
     fn keys(&self) -> Result<Vec<String>, StoreError> {
         // The remote protocol deliberately has no listing op (most cloud
         // KV APIs meter scans); offline sync tracks its own key set.
-        Err(StoreError::Conflict("remote store does not support key listing".into()))
+        Err(StoreError::Conflict(
+            "remote store does not support key listing".into(),
+        ))
     }
 }
 
@@ -372,9 +372,13 @@ mod tests {
     fn exercise(kv: &dyn KeyValueStore) {
         assert!(kv.is_empty().unwrap());
         kv.put("a", Bytes::from("1")).unwrap();
-        kv.put("b/with slash", Bytes::from(vec![0u8, 255, 7])).unwrap();
+        kv.put("b/with slash", Bytes::from(vec![0u8, 255, 7]))
+            .unwrap();
         assert_eq!(kv.get("a").unwrap(), Bytes::from("1"));
-        assert_eq!(kv.get("b/with slash").unwrap(), Bytes::from(vec![0u8, 255, 7]));
+        assert_eq!(
+            kv.get("b/with slash").unwrap(),
+            Bytes::from(vec![0u8, 255, 7])
+        );
         assert!(matches!(kv.get("missing"), Err(StoreError::NotFound(_))));
         kv.put("a", Bytes::from("2")).unwrap();
         assert_eq!(kv.get("a").unwrap(), Bytes::from("2"));
@@ -399,7 +403,10 @@ mod tests {
         exercise(&kv);
         // Persistence across handles.
         let kv2 = FileKv::open(&dir).unwrap();
-        assert_eq!(kv2.get("b/with slash").unwrap(), Bytes::from(vec![0u8, 255, 7]));
+        assert_eq!(
+            kv2.get("b/with slash").unwrap(),
+            Bytes::from(vec![0u8, 255, 7])
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -143,7 +143,9 @@ impl Schema {
         let columns: Vec<(String, ColumnType)> =
             columns.into_iter().map(|(n, t)| (n.into(), t)).collect();
         if columns.is_empty() {
-            return Err(StoreError::Conflict("schema needs at least one column".into()));
+            return Err(StoreError::Conflict(
+                "schema needs at least one column".into(),
+            ));
         }
         for (i, (name, _)) in columns.iter().enumerate() {
             if name.is_empty() {
@@ -305,7 +307,11 @@ impl Table {
     ///
     /// [`StoreError::NotFound`] for unknown columns in the predicate or
     /// projection.
-    pub fn select(&self, predicate: &Predicate, projection: &[&str]) -> Result<Vec<Row>, StoreError> {
+    pub fn select(
+        &self,
+        predicate: &Predicate,
+        projection: &[&str],
+    ) -> Result<Vec<Row>, StoreError> {
         let proj_idx: Vec<usize> = projection
             .iter()
             .map(|name| {
@@ -493,10 +499,34 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new(schema);
-        t.insert(vec!["united_states".into(), 21000.0.into(), Value::Int(331), true.into()]).unwrap();
-        t.insert(vec!["germany".into(), 4200.0.into(), Value::Int(83), true.into()]).unwrap();
-        t.insert(vec!["india".into(), 3700.0.into(), Value::Int(1400), false.into()]).unwrap();
-        t.insert(vec!["unknown".into(), Value::Null, Value::Null, false.into()]).unwrap();
+        t.insert(vec![
+            "united_states".into(),
+            21000.0.into(),
+            Value::Int(331),
+            true.into(),
+        ])
+        .unwrap();
+        t.insert(vec![
+            "germany".into(),
+            4200.0.into(),
+            Value::Int(83),
+            true.into(),
+        ])
+        .unwrap();
+        t.insert(vec![
+            "india".into(),
+            3700.0.into(),
+            Value::Int(1400),
+            false.into(),
+        ])
+        .unwrap();
+        t.insert(vec![
+            "unknown".into(),
+            Value::Null,
+            Value::Null,
+            false.into(),
+        ])
+        .unwrap();
         t
     }
 
@@ -519,7 +549,8 @@ mod tests {
             Err(StoreError::TypeMismatch(_))
         ));
         // NULL fits any column.
-        t.insert(vec![Value::Null, Value::Null, Value::Null, Value::Null]).unwrap();
+        t.insert(vec![Value::Null, Value::Null, Value::Null, Value::Null])
+            .unwrap();
     }
 
     #[test]
@@ -528,11 +559,16 @@ mod tests {
         let rich = t.select(&Predicate::Gt("gdp".into(), 4000.0), &[]).unwrap();
         assert_eq!(rich.len(), 2);
         let dev = t
-            .select(&Predicate::Eq("developed".into(), Value::Bool(true)), &["country"])
+            .select(
+                &Predicate::Eq("developed".into(), Value::Bool(true)),
+                &["country"],
+            )
             .unwrap();
         assert_eq!(dev.len(), 2);
         assert_eq!(dev[0], vec![Value::Text("united_states".into())]);
-        let nulls = t.select(&Predicate::IsNull("gdp".into()), &["country"]).unwrap();
+        let nulls = t
+            .select(&Predicate::IsNull("gdp".into()), &["country"])
+            .unwrap();
         assert_eq!(nulls.len(), 1);
     }
 
@@ -567,7 +603,9 @@ mod tests {
     #[test]
     fn unknown_columns_error() {
         let t = country_table();
-        assert!(t.select(&Predicate::Eq("nope".into(), Value::Null), &[]).is_err());
+        assert!(t
+            .select(&Predicate::Eq("nope".into(), Value::Null), &[])
+            .is_err());
         assert!(t.select(&Predicate::True, &["nope"]).is_err());
     }
 
@@ -575,11 +613,17 @@ mod tests {
     fn update_and_delete() {
         let mut t = country_table();
         let n = t
-            .update(&Predicate::Eq("country".into(), "india".into()), "developed", true.into())
+            .update(
+                &Predicate::Eq("country".into(), "india".into()),
+                "developed",
+                true.into(),
+            )
             .unwrap();
         assert_eq!(n, 1);
         assert_eq!(
-            t.select(&Predicate::Eq("developed".into(), Value::Bool(true)), &[]).unwrap().len(),
+            t.select(&Predicate::Eq("developed".into(), Value::Bool(true)), &[])
+                .unwrap()
+                .len(),
             3
         );
         assert!(matches!(
@@ -613,7 +657,11 @@ mod tests {
     fn update_returns_zero_on_no_match() {
         let mut t = country_table();
         let n = t
-            .update(&Predicate::Eq("country".into(), "narnia".into()), "developed", true.into())
+            .update(
+                &Predicate::Eq("country".into(), "narnia".into()),
+                "developed",
+                true.into(),
+            )
             .unwrap();
         assert_eq!(n, 0);
         assert!(matches!(
@@ -636,7 +684,10 @@ mod tests {
     fn select_projection_order_matches_request() {
         let t = country_table();
         let rows = t
-            .select(&Predicate::Eq("country".into(), "germany".into()), &["population", "country"])
+            .select(
+                &Predicate::Eq("country".into(), "germany".into()),
+                &["population", "country"],
+            )
             .unwrap();
         assert_eq!(rows[0][0], Value::Int(83));
         assert_eq!(rows[0][1], Value::Text("germany".into()));

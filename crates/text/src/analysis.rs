@@ -123,8 +123,16 @@ impl DocumentAnalysis {
             .filter_map(|e| {
                 Some(EntityResult {
                     canonical: e.get("id")?.as_str()?.to_string(),
-                    name: e.get("name").and_then(Json::as_str).unwrap_or("").to_string(),
-                    kind: e.get("type").and_then(Json::as_str).unwrap_or("").to_string(),
+                    name: e
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    kind: e
+                        .get("type")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
                     count: e.get("count").and_then(Json::as_usize).unwrap_or(1),
                     sentiment: Sentiment {
                         score: e.get("sentiment").and_then(Json::as_f64).unwrap_or(0.0),
@@ -348,8 +356,7 @@ impl Analyzer {
             })
             .map(|mut e| {
                 if config.sentiment_noise > 0.0 {
-                    let noise = (unit_hash(&config.vendor, &format!("s:{}", e.canonical))
-                        - 0.5)
+                    let noise = (unit_hash(&config.vendor, &format!("s:{}", e.canonical)) - 0.5)
                         * 2.0
                         * config.sentiment_noise;
                     e.sentiment.score = (e.sentiment.score + noise).clamp(-1.0, 1.0);
@@ -357,9 +364,18 @@ impl Analyzer {
                 e
             })
             .collect();
-        entities.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.canonical.cmp(&b.canonical)));
+        entities.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| a.canonical.cmp(&b.canonical))
+        });
 
-        let keywords = extract(text, &self.lexicons, &self.frequencies, config.keyword_limit);
+        let keywords = extract(
+            text,
+            &self.lexicons,
+            &self.frequencies,
+            config.keyword_limit,
+        );
         let concepts = classify(text, &self.lexicons, config.concept_limit);
         let relations = if config.relations {
             extract_relations(&tokens, &mentions)
@@ -368,8 +384,7 @@ impl Analyzer {
         };
         let mut sentiment = document_sentiment(text, &self.lexicons);
         if config.sentiment_noise > 0.0 {
-            let noise =
-                (unit_hash(&config.vendor, text) - 0.5) * 2.0 * config.sentiment_noise;
+            let noise = (unit_hash(&config.vendor, text) - 0.5) * 2.0 * config.sentiment_noise;
             sentiment.score = (sentiment.score + noise).clamp(-1.0, 1.0);
         }
 
@@ -424,7 +439,11 @@ mod tests {
         let a = Analyzer::with_default_lexicons();
         let r = a.analyze(DOC, &NluConfig::perfect());
         let ibm = r.entities.iter().find(|e| e.canonical == "ibm").unwrap();
-        let msft = r.entities.iter().find(|e| e.canonical == "microsoft").unwrap();
+        let msft = r
+            .entities
+            .iter()
+            .find(|e| e.canonical == "microsoft")
+            .unwrap();
         assert!(ibm.sentiment.score > 0.0, "{ibm:?}");
         assert!(msft.sentiment.score < 0.0, "{msft:?}");
     }
@@ -466,7 +485,10 @@ mod tests {
         let v1 = a.analyze(DOC, &NluConfig::vendor("v1", 0.6, 0.2));
         let v2 = a.analyze(DOC, &NluConfig::vendor("v2", 0.6, 0.2));
         let ids = |r: &DocumentAnalysis| {
-            r.entities.iter().map(|e| e.canonical.clone()).collect::<Vec<_>>()
+            r.entities
+                .iter()
+                .map(|e| e.canonical.clone())
+                .collect::<Vec<_>>()
         };
         // With 5+ entities and 60% recall, two vendors almost surely keep
         // different subsets (hash-based, but fixed for all time).

@@ -147,7 +147,11 @@ impl CorpusGenerator {
         }
         let title = sentences[0].clone();
         let body = sentences.join(". ") + ".";
-        let host = if is_news { "news.example.com" } else { "ref.example.org" };
+        let host = if is_news {
+            "news.example.com"
+        } else {
+            "ref.example.org"
+        };
         GeneratedDoc {
             url: format!("https://{host}/{topic}/{id}"),
             id,
@@ -231,7 +235,12 @@ mod tests {
         let slants: Vec<f64> = docs.iter().map(|d| d.slant).collect();
         let measured: Vec<f64> = docs
             .iter()
-            .map(|d| analyzer.analyze(&d.body, &NluConfig::perfect()).sentiment.score)
+            .map(|d| {
+                analyzer
+                    .analyze(&d.body, &NluConfig::perfect())
+                    .sentiment
+                    .score
+            })
             .collect();
         let r = cogsdk_stats_free_pearson(&slants, &measured);
         assert!(r > 0.5, "slant/sentiment correlation too weak: {r}");

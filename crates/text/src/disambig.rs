@@ -192,8 +192,17 @@ mod tests {
     fn paper_example_all_aliases_resolve_to_one_entity() {
         let c = EntityCatalog::builtin();
         let expect = c.resolve("United States of America").unwrap();
-        for alias in ["USA", "US", "United States", "America", "the states", "u.s."] {
-            let got = c.resolve(alias).unwrap_or_else(|| panic!("unresolved: {alias}"));
+        for alias in [
+            "USA",
+            "US",
+            "United States",
+            "America",
+            "the states",
+            "u.s.",
+        ] {
+            let got = c
+                .resolve(alias)
+                .unwrap_or_else(|| panic!("unresolved: {alias}"));
             assert_eq!(got.id, expect.id, "{alias}");
         }
         assert_eq!(expect.dbpedia, "http://dbpedia.org/resource/United_States");
@@ -258,7 +267,10 @@ diabetes_mellitus: diabetes, type 2 diabetes
         let added = c.add_synonym_file(file).unwrap();
         assert_eq!(added, 5);
         assert_eq!(c.resolve("the flu").unwrap().id, "influenza");
-        assert_eq!(c.resolve("Type 2 Diabetes").unwrap().id, "diabetes_mellitus");
+        assert_eq!(
+            c.resolve("Type 2 Diabetes").unwrap().id,
+            "diabetes_mellitus"
+        );
         assert_eq!(c.custom_len(), 5);
     }
 

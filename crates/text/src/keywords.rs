@@ -159,7 +159,12 @@ mod tests {
 
     #[test]
     fn stopwords_and_numbers_excluded() {
-        let kws = extract("the and of 42 1234 data", &lex(), &DocumentFrequencies::new(), 10);
+        let kws = extract(
+            "the and of 42 1234 data",
+            &lex(),
+            &DocumentFrequencies::new(),
+            10,
+        );
         let words: Vec<&str> = kws.iter().map(|k| k.text.as_str()).collect();
         assert_eq!(words, vec!["data"]);
     }

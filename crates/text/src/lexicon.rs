@@ -125,196 +125,1077 @@ pub fn builtin_entities() -> Vec<EntityDef> {
     use EntityType::*;
     vec![
         // The paper's running example, with every alias it lists.
-        EntityDef { id: "united_states", name: "United States", kind: Country, aliases: &["united states of america", "united states", "usa", "us", "america", "the states", "u.s", "u.s.a"] },
-        EntityDef { id: "united_kingdom", name: "United Kingdom", kind: Country, aliases: &["united kingdom", "uk", "britain", "great britain", "u.k"] },
-        EntityDef { id: "germany", name: "Germany", kind: Country, aliases: &["germany", "deutschland", "federal republic of germany"] },
-        EntityDef { id: "france", name: "France", kind: Country, aliases: &["france", "french republic"] },
-        EntityDef { id: "china", name: "China", kind: Country, aliases: &["china", "prc", "people's republic of china"] },
-        EntityDef { id: "japan", name: "Japan", kind: Country, aliases: &["japan", "nippon"] },
-        EntityDef { id: "india", name: "India", kind: Country, aliases: &["india", "republic of india", "bharat"] },
-        EntityDef { id: "brazil", name: "Brazil", kind: Country, aliases: &["brazil", "brasil"] },
-        EntityDef { id: "canada", name: "Canada", kind: Country, aliases: &["canada"] },
-        EntityDef { id: "australia", name: "Australia", kind: Country, aliases: &["australia"] },
-        EntityDef { id: "russia", name: "Russia", kind: Country, aliases: &["russia", "russian federation"] },
-        EntityDef { id: "south_korea", name: "South Korea", kind: Country, aliases: &["south korea", "korea", "republic of korea"] },
-        EntityDef { id: "mexico", name: "Mexico", kind: Country, aliases: &["mexico"] },
-        EntityDef { id: "italy", name: "Italy", kind: Country, aliases: &["italy", "italia"] },
-        EntityDef { id: "spain", name: "Spain", kind: Country, aliases: &["spain", "espana"] },
-        EntityDef { id: "netherlands", name: "Netherlands", kind: Country, aliases: &["netherlands", "holland", "the netherlands"] },
-        EntityDef { id: "switzerland", name: "Switzerland", kind: Country, aliases: &["switzerland", "swiss confederation"] },
-        EntityDef { id: "sweden", name: "Sweden", kind: Country, aliases: &["sweden"] },
-        EntityDef { id: "norway", name: "Norway", kind: Country, aliases: &["norway"] },
-        EntityDef { id: "singapore", name: "Singapore", kind: Country, aliases: &["singapore"] },
-        EntityDef { id: "egypt", name: "Egypt", kind: Country, aliases: &["egypt", "arab republic of egypt"] },
-        EntityDef { id: "south_africa", name: "South Africa", kind: Country, aliases: &["south africa"] },
-        EntityDef { id: "argentina", name: "Argentina", kind: Country, aliases: &["argentina"] },
-        EntityDef { id: "turkey", name: "Turkey", kind: Country, aliases: &["turkey", "turkiye"] },
-        EntityDef { id: "poland", name: "Poland", kind: Country, aliases: &["poland", "polska"] },
+        EntityDef {
+            id: "united_states",
+            name: "United States",
+            kind: Country,
+            aliases: &[
+                "united states of america",
+                "united states",
+                "usa",
+                "us",
+                "america",
+                "the states",
+                "u.s",
+                "u.s.a",
+            ],
+        },
+        EntityDef {
+            id: "united_kingdom",
+            name: "United Kingdom",
+            kind: Country,
+            aliases: &["united kingdom", "uk", "britain", "great britain", "u.k"],
+        },
+        EntityDef {
+            id: "germany",
+            name: "Germany",
+            kind: Country,
+            aliases: &["germany", "deutschland", "federal republic of germany"],
+        },
+        EntityDef {
+            id: "france",
+            name: "France",
+            kind: Country,
+            aliases: &["france", "french republic"],
+        },
+        EntityDef {
+            id: "china",
+            name: "China",
+            kind: Country,
+            aliases: &["china", "prc", "people's republic of china"],
+        },
+        EntityDef {
+            id: "japan",
+            name: "Japan",
+            kind: Country,
+            aliases: &["japan", "nippon"],
+        },
+        EntityDef {
+            id: "india",
+            name: "India",
+            kind: Country,
+            aliases: &["india", "republic of india", "bharat"],
+        },
+        EntityDef {
+            id: "brazil",
+            name: "Brazil",
+            kind: Country,
+            aliases: &["brazil", "brasil"],
+        },
+        EntityDef {
+            id: "canada",
+            name: "Canada",
+            kind: Country,
+            aliases: &["canada"],
+        },
+        EntityDef {
+            id: "australia",
+            name: "Australia",
+            kind: Country,
+            aliases: &["australia"],
+        },
+        EntityDef {
+            id: "russia",
+            name: "Russia",
+            kind: Country,
+            aliases: &["russia", "russian federation"],
+        },
+        EntityDef {
+            id: "south_korea",
+            name: "South Korea",
+            kind: Country,
+            aliases: &["south korea", "korea", "republic of korea"],
+        },
+        EntityDef {
+            id: "mexico",
+            name: "Mexico",
+            kind: Country,
+            aliases: &["mexico"],
+        },
+        EntityDef {
+            id: "italy",
+            name: "Italy",
+            kind: Country,
+            aliases: &["italy", "italia"],
+        },
+        EntityDef {
+            id: "spain",
+            name: "Spain",
+            kind: Country,
+            aliases: &["spain", "espana"],
+        },
+        EntityDef {
+            id: "netherlands",
+            name: "Netherlands",
+            kind: Country,
+            aliases: &["netherlands", "holland", "the netherlands"],
+        },
+        EntityDef {
+            id: "switzerland",
+            name: "Switzerland",
+            kind: Country,
+            aliases: &["switzerland", "swiss confederation"],
+        },
+        EntityDef {
+            id: "sweden",
+            name: "Sweden",
+            kind: Country,
+            aliases: &["sweden"],
+        },
+        EntityDef {
+            id: "norway",
+            name: "Norway",
+            kind: Country,
+            aliases: &["norway"],
+        },
+        EntityDef {
+            id: "singapore",
+            name: "Singapore",
+            kind: Country,
+            aliases: &["singapore"],
+        },
+        EntityDef {
+            id: "egypt",
+            name: "Egypt",
+            kind: Country,
+            aliases: &["egypt", "arab republic of egypt"],
+        },
+        EntityDef {
+            id: "south_africa",
+            name: "South Africa",
+            kind: Country,
+            aliases: &["south africa"],
+        },
+        EntityDef {
+            id: "argentina",
+            name: "Argentina",
+            kind: Country,
+            aliases: &["argentina"],
+        },
+        EntityDef {
+            id: "turkey",
+            name: "Turkey",
+            kind: Country,
+            aliases: &["turkey", "turkiye"],
+        },
+        EntityDef {
+            id: "poland",
+            name: "Poland",
+            kind: Country,
+            aliases: &["poland", "polska"],
+        },
         // Organizations (the paper names several cognitive-service vendors).
-        EntityDef { id: "ibm", name: "IBM", kind: Organization, aliases: &["ibm", "international business machines", "big blue"] },
-        EntityDef { id: "microsoft", name: "Microsoft", kind: Organization, aliases: &["microsoft", "msft"] },
-        EntityDef { id: "google", name: "Google", kind: Organization, aliases: &["google", "alphabet"] },
-        EntityDef { id: "amazon", name: "Amazon", kind: Organization, aliases: &["amazon", "aws", "amazon web services"] },
-        EntityDef { id: "apple", name: "Apple", kind: Organization, aliases: &["apple", "apple inc"] },
-        EntityDef { id: "facebook", name: "Facebook", kind: Organization, aliases: &["facebook", "meta"] },
-        EntityDef { id: "intel", name: "Intel", kind: Organization, aliases: &["intel"] },
-        EntityDef { id: "oracle", name: "Oracle", kind: Organization, aliases: &["oracle"] },
-        EntityDef { id: "samsung", name: "Samsung", kind: Organization, aliases: &["samsung"] },
-        EntityDef { id: "toyota", name: "Toyota", kind: Organization, aliases: &["toyota"] },
-        EntityDef { id: "siemens", name: "Siemens", kind: Organization, aliases: &["siemens"] },
-        EntityDef { id: "nestle", name: "Nestle", kind: Organization, aliases: &["nestle"] },
-        EntityDef { id: "united_nations", name: "United Nations", kind: Organization, aliases: &["united nations", "un"] },
-        EntityDef { id: "world_bank", name: "World Bank", kind: Organization, aliases: &["world bank"] },
-        EntityDef { id: "wikipedia", name: "Wikipedia", kind: Organization, aliases: &["wikipedia", "wikimedia", "wikimedia foundation"] },
-        EntityDef { id: "nasa", name: "NASA", kind: Organization, aliases: &["nasa"] },
-        EntityDef { id: "mit", name: "MIT", kind: Organization, aliases: &["mit", "massachusetts institute of technology"] },
-        EntityDef { id: "stanford", name: "Stanford University", kind: Organization, aliases: &["stanford", "stanford university"] },
-        EntityDef { id: "max_planck", name: "Max Planck Institute", kind: Organization, aliases: &["max planck institute", "max planck"] },
+        EntityDef {
+            id: "ibm",
+            name: "IBM",
+            kind: Organization,
+            aliases: &["ibm", "international business machines", "big blue"],
+        },
+        EntityDef {
+            id: "microsoft",
+            name: "Microsoft",
+            kind: Organization,
+            aliases: &["microsoft", "msft"],
+        },
+        EntityDef {
+            id: "google",
+            name: "Google",
+            kind: Organization,
+            aliases: &["google", "alphabet"],
+        },
+        EntityDef {
+            id: "amazon",
+            name: "Amazon",
+            kind: Organization,
+            aliases: &["amazon", "aws", "amazon web services"],
+        },
+        EntityDef {
+            id: "apple",
+            name: "Apple",
+            kind: Organization,
+            aliases: &["apple", "apple inc"],
+        },
+        EntityDef {
+            id: "facebook",
+            name: "Facebook",
+            kind: Organization,
+            aliases: &["facebook", "meta"],
+        },
+        EntityDef {
+            id: "intel",
+            name: "Intel",
+            kind: Organization,
+            aliases: &["intel"],
+        },
+        EntityDef {
+            id: "oracle",
+            name: "Oracle",
+            kind: Organization,
+            aliases: &["oracle"],
+        },
+        EntityDef {
+            id: "samsung",
+            name: "Samsung",
+            kind: Organization,
+            aliases: &["samsung"],
+        },
+        EntityDef {
+            id: "toyota",
+            name: "Toyota",
+            kind: Organization,
+            aliases: &["toyota"],
+        },
+        EntityDef {
+            id: "siemens",
+            name: "Siemens",
+            kind: Organization,
+            aliases: &["siemens"],
+        },
+        EntityDef {
+            id: "nestle",
+            name: "Nestle",
+            kind: Organization,
+            aliases: &["nestle"],
+        },
+        EntityDef {
+            id: "united_nations",
+            name: "United Nations",
+            kind: Organization,
+            aliases: &["united nations", "un"],
+        },
+        EntityDef {
+            id: "world_bank",
+            name: "World Bank",
+            kind: Organization,
+            aliases: &["world bank"],
+        },
+        EntityDef {
+            id: "wikipedia",
+            name: "Wikipedia",
+            kind: Organization,
+            aliases: &["wikipedia", "wikimedia", "wikimedia foundation"],
+        },
+        EntityDef {
+            id: "nasa",
+            name: "NASA",
+            kind: Organization,
+            aliases: &["nasa"],
+        },
+        EntityDef {
+            id: "mit",
+            name: "MIT",
+            kind: Organization,
+            aliases: &["mit", "massachusetts institute of technology"],
+        },
+        EntityDef {
+            id: "stanford",
+            name: "Stanford University",
+            kind: Organization,
+            aliases: &["stanford", "stanford university"],
+        },
+        EntityDef {
+            id: "max_planck",
+            name: "Max Planck Institute",
+            kind: Organization,
+            aliases: &["max planck institute", "max planck"],
+        },
         // People.
-        EntityDef { id: "alan_turing", name: "Alan Turing", kind: Person, aliases: &["alan turing", "turing"] },
-        EntityDef { id: "grace_hopper", name: "Grace Hopper", kind: Person, aliases: &["grace hopper", "admiral hopper"] },
-        EntityDef { id: "ada_lovelace", name: "Ada Lovelace", kind: Person, aliases: &["ada lovelace", "countess of lovelace"] },
-        EntityDef { id: "marie_curie", name: "Marie Curie", kind: Person, aliases: &["marie curie", "madame curie"] },
-        EntityDef { id: "albert_einstein", name: "Albert Einstein", kind: Person, aliases: &["albert einstein", "einstein"] },
-        EntityDef { id: "isaac_newton", name: "Isaac Newton", kind: Person, aliases: &["isaac newton", "newton"] },
-        EntityDef { id: "charles_darwin", name: "Charles Darwin", kind: Person, aliases: &["charles darwin", "darwin"] },
-        EntityDef { id: "nikola_tesla", name: "Nikola Tesla", kind: Person, aliases: &["nikola tesla", "tesla"] },
-        EntityDef { id: "claude_shannon", name: "Claude Shannon", kind: Person, aliases: &["claude shannon", "shannon"] },
-        EntityDef { id: "john_von_neumann", name: "John von Neumann", kind: Person, aliases: &["john von neumann", "von neumann"] },
+        EntityDef {
+            id: "alan_turing",
+            name: "Alan Turing",
+            kind: Person,
+            aliases: &["alan turing", "turing"],
+        },
+        EntityDef {
+            id: "grace_hopper",
+            name: "Grace Hopper",
+            kind: Person,
+            aliases: &["grace hopper", "admiral hopper"],
+        },
+        EntityDef {
+            id: "ada_lovelace",
+            name: "Ada Lovelace",
+            kind: Person,
+            aliases: &["ada lovelace", "countess of lovelace"],
+        },
+        EntityDef {
+            id: "marie_curie",
+            name: "Marie Curie",
+            kind: Person,
+            aliases: &["marie curie", "madame curie"],
+        },
+        EntityDef {
+            id: "albert_einstein",
+            name: "Albert Einstein",
+            kind: Person,
+            aliases: &["albert einstein", "einstein"],
+        },
+        EntityDef {
+            id: "isaac_newton",
+            name: "Isaac Newton",
+            kind: Person,
+            aliases: &["isaac newton", "newton"],
+        },
+        EntityDef {
+            id: "charles_darwin",
+            name: "Charles Darwin",
+            kind: Person,
+            aliases: &["charles darwin", "darwin"],
+        },
+        EntityDef {
+            id: "nikola_tesla",
+            name: "Nikola Tesla",
+            kind: Person,
+            aliases: &["nikola tesla", "tesla"],
+        },
+        EntityDef {
+            id: "claude_shannon",
+            name: "Claude Shannon",
+            kind: Person,
+            aliases: &["claude shannon", "shannon"],
+        },
+        EntityDef {
+            id: "john_von_neumann",
+            name: "John von Neumann",
+            kind: Person,
+            aliases: &["john von neumann", "von neumann"],
+        },
         // Cities.
-        EntityDef { id: "new_york", name: "New York", kind: City, aliases: &["new york", "new york city", "nyc"] },
-        EntityDef { id: "london", name: "London", kind: City, aliases: &["london"] },
-        EntityDef { id: "paris", name: "Paris", kind: City, aliases: &["paris"] },
-        EntityDef { id: "tokyo", name: "Tokyo", kind: City, aliases: &["tokyo"] },
-        EntityDef { id: "berlin", name: "Berlin", kind: City, aliases: &["berlin"] },
-        EntityDef { id: "beijing", name: "Beijing", kind: City, aliases: &["beijing", "peking"] },
-        EntityDef { id: "mumbai", name: "Mumbai", kind: City, aliases: &["mumbai", "bombay"] },
-        EntityDef { id: "sao_paulo", name: "Sao Paulo", kind: City, aliases: &["sao paulo"] },
-        EntityDef { id: "sydney", name: "Sydney", kind: City, aliases: &["sydney"] },
-        EntityDef { id: "toronto", name: "Toronto", kind: City, aliases: &["toronto"] },
+        EntityDef {
+            id: "new_york",
+            name: "New York",
+            kind: City,
+            aliases: &["new york", "new york city", "nyc"],
+        },
+        EntityDef {
+            id: "london",
+            name: "London",
+            kind: City,
+            aliases: &["london"],
+        },
+        EntityDef {
+            id: "paris",
+            name: "Paris",
+            kind: City,
+            aliases: &["paris"],
+        },
+        EntityDef {
+            id: "tokyo",
+            name: "Tokyo",
+            kind: City,
+            aliases: &["tokyo"],
+        },
+        EntityDef {
+            id: "berlin",
+            name: "Berlin",
+            kind: City,
+            aliases: &["berlin"],
+        },
+        EntityDef {
+            id: "beijing",
+            name: "Beijing",
+            kind: City,
+            aliases: &["beijing", "peking"],
+        },
+        EntityDef {
+            id: "mumbai",
+            name: "Mumbai",
+            kind: City,
+            aliases: &["mumbai", "bombay"],
+        },
+        EntityDef {
+            id: "sao_paulo",
+            name: "Sao Paulo",
+            kind: City,
+            aliases: &["sao paulo"],
+        },
+        EntityDef {
+            id: "sydney",
+            name: "Sydney",
+            kind: City,
+            aliases: &["sydney"],
+        },
+        EntityDef {
+            id: "toronto",
+            name: "Toronto",
+            kind: City,
+            aliases: &["toronto"],
+        },
         // Technologies / concepts.
-        EntityDef { id: "machine_learning", name: "Machine Learning", kind: Technology, aliases: &["machine learning", "ml"] },
-        EntityDef { id: "artificial_intelligence", name: "Artificial Intelligence", kind: Technology, aliases: &["artificial intelligence", "ai"] },
-        EntityDef { id: "cloud_computing", name: "Cloud Computing", kind: Technology, aliases: &["cloud computing", "the cloud"] },
-        EntityDef { id: "quantum_computing", name: "Quantum Computing", kind: Technology, aliases: &["quantum computing", "quantum computers"] },
-        EntityDef { id: "blockchain", name: "Blockchain", kind: Technology, aliases: &["blockchain", "distributed ledger"] },
-        EntityDef { id: "renewable_energy", name: "Renewable Energy", kind: Technology, aliases: &["renewable energy", "renewables", "clean energy"] },
-        EntityDef { id: "electric_vehicles", name: "Electric Vehicles", kind: Technology, aliases: &["electric vehicles", "electric cars", "evs"] },
-        EntityDef { id: "semiconductors", name: "Semiconductors", kind: Technology, aliases: &["semiconductors", "microchips", "chips"] },
-        EntityDef { id: "vaccines", name: "Vaccines", kind: Technology, aliases: &["vaccines", "vaccination", "immunization"] },
-        EntityDef { id: "internet_of_things", name: "Internet of Things", kind: Technology, aliases: &["internet of things", "iot"] },
+        EntityDef {
+            id: "machine_learning",
+            name: "Machine Learning",
+            kind: Technology,
+            aliases: &["machine learning", "ml"],
+        },
+        EntityDef {
+            id: "artificial_intelligence",
+            name: "Artificial Intelligence",
+            kind: Technology,
+            aliases: &["artificial intelligence", "ai"],
+        },
+        EntityDef {
+            id: "cloud_computing",
+            name: "Cloud Computing",
+            kind: Technology,
+            aliases: &["cloud computing", "the cloud"],
+        },
+        EntityDef {
+            id: "quantum_computing",
+            name: "Quantum Computing",
+            kind: Technology,
+            aliases: &["quantum computing", "quantum computers"],
+        },
+        EntityDef {
+            id: "blockchain",
+            name: "Blockchain",
+            kind: Technology,
+            aliases: &["blockchain", "distributed ledger"],
+        },
+        EntityDef {
+            id: "renewable_energy",
+            name: "Renewable Energy",
+            kind: Technology,
+            aliases: &["renewable energy", "renewables", "clean energy"],
+        },
+        EntityDef {
+            id: "electric_vehicles",
+            name: "Electric Vehicles",
+            kind: Technology,
+            aliases: &["electric vehicles", "electric cars", "evs"],
+        },
+        EntityDef {
+            id: "semiconductors",
+            name: "Semiconductors",
+            kind: Technology,
+            aliases: &["semiconductors", "microchips", "chips"],
+        },
+        EntityDef {
+            id: "vaccines",
+            name: "Vaccines",
+            kind: Technology,
+            aliases: &["vaccines", "vaccination", "immunization"],
+        },
+        EntityDef {
+            id: "internet_of_things",
+            name: "Internet of Things",
+            kind: Technology,
+            aliases: &["internet of things", "iot"],
+        },
     ]
 }
 
 fn builtin_sentiment() -> HashMap<&'static str, f64> {
     let positive: &[(&str, f64)] = &[
-        ("good", 0.5), ("great", 0.8), ("excellent", 1.0), ("amazing", 0.9),
-        ("wonderful", 0.9), ("fantastic", 0.9), ("superb", 0.9), ("positive", 0.6),
-        ("success", 0.7), ("successful", 0.7), ("win", 0.6), ("winning", 0.6),
-        ("growth", 0.5), ("growing", 0.5), ("profit", 0.6), ("profitable", 0.7),
-        ("strong", 0.5), ("stronger", 0.6), ("improve", 0.5), ("improved", 0.6),
-        ("improvement", 0.5), ("innovative", 0.7), ("innovation", 0.6),
-        ("breakthrough", 0.8), ("record", 0.4), ("efficient", 0.6),
-        ("reliable", 0.6), ("robust", 0.5), ("love", 0.8), ("loved", 0.8),
-        ("best", 0.8), ("better", 0.5), ("benefit", 0.5), ("beneficial", 0.6),
-        ("opportunity", 0.4), ("optimistic", 0.6), ("promising", 0.6),
-        ("thriving", 0.8), ("boom", 0.6), ("booming", 0.7), ("surge", 0.4),
-        ("gain", 0.5), ("gains", 0.5), ("advance", 0.4), ("advanced", 0.4),
-        ("progress", 0.5), ("leading", 0.4), ("leader", 0.4), ("praised", 0.7),
-        ("praise", 0.6), ("celebrated", 0.7), ("outstanding", 0.9),
-        ("impressive", 0.7), ("remarkable", 0.6), ("safe", 0.4), ("secure", 0.4),
-        ("stable", 0.4), ("recovery", 0.5), ("recovered", 0.5), ("rally", 0.5),
-        ("upbeat", 0.6), ("favorable", 0.6), ("happy", 0.7), ("delighted", 0.8),
+        ("good", 0.5),
+        ("great", 0.8),
+        ("excellent", 1.0),
+        ("amazing", 0.9),
+        ("wonderful", 0.9),
+        ("fantastic", 0.9),
+        ("superb", 0.9),
+        ("positive", 0.6),
+        ("success", 0.7),
+        ("successful", 0.7),
+        ("win", 0.6),
+        ("winning", 0.6),
+        ("growth", 0.5),
+        ("growing", 0.5),
+        ("profit", 0.6),
+        ("profitable", 0.7),
+        ("strong", 0.5),
+        ("stronger", 0.6),
+        ("improve", 0.5),
+        ("improved", 0.6),
+        ("improvement", 0.5),
+        ("innovative", 0.7),
+        ("innovation", 0.6),
+        ("breakthrough", 0.8),
+        ("record", 0.4),
+        ("efficient", 0.6),
+        ("reliable", 0.6),
+        ("robust", 0.5),
+        ("love", 0.8),
+        ("loved", 0.8),
+        ("best", 0.8),
+        ("better", 0.5),
+        ("benefit", 0.5),
+        ("beneficial", 0.6),
+        ("opportunity", 0.4),
+        ("optimistic", 0.6),
+        ("promising", 0.6),
+        ("thriving", 0.8),
+        ("boom", 0.6),
+        ("booming", 0.7),
+        ("surge", 0.4),
+        ("gain", 0.5),
+        ("gains", 0.5),
+        ("advance", 0.4),
+        ("advanced", 0.4),
+        ("progress", 0.5),
+        ("leading", 0.4),
+        ("leader", 0.4),
+        ("praised", 0.7),
+        ("praise", 0.6),
+        ("celebrated", 0.7),
+        ("outstanding", 0.9),
+        ("impressive", 0.7),
+        ("remarkable", 0.6),
+        ("safe", 0.4),
+        ("secure", 0.4),
+        ("stable", 0.4),
+        ("recovery", 0.5),
+        ("recovered", 0.5),
+        ("rally", 0.5),
+        ("upbeat", 0.6),
+        ("favorable", 0.6),
+        ("happy", 0.7),
+        ("delighted", 0.8),
     ];
     let negative: &[(&str, f64)] = &[
-        ("bad", -0.5), ("terrible", -0.9), ("awful", -0.9), ("horrible", -0.9),
-        ("poor", -0.6), ("negative", -0.6), ("failure", -0.8), ("fail", -0.7),
-        ("failed", -0.7), ("failing", -0.7), ("loss", -0.6), ("losses", -0.6),
-        ("losing", -0.6), ("decline", -0.5), ("declining", -0.5), ("drop", -0.4),
-        ("dropped", -0.4), ("weak", -0.5), ("weaker", -0.6), ("crisis", -0.8),
-        ("collapse", -0.9), ("collapsed", -0.9), ("crash", -0.8), ("crashed", -0.8),
-        ("scandal", -0.8), ("fraud", -0.9), ("corruption", -0.8), ("lawsuit", -0.5),
-        ("fined", -0.6), ("fine", -0.3), ("penalty", -0.5), ("risk", -0.3),
-        ("risky", -0.5), ("danger", -0.6), ("dangerous", -0.7), ("threat", -0.6),
-        ("worst", -0.9), ("worse", -0.6), ("problem", -0.4), ("problems", -0.4),
-        ("trouble", -0.5), ("troubled", -0.6), ("concern", -0.3), ("concerns", -0.3),
-        ("warning", -0.4), ("warned", -0.4), ("recession", -0.7), ("layoffs", -0.7),
-        ("bankruptcy", -0.9), ("bankrupt", -0.9), ("delay", -0.3), ("delayed", -0.3),
-        ("outage", -0.6), ("breach", -0.7), ("hacked", -0.7), ("vulnerable", -0.5),
-        ("unsafe", -0.6), ("unstable", -0.5), ("slump", -0.6), ("plunge", -0.6),
-        ("plunged", -0.6), ("disaster", -0.9), ("hate", -0.8), ("hated", -0.8),
-        ("disappointing", -0.7), ("disappointed", -0.7), ("sad", -0.5), ("angry", -0.6),
+        ("bad", -0.5),
+        ("terrible", -0.9),
+        ("awful", -0.9),
+        ("horrible", -0.9),
+        ("poor", -0.6),
+        ("negative", -0.6),
+        ("failure", -0.8),
+        ("fail", -0.7),
+        ("failed", -0.7),
+        ("failing", -0.7),
+        ("loss", -0.6),
+        ("losses", -0.6),
+        ("losing", -0.6),
+        ("decline", -0.5),
+        ("declining", -0.5),
+        ("drop", -0.4),
+        ("dropped", -0.4),
+        ("weak", -0.5),
+        ("weaker", -0.6),
+        ("crisis", -0.8),
+        ("collapse", -0.9),
+        ("collapsed", -0.9),
+        ("crash", -0.8),
+        ("crashed", -0.8),
+        ("scandal", -0.8),
+        ("fraud", -0.9),
+        ("corruption", -0.8),
+        ("lawsuit", -0.5),
+        ("fined", -0.6),
+        ("fine", -0.3),
+        ("penalty", -0.5),
+        ("risk", -0.3),
+        ("risky", -0.5),
+        ("danger", -0.6),
+        ("dangerous", -0.7),
+        ("threat", -0.6),
+        ("worst", -0.9),
+        ("worse", -0.6),
+        ("problem", -0.4),
+        ("problems", -0.4),
+        ("trouble", -0.5),
+        ("troubled", -0.6),
+        ("concern", -0.3),
+        ("concerns", -0.3),
+        ("warning", -0.4),
+        ("warned", -0.4),
+        ("recession", -0.7),
+        ("layoffs", -0.7),
+        ("bankruptcy", -0.9),
+        ("bankrupt", -0.9),
+        ("delay", -0.3),
+        ("delayed", -0.3),
+        ("outage", -0.6),
+        ("breach", -0.7),
+        ("hacked", -0.7),
+        ("vulnerable", -0.5),
+        ("unsafe", -0.6),
+        ("unstable", -0.5),
+        ("slump", -0.6),
+        ("plunge", -0.6),
+        ("plunged", -0.6),
+        ("disaster", -0.9),
+        ("hate", -0.8),
+        ("hated", -0.8),
+        ("disappointing", -0.7),
+        ("disappointed", -0.7),
+        ("sad", -0.5),
+        ("angry", -0.6),
     ];
     positive.iter().chain(negative).copied().collect()
 }
 
 fn builtin_taxonomy() -> BTreeMap<&'static str, Vec<&'static str>> {
     let mut t = BTreeMap::new();
-    t.insert("technology", vec!["software", "computer", "computing", "digital", "internet", "data", "algorithm", "chip", "chips", "semiconductor", "cloud", "ai", "robot", "app", "platform", "device"]);
-    t.insert("finance", vec!["market", "markets", "stock", "stocks", "bank", "banks", "investment", "investor", "trading", "earnings", "revenue", "profit", "shares", "bond", "currency", "dividend"]);
-    t.insert("health", vec!["health", "disease", "vaccine", "vaccines", "hospital", "doctor", "patient", "patients", "medicine", "medical", "drug", "treatment", "clinical", "therapy", "virus"]);
-    t.insert("politics", vec!["government", "election", "elections", "president", "minister", "parliament", "congress", "senate", "policy", "vote", "voters", "campaign", "law", "legislation", "treaty"]);
-    t.insert("science", vec!["research", "researchers", "study", "scientists", "experiment", "physics", "chemistry", "biology", "discovery", "laboratory", "theory", "evidence", "journal", "telescope"]);
-    t.insert("sports", vec!["game", "team", "teams", "player", "players", "season", "championship", "tournament", "coach", "league", "match", "goal", "olympics", "stadium"]);
-    t.insert("energy", vec!["energy", "oil", "gas", "solar", "wind", "power", "electricity", "grid", "renewable", "renewables", "battery", "batteries", "nuclear", "carbon", "emissions"]);
-    t.insert("climate", vec!["climate", "warming", "emissions", "carbon", "weather", "temperature", "drought", "flood", "storm", "environment", "environmental", "pollution", "sustainability"]);
-    t.insert("business", vec!["company", "companies", "ceo", "merger", "acquisition", "startup", "startups", "industry", "manufacturing", "supply", "retail", "customers", "product", "products", "sales"]);
-    t.insert("education", vec!["school", "schools", "university", "universities", "students", "teachers", "education", "curriculum", "degree", "college", "learning", "tuition"]);
+    t.insert(
+        "technology",
+        vec![
+            "software",
+            "computer",
+            "computing",
+            "digital",
+            "internet",
+            "data",
+            "algorithm",
+            "chip",
+            "chips",
+            "semiconductor",
+            "cloud",
+            "ai",
+            "robot",
+            "app",
+            "platform",
+            "device",
+        ],
+    );
+    t.insert(
+        "finance",
+        vec![
+            "market",
+            "markets",
+            "stock",
+            "stocks",
+            "bank",
+            "banks",
+            "investment",
+            "investor",
+            "trading",
+            "earnings",
+            "revenue",
+            "profit",
+            "shares",
+            "bond",
+            "currency",
+            "dividend",
+        ],
+    );
+    t.insert(
+        "health",
+        vec![
+            "health",
+            "disease",
+            "vaccine",
+            "vaccines",
+            "hospital",
+            "doctor",
+            "patient",
+            "patients",
+            "medicine",
+            "medical",
+            "drug",
+            "treatment",
+            "clinical",
+            "therapy",
+            "virus",
+        ],
+    );
+    t.insert(
+        "politics",
+        vec![
+            "government",
+            "election",
+            "elections",
+            "president",
+            "minister",
+            "parliament",
+            "congress",
+            "senate",
+            "policy",
+            "vote",
+            "voters",
+            "campaign",
+            "law",
+            "legislation",
+            "treaty",
+        ],
+    );
+    t.insert(
+        "science",
+        vec![
+            "research",
+            "researchers",
+            "study",
+            "scientists",
+            "experiment",
+            "physics",
+            "chemistry",
+            "biology",
+            "discovery",
+            "laboratory",
+            "theory",
+            "evidence",
+            "journal",
+            "telescope",
+        ],
+    );
+    t.insert(
+        "sports",
+        vec![
+            "game",
+            "team",
+            "teams",
+            "player",
+            "players",
+            "season",
+            "championship",
+            "tournament",
+            "coach",
+            "league",
+            "match",
+            "goal",
+            "olympics",
+            "stadium",
+        ],
+    );
+    t.insert(
+        "energy",
+        vec![
+            "energy",
+            "oil",
+            "gas",
+            "solar",
+            "wind",
+            "power",
+            "electricity",
+            "grid",
+            "renewable",
+            "renewables",
+            "battery",
+            "batteries",
+            "nuclear",
+            "carbon",
+            "emissions",
+        ],
+    );
+    t.insert(
+        "climate",
+        vec![
+            "climate",
+            "warming",
+            "emissions",
+            "carbon",
+            "weather",
+            "temperature",
+            "drought",
+            "flood",
+            "storm",
+            "environment",
+            "environmental",
+            "pollution",
+            "sustainability",
+        ],
+    );
+    t.insert(
+        "business",
+        vec![
+            "company",
+            "companies",
+            "ceo",
+            "merger",
+            "acquisition",
+            "startup",
+            "startups",
+            "industry",
+            "manufacturing",
+            "supply",
+            "retail",
+            "customers",
+            "product",
+            "products",
+            "sales",
+        ],
+    );
+    t.insert(
+        "education",
+        vec![
+            "school",
+            "schools",
+            "university",
+            "universities",
+            "students",
+            "teachers",
+            "education",
+            "curriculum",
+            "degree",
+            "college",
+            "learning",
+            "tuition",
+        ],
+    );
     t
 }
 
 /// Stopwords: words ignored by keyword extraction.
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "and", "or", "but", "if", "then", "else", "when", "while",
-    "of", "at", "by", "for", "with", "about", "against", "between", "into",
-    "through", "during", "before", "after", "above", "below", "to", "from",
-    "up", "down", "in", "out", "on", "off", "over", "under", "again", "further",
-    "is", "are", "was", "were", "be", "been", "being", "have", "has", "had",
-    "having", "do", "does", "did", "doing", "will", "would", "shall", "should",
-    "can", "could", "may", "might", "must", "it", "its", "this", "that", "these",
-    "those", "i", "you", "he", "she", "we", "they", "them", "his", "her", "their",
-    "our", "your", "my", "me", "him", "us", "as", "so", "than", "too", "very",
-    "not", "no", "nor", "only", "own", "same", "such", "both", "each", "few",
-    "more", "most", "other", "some", "any", "all", "also", "just", "now", "there",
-    "here", "what", "which", "who", "whom", "how", "why", "where", "said", "says",
+    "a", "an", "the", "and", "or", "but", "if", "then", "else", "when", "while", "of", "at", "by",
+    "for", "with", "about", "against", "between", "into", "through", "during", "before", "after",
+    "above", "below", "to", "from", "up", "down", "in", "out", "on", "off", "over", "under",
+    "again", "further", "is", "are", "was", "were", "be", "been", "being", "have", "has", "had",
+    "having", "do", "does", "did", "doing", "will", "would", "shall", "should", "can", "could",
+    "may", "might", "must", "it", "its", "this", "that", "these", "those", "i", "you", "he", "she",
+    "we", "they", "them", "his", "her", "their", "our", "your", "my", "me", "him", "us", "as",
+    "so", "than", "too", "very", "not", "no", "nor", "only", "own", "same", "such", "both", "each",
+    "few", "more", "most", "other", "some", "any", "all", "also", "just", "now", "there", "here",
+    "what", "which", "who", "whom", "how", "why", "where", "said", "says",
 ];
 
 /// Common English words powering the spell checker's language model,
 /// ordered roughly by frequency (most common first).
 pub const COMMON_WORDS: &[&str] = &[
-    "the", "be", "to", "of", "and", "a", "in", "that", "have", "it", "for",
-    "not", "on", "with", "he", "as", "you", "do", "at", "this", "but", "his",
-    "by", "from", "they", "we", "say", "her", "she", "or", "an", "will", "my",
-    "one", "all", "would", "there", "their", "what", "so", "up", "out", "if",
-    "about", "who", "get", "which", "go", "me", "when", "make", "can", "like",
-    "time", "no", "just", "him", "know", "take", "people", "into", "year",
-    "your", "good", "some", "could", "them", "see", "other", "than", "then",
-    "now", "look", "only", "come", "its", "over", "think", "also", "back",
-    "after", "use", "two", "how", "our", "work", "first", "well", "way",
-    "even", "new", "want", "because", "any", "these", "give", "day", "most",
-    "us", "is", "was", "are", "been", "has", "had", "were", "said", "did",
-    "having", "may", "should", "company", "market", "service", "services",
-    "data", "world", "government", "president", "report", "reports", "news",
-    "announced", "billion", "million", "percent", "growth", "economy",
-    "economic", "technology", "research", "business", "industry", "energy",
-    "health", "science", "study", "analysis", "country", "countries", "city",
-    "national", "international", "global", "public", "private", "financial",
-    "investment", "development", "production", "system", "systems", "program",
-    "project", "plan", "plans", "deal", "agreement", "trade", "quarter",
-    "revenue", "profit", "shares", "stock", "computer", "software", "internet",
-    "digital", "cloud", "mobile", "online", "network", "security", "customers",
-    "products", "launch", "launched", "release", "released", "university",
-    "school", "students", "team", "game", "season", "water", "power", "oil",
-    "gas", "climate", "weather", "change", "changes", "future", "history",
-    "results", "result", "increase", "increased", "decrease", "decreased",
-    "high", "higher", "low", "lower", "large", "largest", "small", "smallest",
-    "long", "short", "early", "late", "recent", "recently", "important",
-    "major", "minor", "several", "many", "much", "around", "between", "during",
-    "against", "through", "without", "within", "across", "million", "language",
-    "speech", "recognition", "understanding", "knowledge", "information",
-    "statement", "statements", "database", "storage", "application",
-    "applications", "performance", "quality", "cost", "costs", "price",
-    "prices", "value", "values", "number", "numbers", "level", "levels",
+    "the",
+    "be",
+    "to",
+    "of",
+    "and",
+    "a",
+    "in",
+    "that",
+    "have",
+    "it",
+    "for",
+    "not",
+    "on",
+    "with",
+    "he",
+    "as",
+    "you",
+    "do",
+    "at",
+    "this",
+    "but",
+    "his",
+    "by",
+    "from",
+    "they",
+    "we",
+    "say",
+    "her",
+    "she",
+    "or",
+    "an",
+    "will",
+    "my",
+    "one",
+    "all",
+    "would",
+    "there",
+    "their",
+    "what",
+    "so",
+    "up",
+    "out",
+    "if",
+    "about",
+    "who",
+    "get",
+    "which",
+    "go",
+    "me",
+    "when",
+    "make",
+    "can",
+    "like",
+    "time",
+    "no",
+    "just",
+    "him",
+    "know",
+    "take",
+    "people",
+    "into",
+    "year",
+    "your",
+    "good",
+    "some",
+    "could",
+    "them",
+    "see",
+    "other",
+    "than",
+    "then",
+    "now",
+    "look",
+    "only",
+    "come",
+    "its",
+    "over",
+    "think",
+    "also",
+    "back",
+    "after",
+    "use",
+    "two",
+    "how",
+    "our",
+    "work",
+    "first",
+    "well",
+    "way",
+    "even",
+    "new",
+    "want",
+    "because",
+    "any",
+    "these",
+    "give",
+    "day",
+    "most",
+    "us",
+    "is",
+    "was",
+    "are",
+    "been",
+    "has",
+    "had",
+    "were",
+    "said",
+    "did",
+    "having",
+    "may",
+    "should",
+    "company",
+    "market",
+    "service",
+    "services",
+    "data",
+    "world",
+    "government",
+    "president",
+    "report",
+    "reports",
+    "news",
+    "announced",
+    "billion",
+    "million",
+    "percent",
+    "growth",
+    "economy",
+    "economic",
+    "technology",
+    "research",
+    "business",
+    "industry",
+    "energy",
+    "health",
+    "science",
+    "study",
+    "analysis",
+    "country",
+    "countries",
+    "city",
+    "national",
+    "international",
+    "global",
+    "public",
+    "private",
+    "financial",
+    "investment",
+    "development",
+    "production",
+    "system",
+    "systems",
+    "program",
+    "project",
+    "plan",
+    "plans",
+    "deal",
+    "agreement",
+    "trade",
+    "quarter",
+    "revenue",
+    "profit",
+    "shares",
+    "stock",
+    "computer",
+    "software",
+    "internet",
+    "digital",
+    "cloud",
+    "mobile",
+    "online",
+    "network",
+    "security",
+    "customers",
+    "products",
+    "launch",
+    "launched",
+    "release",
+    "released",
+    "university",
+    "school",
+    "students",
+    "team",
+    "game",
+    "season",
+    "water",
+    "power",
+    "oil",
+    "gas",
+    "climate",
+    "weather",
+    "change",
+    "changes",
+    "future",
+    "history",
+    "results",
+    "result",
+    "increase",
+    "increased",
+    "decrease",
+    "decreased",
+    "high",
+    "higher",
+    "low",
+    "lower",
+    "large",
+    "largest",
+    "small",
+    "smallest",
+    "long",
+    "short",
+    "early",
+    "late",
+    "recent",
+    "recently",
+    "important",
+    "major",
+    "minor",
+    "several",
+    "many",
+    "much",
+    "around",
+    "between",
+    "during",
+    "against",
+    "through",
+    "without",
+    "within",
+    "across",
+    "million",
+    "language",
+    "speech",
+    "recognition",
+    "understanding",
+    "knowledge",
+    "information",
+    "statement",
+    "statements",
+    "database",
+    "storage",
+    "application",
+    "applications",
+    "performance",
+    "quality",
+    "cost",
+    "costs",
+    "price",
+    "prices",
+    "value",
+    "values",
+    "number",
+    "numbers",
+    "level",
+    "levels",
 ];
 
 #[cfg(test)]
@@ -325,7 +1206,11 @@ mod tests {
     fn builtin_lexicons_are_populated() {
         let lex = Lexicons::builtin();
         assert!(lex.entities.len() >= 60, "entities: {}", lex.entities.len());
-        assert!(lex.sentiment.len() >= 120, "sentiment: {}", lex.sentiment.len());
+        assert!(
+            lex.sentiment.len() >= 120,
+            "sentiment: {}",
+            lex.sentiment.len()
+        );
         assert!(lex.stopwords.len() >= 80);
         assert_eq!(lex.taxonomy.len(), 10);
         assert!(lex.word_freq.len() >= 300);
@@ -354,11 +1239,24 @@ mod tests {
     fn usa_aliases_match_paper_example() {
         let entities = builtin_entities();
         let usa = entities.iter().find(|e| e.id == "united_states").unwrap();
-        for alias in ["usa", "us", "united states", "america", "united states of america", "the states"] {
+        for alias in [
+            "usa",
+            "us",
+            "united states",
+            "america",
+            "united states of america",
+            "the states",
+        ] {
             assert!(usa.aliases.contains(&alias), "missing alias {alias}");
         }
-        assert_eq!(usa.dbpedia_url(), "http://dbpedia.org/resource/United_States");
-        assert_eq!(usa.yago_url(), "http://yago-knowledge.org/resource/United_States");
+        assert_eq!(
+            usa.dbpedia_url(),
+            "http://dbpedia.org/resource/United_States"
+        );
+        assert_eq!(
+            usa.yago_url(),
+            "http://yago-knowledge.org/resource/United_States"
+        );
     }
 
     #[test]

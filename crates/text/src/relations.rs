@@ -113,7 +113,11 @@ mod tests {
 
     #[test]
     fn verb_variants_normalize_to_one_predicate() {
-        for text in ["IBM acquired Oracle.", "IBM buys Oracle.", "IBM bought Oracle."] {
+        for text in [
+            "IBM acquired Oracle.",
+            "IBM buys Oracle.",
+            "IBM bought Oracle.",
+        ] {
             let r = rels(text);
             assert_eq!(r.len(), 1, "{text}");
             assert_eq!(r[0].predicate, "acquired", "{text}");

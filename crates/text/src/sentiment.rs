@@ -67,9 +67,7 @@ fn score_tokens(tokens: &[Token], lexicons: &Lexicons) -> Sentiment {
             let pw = prev.lower();
             if NEGATORS.contains(&pw.as_str()) || pw.ends_with("n't") {
                 value = -value * 0.8;
-            } else if let Some(&(_, factor)) =
-                INTENSIFIERS.iter().find(|(word, _)| *word == pw)
-            {
+            } else if let Some(&(_, factor)) = INTENSIFIERS.iter().find(|(word, _)| *word == pw) {
                 value *= factor;
             }
         }
@@ -107,7 +105,12 @@ pub fn document(text: &str, lexicons: &Lexicons) -> Sentiment {
 /// Targeted sentiment for one entity mention: scores the window of
 /// `window` tokens on each side of the mention, restricted to the
 /// mention's sentence.
-pub fn targeted(tokens: &[Token], mention: &Mention, window: usize, lexicons: &Lexicons) -> Sentiment {
+pub fn targeted(
+    tokens: &[Token],
+    mention: &Mention,
+    window: usize,
+    lexicons: &Lexicons,
+) -> Sentiment {
     let lo = mention.token_index.saturating_sub(window);
     let hi = (mention.token_index + mention.token_len + window).min(tokens.len());
     let in_sentence: Vec<Token> = tokens[lo..hi]

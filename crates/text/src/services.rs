@@ -188,8 +188,7 @@ mod tests {
         assert!(fleet.iter().all(|s| s.class() == "nlu"));
         // Cheapest is fastest in expectation.
         assert!(
-            fleet[2].latency_model().expected_ms(100)
-                < fleet[0].latency_model().expected_ms(100)
+            fleet[2].latency_model().expected_ms(100) < fleet[0].latency_model().expected_ms(100)
         );
     }
 

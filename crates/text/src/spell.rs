@@ -72,16 +72,15 @@ impl SpellChecker {
             return None;
         }
         let w = word.to_lowercase();
-        self.best(edits1(&w))
-            .or_else(|| {
-                // Distance 2: expand the distance-1 set once more. Bounded
-                // input keeps this tractable.
-                let mut second = Vec::new();
-                for e1 in edits1(&w) {
-                    second.extend(edits1(&e1));
-                }
-                self.best(second)
-            })
+        self.best(edits1(&w)).or_else(|| {
+            // Distance 2: expand the distance-1 set once more. Bounded
+            // input keeps this tractable.
+            let mut second = Vec::new();
+            for e1 in edits1(&w) {
+                second.extend(edits1(&e1));
+            }
+            self.best(second)
+        })
     }
 
     /// Checks a whole text, returning `(misspelled_word, Option<fix>)`

@@ -24,7 +24,10 @@ fn main() {
     let kb = PersonalKnowledgeBase::new(Arc::new(MemoryKv::new()), KbOptions::default());
 
     let tickers = ["IBM", "ACME", "GLOBEX", "INITECH", "HOOLI"];
-    println!("pulling 120-day histories for {} tickers...\n", tickers.len());
+    println!(
+        "pulling 120-day histories for {} tickers...\n",
+        tickers.len()
+    );
 
     for ticker in tickers {
         // Cached invocation: repeated analysis of the same ticker would
@@ -32,7 +35,10 @@ fn main() {
         let (resp, _hit) = sdk
             .invoke_cached(
                 "stocks",
-                &Request::new("history", json!({"op": "history", "ticker": (ticker), "days": 120})),
+                &Request::new(
+                    "history",
+                    json!({"op": "history", "ticker": (ticker), "days": 120}),
+                ),
             )
             .expect("finance service reachable");
         let csv = history_to_csv(&resp.payload).expect("well-formed history");
@@ -76,7 +82,10 @@ fn main() {
             0.85,
         )
         .unwrap();
-    println!("\nweighted inference ({} actionable facts):", weighted.len());
+    println!(
+        "\nweighted inference ({} actionable facts):",
+        weighted.len()
+    );
     for (fact, confidence) in &weighted {
         println!("  {:55} confidence={confidence:.2}", fact.to_string());
     }

@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --example http_gateway`
 
+use cogsdk::obs::Telemetry;
 use cogsdk::sdk::gateway::HttpGateway;
 use cogsdk::sdk::RichSdk;
 use cogsdk::sim::latency::LatencyModel;
@@ -31,7 +32,7 @@ fn post(path: &str, body: &str) -> String {
 
 fn main() {
     let env = SimEnv::with_seed(42);
-    let sdk = Arc::new(RichSdk::new(&env));
+    let sdk = Arc::new(RichSdk::with_telemetry(&env, Telemetry::new()));
     sdk.register(
         SimService::builder("translator", "nlu")
             .latency(LatencyModel::lognormal_ms(30.0, 0.3))
@@ -50,32 +51,77 @@ fn main() {
 
     // 1. Discover services (GET /services).
     let resp = http(addr, "GET /services HTTP/1.1\r\nHost: x\r\n\r\n");
-    println!("GET /services\n  -> {}\n", resp.lines().last().unwrap_or(""));
+    println!(
+        "GET /services\n  -> {}\n",
+        resp.lines().last().unwrap_or("")
+    );
 
     // 2. Invoke by name (POST /invoke/{service}).
     let resp = http(
         addr,
-        &post("/invoke/translator", r#"{"operation": "translate", "payload": {"text": "hello"}}"#),
+        &post(
+            "/invoke/translator",
+            r#"{"operation": "translate", "payload": {"text": "hello"}}"#,
+        ),
     );
-    println!("POST /invoke/translator\n  -> {}\n", resp.lines().last().unwrap_or(""));
+    println!(
+        "POST /invoke/translator\n  -> {}\n",
+        resp.lines().last().unwrap_or("")
+    );
 
     // 3. Cached invocation: the second call reports cache_hit=true.
     let body = r#"{"payload": {"text": "cached?"}}"#;
     http(addr, &post("/invoke-cached/translator", body));
     let resp = http(addr, &post("/invoke-cached/translator", body));
-    println!("POST /invoke-cached/translator (repeat)\n  -> {}\n", resp.lines().last().unwrap_or(""));
+    println!(
+        "POST /invoke-cached/translator (repeat)\n  -> {}\n",
+        resp.lines().last().unwrap_or("")
+    );
 
     // 4. Class invocation with ranked selection.
-    let resp = http(addr, &post("/invoke-class/nlu", r#"{"payload": {"text": "pick for me"}}"#));
-    println!("POST /invoke-class/nlu\n  -> {}\n", resp.lines().last().unwrap_or(""));
+    let resp = http(
+        addr,
+        &post(
+            "/invoke-class/nlu",
+            r#"{"payload": {"text": "pick for me"}}"#,
+        ),
+    );
+    println!(
+        "POST /invoke-class/nlu\n  -> {}\n",
+        resp.lines().last().unwrap_or("")
+    );
 
     // 5. Monitoring over HTTP.
     let resp = http(addr, "GET /monitor/translator HTTP/1.1\r\nHost: x\r\n\r\n");
-    println!("GET /monitor/translator\n  -> {}\n", resp.lines().last().unwrap_or(""));
+    println!(
+        "GET /monitor/translator\n  -> {}\n",
+        resp.lines().last().unwrap_or("")
+    );
 
     // 6. Errors map to proper status codes.
     let resp = http(addr, &post("/invoke/ghost", r#"{"payload": 1}"#));
-    println!("POST /invoke/ghost\n  -> {}", resp.lines().next().unwrap_or(""));
+    println!(
+        "POST /invoke/ghost\n  -> {}\n",
+        resp.lines().next().unwrap_or("")
+    );
+
+    // 7. Prometheus scrape: everything the calls above did — attempts,
+    // cache hits/misses, pool jobs, per-route gateway counters — is
+    // sitting in /metrics ready for a real scraper.
+    let resp = http(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    let metrics_body = resp.split("\r\n\r\n").nth(1).unwrap_or("");
+    println!("GET /metrics (scrape excerpt)");
+    for line in metrics_body
+        .lines()
+        .filter(|l| {
+            l.starts_with("sdk_attempts_total")
+                || l.starts_with("cache_requests_total")
+                || l.starts_with("gateway_requests_total")
+        })
+        .take(8)
+    {
+        println!("  {line}");
+    }
 
     shutdown.store(true, Ordering::SeqCst);
     handle.join().unwrap();

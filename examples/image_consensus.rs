@@ -20,7 +20,11 @@ fn main() {
     }
 
     let images: Vec<ImageDescriptor> = (0..6).map(ImageDescriptor::generate).collect();
-    println!("classifying {} images with {} vendors\n", images.len(), fleet.len());
+    println!(
+        "classifying {} images with {} vendors\n",
+        images.len(),
+        fleet.len()
+    );
 
     let mut correct_by_vendor: BTreeMap<String, (usize, usize)> = BTreeMap::new();
     for image in &images {
@@ -42,7 +46,9 @@ fn main() {
                 .iter()
                 .filter_map(|l| l.get("label").and_then(Json::as_str).map(str::to_string))
                 .collect();
-            let stats = correct_by_vendor.entry(vendor.name().to_string()).or_insert((0, 0));
+            let stats = correct_by_vendor
+                .entry(vendor.name().to_string())
+                .or_insert((0, 0));
             stats.0 += labels.iter().filter(|l| image.labels.contains(l)).count();
             stats.1 += image.labels.len();
             for label in labels {
@@ -50,11 +56,14 @@ fn main() {
             }
         }
         // Consensus: fraction of vendors agreeing.
-        let mut ranked: Vec<(&String, usize)> =
-            votes.iter().map(|(l, v)| (l, v.len())).collect();
+        let mut ranked: Vec<(&String, usize)> = votes.iter().map(|(l, v)| (l, v.len())).collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
         for (label, n) in ranked {
-            let marker = if image.labels.contains(label) { " " } else { "!" };
+            let marker = if image.labels.contains(label) {
+                " "
+            } else {
+                "!"
+            };
             println!("  {marker} {label:12} {n}/{} vendors", fleet.len());
         }
         println!();

@@ -60,7 +60,8 @@ germany,2016,3470.0
     );
 
     // 4. User synonym files for uncovered domains (§3's disease example).
-    kb.add_synonym_file("influenza: flu, the flu, grippe\n").unwrap();
+    kb.add_synonym_file("influenza: flu, the flu, grippe\n")
+        .unwrap();
     println!(
         "synonym file: 'the flu' resolves to {:?}",
         kb.disambiguate("the flu").map(|e| e.id)
@@ -74,7 +75,9 @@ germany,2016,3470.0
 
     // 6. Figure 5: regression -> RDF facts -> rule inference -> new
     //    knowledge the statistics alone never stated.
-    let facts = kb.regress_and_store("gdp", "year", "gdp", "gdp by year").unwrap();
+    let facts = kb
+        .regress_and_store("gdp", "year", "gdp", "gdp by year")
+        .unwrap();
     println!(
         "regression: gdp ~ year  slope={:+.1} r²={:.3}  prediction(2020)={:.0}",
         facts.slope,
@@ -121,7 +124,11 @@ germany,2016,3470.0
         .unwrap();
     println!(
         "backward chaining: kb:ibm reaches {:?}",
-        proofs.iter().filter_map(|b| b.get("who")).map(ToString::to_string).collect::<Vec<_>>()
+        proofs
+            .iter()
+            .filter_map(|b| b.get("who"))
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
     );
 
     // 8. Local spell checking (fast, free, offline).

@@ -1,0 +1,77 @@
+//! End-to-end telemetry: one failover invocation, fully reconstructed.
+//!
+//! Enables tracing on the SDK, forces a failover (the top-ranked service
+//! is down), then prints the trace tree for that single `invoke_class` —
+//! every leg, attempt, backoff and the predicted-vs-observed latency —
+//! followed by the Prometheus view of the same activity.
+//!
+//! Run with: `cargo run --example observability`
+
+use cogsdk::json::json;
+use cogsdk::obs::{prometheus_text, render_trace_tree, Telemetry};
+use cogsdk::sdk::invoke::{Backoff, InvocationPolicy};
+use cogsdk::sdk::rank::RankOptions;
+use cogsdk::sdk::RichSdk;
+use cogsdk::sim::failure::FailurePlan;
+use cogsdk::sim::latency::LatencyModel;
+use cogsdk::sim::{Request, SimEnv, SimService};
+use std::time::Duration;
+
+fn main() {
+    let env = SimEnv::with_seed(2026);
+    let telemetry = Telemetry::new();
+    let sdk = RichSdk::with_telemetry(&env, telemetry.clone());
+
+    // The best-looking service is completely down; its advertised quality
+    // still wins the ranking, so the first failover leg burns retries on
+    // it before the backup answers.
+    sdk.register(
+        SimService::builder("premium-nlu", "nlu")
+            .latency(LatencyModel::constant_ms(4.0))
+            .failures(FailurePlan::flaky(1.0))
+            .quality(0.98)
+            .build(&env),
+    );
+    sdk.register(
+        SimService::builder("budget-nlu", "nlu")
+            .latency(LatencyModel::constant_ms(35.0))
+            .quality(0.70)
+            .build(&env),
+    );
+    sdk.set_policy(InvocationPolicy {
+        default_retries: 2,
+        backoff: Backoff::Fixed(Duration::from_millis(20)),
+        ..InvocationPolicy::default()
+    });
+
+    let ok = sdk
+        .invoke_class(
+            "nlu",
+            &Request::new("classify", json!({"text": "telemetry demo"})),
+            &RankOptions::default(),
+        )
+        .expect("backup answers");
+
+    println!(
+        "invoke_class succeeded on '{}' after {} services / {} attempts ({:.1} ms)\n",
+        ok.service, ok.services_tried, ok.attempts, ok.latency_ms
+    );
+
+    println!("=== trace tree (one invocation, reconstructed from events) ===");
+    println!("{}", render_trace_tree(&telemetry.tracer().events()));
+
+    println!("=== /metrics (Prometheus text exposition, excerpt) ===");
+    for line in prometheus_text(telemetry.metrics())
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter(|l| {
+            l.starts_with("sdk_attempts_total")
+                || l.starts_with("sdk_errors_total")
+                || l.starts_with("sdk_failover_legs_total")
+                || l.starts_with("sdk_attempt_latency_ms_count")
+                || l.starts_with("sdk_prediction_error_ms_count")
+        })
+    {
+        println!("{line}");
+    }
+}

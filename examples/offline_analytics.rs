@@ -74,6 +74,9 @@ fn main() {
         fresh.len(),
         stale.len()
     );
-    assert!(fresh.len() > stale.len(), "cloud caught up with offline work");
+    assert!(
+        fresh.len() > stale.len(),
+        "cloud caught up with offline work"
+    );
     println!("done: offline work is durable in the cloud");
 }

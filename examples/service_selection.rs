@@ -47,7 +47,10 @@ fn main() {
     }
 
     // Selection phase: rank by *predicted* latency at each request size.
-    println!("\n{:>9} | {:>10} | {:>10} | chosen", "size (B)", "pred s1", "pred s2");
+    println!(
+        "\n{:>9} | {:>10} | {:>10} | chosen",
+        "size (B)", "pred s1", "pred s2"
+    );
     let mut crossover = None;
     for size in [200, 500, 1000, 2000, 2667, 3000, 5000, 10_000, 50_000] {
         let options = RankOptions {

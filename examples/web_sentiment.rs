@@ -41,7 +41,11 @@ fn main() {
         .search_and_analyze(&engines[0], &web, &fleet[0], query, 12)
         .expect("pipeline");
 
-    println!("analyzed {} documents (stored locally: {})", agg.documents, sdk.nlu().document_store().len());
+    println!(
+        "analyzed {} documents (stored locally: {})",
+        agg.documents,
+        sdk.nlu().document_store().len()
+    );
     println!("\nmost discussed entities (docs, mentions, mean sentiment):");
     for e in agg.entities.iter().take(8) {
         println!(
@@ -51,7 +55,10 @@ fn main() {
     }
     println!("\ntop keywords:");
     for k in agg.keywords.iter().take(8) {
-        println!("  {:18} docs={:2} count={:3}", k.text, k.documents, k.total_count);
+        println!(
+            "  {:18} docs={:2} count={:3}",
+            k.text, k.documents, k.total_count
+        );
     }
     println!("\ntopic distribution:");
     for (label, confidence) in agg.concepts.iter().take(5) {

@@ -14,6 +14,10 @@
 //! * [`kb`] ([`cogsdk_kb`]) — the personalized knowledge base:
 //!   multi-format storage, conversion, disambiguation, analytics +
 //!   inference, encryption/compression, offline operation.
+//! * [`obs`] ([`cogsdk_obs`]) — observability: structured invocation
+//!   tracing, a labeled metrics registry, Prometheus/JSON-Lines
+//!   exporters. Wired through the SDK, cache, pool and gateway; disabled
+//!   (near-zero cost) by default.
 //! * Substrates: [`sim`] (service fabric), [`text`] (NLU), [`search`]
 //!   (web search + HTML), [`store`] (KV/tables/CSV/crypto/compression),
 //!   [`rdf`] (triple store + four reasoners + SPARQL subset + weighted
@@ -45,6 +49,7 @@ pub use cogsdk_core as sdk;
 pub use cogsdk_datasvc as datasvc;
 pub use cogsdk_json as json;
 pub use cogsdk_kb as kb;
+pub use cogsdk_obs as obs;
 pub use cogsdk_rdf as rdf;
 pub use cogsdk_search as search;
 pub use cogsdk_sim as sim;

@@ -62,21 +62,34 @@ fn finance_to_kb_pipeline_detects_planted_trend() {
     let resp = sdk
         .invoke(
             "stocks",
-            &Request::new("history", json!({"op": "history", "ticker": "GLOBEX", "days": 252})),
+            &Request::new(
+                "history",
+                json!({"op": "history", "ticker": "GLOBEX", "days": 252}),
+            ),
         )
         .unwrap();
     let csv = history_to_csv(&resp.payload).unwrap();
     kb.ingest_csv("px", &csv).unwrap();
-    let facts = kb.regress_and_store("px", "day", "price", "globex").unwrap();
+    let facts = kb
+        .regress_and_store("px", "day", "price", "globex")
+        .unwrap();
 
     // Ground truth from the deterministic generator.
     let series = cogsdk::datasvc::finance::PriceSeries::generate("GLOBEX", 252);
     let first = series.prices.first().copied().unwrap();
     let last = series.last().unwrap();
     if last > first {
-        assert!(facts.slope > 0.0, "price rose {first}→{last}, slope {}", facts.slope);
+        assert!(
+            facts.slope > 0.0,
+            "price rose {first}→{last}, slope {}",
+            facts.slope
+        );
     } else {
-        assert!(facts.slope < 0.0, "price fell {first}→{last}, slope {}", facts.slope);
+        assert!(
+            facts.slope < 0.0,
+            "price fell {first}→{last}, slope {}",
+            facts.slope
+        );
     }
     // The trend fact is queryable.
     let rows = kb
@@ -102,7 +115,12 @@ fn vision_consensus_suppresses_hallucinations() {
             ));
             let Ok(resp) = out.result else { continue };
             responders += 1;
-            for l in resp.payload.get("labels").and_then(Json::as_array).unwrap_or(&[]) {
+            for l in resp
+                .payload
+                .get("labels")
+                .and_then(Json::as_array)
+                .unwrap_or(&[])
+            {
                 if let Some(label) = l.get("label").and_then(Json::as_str) {
                     *votes.entry(label.to_string()).or_insert(0) += 1;
                 }
@@ -137,12 +155,24 @@ fn ranked_selection_between_two_knowledge_sources() {
         let _ = sdk.invoke("kb-east", &req);
         let _ = sdk.invoke("kb-west", &req);
     }
-    let ok = sdk.invoke_class("knowledge", &req, &RankOptions::default()).unwrap();
+    let ok = sdk
+        .invoke_class("knowledge", &req, &RankOptions::default())
+        .unwrap();
     // Either can win (same latency model, different draws); the point is
     // that class invocation works over the data services and the winner
     // matches the monitor's faster service.
-    let east = sdk.monitor().history("kb-east").unwrap().mean_latency_ms().unwrap();
-    let west = sdk.monitor().history("kb-west").unwrap().mean_latency_ms().unwrap();
+    let east = sdk
+        .monitor()
+        .history("kb-east")
+        .unwrap()
+        .mean_latency_ms()
+        .unwrap();
+    let west = sdk
+        .monitor()
+        .history("kb-west")
+        .unwrap()
+        .mean_latency_ms()
+        .unwrap();
     let expected = if east <= west { "kb-east" } else { "kb-west" };
     assert_eq!(ok.service, expected, "east={east:.1}ms west={west:.1}ms");
 }
@@ -195,7 +225,10 @@ fn federated_query_merges_local_and_remote_knowledge() {
     let names: Vec<String> = rows.iter().map(|r| r["c"].to_string()).collect();
     assert!(names.contains(&"<kb:wakanda>".to_string()), "{names:?}");
     assert!(names.contains(&"<db:egypt>".to_string()), "{names:?}");
-    assert!(names.contains(&"<db:south_africa>".to_string()), "{names:?}");
+    assert!(
+        names.contains(&"<db:south_africa>".to_string()),
+        "{names:?}"
+    );
 }
 
 #[test]
@@ -225,10 +258,7 @@ fn import_entity_brings_remote_facts_with_source_confidence() {
     assert_eq!(kb.fact_confidence(&st), Some(0.8));
     // Weighted inference dilutes facts derived from the shaky source.
     let inferred = kb
-        .infer_rules_weighted(
-            "[(?c kb:capital ?k) -> (?k kb:capital_of ?c)]",
-            1.0,
-        )
+        .infer_rules_weighted("[(?c kb:capital ?k) -> (?k kb:capital_of ?c)]", 1.0)
         .unwrap();
     assert_eq!(inferred.len(), 1);
     assert!((inferred[0].1 - 0.8).abs() < 1e-9);
@@ -257,9 +287,18 @@ fn image_search_classify_aggregate_pipeline() {
 
     // Stage 1: search.
     let resp = sdk
-        .invoke("img-search", &Request::new("search", json!({"query": "dog", "limit": 6})))
+        .invoke(
+            "img-search",
+            &Request::new("search", json!({"query": "dog", "limit": 6})),
+        )
         .unwrap();
-    let images = resp.payload.get("images").unwrap().as_array().unwrap().to_vec();
+    let images = resp
+        .payload
+        .get("images")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .to_vec();
     assert!(!images.is_empty());
 
     // Stage 2+3: classify each hit with the best vendor, aggregate.
@@ -273,13 +312,22 @@ fn image_search_classify_aggregate_pipeline() {
             continue;
         };
         classified += 1;
-        for l in resp.payload.get("labels").and_then(Json::as_array).unwrap_or(&[]) {
+        for l in resp
+            .payload
+            .get("labels")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+        {
             if let Some(label) = l.get("label").and_then(Json::as_str) {
                 *label_counts.entry(label.to_string()).or_insert(0) += 1;
             }
         }
     }
-    assert!(classified >= images.len() - 1, "classified {classified}/{}", images.len());
+    assert!(
+        classified >= images.len() - 1,
+        "classified {classified}/{}",
+        images.len()
+    );
     // Every searched image was planted with "dog": the aggregate must be
     // dominated by it (vision-alpha has 95% recall).
     let dog = label_counts.get("dog").copied().unwrap_or(0);

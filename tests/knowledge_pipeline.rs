@@ -209,10 +209,7 @@ fn spell_checker_matches_remote_service_quality_locally() {
     let text = "the goverment annouced a new policyy";
     let local_fixes = kb.spell_check(text);
     // Remote round trip.
-    let req = cogsdk::sim::Request::new(
-        "check",
-        cogsdk::json::json!({"text": (text)}),
-    );
+    let req = cogsdk::sim::Request::new("check", cogsdk::json::json!({"text": (text)}));
     let remote_payload = loop {
         let o = remote.invoke(&req);
         if let Ok(resp) = o.result {

@@ -70,7 +70,10 @@ fn pipeline_survives_flaky_web_and_nlu() {
         .nlu()
         .search_and_analyze(&engines[1], &web, &nlu, "market report", 8)
         .unwrap();
-    assert!(agg.documents >= 4, "flakiness should not starve the pipeline");
+    assert!(
+        agg.documents >= 4,
+        "flakiness should not starve the pipeline"
+    );
 }
 
 #[test]
@@ -123,7 +126,10 @@ fn multi_vendor_consensus_orders_by_agreement() {
         .iter()
         .map(|e| format!("{:.3}", e.confidence))
         .collect();
-    assert!(distinct.len() > 1, "expected varying confidence: {distinct:?}");
+    assert!(
+        distinct.len() > 1,
+        "expected varying confidence: {distinct:?}"
+    );
 }
 
 #[test]
@@ -135,8 +141,14 @@ fn html_of_stored_documents_reanalyzes_identically() {
     let (engines, web, _index) = standard_web(&env, 42, 100);
     let nlu = reliable_nlu(&env, "nlu", NluConfig::perfect());
 
-    let hits = sdk.nlu().web_search(&engines[0], "growth", 3, false).unwrap();
-    let doc = sdk.nlu().fetch_document(&web, &hits[0].url, "growth").unwrap();
+    let hits = sdk
+        .nlu()
+        .web_search(&engines[0], "growth", 3, false)
+        .unwrap();
+    let doc = sdk
+        .nlu()
+        .fetch_document(&web, &hits[0].url, "growth")
+        .unwrap();
     let text = cogsdk::search::html::extract_text(&doc.html);
     let first = sdk.nlu().analyze_text(&nlu, &text).unwrap();
 

@@ -73,13 +73,17 @@ fn failover_rides_through_a_scheduled_outage() {
     );
 
     // During the outage: the secondary answers.
-    let ok = sdk.invoke_class("cls", &req(), &RankOptions::default()).unwrap();
+    let ok = sdk
+        .invoke_class("cls", &req(), &RankOptions::default())
+        .unwrap();
     assert_eq!(ok.service, "secondary");
 
     // After the outage: the primary recovers and wins again (advance past
     // the window; rankings favor its quality).
     env.clock().advance(Duration::from_secs(2));
-    let ok = sdk.invoke_class("cls", &req(), &RankOptions::default()).unwrap();
+    let ok = sdk
+        .invoke_class("cls", &req(), &RankOptions::default())
+        .unwrap();
     assert_eq!(ok.service, "primary");
 }
 
@@ -267,19 +271,28 @@ fn ewma_reranks_during_brownout_faster_than_mean() {
         ..RankOptions::default()
     };
     // 50 rounds x (10ms + 40ms) = 2500ms: the brown-out has begun.
-    assert!(env.clock().now() >= SimTime::from_millis(2_500), "brown-out began");
+    assert!(
+        env.clock().now() >= SimTime::from_millis(2_500),
+        "brown-out began"
+    );
     // Brown-out phase: observe a handful of degraded calls.
     for _ in 0..8 {
         sdk.invoke("primary", &req()).unwrap();
         sdk.invoke("backup", &req()).unwrap();
     }
-    let by_ewma = sdk.rank("cls", &latency_only(cogsdk::sdk::predict::Predictor::Ewma(0.4)));
+    let by_ewma = sdk.rank(
+        "cls",
+        &latency_only(cogsdk::sdk::predict::Predictor::Ewma(0.4)),
+    );
     let by_mean = sdk.rank("cls", &latency_only(cogsdk::sdk::predict::Predictor::Mean));
     assert_eq!(
         by_ewma[0].service.name(),
         "backup",
         "EWMA should have tracked the regime change: {:?}",
-        by_ewma.iter().map(|r| (r.service.name().to_string(), r.inputs.response_ms)).collect::<Vec<_>>()
+        by_ewma
+            .iter()
+            .map(|r| (r.service.name().to_string(), r.inputs.response_ms))
+            .collect::<Vec<_>>()
     );
     assert_eq!(
         by_mean[0].service.name(),

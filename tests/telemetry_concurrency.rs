@@ -1,0 +1,156 @@
+//! Integration: the telemetry layer under concurrency.
+//!
+//! Hammers `RichSdk::invoke_class` from many `ThreadPool` threads at once
+//! and checks that the tracer's event log, the metrics registry and the
+//! service monitor all reconcile — no events lost, no double counting,
+//! and the histogram totals equal the attempt counters.
+
+use cogsdk::json::json;
+use cogsdk::obs::Telemetry;
+use cogsdk::sdk::rank::RankOptions;
+use cogsdk::sdk::{RichSdk, ThreadPool};
+use cogsdk::sim::latency::LatencyModel;
+use cogsdk::sim::{Request, SimEnv, SimService};
+use std::sync::Arc;
+
+const DRIVERS: usize = 8;
+const CALLS_PER_DRIVER: usize = 25;
+const TOTAL: usize = DRIVERS * CALLS_PER_DRIVER;
+
+#[test]
+fn concurrent_invocations_reconcile_across_all_layers() {
+    let env = SimEnv::with_seed(4242);
+    let telemetry = Telemetry::new();
+    let sdk = Arc::new(RichSdk::with_telemetry(&env, telemetry.clone()));
+    for (name, ms) in [("alpha", 2.0), ("beta", 8.0)] {
+        sdk.register(
+            SimService::builder(name, "cls")
+                .latency(LatencyModel::constant_ms(ms))
+                .build(&env),
+        );
+    }
+
+    // A separate driver pool (not the SDK's own) hammers invoke_class.
+    let drivers = ThreadPool::new(DRIVERS);
+    let futures: Vec<_> = (0..DRIVERS)
+        .map(|d| {
+            let sdk = sdk.clone();
+            drivers.submit(move || {
+                let mut ok = 0usize;
+                for i in 0..CALLS_PER_DRIVER {
+                    let request =
+                        Request::new("op", json!({"driver": (d as i64), "i": (i as i64)}));
+                    if sdk
+                        .invoke_class("cls", &request, &RankOptions::default())
+                        .is_ok()
+                    {
+                        ok += 1;
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+    let successes: usize = futures.iter().map(|f| *f.wait()).sum();
+    assert_eq!(successes, TOTAL, "healthy services: every call succeeds");
+
+    // --- Tracer ⇄ call-count reconciliation -------------------------------
+    assert_eq!(telemetry.tracer().dropped(), 0, "ring must not overflow");
+    let events = telemetry.tracer().events();
+    let count = |name: &str| events.iter().filter(|e| e.kind.name() == name).count();
+    assert_eq!(count("invoke_start"), TOTAL);
+    assert_eq!(count("invoke_end"), TOTAL);
+    assert_eq!(count("prediction_issued"), TOTAL);
+    // Healthy services: exactly one failover leg and one attempt per call.
+    assert_eq!(count("failover_leg"), TOTAL);
+    assert_eq!(count("attempt"), TOTAL);
+
+    // Every trace is complete and internally consistent: one start, one
+    // end, and the end comes last.
+    use std::collections::HashMap;
+    let mut per_trace: HashMap<u64, Vec<&str>> = HashMap::new();
+    for e in &events {
+        per_trace.entry(e.trace.0).or_default().push(e.kind.name());
+    }
+    assert_eq!(per_trace.len(), TOTAL, "one trace per invocation");
+    for (trace, names) in &per_trace {
+        assert_eq!(
+            names.iter().filter(|n| **n == "invoke_start").count(),
+            1,
+            "trace t{trace}: {names:?}"
+        );
+        assert_eq!(names.first(), Some(&"invoke_start"), "t{trace}: {names:?}");
+        assert_eq!(names.last(), Some(&"invoke_end"), "t{trace}: {names:?}");
+    }
+
+    // --- Metrics ⇄ tracer reconciliation ----------------------------------
+    let metrics = telemetry.metrics();
+    assert_eq!(metrics.counter_sum("sdk_attempts_total"), TOTAL as u64);
+    assert_eq!(metrics.counter_sum("sdk_failover_legs_total"), TOTAL as u64);
+    assert_eq!(metrics.counter_sum("sdk_errors_total"), 0);
+    assert_eq!(
+        metrics.histogram_total_count("sdk_attempt_latency_ms"),
+        TOTAL as u64,
+        "histogram observations equal attempts"
+    );
+    assert_eq!(
+        metrics.histogram_total_count("sdk_prediction_error_ms"),
+        TOTAL as u64
+    );
+
+    // --- Monitor ⇄ metrics reconciliation ---------------------------------
+    let observed: usize = ["alpha", "beta"]
+        .iter()
+        .filter_map(|s| sdk.monitor().history(s))
+        .map(|h| h.observations().len())
+        .sum();
+    assert_eq!(
+        observed, TOTAL,
+        "monitor saw exactly one record per attempt"
+    );
+}
+
+#[test]
+fn pool_queue_wait_is_visible_under_saturation() {
+    let env = SimEnv::with_seed(4343);
+    let telemetry = Telemetry::new();
+    // One SDK worker, many queued jobs: queue wait must show up.
+    let sdk = Arc::new(RichSdk::with_telemetry_config(
+        &env,
+        64,
+        std::time::Duration::from_secs(60),
+        1,
+        telemetry.clone(),
+    ));
+    sdk.register(
+        SimService::builder("only", "cls")
+            .latency(LatencyModel::constant_ms(1.0))
+            .build(&env),
+    );
+    let futures: Vec<_> = (0..16)
+        .map(|i| sdk.invoke_async("only", Request::new("op", json!({"i": (i as i64)}))))
+        .collect();
+    for f in &futures {
+        assert!(f.wait().is_ok());
+    }
+    let wait = telemetry
+        .metrics()
+        .histogram("pool_queue_wait_ms", &[])
+        .expect("queue-wait histogram exists");
+    assert_eq!(wait.count, 16);
+    assert_eq!(
+        telemetry.metrics().counter_value("pool_jobs_total", &[]),
+        Some(16)
+    );
+    let events = telemetry.tracer().events();
+    let enq = events
+        .iter()
+        .filter(|e| e.kind.name() == "pool_enqueue")
+        .count();
+    let deq = events
+        .iter()
+        .filter(|e| e.kind.name() == "pool_dequeue")
+        .count();
+    assert_eq!((enq, deq), (16, 16));
+    assert_eq!(sdk.pool().queue_depth(), 0, "queue drains fully");
+}

@@ -1,0 +1,377 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Mirrors the slice of criterion's API the workspace benches use
+//! (`Criterion`, `BenchmarkGroup`, `Bencher`, `BenchmarkId`, `Throughput`,
+//! `criterion_group!`, `criterion_main!`) on top of a plain wall-clock
+//! harness: warm up, calibrate an iteration count per sample, then time
+//! `sample_size` samples and report min/mean/max per-iteration latency.
+//! No statistics beyond that — good enough for relative comparisons in an
+//! environment without crates.io access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement configuration plus the entry point for registering benches.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (min 2).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time spent running the routine untimed before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget split across the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a single benchmark and prints its summary line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, id, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in the report.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the group's measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<I: IntoBenchmarkId, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_bench(self.criterion, &full, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_bench(self.criterion, &full, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (formatting no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark as `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form, for groups where the group name is the function.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into the display id used in reports; mirrors criterion's
+/// acceptance of both `&str` and `BenchmarkId`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Units of work per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many items each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Passed to each benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    /// Per-sample mean iteration durations, collected by `iter`.
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over calibrated batches; excludes nothing.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run untimed, and measure roughly how long one call takes.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(warm_iters as u32)
+            .unwrap_or_default();
+        let budget = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1_000
+        } else {
+            (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000_000) as u64
+        };
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / iters_per_sample as u32);
+        }
+    }
+
+    /// Times `routine` only; `setup` runs before each iteration, untimed.
+    pub fn iter_with_setup<S, O, Setup, R>(&mut self, mut setup: Setup, mut routine: R)
+    where
+        Setup: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        // Setup may be expensive, so calibrate with a single warm iteration
+        // and cap iterations per sample low.
+        let input = setup();
+        let warm_start = Instant::now();
+        std::hint::black_box(routine(input));
+        let per_iter = warm_start.elapsed();
+        let budget = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample =
+            (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                timed += start.elapsed();
+            }
+            self.samples.push(timed / iters_per_sample as u32);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    config: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size: config.sample_size,
+        warm_up_time: config.warm_up_time,
+        measurement_time: config.measurement_time,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<40} (no measurement: closure never called iter)");
+        return;
+    }
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let mean = bencher
+        .samples
+        .iter()
+        .sum::<Duration>()
+        .checked_div(bencher.samples.len() as u32)
+        .unwrap_or_default();
+    let mut line = format!(
+        "{:<40} time: [{} {} {}]",
+        id,
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max)
+    );
+    if let Some(tp) = throughput {
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  thrpt: {:.3} Melem/s", n as f64 / secs / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        "  thrpt: {:.3} MiB/s",
+                        n as f64 / secs / (1024.0 * 1024.0)
+                    ));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Builds a function that runs a list of benchmark targets.
+///
+/// Supports both the plain list form and the `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Builds a `main` that runs each registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4))
+    }
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(8));
+        group.bench_function("plain", |b| b.iter(|| 0u8));
+        group.bench_with_input(BenchmarkId::new("with", 3), &3u32, |b, &n| b.iter(|| n * 2));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &n| {
+            b.iter_with_setup(Vec::<u32>::new, move |mut v| {
+                v.push(n);
+                v
+            })
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,717 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Reimplements the subset of proptest this workspace's property tests use:
+//! the `proptest!` macro, `prop_assert*`, `prop_oneof!`, `Just`, `any`,
+//! integer/float range strategies, `prop::collection::vec`,
+//! `prop::num::f64::NORMAL`, `.prop_map`, `.prop_recursive`, and a
+//! mini-regex string strategy (char classes with ranges/escapes plus `\PC`,
+//! each with `{m,n}` repetition).
+//!
+//! Differences from the real crate: no shrinking — a failing case panics
+//! with the generated inputs left to the assertion message — and a fixed,
+//! name-seeded deterministic RNG so failures reproduce across runs. Case
+//! count defaults to 64 and honours `PROPTEST_CASES`.
+
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Deterministic RNG (splitmix64) seeded from the test's full path so
+    /// every run of a given test sees the same input sequence.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary name via FNV-1a.
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; returns 0 when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Number of cases per property; `PROPTEST_CASES` overrides the
+    /// default of 64.
+    pub fn case_count() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64)
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of random values; the stand-in's version of proptest's
+/// `Strategy` (no shrinking, so a strategy is just a seeded generator).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: at each of `depth` levels, generation
+    /// chooses between the base strategy and one application of `recurse`
+    /// over the shallower levels, so values bottom out at the base case.
+    /// `_desired_size` and `_expected_branch_size` are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy behind a cheaply cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// Type-erased, cloneable strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between same-valued strategies; backs `prop_oneof!`.
+pub struct Union<T> {
+    branches: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `branches`; panics if empty.
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        Union { branches }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.branches.len() as u64) as usize;
+        self.branches[i].generate(rng)
+    }
+}
+
+/// Types with a canonical whole-domain generator, used by [`any`].
+pub trait ArbitraryValue {
+    /// Generates an unconstrained value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<A: ArbitraryValue, B: ArbitraryValue> ArbitraryValue for (A, B) {
+    fn arbitrary(rng: &mut TestRng) -> (A, B) {
+        (A::arbitrary(rng), B::arbitrary(rng))
+    }
+}
+
+impl<A: ArbitraryValue, B: ArbitraryValue, C: ArbitraryValue> ArbitraryValue for (A, B, C) {
+    fn arbitrary(rng: &mut TestRng) -> (A, B, C) {
+        (A::arbitrary(rng), B::arbitrary(rng), C::arbitrary(rng))
+    }
+}
+
+/// Whole-domain strategy for `T`: `any::<u8>()`, `any::<(u16, u8)>()`, …
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the whole-domain strategy for `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let start = self.start as i128;
+                let span = self.end as i128 - start;
+                assert!(span > 0, "empty range strategy");
+                (start + rng.below(span as u64) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let start = *self.start() as i128;
+                let span = *self.end() as i128 - start + 1;
+                assert!(span > 0, "empty range strategy");
+                (start + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        // unit_f64 is half-open; nudge so the upper bound is reachable.
+        (lo + rng.unit_f64() * (hi - lo) * (1.0 + f64::EPSILON)).min(hi)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}
+
+// ---------------------------------------------------------------------
+// Mini-regex string strategies
+// ---------------------------------------------------------------------
+
+/// One repeatable unit of a string pattern.
+enum Atom {
+    /// `[a-z0-9_]`-style class: inclusive char ranges.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any non-control ("printable") character.
+    Printable,
+    /// A literal character.
+    Literal(char),
+}
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+                .sum();
+            let mut k = rng.below(total);
+            for (lo, hi) in ranges {
+                let size = *hi as u64 - *lo as u64 + 1;
+                if k < size {
+                    return char::from_u32(*lo as u32 + k as u32).unwrap_or(*lo);
+                }
+                k -= size;
+            }
+            ranges[0].0
+        }
+        Atom::Printable => {
+            // Mostly ASCII, with Latin and CJK tails to exercise UTF-8.
+            match rng.below(10) {
+                0..=6 => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap(),
+                7..=8 => char::from_u32(0xa1 + rng.below(0xdf) as u32).unwrap(),
+                _ => char::from_u32(0x4e00 + rng.below(0x1f0) as u32).unwrap(),
+            }
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Parses the mini-regex subset: a sequence of atoms, each optionally
+/// followed by `{n}` or `{m,n}`.
+fn parse_pattern(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut ranges: Vec<(char, char)> = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    // `x-y` range, unless `-` is the final class member.
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        i += 1;
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            unescape(chars[i])
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        assert!(lo <= hi, "inverted class range {lo:?}-{hi:?}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(i < chars.len(), "unterminated char class in {pattern:?}");
+                i += 1; // consume ']'
+                assert!(!ranges.is_empty(), "empty char class in {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in {pattern:?}");
+                if chars[i] == 'P' {
+                    // `\PC` — the only unicode-class escape supported.
+                    assert!(
+                        chars.get(i + 1) == Some(&'C'),
+                        "unsupported unicode class in {pattern:?}"
+                    );
+                    i += 2;
+                    Atom::Printable
+                } else {
+                    let c = unescape(chars[i]);
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {n} / {m,n} quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier min"),
+                    n.trim().parse().expect("bad quantifier max"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in {pattern:?}");
+        out.push((atom, min, max));
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, min, max) in parse_pattern(self) {
+            let n = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(generate_atom(&atom, rng));
+            }
+        }
+        out
+    }
+}
+
+/// The `prop::` namespace, mirroring the real crate's module paths.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+
+        /// Accepted element-count specifications for [`vec`].
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            min: usize,
+            max_inclusive: usize,
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> SizeRange {
+                assert!(r.end > r.start, "empty size range");
+                SizeRange {
+                    min: r.start,
+                    max_inclusive: r.end - 1,
+                }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+                SizeRange {
+                    min: *r.start(),
+                    max_inclusive: *r.end(),
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> SizeRange {
+                SizeRange {
+                    min: n,
+                    max_inclusive: n,
+                }
+            }
+        }
+
+        /// Strategy for vectors of `element`-generated values.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = self.size.max_inclusive - self.size.min + 1;
+                let n = self.size.min + rng.below(span as u64) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Generates vectors whose length falls in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Numeric strategies (`prop::num::f64::NORMAL`).
+    pub mod num {
+        /// `f64` strategies.
+        pub mod f64 {
+            use crate::test_runner::TestRng;
+            use crate::Strategy;
+
+            /// Strategy over all normal (finite, non-zero, non-subnormal)
+            /// `f64` bit patterns.
+            #[derive(Clone, Copy, Debug)]
+            pub struct NormalF64;
+
+            impl Strategy for NormalF64 {
+                type Value = f64;
+                fn generate(&self, rng: &mut TestRng) -> f64 {
+                    loop {
+                        let f = f64::from_bits(rng.next_u64());
+                        if f.is_normal() {
+                            return f;
+                        }
+                    }
+                }
+            }
+
+            /// All normal floats, like the real crate's `NORMAL`.
+            pub const NORMAL: NormalF64 = NormalF64;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies;
+/// each test body runs for [`test_runner::case_count`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( #[test] fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )+) => {
+        $(
+            #[test]
+            fn $name() {
+                let __cases = $crate::test_runner::case_count();
+                let mut __rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cases {
+                    let _ = __case;
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` here — the
+/// stand-in has no shrinking to abort into).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($strat) ),+ ])
+    };
+}
+
+/// Everything a property test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::test_runner;
+    pub use crate::{any, Any, ArbitraryValue, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = test_runner::TestRng::from_name("string");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-e]{1,3}", &mut rng);
+            assert!((1..=3).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='e').contains(&c)), "{s:?}");
+
+            let t = Strategy::generate(&"[ -~]{0,20}", &mut rng);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)), "{t:?}");
+
+            let p = Strategy::generate(&"\\PC{0,30}", &mut rng);
+            assert!(p.chars().all(|c| !c.is_control()), "{p:?}");
+
+            let esc = Strategy::generate(&"[a\\-b\\\\\n]{4}", &mut rng);
+            assert!(
+                esc.chars()
+                    .all(|c| matches!(c, 'a' | '-' | 'b' | '\\' | '\n')),
+                "{esc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_and_any_stay_in_bounds() {
+        let mut rng = test_runner::TestRng::from_name("ranges");
+        for _ in 0..500 {
+            let u = Strategy::generate(&(1usize..32), &mut rng);
+            assert!((1..32).contains(&u));
+            let f = Strategy::generate(&(0.1f64..=1.0), &mut rng);
+            assert!((0.1..=1.0).contains(&f));
+            let n = Strategy::generate(&prop::num::f64::NORMAL, &mut rng);
+            assert!(n.is_normal());
+            let (_a, _b): (u16, u8) = Strategy::generate(&any::<(u16, u8)>(), &mut rng);
+        }
+    }
+
+    #[test]
+    fn collections_and_composition() {
+        let mut rng = test_runner::TestRng::from_name("vecs");
+        let strat = prop::collection::vec(("[a-z]{1,2}", any::<bool>()), 0..5);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v.len() < 5);
+        }
+        let one = prop_oneof![Just(0u8), (1u8..4).prop_map(|x| x * 10)];
+        for _ in 0..100 {
+            let x = Strategy::generate(&one, &mut rng);
+            assert!(x == 0 || (10..40).contains(&x));
+        }
+    }
+
+    #[test]
+    fn recursion_bottoms_out() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 64, 8, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = test_runner::TestRng::from_name("tree");
+        for _ in 0..200 {
+            let t = Strategy::generate(&strat, &mut rng);
+            assert!(depth(&t) <= 5 + 1, "{t:?}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(a in 0usize..10, b in "[x-z]{2}") {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b.chars().count(), 2);
+            prop_assert_ne!(b, "");
+        }
+    }
+}
