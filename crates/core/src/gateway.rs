@@ -26,12 +26,15 @@ use crate::rank::RankOptions;
 use crate::sdk::RichSdk;
 use crate::SdkError;
 use cogsdk_json::{json, Json};
-use cogsdk_obs::{prometheus_text, trace_jsonl};
+use cogsdk_obs::{prometheus_text, trace_jsonl, EventKind};
 use cogsdk_sim::service::Request;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A minimal parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +56,9 @@ pub struct HttpResponse {
     pub body: String,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Value for a `Retry-After` header (seconds), set on 503s produced
+    /// by load shedding and open circuit breakers.
+    pub retry_after: Option<u64>,
 }
 
 impl HttpResponse {
@@ -61,6 +67,7 @@ impl HttpResponse {
             status: 200,
             body: body.to_json(),
             content_type: "application/json",
+            retry_after: None,
         }
     }
 
@@ -69,6 +76,7 @@ impl HttpResponse {
             status: 200,
             body,
             content_type,
+            retry_after: None,
         }
     }
 
@@ -77,7 +85,35 @@ impl HttpResponse {
             status,
             body: json!({"error": (message.to_string())}).to_json(),
             content_type: "application/json",
+            retry_after: None,
         }
+    }
+
+    /// A structured error body carrying the machine-readable kind and
+    /// whether the client can reasonably retry — so cross-language
+    /// callers branch on fields instead of parsing prose.
+    fn structured_error(
+        status: u16,
+        message: impl std::fmt::Display,
+        kind: &str,
+        retryable: bool,
+    ) -> HttpResponse {
+        HttpResponse {
+            status,
+            body: json!({
+                "error": (message.to_string()),
+                "kind": kind,
+                "retryable": (retryable),
+            })
+            .to_json(),
+            content_type: "application/json",
+            retry_after: None,
+        }
+    }
+
+    fn with_retry_after(mut self, secs: u64) -> HttpResponse {
+        self.retry_after = Some(secs);
+        self
     }
 }
 
@@ -124,21 +160,141 @@ pub fn format_response(resp: &HttpResponse) -> String {
         404 => "Not Found",
         405 => "Method Not Allowed",
         502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     };
+    let retry_after = match resp.retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
         resp.status,
         reason,
         resp.content_type,
         resp.body.len(),
+        retry_after,
         resp.body
     )
+}
+
+/// Concurrency limits for the gateway's invocation routes (the bulkhead).
+///
+/// Each invocation route (`invoke`, `invoke-cached`, `invoke-class`) gets
+/// its own compartment: at most `max_concurrent` requests run at once,
+/// at most `max_queue` wait for a slot, and no waiter holds a connection
+/// longer than `max_queue_wait` before being shed with a 503 carrying
+/// `Retry-After: {retry_after_secs}`. Read-only routes (`/metrics`,
+/// `/services`, …) are never gated so operators can always observe an
+/// overloaded gateway.
+#[derive(Debug, Clone)]
+pub struct GatewayLimits {
+    /// Requests allowed in flight per route.
+    pub max_concurrent: usize,
+    /// Requests allowed to wait for a slot per route.
+    pub max_queue: usize,
+    /// Longest a queued request waits before being shed.
+    pub max_queue_wait: Duration,
+    /// `Retry-After` hint (seconds) on shed and breaker-rejected responses.
+    pub retry_after_secs: u64,
+}
+
+impl Default for GatewayLimits {
+    fn default() -> GatewayLimits {
+        GatewayLimits {
+            max_concurrent: 64,
+            max_queue: 128,
+            max_queue_wait: Duration::from_millis(50),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+#[derive(Default)]
+struct GateState {
+    active: usize,
+    queued: usize,
+}
+
+/// Per-route concurrency gate with a bounded wait queue.
+///
+/// Uses real wall-clock waiting (not the virtual sim clock): the gateway
+/// serves actual threads, and the bulkhead exists to protect them.
+struct Bulkhead {
+    limits: GatewayLimits,
+    routes: Mutex<HashMap<String, GateState>>,
+    freed: Condvar,
+}
+
+enum Admit {
+    Entered,
+    Shed,
+}
+
+impl Bulkhead {
+    fn new(limits: GatewayLimits) -> Bulkhead {
+        Bulkhead {
+            limits,
+            routes: Mutex::new(HashMap::new()),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn enter(&self, route: &str) -> Admit {
+        let mut routes = self.routes.lock();
+        {
+            let state = routes.entry(route.to_string()).or_default();
+            if state.active < self.limits.max_concurrent {
+                state.active += 1;
+                return Admit::Entered;
+            }
+            if state.queued >= self.limits.max_queue {
+                return Admit::Shed;
+            }
+            state.queued += 1;
+        }
+        let deadline = std::time::Instant::now() + self.limits.max_queue_wait;
+        loop {
+            {
+                let state = routes.get_mut(route).expect("queued on this route");
+                if state.active < self.limits.max_concurrent {
+                    state.queued -= 1;
+                    state.active += 1;
+                    return Admit::Entered;
+                }
+            }
+            if self.freed.wait_until(&mut routes, deadline).timed_out() {
+                let state = routes.get_mut(route).expect("queued on this route");
+                if state.active < self.limits.max_concurrent {
+                    state.queued -= 1;
+                    state.active += 1;
+                    return Admit::Entered;
+                }
+                state.queued -= 1;
+                return Admit::Shed;
+            }
+        }
+    }
+
+    fn exit(&self, route: &str) {
+        let mut routes = self.routes.lock();
+        if let Some(state) = routes.get_mut(route) {
+            state.active = state.active.saturating_sub(1);
+        }
+        self.freed.notify_all();
+    }
+}
+
+/// First path segment — bounds metric label cardinality.
+fn route_label(path: &str) -> &str {
+    path.split('/').find(|s| !s.is_empty()).unwrap_or("/")
 }
 
 /// The gateway: routes HTTP requests onto a shared [`RichSdk`].
 pub struct HttpGateway {
     sdk: Arc<RichSdk>,
+    gate: Bulkhead,
 }
 
 impl std::fmt::Debug for HttpGateway {
@@ -148,27 +304,86 @@ impl std::fmt::Debug for HttpGateway {
 }
 
 impl HttpGateway {
-    /// Creates a gateway over an SDK handle.
+    /// Creates a gateway over an SDK handle with default limits.
     pub fn new(sdk: Arc<RichSdk>) -> HttpGateway {
-        HttpGateway { sdk }
+        HttpGateway::with_limits(sdk, GatewayLimits::default())
     }
 
-    /// Routes one parsed request. Pure: no I/O.
+    /// Creates a gateway with explicit bulkhead limits.
+    pub fn with_limits(sdk: Arc<RichSdk>, limits: GatewayLimits) -> HttpGateway {
+        HttpGateway {
+            sdk,
+            gate: Bulkhead::new(limits),
+        }
+    }
+
+    /// Routes one parsed request through the bulkhead. No I/O.
     pub fn handle(&self, request: &HttpRequest) -> HttpResponse {
-        let response = self.route(request);
+        let route = route_label(&request.path);
+        let gated = request.method == "POST"
+            && matches!(route, "invoke" | "invoke-cached" | "invoke-class");
+        let response = if gated {
+            match self.gate.enter(route) {
+                Admit::Entered => {
+                    let response = self.route(request);
+                    self.gate.exit(route);
+                    response
+                }
+                Admit::Shed => self.shed_response(route),
+            }
+        } else {
+            self.route(request)
+        };
         let metrics = self.sdk.telemetry().metrics();
         if metrics.is_enabled() {
-            // First path segment bounds label cardinality.
-            let route = request
-                .path
-                .split('/')
-                .find(|s| !s.is_empty())
-                .unwrap_or("/");
             let status = response.status.to_string();
             metrics.inc_counter(
                 "gateway_requests_total",
                 &[("route", route), ("status", &status)],
             );
+        }
+        response
+    }
+
+    fn shed_response(&self, route: &str) -> HttpResponse {
+        let telemetry = self.sdk.telemetry();
+        if telemetry.is_enabled() {
+            let ctx = telemetry.tracer().new_trace();
+            telemetry.tracer().emit(&ctx, || EventKind::GatewayShed {
+                route: route.to_string(),
+            });
+            telemetry
+                .metrics()
+                .inc_counter("gateway_shed_total", &[("route", route)]);
+        }
+        HttpResponse::structured_error(
+            503,
+            format!("gateway overloaded on route {route}; request shed"),
+            "shed",
+            true,
+        )
+        .with_retry_after(self.gate.limits.retry_after_secs)
+    }
+
+    fn sdk_error_response(&self, error: &SdkError) -> HttpResponse {
+        let status = match error {
+            SdkError::UnknownService(_) | SdkError::EmptyClass(_) => 404,
+            SdkError::Rejected(_) | SdkError::InvalidRating(_) => 400,
+            SdkError::AllFailed(_) => 502,
+            SdkError::DeadlineExceeded(_) => 504,
+            SdkError::CircuitOpen(_) => 503,
+        };
+        let retryable = matches!(
+            error,
+            SdkError::AllFailed(_) | SdkError::DeadlineExceeded(_) | SdkError::CircuitOpen(_)
+        );
+        let response = HttpResponse::structured_error(status, error, error.kind(), retryable);
+        if matches!(error, SdkError::CircuitOpen(_)) {
+            let metrics = self.sdk.telemetry().metrics();
+            if metrics.is_enabled() {
+                metrics.inc_counter("gateway_breaker_rejections_total", &[]);
+            }
+            return response.with_retry_after(self.gate.limits.retry_after_secs);
         }
         response
     }
@@ -210,7 +425,7 @@ impl HttpGateway {
             ("POST", ["invoke", service]) => match parse_body(&request.body) {
                 Ok(req) => match self.sdk.invoke(service, &req) {
                     Ok(resp) => HttpResponse::ok(json!({"payload": (resp.payload)})),
-                    Err(e) => sdk_error_response(&e),
+                    Err(e) => self.sdk_error_response(&e),
                 },
                 Err(e) => HttpResponse::error(400, e),
             },
@@ -220,7 +435,7 @@ impl HttpGateway {
                         "payload": (resp.payload),
                         "cache_hit": (hit),
                     })),
-                    Err(e) => sdk_error_response(&e),
+                    Err(e) => self.sdk_error_response(&e),
                 },
                 Err(e) => HttpResponse::error(400, e),
             },
@@ -231,7 +446,7 @@ impl HttpGateway {
                         "service": (ok.service.as_str()),
                         "services_tried": (ok.services_tried),
                     })),
-                    Err(e) => sdk_error_response(&e),
+                    Err(e) => self.sdk_error_response(&e),
                 },
                 Err(e) => HttpResponse::error(400, e),
             },
@@ -337,14 +552,6 @@ fn parse_body(body: &str) -> Result<Request, String> {
         }
     }
     Ok(request)
-}
-
-fn sdk_error_response(error: &SdkError) -> HttpResponse {
-    match error {
-        SdkError::UnknownService(_) | SdkError::EmptyClass(_) => HttpResponse::error(404, error),
-        SdkError::Rejected(_) | SdkError::InvalidRating(_) => HttpResponse::error(400, error),
-        SdkError::AllFailed(_) => HttpResponse::error(502, error),
-    }
 }
 
 #[cfg(test)]
@@ -484,6 +691,7 @@ mod tests {
             status: 200,
             body: "{\"x\":1}".into(),
             content_type: "application/json",
+            retry_after: None,
         };
         let text = format_response(&resp);
         assert!(text.contains("Content-Length: 7"));
@@ -493,8 +701,20 @@ mod tests {
             status: 418,
             body: String::new(),
             content_type: "text/plain",
+            retry_after: None,
         };
         assert!(format_response(&unknown).starts_with("HTTP/1.1 418 Unknown"));
+    }
+
+    #[test]
+    fn format_response_emits_retry_after_header() {
+        let resp = HttpResponse::structured_error(503, "shed", "shed", true).with_retry_after(7);
+        let text = format_response(&resp);
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 7\r\n"), "{text}");
     }
 
     fn telemetry_gateway() -> (SimEnv, Arc<HttpGateway>) {
@@ -568,6 +788,79 @@ mod tests {
         let (_env, gw) = gateway();
         let raw = gw.handle_text(&post("/invoke-class/ghost-class", r#"{"payload": 1}"#));
         assert!(raw.starts_with("HTTP/1.1 404"), "{raw}");
+    }
+
+    #[test]
+    fn structured_error_bodies_carry_kind_and_retryable() {
+        let (_env, gw) = gateway();
+        let raw = gw.handle_text(&post("/invoke/ghost", r#"{"payload": 1}"#));
+        assert!(raw.starts_with("HTTP/1.1 404"), "{raw}");
+        assert!(raw.contains("\"kind\":\"unknown_service\""), "{raw}");
+        assert!(raw.contains("\"retryable\":false"), "{raw}");
+        let (_env, gw) = telemetry_gateway();
+        let raw = gw.handle_text(&post("/invoke/flaky", r#"{"payload": 1}"#));
+        assert!(raw.starts_with("HTTP/1.1 502"), "{raw}");
+        assert!(raw.contains("\"kind\":\"all_failed\""), "{raw}");
+        assert!(raw.contains("\"retryable\":true"), "{raw}");
+    }
+
+    #[test]
+    fn saturated_route_sheds_with_retry_after_and_metrics() {
+        let env = SimEnv::with_seed(79);
+        let sdk = Arc::new(RichSdk::with_telemetry(&env, cogsdk_obs::Telemetry::new()));
+        sdk.register(
+            SimService::builder("echo", "demo")
+                .latency(LatencyModel::constant_ms(5.0))
+                .build(&env),
+        );
+        let limits = GatewayLimits {
+            max_concurrent: 0, // route fully saturated: every request sheds
+            max_queue: 0,
+            max_queue_wait: Duration::from_millis(1),
+            retry_after_secs: 2,
+        };
+        let gw = HttpGateway::with_limits(sdk, limits);
+        let raw = gw.handle_text(&post("/invoke/echo", r#"{"payload": 1}"#));
+        assert!(raw.starts_with("HTTP/1.1 503 Service Unavailable"), "{raw}");
+        assert!(raw.contains("Retry-After: 2\r\n"), "{raw}");
+        assert!(raw.contains("\"kind\":\"shed\""), "{raw}");
+        assert!(raw.contains("\"retryable\":true"), "{raw}");
+        // Read-only routes stay reachable during overload, so operators
+        // can still observe the shedding they are debugging.
+        let metrics = gw.handle_text("GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+        assert!(
+            metrics.contains(r#"gateway_shed_total{route="invoke"} 1"#),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains(r#"gateway_requests_total{route="invoke",status="503"} 1"#),
+            "{metrics}"
+        );
+        let trace = gw.handle_text("GET /trace HTTP/1.1\r\n\r\n");
+        assert!(trace.contains("\"event\":\"gateway_shed\""), "{trace}");
+    }
+
+    #[test]
+    fn queued_request_waits_then_sheds() {
+        let env = SimEnv::with_seed(80);
+        let sdk = Arc::new(RichSdk::new(&env));
+        sdk.register(
+            SimService::builder("echo", "demo")
+                .latency(LatencyModel::constant_ms(5.0))
+                .build(&env),
+        );
+        let limits = GatewayLimits {
+            max_concurrent: 0,
+            max_queue: 4, // admitted to the queue, but no slot ever frees
+            max_queue_wait: Duration::from_millis(5),
+            retry_after_secs: 1,
+        };
+        let gw = HttpGateway::with_limits(sdk, limits);
+        let started = std::time::Instant::now();
+        let raw = gw.handle_text(&post("/invoke/echo", r#"{"payload": 1}"#));
+        assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+        assert!(started.elapsed() >= Duration::from_millis(5));
     }
 
     #[test]

@@ -10,10 +10,13 @@
 //! single one" — for redundancy or to combine/compare outputs.
 
 use crate::monitor::{duration_ms, ServiceMonitor};
+use crate::resilience::{Admission, Deadline, Governance};
 use crate::SdkError;
 use cogsdk_obs::{EventKind, SpanCtx, Telemetry};
+use cogsdk_sim::rng::Rng;
 use cogsdk_sim::service::{Outcome, Request, Response, ServiceError, SimService};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,6 +48,26 @@ pub enum Backoff {
         /// Upper bound on any single delay.
         max: Duration,
     },
+    /// AWS-style *full jitter*: wait a uniform random delay in
+    /// `[0, min(max, base · factor^attempt)]`. Spreads simultaneous
+    /// retries out so callers hit by the same outage do not re-converge
+    /// on the service in synchronized waves.
+    FullJitter {
+        /// Envelope before the first retry.
+        base: Duration,
+        /// Envelope multiplier per subsequent retry.
+        factor: f64,
+        /// Upper bound on any envelope.
+        max: Duration,
+    },
+}
+
+/// Seeds one deterministic-but-distinct jitter stream per invocation, so
+/// concurrent callers sharing a backoff policy draw different delays.
+static JITTER_SEQ: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+
+fn jitter_rng() -> Rng {
+    Rng::new(JITTER_SEQ.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed))
 }
 
 impl Backoff {
@@ -57,15 +80,46 @@ impl Backoff {
         }
     }
 
-    /// The delay before retry number `retry` (0-based).
+    /// The full-jitter variant of
+    /// [`standard_exponential`](Self::standard_exponential): same
+    /// 50 ms-doubling-to-2 s envelope, but each delay is drawn uniformly
+    /// from `[0, envelope]`.
+    pub fn standard_full_jitter() -> Backoff {
+        Backoff::FullJitter {
+            base: Duration::from_millis(50),
+            factor: 2.0,
+            max: Duration::from_secs(2),
+        }
+    }
+
+    fn envelope(base: Duration, factor: f64, max: Duration, retry: usize) -> Duration {
+        let scaled = base.as_secs_f64() * factor.powi(retry as i32);
+        Duration::from_secs_f64(scaled).min(max)
+    }
+
+    /// The delay before retry number `retry` (0-based). For
+    /// [`Backoff::FullJitter`] this is the *envelope* (the worst case);
+    /// use [`delay_sampled`](Self::delay_sampled) for the actual draw.
     pub fn delay(&self, retry: usize) -> Duration {
         match *self {
             Backoff::None => Duration::ZERO,
             Backoff::Fixed(d) => d,
-            Backoff::Exponential { base, factor, max } => {
-                let scaled = base.as_secs_f64() * factor.powi(retry as i32);
-                Duration::from_secs_f64(scaled).min(max)
+            Backoff::Exponential { base, factor, max }
+            | Backoff::FullJitter { base, factor, max } => {
+                Backoff::envelope(base, factor, max, retry)
             }
+        }
+    }
+
+    /// The concrete delay before retry number `retry`: deterministic for
+    /// the non-jittered policies, a uniform draw in `[0, envelope]` for
+    /// [`Backoff::FullJitter`].
+    pub fn delay_sampled(&self, retry: usize, rng: &mut Rng) -> Duration {
+        match *self {
+            Backoff::FullJitter { base, factor, max } => {
+                Backoff::envelope(base, factor, max, retry).mul_f64(rng.next_f64())
+            }
+            _ => self.delay(retry),
         }
     }
 }
@@ -140,6 +194,44 @@ pub fn invoke_with_retry_counted(
     invoke_with_backoff(service, request, retries, Backoff::None, monitor)
 }
 
+/// Deadline-aware [`invoke_with_retry`]: refuses to start once `deadline`
+/// has expired and stops retrying when the budget runs out mid-sequence.
+/// The convenience entry point for callers (KB federation, NLU batches)
+/// that thread a budget but not full telemetry.
+///
+/// # Errors
+///
+/// [`SdkError::DeadlineExceeded`] if the deadline has already passed when
+/// called.
+pub fn invoke_with_retry_within(
+    service: &Arc<SimService>,
+    request: &Request,
+    retries: usize,
+    monitor: &ServiceMonitor,
+    deadline: Deadline,
+) -> Result<Outcome, SdkError> {
+    if deadline.is_expired(service.clock().now()) {
+        return Err(SdkError::DeadlineExceeded(format!(
+            "no budget left to invoke {}",
+            service.name()
+        )));
+    }
+    let telemetry = Telemetry::disabled();
+    let ctx = telemetry.tracer().new_trace();
+    let gov = Governance::with_deadline(deadline);
+    let (outcome, _) = invoke_with_backoff_governed(
+        service,
+        request,
+        retries,
+        Backoff::None,
+        monitor,
+        &telemetry,
+        &ctx,
+        &gov,
+    );
+    Ok(outcome)
+}
+
 /// Full-control retry: up to `retries` retries with `backoff` delays
 /// between attempts (realized on the simulation timeline). Non-retryable
 /// failures abort immediately. Returns the final outcome and the number
@@ -170,10 +262,48 @@ pub fn invoke_with_backoff_traced(
     telemetry: &Telemetry,
     ctx: &SpanCtx,
 ) -> (Outcome, usize) {
+    invoke_with_backoff_governed(
+        service,
+        request,
+        retries,
+        backoff,
+        monitor,
+        telemetry,
+        ctx,
+        &Governance::none(),
+    )
+}
+
+/// As [`invoke_with_backoff_traced`], additionally governed by `gov`:
+/// the deadline stops retrying once the remaining budget cannot cover the
+/// next backoff sleep (the first attempt always runs — an expired budget
+/// is the *caller's* signal not to start), and every attempt result feeds
+/// the service's circuit breaker, if one is registered.
+#[allow(clippy::too_many_arguments)]
+pub fn invoke_with_backoff_governed(
+    service: &Arc<SimService>,
+    request: &Request,
+    retries: usize,
+    backoff: Backoff,
+    monitor: &ServiceMonitor,
+    telemetry: &Telemetry,
+    ctx: &SpanCtx,
+    gov: &Governance,
+) -> (Outcome, usize) {
+    let mut jitter = jitter_rng();
     let mut last = None;
     for attempt in 1..=retries + 1 {
         if attempt > 1 {
-            let delay = backoff.delay(attempt - 2);
+            let delay = backoff.delay_sampled(attempt - 2, &mut jitter);
+            let now = service.clock().now();
+            let out_of_budget = match gov.deadline.remaining(now) {
+                Some(rem) => rem.is_zero() || delay >= rem,
+                None => false,
+            };
+            if out_of_budget {
+                emit_deadline_exhausted(telemetry, ctx, "backoff");
+                return (last.expect("a first attempt was made"), attempt - 1);
+            }
             if !delay.is_zero() {
                 telemetry.tracer().emit(ctx, || EventKind::RetryBackoff {
                     service: service.name().to_string(),
@@ -186,6 +316,15 @@ pub fn invoke_with_backoff_traced(
         let outcome = service.invoke(request);
         monitor.record(service.name(), &outcome, request.params.clone());
         record_attempt(telemetry, ctx, service.name(), attempt, &outcome);
+        if let Some(breakers) = &gov.breakers {
+            // Bad requests and quota rejections say nothing about the
+            // service's health; only real outcomes feed the breaker.
+            match &outcome.result {
+                Ok(_) => breakers.record(service.name(), true, ctx),
+                Err(e) if e.is_retryable() => breakers.record(service.name(), false, ctx),
+                Err(_) => {}
+            }
+        }
         match &outcome.result {
             Ok(_) => return (outcome, attempt),
             Err(e) if !e.is_retryable() => return (outcome, attempt),
@@ -193,6 +332,15 @@ pub fn invoke_with_backoff_traced(
         }
     }
     (last.expect("at least one attempt was made"), retries + 1)
+}
+
+fn emit_deadline_exhausted(telemetry: &Telemetry, ctx: &SpanCtx, stage: &'static str) {
+    telemetry
+        .tracer()
+        .emit(ctx, || EventKind::DeadlineExhausted { stage });
+    telemetry
+        .metrics()
+        .inc_counter("sdk_deadline_exhausted_total", &[("stage", stage)]);
 }
 
 fn record_attempt(
@@ -277,12 +425,61 @@ pub fn invoke_failover_traced(
     telemetry: &Telemetry,
     ctx: &SpanCtx,
 ) -> Result<FailoverSuccess, SdkError> {
+    invoke_failover_governed(
+        candidates,
+        request,
+        policy,
+        monitor,
+        telemetry,
+        ctx,
+        &Governance::none(),
+    )
+}
+
+/// As [`invoke_failover_traced`], additionally governed by `gov`: legs
+/// whose circuit breaker is open are skipped without being attempted, and
+/// no new leg starts after the deadline expires.
+///
+/// # Errors
+///
+/// In addition to [`invoke_failover`]'s errors:
+/// [`SdkError::DeadlineExceeded`] when the budget runs out with no
+/// success yet, and [`SdkError::CircuitOpen`] when *every* candidate was
+/// skipped because its breaker is open.
+pub fn invoke_failover_governed(
+    candidates: &[Arc<SimService>],
+    request: &Request,
+    policy: &InvocationPolicy,
+    monitor: &ServiceMonitor,
+    telemetry: &Telemetry,
+    ctx: &SpanCtx,
+    gov: &Governance,
+) -> Result<FailoverSuccess, SdkError> {
     if candidates.is_empty() {
         return Err(SdkError::EmptyClass("<no candidates>".into()));
     }
     let mut attempts = 0usize;
+    let mut legs_run = 0usize;
     let mut last_error = String::new();
+    let mut min_retry_after: Option<Duration> = None;
     for (i, service) in candidates.iter().take(policy.max_services).enumerate() {
+        if gov.deadline.is_expired(service.clock().now()) {
+            emit_deadline_exhausted(telemetry, ctx, "failover");
+            return Err(SdkError::DeadlineExceeded(format!(
+                "budget exhausted after {attempts} attempts across {legs_run} services"
+            )));
+        }
+        if let Some(breakers) = &gov.breakers {
+            if let Admission::Rejected { retry_after } = breakers.admit(service.name(), ctx) {
+                min_retry_after = Some(match min_retry_after {
+                    Some(cur) => cur.min(retry_after),
+                    None => retry_after,
+                });
+                last_error = format!("{}: circuit open", service.name());
+                continue;
+            }
+        }
+        legs_run += 1;
         let leg = telemetry.tracer().child(ctx);
         telemetry.tracer().emit(&leg, || EventKind::FailoverLeg {
             service: service.name().to_string(),
@@ -292,7 +489,7 @@ pub fn invoke_failover_traced(
             .metrics()
             .inc_counter("sdk_failover_legs_total", &[("service", service.name())]);
         let retries = policy.retries_for(service.name());
-        let (outcome, made) = invoke_with_backoff_traced(
+        let (outcome, made) = invoke_with_backoff_governed(
             service,
             request,
             retries,
@@ -300,6 +497,7 @@ pub fn invoke_failover_traced(
             monitor,
             telemetry,
             &leg,
+            gov,
         );
         attempts += made;
         match outcome.result {
@@ -307,13 +505,23 @@ pub fn invoke_failover_traced(
                 return Ok(FailoverSuccess {
                     service: service.name().to_string(),
                     response,
-                    services_tried: i + 1,
+                    // Count services actually attempted: legs skipped by an
+                    // open breaker cost nothing and are not "tried".
+                    services_tried: legs_run,
                     attempts,
                     latency_ms: duration_ms(outcome.latency),
-                })
+                });
             }
             Err(ServiceError::BadRequest(msg)) => return Err(SdkError::Rejected(msg)),
             Err(e) => last_error = format!("{}: {e}", service.name()),
+        }
+    }
+    if legs_run == 0 {
+        if let Some(retry_after) = min_retry_after {
+            return Err(SdkError::CircuitOpen(format!(
+                "all candidates tripped; retry in {:.0}ms",
+                retry_after.as_secs_f64() * 1_000.0
+            )));
         }
     }
     Err(SdkError::AllFailed(last_error))
@@ -360,14 +568,61 @@ pub fn invoke_redundant_traced(
     telemetry: &Telemetry,
     ctx: &SpanCtx,
 ) -> Result<Vec<RedundantLeg>, SdkError> {
+    invoke_redundant_governed(
+        candidates,
+        request,
+        mode,
+        policy,
+        monitor,
+        telemetry,
+        ctx,
+        &Governance::none(),
+    )
+}
+
+/// As [`invoke_redundant_traced`], additionally governed by `gov`: legs
+/// behind an open breaker are skipped, and no new leg starts after the
+/// deadline expires (legs already collected still count toward the mode's
+/// success requirement).
+///
+/// # Errors
+///
+/// In addition to [`invoke_redundant`]'s errors:
+/// [`SdkError::CircuitOpen`] when every candidate was skipped by its
+/// breaker, and [`SdkError::DeadlineExceeded`] when the budget expired
+/// before any leg could run.
+#[allow(clippy::too_many_arguments)]
+pub fn invoke_redundant_governed(
+    candidates: &[Arc<SimService>],
+    request: &Request,
+    mode: RedundantMode,
+    policy: &InvocationPolicy,
+    monitor: &ServiceMonitor,
+    telemetry: &Telemetry,
+    ctx: &SpanCtx,
+    gov: &Governance,
+) -> Result<Vec<RedundantLeg>, SdkError> {
     if candidates.is_empty() {
         return Err(SdkError::EmptyClass("<no candidates>".into()));
     }
     let mut legs = Vec::new();
+    let mut skipped = 0usize;
+    let mut expired = false;
     for service in candidates.iter().take(policy.max_services) {
+        if gov.deadline.is_expired(service.clock().now()) {
+            emit_deadline_exhausted(telemetry, ctx, "redundant");
+            expired = true;
+            break;
+        }
+        if let Some(breakers) = &gov.breakers {
+            if !breakers.admit(service.name(), ctx).is_allowed() {
+                skipped += 1;
+                continue;
+            }
+        }
         let leg_ctx = telemetry.tracer().child(ctx);
         let retries = policy.retries_for(service.name());
-        let (outcome, _) = invoke_with_backoff_traced(
+        let (outcome, _) = invoke_with_backoff_governed(
             service,
             request,
             retries,
@@ -375,6 +630,7 @@ pub fn invoke_redundant_traced(
             monitor,
             telemetry,
             &leg_ctx,
+            gov,
         );
         let success = outcome.result.is_ok();
         legs.push(RedundantLeg {
@@ -383,6 +639,18 @@ pub fn invoke_redundant_traced(
         });
         if mode == RedundantMode::FirstSuccess && success {
             break;
+        }
+    }
+    if legs.is_empty() {
+        if skipped > 0 && !expired {
+            return Err(SdkError::CircuitOpen(format!(
+                "all {skipped} candidates tripped"
+            )));
+        }
+        if expired {
+            return Err(SdkError::DeadlineExceeded(
+                "budget expired before any redundant leg ran".into(),
+            ));
         }
     }
     if telemetry.is_enabled() {
@@ -693,6 +961,312 @@ mod tests {
         invoke_with_backoff(&alive, &req(), 5, Backoff::standard_exponential(), &monitor);
         // Success on the first attempt: no backoff is realized.
         assert_eq!(env.clock().now().since(t0), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn full_jitter_delays_stay_within_envelope() {
+        let policy = Backoff::standard_full_jitter();
+        let mut rng = Rng::new(99);
+        for retry in 0..12 {
+            let envelope = policy.delay(retry);
+            for _ in 0..50 {
+                let d = policy.delay_sampled(retry, &mut rng);
+                assert!(d <= envelope, "retry {retry}: {d:?} > {envelope:?}");
+            }
+        }
+        assert_eq!(policy.delay(10), Duration::from_secs(2), "envelope capped");
+    }
+
+    #[test]
+    fn full_jitter_differs_across_callers() {
+        let policy = Backoff::standard_full_jitter();
+        // Two independent invocations (fresh jitter streams, as each
+        // invoke_with_backoff_governed call creates) must not produce the
+        // identical delay sequence — that is the retry storm full jitter
+        // exists to break up.
+        let seq = |rng: &mut Rng| -> Vec<Duration> {
+            (0..6).map(|r| policy.delay_sampled(r, rng)).collect()
+        };
+        let a = seq(&mut jitter_rng());
+        let b = seq(&mut jitter_rng());
+        assert_ne!(a, b, "two callers drew identical jitter sequences");
+        // And the non-jittered policies remain deterministic.
+        let exp = Backoff::standard_exponential();
+        assert_eq!(
+            exp.delay_sampled(3, &mut jitter_rng()),
+            exp.delay_sampled(3, &mut jitter_rng())
+        );
+    }
+
+    #[test]
+    fn deadline_stops_retries_mid_sequence() {
+        let env = SimEnv::with_seed(20);
+        let monitor = ServiceMonitor::new();
+        let dead = svc(&env, "dead", 1.0);
+        let telemetry = cogsdk_obs::Telemetry::new();
+        let ctx = telemetry.tracer().new_trace();
+        // Each failed attempt burns 5s (the default timeout? no — flaky
+        // failures are timeouts burning the 5s default timeout). Budget of
+        // 12s admits attempt 1 (5s) and attempt 2 (10s), not attempt 3.
+        let gov = Governance::with_deadline(crate::resilience::Deadline::within(
+            env.clock(),
+            Duration::from_secs(12),
+        ));
+        let (outcome, attempts) = invoke_with_backoff_governed(
+            &dead,
+            &req(),
+            10,
+            Backoff::None,
+            &monitor,
+            &telemetry,
+            &ctx,
+            &gov,
+        );
+        assert!(outcome.result.is_err());
+        assert!(
+            attempts < 11,
+            "deadline must cut the retry budget short, made {attempts}"
+        );
+        assert_eq!(
+            telemetry
+                .metrics()
+                .counter_value("sdk_deadline_exhausted_total", &[("stage", "backoff")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn deadline_skips_backoff_sleep_it_cannot_afford() {
+        let env = SimEnv::with_seed(21);
+        let monitor = ServiceMonitor::new();
+        let dead = SimService::builder("dead", "demo")
+            .latency(LatencyModel::constant_ms(5.0))
+            .failures(FailurePlan::flaky(1.0))
+            .timeout(Duration::from_millis(50))
+            .build(&env);
+        let telemetry = cogsdk_obs::Telemetry::disabled();
+        let ctx = telemetry.tracer().new_trace();
+        let t0 = env.clock().now();
+        let gov = Governance::with_deadline(crate::resilience::Deadline::within(
+            env.clock(),
+            Duration::from_millis(120),
+        ));
+        // Fixed 1s backoff dwarfs the 120ms budget: after the first 50ms
+        // failure, the sleep must be skipped and the sequence must end.
+        let (_, attempts) = invoke_with_backoff_governed(
+            &dead,
+            &req(),
+            5,
+            Backoff::Fixed(Duration::from_secs(1)),
+            &monitor,
+            &telemetry,
+            &ctx,
+            &gov,
+        );
+        assert_eq!(attempts, 1);
+        assert!(
+            env.clock().now().since(t0) < Duration::from_millis(200),
+            "no backoff sleep was realized"
+        );
+    }
+
+    #[test]
+    fn failover_skips_tripped_service_without_attempting_it() {
+        let env = SimEnv::with_seed(22);
+        let monitor = ServiceMonitor::new();
+        let telemetry = cogsdk_obs::Telemetry::new();
+        let dead = svc(&env, "dead", 1.0);
+        let alive = svc(&env, "alive", 0.0);
+        let breakers = Arc::new(crate::resilience::BreakerRegistry::new(
+            env.clock().clone(),
+            telemetry.clone(),
+            crate::resilience::BreakerConfig {
+                window: 4,
+                min_calls: 2,
+                trip_error_rate: 0.5,
+                open_for: Duration::from_secs(60),
+                half_open_probes: 1,
+            },
+        ));
+        let ctx = telemetry.tracer().new_trace();
+        let gov = Governance::new(Some(Arc::clone(&breakers)), Deadline::NONE);
+        let policy = InvocationPolicy {
+            default_retries: 1,
+            ..InvocationPolicy::default()
+        };
+        let candidates = vec![Arc::clone(&dead), Arc::clone(&alive)];
+
+        // First call trips the breaker on "dead" (2 failed attempts).
+        let ok = invoke_failover_governed(
+            &candidates,
+            &req(),
+            &policy,
+            &monitor,
+            &telemetry,
+            &ctx,
+            &gov,
+        )
+        .unwrap();
+        assert_eq!(ok.service, "alive");
+        assert_eq!(ok.attempts, 3);
+        assert_eq!(
+            breakers.state("dead"),
+            crate::resilience::BreakerState::Open
+        );
+
+        // Second call: dead is skipped entirely — one leg, one attempt.
+        let (dead_calls_before, _) = dead.stats();
+        let ok = invoke_failover_governed(
+            &candidates,
+            &req(),
+            &policy,
+            &monitor,
+            &telemetry,
+            &ctx,
+            &gov,
+        )
+        .unwrap();
+        assert_eq!(ok.service, "alive");
+        assert_eq!(ok.services_tried, 1);
+        assert_eq!(ok.attempts, 1);
+        assert_eq!(dead.stats().0, dead_calls_before, "dead was not called");
+    }
+
+    #[test]
+    fn failover_all_tripped_reports_circuit_open() {
+        let env = SimEnv::with_seed(23);
+        let monitor = ServiceMonitor::new();
+        let telemetry = cogsdk_obs::Telemetry::new();
+        let d1 = svc(&env, "d1", 1.0);
+        let d2 = svc(&env, "d2", 1.0);
+        let breakers = Arc::new(crate::resilience::BreakerRegistry::new(
+            env.clock().clone(),
+            telemetry.clone(),
+            crate::resilience::BreakerConfig {
+                window: 4,
+                min_calls: 2,
+                trip_error_rate: 0.5,
+                open_for: Duration::from_secs(60),
+                half_open_probes: 1,
+            },
+        ));
+        let ctx = telemetry.tracer().new_trace();
+        let gov = Governance::new(Some(breakers), Deadline::NONE);
+        let policy = InvocationPolicy {
+            default_retries: 1,
+            ..InvocationPolicy::default()
+        };
+        let candidates = vec![d1, d2];
+        // Trip both.
+        let err = invoke_failover_governed(
+            &candidates,
+            &req(),
+            &policy,
+            &monitor,
+            &telemetry,
+            &ctx,
+            &gov,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SdkError::AllFailed(_)));
+        // Now both breakers are open: pure rejection, no attempts.
+        let err = invoke_failover_governed(
+            &candidates,
+            &req(),
+            &policy,
+            &monitor,
+            &telemetry,
+            &ctx,
+            &gov,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SdkError::CircuitOpen(_)), "{err:?}");
+    }
+
+    #[test]
+    fn failover_deadline_expiry_reports_deadline_exceeded() {
+        let env = SimEnv::with_seed(24);
+        let monitor = ServiceMonitor::new();
+        let telemetry = cogsdk_obs::Telemetry::disabled();
+        let ctx = telemetry.tracer().new_trace();
+        let candidates = vec![svc(&env, "a", 0.0)];
+        let deadline = crate::resilience::Deadline::within(env.clock(), Duration::from_millis(10));
+        env.clock().advance(Duration::from_millis(20));
+        let gov = Governance::with_deadline(deadline);
+        let err = invoke_failover_governed(
+            &candidates,
+            &req(),
+            &InvocationPolicy::default(),
+            &monitor,
+            &telemetry,
+            &ctx,
+            &gov,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SdkError::DeadlineExceeded(_)), "{err:?}");
+    }
+
+    #[test]
+    fn retry_within_refuses_expired_budget() {
+        let env = SimEnv::with_seed(25);
+        let monitor = ServiceMonitor::new();
+        let alive = svc(&env, "alive", 0.0);
+        let deadline = crate::resilience::Deadline::within(env.clock(), Duration::from_millis(1));
+        env.clock().advance(Duration::from_millis(5));
+        let err = invoke_with_retry_within(&alive, &req(), 2, &monitor, deadline).unwrap_err();
+        assert!(matches!(err, SdkError::DeadlineExceeded(_)));
+        assert!(monitor.history("alive").is_none(), "no attempt was made");
+
+        let ok = invoke_with_retry_within(&alive, &req(), 2, &monitor, Deadline::NONE).unwrap();
+        assert!(ok.result.is_ok());
+    }
+
+    #[test]
+    fn redundant_all_tripped_reports_circuit_open() {
+        let env = SimEnv::with_seed(26);
+        let monitor = ServiceMonitor::new();
+        let telemetry = cogsdk_obs::Telemetry::new();
+        let d1 = svc(&env, "d1", 1.0);
+        let breakers = Arc::new(crate::resilience::BreakerRegistry::new(
+            env.clock().clone(),
+            telemetry.clone(),
+            crate::resilience::BreakerConfig {
+                window: 4,
+                min_calls: 2,
+                trip_error_rate: 0.5,
+                open_for: Duration::from_secs(60),
+                half_open_probes: 1,
+            },
+        ));
+        let ctx = telemetry.tracer().new_trace();
+        let gov = Governance::new(Some(breakers), Deadline::NONE);
+        let policy = InvocationPolicy {
+            default_retries: 1,
+            ..InvocationPolicy::default()
+        };
+        let candidates = vec![d1];
+        let _ = invoke_redundant_governed(
+            &candidates,
+            &req(),
+            RedundantMode::All,
+            &policy,
+            &monitor,
+            &telemetry,
+            &ctx,
+            &gov,
+        );
+        let err = invoke_redundant_governed(
+            &candidates,
+            &req(),
+            RedundantMode::All,
+            &policy,
+            &monitor,
+            &telemetry,
+            &ctx,
+            &gov,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SdkError::CircuitOpen(_)), "{err:?}");
     }
 
     #[test]

@@ -44,20 +44,22 @@ pub mod pool;
 pub mod predict;
 pub mod rank;
 pub mod registry;
+pub mod resilience;
 pub mod score;
 pub mod sdk;
 
 pub use cache::ResponseCache;
 pub use future::ListenableFuture;
-pub use gateway::HttpGateway;
+pub use gateway::{GatewayLimits, HttpGateway};
 pub use invoke::{InvocationPolicy, RedundantMode};
 pub use monitor::ServiceMonitor;
 pub use pool::ThreadPool;
 pub use predict::Predictor;
 pub use rank::RankedService;
 pub use registry::ServiceRegistry;
+pub use resilience::{BreakerConfig, BreakerRegistry, BreakerState, Deadline, Governance};
 pub use score::ScoringFormula;
-pub use sdk::RichSdk;
+pub use sdk::{ResilienceOptions, RichSdk};
 
 use std::error::Error;
 use std::fmt;
@@ -75,6 +77,10 @@ pub enum SdkError {
     Rejected(String),
     /// A quality rating outside `[0, 1]` was supplied.
     InvalidRating(String),
+    /// The end-to-end deadline budget ran out before the work finished.
+    DeadlineExceeded(String),
+    /// Every admissible candidate was behind an open circuit breaker.
+    CircuitOpen(String),
 }
 
 impl fmt::Display for SdkError {
@@ -85,6 +91,8 @@ impl fmt::Display for SdkError {
             SdkError::AllFailed(last) => write!(f, "all candidate services failed; last: {last}"),
             SdkError::Rejected(msg) => write!(f, "request rejected: {msg}"),
             SdkError::InvalidRating(msg) => write!(f, "invalid quality rating: {msg}"),
+            SdkError::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
+            SdkError::CircuitOpen(msg) => write!(f, "circuit open: {msg}"),
         }
     }
 }
@@ -98,6 +106,8 @@ impl SdkError {
             SdkError::AllFailed(_) => "all_failed",
             SdkError::Rejected(_) => "rejected",
             SdkError::InvalidRating(_) => "invalid_rating",
+            SdkError::DeadlineExceeded(_) => "deadline_exceeded",
+            SdkError::CircuitOpen(_) => "circuit_open",
         }
     }
 }

@@ -32,8 +32,8 @@ pub struct Observation {
     pub error_kind: Option<&'static str>,
 }
 
-/// Upper bound on retained observations per service; see
-/// [`ServiceMonitor::record_raw`].
+/// Default upper bound on retained observations per service; see
+/// [`ServiceMonitor::with_window`] to configure it.
 pub const MAX_OBSERVATIONS: usize = 2_048;
 
 /// Per-service history.
@@ -211,15 +211,46 @@ impl ServiceHistory {
 /// assert_eq!(h.mean_latency_ms(), Some(15.0));
 /// assert_eq!(h.availability(), Some(1.0));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServiceMonitor {
     histories: RwLock<BTreeMap<String, ServiceHistory>>,
+    /// Sliding-window bound on observations (and quality ratings) kept
+    /// per service.
+    window: usize,
+}
+
+impl Default for ServiceMonitor {
+    fn default() -> ServiceMonitor {
+        ServiceMonitor::with_window(MAX_OBSERVATIONS)
+    }
 }
 
 impl ServiceMonitor {
-    /// Creates an empty monitor.
+    /// Creates an empty monitor with the default window of
+    /// [`MAX_OBSERVATIONS`] observations per service.
     pub fn new() -> ServiceMonitor {
         ServiceMonitor::default()
+    }
+
+    /// Creates an empty monitor retaining at most `window` observations
+    /// per service. Small windows make the statistics track regime
+    /// changes faster at the cost of noisier percentiles; large windows
+    /// do the opposite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_window(window: usize) -> ServiceMonitor {
+        assert!(window > 0, "observation window must be positive");
+        ServiceMonitor {
+            histories: RwLock::new(BTreeMap::new()),
+            window,
+        }
+    }
+
+    /// The configured per-service observation bound.
+    pub fn window(&self) -> usize {
+        self.window
     }
 
     /// Records the outcome of one invocation, including the failure kind
@@ -239,9 +270,11 @@ impl ServiceMonitor {
 
     /// Records an observation from raw components (no failure kind).
     ///
-    /// Histories are bounded sliding windows ([`MAX_OBSERVATIONS`] most
-    /// recent observations): unbounded growth would make every ranking
-    /// pass O(lifetime) and predictions would average over stale regimes.
+    /// Histories are bounded sliding windows (the configured
+    /// [`window`](Self::window) of most recent observations,
+    /// [`MAX_OBSERVATIONS`] by default): unbounded growth would make
+    /// every ranking pass O(lifetime) and predictions would average over
+    /// stale regimes.
     pub fn record_raw(
         &self,
         service: &str,
@@ -268,9 +301,9 @@ impl ServiceMonitor {
         let history = map.entry(service.to_string()).or_default();
         history.observations.push(observation);
         history.total_cost_micros = history.total_cost_micros.saturating_add(cost_micros);
-        if history.observations.len() > MAX_OBSERVATIONS {
+        if history.observations.len() > self.window {
             // Drop the oldest half in one amortized move.
-            history.observations.drain(..MAX_OBSERVATIONS / 2);
+            history.observations.drain(..(self.window / 2).max(1));
         }
     }
 
@@ -290,8 +323,8 @@ impl ServiceMonitor {
         let mut map = self.histories.write();
         let history = map.entry(service.to_string()).or_default();
         history.quality_ratings.push(rating);
-        if history.quality_ratings.len() > MAX_OBSERVATIONS {
-            history.quality_ratings.drain(..MAX_OBSERVATIONS / 2);
+        if history.quality_ratings.len() > self.window {
+            history.quality_ratings.drain(..(self.window / 2).max(1));
         }
         Ok(())
     }
@@ -475,6 +508,31 @@ mod tests {
         assert_eq!(last.latency_ms, (n - 1) as f64);
         // Lifetime cost is unaffected by the window.
         assert_eq!(m.total_cost().as_micros(), n as u64);
+    }
+
+    #[test]
+    fn custom_window_bounds_history() {
+        let m = ServiceMonitor::with_window(16);
+        assert_eq!(m.window(), 16);
+        for i in 0..100 {
+            m.record_raw("svc", i as f64, true, 1, vec![]);
+        }
+        let h = m.history("svc").unwrap();
+        assert!(h.observations().len() <= 16);
+        assert_eq!(h.observations().last().unwrap().latency_ms, 99.0);
+        // Cost stays lifetime even with a tiny window.
+        assert_eq!(m.total_cost().as_micros(), 100);
+        // Quality ratings share the bound.
+        for _ in 0..100 {
+            m.rate_quality("svc", 0.5).unwrap();
+        }
+        assert_eq!(m.history("svc").unwrap().mean_quality(), Some(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = ServiceMonitor::with_window(0);
     }
 
     #[test]

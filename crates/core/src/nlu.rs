@@ -11,9 +11,10 @@
 //! identified by more services" (§2.1), and stores fetched documents
 //! locally "along with the query itself and the time the query was made".
 
-use crate::invoke::invoke_with_retry;
+use crate::invoke::{invoke_with_retry, invoke_with_retry_within};
 use crate::monitor::ServiceMonitor;
 use crate::pool::ThreadPool;
+use crate::resilience::Deadline;
 use crate::SdkError;
 use cogsdk_json::{json, Json};
 use cogsdk_search::html::extract_text;
@@ -312,6 +313,55 @@ impl NluSupport {
         aggregate(&analyses)
     }
 
+    /// As [`analyze_text`](NluSupport::analyze_text), bounded by an
+    /// end-to-end deadline: retries stop once the budget runs out.
+    ///
+    /// # Errors
+    ///
+    /// As for [`analyze_text`](NluSupport::analyze_text), plus
+    /// [`SdkError::DeadlineExceeded`] when the budget was already spent.
+    pub fn analyze_text_within(
+        &self,
+        nlu: &Arc<SimService>,
+        text: &str,
+        deadline: Deadline,
+    ) -> Result<DocumentAnalysis, SdkError> {
+        let request = Request::new("analyze", json!({"text": (text)}))
+            .with_param("text_len", text.len() as f64);
+        let outcome =
+            invoke_with_retry_within(nlu, &request, self.retries, &self.monitor, deadline)?;
+        match outcome.result {
+            Ok(resp) => Ok(DocumentAnalysis::from_json(&resp.payload)),
+            Err(ServiceError::BadRequest(m)) => Err(SdkError::Rejected(m)),
+            Err(e) => Err(SdkError::AllFailed(format!("{}: {e}", nlu.name()))),
+        }
+    }
+
+    /// As [`analyze_documents`](NluSupport::analyze_documents), bounded by
+    /// an end-to-end deadline: no document's analysis *starts* after the
+    /// budget has elapsed, so the aggregate is a partial-but-timely answer
+    /// instead of a late complete one. Returns the aggregate plus the
+    /// number of documents skipped for lack of budget.
+    pub fn analyze_documents_within(
+        &self,
+        nlu: &Arc<SimService>,
+        texts: &[String],
+        deadline: Deadline,
+    ) -> (AggregateAnalysis, usize) {
+        let mut analyses = Vec::new();
+        let mut skipped = 0;
+        for (i, text) in texts.iter().enumerate() {
+            if deadline.is_expired(nlu.clock().now()) {
+                skipped = texts.len() - i;
+                break;
+            }
+            if let Ok(a) = self.analyze_text_within(nlu, text, deadline) {
+                analyses.push(a);
+            }
+        }
+        (aggregate(&analyses), skipped)
+    }
+
     /// Analyzes many documents in parallel on the thread pool.
     pub fn analyze_documents_parallel(
         &self,
@@ -581,6 +631,42 @@ impl NluSupport {
             .collect();
         Ok(aggregate(&analyses))
     }
+
+    /// As [`search_and_analyze`](NluSupport::search_and_analyze), bounded
+    /// by an end-to-end deadline across the whole pipeline: fetching and
+    /// analysis both stop starting new work once the budget has elapsed.
+    /// Returns the (possibly partial) aggregate plus the number of hits
+    /// or documents skipped for lack of budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates search-service failure, as for
+    /// [`search_and_analyze`](NluSupport::search_and_analyze).
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_and_analyze_within(
+        &self,
+        search: &Arc<SimService>,
+        web: &Arc<SimService>,
+        nlu: &Arc<SimService>,
+        query: &str,
+        limit: usize,
+        deadline: Deadline,
+    ) -> Result<(AggregateAnalysis, usize), SdkError> {
+        let hits = self.web_search(search, query, limit, false)?;
+        let mut texts = Vec::new();
+        let mut skipped = 0;
+        for (i, hit) in hits.iter().enumerate() {
+            if deadline.is_expired(web.clock().now()) {
+                skipped = hits.len() - i;
+                break;
+            }
+            if let Ok(doc) = self.fetch_document(web, &hit.url, query) {
+                texts.push(extract_text(&doc.html));
+            }
+        }
+        let (agg, analysis_skipped) = self.analyze_documents_within(nlu, &texts, deadline);
+        Ok((agg, skipped + analysis_skipped))
+    }
 }
 
 #[cfg(test)]
@@ -682,6 +768,61 @@ mod tests {
         let min = consensus.entities.last().unwrap().confidence;
         let max = consensus.entities[0].confidence;
         assert!(max > min, "expected disagreement, got flat {max}");
+    }
+
+    #[test]
+    fn analyze_documents_within_stops_once_budget_is_spent() {
+        let env = SimEnv::with_seed(7);
+        let nlu = perfect_nlu(&env);
+        let s = support();
+        let texts: Vec<String> = (0..4)
+            .map(|i| format!("IBM posted excellent growth in quarter {i}."))
+            .collect();
+        // An already-expired budget analyzes nothing and calls no service.
+        let expired = Deadline::within(env.clock(), std::time::Duration::ZERO);
+        env.clock().advance(std::time::Duration::from_micros(1));
+        let (agg, skipped) = s.analyze_documents_within(&nlu, &texts, expired);
+        assert_eq!(agg, AggregateAnalysis::default());
+        assert_eq!(skipped, texts.len());
+        assert_eq!(nlu.stats().0, 0, "no budget, no calls");
+        // An unbounded budget analyzes everything.
+        let (agg, skipped) = s.analyze_documents_within(&nlu, &texts, Deadline::NONE);
+        assert_eq!(agg.documents, texts.len());
+        assert_eq!(skipped, 0);
+        // A budget covering roughly one document's analysis yields a
+        // partial-but-timely aggregate.
+        let t0 = env.clock().now();
+        s.analyze_text(&nlu, &texts[0]).unwrap();
+        let one_doc = env.clock().now().since(t0);
+        let deadline = Deadline::within(env.clock(), one_doc + one_doc / 2);
+        let (agg, skipped) = s.analyze_documents_within(&nlu, &texts, deadline);
+        assert!(agg.documents < texts.len(), "{}", agg.documents);
+        assert!(agg.documents >= 1);
+        assert_eq!(skipped, texts.len() - agg.documents);
+    }
+
+    #[test]
+    fn search_and_analyze_within_skips_late_fetches() {
+        let env = SimEnv::with_seed(8);
+        let (engines, web, _idx) = standard_web(&env, 7, 120);
+        let nlu = perfect_nlu(&env);
+        let s = support();
+        // Expired before any fetch: the search result arrives, but every
+        // downstream fetch/analysis is skipped.
+        let expired = Deadline::within(env.clock(), std::time::Duration::ZERO);
+        env.clock().advance(std::time::Duration::from_micros(1));
+        let (agg, skipped) = s
+            .search_and_analyze_within(&engines[0], &web, &nlu, "market growth", 5, expired)
+            .unwrap();
+        assert_eq!(agg.documents, 0);
+        assert!(skipped > 0);
+        assert!(s.document_store().is_empty(), "no fetch should have run");
+        // Unbounded matches the plain pipeline.
+        let (agg, skipped) = s
+            .search_and_analyze_within(&engines[0], &web, &nlu, "market growth", 5, Deadline::NONE)
+            .unwrap();
+        assert!(agg.documents > 0);
+        assert_eq!(skipped, 0);
     }
 
     #[test]

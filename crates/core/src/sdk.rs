@@ -3,21 +3,45 @@
 use crate::cache::ResponseCache;
 use crate::future::ListenableFuture;
 use crate::invoke::{
-    invoke_failover_traced, invoke_with_backoff_traced, outcome_kind, FailoverSuccess,
-    InvocationPolicy, RedundantLeg, RedundantMode,
+    invoke_failover_governed, invoke_with_backoff_governed, invoke_with_backoff_traced,
+    outcome_kind, FailoverSuccess, InvocationPolicy, RedundantLeg, RedundantMode,
 };
 use crate::monitor::{duration_ms, ServiceMonitor};
 use crate::nlu::NluSupport;
 use crate::pool::ThreadPool;
 use crate::rank::{rank_class, RankOptions, RankedService};
 use crate::registry::ServiceRegistry;
+use crate::resilience::{Admission, BreakerConfig, BreakerRegistry, Deadline, Governance};
 use crate::SdkError;
 use cogsdk_obs::{EventKind, SpanCtx, Telemetry};
+use cogsdk_sim::clock::SimClock;
 use cogsdk_sim::service::{Request, Response, ServiceError, SimService};
 use cogsdk_sim::SimEnv;
 use parking_lot::RwLock;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Opt-in resilience configuration for [`RichSdk::with_resilience`].
+///
+/// `breakers` enables a per-service [`BreakerRegistry`] so tripped
+/// services are skipped without being called; `default_deadline` puts an
+/// end-to-end budget on every invocation that does not supply its own.
+#[derive(Debug, Clone)]
+pub struct ResilienceOptions {
+    /// Circuit-breaker configuration; `None` disables breakers.
+    pub breakers: Option<BreakerConfig>,
+    /// Budget applied to every invocation; `None` leaves calls unbounded.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ResilienceOptions {
+    fn default() -> ResilienceOptions {
+        ResilienceOptions {
+            breakers: Some(BreakerConfig::default()),
+            default_deadline: None,
+        }
+    }
+}
 
 /// The rich SDK.
 ///
@@ -54,6 +78,9 @@ pub struct RichSdk {
     policy: RwLock<InvocationPolicy>,
     nlu: NluSupport,
     telemetry: Telemetry,
+    clock: SimClock,
+    breakers: Option<Arc<BreakerRegistry>>,
+    default_deadline: Option<Duration>,
 }
 
 impl std::fmt::Debug for RichSdk {
@@ -146,7 +173,53 @@ impl RichSdk {
             pool,
             policy: RwLock::new(InvocationPolicy::default()),
             telemetry,
+            clock: env.clock().clone(),
+            breakers: None,
+            default_deadline: None,
         }
+    }
+
+    /// As [`RichSdk::with_telemetry`], with the resilience layer enabled:
+    /// per-service circuit breakers and/or a default end-to-end deadline
+    /// budget wrap every invocation path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.breakers` carries an invalid
+    /// [`BreakerConfig`].
+    pub fn with_resilience(
+        env: &SimEnv,
+        telemetry: Telemetry,
+        options: ResilienceOptions,
+    ) -> RichSdk {
+        let mut sdk = RichSdk::with_telemetry_config(
+            env,
+            DEFAULT_CACHE_CAPACITY,
+            DEFAULT_CACHE_TTL,
+            DEFAULT_POOL_SIZE,
+            telemetry.clone(),
+        );
+        sdk.breakers = options
+            .breakers
+            .map(|cfg| Arc::new(BreakerRegistry::new(env.clock().clone(), telemetry, cfg)));
+        sdk.default_deadline = options.default_deadline;
+        sdk
+    }
+
+    /// The circuit-breaker registry, when resilience is enabled.
+    pub fn breakers(&self) -> Option<&Arc<BreakerRegistry>> {
+        self.breakers.as_ref()
+    }
+
+    /// Governance for one invocation: the SDK's breakers plus a deadline
+    /// derived *now* from the default budget (each invocation gets a
+    /// fresh budget, not a shared absolute instant).
+    fn governance(&self) -> Governance {
+        let deadline = match self.default_deadline {
+            Some(budget) => Deadline::within(&self.clock, budget),
+            None => Deadline::NONE,
+        };
+        Governance::new(self.breakers.clone(), deadline)
     }
 
     /// Registers a service.
@@ -233,11 +306,25 @@ impl RichSdk {
                 class: service.class().to_string(),
                 operation: request.operation.clone(),
             });
+        let gov = self.governance();
+        if let Some(breakers) = &gov.breakers {
+            if let Admission::Rejected { retry_after } = breakers.admit(name, ctx) {
+                self.telemetry.tracer().emit(ctx, || EventKind::InvokeEnd {
+                    service: name.to_string(),
+                    outcome: "circuit_open",
+                    latency_ms: 0.0,
+                });
+                return Err(SdkError::CircuitOpen(format!(
+                    "{name}: retry in {:.0}ms",
+                    retry_after.as_secs_f64() * 1000.0
+                )));
+            }
+        }
         let (retries, backoff) = {
             let policy = self.policy.read();
             (policy.retries_for(name), policy.backoff)
         };
-        let (outcome, _) = invoke_with_backoff_traced(
+        let (outcome, _) = invoke_with_backoff_governed(
             service,
             request,
             retries,
@@ -245,6 +332,7 @@ impl RichSdk {
             &self.monitor,
             &self.telemetry,
             ctx,
+            &gov,
         );
         self.telemetry.tracer().emit(ctx, || EventKind::InvokeEnd {
             service: name.to_string(),
@@ -367,6 +455,37 @@ impl RichSdk {
         request: &Request,
         options: &RankOptions,
     ) -> Result<FailoverSuccess, SdkError> {
+        self.invoke_class_governed(class, request, options, self.governance())
+    }
+
+    /// As [`RichSdk::invoke_class`], bounded by an end-to-end budget:
+    /// no failover leg starts (and no backoff sleep is taken) once
+    /// `budget` has elapsed, regardless of how many candidates remain.
+    ///
+    /// # Errors
+    ///
+    /// As for [`invoke_class`](RichSdk::invoke_class), plus
+    /// [`SdkError::DeadlineExceeded`] when the budget runs out.
+    pub fn invoke_class_within(
+        &self,
+        class: &str,
+        request: &Request,
+        options: &RankOptions,
+        budget: Duration,
+    ) -> Result<FailoverSuccess, SdkError> {
+        let gov = self
+            .governance()
+            .deadline(Deadline::within(&self.clock, budget));
+        self.invoke_class_governed(class, request, options, gov)
+    }
+
+    fn invoke_class_governed(
+        &self,
+        class: &str,
+        request: &Request,
+        options: &RankOptions,
+        gov: Governance,
+    ) -> Result<FailoverSuccess, SdkError> {
         let ranked = self.rank(class, options);
         if ranked.is_empty() {
             return Err(SdkError::EmptyClass(class.to_string()));
@@ -386,13 +505,14 @@ impl RichSdk {
             .collect();
         let candidates: Vec<Arc<SimService>> = ranked.into_iter().map(|r| r.service).collect();
         let policy = self.policy.read().clone();
-        let result = invoke_failover_traced(
+        let result = invoke_failover_governed(
             &candidates,
             request,
             &policy,
             &self.monitor,
             &self.telemetry,
             &ctx,
+            &gov,
         );
         if self.telemetry.is_enabled() {
             match &result {
@@ -468,10 +588,22 @@ impl RichSdk {
             class: class.to_string(),
             operation: request.operation.clone(),
         });
+        let gov = self.governance();
         let legs: Vec<RedundantLeg> = self.pool.map_all(candidates, move |service| {
             let leg_ctx = telemetry.tracer().child(&ctx);
+            // A tripped breaker fails the leg without calling the service,
+            // so redundant fan-out never wastes pool slots on known-bad
+            // replicas.
+            if let Some(breakers) = &gov.breakers {
+                if !breakers.admit(service.name(), &leg_ctx).is_allowed() {
+                    return RedundantLeg {
+                        service: service.name().to_string(),
+                        result: Err(ServiceError::Unavailable),
+                    };
+                }
+            }
             let retries = policy.retries_for(service.name());
-            let (outcome, _) = invoke_with_backoff_traced(
+            let (outcome, _) = invoke_with_backoff_governed(
                 &service,
                 &request,
                 retries,
@@ -479,6 +611,7 @@ impl RichSdk {
                 &monitor,
                 &telemetry,
                 &leg_ctx,
+                &gov,
             );
             RedundantLeg {
                 service: service.name().to_string(),
@@ -787,6 +920,96 @@ mod tests {
                     .unwrap_or(0),
             3
         );
+    }
+
+    #[test]
+    fn resilient_sdk_trips_breaker_then_fails_fast() {
+        use cogsdk_obs::Telemetry;
+        let env = SimEnv::with_seed(41);
+        let t = Telemetry::new();
+        let sdk = RichSdk::with_resilience(
+            &env,
+            t.clone(),
+            ResilienceOptions {
+                breakers: Some(BreakerConfig {
+                    window: 8,
+                    min_calls: 3,
+                    trip_error_rate: 0.5,
+                    open_for: Duration::from_secs(60),
+                    half_open_probes: 1,
+                }),
+                default_deadline: None,
+            },
+        );
+        sdk.register(
+            SimService::builder("dead", "s")
+                .latency(LatencyModel::constant_ms(1.0))
+                .failures(FailurePlan::flaky(1.0))
+                .build(&env),
+        );
+        // One invoke = 3 attempts (default 2 retries), all failing: trips.
+        assert!(matches!(
+            sdk.invoke("dead", &req()),
+            Err(SdkError::AllFailed(_))
+        ));
+        let (calls_before, _) = sdk.registry().get("dead").unwrap().stats();
+        // Tripped: the next invoke is rejected without touching the service.
+        let err = sdk.invoke("dead", &req()).unwrap_err();
+        assert!(matches!(err, SdkError::CircuitOpen(_)), "{err}");
+        let (calls_after, _) = sdk.registry().get("dead").unwrap().stats();
+        assert_eq!(calls_before, calls_after);
+        // The trip is visible to operators through metrics.
+        assert_eq!(
+            t.metrics()
+                .gauge_value("sdk_breaker_state", &[("service", "dead")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            t.metrics()
+                .counter_value("sdk_breaker_rejections_total", &[("service", "dead")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn invoke_class_within_bounds_total_latency() {
+        let env = SimEnv::with_seed(42);
+        let sdk = RichSdk::with_resilience(
+            &env,
+            cogsdk_obs::Telemetry::disabled(),
+            ResilienceOptions {
+                breakers: None,
+                default_deadline: None,
+            },
+        );
+        for name in ["dead-a", "dead-b"] {
+            sdk.register(
+                SimService::builder(name, "s")
+                    .latency(LatencyModel::constant_ms(1.0))
+                    .failures(FailurePlan::flaky(1.0))
+                    .timeout(Duration::from_millis(40))
+                    .build(&env),
+            );
+        }
+        let t0 = env.clock().now();
+        let err = sdk
+            .invoke_class_within(
+                "s",
+                &req(),
+                &RankOptions::default(),
+                Duration::from_millis(5),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SdkError::DeadlineExceeded(_)), "{err}");
+        // The first attempt always runs (burning its 40ms timeout), but no
+        // retry, backoff sleep, or second leg starts past the budget.
+        let elapsed = env.clock().now().since(t0);
+        assert!(elapsed < Duration::from_millis(100), "{elapsed:?}");
+        let calls: u64 = ["dead-a", "dead-b"]
+            .iter()
+            .map(|n| sdk.registry().get(n).unwrap().stats().0)
+            .sum();
+        assert_eq!(calls, 1, "only the first leg's first attempt may run");
     }
 
     #[test]

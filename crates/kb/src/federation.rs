@@ -12,8 +12,8 @@
 //! any conforming endpoint works.
 
 use crate::KbError;
-use cogsdk_core::invoke::invoke_with_retry;
-use cogsdk_core::ServiceMonitor;
+use cogsdk_core::invoke::invoke_with_retry_within;
+use cogsdk_core::{Deadline, ServiceMonitor};
 use cogsdk_json::{json, Json};
 use cogsdk_rdf::query::Solution;
 use cogsdk_rdf::{Statement, Term};
@@ -56,8 +56,26 @@ pub fn query_remote(
     monitor: &ServiceMonitor,
     sparql: &str,
 ) -> Result<Vec<Solution>, KbError> {
+    query_remote_within(service, monitor, sparql, Deadline::NONE)
+}
+
+/// As [`query_remote`], bounded by an end-to-end deadline: the query is
+/// refused outright once the budget is spent, and retries never start
+/// past it — a slow federated source cannot stall a refresh forever.
+///
+/// # Errors
+///
+/// As for [`query_remote`], with deadline exhaustion surfacing as
+/// [`KbError::Store`].
+pub fn query_remote_within(
+    service: &Arc<SimService>,
+    monitor: &ServiceMonitor,
+    sparql: &str,
+    deadline: Deadline,
+) -> Result<Vec<Solution>, KbError> {
     let request = Request::new("sparql", json!({"op": "sparql", "query": (sparql)}));
-    let outcome = invoke_with_retry(service, &request, 2, monitor);
+    let outcome = invoke_with_retry_within(service, &request, 2, monitor, deadline)
+        .map_err(|e| KbError::Store(e.to_string()))?;
     let payload = match outcome.result {
         Ok(resp) => resp.payload,
         Err(ServiceError::BadRequest(m)) => return Err(KbError::Rdf(m)),
@@ -104,8 +122,25 @@ pub fn describe_remote(
     monitor: &ServiceMonitor,
     entity_id: &str,
 ) -> Result<RemoteFacts, KbError> {
+    describe_remote_within(service, monitor, entity_id, Deadline::NONE)
+}
+
+/// As [`describe_remote`], bounded by an end-to-end deadline (see
+/// [`query_remote_within`]).
+///
+/// # Errors
+///
+/// As for [`describe_remote`], with deadline exhaustion surfacing as
+/// [`KbError::Store`].
+pub fn describe_remote_within(
+    service: &Arc<SimService>,
+    monitor: &ServiceMonitor,
+    entity_id: &str,
+    deadline: Deadline,
+) -> Result<RemoteFacts, KbError> {
     let request = Request::new("describe", json!({"op": "describe", "entity": (entity_id)}));
-    let outcome = invoke_with_retry(service, &request, 2, monitor);
+    let outcome = invoke_with_retry_within(service, &request, 2, monitor, deadline)
+        .map_err(|e| KbError::Store(e.to_string()))?;
     let payload = match outcome.result {
         Ok(resp) => resp.payload,
         Err(ServiceError::BadRequest(m)) if m.starts_with("404") => {
@@ -248,6 +283,25 @@ mod tests {
             describe_remote(&svc, &monitor, "atlantis"),
             Err(KbError::UnknownEntity(_))
         ));
+    }
+
+    #[test]
+    fn expired_deadline_refuses_remote_work() {
+        let env = SimEnv::with_seed(4);
+        let svc = mini_knowledge_service(&env);
+        let monitor = ServiceMonitor::new();
+        let expired = Deadline::within(env.clock(), std::time::Duration::ZERO);
+        env.clock().advance(std::time::Duration::from_micros(1));
+        let err =
+            query_remote_within(&svc, &monitor, "SELECT ?c WHERE { ... }", expired).unwrap_err();
+        assert!(matches!(err, KbError::Store(_)), "{err:?}");
+        let err = describe_remote_within(&svc, &monitor, "germany", expired).unwrap_err();
+        assert!(matches!(err, KbError::Store(_)), "{err:?}");
+        assert_eq!(svc.stats().0, 0, "no budget, no remote calls");
+        // An unbounded deadline behaves exactly like the plain calls.
+        let rows =
+            query_remote_within(&svc, &monitor, "SELECT ?c WHERE { ... }", Deadline::NONE).unwrap();
+        assert_eq!(rows.len(), 2);
     }
 
     #[test]

@@ -448,8 +448,26 @@ impl PersonalKnowledgeBase {
         monitor: &cogsdk_core::ServiceMonitor,
         sparql: &str,
     ) -> Result<Vec<Solution>, KbError> {
+        self.query_federated_within(service, monitor, sparql, cogsdk_core::Deadline::NONE)
+    }
+
+    /// As [`query_federated`](Self::query_federated), with the remote leg
+    /// bounded by an end-to-end deadline: the local graph always answers,
+    /// but no remote attempt starts past the budget.
+    ///
+    /// # Errors
+    ///
+    /// As for [`query_federated`](Self::query_federated); deadline
+    /// exhaustion surfaces as [`KbError::Store`].
+    pub fn query_federated_within(
+        &self,
+        service: &Arc<cogsdk_sim::SimService>,
+        monitor: &cogsdk_core::ServiceMonitor,
+        sparql: &str,
+        deadline: cogsdk_core::Deadline,
+    ) -> Result<Vec<Solution>, KbError> {
         let mut local = self.query(sparql)?;
-        let remote = crate::federation::query_remote(service, monitor, sparql)?;
+        let remote = crate::federation::query_remote_within(service, monitor, sparql, deadline)?;
         for solution in remote {
             if !local.contains(&solution) {
                 local.push(solution);
@@ -476,11 +494,41 @@ impl PersonalKnowledgeBase {
         entity_id: &str,
         source_confidence: f64,
     ) -> Result<usize, KbError> {
+        self.import_entity_within(
+            service,
+            monitor,
+            entity_id,
+            source_confidence,
+            cogsdk_core::Deadline::NONE,
+        )
+    }
+
+    /// As [`import_entity`](Self::import_entity), bounded by an
+    /// end-to-end deadline so a slow or flapping source cannot stall a
+    /// KB refresh indefinitely.
+    ///
+    /// # Errors
+    ///
+    /// As for [`import_entity`](Self::import_entity); deadline exhaustion
+    /// surfaces as [`KbError::Store`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source_confidence` is outside `[0, 1]`.
+    pub fn import_entity_within(
+        &self,
+        service: &Arc<cogsdk_sim::SimService>,
+        monitor: &cogsdk_core::ServiceMonitor,
+        entity_id: &str,
+        source_confidence: f64,
+        deadline: cogsdk_core::Deadline,
+    ) -> Result<usize, KbError> {
         assert!(
             (0.0..=1.0).contains(&source_confidence),
             "confidence must be in [0, 1]"
         );
-        let facts = crate::federation::describe_remote(service, monitor, entity_id)?;
+        let facts =
+            crate::federation::describe_remote_within(service, monitor, entity_id, deadline)?;
         let mut graph = self.graph.write();
         let mut confidence = self.confidence.write();
         let mut added = 0;

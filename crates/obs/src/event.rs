@@ -135,6 +135,31 @@ pub enum EventKind {
         /// Observed response time (ms).
         observed_ms: f64,
     },
+    /// A circuit breaker changed state.
+    BreakerTransition {
+        /// The guarded service.
+        service: String,
+        /// State before the transition (`closed`/`open`/`half_open`).
+        from: &'static str,
+        /// State after the transition.
+        to: &'static str,
+    },
+    /// A circuit breaker refused an invocation without attempting it.
+    BreakerRejected {
+        /// The guarded service.
+        service: String,
+    },
+    /// An end-to-end deadline budget ran out before the work finished.
+    DeadlineExhausted {
+        /// Where the budget ran out (`backoff`, `failover`, `redundant`,
+        /// `nlu`, `kb`...).
+        stage: &'static str,
+    },
+    /// The gateway shed a request under overload (bulkhead full).
+    GatewayShed {
+        /// The shed route.
+        route: String,
+    },
 }
 
 impl EventKind {
@@ -155,6 +180,10 @@ impl EventKind {
             EventKind::PoolEnqueue { .. } => "pool_enqueue",
             EventKind::PoolDequeue { .. } => "pool_dequeue",
             EventKind::PredictionIssued { .. } => "prediction_issued",
+            EventKind::BreakerTransition { .. } => "breaker_transition",
+            EventKind::BreakerRejected { .. } => "breaker_rejected",
+            EventKind::DeadlineExhausted { .. } => "deadline_exhausted",
+            EventKind::GatewayShed { .. } => "gateway_shed",
         }
     }
 }
@@ -216,6 +245,18 @@ impl fmt::Display for EventKind {
                 f,
                 "prediction service={service} predicted={predicted_ms:.1}ms observed={observed_ms:.1}ms"
             ),
+            EventKind::BreakerTransition { service, from, to } => {
+                write!(f, "breaker_transition service={service} {from}->{to}")
+            }
+            EventKind::BreakerRejected { service } => {
+                write!(f, "breaker_rejected service={service}")
+            }
+            EventKind::DeadlineExhausted { stage } => {
+                write!(f, "deadline_exhausted stage={stage}")
+            }
+            EventKind::GatewayShed { route } => {
+                write!(f, "gateway_shed route={route}")
+            }
         }
     }
 }
@@ -246,6 +287,38 @@ mod tests {
         let kind = EventKind::CacheHit { key: "k".into() };
         assert_eq!(kind.name(), "cache_hit");
         assert_eq!(kind.to_string(), "cache_hit key=k");
+    }
+
+    #[test]
+    fn resilience_event_names_and_display() {
+        let kind = EventKind::BreakerTransition {
+            service: "nlu-a".into(),
+            from: "closed",
+            to: "open",
+        };
+        assert_eq!(kind.name(), "breaker_transition");
+        assert_eq!(
+            kind.to_string(),
+            "breaker_transition service=nlu-a closed->open"
+        );
+        assert_eq!(
+            EventKind::BreakerRejected {
+                service: "nlu-a".into()
+            }
+            .to_string(),
+            "breaker_rejected service=nlu-a"
+        );
+        assert_eq!(
+            EventKind::DeadlineExhausted { stage: "failover" }.name(),
+            "deadline_exhausted"
+        );
+        assert_eq!(
+            EventKind::GatewayShed {
+                route: "/invoke".into()
+            }
+            .to_string(),
+            "gateway_shed route=/invoke"
+        );
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Deterministic chaos scenarios.
+//!
+//! A [`ChaosScenario`] composes faults — hard outages, blackholes that
+//! burn the caller's timeout, flapping, brown-outs, and background
+//! flakiness — into per-service [`FailurePlan`]s, reproducibly from a
+//! seed. The resilience layer's end-to-end tests and the
+//! `ablation_breaker` bench drive the SDK through these scenarios and
+//! assert the paper-predicted shapes (with circuit breakers, p99 during
+//! an outage ≈ healthy-service p99; without, p99 ≈ timeout × retries).
+//!
+//! Everything here is pure data generation: given the same seed and
+//! fault list, `plan_for` returns bit-identical plans on every run.
+
+use crate::clock::SimTime;
+use crate::failure::{FailurePlan, OutageWindow};
+use crate::rng::Rng;
+use std::time::Duration;
+
+/// One injected fault, applied to a named service over scenario time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Hard outage: calls fail fast (the service answers 5xx-style) for
+    /// the whole window.
+    Outage {
+        /// Window start, relative to scenario start.
+        start: Duration,
+        /// Window end, relative to scenario start.
+        end: Duration,
+    },
+    /// Blackhole: the service is down but failures are only detected
+    /// after the caller's full timeout — the retry-storm worst case.
+    Blackhole {
+        /// Window start, relative to scenario start.
+        start: Duration,
+        /// Window end, relative to scenario start.
+        end: Duration,
+    },
+    /// Flapping: within `[start, end)` the service alternates down/up
+    /// with the given period, down for `duty` of each period. Jitter on
+    /// the window edges is drawn from the scenario seed.
+    Flapping {
+        /// Envelope start.
+        start: Duration,
+        /// Envelope end.
+        end: Duration,
+        /// Length of one down/up cycle.
+        period: Duration,
+        /// Fraction of each period spent down, in `(0, 1)`.
+        duty: f64,
+    },
+    /// Brown-out: the service answers, `factor`× slower.
+    Degradation {
+        /// Window start.
+        start: Duration,
+        /// Window end.
+        end: Duration,
+        /// Latency multiplier (≥ 1).
+        factor: f64,
+    },
+    /// Background flakiness: each call independently times out with
+    /// probability `rate`, for the whole scenario.
+    Flaky {
+        /// Per-call timeout probability in `[0, 1]`.
+        rate: f64,
+    },
+}
+
+/// A seeded, composable set of faults across a service class.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_sim::chaos::{ChaosScenario, Fault};
+/// use std::time::Duration;
+///
+/// let scenario = ChaosScenario::new(42)
+///     .with_fault("primary", Fault::Blackhole {
+///         start: Duration::from_secs(1),
+///         end: Duration::from_secs(5),
+///     })
+///     .with_fault("backup", Fault::Flaky { rate: 0.01 });
+/// let plan = scenario.plan_for("primary");
+/// assert!(scenario.plan_for("ghost").failure_rate() == 0.0);
+/// let _ = plan;
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaosScenario {
+    seed: u64,
+    faults: Vec<(String, Fault)>,
+}
+
+impl ChaosScenario {
+    /// Creates an empty scenario; equal seeds yield identical plans.
+    pub fn new(seed: u64) -> ChaosScenario {
+        ChaosScenario {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// The scenario seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Adds a fault targeting one service. Faults on the same service
+    /// compose (their windows and rates combine in the plan).
+    pub fn with_fault(mut self, service: impl Into<String>, fault: Fault) -> ChaosScenario {
+        self.faults.push((service.into(), fault));
+        self
+    }
+
+    /// Adds the same fault to every named service.
+    pub fn with_fault_on_all<'a>(
+        mut self,
+        services: impl IntoIterator<Item = &'a str>,
+        fault: Fault,
+    ) -> ChaosScenario {
+        for s in services {
+            self.faults.push((s.to_string(), fault.clone()));
+        }
+        self
+    }
+
+    /// The faults registered for one service, in insertion order.
+    pub fn faults_for(&self, service: &str) -> Vec<&Fault> {
+        self.faults
+            .iter()
+            .filter(|(s, _)| s == service)
+            .map(|(_, f)| f)
+            .collect()
+    }
+
+    /// Composes every fault registered for `service` into one
+    /// [`FailurePlan`]. Services without faults get a reliable plan.
+    pub fn plan_for(&self, service: &str) -> FailurePlan {
+        // Per-service stream: same seed + same service name → same jitter,
+        // regardless of what other services are in the scenario.
+        let mut rng = Rng::new(self.seed ^ fnv1a(service));
+        let mut plan = FailurePlan::reliable();
+        for fault in self.faults_for(service) {
+            plan = apply(plan, fault, &mut rng);
+        }
+        plan
+    }
+}
+
+/// FNV-1a over the service name: a stable, dependency-free way to give
+/// each service its own deterministic jitter stream.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+fn window(start: Duration, end: Duration) -> OutageWindow {
+    OutageWindow::new(
+        SimTime::ZERO.after(start),
+        SimTime::ZERO.after(end.max(start + Duration::from_micros(1))),
+    )
+}
+
+fn apply(plan: FailurePlan, fault: &Fault, rng: &mut Rng) -> FailurePlan {
+    match *fault {
+        Fault::Outage { start, end } => plan.with_outage(window(start, end)),
+        Fault::Blackhole { start, end } => plan.with_blackhole(window(start, end)),
+        Fault::Degradation { start, end, factor } => {
+            plan.with_degradation(window(start, end), factor)
+        }
+        Fault::Flaky { rate } => plan.with_error_rate(rate),
+        Fault::Flapping {
+            start,
+            end,
+            period,
+            duty,
+        } => {
+            assert!(
+                (0.0..1.0).contains(&duty) && duty > 0.0,
+                "duty must be in (0, 1)"
+            );
+            assert!(!period.is_zero(), "flapping period must be positive");
+            let mut plan = plan;
+            let mut cursor = start;
+            while cursor < end {
+                // Jitter each down-window inside its cycle so flapping
+                // phases differ across services but stay seeded.
+                let down = period.mul_f64(duty);
+                let slack = period.saturating_sub(down);
+                let offset = slack.mul_f64(rng.next_f64());
+                let down_start = cursor + offset;
+                let down_end = (down_start + down).min(end);
+                if down_start < down_end {
+                    plan = plan.with_outage(window(down_start, down_end));
+                }
+                cursor += period;
+            }
+            plan
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::FailureKind;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn same_seed_same_plans() {
+        let build = || {
+            ChaosScenario::new(7)
+                .with_fault(
+                    "a",
+                    Fault::Flapping {
+                        start: ms(0),
+                        end: ms(1_000),
+                        period: ms(100),
+                        duty: 0.4,
+                    },
+                )
+                .with_fault("a", Fault::Flaky { rate: 0.05 })
+        };
+        let (p1, p2) = (build().plan_for("a"), build().plan_for("a"));
+        let mut r1 = Rng::new(1);
+        let mut r2 = Rng::new(1);
+        for t in (0..1_000).step_by(7) {
+            assert_eq!(
+                p1.decide(SimTime::from_millis(t), &mut r1),
+                p2.decide(SimTime::from_millis(t), &mut r2),
+                "divergence at t={t}ms"
+            );
+        }
+    }
+
+    #[test]
+    fn different_services_get_different_flap_phase() {
+        let scenario = ChaosScenario::new(9).with_fault_on_all(
+            ["a", "b"],
+            Fault::Flapping {
+                start: ms(0),
+                end: ms(10_000),
+                period: ms(500),
+                duty: 0.3,
+            },
+        );
+        let (pa, pb) = (scenario.plan_for("a"), scenario.plan_for("b"));
+        let mut ra = Rng::new(0);
+        let mut rb = Rng::new(0);
+        let mut differs = false;
+        for t in (0..10_000).step_by(25) {
+            let now = SimTime::from_millis(t);
+            if pa.decide(now, &mut ra).is_some() != pb.decide(now, &mut rb).is_some() {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "jittered flap phases should not align everywhere");
+    }
+
+    #[test]
+    fn blackhole_fault_produces_timeouts_in_window() {
+        let scenario = ChaosScenario::new(3).with_fault(
+            "svc",
+            Fault::Blackhole {
+                start: ms(100),
+                end: ms(200),
+            },
+        );
+        let plan = scenario.plan_for("svc");
+        let mut rng = Rng::new(0);
+        assert_eq!(plan.decide(SimTime::from_millis(50), &mut rng), None);
+        assert_eq!(
+            plan.decide(SimTime::from_millis(150), &mut rng),
+            Some(FailureKind::Timeout)
+        );
+        assert_eq!(plan.decide(SimTime::from_millis(250), &mut rng), None);
+    }
+
+    #[test]
+    fn unfaulted_service_is_reliable() {
+        let scenario = ChaosScenario::new(1).with_fault(
+            "other",
+            Fault::Outage {
+                start: ms(0),
+                end: ms(100),
+            },
+        );
+        let plan = scenario.plan_for("healthy");
+        let mut rng = Rng::new(0);
+        for t in 0..500 {
+            assert_eq!(plan.decide(SimTime::from_millis(t), &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn degradation_fault_slows_without_failing() {
+        let scenario = ChaosScenario::new(2).with_fault(
+            "svc",
+            Fault::Degradation {
+                start: ms(100),
+                end: ms(300),
+                factor: 4.0,
+            },
+        );
+        let plan = scenario.plan_for("svc");
+        assert_eq!(plan.latency_factor(SimTime::from_millis(200)), 4.0);
+        assert_eq!(plan.latency_factor(SimTime::from_millis(400)), 1.0);
+        let mut rng = Rng::new(0);
+        assert_eq!(plan.decide(SimTime::from_millis(200), &mut rng), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty")]
+    fn flapping_rejects_bad_duty() {
+        let _ = ChaosScenario::new(0)
+            .with_fault(
+                "svc",
+                Fault::Flapping {
+                    start: ms(0),
+                    end: ms(100),
+                    period: ms(10),
+                    duty: 1.5,
+                },
+            )
+            .plan_for("svc");
+    }
+}

@@ -64,6 +64,9 @@ pub struct FailurePlan {
     timeout_rate: f64,
     error_rate: f64,
     outages: Vec<OutageWindow>,
+    /// Blackhole windows: the service accepts the call but never answers,
+    /// so every call burns the client's full timeout budget.
+    blackholes: Vec<OutageWindow>,
     /// Brown-out windows: the service answers, but slower by a factor.
     degradations: Vec<(OutageWindow, f64)>,
 }
@@ -104,6 +107,15 @@ impl FailurePlan {
         self
     }
 
+    /// Schedules a blackhole window: inside it the service is hard-down
+    /// but, unlike [`with_outage`](Self::with_outage), the failure is only
+    /// detected after the caller's full timeout — the worst case a circuit
+    /// breaker exists to protect against.
+    pub fn with_blackhole(mut self, window: OutageWindow) -> FailurePlan {
+        self.blackholes.push(window);
+        self
+    }
+
     /// Schedules a brown-out: inside `window` the service still answers
     /// but its latency is multiplied by `factor` — the degraded-regime
     /// signal the SDK's EWMA predictor exists to track.
@@ -135,6 +147,9 @@ impl FailurePlan {
 
     /// Decides whether a call made at `now` fails, and how.
     pub fn decide(&self, now: SimTime, rng: &mut Rng) -> Option<FailureKind> {
+        if self.blackholes.iter().any(|w| w.contains(now)) {
+            return Some(FailureKind::Timeout);
+        }
         if self.outages.iter().any(|w| w.contains(now)) {
             return Some(FailureKind::Outage);
         }
@@ -203,6 +218,23 @@ mod tests {
             Some(FailureKind::Outage)
         );
         assert_eq!(plan.decide(SimTime::from_millis(200), &mut rng), None);
+    }
+
+    #[test]
+    fn blackhole_window_burns_the_timeout() {
+        let plan = FailurePlan::reliable().with_blackhole(OutageWindow::new(
+            SimTime::from_millis(100),
+            SimTime::from_millis(200),
+        ));
+        let mut rng = Rng::new(4);
+        assert_eq!(plan.decide(SimTime::from_millis(50), &mut rng), None);
+        assert_eq!(
+            plan.decide(SimTime::from_millis(150), &mut rng),
+            Some(FailureKind::Timeout)
+        );
+        // A timeout-kind failure consumes the full timeout budget.
+        let t = Duration::from_secs(1);
+        assert_eq!(FailurePlan::failure_latency(FailureKind::Timeout, t), t);
     }
 
     #[test]

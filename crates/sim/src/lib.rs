@@ -26,6 +26,8 @@
 //! * [`service`] — [`SimService`]: one simulated remote endpoint combining
 //!   all of the above around a user-provided handler.
 //! * [`fabric`] — a name-indexed registry of services.
+//! * [`chaos`] — seeded chaos scenarios composing outages, blackholes,
+//!   flapping, and brown-outs into per-service failure plans.
 //!
 //! # Examples
 //!
@@ -45,6 +47,7 @@
 //! assert_eq!(out.latency.as_millis(), 20);
 //! ```
 
+pub mod chaos;
 pub mod clock;
 pub mod cost;
 pub mod fabric;

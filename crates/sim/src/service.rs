@@ -240,6 +240,12 @@ impl SimService {
         self.timeout
     }
 
+    /// The virtual clock this service's timeline runs on. Deadline-aware
+    /// callers read it to compute remaining budget between attempts.
+    pub fn clock(&self) -> &crate::clock::SimClock {
+        self.env.clock()
+    }
+
     /// Realizes a client-side delay (e.g. retry backoff) on this
     /// service's timeline: advances the virtual clock and sleeps in
     /// scaled time mode.

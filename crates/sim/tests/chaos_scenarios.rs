@@ -1,0 +1,173 @@
+//! Seeded chaos-scenario regression tests (run by the `chaos` CI job via
+//! `cargo test -p cogsdk-sim --features chaos -q`). These drive real
+//! [`SimService`]s through composed scenarios and pin down the observable
+//! failure signals the resilience layer depends on.
+
+#![cfg(feature = "chaos")]
+
+use cogsdk_json::Json;
+use cogsdk_sim::chaos::{ChaosScenario, Fault};
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::service::{Request, ServiceError, SimService};
+use cogsdk_sim::SimEnv;
+use std::time::Duration;
+
+fn ms(v: u64) -> Duration {
+    Duration::from_millis(v)
+}
+
+/// Replays a scenario against a fresh service and records each call's
+/// `(failed, latency)` at a fixed virtual-time cadence.
+fn replay(seed: u64, scenario: &ChaosScenario, service: &str) -> Vec<(bool, Duration)> {
+    let env = SimEnv::with_seed(seed);
+    let svc = SimService::builder(service, "chaos")
+        .latency(LatencyModel::constant_ms(10.0))
+        .timeout(ms(200))
+        .failures(scenario.plan_for(service))
+        .build(&env);
+    let req = Request::new("op", Json::Null);
+    (0..60)
+        .map(|_| {
+            let before = env.clock().now();
+            let out = svc.invoke(&req);
+            // Pin the cadence: each call starts 250 ms after the last,
+            // regardless of how long the call itself took.
+            env.clock().advance_to(before.after(ms(250)));
+            (out.result.is_err(), out.latency)
+        })
+        .collect()
+}
+
+#[test]
+fn scenario_replay_is_deterministic() {
+    let scenario = ChaosScenario::new(1234)
+        .with_fault(
+            "svc",
+            Fault::Flapping {
+                start: ms(0),
+                end: ms(10_000),
+                period: ms(1_000),
+                duty: 0.5,
+            },
+        )
+        .with_fault("svc", Fault::Flaky { rate: 0.1 });
+    assert_eq!(replay(9, &scenario, "svc"), replay(9, &scenario, "svc"));
+}
+
+#[test]
+fn blackhole_burns_full_timeout_outage_fails_fast() {
+    let env = SimEnv::with_seed(5);
+    let scenario = ChaosScenario::new(5)
+        .with_fault(
+            "bh",
+            Fault::Blackhole {
+                start: ms(0),
+                end: ms(60_000),
+            },
+        )
+        .with_fault(
+            "out",
+            Fault::Outage {
+                start: ms(0),
+                end: ms(60_000),
+            },
+        );
+    let bh = SimService::builder("bh", "chaos")
+        .timeout(ms(500))
+        .failures(scenario.plan_for("bh"))
+        .build(&env);
+    let out = SimService::builder("out", "chaos")
+        .timeout(ms(500))
+        .failures(scenario.plan_for("out"))
+        .build(&env);
+    let req = Request::new("op", Json::Null);
+
+    let o = bh.invoke(&req);
+    assert_eq!(o.result.unwrap_err(), ServiceError::Timeout);
+    assert_eq!(o.latency, ms(500), "blackhole burns the full timeout");
+
+    let o = out.invoke(&req);
+    assert_eq!(o.result.unwrap_err(), ServiceError::Unavailable);
+    assert!(o.latency < ms(100), "hard outage is detected fast");
+}
+
+#[test]
+fn flapping_service_alternates_up_and_down() {
+    let scenario = ChaosScenario::new(77).with_fault(
+        "flap",
+        Fault::Flapping {
+            start: ms(0),
+            end: ms(15_000),
+            period: ms(1_000),
+            duty: 0.5,
+        },
+    );
+    let results = replay(3, &scenario, "flap");
+    let failures = results.iter().filter(|(failed, _)| *failed).count();
+    // 50% duty over the whole run: failures should be substantial but the
+    // service must also have healthy phases.
+    assert!(
+        (10..=50).contains(&failures),
+        "expected mixed up/down phases, got {failures}/60 failures"
+    );
+    // And the sequence must actually alternate, not fail in one solid block.
+    let transitions = results.windows(2).filter(|w| w[0].0 != w[1].0).count();
+    assert!(
+        transitions >= 4,
+        "flapping should produce several up/down transitions, got {transitions}"
+    );
+}
+
+#[test]
+fn degradation_slows_calls_inside_window_only() {
+    let env = SimEnv::with_seed(11);
+    let scenario = ChaosScenario::new(11).with_fault(
+        "slow",
+        Fault::Degradation {
+            start: ms(1_000),
+            end: ms(2_000),
+            factor: 8.0,
+        },
+    );
+    let svc = SimService::builder("slow", "chaos")
+        .latency(LatencyModel::constant_ms(10.0))
+        .timeout(ms(1_000))
+        .failures(scenario.plan_for("slow"))
+        .build(&env);
+    let req = Request::new("op", Json::Null);
+
+    let healthy = svc.invoke(&req);
+    assert_eq!(healthy.latency, ms(10));
+
+    env.clock().advance(ms(1_500));
+    let degraded = svc.invoke(&req);
+    assert!(degraded.result.is_ok(), "brown-out still answers");
+    assert_eq!(degraded.latency, ms(80), "8x multiplier inside the window");
+
+    env.clock().advance(ms(2_000));
+    let recovered = svc.invoke(&req);
+    assert_eq!(recovered.latency, ms(10));
+}
+
+#[test]
+fn composed_scenario_only_hits_targeted_services() {
+    let scenario = ChaosScenario::new(21)
+        .with_fault(
+            "primary",
+            Fault::Outage {
+                start: ms(0),
+                end: ms(30_000),
+            },
+        )
+        .with_fault("primary", Fault::Flaky { rate: 0.2 });
+    let primary = replay(2, &scenario, "primary");
+    let backup = replay(2, &scenario, "backup");
+    assert!(
+        primary.iter().all(|(failed, _)| *failed),
+        "primary is down for the whole replay window"
+    );
+    assert!(
+        backup.iter().all(|(failed, _)| !*failed),
+        "untargeted backup stays healthy"
+    );
+}
