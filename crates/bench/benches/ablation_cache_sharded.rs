@@ -1,0 +1,195 @@
+//! A6 (ablation): single-mutex vs lock-striped cache under concurrent
+//! traffic, plus the coalescing payoff on duplicate misses.
+//!
+//! Expected shape, in three series:
+//!
+//! 1. **All-hit throughput** at 1/4/8 threads. On multi-core hosts hits
+//!    on distinct keys take distinct shard locks and aggregate throughput
+//!    scales with threads, while one shard serializes every hit. (On a
+//!    single-core CI runner both configs are CPU-bound and read flat —
+//!    the per-op cost parity is the signal there.)
+//! 2. **Capacity-pressure throughput** at 1/4/8 threads: misses insert
+//!    and evict, and the LRU eviction scan runs *under the shard lock*
+//!    over that shard's entries. One shard scans the whole map per
+//!    eviction; 16 shards scan 1/16th. This is an algorithmic win —
+//!    it shows at any core count and grows with capacity.
+//! 3. **Coalescing**: K concurrent misses on one key cost exactly 1
+//!    upstream call.
+
+use cogsdk_bench::BENCH_SEED;
+use cogsdk_core::cache::CacheConfig;
+use cogsdk_core::{ResponseCache, SdkError};
+use cogsdk_json::json;
+use cogsdk_obs::Telemetry;
+use cogsdk_sim::SimEnv;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+/// Prepopulated key space for the all-hit series.
+const HOT_KEYS: usize = 4_096;
+const HIT_GETS_PER_THREAD: usize = 200_000;
+
+/// Capacity-pressure series: the working set is twice the capacity, so
+/// roughly half the gets miss, insert, and evict.
+const PRESSURE_CAPACITY: usize = 1_024;
+const PRESSURE_KEYSPACE: usize = 2_048;
+const PRESSURE_OPS_PER_THREAD: usize = 10_000;
+
+fn build_cache(capacity: usize, shards: usize) -> ResponseCache {
+    let env = SimEnv::with_seed(BENCH_SEED);
+    ResponseCache::with_config(
+        env.clock().clone(),
+        CacheConfig {
+            capacity,
+            default_ttl: Duration::from_secs(3_600),
+            shards,
+            stale_while_revalidate: None,
+        },
+        Telemetry::disabled(),
+    )
+}
+
+fn keyset(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("k{i}")).collect()
+}
+
+/// Runs `threads` workers over `ops`-long deterministic key strides and
+/// returns aggregate Kops/s.
+fn run_threads(
+    cache: &ResponseCache,
+    keys: &[String],
+    threads: usize,
+    ops: usize,
+    insert_on_miss: bool,
+) -> f64 {
+    let barrier = Barrier::new(threads + 1);
+    let started = std::thread::scope(|scope| {
+        for t in 0..threads {
+            let cache = cache.clone();
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                let mut k = t * 37;
+                for _ in 0..ops {
+                    // Deterministic LCG stride, distinct per thread.
+                    k = (k * 1_664_525 + 1_013_904_223) % keys.len();
+                    let key = &keys[k];
+                    if std::hint::black_box(cache.get(key)).is_none() && insert_on_miss {
+                        cache.put(key.clone(), json!({"k": (k)}));
+                    }
+                }
+            });
+        }
+        barrier.wait();
+        std::time::Instant::now()
+    });
+    let elapsed = started.elapsed();
+    (threads * ops) as f64 / elapsed.as_secs_f64() / 1e3
+}
+
+fn all_hit_series() {
+    println!(
+        "[ablation_cache_sharded] all-hit: {HIT_GETS_PER_THREAD} gets/thread over \
+         {HOT_KEYS} resident keys (aggregate Kops/s):"
+    );
+    let keys = keyset(HOT_KEYS);
+    for &threads in &[1usize, 4, 8] {
+        let row: Vec<String> = [1usize, 16]
+            .iter()
+            .map(|&shards| {
+                let cache = build_cache(HOT_KEYS, shards);
+                for (i, key) in keys.iter().enumerate() {
+                    cache.put(key.clone(), json!({"v": (i)}));
+                }
+                let kops = run_threads(&cache, &keys, threads, HIT_GETS_PER_THREAD, false);
+                format!("{shards:2}-shard={kops:8.0} Kops/s")
+            })
+            .collect();
+        println!(
+            "[ablation_cache_sharded] all-hit    threads={threads}  {}",
+            row.join("  ")
+        );
+    }
+}
+
+fn pressure_series() {
+    println!(
+        "[ablation_cache_sharded] capacity-pressure: {PRESSURE_OPS_PER_THREAD} ops/thread, \
+         {PRESSURE_KEYSPACE} keys over capacity {PRESSURE_CAPACITY} (~50% evicting misses):"
+    );
+    let keys = keyset(PRESSURE_KEYSPACE);
+    for &threads in &[1usize, 4, 8] {
+        let mut kops = [0.0f64; 2];
+        for (i, &shards) in [1usize, 16].iter().enumerate() {
+            let cache = build_cache(PRESSURE_CAPACITY, shards);
+            kops[i] = run_threads(&cache, &keys, threads, PRESSURE_OPS_PER_THREAD, true);
+        }
+        println!(
+            "[ablation_cache_sharded] pressure   threads={threads}   1-shard={:8.0} Kops/s  \
+             16-shard={:8.0} Kops/s  speedup={:.2}x",
+            kops[0],
+            kops[1],
+            kops[1] / kops[0]
+        );
+    }
+}
+
+/// Coalescing demo: `waiters` threads miss the same key at once; exactly
+/// one upstream call is made, the rest join the flight.
+fn coalescing_series(waiters: usize) {
+    let cache = build_cache(HOT_KEYS, 16);
+    let upstream = AtomicUsize::new(0);
+    let barrier = Barrier::new(waiters);
+    std::thread::scope(|scope| {
+        for _ in 0..waiters {
+            let (cache, upstream, barrier) = (&cache, &upstream, &barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                let fetch = || -> Result<_, SdkError> {
+                    upstream.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(20));
+                    Ok(json!({"fetched": true}))
+                };
+                cache.get_or_fetch("cold-key", fetch).unwrap();
+            });
+        }
+    });
+    println!(
+        "[ablation_cache_sharded] coalescing: {waiters:2} concurrent misses -> {} upstream call(s), \
+         {} coalesced waiter(s)",
+        upstream.load(Ordering::SeqCst),
+        cache.stats().coalesced_waits
+    );
+}
+
+fn report_series() {
+    all_hit_series();
+    pressure_series();
+    coalescing_series(16);
+}
+
+fn bench(c: &mut Criterion) {
+    report_series();
+    let keys = keyset(HOT_KEYS);
+    for shards in [1usize, 16] {
+        let cache = build_cache(HOT_KEYS, shards);
+        for (i, key) in keys.iter().enumerate() {
+            cache.put(key.clone(), json!({"v": (i)}));
+        }
+        c.bench_function(&format!("cache_hit_{shards}_shard"), |b| {
+            b.iter(|| cache.get(std::hint::black_box("k2048")))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -7,15 +7,38 @@
 //! implements: caching must be *opt-in per operation* (storage writes must
 //! not be served from cache) and cached values can become obsolete, hence
 //! TTL-based expiry.
+//!
+//! Built for heavy multi-user traffic, the cache is **sharded**: keys are
+//! hash-striped over N power-of-two shards, each with its own lock, LRU
+//! order and TTL bookkeeping, so concurrent hits on different keys never
+//! contend on one global mutex. On top of the shards sit two
+//! herd-suppression mechanisms:
+//!
+//! * **Single-flight coalescing** ([`ResponseCache::join_flight`],
+//!   [`ResponseCache::get_or_fetch`]): concurrent misses on the same key
+//!   elect one *leader* which performs the upstream call; every other
+//!   caller blocks on the shared in-flight result, so K duplicate misses
+//!   cost exactly one remote invocation (success *and* failure fan out).
+//! * **Stale-while-revalidate** ([`CacheConfig::stale_while_revalidate`]):
+//!   an expired-but-recent entry can be served immediately while a single
+//!   refresh runs, trading bounded staleness for tail latency.
+//!
+//! [`CacheStats`] aggregates counters across shards, so the external
+//! accounting is unchanged from the single-map design.
 
+use crate::future::ListenableFuture;
+use crate::SdkError;
 use cogsdk_json::Json;
 use cogsdk_obs::{EventKind, SpanCtx, Telemetry};
 use cogsdk_sim::clock::{SimClock, SimTime};
 use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Cache effectiveness counters.
+/// Cache effectiveness counters, aggregated across every shard.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups served from cache.
@@ -26,6 +49,11 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Lookups that found only an expired entry.
     pub expirations: u64,
+    /// Lookups answered with an expired-but-recent value while a refresh
+    /// was allowed to run (stale-while-revalidate; counted inside `hits`).
+    pub stale_served: u64,
+    /// Callers that joined an in-flight fetch instead of going upstream.
+    pub coalesced_waits: u64,
 }
 
 impl CacheStats {
@@ -38,6 +66,82 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    fn add(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.expirations += other.expirations;
+        self.stale_served += other.stale_served;
+        self.coalesced_waits += other.coalesced_waits;
+    }
+}
+
+/// Construction-time configuration for [`ResponseCache`].
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_core::cache::CacheConfig;
+/// use std::time::Duration;
+///
+/// let config = CacheConfig {
+///     capacity: 1024,
+///     shards: 8,
+///     stale_while_revalidate: Some(Duration::from_secs(30)),
+///     ..CacheConfig::default()
+/// };
+/// assert_eq!(config.capacity, 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Total capacity in entries across all shards (0 disables storage).
+    pub capacity: usize,
+    /// TTL applied by [`ResponseCache::put`].
+    pub default_ttl: Duration,
+    /// Requested shard count; rounded down to a power of two and clamped
+    /// to `[1, min(256, capacity)]` so no shard has zero capacity.
+    pub shards: usize,
+    /// Extra window past the TTL during which an expired entry may still
+    /// be served by [`ResponseCache::lookup`] while one refresh runs.
+    /// `None` disables stale serving entirely.
+    pub stale_while_revalidate: Option<Duration>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            capacity: 4_096,
+            default_ttl: Duration::from_secs(300),
+            shards: 16,
+            stale_while_revalidate: None,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A config for the legacy `(capacity, ttl)` constructors: shard count
+    /// scales with capacity (one shard per 64 entries, up to 16) so small
+    /// caches keep exact whole-cache LRU order while large ones stripe.
+    fn compat(capacity: usize, default_ttl: Duration) -> CacheConfig {
+        CacheConfig {
+            capacity,
+            default_ttl,
+            shards: (capacity / 64).clamp(1, 16),
+            stale_while_revalidate: None,
+        }
+    }
+}
+
+/// Clamps a requested shard count to a power of two that divides the
+/// capacity into non-empty shards.
+fn normalize_shards(requested: usize, capacity: usize) -> usize {
+    let ceiling = requested.clamp(1, 256).min(capacity.max(1));
+    let mut p = 1;
+    while p * 2 <= ceiling {
+        p *= 2;
+    }
+    p
 }
 
 #[derive(Debug, Clone)]
@@ -49,8 +153,151 @@ struct Entry {
     used_at: u64,
 }
 
-/// A TTL + LRU response cache keyed by request cache keys, driven by the
-/// simulation clock.
+/// The shared slot concurrent missers rendezvous on.
+type FlightResult = Result<Json, SdkError>;
+
+#[derive(Debug, Default)]
+struct ShardState {
+    entries: HashMap<String, Entry>,
+    flights: HashMap<String, ListenableFuture<FlightResult>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+#[derive(Debug)]
+struct Shard {
+    /// This shard's slice of the total capacity.
+    capacity: usize,
+    state: Mutex<ShardState>,
+}
+
+/// What a [`ResponseCache::lookup`] probe found.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// A live entry within its TTL.
+    Fresh(Json),
+    /// An expired entry still inside the stale-while-revalidate window;
+    /// the entry is kept so one refresh can replace it.
+    Stale(Json),
+    /// Nothing servable (absent, or expired beyond the stale window and
+    /// removed).
+    Absent,
+}
+
+/// How [`ResponseCache::get_or_fetch`] (or the SDK's cached invoke path)
+/// obtained a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchSource {
+    /// Served from a live cache entry; no upstream work.
+    Hit,
+    /// Served an expired-but-recent entry while a refresh runs.
+    Stale,
+    /// This caller was the flight leader and paid the upstream call.
+    Fetched,
+    /// This caller joined another caller's in-flight fetch and waited for
+    /// its result; no upstream call of its own.
+    Coalesced,
+}
+
+impl FetchSource {
+    /// Whether the caller was served without making its own upstream call.
+    pub fn served_locally(&self) -> bool {
+        !matches!(self, FetchSource::Fetched)
+    }
+}
+
+/// Outcome of [`ResponseCache::join_flight`].
+#[derive(Debug)]
+pub enum FlightJoin {
+    /// This caller must perform the upstream fetch and publish the result
+    /// through the guard.
+    Leader(FlightGuard),
+    /// Another caller is already fetching; wait on the shared future.
+    Follower(ListenableFuture<FlightResult>),
+}
+
+/// The leader's obligation: exactly one of
+/// [`complete`](FlightGuard::complete) /
+/// [`complete_with_ttl`](FlightGuard::complete_with_ttl) must be called
+/// with the fetch outcome. Successful values are stored in the cache
+/// *before* waiters are woken, so no waiter can re-miss and start a second
+/// flight. Dropping the guard without completing (leader panicked or
+/// bailed) fails the flight over to waiters as an error instead of
+/// deadlocking them.
+#[derive(Debug)]
+pub struct FlightGuard {
+    inner: Arc<CacheInner>,
+    key: String,
+    shard: usize,
+    future: ListenableFuture<FlightResult>,
+    done: bool,
+}
+
+impl FlightGuard {
+    /// Publishes the fetch outcome: `Ok` values are stored under the
+    /// default TTL, then all waiters are woken with the result.
+    pub fn complete(self, result: FlightResult) {
+        let ttl = self.inner.default_ttl;
+        self.finish(result, ttl);
+    }
+
+    /// As [`complete`](FlightGuard::complete) with an explicit TTL for the
+    /// stored value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl` is zero.
+    pub fn complete_with_ttl(self, value: Json, ttl: Duration) {
+        assert!(!ttl.is_zero(), "TTL must be positive");
+        self.finish(Ok(value), ttl);
+    }
+
+    /// Completes the flight with a value that is *already* stored (the
+    /// leader's double-check found it), skipping the re-put so the
+    /// entry's TTL clock is not extended by a fetch that never happened.
+    pub(crate) fn complete_cached(mut self, value: Json) {
+        self.done = true;
+        self.inner.shards[self.shard]
+            .state
+            .lock()
+            .flights
+            .remove(&self.key);
+        self.future.complete(Ok(value));
+    }
+
+    fn finish(mut self, result: FlightResult, ttl: Duration) {
+        self.done = true;
+        if let Ok(value) = &result {
+            self.inner.put_with_ttl(&self.key, value.clone(), ttl);
+        }
+        self.inner.shards[self.shard]
+            .state
+            .lock()
+            .flights
+            .remove(&self.key);
+        self.future.complete(result);
+    }
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        self.inner.shards[self.shard]
+            .state
+            .lock()
+            .flights
+            .remove(&self.key);
+        self.future.complete(Err(SdkError::AllFailed(format!(
+            "in-flight fetch for {:?} was abandoned by its leader",
+            self.key
+        ))));
+    }
+}
+
+/// A sharded TTL + LRU response cache keyed by request cache keys, driven
+/// by the simulation clock. Cloning shares the same underlying shards.
 ///
 /// # Examples
 ///
@@ -67,37 +314,156 @@ struct Entry {
 /// env.clock().advance(Duration::from_secs(61));
 /// assert_eq!(cache.get("key"), None); // expired
 /// ```
-#[derive(Debug)]
+///
+/// Duplicate concurrent misses collapse to one upstream call:
+///
+/// ```
+/// use cogsdk_core::ResponseCache;
+/// use cogsdk_sim::SimEnv;
+/// use cogsdk_json::json;
+/// use std::time::Duration;
+///
+/// let env = SimEnv::with_seed(1);
+/// let cache = ResponseCache::new(env.clock().clone(), 100, Duration::from_secs(60));
+/// let (value, source) = cache.get_or_fetch("key", || Ok(json!(42))).unwrap();
+/// assert_eq!(value, json!(42));
+/// assert_eq!(cache.get("key"), Some(json!(42))); // stored by the flight
+/// ```
+#[derive(Debug, Clone)]
 pub struct ResponseCache {
+    inner: Arc<CacheInner>,
+}
+
+#[derive(Debug)]
+struct CacheInner {
     clock: SimClock,
     capacity: usize,
     default_ttl: Duration,
+    stale_while_revalidate: Option<Duration>,
     telemetry: Telemetry,
-    state: Mutex<CacheState>,
-}
-
-#[derive(Debug, Default)]
-struct CacheState {
-    entries: HashMap<String, Entry>,
-    tick: u64,
-    stats: CacheStats,
+    shards: Vec<Shard>,
+    mask: u64,
 }
 
 /// The `cache` metric label for [`ResponseCache`] series.
 const CACHE_LABEL: (&str, &str) = ("cache", "response");
 
+impl CacheInner {
+    fn shard_for(&self, key: &str) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() & self.mask) as usize
+    }
+
+    /// Stores a value, refreshing TTL and LRU recency atomically when the
+    /// key already exists, and evicting this shard's LRU tail on overflow.
+    fn put_with_ttl(&self, key: &str, value: Json, ttl: Duration) {
+        assert!(!ttl.is_zero(), "TTL must be positive");
+        if self.capacity == 0 {
+            return;
+        }
+        let idx = self.shard_for(key);
+        let shard = &self.shards[idx];
+        let now = self.clock.now();
+        let mut evicted = Vec::new();
+        {
+            let mut state = shard.state.lock();
+            state.tick += 1;
+            let tick = state.tick;
+            // One insert under one lock: an existing entry's value, TTL
+            // clock and LRU stamp are all replaced atomically — a reader
+            // can never observe a refreshed value with a stale TTL.
+            state.entries.insert(
+                key.to_string(),
+                Entry {
+                    value,
+                    stored_at: now,
+                    ttl,
+                    used_at: tick,
+                },
+            );
+            while state.entries.len() > shard.capacity {
+                let lru = state
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.used_at)
+                    .map(|(k, _)| k.clone())
+                    .expect("nonempty");
+                state.entries.remove(&lru);
+                state.stats.evictions += 1;
+                evicted.push(lru);
+            }
+        }
+        if self.telemetry.is_enabled() {
+            for lru in evicted {
+                let ctx = self.telemetry.tracer().new_trace();
+                self.telemetry
+                    .tracer()
+                    .emit(&ctx, || EventKind::CacheEvict { key: lru.clone() });
+                self.telemetry
+                    .metrics()
+                    .inc_counter("cache_evictions_total", &[CACHE_LABEL]);
+            }
+            self.publish_shard_gauge(idx);
+        }
+    }
+
+    fn publish_shard_gauge(&self, idx: usize) {
+        let len = self.shards[idx].state.lock().entries.len();
+        let shard = idx.to_string();
+        self.telemetry.metrics().set_gauge(
+            "sdk_cache_shard_entries",
+            &[CACHE_LABEL, ("shard", &shard)],
+            len as f64,
+        );
+    }
+
+    fn record_probe(&self, idx: usize, ctx: &SpanCtx, key: &str, hit: bool, expired: bool) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.tracer().emit(ctx, || {
+            if hit {
+                EventKind::CacheHit {
+                    key: key.to_string(),
+                }
+            } else {
+                EventKind::CacheMiss {
+                    key: key.to_string(),
+                }
+            }
+        });
+        let metrics = self.telemetry.metrics();
+        let result = if hit { "hit" } else { "miss" };
+        metrics.inc_counter("cache_requests_total", &[CACHE_LABEL, ("result", result)]);
+        let shard = idx.to_string();
+        metrics.inc_counter(
+            "sdk_cache_shard_requests_total",
+            &[CACHE_LABEL, ("shard", &shard), ("result", result)],
+        );
+        if expired {
+            metrics.inc_counter("cache_expirations_total", &[CACHE_LABEL]);
+        }
+    }
+}
+
 impl ResponseCache {
-    /// Creates a cache with the given capacity and default TTL.
+    /// Creates a cache with the given capacity and default TTL. The shard
+    /// count scales with capacity (one per 64 entries, up to 16).
     ///
     /// # Panics
     ///
     /// Panics if `default_ttl` is zero.
     pub fn new(clock: SimClock, capacity: usize, default_ttl: Duration) -> ResponseCache {
-        ResponseCache::with_telemetry(clock, capacity, default_ttl, Telemetry::disabled())
+        ResponseCache::with_config(
+            clock,
+            CacheConfig::compat(capacity, default_ttl),
+            Telemetry::disabled(),
+        )
     }
 
-    /// As [`ResponseCache::new`], with hit/miss/evict events and
-    /// counters flowing into `telemetry`.
+    /// As [`ResponseCache::new`], with hit/miss/evict events and counters
+    /// flowing into `telemetry`.
     ///
     /// # Panics
     ///
@@ -108,29 +474,78 @@ impl ResponseCache {
         default_ttl: Duration,
         telemetry: Telemetry,
     ) -> ResponseCache {
-        assert!(!default_ttl.is_zero(), "TTL must be positive");
+        ResponseCache::with_config(clock, CacheConfig::compat(capacity, default_ttl), telemetry)
+    }
+
+    /// Full-control constructor: explicit shard count and
+    /// stale-while-revalidate window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.default_ttl` is zero.
+    pub fn with_config(
+        clock: SimClock,
+        config: CacheConfig,
+        telemetry: Telemetry,
+    ) -> ResponseCache {
+        assert!(!config.default_ttl.is_zero(), "TTL must be positive");
+        let shards = normalize_shards(config.shards, config.capacity);
+        let base = config.capacity / shards;
+        let rem = config.capacity % shards;
+        let shards: Vec<Shard> = (0..shards)
+            .map(|i| Shard {
+                capacity: base + usize::from(i < rem),
+                state: Mutex::new(ShardState::default()),
+            })
+            .collect();
         ResponseCache {
-            clock,
-            capacity,
-            default_ttl,
-            telemetry,
-            state: Mutex::new(CacheState::default()),
+            inner: Arc::new(CacheInner {
+                clock,
+                capacity: config.capacity,
+                default_ttl: config.default_ttl,
+                stale_while_revalidate: config.stale_while_revalidate,
+                telemetry,
+                mask: shards.len() as u64 - 1,
+                shards,
+            }),
         }
     }
 
-    /// The configured capacity in entries.
+    /// The configured total capacity in entries.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.inner.capacity
     }
 
-    /// Current counters.
+    /// Number of lock-striped shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Live (possibly stale) entries per shard, for tests and telemetry.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.state.lock().entries.len())
+            .collect()
+    }
+
+    /// Current counters, summed over shards.
     pub fn stats(&self) -> CacheStats {
-        self.state.lock().stats
+        let mut total = CacheStats::default();
+        for shard in &self.inner.shards {
+            total.add(&shard.state.lock().stats);
+        }
+        total
     }
 
     /// Number of live (possibly stale) entries.
     pub fn len(&self) -> usize {
-        self.state.lock().entries.len()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.state.lock().entries.len())
+            .sum()
     }
 
     /// Whether the cache holds no entries.
@@ -138,67 +553,123 @@ impl ResponseCache {
         self.len() == 0
     }
 
-    /// Looks up a fresh entry; expired entries are removed and miss.
+    /// Looks up a fresh entry; expired entries are removed and miss,
+    /// regardless of any stale-while-revalidate window (use
+    /// [`lookup`](ResponseCache::lookup) for stale serving).
     pub fn get(&self, key: &str) -> Option<Json> {
-        let ctx = self.telemetry.tracer().new_trace();
+        let ctx = self.inner.telemetry.tracer().new_trace();
         self.get_traced(key, &ctx)
     }
 
     /// As [`ResponseCache::get`], emitting the hit/miss event under the
     /// caller's span so cache probes appear inside invocation traces.
     pub fn get_traced(&self, key: &str, ctx: &SpanCtx) -> Option<Json> {
-        let now = self.clock.now();
-        let mut state = self.state.lock();
-        state.tick += 1;
-        let tick = state.tick;
-        let (value, expired) = match state.entries.get_mut(key) {
-            Some(entry) => {
-                if now.since(entry.stored_at) >= entry.ttl {
-                    state.entries.remove(key);
-                    state.stats.expirations += 1;
-                    state.stats.misses += 1;
-                    (None, true)
-                } else {
-                    entry.used_at = tick;
-                    let value = entry.value.clone();
-                    state.stats.hits += 1;
-                    (Some(value), false)
-                }
-            }
-            None => {
-                state.stats.misses += 1;
-                (None, false)
-            }
-        };
-        drop(state);
-        if self.telemetry.is_enabled() {
-            let hit = value.is_some();
-            self.telemetry.tracer().emit(ctx, || {
-                if hit {
-                    EventKind::CacheHit {
-                        key: key.to_string(),
-                    }
-                } else {
-                    EventKind::CacheMiss {
-                        key: key.to_string(),
-                    }
-                }
-            });
-            let metrics = self.telemetry.metrics();
-            metrics.inc_counter(
-                "cache_requests_total",
-                &[CACHE_LABEL, ("result", if hit { "hit" } else { "miss" })],
-            );
-            if expired {
-                metrics.inc_counter("cache_expirations_total", &[CACHE_LABEL]);
-            }
+        match self.probe(key, ctx, false) {
+            Lookup::Fresh(v) => Some(v),
+            _ => None,
         }
-        value
     }
 
-    /// Stores a value under the default TTL.
+    /// Looks up an entry with stale-while-revalidate semantics: fresh
+    /// entries hit; expired entries inside the configured stale window are
+    /// returned as [`Lookup::Stale`] *without* being removed (so a single
+    /// refresh can replace them in place); anything older is removed and
+    /// misses.
+    pub fn lookup(&self, key: &str) -> Lookup {
+        let ctx = self.inner.telemetry.tracer().new_trace();
+        self.lookup_traced(key, &ctx)
+    }
+
+    /// As [`ResponseCache::lookup`], under the caller's span.
+    pub fn lookup_traced(&self, key: &str, ctx: &SpanCtx) -> Lookup {
+        self.probe(key, ctx, true)
+    }
+
+    /// Shared probe: `allow_stale` selects the lookup/get semantics.
+    fn probe(&self, key: &str, ctx: &SpanCtx, allow_stale: bool) -> Lookup {
+        let inner = &self.inner;
+        let idx = inner.shard_for(key);
+        let now = inner.clock.now();
+        let swr = if allow_stale {
+            inner.stale_while_revalidate
+        } else {
+            None
+        };
+        let mut stale_served = false;
+        let (found, expired) = {
+            let mut state = inner.shards[idx].state.lock();
+            state.tick += 1;
+            let tick = state.tick;
+            match state.entries.get_mut(key) {
+                Some(entry) => {
+                    let age = now.since(entry.stored_at);
+                    if age < entry.ttl {
+                        entry.used_at = tick;
+                        let value = entry.value.clone();
+                        state.stats.hits += 1;
+                        (Lookup::Fresh(value), false)
+                    } else if swr.is_some_and(|window| age < entry.ttl + window) {
+                        // Keep the entry: it is the value stale readers are
+                        // served while exactly one refresh flight runs.
+                        entry.used_at = tick;
+                        let value = entry.value.clone();
+                        state.stats.hits += 1;
+                        state.stats.stale_served += 1;
+                        stale_served = true;
+                        (Lookup::Stale(value), false)
+                    } else {
+                        state.entries.remove(key);
+                        state.stats.expirations += 1;
+                        state.stats.misses += 1;
+                        (Lookup::Absent, true)
+                    }
+                }
+                None => {
+                    state.stats.misses += 1;
+                    (Lookup::Absent, false)
+                }
+            }
+        };
+        let hit = !matches!(found, Lookup::Absent);
+        inner.record_probe(idx, ctx, key, hit, expired);
+        if stale_served && inner.telemetry.is_enabled() {
+            inner
+                .telemetry
+                .metrics()
+                .inc_counter("cache_stale_served_total", &[CACHE_LABEL]);
+            inner
+                .telemetry
+                .tracer()
+                .emit(ctx, || EventKind::CacheStaleServed {
+                    key: key.to_string(),
+                });
+        }
+        found
+    }
+
+    /// Read-only freshness check: returns a live entry's value without
+    /// touching stats, LRU recency, or expired entries. Used by flight
+    /// leaders to double-check whether a previous flight published the
+    /// value between this caller's miss and its flight acquisition — the
+    /// re-check is what makes "exactly one upstream call per key per
+    /// refresh window" hold even when a caller is descheduled between
+    /// lookup and join.
+    pub fn peek_fresh(&self, key: &str) -> Option<Json> {
+        let inner = &self.inner;
+        let idx = inner.shard_for(key);
+        let now = inner.clock.now();
+        let state = inner.shards[idx].state.lock();
+        state
+            .entries
+            .get(key)
+            .and_then(|entry| (now.since(entry.stored_at) < entry.ttl).then(|| entry.value.clone()))
+    }
+
+    /// Stores a value under the default TTL. Storing over an existing key
+    /// refreshes its TTL clock and LRU recency atomically.
     pub fn put(&self, key: impl Into<String>, value: Json) {
-        self.put_with_ttl(key, value, self.default_ttl);
+        self.inner
+            .put_with_ttl(&key.into(), value, self.inner.default_ttl);
     }
 
     /// Stores a value with an explicit TTL.
@@ -207,54 +678,156 @@ impl ResponseCache {
     ///
     /// Panics if `ttl` is zero.
     pub fn put_with_ttl(&self, key: impl Into<String>, value: Json, ttl: Duration) {
-        assert!(!ttl.is_zero(), "TTL must be positive");
-        if self.capacity == 0 {
-            return;
-        }
-        let now = self.clock.now();
-        let mut state = self.state.lock();
-        state.tick += 1;
-        let tick = state.tick;
-        state.entries.insert(
-            key.into(),
-            Entry {
-                value,
-                stored_at: now,
-                ttl,
-                used_at: tick,
-            },
-        );
-        while state.entries.len() > self.capacity {
-            // Evict the least recently used entry.
-            let lru = state
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.used_at)
-                .map(|(k, _)| k.clone())
-                .expect("nonempty");
-            state.entries.remove(&lru);
-            state.stats.evictions += 1;
-            if self.telemetry.is_enabled() {
-                let ctx = self.telemetry.tracer().new_trace();
-                self.telemetry
-                    .tracer()
-                    .emit(&ctx, || EventKind::CacheEvict { key: lru.clone() });
-                self.telemetry
-                    .metrics()
-                    .inc_counter("cache_evictions_total", &[CACHE_LABEL]);
-            }
-        }
+        self.inner.put_with_ttl(&key.into(), value, ttl);
     }
 
     /// Invalidates one key (consistency hook for writes-through): returns
     /// whether an entry was present.
     pub fn invalidate(&self, key: &str) -> bool {
-        self.state.lock().entries.remove(key).is_some()
+        let idx = self.inner.shard_for(key);
+        let removed = self.inner.shards[idx]
+            .state
+            .lock()
+            .entries
+            .remove(key)
+            .is_some();
+        if removed && self.inner.telemetry.is_enabled() {
+            self.inner.publish_shard_gauge(idx);
+        }
+        removed
     }
 
-    /// Drops every entry.
+    /// Drops every entry from every shard (in-flight fetches are
+    /// unaffected and will repopulate on completion).
     pub fn clear(&self) {
-        self.state.lock().entries.clear();
+        for (idx, shard) in self.inner.shards.iter().enumerate() {
+            shard.state.lock().entries.clear();
+            if self.inner.telemetry.is_enabled() {
+                self.inner.publish_shard_gauge(idx);
+            }
+        }
+    }
+
+    /// Joins the single-flight for `key`: the first caller becomes the
+    /// [`FlightJoin::Leader`] and must complete the returned guard with
+    /// the upstream result; every concurrent caller becomes a
+    /// [`FlightJoin::Follower`] holding a future that resolves when the
+    /// leader publishes.
+    pub fn join_flight(&self, key: &str) -> FlightJoin {
+        let inner = &self.inner;
+        let idx = inner.shard_for(key);
+        let join = {
+            let mut state = inner.shards[idx].state.lock();
+            match state.flights.get(key).cloned() {
+                Some(future) => {
+                    state.stats.coalesced_waits += 1;
+                    FlightJoin::Follower(future)
+                }
+                None => {
+                    let future = ListenableFuture::new();
+                    state.flights.insert(key.to_string(), future.clone());
+                    FlightJoin::Leader(FlightGuard {
+                        inner: inner.clone(),
+                        key: key.to_string(),
+                        shard: idx,
+                        future,
+                        done: false,
+                    })
+                }
+            }
+        };
+        if let FlightJoin::Follower(_) = &join {
+            if inner.telemetry.is_enabled() {
+                inner
+                    .telemetry
+                    .metrics()
+                    .inc_counter("sdk_coalesced_waiters_total", &[CACHE_LABEL]);
+                let ctx = inner.telemetry.tracer().new_trace();
+                inner
+                    .telemetry
+                    .tracer()
+                    .emit(&ctx, || EventKind::CacheCoalesced {
+                        key: key.to_string(),
+                    });
+            }
+        }
+        join
+    }
+
+    /// Read-through with single-flight coalescing: a fresh entry is
+    /// returned immediately; a miss elects one leader to run `fetch`
+    /// (storing the result and fanning it out — success or error — to
+    /// every concurrent caller of the same key); with
+    /// stale-while-revalidate configured, an expired-but-recent entry is
+    /// served to followers while the leader refreshes inline, and a
+    /// refresh *failure* falls back to the stale value.
+    ///
+    /// # Errors
+    ///
+    /// The leader's `fetch` error, shared verbatim with every coalesced
+    /// waiter of that flight. Errors are never cached.
+    pub fn get_or_fetch(
+        &self,
+        key: &str,
+        fetch: impl FnOnce() -> FlightResult,
+    ) -> Result<(Json, FetchSource), SdkError> {
+        let ctx = self.inner.telemetry.tracer().new_trace();
+        self.get_or_fetch_traced(key, &ctx, fetch)
+    }
+
+    /// As [`ResponseCache::get_or_fetch`], under the caller's span.
+    pub fn get_or_fetch_traced(
+        &self,
+        key: &str,
+        ctx: &SpanCtx,
+        fetch: impl FnOnce() -> FlightResult,
+    ) -> Result<(Json, FetchSource), SdkError> {
+        match self.lookup_traced(key, ctx) {
+            Lookup::Fresh(value) => Ok((value, FetchSource::Hit)),
+            Lookup::Stale(stale) => match self.join_flight(key) {
+                FlightJoin::Leader(guard) => match fetch() {
+                    Ok(value) => {
+                        guard.complete(Ok(value.clone()));
+                        Ok((value, FetchSource::Fetched))
+                    }
+                    Err(e) => {
+                        // The refresh failed; the stale value is still the
+                        // best answer. Waiters see the error (they can
+                        // re-lookup and be served stale themselves).
+                        guard.complete(Err(e));
+                        Ok((stale, FetchSource::Stale))
+                    }
+                },
+                // A refresh is already in flight: serve stale immediately.
+                FlightJoin::Follower(_) => Ok((stale, FetchSource::Stale)),
+            },
+            Lookup::Absent => match self.join_flight(key) {
+                FlightJoin::Leader(guard) => {
+                    // Double-check: a prior flight may have published the
+                    // value between this caller's miss and its flight
+                    // acquisition; fetching again would break the
+                    // one-upstream-call-per-window guarantee.
+                    if let Some(value) = self.peek_fresh(key) {
+                        guard.complete_cached(value.clone());
+                        return Ok((value, FetchSource::Hit));
+                    }
+                    match fetch() {
+                        Ok(value) => {
+                            guard.complete(Ok(value.clone()));
+                            Ok((value, FetchSource::Fetched))
+                        }
+                        Err(e) => {
+                            guard.complete(Err(e.clone()));
+                            Err(e)
+                        }
+                    }
+                }
+                FlightJoin::Follower(future) => match (*future.wait()).clone() {
+                    Ok(value) => Ok((value, FetchSource::Coalesced)),
+                    Err(e) => Err(e),
+                },
+            },
+        }
     }
 }
 
@@ -263,10 +836,27 @@ mod tests {
     use super::*;
     use cogsdk_json::json;
     use cogsdk_sim::SimEnv;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
 
     fn cache(capacity: usize, ttl_secs: u64) -> (SimEnv, ResponseCache) {
         let env = SimEnv::with_seed(1);
         let c = ResponseCache::new(env.clock().clone(), capacity, Duration::from_secs(ttl_secs));
+        (env, c)
+    }
+
+    fn sharded(capacity: usize, shards: usize, ttl_secs: u64) -> (SimEnv, ResponseCache) {
+        let env = SimEnv::with_seed(1);
+        let c = ResponseCache::with_config(
+            env.clock().clone(),
+            CacheConfig {
+                capacity,
+                default_ttl: Duration::from_secs(ttl_secs),
+                shards,
+                stale_while_revalidate: None,
+            },
+            Telemetry::disabled(),
+        );
         (env, c)
     }
 
@@ -384,6 +974,14 @@ mod tests {
         );
         let names: Vec<&str> = t.tracer().events().iter().map(|e| e.kind.name()).collect();
         assert_eq!(names, vec!["cache_hit", "cache_miss", "cache_evict"]);
+        // Shard telemetry: one shard, one live entry.
+        assert_eq!(
+            t.metrics().gauge_value(
+                "sdk_cache_shard_entries",
+                &[("cache", "response"), ("shard", "0")]
+            ),
+            Some(1.0)
+        );
     }
 
     #[test]
@@ -394,5 +992,246 @@ mod tests {
         c.put("a", json!(1)); // refresh
         env.clock().advance(Duration::from_secs(8));
         assert!(c.get("a").is_some(), "refreshed entry must survive");
+    }
+
+    #[test]
+    fn put_over_live_entry_refreshes_ttl_and_recency() {
+        // Regression: a put over a live key must atomically reset both the
+        // TTL clock (survives past the original expiry) and the LRU stamp
+        // (is no longer the eviction victim).
+        let (env, c) = sharded(2, 1, 10);
+        c.put("a", json!(1));
+        c.put("b", json!(2));
+        env.clock().advance(Duration::from_secs(8));
+        c.put("a", json!(10)); // refresh value + TTL + recency together
+        env.clock().advance(Duration::from_secs(8));
+        // TTL refreshed: "a" is 8s old, not 16s.
+        assert_eq!(c.get("a"), Some(json!(10)));
+        // Recency refreshed: inserting "c" must evict "b" (the LRU), not "a".
+        c.put("c", json!(3));
+        assert!(c.get("a").is_some(), "refreshed entry must not be the LRU");
+        assert!(c.get("b").is_none(), "b was least recently used");
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn put_over_expired_entry_stores_a_fresh_value() {
+        let (env, c) = cache(10, 10);
+        c.put("a", json!("old"));
+        env.clock().advance(Duration::from_secs(11)); // "a" is now expired
+        c.put("a", json!("new")); // put over the dead body
+        assert_eq!(c.get("a"), Some(json!("new")));
+        env.clock().advance(Duration::from_secs(9));
+        assert_eq!(
+            c.get("a"),
+            Some(json!("new")),
+            "TTL restarts at the second put, not the first"
+        );
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.stats().expirations,
+            0,
+            "overwritten expired entries never count as expirations"
+        );
+    }
+
+    #[test]
+    fn shards_split_capacity_exactly() {
+        let (_env, c) = sharded(10, 4, 60);
+        assert_eq!(c.shard_count(), 4);
+        assert_eq!(c.capacity(), 10);
+        // 10 over 4 shards: 3 + 3 + 2 + 2.
+        for i in 0..64 {
+            c.put(format!("k{i}"), json!(i));
+        }
+        assert!(c.len() <= 10);
+        let lens = c.shard_lens();
+        assert_eq!(lens.iter().sum::<usize>(), c.len());
+        assert_eq!(lens.len(), 4);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_capacity() {
+        let (_env, tiny) = sharded(3, 16, 60);
+        assert_eq!(tiny.shard_count(), 2, "pow2 ≤ capacity");
+        let (_env, one) = sharded(1, 16, 60);
+        assert_eq!(one.shard_count(), 1);
+        let env = SimEnv::with_seed(1);
+        let zero = ResponseCache::new(env.clock().clone(), 0, Duration::from_secs(1));
+        assert_eq!(zero.shard_count(), 1);
+    }
+
+    #[test]
+    fn single_flight_leader_fetches_once() {
+        let (_env, c) = cache(10, 60);
+        let calls = AtomicUsize::new(0);
+        let (v, src) = c
+            .get_or_fetch("k", || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Ok(json!(7))
+            })
+            .unwrap();
+        assert_eq!(v, json!(7));
+        assert_eq!(src, FetchSource::Fetched);
+        let (v, src) = c.get_or_fetch("k", || unreachable!("must hit")).unwrap();
+        assert_eq!(v, json!(7));
+        assert_eq!(src, FetchSource::Hit);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn single_flight_error_fans_out_and_is_not_cached() {
+        let (_env, c) = cache(10, 60);
+        let err = c
+            .get_or_fetch("k", || Err(SdkError::AllFailed("boom".into())))
+            .unwrap_err();
+        assert!(matches!(err, SdkError::AllFailed(_)));
+        // The error was not cached: the next fetch runs.
+        let (v, src) = c.get_or_fetch("k", || Ok(json!(1))).unwrap();
+        assert_eq!((v, src), (json!(1), FetchSource::Fetched));
+    }
+
+    #[test]
+    fn concurrent_misses_coalesce_to_one_fetch() {
+        let (_env, c) = cache(64, 60);
+        let calls = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                let calls = calls.clone();
+                let barrier = barrier.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    let (v, _) = c
+                        .get_or_fetch("hot", || {
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            // Widen the flight window so followers pile up.
+                            std::thread::sleep(Duration::from_millis(30));
+                            Ok(json!("value"))
+                        })
+                        .unwrap();
+                    assert_eq!(v, json!("value"));
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "exactly one upstream call");
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 8, "every caller probed once");
+    }
+
+    #[test]
+    fn abandoned_flight_fails_followers_instead_of_deadlocking() {
+        let (_env, c) = cache(10, 60);
+        let follower = {
+            let FlightJoin::Leader(guard) = c.join_flight("k") else {
+                panic!("first join must lead");
+            };
+            let FlightJoin::Follower(f) = c.join_flight("k") else {
+                panic!("second join must follow");
+            };
+            drop(guard); // leader bails without completing
+            f
+        };
+        let result = (*follower.wait()).clone();
+        assert!(matches!(result, Err(SdkError::AllFailed(_))), "{result:?}");
+        // The flight slot was cleaned up: a new join leads again.
+        assert!(matches!(c.join_flight("k"), FlightJoin::Leader(_)));
+    }
+
+    #[test]
+    fn stale_while_revalidate_serves_stale_and_refreshes_once() {
+        let env = SimEnv::with_seed(3);
+        let c = ResponseCache::with_config(
+            env.clock().clone(),
+            CacheConfig {
+                capacity: 10,
+                default_ttl: Duration::from_secs(10),
+                shards: 1,
+                stale_while_revalidate: Some(Duration::from_secs(30)),
+            },
+            Telemetry::disabled(),
+        );
+        c.put("k", json!("v1"));
+        env.clock().advance(Duration::from_secs(15)); // expired, within SWR
+        assert_eq!(c.lookup("k"), Lookup::Stale(json!("v1")));
+        // A refresh in flight: followers are served stale without waiting.
+        let FlightJoin::Leader(guard) = c.join_flight("k") else {
+            panic!("must lead");
+        };
+        let (v, src) = c
+            .get_or_fetch("k", || unreachable!("refresh already in flight"))
+            .unwrap();
+        assert_eq!((v, src), (json!("v1"), FetchSource::Stale));
+        guard.complete(Ok(json!("v2")));
+        assert_eq!(c.get("k"), Some(json!("v2")), "refresh replaced the entry");
+        assert!(c.stats().stale_served >= 2);
+        // Past the stale window the entry is gone entirely.
+        env.clock().advance(Duration::from_secs(41));
+        assert_eq!(c.lookup("k"), Lookup::Absent);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn stale_refresh_failure_falls_back_to_stale_value() {
+        let env = SimEnv::with_seed(4);
+        let c = ResponseCache::with_config(
+            env.clock().clone(),
+            CacheConfig {
+                capacity: 10,
+                default_ttl: Duration::from_secs(10),
+                shards: 1,
+                stale_while_revalidate: Some(Duration::from_secs(60)),
+            },
+            Telemetry::disabled(),
+        );
+        c.put("k", json!("v1"));
+        env.clock().advance(Duration::from_secs(20));
+        let (v, src) = c
+            .get_or_fetch("k", || Err(SdkError::AllFailed("upstream down".into())))
+            .unwrap();
+        assert_eq!((v, src), (json!("v1"), FetchSource::Stale));
+        // The stale entry survives for the next reader too.
+        assert_eq!(c.lookup("k"), Lookup::Stale(json!("v1")));
+    }
+
+    #[test]
+    fn coalescing_telemetry_counts_waiters_and_stale_serves() {
+        let env = SimEnv::with_seed(5);
+        let t = Telemetry::new();
+        let c = ResponseCache::with_config(
+            env.clock().clone(),
+            CacheConfig {
+                capacity: 10,
+                default_ttl: Duration::from_secs(10),
+                shards: 2,
+                stale_while_revalidate: Some(Duration::from_secs(60)),
+            },
+            t.clone(),
+        );
+        let FlightJoin::Leader(guard) = c.join_flight("k") else {
+            panic!("must lead");
+        };
+        let FlightJoin::Follower(_) = c.join_flight("k") else {
+            panic!("must follow");
+        };
+        guard.complete(Ok(json!(1)));
+        env.clock().advance(Duration::from_secs(15));
+        assert!(matches!(c.lookup("k"), Lookup::Stale(_)));
+        assert_eq!(
+            t.metrics()
+                .counter_value("sdk_coalesced_waiters_total", &[("cache", "response")]),
+            Some(1)
+        );
+        assert_eq!(
+            t.metrics()
+                .counter_value("cache_stale_served_total", &[("cache", "response")]),
+            Some(1)
+        );
+        assert_eq!(c.stats().coalesced_waits, 1);
+        assert_eq!(c.stats().stale_served, 1);
+        let names: Vec<&str> = t.tracer().events().iter().map(|e| e.kind.name()).collect();
+        assert!(names.contains(&"cache_coalesced"), "{names:?}");
+        assert!(names.contains(&"cache_stale_served"), "{names:?}");
     }
 }

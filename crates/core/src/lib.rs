@@ -48,7 +48,7 @@ pub mod resilience;
 pub mod score;
 pub mod sdk;
 
-pub use cache::ResponseCache;
+pub use cache::{CacheConfig, CacheStats, FetchSource, FlightJoin, Lookup, ResponseCache};
 pub use future::ListenableFuture;
 pub use gateway::{GatewayLimits, HttpGateway};
 pub use invoke::{InvocationPolicy, RedundantMode};

@@ -11,6 +11,7 @@
 //! identified by more services" (§2.1), and stores fetched documents
 //! locally "along with the query itself and the time the query was made".
 
+use crate::cache::{FetchSource, ResponseCache};
 use crate::invoke::{invoke_with_retry, invoke_with_retry_within};
 use crate::monitor::ServiceMonitor;
 use crate::pool::ThreadPool;
@@ -253,6 +254,7 @@ pub struct NluSupport {
     monitor: Arc<ServiceMonitor>,
     pool: Arc<ThreadPool>,
     store: Arc<DocumentStore>,
+    cache: Option<Arc<ResponseCache>>,
     retries: usize,
 }
 
@@ -265,12 +267,31 @@ impl std::fmt::Debug for NluSupport {
 }
 
 impl NluSupport {
-    /// Creates the support layer.
+    /// Creates the support layer (no response cache; analysis results are
+    /// recomputed per call).
     pub fn new(monitor: Arc<ServiceMonitor>, pool: Arc<ThreadPool>) -> NluSupport {
         NluSupport {
             monitor,
             pool,
             store: Arc::new(DocumentStore::new()),
+            cache: None,
+            retries: 2,
+        }
+    }
+
+    /// As [`NluSupport::new`], sharing the SDK's sharded response cache
+    /// so [`analyze_text_cached`](NluSupport::analyze_text_cached) can
+    /// dedupe repeated (and concurrent) analyses of the same text.
+    pub fn with_cache(
+        monitor: Arc<ServiceMonitor>,
+        pool: Arc<ThreadPool>,
+        cache: Arc<ResponseCache>,
+    ) -> NluSupport {
+        NluSupport {
+            monitor,
+            pool,
+            store: Arc::new(DocumentStore::new()),
+            cache: Some(cache),
             retries: 2,
         }
     }
@@ -299,6 +320,66 @@ impl NluSupport {
             Err(ServiceError::BadRequest(m)) => Err(SdkError::Rejected(m)),
             Err(e) => Err(SdkError::AllFailed(format!("{}: {e}", nlu.name()))),
         }
+    }
+
+    /// As [`analyze_text`](NluSupport::analyze_text), read-through the
+    /// SDK's response cache: a repeated analysis of the same text by the
+    /// same service is served from cache, and *concurrent* analyses of
+    /// the same text coalesce onto one in-flight service call. Falls back
+    /// to an uncached call when this layer was built without a cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`analyze_text`](NluSupport::analyze_text); a coalesced
+    /// caller receives the leader's error verbatim.
+    pub fn analyze_text_cached(
+        &self,
+        nlu: &Arc<SimService>,
+        text: &str,
+    ) -> Result<(DocumentAnalysis, FetchSource), SdkError> {
+        let Some(cache) = &self.cache else {
+            return self
+                .analyze_text(nlu, text)
+                .map(|a| (a, FetchSource::Fetched));
+        };
+        let request = Request::new("analyze", json!({"text": (text)}))
+            .with_param("text_len", text.len() as f64);
+        // The raw payload is cached (not the parsed analysis) so the NLU
+        // layer shares the Json-valued sharded cache with invoke paths.
+        let key = format!("{}::{}", nlu.name(), request.cache_key());
+        let (payload, source) = cache.get_or_fetch(&key, || {
+            let outcome = invoke_with_retry(nlu, &request, self.retries, &self.monitor);
+            match outcome.result {
+                Ok(resp) => Ok(resp.payload),
+                Err(ServiceError::BadRequest(m)) => Err(SdkError::Rejected(m)),
+                Err(e) => Err(SdkError::AllFailed(format!("{}: {e}", nlu.name()))),
+            }
+        })?;
+        Ok((DocumentAnalysis::from_json(&payload), source))
+    }
+
+    /// As [`analyze_documents`](NluSupport::analyze_documents), with each
+    /// per-document analysis read-through the response cache. Returns the
+    /// aggregate plus how many documents were served without their own
+    /// upstream call (cache hit, stale serve, or coalesced wait).
+    pub fn analyze_documents_cached(
+        &self,
+        nlu: &Arc<SimService>,
+        texts: &[String],
+    ) -> (AggregateAnalysis, usize) {
+        let mut served_locally = 0;
+        let analyses: Vec<DocumentAnalysis> = texts
+            .iter()
+            .filter_map(|t| {
+                self.analyze_text_cached(nlu, t).ok().map(|(a, source)| {
+                    if source.served_locally() {
+                        served_locally += 1;
+                    }
+                    a
+                })
+            })
+            .collect();
+        (aggregate(&analyses), served_locally)
     }
 
     /// Analyzes many documents with one service and aggregates — the

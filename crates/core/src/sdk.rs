@@ -1,6 +1,6 @@
 //! The `RichSdk` facade: every Figure-2 feature behind one handle.
 
-use crate::cache::ResponseCache;
+use crate::cache::{CacheConfig, FetchSource, FlightGuard, FlightJoin, Lookup, ResponseCache};
 use crate::future::ListenableFuture;
 use crate::invoke::{
     invoke_failover_governed, invoke_with_backoff_governed, invoke_with_backoff_traced,
@@ -158,17 +158,49 @@ impl RichSdk {
         pool_size: usize,
         telemetry: Telemetry,
     ) -> RichSdk {
+        let cache = Arc::new(ResponseCache::with_telemetry(
+            env.clock().clone(),
+            cache_capacity,
+            cache_ttl,
+            telemetry.clone(),
+        ));
+        RichSdk::assemble(env, cache, pool_size, telemetry)
+    }
+
+    /// As [`RichSdk::with_telemetry_config`], with full cache control:
+    /// explicit shard count and an optional stale-while-revalidate window
+    /// (expired-but-recent entries are served while one background
+    /// refresh runs on the worker pool).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache.default_ttl` is zero or `pool_size` is zero.
+    pub fn with_cache_config(
+        env: &SimEnv,
+        cache: CacheConfig,
+        pool_size: usize,
+        telemetry: Telemetry,
+    ) -> RichSdk {
+        let cache = Arc::new(ResponseCache::with_config(
+            env.clock().clone(),
+            cache,
+            telemetry.clone(),
+        ));
+        RichSdk::assemble(env, cache, pool_size, telemetry)
+    }
+
+    fn assemble(
+        env: &SimEnv,
+        cache: Arc<ResponseCache>,
+        pool_size: usize,
+        telemetry: Telemetry,
+    ) -> RichSdk {
         let monitor = Arc::new(ServiceMonitor::new());
         let pool = Arc::new(ThreadPool::with_telemetry(pool_size, telemetry.clone()));
         RichSdk {
             registry: Arc::new(ServiceRegistry::new()),
-            cache: Arc::new(ResponseCache::with_telemetry(
-                env.clock().clone(),
-                cache_capacity,
-                cache_ttl,
-                telemetry.clone(),
-            )),
-            nlu: NluSupport::new(monitor.clone(), pool.clone()),
+            nlu: NluSupport::with_cache(monitor.clone(), pool.clone(), cache.clone()),
+            cache,
             monitor,
             pool,
             policy: RwLock::new(InvocationPolicy::default()),
@@ -348,7 +380,8 @@ impl RichSdk {
 
     /// Invokes with read-through caching: a fresh cached response for the
     /// same request is returned without a service call (§2). Returns the
-    /// response and whether it was served from cache.
+    /// response and whether it was served from cache (any source other
+    /// than a direct upstream fetch counts as cached).
     ///
     /// Only use for idempotent read operations — the paper is explicit
     /// that storage-style operations must bypass the cache.
@@ -361,15 +394,124 @@ impl RichSdk {
         name: &str,
         request: &Request,
     ) -> Result<(Response, bool), SdkError> {
+        self.invoke_cached_outcome(name, request)
+            .map(|(response, source)| (response, source.served_locally()))
+    }
+
+    /// As [`invoke_cached`](RichSdk::invoke_cached), reporting *how* the
+    /// response was obtained:
+    ///
+    /// * [`FetchSource::Hit`] — a live cache entry, no service call;
+    /// * [`FetchSource::Coalesced`] — this caller joined another caller's
+    ///   in-flight invocation for the same key and waited for its result
+    ///   (single-flight: K concurrent misses cost one upstream call);
+    /// * [`FetchSource::Stale`] — an expired-but-recent entry was served
+    ///   while one background refresh runs on the worker pool under the
+    ///   SDK's breaker/deadline governance (requires a
+    ///   [`CacheConfig::stale_while_revalidate`] window, see
+    ///   [`RichSdk::with_cache_config`]);
+    /// * [`FetchSource::Fetched`] — this caller made the upstream call.
+    ///
+    /// # Errors
+    ///
+    /// As for [`invoke`](RichSdk::invoke); a coalesced caller receives
+    /// the leader's error verbatim.
+    pub fn invoke_cached_outcome(
+        &self,
+        name: &str,
+        request: &Request,
+    ) -> Result<(Response, FetchSource), SdkError> {
         let ctx = self.telemetry.tracer().new_trace();
         let key = format!("{name}::{}", request.cache_key());
-        if let Some(hit) = self.cache.get_traced(&key, &ctx) {
-            return Ok((Response::new(hit), true));
+        match self.cache.lookup_traced(&key, &ctx) {
+            Lookup::Fresh(hit) => Ok((Response::new(hit), FetchSource::Hit)),
+            Lookup::Stale(stale) => {
+                // Serve the stale value immediately; at most one refresh
+                // per key runs in the background (followers skip it).
+                if let FlightJoin::Leader(guard) = self.cache.join_flight(&key) {
+                    self.spawn_refresh(name, request.clone(), guard);
+                }
+                Ok((Response::new(stale), FetchSource::Stale))
+            }
+            Lookup::Absent => match self.cache.join_flight(&key) {
+                FlightJoin::Leader(guard) => {
+                    // Double-check after winning leadership: a previous
+                    // flight may have published between our miss and now.
+                    if let Some(value) = self.cache.peek_fresh(&key) {
+                        guard.complete_cached(value.clone());
+                        return Ok((Response::new(value), FetchSource::Hit));
+                    }
+                    let service = match self.service(name) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            guard.complete(Err(e.clone()));
+                            return Err(e);
+                        }
+                    };
+                    match self.invoke_traced(&service, request, &ctx) {
+                        Ok(response) => {
+                            guard.complete(Ok(response.payload.clone()));
+                            Ok((response, FetchSource::Fetched))
+                        }
+                        Err(e) => {
+                            guard.complete(Err(e.clone()));
+                            Err(e)
+                        }
+                    }
+                }
+                FlightJoin::Follower(future) => match (*future.wait()).clone() {
+                    Ok(value) => Ok((Response::new(value), FetchSource::Coalesced)),
+                    Err(e) => Err(e),
+                },
+            },
         }
-        let service = self.service(name)?;
-        let response = self.invoke_traced(&service, request, &ctx)?;
-        self.cache.put(key, response.payload.clone());
-        Ok((response, false))
+    }
+
+    /// Runs one stale-entry refresh on the worker pool, publishing the
+    /// outcome through `guard`. The refresh is governed exactly like a
+    /// foreground invocation: breaker admission first, then the retry
+    /// loop under a fresh deadline budget.
+    fn spawn_refresh(&self, name: &str, request: Request, guard: FlightGuard) {
+        let registry = self.registry.clone();
+        let monitor = self.monitor.clone();
+        let telemetry = self.telemetry.clone();
+        let breakers = self.breakers.clone();
+        let clock = self.clock.clone();
+        let default_deadline = self.default_deadline;
+        let (retries, backoff) = {
+            let policy = self.policy.read();
+            (policy.retries_for(name), policy.backoff)
+        };
+        let name = name.to_string();
+        self.pool.submit(move || {
+            let Some(service) = registry.get(&name) else {
+                guard.complete(Err(SdkError::UnknownService(name)));
+                return;
+            };
+            let ctx = telemetry.tracer().new_trace();
+            let deadline = match default_deadline {
+                Some(budget) => Deadline::within(&clock, budget),
+                None => Deadline::NONE,
+            };
+            let gov = Governance::new(breakers, deadline);
+            if let Some(b) = &gov.breakers {
+                if let Admission::Rejected { retry_after } = b.admit(&name, &ctx) {
+                    guard.complete(Err(SdkError::CircuitOpen(format!(
+                        "{name}: retry in {:.0}ms",
+                        retry_after.as_secs_f64() * 1000.0
+                    ))));
+                    return;
+                }
+            }
+            let (outcome, _) = invoke_with_backoff_governed(
+                &service, &request, retries, backoff, &monitor, &telemetry, &ctx, &gov,
+            );
+            guard.complete(match outcome.result {
+                Ok(r) => Ok(r.payload),
+                Err(ServiceError::BadRequest(m)) => Err(SdkError::Rejected(m)),
+                Err(e) => Err(SdkError::AllFailed(format!("{name}: {e}"))),
+            });
+        });
     }
 
     /// Invokes a *mutating* operation: bypasses the cache entirely (§2:

@@ -115,6 +115,18 @@ pub enum EventKind {
         /// The evicted key.
         key: String,
     },
+    /// A caller joined another caller's in-flight fetch for the same key
+    /// instead of invoking upstream itself (single-flight coalescing).
+    CacheCoalesced {
+        /// The cache key whose flight was joined.
+        key: String,
+    },
+    /// An expired-but-recent entry was served while a refresh runs
+    /// (stale-while-revalidate).
+    CacheStaleServed {
+        /// The cache key served stale.
+        key: String,
+    },
     /// A job was enqueued on the thread pool.
     PoolEnqueue {
         /// Jobs waiting (including this one) at enqueue time.
@@ -177,6 +189,8 @@ impl EventKind {
             EventKind::CacheHit { .. } => "cache_hit",
             EventKind::CacheMiss { .. } => "cache_miss",
             EventKind::CacheEvict { .. } => "cache_evict",
+            EventKind::CacheCoalesced { .. } => "cache_coalesced",
+            EventKind::CacheStaleServed { .. } => "cache_stale_served",
             EventKind::PoolEnqueue { .. } => "pool_enqueue",
             EventKind::PoolDequeue { .. } => "pool_dequeue",
             EventKind::PredictionIssued { .. } => "prediction_issued",
@@ -231,6 +245,8 @@ impl fmt::Display for EventKind {
             EventKind::CacheHit { key } => write!(f, "cache_hit key={key}"),
             EventKind::CacheMiss { key } => write!(f, "cache_miss key={key}"),
             EventKind::CacheEvict { key } => write!(f, "cache_evict key={key}"),
+            EventKind::CacheCoalesced { key } => write!(f, "cache_coalesced key={key}"),
+            EventKind::CacheStaleServed { key } => write!(f, "cache_stale_served key={key}"),
             EventKind::PoolEnqueue { queue_depth } => {
                 write!(f, "pool_enqueue queue_depth={queue_depth}")
             }

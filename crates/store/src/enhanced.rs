@@ -11,13 +11,20 @@
 //! encryption. It keeps byte counters so experiments can report
 //! bytes-on-the-wire savings.
 
+//! Reads are herd-safe: the client cache is sharded (lock-striped) for
+//! concurrent access, and concurrent `get` misses on the same key
+//! coalesce onto one remote fetch (single-flight), with the result — or
+//! error — fanned out to every waiter.
+
 use crate::compress;
 use crate::crypto::{self, Key};
 use crate::kv::KeyValueStore;
 use crate::StoreError;
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -49,6 +56,10 @@ pub struct EnhancedStats {
     pub cache_hits: u64,
     /// Cache misses on `get` (remote fetches).
     pub cache_misses: u64,
+    /// `get` calls that joined another caller's in-flight remote fetch
+    /// for the same key instead of fetching themselves (not counted as
+    /// hits or misses).
+    pub coalesced_waits: u64,
     /// Total plaintext bytes passed to `put`.
     pub bytes_in: u64,
     /// Total bytes actually sent to the remote store.
@@ -74,10 +85,12 @@ pub struct EnhancedStats {
 pub struct EnhancedClient {
     remote: Arc<dyn KeyValueStore>,
     options: EnhancedOptions,
-    cache: Mutex<LruCache>,
+    cache: ShardedLru,
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
     nonce: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    coalesced_waits: AtomicU64,
     bytes_in: AtomicU64,
     bytes_on_wire: AtomicU64,
 }
@@ -95,12 +108,14 @@ impl EnhancedClient {
     /// Wraps `remote` with the given options.
     pub fn new(remote: Arc<dyn KeyValueStore>, options: EnhancedOptions) -> EnhancedClient {
         EnhancedClient {
-            cache: Mutex::new(LruCache::new(options.cache_capacity)),
+            cache: ShardedLru::new(options.cache_capacity),
+            flights: Mutex::new(HashMap::new()),
             remote,
             options,
             nonce: AtomicU64::new(1),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            coalesced_waits: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
             bytes_on_wire: AtomicU64::new(0),
         }
@@ -111,14 +126,20 @@ impl EnhancedClient {
         EnhancedStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_on_wire: self.bytes_on_wire.load(Ordering::Relaxed),
         }
     }
 
+    /// Number of lock-striped cache shards (scales with capacity).
+    pub fn cache_shards(&self) -> usize {
+        self.cache.shards.len()
+    }
+
     /// Drops every cached entry (used by consistency experiments).
     pub fn invalidate_cache(&self) {
-        self.cache.lock().clear();
+        self.cache.clear();
     }
 
     fn encode(&self, value: &Bytes) -> Bytes {
@@ -145,6 +166,52 @@ impl EnhancedClient {
     }
 }
 
+impl EnhancedClient {
+    /// The miss path: exactly one caller per key fetches remotely at a
+    /// time; everyone else blocks on the in-flight result.
+    fn get_coalesced(&self, key: &str) -> Result<Bytes, StoreError> {
+        let flight = {
+            let mut flights = self.flights.lock();
+            match flights.get(key) {
+                Some(flight) => Some(flight.clone()),
+                None => {
+                    flights.insert(key.to_string(), Arc::new(Flight::default()));
+                    None
+                }
+            }
+        };
+        if let Some(flight) = flight {
+            self.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+            return flight.wait();
+        }
+        // Leader. Double-check the cache: a previous flight may have
+        // published between this caller's miss and its flight acquisition.
+        let result = match self.cache.get(key) {
+            Some(hit) => {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(hit)
+            }
+            None => {
+                self.cache_misses.fetch_add(1, Ordering::Relaxed);
+                let fetched = self.remote.get(key).and_then(|raw| self.decode(raw));
+                if let Ok(value) = &fetched {
+                    // Cache before unparking waiters so none can re-miss
+                    // and start a second flight for a value we hold.
+                    self.cache.put(key.to_string(), value.clone());
+                }
+                fetched
+            }
+        };
+        let flight = self
+            .flights
+            .lock()
+            .remove(key)
+            .expect("leader owns the flight slot");
+        flight.publish(result.clone());
+        result
+    }
+}
+
 impl KeyValueStore for EnhancedClient {
     fn put(&self, key: &str, value: Bytes) -> Result<(), StoreError> {
         self.bytes_in
@@ -154,29 +221,100 @@ impl KeyValueStore for EnhancedClient {
             .fetch_add(encoded.len() as u64, Ordering::Relaxed);
         self.remote.put(key, encoded)?;
         // Write-through cache of the plaintext.
-        self.cache.lock().put(key.to_string(), value);
+        self.cache.put(key.to_string(), value);
         Ok(())
     }
 
     fn get(&self, key: &str) -> Result<Bytes, StoreError> {
-        if let Some(hit) = self.cache.lock().get(key) {
+        if let Some(hit) = self.cache.get(key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let raw = self.remote.get(key)?;
-        let value = self.decode(raw)?;
-        self.cache.lock().put(key.to_string(), value.clone());
-        Ok(value)
+        self.get_coalesced(key)
     }
 
     fn delete(&self, key: &str) -> Result<bool, StoreError> {
-        self.cache.lock().remove(key);
+        self.cache.remove(key);
         self.remote.delete(key)
     }
 
     fn keys(&self) -> Result<Vec<String>, StoreError> {
         self.remote.keys()
+    }
+}
+
+/// One in-flight remote fetch; waiters block until the leader publishes.
+#[derive(Debug, Default)]
+struct Flight {
+    slot: Mutex<Option<Result<Bytes, StoreError>>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn publish(&self, result: Result<Bytes, StoreError>) {
+        *self.slot.lock() = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Bytes, StoreError> {
+        let mut slot = self.slot.lock();
+        while slot.is_none() {
+            self.ready.wait(&mut slot);
+        }
+        slot.clone().expect("published")
+    }
+}
+
+/// A lock-striped LRU: keys hash to one of N power-of-two shards, each
+/// holding its slice of the capacity under its own lock. Small caches
+/// (under 64 entries) keep a single shard so whole-cache LRU order — and
+/// the tests that rely on it — are preserved exactly.
+#[derive(Debug)]
+struct ShardedLru {
+    shards: Vec<Mutex<LruCache>>,
+    mask: u64,
+}
+
+impl ShardedLru {
+    fn new(capacity: usize) -> ShardedLru {
+        // One shard per 32 entries, up to 8.
+        let requested = (capacity / 32).clamp(1, 8);
+        let mut count = 1;
+        while count * 2 <= requested {
+            count *= 2;
+        }
+        let base = capacity / count;
+        let rem = capacity % count;
+        ShardedLru {
+            shards: (0..count)
+                .map(|i| Mutex::new(LruCache::new(base + usize::from(i < rem))))
+                .collect(),
+            mask: count as u64 - 1,
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<LruCache> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() & self.mask) as usize]
+    }
+
+    fn get(&self, key: &str) -> Option<Bytes> {
+        self.shard(key).lock().get(key)
+    }
+
+    fn put(&self, key: String, value: Bytes) {
+        self.shard(&key).lock().put(key, value);
+    }
+
+    fn remove(&self, key: &str) {
+        self.shard(key).lock().remove(key);
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
     }
 }
 
@@ -371,6 +509,137 @@ mod tests {
         assert_eq!(client.stats().cache_hits, before.cache_hits + 2);
         client.get("b").unwrap(); // must go remote
         assert_eq!(client.stats().cache_misses, before.cache_misses + 1);
+    }
+
+    /// A remote that counts gets and holds each one open long enough for
+    /// concurrent callers to pile onto the flight.
+    struct SlowKv {
+        inner: Arc<MemoryKv>,
+        gets: AtomicU64,
+        hold: std::time::Duration,
+    }
+
+    impl KeyValueStore for SlowKv {
+        fn put(&self, key: &str, value: Bytes) -> Result<(), StoreError> {
+            self.inner.put(key, value)
+        }
+        fn get(&self, key: &str) -> Result<Bytes, StoreError> {
+            self.gets.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(self.hold);
+            self.inner.get(key)
+        }
+        fn delete(&self, key: &str) -> Result<bool, StoreError> {
+            self.inner.delete(key)
+        }
+        fn keys(&self) -> Result<Vec<String>, StoreError> {
+            self.inner.keys()
+        }
+    }
+
+    #[test]
+    fn concurrent_misses_coalesce_to_one_remote_fetch() {
+        let slow = Arc::new(SlowKv {
+            inner: remote(),
+            gets: AtomicU64::new(0),
+            hold: std::time::Duration::from_millis(40),
+        });
+        slow.inner.put("k", Bytes::from("v")).unwrap();
+        let client = Arc::new(EnhancedClient::new(
+            slow.clone(),
+            EnhancedOptions::default(),
+        ));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let client = client.clone();
+                let barrier = barrier.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    assert_eq!(client.get("k").unwrap(), Bytes::from("v"));
+                });
+            }
+        });
+        assert_eq!(
+            slow.gets.load(Ordering::SeqCst),
+            1,
+            "one remote fetch for 8 concurrent readers"
+        );
+        let s = client.stats();
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(
+            s.cache_hits + s.coalesced_waits,
+            7,
+            "everyone else was served without a remote call: {s:?}"
+        );
+        // The flight slot is cleaned up and the value cached.
+        client.get("k").unwrap();
+        assert_eq!(slow.gets.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn coalesced_error_fans_out_and_is_not_cached() {
+        let slow = Arc::new(SlowKv {
+            inner: remote(),
+            gets: AtomicU64::new(0),
+            hold: std::time::Duration::from_millis(20),
+        });
+        let client = Arc::new(EnhancedClient::new(
+            slow.clone(),
+            EnhancedOptions::default(),
+        ));
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let client = client.clone();
+                let barrier = barrier.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    // Key absent: every waiter receives the leader's error.
+                    assert!(matches!(
+                        client.get("missing"),
+                        Err(StoreError::NotFound(_))
+                    ));
+                });
+            }
+        });
+        assert_eq!(slow.gets.load(Ordering::SeqCst), 1, "one remote miss");
+        // Errors are not cached: the next get retries the remote.
+        assert!(client.get("missing").is_err());
+        assert_eq!(slow.gets.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn large_caches_stripe_small_caches_do_not() {
+        let small = EnhancedClient::new(remote(), EnhancedOptions::default());
+        assert!(small.cache_shards() >= 1);
+        let tiny = EnhancedClient::new(
+            remote(),
+            EnhancedOptions {
+                cache_capacity: 2,
+                ..EnhancedOptions::default()
+            },
+        );
+        assert_eq!(tiny.cache_shards(), 1, "tiny caches keep global LRU order");
+        let big = EnhancedClient::new(
+            remote(),
+            EnhancedOptions {
+                cache_capacity: 1024,
+                ..EnhancedOptions::default()
+            },
+        );
+        assert_eq!(big.cache_shards(), 8);
+        // Striped capacity still bounds total residency.
+        for i in 0..4096 {
+            big.put(&format!("k{i}"), Bytes::from("x")).unwrap();
+        }
+        let resident: usize = (0..4096)
+            .filter(|i| {
+                let before = big.stats().cache_hits;
+                let _ = big.get(&format!("k{i}"));
+                big.stats().cache_hits > before
+            })
+            .count();
+        assert!(resident <= 1024, "{resident} > capacity");
     }
 
     #[test]

@@ -175,6 +175,82 @@ proptest! {
     }
 
     #[test]
+    fn sharded_cache_invariants_hold_for_arbitrary_traffic(
+        capacity in 1usize..64,
+        shards in 1usize..32,
+        ops in prop::collection::vec(("[a-f]{1,3}", any::<bool>()), 1..200),
+    ) {
+        use cogsdk::obs::Telemetry;
+        use cogsdk::sdk::CacheConfig;
+        let env = SimEnv::with_seed(7);
+        let cache = ResponseCache::with_config(
+            env.clock().clone(),
+            CacheConfig {
+                capacity,
+                default_ttl: Duration::from_secs(60),
+                shards,
+                stale_while_revalidate: None,
+            },
+            Telemetry::disabled(),
+        );
+        let mut gets = 0u64;
+        for (i, (key, is_put)) in ops.iter().enumerate() {
+            if *is_put {
+                cache.put(key.clone(), json!({"i": (i)}));
+            } else {
+                let _ = cache.get(key);
+                gets += 1;
+            }
+            // Residency never exceeds capacity, and per-shard lengths
+            // always account for exactly the whole cache.
+            prop_assert!(cache.len() <= capacity);
+            prop_assert_eq!(cache.shard_lens().iter().sum::<usize>(), cache.len());
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, gets);
+        cache.clear();
+        prop_assert_eq!(cache.len(), 0);
+        prop_assert!(cache.shard_lens().iter().all(|&len| len == 0));
+    }
+
+    #[test]
+    fn get_after_put_within_ttl_always_hits(
+        shards in 1usize..17,
+        keys in prop::collection::vec("[a-z]{1,6}", 1..48),
+    ) {
+        use cogsdk::obs::Telemetry;
+        use cogsdk::sdk::CacheConfig;
+        let env = SimEnv::with_seed(11);
+        // Keys shard by hash, and capacity splits across shards — so a
+        // skewed key set can evict within one shard while the cache is
+        // globally under capacity. Give every shard room for the whole
+        // key set; then eviction can never explain a miss and a put
+        // within TTL must be observable.
+        let cache = ResponseCache::with_config(
+            env.clock().clone(),
+            CacheConfig {
+                capacity: shards * keys.len(),
+                default_ttl: Duration::from_secs(60),
+                shards,
+                stale_while_revalidate: None,
+            },
+            Telemetry::disabled(),
+        );
+        for (i, key) in keys.iter().enumerate() {
+            cache.put(key.clone(), json!({"i": (i)}));
+            prop_assert!(cache.get(key).is_some(), "immediate get after put missed");
+        }
+        // The final value written under each key is the one served.
+        for (i, key) in keys.iter().enumerate().rev() {
+            if keys[i + 1..].contains(key) {
+                continue; // overwritten later
+            }
+            let v = cache.get(key).expect("fresh entry must hit");
+            prop_assert_eq!(v.get("i").and_then(Json::as_usize).unwrap(), i);
+        }
+    }
+
+    #[test]
     fn scores_rank_monotonically_in_each_metric(
         r1 in 1.0f64..1000.0, r2 in 1.0f64..1000.0,
         c in 0.0f64..10_000.0, q in 0.0f64..1.0,
