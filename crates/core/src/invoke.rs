@@ -93,8 +93,19 @@ impl Backoff {
     }
 
     fn envelope(base: Duration, factor: f64, max: Duration, retry: usize) -> Duration {
-        let scaled = base.as_secs_f64() * factor.powi(retry as i32);
-        Duration::from_secs_f64(scaled).min(max)
+        // Cap in the f64 domain: `factor.powi(retry)` overflows to
+        // infinity at large retry counts (and `0 × ∞` is NaN), which
+        // `Duration::from_secs_f64` panics on. Anything not strictly
+        // below the cap — including inf/NaN — takes the cap.
+        let max_s = max.as_secs_f64();
+        let scaled = base.as_secs_f64() * factor.powi(retry.min(i32::MAX as usize) as i32);
+        if scaled.is_nan() || scaled >= max_s {
+            return max;
+        }
+        if scaled <= 0.0 {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64(scaled)
     }
 
     /// The delay before retry number `retry` (0-based). For
@@ -927,6 +938,26 @@ mod tests {
         assert_eq!(exp.delay(1), Duration::from_millis(100));
         assert_eq!(exp.delay(2), Duration::from_millis(200));
         assert_eq!(exp.delay(10), Duration::from_secs(2), "capped");
+    }
+
+    #[test]
+    fn backoff_survives_huge_retry_counts() {
+        // Regression: `factor.powi(retry)` overflows to infinity for large
+        // retry counts, and `Duration::from_secs_f64(inf)` panics. The cap
+        // must be applied in the f64 domain before constructing a Duration.
+        let exp = Backoff::standard_exponential();
+        assert_eq!(exp.delay(10_000), Duration::from_secs(2));
+        let jitter = Backoff::standard_full_jitter();
+        assert_eq!(jitter.delay(10_000), Duration::from_secs(2));
+        let mut rng = Rng::new(7);
+        assert!(jitter.delay_sampled(10_000, &mut rng) <= Duration::from_secs(2));
+        // Zero base never scales above zero, even at huge retry counts.
+        let zero = Backoff::Exponential {
+            base: Duration::ZERO,
+            factor: 2.0,
+            max: Duration::from_secs(2),
+        };
+        assert_eq!(zero.delay(0), Duration::ZERO);
     }
 
     #[test]

@@ -141,6 +141,21 @@ impl ServiceHistory {
         (xs, ys)
     }
 
+    /// Successful-call latencies sorted ascending — one snapshot shared
+    /// by every percentile read taken from it.
+    fn sorted_success_latencies(&self) -> Vec<f64> {
+        let mut latencies = self.success_latencies();
+        latencies.sort_by(f64::total_cmp);
+        latencies
+    }
+
+    /// Nearest-rank percentile over an ascending-sorted, non-empty slice;
+    /// `p` must already be validated into `(0, 100]`.
+    fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
     /// The `p`-th percentile of successful-call latencies (nearest-rank
     /// over the retained window); `None` with no successful calls or `p`
     /// outside `(0, 100]`.
@@ -148,23 +163,35 @@ impl ServiceHistory {
         if !(0.0..=100.0).contains(&p) || p == 0.0 {
             return None;
         }
-        let mut latencies = self.success_latencies();
-        if latencies.is_empty() {
+        let sorted = self.sorted_success_latencies();
+        if sorted.is_empty() {
             return None;
         }
-        latencies.sort_by(f64::total_cmp);
-        let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
-        Some(latencies[rank.clamp(1, latencies.len()) - 1])
+        Some(Self::nearest_rank(&sorted, p))
+    }
+
+    /// `(p95, p99)` successful-call latencies in ms from a single sorted
+    /// snapshot, so readers wanting both tail percentiles pay for one
+    /// clone-and-sort instead of two.
+    pub fn tail_latencies_ms(&self) -> Option<(f64, f64)> {
+        let sorted = self.sorted_success_latencies();
+        if sorted.is_empty() {
+            return None;
+        }
+        Some((
+            Self::nearest_rank(&sorted, 95.0),
+            Self::nearest_rank(&sorted, 99.0),
+        ))
     }
 
     /// The 95th-percentile successful-call latency in ms.
     pub fn p95_latency_ms(&self) -> Option<f64> {
-        self.latency_percentile(95.0)
+        Some(self.tail_latencies_ms()?.0)
     }
 
     /// The 99th-percentile successful-call latency in ms.
     pub fn p99_latency_ms(&self) -> Option<f64> {
-        self.latency_percentile(99.0)
+        Some(self.tail_latencies_ms()?.1)
     }
 
     /// Failure counts broken down by error kind. Failures recorded
@@ -446,6 +473,21 @@ mod tests {
         assert_eq!(h.latency_percentile(0.0), None);
         assert_eq!(h.latency_percentile(101.0), None);
         assert!(ServiceHistory::default().p95_latency_ms().is_none());
+    }
+
+    #[test]
+    fn tail_latencies_match_individual_percentiles() {
+        let m = ServiceMonitor::new();
+        for i in 1..=100 {
+            m.record_raw("svc", (101 - i) as f64, true, 0, vec![]);
+        }
+        let h = m.history("svc").unwrap();
+        assert_eq!(h.tail_latencies_ms(), Some((95.0, 99.0)));
+        assert_eq!(
+            h.tail_latencies_ms(),
+            Some((h.p95_latency_ms().unwrap(), h.p99_latency_ms().unwrap()))
+        );
+        assert!(ServiceHistory::default().tail_latencies_ms().is_none());
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! mathematical analysis combined with inferencing on the RDF store can
 //! generate new knowledge beyond that produced by just the mathematical
 //! analysis itself."
+//!
+//! The loop runs continuously — analyze, store, infer, repeat — so the
+//! statements produced here land in [`PersonalKnowledgeBase`](crate::PersonalKnowledgeBase)'s
+//! incrementally-maintained graph: any ruleset already enabled on the KB
+//! propagates each new batch of analysis facts as a delta instead of
+//! re-materializing the whole closure per turn (see
+//! `cogsdk_rdf::IncrementalMaterializer`).
 
 use crate::convert::sanitize;
 use crate::KbError;

@@ -10,6 +10,11 @@
 //! The wire protocol is the one `cogsdk-datasvc`'s knowledge service
 //! speaks (`{"op": "sparql"|"describe", …}`), documented independently so
 //! any conforming endpoint works.
+//!
+//! Imported facts are inserted as a batch into the KB's incrementally
+//! maintained graph (`cogsdk_rdf::IncrementalMaterializer`), so an
+//! import only propagates its own delta through any standing rulesets —
+//! repeated federation pulls do not re-pay full re-materialization.
 
 use crate::KbError;
 use cogsdk_core::invoke::invoke_with_retry_within;

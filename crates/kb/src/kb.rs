@@ -5,13 +5,10 @@ use crate::convert::{graph_to_text, sanitize, table_to_statements, text_to_graph
 use crate::KbError;
 use bytes::Bytes;
 use cogsdk_obs::Telemetry;
-use cogsdk_rdf::owl::OwlLiteReasoner;
 use cogsdk_rdf::query::Solution;
 use cogsdk_rdf::reason::TriplePattern;
 use cogsdk_rdf::weighted::{WeightedGraph, WeightedReasoner};
-use cogsdk_rdf::{
-    GenericRuleReasoner, Graph, Query, RdfsReasoner, Statement, Term, TransitiveReasoner,
-};
+use cogsdk_rdf::{GenericRuleReasoner, Graph, IncrementalMaterializer, Query, Statement, Term};
 use cogsdk_store::crypto::Key;
 use cogsdk_store::csv::{csv_to_table, table_to_csv};
 use cogsdk_store::enhanced::{EnhancedClient, EnhancedOptions};
@@ -68,7 +65,11 @@ pub struct KbOptions {
 /// ```
 pub struct PersonalKnowledgeBase {
     tables: TableStore,
-    graph: RwLock<Graph>,
+    /// The RDF store, wrapped in an incremental materializer: once a
+    /// reasoner is enabled (via `infer_*`), its closure is *maintained*
+    /// across later ingests and retractions instead of being recomputed
+    /// from scratch per call (the Fig. 5 loop's hot path).
+    graph: RwLock<IncrementalMaterializer>,
     /// Confidence overrides for statements; absent = 1.0 (§5 future work:
     /// accuracy levels on stored and inferred facts).
     confidence: RwLock<HashMap<Statement, f64>>,
@@ -120,7 +121,7 @@ impl PersonalKnowledgeBase {
         ));
         PersonalKnowledgeBase {
             tables: TableStore::new(),
-            graph: RwLock::new(Graph::new()),
+            graph: RwLock::new(IncrementalMaterializer::new()),
             confidence: RwLock::new(HashMap::new()),
             catalog: RwLock::new(EntityCatalog::builtin()),
             analyzer: Analyzer::with_default_lexicons(),
@@ -239,11 +240,8 @@ impl PersonalKnowledgeBase {
         let statements = self
             .tables
             .with_table(table, |t| table_to_statements(t, subject_col, namespace))??;
-        let mut graph = self.graph.write();
-        Ok(statements
-            .into_iter()
-            .filter(|st| graph.insert(st.clone()))
-            .count())
+        // One batch delta propagation for the whole table.
+        Ok(self.graph.write().insert_batch(statements))
     }
 
     /// Adds one statement directly.
@@ -365,38 +363,44 @@ impl PersonalKnowledgeBase {
     /// Parse errors from the query engine.
     pub fn query(&self, sparql: &str) -> Result<Vec<Solution>, KbError> {
         let q = Query::parse(sparql)?;
-        Ok(q.execute(&self.graph.read()))
+        Ok(q.execute(self.graph.read().full()))
     }
 
-    /// Number of statements in the graph.
+    /// Number of statements in the graph (stated plus inferred).
     pub fn statement_count(&self) -> usize {
         self.graph.read().len()
     }
 
-    /// Runs `f` with read access to the graph.
+    /// Runs `f` with read access to the graph (stated plus inferred).
     pub fn with_graph<R>(&self, f: impl FnOnce(&Graph) -> R) -> R {
-        f(&self.graph.read())
+        f(self.graph.read().full())
     }
 
-    /// Runs the RDFS reasoner, folding new facts into the graph; returns
-    /// how many were inferred.
+    /// Enables RDFS entailment as a *standing* ruleset: the closure is
+    /// materialized now and maintained incrementally on every later
+    /// ingest or retraction. Returns how many facts this call inferred.
     pub fn infer_rdfs(&self) -> usize {
-        let inferred = RdfsReasoner::new().infer(&self.graph.read());
-        self.graph.write().extend_from(&inferred)
+        let mut graph = self.graph.write();
+        graph.enable_rdfs();
+        graph.materialize()
     }
 
-    /// Runs the transitive reasoner over the given predicates.
+    /// Enables transitive closure over the given predicates as a standing
+    /// ruleset; returns how many facts this call inferred.
     pub fn infer_transitive(&self, predicates: Vec<Term>) -> usize {
-        let inferred = TransitiveReasoner::new(predicates).infer(&self.graph.read());
-        self.graph.write().extend_from(&inferred)
+        let mut graph = self.graph.write();
+        graph.add_transitive(predicates);
+        graph.materialize()
     }
 
-    /// Runs the OWL/Lite-subset reasoner (inverseOf, symmetric/transitive/
+    /// Enables the OWL/Lite-subset rules (inverseOf, symmetric/transitive/
     /// functional properties, sameAs smushing — the third Jena reasoner
-    /// the paper lists), folding new facts into the graph.
+    /// the paper lists) plus RDFS as a standing ruleset; returns how many
+    /// facts this call inferred.
     pub fn infer_owl(&self) -> usize {
-        let inferred = OwlLiteReasoner::new().infer(&self.graph.read());
-        self.graph.write().extend_from(&inferred)
+        let mut graph = self.graph.write();
+        graph.enable_owl();
+        graph.materialize()
     }
 
     /// Proves a goal with *tabled backward chaining* over user rules —
@@ -415,19 +419,21 @@ impl PersonalKnowledgeBase {
     ) -> Result<Vec<cogsdk_rdf::query::Solution>, KbError> {
         let reasoner = GenericRuleReasoner::from_rules_text(rules_text)?;
         let goal = TriplePattern::parse(goal)?;
-        Ok(reasoner.prove(&self.graph.read(), &goal, max_depth))
+        Ok(reasoner.prove(self.graph.read().full(), &goal, max_depth))
     }
 
     /// Runs user-defined rules (Jena-like syntax, one per line) with
-    /// forward chaining.
+    /// forward chaining. The rules become *standing*: their conclusions
+    /// are maintained incrementally as later facts arrive.
     ///
     /// # Errors
     ///
     /// Rule parse errors.
     pub fn infer_rules(&self, rules_text: &str) -> Result<usize, KbError> {
         let reasoner = GenericRuleReasoner::from_rules_text(rules_text)?;
-        let inferred = reasoner.infer(&self.graph.read());
-        Ok(self.graph.write().extend_from(&inferred))
+        let mut graph = self.graph.write();
+        graph.add_rules(reasoner.rules().to_vec());
+        Ok(graph.materialize())
     }
 
     // ------------------------------------------------------------------
@@ -531,17 +537,14 @@ impl PersonalKnowledgeBase {
             crate::federation::describe_remote_within(service, monitor, entity_id, deadline)?;
         let mut graph = self.graph.write();
         let mut confidence = self.confidence.write();
-        let mut added = 0;
-        for st in facts.statements {
-            if graph.insert(st.clone()) {
-                added += 1;
-            }
-            if source_confidence < 1.0 {
-                let entry = confidence.entry(st).or_insert(source_confidence);
+        if source_confidence < 1.0 {
+            for st in &facts.statements {
+                let entry = confidence.entry(st.clone()).or_insert(source_confidence);
                 *entry = entry.max(source_confidence);
             }
         }
-        Ok(added)
+        // One delta propagation for the imported batch.
+        Ok(graph.insert_batch(facts.statements))
     }
 
     // ------------------------------------------------------------------
@@ -601,7 +604,7 @@ impl PersonalKnowledgeBase {
         let mut wg = {
             let graph = self.graph.read();
             let confidence = self.confidence.read();
-            let mut wg = WeightedGraph::from_graph(graph.clone());
+            let mut wg = WeightedGraph::from_graph(graph.full().clone());
             for (st, &c) in confidence.iter() {
                 wg.insert_with_confidence(st.clone(), c);
             }
@@ -628,7 +631,7 @@ impl PersonalKnowledgeBase {
         let confidence = self.confidence.read();
         let mut by_sp: std::collections::BTreeMap<(Term, Term), Vec<ConflictCandidate>> =
             std::collections::BTreeMap::new();
-        for st in graph.iter() {
+        for st in graph.full().iter() {
             let c = confidence.get(&st).copied().unwrap_or(1.0);
             by_sp
                 .entry((st.subject.clone(), st.predicate.clone()))
@@ -651,6 +654,10 @@ impl PersonalKnowledgeBase {
     /// only the application knows which predicates are functional —
     /// multi-valued predicates like `kb:mentions` are legitimate
     /// "conflicts" that must not be pruned.
+    ///
+    /// Retraction runs through the materializer's DRed maintenance, so
+    /// facts that were inferred *from* a dropped statement are retracted
+    /// with it (unless independently derivable).
     pub fn resolve_conflicts_for(&self, predicate: &Term) -> usize {
         let conflicts = self.conflicts();
         let mut graph = self.graph.write();
@@ -736,7 +743,7 @@ impl PersonalKnowledgeBase {
     /// Local storage failure (remote failures leave the key dirty for
     /// the next synchronization instead of failing).
     pub fn persist_graph(&self, key: &str) -> Result<(), KbError> {
-        let text = graph_to_text(&self.graph.read());
+        let text = graph_to_text(self.graph.read().full());
         let result = self.store.put(key, Bytes::from(text.into_bytes()));
         self.publish_cache_metrics();
         Ok(result?)
@@ -756,7 +763,7 @@ impl PersonalKnowledgeBase {
             String::from_utf8(bytes.to_vec()).map_err(|e| KbError::Corrupt(e.to_string()))?;
         let graph = text_to_graph(&text)?;
         let n = graph.len();
-        *self.graph.write() = graph;
+        self.graph.write().reset(graph);
         Ok(n)
     }
 

@@ -119,10 +119,24 @@ impl Graph {
                     Vec::new()
                 }
             }
-            (Some(s), p, o) => self
+            (Some(s), None, Some(o)) => {
+                // OSP has the longest bound prefix here: (o, s) is fully
+                // bound, so range-scan it instead of filtering an S scan.
+                let min = Term::Iri(String::new());
+                self.osp
+                    .range((o.clone(), s.clone(), min)..)
+                    .take_while(|t| &t.0 == o && &t.1 == s)
+                    .map(|(to, ts, tp)| Statement {
+                        subject: ts.clone(),
+                        predicate: tp.clone(),
+                        object: to.clone(),
+                    })
+                    .collect()
+            }
+            (Some(s), p, None) => self
                 .scan(&self.spo, s, |t| (t.0.clone(), t.1.clone(), t.2.clone()))
                 .into_iter()
-                .filter(|(_, tp, to)| p.is_none_or(|p| p == tp) && o.is_none_or(|o| o == to))
+                .filter(|(_, tp, _)| p.is_none_or(|p| p == tp))
                 .map(to_statement)
                 .collect(),
             (None, Some(p), o) => self
@@ -157,6 +171,76 @@ impl Graph {
             .take_while(|t| &t.0 == first)
             .map(reorder)
             .collect()
+    }
+}
+
+/// Read-only view over a set of triples.
+///
+/// Both [`Graph`] and [`Overlay`] implement this, so reasoner joins can run
+/// against either a plain graph or a base-plus-derived pair without cloning
+/// the base into a working copy.
+pub trait TripleView {
+    /// Finds statements matching a pattern; `None` positions are wildcards.
+    fn find(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Term>,
+        object: Option<&Term>,
+    ) -> Vec<Statement>;
+
+    /// Whether the view contains the statement.
+    fn has(&self, st: &Statement) -> bool;
+}
+
+impl TripleView for Graph {
+    fn find(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Term>,
+        object: Option<&Term>,
+    ) -> Vec<Statement> {
+        self.match_pattern(subject, predicate, object)
+    }
+
+    fn has(&self, st: &Statement) -> bool {
+        self.contains(st)
+    }
+}
+
+/// A union view of two graphs that are disjoint by construction (a stated
+/// base plus the derived closure). Queries hit both indexes and concatenate,
+/// which keeps semi-naive rounds from ever cloning the base graph.
+#[derive(Debug, Clone, Copy)]
+pub struct Overlay<'a> {
+    base: &'a Graph,
+    extra: &'a Graph,
+}
+
+impl<'a> Overlay<'a> {
+    /// Creates a union view over `base` and `extra`.
+    pub fn new(base: &'a Graph, extra: &'a Graph) -> Overlay<'a> {
+        Overlay { base, extra }
+    }
+}
+
+impl TripleView for Overlay<'_> {
+    fn find(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Term>,
+        object: Option<&Term>,
+    ) -> Vec<Statement> {
+        let mut hits = self.base.match_pattern(subject, predicate, object);
+        for st in self.extra.match_pattern(subject, predicate, object) {
+            if !self.base.contains(&st) {
+                hits.push(st);
+            }
+        }
+        hits
+    }
+
+    fn has(&self, st: &Statement) -> bool {
+        self.base.contains(st) || self.extra.contains(st)
     }
 }
 
@@ -268,6 +352,61 @@ mod tests {
             .collect();
         assert_eq!(g.extend_from(&other), 1);
         assert_eq!(g.len(), 6);
+    }
+
+    #[test]
+    fn subject_object_arm_matches_filtered_scan() {
+        // The (S, _, O) arm must return exactly what a full scan + filter
+        // would, while actually routing through the OSP index.
+        let mut g = sample();
+        g.insert(st("a", "r", "x"));
+        g.insert(Statement::new(
+            Term::iri("a"),
+            Term::iri("age"),
+            Term::integer(7),
+        ));
+        let subjects = [Term::iri("a"), Term::iri("b"), Term::iri("zz")];
+        let objects = [Term::iri("x"), Term::iri("z"), Term::integer(7)];
+        for s in &subjects {
+            for o in &objects {
+                let via_arm = g.match_pattern(Some(s), None, Some(o));
+                let via_filter: Vec<Statement> = g
+                    .iter()
+                    .filter(|t| &t.subject == s && &t.object == o)
+                    .collect();
+                assert_eq!(
+                    via_arm.len(),
+                    via_filter.len(),
+                    "mismatch for ({s:?}, _, {o:?})"
+                );
+                for hit in &via_arm {
+                    assert!(via_filter.contains(hit));
+                }
+            }
+        }
+        assert_eq!(
+            g.match_pattern(Some(&Term::iri("a")), None, Some(&Term::iri("x")))
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn overlay_unions_base_and_extra() {
+        let base = sample();
+        let extra: Graph = vec![st("a", "p", "x"), st("c", "p", "w")]
+            .into_iter()
+            .collect();
+        let view = Overlay::new(&base, &extra);
+        let p = Term::iri("p");
+        assert_eq!(view.find(None, Some(&p), None).len(), 4);
+        assert!(view.has(&st("c", "p", "w")));
+        assert!(view.has(&st("a", "q", "x")));
+        assert!(!view.has(&st("c", "q", "w")));
+        // Duplicates between base and extra are reported once.
+        let a = Term::iri("a");
+        let x = Term::iri("x");
+        assert_eq!(view.find(Some(&a), Some(&p), Some(&x)).len(), 1);
     }
 
     #[test]

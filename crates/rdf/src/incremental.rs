@@ -1,0 +1,497 @@
+//! Incremental materialization of the inferred closure.
+//!
+//! [`IncrementalMaterializer`] keeps a stated base graph, the derived
+//! closure, and their union ("full view") maintained across mutations:
+//!
+//! * **Inserts** propagate forward semi-naively — only joins involving the
+//!   new facts run, so per-batch cost is proportional to the change, not
+//!   the graph.
+//! * **Deletes** use overdeletion/rederivation (DRed): consequences of the
+//!   removed fact are overdeleted against the pre-deletion view, then
+//!   facts with surviving alternative derivations are rederived.
+//!
+//! Rulesets (RDFS, OWL/Lite, extra transitive predicates, user rules) are
+//! *standing*: once enabled they are maintained on every later mutation.
+//! Enabling a new ruleset marks the closure stale; the next
+//! [`materialize`](IncrementalMaterializer::materialize) call reseeds the
+//! fixpoint over the existing facts.
+
+use crate::graph::{Graph, Overlay};
+use crate::model::{Statement, Term};
+use crate::owl::owl_delta;
+use crate::reason::{propagate, rdfs_delta, rules_delta, transitive_delta, Rule};
+
+/// Which entailment rules the materializer maintains.
+#[derive(Debug, Clone, Default)]
+pub struct MaterializerConfig {
+    /// RDFS subset (rdfs2/3/5/7/9/11).
+    pub rdfs: bool,
+    /// OWL/Lite subset (inverseOf, symmetric/transitive/functional
+    /// properties, sameAs smushing). Implies `rdfs` when enabled through
+    /// [`IncrementalMaterializer::enable_owl`], matching
+    /// [`crate::OwlLiteReasoner::new`].
+    pub owl: bool,
+    /// Extra predicates closed under transitivity.
+    pub transitive: Vec<Term>,
+    /// Standing user-defined rules.
+    pub rules: Vec<Rule>,
+}
+
+impl MaterializerConfig {
+    fn is_active(&self) -> bool {
+        self.rdfs || self.owl || !self.transitive.is_empty() || !self.rules.is_empty()
+    }
+
+    /// One delta round over the combined active rulesets.
+    fn delta(&self, view: &dyn crate::graph::TripleView, delta: &[Statement]) -> Vec<Statement> {
+        let mut out = Vec::new();
+        if self.rdfs {
+            out.extend(rdfs_delta(view, delta));
+        }
+        if self.owl {
+            out.extend(owl_delta(view, delta));
+        }
+        if !self.transitive.is_empty() {
+            out.extend(transitive_delta(&self.transitive, view, delta));
+        }
+        if !self.rules.is_empty() {
+            out.extend(rules_delta(&self.rules, view, delta));
+        }
+        out
+    }
+}
+
+/// Maintains `base ∪ derived` incrementally under the configured rules.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_rdf::{IncrementalMaterializer, Statement, Term};
+///
+/// let mut m = IncrementalMaterializer::new();
+/// m.enable_rdfs();
+/// let sub = Term::iri("rdfs:subClassOf");
+/// m.insert(Statement::new(Term::iri("ex:cat"), sub.clone(), Term::iri("ex:mammal")));
+/// m.insert(Statement::new(Term::iri("ex:mammal"), sub.clone(), Term::iri("ex:animal")));
+/// // The closure is maintained as facts arrive — no re-materialization.
+/// assert!(m.contains(&Statement::new(Term::iri("ex:cat"), sub, Term::iri("ex:animal"))));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalMaterializer {
+    config: MaterializerConfig,
+    /// Explicitly stated facts.
+    base: Graph,
+    /// Derived closure, disjoint from `base`.
+    derived: Graph,
+    /// `base ∪ derived`, kept materialized so readers get a plain
+    /// [`Graph`] without merging on every query.
+    full: Graph,
+    /// Whether `derived` is the fixpoint of `config` over `base`. Cleared
+    /// when a ruleset is enabled after facts already arrived.
+    clean: bool,
+}
+
+impl IncrementalMaterializer {
+    /// An empty materializer with no rulesets enabled.
+    pub fn new() -> IncrementalMaterializer {
+        IncrementalMaterializer {
+            clean: true,
+            ..IncrementalMaterializer::default()
+        }
+    }
+
+    /// Wraps an existing stated graph. No inference runs until a ruleset
+    /// is enabled and [`materialize`](Self::materialize) is called.
+    pub fn from_graph(graph: Graph) -> IncrementalMaterializer {
+        IncrementalMaterializer {
+            config: MaterializerConfig::default(),
+            full: graph.clone(),
+            base: graph,
+            derived: Graph::new(),
+            clean: true,
+        }
+    }
+
+    /// The maintained `base ∪ derived` view.
+    pub fn full(&self) -> &Graph {
+        &self.full
+    }
+
+    /// The explicitly stated facts.
+    pub fn base(&self) -> &Graph {
+        &self.base
+    }
+
+    /// The derived (inferred-only) facts.
+    pub fn derived(&self) -> &Graph {
+        &self.derived
+    }
+
+    /// Number of facts in the full view.
+    pub fn len(&self) -> usize {
+        self.full.len()
+    }
+
+    /// Whether the full view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.full.is_empty()
+    }
+
+    /// Whether the full view contains the statement.
+    pub fn contains(&self, st: &Statement) -> bool {
+        self.full.contains(st)
+    }
+
+    /// Enables the RDFS subset; returns whether this changed the config.
+    pub fn enable_rdfs(&mut self) -> bool {
+        let changed = !self.config.rdfs;
+        if changed {
+            self.config.rdfs = true;
+            self.clean = self.full.is_empty();
+        }
+        changed
+    }
+
+    /// Enables the OWL/Lite subset (and RDFS, as the batch OWL reasoner
+    /// does); returns whether this changed the config.
+    pub fn enable_owl(&mut self) -> bool {
+        let changed = !self.config.owl || !self.config.rdfs;
+        if changed {
+            self.config.owl = true;
+            self.config.rdfs = true;
+            self.clean = self.full.is_empty();
+        }
+        changed
+    }
+
+    /// Adds predicates to close under transitivity; returns whether any
+    /// were new.
+    pub fn add_transitive(&mut self, predicates: Vec<Term>) -> bool {
+        let mut changed = false;
+        for p in predicates {
+            if !self.config.transitive.contains(&p) {
+                self.config.transitive.push(p);
+                changed = true;
+            }
+        }
+        if changed {
+            self.clean = self.full.is_empty();
+        }
+        changed
+    }
+
+    /// Adds standing user rules; returns whether any were new.
+    pub fn add_rules(&mut self, rules: Vec<Rule>) -> bool {
+        let mut changed = false;
+        for r in rules {
+            if !self.config.rules.contains(&r) {
+                self.config.rules.push(r);
+                changed = true;
+            }
+        }
+        if changed {
+            self.clean = self.full.is_empty();
+        }
+        changed
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MaterializerConfig {
+        &self.config
+    }
+
+    /// Inserts a stated fact and propagates its consequences forward.
+    /// Returns whether the fact was new to the full view.
+    pub fn insert(&mut self, st: Statement) -> bool {
+        if !self.base.insert(st.clone()) {
+            return false;
+        }
+        // A previously derived fact that is now stated moves to the base;
+        // the full view already has it and nothing new follows from it.
+        if self.derived.remove(&st) {
+            return false;
+        }
+        self.full.insert(st.clone());
+        if self.config.is_active() && self.clean {
+            let config = &self.config;
+            let new_facts = propagate(&self.base, &mut self.derived, vec![st], &mut |v, d| {
+                config.delta(v, d)
+            });
+            for f in new_facts {
+                self.full.insert(f);
+            }
+        }
+        true
+    }
+
+    /// Inserts a batch and propagates once over the whole batch delta.
+    /// Returns how many facts were new to the full view.
+    pub fn insert_batch(&mut self, batch: impl IntoIterator<Item = Statement>) -> usize {
+        let mut seed = Vec::new();
+        for st in batch {
+            if !self.base.insert(st.clone()) {
+                continue;
+            }
+            if self.derived.remove(&st) {
+                continue;
+            }
+            self.full.insert(st.clone());
+            seed.push(st);
+        }
+        let added = seed.len();
+        if !seed.is_empty() && self.config.is_active() && self.clean {
+            let config = &self.config;
+            let new_facts = propagate(&self.base, &mut self.derived, seed, &mut |v, d| {
+                config.delta(v, d)
+            });
+            for f in new_facts {
+                self.full.insert(f);
+            }
+        }
+        added
+    }
+
+    /// Removes a fact using DRed: consequences are overdeleted against the
+    /// pre-deletion view, then facts with surviving alternative
+    /// derivations are rederived (including the removed fact itself, if it
+    /// is still entailed by what remains). Returns whether the fact was
+    /// present in the full view.
+    pub fn remove(&mut self, st: &Statement) -> bool {
+        // DRed needs an up-to-date closure to cascade over; catch up first
+        // if a ruleset was enabled after facts arrived.
+        self.materialize();
+        if !self.full.contains(st) {
+            return false;
+        }
+        // Overdeletion cascade against the pre-deletion view: everything
+        // derived (transitively) using the removed fact is suspect.
+        let mut overdeleted = Graph::new();
+        if self.config.is_active() {
+            let mut frontier = vec![st.clone()];
+            while !frontier.is_empty() {
+                let candidates = {
+                    let view = Overlay::new(&self.base, &self.derived);
+                    self.config.delta(&view, &frontier)
+                };
+                let mut fresh = Vec::new();
+                for c in candidates {
+                    if self.derived.contains(&c) && !overdeleted.contains(&c) && c != *st {
+                        overdeleted.insert(c.clone());
+                        fresh.push(c);
+                    }
+                }
+                frontier = fresh;
+            }
+        }
+        self.base.remove(st);
+        self.derived.remove(st);
+        self.full.remove(st);
+        for o in overdeleted.iter() {
+            self.derived.remove(&o);
+            self.full.remove(&o);
+        }
+        // Rederivation: one naive round over what remains picks up every
+        // suspect fact that still has a one-step derivation; semi-naive
+        // propagation from those seeds restores the rest of the closure.
+        if self.config.is_active() {
+            let candidates = {
+                let view = Overlay::new(&self.base, &self.derived);
+                let all: Vec<Statement> = self.full.iter().collect();
+                self.config.delta(&view, &all)
+            };
+            let mut seeds = Vec::new();
+            for c in candidates {
+                let suspect = overdeleted.contains(&c) || c == *st;
+                if suspect && !self.full.contains(&c) && self.derived.insert(c.clone()) {
+                    self.full.insert(c.clone());
+                    seeds.push(c);
+                }
+            }
+            if !seeds.is_empty() {
+                let config = &self.config;
+                let new_facts = propagate(&self.base, &mut self.derived, seeds, &mut |v, d| {
+                    config.delta(v, d)
+                });
+                for f in new_facts {
+                    self.full.insert(f);
+                }
+            }
+        }
+        true
+    }
+
+    /// Brings the derived closure up to date with the configuration. Cheap
+    /// when nothing changed; after a config change it reseeds the fixpoint
+    /// over all current facts. Returns how many facts were newly derived.
+    pub fn materialize(&mut self) -> usize {
+        if self.clean || !self.config.is_active() {
+            self.clean = true;
+            return 0;
+        }
+        let seed: Vec<Statement> = self.full.iter().collect();
+        let config = &self.config;
+        let new_facts = propagate(&self.base, &mut self.derived, seed, &mut |v, d| {
+            config.delta(v, d)
+        });
+        let added = new_facts.len();
+        for f in new_facts {
+            self.full.insert(f);
+        }
+        self.clean = true;
+        added
+    }
+
+    /// Replaces all facts with `graph` as the stated base, keeping the
+    /// configuration. The closure is marked stale; call
+    /// [`materialize`](Self::materialize) to rebuild it.
+    pub fn reset(&mut self, graph: Graph) {
+        self.full = graph.clone();
+        self.base = graph;
+        self.derived = Graph::new();
+        self.clean = !self.config.is_active() || self.full.is_empty();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::vocab;
+    use crate::reason::{GenericRuleReasoner, RdfsReasoner, TransitiveReasoner};
+
+    fn st(s: &str, p: &str, o: &str) -> Statement {
+        Statement::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    #[test]
+    fn inserts_maintain_rdfs_closure() {
+        let mut m = IncrementalMaterializer::new();
+        m.enable_rdfs();
+        m.insert(st("cat", vocab::SUB_CLASS_OF, "mammal"));
+        m.insert(st("tom", vocab::TYPE, "cat"));
+        assert!(m.contains(&st("tom", vocab::TYPE, "mammal")));
+        // A later schema extension re-types existing instances.
+        m.insert(st("mammal", vocab::SUB_CLASS_OF, "animal"));
+        assert!(m.contains(&st("tom", vocab::TYPE, "animal")));
+        assert!(m.contains(&st("cat", vocab::SUB_CLASS_OF, "animal")));
+    }
+
+    #[test]
+    fn incremental_equals_from_scratch_rdfs() {
+        let mut m = IncrementalMaterializer::new();
+        m.enable_rdfs();
+        let facts = [
+            st("p", vocab::SUB_PROPERTY_OF, "q"),
+            st("q", vocab::DOMAIN, "C"),
+            st("C", vocab::SUB_CLASS_OF, "D"),
+            st("s", "p", "o"),
+        ];
+        for f in &facts {
+            m.insert(f.clone());
+        }
+        let base: Graph = facts.iter().cloned().collect();
+        let mut scratch = base.clone();
+        scratch.extend_from(&RdfsReasoner::new().infer(&base));
+        assert_eq!(*m.full(), scratch);
+    }
+
+    #[test]
+    fn delete_retracts_consequences() {
+        let mut m = IncrementalMaterializer::new();
+        m.enable_rdfs();
+        m.insert(st("cat", vocab::SUB_CLASS_OF, "mammal"));
+        m.insert(st("tom", vocab::TYPE, "cat"));
+        assert!(m.contains(&st("tom", vocab::TYPE, "mammal")));
+        assert!(m.remove(&st("tom", vocab::TYPE, "cat")));
+        assert!(!m.contains(&st("tom", vocab::TYPE, "mammal")));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn delete_keeps_alternative_derivations() {
+        let mut m = IncrementalMaterializer::new();
+        m.add_transitive(vec![Term::iri("sub")]);
+        m.insert(st("a", "sub", "b"));
+        m.insert(st("b", "sub", "c"));
+        m.insert(st("b", "sub", "d"));
+        m.insert(st("d", "sub", "c"));
+        // (a sub c) is derivable via b→c directly and via b→d→c.
+        assert!(m.contains(&st("a", "sub", "c")));
+        assert!(m.remove(&st("b", "sub", "c")));
+        assert!(
+            m.contains(&st("a", "sub", "c")),
+            "alternative path survives"
+        );
+        let base_now: Graph = m.base().iter().collect();
+        let mut scratch = base_now.clone();
+        scratch.extend_from(&TransitiveReasoner::new(vec![Term::iri("sub")]).infer(&base_now));
+        assert_eq!(*m.full(), scratch);
+    }
+
+    #[test]
+    fn removed_stated_fact_resurfaces_if_entailed() {
+        let mut m = IncrementalMaterializer::new();
+        m.add_transitive(vec![Term::iri("sub")]);
+        m.insert(st("a", "sub", "b"));
+        m.insert(st("b", "sub", "c"));
+        m.insert(st("a", "sub", "c")); // stated AND entailed
+        assert!(m.remove(&st("a", "sub", "c")));
+        // From-scratch semantics: the fact is still entailed by the chain.
+        assert!(m.contains(&st("a", "sub", "c")));
+        assert!(!m.base().contains(&st("a", "sub", "c")), "no longer stated");
+    }
+
+    #[test]
+    fn standing_rules_fire_on_later_ingests() {
+        let mut m = IncrementalMaterializer::new();
+        let r = GenericRuleReasoner::from_rules_text(
+            "[(?a parent ?b), (?b parent ?c) -> (?a grandparent ?c)]",
+        )
+        .unwrap();
+        m.add_rules(r.rules().to_vec());
+        m.insert(st("alice", "parent", "bob"));
+        m.materialize();
+        assert!(!m.contains(&st("alice", "grandparent", "carol")));
+        m.insert(st("bob", "parent", "carol"));
+        assert!(m.contains(&st("alice", "grandparent", "carol")));
+    }
+
+    #[test]
+    fn enabling_rules_late_reseeds_on_materialize() {
+        let mut m = IncrementalMaterializer::new();
+        m.insert(st("cat", vocab::SUB_CLASS_OF, "mammal"));
+        m.insert(st("tom", vocab::TYPE, "cat"));
+        assert!(!m.contains(&st("tom", vocab::TYPE, "mammal")));
+        m.enable_rdfs();
+        let added = m.materialize();
+        assert_eq!(added, 1);
+        assert!(m.contains(&st("tom", vocab::TYPE, "mammal")));
+        assert_eq!(m.materialize(), 0, "second call is a no-op");
+    }
+
+    #[test]
+    fn owl_closure_maintained_incrementally() {
+        let mut m = IncrementalMaterializer::new();
+        m.enable_owl();
+        m.insert(st("hasParent", vocab::INVERSE_OF, "hasChild"));
+        m.insert(st("alice", "hasParent", "bob"));
+        assert!(m.contains(&st("bob", "hasChild", "alice")));
+        m.insert(st("usa", vocab::SAME_AS, "united_states"));
+        m.insert(st("usa", "capital", "washington"));
+        assert!(m.contains(&st("united_states", "capital", "washington")));
+    }
+
+    #[test]
+    fn reset_replaces_contents_and_goes_stale() {
+        let mut m = IncrementalMaterializer::new();
+        m.enable_rdfs();
+        m.insert(st("x", vocab::TYPE, "C"));
+        let mut g = Graph::new();
+        g.insert(st("cat", vocab::SUB_CLASS_OF, "mammal"));
+        g.insert(st("tom", vocab::TYPE, "cat"));
+        m.reset(g);
+        assert!(!m.contains(&st("x", vocab::TYPE, "C")));
+        assert!(!m.contains(&st("tom", vocab::TYPE, "mammal")));
+        m.materialize();
+        assert!(m.contains(&st("tom", vocab::TYPE, "mammal")));
+    }
+}

@@ -32,13 +32,15 @@
 //! ```
 
 pub mod graph;
+pub mod incremental;
 pub mod model;
 pub mod owl;
 pub mod query;
 pub mod reason;
 pub mod weighted;
 
-pub use graph::Graph;
+pub use graph::{Graph, Overlay, TripleView};
+pub use incremental::{IncrementalMaterializer, MaterializerConfig};
 pub use model::{Literal, Statement, Term};
 pub use owl::OwlLiteReasoner;
 pub use query::{Query, Solution};

@@ -13,8 +13,9 @@
 //!   across aliases in subject and object position (smushing).
 
 use crate::graph::Graph;
+use crate::graph::TripleView;
 use crate::model::{vocab, Statement, Term};
-use crate::reason::{RdfsReasoner, TransitiveReasoner};
+use crate::reason::{rdfs_delta, semi_naive};
 
 /// The OWL/Lite-subset reasoner.
 ///
@@ -55,74 +56,80 @@ impl OwlLiteReasoner {
     }
 
     /// Runs to fixpoint; returns only the newly entailed statements.
+    ///
+    /// Evaluated semi-naively: each round joins the OWL rules (and the
+    /// RDFS subset when enabled) against the previous round's delta over a
+    /// borrowed overlay — no `graph.clone()`, no nested full RDFS or
+    /// transitive-closure recomputation per round.
     pub fn infer(&self, graph: &Graph) -> Graph {
-        let type_p = Term::iri(vocab::TYPE);
-        let inverse_of = Term::iri(vocab::INVERSE_OF);
-        let same_as = Term::iri(vocab::SAME_AS);
-        let symmetric = Term::iri(vocab::SYMMETRIC_PROPERTY);
-        let transitive = Term::iri(vocab::TRANSITIVE_PROPERTY);
-        let functional = Term::iri(vocab::FUNCTIONAL_PROPERTY);
-
-        let mut working = graph.clone();
-        let mut inferred = Graph::new();
-        loop {
-            let mut fresh: Vec<Statement> = Vec::new();
-
-            if self.include_rdfs {
-                fresh.extend(RdfsReasoner::new().infer(&working).iter());
+        let include_rdfs = self.include_rdfs;
+        semi_naive(graph, &mut |view, delta| {
+            let mut out = owl_delta(view, delta);
+            if include_rdfs {
+                out.extend(rdfs_delta(view, delta));
             }
+            out
+        })
+    }
+}
 
-            // owl:inverseOf (both directions; the declaration itself is
-            // symmetric).
-            let mut inverse_pairs: Vec<(Term, Term)> = Vec::new();
-            for decl in working.match_pattern(None, Some(&inverse_of), None) {
-                if let (Term::Iri(_), Term::Iri(_)) = (&decl.subject, &decl.object) {
-                    inverse_pairs.push((decl.subject.clone(), decl.object.clone()));
-                    inverse_pairs.push((decl.object, decl.subject));
-                }
-            }
-            for (p, q) in &inverse_pairs {
-                for st in working.match_pattern(None, Some(p), None) {
-                    if st.object.is_resource() {
-                        fresh.push(Statement::new(st.object, q.clone(), st.subject));
+/// Delta form of the OWL/Lite subset. Each delta fact is joined both as a
+/// schema declaration (firing over its existing use sites) and as a use
+/// site (firing over the existing declarations). Reflexive `owl:sameAs`
+/// candidates are filtered here, mirroring the batch reasoner.
+pub(crate) fn owl_delta(view: &dyn TripleView, delta: &[Statement]) -> Vec<Statement> {
+    let type_p = Term::iri(vocab::TYPE);
+    let inverse_of = Term::iri(vocab::INVERSE_OF);
+    let same_as = Term::iri(vocab::SAME_AS);
+    let symmetric = Term::iri(vocab::SYMMETRIC_PROPERTY);
+    let transitive = Term::iri(vocab::TRANSITIVE_PROPERTY);
+    let functional = Term::iri(vocab::FUNCTIONAL_PROPERTY);
+
+    let mut out: Vec<Statement> = Vec::new();
+    for st in delta {
+        // ---- Declaration side: the delta fact is OWL schema. ----
+        if st.predicate == inverse_of {
+            if let (Term::Iri(_), Term::Iri(_)) = (&st.subject, &st.object) {
+                // (p inverseOf q), (s p o) => (o q s) — and the mirror
+                // direction, since inverseOf is itself symmetric.
+                for (p, q) in [(&st.subject, &st.object), (&st.object, &st.subject)] {
+                    for use_site in view.find(None, Some(p), None) {
+                        if use_site.object.is_resource() {
+                            out.push(Statement::new(use_site.object, q.clone(), use_site.subject));
+                        }
                     }
                 }
             }
-
-            // owl:SymmetricProperty.
-            for decl in working.match_pattern(None, Some(&type_p), Some(&symmetric)) {
-                if !matches!(decl.subject, Term::Iri(_)) {
-                    continue;
-                }
-                for st in working.match_pattern(None, Some(&decl.subject), None) {
-                    if st.object.is_resource() {
-                        fresh.push(Statement::new(st.object, st.predicate, st.subject));
+        } else if st.predicate == type_p && matches!(st.subject, Term::Iri(_)) {
+            if st.object == symmetric {
+                for use_site in view.find(None, Some(&st.subject), None) {
+                    if use_site.object.is_resource() {
+                        out.push(Statement::new(
+                            use_site.object,
+                            use_site.predicate,
+                            use_site.subject,
+                        ));
                     }
                 }
-            }
-
-            // owl:TransitiveProperty: closure per declared property.
-            let transitive_props: Vec<Term> = working
-                .match_pattern(None, Some(&type_p), Some(&transitive))
-                .into_iter()
-                .map(|st| st.subject)
-                .filter(|t| matches!(t, Term::Iri(_)))
-                .collect();
-            if !transitive_props.is_empty() {
-                fresh.extend(
-                    TransitiveReasoner::new(transitive_props)
-                        .infer(&working)
-                        .iter(),
-                );
-            }
-
-            // owl:FunctionalProperty: two objects for one subject are the
-            // same individual.
-            for decl in working.match_pattern(None, Some(&type_p), Some(&functional)) {
-                if !matches!(decl.subject, Term::Iri(_)) {
-                    continue;
+            } else if st.object == transitive {
+                // One-step compositions over existing edges; the fixpoint
+                // rounds complete the closure.
+                for e1 in view.find(None, Some(&st.subject), None) {
+                    if !e1.object.is_resource() {
+                        continue;
+                    }
+                    for e2 in view.find(Some(&e1.object), Some(&st.subject), None) {
+                        if e2.object.is_resource() && e2.object != e1.subject {
+                            out.push(Statement::new(
+                                e1.subject.clone(),
+                                st.subject.clone(),
+                                e2.object,
+                            ));
+                        }
+                    }
                 }
-                let uses = working.match_pattern(None, Some(&decl.subject), None);
+            } else if st.object == functional {
+                let uses = view.find(None, Some(&st.subject), None);
                 for a in &uses {
                     for b in &uses {
                         if a.subject == b.subject
@@ -130,7 +137,7 @@ impl OwlLiteReasoner {
                             && a.object.is_resource()
                             && b.object.is_resource()
                         {
-                            fresh.push(Statement::new(
+                            out.push(Statement::new(
                                 a.object.clone(),
                                 same_as.clone(),
                                 b.object.clone(),
@@ -139,55 +146,147 @@ impl OwlLiteReasoner {
                     }
                 }
             }
-
-            // owl:sameAs: symmetric, transitive, and smushing.
-            let same_pairs: Vec<(Term, Term)> = working
-                .match_pattern(None, Some(&same_as), None)
-                .into_iter()
-                .filter(|st| st.subject.is_resource() && st.object.is_resource())
-                .map(|st| (st.subject, st.object))
-                .collect();
-            for (a, b) in &same_pairs {
-                if a == b {
-                    continue;
-                }
-                fresh.push(Statement::new(b.clone(), same_as.clone(), a.clone()));
-                // Transitivity through shared members.
-                for (c, d) in &same_pairs {
-                    if b == c && a != d {
-                        fresh.push(Statement::new(a.clone(), same_as.clone(), d.clone()));
-                    }
-                }
-                // Copy statements across the alias, both positions.
-                for st in working.match_pattern(Some(a), None, None) {
-                    if st.predicate != same_as {
-                        fresh.push(Statement::new(b.clone(), st.predicate, st.object));
-                    }
-                }
-                for st in working.match_pattern(None, None, Some(a)) {
-                    if st.predicate != same_as {
-                        fresh.push(Statement::new(st.subject, st.predicate, b.clone()));
-                    }
+        }
+        if st.predicate == same_as
+            && st.subject.is_resource()
+            && st.object.is_resource()
+            && st.subject != st.object
+        {
+            let (a, b) = (&st.subject, &st.object);
+            // Symmetry.
+            out.push(Statement::new(b.clone(), same_as.clone(), a.clone()));
+            // Transitivity, joining on both sides.
+            for next in view.find(Some(b), Some(&same_as), None) {
+                if next.object.is_resource() && next.object != *a {
+                    out.push(Statement::new(a.clone(), same_as.clone(), next.object));
                 }
             }
-
-            let mut added = 0;
-            for st in fresh {
-                if st.subject == st.object && st.predicate == same_as {
-                    continue; // skip trivial reflexive sameAs
-                }
-                if !working.contains(&st) {
-                    working.insert(st.clone());
-                    inferred.insert(st);
-                    added += 1;
+            for prev in view.find(None, Some(&same_as), Some(a)) {
+                if prev.subject != *b {
+                    out.push(Statement::new(prev.subject, same_as.clone(), b.clone()));
                 }
             }
-            if added == 0 {
-                break;
+            // Smushing: copy the alias's existing statements across, both
+            // positions.
+            for use_site in view.find(Some(a), None, None) {
+                if use_site.predicate != same_as {
+                    out.push(Statement::new(
+                        b.clone(),
+                        use_site.predicate,
+                        use_site.object,
+                    ));
+                }
+            }
+            for use_site in view.find(None, None, Some(a)) {
+                if use_site.predicate != same_as {
+                    out.push(Statement::new(
+                        use_site.subject,
+                        use_site.predicate,
+                        b.clone(),
+                    ));
+                }
             }
         }
-        inferred
+
+        // ---- Use side: the delta fact is an ordinary statement; join the
+        // existing declarations over its predicate. ----
+        let p = &st.predicate;
+        // inverseOf, both declaration directions.
+        if st.object.is_resource() {
+            for decl in view.find(Some(p), Some(&inverse_of), None) {
+                if matches!(decl.object, Term::Iri(_)) {
+                    out.push(Statement::new(
+                        st.object.clone(),
+                        decl.object,
+                        st.subject.clone(),
+                    ));
+                }
+            }
+            for decl in view.find(None, Some(&inverse_of), Some(p)) {
+                if matches!(decl.subject, Term::Iri(_)) {
+                    out.push(Statement::new(
+                        st.object.clone(),
+                        decl.subject,
+                        st.subject.clone(),
+                    ));
+                }
+            }
+        }
+        // SymmetricProperty.
+        if st.object.is_resource()
+            && view.has(&Statement::new(
+                p.clone(),
+                type_p.clone(),
+                symmetric.clone(),
+            ))
+        {
+            out.push(Statement::new(
+                st.object.clone(),
+                p.clone(),
+                st.subject.clone(),
+            ));
+        }
+        // TransitiveProperty: compose with neighbours on both sides.
+        if st.object.is_resource()
+            && view.has(&Statement::new(
+                p.clone(),
+                type_p.clone(),
+                transitive.clone(),
+            ))
+        {
+            for next in view.find(Some(&st.object), Some(p), None) {
+                if next.object.is_resource() && next.object != st.subject {
+                    out.push(Statement::new(st.subject.clone(), p.clone(), next.object));
+                }
+            }
+            for prev in view.find(None, Some(p), Some(&st.subject)) {
+                if prev.subject != st.object {
+                    out.push(Statement::new(prev.subject, p.clone(), st.object.clone()));
+                }
+            }
+        }
+        // FunctionalProperty: this use pairs with every sibling object.
+        if st.object.is_resource()
+            && view.has(&Statement::new(
+                p.clone(),
+                type_p.clone(),
+                functional.clone(),
+            ))
+        {
+            for other in view.find(Some(&st.subject), Some(p), None) {
+                if other.object != st.object && other.object.is_resource() {
+                    out.push(Statement::new(
+                        st.object.clone(),
+                        same_as.clone(),
+                        other.object.clone(),
+                    ));
+                    out.push(Statement::new(
+                        other.object,
+                        same_as.clone(),
+                        st.object.clone(),
+                    ));
+                }
+            }
+        }
+        // Smushing: a new fact about `s` (or with object `o`) reaches every
+        // known alias of `s` (or `o`).
+        if *p != same_as {
+            for alias in view.find(Some(&st.subject), Some(&same_as), None) {
+                if alias.object.is_resource() {
+                    out.push(Statement::new(alias.object, p.clone(), st.object.clone()));
+                }
+            }
+            if st.object.is_resource() {
+                for alias in view.find(Some(&st.object), Some(&same_as), None) {
+                    if alias.object.is_resource() {
+                        out.push(Statement::new(st.subject.clone(), p.clone(), alias.object));
+                    }
+                }
+            }
+        }
     }
+    out.retain(|st| !(st.predicate == same_as && st.subject == st.object));
+    out
 }
 
 #[cfg(test)]

@@ -11,10 +11,248 @@
 //!   chaining, tabled backward chaining" → [`GenericRuleReasoner`] with a
 //!   Jena-style rule syntax.
 
-use crate::graph::Graph;
+use crate::graph::{Graph, Overlay, TripleView};
 use crate::model::{vocab, Statement, Term};
 use crate::RdfError;
 use std::collections::{HashMap, HashSet};
+
+// ---------------------------------------------------------------------------
+// Semi-naive evaluation core
+//
+// All reasoners share one fixpoint driver: each round joins the rule bodies
+// against the *delta* (facts derived in the previous round) rather than
+// re-scanning the whole graph, and the working set is a borrowed
+// [`Overlay`] over the stated base plus the derived closure — no
+// `graph.clone()` per run and no full re-derivation per round.
+// ---------------------------------------------------------------------------
+
+/// A delta rule: given the full current view and the facts that are new
+/// since the last round, produce candidate conclusions. Candidates may
+/// duplicate existing facts; the driver deduplicates.
+pub(crate) type DeltaRule<'r> = dyn FnMut(&dyn TripleView, &[Statement]) -> Vec<Statement> + 'r;
+
+/// Runs delta rules to fixpoint starting from `seed`, extending `derived`
+/// in place. `seed` facts must already be visible in `base` or `derived`.
+/// Returns the facts that are newly derived by this call.
+pub(crate) fn propagate(
+    base: &Graph,
+    derived: &mut Graph,
+    seed: Vec<Statement>,
+    rule: &mut DeltaRule<'_>,
+) -> Vec<Statement> {
+    let mut new_facts = Vec::new();
+    let mut delta = seed;
+    while !delta.is_empty() {
+        let candidates = {
+            let view = Overlay::new(base, derived);
+            rule(&view, &delta)
+        };
+        let mut fresh = Vec::new();
+        for st in candidates {
+            if !base.contains(&st) && !derived.contains(&st) {
+                derived.insert(st.clone());
+                fresh.push(st);
+            }
+        }
+        new_facts.extend(fresh.iter().cloned());
+        delta = fresh;
+    }
+    new_facts
+}
+
+/// Full semi-naive fixpoint from scratch: round 0 seeds the delta with the
+/// entire base (equivalent to one naive round), later rounds join only
+/// against fresh facts. Returns the derived closure.
+pub(crate) fn semi_naive(base: &Graph, rule: &mut DeltaRule<'_>) -> Graph {
+    let mut derived = Graph::new();
+    let seed: Vec<Statement> = base.iter().collect();
+    propagate(base, &mut derived, seed, rule);
+    derived
+}
+
+/// Delta form of transitive closure for `predicates`: a new edge composes
+/// with existing edges on both sides. Self-loops are never emitted and
+/// targets must be resources, matching [`TransitiveReasoner`] semantics.
+pub(crate) fn transitive_delta(
+    predicates: &[Term],
+    view: &dyn TripleView,
+    delta: &[Statement],
+) -> Vec<Statement> {
+    let mut out = Vec::new();
+    for st in delta {
+        if !predicates.contains(&st.predicate) {
+            continue;
+        }
+        if st.object.is_resource() {
+            // (a p b), (b p c) => (a p c).
+            for next in view.find(Some(&st.object), Some(&st.predicate), None) {
+                if next.object.is_resource() && next.object != st.subject {
+                    out.push(Statement::new(
+                        st.subject.clone(),
+                        st.predicate.clone(),
+                        next.object,
+                    ));
+                }
+            }
+            // (x p a), (a p b) => (x p b).
+            for prev in view.find(None, Some(&st.predicate), Some(&st.subject)) {
+                if prev.subject != st.object {
+                    out.push(Statement::new(
+                        prev.subject,
+                        st.predicate.clone(),
+                        st.object.clone(),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Delta form of the RDFS subset (rdfs2/3/5/7/9/11). Each delta fact is
+/// treated both as a schema declaration (joining its existing use sites)
+/// and as a use site (joining the existing schema).
+pub(crate) fn rdfs_delta(view: &dyn TripleView, delta: &[Statement]) -> Vec<Statement> {
+    let type_p = Term::iri(vocab::TYPE);
+    let sub_class = Term::iri(vocab::SUB_CLASS_OF);
+    let sub_prop = Term::iri(vocab::SUB_PROPERTY_OF);
+    let domain = Term::iri(vocab::DOMAIN);
+    let range = Term::iri(vocab::RANGE);
+    let lattices = [sub_class.clone(), sub_prop.clone()];
+
+    let mut out = transitive_delta(&lattices, view, delta);
+    for st in delta {
+        // Declaration side: the delta fact is schema, join its use sites.
+        if st.predicate == sub_class {
+            // rdfs9: (C subClassOf D), (s type C) => (s type D).
+            for inst in view.find(None, Some(&type_p), Some(&st.subject)) {
+                out.push(Statement::new(
+                    inst.subject,
+                    type_p.clone(),
+                    st.object.clone(),
+                ));
+            }
+        } else if st.predicate == sub_prop {
+            // rdfs7: (p subPropertyOf q), (s p o) => (s q o).
+            if matches!(st.object, Term::Iri(_)) {
+                for use_site in view.find(None, Some(&st.subject), None) {
+                    out.push(Statement::new(
+                        use_site.subject,
+                        st.object.clone(),
+                        use_site.object,
+                    ));
+                }
+            }
+        } else if st.predicate == domain {
+            // rdfs2: (p domain C), (s p o) => (s type C).
+            for use_site in view.find(None, Some(&st.subject), None) {
+                out.push(Statement::new(
+                    use_site.subject,
+                    type_p.clone(),
+                    st.object.clone(),
+                ));
+            }
+        } else if st.predicate == range {
+            // rdfs3: (p range C), (s p o), o resource => (o type C).
+            for use_site in view.find(None, Some(&st.subject), None) {
+                if use_site.object.is_resource() {
+                    out.push(Statement::new(
+                        use_site.object,
+                        type_p.clone(),
+                        st.object.clone(),
+                    ));
+                }
+            }
+        }
+
+        // Use side: the delta fact is an instance fact, join the schema.
+        if st.predicate == type_p {
+            // rdfs9: (s type C), (C subClassOf D) => (s type D).
+            if st.object.is_resource() {
+                for sc in view.find(Some(&st.object), Some(&sub_class), None) {
+                    out.push(Statement::new(
+                        st.subject.clone(),
+                        type_p.clone(),
+                        sc.object,
+                    ));
+                }
+            }
+        }
+        // rdfs2 over this use site's predicate.
+        for dom in view.find(Some(&st.predicate), Some(&domain), None) {
+            out.push(Statement::new(
+                st.subject.clone(),
+                type_p.clone(),
+                dom.object,
+            ));
+        }
+        // rdfs3.
+        if st.object.is_resource() {
+            for ran in view.find(Some(&st.predicate), Some(&range), None) {
+                out.push(Statement::new(
+                    st.object.clone(),
+                    type_p.clone(),
+                    ran.object,
+                ));
+            }
+        }
+        // rdfs7.
+        for sp in view.find(Some(&st.predicate), Some(&sub_prop), None) {
+            if matches!(sp.object, Term::Iri(_)) {
+                out.push(Statement::new(
+                    st.subject.clone(),
+                    sp.object,
+                    st.object.clone(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Delta form of forward chaining over user rules: for each rule and each
+/// premise position, bind that premise from the delta and solve the
+/// remaining premises against the full view.
+pub(crate) fn rules_delta(
+    rules: &[Rule],
+    view: &dyn TripleView,
+    delta: &[Statement],
+) -> Vec<Statement> {
+    let mut out = Vec::new();
+    for rule in rules {
+        for i in 0..rule.premises.len() {
+            let seeds: Vec<HashMap<String, Term>> = delta
+                .iter()
+                .filter_map(|st| rule.premises[i].match_statement(st))
+                .collect();
+            if seeds.is_empty() {
+                continue;
+            }
+            let mut bindings = seeds;
+            for (j, premise) in rule.premises.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let mut next = Vec::new();
+                for b in &bindings {
+                    next.extend(premise.solve(view, b));
+                }
+                bindings = next;
+                if bindings.is_empty() {
+                    break;
+                }
+            }
+            for b in &bindings {
+                for conclusion in &rule.conclusions {
+                    if let Some(st) = conclusion.instantiate(b) {
+                        out.push(st);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
 
 /// Computes the transitive closure of chosen predicates.
 ///
@@ -54,32 +292,42 @@ impl TransitiveReasoner {
 
     /// Returns the *new* statements entailed by transitivity (excluding
     /// those already present).
+    ///
+    /// Evaluated semi-naively per predicate: the closure is grown by
+    /// joining each round's *delta* pairs against the stated edges
+    /// (right-linear `T ∘ E`), so no round re-scans pairs derived earlier.
     pub fn infer(&self, graph: &Graph) -> Graph {
         let mut inferred = Graph::new();
         for predicate in &self.predicates {
-            // Collect edges and compute closure per predicate.
             let edges: Vec<(Term, Term)> = graph
                 .match_pattern(None, Some(predicate), None)
                 .into_iter()
                 .map(|st| (st.subject, st.object))
                 .collect();
-            let mut succ: HashMap<Term, HashSet<Term>> = HashMap::new();
+            let mut succ: HashMap<Term, Vec<Term>> = HashMap::new();
             for (s, o) in &edges {
-                succ.entry(s.clone()).or_default().insert(o.clone());
+                succ.entry(s.clone()).or_default().push(o.clone());
             }
-            // Floyd–Warshall-style saturation via BFS from each node.
-            for start in succ.keys().cloned().collect::<Vec<_>>() {
-                let mut reached: HashSet<Term> = HashSet::new();
-                let mut stack: Vec<Term> = succ[&start].iter().cloned().collect();
-                while let Some(node) = stack.pop() {
-                    if !reached.insert(node.clone()) {
-                        continue;
-                    }
-                    if let Some(next) = succ.get(&node) {
-                        stack.extend(next.iter().cloned());
+            let mut closure: HashMap<Term, HashSet<Term>> = HashMap::new();
+            for (s, o) in &edges {
+                closure.entry(s.clone()).or_default().insert(o.clone());
+            }
+            let mut delta = edges;
+            while !delta.is_empty() {
+                let mut fresh = Vec::new();
+                for (a, b) in &delta {
+                    if let Some(nexts) = succ.get(b) {
+                        for c in nexts {
+                            if closure.entry(a.clone()).or_default().insert(c.clone()) {
+                                fresh.push((a.clone(), c.clone()));
+                            }
+                        }
                     }
                 }
-                for target in reached {
+                delta = fresh;
+            }
+            for (start, targets) in closure {
+                for target in targets {
                     if target != start && target.is_resource() {
                         let st = Statement::new(start.clone(), predicate.clone(), target);
                         if !graph.contains(&st) {
@@ -108,77 +356,12 @@ impl RdfsReasoner {
     }
 
     /// Runs the RDFS rules to fixpoint; returns only the new statements.
+    ///
+    /// Evaluated semi-naively: each round joins the rules against the
+    /// facts derived in the previous round only, over a borrowed overlay
+    /// of the input graph — the input is never cloned.
     pub fn infer(&self, graph: &Graph) -> Graph {
-        let type_p = Term::iri(vocab::TYPE);
-        let sub_class = Term::iri(vocab::SUB_CLASS_OF);
-        let sub_prop = Term::iri(vocab::SUB_PROPERTY_OF);
-        let domain = Term::iri(vocab::DOMAIN);
-        let range = Term::iri(vocab::RANGE);
-
-        let mut working = graph.clone();
-        let mut inferred = Graph::new();
-        loop {
-            let mut fresh: Vec<Statement> = Vec::new();
-            // rdfs5/rdfs11: transitivity of the two lattice predicates.
-            fresh.extend(TransitiveReasoner::for_lattices().infer(&working).iter());
-            // rdfs2: (p domain C), (s p o) => (s type C).
-            for dom in working.match_pattern(None, Some(&domain), None) {
-                for use_site in working.match_pattern(None, Some(&dom.subject), None) {
-                    fresh.push(Statement::new(
-                        use_site.subject.clone(),
-                        type_p.clone(),
-                        dom.object.clone(),
-                    ));
-                }
-            }
-            // rdfs3: (p range C), (s p o), o resource => (o type C).
-            for ran in working.match_pattern(None, Some(&range), None) {
-                for use_site in working.match_pattern(None, Some(&ran.subject), None) {
-                    if use_site.object.is_resource() {
-                        fresh.push(Statement::new(
-                            use_site.object.clone(),
-                            type_p.clone(),
-                            ran.object.clone(),
-                        ));
-                    }
-                }
-            }
-            // rdfs7: (p subPropertyOf q), (s p o) => (s q o).
-            for sp in working.match_pattern(None, Some(&sub_prop), None) {
-                if !matches!(sp.object, Term::Iri(_)) {
-                    continue;
-                }
-                for use_site in working.match_pattern(None, Some(&sp.subject), None) {
-                    fresh.push(Statement::new(
-                        use_site.subject.clone(),
-                        sp.object.clone(),
-                        use_site.object.clone(),
-                    ));
-                }
-            }
-            // rdfs9: (C subClassOf D), (s type C) => (s type D).
-            for sc in working.match_pattern(None, Some(&sub_class), None) {
-                for inst in working.match_pattern(None, Some(&type_p), Some(&sc.subject)) {
-                    fresh.push(Statement::new(
-                        inst.subject.clone(),
-                        type_p.clone(),
-                        sc.object.clone(),
-                    ));
-                }
-            }
-            let mut added = 0;
-            for st in fresh {
-                if !working.contains(&st) {
-                    working.insert(st.clone());
-                    inferred.insert(st);
-                    added += 1;
-                }
-            }
-            if added == 0 {
-                break;
-            }
-        }
-        inferred
+        semi_naive(graph, &mut |view, delta| rdfs_delta(view, delta))
     }
 }
 
@@ -246,14 +429,17 @@ impl TriplePattern {
         self.instantiate(bindings)
     }
 
-    /// Matches this pattern against the graph under existing `bindings`,
-    /// returning the extended binding sets.
-    fn solve(&self, graph: &Graph, bindings: &HashMap<String, Term>) -> Vec<HashMap<String, Term>> {
+    /// Matches this pattern against any triple view under existing
+    /// `bindings`, returning the extended binding sets.
+    fn solve(
+        &self,
+        view: &dyn TripleView,
+        bindings: &HashMap<String, Term>,
+    ) -> Vec<HashMap<String, Term>> {
         let s = self.subject.bind(bindings);
         let p = self.predicate.bind(bindings);
         let o = self.object.bind(bindings);
-        graph
-            .match_pattern(s.as_ref(), p.as_ref(), o.as_ref())
+        view.find(s.as_ref(), p.as_ref(), o.as_ref())
             .into_iter()
             .filter_map(|st| {
                 let mut out = bindings.clone();
@@ -275,6 +461,34 @@ impl TriplePattern {
                 Some(out)
             })
             .collect()
+    }
+
+    /// Matches this pattern against a single ground statement from
+    /// scratch, returning the bindings it induces (used to seed semi-naive
+    /// rounds from a delta slice).
+    fn match_statement(&self, st: &Statement) -> Option<HashMap<String, Term>> {
+        let mut out = HashMap::new();
+        for (slot, term) in [
+            (&self.subject, &st.subject),
+            (&self.predicate, &st.predicate),
+            (&self.object, &st.object),
+        ] {
+            match slot {
+                PatternTerm::Term(t) => {
+                    if t != term {
+                        return None;
+                    }
+                }
+                PatternTerm::Var(v) => match out.get(v) {
+                    Some(prev) if prev != term => return None,
+                    Some(_) => {}
+                    None => {
+                        out.insert(v.clone(), term.clone());
+                    }
+                },
+            }
+        }
+        Some(out)
     }
 
     fn instantiate(&self, bindings: &HashMap<String, Term>) -> Option<Statement> {
@@ -474,40 +688,13 @@ impl GenericRuleReasoner {
 
     /// Forward chaining to fixpoint: returns only the newly inferred
     /// statements.
+    ///
+    /// Evaluated semi-naively: after the first round, each rule fires only
+    /// with at least one premise bound from the previous round's delta.
     pub fn infer(&self, graph: &Graph) -> Graph {
-        let mut working = graph.clone();
-        let mut inferred = Graph::new();
-        loop {
-            let mut added = 0usize;
-            for rule in &self.rules {
-                let mut bindings = vec![HashMap::new()];
-                for premise in &rule.premises {
-                    let mut next = Vec::new();
-                    for b in &bindings {
-                        next.extend(premise.solve(&working, b));
-                    }
-                    bindings = next;
-                    if bindings.is_empty() {
-                        break;
-                    }
-                }
-                for b in &bindings {
-                    for conclusion in &rule.conclusions {
-                        if let Some(st) = conclusion.instantiate(b) {
-                            if !working.contains(&st) {
-                                working.insert(st.clone());
-                                inferred.insert(st);
-                                added += 1;
-                            }
-                        }
-                    }
-                }
-            }
-            if added == 0 {
-                break;
-            }
-        }
-        inferred
+        semi_naive(graph, &mut |view, delta| {
+            rules_delta(&self.rules, view, delta)
+        })
     }
 
     /// Backward chaining: proves whether `goal` (a possibly-variable

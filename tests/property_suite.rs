@@ -328,6 +328,36 @@ proptest! {
 // Query-engine and reasoner invariants
 // ---------------------------------------------------------------------
 
+/// RDFS-flavored statements over a tiny vocabulary, so schema rules and
+/// instance facts actually join during inference.
+fn arb_rdfs_statement() -> impl Strategy<Value = Statement> {
+    fn class() -> impl Strategy<Value = Term> {
+        (0u8..4).prop_map(|i| Term::iri(format!("c{i}")))
+    }
+    fn prop() -> impl Strategy<Value = Term> {
+        (0u8..3).prop_map(|i| Term::iri(format!("p{i}")))
+    }
+    fn ind() -> impl Strategy<Value = Term> {
+        (0u8..4).prop_map(|i| Term::iri(format!("x{i}")))
+    }
+    prop_oneof![
+        (class(), class()).prop_map(|(a, b)| Statement::new(a, Term::iri("rdfs:subClassOf"), b)),
+        (prop(), prop()).prop_map(|(a, b)| Statement::new(a, Term::iri("rdfs:subPropertyOf"), b)),
+        (prop(), class()).prop_map(|(p, c)| Statement::new(p, Term::iri("rdfs:domain"), c)),
+        (prop(), class()).prop_map(|(p, c)| Statement::new(p, Term::iri("rdfs:range"), c)),
+        (ind(), class()).prop_map(|(i, c)| Statement::new(i, Term::iri("rdf:type"), c)),
+        (ind(), prop(), ind()).prop_map(|(s, p, o)| Statement::new(s, p, o)),
+    ]
+}
+
+/// Edges over a five-node universe under one transitive predicate.
+fn arb_edge_statement() -> impl Strategy<Value = Statement> {
+    fn node() -> impl Strategy<Value = Term> {
+        (0u8..5).prop_map(|i| Term::iri(format!("n{i}")))
+    }
+    (node(), node()).prop_map(|(s, o)| Statement::new(s, Term::iri("next"), o))
+}
+
 proptest! {
     #[test]
     fn sparql_single_pattern_matches_naive_scan(
@@ -371,6 +401,55 @@ proptest! {
             let mirror = Statement::new(st.object.clone(), st.predicate.clone(), st.subject.clone());
             prop_assert!(closed.contains(&mirror), "missing mirror of {st}");
         }
+    }
+
+    #[test]
+    fn incremental_rdfs_equals_from_scratch_under_churn(
+        ops in prop::collection::vec((arb_rdfs_statement(), any::<bool>()), 1..40),
+    ) {
+        use cogsdk::rdf::{IncrementalMaterializer, RdfsReasoner};
+        let mut m = IncrementalMaterializer::new();
+        m.enable_rdfs();
+        let mut stated = Graph::new();
+        for (st, insert) in &ops {
+            if *insert {
+                m.insert(st.clone());
+                stated.insert(st.clone());
+            } else {
+                m.remove(st);
+                stated.remove(st);
+            }
+        }
+        // The maintained closure must be indistinguishable from throwing
+        // everything away and re-running the reasoner from scratch.
+        let mut scratch = stated.clone();
+        scratch.extend_from(&RdfsReasoner::new().infer(&stated));
+        prop_assert_eq!(m.base(), &stated, "stated facts diverged");
+        prop_assert_eq!(m.full(), &scratch, "closure diverged from scratch fixpoint");
+    }
+
+    #[test]
+    fn incremental_transitive_equals_from_scratch_under_churn(
+        ops in prop::collection::vec((arb_edge_statement(), any::<bool>()), 1..40),
+    ) {
+        use cogsdk::rdf::{IncrementalMaterializer, TransitiveReasoner};
+        let next = Term::iri("next");
+        let mut m = IncrementalMaterializer::new();
+        m.add_transitive(vec![next.clone()]);
+        let mut stated = Graph::new();
+        for (st, insert) in &ops {
+            if *insert {
+                m.insert(st.clone());
+                stated.insert(st.clone());
+            } else {
+                m.remove(st);
+                stated.remove(st);
+            }
+        }
+        let mut scratch = stated.clone();
+        scratch.extend_from(&TransitiveReasoner::new(vec![next]).infer(&stated));
+        prop_assert_eq!(m.base(), &stated, "stated facts diverged");
+        prop_assert_eq!(m.full(), &scratch, "closure diverged from scratch fixpoint");
     }
 
     #[test]
