@@ -1,0 +1,385 @@
+//! Ablation: dictionary-encoded (interned) triple indexes vs the
+//! pre-interning string-keyed representation, on the E10 workload
+//! (subclass chain of depth 10 plus n typed instances — 110 / 1 010 /
+//! 5 010 stated facts).
+//!
+//! The baseline embedded here is the *pre-PR* `Graph`: SPO/POS/OSP
+//! `BTreeSet<(Term, Term, Term)>` indexes whose every insert clones nine
+//! strings and whose every join comparison walks string bytes. The
+//! library's `Graph`/`RdfsReasoner` now intern each distinct term once to
+//! a `u32` id and run the identical semi-naive delta algorithm over
+//! `(u32, u32, u32)` keys. Same algorithm, same rule set, same workload —
+//! the measured gap is purely the representation.
+//!
+//! Both arms are asserted to produce the same closure before timing.
+
+use cogsdk_rdf::{Graph, RdfsReasoner, Statement, Term};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Embedded baseline: the pre-interning string-keyed store and reasoner
+// ---------------------------------------------------------------------
+
+/// The pre-PR triple store: term-keyed B-tree indexes, cloned keys.
+#[derive(Debug, Clone, Default)]
+struct StringGraph {
+    spo: BTreeSet<(Term, Term, Term)>,
+    pos: BTreeSet<(Term, Term, Term)>,
+}
+
+fn min_term() -> Term {
+    // `Term::Iri("")` sorts before every other term.
+    Term::Iri(String::new())
+}
+
+impl StringGraph {
+    fn insert(&mut self, st: &Statement) -> bool {
+        let (s, p, o) = (st.subject.clone(), st.predicate.clone(), st.object.clone());
+        let added = self.spo.insert((s.clone(), p.clone(), o.clone()));
+        if added {
+            self.pos.insert((p, o, s));
+        }
+        added
+    }
+
+    fn contains(&self, st: &Statement) -> bool {
+        self.spo
+            .contains(&(st.subject.clone(), st.predicate.clone(), st.object.clone()))
+    }
+
+    fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// The three pattern shapes the RDFS delta rules use, exactly as the
+    /// pre-PR `match_pattern` served them: range scans over cloned keys.
+    fn find(&self, s: Option<&Term>, p: &Term, o: Option<&Term>) -> Vec<Statement> {
+        match (s, o) {
+            (Some(s), None) => self
+                .spo
+                .range((s.clone(), p.clone(), min_term())..)
+                .take_while(|t| &t.0 == s && &t.1 == p)
+                .map(|(ts, tp, to)| Statement::new(ts.clone(), tp.clone(), to.clone()))
+                .collect(),
+            (None, Some(o)) => self
+                .pos
+                .range((p.clone(), o.clone(), min_term())..)
+                .take_while(|t| &t.0 == p && &t.1 == o)
+                .map(|(tp, to, ts)| Statement::new(ts.clone(), tp.clone(), to.clone()))
+                .collect(),
+            (None, None) => self
+                .pos
+                .range((p.clone(), min_term(), min_term())..)
+                .take_while(|t| &t.0 == p)
+                .map(|(tp, to, ts)| Statement::new(ts.clone(), tp.clone(), to.clone()))
+                .collect(),
+            (Some(_), Some(_)) => unreachable!("not used by the RDFS rules"),
+        }
+    }
+}
+
+/// Base + derived overlay, as the pre-PR `Overlay` view.
+struct StringOverlay<'a> {
+    base: &'a StringGraph,
+    extra: &'a StringGraph,
+}
+
+impl StringOverlay<'_> {
+    fn find(&self, s: Option<&Term>, p: &Term, o: Option<&Term>) -> Vec<Statement> {
+        let mut out = self.base.find(s, p, o);
+        out.extend(self.extra.find(s, p, o));
+        out
+    }
+}
+
+/// The pre-PR Term-level RDFS delta (rdfs2/3/5/7/9/11), verbatim in
+/// structure: every join allocates statements and clones terms.
+fn string_rdfs_delta(view: &StringOverlay<'_>, delta: &[Statement]) -> Vec<Statement> {
+    let type_p = Term::iri("rdf:type");
+    let sub_class = Term::iri("rdfs:subClassOf");
+    let sub_prop = Term::iri("rdfs:subPropertyOf");
+    let domain = Term::iri("rdfs:domain");
+    let range = Term::iri("rdfs:range");
+    let mut out = Vec::new();
+    for st in delta {
+        // Transitive lattices (rdfs5/11).
+        if (st.predicate == sub_class || st.predicate == sub_prop) && st.object.is_resource() {
+            for next in view.find(Some(&st.object), &st.predicate, None) {
+                if next.object.is_resource() && next.object != st.subject {
+                    out.push(Statement::new(
+                        st.subject.clone(),
+                        st.predicate.clone(),
+                        next.object,
+                    ));
+                }
+            }
+            for prev in view.find(None, &st.predicate, Some(&st.subject)) {
+                if prev.subject != st.object {
+                    out.push(Statement::new(
+                        prev.subject,
+                        st.predicate.clone(),
+                        st.object.clone(),
+                    ));
+                }
+            }
+        }
+        // Declaration side.
+        if st.predicate == sub_class {
+            for inst in view.find(None, &type_p, Some(&st.subject)) {
+                out.push(Statement::new(
+                    inst.subject,
+                    type_p.clone(),
+                    st.object.clone(),
+                ));
+            }
+        } else if st.predicate == sub_prop {
+            if matches!(st.object, Term::Iri(_)) {
+                for use_site in view.find(None, &st.subject, None) {
+                    out.push(Statement::new(
+                        use_site.subject,
+                        st.object.clone(),
+                        use_site.object,
+                    ));
+                }
+            }
+        } else if st.predicate == domain {
+            for use_site in view.find(None, &st.subject, None) {
+                out.push(Statement::new(
+                    use_site.subject,
+                    type_p.clone(),
+                    st.object.clone(),
+                ));
+            }
+        } else if st.predicate == range {
+            for use_site in view.find(None, &st.subject, None) {
+                if use_site.object.is_resource() {
+                    out.push(Statement::new(
+                        use_site.object,
+                        type_p.clone(),
+                        st.object.clone(),
+                    ));
+                }
+            }
+        }
+        // Use side.
+        if st.predicate == type_p && st.object.is_resource() {
+            for sc in view.find(Some(&st.object), &sub_class, None) {
+                out.push(Statement::new(
+                    st.subject.clone(),
+                    type_p.clone(),
+                    sc.object,
+                ));
+            }
+        }
+        for dom in view.find(Some(&st.predicate), &domain, None) {
+            out.push(Statement::new(
+                st.subject.clone(),
+                type_p.clone(),
+                dom.object,
+            ));
+        }
+        if st.object.is_resource() {
+            for ran in view.find(Some(&st.predicate), &range, None) {
+                out.push(Statement::new(
+                    st.object.clone(),
+                    type_p.clone(),
+                    ran.object,
+                ));
+            }
+        }
+        for sp in view.find(Some(&st.predicate), &sub_prop, None) {
+            if matches!(sp.object, Term::Iri(_)) {
+                out.push(Statement::new(
+                    st.subject.clone(),
+                    sp.object,
+                    st.object.clone(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The pre-PR semi-naive fixpoint over the string-keyed store.
+fn string_semi_naive(base: &StringGraph) -> StringGraph {
+    let mut derived = StringGraph::default();
+    let mut delta: Vec<Statement> = base
+        .spo
+        .iter()
+        .map(|(s, p, o)| Statement::new(s.clone(), p.clone(), o.clone()))
+        .collect();
+    while !delta.is_empty() {
+        let candidates = {
+            let view = StringOverlay {
+                base,
+                extra: &derived,
+            };
+            string_rdfs_delta(&view, &delta)
+        };
+        let mut fresh = Vec::new();
+        for st in candidates {
+            if !base.contains(&st) && !derived.contains(&st) {
+                derived.insert(&st);
+                fresh.push(st);
+            }
+        }
+        delta = fresh;
+    }
+    derived
+}
+
+// ---------------------------------------------------------------------
+// Workload
+// ---------------------------------------------------------------------
+
+/// The E10 workload statements: subclass chain of depth 10, n instances.
+fn chain_statements(n: usize) -> Vec<Statement> {
+    let mut out = Vec::new();
+    for d in 0..10 {
+        out.push(Statement::new(
+            Term::iri(format!("c{d}")),
+            Term::iri("rdfs:subClassOf"),
+            Term::iri(format!("c{}", d + 1)),
+        ));
+    }
+    for i in 0..n {
+        out.push(Statement::new(
+            Term::iri(format!("inst{i}")),
+            Term::iri("rdf:type"),
+            Term::iri(format!("c{}", i % 10)),
+        ));
+    }
+    out
+}
+
+fn report_series() {
+    let id_triple = 3 * std::mem::size_of::<u32>();
+    let term_triple = 3 * std::mem::size_of::<Term>();
+    println!(
+        "[ablation_term_intern] index key size: interned {id_triple} B/triple \
+         vs string-keyed {term_triple} B/triple inline (+ heap for every string)"
+    );
+    for n in [100usize, 1_000, 5_000] {
+        let statements = chain_statements(n);
+
+        // Baseline: pre-PR string-keyed store + semi-naive RDFS.
+        let t = Instant::now();
+        let mut sg = StringGraph::default();
+        for st in &statements {
+            sg.insert(st);
+        }
+        let string_build = t.elapsed();
+        let t = Instant::now();
+        let string_derived = string_semi_naive(&sg);
+        let string_reason = t.elapsed();
+
+        // Interned: the library path.
+        let t = Instant::now();
+        let mut g = Graph::new();
+        for st in &statements {
+            g.insert(st.clone());
+        }
+        let interned_build = t.elapsed();
+        let t = Instant::now();
+        let interned_derived = RdfsReasoner::new().infer(&g);
+        let interned_reason = t.elapsed();
+
+        // Equivalence: same closure from both representations.
+        assert_eq!(string_derived.len(), interned_derived.len());
+        for st in interned_derived.iter() {
+            assert!(string_derived.contains(&st), "baseline missing {st}");
+        }
+
+        let dict_terms = g.dict().len();
+        let speedup = string_reason.as_secs_f64() / interned_reason.as_secs_f64().max(1e-9);
+        println!(
+            "[ablation_term_intern] {} stated ({dict_terms} distinct terms): \
+             build string={string_build:?} interned={interned_build:?}; \
+             rdfs closure ({} inferred) string={string_reason:?} \
+             interned={interned_reason:?} (speedup {speedup:.1}x)",
+            sg.len(),
+            interned_derived.len(),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report_series();
+
+    let statements = chain_statements(5_000);
+    let mut sg = StringGraph::default();
+    let mut g = Graph::new();
+    for st in &statements {
+        sg.insert(st);
+        g.insert(st.clone());
+    }
+
+    c.bench_function("rdfs_semi_naive_string_keyed_5010", |b| {
+        b.iter(|| string_semi_naive(std::hint::black_box(&sg)))
+    });
+
+    c.bench_function("rdfs_semi_naive_interned_5010", |b| {
+        b.iter(|| RdfsReasoner::new().infer(std::hint::black_box(&g)))
+    });
+
+    // Build cost: inserting 5 010 statements from scratch. The interned
+    // arm pays interning on first sight of each distinct term, then pure
+    // integer B-tree inserts; the string arm clones nine strings per
+    // statement.
+    c.bench_function("graph_build_string_keyed_5010", |b| {
+        b.iter(|| {
+            let mut sg = StringGraph::default();
+            for st in &statements {
+                sg.insert(std::hint::black_box(st));
+            }
+            sg.len()
+        })
+    });
+
+    c.bench_function("graph_build_interned_5010", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            for st in &statements {
+                g.insert(std::hint::black_box(st.clone()));
+            }
+            g.len()
+        })
+    });
+
+    // Bulk merge into a graph sharing the same dictionary: the id-level
+    // fast path copies `(u32, u32, u32)` keys without re-interning.
+    c.bench_function("extend_from_shared_dict_5010", |b| {
+        b.iter(|| {
+            let mut dst = Graph::with_dict(g.dict().clone());
+            dst.extend_from(std::hint::black_box(&g))
+        })
+    });
+
+    // Point lookups under a fully-bound pattern (the satellite-6 path:
+    // no per-call key allocation).
+    let probe_s = Term::iri("inst4999");
+    let probe_p = Term::iri("rdf:type");
+    let probe_o = Term::iri("c9");
+    c.bench_function("match_fully_bound_interned_5010", |b| {
+        b.iter(|| {
+            g.match_pattern(
+                Some(std::hint::black_box(&probe_s)),
+                Some(&probe_p),
+                Some(&probe_o),
+            )
+            .len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -8,7 +8,9 @@ use cogsdk_obs::Telemetry;
 use cogsdk_rdf::query::Solution;
 use cogsdk_rdf::reason::TriplePattern;
 use cogsdk_rdf::weighted::{WeightedGraph, WeightedReasoner};
-use cogsdk_rdf::{GenericRuleReasoner, Graph, IncrementalMaterializer, Query, Statement, Term};
+use cogsdk_rdf::{
+    GenericRuleReasoner, Graph, IncrementalMaterializer, Query, Statement, Term, TermId,
+};
 use cogsdk_store::crypto::Key;
 use cogsdk_store::csv::{csv_to_table, table_to_csv};
 use cogsdk_store::enhanced::{EnhancedClient, EnhancedOptions};
@@ -482,6 +484,84 @@ impl PersonalKnowledgeBase {
         Ok(local)
     }
 
+    /// Runs a SPARQL query against the local graph *and several* remote
+    /// knowledge sources at once, fanning the remote legs out over the
+    /// SDK thread pool so total latency tracks the *slowest* source, not
+    /// the sum. Each leg runs under the same retry/monitoring governance
+    /// as [`query_federated`](Self::query_federated); solutions merge
+    /// local-first with duplicates dropped.
+    ///
+    /// # Errors
+    ///
+    /// Local parse errors, or the first remote failure (every leg still
+    /// runs to completion before this returns).
+    pub fn query_federated_many(
+        &self,
+        pool: &cogsdk_core::ThreadPool,
+        services: &[Arc<cogsdk_sim::SimService>],
+        monitor: &Arc<cogsdk_core::ServiceMonitor>,
+        sparql: &str,
+    ) -> Result<Vec<Solution>, KbError> {
+        self.query_federated_many_within(
+            pool,
+            services,
+            monitor,
+            sparql,
+            cogsdk_core::Deadline::NONE,
+        )
+    }
+
+    /// As [`query_federated_many`](Self::query_federated_many), with every
+    /// remote leg bounded by one shared end-to-end deadline. Because the
+    /// legs run concurrently, the deadline buys the slowest source's
+    /// latency, not the sum of all sources'.
+    ///
+    /// # Errors
+    ///
+    /// As for [`query_federated_many`](Self::query_federated_many);
+    /// deadline exhaustion surfaces as [`KbError::Store`].
+    pub fn query_federated_many_within(
+        &self,
+        pool: &cogsdk_core::ThreadPool,
+        services: &[Arc<cogsdk_sim::SimService>],
+        monitor: &Arc<cogsdk_core::ServiceMonitor>,
+        sparql: &str,
+        deadline: cogsdk_core::Deadline,
+    ) -> Result<Vec<Solution>, KbError> {
+        let mut local = self.query(sparql)?;
+        // Launch every remote leg before waiting on any of them.
+        let legs: Vec<_> = services
+            .iter()
+            .map(|service| {
+                let service = service.clone();
+                let monitor = monitor.clone();
+                let sparql = sparql.to_string();
+                pool.submit(move || {
+                    crate::federation::query_remote_within(&service, &monitor, &sparql, deadline)
+                })
+            })
+            .collect();
+        let mut first_err = None;
+        for leg in legs {
+            match leg.wait().as_ref() {
+                Ok(remote) => {
+                    for solution in remote {
+                        if !local.contains(solution) {
+                            local.push(solution.clone());
+                        }
+                    }
+                }
+                Err(e) => {
+                    first_err.get_or_insert_with(|| e.clone());
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(local),
+        }
+    }
+
     /// Imports every fact a remote source has about `entity_id`, tagging
     /// each with `source_confidence` (§5: sources "may not be completely
     /// accurate"). Returns how many statements were added.
@@ -629,22 +709,34 @@ impl PersonalKnowledgeBase {
     pub fn conflicts(&self) -> Vec<Conflict> {
         let graph = self.graph.read();
         let confidence = self.confidence.read();
-        let mut by_sp: std::collections::BTreeMap<(Term, Term), Vec<ConflictCandidate>> =
+        let full = graph.full();
+        // Group on dictionary ids; only the conflicting minority of
+        // statements is ever materialized back into terms.
+        let mut by_sp: std::collections::BTreeMap<(TermId, TermId), Vec<TermId>> =
             std::collections::BTreeMap::new();
-        for st in graph.full().iter() {
-            let c = confidence.get(&st).copied().unwrap_or(1.0);
-            by_sp
-                .entry((st.subject.clone(), st.predicate.clone()))
-                .or_default()
-                .push((st.object, c));
+        for (s, p, o) in full.iter_ids() {
+            by_sp.entry((s, p)).or_default().push(o);
         }
+        let dict = full.dict();
         let mut out: Vec<Conflict> = by_sp
             .into_iter()
             .filter(|(_, objects)| objects.len() > 1)
+            .map(|((s, p), objects)| {
+                let subject = dict.resolve(s);
+                let predicate = dict.resolve(p);
+                let mut candidates: Vec<ConflictCandidate> = objects
+                    .into_iter()
+                    .map(|o| {
+                        let object = dict.resolve(o);
+                        let st = Statement::new(subject.clone(), predicate.clone(), object.clone());
+                        (object, confidence.get(&st).copied().unwrap_or(1.0))
+                    })
+                    .collect();
+                candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                ((subject, predicate), candidates)
+            })
             .collect();
-        for (_, objects) in &mut out {
-            objects.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
 
@@ -1163,6 +1255,92 @@ mod tests {
         assert!(whos.contains(&&Term::iri("kb:google")), "{whos:?}");
         // Bad goals surface as errors.
         assert!(kb.prove(rules, "(?a ?b)", 4).is_err());
+    }
+
+    #[test]
+    fn federated_fan_out_runs_sources_concurrently() {
+        use cogsdk_json::{json, Json};
+        use cogsdk_sim::latency::LatencyModel;
+        use cogsdk_sim::service::SimService;
+
+        // Four sources, each really sleeping 40 ms: sequential federation
+        // would cost ~160 ms, concurrent ~40 ms.
+        let env = cogsdk_sim::SimEnv::with_seed_scaled(7, 1.0);
+        let services: Vec<Arc<SimService>> = (0..4)
+            .map(|i| {
+                SimService::builder(format!("kb-source-{i}"), "knowledge")
+                    .latency(LatencyModel::constant_ms(40.0))
+                    .handler(
+                        move |req| match req.payload.get("op").and_then(Json::as_str) {
+                            Some("sparql") => Ok(json!({
+                                "bindings": [
+                                    {"c": {"type": "iri", "value": (format!("db:entity_{i}"))}},
+                                ],
+                            })),
+                            _ => Err("unknown op".into()),
+                        },
+                    )
+                    .build(&env)
+            })
+            .collect();
+        let kb = kb();
+        let pool = cogsdk_core::ThreadPool::new(4);
+        let monitor = Arc::new(cogsdk_core::ServiceMonitor::new());
+        let started = std::time::Instant::now();
+        let rows = kb
+            .query_federated_many(
+                &pool,
+                &services,
+                &monitor,
+                "SELECT ?c WHERE { ?c <rdf:type> <kb:Entity> . }",
+            )
+            .unwrap();
+        let elapsed = started.elapsed();
+        assert_eq!(rows.len(), 4, "one distinct binding per source");
+        for i in 0..4 {
+            assert!(rows
+                .iter()
+                .any(|r| r["c"] == Term::iri(format!("db:entity_{i}"))));
+        }
+        // ~max, not ~sum: well under the 160 ms sequential cost even
+        // with generous scheduler slack.
+        assert!(
+            elapsed < std::time::Duration::from_millis(120),
+            "fan-out took {elapsed:?}, expected ~40 ms"
+        );
+        // Every leg was monitored individually.
+        for i in 0..4 {
+            assert!(monitor.history(&format!("kb-source-{i}")).is_some());
+        }
+    }
+
+    #[test]
+    fn federated_fan_out_surfaces_remote_failure() {
+        use cogsdk_json::json;
+        use cogsdk_sim::service::SimService;
+
+        let env = cogsdk_sim::SimEnv::with_seed(8);
+        let good = SimService::builder("kb-good", "knowledge")
+            .handler(|_| Ok(json!({"bindings": []})))
+            .build(&env);
+        let bad = SimService::builder("kb-bad", "knowledge")
+            .handler(|_| Err("boom".into()))
+            .build(&env);
+        let kb = kb();
+        let pool = cogsdk_core::ThreadPool::new(2);
+        let monitor = Arc::new(cogsdk_core::ServiceMonitor::new());
+        let err = kb
+            .query_federated_many(
+                &pool,
+                &[good, bad],
+                &monitor,
+                "SELECT ?c WHERE { ?c <rdf:type> <kb:Entity> . }",
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, KbError::Rdf(_) | KbError::Store(_)),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Dictionary encoding of RDF terms.
+//!
+//! Triple stores that operate on strings pay for it on every comparison;
+//! the standard fix (RDF-3X, Jena TDB) is a term dictionary that interns
+//! each distinct [`Term`] once and gives it a small integer id. Graph
+//! indexes then hold `(u32, u32, u32)` tuples — `Copy`, 12 bytes, O(1)
+//! compares — and the reasoner joins never touch a string until results
+//! are materialized at the API boundary.
+//!
+//! The id encodes the term *kind* in its two low bits, so the structural
+//! checks the reasoners run in their hot loops (`is_resource`,
+//! `is_iri`) are pure bit tests with no dictionary access at all.
+
+use crate::model::{Statement, Term};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// A dictionary-encoded term id.
+///
+/// The low two bits tag the term kind (IRI / blank / literal); the high
+/// 30 bits are the interning sequence number. Ids are only meaningful
+/// relative to the [`TermDict`] that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct TermId(u32);
+
+const KIND_IRI: u32 = 0;
+const KIND_BLANK: u32 = 1;
+const KIND_LITERAL: u32 = 2;
+
+impl TermId {
+    /// The smallest possible id (used as a range-scan lower bound).
+    pub const MIN: TermId = TermId(0);
+    /// The largest possible id (used as a range-scan upper bound).
+    pub const MAX: TermId = TermId(u32::MAX);
+
+    fn new(seq: usize, kind: u32) -> TermId {
+        assert!(seq < (1 << 30), "term dictionary overflow (2^30 terms)");
+        TermId((seq as u32) << 2 | kind)
+    }
+
+    fn seq(self) -> usize {
+        (self.0 >> 2) as usize
+    }
+
+    /// Whether the term is an IRI.
+    pub fn is_iri(self) -> bool {
+        self.0 & 0b11 == KIND_IRI
+    }
+
+    /// Whether the term is a blank node.
+    pub fn is_blank(self) -> bool {
+        self.0 & 0b11 == KIND_BLANK
+    }
+
+    /// Whether the term is a literal.
+    pub fn is_literal(self) -> bool {
+        self.0 & 0b11 == KIND_LITERAL
+    }
+
+    /// Whether the term may appear in subject position (IRI or blank).
+    pub fn is_resource(self) -> bool {
+        !self.is_literal()
+    }
+}
+
+fn kind_of(term: &Term) -> u32 {
+    match term {
+        Term::Iri(_) => KIND_IRI,
+        Term::Blank(_) => KIND_BLANK,
+        Term::Literal(_) => KIND_LITERAL,
+    }
+}
+
+/// A dictionary-encoded triple in `(subject, predicate, object)` order.
+pub type IdTriple = (TermId, TermId, TermId);
+
+#[derive(Debug, Default)]
+struct DictInner {
+    /// Reverse map: sequence number → term.
+    terms: Vec<Term>,
+    /// Forward map: term → id.
+    ids: HashMap<Term, TermId>,
+}
+
+/// An append-only, thread-safe term dictionary.
+///
+/// Cloning is cheap (an `Arc` bump) and clones *share* the dictionary:
+/// graphs derived from one another (a base and its inferred closure, the
+/// materializer's three views) intern through the same table, so their id
+/// spaces agree and joins across them are pure integer work. Ids are
+/// never reused or invalidated — the dictionary only grows.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_rdf::{TermDict, Term};
+///
+/// let dict = TermDict::new();
+/// let a = dict.intern(&Term::iri("ex:a"));
+/// assert_eq!(dict.intern(&Term::iri("ex:a")), a, "interned once");
+/// assert_eq!(dict.resolve(a), Term::iri("ex:a"));
+/// assert!(a.is_iri() && a.is_resource());
+/// assert!(dict.intern(&Term::integer(7)).is_literal());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TermDict {
+    inner: Arc<RwLock<DictInner>>,
+}
+
+impl TermDict {
+    /// Creates an empty dictionary.
+    pub fn new() -> TermDict {
+        TermDict::default()
+    }
+
+    /// Whether `self` and `other` are the same dictionary (share storage).
+    pub fn ptr_eq(&self, other: &TermDict) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("dict lock").terms.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Interns a term, returning its id (existing or freshly assigned).
+    pub fn intern(&self, term: &Term) -> TermId {
+        if let Some(&id) = self.inner.read().expect("dict lock").ids.get(term) {
+            return id;
+        }
+        let mut inner = self.inner.write().expect("dict lock");
+        if let Some(&id) = inner.ids.get(term) {
+            return id;
+        }
+        let id = TermId::new(inner.terms.len(), kind_of(term));
+        inner.terms.push(term.clone());
+        inner.ids.insert(term.clone(), id);
+        id
+    }
+
+    /// Interns all three components of a statement.
+    pub fn intern_statement(&self, st: &Statement) -> IdTriple {
+        (
+            self.intern(&st.subject),
+            self.intern(&st.predicate),
+            self.intern(&st.object),
+        )
+    }
+
+    /// The id of an already-interned term, if any. Unlike
+    /// [`intern`](Self::intern) this never grows the dictionary, so it is
+    /// the right call for read-only constants (query terms, removal keys):
+    /// an absent term simply cannot match anything.
+    pub fn lookup(&self, term: &Term) -> Option<TermId> {
+        self.inner.read().expect("dict lock").ids.get(term).copied()
+    }
+
+    /// Looks up all three components of a statement; `None` if any is
+    /// unknown (the statement cannot be present in any graph over this
+    /// dictionary).
+    pub fn lookup_statement(&self, st: &Statement) -> Option<IdTriple> {
+        let inner = self.inner.read().expect("dict lock");
+        Some((
+            *inner.ids.get(&st.subject)?,
+            *inner.ids.get(&st.predicate)?,
+            *inner.ids.get(&st.object)?,
+        ))
+    }
+
+    /// The term behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this dictionary.
+    pub fn resolve(&self, id: TermId) -> Term {
+        self.inner.read().expect("dict lock").terms[id.seq()].clone()
+    }
+
+    /// Materializes a triple back into a [`Statement`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`resolve`](Self::resolve).
+    pub fn resolve_triple(&self, (s, p, o): IdTriple) -> Statement {
+        let inner = self.inner.read().expect("dict lock");
+        Statement {
+            subject: inner.terms[s.seq()].clone(),
+            predicate: inner.terms[p.seq()].clone(),
+            object: inner.terms[o.seq()].clone(),
+        }
+    }
+
+    /// Materializes many triples under a single lock acquisition.
+    pub fn resolve_all(&self, triples: &[IdTriple]) -> Vec<Statement> {
+        let inner = self.inner.read().expect("dict lock");
+        triples
+            .iter()
+            .map(|&(s, p, o)| Statement {
+                subject: inner.terms[s.seq()].clone(),
+                predicate: inner.terms[p.seq()].clone(),
+                object: inner.terms[o.seq()].clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_resolve_round_trips() {
+        let dict = TermDict::new();
+        let terms = [
+            Term::iri("ex:a"),
+            Term::blank("b0"),
+            Term::string("hello"),
+            Term::integer(-3),
+            Term::double(2.5),
+            Term::boolean(false),
+        ];
+        let ids: Vec<TermId> = terms.iter().map(|t| dict.intern(t)).collect();
+        for (term, &id) in terms.iter().zip(&ids) {
+            assert_eq!(dict.intern(term), id);
+            assert_eq!(dict.lookup(term), Some(id));
+            assert_eq!(dict.resolve(id), *term);
+        }
+        assert_eq!(dict.len(), terms.len());
+    }
+
+    #[test]
+    fn kind_bits_classify_without_dictionary_access() {
+        let dict = TermDict::new();
+        assert!(dict.intern(&Term::iri("p")).is_iri());
+        assert!(dict.intern(&Term::blank("b")).is_blank());
+        assert!(dict.intern(&Term::blank("b")).is_resource());
+        assert!(dict.intern(&Term::string("s")).is_literal());
+        assert!(!dict.intern(&Term::string("s")).is_resource());
+        assert!(!dict.intern(&Term::integer(1)).is_iri());
+    }
+
+    #[test]
+    fn lookup_never_grows_the_dictionary() {
+        let dict = TermDict::new();
+        assert_eq!(dict.lookup(&Term::iri("missing")), None);
+        assert!(dict.is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let dict = TermDict::new();
+        let dict2 = dict.clone();
+        let id = dict.intern(&Term::iri("ex:shared"));
+        assert!(dict.ptr_eq(&dict2));
+        assert_eq!(dict2.lookup(&Term::iri("ex:shared")), Some(id));
+        let fresh = TermDict::new();
+        assert!(!dict.ptr_eq(&fresh));
+    }
+
+    #[test]
+    fn distinct_literals_stay_distinct() {
+        let dict = TermDict::new();
+        let d = dict.intern(&Term::double(1.0));
+        let i = dict.intern(&Term::integer(1));
+        assert_ne!(d, i, "double 1.0 and integer 1 are distinct terms");
+    }
+}

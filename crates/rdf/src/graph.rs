@@ -1,9 +1,17 @@
 //! The indexed triple store.
 
+use crate::dict::{IdTriple, TermDict, TermId};
 use crate::model::{Statement, Term};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// An in-memory RDF graph with SPO, POS and OSP indexes.
+///
+/// Terms are dictionary-encoded (see [`TermDict`]): each index holds
+/// `(u32, u32, u32)` id tuples, so inserts intern each distinct term once
+/// and every comparison — pattern scans, reasoner joins, containment —
+/// is integer work. The [`Statement`]-level API is unchanged; the
+/// `*_id`/`*_ids` variants expose the encoded representation so hot
+/// callers can skip materializing statements altogether.
 ///
 /// Pattern matching picks the index that turns the bound prefix of the
 /// pattern into a range scan, so `match_pattern` is efficient whichever
@@ -20,29 +28,78 @@ use std::collections::BTreeSet;
 /// assert_eq!(g.match_pattern(None, Some(&Term::iri("ex:p")), None).len(), 2);
 /// assert_eq!(g.match_pattern(Some(&Term::iri("ex:a")), None, None).len(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Graph {
-    spo: BTreeSet<(Term, Term, Term)>,
-    pos: BTreeSet<(Term, Term, Term)>,
-    osp: BTreeSet<(Term, Term, Term)>,
+    dict: TermDict,
+    /// Entries in `(s, p, o)` order.
+    spo: BTreeSet<IdTriple>,
+    /// Entries in `(p, o, s)` order.
+    pos: BTreeSet<IdTriple>,
+    /// Entries in `(o, s, p)` order.
+    osp: BTreeSet<IdTriple>,
 }
 
 impl Graph {
-    /// Creates an empty graph.
+    /// Creates an empty graph with its own fresh dictionary.
     pub fn new() -> Graph {
         Graph::default()
     }
 
+    /// Creates an empty graph sharing an existing dictionary. Graphs over
+    /// one dictionary agree on term ids, so merges and overlay joins
+    /// between them never re-intern (see [`extend_from`](Self::extend_from)
+    /// and [`Overlay`]).
+    pub fn with_dict(dict: TermDict) -> Graph {
+        Graph {
+            dict,
+            spo: BTreeSet::new(),
+            pos: BTreeSet::new(),
+            osp: BTreeSet::new(),
+        }
+    }
+
+    /// The graph's term dictionary.
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
+    /// Interns a statement's terms into this graph's dictionary without
+    /// inserting it.
+    pub fn intern_statement(&self, st: &Statement) -> IdTriple {
+        self.dict.intern_statement(st)
+    }
+
+    /// Looks up a statement's id triple, if every component is interned.
+    pub fn lookup_statement(&self, st: &Statement) -> Option<IdTriple> {
+        self.dict.lookup_statement(st)
+    }
+
+    /// Materializes an id triple back into a [`Statement`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids were not issued by this graph's dictionary.
+    pub fn resolve(&self, triple: IdTriple) -> Statement {
+        self.dict.resolve_triple(triple)
+    }
+
     /// Inserts a statement; returns `false` if it was already present.
     pub fn insert(&mut self, st: Statement) -> bool {
-        let Statement {
-            subject: s,
-            predicate: p,
-            object: o,
-        } = st;
-        let added = self.spo.insert((s.clone(), p.clone(), o.clone()));
+        let triple = self.dict.intern_statement(&st);
+        self.insert_id(triple)
+    }
+
+    /// Inserts an already-encoded triple; returns `false` if present.
+    ///
+    /// The ids must come from this graph's dictionary and form a valid
+    /// statement (resource subject, IRI predicate) — guaranteed for any
+    /// triple observed through this graph or one sharing its dictionary.
+    pub fn insert_id(&mut self, (s, p, o): IdTriple) -> bool {
+        debug_assert!(s.is_resource(), "statement subject must be a resource");
+        debug_assert!(p.is_iri(), "statement predicate must be an IRI");
+        let added = self.spo.insert((s, p, o));
         if added {
-            self.pos.insert((p.clone(), o.clone(), s.clone()));
+            self.pos.insert((p, o, s));
             self.osp.insert((o, s, p));
         }
         added
@@ -50,11 +107,17 @@ impl Graph {
 
     /// Removes a statement; returns whether it was present.
     pub fn remove(&mut self, st: &Statement) -> bool {
-        let key = (st.subject.clone(), st.predicate.clone(), st.object.clone());
-        let removed = self.spo.remove(&key);
+        match self.dict.lookup_statement(st) {
+            Some(triple) => self.remove_id(triple),
+            None => false,
+        }
+    }
+
+    /// Removes an already-encoded triple; returns whether it was present.
+    pub fn remove_id(&mut self, (s, p, o): IdTriple) -> bool {
+        let removed = self.spo.remove(&(s, p, o));
         if removed {
-            let (s, p, o) = key;
-            self.pos.remove(&(p.clone(), o.clone(), s.clone()));
+            self.pos.remove(&(p, o, s));
             self.osp.remove(&(o, s, p));
         }
         removed
@@ -62,8 +125,14 @@ impl Graph {
 
     /// Whether the graph contains the statement.
     pub fn contains(&self, st: &Statement) -> bool {
-        self.spo
-            .contains(&(st.subject.clone(), st.predicate.clone(), st.object.clone()))
+        self.dict
+            .lookup_statement(st)
+            .is_some_and(|t| self.spo.contains(&t))
+    }
+
+    /// Whether the graph contains the encoded triple.
+    pub fn contains_id(&self, triple: IdTriple) -> bool {
+        self.spo.contains(&triple)
     }
 
     /// Number of statements.
@@ -76,22 +145,43 @@ impl Graph {
         self.spo.is_empty()
     }
 
-    /// Iterates over all statements in SPO order.
+    /// Iterates over all statements.
     pub fn iter(&self) -> impl Iterator<Item = Statement> + '_ {
-        self.spo.iter().map(|(s, p, o)| Statement {
-            subject: s.clone(),
-            predicate: p.clone(),
-            object: o.clone(),
-        })
+        self.spo.iter().map(move |&t| self.dict.resolve_triple(t))
+    }
+
+    /// Iterates over all encoded triples in `(s, p, o)` order — the
+    /// zero-materialization path for reasoner seeds and bulk scans.
+    pub fn iter_ids(&self) -> impl Iterator<Item = IdTriple> + '_ {
+        self.spo.iter().copied()
     }
 
     /// Merges all statements of `other` into `self`; returns how many were
     /// new.
+    ///
+    /// When both graphs share a dictionary (the reasoner and materializer
+    /// arrangement) this is a bulk id-level merge: no term is looked at,
+    /// let alone re-interned. Otherwise each *distinct* term of `other` is
+    /// re-interned exactly once through a translation table.
     pub fn extend_from(&mut self, other: &Graph) -> usize {
         let mut added = 0;
-        for st in other.iter() {
-            if self.insert(st) {
-                added += 1;
+        if self.dict.ptr_eq(&other.dict) {
+            for &triple in &other.spo {
+                if self.insert_id(triple) {
+                    added += 1;
+                }
+            }
+        } else {
+            let mut translate: HashMap<TermId, TermId> = HashMap::new();
+            for &(s, p, o) in &other.spo {
+                let triple = (
+                    remap(&mut translate, &self.dict, &other.dict, s),
+                    remap(&mut translate, &self.dict, &other.dict, p),
+                    remap(&mut translate, &self.dict, &other.dict, o),
+                );
+                if self.insert_id(triple) {
+                    added += 1;
+                }
             }
         }
         added
@@ -105,74 +195,127 @@ impl Graph {
         predicate: Option<&Term>,
         object: Option<&Term>,
     ) -> Vec<Statement> {
-        // Choose the index whose bound prefix is longest.
+        let Some(pattern) = self.encode_pattern(subject, predicate, object) else {
+            // A bound term that was never interned cannot match anything.
+            return Vec::new();
+        };
+        let (s, p, o) = pattern;
+        self.dict.resolve_all(&self.match_ids(s, p, o))
+    }
+
+    /// Encodes a term-level pattern; `None` (outer) if a bound term is not
+    /// in the dictionary, meaning the pattern cannot match.
+    #[allow(clippy::type_complexity)]
+    fn encode_pattern(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Term>,
+        object: Option<&Term>,
+    ) -> Option<(Option<TermId>, Option<TermId>, Option<TermId>)> {
+        let encode = |slot: Option<&Term>| match slot {
+            Some(term) => self.dict.lookup(term).map(Some),
+            None => Some(None),
+        };
+        Some((encode(subject)?, encode(predicate)?, encode(object)?))
+    }
+
+    /// Finds encoded triples matching a pattern; `None` positions are
+    /// wildcards. Results are in `(s, p, o)` order of the chosen index.
+    ///
+    /// Every arm is a borrowed `Copy`-key lookup or range scan — the
+    /// fully-bound arm is a plain `contains` on the SPO index and the
+    /// `(S, _, O)` arm range-scans OSP, neither allocating a key.
+    pub fn match_ids(
+        &self,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+    ) -> Vec<IdTriple> {
+        let full = (TermId::MIN, TermId::MAX);
         match (subject, predicate, object) {
             (Some(s), Some(p), Some(o)) => {
-                let key = (s.clone(), p.clone(), o.clone());
-                if self.spo.contains(&key) {
-                    vec![Statement {
-                        subject: s.clone(),
-                        predicate: p.clone(),
-                        object: o.clone(),
-                    }]
+                if self.spo.contains(&(s, p, o)) {
+                    vec![(s, p, o)]
                 } else {
                     Vec::new()
                 }
             }
-            (Some(s), None, Some(o)) => {
-                // OSP has the longest bound prefix here: (o, s) is fully
-                // bound, so range-scan it instead of filtering an S scan.
-                let min = Term::Iri(String::new());
-                self.osp
-                    .range((o.clone(), s.clone(), min)..)
-                    .take_while(|t| &t.0 == o && &t.1 == s)
-                    .map(|(to, ts, tp)| Statement {
-                        subject: ts.clone(),
-                        predicate: tp.clone(),
-                        object: to.clone(),
-                    })
-                    .collect()
-            }
-            (Some(s), p, None) => self
-                .scan(&self.spo, s, |t| (t.0.clone(), t.1.clone(), t.2.clone()))
-                .into_iter()
-                .filter(|(_, tp, _)| p.is_none_or(|p| p == tp))
-                .map(to_statement)
+            (Some(s), Some(p), None) => self
+                .spo
+                .range((s, p, full.0)..=(s, p, full.1))
+                .copied()
                 .collect(),
-            (None, Some(p), o) => self
-                .scan(&self.pos, p, |t| (t.2.clone(), t.0.clone(), t.1.clone()))
-                .into_iter()
-                .filter(|(_, _, to)| o.is_none_or(|o| o == to))
-                .map(to_statement)
+            (Some(s), None, Some(o)) => self
+                .osp
+                .range((o, s, full.0)..=(o, s, full.1))
+                .map(|&(o, s, p)| (s, p, o))
+                .collect(),
+            (Some(s), None, None) => self
+                .spo
+                .range((s, full.0, full.0)..=(s, full.1, full.1))
+                .copied()
+                .collect(),
+            (None, Some(p), Some(o)) => self
+                .pos
+                .range((p, o, full.0)..=(p, o, full.1))
+                .map(|&(p, o, s)| (s, p, o))
+                .collect(),
+            (None, Some(p), None) => self
+                .pos
+                .range((p, full.0, full.0)..=(p, full.1, full.1))
+                .map(|&(p, o, s)| (s, p, o))
                 .collect(),
             (None, None, Some(o)) => self
-                .scan(&self.osp, o, |t| (t.1.clone(), t.2.clone(), t.0.clone()))
-                .into_iter()
-                .map(to_statement)
+                .osp
+                .range((o, full.0, full.0)..=(o, full.1, full.1))
+                .map(|&(o, s, p)| (s, p, o))
                 .collect(),
-            (None, None, None) => self.iter().collect(),
+            (None, None, None) => self.spo.iter().copied().collect(),
         }
     }
+}
 
-    /// Range-scans an index for entries whose first component equals
-    /// `first`, converting each to `(s, p, o)` via `reorder`.
-    fn scan(
-        &self,
-        index: &BTreeSet<(Term, Term, Term)>,
-        first: &Term,
-        reorder: impl Fn(&(Term, Term, Term)) -> (Term, Term, Term),
-    ) -> Vec<(Term, Term, Term)> {
-        // `Term::Iri("")` is the minimum term under the derived ordering
-        // (first variant, empty string), so this bound starts the range at
-        // the first entry whose leading component is `first`.
-        let min = Term::Iri(String::new());
-        index
-            .range((first.clone(), min.clone(), min)..)
-            .take_while(|t| &t.0 == first)
-            .map(reorder)
-            .collect()
+/// Re-interns `id` from `from` into `to`, memoizing per distinct term.
+fn remap(
+    translate: &mut HashMap<TermId, TermId>,
+    to: &TermDict,
+    from: &TermDict,
+    id: TermId,
+) -> TermId {
+    *translate
+        .entry(id)
+        .or_insert_with(|| to.intern(&from.resolve(id)))
+}
+
+/// Statement-set equality, independent of interning order: two graphs are
+/// equal when they hold the same statements, whether or not they share a
+/// dictionary.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Graph) -> bool {
+        if self.dict.ptr_eq(&other.dict) {
+            return self.spo == other.spo;
+        }
+        if self.len() != other.len() {
+            return false;
+        }
+        // Translate each distinct local id at most once; a term absent
+        // from the other dictionary cannot appear in the other graph.
+        let mut translate: HashMap<TermId, Option<TermId>> = HashMap::new();
+        let mut lookup = |id: TermId| {
+            *translate
+                .entry(id)
+                .or_insert_with(|| other.dict.lookup(&self.dict.resolve(id)))
+        };
+        self.spo
+            .iter()
+            .all(|&(s, p, o)| match (lookup(s), lookup(p), lookup(o)) {
+                (Some(s), Some(p), Some(o)) => other.contains_id((s, p, o)),
+                _ => false,
+            })
     }
 }
+
+impl Eq for Graph {}
 
 /// Read-only view over a set of triples.
 ///
@@ -190,6 +333,18 @@ pub trait TripleView {
 
     /// Whether the view contains the statement.
     fn has(&self, st: &Statement) -> bool;
+
+    /// Finds encoded triples matching an id pattern; `None` positions are
+    /// wildcards. Ids are relative to the view's dictionary.
+    fn find_ids(
+        &self,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+    ) -> Vec<IdTriple>;
+
+    /// Whether the view contains the encoded triple.
+    fn has_id(&self, triple: IdTriple) -> bool;
 }
 
 impl TripleView for Graph {
@@ -205,11 +360,28 @@ impl TripleView for Graph {
     fn has(&self, st: &Statement) -> bool {
         self.contains(st)
     }
+
+    fn find_ids(
+        &self,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+    ) -> Vec<IdTriple> {
+        self.match_ids(subject, predicate, object)
+    }
+
+    fn has_id(&self, triple: IdTriple) -> bool {
+        self.contains_id(triple)
+    }
 }
 
 /// A union view of two graphs that are disjoint by construction (a stated
 /// base plus the derived closure). Queries hit both indexes and concatenate,
 /// which keeps semi-naive rounds from ever cloning the base graph.
+///
+/// The id-level methods require both graphs to share a dictionary (the
+/// reasoner and materializer arrangement); the statement-level methods
+/// work regardless.
 #[derive(Debug, Clone, Copy)]
 pub struct Overlay<'a> {
     base: &'a Graph,
@@ -242,13 +414,32 @@ impl TripleView for Overlay<'_> {
     fn has(&self, st: &Statement) -> bool {
         self.base.contains(st) || self.extra.contains(st)
     }
-}
 
-fn to_statement((s, p, o): (Term, Term, Term)) -> Statement {
-    Statement {
-        subject: s,
-        predicate: p,
-        object: o,
+    fn find_ids(
+        &self,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+    ) -> Vec<IdTriple> {
+        debug_assert!(
+            self.base.dict().ptr_eq(self.extra.dict()),
+            "id-level overlay queries require a shared dictionary"
+        );
+        let mut hits = self.base.match_ids(subject, predicate, object);
+        for triple in self.extra.match_ids(subject, predicate, object) {
+            if !self.base.contains_id(triple) {
+                hits.push(triple);
+            }
+        }
+        hits
+    }
+
+    fn has_id(&self, triple: IdTriple) -> bool {
+        debug_assert!(
+            self.base.dict().ptr_eq(self.extra.dict()),
+            "id-level overlay queries require a shared dictionary"
+        );
+        self.base.contains_id(triple) || self.extra.contains_id(triple)
     }
 }
 
@@ -294,6 +485,7 @@ mod tests {
         assert!(g.insert(st("a", "p", "x")));
         assert!(!g.insert(st("a", "p", "x")));
         assert_eq!(g.len(), 1);
+        assert_eq!(g.dict().len(), 3, "each distinct term interned once");
     }
 
     #[test]
@@ -355,6 +547,37 @@ mod tests {
     }
 
     #[test]
+    fn extend_from_shared_dict_skips_reinterning() {
+        let mut g = sample();
+        let mut other = Graph::with_dict(g.dict().clone());
+        other.insert(st("a", "p", "x"));
+        other.insert(st("c", "p", "x"));
+        let dict_before = g.dict().len();
+        assert_eq!(g.extend_from(&other), 1);
+        assert_eq!(g.len(), 6);
+        assert_eq!(
+            g.dict().len(),
+            dict_before,
+            "shared-dictionary merge interns nothing new beyond other's inserts"
+        );
+        assert!(g.contains(&st("c", "p", "x")));
+    }
+
+    #[test]
+    fn id_level_round_trip() {
+        let mut g = Graph::new();
+        let triple = g.intern_statement(&st("a", "p", "b"));
+        assert!(g.insert_id(triple));
+        assert!(g.contains_id(triple));
+        assert_eq!(g.resolve(triple), st("a", "p", "b"));
+        assert_eq!(g.lookup_statement(&st("a", "p", "b")), Some(triple));
+        assert_eq!(g.lookup_statement(&st("a", "p", "zz")), None);
+        assert!(g.remove_id(triple));
+        assert!(!g.contains_id(triple));
+        assert_eq!(g.match_pattern(None, None, None).len(), 0);
+    }
+
+    #[test]
     fn subject_object_arm_matches_filtered_scan() {
         // The (S, _, O) arm must return exactly what a full scan + filter
         // would, while actually routing through the OSP index.
@@ -410,11 +633,42 @@ mod tests {
     }
 
     #[test]
+    fn overlay_id_queries_over_shared_dict() {
+        let base = sample();
+        let mut extra = Graph::with_dict(base.dict().clone());
+        extra.insert(st("a", "p", "x"));
+        extra.insert(st("c", "p", "w"));
+        let view = Overlay::new(&base, &extra);
+        let p = base.dict().lookup(&Term::iri("p")).unwrap();
+        assert_eq!(view.find_ids(None, Some(p), None).len(), 4);
+        let dup = base.lookup_statement(&st("a", "p", "x")).unwrap();
+        assert!(view.has_id(dup));
+    }
+
+    #[test]
     fn iter_yields_every_statement_once() {
         let g = sample();
         let collected: Vec<Statement> = g.iter().collect();
         assert_eq!(collected.len(), 5);
         let round: Graph = collected.into_iter().collect();
         assert_eq!(round, g);
+    }
+
+    #[test]
+    fn equality_is_independent_of_interning_order() {
+        let mut g1 = Graph::new();
+        g1.insert(st("a", "p", "b"));
+        g1.insert(st("c", "q", "d"));
+        let mut g2 = Graph::new();
+        g2.insert(st("c", "q", "d"));
+        g2.insert(st("a", "p", "b"));
+        assert_eq!(g1, g2);
+        g2.insert(st("e", "p", "f"));
+        assert_ne!(g1, g2);
+        // Same length, different contents.
+        let mut g3 = Graph::new();
+        g3.insert(st("a", "p", "b"));
+        g3.insert(st("x", "q", "d"));
+        assert_ne!(g1, g3);
     }
 }

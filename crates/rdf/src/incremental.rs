@@ -15,11 +15,19 @@
 //! Enabling a new ruleset marks the closure stale; the next
 //! [`materialize`](IncrementalMaterializer::materialize) call reseeds the
 //! fixpoint over the existing facts.
+//!
+//! All three graphs share one term dictionary, so the DRed cascades and
+//! semi-naive propagation run entirely on id triples — no statement is
+//! materialized during maintenance.
 
-use crate::graph::{Graph, Overlay};
+use crate::dict::{IdTriple, TermDict, TermId};
+use crate::graph::{Graph, Overlay, TripleView};
 use crate::model::{Statement, Term};
 use crate::owl::owl_delta;
-use crate::reason::{propagate, rdfs_delta, rules_delta, transitive_delta, Rule};
+use crate::reason::{
+    compile_rules, propagate, rdfs_delta, rules_delta, transitive_delta, IdRule, Rule, VocabIds,
+};
+use std::collections::BTreeSet;
 
 /// Which entailment rules the materializer maintains.
 #[derive(Debug, Clone, Default)]
@@ -42,14 +50,42 @@ impl MaterializerConfig {
         self.rdfs || self.owl || !self.transitive.is_empty() || !self.rules.is_empty()
     }
 
-    /// One delta round over the combined active rulesets.
-    fn delta(&self, view: &dyn crate::graph::TripleView, delta: &[Statement]) -> Vec<Statement> {
-        let mut out = Vec::new();
-        if self.rdfs {
-            out.extend(rdfs_delta(view, delta));
+    /// Compiles the configuration against a dictionary: vocabulary and
+    /// transitive predicates resolve to ids, user rules to constant-id /
+    /// variable-index form. Cheap (a handful of interns), so it is done
+    /// per mutating call rather than cached across config edits.
+    fn compile(&self, dict: &TermDict) -> CompiledRules {
+        CompiledRules {
+            rdfs: self.rdfs,
+            owl: self.owl,
+            vocab: (self.rdfs || self.owl).then(|| VocabIds::new(dict)),
+            transitive: self.transitive.iter().map(|t| dict.intern(t)).collect(),
+            rules: compile_rules(&self.rules, dict),
         }
-        if self.owl {
-            out.extend(owl_delta(view, delta));
+    }
+}
+
+/// A [`MaterializerConfig`] lowered onto one dictionary.
+#[derive(Debug, Clone)]
+struct CompiledRules {
+    rdfs: bool,
+    owl: bool,
+    vocab: Option<VocabIds>,
+    transitive: Vec<TermId>,
+    rules: Vec<IdRule>,
+}
+
+impl CompiledRules {
+    /// One delta round over the combined active rulesets.
+    fn delta(&self, view: &dyn TripleView, delta: &[IdTriple]) -> Vec<IdTriple> {
+        let mut out = Vec::new();
+        if let Some(v) = &self.vocab {
+            if self.rdfs {
+                out.extend(rdfs_delta(v, view, delta));
+            }
+            if self.owl {
+                out.extend(owl_delta(v, view, delta));
+            }
         }
         if !self.transitive.is_empty() {
             out.extend(transitive_delta(&self.transitive, view, delta));
@@ -76,27 +112,39 @@ impl MaterializerConfig {
 /// // The closure is maintained as facts arrive — no re-materialization.
 /// assert!(m.contains(&Statement::new(Term::iri("ex:cat"), sub, Term::iri("ex:animal"))));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct IncrementalMaterializer {
     config: MaterializerConfig,
     /// Explicitly stated facts.
     base: Graph,
-    /// Derived closure, disjoint from `base`.
+    /// Derived closure, disjoint from `base` (shares its dictionary).
     derived: Graph,
     /// `base ∪ derived`, kept materialized so readers get a plain
-    /// [`Graph`] without merging on every query.
+    /// [`Graph`] without merging on every query (shares the dictionary).
     full: Graph,
     /// Whether `derived` is the fixpoint of `config` over `base`. Cleared
     /// when a ruleset is enabled after facts already arrived.
     clean: bool,
 }
 
+impl Default for IncrementalMaterializer {
+    fn default() -> IncrementalMaterializer {
+        IncrementalMaterializer::new()
+    }
+}
+
 impl IncrementalMaterializer {
     /// An empty materializer with no rulesets enabled.
     pub fn new() -> IncrementalMaterializer {
+        let base = Graph::new();
+        let derived = Graph::with_dict(base.dict().clone());
+        let full = Graph::with_dict(base.dict().clone());
         IncrementalMaterializer {
+            config: MaterializerConfig::default(),
+            base,
+            derived,
+            full,
             clean: true,
-            ..IncrementalMaterializer::default()
         }
     }
 
@@ -105,9 +153,9 @@ impl IncrementalMaterializer {
     pub fn from_graph(graph: Graph) -> IncrementalMaterializer {
         IncrementalMaterializer {
             config: MaterializerConfig::default(),
+            derived: Graph::with_dict(graph.dict().clone()),
             full: graph.clone(),
             base: graph,
-            derived: Graph::new(),
             clean: true,
         }
     }
@@ -203,22 +251,23 @@ impl IncrementalMaterializer {
     /// Inserts a stated fact and propagates its consequences forward.
     /// Returns whether the fact was new to the full view.
     pub fn insert(&mut self, st: Statement) -> bool {
-        if !self.base.insert(st.clone()) {
+        let t = self.base.intern_statement(&st);
+        if !self.base.insert_id(t) {
             return false;
         }
         // A previously derived fact that is now stated moves to the base;
         // the full view already has it and nothing new follows from it.
-        if self.derived.remove(&st) {
+        if self.derived.remove_id(t) {
             return false;
         }
-        self.full.insert(st.clone());
+        self.full.insert_id(t);
         if self.config.is_active() && self.clean {
-            let config = &self.config;
-            let new_facts = propagate(&self.base, &mut self.derived, vec![st], &mut |v, d| {
-                config.delta(v, d)
+            let compiled = self.config.compile(self.base.dict());
+            let new_facts = propagate(&self.base, &mut self.derived, vec![t], &mut |v, d| {
+                compiled.delta(v, d)
             });
             for f in new_facts {
-                self.full.insert(f);
+                self.full.insert_id(f);
             }
         }
         true
@@ -229,23 +278,24 @@ impl IncrementalMaterializer {
     pub fn insert_batch(&mut self, batch: impl IntoIterator<Item = Statement>) -> usize {
         let mut seed = Vec::new();
         for st in batch {
-            if !self.base.insert(st.clone()) {
+            let t = self.base.intern_statement(&st);
+            if !self.base.insert_id(t) {
                 continue;
             }
-            if self.derived.remove(&st) {
+            if self.derived.remove_id(t) {
                 continue;
             }
-            self.full.insert(st.clone());
-            seed.push(st);
+            self.full.insert_id(t);
+            seed.push(t);
         }
         let added = seed.len();
         if !seed.is_empty() && self.config.is_active() && self.clean {
-            let config = &self.config;
+            let compiled = self.config.compile(self.base.dict());
             let new_facts = propagate(&self.base, &mut self.derived, seed, &mut |v, d| {
-                config.delta(v, d)
+                compiled.delta(v, d)
             });
             for f in new_facts {
-                self.full.insert(f);
+                self.full.insert_id(f);
             }
         }
         added
@@ -260,60 +310,65 @@ impl IncrementalMaterializer {
         // DRed needs an up-to-date closure to cascade over; catch up first
         // if a ruleset was enabled after facts arrived.
         self.materialize();
-        if !self.full.contains(st) {
+        let Some(t) = self.full.lookup_statement(st) else {
+            return false;
+        };
+        if !self.full.contains_id(t) {
             return false;
         }
+        let compiled = self
+            .config
+            .is_active()
+            .then(|| self.config.compile(self.base.dict()));
         // Overdeletion cascade against the pre-deletion view: everything
         // derived (transitively) using the removed fact is suspect.
-        let mut overdeleted = Graph::new();
-        if self.config.is_active() {
-            let mut frontier = vec![st.clone()];
+        let mut overdeleted: BTreeSet<IdTriple> = BTreeSet::new();
+        if let Some(compiled) = &compiled {
+            let mut frontier = vec![t];
             while !frontier.is_empty() {
                 let candidates = {
                     let view = Overlay::new(&self.base, &self.derived);
-                    self.config.delta(&view, &frontier)
+                    compiled.delta(&view, &frontier)
                 };
                 let mut fresh = Vec::new();
                 for c in candidates {
-                    if self.derived.contains(&c) && !overdeleted.contains(&c) && c != *st {
-                        overdeleted.insert(c.clone());
+                    if self.derived.contains_id(c) && c != t && overdeleted.insert(c) {
                         fresh.push(c);
                     }
                 }
                 frontier = fresh;
             }
         }
-        self.base.remove(st);
-        self.derived.remove(st);
-        self.full.remove(st);
-        for o in overdeleted.iter() {
-            self.derived.remove(&o);
-            self.full.remove(&o);
+        self.base.remove_id(t);
+        self.derived.remove_id(t);
+        self.full.remove_id(t);
+        for &o in &overdeleted {
+            self.derived.remove_id(o);
+            self.full.remove_id(o);
         }
         // Rederivation: one naive round over what remains picks up every
         // suspect fact that still has a one-step derivation; semi-naive
         // propagation from those seeds restores the rest of the closure.
-        if self.config.is_active() {
+        if let Some(compiled) = &compiled {
             let candidates = {
                 let view = Overlay::new(&self.base, &self.derived);
-                let all: Vec<Statement> = self.full.iter().collect();
-                self.config.delta(&view, &all)
+                let all: Vec<IdTriple> = self.full.iter_ids().collect();
+                compiled.delta(&view, &all)
             };
             let mut seeds = Vec::new();
             for c in candidates {
-                let suspect = overdeleted.contains(&c) || c == *st;
-                if suspect && !self.full.contains(&c) && self.derived.insert(c.clone()) {
-                    self.full.insert(c.clone());
+                let suspect = overdeleted.contains(&c) || c == t;
+                if suspect && !self.full.contains_id(c) && self.derived.insert_id(c) {
+                    self.full.insert_id(c);
                     seeds.push(c);
                 }
             }
             if !seeds.is_empty() {
-                let config = &self.config;
                 let new_facts = propagate(&self.base, &mut self.derived, seeds, &mut |v, d| {
-                    config.delta(v, d)
+                    compiled.delta(v, d)
                 });
                 for f in new_facts {
-                    self.full.insert(f);
+                    self.full.insert_id(f);
                 }
             }
         }
@@ -328,14 +383,14 @@ impl IncrementalMaterializer {
             self.clean = true;
             return 0;
         }
-        let seed: Vec<Statement> = self.full.iter().collect();
-        let config = &self.config;
+        let seed: Vec<IdTriple> = self.full.iter_ids().collect();
+        let compiled = self.config.compile(self.base.dict());
         let new_facts = propagate(&self.base, &mut self.derived, seed, &mut |v, d| {
-            config.delta(v, d)
+            compiled.delta(v, d)
         });
         let added = new_facts.len();
         for f in new_facts {
-            self.full.insert(f);
+            self.full.insert_id(f);
         }
         self.clean = true;
         added
@@ -343,11 +398,12 @@ impl IncrementalMaterializer {
 
     /// Replaces all facts with `graph` as the stated base, keeping the
     /// configuration. The closure is marked stale; call
-    /// [`materialize`](Self::materialize) to rebuild it.
+    /// [`materialize`](Self::materialize) to rebuild it. The materializer
+    /// adopts `graph`'s dictionary.
     pub fn reset(&mut self, graph: Graph) {
+        self.derived = Graph::with_dict(graph.dict().clone());
         self.full = graph.clone();
         self.base = graph;
-        self.derived = Graph::new();
         self.clean = !self.config.is_active() || self.full.is_empty();
     }
 }
@@ -373,6 +429,15 @@ mod tests {
         m.insert(st("mammal", vocab::SUB_CLASS_OF, "animal"));
         assert!(m.contains(&st("tom", vocab::TYPE, "animal")));
         assert!(m.contains(&st("cat", vocab::SUB_CLASS_OF, "animal")));
+    }
+
+    #[test]
+    fn views_share_one_dictionary() {
+        let mut m = IncrementalMaterializer::new();
+        m.enable_rdfs();
+        m.insert(st("cat", vocab::SUB_CLASS_OF, "mammal"));
+        assert!(m.base().dict().ptr_eq(m.derived().dict()));
+        assert!(m.base().dict().ptr_eq(m.full().dict()));
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //!
 //! * [`model`] — terms ([`Term`]), statements ([`Statement`]) and
 //!   namespace/prefix handling.
-//! * [`graph`] — an indexed triple store ([`Graph`]) with SPO/POS/OSP
-//!   indexes and pattern matching.
+//! * [`dict`] — dictionary encoding ([`TermDict`]): each distinct term is
+//!   interned once to a `u32` id so the indexes and reasoners work on
+//!   integers.
+//! * [`graph`] — an indexed triple store ([`Graph`]) with dictionary-encoded
+//!   SPO/POS/OSP indexes and pattern matching.
 //! * [`reason`] + [`owl`] — the four reasoners (transitive, RDFS subset,
 //!   generic rules, OWL/Lite subset).
 //! * [`query`] — `SELECT … WHERE { … FILTER … } ORDER BY … LIMIT …`.
@@ -31,6 +34,7 @@
 //! assert_eq!(hits.len(), 1);
 //! ```
 
+pub mod dict;
 pub mod graph;
 pub mod incremental;
 pub mod model;
@@ -39,6 +43,7 @@ pub mod query;
 pub mod reason;
 pub mod weighted;
 
+pub use dict::{IdTriple, TermDict, TermId};
 pub use graph::{Graph, Overlay, TripleView};
 pub use incremental::{IncrementalMaterializer, MaterializerConfig};
 pub use model::{Literal, Statement, Term};

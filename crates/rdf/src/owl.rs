@@ -11,11 +11,14 @@
 //! * `owl:FunctionalProperty` — `(s p o₁), (s p o₂) ⇒ (o₁ owl:sameAs o₂)`.
 //! * `owl:sameAs` — symmetric and transitive, and statements are copied
 //!   across aliases in subject and object position (smushing).
+//!
+//! Like the RDFS rules, the delta joins run entirely on dictionary-encoded
+//! id triples; terms are materialized only at the API boundary.
 
+use crate::dict::IdTriple;
 use crate::graph::Graph;
 use crate::graph::TripleView;
-use crate::model::{vocab, Statement, Term};
-use crate::reason::{rdfs_delta, semi_naive};
+use crate::reason::{rdfs_delta, semi_naive, VocabIds};
 
 /// The OWL/Lite-subset reasoner.
 ///
@@ -55,7 +58,8 @@ impl OwlLiteReasoner {
         }
     }
 
-    /// Runs to fixpoint; returns only the newly entailed statements.
+    /// Runs to fixpoint; returns only the newly entailed statements
+    /// (sharing the input's dictionary).
     ///
     /// Evaluated semi-naively: each round joins the OWL rules (and the
     /// RDFS subset when enabled) against the previous round's delta over a
@@ -63,10 +67,11 @@ impl OwlLiteReasoner {
     /// transitive-closure recomputation per round.
     pub fn infer(&self, graph: &Graph) -> Graph {
         let include_rdfs = self.include_rdfs;
+        let v = VocabIds::new(graph.dict());
         semi_naive(graph, &mut |view, delta| {
-            let mut out = owl_delta(view, delta);
+            let mut out = owl_delta(&v, view, delta);
             if include_rdfs {
-                out.extend(rdfs_delta(view, delta));
+                out.extend(rdfs_delta(&v, view, delta));
             }
             out
         })
@@ -77,221 +82,148 @@ impl OwlLiteReasoner {
 /// schema declaration (firing over its existing use sites) and as a use
 /// site (firing over the existing declarations). Reflexive `owl:sameAs`
 /// candidates are filtered here, mirroring the batch reasoner.
-pub(crate) fn owl_delta(view: &dyn TripleView, delta: &[Statement]) -> Vec<Statement> {
-    let type_p = Term::iri(vocab::TYPE);
-    let inverse_of = Term::iri(vocab::INVERSE_OF);
-    let same_as = Term::iri(vocab::SAME_AS);
-    let symmetric = Term::iri(vocab::SYMMETRIC_PROPERTY);
-    let transitive = Term::iri(vocab::TRANSITIVE_PROPERTY);
-    let functional = Term::iri(vocab::FUNCTIONAL_PROPERTY);
-
-    let mut out: Vec<Statement> = Vec::new();
-    for st in delta {
+pub(crate) fn owl_delta(v: &VocabIds, view: &dyn TripleView, delta: &[IdTriple]) -> Vec<IdTriple> {
+    let mut out: Vec<IdTriple> = Vec::new();
+    for &(s, p, o) in delta {
         // ---- Declaration side: the delta fact is OWL schema. ----
-        if st.predicate == inverse_of {
-            if let (Term::Iri(_), Term::Iri(_)) = (&st.subject, &st.object) {
+        if p == v.inverse_of {
+            if s.is_iri() && o.is_iri() {
                 // (p inverseOf q), (s p o) => (o q s) — and the mirror
                 // direction, since inverseOf is itself symmetric.
-                for (p, q) in [(&st.subject, &st.object), (&st.object, &st.subject)] {
-                    for use_site in view.find(None, Some(p), None) {
-                        if use_site.object.is_resource() {
-                            out.push(Statement::new(use_site.object, q.clone(), use_site.subject));
+                for (prop, inv) in [(s, o), (o, s)] {
+                    for (use_s, _, use_o) in view.find_ids(None, Some(prop), None) {
+                        if use_o.is_resource() {
+                            out.push((use_o, inv, use_s));
                         }
                     }
                 }
             }
-        } else if st.predicate == type_p && matches!(st.subject, Term::Iri(_)) {
-            if st.object == symmetric {
-                for use_site in view.find(None, Some(&st.subject), None) {
-                    if use_site.object.is_resource() {
-                        out.push(Statement::new(
-                            use_site.object,
-                            use_site.predicate,
-                            use_site.subject,
-                        ));
+        } else if p == v.type_p && s.is_iri() {
+            if o == v.symmetric {
+                for (use_s, use_p, use_o) in view.find_ids(None, Some(s), None) {
+                    if use_o.is_resource() {
+                        out.push((use_o, use_p, use_s));
                     }
                 }
-            } else if st.object == transitive {
+            } else if o == v.transitive {
                 // One-step compositions over existing edges; the fixpoint
                 // rounds complete the closure.
-                for e1 in view.find(None, Some(&st.subject), None) {
-                    if !e1.object.is_resource() {
+                for (e1_s, _, e1_o) in view.find_ids(None, Some(s), None) {
+                    if !e1_o.is_resource() {
                         continue;
                     }
-                    for e2 in view.find(Some(&e1.object), Some(&st.subject), None) {
-                        if e2.object.is_resource() && e2.object != e1.subject {
-                            out.push(Statement::new(
-                                e1.subject.clone(),
-                                st.subject.clone(),
-                                e2.object,
-                            ));
+                    for (_, _, e2_o) in view.find_ids(Some(e1_o), Some(s), None) {
+                        if e2_o.is_resource() && e2_o != e1_s {
+                            out.push((e1_s, s, e2_o));
                         }
                     }
                 }
-            } else if st.object == functional {
-                let uses = view.find(None, Some(&st.subject), None);
-                for a in &uses {
-                    for b in &uses {
-                        if a.subject == b.subject
-                            && a.object != b.object
-                            && a.object.is_resource()
-                            && b.object.is_resource()
-                        {
-                            out.push(Statement::new(
-                                a.object.clone(),
-                                same_as.clone(),
-                                b.object.clone(),
-                            ));
+            } else if o == v.functional {
+                let uses = view.find_ids(None, Some(s), None);
+                for &(a_s, _, a_o) in &uses {
+                    for &(b_s, _, b_o) in &uses {
+                        if a_s == b_s && a_o != b_o && a_o.is_resource() && b_o.is_resource() {
+                            out.push((a_o, v.same_as, b_o));
                         }
                     }
                 }
             }
         }
-        if st.predicate == same_as
-            && st.subject.is_resource()
-            && st.object.is_resource()
-            && st.subject != st.object
-        {
-            let (a, b) = (&st.subject, &st.object);
+        if p == v.same_as && s.is_resource() && o.is_resource() && s != o {
+            let (a, b) = (s, o);
             // Symmetry.
-            out.push(Statement::new(b.clone(), same_as.clone(), a.clone()));
+            out.push((b, v.same_as, a));
             // Transitivity, joining on both sides.
-            for next in view.find(Some(b), Some(&same_as), None) {
-                if next.object.is_resource() && next.object != *a {
-                    out.push(Statement::new(a.clone(), same_as.clone(), next.object));
+            for (_, _, next_o) in view.find_ids(Some(b), Some(v.same_as), None) {
+                if next_o.is_resource() && next_o != a {
+                    out.push((a, v.same_as, next_o));
                 }
             }
-            for prev in view.find(None, Some(&same_as), Some(a)) {
-                if prev.subject != *b {
-                    out.push(Statement::new(prev.subject, same_as.clone(), b.clone()));
+            for (prev_s, _, _) in view.find_ids(None, Some(v.same_as), Some(a)) {
+                if prev_s != b {
+                    out.push((prev_s, v.same_as, b));
                 }
             }
             // Smushing: copy the alias's existing statements across, both
             // positions.
-            for use_site in view.find(Some(a), None, None) {
-                if use_site.predicate != same_as {
-                    out.push(Statement::new(
-                        b.clone(),
-                        use_site.predicate,
-                        use_site.object,
-                    ));
+            for (_, use_p, use_o) in view.find_ids(Some(a), None, None) {
+                if use_p != v.same_as {
+                    out.push((b, use_p, use_o));
                 }
             }
-            for use_site in view.find(None, None, Some(a)) {
-                if use_site.predicate != same_as {
-                    out.push(Statement::new(
-                        use_site.subject,
-                        use_site.predicate,
-                        b.clone(),
-                    ));
+            for (use_s, use_p, _) in view.find_ids(None, None, Some(a)) {
+                if use_p != v.same_as {
+                    out.push((use_s, use_p, b));
                 }
             }
         }
 
         // ---- Use side: the delta fact is an ordinary statement; join the
         // existing declarations over its predicate. ----
-        let p = &st.predicate;
         // inverseOf, both declaration directions.
-        if st.object.is_resource() {
-            for decl in view.find(Some(p), Some(&inverse_of), None) {
-                if matches!(decl.object, Term::Iri(_)) {
-                    out.push(Statement::new(
-                        st.object.clone(),
-                        decl.object,
-                        st.subject.clone(),
-                    ));
+        if o.is_resource() {
+            for (_, _, inv) in view.find_ids(Some(p), Some(v.inverse_of), None) {
+                if inv.is_iri() {
+                    out.push((o, inv, s));
                 }
             }
-            for decl in view.find(None, Some(&inverse_of), Some(p)) {
-                if matches!(decl.subject, Term::Iri(_)) {
-                    out.push(Statement::new(
-                        st.object.clone(),
-                        decl.subject,
-                        st.subject.clone(),
-                    ));
+            for (inv, _, _) in view.find_ids(None, Some(v.inverse_of), Some(p)) {
+                if inv.is_iri() {
+                    out.push((o, inv, s));
                 }
             }
         }
         // SymmetricProperty.
-        if st.object.is_resource()
-            && view.has(&Statement::new(
-                p.clone(),
-                type_p.clone(),
-                symmetric.clone(),
-            ))
-        {
-            out.push(Statement::new(
-                st.object.clone(),
-                p.clone(),
-                st.subject.clone(),
-            ));
+        if o.is_resource() && view.has_id((p, v.type_p, v.symmetric)) {
+            out.push((o, p, s));
         }
         // TransitiveProperty: compose with neighbours on both sides.
-        if st.object.is_resource()
-            && view.has(&Statement::new(
-                p.clone(),
-                type_p.clone(),
-                transitive.clone(),
-            ))
-        {
-            for next in view.find(Some(&st.object), Some(p), None) {
-                if next.object.is_resource() && next.object != st.subject {
-                    out.push(Statement::new(st.subject.clone(), p.clone(), next.object));
+        if o.is_resource() && view.has_id((p, v.type_p, v.transitive)) {
+            for (_, _, next_o) in view.find_ids(Some(o), Some(p), None) {
+                if next_o.is_resource() && next_o != s {
+                    out.push((s, p, next_o));
                 }
             }
-            for prev in view.find(None, Some(p), Some(&st.subject)) {
-                if prev.subject != st.object {
-                    out.push(Statement::new(prev.subject, p.clone(), st.object.clone()));
+            for (prev_s, _, _) in view.find_ids(None, Some(p), Some(s)) {
+                if prev_s != o {
+                    out.push((prev_s, p, o));
                 }
             }
         }
         // FunctionalProperty: this use pairs with every sibling object.
-        if st.object.is_resource()
-            && view.has(&Statement::new(
-                p.clone(),
-                type_p.clone(),
-                functional.clone(),
-            ))
-        {
-            for other in view.find(Some(&st.subject), Some(p), None) {
-                if other.object != st.object && other.object.is_resource() {
-                    out.push(Statement::new(
-                        st.object.clone(),
-                        same_as.clone(),
-                        other.object.clone(),
-                    ));
-                    out.push(Statement::new(
-                        other.object,
-                        same_as.clone(),
-                        st.object.clone(),
-                    ));
+        if o.is_resource() && view.has_id((p, v.type_p, v.functional)) {
+            for (_, _, other_o) in view.find_ids(Some(s), Some(p), None) {
+                if other_o != o && other_o.is_resource() {
+                    out.push((o, v.same_as, other_o));
+                    out.push((other_o, v.same_as, o));
                 }
             }
         }
         // Smushing: a new fact about `s` (or with object `o`) reaches every
         // known alias of `s` (or `o`).
-        if *p != same_as {
-            for alias in view.find(Some(&st.subject), Some(&same_as), None) {
-                if alias.object.is_resource() {
-                    out.push(Statement::new(alias.object, p.clone(), st.object.clone()));
+        if p != v.same_as {
+            for (_, _, alias) in view.find_ids(Some(s), Some(v.same_as), None) {
+                if alias.is_resource() {
+                    out.push((alias, p, o));
                 }
             }
-            if st.object.is_resource() {
-                for alias in view.find(Some(&st.object), Some(&same_as), None) {
-                    if alias.object.is_resource() {
-                        out.push(Statement::new(st.subject.clone(), p.clone(), alias.object));
+            if o.is_resource() {
+                for (_, _, alias) in view.find_ids(Some(o), Some(v.same_as), None) {
+                    if alias.is_resource() {
+                        out.push((s, p, alias));
                     }
                 }
             }
         }
     }
-    out.retain(|st| !(st.predicate == same_as && st.subject == st.object));
+    out.retain(|&(s, p, o)| !(p == v.same_as && s == o));
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::{vocab, Statement, Term};
 
     fn st(s: &str, p: &str, o: &str) -> Statement {
         Statement::new(Term::iri(s), Term::iri(p), Term::iri(o))

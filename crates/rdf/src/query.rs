@@ -16,9 +16,10 @@
 //! Filters: `>`, `>=`, `<`, `<=`, `=`, `!=` between a variable and a
 //! constant (or two variables).
 
+use crate::dict::TermId;
 use crate::graph::Graph;
 use crate::model::{Literal, Term};
-use crate::reason::{PatternTerm, TriplePattern};
+use crate::reason::{compile_pattern_lookup, IdPattern, PatternTerm, TriplePattern};
 use crate::RdfError;
 use std::collections::HashMap;
 
@@ -212,18 +213,41 @@ impl Query {
     }
 
     /// Executes the query against a graph.
+    ///
+    /// Patterns are compiled against the graph's dictionary (a constant
+    /// the graph never interned short-circuits to zero rows), the joins
+    /// run on id triples with flat variable-index bindings, and terms are
+    /// materialized only for the surviving rows.
     pub fn execute(&self, graph: &Graph) -> Vec<Solution> {
-        let mut bindings: Vec<Solution> = vec![HashMap::new()];
+        let dict = graph.dict();
+        let mut vars: Vec<String> = Vec::new();
+        let mut compiled: Vec<IdPattern> = Vec::with_capacity(self.patterns.len());
         for pattern in &self.patterns {
+            let Some(p) = compile_pattern_lookup(pattern, dict, &mut vars) else {
+                return Vec::new();
+            };
+            compiled.push(p);
+        }
+        let mut rows: Vec<Vec<Option<TermId>>> = vec![vec![None; vars.len()]];
+        for pattern in &compiled {
             let mut next = Vec::new();
-            for b in &bindings {
-                next.extend(pattern.solve_public(graph, b));
+            for row in &rows {
+                next.extend(pattern.solve(graph, row).into_iter().map(|(r, _)| r));
             }
-            bindings = next;
-            if bindings.is_empty() {
+            rows = next;
+            if rows.is_empty() {
                 return Vec::new();
             }
         }
+        let mut bindings: Vec<Solution> = rows
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .enumerate()
+                    .filter_map(|(i, id)| id.map(|id| (vars[i].clone(), dict.resolve(id))))
+                    .collect()
+            })
+            .collect();
         bindings.retain(|b| self.filters.iter().all(|f| f.eval(b)));
         if let Some(var) = &self.order_by {
             bindings.sort_by(|a, b| match (a.get(var), b.get(var)) {
@@ -246,46 +270,6 @@ impl Query {
                     .iter()
                     .filter_map(|v| b.get(v).map(|t| (v.clone(), t.clone())))
                     .collect()
-            })
-            .collect()
-    }
-}
-
-// Expose TriplePattern::solve for the query engine without making the
-// reasoner internals public.
-impl TriplePattern {
-    pub(crate) fn solve_public(&self, graph: &Graph, bindings: &Solution) -> Vec<Solution> {
-        // Reuse the reasoner's matcher via a tiny adapter: the logic is
-        // identical, so delegate to a local reimplementation to avoid
-        // visibility gymnastics.
-        let bind = |pt: &PatternTerm| match pt {
-            PatternTerm::Term(t) => Some(t.clone()),
-            PatternTerm::Var(v) => bindings.get(v).cloned(),
-        };
-        let s = bind(&self.subject);
-        let p = bind(&self.predicate);
-        let o = bind(&self.object);
-        graph
-            .match_pattern(s.as_ref(), p.as_ref(), o.as_ref())
-            .into_iter()
-            .filter_map(|st| {
-                let mut out = bindings.clone();
-                for (slot, term) in [
-                    (&self.subject, st.subject),
-                    (&self.predicate, st.predicate),
-                    (&self.object, st.object),
-                ] {
-                    if let PatternTerm::Var(v) = slot {
-                        match out.get(v) {
-                            Some(bound) if *bound != term => return None,
-                            Some(_) => {}
-                            None => {
-                                out.insert(v.clone(), term);
-                            }
-                        }
-                    }
-                }
-                Some(out)
             })
             .collect()
     }

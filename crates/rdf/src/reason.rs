@@ -10,7 +10,14 @@
 //! * "A generic rule reasoner that supports user-defined rules … forward
 //!   chaining, tabled backward chaining" → [`GenericRuleReasoner`] with a
 //!   Jena-style rule syntax.
+//!
+//! Forward chaining runs entirely on dictionary-encoded id triples: rules
+//! are compiled once per run ([`compile_rules`]) into constant-id /
+//! variable-index form, bindings are flat `Vec<Option<TermId>>` arrays,
+//! and every join is integer work. Terms are materialized only at the API
+//! boundary.
 
+use crate::dict::{IdTriple, TermDict, TermId};
 use crate::graph::{Graph, Overlay, TripleView};
 use crate::model::{vocab, Statement, Term};
 use crate::RdfError;
@@ -23,23 +30,26 @@ use std::collections::{HashMap, HashSet};
 // against the *delta* (facts derived in the previous round) rather than
 // re-scanning the whole graph, and the working set is a borrowed
 // [`Overlay`] over the stated base plus the derived closure — no
-// `graph.clone()` per run and no full re-derivation per round.
+// `graph.clone()` per run and no full re-derivation per round. Everything
+// in the loop is id-triple work.
 // ---------------------------------------------------------------------------
 
-/// A delta rule: given the full current view and the facts that are new
-/// since the last round, produce candidate conclusions. Candidates may
+/// A delta rule: given the full current view and the id triples that are
+/// new since the last round, produce candidate conclusions. Candidates may
 /// duplicate existing facts; the driver deduplicates.
-pub(crate) type DeltaRule<'r> = dyn FnMut(&dyn TripleView, &[Statement]) -> Vec<Statement> + 'r;
+pub(crate) type DeltaRule<'r> = dyn FnMut(&dyn TripleView, &[IdTriple]) -> Vec<IdTriple> + 'r;
 
 /// Runs delta rules to fixpoint starting from `seed`, extending `derived`
-/// in place. `seed` facts must already be visible in `base` or `derived`.
-/// Returns the facts that are newly derived by this call.
+/// in place. `derived` must share `base`'s dictionary, and `seed` facts
+/// must already be visible in `base` or `derived`. Returns the facts that
+/// are newly derived by this call.
 pub(crate) fn propagate(
     base: &Graph,
     derived: &mut Graph,
-    seed: Vec<Statement>,
+    seed: Vec<IdTriple>,
     rule: &mut DeltaRule<'_>,
-) -> Vec<Statement> {
+) -> Vec<IdTriple> {
+    debug_assert!(base.dict().ptr_eq(derived.dict()));
     let mut new_facts = Vec::new();
     let mut delta = seed;
     while !delta.is_empty() {
@@ -48,13 +58,13 @@ pub(crate) fn propagate(
             rule(&view, &delta)
         };
         let mut fresh = Vec::new();
-        for st in candidates {
-            if !base.contains(&st) && !derived.contains(&st) {
-                derived.insert(st.clone());
-                fresh.push(st);
+        for t in candidates {
+            if !base.contains_id(t) && !derived.contains_id(t) {
+                derived.insert_id(t);
+                fresh.push(t);
             }
         }
-        new_facts.extend(fresh.iter().cloned());
+        new_facts.extend(fresh.iter().copied());
         delta = fresh;
     }
     new_facts
@@ -62,46 +72,75 @@ pub(crate) fn propagate(
 
 /// Full semi-naive fixpoint from scratch: round 0 seeds the delta with the
 /// entire base (equivalent to one naive round), later rounds join only
-/// against fresh facts. Returns the derived closure.
+/// against fresh facts. Returns the derived closure (sharing the base's
+/// dictionary).
 pub(crate) fn semi_naive(base: &Graph, rule: &mut DeltaRule<'_>) -> Graph {
-    let mut derived = Graph::new();
-    let seed: Vec<Statement> = base.iter().collect();
+    let mut derived = Graph::with_dict(base.dict().clone());
+    let seed: Vec<IdTriple> = base.iter_ids().collect();
     propagate(base, &mut derived, seed, rule);
     derived
+}
+
+/// The RDFS/OWL vocabulary interned against one dictionary, so delta rules
+/// compare predicates by id instead of re-creating vocabulary terms per
+/// round. Interned (not merely looked up) because the conclusions may
+/// introduce vocabulary — e.g. `rdf:type` — the stated graph never used.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct VocabIds {
+    pub type_p: TermId,
+    pub sub_class: TermId,
+    pub sub_prop: TermId,
+    pub domain: TermId,
+    pub range: TermId,
+    pub inverse_of: TermId,
+    pub same_as: TermId,
+    pub symmetric: TermId,
+    pub transitive: TermId,
+    pub functional: TermId,
+}
+
+impl VocabIds {
+    pub(crate) fn new(dict: &TermDict) -> VocabIds {
+        let id = |iri: &str| dict.intern(&Term::iri(iri));
+        VocabIds {
+            type_p: id(vocab::TYPE),
+            sub_class: id(vocab::SUB_CLASS_OF),
+            sub_prop: id(vocab::SUB_PROPERTY_OF),
+            domain: id(vocab::DOMAIN),
+            range: id(vocab::RANGE),
+            inverse_of: id(vocab::INVERSE_OF),
+            same_as: id(vocab::SAME_AS),
+            symmetric: id(vocab::SYMMETRIC_PROPERTY),
+            transitive: id(vocab::TRANSITIVE_PROPERTY),
+            functional: id(vocab::FUNCTIONAL_PROPERTY),
+        }
+    }
 }
 
 /// Delta form of transitive closure for `predicates`: a new edge composes
 /// with existing edges on both sides. Self-loops are never emitted and
 /// targets must be resources, matching [`TransitiveReasoner`] semantics.
 pub(crate) fn transitive_delta(
-    predicates: &[Term],
+    predicates: &[TermId],
     view: &dyn TripleView,
-    delta: &[Statement],
-) -> Vec<Statement> {
+    delta: &[IdTriple],
+) -> Vec<IdTriple> {
     let mut out = Vec::new();
-    for st in delta {
-        if !predicates.contains(&st.predicate) {
+    for &(s, p, o) in delta {
+        if !predicates.contains(&p) {
             continue;
         }
-        if st.object.is_resource() {
+        if o.is_resource() {
             // (a p b), (b p c) => (a p c).
-            for next in view.find(Some(&st.object), Some(&st.predicate), None) {
-                if next.object.is_resource() && next.object != st.subject {
-                    out.push(Statement::new(
-                        st.subject.clone(),
-                        st.predicate.clone(),
-                        next.object,
-                    ));
+            for (_, _, next_o) in view.find_ids(Some(o), Some(p), None) {
+                if next_o.is_resource() && next_o != s {
+                    out.push((s, p, next_o));
                 }
             }
             // (x p a), (a p b) => (x p b).
-            for prev in view.find(None, Some(&st.predicate), Some(&st.subject)) {
-                if prev.subject != st.object {
-                    out.push(Statement::new(
-                        prev.subject,
-                        st.predicate.clone(),
-                        st.object.clone(),
-                    ));
+            for (prev_s, _, _) in view.find_ids(None, Some(p), Some(s)) {
+                if prev_s != o {
+                    out.push((prev_s, p, o));
                 }
             }
         }
@@ -112,118 +151,269 @@ pub(crate) fn transitive_delta(
 /// Delta form of the RDFS subset (rdfs2/3/5/7/9/11). Each delta fact is
 /// treated both as a schema declaration (joining its existing use sites)
 /// and as a use site (joining the existing schema).
-pub(crate) fn rdfs_delta(view: &dyn TripleView, delta: &[Statement]) -> Vec<Statement> {
-    let type_p = Term::iri(vocab::TYPE);
-    let sub_class = Term::iri(vocab::SUB_CLASS_OF);
-    let sub_prop = Term::iri(vocab::SUB_PROPERTY_OF);
-    let domain = Term::iri(vocab::DOMAIN);
-    let range = Term::iri(vocab::RANGE);
-    let lattices = [sub_class.clone(), sub_prop.clone()];
-
+pub(crate) fn rdfs_delta(v: &VocabIds, view: &dyn TripleView, delta: &[IdTriple]) -> Vec<IdTriple> {
+    let lattices = [v.sub_class, v.sub_prop];
     let mut out = transitive_delta(&lattices, view, delta);
-    for st in delta {
+    for &(s, p, o) in delta {
         // Declaration side: the delta fact is schema, join its use sites.
-        if st.predicate == sub_class {
+        if p == v.sub_class {
             // rdfs9: (C subClassOf D), (s type C) => (s type D).
-            for inst in view.find(None, Some(&type_p), Some(&st.subject)) {
-                out.push(Statement::new(
-                    inst.subject,
-                    type_p.clone(),
-                    st.object.clone(),
-                ));
+            for (inst_s, _, _) in view.find_ids(None, Some(v.type_p), Some(s)) {
+                out.push((inst_s, v.type_p, o));
             }
-        } else if st.predicate == sub_prop {
+        } else if p == v.sub_prop {
             // rdfs7: (p subPropertyOf q), (s p o) => (s q o).
-            if matches!(st.object, Term::Iri(_)) {
-                for use_site in view.find(None, Some(&st.subject), None) {
-                    out.push(Statement::new(
-                        use_site.subject,
-                        st.object.clone(),
-                        use_site.object,
-                    ));
+            if o.is_iri() {
+                for (use_s, _, use_o) in view.find_ids(None, Some(s), None) {
+                    out.push((use_s, o, use_o));
                 }
             }
-        } else if st.predicate == domain {
+        } else if p == v.domain {
             // rdfs2: (p domain C), (s p o) => (s type C).
-            for use_site in view.find(None, Some(&st.subject), None) {
-                out.push(Statement::new(
-                    use_site.subject,
-                    type_p.clone(),
-                    st.object.clone(),
-                ));
+            for (use_s, _, _) in view.find_ids(None, Some(s), None) {
+                out.push((use_s, v.type_p, o));
             }
-        } else if st.predicate == range {
+        } else if p == v.range {
             // rdfs3: (p range C), (s p o), o resource => (o type C).
-            for use_site in view.find(None, Some(&st.subject), None) {
-                if use_site.object.is_resource() {
-                    out.push(Statement::new(
-                        use_site.object,
-                        type_p.clone(),
-                        st.object.clone(),
-                    ));
+            for (_, _, use_o) in view.find_ids(None, Some(s), None) {
+                if use_o.is_resource() {
+                    out.push((use_o, v.type_p, o));
                 }
             }
         }
 
         // Use side: the delta fact is an instance fact, join the schema.
-        if st.predicate == type_p {
+        if p == v.type_p && o.is_resource() {
             // rdfs9: (s type C), (C subClassOf D) => (s type D).
-            if st.object.is_resource() {
-                for sc in view.find(Some(&st.object), Some(&sub_class), None) {
-                    out.push(Statement::new(
-                        st.subject.clone(),
-                        type_p.clone(),
-                        sc.object,
-                    ));
-                }
+            for (_, _, super_c) in view.find_ids(Some(o), Some(v.sub_class), None) {
+                out.push((s, v.type_p, super_c));
             }
         }
         // rdfs2 over this use site's predicate.
-        for dom in view.find(Some(&st.predicate), Some(&domain), None) {
-            out.push(Statement::new(
-                st.subject.clone(),
-                type_p.clone(),
-                dom.object,
-            ));
+        for (_, _, dom_c) in view.find_ids(Some(p), Some(v.domain), None) {
+            out.push((s, v.type_p, dom_c));
         }
         // rdfs3.
-        if st.object.is_resource() {
-            for ran in view.find(Some(&st.predicate), Some(&range), None) {
-                out.push(Statement::new(
-                    st.object.clone(),
-                    type_p.clone(),
-                    ran.object,
-                ));
+        if o.is_resource() {
+            for (_, _, ran_c) in view.find_ids(Some(p), Some(v.range), None) {
+                out.push((o, v.type_p, ran_c));
             }
         }
         // rdfs7.
-        for sp in view.find(Some(&st.predicate), Some(&sub_prop), None) {
-            if matches!(sp.object, Term::Iri(_)) {
-                out.push(Statement::new(
-                    st.subject.clone(),
-                    sp.object,
-                    st.object.clone(),
-                ));
+        for (_, _, super_p) in view.find_ids(Some(p), Some(v.sub_prop), None) {
+            if super_p.is_iri() {
+                out.push((s, super_p, o));
             }
         }
     }
     out
 }
 
-/// Delta form of forward chaining over user rules: for each rule and each
-/// premise position, bind that premise from the delta and solve the
+// ---------------------------------------------------------------------------
+// Compiled (id-level) rules
+// ---------------------------------------------------------------------------
+
+/// A compiled pattern slot: either a dictionary id or an index into the
+/// rule's flat binding array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IdPatternTerm {
+    /// A concrete, interned term.
+    Const(TermId),
+    /// A variable, by index into the rule's binding array.
+    Var(usize),
+}
+
+/// A compiled triple pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct IdPattern {
+    pub subject: IdPatternTerm,
+    pub predicate: IdPatternTerm,
+    pub object: IdPatternTerm,
+}
+
+/// A compiled rule: constants interned, variables numbered `0..nvars`, so
+/// a binding set is a flat `Vec<Option<TermId>>` instead of a string map.
+#[derive(Debug, Clone)]
+pub(crate) struct IdRule {
+    pub premises: Vec<IdPattern>,
+    pub conclusions: Vec<IdPattern>,
+    pub nvars: usize,
+}
+
+impl IdPatternTerm {
+    fn bind(self, bindings: &[Option<TermId>]) -> Option<TermId> {
+        match self {
+            IdPatternTerm::Const(id) => Some(id),
+            IdPatternTerm::Var(i) => bindings[i],
+        }
+    }
+}
+
+impl IdPattern {
+    /// Matches this pattern against the view under existing bindings,
+    /// returning each extended binding set together with the triple that
+    /// produced it (the weighted reasoner reads per-premise confidences
+    /// off the matched triples).
+    pub(crate) fn solve(
+        &self,
+        view: &dyn TripleView,
+        bindings: &[Option<TermId>],
+    ) -> Vec<(Vec<Option<TermId>>, IdTriple)> {
+        let s = self.subject.bind(bindings);
+        let p = self.predicate.bind(bindings);
+        let o = self.object.bind(bindings);
+        view.find_ids(s, p, o)
+            .into_iter()
+            .filter_map(|t| {
+                let mut out = bindings.to_vec();
+                for (slot, val) in [
+                    (self.subject, t.0),
+                    (self.predicate, t.1),
+                    (self.object, t.2),
+                ] {
+                    if let IdPatternTerm::Var(i) = slot {
+                        match out[i] {
+                            Some(bound) if bound != val => return None,
+                            Some(_) => {}
+                            None => out[i] = Some(val),
+                        }
+                    }
+                }
+                Some((out, t))
+            })
+            .collect()
+    }
+
+    /// Matches this pattern against a single ground triple from scratch,
+    /// returning the bindings it induces (used to seed semi-naive rounds
+    /// from a delta slice).
+    pub(crate) fn match_triple(&self, nvars: usize, t: IdTriple) -> Option<Vec<Option<TermId>>> {
+        let mut out = vec![None; nvars];
+        for (slot, val) in [
+            (self.subject, t.0),
+            (self.predicate, t.1),
+            (self.object, t.2),
+        ] {
+            match slot {
+                IdPatternTerm::Const(c) => {
+                    if c != val {
+                        return None;
+                    }
+                }
+                IdPatternTerm::Var(i) => match out[i] {
+                    Some(bound) if bound != val => return None,
+                    Some(_) => {}
+                    None => out[i] = Some(val),
+                },
+            }
+        }
+        Some(out)
+    }
+
+    /// Instantiates the pattern under bindings, if every slot is bound and
+    /// the result is structurally valid (resource subject, IRI predicate).
+    pub(crate) fn instantiate(&self, bindings: &[Option<TermId>]) -> Option<IdTriple> {
+        let s = self.subject.bind(bindings)?;
+        let p = self.predicate.bind(bindings)?;
+        let o = self.object.bind(bindings)?;
+        if !s.is_resource() || !p.is_iri() {
+            return None;
+        }
+        Some((s, p, o))
+    }
+}
+
+fn compile_slot(slot: &PatternTerm, dict: &TermDict, vars: &mut Vec<String>) -> IdPatternTerm {
+    match slot {
+        PatternTerm::Term(t) => IdPatternTerm::Const(dict.intern(t)),
+        PatternTerm::Var(v) => IdPatternTerm::Var(var_index(v, vars)),
+    }
+}
+
+fn var_index(name: &str, vars: &mut Vec<String>) -> usize {
+    match vars.iter().position(|x| x == name) {
+        Some(i) => i,
+        None => {
+            vars.push(name.to_string());
+            vars.len() - 1
+        }
+    }
+}
+
+/// Compiles a pattern, interning its constants into `dict` (rule constants
+/// may introduce terms the stated graph never used).
+pub(crate) fn compile_pattern(
+    pattern: &TriplePattern,
+    dict: &TermDict,
+    vars: &mut Vec<String>,
+) -> IdPattern {
+    IdPattern {
+        subject: compile_slot(&pattern.subject, dict, vars),
+        predicate: compile_slot(&pattern.predicate, dict, vars),
+        object: compile_slot(&pattern.object, dict, vars),
+    }
+}
+
+/// Compiles a pattern in *lookup* mode: constants are resolved without
+/// growing the dictionary, and an unknown constant means the pattern can
+/// never match (returns `None`). Used by the query engine, where patterns
+/// only read the graph.
+pub(crate) fn compile_pattern_lookup(
+    pattern: &TriplePattern,
+    dict: &TermDict,
+    vars: &mut Vec<String>,
+) -> Option<IdPattern> {
+    let slot = |t: &PatternTerm, vars: &mut Vec<String>| match t {
+        PatternTerm::Term(term) => dict.lookup(term).map(IdPatternTerm::Const),
+        PatternTerm::Var(v) => Some(IdPatternTerm::Var(var_index(v, vars))),
+    };
+    Some(IdPattern {
+        subject: slot(&pattern.subject, vars)?,
+        predicate: slot(&pattern.predicate, vars)?,
+        object: slot(&pattern.object, vars)?,
+    })
+}
+
+/// Compiles a rule: one shared variable namespace across premises and
+/// conclusions, constants interned into `dict`.
+pub(crate) fn compile_rule(rule: &Rule, dict: &TermDict) -> IdRule {
+    let mut vars = Vec::new();
+    let premises = rule
+        .premises
+        .iter()
+        .map(|p| compile_pattern(p, dict, &mut vars))
+        .collect();
+    let conclusions = rule
+        .conclusions
+        .iter()
+        .map(|c| compile_pattern(c, dict, &mut vars))
+        .collect();
+    IdRule {
+        premises,
+        conclusions,
+        nvars: vars.len(),
+    }
+}
+
+/// Compiles every rule against one dictionary.
+pub(crate) fn compile_rules(rules: &[Rule], dict: &TermDict) -> Vec<IdRule> {
+    rules.iter().map(|r| compile_rule(r, dict)).collect()
+}
+
+/// Delta form of forward chaining over compiled rules: for each rule and
+/// each premise position, bind that premise from the delta and solve the
 /// remaining premises against the full view.
 pub(crate) fn rules_delta(
-    rules: &[Rule],
+    rules: &[IdRule],
     view: &dyn TripleView,
-    delta: &[Statement],
-) -> Vec<Statement> {
+    delta: &[IdTriple],
+) -> Vec<IdTriple> {
     let mut out = Vec::new();
     for rule in rules {
         for i in 0..rule.premises.len() {
-            let seeds: Vec<HashMap<String, Term>> = delta
+            let seeds: Vec<Vec<Option<TermId>>> = delta
                 .iter()
-                .filter_map(|st| rule.premises[i].match_statement(st))
+                .filter_map(|&t| rule.premises[i].match_triple(rule.nvars, t))
                 .collect();
             if seeds.is_empty() {
                 continue;
@@ -235,7 +425,7 @@ pub(crate) fn rules_delta(
                 }
                 let mut next = Vec::new();
                 for b in &bindings {
-                    next.extend(premise.solve(view, b));
+                    next.extend(premise.solve(view, b).into_iter().map(|(nb, _)| nb));
                 }
                 bindings = next;
                 if bindings.is_empty() {
@@ -244,8 +434,8 @@ pub(crate) fn rules_delta(
             }
             for b in &bindings {
                 for conclusion in &rule.conclusions {
-                    if let Some(st) = conclusion.instantiate(b) {
-                        out.push(st);
+                    if let Some(t) = conclusion.instantiate(b) {
+                        out.push(t);
                     }
                 }
             }
@@ -291,35 +481,40 @@ impl TransitiveReasoner {
     }
 
     /// Returns the *new* statements entailed by transitivity (excluding
-    /// those already present).
+    /// those already present). The result shares the input's dictionary.
     ///
-    /// Evaluated semi-naively per predicate: the closure is grown by
-    /// joining each round's *delta* pairs against the stated edges
-    /// (right-linear `T ∘ E`), so no round re-scans pairs derived earlier.
+    /// Evaluated semi-naively per predicate on id pairs: the closure is
+    /// grown by joining each round's *delta* pairs against the stated
+    /// edges (right-linear `T ∘ E`), so no round re-scans pairs derived
+    /// earlier and no string is touched.
     pub fn infer(&self, graph: &Graph) -> Graph {
-        let mut inferred = Graph::new();
+        let mut inferred = Graph::with_dict(graph.dict().clone());
         for predicate in &self.predicates {
-            let edges: Vec<(Term, Term)> = graph
-                .match_pattern(None, Some(predicate), None)
+            // A predicate the graph never interned has no edges.
+            let Some(p) = graph.dict().lookup(predicate) else {
+                continue;
+            };
+            let edges: Vec<(TermId, TermId)> = graph
+                .match_ids(None, Some(p), None)
                 .into_iter()
-                .map(|st| (st.subject, st.object))
+                .map(|(s, _, o)| (s, o))
                 .collect();
-            let mut succ: HashMap<Term, Vec<Term>> = HashMap::new();
-            for (s, o) in &edges {
-                succ.entry(s.clone()).or_default().push(o.clone());
+            let mut succ: HashMap<TermId, Vec<TermId>> = HashMap::new();
+            for &(s, o) in &edges {
+                succ.entry(s).or_default().push(o);
             }
-            let mut closure: HashMap<Term, HashSet<Term>> = HashMap::new();
-            for (s, o) in &edges {
-                closure.entry(s.clone()).or_default().insert(o.clone());
+            let mut closure: HashMap<TermId, HashSet<TermId>> = HashMap::new();
+            for &(s, o) in &edges {
+                closure.entry(s).or_default().insert(o);
             }
             let mut delta = edges;
             while !delta.is_empty() {
                 let mut fresh = Vec::new();
-                for (a, b) in &delta {
-                    if let Some(nexts) = succ.get(b) {
-                        for c in nexts {
-                            if closure.entry(a.clone()).or_default().insert(c.clone()) {
-                                fresh.push((a.clone(), c.clone()));
+                for &(a, b) in &delta {
+                    if let Some(nexts) = succ.get(&b) {
+                        for &c in nexts {
+                            if closure.entry(a).or_default().insert(c) {
+                                fresh.push((a, c));
                             }
                         }
                     }
@@ -329,9 +524,9 @@ impl TransitiveReasoner {
             for (start, targets) in closure {
                 for target in targets {
                     if target != start && target.is_resource() {
-                        let st = Statement::new(start.clone(), predicate.clone(), target);
-                        if !graph.contains(&st) {
-                            inferred.insert(st);
+                        let t = (start, p, target);
+                        if !graph.contains_id(t) {
+                            inferred.insert_id(t);
                         }
                     }
                 }
@@ -355,13 +550,15 @@ impl RdfsReasoner {
         RdfsReasoner::default()
     }
 
-    /// Runs the RDFS rules to fixpoint; returns only the new statements.
+    /// Runs the RDFS rules to fixpoint; returns only the new statements
+    /// (sharing the input's dictionary).
     ///
-    /// Evaluated semi-naively: each round joins the rules against the
-    /// facts derived in the previous round only, over a borrowed overlay
-    /// of the input graph — the input is never cloned.
+    /// Evaluated semi-naively on id triples: each round joins the rules
+    /// against the facts derived in the previous round only, over a
+    /// borrowed overlay of the input graph — the input is never cloned.
     pub fn infer(&self, graph: &Graph) -> Graph {
-        semi_naive(graph, &mut |view, delta| rdfs_delta(view, delta))
+        let v = VocabIds::new(graph.dict());
+        semi_naive(graph, &mut |view, delta| rdfs_delta(&v, view, delta))
     }
 }
 
@@ -461,34 +658,6 @@ impl TriplePattern {
                 Some(out)
             })
             .collect()
-    }
-
-    /// Matches this pattern against a single ground statement from
-    /// scratch, returning the bindings it induces (used to seed semi-naive
-    /// rounds from a delta slice).
-    fn match_statement(&self, st: &Statement) -> Option<HashMap<String, Term>> {
-        let mut out = HashMap::new();
-        for (slot, term) in [
-            (&self.subject, &st.subject),
-            (&self.predicate, &st.predicate),
-            (&self.object, &st.object),
-        ] {
-            match slot {
-                PatternTerm::Term(t) => {
-                    if t != term {
-                        return None;
-                    }
-                }
-                PatternTerm::Var(v) => match out.get(v) {
-                    Some(prev) if prev != term => return None,
-                    Some(_) => {}
-                    None => {
-                        out.insert(v.clone(), term.clone());
-                    }
-                },
-            }
-        }
-        Some(out)
     }
 
     fn instantiate(&self, bindings: &HashMap<String, Term>) -> Option<Statement> {
@@ -687,13 +856,16 @@ impl GenericRuleReasoner {
     }
 
     /// Forward chaining to fixpoint: returns only the newly inferred
-    /// statements.
+    /// statements (sharing the input's dictionary).
     ///
-    /// Evaluated semi-naively: after the first round, each rule fires only
-    /// with at least one premise bound from the previous round's delta.
+    /// Rules are compiled once against the graph's dictionary, then
+    /// evaluated semi-naively on id triples: after the first round, each
+    /// rule fires only with at least one premise bound from the previous
+    /// round's delta.
     pub fn infer(&self, graph: &Graph) -> Graph {
+        let compiled = compile_rules(&self.rules, graph.dict());
         semi_naive(graph, &mut |view, delta| {
-            rules_delta(&self.rules, view, delta)
+            rules_delta(&compiled, view, delta)
         })
     }
 
@@ -906,6 +1078,23 @@ mod tests {
     }
 
     #[test]
+    fn transitive_reasoner_unknown_predicate_is_empty() {
+        let mut g = Graph::new();
+        g.insert(st("a", "p", "b"));
+        let inferred = TransitiveReasoner::new(vec![iri("never-interned")]).infer(&g);
+        assert!(inferred.is_empty());
+    }
+
+    #[test]
+    fn transitive_result_shares_input_dictionary() {
+        let mut g = Graph::new();
+        g.insert(st("a", "sub", "b"));
+        g.insert(st("b", "sub", "c"));
+        let inferred = TransitiveReasoner::new(vec![iri("sub")]).infer(&g);
+        assert!(inferred.dict().ptr_eq(g.dict()));
+    }
+
+    #[test]
     fn rdfs_subclass_instance_inheritance() {
         let mut g = Graph::new();
         g.insert(st("ex:cat", vocab::SUB_CLASS_OF, "ex:mammal"));
@@ -984,6 +1173,25 @@ mod tests {
     }
 
     #[test]
+    fn rule_compilation_numbers_variables_across_premises_and_head() {
+        let rule = Rule::parse("[(?a ex:parent ?b), (?b ex:parent ?c) -> (?a ex:grandparent ?c)]")
+            .unwrap();
+        let dict = TermDict::new();
+        let compiled = compile_rule(&rule, &dict);
+        assert_eq!(compiled.nvars, 3);
+        // ?b must resolve to the same index in both premises.
+        assert_eq!(compiled.premises[0].object, compiled.premises[1].subject);
+        // ?a and ?c in the head reuse the body's indexes.
+        assert_eq!(
+            compiled.conclusions[0].subject,
+            compiled.premises[0].subject
+        );
+        assert_eq!(compiled.conclusions[0].object, compiled.premises[1].object);
+        // Constants were interned.
+        assert!(dict.lookup(&iri("ex:grandparent")).is_some());
+    }
+
+    #[test]
     fn forward_chaining_grandparents() {
         let mut g = Graph::new();
         g.insert(st("alice", "parent", "bob"));
@@ -1031,6 +1239,18 @@ mod tests {
         let inferred = r.infer(&g);
         assert!(inferred.contains(&st("x", "can", "fly")));
         assert!(inferred.contains(&st("x", "has", "feathers")));
+    }
+
+    #[test]
+    fn forward_chaining_repeated_variable_in_premise() {
+        let mut g = Graph::new();
+        g.insert(st("a", "knows", "a"));
+        g.insert(st("a", "knows", "b"));
+        let r =
+            GenericRuleReasoner::from_rules_text("[(?x knows ?x) -> (?x is narcissist)]").unwrap();
+        let inferred = r.infer(&g);
+        assert!(inferred.contains(&st("a", "is", "narcissist")));
+        assert_eq!(inferred.len(), 1, "{inferred:?}");
     }
 
     #[test]

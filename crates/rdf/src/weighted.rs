@@ -8,14 +8,17 @@
 //!
 //! [`WeightedGraph`] attaches a confidence in `[0, 1]` to statements
 //! (unannotated statements default to 1.0 — plainly asserted facts).
+//! Confidences are keyed by the graph's dictionary-encoded id triples, so
+//! the reasoner's premise-confidence lookups are integer map hits.
 //! [`WeightedReasoner`] forward-chains user rules where each conclusion's
 //! confidence is `rule_strength × min(premise confidences)` (Gödel
 //! t-norm: a chain of inferences is only as strong as its weakest link),
 //! and re-derivations keep the **maximum** confidence over derivations.
 
+use crate::dict::{IdTriple, TermId};
 use crate::graph::Graph;
 use crate::model::Statement;
-use crate::reason::{GenericRuleReasoner, Rule};
+use crate::reason::{compile_rules, GenericRuleReasoner, Rule};
 use crate::RdfError;
 use std::collections::HashMap;
 
@@ -32,11 +35,12 @@ use std::collections::HashMap;
 /// wg.insert_with_confidence(st.clone(), 0.8);
 /// assert_eq!(wg.confidence(&st), Some(0.8));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct WeightedGraph {
     graph: Graph,
-    /// Overrides; statements in `graph` but absent here have confidence 1.
-    confidence: HashMap<Statement, f64>,
+    /// Overrides, keyed by encoded triple; statements in `graph` but
+    /// absent here have confidence 1.
+    confidence: HashMap<IdTriple, f64>,
 }
 
 impl WeightedGraph {
@@ -60,8 +64,9 @@ impl WeightedGraph {
 
     /// Inserts a fully trusted statement (confidence 1.0).
     pub fn insert(&mut self, st: Statement) -> bool {
-        self.confidence.remove(&st);
-        self.graph.insert(st)
+        let t = self.graph.intern_statement(&st);
+        self.confidence.remove(&t);
+        self.graph.insert_id(t)
     }
 
     /// Inserts a statement with an explicit confidence. Re-inserting
@@ -76,8 +81,9 @@ impl WeightedGraph {
             (0.0..=1.0).contains(&confidence),
             "confidence must be in [0, 1]"
         );
-        let added = self.graph.insert(st.clone());
-        let entry = self.confidence.entry(st).or_insert(confidence);
+        let t = self.graph.intern_statement(&st);
+        let added = self.graph.insert_id(t);
+        let entry = self.confidence.entry(t).or_insert(confidence);
         *entry = entry.max(confidence);
         added
     }
@@ -85,10 +91,11 @@ impl WeightedGraph {
     /// The confidence of a statement: `None` if absent, `Some(1.0)` for
     /// plain assertions, the recorded value otherwise.
     pub fn confidence(&self, st: &Statement) -> Option<f64> {
-        if !self.graph.contains(st) {
+        let t = self.graph.lookup_statement(st)?;
+        if !self.graph.contains_id(t) {
             return None;
         }
-        Some(self.confidence.get(st).copied().unwrap_or(1.0))
+        Some(self.confidence.get(&t).copied().unwrap_or(1.0))
     }
 
     /// Number of statements.
@@ -102,18 +109,38 @@ impl WeightedGraph {
     }
 
     /// All statements below the given confidence threshold — the
-    /// review queue for weakly supported knowledge.
+    /// review queue for weakly supported knowledge. Only the surviving
+    /// triples are materialized to statements.
     pub fn below_confidence(&self, threshold: f64) -> Vec<(Statement, f64)> {
-        let mut out: Vec<(Statement, f64)> = self
+        let mut weak: Vec<(IdTriple, f64)> = self
             .graph
-            .iter()
-            .filter_map(|st| {
-                let c = self.confidence(&st)?;
-                (c < threshold).then_some((st, c))
+            .iter_ids()
+            .filter_map(|t| {
+                let c = self.confidence.get(&t).copied().unwrap_or(1.0);
+                (c < threshold).then_some((t, c))
             })
             .collect();
-        out.sort_by(|a, b| a.1.total_cmp(&b.1));
-        out
+        weak.sort_by(|a, b| a.1.total_cmp(&b.1));
+        weak.into_iter()
+            .map(|(t, c)| (self.graph.resolve(t), c))
+            .collect()
+    }
+}
+
+/// Equality over observable content: same statements with the same
+/// effective confidences, independent of interning order.
+impl PartialEq for WeightedGraph {
+    fn eq(&self, other: &WeightedGraph) -> bool {
+        if self.graph != other.graph {
+            return false;
+        }
+        self.graph.iter_ids().all(|t| {
+            let mine = self.confidence.get(&t).copied().unwrap_or(1.0);
+            let theirs = other
+                .confidence(&self.graph.resolve(t))
+                .expect("graphs compared equal");
+            mine == theirs
+        })
     }
 }
 
@@ -159,24 +186,26 @@ impl WeightedReasoner {
     /// propagated confidence. Returns the newly added statements with
     /// their confidences (statements whose confidence merely *improved*
     /// are not re-reported).
+    ///
+    /// Rules are compiled once against the graph's dictionary; binding
+    /// paths and per-premise confidence lookups are all id work, and only
+    /// the newly added facts are materialized at the end.
     pub fn infer(&self, wg: &mut WeightedGraph) -> Vec<(Statement, f64)> {
-        let mut added = Vec::new();
+        let compiled = compile_rules(&self.rules, wg.graph.dict());
+        let mut added: Vec<(IdTriple, f64)> = Vec::new();
         loop {
             let mut progress = false;
-            for rule in &self.rules {
+            for rule in &compiled {
                 // Enumerate premise bindings, tracking the weakest premise
                 // confidence along every binding path.
-                let mut paths: Vec<(HashMap<String, crate::Term>, f64)> =
-                    vec![(HashMap::new(), 1.0)];
+                let mut paths: Vec<(Vec<Option<TermId>>, f64)> =
+                    vec![(vec![None; rule.nvars], 1.0)];
                 for premise in &rule.premises {
                     let mut next = Vec::new();
                     for (bindings, strength) in &paths {
-                        for extended in premise.solve_bindings(wg.graph(), bindings) {
+                        for (extended, matched) in premise.solve(&wg.graph, bindings) {
                             // The matched premise instance's confidence.
-                            let premise_conf = premise
-                                .instantiate_bindings(&extended)
-                                .and_then(|st| wg.confidence(&st))
-                                .unwrap_or(1.0);
+                            let premise_conf = wg.confidence.get(&matched).copied().unwrap_or(1.0);
                             next.push((extended, strength.min(premise_conf)));
                         }
                     }
@@ -187,18 +216,23 @@ impl WeightedReasoner {
                 }
                 for (bindings, strength) in paths {
                     for conclusion in &rule.conclusions {
-                        let Some(st) = conclusion.instantiate_bindings(&bindings) else {
+                        let Some(t) = conclusion.instantiate(&bindings) else {
                             continue;
                         };
                         let new_conf = (self.rule_strength * strength).clamp(0.0, 1.0);
-                        match wg.confidence(&st) {
+                        let existing = wg
+                            .graph
+                            .contains_id(t)
+                            .then(|| wg.confidence.get(&t).copied().unwrap_or(1.0));
+                        match existing {
                             None => {
-                                wg.insert_with_confidence(st.clone(), new_conf);
-                                added.push((st, new_conf));
+                                wg.graph.insert_id(t);
+                                wg.confidence.insert(t, new_conf);
+                                added.push((t, new_conf));
                                 progress = true;
                             }
                             Some(existing) if new_conf > existing + 1e-12 => {
-                                wg.insert_with_confidence(st, new_conf);
+                                wg.confidence.insert(t, new_conf);
                                 // Improved confidence can strengthen
                                 // downstream chains: keep iterating.
                                 progress = true;
@@ -209,7 +243,10 @@ impl WeightedReasoner {
                 }
             }
             if !progress {
-                return added;
+                return added
+                    .into_iter()
+                    .map(|(t, c)| (wg.graph.resolve(t), c))
+                    .collect();
             }
         }
     }
@@ -245,6 +282,19 @@ mod tests {
         // A plain assertion restores full trust.
         wg.insert(st("a", "p", "b"));
         assert_eq!(wg.confidence(&st("a", "p", "b")), Some(1.0));
+    }
+
+    #[test]
+    fn weighted_equality_ignores_interning_order() {
+        let mut wg1 = WeightedGraph::new();
+        wg1.insert(st("a", "p", "b"));
+        wg1.insert_with_confidence(st("c", "p", "d"), 0.6);
+        let mut wg2 = WeightedGraph::new();
+        wg2.insert_with_confidence(st("c", "p", "d"), 0.6);
+        wg2.insert(st("a", "p", "b"));
+        assert_eq!(wg1, wg2);
+        wg2.insert_with_confidence(st("c", "p", "d"), 0.9);
+        assert_ne!(wg1, wg2, "same facts, different confidences");
     }
 
     #[test]

@@ -150,6 +150,127 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Dictionary-encoding invariants
+// ---------------------------------------------------------------------
+
+/// Every [`Term`] variant, including doubles and blank nodes, so the
+/// dictionary round-trip covers the full literal space.
+fn arb_any_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        "[a-z:/#]{1,12}".prop_map(Term::iri),
+        "[a-z0-9]{1,8}".prop_map(Term::blank),
+        "\\PC{0,16}".prop_map(Term::string),
+        any::<i64>().prop_map(Term::integer),
+        prop::num::f64::NORMAL.prop_map(Term::double),
+        any::<bool>().prop_map(Term::boolean),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn dictionary_intern_resolve_round_trips_every_term_kind(
+        terms in prop::collection::vec(arb_any_term(), 1..60),
+    ) {
+        use cogsdk::rdf::TermDict;
+        let dict = TermDict::new();
+        let ids: Vec<_> = terms.iter().map(|t| dict.intern(t)).collect();
+        for (term, &id) in terms.iter().zip(&ids) {
+            prop_assert_eq!(&dict.resolve(id), term);
+            // Interning is idempotent and lookup agrees with intern.
+            prop_assert_eq!(dict.intern(term), id);
+            prop_assert_eq!(dict.lookup(term), Some(id));
+            // The kind tag matches the term's shape.
+            prop_assert_eq!(id.is_iri(), matches!(term, Term::Iri(_)));
+            prop_assert_eq!(id.is_blank(), matches!(term, Term::Blank(_)));
+            prop_assert_eq!(id.is_literal(), matches!(term, Term::Literal(_)));
+        }
+        // Distinct terms get distinct ids.
+        let distinct: std::collections::BTreeSet<&Term> = terms.iter().collect();
+        let distinct_ids: std::collections::BTreeSet<_> = ids.iter().collect();
+        prop_assert_eq!(distinct.len(), distinct_ids.len());
+        prop_assert_eq!(dict.len(), distinct.len());
+    }
+}
+
+/// The interned graph must be observably equivalent to naive
+/// set-of-statements semantics across a randomized workload of inserts,
+/// removals, pattern matches, and cross-dictionary merges. Driven by the
+/// SDK's own seeded SplitMix64 shim so failures replay exactly.
+#[test]
+fn interned_graph_matches_shadow_model_under_random_workload() {
+    use cogsdk::rdf::{Graph, Statement, Term};
+    use cogsdk::sim::rng::Rng;
+    use std::collections::BTreeSet;
+
+    for seed in 0..12u64 {
+        let mut rng = Rng::new(0xD1C7_0000 + seed);
+        let term = |rng: &mut Rng| -> Term {
+            match rng.below(5) {
+                0 | 1 => Term::iri(format!("e{}", rng.below(8))),
+                2 => Term::string(format!("s{}", rng.below(4))),
+                3 => Term::integer(rng.below(4) as i64),
+                _ => Term::boolean(rng.chance(0.5)),
+            }
+        };
+        let statement = |rng: &mut Rng| -> Statement {
+            Statement::new(
+                Term::iri(format!("e{}", rng.below(8))),
+                Term::iri(format!("p{}", rng.below(4))),
+                term(rng),
+            )
+        };
+        let mut graph = Graph::new();
+        let mut shadow: BTreeSet<Statement> = BTreeSet::new();
+        // A second graph with its own dictionary, merged in mid-workload,
+        // so `extend_from` has to translate ids across dictionaries.
+        let mut other = Graph::new();
+        for _ in 0..rng.below(20) {
+            other.insert(statement(&mut rng));
+        }
+        for step in 0..400 {
+            match rng.below(10) {
+                0..=5 => {
+                    let st = statement(&mut rng);
+                    assert_eq!(graph.insert(st.clone()), shadow.insert(st));
+                }
+                6 | 7 => {
+                    let st = statement(&mut rng);
+                    assert_eq!(graph.remove(&st), shadow.remove(&st));
+                }
+                8 => {
+                    // Pattern probe: every projection agrees with a naive
+                    // scan of the shadow model.
+                    let probe = statement(&mut rng);
+                    let by_s = graph.match_pattern(Some(&probe.subject), None, None);
+                    let naive: Vec<&Statement> = shadow
+                        .iter()
+                        .filter(|st| st.subject == probe.subject)
+                        .collect();
+                    assert_eq!(by_s.len(), naive.len(), "seed {seed} step {step}");
+                    let by_po =
+                        graph.match_pattern(None, Some(&probe.predicate), Some(&probe.object));
+                    assert!(by_po.iter().all(|st| shadow.contains(st)));
+                    assert_eq!(
+                        graph.contains(&probe),
+                        shadow.contains(&probe),
+                        "seed {seed} step {step}"
+                    );
+                }
+                _ => {
+                    let merged = graph.extend_from(&other);
+                    let before = shadow.len();
+                    shadow.extend(other.iter());
+                    assert_eq!(merged, shadow.len() - before, "seed {seed} step {step}");
+                }
+            }
+            assert_eq!(graph.len(), shadow.len(), "seed {seed} step {step}");
+        }
+        let all: BTreeSet<Statement> = graph.iter().collect();
+        assert_eq!(all, shadow, "seed {seed}: final contents diverged");
+    }
+}
+
+// ---------------------------------------------------------------------
 // SDK invariants
 // ---------------------------------------------------------------------
 
