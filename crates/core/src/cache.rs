@@ -436,6 +436,14 @@ impl CacheInner {
         let metrics = self.telemetry.metrics();
         let result = if hit { "hit" } else { "miss" };
         metrics.inc_counter("cache_requests_total", &[CACHE_LABEL, ("result", result)]);
+        // Tenanted probes additionally land in a per-tenant series; the
+        // untenanted total above stays the all-traffic aggregate.
+        if let Some(tenant) = self.telemetry.tracer().tenant_name(ctx.tenant) {
+            metrics.inc_counter(
+                "cache_requests_total",
+                &[CACHE_LABEL, ("result", result), ("tenant", &tenant)],
+            );
+        }
         let shard = idx.to_string();
         metrics.inc_counter(
             "sdk_cache_shard_requests_total",

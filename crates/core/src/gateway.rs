@@ -16,6 +16,18 @@
 //! | `GET /monitor/{service}` | — | availability and latency summary |
 //! | `GET /metrics` | — | Prometheus text exposition of the SDK's metrics |
 //! | `GET /trace` | — | JSON-Lines dump of the trace event ring buffer |
+//! | `GET /trace?trace_id=N` | — | one trace (tail-sampler retained copy preferred) |
+//! | `GET /slo` | — | burn-rate status of every configured objective |
+//! | `GET /profile` | — | critical-path profile of retained traces |
+//!
+//! Invocation requests may carry an `X-Tenant` header; the gateway interns
+//! the tenant into the trace context so every downstream RED metric
+//! (attempts, cache probes, pool jobs) gains a per-tenant series, and
+//! records per-route request/error/duration metrics with exemplar trace
+//! ids. When an [`SloEngine`] is attached ([`HttpGateway::with_observability`])
+//! each finished invocation is classified against its objectives, and when
+//! a tail sampler is enabled the gateway holds the trace open until the
+//! verdict (error/deadline/breaker/SLO-violation) is known.
 //!
 //! The request parser/serializer is self-contained ([`parse_request`],
 //! [`format_response`]) so the protocol layer is unit-testable without
@@ -26,7 +38,10 @@ use crate::rank::RankOptions;
 use crate::sdk::RichSdk;
 use crate::SdkError;
 use cogsdk_json::{json, Json};
-use cogsdk_obs::{prometheus_text, trace_jsonl, EventKind};
+use cogsdk_obs::{
+    profile_traces, prometheus_text, trace_jsonl_with_summary, EventKind, SloEngine, SloStatus,
+    SpanCtx, TenantId, TraceId, TraceVerdict,
+};
 use cogsdk_sim::service::Request;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -41,10 +56,24 @@ use std::time::Duration;
 pub struct HttpRequest {
     /// The request method (`GET`, `POST`, …).
     pub method: String,
-    /// The path (no query-string handling; the SDK API never needs one).
+    /// The path, with any query string stripped into `query`.
     pub path: String,
+    /// Decoded query-string pairs, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Value of the `X-Tenant` header, if the client sent one.
+    pub tenant: Option<String>,
     /// The raw body.
     pub body: String,
+}
+
+impl HttpRequest {
+    /// First value for a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// A minimal HTTP response.
@@ -136,7 +165,22 @@ pub fn parse_request(text: &str) -> Result<HttpRequest, String> {
     if !path.starts_with('/') {
         return Err(format!("invalid path: {path}"));
     }
-    // Skip headers to the blank line; body is the rest.
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (
+            p.to_string(),
+            q.split('&')
+                .filter(|pair| !pair.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (pair.to_string(), String::new()),
+                })
+                .collect(),
+        ),
+        None => (path, Vec::new()),
+    };
+    // Scan headers to the blank line (capturing `X-Tenant`); body is the
+    // rest.
+    let mut tenant = None;
     let mut body = String::new();
     let mut in_body = false;
     for line in lines {
@@ -147,9 +191,22 @@ pub fn parse_request(text: &str) -> Result<HttpRequest, String> {
             body.push_str(line);
         } else if line.is_empty() {
             in_body = true;
+        } else if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("x-tenant") {
+                let value = value.trim();
+                if !value.is_empty() {
+                    tenant = Some(value.to_string());
+                }
+            }
         }
     }
-    Ok(HttpRequest { method, path, body })
+    Ok(HttpRequest {
+        method,
+        path,
+        query,
+        tenant,
+        body,
+    })
 }
 
 /// Serializes a response as HTTP/1.1 text.
@@ -295,6 +352,7 @@ fn route_label(path: &str) -> &str {
 pub struct HttpGateway {
     sdk: Arc<RichSdk>,
     gate: Bulkhead,
+    slo: Option<Arc<SloEngine>>,
 }
 
 impl std::fmt::Debug for HttpGateway {
@@ -314,7 +372,29 @@ impl HttpGateway {
         HttpGateway {
             sdk,
             gate: Bulkhead::new(limits),
+            slo: None,
         }
+    }
+
+    /// As [`HttpGateway::with_limits`], additionally attaching an SLO
+    /// engine: every finished invocation is classified against its
+    /// objectives, burn rates are re-evaluated, and `/slo` serves the
+    /// engine's status.
+    pub fn with_observability(
+        sdk: Arc<RichSdk>,
+        limits: GatewayLimits,
+        slo: Arc<SloEngine>,
+    ) -> HttpGateway {
+        HttpGateway {
+            sdk,
+            gate: Bulkhead::new(limits),
+            slo: Some(slo),
+        }
+    }
+
+    /// The attached SLO engine, if any.
+    pub fn slo_engine(&self) -> Option<&Arc<SloEngine>> {
+        self.slo.as_ref()
     }
 
     /// Routes one parsed request through the bulkhead. No I/O.
@@ -334,13 +414,116 @@ impl HttpGateway {
         } else {
             self.route(request)
         };
-        let metrics = self.sdk.telemetry().metrics();
+        let telemetry = self.sdk.telemetry();
+        let metrics = telemetry.metrics();
         if metrics.is_enabled() {
             let status = response.status.to_string();
-            metrics.inc_counter(
-                "gateway_requests_total",
-                &[("route", route), ("status", &status)],
-            );
+            let tenant = request
+                .tenant
+                .as_deref()
+                .map(|t| telemetry.tracer().intern_tenant(t))
+                .and_then(|id| telemetry.tracer().tenant_name(id));
+            match tenant.as_deref() {
+                Some(t) => metrics.inc_counter(
+                    "gateway_requests_total",
+                    &[("route", route), ("status", &status), ("tenant", t)],
+                ),
+                None => metrics.inc_counter(
+                    "gateway_requests_total",
+                    &[("route", route), ("status", &status)],
+                ),
+            }
+        }
+        response
+    }
+
+    /// Runs one invocation-route handler inside a fresh (per-tenant)
+    /// trace: holds the trace in the tail sampler until the outcome is
+    /// known, records per-route RED metrics with an exemplar trace id,
+    /// classifies the request against any attached SLO objectives, and
+    /// finalizes the sampler with the resulting verdict.
+    fn observe_invoke(
+        &self,
+        route: &str,
+        request: &HttpRequest,
+        f: impl FnOnce(&SpanCtx) -> HttpResponse,
+    ) -> HttpResponse {
+        let telemetry = self.sdk.telemetry();
+        let tracer = telemetry.tracer();
+        if !telemetry.is_enabled() {
+            let ctx = tracer.new_trace();
+            return f(&ctx);
+        }
+        let tenant_id = match request.tenant.as_deref() {
+            Some(t) => tracer.intern_tenant(t),
+            None => TenantId::NONE,
+        };
+        let ctx = tracer.new_trace_for(tenant_id);
+        let sampler = telemetry.sampler();
+        if let Some(sampler) = &sampler {
+            sampler.hold(ctx.trace);
+        }
+        let started = tracer.now_ms();
+        let response = f(&ctx);
+        let latency_ms = (tracer.now_ms() - started).max(0.0);
+        // 4xx responses are the client's fault; only 5xx burns the budget.
+        let ok = response.status < 500;
+        let metrics = telemetry.metrics();
+        let status = response.status.to_string();
+        let tenant = tracer.tenant_name(tenant_id);
+        match tenant.as_deref() {
+            Some(t) => {
+                metrics.inc_counter(
+                    "gateway_route_requests_total",
+                    &[("route", route), ("status", &status), ("tenant", t)],
+                );
+                if !ok {
+                    metrics.inc_counter(
+                        "gateway_route_errors_total",
+                        &[("route", route), ("tenant", t)],
+                    );
+                }
+                metrics.observe_with_exemplar(
+                    "gateway_route_latency_ms",
+                    &[("route", route), ("tenant", t)],
+                    latency_ms,
+                    ctx.trace.0,
+                );
+            }
+            None => {
+                metrics.inc_counter(
+                    "gateway_route_requests_total",
+                    &[("route", route), ("status", &status)],
+                );
+                if !ok {
+                    metrics.inc_counter("gateway_route_errors_total", &[("route", route)]);
+                }
+                metrics.observe_with_exemplar(
+                    "gateway_route_latency_ms",
+                    &[("route", route)],
+                    latency_ms,
+                    ctx.trace.0,
+                );
+            }
+        }
+        let mut violated = false;
+        if let Some(engine) = &self.slo {
+            let record = engine.record(route, tenant.as_deref(), ok, latency_ms, &ctx);
+            violated = record.violated;
+        }
+        if let Some(sampler) = &sampler {
+            let verdict = if response.status == 504 {
+                Some(TraceVerdict::DeadlineExceeded)
+            } else if response.status == 503 {
+                Some(TraceVerdict::BreakerRejected)
+            } else if response.status >= 500 {
+                Some(TraceVerdict::Error)
+            } else if violated {
+                Some(TraceVerdict::SloViolation)
+            } else {
+                None
+            };
+            sampler.finalize(ctx.trace, verdict);
         }
         response
     }
@@ -401,14 +584,18 @@ impl HttpGateway {
                     .collect();
                 HttpResponse::ok(json!({"services": (Json::Array(names))}))
             }
-            ("GET", ["metrics"]) => HttpResponse::text(
-                "text/plain; version=0.0.4",
-                prometheus_text(self.sdk.telemetry().metrics()),
-            ),
-            ("GET", ["trace"]) => HttpResponse::text(
-                "application/x-ndjson",
-                trace_jsonl(&self.sdk.telemetry().tracer().events()),
-            ),
+            ("GET", ["metrics"]) => {
+                // Publish ring/sampler overflow counters so drops are
+                // visible in the same scrape that would miss their data.
+                self.sdk.telemetry().sync_health_metrics();
+                HttpResponse::text(
+                    "text/plain; version=0.0.4",
+                    prometheus_text(self.sdk.telemetry().metrics()),
+                )
+            }
+            ("GET", ["trace"]) => self.trace_response(request),
+            ("GET", ["slo"]) => self.slo_response(),
+            ("GET", ["profile"]) => self.profile_response(request),
             ("GET", ["monitor", service]) => match self.sdk.monitor().history(service) {
                 Some(history) => {
                     let mut body = Json::object();
@@ -423,36 +610,126 @@ impl HttpGateway {
                 None => HttpResponse::error(404, format!("no history for {service}")),
             },
             ("POST", ["invoke", service]) => match parse_body(&request.body) {
-                Ok(req) => match self.sdk.invoke(service, &req) {
-                    Ok(resp) => HttpResponse::ok(json!({"payload": (resp.payload)})),
-                    Err(e) => self.sdk_error_response(&e),
-                },
+                Ok(req) => self.observe_invoke("invoke", request, |ctx| {
+                    match self.sdk.invoke_in(service, &req, ctx) {
+                        Ok(resp) => HttpResponse::ok(json!({"payload": (resp.payload)})),
+                        Err(e) => self.sdk_error_response(&e),
+                    }
+                }),
                 Err(e) => HttpResponse::error(400, e),
             },
             ("POST", ["invoke-cached", service]) => match parse_body(&request.body) {
-                Ok(req) => match self.sdk.invoke_cached(service, &req) {
-                    Ok((resp, hit)) => HttpResponse::ok(json!({
-                        "payload": (resp.payload),
-                        "cache_hit": (hit),
-                    })),
-                    Err(e) => self.sdk_error_response(&e),
-                },
+                Ok(req) => self.observe_invoke("invoke-cached", request, |ctx| {
+                    match self.sdk.invoke_cached_outcome_in(service, &req, ctx) {
+                        Ok((resp, source)) => HttpResponse::ok(json!({
+                            "payload": (resp.payload),
+                            "cache_hit": (source.served_locally()),
+                        })),
+                        Err(e) => self.sdk_error_response(&e),
+                    }
+                }),
                 Err(e) => HttpResponse::error(400, e),
             },
             ("POST", ["invoke-class", class]) => match parse_body(&request.body) {
-                Ok(req) => match self.sdk.invoke_class(class, &req, &RankOptions::default()) {
-                    Ok(ok) => HttpResponse::ok(json!({
-                        "payload": (ok.response.payload),
-                        "service": (ok.service.as_str()),
-                        "services_tried": (ok.services_tried),
-                    })),
-                    Err(e) => self.sdk_error_response(&e),
-                },
+                Ok(req) => self.observe_invoke("invoke-class", request, |ctx| {
+                    match self
+                        .sdk
+                        .invoke_class_in(class, &req, &RankOptions::default(), ctx)
+                    {
+                        Ok(ok) => HttpResponse::ok(json!({
+                            "payload": (ok.response.payload),
+                            "service": (ok.service.as_str()),
+                            "services_tried": (ok.services_tried),
+                        })),
+                        Err(e) => self.sdk_error_response(&e),
+                    }
+                }),
                 Err(e) => HttpResponse::error(400, e),
             },
             ("POST", _) | ("GET", _) => HttpResponse::error(404, "no such route"),
             _ => HttpResponse::error(405, "method not allowed"),
         }
+    }
+
+    /// `/trace` dump: the full ring buffer, or — with `?trace_id=N` —
+    /// just that trace, preferring the tail sampler's retained copy (it
+    /// survives ring-buffer wraparound). Every dump ends with a summary
+    /// line reporting how many events the ring dropped.
+    fn trace_response(&self, request: &HttpRequest) -> HttpResponse {
+        let tracer = self.sdk.telemetry().tracer();
+        let events = match request.query_param("trace_id") {
+            Some(raw) => {
+                let id = match raw.trim_start_matches('t').parse::<u64>() {
+                    Ok(id) => TraceId(id),
+                    Err(_) => return HttpResponse::error(400, format!("bad trace_id: {raw}")),
+                };
+                let retained = self
+                    .sdk
+                    .telemetry()
+                    .sampler()
+                    .and_then(|s| s.retained_trace(id));
+                match retained {
+                    Some(trace) => trace.events,
+                    None => tracer
+                        .events()
+                        .into_iter()
+                        .filter(|e| e.trace == id)
+                        .collect(),
+                }
+            }
+            None => tracer.events(),
+        };
+        HttpResponse::text(
+            "application/x-ndjson",
+            trace_jsonl_with_summary(&events, tracer.dropped()),
+        )
+    }
+
+    /// `/slo` status: one entry per objective with window counts, burn
+    /// rates, and alert state.
+    fn slo_response(&self) -> HttpResponse {
+        let engine = match &self.slo {
+            Some(engine) => engine,
+            None => return HttpResponse::error(404, "no SLO engine attached"),
+        };
+        let statuses = engine.snapshot();
+        let mut list = Json::Array(Vec::new());
+        for status in &statuses {
+            list.push(slo_status_json(status));
+        }
+        let mut body = Json::object();
+        body.insert("burn_threshold", engine.config().burn_threshold);
+        body.insert("objectives", list);
+        HttpResponse::ok(body)
+    }
+
+    /// `/profile`: critical-path profile over the tail sampler's retained
+    /// traces. `?format=flamegraph` returns folded-stacks text;
+    /// `?top=K` limits the per-operation table.
+    fn profile_response(&self, request: &HttpRequest) -> HttpResponse {
+        let sampler = match self.sdk.telemetry().sampler() {
+            Some(sampler) => sampler,
+            None => return HttpResponse::error(404, "tail sampling not enabled"),
+        };
+        let profile = profile_traces(&sampler.retained_span_trees());
+        if request.query_param("format") == Some("flamegraph") {
+            return HttpResponse::text("text/plain; charset=utf-8", profile.flamegraph());
+        }
+        let mut body = profile.to_json();
+        if let Some(top) = request.query_param("top").and_then(|t| t.parse().ok()) {
+            let mut ops = Json::Array(Vec::new());
+            for op in profile.top_k(top) {
+                let mut o = Json::object();
+                o.insert("op", op.op.as_str());
+                o.insert("spans", op.spans as i64);
+                o.insert("total_ms", op.total_ms);
+                o.insert("self_ms", op.self_ms);
+                o.insert("critical_ms", op.critical_ms);
+                ops.push(o);
+            }
+            body.insert("ops", ops);
+        }
+        HttpResponse::ok(body)
     }
 
     /// Handles raw HTTP text end to end (parse → route → serialize).
@@ -533,6 +810,25 @@ fn serve_connection(gateway: &HttpGateway, stream: std::net::TcpStream) -> std::
     let mut stream = stream;
     stream.write_all(response.as_bytes())?;
     stream.flush()
+}
+
+fn slo_status_json(status: &SloStatus) -> Json {
+    let mut o = Json::object();
+    o.insert("route", status.spec.route.as_str());
+    if let Some(tenant) = &status.spec.tenant {
+        o.insert("tenant", tenant.as_str());
+    }
+    o.insert("latency_ms", status.spec.latency_ms);
+    o.insert("objective", status.spec.objective);
+    o.insert("fast_good", status.fast_good as i64);
+    o.insert("fast_bad", status.fast_bad as i64);
+    o.insert("slow_good", status.slow_good as i64);
+    o.insert("slow_bad", status.slow_bad as i64);
+    o.insert("fast_burn", status.fast_burn);
+    o.insert("slow_burn", status.slow_burn);
+    o.insert("alerting", status.alerting);
+    o.insert("alerts_fired", status.alerts_fired as i64);
+    o
 }
 
 fn parse_body(body: &str) -> Result<Request, String> {
@@ -861,6 +1157,148 @@ mod tests {
         let raw = gw.handle_text(&post("/invoke/echo", r#"{"payload": 1}"#));
         assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
         assert!(started.elapsed() >= Duration::from_millis(5));
+    }
+
+    fn post_as_tenant(path: &str, tenant: &str, body: &str) -> String {
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: x\r\nX-Tenant: {tenant}\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+    }
+
+    #[test]
+    fn parse_request_splits_query_and_captures_tenant() {
+        let req = parse_request(
+            "GET /trace?trace_id=7&format=flamegraph HTTP/1.1\r\nX-Tenant: acme\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.path, "/trace");
+        assert_eq!(req.query_param("trace_id"), Some("7"));
+        assert_eq!(req.query_param("format"), Some("flamegraph"));
+        assert_eq!(req.tenant.as_deref(), Some("acme"));
+        // No query, no tenant: fields stay empty.
+        let bare = parse_request("GET /trace HTTP/1.1\r\n\r\n").unwrap();
+        assert!(bare.query.is_empty());
+        assert_eq!(bare.tenant, None);
+    }
+
+    #[test]
+    fn tenant_header_threads_per_tenant_series_through_the_stack() {
+        let (_env, gw) = telemetry_gateway();
+        gw.handle_text(&post_as_tenant("/invoke/echo", "acme", r#"{"payload": 1}"#));
+        gw.handle_text(&post("/invoke/echo", r#"{"payload": 2}"#));
+        let raw = gw.handle_text("GET /metrics HTTP/1.1\r\n\r\n");
+        let body = raw.split("\r\n\r\n").nth(1).unwrap();
+        // SDK-level RED picks up the tenant...
+        assert!(
+            body.contains(r#"sdk_attempts_total{outcome="ok",service="echo",tenant="acme"} 1"#),
+            "{body}"
+        );
+        // ...while untenanted traffic keeps its original series.
+        assert!(
+            body.contains(r#"sdk_attempts_total{outcome="ok",service="echo"} 1"#),
+            "{body}"
+        );
+        // Gateway-level RED: request counts and a latency histogram with
+        // per-tenant series.
+        assert!(
+            body.contains(
+                r#"gateway_route_requests_total{route="invoke",status="200",tenant="acme"} 1"#
+            ),
+            "{body}"
+        );
+        assert!(
+            body.contains(r#"gateway_route_latency_ms_bucket{route="invoke",tenant="acme""#),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn slo_route_serves_objective_status() {
+        let env = SimEnv::with_seed(81);
+        let telemetry = cogsdk_obs::Telemetry::new();
+        let sdk = Arc::new(RichSdk::with_telemetry(&env, telemetry.clone()));
+        sdk.register(
+            SimService::builder("echo", "demo")
+                .latency(LatencyModel::constant_ms(5.0))
+                .build(&env),
+        );
+        let engine = Arc::new(cogsdk_obs::SloEngine::new(
+            telemetry,
+            cogsdk_obs::SloConfig::default(),
+        ));
+        engine.add_objective(cogsdk_obs::SloSpec::new("invoke", 100.0, 0.99));
+        let gw = HttpGateway::with_observability(sdk, GatewayLimits::default(), engine);
+        gw.handle_text(&post("/invoke/echo", r#"{"payload": 1}"#));
+        let raw = gw.handle_text("GET /slo HTTP/1.1\r\n\r\n");
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        let body = Json::parse(raw.split("\r\n\r\n").nth(1).unwrap()).unwrap();
+        assert_eq!(
+            body.pointer("/objectives/0/route").and_then(Json::as_str),
+            Some("invoke")
+        );
+        assert_eq!(
+            body.pointer("/objectives/0/alerting")
+                .and_then(Json::as_bool),
+            Some(false)
+        );
+        // Without an engine the route 404s instead of lying.
+        let (_env2, plain) = telemetry_gateway();
+        assert!(plain
+            .handle_text("GET /slo HTTP/1.1\r\n\r\n")
+            .starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn profile_and_filtered_trace_serve_retained_traces() {
+        let env = SimEnv::with_seed(82);
+        let telemetry = cogsdk_obs::Telemetry::new();
+        telemetry.enable_tail_sampling(cogsdk_obs::SamplerConfig {
+            healthy_sample_rate: 1.0,
+            ..cogsdk_obs::SamplerConfig::default()
+        });
+        let sdk = Arc::new(RichSdk::with_telemetry(&env, telemetry.clone()));
+        sdk.register(
+            SimService::builder("echo", "demo")
+                .latency(LatencyModel::constant_ms(5.0))
+                .build(&env),
+        );
+        let gw = HttpGateway::new(sdk);
+        gw.handle_text(&post("/invoke/echo", r#"{"payload": 1}"#));
+        let raw = gw.handle_text("GET /profile HTTP/1.1\r\n\r\n");
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        let body = Json::parse(raw.split("\r\n\r\n").nth(1).unwrap()).unwrap();
+        assert_eq!(body.pointer("/traces").and_then(Json::as_i64), Some(1));
+        assert!(
+            body.pointer("/ops/0/op")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .starts_with("invoke:"),
+            "{body:?}"
+        );
+        // Flamegraph rendering of the same data.
+        let flame = gw.handle_text("GET /profile?format=flamegraph HTTP/1.1\r\n\r\n");
+        assert!(flame.contains("invoke:"), "{flame}");
+        // Filtered trace dump: only the requested trace, plus a summary.
+        let retained = gw.sdk.telemetry().sampler().unwrap().retained();
+        let id = retained[0].trace;
+        let raw = gw.handle_text(&format!("GET /trace?trace_id={} HTTP/1.1\r\n\r\n", id.0));
+        let body = raw.split("\r\n\r\n").nth(1).unwrap();
+        for line in body.lines().filter(|l| !l.is_empty()) {
+            let parsed = Json::parse(line).unwrap();
+            if parsed.get("summary").is_none() {
+                assert_eq!(
+                    parsed.pointer("/trace").and_then(Json::as_i64),
+                    Some(id.0 as i64),
+                    "{line}"
+                );
+            }
+        }
+        assert!(body.contains("\"summary\":true"), "{body}");
+        // Nonsense ids are a client error.
+        assert!(gw
+            .handle_text("GET /trace?trace_id=xyz HTTP/1.1\r\n\r\n")
+            .starts_with("HTTP/1.1 400"));
     }
 
     #[test]

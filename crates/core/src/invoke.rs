@@ -373,20 +373,46 @@ fn record_attempt(
         latency_ms,
     });
     let metrics = telemetry.metrics();
-    metrics.inc_counter(
-        "sdk_attempts_total",
-        &[("service", service), ("outcome", kind)],
-    );
-    metrics.observe(
-        "sdk_attempt_latency_ms",
-        &[("service", service)],
-        latency_ms,
-    );
+    // RED metrics pick up a tenant label only when the request carries
+    // one, so untenanted deployments keep their original series.
+    let tenant = telemetry.tracer().tenant_name(ctx.tenant);
+    match tenant.as_deref() {
+        Some(t) => {
+            metrics.inc_counter(
+                "sdk_attempts_total",
+                &[("service", service), ("outcome", kind), ("tenant", t)],
+            );
+            metrics.observe_with_exemplar(
+                "sdk_attempt_latency_ms",
+                &[("service", service), ("tenant", t)],
+                latency_ms,
+                ctx.trace.0,
+            );
+        }
+        None => {
+            metrics.inc_counter(
+                "sdk_attempts_total",
+                &[("service", service), ("outcome", kind)],
+            );
+            metrics.observe_with_exemplar(
+                "sdk_attempt_latency_ms",
+                &[("service", service)],
+                latency_ms,
+                ctx.trace.0,
+            );
+        }
+    }
     if let Err(e) = &outcome.result {
-        metrics.inc_counter(
-            "sdk_errors_total",
-            &[("service", service), ("kind", e.kind())],
-        );
+        match tenant.as_deref() {
+            Some(t) => metrics.inc_counter(
+                "sdk_errors_total",
+                &[("service", service), ("kind", e.kind()), ("tenant", t)],
+            ),
+            None => metrics.inc_counter(
+                "sdk_errors_total",
+                &[("service", service), ("kind", e.kind())],
+            ),
+        }
     }
 }
 

@@ -18,6 +18,7 @@ use crate::pool::ThreadPool;
 use crate::resilience::Deadline;
 use crate::SdkError;
 use cogsdk_json::{json, Json};
+use cogsdk_obs::{SpanCtx, Telemetry};
 use cogsdk_search::html::extract_text;
 use cogsdk_sim::clock::SimTime;
 use cogsdk_sim::service::{Request, ServiceError, SimService};
@@ -255,6 +256,7 @@ pub struct NluSupport {
     pool: Arc<ThreadPool>,
     store: Arc<DocumentStore>,
     cache: Option<Arc<ResponseCache>>,
+    telemetry: Telemetry,
     retries: usize,
 }
 
@@ -275,6 +277,7 @@ impl NluSupport {
             pool,
             store: Arc::new(DocumentStore::new()),
             cache: None,
+            telemetry: Telemetry::disabled(),
             retries: 2,
         }
     }
@@ -292,8 +295,16 @@ impl NluSupport {
             pool,
             store: Arc::new(DocumentStore::new()),
             cache: Some(cache),
+            telemetry: Telemetry::disabled(),
             retries: 2,
         }
+    }
+
+    /// Attaches a telemetry sink so the `_in` analysis variants can
+    /// record per-service (and per-tenant) RED metrics.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> NluSupport {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The local document store.
@@ -320,6 +331,59 @@ impl NluSupport {
             Err(ServiceError::BadRequest(m)) => Err(SdkError::Rejected(m)),
             Err(e) => Err(SdkError::AllFailed(format!("{}: {e}", nlu.name()))),
         }
+    }
+
+    /// As [`analyze_text`](NluSupport::analyze_text), inside a caller's
+    /// span: records `nlu_requests_total` / `nlu_latency_ms` RED metrics
+    /// — with a `tenant` series when the span is tenanted — and attaches
+    /// the trace id as a latency exemplar.
+    ///
+    /// # Errors
+    ///
+    /// As for [`analyze_text`](NluSupport::analyze_text).
+    pub fn analyze_text_in(
+        &self,
+        nlu: &Arc<SimService>,
+        text: &str,
+        ctx: &SpanCtx,
+    ) -> Result<DocumentAnalysis, SdkError> {
+        if !self.telemetry.is_enabled() {
+            return self.analyze_text(nlu, text);
+        }
+        let tracer = self.telemetry.tracer();
+        let started = tracer.now_ms();
+        let result = self.analyze_text(nlu, text);
+        let latency_ms = (tracer.now_ms() - started).max(0.0);
+        let metrics = self.telemetry.metrics();
+        let outcome = if result.is_ok() { "ok" } else { "error" };
+        let service = nlu.name();
+        match tracer.tenant_name(ctx.tenant).as_deref() {
+            Some(t) => {
+                metrics.inc_counter(
+                    "nlu_requests_total",
+                    &[("outcome", outcome), ("service", service), ("tenant", t)],
+                );
+                metrics.observe_with_exemplar(
+                    "nlu_latency_ms",
+                    &[("service", service), ("tenant", t)],
+                    latency_ms,
+                    ctx.trace.0,
+                );
+            }
+            None => {
+                metrics.inc_counter(
+                    "nlu_requests_total",
+                    &[("outcome", outcome), ("service", service)],
+                );
+                metrics.observe_with_exemplar(
+                    "nlu_latency_ms",
+                    &[("service", service)],
+                    latency_ms,
+                    ctx.trace.0,
+                );
+            }
+        }
+        result
     }
 
     /// As [`analyze_text`](NluSupport::analyze_text), read-through the
@@ -805,6 +869,48 @@ mod tests {
             .unwrap();
         assert_eq!(a.entities[0].canonical, "microsoft");
         assert!(a.sentiment.score > 0.0);
+    }
+
+    #[test]
+    fn analyze_text_in_records_tenant_red_metrics() {
+        let env = SimEnv::with_seed(9);
+        let nlu = perfect_nlu(&env);
+        let t = Telemetry::new();
+        let s = support().with_telemetry(t.clone());
+        let tenant = t.tracer().intern_tenant("acme");
+        let ctx = t.tracer().new_trace_for(tenant);
+        s.analyze_text_in(&nlu, "IBM posted excellent growth.", &ctx)
+            .unwrap();
+        assert_eq!(
+            t.metrics().counter_value(
+                "nlu_requests_total",
+                &[
+                    ("outcome", "ok"),
+                    ("service", "nlu-perfect"),
+                    ("tenant", "acme")
+                ],
+            ),
+            Some(1)
+        );
+        let hist = t
+            .metrics()
+            .histogram(
+                "nlu_latency_ms",
+                &[("service", "nlu-perfect"), ("tenant", "acme")],
+            )
+            .unwrap();
+        assert_eq!(hist.count, 1);
+        // Untenanted spans keep the original series shape.
+        let ctx = t.tracer().new_trace();
+        s.analyze_text_in(&nlu, "IBM posted excellent growth.", &ctx)
+            .unwrap();
+        assert_eq!(
+            t.metrics().counter_value(
+                "nlu_requests_total",
+                &[("outcome", "ok"), ("service", "nlu-perfect")],
+            ),
+            Some(1)
+        );
     }
 
     #[test]

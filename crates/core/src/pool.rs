@@ -5,7 +5,7 @@
 //! cases, we use thread pools of limited size."
 
 use crate::future::ListenableFuture;
-use cogsdk_obs::{EventKind, Telemetry};
+use cogsdk_obs::{EventKind, SpanCtx, Telemetry};
 use crossbeam::channel::{unbounded, Sender};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -108,16 +108,34 @@ impl ThreadPool {
         &self,
         job: impl FnOnce() -> T + Send + 'static,
     ) -> ListenableFuture<T> {
+        self.submit_in(None, job)
+    }
+
+    /// As [`submit`](ThreadPool::submit), optionally attaching the job's
+    /// enqueue/dequeue events to a caller's span: the job becomes a child
+    /// span of `parent` (same trace, same tenant), and `pool_jobs_total`
+    /// gains a per-tenant series for tenanted work.
+    pub fn submit_in<T: Send + Sync + 'static>(
+        &self,
+        parent: Option<&SpanCtx>,
+        job: impl FnOnce() -> T + Send + 'static,
+    ) -> ListenableFuture<T> {
         let future = ListenableFuture::new();
         let future2 = future.clone();
         let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
         let payload: Job = if self.telemetry.is_enabled() {
-            let ctx = self.telemetry.tracer().new_trace();
+            let ctx = match parent {
+                Some(p) => self.telemetry.tracer().child(p),
+                None => self.telemetry.tracer().new_trace(),
+            };
             self.telemetry
                 .tracer()
                 .emit(&ctx, || EventKind::PoolEnqueue { queue_depth: depth });
             let metrics = self.telemetry.metrics();
-            metrics.inc_counter("pool_jobs_total", &[]);
+            match self.telemetry.tracer().tenant_name(ctx.tenant).as_deref() {
+                Some(t) => metrics.inc_counter("pool_jobs_total", &[("tenant", t)]),
+                None => metrics.inc_counter("pool_jobs_total", &[]),
+            }
             metrics.set_gauge("pool_queue_depth", &[], depth as f64);
             let telemetry = self.telemetry.clone();
             let queued = self.queued.clone();

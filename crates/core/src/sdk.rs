@@ -197,9 +197,16 @@ impl RichSdk {
     ) -> RichSdk {
         let monitor = Arc::new(ServiceMonitor::new());
         let pool = Arc::new(ThreadPool::with_telemetry(pool_size, telemetry.clone()));
+        // Stamp trace events with virtual time: SLO windows and the
+        // profiler then reproduce bit-identically under a seeded clock.
+        let clock = env.clock().clone();
+        telemetry
+            .tracer()
+            .set_time_source(Arc::new(move || clock.now().as_micros() as f64 / 1e3));
         RichSdk {
             registry: Arc::new(ServiceRegistry::new()),
-            nlu: NluSupport::with_cache(monitor.clone(), pool.clone(), cache.clone()),
+            nlu: NluSupport::with_cache(monitor.clone(), pool.clone(), cache.clone())
+                .with_telemetry(telemetry.clone()),
             cache,
             monitor,
             pool,
@@ -318,9 +325,25 @@ impl RichSdk {
     /// [`SdkError::UnknownService`], [`SdkError::Rejected`], or
     /// [`SdkError::AllFailed`] when retries are exhausted.
     pub fn invoke(&self, name: &str, request: &Request) -> Result<Response, SdkError> {
-        let service = self.service(name)?;
         let ctx = self.telemetry.tracer().new_trace();
-        self.invoke_traced(&service, request, &ctx)
+        self.invoke_in(name, request, &ctx)
+    }
+
+    /// As [`invoke`](RichSdk::invoke), inside a caller-provided span
+    /// (the gateway owns the trace so its tenant and its tail-sampling
+    /// verdict cover the whole request).
+    ///
+    /// # Errors
+    ///
+    /// As for [`invoke`](RichSdk::invoke).
+    pub fn invoke_in(
+        &self,
+        name: &str,
+        request: &Request,
+        ctx: &SpanCtx,
+    ) -> Result<Response, SdkError> {
+        let service = self.service(name)?;
+        self.invoke_traced(&service, request, ctx)
     }
 
     /// Shared single-service invocation: wraps the retry loop in an
@@ -422,14 +445,30 @@ impl RichSdk {
         request: &Request,
     ) -> Result<(Response, FetchSource), SdkError> {
         let ctx = self.telemetry.tracer().new_trace();
+        self.invoke_cached_outcome_in(name, request, &ctx)
+    }
+
+    /// As [`invoke_cached_outcome`](RichSdk::invoke_cached_outcome),
+    /// inside a caller-provided span.
+    ///
+    /// # Errors
+    ///
+    /// As for [`invoke`](RichSdk::invoke); a coalesced caller receives
+    /// the leader's error verbatim.
+    pub fn invoke_cached_outcome_in(
+        &self,
+        name: &str,
+        request: &Request,
+        ctx: &SpanCtx,
+    ) -> Result<(Response, FetchSource), SdkError> {
         let key = format!("{name}::{}", request.cache_key());
-        match self.cache.lookup_traced(&key, &ctx) {
+        match self.cache.lookup_traced(&key, ctx) {
             Lookup::Fresh(hit) => Ok((Response::new(hit), FetchSource::Hit)),
             Lookup::Stale(stale) => {
                 // Serve the stale value immediately; at most one refresh
                 // per key runs in the background (followers skip it).
                 if let FlightJoin::Leader(guard) = self.cache.join_flight(&key) {
-                    self.spawn_refresh(name, request.clone(), guard);
+                    self.spawn_refresh(name, request.clone(), guard, ctx);
                 }
                 Ok((Response::new(stale), FetchSource::Stale))
             }
@@ -448,7 +487,7 @@ impl RichSdk {
                             return Err(e);
                         }
                     };
-                    match self.invoke_traced(&service, request, &ctx) {
+                    match self.invoke_traced(&service, request, ctx) {
                         Ok(response) => {
                             guard.complete(Ok(response.payload.clone()));
                             Ok((response, FetchSource::Fetched))
@@ -471,7 +510,7 @@ impl RichSdk {
     /// outcome through `guard`. The refresh is governed exactly like a
     /// foreground invocation: breaker admission first, then the retry
     /// loop under a fresh deadline budget.
-    fn spawn_refresh(&self, name: &str, request: Request, guard: FlightGuard) {
+    fn spawn_refresh(&self, name: &str, request: Request, guard: FlightGuard, parent: &SpanCtx) {
         let registry = self.registry.clone();
         let monitor = self.monitor.clone();
         let telemetry = self.telemetry.clone();
@@ -483,12 +522,14 @@ impl RichSdk {
             (policy.retries_for(name), policy.backoff)
         };
         let name = name.to_string();
-        self.pool.submit(move || {
+        let parent = *parent;
+        self.pool.submit_in(Some(&parent), move || {
             let Some(service) = registry.get(&name) else {
                 guard.complete(Err(SdkError::UnknownService(name)));
                 return;
             };
-            let ctx = telemetry.tracer().new_trace();
+            // The refresh stays in the requester's trace (and tenant).
+            let ctx = telemetry.tracer().child(&parent);
             let deadline = match default_deadline {
                 Some(budget) => Deadline::within(&clock, budget),
                 None => Deadline::NONE,
@@ -597,7 +638,24 @@ impl RichSdk {
         request: &Request,
         options: &RankOptions,
     ) -> Result<FailoverSuccess, SdkError> {
-        self.invoke_class_governed(class, request, options, self.governance())
+        let ctx = self.telemetry.tracer().new_trace();
+        self.invoke_class_governed(class, request, options, self.governance(), &ctx)
+    }
+
+    /// As [`invoke_class`](RichSdk::invoke_class), inside a
+    /// caller-provided span.
+    ///
+    /// # Errors
+    ///
+    /// As for [`invoke_class`](RichSdk::invoke_class).
+    pub fn invoke_class_in(
+        &self,
+        class: &str,
+        request: &Request,
+        options: &RankOptions,
+        ctx: &SpanCtx,
+    ) -> Result<FailoverSuccess, SdkError> {
+        self.invoke_class_governed(class, request, options, self.governance(), ctx)
     }
 
     /// As [`RichSdk::invoke_class`], bounded by an end-to-end budget:
@@ -618,7 +676,8 @@ impl RichSdk {
         let gov = self
             .governance()
             .deadline(Deadline::within(&self.clock, budget));
-        self.invoke_class_governed(class, request, options, gov)
+        let ctx = self.telemetry.tracer().new_trace();
+        self.invoke_class_governed(class, request, options, gov, &ctx)
     }
 
     fn invoke_class_governed(
@@ -627,15 +686,15 @@ impl RichSdk {
         request: &Request,
         options: &RankOptions,
         gov: Governance,
+        ctx: &SpanCtx,
     ) -> Result<FailoverSuccess, SdkError> {
         let ranked = self.rank(class, options);
         if ranked.is_empty() {
             return Err(SdkError::EmptyClass(class.to_string()));
         }
-        let ctx = self.telemetry.tracer().new_trace();
         self.telemetry
             .tracer()
-            .emit(&ctx, || EventKind::InvokeStart {
+            .emit(ctx, || EventKind::InvokeStart {
                 class: class.to_string(),
                 operation: request.operation.clone(),
             });
@@ -653,7 +712,7 @@ impl RichSdk {
             &policy,
             &self.monitor,
             &self.telemetry,
-            &ctx,
+            ctx,
             &gov,
         );
         if self.telemetry.is_enabled() {
@@ -665,7 +724,7 @@ impl RichSdk {
                         let predicted = *predicted;
                         self.telemetry
                             .tracer()
-                            .emit(&ctx, || EventKind::PredictionIssued {
+                            .emit(ctx, || EventKind::PredictionIssued {
                                 service: ok.service.clone(),
                                 predicted_ms: predicted,
                                 observed_ms: ok.latency_ms,
@@ -676,7 +735,7 @@ impl RichSdk {
                             (ok.latency_ms - predicted).abs(),
                         );
                     }
-                    self.telemetry.tracer().emit(&ctx, || EventKind::InvokeEnd {
+                    self.telemetry.tracer().emit(ctx, || EventKind::InvokeEnd {
                         service: ok.service.clone(),
                         outcome: "ok",
                         latency_ms: ok.latency_ms,
@@ -684,7 +743,7 @@ impl RichSdk {
                 }
                 Err(e) => {
                     let kind = e.kind();
-                    self.telemetry.tracer().emit(&ctx, || EventKind::InvokeEnd {
+                    self.telemetry.tracer().emit(ctx, || EventKind::InvokeEnd {
                         service: class.to_string(),
                         outcome: kind,
                         latency_ms: 0.0,

@@ -1,0 +1,260 @@
+//! Deterministic SLO/chaos regression for the observability tentpole.
+//!
+//! A seeded [`ChaosScenario`] hard-outages the only service on the
+//! gateway's `invoke` route, then brown-outs it past the latency
+//! objective. Everything runs on the virtual clock, so the run asserts
+//! exact, reproducible behavior:
+//!
+//! * the multi-window burn-rate evaluator fires a `SloBurnAlert` on the
+//!   rising edge (and only once per episode),
+//! * the tail sampler retains **every** error and objective-violating
+//!   trace — zero anomalous drops — while holding its buffered-event
+//!   count under the configured bound and downsampling healthy traffic,
+//! * `/slo`, `/profile`, and `/trace?trace_id=` serve the evidence.
+
+use cogsdk_core::gateway::{GatewayLimits, HttpGateway};
+use cogsdk_core::RichSdk;
+use cogsdk_json::Json;
+use cogsdk_obs::{
+    SamplerConfig, SamplerStats, SloConfig, SloEngine, SloSpec, Telemetry, TraceVerdict,
+};
+use cogsdk_sim::chaos::{ChaosScenario, Fault};
+use cogsdk_sim::latency::LatencyModel;
+use cogsdk_sim::{SimEnv, SimService};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 0x51_0CAFE;
+/// Healthy latency, well inside the objective.
+const HEALTHY_MS: f64 = 10.0;
+/// Latency objective: slower-but-successful requests are SLO violations.
+const OBJECTIVE_MS: f64 = 100.0;
+/// The service answers nothing in this window (hard outage).
+const OUTAGE_START: Duration = Duration::from_secs(60);
+const OUTAGE_END: Duration = Duration::from_secs(120);
+/// After recovery the service answers 50x slower (brown-out): requests
+/// succeed but bust the latency objective.
+const BROWNOUT_START: Duration = Duration::from_secs(125);
+const BROWNOUT_END: Duration = Duration::from_secs(150);
+
+const MAX_BUFFERED_EVENTS: usize = 4_096;
+
+struct RunOutcome {
+    ok_200: usize,
+    err_502: usize,
+    violations_200: usize,
+    stats: SamplerStats,
+    retained_errors: usize,
+    retained_violations: usize,
+    slo_body: String,
+    alert_events: usize,
+}
+
+fn post(path: &str, tenant: &str, body: &str) -> String {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: x\r\nX-Tenant: {tenant}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn status_of(raw: &str) -> u16 {
+    raw.split_whitespace().nth(1).unwrap().parse().unwrap()
+}
+
+fn run_scenario() -> RunOutcome {
+    let env = SimEnv::with_seed(SEED);
+    let telemetry = Telemetry::new();
+    let sampler = telemetry.enable_tail_sampling(SamplerConfig {
+        max_buffered_events: MAX_BUFFERED_EVENTS,
+        max_retained_traces: 512,
+        healthy_sample_rate: 0.25,
+        seed: SEED,
+    });
+    let sdk = Arc::new(RichSdk::with_telemetry(&env, telemetry.clone()));
+
+    let scenario = ChaosScenario::new(SEED)
+        .with_fault(
+            "ocr",
+            Fault::Outage {
+                start: OUTAGE_START,
+                end: OUTAGE_END,
+            },
+        )
+        .with_fault(
+            "ocr",
+            Fault::Degradation {
+                start: BROWNOUT_START,
+                end: BROWNOUT_END,
+                factor: 50.0,
+            },
+        );
+    sdk.register(
+        SimService::builder("ocr", "ocr")
+            .latency(LatencyModel::constant_ms(HEALTHY_MS))
+            .failures(scenario.plan_for("ocr"))
+            .build(&env),
+    );
+
+    let engine = Arc::new(SloEngine::new(telemetry.clone(), SloConfig::default()));
+    engine.add_objective(SloSpec::new("invoke", OBJECTIVE_MS, 0.99));
+    engine.add_objective(SloSpec::new("invoke", OBJECTIVE_MS, 0.99).for_tenant("acme"));
+    let gw = HttpGateway::with_observability(sdk, GatewayLimits::default(), engine.clone());
+
+    let clock = env.clock();
+    let mut ok_200 = 0;
+    let mut err_502 = 0;
+    let mut violations_200 = 0;
+    // One request every 500ms of virtual time, from t=0 through the
+    // outage and the brown-out: 120 healthy, 120 failing, 50 slow.
+    for i in 0..290u64 {
+        clock.advance_to(cogsdk_sim::clock::SimTime::from_millis(500 * i));
+        let before = clock.now();
+        let raw = gw.handle_text(&post("/invoke/ocr", "acme", r#"{"payload": 1}"#));
+        let elapsed_ms = clock.now().since(before).as_secs_f64() * 1e3;
+        match status_of(&raw) {
+            200 if elapsed_ms > OBJECTIVE_MS => violations_200 += 1,
+            200 => ok_200 += 1,
+            502 => err_502 += 1,
+            other => panic!("unexpected status {other} at request {i}: {raw}"),
+        }
+    }
+
+    let slo_raw = gw.handle_text("GET /slo HTTP/1.1\r\n\r\n");
+    let slo_body = slo_raw.split("\r\n\r\n").nth(1).unwrap().to_string();
+    let alert_events = telemetry
+        .tracer()
+        .events()
+        .iter()
+        .filter(|e| e.kind.name() == "slo_burn_alert")
+        .count();
+    RunOutcome {
+        ok_200,
+        err_502,
+        violations_200,
+        stats: sampler.stats(),
+        retained_errors: sampler.retained_with_verdict(TraceVerdict::Error),
+        retained_violations: sampler.retained_with_verdict(TraceVerdict::SloViolation),
+        slo_body,
+        alert_events,
+    }
+}
+
+#[test]
+fn seeded_outage_trips_burn_alert_and_retains_offending_traces() {
+    let run = run_scenario();
+
+    // The schedule splits exactly into healthy / failing / violating.
+    assert_eq!(run.err_502, 120, "outage window fails every request");
+    assert!(
+        run.violations_200 >= 40,
+        "brown-out produces slow successes: {}",
+        run.violations_200
+    );
+    assert!(run.ok_200 >= 100, "healthy phases succeed: {}", run.ok_200);
+
+    // Tail sampling: every anomalous trace is retained, none dropped.
+    assert_eq!(run.retained_errors, run.err_502, "no error trace lost");
+    assert_eq!(
+        run.retained_violations, run.violations_200,
+        "no SLO-violating trace lost"
+    );
+    assert_eq!(run.stats.dropped_anomalous_traces, 0);
+    // Healthy traffic is downsampled, and the buffer bound holds.
+    assert!(
+        run.stats.retained_traces < run.ok_200 + run.err_502 + run.violations_200,
+        "healthy traces must be downsampled: {:?}",
+        run.stats
+    );
+    assert!(
+        run.stats.buffered_events <= MAX_BUFFERED_EVENTS,
+        "buffered events {} exceed bound {MAX_BUFFERED_EVENTS}",
+        run.stats.buffered_events
+    );
+
+    // The burn-rate evaluator fired: both the route-wide and the
+    // per-tenant objective alerted, each once per episode (rising edge).
+    let slo = Json::parse(&run.slo_body).unwrap();
+    let objectives = match slo.get("objectives") {
+        Some(Json::Array(list)) => list.clone(),
+        other => panic!("bad /slo body: {other:?}"),
+    };
+    assert_eq!(objectives.len(), 2);
+    for obj in &objectives {
+        let fired = obj.get("alerts_fired").and_then(Json::as_i64).unwrap();
+        assert!(
+            fired >= 1,
+            "objective never alerted: {}",
+            obj.clone().to_json()
+        );
+        assert!(
+            fired <= 2,
+            "alert must fire on rising edges, not every request: {}",
+            obj.clone().to_json()
+        );
+    }
+    assert!(run.alert_events >= 1, "SloBurnAlert event emitted");
+}
+
+#[test]
+fn chaos_run_is_deterministic() {
+    let a = run_scenario();
+    let b = run_scenario();
+    assert_eq!(a.err_502, b.err_502);
+    assert_eq!(a.violations_200, b.violations_200);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.retained_errors, b.retained_errors);
+    assert_eq!(a.retained_violations, b.retained_violations);
+    assert_eq!(a.alert_events, b.alert_events);
+    assert_eq!(a.slo_body, b.slo_body, "/slo output is bit-identical");
+}
+
+#[test]
+fn profile_and_trace_routes_serve_outage_evidence() {
+    let env = SimEnv::with_seed(SEED);
+    let telemetry = Telemetry::new();
+    let sampler = telemetry.enable_tail_sampling(SamplerConfig {
+        healthy_sample_rate: 0.0, // only anomalies retained
+        seed: SEED,
+        ..SamplerConfig::default()
+    });
+    let sdk = Arc::new(RichSdk::with_telemetry(&env, telemetry.clone()));
+    let scenario = ChaosScenario::new(SEED).with_fault(
+        "ocr",
+        Fault::Outage {
+            start: Duration::ZERO,
+            end: Duration::from_secs(600),
+        },
+    );
+    sdk.register(
+        SimService::builder("ocr", "ocr")
+            .latency(LatencyModel::constant_ms(HEALTHY_MS))
+            .failures(scenario.plan_for("ocr"))
+            .build(&env),
+    );
+    let engine = Arc::new(SloEngine::new(telemetry.clone(), SloConfig::default()));
+    engine.add_objective(SloSpec::new("invoke", OBJECTIVE_MS, 0.99));
+    let gw = HttpGateway::with_observability(sdk, GatewayLimits::default(), engine);
+
+    for i in 0..20u64 {
+        env.clock()
+            .advance_to(cogsdk_sim::clock::SimTime::from_millis(500 * i));
+        let raw = gw.handle_text(&post("/invoke/ocr", "acme", r#"{"payload": 1}"#));
+        assert_eq!(status_of(&raw), 502);
+    }
+    assert_eq!(sampler.retained_with_verdict(TraceVerdict::Error), 20);
+
+    // The profiler sees only retained (anomalous) traces and attributes
+    // their wall time to operations on the critical path.
+    let raw = gw.handle_text("GET /profile HTTP/1.1\r\n\r\n");
+    let profile = Json::parse(raw.split("\r\n\r\n").nth(1).unwrap()).unwrap();
+    assert_eq!(profile.pointer("/traces").and_then(Json::as_i64), Some(20));
+    assert!(profile.pointer("/ops/0/critical_ms").and_then(Json::as_f64) > Some(0.0));
+
+    // A retained trace is addressable by id even after ring churn, and
+    // the dump closes with the drop-accounting summary line.
+    let id = sampler.retained()[0].trace;
+    let raw = gw.handle_text(&format!("GET /trace?trace_id={} HTTP/1.1\r\n\r\n", id.0));
+    let body = raw.split("\r\n\r\n").nth(1).unwrap();
+    assert!(body.contains("\"event\":\"attempt\""), "{body}");
+    assert!(body.contains("\"summary\":true"), "{body}");
+}

@@ -83,6 +83,9 @@ pub struct PersonalKnowledgeBase {
     /// be surfaced through telemetry.
     enhanced: Arc<EnhancedClient>,
     telemetry: Telemetry,
+    /// Owning tenant: when set, published metrics carry a `tenant` label
+    /// so a multi-tenant host can attribute KB cache traffic.
+    tenant: Option<String>,
     /// Cache counters already pushed into the metrics registry
     /// (hits, misses) — publishing is delta-based.
     published_cache: Mutex<(u64, u64)>,
@@ -131,9 +134,18 @@ impl PersonalKnowledgeBase {
             store: LocalFirstStore::new(Arc::new(MemoryKv::new()), enhanced.clone()),
             enhanced,
             telemetry,
+            tenant: None,
             published_cache: Mutex::new((0, 0)),
             doc_counter: AtomicUsize::new(0),
         }
+    }
+
+    /// Attributes this knowledge base to one tenant: published cache
+    /// counters gain a `tenant` label (untenanted bases keep their
+    /// original series).
+    pub fn for_tenant(mut self, tenant: impl Into<String>) -> PersonalKnowledgeBase {
+        self.tenant = Some(tenant.into());
+        self
     }
 
     /// Remote-store cache effectiveness counters (hits/misses of the
@@ -158,15 +170,22 @@ impl PersonalKnowledgeBase {
         drop(last);
         let metrics = self.telemetry.metrics();
         const KB_CACHE: (&str, &str) = ("cache", "kb-enhanced");
-        if hits > 0 {
-            metrics.add_counter("cache_requests_total", &[KB_CACHE, ("result", "hit")], hits);
-        }
-        if misses > 0 {
-            metrics.add_counter(
-                "cache_requests_total",
-                &[KB_CACHE, ("result", "miss")],
-                misses,
-            );
+        for (result, delta) in [("hit", hits), ("miss", misses)] {
+            if delta == 0 {
+                continue;
+            }
+            match self.tenant.as_deref() {
+                Some(t) => metrics.add_counter(
+                    "cache_requests_total",
+                    &[KB_CACHE, ("result", result), ("tenant", t)],
+                    delta,
+                ),
+                None => metrics.add_counter(
+                    "cache_requests_total",
+                    &[KB_CACHE, ("result", result)],
+                    delta,
+                ),
+            }
         }
     }
 
@@ -929,6 +948,42 @@ mod tests {
         reader.publish_cache_metrics();
         assert_eq!(count("hit"), stats.cache_hits);
         assert_eq!(count("miss"), stats.cache_misses);
+    }
+
+    #[test]
+    fn tenant_attributed_kb_labels_its_cache_series() {
+        let remote: Arc<dyn KeyValueStore> = Arc::new(MemoryKv::new());
+        let writer = PersonalKnowledgeBase::new(remote.clone(), KbOptions::default());
+        writer.add_statement(Statement::new(
+            Term::iri("kb:a"),
+            Term::iri("kb:b"),
+            Term::iri("kb:c"),
+        ));
+        writer.persist_graph("g").unwrap();
+        let t = Telemetry::new();
+        let reader = PersonalKnowledgeBase::with_telemetry(remote, KbOptions::default(), t.clone())
+            .for_tenant("acme");
+        reader.load_graph("g").unwrap();
+        let stats = reader.store_cache_stats();
+        assert_eq!(
+            t.metrics().counter_value(
+                "cache_requests_total",
+                &[
+                    ("cache", "kb-enhanced"),
+                    ("result", "miss"),
+                    ("tenant", "acme")
+                ],
+            ),
+            Some(stats.cache_misses)
+        );
+        // The untenanted series stays untouched for a tenanted base.
+        assert_eq!(
+            t.metrics().counter_value(
+                "cache_requests_total",
+                &[("cache", "kb-enhanced"), ("result", "miss")],
+            ),
+            None
+        );
     }
 
     const GDP_CSV: &str = "country,gdp,year\nusa,20000.0,2015\nusa,21000.0,2016\ngermany,4100.0,2015\ngermany,4200.0,2016\n";

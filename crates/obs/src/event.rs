@@ -18,6 +18,28 @@ impl fmt::Display for TraceId {
     }
 }
 
+/// Identifies one tenant (interned by the [`Tracer`](crate::Tracer)).
+///
+/// `TenantId::NONE` means "no tenant attached"; emitters must not add a
+/// `tenant` label for it so single-tenant deployments keep their original
+/// metric series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u16);
+
+impl TenantId {
+    /// The absent tenant.
+    pub const NONE: TenantId = TenantId(0);
+
+    /// The overflow bucket: assigned once the tenant interner is full so
+    /// label cardinality stays bounded.
+    pub const OVERFLOW: TenantId = TenantId(u16::MAX);
+
+    /// Whether a tenant is attached.
+    pub fn is_some(self) -> bool {
+        self != TenantId::NONE
+    }
+}
+
 /// Identifies one span (one unit of work inside a trace).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SpanId(pub u64);
@@ -39,6 +61,9 @@ pub struct SpanCtx {
     pub span: SpanId,
     /// The enclosing span, if this is nested work.
     pub parent: Option<SpanId>,
+    /// The tenant this work is billed to ([`TenantId::NONE`] when the
+    /// caller is untenanted). Child spans inherit it.
+    pub tenant: TenantId,
 }
 
 /// What happened.
@@ -172,6 +197,18 @@ pub enum EventKind {
         /// The shed route.
         route: String,
     },
+    /// A multi-window SLO burn-rate alert fired (fast and slow windows
+    /// both over threshold).
+    SloBurnAlert {
+        /// The route the objective covers.
+        route: String,
+        /// The tenant the objective covers (empty = all tenants).
+        tenant: String,
+        /// Fast-window burn rate at the moment the alert fired.
+        fast_burn: f64,
+        /// Slow-window burn rate at the moment the alert fired.
+        slow_burn: f64,
+    },
 }
 
 impl EventKind {
@@ -198,6 +235,7 @@ impl EventKind {
             EventKind::BreakerRejected { .. } => "breaker_rejected",
             EventKind::DeadlineExhausted { .. } => "deadline_exhausted",
             EventKind::GatewayShed { .. } => "gateway_shed",
+            EventKind::SloBurnAlert { .. } => "slo_burn_alert",
         }
     }
 }
@@ -273,6 +311,15 @@ impl fmt::Display for EventKind {
             EventKind::GatewayShed { route } => {
                 write!(f, "gateway_shed route={route}")
             }
+            EventKind::SloBurnAlert {
+                route,
+                tenant,
+                fast_burn,
+                slow_burn,
+            } => write!(
+                f,
+                "slo_burn_alert route={route} tenant={tenant} fast_burn={fast_burn:.1} slow_burn={slow_burn:.1}"
+            ),
         }
     }
 }
@@ -288,7 +335,11 @@ pub struct Event {
     pub span: SpanId,
     /// The emitting span's parent, if any.
     pub parent: Option<SpanId>,
-    /// Milliseconds since the tracer was created (wall clock).
+    /// The tenant of the emitting span ([`TenantId::NONE`] when
+    /// untenanted).
+    pub tenant: TenantId,
+    /// Milliseconds since the tracer was created (wall clock by default;
+    /// virtual time when a time source is installed).
     pub at_ms: f64,
     /// What happened.
     pub kind: EventKind,

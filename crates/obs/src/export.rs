@@ -46,26 +46,39 @@ pub fn prometheus_text(metrics: &MetricsRegistry) -> String {
         name,
         labels,
         buckets,
+        exemplars,
         sum,
         count,
     } in &snap.histograms
     {
         type_header(&mut out, &mut last_name, name, "histogram");
         let mut cumulative = 0u64;
-        for (bound, bucket_count) in buckets {
+        for (idx, (bound, bucket_count)) in buckets.iter().enumerate() {
             cumulative += bucket_count;
             let le = if bound.is_infinite() {
                 "+Inf".to_string()
             } else {
                 fmt_f64(*bound)
             };
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{}_bucket{} {}",
                 name,
                 label_block(labels, Some(&le)),
                 cumulative
             );
+            // OpenMetrics-style exemplar: link the bucket to one retained
+            // trace so an operator can jump from a latency spike to the
+            // trace that exemplifies it.
+            if let Some(Some(ex)) = exemplars.get(idx) {
+                let _ = write!(
+                    out,
+                    " # {{trace_id=\"t{}\"}} {}",
+                    ex.trace,
+                    fmt_f64(ex.value)
+                );
+            }
+            out.push('\n');
         }
         let _ = writeln!(
             out,
@@ -127,6 +140,9 @@ pub fn event_to_json(event: &Event) -> Json {
     if let Some(parent) = event.parent {
         obj.insert("parent", parent.0 as i64);
     }
+    if event.tenant.is_some() {
+        obj.insert("tenant", event.tenant.0 as i64);
+    }
     obj.insert("at_ms", event.at_ms);
     obj.insert("event", event.kind.name());
     obj.insert("detail", event.kind.to_string());
@@ -140,6 +156,20 @@ pub fn trace_jsonl(events: &[Event]) -> String {
         out.push_str(&event_to_json(event).to_json());
         out.push('\n');
     }
+    out
+}
+
+/// Renders events as JSON Lines followed by a trailing summary object
+/// reporting how many events the ring buffer discarded, so `/trace`
+/// consumers know the dump is incomplete instead of silently trusting it.
+pub fn trace_jsonl_with_summary(events: &[Event], dropped: u64) -> String {
+    let mut out = trace_jsonl(events);
+    let mut summary = Json::object();
+    summary.insert("summary", true);
+    summary.insert("events", events.len() as i64);
+    summary.insert("dropped", dropped as i64);
+    out.push_str(&summary.to_json());
+    out.push('\n');
     out
 }
 
@@ -215,6 +245,66 @@ mod tests {
         m.inc_counter("x", &[("k", "a\"b\\c")]);
         let text = prometheus_text(&m);
         assert!(text.contains("x{k=\"a\\\"b\\\\c\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn newlines_in_label_values_cannot_break_exposition_lines() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("x", &[("k", "line1\nline2")]);
+        let text = prometheus_text(&m);
+        assert!(text.contains("x{k=\"line1\\nline2\"} 1"), "{text}");
+        // Every non-comment line must still be a complete sample.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.contains(' '), "truncated exposition line: {line:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_exemplars_render_after_bucket_counts() {
+        let m = MetricsRegistry::new();
+        m.observe_with_exemplar("lat_ms", &[], 0.4, 7);
+        let text = prometheus_text(&m);
+        assert!(
+            text.contains("lat_ms_bucket{le=\"0.5\"} 1 # {trace_id=\"t7\"} 0.4"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn trace_tree_survives_cyclic_and_self_parent_links() {
+        use crate::event::{Event, SpanId, TenantId, TraceId};
+        // Corrupt input: a span that is its own parent, and a two-span
+        // cycle. The renderer must terminate with bounded indentation.
+        let mk = |seq: u64, span: u64, parent: u64| Event {
+            seq,
+            trace: TraceId(1),
+            span: SpanId(span),
+            parent: Some(SpanId(parent)),
+            tenant: TenantId::NONE,
+            at_ms: seq as f64,
+            kind: EventKind::CacheMiss { key: "k".into() },
+        };
+        let events = vec![mk(0, 5, 5), mk(1, 6, 7), mk(2, 7, 6)];
+        let tree = render_trace_tree(&events);
+        for line in tree.lines() {
+            let indent = line.chars().take_while(|c| *c == ' ').count();
+            assert!(indent <= 2 * 66, "unbounded indent: {indent}");
+        }
+        assert_eq!(tree.lines().count(), 4, "{tree}");
+    }
+
+    #[test]
+    fn jsonl_summary_reports_drops() {
+        let t = Tracer::with_capacity(2);
+        let ctx = t.new_trace();
+        for _ in 0..5 {
+            t.emit(&ctx, || EventKind::CacheMiss { key: "k".into() });
+        }
+        let dump = trace_jsonl_with_summary(&t.events(), t.dropped());
+        let last = dump.lines().last().unwrap();
+        let summary = Json::parse(last).unwrap();
+        assert_eq!(summary.get("dropped").and_then(Json::as_i64), Some(3));
+        assert_eq!(summary.get("events").and_then(Json::as_i64), Some(2));
     }
 
     #[test]

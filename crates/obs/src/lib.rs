@@ -40,14 +40,23 @@
 mod event;
 mod export;
 mod metrics;
+pub mod profile;
+pub mod sampler;
+pub mod slo;
 mod tracer;
 
-pub use event::{Event, EventKind, SpanCtx, SpanId, TraceId};
-pub use export::{event_to_json, prometheus_text, render_trace_tree, trace_jsonl};
-pub use metrics::{
-    HistogramSnapshot, MetricsRegistry, MetricsSnapshot, Sample, LATENCY_BUCKETS_MS,
+pub use event::{Event, EventKind, SpanCtx, SpanId, TenantId, TraceId};
+pub use export::{
+    event_to_json, prometheus_text, render_trace_tree, trace_jsonl, trace_jsonl_with_summary,
 };
-pub use tracer::{Tracer, DEFAULT_EVENT_CAPACITY};
+pub use metrics::{
+    Exemplar, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, Sample,
+    DEFAULT_MAX_SERIES_PER_METRIC, LATENCY_BUCKETS_MS, SERIES_REJECTED_METRIC,
+};
+pub use profile::{profile_traces, OpStat, Profile};
+pub use sampler::{RetainedTrace, SamplerConfig, SamplerStats, TailSampler, TraceVerdict};
+pub use slo::{SloConfig, SloEngine, SloRecord, SloSpec, SloStatus};
+pub use tracer::{TimeSource, Tracer, DEFAULT_EVENT_CAPACITY, MAX_TENANTS};
 
 use std::sync::{Arc, OnceLock};
 
@@ -107,6 +116,74 @@ impl Telemetry {
     /// The metrics half.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// Attaches a tail sampler to the tracer and returns the handle.
+    /// Every subsequent event is offered to it.
+    pub fn enable_tail_sampling(&self, cfg: SamplerConfig) -> Arc<TailSampler> {
+        let sampler = Arc::new(TailSampler::new(cfg));
+        self.tracer.set_sampler(sampler.clone());
+        sampler
+    }
+
+    /// The attached tail sampler, if any.
+    pub fn sampler(&self) -> Option<Arc<TailSampler>> {
+        self.tracer.sampler()
+    }
+
+    /// Publishes internal health counters — the tracer's ring-buffer
+    /// drops and the sampler's accounting — into the metrics registry.
+    /// Called before each `/metrics` export so overflow is never silent.
+    pub fn sync_health_metrics(&self) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.metrics
+            .set_counter("sdk_trace_events_dropped_total", &[], self.tracer.dropped());
+        if let Some(sampler) = self.sampler() {
+            let stats = sampler.stats();
+            let m = self.metrics();
+            m.set_counter(
+                "sdk_sampler_events_observed_total",
+                &[],
+                stats.observed_events,
+            );
+            m.set_gauge(
+                "sdk_sampler_buffered_events",
+                &[],
+                stats.buffered_events as f64,
+            );
+            m.set_gauge(
+                "sdk_sampler_retained_traces",
+                &[],
+                stats.retained_traces as f64,
+            );
+            m.set_counter(
+                "sdk_sampler_traces_dropped_total",
+                &[("reason", "sampled_out")],
+                stats.healthy_sampled_out,
+            );
+            m.set_counter(
+                "sdk_sampler_traces_dropped_total",
+                &[("reason", "pending_evicted")],
+                stats.dropped_pending_traces,
+            );
+            m.set_counter(
+                "sdk_sampler_traces_dropped_total",
+                &[("reason", "retained_evicted")],
+                stats.dropped_retained_traces,
+            );
+            m.set_counter(
+                "sdk_sampler_anomalous_dropped_total",
+                &[],
+                stats.dropped_anomalous_traces,
+            );
+            m.set_counter(
+                "sdk_sampler_events_dropped_total",
+                &[],
+                stats.dropped_events,
+            );
+        }
     }
 }
 

@@ -16,6 +16,15 @@ pub const LATENCY_BUCKETS_MS: [f64; 18] = [
     16384.0, 32768.0, 65536.0,
 ];
 
+/// Default cap on distinct label sets per metric name. Writes beyond the
+/// cap are rejected (and counted) instead of growing the registry without
+/// bound — a tenant label gone wild cannot OOM the process.
+pub const DEFAULT_MAX_SERIES_PER_METRIC: usize = 1_024;
+
+/// Synthetic counter reporting writes rejected by the per-metric series
+/// cap, labeled by the offending metric name.
+pub const SERIES_REJECTED_METRIC: &str = "sdk_metric_series_rejected_total";
+
 /// A metric identity: name plus sorted labels.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct Key {
@@ -37,11 +46,23 @@ impl Key {
     }
 }
 
+/// An exemplar: one concrete trace that landed in a histogram bucket,
+/// linking the aggregate back to retained evidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// The trace id of the exemplifying observation.
+    pub trace: u64,
+    /// The observed value.
+    pub value: f64,
+}
+
 #[derive(Debug, Clone)]
 struct Histogram {
     /// Per-bucket counts; `counts[i]` counts values `<= LATENCY_BUCKETS_MS[i]`
     /// exclusive of earlier buckets; the final slot is the `+Inf` bucket.
     counts: Vec<u64>,
+    /// Most recent exemplar per bucket (lazily sized on first exemplar).
+    exemplars: Vec<Option<Exemplar>>,
     sum: f64,
     count: u64,
 }
@@ -50,12 +71,13 @@ impl Histogram {
     fn new() -> Histogram {
         Histogram {
             counts: vec![0; LATENCY_BUCKETS_MS.len() + 1],
+            exemplars: Vec::new(),
             sum: 0.0,
             count: 0,
         }
     }
 
-    fn observe(&mut self, value: f64) {
+    fn observe(&mut self, value: f64, exemplar: Option<u64>) {
         let idx = LATENCY_BUCKETS_MS
             .iter()
             .position(|&bound| value <= bound)
@@ -63,6 +85,12 @@ impl Histogram {
         self.counts[idx] += 1;
         self.sum += value;
         self.count += 1;
+        if let Some(trace) = exemplar {
+            if self.exemplars.is_empty() {
+                self.exemplars = vec![None; LATENCY_BUCKETS_MS.len() + 1];
+            }
+            self.exemplars[idx] = Some(Exemplar { trace, value });
+        }
     }
 }
 
@@ -71,6 +99,25 @@ struct State {
     counters: BTreeMap<Key, u64>,
     gauges: BTreeMap<Key, f64>,
     histograms: BTreeMap<Key, Histogram>,
+    /// Distinct label sets per metric name (across all three kinds).
+    series_per_name: BTreeMap<String, usize>,
+    /// Writes rejected by the series cap, per metric name.
+    rejected: BTreeMap<String, u64>,
+}
+
+impl State {
+    /// Admits `key` for a map that does not yet contain it: bumps the
+    /// per-name series count unless the metric is at `max_series`, in
+    /// which case the write is rejected and counted.
+    fn admit(&mut self, key: &Key, max_series: usize) -> bool {
+        let n = self.series_per_name.entry(key.name.clone()).or_insert(0);
+        if *n >= max_series {
+            *self.rejected.entry(key.name.clone()).or_insert(0) += 1;
+            return false;
+        }
+        *n += 1;
+        true
+    }
 }
 
 /// One exported counter or gauge sample.
@@ -94,6 +141,9 @@ pub struct HistogramSnapshot {
     /// `(upper_bound_ms, count_in_bucket)`; the final entry is the
     /// `+Inf` bucket with bound `f64::INFINITY`.
     pub buckets: Vec<(f64, u64)>,
+    /// Most recent exemplar per bucket (empty when no exemplars were
+    /// recorded; otherwise one slot per bucket).
+    pub exemplars: Vec<Option<Exemplar>>,
     /// Sum of observed values.
     pub sum: f64,
     /// Number of observations.
@@ -115,14 +165,23 @@ pub struct MetricsSnapshot {
 #[derive(Debug)]
 pub struct MetricsRegistry {
     enabled: bool,
+    max_series: usize,
     state: Mutex<State>,
 }
 
 impl MetricsRegistry {
-    /// A live registry.
+    /// A live registry with the default per-metric series cap.
     pub fn new() -> MetricsRegistry {
+        MetricsRegistry::with_series_limit(DEFAULT_MAX_SERIES_PER_METRIC)
+    }
+
+    /// A live registry capping each metric name at `max_series` distinct
+    /// label sets; further label sets are rejected and counted under
+    /// [`SERIES_REJECTED_METRIC`].
+    pub fn with_series_limit(max_series: usize) -> MetricsRegistry {
         MetricsRegistry {
             enabled: true,
+            max_series: max_series.max(1),
             state: Mutex::new(State::default()),
         }
     }
@@ -131,6 +190,7 @@ impl MetricsRegistry {
     pub fn disabled() -> MetricsRegistry {
         MetricsRegistry {
             enabled: false,
+            max_series: DEFAULT_MAX_SERIES_PER_METRIC,
             state: Mutex::new(State::default()),
         }
     }
@@ -151,7 +211,25 @@ impl MetricsRegistry {
             return;
         }
         let key = Key::new(name, labels);
-        *self.state.lock().counters.entry(key).or_insert(0) += delta;
+        let mut state = self.state.lock();
+        if !state.counters.contains_key(&key) && !state.admit(&key, self.max_series) {
+            return;
+        }
+        *state.counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Sets a counter to an absolute value (for syncing an external
+    /// monotonic count, e.g. the tracer's dropped-event tally).
+    pub fn set_counter(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        if !self.enabled {
+            return;
+        }
+        let key = Key::new(name, labels);
+        let mut state = self.state.lock();
+        if !state.counters.contains_key(&key) && !state.admit(&key, self.max_series) {
+            return;
+        }
+        state.counters.insert(key, value);
     }
 
     /// Sets a gauge to `value`.
@@ -160,7 +238,11 @@ impl MetricsRegistry {
             return;
         }
         let key = Key::new(name, labels);
-        self.state.lock().gauges.insert(key, value);
+        let mut state = self.state.lock();
+        if !state.gauges.contains_key(&key) && !state.admit(&key, self.max_series) {
+            return;
+        }
+        state.gauges.insert(key, value);
     }
 
     /// Adds `delta` (possibly negative) to a gauge.
@@ -169,21 +251,59 @@ impl MetricsRegistry {
             return;
         }
         let key = Key::new(name, labels);
-        *self.state.lock().gauges.entry(key).or_insert(0.0) += delta;
+        let mut state = self.state.lock();
+        if !state.gauges.contains_key(&key) && !state.admit(&key, self.max_series) {
+            return;
+        }
+        *state.gauges.entry(key).or_insert(0.0) += delta;
     }
 
     /// Records one observation in a log-bucketed histogram.
     pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.observe_inner(name, labels, value, None);
+    }
+
+    /// Records one observation plus an exemplar trace id, so the bucket
+    /// the value lands in links back to a concrete retained trace.
+    pub fn observe_with_exemplar(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+        trace: u64,
+    ) {
+        self.observe_inner(name, labels, value, Some(trace));
+    }
+
+    fn observe_inner(&self, name: &str, labels: &[(&str, &str)], value: f64, trace: Option<u64>) {
         if !self.enabled {
             return;
         }
         let key = Key::new(name, labels);
-        self.state
-            .lock()
+        let mut state = self.state.lock();
+        if !state.histograms.contains_key(&key) && !state.admit(&key, self.max_series) {
+            return;
+        }
+        state
             .histograms
             .entry(key)
             .or_insert_with(Histogram::new)
-            .observe(value);
+            .observe(value, trace);
+    }
+
+    /// Writes rejected by the series cap for one metric name.
+    pub fn rejected_series(&self, name: &str) -> u64 {
+        self.state.lock().rejected.get(name).copied().unwrap_or(0)
+    }
+
+    /// Distinct label sets currently recorded under one metric name.
+    pub fn series_count(&self, name: &str) -> usize {
+        self.state
+            .lock()
+            .series_per_name
+            .get(name)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Current value of one counter series, if it exists.
@@ -229,19 +349,29 @@ impl MetricsRegistry {
             .sum()
     }
 
-    /// A point-in-time copy of everything, for exporters.
+    /// A point-in-time copy of everything, for exporters. Series-cap
+    /// rejections are surfaced as synthetic
+    /// [`SERIES_REJECTED_METRIC`]`{metric="..."}` counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let state = self.state.lock();
+        let mut counters: Vec<Sample<u64>> = state
+            .counters
+            .iter()
+            .map(|(k, &v)| Sample {
+                name: k.name.clone(),
+                labels: k.labels.clone(),
+                value: v,
+            })
+            .collect();
+        for (metric, &rejected) in &state.rejected {
+            counters.push(Sample {
+                name: SERIES_REJECTED_METRIC.to_string(),
+                labels: vec![("metric".to_string(), metric.clone())],
+                value: rejected,
+            });
+        }
         MetricsSnapshot {
-            counters: state
-                .counters
-                .iter()
-                .map(|(k, &v)| Sample {
-                    name: k.name.clone(),
-                    labels: k.labels.clone(),
-                    value: v,
-                })
-                .collect(),
+            counters,
             gauges: state
                 .gauges
                 .iter()
@@ -283,6 +413,7 @@ fn snapshot_histogram(key: &Key, h: &Histogram) -> HistogramSnapshot {
         name: key.name.clone(),
         labels: key.labels.clone(),
         buckets,
+        exemplars: h.exemplars.clone(),
         sum: h.sum,
         count: h.count,
     }
@@ -332,6 +463,48 @@ mod tests {
         m.set_gauge("depth", &[], 4.0);
         m.add_gauge("depth", &[], -1.0);
         assert_eq!(m.gauge_value("depth", &[]), Some(3.0));
+    }
+
+    #[test]
+    fn series_cap_rejects_and_counts() {
+        let m = MetricsRegistry::with_series_limit(2);
+        m.inc_counter("calls", &[("tenant", "a")]);
+        m.inc_counter("calls", &[("tenant", "b")]);
+        m.inc_counter("calls", &[("tenant", "c")]); // rejected
+        m.inc_counter("calls", &[("tenant", "a")]); // existing series still writable
+        assert_eq!(m.counter_value("calls", &[("tenant", "a")]), Some(2));
+        assert_eq!(m.counter_value("calls", &[("tenant", "c")]), None);
+        assert_eq!(m.series_count("calls"), 2);
+        assert_eq!(m.rejected_series("calls"), 1);
+        let snap = m.snapshot();
+        assert!(snap
+            .counters
+            .iter()
+            .any(|s| s.name == SERIES_REJECTED_METRIC && s.value == 1));
+    }
+
+    #[test]
+    fn set_counter_is_absolute() {
+        let m = MetricsRegistry::new();
+        m.set_counter("dropped", &[], 7);
+        m.set_counter("dropped", &[], 9);
+        assert_eq!(m.counter_value("dropped", &[]), Some(9));
+    }
+
+    #[test]
+    fn exemplars_attach_to_buckets() {
+        let m = MetricsRegistry::new();
+        m.observe_with_exemplar("lat", &[], 0.4, 42);
+        m.observe("lat", &[], 3.0);
+        let snap = m.histogram("lat", &[]).unwrap();
+        assert_eq!(
+            snap.exemplars[0],
+            Some(Exemplar {
+                trace: 42,
+                value: 0.4
+            })
+        );
+        assert_eq!(snap.exemplars[3], None, "plain observe leaves no exemplar");
     }
 
     #[test]

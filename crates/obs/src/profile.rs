@@ -1,0 +1,452 @@
+//! Critical-path profiling of retained span trees.
+//!
+//! The tail sampler keeps the traces worth explaining; this module
+//! explains them. Each trace's events are folded into span intervals,
+//! then two attributions run per span: **self time** (the span's
+//! duration minus the union of its children's intervals — time the span
+//! itself burned) and **critical-path time** (walking backwards from
+//! each span's end through its latest-ending child, the chain that
+//! actually determined end-to-end latency; parallel legs off that chain
+//! contribute nothing, which is the point). Aggregated per operation,
+//! the result answers "where would optimization move the p99" rather
+//! than "which code ran the most".
+
+use crate::event::{Event, EventKind};
+use cogsdk_json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Recursion guard for corrupt parent links.
+const MAX_DEPTH: usize = 64;
+
+/// Aggregate cost of one operation across every profiled trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpStat {
+    /// Operation name (e.g. `invoke:nlu`, `attempt:nlu-a`, `cache`).
+    pub op: String,
+    /// Spans attributed to this operation.
+    pub spans: u64,
+    /// Summed span durations (ms); overlapping children double-count
+    /// here by design — it is wall time *covered*, not consumed.
+    pub total_ms: f64,
+    /// Summed self time (ms): duration minus child coverage.
+    pub self_ms: f64,
+    /// Summed critical-path contribution (ms).
+    pub critical_ms: f64,
+}
+
+/// A profile over a set of span trees.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Traces profiled.
+    pub traces: usize,
+    /// Spans profiled.
+    pub spans: usize,
+    /// Per-operation stats, sorted by critical-path contribution
+    /// descending.
+    pub ops: Vec<OpStat>,
+    /// Folded flamegraph stacks: `root;child;... -> self_ms`, sorted by
+    /// weight descending.
+    pub folded: Vec<(String, f64)>,
+}
+
+impl Profile {
+    /// The `k` operations contributing most critical-path time.
+    pub fn top_k(&self, k: usize) -> &[OpStat] {
+        &self.ops[..k.min(self.ops.len())]
+    }
+
+    /// Flamegraph-style folded-stacks text (one `stack weight` line per
+    /// stack, collapsible by standard tooling).
+    pub fn flamegraph(&self) -> String {
+        let mut out = String::new();
+        for (stack, weight) in &self.folded {
+            let _ = writeln!(out, "{stack} {weight:.3}");
+        }
+        out
+    }
+
+    /// JSON export (the `/profile` payload).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert("traces", self.traces as i64);
+        obj.insert("spans", self.spans as i64);
+        let mut ops = Json::Array(Vec::new());
+        for op in &self.ops {
+            let mut o = Json::object();
+            o.insert("op", op.op.as_str());
+            o.insert("spans", op.spans as i64);
+            o.insert("total_ms", op.total_ms);
+            o.insert("self_ms", op.self_ms);
+            o.insert("critical_ms", op.critical_ms);
+            ops.push(o);
+        }
+        obj.insert("ops", ops);
+        let mut folded = Json::Array(Vec::new());
+        for (stack, weight) in &self.folded {
+            let mut f = Json::object();
+            f.insert("stack", stack.as_str());
+            f.insert("self_ms", *weight);
+            folded.push(f);
+        }
+        obj.insert("folded", folded);
+        obj
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SpanAgg {
+    start: f64,
+    end: f64,
+    parent: Option<u64>,
+    op_priority: u8,
+    op: String,
+}
+
+/// Profiles a set of span trees (one `Vec<Event>` per trace).
+pub fn profile_traces(traces: &[Vec<Event>]) -> Profile {
+    let mut ops: BTreeMap<String, OpStat> = BTreeMap::new();
+    let mut folded: BTreeMap<String, f64> = BTreeMap::new();
+    let mut span_count = 0usize;
+
+    for events in traces {
+        let spans = build_spans(events);
+        span_count += spans.len();
+        let mut children: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (&id, agg) in &spans {
+            if let Some(parent) = agg.parent {
+                if parent != id && spans.contains_key(&parent) {
+                    children.entry(parent).or_default().push(id);
+                }
+            }
+        }
+        let roots: Vec<u64> = spans
+            .iter()
+            .filter(|(&id, agg)| match agg.parent {
+                Some(p) => p == id || !spans.contains_key(&p),
+                None => true,
+            })
+            .map(|(&id, _)| id)
+            .collect();
+
+        // Self time + totals for every span.
+        for (&id, agg) in &spans {
+            let duration = (agg.end - agg.start).max(0.0);
+            let mut covered: Vec<(f64, f64)> = children
+                .get(&id)
+                .into_iter()
+                .flatten()
+                .filter_map(|c| spans.get(c))
+                .map(|c| (c.start.max(agg.start), c.end.min(agg.end)))
+                .filter(|(s, e)| e > s)
+                .collect();
+            covered.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut union = 0.0;
+            let mut cursor = f64::NEG_INFINITY;
+            for (s, e) in covered {
+                let s = s.max(cursor);
+                if e > s {
+                    union += e - s;
+                    cursor = e;
+                } else {
+                    cursor = cursor.max(e);
+                }
+            }
+            let entry = ops.entry(agg.op.clone()).or_insert_with(|| OpStat {
+                op: agg.op.clone(),
+                spans: 0,
+                total_ms: 0.0,
+                self_ms: 0.0,
+                critical_ms: 0.0,
+            });
+            entry.spans += 1;
+            entry.total_ms += duration;
+            entry.self_ms += (duration - union).max(0.0);
+        }
+
+        // Critical path + folded stacks from each root.
+        for root in roots {
+            walk_critical(root, &spans, &children, &mut ops, 0);
+            fold_stacks(root, &spans, &children, String::new(), &mut folded, 0);
+        }
+    }
+
+    let mut ops: Vec<OpStat> = ops.into_values().collect();
+    ops.sort_by(|a, b| b.critical_ms.total_cmp(&a.critical_ms));
+    let mut folded: Vec<(String, f64)> = folded.into_iter().collect();
+    folded.sort_by(|a, b| b.1.total_cmp(&a.1));
+    Profile {
+        traces: traces.len(),
+        spans: span_count,
+        ops,
+        folded,
+    }
+}
+
+/// Attributes critical-path time: walk backwards from `span`'s end
+/// through its latest-ending child; gaps between child chains are this
+/// span's own contribution.
+fn walk_critical(
+    id: u64,
+    spans: &BTreeMap<u64, SpanAgg>,
+    children: &BTreeMap<u64, Vec<u64>>,
+    ops: &mut BTreeMap<String, OpStat>,
+    depth: usize,
+) {
+    if depth > MAX_DEPTH {
+        return;
+    }
+    let Some(agg) = spans.get(&id) else {
+        return;
+    };
+    let mut kids: Vec<(u64, &SpanAgg)> = children
+        .get(&id)
+        .into_iter()
+        .flatten()
+        .filter_map(|c| spans.get(c).map(|agg| (*c, agg)))
+        .collect();
+    kids.sort_by(|a, b| b.1.end.total_cmp(&a.1.end));
+    let mut cursor = agg.end;
+    let mut own = 0.0;
+    let mut on_path: Vec<u64> = Vec::new();
+    for (kid_id, kid) in &kids {
+        if kid.end <= cursor && kid.end > agg.start {
+            own += (cursor - kid.end).max(0.0);
+            cursor = kid.start.max(agg.start);
+            on_path.push(*kid_id);
+        }
+    }
+    own += (cursor - agg.start).max(0.0);
+    if let Some(stat) = ops.get_mut(&agg.op) {
+        stat.critical_ms += own;
+    }
+    // Only children the backwards walk actually consumed are on the
+    // critical path; parallel losers contribute nothing.
+    for kid in on_path {
+        walk_critical(kid, spans, children, ops, depth + 1);
+    }
+}
+
+/// Accumulates folded flamegraph stacks weighted by self time.
+fn fold_stacks(
+    id: u64,
+    spans: &BTreeMap<u64, SpanAgg>,
+    children: &BTreeMap<u64, Vec<u64>>,
+    prefix: String,
+    folded: &mut BTreeMap<String, f64>,
+    depth: usize,
+) {
+    if depth > MAX_DEPTH {
+        return;
+    }
+    let Some(agg) = spans.get(&id) else {
+        return;
+    };
+    let stack = if prefix.is_empty() {
+        agg.op.clone()
+    } else {
+        format!("{prefix};{}", agg.op)
+    };
+    let duration = (agg.end - agg.start).max(0.0);
+    let child_sum: f64 = children
+        .get(&id)
+        .into_iter()
+        .flatten()
+        .filter_map(|c| spans.get(c))
+        .map(|c| (c.end.min(agg.end) - c.start.max(agg.start)).max(0.0))
+        .sum();
+    *folded.entry(stack.clone()).or_insert(0.0) += (duration - child_sum).max(0.0);
+    for kid in children.get(&id).into_iter().flatten() {
+        fold_stacks(*kid, spans, children, stack.clone(), folded, depth + 1);
+    }
+}
+
+fn build_spans(events: &[Event]) -> BTreeMap<u64, SpanAgg> {
+    let mut spans: BTreeMap<u64, SpanAgg> = BTreeMap::new();
+    for e in events {
+        let (lo, hi) = event_interval(e);
+        let (priority, op) = op_name(&e.kind);
+        let agg = spans.entry(e.span.0).or_insert_with(|| SpanAgg {
+            start: lo,
+            end: hi,
+            parent: e.parent.map(|p| p.0),
+            op_priority: 0,
+            op: String::new(),
+        });
+        agg.start = agg.start.min(lo);
+        agg.end = agg.end.max(hi);
+        if agg.parent.is_none() {
+            agg.parent = e.parent.map(|p| p.0);
+        }
+        if priority > agg.op_priority || agg.op.is_empty() {
+            agg.op_priority = priority;
+            agg.op = op;
+        }
+    }
+    spans
+}
+
+/// The interval one event covers: its timestamp, widened backwards by
+/// any latency it reports (events are emitted at completion).
+fn event_interval(e: &Event) -> (f64, f64) {
+    let back = match &e.kind {
+        EventKind::InvokeEnd { latency_ms, .. } | EventKind::Attempt { latency_ms, .. } => {
+            *latency_ms
+        }
+        EventKind::RetryBackoff { delay_ms, .. } => *delay_ms,
+        EventKind::PoolDequeue { queue_wait_ms } => *queue_wait_ms,
+        _ => 0.0,
+    };
+    (e.at_ms - back.max(0.0), e.at_ms)
+}
+
+fn op_name(kind: &EventKind) -> (u8, String) {
+    match kind {
+        EventKind::InvokeStart { class, .. } => (3, format!("invoke:{class}")),
+        EventKind::InvokeEnd { service, .. } => {
+            if service.is_empty() {
+                (2, "invoke".to_string())
+            } else {
+                (2, format!("invoke:{service}"))
+            }
+        }
+        EventKind::Attempt { service, .. } => (2, format!("attempt:{service}")),
+        EventKind::FailoverLeg { service, .. } => (2, format!("failover:{service}")),
+        EventKind::RedundantLegWon { service } | EventKind::RedundantLegLost { service, .. } => {
+            (2, format!("redundant:{service}"))
+        }
+        EventKind::RetryBackoff { service, .. } => (1, format!("backoff:{service}")),
+        EventKind::CacheHit { .. }
+        | EventKind::CacheMiss { .. }
+        | EventKind::CacheEvict { .. }
+        | EventKind::CacheCoalesced { .. }
+        | EventKind::CacheStaleServed { .. } => (1, "cache".to_string()),
+        EventKind::PoolEnqueue { .. } | EventKind::PoolDequeue { .. } => (1, "pool".to_string()),
+        EventKind::PredictionIssued { service, .. } => (1, format!("prediction:{service}")),
+        EventKind::BreakerTransition { service, .. } | EventKind::BreakerRejected { service } => {
+            (1, format!("breaker:{service}"))
+        }
+        EventKind::DeadlineExhausted { stage } => (1, format!("deadline:{stage}")),
+        EventKind::GatewayShed { route } => (1, format!("shed:{route}")),
+        EventKind::SloBurnAlert { route, .. } => (0, format!("slo:{route}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SpanId, TenantId, TraceId};
+
+    fn ev(span: u64, parent: Option<u64>, at_ms: f64, kind: EventKind) -> Event {
+        Event {
+            seq: 0,
+            trace: TraceId(1),
+            span: SpanId(span),
+            parent: parent.map(SpanId),
+            tenant: TenantId::NONE,
+            at_ms,
+            kind,
+        }
+    }
+
+    fn attempt(service: &str, latency_ms: f64) -> EventKind {
+        EventKind::Attempt {
+            service: service.into(),
+            attempt: 1,
+            outcome: "ok",
+            latency_ms,
+        }
+    }
+
+    /// Root [0, 100]; child A (attempt, latest-ending, 40..90); child B
+    /// (attempt, parallel loser, 10..30 — overlapped by the root's own
+    /// tail and off the critical chain after A).
+    fn sample_trace() -> Vec<Event> {
+        vec![
+            ev(
+                1,
+                None,
+                0.0,
+                EventKind::InvokeStart {
+                    class: "nlu".into(),
+                    operation: "analyze".into(),
+                },
+            ),
+            ev(2, Some(1), 30.0, attempt("nlu-b", 20.0)),
+            ev(3, Some(1), 90.0, attempt("nlu-a", 50.0)),
+            ev(
+                1,
+                None,
+                100.0,
+                EventKind::InvokeEnd {
+                    service: "nlu-a".into(),
+                    outcome: "ok",
+                    latency_ms: 100.0,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn self_time_subtracts_child_coverage() {
+        let p = profile_traces(&[sample_trace()]);
+        let root = p.ops.iter().find(|o| o.op == "invoke:nlu").unwrap();
+        // Root covers 100ms; children cover [10,30] and [40,90] = 70ms.
+        assert!((root.self_ms - 30.0).abs() < 1e-9, "{root:?}");
+        assert!((root.total_ms - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_follows_latest_ending_chain() {
+        let p = profile_traces(&[sample_trace()]);
+        let a = p.ops.iter().find(|o| o.op == "attempt:nlu-a").unwrap();
+        let b = p.ops.iter().find(|o| o.op == "attempt:nlu-b").unwrap();
+        let root = p.ops.iter().find(|o| o.op == "invoke:nlu").unwrap();
+        assert!((a.critical_ms - 50.0).abs() < 1e-9, "{a:?}");
+        // nlu-b ends before the critical cursor reaches it only via the
+        // chain: cursor moves 100→90 (root tail), A covers 90→40, then
+        // root owns 40→30 ... B covers 30→10, root owns 10→0.
+        assert!((b.critical_ms - 20.0).abs() < 1e-9, "{b:?}");
+        assert!((root.critical_ms - 30.0).abs() < 1e-9, "{root:?}");
+        let total: f64 = p.ops.iter().map(|o| o.critical_ms).sum();
+        assert!(
+            (total - 100.0).abs() < 1e-9,
+            "critical path must sum to end-to-end latency, got {total}"
+        );
+    }
+
+    #[test]
+    fn flamegraph_folds_stacks_with_self_weights() {
+        let p = profile_traces(&[sample_trace()]);
+        let text = p.flamegraph();
+        assert!(text.contains("invoke:nlu 30.000"), "{text}");
+        assert!(text.contains("invoke:nlu;attempt:nlu-a 50.000"), "{text}");
+    }
+
+    #[test]
+    fn top_k_ranks_by_critical_contribution() {
+        let p = profile_traces(&[sample_trace()]);
+        let top = p.top_k(1);
+        assert_eq!(top[0].op, "attempt:nlu-a");
+        assert!(p.top_k(100).len() >= 3);
+    }
+
+    #[test]
+    fn corrupt_parent_links_terminate() {
+        let events = vec![
+            ev(1, Some(1), 0.0, attempt("self-loop", 1.0)),
+            ev(2, Some(3), 0.0, attempt("cycle-a", 1.0)),
+            ev(3, Some(2), 0.0, attempt("cycle-b", 1.0)),
+        ];
+        let p = profile_traces(&[events]);
+        assert!(p.spans == 3);
+    }
+
+    #[test]
+    fn json_export_carries_ops() {
+        let p = profile_traces(&[sample_trace()]);
+        let json = p.to_json();
+        assert_eq!(json.get("traces").and_then(Json::as_i64), Some(1));
+        assert!(json.get("ops").is_some());
+    }
+}

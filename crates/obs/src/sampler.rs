@@ -1,0 +1,551 @@
+//! Tail-based trace sampling.
+//!
+//! Head sampling decides a trace's fate before anything happened; tail
+//! sampling decides *after* the trace completes, when its outcome is
+//! known. The [`TailSampler`] buffers every in-flight trace's span tree,
+//! then at completion retains 100% of anomalous traces — errors,
+//! deadline exhaustion, breaker rejections, SLO-violating requests —
+//! while keeping only a deterministic fraction of healthy ones. The
+//! buffer lives under a hard event bound; when it overflows, evictions
+//! prefer healthy evidence and every drop is counted, never silent.
+
+use crate::event::{Event, EventKind, TraceId};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Why a completed trace was (or would be) retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceVerdict {
+    /// Finished ok within its objective; subject to downsampling.
+    Healthy,
+    /// The invocation ultimately failed.
+    Error,
+    /// An end-to-end deadline ran out mid-trace.
+    DeadlineExceeded,
+    /// A circuit breaker refused the work.
+    BreakerRejected,
+    /// The request finished but violated a latency/availability
+    /// objective (decided by the caller, e.g. the gateway's SLO engine).
+    SloViolation,
+}
+
+impl TraceVerdict {
+    /// Stable label value for metrics and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceVerdict::Healthy => "healthy",
+            TraceVerdict::Error => "error",
+            TraceVerdict::DeadlineExceeded => "deadline_exceeded",
+            TraceVerdict::BreakerRejected => "breaker_rejected",
+            TraceVerdict::SloViolation => "slo_violation",
+        }
+    }
+
+    /// Whether the verdict always retains the trace.
+    pub fn is_anomalous(self) -> bool {
+        !matches!(self, TraceVerdict::Healthy)
+    }
+}
+
+/// Tail-sampler tuning.
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Hard bound on buffered events (in-flight + retained together).
+    pub max_buffered_events: usize,
+    /// Cap on the number of retained (completed) traces.
+    pub max_retained_traces: usize,
+    /// Fraction of healthy traces retained, in `[0, 1]`.
+    pub healthy_sample_rate: f64,
+    /// Seed for the deterministic healthy-trace coin flip.
+    pub seed: u64,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> SamplerConfig {
+        SamplerConfig {
+            max_buffered_events: 16_384,
+            max_retained_traces: 256,
+            healthy_sample_rate: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// One completed trace the sampler decided to keep.
+#[derive(Debug, Clone)]
+pub struct RetainedTrace {
+    /// The trace.
+    pub trace: TraceId,
+    /// Why it was kept.
+    pub verdict: TraceVerdict,
+    /// Its complete retained span tree, in emission order.
+    pub events: Vec<Event>,
+}
+
+/// Point-in-time sampler accounting. Drops are never silent: every
+/// eviction shows up in one of the counters here (and in the
+/// `sdk_sampler_*` metrics the gateway publishes from them).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SamplerStats {
+    /// Events offered to the sampler since creation.
+    pub observed_events: u64,
+    /// Events currently buffered (in-flight + retained).
+    pub buffered_events: usize,
+    /// Traces still in flight.
+    pub pending_traces: usize,
+    /// Completed traces currently retained.
+    pub retained_traces: usize,
+    /// Healthy traces discarded by the sampling coin flip.
+    pub healthy_sampled_out: u64,
+    /// In-flight traces evicted by the memory bound before completion.
+    pub dropped_pending_traces: u64,
+    /// Retained traces evicted by the retention caps.
+    pub dropped_retained_traces: u64,
+    /// Of the dropped retained traces, how many were anomalous (these
+    /// are the drops that actually lose evidence).
+    pub dropped_anomalous_traces: u64,
+    /// Total events discarded by every eviction path above.
+    pub dropped_events: u64,
+}
+
+#[derive(Debug, Default)]
+struct Pending {
+    events: Vec<Event>,
+    /// Held traces are under explicit caller control (`hold`/`finalize`)
+    /// and are the last candidates for eviction.
+    held: bool,
+}
+
+#[derive(Debug, Default)]
+struct SamplerState {
+    /// In-flight traces keyed by trace id; ids are allocated
+    /// monotonically, so the smallest key is the oldest trace.
+    pending: BTreeMap<u64, Pending>,
+    retained: VecDeque<RetainedTrace>,
+    buffered_events: usize,
+    stats: SamplerStats,
+}
+
+/// Buffers complete span trees and applies outcome-aware retention.
+#[derive(Debug)]
+pub struct TailSampler {
+    cfg: SamplerConfig,
+    state: Mutex<SamplerState>,
+}
+
+impl TailSampler {
+    /// A sampler with the given bounds.
+    pub fn new(cfg: SamplerConfig) -> TailSampler {
+        TailSampler {
+            cfg,
+            state: Mutex::new(SamplerState::default()),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.cfg
+    }
+
+    /// Offers one event. Called by the tracer for every emission; a
+    /// root-span `invoke_end` auto-finalizes unheld traces so direct SDK
+    /// use (no gateway) still gets tail sampling.
+    pub fn observe(&self, event: &Event) {
+        let mut state = self.state.lock();
+        state.stats.observed_events += 1;
+        let pending = state.pending.entry(event.trace.0).or_default();
+        pending.events.push(event.clone());
+        let auto_complete = !pending.held
+            && event.parent.is_none()
+            && matches!(event.kind, EventKind::InvokeEnd { .. });
+        state.buffered_events += 1;
+        if auto_complete {
+            self.finalize_locked(&mut state, event.trace, None);
+        }
+        self.enforce_bound(&mut state);
+    }
+
+    /// Marks a trace as caller-managed: it will not auto-finalize and is
+    /// evicted only as a last resort, so the caller's verdict (e.g. an
+    /// SLO violation) can still attach.
+    pub fn hold(&self, trace: TraceId) {
+        let mut state = self.state.lock();
+        state.pending.entry(trace.0).or_default().held = true;
+    }
+
+    /// Completes a trace. `verdict` overrides the event-derived verdict
+    /// (pass `Some(TraceVerdict::SloViolation)` for objective misses the
+    /// events alone cannot see); `None` derives it from the span tree.
+    pub fn finalize(&self, trace: TraceId, verdict: Option<TraceVerdict>) {
+        let mut state = self.state.lock();
+        self.finalize_locked(&mut state, trace, verdict);
+        self.enforce_bound(&mut state);
+    }
+
+    fn finalize_locked(
+        &self,
+        state: &mut SamplerState,
+        trace: TraceId,
+        verdict: Option<TraceVerdict>,
+    ) {
+        let Some(pending) = state.pending.remove(&trace.0) else {
+            return;
+        };
+        let derived = derive_verdict(&pending.events);
+        // An explicit Healthy cannot overrule error evidence in the tree.
+        let verdict = match verdict {
+            Some(v) if v.is_anomalous() => v,
+            _ => derived,
+        };
+        if verdict == TraceVerdict::Healthy && !self.keep_healthy(trace) {
+            state.stats.healthy_sampled_out += 1;
+            state.buffered_events -= pending.events.len();
+            return;
+        }
+        state.retained.push_back(RetainedTrace {
+            trace,
+            verdict,
+            events: pending.events,
+        });
+        while state.retained.len() > self.cfg.max_retained_traces {
+            Self::evict_retained(state);
+        }
+    }
+
+    /// Deterministic coin flip: same seed + same trace id → same keep
+    /// decision on every run.
+    fn keep_healthy(&self, trace: TraceId) -> bool {
+        if self.cfg.healthy_sample_rate >= 1.0 {
+            return true;
+        }
+        if self.cfg.healthy_sample_rate <= 0.0 {
+            return false;
+        }
+        let h = splitmix64(self.cfg.seed ^ trace.0);
+        (h as f64 / u64::MAX as f64) < self.cfg.healthy_sample_rate
+    }
+
+    /// Evicts the oldest healthy retained trace, falling back to the
+    /// oldest anomalous one (counted separately — that is real evidence
+    /// loss and should page someone via the metric).
+    fn evict_retained(state: &mut SamplerState) {
+        let idx = state
+            .retained
+            .iter()
+            .position(|t| t.verdict == TraceVerdict::Healthy)
+            .unwrap_or(0);
+        if let Some(victim) = state.retained.remove(idx) {
+            if victim.verdict.is_anomalous() {
+                state.stats.dropped_anomalous_traces += 1;
+            }
+            state.stats.dropped_retained_traces += 1;
+            state.stats.dropped_events += victim.events.len() as u64;
+            state.buffered_events -= victim.events.len();
+        }
+    }
+
+    /// Brings `buffered_events` back under the hard bound. Eviction
+    /// order: healthy retained traces, then the oldest unheld in-flight
+    /// trace, then anomalous retained traces, then held in-flight traces
+    /// — nothing survives above the bound, and every drop is counted.
+    fn enforce_bound(&self, state: &mut SamplerState) {
+        while state.buffered_events > self.cfg.max_buffered_events {
+            if state
+                .retained
+                .iter()
+                .any(|t| t.verdict == TraceVerdict::Healthy)
+            {
+                Self::evict_retained(state);
+                continue;
+            }
+            let unheld = state
+                .pending
+                .iter()
+                .find(|(_, p)| !p.held)
+                .map(|(&id, _)| id);
+            if let Some(id) = unheld {
+                Self::drop_pending(state, id);
+                continue;
+            }
+            if !state.retained.is_empty() {
+                Self::evict_retained(state);
+                continue;
+            }
+            let held = state.pending.keys().next().copied();
+            match held {
+                Some(id) => Self::drop_pending(state, id),
+                None => break,
+            }
+        }
+    }
+
+    fn drop_pending(state: &mut SamplerState, id: u64) {
+        if let Some(p) = state.pending.remove(&id) {
+            state.stats.dropped_pending_traces += 1;
+            state.stats.dropped_events += p.events.len() as u64;
+            state.buffered_events -= p.events.len();
+        }
+    }
+
+    /// Snapshot of every retained trace, oldest first.
+    pub fn retained(&self) -> Vec<RetainedTrace> {
+        self.state.lock().retained.iter().cloned().collect()
+    }
+
+    /// The retained trace with this id, if the sampler kept it.
+    pub fn retained_trace(&self, trace: TraceId) -> Option<RetainedTrace> {
+        self.state
+            .lock()
+            .retained
+            .iter()
+            .find(|t| t.trace == trace)
+            .cloned()
+    }
+
+    /// The span trees of every retained trace (profiler input).
+    pub fn retained_span_trees(&self) -> Vec<Vec<Event>> {
+        self.state
+            .lock()
+            .retained
+            .iter()
+            .map(|t| t.events.clone())
+            .collect()
+    }
+
+    /// Current accounting.
+    pub fn stats(&self) -> SamplerStats {
+        let state = self.state.lock();
+        let mut stats = state.stats;
+        stats.buffered_events = state.buffered_events;
+        stats.pending_traces = state.pending.len();
+        stats.retained_traces = state.retained.len();
+        stats
+    }
+
+    /// Retained traces with a given verdict.
+    pub fn retained_with_verdict(&self, verdict: TraceVerdict) -> usize {
+        self.state
+            .lock()
+            .retained
+            .iter()
+            .filter(|t| t.verdict == verdict)
+            .count()
+    }
+}
+
+/// What the span tree alone says about the trace's outcome.
+fn derive_verdict(events: &[Event]) -> TraceVerdict {
+    let mut failed = false;
+    let mut deadline = false;
+    let mut breaker = false;
+    for e in events {
+        match &e.kind {
+            EventKind::InvokeEnd { outcome, .. } if *outcome != "ok" => failed = true,
+            EventKind::DeadlineExhausted { .. } => deadline = true,
+            EventKind::BreakerRejected { .. } => breaker = true,
+            _ => {}
+        }
+    }
+    if failed || deadline || breaker {
+        if deadline {
+            TraceVerdict::DeadlineExceeded
+        } else if breaker {
+            TraceVerdict::BreakerRejected
+        } else {
+            TraceVerdict::Error
+        }
+    } else {
+        TraceVerdict::Healthy
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SpanCtx, SpanId, TenantId};
+    use crate::tracer::Tracer;
+
+    fn root_ctx(t: &Tracer) -> SpanCtx {
+        t.new_trace()
+    }
+
+    fn end_ok(t: &Tracer, ctx: &SpanCtx) {
+        t.emit(ctx, || EventKind::InvokeEnd {
+            service: "svc".into(),
+            outcome: "ok",
+            latency_ms: 1.0,
+        });
+    }
+
+    fn end_err(t: &Tracer, ctx: &SpanCtx) {
+        t.emit(ctx, || EventKind::InvokeEnd {
+            service: "svc".into(),
+            outcome: "unavailable",
+            latency_ms: 1.0,
+        });
+    }
+
+    fn sampler_on(t: &Tracer, cfg: SamplerConfig) -> std::sync::Arc<TailSampler> {
+        let s = std::sync::Arc::new(TailSampler::new(cfg));
+        t.set_sampler(s.clone());
+        s
+    }
+
+    #[test]
+    fn error_traces_are_always_retained() {
+        let t = Tracer::new();
+        let s = sampler_on(
+            &t,
+            SamplerConfig {
+                healthy_sample_rate: 0.0,
+                ..SamplerConfig::default()
+            },
+        );
+        for _ in 0..20 {
+            let ctx = root_ctx(&t);
+            end_err(&t, &ctx);
+        }
+        assert_eq!(s.retained_with_verdict(TraceVerdict::Error), 20);
+        assert_eq!(s.stats().healthy_sampled_out, 0);
+    }
+
+    #[test]
+    fn healthy_traces_downsample_deterministically() {
+        let run = || {
+            let t = Tracer::new();
+            let s = sampler_on(
+                &t,
+                SamplerConfig {
+                    healthy_sample_rate: 0.25,
+                    seed: 7,
+                    ..SamplerConfig::default()
+                },
+            );
+            for _ in 0..400 {
+                let ctx = root_ctx(&t);
+                end_ok(&t, &ctx);
+            }
+            (s.retained().len(), s.stats().healthy_sampled_out)
+        };
+        let (kept1, out1) = run();
+        let (kept2, out2) = run();
+        assert_eq!((kept1, out1), (kept2, out2), "must be deterministic");
+        assert_eq!(kept1 + out1 as usize, 400);
+        assert!(
+            (50..=150).contains(&kept1),
+            "~25% of 400 expected, got {kept1}"
+        );
+    }
+
+    #[test]
+    fn explicit_verdict_overrides_healthy_but_not_errors() {
+        let t = Tracer::new();
+        let s = sampler_on(
+            &t,
+            SamplerConfig {
+                healthy_sample_rate: 0.0,
+                ..SamplerConfig::default()
+            },
+        );
+        let ctx = root_ctx(&t);
+        s.hold(ctx.trace);
+        end_ok(&t, &ctx);
+        s.finalize(ctx.trace, Some(TraceVerdict::SloViolation));
+        assert_eq!(s.retained_with_verdict(TraceVerdict::SloViolation), 1);
+
+        let ctx2 = root_ctx(&t);
+        s.hold(ctx2.trace);
+        end_err(&t, &ctx2);
+        s.finalize(ctx2.trace, Some(TraceVerdict::Healthy));
+        assert_eq!(
+            s.retained_with_verdict(TraceVerdict::Error),
+            1,
+            "error evidence wins over a caller's Healthy claim"
+        );
+    }
+
+    #[test]
+    fn memory_bound_holds_and_drops_are_counted() {
+        let t = Tracer::new();
+        let s = sampler_on(
+            &t,
+            SamplerConfig {
+                max_buffered_events: 50,
+                max_retained_traces: 1000,
+                healthy_sample_rate: 1.0,
+                seed: 0,
+            },
+        );
+        for _ in 0..40 {
+            let ctx = root_ctx(&t);
+            t.emit(&ctx, || EventKind::CacheMiss { key: "k".into() });
+            end_ok(&t, &ctx);
+        }
+        let stats = s.stats();
+        assert!(
+            stats.buffered_events <= 50,
+            "bound violated: {}",
+            stats.buffered_events
+        );
+        assert!(stats.dropped_retained_traces > 0);
+        assert_eq!(
+            stats.dropped_events + stats.buffered_events as u64,
+            stats.observed_events,
+            "every observed event is either buffered or counted dropped"
+        );
+    }
+
+    #[test]
+    fn anomalous_traces_survive_healthy_evictions() {
+        let t = Tracer::new();
+        let s = sampler_on(
+            &t,
+            SamplerConfig {
+                max_buffered_events: 30,
+                max_retained_traces: 1000,
+                healthy_sample_rate: 1.0,
+                seed: 0,
+            },
+        );
+        let err_ctx = root_ctx(&t);
+        end_err(&t, &err_ctx);
+        for _ in 0..60 {
+            let ctx = root_ctx(&t);
+            end_ok(&t, &ctx);
+        }
+        assert!(
+            s.retained_trace(err_ctx.trace).is_some(),
+            "error trace evicted while healthy traces remained"
+        );
+        assert_eq!(s.stats().dropped_anomalous_traces, 0);
+    }
+
+    #[test]
+    fn verdict_derivation_prefers_deadline_then_breaker() {
+        let mk = |kind: EventKind| Event {
+            seq: 0,
+            trace: TraceId(1),
+            span: SpanId(1),
+            parent: None,
+            tenant: TenantId::NONE,
+            at_ms: 0.0,
+            kind,
+        };
+        let events = vec![
+            mk(EventKind::BreakerRejected {
+                service: "svc".into(),
+            }),
+            mk(EventKind::DeadlineExhausted { stage: "backoff" }),
+        ];
+        assert_eq!(derive_verdict(&events), TraceVerdict::DeadlineExceeded);
+        assert_eq!(derive_verdict(&events[..1]), TraceVerdict::BreakerRejected);
+    }
+}

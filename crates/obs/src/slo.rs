@@ -1,0 +1,422 @@
+//! Declarative SLOs with multi-window burn-rate alerting.
+//!
+//! An [`SloSpec`] states, per route (and optionally per tenant), what a
+//! *good* request is — answered ok within a latency threshold — and what
+//! fraction must be good. The [`SloEngine`] classifies every request
+//! into time buckets and evaluates the classic two-window burn rate: the
+//! error budget's consumption speed over a fast window (default 5 min,
+//! catches cliffs) and a slow window (default 1 h, filters blips). An
+//! alert fires only when *both* windows burn above threshold, emitting an
+//! [`EventKind::SloBurnAlert`] trace event and `sdk_slo_*` metrics.
+//!
+//! All arithmetic runs on the tracer's timestamp source, so under the
+//! deterministic sim clock the same scenario trips the same alert at the
+//! same virtual instant on every run.
+
+use crate::event::{EventKind, SpanCtx};
+use crate::Telemetry;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// One latency + availability objective.
+#[derive(Debug, Clone)]
+pub struct SloSpec {
+    /// The route this objective covers (gateway route label).
+    pub route: String,
+    /// Restrict to one tenant; `None` covers all traffic on the route.
+    pub tenant: Option<String>,
+    /// A request slower than this is *bad* even if it succeeded.
+    pub latency_ms: f64,
+    /// Target good fraction in `[0, 1)`, e.g. `0.99`.
+    pub objective: f64,
+}
+
+impl SloSpec {
+    /// An objective over every tenant of a route.
+    pub fn new(route: impl Into<String>, latency_ms: f64, objective: f64) -> SloSpec {
+        SloSpec {
+            route: route.into(),
+            tenant: None,
+            latency_ms,
+            objective: objective.clamp(0.0, 0.999_999),
+        }
+    }
+
+    /// Restricts the objective to one tenant.
+    pub fn for_tenant(mut self, tenant: impl Into<String>) -> SloSpec {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    fn matches(&self, route: &str, tenant: Option<&str>) -> bool {
+        self.route == route
+            && match &self.tenant {
+                Some(t) => tenant == Some(t.as_str()),
+                None => true,
+            }
+    }
+}
+
+/// Engine tuning: window widths and the shared burn threshold.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Fast evaluation window (ms).
+    pub fast_window_ms: f64,
+    /// Slow evaluation window (ms); also the retention horizon.
+    pub slow_window_ms: f64,
+    /// Burn rate (budget consumption speed) at which both windows must
+    /// burn for an alert. 14.4 exhausts a 30-day budget in 2 days.
+    pub burn_threshold: f64,
+    /// Classification bucket width (ms).
+    pub bucket_ms: f64,
+    /// Minimum requests in the fast window before alerting (avoids
+    /// firing on the first bad request of an idle route).
+    pub min_requests: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            fast_window_ms: 300_000.0,
+            slow_window_ms: 3_600_000.0,
+            burn_threshold: 14.4,
+            bucket_ms: 10_000.0,
+            min_requests: 10,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    start_ms: f64,
+    good: u64,
+    bad: u64,
+}
+
+#[derive(Debug)]
+struct ObjectiveState {
+    spec: SloSpec,
+    buckets: VecDeque<Bucket>,
+    alerting: bool,
+    alerts_fired: u64,
+}
+
+/// Point-in-time view of one objective, served by `/slo`.
+#[derive(Debug, Clone)]
+pub struct SloStatus {
+    /// The objective.
+    pub spec: SloSpec,
+    /// Good/bad counts in the fast window.
+    pub fast_good: u64,
+    /// Bad count in the fast window.
+    pub fast_bad: u64,
+    /// Good count in the slow window.
+    pub slow_good: u64,
+    /// Bad count in the slow window.
+    pub slow_bad: u64,
+    /// Current fast-window burn rate.
+    pub fast_burn: f64,
+    /// Current slow-window burn rate.
+    pub slow_burn: f64,
+    /// Whether the alert is currently active.
+    pub alerting: bool,
+    /// Rising edges since creation.
+    pub alerts_fired: u64,
+}
+
+/// Outcome of recording one request against every matching objective.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SloRecord {
+    /// The request was bad under at least one matching objective.
+    pub violated: bool,
+    /// Alerts that fired (rising edges) because of this request.
+    pub alerts_fired: usize,
+}
+
+/// Evaluates requests against registered objectives.
+pub struct SloEngine {
+    cfg: SloConfig,
+    telemetry: Telemetry,
+    objectives: Mutex<Vec<ObjectiveState>>,
+}
+
+impl std::fmt::Debug for SloEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloEngine")
+            .field("objectives", &self.objectives.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SloEngine {
+    /// An engine emitting alerts and metrics through `telemetry`.
+    pub fn new(telemetry: Telemetry, cfg: SloConfig) -> SloEngine {
+        SloEngine {
+            cfg,
+            telemetry,
+            objectives: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers one objective.
+    pub fn add_objective(&self, spec: SloSpec) {
+        self.objectives.lock().push(ObjectiveState {
+            spec,
+            buckets: VecDeque::new(),
+            alerting: false,
+            alerts_fired: 0,
+        });
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Classifies one finished request against every matching objective
+    /// and re-evaluates burn rates. `ctx` anchors any fired alert event
+    /// to the offending trace.
+    pub fn record(
+        &self,
+        route: &str,
+        tenant: Option<&str>,
+        ok: bool,
+        latency_ms: f64,
+        ctx: &SpanCtx,
+    ) -> SloRecord {
+        let now = self.telemetry.tracer().now_ms();
+        let mut out = SloRecord::default();
+        let mut fired: Vec<(SloSpec, f64, f64)> = Vec::new();
+        {
+            let mut objectives = self.objectives.lock();
+            for obj in objectives.iter_mut() {
+                if !obj.spec.matches(route, tenant) {
+                    continue;
+                }
+                let good = ok && latency_ms <= obj.spec.latency_ms;
+                if !good {
+                    out.violated = true;
+                }
+                self.ingest(obj, now, good);
+                let (fast, slow, fast_total) = self.burn_rates(obj, now);
+                let over = fast >= self.cfg.burn_threshold
+                    && slow >= self.cfg.burn_threshold
+                    && fast_total >= self.cfg.min_requests;
+                if over && !obj.alerting {
+                    obj.alerting = true;
+                    obj.alerts_fired += 1;
+                    out.alerts_fired += 1;
+                    fired.push((obj.spec.clone(), fast, slow));
+                } else if !over && obj.alerting && fast < self.cfg.burn_threshold / 2.0 {
+                    // Hysteresis: clear only once the fast window cools.
+                    obj.alerting = false;
+                }
+                self.publish_gauges(&obj.spec, fast, slow);
+            }
+        }
+        for (spec, fast, slow) in fired {
+            self.publish_alert(&spec, fast, slow, ctx);
+        }
+        out
+    }
+
+    fn ingest(&self, obj: &mut ObjectiveState, now: f64, good: bool) {
+        let start = (now / self.cfg.bucket_ms).floor() * self.cfg.bucket_ms;
+        let fresh = match obj.buckets.back() {
+            Some(last) => last.start_ms < start,
+            None => true,
+        };
+        if fresh {
+            obj.buckets.push_back(Bucket {
+                start_ms: start,
+                good: 0,
+                bad: 0,
+            });
+        }
+        let last = obj.buckets.back_mut().expect("bucket just ensured");
+        if good {
+            last.good += 1;
+        } else {
+            last.bad += 1;
+        }
+        let horizon = now - self.cfg.slow_window_ms;
+        while obj
+            .buckets
+            .front()
+            .is_some_and(|b| b.start_ms + self.cfg.bucket_ms < horizon)
+        {
+            obj.buckets.pop_front();
+        }
+    }
+
+    /// `(fast_burn, slow_burn, fast_window_total)`.
+    fn burn_rates(&self, obj: &ObjectiveState, now: f64) -> (f64, f64, u64) {
+        let budget = (1.0 - obj.spec.objective).max(1e-6);
+        let window = |width: f64| {
+            let from = now - width;
+            let (mut good, mut bad) = (0u64, 0u64);
+            for b in &obj.buckets {
+                if b.start_ms + self.cfg.bucket_ms >= from {
+                    good += b.good;
+                    bad += b.bad;
+                }
+            }
+            (good, bad)
+        };
+        let (fg, fb) = window(self.cfg.fast_window_ms);
+        let (sg, sb) = window(self.cfg.slow_window_ms);
+        let rate = |good: u64, bad: u64| {
+            let total = good + bad;
+            if total == 0 {
+                0.0
+            } else {
+                (bad as f64 / total as f64) / budget
+            }
+        };
+        (rate(fg, fb), rate(sg, sb), fg + fb)
+    }
+
+    fn labels<'a>(&self, spec: &'a SloSpec) -> Vec<(&'static str, &'a str)> {
+        let mut labels = vec![("route", spec.route.as_str())];
+        if let Some(t) = &spec.tenant {
+            labels.push(("tenant", t.as_str()));
+        }
+        labels
+    }
+
+    fn publish_gauges(&self, spec: &SloSpec, fast: f64, slow: f64) {
+        let metrics = self.telemetry.metrics();
+        let mut labels = self.labels(spec);
+        labels.push(("window", "fast"));
+        metrics.set_gauge("sdk_slo_burn_rate", &labels, fast);
+        labels.pop();
+        labels.push(("window", "slow"));
+        metrics.set_gauge("sdk_slo_burn_rate", &labels, slow);
+    }
+
+    fn publish_alert(&self, spec: &SloSpec, fast: f64, slow: f64, ctx: &SpanCtx) {
+        self.telemetry
+            .metrics()
+            .inc_counter("sdk_slo_burn_alerts_total", &self.labels(spec));
+        let (route, tenant) = (spec.route.clone(), spec.tenant.clone());
+        self.telemetry
+            .tracer()
+            .emit(ctx, move || EventKind::SloBurnAlert {
+                route,
+                tenant: tenant.unwrap_or_default(),
+                fast_burn: fast,
+                slow_burn: slow,
+            });
+    }
+
+    /// Point-in-time status of every objective (the `/slo` payload).
+    pub fn snapshot(&self) -> Vec<SloStatus> {
+        let now = self.telemetry.tracer().now_ms();
+        self.objectives
+            .lock()
+            .iter()
+            .map(|obj| {
+                let from_fast = now - self.cfg.fast_window_ms;
+                let from_slow = now - self.cfg.slow_window_ms;
+                let (mut fg, mut fb, mut sg, mut sb) = (0u64, 0u64, 0u64, 0u64);
+                for b in &obj.buckets {
+                    if b.start_ms + self.cfg.bucket_ms >= from_slow {
+                        sg += b.good;
+                        sb += b.bad;
+                    }
+                    if b.start_ms + self.cfg.bucket_ms >= from_fast {
+                        fg += b.good;
+                        fb += b.bad;
+                    }
+                }
+                let (fast_burn, slow_burn, _) = self.burn_rates(obj, now);
+                SloStatus {
+                    spec: obj.spec.clone(),
+                    fast_good: fg,
+                    fast_bad: fb,
+                    slow_good: sg,
+                    slow_bad: sb,
+                    fast_burn,
+                    slow_burn,
+                    alerting: obj.alerting,
+                    alerts_fired: obj.alerts_fired,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(threshold: f64) -> (Telemetry, SloEngine) {
+        let telemetry = Telemetry::new();
+        let cfg = SloConfig {
+            burn_threshold: threshold,
+            min_requests: 5,
+            ..SloConfig::default()
+        };
+        let engine = SloEngine::new(telemetry.clone(), cfg);
+        engine.add_objective(SloSpec::new("invoke", 50.0, 0.99));
+        (telemetry, engine)
+    }
+
+    #[test]
+    fn healthy_traffic_never_alerts() {
+        let (telemetry, engine) = engine(14.4);
+        let ctx = telemetry.tracer().new_trace();
+        for _ in 0..100 {
+            let r = engine.record("invoke", None, true, 10.0, &ctx);
+            assert_eq!(r.alerts_fired, 0);
+            assert!(!r.violated);
+        }
+        let status = &engine.snapshot()[0];
+        assert_eq!(status.fast_bad, 0);
+        assert!(!status.alerting);
+    }
+
+    #[test]
+    fn sustained_errors_fire_once_per_episode() {
+        let (telemetry, engine) = engine(14.4);
+        let ctx = telemetry.tracer().new_trace();
+        let mut fired = 0;
+        for _ in 0..50 {
+            fired += engine
+                .record("invoke", None, false, 10.0, &ctx)
+                .alerts_fired;
+        }
+        assert_eq!(fired, 1, "alert deduplicates while the episode lasts");
+        assert_eq!(
+            telemetry
+                .metrics()
+                .counter_value("sdk_slo_burn_alerts_total", &[("route", "invoke")]),
+            Some(1)
+        );
+        assert!(telemetry
+            .tracer()
+            .events()
+            .iter()
+            .any(|e| e.kind.name() == "slo_burn_alert"));
+    }
+
+    #[test]
+    fn slow_requests_are_bad_even_when_ok() {
+        let (telemetry, engine) = engine(14.4);
+        let ctx = telemetry.tracer().new_trace();
+        let r = engine.record("invoke", None, true, 500.0, &ctx);
+        assert!(r.violated);
+    }
+
+    #[test]
+    fn tenant_scoped_objective_ignores_other_tenants() {
+        let telemetry = Telemetry::new();
+        let engine = SloEngine::new(telemetry.clone(), SloConfig::default());
+        engine.add_objective(SloSpec::new("invoke", 50.0, 0.99).for_tenant("acme"));
+        let ctx = telemetry.tracer().new_trace();
+        let r = engine.record("invoke", Some("globex"), false, 10.0, &ctx);
+        assert!(!r.violated, "objective scoped to acme must not match");
+        let r = engine.record("invoke", Some("acme"), false, 10.0, &ctx);
+        assert!(r.violated);
+    }
+}

@@ -5,8 +5,9 @@
 //! (`None`). Disabled emission is one branch; call sites pass the event
 //! as a closure so no strings are built unless somebody is listening.
 
-use crate::event::{Event, EventKind, SpanCtx, SpanId, TraceId};
-use parking_lot::Mutex;
+use crate::event::{Event, EventKind, SpanCtx, SpanId, TenantId, TraceId};
+use crate::sampler::TailSampler;
+use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -15,6 +16,15 @@ use std::time::Instant;
 /// Default ring-buffer capacity (events retained before the oldest are
 /// dropped).
 pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+/// Maximum distinct tenant names interned before new names collapse into
+/// [`TenantId::OVERFLOW`] (label value `"other"`), bounding per-tenant
+/// metric cardinality.
+pub const MAX_TENANTS: usize = 256;
+
+/// A deterministic millisecond clock for event timestamps (virtual sim
+/// time in tests, wall clock by default).
+pub type TimeSource = Arc<dyn Fn() -> f64 + Send + Sync>;
 
 struct TracerInner {
     /// Global event sequence number.
@@ -30,6 +40,12 @@ struct TracerInner {
     capacity: usize,
     /// Events discarded because the ring was full.
     dropped: AtomicU64,
+    /// Optional deterministic timestamp source (sim clock).
+    time: RwLock<Option<TimeSource>>,
+    /// Optional tail sampler fed a copy of every event.
+    sink: RwLock<Option<Arc<TailSampler>>>,
+    /// Interned tenant names; `TenantId(i + 1)` indexes `names[i]`.
+    tenants: Mutex<Vec<Arc<str>>>,
 }
 
 /// Structured trace recorder. Clones share the same buffer.
@@ -69,6 +85,9 @@ impl Tracer {
                 events: Mutex::new(VecDeque::new()),
                 capacity: capacity.max(1),
                 dropped: AtomicU64::new(0),
+                time: RwLock::new(None),
+                sink: RwLock::new(None),
+                tenants: Mutex::new(Vec::new()),
             })),
         }
     }
@@ -83,31 +102,108 @@ impl Tracer {
         self.inner.is_some()
     }
 
+    /// Installs a deterministic timestamp source (milliseconds). The SDK
+    /// wires its virtual clock here so event timestamps — and everything
+    /// derived from them (SLO windows, the profiler) — are reproducible.
+    pub fn set_time_source(&self, source: TimeSource) {
+        if let Some(inner) = &self.inner {
+            *inner.time.write() = Some(source);
+        }
+    }
+
+    /// Attaches a tail sampler; every subsequent event is also offered to
+    /// it (the ring buffer keeps recording independently).
+    pub fn set_sampler(&self, sampler: Arc<TailSampler>) {
+        if let Some(inner) = &self.inner {
+            *inner.sink.write() = Some(sampler);
+        }
+    }
+
+    /// The attached tail sampler, if any.
+    pub fn sampler(&self) -> Option<Arc<TailSampler>> {
+        self.inner.as_ref().and_then(|i| i.sink.read().clone())
+    }
+
+    /// Interns a tenant name, returning a stable id. Once [`MAX_TENANTS`]
+    /// distinct names exist, further names map to
+    /// [`TenantId::OVERFLOW`] (`"other"`) so cardinality stays bounded.
+    pub fn intern_tenant(&self, name: &str) -> TenantId {
+        let Some(inner) = &self.inner else {
+            return TenantId::NONE;
+        };
+        if name.is_empty() {
+            return TenantId::NONE;
+        }
+        let mut tenants = inner.tenants.lock();
+        if let Some(pos) = tenants.iter().position(|t| &**t == name) {
+            return TenantId(pos as u16 + 1);
+        }
+        if tenants.len() >= MAX_TENANTS {
+            return TenantId::OVERFLOW;
+        }
+        tenants.push(Arc::from(name));
+        TenantId(tenants.len() as u16)
+    }
+
+    /// The interned name of a tenant, if one is attached. The overflow
+    /// bucket reports `"other"`.
+    pub fn tenant_name(&self, tenant: TenantId) -> Option<Arc<str>> {
+        if tenant == TenantId::NONE {
+            return None;
+        }
+        if tenant == TenantId::OVERFLOW {
+            return Some(Arc::from("other"));
+        }
+        let inner = self.inner.as_ref()?;
+        inner.tenants.lock().get(tenant.0 as usize - 1).cloned()
+    }
+
     /// Starts a new trace with a fresh root span.
     pub fn new_trace(&self) -> SpanCtx {
+        self.new_trace_for(TenantId::NONE)
+    }
+
+    /// Starts a new trace with a fresh root span billed to `tenant`.
+    /// Child spans inherit the tenant.
+    pub fn new_trace_for(&self, tenant: TenantId) -> SpanCtx {
         match &self.inner {
             Some(inner) => SpanCtx {
                 trace: TraceId(inner.traces.fetch_add(1, Ordering::Relaxed)),
                 span: SpanId(inner.spans.fetch_add(1, Ordering::Relaxed)),
                 parent: None,
+                tenant,
             },
             None => SpanCtx {
                 trace: TraceId(0),
                 span: SpanId(0),
                 parent: None,
+                tenant: TenantId::NONE,
             },
         }
     }
 
-    /// Opens a child span under `parent` (same trace).
+    /// Opens a child span under `parent` (same trace, same tenant).
     pub fn child(&self, parent: &SpanCtx) -> SpanCtx {
         match &self.inner {
             Some(inner) => SpanCtx {
                 trace: parent.trace,
                 span: SpanId(inner.spans.fetch_add(1, Ordering::Relaxed)),
                 parent: Some(parent.span),
+                tenant: parent.tenant,
             },
             None => *parent,
+        }
+    }
+
+    /// Current timestamp in milliseconds from the installed time source
+    /// (wall clock since tracer creation when none is installed).
+    pub fn now_ms(&self) -> f64 {
+        match &self.inner {
+            Some(inner) => match &*inner.time.read() {
+                Some(source) => source(),
+                None => inner.started.elapsed().as_secs_f64() * 1e3,
+            },
+            None => 0.0,
         }
     }
 
@@ -117,14 +213,22 @@ impl Tracer {
         let Some(inner) = &self.inner else {
             return;
         };
+        let at_ms = match &*inner.time.read() {
+            Some(source) => source(),
+            None => inner.started.elapsed().as_secs_f64() * 1e3,
+        };
         let event = Event {
             seq: inner.seq.fetch_add(1, Ordering::Relaxed),
             trace: ctx.trace,
             span: ctx.span,
             parent: ctx.parent,
-            at_ms: inner.started.elapsed().as_secs_f64() * 1e3,
+            tenant: ctx.tenant,
+            at_ms,
             kind: kind(),
         };
+        if let Some(sampler) = &*inner.sink.read() {
+            sampler.observe(&event);
+        }
         let mut events = inner.events.lock();
         if events.len() >= inner.capacity {
             events.pop_front();

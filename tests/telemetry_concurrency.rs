@@ -110,6 +110,105 @@ fn concurrent_invocations_reconcile_across_all_layers() {
     );
 }
 
+/// Satellite: snapshotting the registry while writers are mid-flight
+/// must always observe a consistent state — every snapshot parses as a
+/// full exposition and counter totals only ever grow.
+#[test]
+fn snapshot_under_concurrent_writes_stays_consistent() {
+    use cogsdk::obs::{prometheus_text, MetricsRegistry};
+    let metrics = Arc::new(MetricsRegistry::new());
+    let writers = ThreadPool::new(4);
+    let futures: Vec<_> = (0..4)
+        .map(|w| {
+            let metrics = metrics.clone();
+            writers.submit(move || {
+                for i in 0..500u64 {
+                    let shard = format!("s{}", i % 3);
+                    metrics.inc_counter("race_total", &[("writer", &shard)]);
+                    metrics.observe("race_ms", &[], (w * 500 + i) as f64 % 17.0);
+                    metrics.set_gauge("race_depth", &[], i as f64);
+                }
+            })
+        })
+        .collect();
+    let mut last_total = 0u64;
+    // Interleave snapshots with the writes; each must be internally
+    // consistent and totals monotone.
+    loop {
+        let total = metrics.counter_sum("race_total");
+        assert!(total >= last_total, "counter went backwards");
+        last_total = total;
+        let text = prometheus_text(&metrics);
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.contains(' '),
+                "malformed exposition line: {line}"
+            );
+        }
+        if futures.iter().all(|f| f.poll().is_some()) {
+            break;
+        }
+    }
+    for f in &futures {
+        f.wait();
+    }
+    assert_eq!(metrics.counter_sum("race_total"), 2_000);
+    assert_eq!(metrics.histogram_total_count("race_ms"), 2_000);
+}
+
+/// Satellite: a misbehaving (or adversarial) caller minting unbounded
+/// tenant label values cannot blow up series cardinality — the registry
+/// caps distinct label sets per metric and counts what it rejected, and
+/// the tracer folds excess tenants into `"other"`.
+#[test]
+fn tenant_label_cardinality_is_bounded() {
+    use cogsdk::obs::{MetricsRegistry, SERIES_REJECTED_METRIC};
+    let metrics = Arc::new(MetricsRegistry::with_series_limit(32));
+    let writers = ThreadPool::new(4);
+    let futures: Vec<_> = (0..4)
+        .map(|w| {
+            let metrics = metrics.clone();
+            writers.submit(move || {
+                for i in 0..100u64 {
+                    let tenant = format!("tenant-{}", w * 100 + i as usize);
+                    metrics.inc_counter("tenant_requests_total", &[("tenant", &tenant)]);
+                }
+            })
+        })
+        .collect();
+    for f in &futures {
+        f.wait();
+    }
+    assert_eq!(metrics.series_count("tenant_requests_total"), 32);
+    assert_eq!(
+        metrics.counter_sum("tenant_requests_total")
+            + metrics.rejected_series("tenant_requests_total"),
+        400,
+        "every write either landed or was counted as rejected"
+    );
+    // Rejections are themselves exported, so the cap is never silent.
+    let text = cogsdk::obs::prometheus_text(&metrics);
+    assert!(
+        text.contains(&format!(
+            "{SERIES_REJECTED_METRIC}{{metric=\"tenant_requests_total\"}}"
+        )),
+        "{text}"
+    );
+
+    // Tracer-side: interning past MAX_TENANTS folds into "other".
+    let telemetry = Telemetry::new();
+    let tracer = telemetry.tracer();
+    for i in 0..(cogsdk::obs::MAX_TENANTS + 10) {
+        let id = tracer.intern_tenant(&format!("t{i}"));
+        let name = tracer.tenant_name(id).expect("tenants resolve");
+        if i < cogsdk::obs::MAX_TENANTS {
+            assert_eq!(&*name, format!("t{i}").as_str());
+        } else {
+            assert_eq!(&*name, "other", "overflow tenants share one label");
+        }
+    }
+}
+
 #[test]
 fn pool_queue_wait_is_visible_under_saturation() {
     let env = SimEnv::with_seed(4343);
