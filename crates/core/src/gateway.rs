@@ -19,6 +19,7 @@
 //! | `GET /trace?trace_id=N` | — | one trace (tail-sampler retained copy preferred) |
 //! | `GET /slo` | — | burn-rate status of every configured objective |
 //! | `GET /profile` | — | critical-path profile of retained traces |
+//! | `POST /snapshot` | — | checkpoint the attached durable store (admin) |
 //!
 //! Invocation requests may carry an `X-Tenant` header; the gateway interns
 //! the tenant into the trace context so every downstream RED metric
@@ -348,11 +349,17 @@ fn route_label(path: &str) -> &str {
     path.split('/').find(|s| !s.is_empty()).unwrap_or("/")
 }
 
+/// Admin hook behind `POST /snapshot`: checkpoints whatever durable
+/// store the host wired in (the gateway itself has no KB dependency)
+/// and returns a JSON status body.
+pub type SnapshotHandler = Box<dyn Fn() -> Result<Json, String> + Send + Sync>;
+
 /// The gateway: routes HTTP requests onto a shared [`RichSdk`].
 pub struct HttpGateway {
     sdk: Arc<RichSdk>,
     gate: Bulkhead,
     slo: Option<Arc<SloEngine>>,
+    snapshot: Option<SnapshotHandler>,
 }
 
 impl std::fmt::Debug for HttpGateway {
@@ -373,6 +380,7 @@ impl HttpGateway {
             sdk,
             gate: Bulkhead::new(limits),
             slo: None,
+            snapshot: None,
         }
     }
 
@@ -389,12 +397,21 @@ impl HttpGateway {
             sdk,
             gate: Bulkhead::new(limits),
             slo: Some(slo),
+            snapshot: None,
         }
     }
 
     /// The attached SLO engine, if any.
     pub fn slo_engine(&self) -> Option<&Arc<SloEngine>> {
         self.slo.as_ref()
+    }
+
+    /// Attaches the `POST /snapshot` admin handler. The host passes a
+    /// closure checkpointing its durable store (e.g. a
+    /// `PersonalKnowledgeBase::snapshot` call); the route answers 404
+    /// until one is attached.
+    pub fn set_snapshot_handler(&mut self, handler: SnapshotHandler) {
+        self.snapshot = Some(handler);
     }
 
     /// Routes one parsed request through the bulkhead. No I/O.
@@ -595,6 +612,7 @@ impl HttpGateway {
             }
             ("GET", ["trace"]) => self.trace_response(request),
             ("GET", ["slo"]) => self.slo_response(),
+            ("POST", ["snapshot"]) => self.snapshot_response(),
             ("GET", ["profile"]) => self.profile_response(request),
             ("GET", ["monitor", service]) => match self.sdk.monitor().history(service) {
                 Some(history) => {
@@ -683,6 +701,19 @@ impl HttpGateway {
             "application/x-ndjson",
             trace_jsonl_with_summary(&events, tracer.dropped()),
         )
+    }
+
+    /// `POST /snapshot`: checkpoints the host's durable store through
+    /// the attached handler.
+    fn snapshot_response(&self) -> HttpResponse {
+        let handler = match &self.snapshot {
+            Some(handler) => handler,
+            None => return HttpResponse::error(404, "no snapshot handler attached"),
+        };
+        match handler() {
+            Ok(body) => HttpResponse::ok(body),
+            Err(e) => HttpResponse::error(500, format!("snapshot failed: {e}")),
+        }
     }
 
     /// `/slo` status: one entry per objective with window counts, burn
@@ -1318,5 +1349,35 @@ mod tests {
         assert!(response.contains("\"over\":\"tcp\""));
         shutdown.store(true, Ordering::SeqCst);
         handle.join().unwrap();
+    }
+    #[test]
+    fn snapshot_route_requires_an_attached_handler() {
+        let (_env, gw) = gateway();
+        let raw = gw.handle_text(&post("/snapshot", ""));
+        assert!(raw.starts_with("HTTP/1.1 404"), "{raw}");
+        assert!(raw.contains("no snapshot handler attached"), "{raw}");
+    }
+
+    #[test]
+    fn snapshot_route_runs_the_attached_handler() {
+        let env = SimEnv::with_seed(81);
+        let sdk = Arc::new(RichSdk::new(&env));
+        let mut gw = HttpGateway::new(sdk);
+        let calls = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let seen = calls.clone();
+        gw.set_snapshot_handler(Box::new(move || {
+            seen.fetch_add(1, Ordering::SeqCst);
+            Ok(json!({"bytes": 123, "ok": true}))
+        }));
+        let raw = gw.handle_text(&post("/snapshot", ""));
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        let body = Json::parse(raw.split("\r\n\r\n").nth(1).unwrap()).unwrap();
+        assert_eq!(body.pointer("/bytes").and_then(Json::as_i64), Some(123));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        // Handler failures surface as 500s.
+        gw.set_snapshot_handler(Box::new(|| Err("disk full".into())));
+        let raw = gw.handle_text(&post("/snapshot", ""));
+        assert!(raw.starts_with("HTTP/1.1 500"), "{raw}");
+        assert!(raw.contains("disk full"), "{raw}");
     }
 }

@@ -9,8 +9,10 @@ use cogsdk_rdf::query::Solution;
 use cogsdk_rdf::reason::TriplePattern;
 use cogsdk_rdf::weighted::{WeightedGraph, WeightedReasoner};
 use cogsdk_rdf::{
-    GenericRuleReasoner, Graph, IncrementalMaterializer, Query, Statement, Term, TermId,
+    DurableOptions, DurableStore, GenericRuleReasoner, Graph, Query, RecoveryStats, Statement,
+    Term, TermId, WalStats,
 };
+use cogsdk_sim::fs::Vfs;
 use cogsdk_store::crypto::Key;
 use cogsdk_store::csv::{csv_to_table, table_to_csv};
 use cogsdk_store::enhanced::{EnhancedClient, EnhancedOptions};
@@ -22,6 +24,7 @@ use cogsdk_text::disambig::{EntityCatalog, ResolvedEntity};
 use cogsdk_text::SpellChecker;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -70,8 +73,10 @@ pub struct PersonalKnowledgeBase {
     /// The RDF store, wrapped in an incremental materializer: once a
     /// reasoner is enabled (via `infer_*`), its closure is *maintained*
     /// across later ingests and retractions instead of being recomputed
-    /// from scratch per call (the Fig. 5 loop's hot path).
-    graph: RwLock<IncrementalMaterializer>,
+    /// from scratch per call (the Fig. 5 loop's hot path). When the base
+    /// was opened durably, every mutation is WAL-logged before it
+    /// applies, so a crash loses at most the in-flight operation.
+    graph: RwLock<DurableStore>,
     /// Confidence overrides for statements; absent = 1.0 (§5 future work:
     /// accuracy levels on stored and inferred facts).
     confidence: RwLock<HashMap<Statement, f64>>,
@@ -89,6 +94,9 @@ pub struct PersonalKnowledgeBase {
     /// Cache counters already pushed into the metrics registry
     /// (hits, misses) — publishing is delta-based.
     published_cache: Mutex<(u64, u64)>,
+    /// WAL counters already pushed into the metrics registry —
+    /// publishing is delta-based, like the cache counters.
+    published_wal: Mutex<WalStats>,
     doc_counter: AtomicUsize,
 }
 
@@ -116,6 +124,61 @@ impl PersonalKnowledgeBase {
         options: KbOptions,
         telemetry: Telemetry,
     ) -> PersonalKnowledgeBase {
+        PersonalKnowledgeBase::build(remote, options, telemetry, DurableStore::in_memory())
+    }
+
+    /// Opens a *durable* knowledge base whose RDF store is
+    /// crash-recoverable under `path`: every ingest, import, retraction,
+    /// and ruleset change is appended to a write-ahead log before it
+    /// applies, and recovery (snapshot load + WAL replay + closure
+    /// re-derivation) runs before this returns. See
+    /// [`DurableStore`](cogsdk_rdf::DurableStore) for the recovery
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// [`KbError::Durability`] if existing state is corrupt beyond a
+    /// torn tail record or storage fails.
+    pub fn open_durable(
+        path: impl AsRef<Path>,
+        remote: Arc<dyn KeyValueStore>,
+        options: KbOptions,
+    ) -> Result<PersonalKnowledgeBase, KbError> {
+        let graph = DurableStore::open_dir(path, DurableOptions::default())?;
+        Ok(PersonalKnowledgeBase::build(
+            remote,
+            options,
+            Telemetry::disabled(),
+            graph,
+        ))
+    }
+
+    /// As [`open_durable`](Self::open_durable) on an explicit virtual
+    /// filesystem (e.g. a fault-injecting `SimFs`), with telemetry:
+    /// recovery stats are published once at open and WAL counters on
+    /// every logged mutation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`open_durable`](Self::open_durable).
+    pub fn open_durable_on(
+        fs: Arc<dyn Vfs>,
+        remote: Arc<dyn KeyValueStore>,
+        options: KbOptions,
+        telemetry: Telemetry,
+    ) -> Result<PersonalKnowledgeBase, KbError> {
+        let graph = DurableStore::open(fs, DurableOptions::default())?;
+        Ok(PersonalKnowledgeBase::build(
+            remote, options, telemetry, graph,
+        ))
+    }
+
+    fn build(
+        remote: Arc<dyn KeyValueStore>,
+        options: KbOptions,
+        telemetry: Telemetry,
+        graph: DurableStore,
+    ) -> PersonalKnowledgeBase {
         let enhanced = Arc::new(EnhancedClient::new(
             remote,
             EnhancedOptions {
@@ -124,9 +187,10 @@ impl PersonalKnowledgeBase {
                 encryption_key: options.encryption_passphrase.as_deref().map(Key::derive),
             },
         ));
-        PersonalKnowledgeBase {
+        let kb = PersonalKnowledgeBase {
             tables: TableStore::new(),
-            graph: RwLock::new(IncrementalMaterializer::new()),
+            doc_counter: AtomicUsize::new(next_doc_id(&graph)),
+            graph: RwLock::new(graph),
             confidence: RwLock::new(HashMap::new()),
             catalog: RwLock::new(EntityCatalog::builtin()),
             analyzer: Analyzer::with_default_lexicons(),
@@ -136,8 +200,10 @@ impl PersonalKnowledgeBase {
             telemetry,
             tenant: None,
             published_cache: Mutex::new((0, 0)),
-            doc_counter: AtomicUsize::new(0),
-        }
+            published_wal: Mutex::new(WalStats::default()),
+        };
+        kb.publish_recovery_metrics();
+        kb
     }
 
     /// Attributes this knowledge base to one tenant: published cache
@@ -187,6 +253,62 @@ impl PersonalKnowledgeBase {
                 ),
             }
         }
+    }
+
+    /// Publishes the recovery stats of a durable open as
+    /// `sdk_recovery_*` metrics. Called once from construction; a no-op
+    /// for in-memory bases or disabled telemetry.
+    fn publish_recovery_metrics(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let Some(stats) = self.graph.read().recovery_stats() else {
+            return;
+        };
+        let metrics = self.telemetry.metrics();
+        metrics.add_counter(
+            "sdk_recovery_replayed_records_total",
+            &[],
+            stats.replayed_records,
+        );
+        metrics.add_counter("sdk_recovery_torn_tail_total", &[], stats.torn_tails);
+        metrics.set_gauge("sdk_recovery_duration_ms", &[], stats.duration_ms);
+        metrics.set_gauge("sdk_recovery_base_triples", &[], stats.base_triples as f64);
+    }
+
+    /// Pushes WAL activity counters (`sdk_wal_appends_total`,
+    /// `sdk_wal_fsyncs_total`, `sdk_wal_bytes_total`) into the metrics
+    /// registry. Delta-based like the cache counters; invoked by every
+    /// mutation entry point that may have logged.
+    pub fn publish_durability_metrics(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let stats = self.graph.read().wal_stats();
+        let mut last = self.published_wal.lock();
+        let appends = stats.appends.saturating_sub(last.appends);
+        let fsyncs = stats.fsyncs.saturating_sub(last.fsyncs);
+        let bytes = stats.bytes.saturating_sub(last.bytes);
+        *last = stats;
+        drop(last);
+        let metrics = self.telemetry.metrics();
+        for (name, delta) in [
+            ("sdk_wal_appends_total", appends),
+            ("sdk_wal_fsyncs_total", fsyncs),
+            ("sdk_wal_bytes_total", bytes),
+        ] {
+            if delta != 0 {
+                metrics.add_counter(name, &[], delta);
+            }
+        }
+    }
+
+    /// Runs `f` under the graph write lock, then publishes any WAL
+    /// activity it produced.
+    fn with_graph_mut<R>(&self, f: impl FnOnce(&mut DurableStore) -> R) -> R {
+        let result = f(&mut self.graph.write());
+        self.publish_durability_metrics();
+        result
     }
 
     // ------------------------------------------------------------------
@@ -261,13 +383,19 @@ impl PersonalKnowledgeBase {
         let statements = self
             .tables
             .with_table(table, |t| table_to_statements(t, subject_col, namespace))??;
-        // One batch delta propagation for the whole table.
-        Ok(self.graph.write().insert_batch(statements))
+        // One batch delta propagation (and one WAL group commit) for the
+        // whole table.
+        Ok(self.with_graph_mut(|g| g.insert_batch(statements))?)
     }
 
-    /// Adds one statement directly.
-    pub fn add_statement(&self, statement: Statement) -> bool {
-        self.graph.write().insert(statement)
+    /// Adds one statement directly; returns whether it was new.
+    ///
+    /// # Errors
+    ///
+    /// [`KbError::Durability`] if the WAL append fails (the statement is
+    /// then *not* applied in memory).
+    pub fn add_statement(&self, statement: Statement) -> Result<bool, KbError> {
+        Ok(self.with_graph_mut(|g| g.insert(statement))?)
     }
 
     /// Adds a fact given *surface forms*: subject and object are
@@ -298,7 +426,7 @@ impl PersonalKnowledgeBase {
             Term::iri(format!("kb:{}", sanitize(predicate))),
             object_term,
         );
-        self.graph.write().insert(st.clone());
+        self.with_graph_mut(|g| g.insert(st.clone()))?;
         Ok(st)
     }
 
@@ -333,48 +461,49 @@ impl PersonalKnowledgeBase {
     /// Ingests unstructured text: runs the local analyzer and stores the
     /// findings as RDF — entity types, document mentions with sentiment,
     /// and extracted relations. Returns the number of statements added.
-    pub fn ingest_text(&self, text: &str) -> usize {
+    /// On a durable base the whole document lands in one WAL group
+    /// commit: after a crash either the document's facts are all
+    /// recoverable or none are half-applied.
+    ///
+    /// # Errors
+    ///
+    /// [`KbError::Durability`] if the WAL append fails (nothing is
+    /// applied in memory).
+    pub fn ingest_text(&self, text: &str) -> Result<usize, KbError> {
         let analysis = self.analyzer.analyze(text, &NluConfig::perfect());
         let doc_id = self.doc_counter.fetch_add(1, Ordering::Relaxed);
         let doc = Term::iri(format!("kb:doc_{doc_id}"));
-        let mut graph = self.graph.write();
-        let mut added = 0;
-        let mut push = |st: Statement| {
-            if graph.insert(st) {
-                added += 1;
-            }
-        };
-        push(Statement::new(
+        let mut batch = vec![Statement::new(
             doc.clone(),
             Term::iri("rdf:type"),
             Term::iri("kb:Document"),
-        ));
+        )];
         for e in &analysis.entities {
             let entity = Term::iri(format!("kb:{}", e.canonical));
-            push(Statement::new(
+            batch.push(Statement::new(
                 entity.clone(),
                 Term::iri("rdf:type"),
                 Term::iri(format!("kb:{}", e.kind)),
             ));
-            push(Statement::new(
+            batch.push(Statement::new(
                 doc.clone(),
                 Term::iri("kb:mentions"),
                 entity.clone(),
             ));
-            push(Statement::new(
+            batch.push(Statement::new(
                 entity,
                 Term::iri(format!("kb:sentiment_in_doc_{doc_id}")),
                 Term::double(e.sentiment.score),
             ));
         }
         for r in &analysis.relations {
-            push(Statement::new(
+            batch.push(Statement::new(
                 Term::iri(format!("kb:{}", r.subject)),
                 Term::iri(format!("kb:{}", r.predicate)),
                 Term::iri(format!("kb:{}", r.object)),
             ));
         }
-        added
+        Ok(self.with_graph_mut(|g| g.insert_batch(batch))?)
     }
 
     /// Runs a SPARQL-subset query against the graph.
@@ -400,28 +529,43 @@ impl PersonalKnowledgeBase {
     /// Enables RDFS entailment as a *standing* ruleset: the closure is
     /// materialized now and maintained incrementally on every later
     /// ingest or retraction. Returns how many facts this call inferred.
-    pub fn infer_rdfs(&self) -> usize {
-        let mut graph = self.graph.write();
-        graph.enable_rdfs();
-        graph.materialize()
+    ///
+    /// # Errors
+    ///
+    /// [`KbError::Durability`] if logging the ruleset change fails.
+    pub fn infer_rdfs(&self) -> Result<usize, KbError> {
+        self.with_graph_mut(|graph| {
+            graph.enable_rdfs()?;
+            Ok(graph.materialize())
+        })
     }
 
     /// Enables transitive closure over the given predicates as a standing
     /// ruleset; returns how many facts this call inferred.
-    pub fn infer_transitive(&self, predicates: Vec<Term>) -> usize {
-        let mut graph = self.graph.write();
-        graph.add_transitive(predicates);
-        graph.materialize()
+    ///
+    /// # Errors
+    ///
+    /// [`KbError::Durability`] if logging the ruleset change fails.
+    pub fn infer_transitive(&self, predicates: Vec<Term>) -> Result<usize, KbError> {
+        self.with_graph_mut(|graph| {
+            graph.add_transitive(predicates)?;
+            Ok(graph.materialize())
+        })
     }
 
     /// Enables the OWL/Lite-subset rules (inverseOf, symmetric/transitive/
     /// functional properties, sameAs smushing — the third Jena reasoner
     /// the paper lists) plus RDFS as a standing ruleset; returns how many
     /// facts this call inferred.
-    pub fn infer_owl(&self) -> usize {
-        let mut graph = self.graph.write();
-        graph.enable_owl();
-        graph.materialize()
+    ///
+    /// # Errors
+    ///
+    /// [`KbError::Durability`] if logging the ruleset change fails.
+    pub fn infer_owl(&self) -> Result<usize, KbError> {
+        self.with_graph_mut(|graph| {
+            graph.enable_owl()?;
+            Ok(graph.materialize())
+        })
     }
 
     /// Proves a goal with *tabled backward chaining* over user rules —
@@ -452,9 +596,10 @@ impl PersonalKnowledgeBase {
     /// Rule parse errors.
     pub fn infer_rules(&self, rules_text: &str) -> Result<usize, KbError> {
         let reasoner = GenericRuleReasoner::from_rules_text(rules_text)?;
-        let mut graph = self.graph.write();
-        graph.add_rules(reasoner.rules().to_vec());
-        Ok(graph.materialize())
+        self.with_graph_mut(|graph| {
+            graph.add_rules(reasoner.rules().to_vec())?;
+            Ok(graph.materialize())
+        })
     }
 
     // ------------------------------------------------------------------
@@ -634,16 +779,16 @@ impl PersonalKnowledgeBase {
         );
         let facts =
             crate::federation::describe_remote_within(service, monitor, entity_id, deadline)?;
-        let mut graph = self.graph.write();
-        let mut confidence = self.confidence.write();
         if source_confidence < 1.0 {
+            let mut confidence = self.confidence.write();
             for st in &facts.statements {
                 let entry = confidence.entry(st.clone()).or_insert(source_confidence);
                 *entry = entry.max(source_confidence);
             }
         }
-        // One delta propagation for the imported batch.
-        Ok(graph.insert_batch(facts.statements))
+        // One delta propagation (and one WAL group commit) for the
+        // imported batch.
+        Ok(self.with_graph_mut(|g| g.insert_batch(facts.statements))?)
     }
 
     // ------------------------------------------------------------------
@@ -710,10 +855,10 @@ impl PersonalKnowledgeBase {
             wg
         };
         let added = reasoner.infer(&mut wg);
-        let mut graph = self.graph.write();
+        // One group commit for every fact the rules produced.
+        self.with_graph_mut(|g| g.insert_batch(added.iter().map(|(st, _)| st.clone())))?;
         let mut confidence = self.confidence.write();
         for (st, c) in &added {
-            graph.insert(st.clone());
             confidence.insert(st.clone(), *c);
         }
         Ok(added)
@@ -769,24 +914,30 @@ impl PersonalKnowledgeBase {
     /// Retraction runs through the materializer's DRed maintenance, so
     /// facts that were inferred *from* a dropped statement are retracted
     /// with it (unless independently derivable).
-    pub fn resolve_conflicts_for(&self, predicate: &Term) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// [`KbError::Durability`] if logging a retraction fails; dropped
+    /// counts retractions applied before the failure.
+    pub fn resolve_conflicts_for(&self, predicate: &Term) -> Result<usize, KbError> {
         let conflicts = self.conflicts();
-        let mut graph = self.graph.write();
-        let mut confidence = self.confidence.write();
-        let mut dropped = 0;
-        for ((subject, p), candidates) in conflicts {
-            if &p != predicate {
-                continue;
-            }
-            for (object, _) in candidates.into_iter().skip(1) {
-                let st = Statement::new(subject.clone(), p.clone(), object);
-                if graph.remove(&st) {
-                    confidence.remove(&st);
-                    dropped += 1;
+        self.with_graph_mut(|graph| {
+            let mut confidence = self.confidence.write();
+            let mut dropped = 0;
+            for ((subject, p), candidates) in conflicts {
+                if &p != predicate {
+                    continue;
+                }
+                for (object, _) in candidates.into_iter().skip(1) {
+                    let st = Statement::new(subject.clone(), p.clone(), object);
+                    if graph.remove(&st)? {
+                        confidence.remove(&st);
+                        dropped += 1;
+                    }
                 }
             }
-        }
-        dropped
+            Ok(dropped)
+        })
     }
 
     /// Facts whose accuracy is below `threshold`, weakest first — the
@@ -826,10 +977,7 @@ impl PersonalKnowledgeBase {
         let facts = self
             .tables
             .with_table(table, |t| regress_table(t, x_col, y_col, model_name))??;
-        let mut graph = self.graph.write();
-        for st in facts.to_statements() {
-            graph.insert(st);
-        }
+        self.with_graph_mut(|g| g.insert_batch(facts.to_statements()))?;
         Ok(facts)
     }
 
@@ -874,8 +1022,36 @@ impl PersonalKnowledgeBase {
             String::from_utf8(bytes.to_vec()).map_err(|e| KbError::Corrupt(e.to_string()))?;
         let graph = text_to_graph(&text)?;
         let n = graph.len();
-        self.graph.write().reset(graph);
+        self.with_graph_mut(|g| g.reset(graph))?;
         Ok(n)
+    }
+
+    /// Whether the RDF store is crash-recoverable (opened through
+    /// [`open_durable`](Self::open_durable) or
+    /// [`open_durable_on`](Self::open_durable_on)).
+    pub fn is_durable(&self) -> bool {
+        self.graph.read().is_durable()
+    }
+
+    /// Writes a checksummed snapshot of the RDF store and truncates its
+    /// write-ahead log, bounding future recovery time. Returns bytes
+    /// written (0 for in-memory bases).
+    ///
+    /// # Errors
+    ///
+    /// [`KbError::Durability`] on storage failure.
+    pub fn snapshot(&self) -> Result<u64, KbError> {
+        Ok(self.with_graph_mut(|g| g.snapshot())?)
+    }
+
+    /// Stats from the recovery this base was opened with, if durable.
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.graph.read().recovery_stats()
+    }
+
+    /// Cumulative WAL activity since open (zeroes when in-memory).
+    pub fn wal_stats(&self) -> WalStats {
+        self.graph.read().wal_stats()
     }
 
     /// Sets the (client-observed) connectivity state (§3's disconnected
@@ -897,6 +1073,26 @@ impl PersonalKnowledgeBase {
     }
 }
 
+/// The first document id [`PersonalKnowledgeBase::ingest_text`] may use:
+/// past the highest `kb:doc_{n}` subject already in the store, so a
+/// durably recovered base never reuses a document id.
+fn next_doc_id(graph: &DurableStore) -> usize {
+    let full = graph.full();
+    let dict = full.dict();
+    let mut next = 0;
+    for (s, _, _) in full.iter_ids() {
+        if let Some(iri) = dict.resolve(s).as_iri() {
+            if let Some(n) = iri
+                .strip_prefix("kb:doc_")
+                .and_then(|n| n.parse::<usize>().ok())
+            {
+                next = next.max(n + 1);
+            }
+        }
+    }
+    next
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -911,11 +1107,13 @@ mod tests {
         let remote: Arc<dyn KeyValueStore> = Arc::new(MemoryKv::new());
         // Writer KB seeds the shared remote store.
         let writer = PersonalKnowledgeBase::new(remote.clone(), KbOptions::default());
-        writer.add_statement(Statement::new(
-            Term::iri("kb:a"),
-            Term::iri("kb:b"),
-            Term::iri("kb:c"),
-        ));
+        writer
+            .add_statement(Statement::new(
+                Term::iri("kb:a"),
+                Term::iri("kb:b"),
+                Term::iri("kb:c"),
+            ))
+            .unwrap();
         writer.persist_graph("g").unwrap();
         // Reader KB has an empty local store, so loads fall through to
         // the enhanced client and register in its cache counters.
@@ -954,11 +1152,13 @@ mod tests {
     fn tenant_attributed_kb_labels_its_cache_series() {
         let remote: Arc<dyn KeyValueStore> = Arc::new(MemoryKv::new());
         let writer = PersonalKnowledgeBase::new(remote.clone(), KbOptions::default());
-        writer.add_statement(Statement::new(
-            Term::iri("kb:a"),
-            Term::iri("kb:b"),
-            Term::iri("kb:c"),
-        ));
+        writer
+            .add_statement(Statement::new(
+                Term::iri("kb:a"),
+                Term::iri("kb:b"),
+                Term::iri("kb:c"),
+            ))
+            .unwrap();
         writer.persist_graph("g").unwrap();
         let t = Telemetry::new();
         let reader = PersonalKnowledgeBase::with_telemetry(remote, KbOptions::default(), t.clone())
@@ -1048,7 +1248,9 @@ mod tests {
     #[test]
     fn ingest_text_stores_entities_and_relations() {
         let kb = kb();
-        let added = kb.ingest_text("IBM acquired Oracle. The USA praised the excellent deal.");
+        let added = kb
+            .ingest_text("IBM acquired Oracle. The USA praised the excellent deal.")
+            .unwrap();
         assert!(added >= 6, "added {added}");
         let rows = kb
             .query("SELECT ?o WHERE { <kb:ibm> <kb:acquired> ?o . }")
@@ -1069,9 +1271,10 @@ mod tests {
             Term::iri("kb:organization"),
             Term::iri("rdfs:subClassOf"),
             Term::iri("kb:agent"),
-        ));
-        kb.ingest_text("IBM announced results.");
-        let inferred = kb.infer_rdfs();
+        ))
+        .unwrap();
+        kb.ingest_text("IBM announced results.").unwrap();
+        let inferred = kb.infer_rdfs().unwrap();
         assert!(inferred > 0);
         let rows = kb
             .query("SELECT ?x WHERE { ?x <rdf:type> <kb:agent> . }")
@@ -1084,7 +1287,7 @@ mod tests {
         let kb = kb();
         kb.add_fact("IBM", "supplies", "Microsoft").unwrap();
         kb.add_fact("Microsoft", "supplies", "Google").unwrap();
-        let n = kb.infer_transitive(vec![Term::iri("kb:supplies")]);
+        let n = kb.infer_transitive(vec![Term::iri("kb:supplies")]).unwrap();
         assert_eq!(n, 1);
         let rows = kb
             .query("SELECT ?o WHERE { <kb:ibm> <kb:supplies> ?o . }")
@@ -1125,7 +1328,7 @@ mod tests {
     fn persistence_round_trip() {
         let kb = kb();
         kb.add_fact("IBM", "hq", "New York").unwrap();
-        kb.ingest_text("Germany praised France.");
+        kb.ingest_text("Germany praised France.").unwrap();
         let before = kb.statement_count();
         kb.persist_graph("snapshot").unwrap();
         kb.add_fact("Google", "hq", "California").unwrap();
@@ -1245,8 +1448,12 @@ mod tests {
         assert!((candidates[0].1 - 0.95).abs() < 1e-9);
 
         // Resolving a different predicate touches nothing.
-        assert_eq!(kb.resolve_conflicts_for(&Term::iri("kb:continent")), 0);
-        let dropped = kb.resolve_conflicts_for(&Term::iri("kb:capital"));
+        assert_eq!(
+            kb.resolve_conflicts_for(&Term::iri("kb:continent"))
+                .unwrap(),
+            0
+        );
+        let dropped = kb.resolve_conflicts_for(&Term::iri("kb:capital")).unwrap();
         assert_eq!(dropped, 1);
         assert!(kb.conflicts().is_empty());
         let rows = kb
@@ -1277,13 +1484,15 @@ mod tests {
             Term::iri("kb:big_blue"),
             Term::iri("owl:sameAs"),
             Term::iri("kb:ibm"),
-        ));
+        ))
+        .unwrap();
         kb.add_statement(Statement::new(
             Term::iri("kb:big_blue"),
             Term::iri("kb:founded"),
             Term::integer(1911),
-        ));
-        let n = kb.infer_owl();
+        ))
+        .unwrap();
+        let n = kb.infer_owl().unwrap();
         assert!(n >= 2, "inferred {n}");
         let rows = kb
             .query("SELECT ?y WHERE { <kb:ibm> <kb:founded> ?y . }")
@@ -1396,6 +1605,91 @@ mod tests {
             matches!(err, KbError::Rdf(_) | KbError::Store(_)),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn durable_kb_survives_crash_and_recovers() {
+        let fs = Arc::new(cogsdk_sim::SimFs::new(11));
+        let t = Telemetry::new();
+        let kb = PersonalKnowledgeBase::open_durable_on(
+            fs.clone(),
+            Arc::new(MemoryKv::new()),
+            KbOptions::default(),
+            t.clone(),
+        )
+        .unwrap();
+        assert!(kb.is_durable());
+        kb.add_fact("IBM", "hq", "New York").unwrap();
+        kb.ingest_text("IBM acquired Oracle.").unwrap();
+        kb.infer_rdfs().unwrap();
+        let before = kb.statement_count();
+        assert!(kb.wal_stats().appends > 0);
+        assert!(
+            t.metrics()
+                .counter_value("sdk_wal_appends_total", &[])
+                .unwrap_or(0)
+                > 0,
+            "WAL activity must be published"
+        );
+        drop(kb);
+        fs.crash();
+
+        let t2 = Telemetry::new();
+        let kb = PersonalKnowledgeBase::open_durable_on(
+            fs,
+            Arc::new(MemoryKv::new()),
+            KbOptions::default(),
+            t2.clone(),
+        )
+        .unwrap();
+        assert_eq!(kb.statement_count(), before, "every fact recovered");
+        let stats = kb.recovery_stats().unwrap();
+        assert!(stats.replayed_records > 0);
+        assert_eq!(
+            t2.metrics()
+                .counter_value("sdk_recovery_replayed_records_total", &[]),
+            Some(stats.replayed_records)
+        );
+        // RDFS stayed a standing ruleset across the crash.
+        assert!(kb
+            .query("SELECT ?x WHERE { ?x <rdf:type> <kb:Document> . }")
+            .unwrap()
+            .len()
+            .eq(&1));
+        // The recovered base keeps issuing fresh document ids.
+        kb.ingest_text("Google praised Microsoft.").unwrap();
+        let docs = kb
+            .query("SELECT ?d WHERE { ?d <rdf:type> <kb:Document> . }")
+            .unwrap();
+        assert_eq!(docs.len(), 2, "no document id reuse after recovery");
+    }
+
+    #[test]
+    fn durable_kb_snapshot_bounds_replay() {
+        let fs = Arc::new(cogsdk_sim::SimFs::new(12));
+        let open = |fs| {
+            PersonalKnowledgeBase::open_durable_on(
+                fs,
+                Arc::new(MemoryKv::new()),
+                KbOptions::default(),
+                Telemetry::disabled(),
+            )
+            .unwrap()
+        };
+        let kb = open(fs.clone() as Arc<dyn Vfs>);
+        kb.add_fact("IBM", "hq", "New York").unwrap();
+        assert!(kb.snapshot().unwrap() > 0);
+        kb.add_fact("Google", "hq", "California").unwrap();
+        drop(kb);
+
+        let kb = open(fs);
+        let stats = kb.recovery_stats().unwrap();
+        assert!(stats.snapshot_loaded, "{stats:?}");
+        assert!(
+            stats.replayed_records >= 1,
+            "only the post-snapshot fact replays: {stats:?}"
+        );
+        assert_eq!(kb.statement_count(), 2);
     }
 
     #[test]

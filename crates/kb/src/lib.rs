@@ -44,6 +44,8 @@ pub enum KbError {
     UnknownEntity(String),
     /// Serialized knowledge could not be parsed.
     Corrupt(String),
+    /// The durability layer (WAL or snapshot) failed.
+    Durability(String),
 }
 
 impl fmt::Display for KbError {
@@ -54,6 +56,7 @@ impl fmt::Display for KbError {
             KbError::Stats(m) => write!(f, "statistics: {m}"),
             KbError::UnknownEntity(m) => write!(f, "unknown entity: {m}"),
             KbError::Corrupt(m) => write!(f, "corrupt knowledge data: {m}"),
+            KbError::Durability(m) => write!(f, "durability: {m}"),
         }
     }
 }
@@ -69,6 +72,12 @@ impl From<cogsdk_store::StoreError> for KbError {
 impl From<cogsdk_rdf::RdfError> for KbError {
     fn from(e: cogsdk_rdf::RdfError) -> KbError {
         KbError::Rdf(e.to_string())
+    }
+}
+
+impl From<cogsdk_rdf::DurableError> for KbError {
+    fn from(e: cogsdk_rdf::DurableError) -> KbError {
+        KbError::Durability(e.to_string())
     }
 }
 

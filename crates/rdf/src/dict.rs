@@ -39,8 +39,19 @@ impl TermId {
         TermId((seq as u32) << 2 | kind)
     }
 
-    fn seq(self) -> usize {
+    pub(crate) fn seq(self) -> usize {
         (self.0 >> 2) as usize
+    }
+
+    /// The raw encoded id, for persistence (WAL / snapshot records).
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs an id from its persisted raw encoding. The caller is
+    /// responsible for validating it against the dictionary it belongs to.
+    pub(crate) fn from_raw(raw: u32) -> TermId {
+        TermId(raw)
     }
 
     /// Whether the term is an IRI.
@@ -194,6 +205,17 @@ impl TermDict {
             predicate: inner.terms[p.seq()].clone(),
             object: inner.terms[o.seq()].clone(),
         }
+    }
+
+    /// Terms with sequence numbers `start..len()`, in interning order.
+    ///
+    /// Because ids are a pure function of interning order (sequence
+    /// number plus kind tag), re-interning these terms in order into a
+    /// fresh dictionary reproduces identical ids — which is how the
+    /// snapshot writer and the WAL persist the dictionary.
+    pub(crate) fn terms_from(&self, start: usize) -> Vec<Term> {
+        let inner = self.inner.read().expect("dict lock");
+        inner.terms.get(start..).unwrap_or(&[]).to_vec()
     }
 
     /// Materializes many triples under a single lock acquisition.

@@ -1,0 +1,650 @@
+//! Crash-recoverable wrapper around the incremental materializer.
+//!
+//! [`DurableStore`] gives the KB's RDF state write-ahead durability:
+//! every mutation is appended to the [WAL](crate::wal) and fsynced
+//! *before* it is applied in memory, so an operation that returned `Ok`
+//! survives any crash, and one that failed was never applied. Periodic
+//! [snapshots](crate::snapshot) bound recovery time and reclaim log
+//! space.
+//!
+//! Recovery ([`DurableStore::open`]) loads the newest valid snapshot,
+//! replays the WAL on top of it — tolerating a torn tail record,
+//! failing hard on mid-log corruption — and then *re-derives* the
+//! inference closure by running materialization over the recovered base
+//! and standing rulesets. Derived facts are never read from disk:
+//! the closure is a function of (base, config), so recomputing it is
+//! both simpler and safer than trusting serialized reasoner state.
+//!
+//! Replay applies inserts and removes at the id level on the base graph
+//! and defers all reasoning to one final `materialize()`. That makes
+//! replay insensitive to when the reasoners interned their vocabulary
+//! terms in the original run (those interns are logged as dict entries
+//! with explicit sequence numbers and verified on replay), and it makes
+//! re-replaying records already reflected in a snapshot — possible when
+//! a crash lands between the snapshot rename and the WAL truncation —
+//! a semantic no-op: per triple, the last logged operation wins.
+
+use crate::dict::IdTriple;
+use crate::graph::Graph;
+use crate::incremental::{IncrementalMaterializer, MaterializerConfig};
+use crate::model::{Statement, Term};
+use crate::reason::Rule;
+use crate::snapshot::{check_triple, load_snapshot, write_snapshot, SNAPSHOT_TMP};
+use crate::wal::{self, Wal, WalRecord};
+use cogsdk_sim::fs::{RealFs, Vfs};
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+pub use crate::wal::{DurableError, WalStats};
+
+/// Tuning knobs for the durability subsystem.
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// WAL segment rotation threshold in bytes.
+    pub segment_max_bytes: usize,
+}
+
+impl Default for DurableOptions {
+    fn default() -> DurableOptions {
+        DurableOptions {
+            segment_max_bytes: 1 << 20,
+        }
+    }
+}
+
+/// What one recovery did, exported as `sdk_recovery_*` metrics by the
+/// KB layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Whether a snapshot was found and loaded.
+    pub snapshot_loaded: bool,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Torn tail frames detected and dropped (0 or 1).
+    pub torn_tails: u64,
+    /// Base triples in the recovered store.
+    pub base_triples: usize,
+    /// Facts re-derived by post-replay materialization.
+    pub rederived_facts: usize,
+    /// Wall-clock recovery time.
+    pub duration_ms: f64,
+}
+
+struct Durability {
+    fs: Arc<dyn Vfs>,
+    wal: Wal,
+    /// Dictionary terms with seq below this are already durable
+    /// (snapshotted or logged); anything at or above rides the next
+    /// group commit as `DictEntry` records.
+    dict_watermark: usize,
+}
+
+/// An [`IncrementalMaterializer`] with optional write-ahead durability.
+///
+/// In-memory stores ([`DurableStore::in_memory`]) behave exactly like
+/// the bare materializer (mutations cannot fail); durable stores
+/// ([`DurableStore::open`]) log every mutation before applying it.
+///
+/// # Examples
+///
+/// ```
+/// use cogsdk_rdf::{DurableOptions, DurableStore, Statement, Term};
+/// use cogsdk_sim::fs::SimFs;
+/// use std::sync::Arc;
+///
+/// let fs: Arc<SimFs> = Arc::new(SimFs::new(7));
+/// let mut store = DurableStore::open(fs.clone(), DurableOptions::default()).unwrap();
+/// store
+///     .insert(Statement::new(
+///         Term::iri("ex:a"),
+///         Term::iri("ex:p"),
+///         Term::iri("ex:b"),
+///     ))
+///     .unwrap();
+/// drop(store);
+///
+/// let recovered = DurableStore::open(fs, DurableOptions::default()).unwrap();
+/// assert_eq!(recovered.len(), 1);
+/// ```
+pub struct DurableStore {
+    inner: IncrementalMaterializer,
+    durability: Option<Durability>,
+    recovery: Option<RecoveryStats>,
+}
+
+impl DurableStore {
+    /// A purely in-memory store: no logging, mutations never fail.
+    pub fn in_memory() -> DurableStore {
+        DurableStore {
+            inner: IncrementalMaterializer::new(),
+            durability: None,
+            recovery: None,
+        }
+    }
+
+    /// Opens a durable store backed by the directory at `path` on the
+    /// real filesystem, recovering any existing state.
+    pub fn open_dir(
+        path: impl AsRef<Path>,
+        options: DurableOptions,
+    ) -> Result<DurableStore, DurableError> {
+        let fs = RealFs::open(path)?;
+        DurableStore::open(Arc::new(fs), options)
+    }
+
+    /// Opens a durable store on any [`Vfs`], recovering existing state:
+    /// newest valid snapshot, then WAL replay, then closure
+    /// re-derivation. If replay consumed any records (or dropped a torn
+    /// tail), a fresh snapshot is written immediately so the log
+    /// restarts clean.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Corrupt`] if the snapshot fails its checksum or
+    /// the WAL is damaged anywhere but a torn tail;
+    /// [`DurableError::Io`] if storage fails.
+    pub fn open(fs: Arc<dyn Vfs>, options: DurableOptions) -> Result<DurableStore, DurableError> {
+        let start = Instant::now();
+        let mut config;
+        let base;
+        let snapshot_loaded;
+        match load_snapshot(fs.as_ref())? {
+            Some(snap) => {
+                let mut graph = Graph::with_dict(snap.dict);
+                for triple in snap.triples {
+                    graph.insert_id(triple);
+                }
+                config = snap.config;
+                base = graph;
+                snapshot_loaded = true;
+            }
+            None => {
+                config = MaterializerConfig::default();
+                base = Graph::new();
+                snapshot_loaded = false;
+            }
+        }
+        let mut base = base;
+        let dict = base.dict().clone();
+
+        let replayed = wal::replay(fs.as_ref())?;
+        let replayed_records = replayed.records.len() as u64;
+        for record in replayed.records {
+            match record {
+                WalRecord::DictEntry { seq, term } => {
+                    let id = dict.intern(&term);
+                    if id.seq() != seq as usize {
+                        return Err(DurableError::Corrupt(format!(
+                            "dict entry replayed to seq {} but was logged as {seq}",
+                            id.seq()
+                        )));
+                    }
+                }
+                WalRecord::Insert(s, p, o) => {
+                    let triple = check_triple((s, p, o), dict.len())?;
+                    base.insert_id(triple);
+                }
+                WalRecord::Remove(s, p, o) => {
+                    let triple = check_triple((s, p, o), dict.len())?;
+                    base.remove_id(triple);
+                }
+                WalRecord::EnableRdfs => config.rdfs = true,
+                WalRecord::EnableOwl => {
+                    config.owl = true;
+                    config.rdfs = true;
+                }
+                WalRecord::AddTransitive(term) => {
+                    if !config.transitive.contains(&term) {
+                        config.transitive.push(term);
+                    }
+                }
+                WalRecord::AddRules(rules) => {
+                    for rule in rules {
+                        if !config.rules.contains(&rule) {
+                            config.rules.push(rule);
+                        }
+                    }
+                }
+            }
+        }
+
+        let base_triples = base.len();
+        let mut inner = IncrementalMaterializer::from_graph(base);
+        if config.rdfs {
+            inner.enable_rdfs();
+        }
+        if config.owl {
+            inner.enable_owl();
+        }
+        if !config.transitive.is_empty() {
+            inner.add_transitive(config.transitive.clone());
+        }
+        if !config.rules.is_empty() {
+            inner.add_rules(config.rules.clone());
+        }
+        let rederived_facts = inner.materialize();
+
+        // Discard any half-written snapshot temp from a previous run.
+        fs.delete(SNAPSHOT_TMP)?;
+        let wal = Wal::open(fs.clone(), options.segment_max_bytes)?;
+        let mut store = DurableStore {
+            inner,
+            durability: Some(Durability {
+                fs,
+                wal,
+                dict_watermark: dict.len(),
+            }),
+            recovery: None,
+        };
+        if replayed_records > 0 || replayed.torn_tails > 0 {
+            // Fold the replayed log (and any torn bytes) into a fresh
+            // snapshot so the new WAL starts empty — appending after a
+            // torn tail would corrupt the log.
+            store.snapshot()?;
+        }
+        store.recovery = Some(RecoveryStats {
+            snapshot_loaded,
+            replayed_records,
+            torn_tails: replayed.torn_tails,
+            base_triples,
+            rederived_facts,
+            duration_ms: start.elapsed().as_secs_f64() * 1e3,
+        });
+        Ok(store)
+    }
+
+    /// Whether mutations are logged to stable storage.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Stats from the recovery this store was opened with, if durable.
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.recovery
+    }
+
+    /// Cumulative WAL activity since open (zeroes when in-memory).
+    pub fn wal_stats(&self) -> WalStats {
+        self.durability
+            .as_ref()
+            .map(|d| d.wal.stats())
+            .unwrap_or_default()
+    }
+
+    /// Appends `ops` to the WAL in one group commit, prefixed by
+    /// `DictEntry` records for every term interned since the last
+    /// commit. The watermark advances only on success, so terms interned
+    /// by a failed batch are re-logged by the next one.
+    fn log_records(&mut self, ops: Vec<WalRecord>) -> Result<(), DurableError> {
+        let Some(d) = self.durability.as_mut() else {
+            return Ok(());
+        };
+        let fresh = self.inner.base().dict().terms_from(d.dict_watermark);
+        let mut records = Vec::with_capacity(fresh.len() + ops.len());
+        for (i, term) in fresh.iter().enumerate() {
+            records.push(WalRecord::DictEntry {
+                seq: (d.dict_watermark + i) as u32,
+                term: term.clone(),
+            });
+        }
+        let new_watermark = d.dict_watermark + fresh.len();
+        records.extend(ops);
+        d.wal.append_batch(&records)?;
+        d.dict_watermark = new_watermark;
+        Ok(())
+    }
+
+    /// Inserts a stated fact (logged first when durable). Returns
+    /// whether the fact was new to the full view.
+    ///
+    /// # Errors
+    ///
+    /// If the WAL append fails the fact is *not* applied in memory.
+    pub fn insert(&mut self, st: Statement) -> Result<bool, DurableError> {
+        if self.durability.is_some() {
+            let triple = self.inner.base().dict().intern_statement(&st);
+            if !self.inner.base().contains_id(triple) {
+                self.log_records(vec![WalRecord::insert(triple)])?;
+            }
+        }
+        Ok(self.inner.insert(st))
+    }
+
+    /// Inserts a batch under a single group commit. Returns how many
+    /// facts were new to the full view.
+    pub fn insert_batch(
+        &mut self,
+        batch: impl IntoIterator<Item = Statement>,
+    ) -> Result<usize, DurableError> {
+        let batch: Vec<Statement> = batch.into_iter().collect();
+        if self.durability.is_some() {
+            let dict = self.inner.base().dict().clone();
+            let mut seen = BTreeSet::new();
+            let mut ops = Vec::new();
+            for st in &batch {
+                let triple = dict.intern_statement(st);
+                if !self.inner.base().contains_id(triple) && seen.insert(triple) {
+                    ops.push(WalRecord::insert(triple));
+                }
+            }
+            self.log_records(ops)?;
+        }
+        Ok(self.inner.insert_batch(batch))
+    }
+
+    /// Removes a stated fact (DRed in memory, logged first when
+    /// durable). Returns whether the fact was present in the full view.
+    pub fn remove(&mut self, st: &Statement) -> Result<bool, DurableError> {
+        if self.durability.is_some() {
+            if let Some(triple) = self.inner.full().lookup_statement(st) {
+                if self.inner.full().contains_id(triple) {
+                    self.log_records(vec![WalRecord::remove(triple)])?;
+                }
+            }
+        }
+        Ok(self.inner.remove(st))
+    }
+
+    /// Enables RDFS entailment as a standing ruleset.
+    pub fn enable_rdfs(&mut self) -> Result<bool, DurableError> {
+        if !self.inner.config().rdfs {
+            self.log_records(vec![WalRecord::EnableRdfs])?;
+        }
+        Ok(self.inner.enable_rdfs())
+    }
+
+    /// Enables OWL/Lite entailment (implies RDFS) as a standing ruleset.
+    pub fn enable_owl(&mut self) -> Result<bool, DurableError> {
+        let cfg = self.inner.config();
+        if !cfg.owl || !cfg.rdfs {
+            self.log_records(vec![WalRecord::EnableOwl])?;
+        }
+        Ok(self.inner.enable_owl())
+    }
+
+    /// Registers predicates as transitive.
+    pub fn add_transitive(&mut self, predicates: Vec<Term>) -> Result<bool, DurableError> {
+        let fresh: Vec<Term> = predicates
+            .iter()
+            .filter(|p| !self.inner.config().transitive.contains(p))
+            .cloned()
+            .collect();
+        if !fresh.is_empty() {
+            let ops = fresh
+                .iter()
+                .map(|p| WalRecord::AddTransitive(p.clone()))
+                .collect();
+            self.log_records(ops)?;
+        }
+        Ok(self.inner.add_transitive(predicates))
+    }
+
+    /// Adds standing user rules.
+    pub fn add_rules(&mut self, rules: Vec<Rule>) -> Result<bool, DurableError> {
+        let fresh: Vec<Rule> = rules
+            .iter()
+            .filter(|r| !self.inner.config().rules.contains(r))
+            .cloned()
+            .collect();
+        if !fresh.is_empty() {
+            self.log_records(vec![WalRecord::AddRules(fresh)])?;
+        }
+        Ok(self.inner.add_rules(rules))
+    }
+
+    /// Brings the derived closure up to date (pure in-memory work; the
+    /// closure is never persisted). Returns newly derived facts.
+    pub fn materialize(&mut self) -> usize {
+        self.inner.materialize()
+    }
+
+    /// Replaces all facts with `graph` as the stated base, keeping the
+    /// configuration. On a durable store this immediately writes a
+    /// snapshot (the old WAL no longer describes the state).
+    pub fn reset(&mut self, graph: Graph) -> Result<(), DurableError> {
+        self.inner.reset(graph);
+        if let Some(d) = self.durability.as_mut() {
+            d.dict_watermark = 0;
+        }
+        if self.durability.is_some() {
+            self.snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Writes a checksummed snapshot of the dictionary, base triples,
+    /// and ruleset config via write-temp → fsync → rename, then
+    /// truncates the WAL. Returns bytes written (0 for in-memory
+    /// stores, which have nothing to snapshot).
+    pub fn snapshot(&mut self) -> Result<u64, DurableError> {
+        let Some(d) = self.durability.as_mut() else {
+            return Ok(0);
+        };
+        let dict = self.inner.base().dict();
+        let triples: Vec<IdTriple> = self.inner.base().iter_ids().collect();
+        let bytes = write_snapshot(d.fs.as_ref(), dict, &triples, self.inner.config())?;
+        d.wal.reset()?;
+        d.dict_watermark = dict.len();
+        Ok(bytes)
+    }
+
+    /// The full view (base ∪ derived).
+    pub fn full(&self) -> &Graph {
+        self.inner.full()
+    }
+
+    /// The stated base facts.
+    pub fn base(&self) -> &Graph {
+        self.inner.base()
+    }
+
+    /// The derived-only facts.
+    pub fn derived(&self) -> &Graph {
+        self.inner.derived()
+    }
+
+    /// Facts in the full view.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the full view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Whether the full view contains the statement.
+    pub fn contains(&self, st: &Statement) -> bool {
+        self.inner.contains(st)
+    }
+
+    /// The active ruleset configuration.
+    pub fn config(&self) -> &MaterializerConfig {
+        self.inner.config()
+    }
+}
+
+impl Default for DurableStore {
+    fn default() -> DurableStore {
+        DurableStore::in_memory()
+    }
+}
+
+impl std::fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableStore")
+            .field("durable", &self.is_durable())
+            .field("len", &self.len())
+            .field("config", self.config())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::vocab;
+    use cogsdk_sim::fs::SimFs;
+
+    fn st(s: &str, p: &str, o: &str) -> Statement {
+        Statement::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn open(fs: &Arc<SimFs>) -> DurableStore {
+        DurableStore::open(fs.clone() as Arc<dyn Vfs>, DurableOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn in_memory_store_mutates_without_storage() {
+        let mut store = DurableStore::in_memory();
+        assert!(!store.is_durable());
+        assert!(store.insert(st("ex:a", "ex:p", "ex:b")).unwrap());
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.snapshot().unwrap(), 0);
+        assert_eq!(store.wal_stats(), WalStats::default());
+    }
+
+    #[test]
+    fn reopen_recovers_base_and_rederives_closure() {
+        let fs = Arc::new(SimFs::new(1));
+        let mut store = open(&fs);
+        store.enable_rdfs().unwrap();
+        store
+            .insert(st("ex:cat", vocab::SUB_CLASS_OF, "ex:animal"))
+            .unwrap();
+        store.insert(st("ex:felix", vocab::TYPE, "ex:cat")).unwrap();
+        store.materialize();
+        let expected = store.full().clone();
+        assert!(expected.contains(&st("ex:felix", vocab::TYPE, "ex:animal")));
+        drop(store);
+
+        let mut recovered = open(&fs);
+        recovered.materialize();
+        assert_eq!(recovered.full(), &expected);
+        assert!(recovered.config().rdfs);
+        let stats = recovered.recovery_stats().unwrap();
+        assert!(!stats.snapshot_loaded);
+        assert!(stats.replayed_records > 0);
+        assert_eq!(stats.torn_tails, 0);
+    }
+
+    #[test]
+    fn snapshot_truncates_wal_and_recovery_prefers_it() {
+        let fs = Arc::new(SimFs::new(2));
+        let mut store = open(&fs);
+        for i in 0..20 {
+            store
+                .insert(st(&format!("ex:s{i}"), "ex:p", "ex:o"))
+                .unwrap();
+        }
+        let bytes = store.snapshot().unwrap();
+        assert!(bytes > 0);
+        // WAL restarted: a post-snapshot insert goes to segment 0 afresh.
+        store.insert(st("ex:late", "ex:p", "ex:o")).unwrap();
+        drop(store);
+
+        let recovered = open(&fs);
+        let stats = recovered.recovery_stats().unwrap();
+        assert!(stats.snapshot_loaded);
+        assert_eq!(
+            stats.replayed_records, 2,
+            "only the post-snapshot insert (+ its dict entry) replays"
+        );
+        assert_eq!(recovered.len(), 21);
+    }
+
+    #[test]
+    fn removes_are_durable_and_never_resurrect() {
+        let fs = Arc::new(SimFs::new(3));
+        let mut store = open(&fs);
+        store.insert(st("ex:a", "ex:p", "ex:b")).unwrap();
+        store.insert(st("ex:c", "ex:p", "ex:d")).unwrap();
+        assert!(store.remove(&st("ex:a", "ex:p", "ex:b")).unwrap());
+        drop(store);
+
+        let recovered = open(&fs);
+        assert_eq!(recovered.len(), 1);
+        assert!(!recovered.contains(&st("ex:a", "ex:p", "ex:b")));
+        assert!(recovered.contains(&st("ex:c", "ex:p", "ex:d")));
+    }
+
+    #[test]
+    fn crash_between_snapshot_rename_and_wal_truncate_is_idempotent() {
+        let fs = Arc::new(SimFs::new(4));
+        let mut store = open(&fs);
+        store.insert(st("ex:a", "ex:p", "ex:b")).unwrap();
+        assert!(store.remove(&st("ex:a", "ex:p", "ex:b")).unwrap());
+        store.insert(st("ex:c", "ex:p", "ex:d")).unwrap();
+        let expected = store.base().clone();
+        // Snapshot's ops: write tmp, fsync tmp, rename, delete segment.
+        // Crash on the delete: snapshot installed, stale WAL left behind.
+        fs.fail_after_ops(3);
+        assert!(store.snapshot().is_err());
+        fs.crash();
+
+        let recovered = open(&fs);
+        assert_eq!(recovered.base(), &expected);
+        assert!(
+            !recovered.contains(&st("ex:a", "ex:p", "ex:b")),
+            "stale-WAL replay onto the snapshot must not resurrect removed facts"
+        );
+    }
+
+    #[test]
+    fn reset_snapshots_the_new_state() {
+        let fs = Arc::new(SimFs::new(5));
+        let mut store = open(&fs);
+        store.insert(st("ex:old", "ex:p", "ex:o")).unwrap();
+        let mut replacement = Graph::new();
+        replacement.insert(st("ex:new", "ex:p", "ex:o"));
+        store.reset(replacement).unwrap();
+        drop(store);
+
+        let recovered = open(&fs);
+        assert_eq!(recovered.len(), 1);
+        assert!(recovered.contains(&st("ex:new", "ex:p", "ex:o")));
+        assert!(!recovered.contains(&st("ex:old", "ex:p", "ex:o")));
+    }
+
+    #[test]
+    fn transitive_and_rules_survive_reopen() {
+        let fs = Arc::new(SimFs::new(6));
+        let mut store = open(&fs);
+        store
+            .add_transitive(vec![Term::iri("ex:ancestor")])
+            .unwrap();
+        store
+            .add_rules(vec![Rule::parse(
+                "[(?a ex:parent ?b) -> (?a ex:ancestor ?b)]",
+            )
+            .unwrap()])
+            .unwrap();
+        store.insert(st("ex:a", "ex:parent", "ex:b")).unwrap();
+        store.insert(st("ex:b", "ex:parent", "ex:c")).unwrap();
+        store.materialize();
+        assert!(store.contains(&st("ex:a", "ex:ancestor", "ex:c")));
+        let expected = store.full().clone();
+        drop(store);
+
+        let mut recovered = open(&fs);
+        recovered.materialize();
+        assert_eq!(recovered.full(), &expected);
+        assert_eq!(recovered.config().transitive.len(), 1);
+        assert_eq!(recovered.config().rules.len(), 1);
+    }
+
+    #[test]
+    fn failed_append_leaves_memory_unchanged() {
+        let fs = Arc::new(SimFs::new(7));
+        let mut store = open(&fs);
+        store.insert(st("ex:a", "ex:p", "ex:b")).unwrap();
+        fs.fail_after_ops(0);
+        assert!(store.insert(st("ex:x", "ex:p", "ex:y")).is_err());
+        assert_eq!(store.len(), 1, "failed append must not apply in memory");
+        fs.crash();
+        let recovered = open(&fs);
+        assert_eq!(recovered.len(), 1);
+    }
+}

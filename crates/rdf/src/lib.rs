@@ -17,6 +17,9 @@
 //! * [`reason`] + [`owl`] — the four reasoners (transitive, RDFS subset,
 //!   generic rules, OWL/Lite subset).
 //! * [`query`] — `SELECT … WHERE { … FILTER … } ORDER BY … LIMIT …`.
+//! * [`wal`] + [`durable`] — write-ahead durability: checksummed log
+//!   records and snapshots behind [`DurableStore`], with crash recovery
+//!   that replays the log and re-derives the closure.
 //!
 //! # Examples
 //!
@@ -35,15 +38,19 @@
 //! ```
 
 pub mod dict;
+pub mod durable;
 pub mod graph;
 pub mod incremental;
 pub mod model;
 pub mod owl;
 pub mod query;
 pub mod reason;
+mod snapshot;
+pub mod wal;
 pub mod weighted;
 
 pub use dict::{IdTriple, TermDict, TermId};
+pub use durable::{DurableError, DurableOptions, DurableStore, RecoveryStats, WalStats};
 pub use graph::{Graph, Overlay, TripleView};
 pub use incremental::{IncrementalMaterializer, MaterializerConfig};
 pub use model::{Literal, Statement, Term};

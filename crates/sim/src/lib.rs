@@ -28,6 +28,9 @@
 //! * [`fabric`] — a name-indexed registry of services.
 //! * [`chaos`] — seeded chaos scenarios composing outages, blackholes,
 //!   flapping, and brown-outs into per-service failure plans.
+//! * [`fs`] — a storage abstraction ([`Vfs`]) with a real-filesystem
+//!   backend and a fault-injecting in-memory one ([`SimFs`]: torn
+//!   writes, failed fsyncs, bit flips, ENOSPC) for crash-recovery tests.
 //!
 //! # Examples
 //!
@@ -52,6 +55,7 @@ pub mod clock;
 pub mod cost;
 pub mod fabric;
 pub mod failure;
+pub mod fs;
 pub mod latency;
 pub mod quota;
 pub mod rng;
@@ -59,6 +63,7 @@ pub mod service;
 
 pub use clock::{SimClock, SimTime, TimeMode};
 pub use fabric::Fabric;
+pub use fs::{FsError, RealFs, SimFs, Vfs};
 pub use rng::SharedRng;
 pub use service::{Outcome, Request, Response, ServiceError, SimService};
 

@@ -9,6 +9,7 @@ use bytes::Bytes;
 use cogsdk_json::{json, Json};
 use cogsdk_sim::cost::CostModel;
 use cogsdk_sim::failure::FailurePlan;
+use cogsdk_sim::fs::{FsError, RealFs, Vfs};
 use cogsdk_sim::latency::LatencyModel;
 use cogsdk_sim::service::{Request, SimService};
 use cogsdk_sim::SimEnv;
@@ -121,10 +122,28 @@ impl KeyValueStore for MemoryKv {
 /// A file-backed key-value store: one file per key inside a directory.
 ///
 /// Keys are percent-encoded into file names, so arbitrary key strings are
-/// safe.
-#[derive(Debug)]
+/// safe. Writes are *crash-safe*: each put lands in a temp file which is
+/// fsynced and then atomically renamed over the live name, so a reader
+/// after a crash sees either the old value or the new one — never a torn
+/// mixture. All I/O goes through a [`Vfs`], so the same code runs on the
+/// real filesystem ([`FileKv::open`]) or a fault-injecting simulated one
+/// ([`FileKv::on_vfs`]).
 pub struct FileKv {
-    dir: PathBuf,
+    fs: Arc<dyn Vfs>,
+}
+
+impl std::fmt::Debug for FileKv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileKv").finish_non_exhaustive()
+    }
+}
+
+/// In-flight temp suffix; never ends in `.kv`, so [`FileKv::keys`] skips
+/// these automatically.
+const PUT_TMP_SUFFIX: &str = ".tmp";
+
+fn io_store(op: &str, e: FsError) -> StoreError {
+    StoreError::Io(format!("{op}: {e}"))
 }
 
 impl FileKv {
@@ -132,16 +151,20 @@ impl FileKv {
     ///
     /// # Errors
     ///
-    /// [`StoreError::RemoteUnavailable`] if the directory cannot be
-    /// created.
+    /// [`StoreError::Io`] if the directory cannot be created.
     pub fn open(dir: impl Into<PathBuf>) -> Result<FileKv, StoreError> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)
-            .map_err(|e| StoreError::RemoteUnavailable(format!("create {dir:?}: {e}")))?;
-        Ok(FileKv { dir })
+        let fs = RealFs::open(&dir).map_err(|e| io_store("open", e))?;
+        Ok(FileKv::on_vfs(Arc::new(fs)))
     }
 
-    fn path_for(&self, key: &str) -> PathBuf {
+    /// A store over an explicit virtual filesystem (e.g. a seeded,
+    /// fault-injecting `SimFs` for crash testing).
+    pub fn on_vfs(fs: Arc<dyn Vfs>) -> FileKv {
+        FileKv { fs }
+    }
+
+    fn name_for(&self, key: &str) -> String {
         let mut name = String::with_capacity(key.len());
         for b in key.bytes() {
             match b {
@@ -151,41 +174,46 @@ impl FileKv {
                 other => name.push_str(&format!("%{other:02x}")),
             }
         }
-        self.dir.join(name + ".kv")
+        name + ".kv"
     }
 }
 
 impl KeyValueStore for FileKv {
     fn put(&self, key: &str, value: Bytes) -> Result<(), StoreError> {
-        std::fs::write(self.path_for(key), &value)
-            .map_err(|e| StoreError::RemoteUnavailable(format!("write: {e}")))
+        // Temp → fsync → rename: a crash at any point leaves the live
+        // name holding the complete old value or the complete new one.
+        let name = self.name_for(key);
+        let tmp = format!("{name}{PUT_TMP_SUFFIX}");
+        self.fs
+            .write(&tmp, &value)
+            .map_err(|e| io_store("write", e))?;
+        self.fs.fsync(&tmp).map_err(|e| io_store("fsync", e))?;
+        self.fs
+            .rename(&tmp, &name)
+            .map_err(|e| io_store("rename", e))
     }
 
     fn get(&self, key: &str) -> Result<Bytes, StoreError> {
-        match std::fs::read(self.path_for(key)) {
+        match self.fs.read(&self.name_for(key)) {
             Ok(data) => Ok(Bytes::from(data)),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                Err(StoreError::NotFound(key.to_string()))
-            }
-            Err(e) => Err(StoreError::RemoteUnavailable(format!("read: {e}"))),
+            Err(FsError::NotFound(_)) => Err(StoreError::NotFound(key.to_string())),
+            Err(e) => Err(io_store("read", e)),
         }
     }
 
     fn delete(&self, key: &str) -> Result<bool, StoreError> {
-        match std::fs::remove_file(self.path_for(key)) {
-            Ok(()) => Ok(true),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
-            Err(e) => Err(StoreError::RemoteUnavailable(format!("delete: {e}"))),
-        }
+        let name = self.name_for(key);
+        let existed = self.fs.exists(&name);
+        self.fs.delete(&name).map_err(|e| io_store("delete", e))?;
+        Ok(existed)
     }
 
     fn keys(&self) -> Result<Vec<String>, StoreError> {
-        let entries = std::fs::read_dir(&self.dir)
-            .map_err(|e| StoreError::RemoteUnavailable(format!("readdir: {e}")))?;
+        let entries = self.fs.list().map_err(|e| io_store("list", e))?;
         let mut keys = Vec::new();
-        for entry in entries {
-            let entry = entry.map_err(|e| StoreError::RemoteUnavailable(e.to_string()))?;
-            let name = entry.file_name().to_string_lossy().into_owned();
+        for name in entries {
+            // In-flight `.tmp` temps (and any other foreign suffix) are
+            // not live entries.
             let Some(stem) = name.strip_suffix(".kv") else {
                 continue;
             };
@@ -424,6 +452,55 @@ mod tests {
         assert!(keys.contains(&"good key".to_string()), "{keys:?}");
         assert_eq!(keys.len(), 3, "foreign names listed verbatim: {keys:?}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_kv_put_is_atomic_across_seeded_crash_points() {
+        use cogsdk_sim::fs::SimFs;
+        // For every crash point inside a put, a post-crash reader sees
+        // the complete old value or the complete new one — never a torn
+        // prefix, never a missing key.
+        for seed in 0..40u64 {
+            let fs = Arc::new(SimFs::new(seed));
+            let kv = FileKv::on_vfs(fs.clone());
+            kv.put("k", Bytes::from("old-value")).unwrap();
+            // A put is write + fsync + rename = 3 fs ops; crash at each.
+            let crash_at = seed % 3;
+            fs.fail_after_ops(crash_at);
+            let result = kv.put("k", Bytes::from("NEW-VALUE-LONGER"));
+            assert!(result.is_err(), "armed op must fail (seed {seed})");
+            assert!(
+                matches!(result, Err(StoreError::Io(_))),
+                "local fault maps to Io: {result:?}"
+            );
+            fs.crash();
+            let kv = FileKv::on_vfs(fs);
+            let value = kv.get("k").expect("key survives every crash point");
+            assert!(
+                value == Bytes::from("old-value") || value == Bytes::from("NEW-VALUE-LONGER"),
+                "torn value after crash at op {crash_at} (seed {seed}): {value:?}"
+            );
+            // Any leftover temp file is invisible to listing.
+            assert_eq!(kv.keys().unwrap(), vec!["k"]);
+        }
+    }
+
+    #[test]
+    fn file_kv_crashed_first_put_leaves_key_absent_or_complete() {
+        use cogsdk_sim::fs::SimFs;
+        for crash_at in 0..3u64 {
+            let fs = Arc::new(SimFs::new(100 + crash_at));
+            let kv = FileKv::on_vfs(fs.clone());
+            fs.fail_after_ops(crash_at);
+            assert!(kv.put("fresh", Bytes::from("payload")).is_err());
+            fs.crash();
+            let kv = FileKv::on_vfs(fs);
+            match kv.get("fresh") {
+                Ok(v) => assert_eq!(v, Bytes::from("payload"), "complete if present"),
+                Err(StoreError::NotFound(_)) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub enum StoreError {
     TypeMismatch(String),
     /// The remote store could not be reached.
     RemoteUnavailable(String),
+    /// Local storage I/O failed (disk error, permissions, no space) —
+    /// distinct from remote unavailability so callers don't retry a
+    /// local fault as if the network were flapping.
+    Io(String),
     /// Data failed integrity verification (tampering or corruption).
     IntegrityFailure,
     /// Malformed input (e.g. unparsable CSV).
@@ -61,6 +65,7 @@ impl fmt::Display for StoreError {
             StoreError::Conflict(what) => write!(f, "conflict: {what}"),
             StoreError::TypeMismatch(what) => write!(f, "type mismatch: {what}"),
             StoreError::RemoteUnavailable(what) => write!(f, "remote unavailable: {what}"),
+            StoreError::Io(what) => write!(f, "local i/o: {what}"),
             StoreError::IntegrityFailure => write!(f, "integrity verification failed"),
             StoreError::Malformed(what) => write!(f, "malformed input: {what}"),
         }

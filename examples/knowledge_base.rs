@@ -49,7 +49,7 @@ germany,2016,3470.0
         "The United States of America praised the excellent agreement.",
         "America and Deutschland celebrated impressive growth.",
     ] {
-        kb.ingest_text(sentence);
+        kb.ingest_text(sentence).expect("ingest");
     }
     let docs = kb
         .query("SELECT ?d WHERE { ?d <kb:mentions> <kb:united_states> . }")
@@ -97,8 +97,9 @@ germany,2016,3470.0
         cogsdk::rdf::Term::iri("kb:country"),
         cogsdk::rdf::Term::iri("rdfs:subClassOf"),
         cogsdk::rdf::Term::iri("kb:geopolitical_entity"),
-    ));
-    let n = kb.infer_rdfs();
+    ))
+    .expect("add statement");
+    let n = kb.infer_rdfs().expect("infer rdfs");
     println!("rdfs reasoner: {n} additional type facts");
 
     // 7b. OWL/Lite reasoning: alias smushing at the RDF level.
@@ -106,8 +107,9 @@ germany,2016,3470.0
         cogsdk::rdf::Term::iri("kb:deutschland"),
         cogsdk::rdf::Term::iri("owl:sameAs"),
         cogsdk::rdf::Term::iri("kb:germany"),
-    ));
-    let n = kb.infer_owl();
+    ))
+    .expect("add statement");
+    let n = kb.infer_owl().expect("infer owl");
     println!("owl-lite reasoner: {n} facts copied across sameAs aliases");
 
     // 7c. Tabled backward chaining: prove a goal on demand without

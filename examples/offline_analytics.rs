@@ -34,7 +34,8 @@ fn main() {
 
     // Work continues entirely locally: new text, new analytics, new
     // inference, new snapshots.
-    kb.ingest_text("IBM praised the excellent local analytics of the device.");
+    kb.ingest_text("IBM praised the excellent local analytics of the device.")
+        .expect("ingest");
     let facts = kb
         .regress_and_store("sensor", "hour", "temperature", "warming trend")
         .unwrap();

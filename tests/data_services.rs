@@ -214,7 +214,8 @@ fn federated_query_merges_local_and_remote_knowledge() {
         cogsdk::rdf::Term::iri("kb:wakanda"),
         cogsdk::rdf::Term::iri("db:continent"),
         cogsdk::rdf::Term::iri("db:africa"),
-    ));
+    ))
+    .unwrap();
     let rows = kb
         .query_federated(
             &dbpedia,

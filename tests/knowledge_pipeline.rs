@@ -80,7 +80,7 @@ fn disambiguated_ingestion_prevents_redundant_entries() {
         "The US expanded.",
     ];
     for text in phrasings {
-        kb.ingest_text(text);
+        kb.ingest_text(text).unwrap();
     }
     let rows = kb
         .query("SELECT ?d WHERE { ?d <kb:mentions> <kb:united_states> . }")
@@ -102,14 +102,16 @@ fn rdfs_plus_user_rules_compose() {
         Term::iri("kb:organization"),
         Term::iri("rdfs:subClassOf"),
         Term::iri("kb:legal_person"),
-    ));
+    ))
+    .unwrap();
     kb.add_statement(Statement::new(
         Term::iri("kb:legal_person"),
         Term::iri("rdfs:subClassOf"),
         Term::iri("kb:agent"),
-    ));
-    kb.ingest_text("IBM acquired Oracle.");
-    kb.infer_rdfs();
+    ))
+    .unwrap();
+    kb.ingest_text("IBM acquired Oracle.").unwrap();
+    kb.infer_rdfs().unwrap();
     // Chained subclass reasoning: organization ⊑ legal_person ⊑ agent.
     let rows = kb
         .query("SELECT ?x WHERE { ?x <rdf:type> <kb:agent> . }")
@@ -144,7 +146,8 @@ fn encrypted_compressed_snapshots_are_opaque_and_recoverable() {
             Term::iri(format!("kb:subject_{i}")),
             Term::iri("kb:confidential_salary"),
             Term::integer(100_000 + i),
-        ));
+        ))
+        .unwrap();
     }
     kb.persist_graph("hr").unwrap();
     let on_remote = remote.get("hr").unwrap();
