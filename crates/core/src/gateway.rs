@@ -20,6 +20,7 @@
 //! | `GET /slo` | — | burn-rate status of every configured objective |
 //! | `GET /profile` | — | critical-path profile of retained traces |
 //! | `POST /snapshot` | — | checkpoint the attached durable store (admin) |
+//! | `POST /query` | `{"sparql": …}` | conjunctive query via the host's KB planner |
 //!
 //! Invocation requests may carry an `X-Tenant` header; the gateway interns
 //! the tenant into the trace context so every downstream RED metric
@@ -354,12 +355,21 @@ fn route_label(path: &str) -> &str {
 /// and returns a JSON status body.
 pub type SnapshotHandler = Box<dyn Fn() -> Result<Json, String> + Send + Sync>;
 
+/// Query hook behind `POST /query`: the host wires in a closure running a
+/// SPARQL-subset conjunctive query against its knowledge base (the
+/// gateway itself has no KB dependency). The handler receives the full
+/// request so it can honor the `X-Tenant` header and body flags such as
+/// `explain`; it returns the JSON body to serve, or an error message
+/// answered as a 400.
+pub type QueryHandler = Box<dyn Fn(&HttpRequest) -> Result<Json, String> + Send + Sync>;
+
 /// The gateway: routes HTTP requests onto a shared [`RichSdk`].
 pub struct HttpGateway {
     sdk: Arc<RichSdk>,
     gate: Bulkhead,
     slo: Option<Arc<SloEngine>>,
     snapshot: Option<SnapshotHandler>,
+    query: Option<QueryHandler>,
 }
 
 impl std::fmt::Debug for HttpGateway {
@@ -381,6 +391,7 @@ impl HttpGateway {
             gate: Bulkhead::new(limits),
             slo: None,
             snapshot: None,
+            query: None,
         }
     }
 
@@ -398,6 +409,7 @@ impl HttpGateway {
             gate: Bulkhead::new(limits),
             slo: Some(slo),
             snapshot: None,
+            query: None,
         }
     }
 
@@ -412,6 +424,14 @@ impl HttpGateway {
     /// until one is attached.
     pub fn set_snapshot_handler(&mut self, handler: SnapshotHandler) {
         self.snapshot = Some(handler);
+    }
+
+    /// Attaches the `POST /query` handler. The host passes a closure
+    /// evaluating conjunctive queries against its knowledge base (e.g.
+    /// built with `cogsdk_kb::gateway_query_handler`); the route answers
+    /// 404 until one is attached.
+    pub fn set_query_handler(&mut self, handler: QueryHandler) {
+        self.query = Some(handler);
     }
 
     /// Routes one parsed request through the bulkhead. No I/O.
@@ -613,6 +633,7 @@ impl HttpGateway {
             ("GET", ["trace"]) => self.trace_response(request),
             ("GET", ["slo"]) => self.slo_response(),
             ("POST", ["snapshot"]) => self.snapshot_response(),
+            ("POST", ["query"]) => self.query_response(request),
             ("GET", ["profile"]) => self.profile_response(request),
             ("GET", ["monitor", service]) => match self.sdk.monitor().history(service) {
                 Some(history) => {
@@ -713,6 +734,19 @@ impl HttpGateway {
         match handler() {
             Ok(body) => HttpResponse::ok(body),
             Err(e) => HttpResponse::error(500, format!("snapshot failed: {e}")),
+        }
+    }
+
+    /// `POST /query`: evaluates a conjunctive query through the attached
+    /// handler. Handler errors (parse failures, bad bodies) answer 400.
+    fn query_response(&self, request: &HttpRequest) -> HttpResponse {
+        let handler = match &self.query {
+            Some(handler) => handler,
+            None => return HttpResponse::error(404, "no query handler attached"),
+        };
+        match handler(request) {
+            Ok(body) => HttpResponse::ok(body),
+            Err(e) => HttpResponse::error(400, e),
         }
     }
 
@@ -1379,5 +1413,47 @@ mod tests {
         let raw = gw.handle_text(&post("/snapshot", ""));
         assert!(raw.starts_with("HTTP/1.1 500"), "{raw}");
         assert!(raw.contains("disk full"), "{raw}");
+    }
+
+    #[test]
+    fn query_route_requires_an_attached_handler() {
+        let (_env, gw) = gateway();
+        let raw = gw.handle_text(&post("/query", r#"{"sparql": "SELECT ..."}"#));
+        assert!(raw.starts_with("HTTP/1.1 404"), "{raw}");
+        assert!(raw.contains("no query handler attached"), "{raw}");
+    }
+
+    #[test]
+    fn query_route_runs_the_attached_handler() {
+        let env = SimEnv::with_seed(82);
+        let sdk = Arc::new(RichSdk::new(&env));
+        let mut gw = HttpGateway::new(sdk);
+        // The handler sees the parsed request: body and tenant header.
+        gw.set_query_handler(Box::new(move |req| {
+            let body = Json::parse(&req.body).map_err(|e| e.to_string())?;
+            let sparql = body
+                .get("sparql")
+                .and_then(Json::as_str)
+                .ok_or("missing sparql")?;
+            Ok(json!({
+                "echo": (sparql),
+                "tenant": (req.tenant.clone().unwrap_or_default()),
+            }))
+        }));
+        let raw = gw.handle_text(&post_as_tenant(
+            "/query",
+            "acme",
+            r#"{"sparql": "SELECT ?x WHERE { ?x <p> ?y }"}"#,
+        ));
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        let body = Json::parse(raw.split("\r\n\r\n").nth(1).unwrap()).unwrap();
+        assert_eq!(
+            body.pointer("/echo").and_then(Json::as_str),
+            Some("SELECT ?x WHERE { ?x <p> ?y }")
+        );
+        assert_eq!(body.pointer("/tenant").and_then(Json::as_str), Some("acme"));
+        // Handler errors (bad bodies, parse failures) answer 400.
+        let raw = gw.handle_text(&post("/query", "not json"));
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
     }
 }

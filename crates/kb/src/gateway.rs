@@ -1,0 +1,156 @@
+//! Gateway glue: a `POST /query` handler over a shared knowledge base.
+//!
+//! The HTTP gateway (§2's cross-language surface) carries no KB
+//! dependency; hosts wire query evaluation in as a closure. This module
+//! builds that closure: it parses a `{"sparql": …}` body, runs the query
+//! through the knowledge base's cost-based planner, and serializes rows
+//! plus planner stats (and, on request, the `explain()` plan text) back
+//! as JSON.
+//!
+//! ```text
+//! POST /query
+//! {"sparql": "SELECT ?c WHERE { ?c <kb:gdp> ?g }", "explain": true}
+//! →
+//! {"rows": [{"c": "<kb:usa>"}], "stats": {…}, "plan": "bgp 1 patterns …"}
+//! ```
+
+use crate::kb::PersonalKnowledgeBase;
+use cogsdk_core::gateway::QueryHandler;
+use cogsdk_json::Json;
+use std::sync::Arc;
+
+/// Builds a [`QueryHandler`] for
+/// [`HttpGateway::set_query_handler`](cogsdk_core::HttpGateway::set_query_handler)
+/// over a shared knowledge base.
+///
+/// Each call runs through [`PersonalKnowledgeBase::query_with_stats`], so
+/// the base's `sdk_query_*` metrics (plan time, result rows, join
+/// strategy counts — tenant-labeled when the base is attributed to one)
+/// are published per request. Body fields:
+///
+/// * `sparql` (string, required) — the query text.
+/// * `explain` (bool, optional) — include the planner's `explain()`
+///   rendering as a `plan` field.
+pub fn gateway_query_handler(kb: Arc<PersonalKnowledgeBase>) -> QueryHandler {
+    Box::new(move |request| {
+        let body = Json::parse(&request.body).map_err(|e| format!("invalid JSON body: {e}"))?;
+        let sparql = body
+            .get("sparql")
+            .and_then(Json::as_str)
+            .ok_or("body needs a string 'sparql' field")?;
+        let explain = body.get("explain").and_then(Json::as_bool).unwrap_or(false);
+        let (rows, stats) = kb
+            .query_with_stats(sparql)
+            .map_err(|e| format!("query failed: {e}"))?;
+        let mut rows_json = Json::Array(Vec::new());
+        for row in &rows {
+            let mut obj = Json::object();
+            // Deterministic field order: sort by variable name (HashMap
+            // iteration order would leak into the wire format otherwise).
+            let mut entries: Vec<_> = row.iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            for (var, term) in entries {
+                obj.insert(var.clone(), term.to_string());
+            }
+            rows_json.push(obj);
+        }
+        let mut stats_json = Json::object();
+        stats_json.insert("rows", stats.rows);
+        stats_json.insert("plan_micros", stats.plan_micros as usize);
+        stats_json.insert("merge_joins", stats.merge_joins);
+        stats_json.insert("nested_loop_joins", stats.loop_joins);
+        stats_json.insert("patterns", stats.patterns);
+        let mut out = Json::object();
+        out.insert("rows", rows_json);
+        out.insert("stats", stats_json);
+        if explain {
+            out.insert(
+                "plan",
+                kb.query_explain(sparql)
+                    .map_err(|e| format!("explain failed: {e}"))?,
+            );
+        }
+        Ok(out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::KbOptions;
+    use cogsdk_core::gateway::HttpRequest;
+    use cogsdk_rdf::{Statement, Term};
+    use cogsdk_store::kv::{KeyValueStore, MemoryKv};
+
+    fn sample_kb() -> Arc<PersonalKnowledgeBase> {
+        let remote: Arc<dyn KeyValueStore> = Arc::new(MemoryKv::new());
+        let kb = PersonalKnowledgeBase::new(remote, KbOptions::default());
+        for (s, g) in [("kb:usa", 21000), ("kb:germany", 4200)] {
+            kb.add_statement(Statement::new(
+                Term::iri(s),
+                Term::iri("kb:gdp"),
+                Term::integer(g),
+            ))
+            .unwrap();
+        }
+        Arc::new(kb)
+    }
+
+    fn post(body: &str) -> HttpRequest {
+        HttpRequest {
+            method: "POST".to_string(),
+            path: "/query".to_string(),
+            query: Vec::new(),
+            tenant: None,
+            body: body.to_string(),
+        }
+    }
+
+    #[test]
+    fn handler_runs_a_query_and_reports_stats() {
+        let handler = gateway_query_handler(sample_kb());
+        let out = handler(&post(
+            r#"{"sparql": "SELECT ?c WHERE { ?c <kb:gdp> ?g } ORDER BY ?g"}"#,
+        ))
+        .unwrap();
+        assert_eq!(
+            out.pointer("/rows/0/c").and_then(Json::as_str),
+            Some("<kb:germany>")
+        );
+        assert_eq!(
+            out.pointer("/rows/1/c").and_then(Json::as_str),
+            Some("<kb:usa>")
+        );
+        assert_eq!(out.pointer("/stats/rows").and_then(Json::as_usize), Some(2));
+        assert_eq!(
+            out.pointer("/stats/patterns").and_then(Json::as_usize),
+            Some(1)
+        );
+        assert!(out.get("plan").is_none(), "plan only on explain=true");
+    }
+
+    #[test]
+    fn handler_attaches_the_plan_on_request() {
+        let handler = gateway_query_handler(sample_kb());
+        let out = handler(&post(
+            r#"{"sparql": "SELECT ?c WHERE { ?c <kb:gdp> ?g }", "explain": true}"#,
+        ))
+        .unwrap();
+        let plan = out.get("plan").and_then(Json::as_str).unwrap();
+        assert!(plan.starts_with("bgp 1 patterns"), "{plan}");
+    }
+
+    #[test]
+    fn handler_rejects_bad_bodies() {
+        let handler = gateway_query_handler(sample_kb());
+        assert!(handler(&post("not json"))
+            .unwrap_err()
+            .starts_with("invalid JSON body"));
+        assert!(handler(&post(r#"{"explain": true}"#))
+            .unwrap_err()
+            .contains("sparql"));
+        assert!(handler(&post(r#"{"sparql": "SELECT"}"#))
+            .unwrap_err()
+            .starts_with("query failed"));
+    }
+}

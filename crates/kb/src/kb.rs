@@ -9,8 +9,8 @@ use cogsdk_rdf::query::Solution;
 use cogsdk_rdf::reason::TriplePattern;
 use cogsdk_rdf::weighted::{WeightedGraph, WeightedReasoner};
 use cogsdk_rdf::{
-    DurableOptions, DurableStore, GenericRuleReasoner, Graph, Query, RecoveryStats, Statement,
-    Term, TermId, WalStats,
+    DurableOptions, DurableStore, GenericRuleReasoner, Graph, Query, QueryStats, RecoveryStats,
+    Statement, Term, TermId, WalStats,
 };
 use cogsdk_sim::fs::Vfs;
 use cogsdk_store::crypto::Key;
@@ -508,12 +508,85 @@ impl PersonalKnowledgeBase {
 
     /// Runs a SPARQL-subset query against the graph.
     ///
+    /// Conjunctive (multi-pattern) queries compile through the cost-based
+    /// BGP planner: join order by index-cardinality selectivity, merge
+    /// joins where the sort orders line up, index nested loops otherwise.
+    ///
     /// # Errors
     ///
     /// Parse errors from the query engine.
     pub fn query(&self, sparql: &str) -> Result<Vec<Solution>, KbError> {
+        Ok(self.query_with_stats(sparql)?.0)
+    }
+
+    /// Like [`query`](Self::query), also returning the planner's stats
+    /// record (plan time, join strategy counts, rows). Publishes the
+    /// `sdk_query_*` metrics — tenant-labeled when the base is attributed
+    /// to one.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors from the query engine.
+    pub fn query_with_stats(&self, sparql: &str) -> Result<(Vec<Solution>, QueryStats), KbError> {
         let q = Query::parse(sparql)?;
-        Ok(q.execute(self.graph.read().full()))
+        let (rows, stats) = q.execute_with_stats(self.graph.read().full());
+        self.publish_query_metrics(&stats);
+        Ok((rows, stats))
+    }
+
+    /// Renders the execution plan the planner chooses for `sparql` against
+    /// the current graph (join order, per-pattern index and operator,
+    /// cardinality estimates) without running it.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors from the query engine.
+    pub fn query_explain(&self, sparql: &str) -> Result<String, KbError> {
+        let q = Query::parse(sparql)?;
+        Ok(q.explain(self.graph.read().full()))
+    }
+
+    /// A point-in-time snapshot of the graph (stated plus inferred) for
+    /// stable paging: offset/limit pages drawn from one snapshot stay
+    /// consistent while concurrent ingest moves the live indexes on. The
+    /// clone shares the term dictionary, so plans built on the snapshot
+    /// resolve the same ids.
+    pub fn query_snapshot(&self) -> Graph {
+        self.graph.read().full().clone()
+    }
+
+    /// Pushes one query's planner counters into the metrics registry:
+    /// `sdk_query_total`, `sdk_query_rows_total`,
+    /// `sdk_query_joins_total{strategy=…}` and the `sdk_query_plan_micros`
+    /// histogram. Tenant-labeled like the cache counters.
+    fn publish_query_metrics(&self, stats: &QueryStats) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        fn labeled<'a>(
+            mut labels: Vec<(&'a str, &'a str)>,
+            tenant: Option<&'a str>,
+        ) -> Vec<(&'a str, &'a str)> {
+            if let Some(t) = tenant {
+                labels.push(("tenant", t));
+            }
+            labels
+        }
+        let metrics = self.telemetry.metrics();
+        let tenant = self.tenant.as_deref();
+        let base = labeled(Vec::new(), tenant);
+        metrics.add_counter("sdk_query_total", &base, 1);
+        metrics.add_counter("sdk_query_rows_total", &base, stats.rows as u64);
+        metrics.observe("sdk_query_plan_micros", &base, stats.plan_micros as f64);
+        for (strategy, count) in [
+            ("merge", stats.merge_joins),
+            ("nested_loop", stats.loop_joins),
+        ] {
+            if count > 0 {
+                let labels = labeled(vec![("strategy", strategy)], tenant);
+                metrics.add_counter("sdk_query_joins_total", &labels, count as u64);
+            }
+        }
     }
 
     /// Number of statements in the graph (stated plus inferred).
@@ -1184,6 +1257,70 @@ mod tests {
             ),
             None
         );
+    }
+
+    #[test]
+    fn query_metrics_are_tenant_labeled() {
+        let remote: Arc<dyn KeyValueStore> = Arc::new(MemoryKv::new());
+        let t = Telemetry::new();
+        let kb = PersonalKnowledgeBase::with_telemetry(remote, KbOptions::default(), t.clone())
+            .for_tenant("acme");
+        for (s, name) in [("kb:usa", "US"), ("kb:germany", "Germany")] {
+            kb.add_statement(Statement::new(
+                Term::iri(s),
+                Term::iri("kb:name"),
+                Term::string(name),
+            ))
+            .unwrap();
+            kb.add_statement(Statement::new(
+                Term::iri(s),
+                Term::iri("kb:kind"),
+                Term::iri("kb:Country"),
+            ))
+            .unwrap();
+        }
+        let (rows, stats) = kb
+            .query_with_stats("SELECT ?n WHERE { ?c <kb:kind> <kb:Country> . ?c <kb:name> ?n }")
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(stats.patterns, 2);
+        assert_eq!(stats.merge_joins + stats.loop_joins, 1);
+
+        let m = t.metrics();
+        assert_eq!(
+            m.counter_value("sdk_query_total", &[("tenant", "acme")]),
+            Some(1)
+        );
+        assert_eq!(
+            m.counter_value("sdk_query_rows_total", &[("tenant", "acme")]),
+            Some(2)
+        );
+        let merge = m
+            .counter_value(
+                "sdk_query_joins_total",
+                &[("strategy", "merge"), ("tenant", "acme")],
+            )
+            .unwrap_or(0);
+        let nested = m
+            .counter_value(
+                "sdk_query_joins_total",
+                &[("strategy", "nested_loop"), ("tenant", "acme")],
+            )
+            .unwrap_or(0);
+        assert_eq!(merge + nested, 1, "exactly one join, strategy-labeled");
+        assert!(
+            m.histogram("sdk_query_plan_micros", &[("tenant", "acme")])
+                .is_some(),
+            "plan time observed"
+        );
+        // The untenanted series stays untouched for a tenanted base.
+        assert_eq!(m.counter_value("sdk_query_total", &[]), None);
+
+        // EXPLAIN goes through the same planner.
+        let plan = kb
+            .query_explain("SELECT ?n WHERE { ?c <kb:kind> <kb:Country> . ?c <kb:name> ?n }")
+            .unwrap();
+        assert!(plan.starts_with("bgp 2 patterns"), "{plan}");
     }
 
     const GDP_CSV: &str = "country,gdp,year\nusa,20000.0,2015\nusa,21000.0,2016\ngermany,4100.0,2015\ngermany,4200.0,2016\n";

@@ -23,9 +23,11 @@
 pub mod analytics;
 pub mod convert;
 pub mod federation;
+pub mod gateway;
 pub mod kb;
 
 pub use analytics::RegressionFacts;
+pub use gateway::gateway_query_handler;
 pub use kb::{KbOptions, PersonalKnowledgeBase};
 
 use std::error::Error;

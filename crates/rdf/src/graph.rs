@@ -273,6 +273,87 @@ impl Graph {
             (None, None, None) => self.spo.iter().copied().collect(),
         }
     }
+
+    /// Counts triples matching a pattern without materializing them.
+    /// Same index routing as [`match_ids`](Self::match_ids); the
+    /// fully-unbound arm is `len()`. Costs `O(matches)` — the planner
+    /// uses [`count_ids_capped`](Self::count_ids_capped) instead.
+    pub fn count_ids(
+        &self,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+    ) -> usize {
+        let full = (TermId::MIN, TermId::MAX);
+        match (subject, predicate, object) {
+            (Some(s), Some(p), Some(o)) => usize::from(self.spo.contains(&(s, p, o))),
+            (Some(s), Some(p), None) => self.spo.range((s, p, full.0)..=(s, p, full.1)).count(),
+            (Some(s), None, Some(o)) => self.osp.range((o, s, full.0)..=(o, s, full.1)).count(),
+            (Some(s), None, None) => self
+                .spo
+                .range((s, full.0, full.0)..=(s, full.1, full.1))
+                .count(),
+            (None, Some(p), Some(o)) => self.pos.range((p, o, full.0)..=(p, o, full.1)).count(),
+            (None, Some(p), None) => self
+                .pos
+                .range((p, full.0, full.0)..=(p, full.1, full.1))
+                .count(),
+            (None, None, Some(o)) => self
+                .osp
+                .range((o, full.0, full.0)..=(o, full.1, full.1))
+                .count(),
+            (None, None, None) => self.spo.len(),
+        }
+    }
+
+    /// Like [`count_ids`](Self::count_ids) but stops counting at `cap`,
+    /// so the cost is `O(min(matches, cap))` instead of `O(matches)`.
+    /// This is the query planner's cardinality source: join *ordering*
+    /// only needs estimates good enough to rank patterns, and every
+    /// pattern at or above the cap is equally "huge".
+    pub fn count_ids_capped(
+        &self,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+        cap: usize,
+    ) -> usize {
+        let full = (TermId::MIN, TermId::MAX);
+        match (subject, predicate, object) {
+            (Some(s), Some(p), Some(o)) => usize::from(self.spo.contains(&(s, p, o))),
+            (Some(s), Some(p), None) => self
+                .spo
+                .range((s, p, full.0)..=(s, p, full.1))
+                .take(cap)
+                .count(),
+            (Some(s), None, Some(o)) => self
+                .osp
+                .range((o, s, full.0)..=(o, s, full.1))
+                .take(cap)
+                .count(),
+            (Some(s), None, None) => self
+                .spo
+                .range((s, full.0, full.0)..=(s, full.1, full.1))
+                .take(cap)
+                .count(),
+            (None, Some(p), Some(o)) => self
+                .pos
+                .range((p, o, full.0)..=(p, o, full.1))
+                .take(cap)
+                .count(),
+            (None, Some(p), None) => self
+                .pos
+                .range((p, full.0, full.0)..=(p, full.1, full.1))
+                .take(cap)
+                .count(),
+            (None, None, Some(o)) => self
+                .osp
+                .range((o, full.0, full.0)..=(o, full.1, full.1))
+                .take(cap)
+                .count(),
+            (None, None, None) => self.spo.len().min(cap),
+        }
+    }
 }
 
 /// Re-interns `id` from `from` into `to`, memoizing per distinct term.

@@ -16,7 +16,11 @@
 //!   SPO/POS/OSP indexes and pattern matching.
 //! * [`reason`] + [`owl`] — the four reasoners (transitive, RDFS subset,
 //!   generic rules, OWL/Lite subset).
-//! * [`query`] — `SELECT … WHERE { … FILTER … } ORDER BY … LIMIT …`.
+//! * [`plan`] — cost-based BGP planning ([`BgpQuery`] → [`ExecPlan`]):
+//!   selectivity from index cardinalities, greedy join ordering, merge and
+//!   index nested-loop joins, `OPTIONAL`/`UNION`, paging, `explain()`.
+//! * [`query`] — `SELECT … WHERE { … OPTIONAL … UNION … FILTER … }
+//!   ORDER BY … OFFSET … LIMIT …`, compiled through the planner.
 //! * [`wal`] + [`durable`] — write-ahead durability: checksummed log
 //!   records and snapshots behind [`DurableStore`], with crash recovery
 //!   that replays the log and re-derives the closure.
@@ -43,6 +47,7 @@ pub mod graph;
 pub mod incremental;
 pub mod model;
 pub mod owl;
+pub mod plan;
 pub mod query;
 pub mod reason;
 mod snapshot;
@@ -55,6 +60,7 @@ pub use graph::{Graph, Overlay, TripleView};
 pub use incremental::{IncrementalMaterializer, MaterializerConfig};
 pub use model::{Literal, Statement, Term};
 pub use owl::OwlLiteReasoner;
+pub use plan::{BgpQuery, ExecPlan, QueryStats};
 pub use query::{Query, Solution};
 pub use reason::{GenericRuleReasoner, RdfsReasoner, Rule, TransitiveReasoner};
 pub use weighted::{WeightedGraph, WeightedReasoner};

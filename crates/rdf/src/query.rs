@@ -8,18 +8,24 @@
 //! SELECT ?x ?y WHERE {
 //!   ?x <ex:p> ?y .
 //!   ?y <ex:q> "literal" .
+//!   OPTIONAL { ?x <ex:r> ?z }
+//!   { ?x <ex:a> ?w } UNION { ?x <ex:b> ?w }
 //!   FILTER (?y > 10)
-//! } ORDER BY ?x LIMIT 20
+//! } ORDER BY ?x OFFSET 5 LIMIT 20
 //! ```
 //!
 //! Terms: `?var`, `<iri>`, `"string"`, integers, doubles, `true`/`false`.
 //! Filters: `>`, `>=`, `<`, `<=`, `=`, `!=` between a variable and a
 //! constant (or two variables).
+//!
+//! Queries compile through the cost-based planner in [`crate::plan`]:
+//! patterns are join-reordered by selectivity and executed with merge or
+//! index nested-loop joins (see [`Query::explain`] for the chosen plan).
 
-use crate::dict::TermId;
 use crate::graph::Graph;
 use crate::model::{Literal, Term};
-use crate::reason::{compile_pattern_lookup, IdPattern, PatternTerm, TriplePattern};
+use crate::plan::{BgpQuery, QueryStats};
+use crate::reason::{PatternTerm, TriplePattern};
 use crate::RdfError;
 use std::collections::HashMap;
 
@@ -115,8 +121,11 @@ impl Filter {
 pub struct Query {
     select: Vec<String>,
     patterns: Vec<TriplePattern>,
+    optionals: Vec<Vec<TriplePattern>>,
+    unions: Vec<Vec<Vec<TriplePattern>>>,
     filters: Vec<Filter>,
     order_by: Option<String>,
+    offset: usize,
     limit: Option<usize>,
 }
 
@@ -148,6 +157,8 @@ impl Query {
         expect_keyword(&mut tokens, "WHERE")?;
         expect_token(&mut tokens, &Token::OpenBrace)?;
         let mut patterns = Vec::new();
+        let mut optionals = Vec::new();
+        let mut unions = Vec::new();
         let mut filters = Vec::new();
         loop {
             match tokens.first() {
@@ -159,6 +170,26 @@ impl Query {
                     tokens.remove(0);
                     filters.push(parse_filter(&mut tokens)?);
                 }
+                Some(Token::Word(w)) if w.eq_ignore_ascii_case("OPTIONAL") => {
+                    tokens.remove(0);
+                    optionals.push(parse_group(&mut tokens)?);
+                }
+                Some(Token::OpenBrace) => {
+                    let mut arms = vec![parse_group(&mut tokens)?];
+                    while matches!(
+                        tokens.first(),
+                        Some(Token::Word(w)) if w.eq_ignore_ascii_case("UNION")
+                    ) {
+                        tokens.remove(0);
+                        arms.push(parse_group(&mut tokens)?);
+                    }
+                    if arms.len() < 2 {
+                        return Err(RdfError::new(
+                            "a braced group inside WHERE must be part of a UNION",
+                        ));
+                    }
+                    unions.push(arms);
+                }
                 Some(_) => {
                     patterns.push(parse_triple(&mut tokens)?);
                 }
@@ -166,6 +197,7 @@ impl Query {
             }
         }
         let mut order_by = None;
+        let mut offset = 0usize;
         let mut limit = None;
         while let Some(tok) = tokens.first() {
             match tok {
@@ -188,6 +220,17 @@ impl Query {
                         _ => return Err(RdfError::new("LIMIT needs a number")),
                     }
                 }
+                Token::Word(w) if w.eq_ignore_ascii_case("OFFSET") => {
+                    tokens.remove(0);
+                    match (!tokens.is_empty()).then(|| tokens.remove(0)) {
+                        Some(Token::Word(n)) => {
+                            offset = n.parse().map_err(|_| {
+                                RdfError::new("OFFSET needs a non-negative integer")
+                            })?;
+                        }
+                        _ => return Err(RdfError::new("OFFSET needs a number")),
+                    }
+                }
                 other => {
                     return Err(RdfError::new(format!(
                         "unexpected trailing token {other:?}"
@@ -195,14 +238,17 @@ impl Query {
                 }
             }
         }
-        if patterns.is_empty() {
+        if patterns.is_empty() && unions.is_empty() && optionals.is_empty() {
             return Err(RdfError::new("WHERE needs at least one triple pattern"));
         }
         Ok(Query {
             select,
             patterns,
+            optionals,
+            unions,
             filters,
             order_by,
+            offset,
             limit,
         })
     }
@@ -214,40 +260,22 @@ impl Query {
 
     /// Executes the query against a graph.
     ///
-    /// Patterns are compiled against the graph's dictionary (a constant
-    /// the graph never interned short-circuits to zero rows), the joins
-    /// run on id triples with flat variable-index bindings, and terms are
-    /// materialized only for the surviving rows.
+    /// The pattern block compiles through the cost-based planner
+    /// ([`BgpQuery::plan`]): join order is chosen by selectivity, joins run
+    /// as merge or index nested-loop operators on id triples, and terms
+    /// are materialized only for the surviving rows. A constant the graph
+    /// never interned yields zero rows for a *required* pattern, but is
+    /// local to its arm inside `OPTIONAL`/`UNION`. Filters, ordering, the
+    /// offset/limit slice and projection then apply in that order.
     pub fn execute(&self, graph: &Graph) -> Vec<Solution> {
-        let dict = graph.dict();
-        let mut vars: Vec<String> = Vec::new();
-        let mut compiled: Vec<IdPattern> = Vec::with_capacity(self.patterns.len());
-        for pattern in &self.patterns {
-            let Some(p) = compile_pattern_lookup(pattern, dict, &mut vars) else {
-                return Vec::new();
-            };
-            compiled.push(p);
-        }
-        let mut rows: Vec<Vec<Option<TermId>>> = vec![vec![None; vars.len()]];
-        for pattern in &compiled {
-            let mut next = Vec::new();
-            for row in &rows {
-                next.extend(pattern.solve(graph, row).into_iter().map(|(r, _)| r));
-            }
-            rows = next;
-            if rows.is_empty() {
-                return Vec::new();
-            }
-        }
-        let mut bindings: Vec<Solution> = rows
-            .into_iter()
-            .map(|row| {
-                row.into_iter()
-                    .enumerate()
-                    .filter_map(|(i, id)| id.map(|id| (vars[i].clone(), dict.resolve(id))))
-                    .collect()
-            })
-            .collect();
+        self.execute_with_stats(graph).0
+    }
+
+    /// Like [`execute`](Self::execute), also returning plan/join counters
+    /// for metrics ([`QueryStats::rows`] reflects the final row count).
+    pub fn execute_with_stats(&self, graph: &Graph) -> (Vec<Solution>, QueryStats) {
+        let plan = self.to_bgp().plan(graph);
+        let (mut bindings, mut stats) = plan.execute_with_stats(graph);
         bindings.retain(|b| self.filters.iter().all(|f| f.eval(b)));
         if let Some(var) = &self.order_by {
             bindings.sort_by(|a, b| match (a.get(var), b.get(var)) {
@@ -257,21 +285,51 @@ impl Query {
                 (None, None) => std::cmp::Ordering::Equal,
             });
         }
+        if self.offset > 0 {
+            bindings.drain(..self.offset.min(bindings.len()));
+        }
         if let Some(limit) = self.limit {
             bindings.truncate(limit);
         }
-        if self.select.is_empty() {
-            return bindings;
+        let bindings = if self.select.is_empty() {
+            bindings
+        } else {
+            bindings
+                .into_iter()
+                .map(|b| {
+                    self.select
+                        .iter()
+                        .filter_map(|v| b.get(v).map(|t| (v.clone(), t.clone())))
+                        .collect()
+                })
+                .collect()
+        };
+        stats.rows = bindings.len();
+        (bindings, stats)
+    }
+
+    /// Renders the plan the query would run with against `graph` (see
+    /// [`crate::plan::ExecPlan::explain`]).
+    pub fn explain(&self, graph: &Graph) -> String {
+        self.to_bgp().plan(graph).explain().to_string()
+    }
+
+    /// Lowers the textual query to the planner's builder. Filters,
+    /// ordering, slice and projection stay at this layer: filters need
+    /// every variable materialized, and SPARQL applies the slice after
+    /// `ORDER BY`.
+    fn to_bgp(&self) -> BgpQuery {
+        let mut q = BgpQuery::new();
+        for p in &self.patterns {
+            q = q.pattern(p.clone());
         }
-        bindings
-            .into_iter()
-            .map(|b| {
-                self.select
-                    .iter()
-                    .filter_map(|v| b.get(v).map(|t| (v.clone(), t.clone())))
-                    .collect()
-            })
-            .collect()
+        for arms in &self.unions {
+            q = q.union(arms.clone());
+        }
+        for group in &self.optionals {
+            q = q.optional(group.clone());
+        }
+        q
     }
 }
 
@@ -456,6 +514,28 @@ fn parse_triple(tokens: &mut Vec<Token>) -> Result<TriplePattern, RdfError> {
         predicate,
         object,
     })
+}
+
+/// Parses a braced pattern group `{ ?a <p> ?b . … }` — the body of an
+/// `OPTIONAL` or one `UNION` arm. Groups hold plain triple patterns only
+/// (no nested filters or blocks).
+fn parse_group(tokens: &mut Vec<Token>) -> Result<Vec<TriplePattern>, RdfError> {
+    expect_token(tokens, &Token::OpenBrace)?;
+    let mut group = Vec::new();
+    loop {
+        match tokens.first() {
+            Some(Token::CloseBrace) => {
+                tokens.remove(0);
+                break;
+            }
+            Some(_) => group.push(parse_triple(tokens)?),
+            None => return Err(RdfError::new("unterminated pattern group")),
+        }
+    }
+    if group.is_empty() {
+        return Err(RdfError::new("empty pattern group"));
+    }
+    Ok(group)
 }
 
 fn parse_filter(tokens: &mut Vec<Token>) -> Result<Filter, RdfError> {
@@ -658,6 +738,90 @@ mod tests {
             "SELECT ?a WHERE { ?a <p> ?b } LIMIT x",
             "SELECT ?a WHERE { ?a <p> ?b } ORDER BY",
             "SELECT ?a WHERE { ?a <p> ?b } GARBAGE",
+        ] {
+            assert!(Query::parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn optional_extends_when_present_and_passes_through_when_absent() {
+        let mut g = sample();
+        g.insert(Statement::new(
+            Term::iri("ex:us"),
+            Term::iri("ex:nick"),
+            Term::string("USA"),
+        ));
+        let q =
+            Query::parse("SELECT ?c ?k WHERE { ?c <ex:gdp> ?g . OPTIONAL { ?c <ex:nick> ?k } }")
+                .unwrap();
+        let rows = q.execute(&g);
+        assert_eq!(rows.len(), 3, "left-outer: every country survives");
+        let with_nick: Vec<_> = rows.iter().filter(|r| r.contains_key("k")).collect();
+        assert_eq!(with_nick.len(), 1);
+        assert_eq!(with_nick[0]["c"], Term::iri("ex:us"));
+        assert_eq!(with_nick[0]["k"], Term::string("USA"));
+    }
+
+    #[test]
+    fn union_combines_arm_matches() {
+        let q = Query::parse("SELECT ?c ?v WHERE { { ?c <ex:gdp> ?v } UNION { ?c <ex:pop> ?v } }")
+            .unwrap();
+        let rows = q.execute(&sample());
+        assert_eq!(rows.len(), 6, "three gdp rows plus three pop rows");
+    }
+
+    #[test]
+    fn unknown_constant_is_local_to_optional_and_union_arms() {
+        // Regression: an un-interned constant used to short-circuit the
+        // WHOLE evaluation to empty, even when it only appeared inside an
+        // OPTIONAL or UNION arm. Emptiness must stay local to the arm.
+        let q = Query::parse(
+            "SELECT ?c WHERE { ?c <ex:gdp> ?g . OPTIONAL { ?c <ex:never_interned> ?x } }",
+        )
+        .unwrap();
+        assert_eq!(q.execute(&sample()).len(), 3);
+        let q = Query::parse(
+            "SELECT ?c ?v WHERE { { ?c <ex:gdp> ?v } UNION { ?c <ex:never_interned> ?v } }",
+        )
+        .unwrap();
+        assert_eq!(q.execute(&sample()).len(), 3);
+        // A required pattern with an unknown constant still yields zero.
+        let q = Query::parse("SELECT ?c WHERE { ?c <ex:never_interned> ?g . }").unwrap();
+        assert!(q.execute(&sample()).is_empty());
+    }
+
+    #[test]
+    fn offset_pages_through_ordered_results() {
+        let q = Query::parse("SELECT ?c WHERE { ?c <ex:gdp> ?g } ORDER BY ?g OFFSET 1 LIMIT 1")
+            .unwrap();
+        let rows = q.execute(&sample());
+        assert_eq!(rows.len(), 1);
+        // Ascending by gdp: India (3700), Germany (4200), US (21000).
+        assert_eq!(rows[0]["c"], Term::iri("ex:de"));
+        // An offset past the end is an empty page, not an error.
+        let q = Query::parse("SELECT ?c WHERE { ?c <ex:gdp> ?g } OFFSET 9").unwrap();
+        assert!(q.execute(&sample()).is_empty());
+    }
+
+    #[test]
+    fn explain_shows_the_planned_join_order() {
+        let text = Query::parse("SELECT ?n WHERE { ?c <ex:gdp> ?g . ?c <ex:name> ?n }")
+            .unwrap()
+            .explain(&sample());
+        assert!(text.starts_with("bgp 2 patterns"), "{text}");
+        assert!(text.contains("scan POS"), "{text}");
+        assert!(text.contains("project *"), "{text}");
+    }
+
+    #[test]
+    fn group_parse_errors() {
+        for bad in [
+            // A lone braced group must be part of a UNION.
+            "SELECT ?a WHERE { { ?a <p> ?b } }",
+            "SELECT ?a WHERE { { ?a <p> ?b } UNION }",
+            "SELECT ?a WHERE { OPTIONAL ?a <p> ?b }",
+            "SELECT ?a WHERE { OPTIONAL { } }",
+            "SELECT ?a WHERE { ?a <p> ?b } OFFSET x",
         ] {
             assert!(Query::parse(bad).is_err(), "should reject: {bad}");
         }

@@ -241,7 +241,7 @@ pub(crate) struct IdRule {
 }
 
 impl IdPatternTerm {
-    fn bind(self, bindings: &[Option<TermId>]) -> Option<TermId> {
+    pub(crate) fn bind(self, bindings: &[Option<TermId>]) -> Option<TermId> {
         match self {
             IdPatternTerm::Const(id) => Some(id),
             IdPatternTerm::Var(i) => bindings[i],
@@ -330,7 +330,7 @@ fn compile_slot(slot: &PatternTerm, dict: &TermDict, vars: &mut Vec<String>) -> 
     }
 }
 
-fn var_index(name: &str, vars: &mut Vec<String>) -> usize {
+pub(crate) fn var_index(name: &str, vars: &mut Vec<String>) -> usize {
     match vars.iter().position(|x| x == name) {
         Some(i) => i,
         None => {
@@ -352,26 +352,6 @@ pub(crate) fn compile_pattern(
         predicate: compile_slot(&pattern.predicate, dict, vars),
         object: compile_slot(&pattern.object, dict, vars),
     }
-}
-
-/// Compiles a pattern in *lookup* mode: constants are resolved without
-/// growing the dictionary, and an unknown constant means the pattern can
-/// never match (returns `None`). Used by the query engine, where patterns
-/// only read the graph.
-pub(crate) fn compile_pattern_lookup(
-    pattern: &TriplePattern,
-    dict: &TermDict,
-    vars: &mut Vec<String>,
-) -> Option<IdPattern> {
-    let slot = |t: &PatternTerm, vars: &mut Vec<String>| match t {
-        PatternTerm::Term(term) => dict.lookup(term).map(IdPatternTerm::Const),
-        PatternTerm::Var(v) => Some(IdPatternTerm::Var(var_index(v, vars))),
-    };
-    Some(IdPattern {
-        subject: slot(&pattern.subject, vars)?,
-        predicate: slot(&pattern.predicate, vars)?,
-        object: slot(&pattern.object, vars)?,
-    })
 }
 
 /// Compiles a rule: one shared variable namespace across premises and
@@ -806,6 +786,10 @@ fn parse_word(word: &str) -> Result<PatternTerm, RdfError> {
             return Err(RdfError::new("empty variable name"));
         }
         return Ok(PatternTerm::Var(var.to_string()));
+    }
+    if let Some(inner) = word.strip_prefix('<').and_then(|w| w.strip_suffix('>')) {
+        // SPARQL-style bracketed IRI, same meaning as the bare form.
+        return Ok(PatternTerm::Term(Term::iri(inner)));
     }
     if let Ok(i) = word.parse::<i64>() {
         return Ok(PatternTerm::Term(Term::integer(i)));
