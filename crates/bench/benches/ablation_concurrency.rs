@@ -1,0 +1,235 @@
+//! A12 (ablation): reader/writer isolation of the epoch snapshot store.
+//!
+//! The snapshot-isolated store's claims, quantified:
+//!
+//! 1. Pinning a snapshot is O(1) — one `Arc` bump — regardless of how
+//!    many triples the graph holds.
+//! 2. Readers are unharmed by sustained ingest: query p99 on a pinned
+//!    epoch while a writer publishes epochs stays within 1.5× of the
+//!    idle p99 (readers never wait on the store lock).
+//! 3. Writers are unharmed by readers: sustained batch-insert
+//!    throughput with concurrent snapshot readers stays within 20% of
+//!    the exclusive baseline (publishing never waits for readers to
+//!    drain).
+//!
+//! Everything runs on the in-memory store, so the numbers isolate the
+//! epoch machinery (freeze, delta-run stacking, `Arc` swap) from disk
+//! and network variance.
+
+use cogsdk_rdf::{BgpQuery, DurableStore, EpochStore, Statement, Term};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+const BASE: usize = 50_000;
+const READ_SAMPLES: usize = 2_000;
+const WRITE_TOTAL: usize = 20_000;
+const WRITE_BATCH: usize = 64;
+const READER_THREADS: usize = 2;
+
+fn statement(i: usize) -> Statement {
+    Statement::new(
+        Term::iri(format!("ex:s{}", i % 1000)),
+        Term::iri(format!("ex:p{}", i % 20)),
+        Term::iri(format!("ex:o{i}")),
+    )
+}
+
+fn populated(n: usize) -> DurableStore {
+    let mut store = DurableStore::in_memory();
+    let mut pending = Vec::with_capacity(WRITE_BATCH);
+    for i in 0..n {
+        pending.push(statement(i));
+        if pending.len() == WRITE_BATCH {
+            store.insert_batch(std::mem::take(&mut pending)).unwrap();
+        }
+    }
+    if !pending.is_empty() {
+        store.insert_batch(pending).unwrap();
+    }
+    store
+}
+
+fn reader_query() -> BgpQuery {
+    // Selective single-predicate scan: ~BASE/20 rows per execution,
+    // enough work to make latency measurable, small enough to sample
+    // thousands of times.
+    BgpQuery::new().pattern_text("(?s ex:p5 ?o)").unwrap()
+}
+
+fn p99_micros(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[(samples.len() * 99) / 100 - 1]
+}
+
+/// Samples `READ_SAMPLES` pin-and-query latencies against the store's
+/// epoch ring.
+fn sample_reads(epochs: &Arc<EpochStore>) -> Vec<f64> {
+    let q = reader_query();
+    let mut out = Vec::with_capacity(READ_SAMPLES);
+    for _ in 0..READ_SAMPLES {
+        let start = Instant::now();
+        let snap = epochs.pin();
+        let rows = q.execute(&*snap);
+        out.push(start.elapsed().as_secs_f64() * 1e6);
+        assert!(rows.len() >= BASE / 20);
+    }
+    out
+}
+
+/// Sustained ingest that keeps the graph size constant: insert a churn
+/// batch, retract it (`remove_batch`: one group commit, one publish),
+/// sleep, repeat. Two properties matter:
+///
+/// * constant size — otherwise a fixed-count read sample races a graph
+///   whose scans get slower the longer the sample takes;
+/// * paced bursts (~25k triple-ops/s) — the benches run on small/shared
+///   machines, so a spin-looping writer would measure CPU timesharing,
+///   not lock coupling. Pacing keeps the writer's CPU share small;
+///   any residual reader slowdown is the isolation cost under test.
+///
+/// Returns epochs published.
+fn churn_writer(store: &Mutex<DurableStore>, stop: &AtomicBool) -> usize {
+    let churn: Vec<Statement> = (0..WRITE_BATCH).map(|k| statement(BASE + k)).collect();
+    let mut published = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        store.lock().unwrap().insert_batch(churn.clone()).unwrap();
+        store.lock().unwrap().remove_batch(&churn).unwrap();
+        published += 2;
+        thread::sleep(Duration::from_millis(5));
+    }
+    published
+}
+
+/// Times inserting `WRITE_TOTAL` triples in `WRITE_BATCH` groups;
+/// returns triples/second.
+fn write_throughput(store: &Mutex<DurableStore>, offset: usize) -> f64 {
+    let start = Instant::now();
+    for chunk in 0..WRITE_TOTAL / WRITE_BATCH {
+        let batch: Vec<Statement> = (0..WRITE_BATCH)
+            .map(|k| statement(offset + chunk * WRITE_BATCH + k))
+            .collect();
+        store.lock().unwrap().insert_batch(batch).unwrap();
+    }
+    WRITE_TOTAL as f64 / start.elapsed().as_secs_f64()
+}
+
+fn report() {
+    // --- 1. pin cost vs graph size -----------------------------------
+    for &n in &[1_000usize, BASE] {
+        let store = populated(n);
+        let epochs = store.epochs().clone();
+        let start = Instant::now();
+        let mut last = epochs.pin();
+        for _ in 0..100_000 {
+            last = epochs.pin();
+        }
+        println!(
+            "[ablation_concurrency] pin at {n} triples: {:.0} ns/pin (epoch {})",
+            start.elapsed().as_nanos() as f64 / 100_000.0,
+            last.epoch(),
+        );
+    }
+
+    // --- 2. reader p99: idle vs under sustained ingest ---------------
+    let store = Arc::new(Mutex::new(populated(BASE)));
+    let epochs = store.lock().unwrap().epochs().clone();
+    let idle_p99 = p99_micros(sample_reads(&epochs));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || churn_writer(&store, &stop))
+    };
+    let ingest_p99 = p99_micros(sample_reads(&epochs));
+    stop.store(true, Ordering::Relaxed);
+    let published = writer.join().unwrap();
+    println!(
+        "[ablation_concurrency] reader p99: idle={idle_p99:.1} us, \
+         during ingest={ingest_p99:.1} us ({:.2}x, {published} epochs published)",
+        ingest_p99 / idle_p99,
+    );
+
+    // --- 3. write throughput: exclusive vs with readers --------------
+    let exclusive = {
+        let store = Mutex::new(populated(BASE));
+        write_throughput(&store, BASE)
+    };
+    let contended = {
+        let store = Arc::new(Mutex::new(populated(BASE)));
+        let epochs = store.lock().unwrap().epochs().clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        // Readers run a steady query load (a point scan every 2 ms per
+        // thread) rather than a spin loop — spinning would measure CPU
+        // timesharing on small machines. The coupling under test is the
+        // lock: in the single-RwLock design each in-flight query held
+        // the read guard and stalled the writer for its full duration;
+        // here the writer should barely notice.
+        let readers: Vec<_> = (0..READER_THREADS)
+            .map(|_| {
+                let epochs = epochs.clone();
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let q = BgpQuery::new().pattern_text("(ex:s5 ex:p5 ?o)").unwrap();
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = epochs.pin();
+                        std::hint::black_box(q.execute(&*snap).len());
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                })
+            })
+            .collect();
+        let rate = write_throughput(&store, BASE);
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        rate
+    };
+    println!(
+        "[ablation_concurrency] write throughput: exclusive={exclusive:.0}/s, \
+         with {READER_THREADS} readers={contended:.0}/s ({:.1}% of exclusive)",
+        contended / exclusive * 100.0,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+
+    c.bench_function("epoch_pin_50k", |b| {
+        let store = populated(BASE);
+        let epochs = store.epochs().clone();
+        b.iter(|| std::hint::black_box(epochs.pin().epoch()))
+    });
+
+    c.bench_function("pinned_query_under_ingest", |b| {
+        let store = Arc::new(Mutex::new(populated(BASE)));
+        let epochs = store.lock().unwrap().epochs().clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || churn_writer(&store, &stop))
+        };
+        let q = reader_query();
+        b.iter(|| {
+            let snap = epochs.pin();
+            std::hint::black_box(q.execute(&*snap).len())
+        });
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

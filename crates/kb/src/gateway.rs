@@ -31,6 +31,12 @@ use std::sync::Arc;
 /// * `sparql` (string, required) — the query text.
 /// * `explain` (bool, optional) — include the planner's `explain()`
 ///   rendering as a `plan` field.
+/// * `epoch` (integer, optional) — pin the query to a previously
+///   reported snapshot epoch instead of the current one, so
+///   `OFFSET`/`LIMIT` pages tile one consistent result set while ingest
+///   continues. The response's `epoch` field reports the epoch actually
+///   used; send it back on the next page. A request naming an epoch the
+///   store no longer retains fails, telling the pager to restart.
 pub fn gateway_query_handler(kb: Arc<PersonalKnowledgeBase>) -> QueryHandler {
     Box::new(move |request| {
         let body = Json::parse(&request.body).map_err(|e| format!("invalid JSON body: {e}"))?;
@@ -39,8 +45,14 @@ pub fn gateway_query_handler(kb: Arc<PersonalKnowledgeBase>) -> QueryHandler {
             .and_then(Json::as_str)
             .ok_or("body needs a string 'sparql' field")?;
         let explain = body.get("explain").and_then(Json::as_bool).unwrap_or(false);
+        let snapshot = match body.get("epoch").and_then(Json::as_usize) {
+            Some(epoch) => kb.query_snapshot_at(epoch as u64).ok_or(format!(
+                "epoch {epoch} is no longer retained; restart paging from a fresh snapshot"
+            ))?,
+            None => kb.query_snapshot(),
+        };
         let (rows, stats) = kb
-            .query_with_stats(sparql)
+            .query_on(&snapshot, sparql)
             .map_err(|e| format!("query failed: {e}"))?;
         let mut rows_json = Json::Array(Vec::new());
         for row in &rows {
@@ -63,6 +75,7 @@ pub fn gateway_query_handler(kb: Arc<PersonalKnowledgeBase>) -> QueryHandler {
         let mut out = Json::object();
         out.insert("rows", rows_json);
         out.insert("stats", stats_json);
+        out.insert("epoch", snapshot.epoch() as usize);
         if explain {
             out.insert(
                 "plan",
@@ -138,6 +151,56 @@ mod tests {
         .unwrap();
         let plan = out.get("plan").and_then(Json::as_str).unwrap();
         assert!(plan.starts_with("bgp 1 patterns"), "{plan}");
+    }
+
+    #[test]
+    fn paging_pinned_to_an_epoch_ignores_later_ingest() {
+        let kb = sample_kb();
+        let handler = gateway_query_handler(kb.clone());
+        let first = handler(&post(
+            r#"{"sparql": "SELECT ?c WHERE { ?c <kb:gdp> ?g } ORDER BY ?g LIMIT 1"}"#,
+        ))
+        .unwrap();
+        let epoch = first.get("epoch").and_then(Json::as_usize).unwrap();
+        // Ingest moves the live graph on between pages.
+        kb.add_statement(Statement::new(
+            Term::iri("kb:japan"),
+            Term::iri("kb:gdp"),
+            Term::integer(5000),
+        ))
+        .unwrap();
+        // The second page, pinned to the first page's epoch, tiles the
+        // original result set — kb:japan is invisible to it.
+        let body = format!(
+            r#"{{"sparql": "SELECT ?c WHERE {{ ?c <kb:gdp> ?g }} ORDER BY ?g OFFSET 1 LIMIT 10", "epoch": {epoch}}}"#
+        );
+        let page2 = handler(&post(&body)).unwrap();
+        assert_eq!(
+            page2.pointer("/rows/0/c").and_then(Json::as_str),
+            Some("<kb:usa>")
+        );
+        assert_eq!(
+            page2.pointer("/stats/rows").and_then(Json::as_usize),
+            Some(1)
+        );
+        assert_eq!(page2.get("epoch").and_then(Json::as_usize), Some(epoch));
+        // An unpinned query runs on the newest epoch and sees the ingest.
+        let fresh = handler(&post(r#"{"sparql": "SELECT ?c WHERE { ?c <kb:gdp> ?g }"}"#)).unwrap();
+        assert_eq!(
+            fresh.pointer("/stats/rows").and_then(Json::as_usize),
+            Some(3)
+        );
+        assert!(fresh.get("epoch").and_then(Json::as_usize).unwrap() > epoch);
+    }
+
+    #[test]
+    fn unretained_epochs_are_rejected() {
+        let handler = gateway_query_handler(sample_kb());
+        let err = handler(&post(
+            r#"{"sparql": "SELECT ?c WHERE { ?c <kb:gdp> ?g }", "epoch": 999}"#,
+        ))
+        .unwrap_err();
+        assert!(err.contains("no longer retained"), "{err}");
     }
 
     #[test]

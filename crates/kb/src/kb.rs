@@ -9,8 +9,8 @@ use cogsdk_rdf::query::Solution;
 use cogsdk_rdf::reason::TriplePattern;
 use cogsdk_rdf::weighted::{WeightedGraph, WeightedReasoner};
 use cogsdk_rdf::{
-    DurableOptions, DurableStore, GenericRuleReasoner, Graph, Query, QueryStats, RecoveryStats,
-    Statement, Term, TermId, WalStats,
+    DurableOptions, DurableStore, EpochSnapshot, EpochStore, GenericRuleReasoner, Graph, Query,
+    QueryStats, RecoveryStats, Statement, Term, TermId, WalStats,
 };
 use cogsdk_sim::fs::Vfs;
 use cogsdk_store::crypto::Key;
@@ -23,7 +23,6 @@ use cogsdk_text::analysis::{Analyzer, NluConfig};
 use cogsdk_text::disambig::{EntityCatalog, ResolvedEntity};
 use cogsdk_text::SpellChecker;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -77,9 +76,13 @@ pub struct PersonalKnowledgeBase {
     /// was opened durably, every mutation is WAL-logged before it
     /// applies, so a crash loses at most the in-flight operation.
     graph: RwLock<DurableStore>,
-    /// Confidence overrides for statements; absent = 1.0 (§5 future work:
-    /// accuracy levels on stored and inferred facts).
-    confidence: RwLock<HashMap<Statement, f64>>,
+    /// The store's immutable epoch snapshots, shared with the
+    /// [`DurableStore`] *outside* the `graph` lock: readers pin an epoch
+    /// with one refcount bump and never contend with writers. Weighted
+    /// confidences travel inside each epoch (§5 future work: accuracy
+    /// levels on stored and inferred facts) and are durably owned by the
+    /// store itself.
+    epochs: Arc<EpochStore>,
     catalog: RwLock<EntityCatalog>,
     analyzer: Analyzer,
     spell: SpellChecker,
@@ -190,8 +193,8 @@ impl PersonalKnowledgeBase {
         let kb = PersonalKnowledgeBase {
             tables: TableStore::new(),
             doc_counter: AtomicUsize::new(next_doc_id(&graph)),
+            epochs: graph.epochs().clone(),
             graph: RwLock::new(graph),
-            confidence: RwLock::new(HashMap::new()),
             catalog: RwLock::new(EntityCatalog::builtin()),
             analyzer: Analyzer::with_default_lexicons(),
             spell: SpellChecker::with_builtin_dictionary(),
@@ -528,8 +531,25 @@ impl PersonalKnowledgeBase {
     ///
     /// Parse errors from the query engine.
     pub fn query_with_stats(&self, sparql: &str) -> Result<(Vec<Solution>, QueryStats), KbError> {
+        self.query_on(&self.query_snapshot(), sparql)
+    }
+
+    /// Runs a query against an explicitly pinned epoch snapshot (from
+    /// [`query_snapshot`](Self::query_snapshot) or
+    /// [`query_snapshot_at`](Self::query_snapshot_at)) — the stable-paging
+    /// primitive the gateway uses. Publishes the same `sdk_query_*`
+    /// metrics as [`query`](Self::query).
+    ///
+    /// # Errors
+    ///
+    /// Parse errors from the query engine.
+    pub fn query_on(
+        &self,
+        snapshot: &EpochSnapshot,
+        sparql: &str,
+    ) -> Result<(Vec<Solution>, QueryStats), KbError> {
         let q = Query::parse(sparql)?;
-        let (rows, stats) = q.execute_with_stats(self.graph.read().full());
+        let (rows, stats) = q.execute_with_stats(snapshot);
         self.publish_query_metrics(&stats);
         Ok((rows, stats))
     }
@@ -543,16 +563,27 @@ impl PersonalKnowledgeBase {
     /// Parse errors from the query engine.
     pub fn query_explain(&self, sparql: &str) -> Result<String, KbError> {
         let q = Query::parse(sparql)?;
-        Ok(q.explain(self.graph.read().full()))
+        Ok(q.explain(&*self.query_snapshot()))
     }
 
     /// A point-in-time snapshot of the graph (stated plus inferred) for
     /// stable paging: offset/limit pages drawn from one snapshot stay
-    /// consistent while concurrent ingest moves the live indexes on. The
-    /// clone shares the term dictionary, so plans built on the snapshot
-    /// resolve the same ids.
-    pub fn query_snapshot(&self) -> Graph {
-        self.graph.read().full().clone()
+    /// consistent while concurrent ingest moves the live indexes on.
+    ///
+    /// Pinning is O(1) — one `Arc` refcount bump on the current
+    /// [`EpochSnapshot`] — and holds no lock, so queries on the snapshot
+    /// never block (and are never blocked by) writers. The snapshot
+    /// shares the term dictionary, so plans built on it resolve the same
+    /// ids as the live graph.
+    pub fn query_snapshot(&self) -> Arc<EpochSnapshot> {
+        self.epochs.pin()
+    }
+
+    /// Re-pins a specific epoch for continued paging, if the store still
+    /// retains it. `None` means the epoch expired (or never existed) and
+    /// the pager must restart from a fresh snapshot.
+    pub fn query_snapshot_at(&self, epoch: u64) -> Option<Arc<EpochSnapshot>> {
+        self.epochs.at(epoch)
     }
 
     /// Pushes one query's planner counters into the metrics registry:
@@ -591,7 +622,7 @@ impl PersonalKnowledgeBase {
 
     /// Number of statements in the graph (stated plus inferred).
     pub fn statement_count(&self) -> usize {
-        self.graph.read().len()
+        self.epochs.pin().len()
     }
 
     /// Runs `f` with read access to the graph (stated plus inferred).
@@ -852,16 +883,19 @@ impl PersonalKnowledgeBase {
         );
         let facts =
             crate::federation::describe_remote_within(service, monitor, entity_id, deadline)?;
-        if source_confidence < 1.0 {
-            let mut confidence = self.confidence.write();
-            for st in &facts.statements {
-                let entry = confidence.entry(st.clone()).or_insert(source_confidence);
-                *entry = entry.max(source_confidence);
+        // One delta propagation (and one WAL group commit each for the
+        // confidences and the facts) for the imported batch.
+        self.with_graph_mut(|g| {
+            if source_confidence < 1.0 {
+                let merged: Vec<(Statement, f64)> = facts
+                    .statements
+                    .iter()
+                    .map(|st| (st.clone(), merge_confidence(g, st, source_confidence)))
+                    .collect();
+                g.set_confidence_batch(merged)?;
             }
-        }
-        // One delta propagation (and one WAL group commit) for the
-        // imported batch.
-        Ok(self.with_graph_mut(|g| g.insert_batch(facts.statements))?)
+            Ok(g.insert_batch(facts.statements)?)
+        })
     }
 
     // ------------------------------------------------------------------
@@ -890,19 +924,23 @@ impl PersonalKnowledgeBase {
             "confidence must be in [0, 1]"
         );
         let st = self.add_fact(subject, predicate, object)?;
-        let mut map = self.confidence.write();
-        let entry = map.entry(st.clone()).or_insert(confidence);
-        *entry = entry.max(confidence);
+        self.with_graph_mut(|g| {
+            let merged = merge_confidence(g, &st, confidence);
+            g.set_confidence(&st, merged)
+        })?;
         Ok(st)
     }
 
     /// The accuracy level of a stored statement: `None` if absent,
-    /// `Some(1.0)` for plainly asserted facts.
+    /// `Some(1.0)` for plainly asserted facts. Reads from the current
+    /// epoch without taking the store lock.
     pub fn fact_confidence(&self, st: &Statement) -> Option<f64> {
-        if !self.graph.read().contains(st) {
+        let snap = self.epochs.pin();
+        let triple = snap.dict().lookup_statement(st)?;
+        if !snap.contains_id(triple) {
             return None;
         }
-        Some(self.confidence.read().get(st).copied().unwrap_or(1.0))
+        Some(snap.confidence_of(triple).unwrap_or(1.0))
     }
 
     /// Runs user rules with confidence propagation: each inferred fact
@@ -919,21 +957,21 @@ impl PersonalKnowledgeBase {
     ) -> Result<Vec<(Statement, f64)>, KbError> {
         let reasoner = WeightedReasoner::from_rules_text(rules_text, rule_strength)?;
         let mut wg = {
-            let graph = self.graph.read();
-            let confidence = self.confidence.read();
-            let mut wg = WeightedGraph::from_graph(graph.full().clone());
-            for (st, &c) in confidence.iter() {
-                wg.insert_with_confidence(st.clone(), c);
+            let snap = self.epochs.pin();
+            let mut wg = WeightedGraph::from_graph(snap.to_graph());
+            for (&triple, &c) in snap.confidence().iter() {
+                wg.insert_with_confidence(snap.dict().resolve_triple(triple), c);
             }
             wg
         };
         let added = reasoner.infer(&mut wg);
-        // One group commit for every fact the rules produced.
-        self.with_graph_mut(|g| g.insert_batch(added.iter().map(|(st, _)| st.clone())))?;
-        let mut confidence = self.confidence.write();
-        for (st, c) in &added {
-            confidence.insert(st.clone(), *c);
-        }
+        // One group commit for every fact the rules produced, one more
+        // for their confidences.
+        self.with_graph_mut(|g| {
+            g.insert_batch(added.iter().map(|(st, _)| st.clone()))?;
+            g.set_confidence_batch(added.clone())?;
+            Ok::<_, KbError>(())
+        })?;
         Ok(added)
     }
 
@@ -944,17 +982,17 @@ impl PersonalKnowledgeBase {
     /// `conflicts()[i].1[0]` is the resolution a confidence-greedy policy
     /// would pick.
     pub fn conflicts(&self) -> Vec<Conflict> {
-        let graph = self.graph.read();
-        let confidence = self.confidence.read();
-        let full = graph.full();
+        // One pinned epoch gives facts and confidences from the same
+        // instant, without holding the store lock while grouping.
+        let snap = self.epochs.pin();
         // Group on dictionary ids; only the conflicting minority of
         // statements is ever materialized back into terms.
         let mut by_sp: std::collections::BTreeMap<(TermId, TermId), Vec<TermId>> =
             std::collections::BTreeMap::new();
-        for (s, p, o) in full.iter_ids() {
+        for (s, p, o) in snap.iter_ids() {
             by_sp.entry((s, p)).or_default().push(o);
         }
-        let dict = full.dict();
+        let dict = snap.dict();
         let mut out: Vec<Conflict> = by_sp
             .into_iter()
             .filter(|(_, objects)| objects.len() > 1)
@@ -965,8 +1003,8 @@ impl PersonalKnowledgeBase {
                     .into_iter()
                     .map(|o| {
                         let object = dict.resolve(o);
-                        let st = Statement::new(subject.clone(), predicate.clone(), object.clone());
-                        (object, confidence.get(&st).copied().unwrap_or(1.0))
+                        let c = snap.confidence_of((s, p, o)).unwrap_or(1.0);
+                        (object, c)
                     })
                     .collect();
                 candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
@@ -995,7 +1033,6 @@ impl PersonalKnowledgeBase {
     pub fn resolve_conflicts_for(&self, predicate: &Term) -> Result<usize, KbError> {
         let conflicts = self.conflicts();
         self.with_graph_mut(|graph| {
-            let mut confidence = self.confidence.write();
             let mut dropped = 0;
             for ((subject, p), candidates) in conflicts {
                 if &p != predicate {
@@ -1004,7 +1041,9 @@ impl PersonalKnowledgeBase {
                 for (object, _) in candidates.into_iter().skip(1) {
                     let st = Statement::new(subject.clone(), p.clone(), object);
                     if graph.remove(&st)? {
-                        confidence.remove(&st);
+                        // Restore the default so the dropped statement's
+                        // stale accuracy level doesn't outlive it.
+                        graph.set_confidence(&st, 1.0)?;
                         dropped += 1;
                     }
                 }
@@ -1016,12 +1055,12 @@ impl PersonalKnowledgeBase {
     /// Facts whose accuracy is below `threshold`, weakest first — the
     /// review queue for uncertain knowledge.
     pub fn weak_facts(&self, threshold: f64) -> Vec<(Statement, f64)> {
-        let graph = self.graph.read();
-        let confidence = self.confidence.read();
-        let mut out: Vec<(Statement, f64)> = confidence
+        let snap = self.epochs.pin();
+        let mut out: Vec<(Statement, f64)> = snap
+            .confidence()
             .iter()
-            .filter(|(st, &c)| c < threshold && graph.contains(st))
-            .map(|(st, &c)| (st.clone(), c))
+            .filter(|&(&triple, &c)| c < threshold && snap.contains_id(triple))
+            .map(|(&triple, &c)| (snap.dict().resolve_triple(triple), c))
             .collect();
         out.sort_by(|a, b| {
             a.1.total_cmp(&b.1)
@@ -1144,6 +1183,17 @@ impl PersonalKnowledgeBase {
     pub fn dirty_keys(&self) -> Vec<String> {
         self.store.dirty_keys()
     }
+}
+
+/// Max-merges a new accuracy level into a statement's stored one: an
+/// unrated statement takes the incoming level; a rated one keeps the
+/// most-trusted rating seen so far.
+fn merge_confidence(graph: &DurableStore, st: &Statement, incoming: f64) -> f64 {
+    graph
+        .full()
+        .lookup_statement(st)
+        .and_then(|t| graph.confidences().get(&t).copied())
+        .map_or(incoming, |current| current.max(incoming))
 }
 
 /// The first document id [`PersonalKnowledgeBase::ingest_text`] may use:
@@ -1827,6 +1877,65 @@ mod tests {
             "only the post-snapshot fact replays: {stats:?}"
         );
         assert_eq!(kb.statement_count(), 2);
+    }
+
+    #[test]
+    fn confidences_survive_crash_and_still_order_conflicts() {
+        let fs = Arc::new(cogsdk_sim::SimFs::new(13));
+        let open = |fs| {
+            PersonalKnowledgeBase::open_durable_on(
+                fs,
+                Arc::new(MemoryKv::new()),
+                KbOptions::default(),
+                Telemetry::disabled(),
+            )
+            .unwrap()
+        };
+        let kb = open(fs.clone() as Arc<dyn Vfs>);
+        // Two sources disagree on Germany's capital. The first accuracy
+        // level rides into the snapshot; the second lives only in the WAL
+        // tail, so recovery must merge both persistence paths.
+        kb.add_fact_with_confidence("Germany", "capital", "Berlin", 0.95)
+            .unwrap();
+        assert!(kb.snapshot().unwrap() > 0);
+        kb.add_fact_with_confidence("Germany", "capital", "Bonn", 0.40)
+            .unwrap();
+        drop(kb);
+        fs.crash();
+
+        let kb = open(fs);
+        let stats = kb.recovery_stats().unwrap();
+        assert!(stats.snapshot_loaded, "{stats:?}");
+        let conflicts = kb.conflicts();
+        assert_eq!(conflicts.len(), 1, "{conflicts:?}");
+        let ((s, p), candidates) = &conflicts[0];
+        assert_eq!(s, &Term::iri("kb:germany"));
+        assert_eq!(p, &Term::iri("kb:capital"));
+        assert_eq!(
+            candidates[0],
+            (Term::iri("kb:berlin"), 0.95),
+            "recovered confidences still rank the official source first"
+        );
+        // "Bonn" never disambiguated, so it recovered as the plain
+        // string literal it was stored as.
+        assert_eq!(candidates[1], (Term::string("Bonn"), 0.40));
+        let berlin = Statement::new(
+            Term::iri("kb:germany"),
+            Term::iri("kb:capital"),
+            Term::iri("kb:berlin"),
+        );
+        assert_eq!(kb.fact_confidence(&berlin), Some(0.95));
+        let weak = kb.weak_facts(0.5);
+        assert_eq!(weak.len(), 1, "{weak:?}");
+        assert!((weak[0].1 - 0.40).abs() < 1e-12);
+        // A confidence-greedy resolution on the recovered store keeps the
+        // trusted object — proof the ordering is live, not cosmetic.
+        assert_eq!(
+            kb.resolve_conflicts_for(&Term::iri("kb:capital")).unwrap(),
+            1
+        );
+        assert!(kb.conflicts().is_empty());
+        assert_eq!(kb.fact_confidence(&berlin), Some(0.95));
     }
 
     #[test]

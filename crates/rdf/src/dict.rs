@@ -10,10 +10,30 @@
 //! The id encodes the term *kind* in its two low bits, so the structural
 //! checks the reasoners run in their hot loops (`is_resource`,
 //! `is_iri`) are pure bit tests with no dictionary access at all.
+//!
+//! # Concurrency
+//!
+//! The dictionary is built for one-writer/many-readers traffic where
+//! ingest interns new terms while result materialization resolves ids:
+//!
+//! * The **forward map** (term → id) is sharded by term hash across
+//!   [`SHARDS`] independent `RwLock`ed hash maps, so lookups on distinct
+//!   terms rarely contend and an intern only write-locks one shard.
+//! * The **reverse store** (sequence number → term) is a lock-free
+//!   chunked arena: a fixed array of chunk slots with doubling
+//!   capacities, each slot a `OnceLock<Term>`. Chunks are allocated once
+//!   and never move, so [`resolve_ref`](TermDict::resolve_ref) hands out
+//!   `&Term` borrows with **no lock at all** — readers resolving result
+//!   rows never block interning, and interning never blocks them.
+//! * A single allocation mutex serializes id assignment, keeping ids a
+//!   pure function of interning order (the WAL and snapshot replay
+//!   protocol depends on exactly that).
 
 use crate::model::{Statement, Term};
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// A dictionary-encoded term id.
 ///
@@ -86,12 +106,42 @@ fn kind_of(term: &Term) -> u32 {
 /// A dictionary-encoded triple in `(subject, predicate, object)` order.
 pub type IdTriple = (TermId, TermId, TermId);
 
-#[derive(Debug, Default)]
-struct DictInner {
-    /// Reverse map: sequence number → term.
-    terms: Vec<Term>,
-    /// Forward map: term → id.
-    ids: HashMap<Term, TermId>,
+/// Forward-map shard count. A power of two so routing is a mask.
+const SHARDS: usize = 16;
+
+/// Capacity of the first reverse-store chunk.
+const CHUNK0: usize = 1 << 10;
+
+/// Chunk slots: capacities double, so 21 chunks cover
+/// `1024 · (2²¹ − 1) > 2³⁰` terms — the id encoding's own ceiling.
+const MAX_CHUNKS: usize = 21;
+
+/// Maps a sequence number to its `(chunk, offset)` in the reverse store.
+fn locate(seq: usize) -> (usize, usize) {
+    let n = seq / CHUNK0 + 1;
+    let chunk = (usize::BITS - 1 - n.leading_zeros()) as usize;
+    let base = CHUNK0 * ((1 << chunk) - 1);
+    (chunk, seq - base)
+}
+
+fn chunk_capacity(chunk: usize) -> usize {
+    CHUNK0 << chunk
+}
+
+#[derive(Debug)]
+struct DictShared {
+    /// Forward map: term → id, sharded by term hash.
+    shards: [RwLock<HashMap<Term, TermId>>; SHARDS],
+    /// Reverse store: chunked append-only arena, `seq → term`. Chunk
+    /// backing storage never moves once allocated, so `&Term` borrows
+    /// stay valid for the dictionary's lifetime.
+    chunks: [OnceLock<Box<[OnceLock<Term>]>>; MAX_CHUNKS],
+    /// Published term count. Store-`Release` after the slot is written;
+    /// load-`Acquire` on the read side.
+    len: AtomicUsize,
+    /// Serializes id assignment so ids stay a pure function of
+    /// interning order.
+    alloc: Mutex<()>,
 }
 
 /// An append-only, thread-safe term dictionary.
@@ -101,6 +151,11 @@ struct DictInner {
 /// materializer's three views) intern through the same table, so their id
 /// spaces agree and joins across them are pure integer work. Ids are
 /// never reused or invalidated — the dictionary only grows.
+///
+/// Reads ([`resolve`](TermDict::resolve), [`resolve_ref`](TermDict::resolve_ref),
+/// [`resolve_all`](TermDict::resolve_all)) are lock-free; term→id lookups
+/// contend only within one hash shard; interning serializes on a small
+/// allocation mutex. See the module docs for the layout.
 ///
 /// # Examples
 ///
@@ -114,9 +169,22 @@ struct DictInner {
 /// assert!(a.is_iri() && a.is_resource());
 /// assert!(dict.intern(&Term::integer(7)).is_literal());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TermDict {
-    inner: Arc<RwLock<DictInner>>,
+    inner: Arc<DictShared>,
+}
+
+impl Default for TermDict {
+    fn default() -> TermDict {
+        TermDict {
+            inner: Arc::new(DictShared {
+                shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+                chunks: std::array::from_fn(|_| OnceLock::new()),
+                len: AtomicUsize::new(0),
+                alloc: Mutex::new(()),
+            }),
+        }
+    }
 }
 
 impl TermDict {
@@ -132,7 +200,7 @@ impl TermDict {
 
     /// Number of distinct terms interned.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("dict lock").terms.len()
+        self.inner.len.load(Ordering::Acquire)
     }
 
     /// Whether the dictionary is empty.
@@ -140,18 +208,40 @@ impl TermDict {
         self.len() == 0
     }
 
+    fn shard_of(term: &Term) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        term.hash(&mut hasher);
+        (hasher.finish() as usize) & (SHARDS - 1)
+    }
+
     /// Interns a term, returning its id (existing or freshly assigned).
     pub fn intern(&self, term: &Term) -> TermId {
-        if let Some(&id) = self.inner.read().expect("dict lock").ids.get(term) {
+        let shard = &self.inner.shards[TermDict::shard_of(term)];
+        if let Some(&id) = shard.read().expect("dict shard lock").get(term) {
             return id;
         }
-        let mut inner = self.inner.write().expect("dict lock");
-        if let Some(&id) = inner.ids.get(term) {
+        // All id assignment happens under the alloc mutex, so a re-probe
+        // here sees any racing intern of the same term.
+        let _alloc = self.inner.alloc.lock().expect("dict alloc lock");
+        if let Some(&id) = shard.read().expect("dict shard lock").get(term) {
             return id;
         }
-        let id = TermId::new(inner.terms.len(), kind_of(term));
-        inner.terms.push(term.clone());
-        inner.ids.insert(term.clone(), id);
+        let seq = self.inner.len.load(Ordering::Relaxed);
+        let id = TermId::new(seq, kind_of(term));
+        let (chunk_idx, offset) = locate(seq);
+        let chunk = self.inner.chunks[chunk_idx].get_or_init(|| {
+            (0..chunk_capacity(chunk_idx))
+                .map(|_| OnceLock::new())
+                .collect()
+        });
+        chunk[offset]
+            .set(term.clone())
+            .expect("reverse-store slot written exactly once");
+        self.inner.len.store(seq + 1, Ordering::Release);
+        shard
+            .write()
+            .expect("dict shard lock")
+            .insert(term.clone(), id);
         id
     }
 
@@ -169,28 +259,53 @@ impl TermDict {
     /// the right call for read-only constants (query terms, removal keys):
     /// an absent term simply cannot match anything.
     pub fn lookup(&self, term: &Term) -> Option<TermId> {
-        self.inner.read().expect("dict lock").ids.get(term).copied()
+        self.inner.shards[TermDict::shard_of(term)]
+            .read()
+            .expect("dict shard lock")
+            .get(term)
+            .copied()
     }
 
     /// Looks up all three components of a statement; `None` if any is
     /// unknown (the statement cannot be present in any graph over this
     /// dictionary).
     pub fn lookup_statement(&self, st: &Statement) -> Option<IdTriple> {
-        let inner = self.inner.read().expect("dict lock");
         Some((
-            *inner.ids.get(&st.subject)?,
-            *inner.ids.get(&st.predicate)?,
-            *inner.ids.get(&st.object)?,
+            self.lookup(&st.subject)?,
+            self.lookup(&st.predicate)?,
+            self.lookup(&st.object)?,
         ))
     }
 
-    /// The term behind an id.
+    /// The term behind an id, borrowed straight from the reverse store —
+    /// no lock, no clone. The borrow is valid as long as the dictionary:
+    /// chunks are allocated once and never move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this dictionary.
+    pub fn resolve_ref(&self, id: TermId) -> &Term {
+        let seq = id.seq();
+        assert!(
+            seq < self.inner.len.load(Ordering::Acquire),
+            "term id not issued by this dictionary"
+        );
+        let (chunk_idx, offset) = locate(seq);
+        self.inner.chunks[chunk_idx]
+            .get()
+            .expect("chunk allocated before publish")[offset]
+            .get()
+            .expect("slot written before publish")
+    }
+
+    /// The term behind an id (an owned clone of
+    /// [`resolve_ref`](Self::resolve_ref)).
     ///
     /// # Panics
     ///
     /// Panics if the id was not issued by this dictionary.
     pub fn resolve(&self, id: TermId) -> Term {
-        self.inner.read().expect("dict lock").terms[id.seq()].clone()
+        self.resolve_ref(id).clone()
     }
 
     /// Materializes a triple back into a [`Statement`].
@@ -199,11 +314,10 @@ impl TermDict {
     ///
     /// As for [`resolve`](Self::resolve).
     pub fn resolve_triple(&self, (s, p, o): IdTriple) -> Statement {
-        let inner = self.inner.read().expect("dict lock");
         Statement {
-            subject: inner.terms[s.seq()].clone(),
-            predicate: inner.terms[p.seq()].clone(),
-            object: inner.terms[o.seq()].clone(),
+            subject: self.resolve_ref(s).clone(),
+            predicate: self.resolve_ref(p).clone(),
+            object: self.resolve_ref(o).clone(),
         }
     }
 
@@ -214,20 +328,25 @@ impl TermDict {
     /// fresh dictionary reproduces identical ids — which is how the
     /// snapshot writer and the WAL persist the dictionary.
     pub(crate) fn terms_from(&self, start: usize) -> Vec<Term> {
-        let inner = self.inner.read().expect("dict lock");
-        inner.terms.get(start..).unwrap_or(&[]).to_vec()
+        let len = self.len();
+        (start..len)
+            .map(|seq| {
+                let (chunk_idx, offset) = locate(seq);
+                self.inner.chunks[chunk_idx].get().expect("chunk")[offset]
+                    .get()
+                    .expect("slot")
+                    .clone()
+            })
+            .collect()
     }
 
-    /// Materializes many triples under a single lock acquisition.
+    /// Materializes many triples. Lock-free: each term resolves straight
+    /// from the reverse store, so a large result batch never blocks (or
+    /// is blocked by) concurrent interning.
     pub fn resolve_all(&self, triples: &[IdTriple]) -> Vec<Statement> {
-        let inner = self.inner.read().expect("dict lock");
         triples
             .iter()
-            .map(|&(s, p, o)| Statement {
-                subject: inner.terms[s.seq()].clone(),
-                predicate: inner.terms[p.seq()].clone(),
-                object: inner.terms[o.seq()].clone(),
-            })
+            .map(|&triple| self.resolve_triple(triple))
             .collect()
     }
 }
@@ -235,6 +354,7 @@ impl TermDict {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::thread;
 
     #[test]
     fn intern_is_idempotent_and_resolve_round_trips() {
@@ -252,6 +372,7 @@ mod tests {
             assert_eq!(dict.intern(term), id);
             assert_eq!(dict.lookup(term), Some(id));
             assert_eq!(dict.resolve(id), *term);
+            assert_eq!(dict.resolve_ref(id), term);
         }
         assert_eq!(dict.len(), terms.len());
     }
@@ -291,5 +412,67 @@ mod tests {
         let d = dict.intern(&Term::double(1.0));
         let i = dict.intern(&Term::integer(1));
         assert_ne!(d, i, "double 1.0 and integer 1 are distinct terms");
+    }
+
+    #[test]
+    fn ids_are_dense_in_interning_order() {
+        let dict = TermDict::new();
+        for i in 0..5000 {
+            let id = dict.intern(&Term::iri(format!("ex:t{i}")));
+            assert_eq!(id.seq(), i, "sequence numbers are dense");
+        }
+        assert_eq!(dict.terms_from(4998).len(), 2);
+        assert_eq!(dict.terms_from(4998)[0], Term::iri("ex:t4998"));
+    }
+
+    #[test]
+    fn chunk_location_math_covers_the_id_space() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(CHUNK0 - 1), (0, CHUNK0 - 1));
+        assert_eq!(locate(CHUNK0), (1, 0));
+        assert_eq!(locate(3 * CHUNK0 - 1), (1, 2 * CHUNK0 - 1));
+        assert_eq!(locate(3 * CHUNK0), (2, 0));
+        // Last representable seq fits inside the chunk table.
+        let (chunk, offset) = locate((1 << 30) - 1);
+        assert!(chunk < MAX_CHUNKS);
+        assert!(offset < chunk_capacity(chunk));
+    }
+
+    #[test]
+    fn concurrent_interning_agrees_across_threads() {
+        let dict = TermDict::new();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let dict = dict.clone();
+                thread::spawn(move || {
+                    let mut ids = Vec::new();
+                    for i in 0..500 {
+                        // Half shared vocabulary, half thread-private.
+                        let term = if i % 2 == 0 {
+                            Term::iri(format!("ex:shared{}", i / 2))
+                        } else {
+                            Term::iri(format!("ex:t{t}_{i}"))
+                        };
+                        let id = dict.intern(&term);
+                        // Readers resolve lock-free while others intern.
+                        assert_eq!(dict.resolve_ref(id), &term);
+                        ids.push((term, id));
+                    }
+                    ids
+                })
+            })
+            .collect();
+        let mut seen: HashMap<Term, TermId> = HashMap::new();
+        for handle in threads {
+            for (term, id) in handle.join().unwrap() {
+                // Every thread got the same id for the same term.
+                assert_eq!(*seen.entry(term).or_insert(id), id);
+            }
+        }
+        assert_eq!(dict.len(), seen.len());
+        // Ids are exactly 0..len in some order: dense, no gaps.
+        let mut seqs: Vec<usize> = seen.values().map(|id| id.seq()).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..seen.len()).collect::<Vec<_>>());
     }
 }

@@ -25,6 +25,7 @@
 //! a semantic no-op: per triple, the last logged operation wins.
 
 use crate::dict::IdTriple;
+use crate::epoch::EpochStore;
 use crate::graph::Graph;
 use crate::incremental::{IncrementalMaterializer, MaterializerConfig};
 use crate::model::{Statement, Term};
@@ -32,7 +33,7 @@ use crate::reason::Rule;
 use crate::snapshot::{check_triple, load_snapshot, write_snapshot, SNAPSHOT_TMP};
 use crate::wal::{self, Wal, WalRecord};
 use cogsdk_sim::fs::{RealFs, Vfs};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
@@ -112,15 +113,28 @@ pub struct DurableStore {
     inner: IncrementalMaterializer,
     durability: Option<Durability>,
     recovery: Option<RecoveryStats>,
+    /// Authoritative weighted-confidence map (statement → confidence).
+    /// Entries exist only for confidences below 1.0; everything else has
+    /// the implicit default of 1.0. Shared by `Arc` with published
+    /// epochs, so a publish after no confidence change is free.
+    confidence: Arc<HashMap<IdTriple, f64>>,
+    /// Reader-facing epoch snapshots; shared with the KB layer outside
+    /// its store lock so pinning never contends with writers.
+    epochs: Arc<EpochStore>,
 }
 
 impl DurableStore {
     /// A purely in-memory store: no logging, mutations never fail.
     pub fn in_memory() -> DurableStore {
+        let inner = IncrementalMaterializer::new();
+        let confidence = Arc::new(HashMap::new());
+        let epochs = Arc::new(EpochStore::new(inner.full(), confidence.clone()));
         DurableStore {
-            inner: IncrementalMaterializer::new(),
+            inner,
             durability: None,
             recovery: None,
+            confidence,
+            epochs,
         }
     }
 
@@ -150,6 +164,7 @@ impl DurableStore {
         let mut config;
         let base;
         let snapshot_loaded;
+        let mut confidence: HashMap<IdTriple, f64> = HashMap::new();
         match load_snapshot(fs.as_ref())? {
             Some(snap) => {
                 let mut graph = Graph::with_dict(snap.dict);
@@ -157,6 +172,7 @@ impl DurableStore {
                     graph.insert_id(triple);
                 }
                 config = snap.config;
+                confidence = snap.confidence.into_iter().collect();
                 base = graph;
                 snapshot_loaded = true;
             }
@@ -207,6 +223,20 @@ impl DurableStore {
                         }
                     }
                 }
+                WalRecord::Confidence(s, p, o, bits) => {
+                    let triple = check_triple((s, p, o), dict.len())?;
+                    let value = f64::from_bits(bits);
+                    if !value.is_finite() {
+                        return Err(DurableError::Corrupt(format!(
+                            "confidence record for ({s}, {p}, {o}) is not finite"
+                        )));
+                    }
+                    if value >= 1.0 {
+                        confidence.remove(&triple);
+                    } else {
+                        confidence.insert(triple, value);
+                    }
+                }
             }
         }
 
@@ -229,6 +259,12 @@ impl DurableStore {
         // Discard any half-written snapshot temp from a previous run.
         fs.delete(SNAPSHOT_TMP)?;
         let wal = Wal::open(fs.clone(), options.segment_max_bytes)?;
+        let confidence = Arc::new(confidence);
+        let epochs = Arc::new(EpochStore::new(inner.full(), confidence.clone()));
+        // The recovered closure is already reflected in epoch 0; drop the
+        // delta materialization recorded so the first mutation's publish
+        // doesn't force a redundant base rebuild.
+        inner.take_delta();
         let mut store = DurableStore {
             inner,
             durability: Some(Durability {
@@ -237,6 +273,8 @@ impl DurableStore {
                 dict_watermark: dict.len(),
             }),
             recovery: None,
+            confidence,
+            epochs,
         };
         if replayed_records > 0 || replayed.torn_tails > 0 {
             // Fold the replayed log (and any torn bytes) into a fresh
@@ -296,6 +334,22 @@ impl DurableStore {
         Ok(())
     }
 
+    /// Publishes the mutations applied since the last publish as a new
+    /// reader-visible epoch. Called at the end of every mutating method,
+    /// after the WAL append and after the closure is maintained — so a
+    /// pinned epoch is always fully materialized and fully durable.
+    fn publish_epoch(&mut self) {
+        let delta = self.inner.take_delta();
+        self.epochs
+            .publish(self.inner.full(), delta, self.confidence.clone());
+    }
+
+    /// The reader-facing epoch store. Clone the `Arc` once and pin
+    /// epochs from it without ever taking the writer's lock.
+    pub fn epochs(&self) -> &Arc<EpochStore> {
+        &self.epochs
+    }
+
     /// Inserts a stated fact (logged first when durable). Returns
     /// whether the fact was new to the full view.
     ///
@@ -309,7 +363,9 @@ impl DurableStore {
                 self.log_records(vec![WalRecord::insert(triple)])?;
             }
         }
-        Ok(self.inner.insert(st))
+        let added = self.inner.insert(st);
+        self.publish_epoch();
+        Ok(added)
     }
 
     /// Inserts a batch under a single group commit. Returns how many
@@ -331,7 +387,9 @@ impl DurableStore {
             }
             self.log_records(ops)?;
         }
-        Ok(self.inner.insert_batch(batch))
+        let added = self.inner.insert_batch(batch);
+        self.publish_epoch();
+        Ok(added)
     }
 
     /// Removes a stated fact (DRed in memory, logged first when
@@ -344,7 +402,136 @@ impl DurableStore {
                 }
             }
         }
-        Ok(self.inner.remove(st))
+        let removed = self.inner.remove(st);
+        self.publish_epoch();
+        Ok(removed)
+    }
+
+    /// Removes a batch of stated facts under a single group commit and
+    /// a single epoch publish. Returns how many were present.
+    ///
+    /// # Errors
+    ///
+    /// If the WAL append fails, nothing is applied in memory.
+    pub fn remove_batch<'a>(
+        &mut self,
+        batch: impl IntoIterator<Item = &'a Statement>,
+    ) -> Result<usize, DurableError> {
+        let batch: Vec<&Statement> = batch.into_iter().collect();
+        if self.durability.is_some() {
+            let mut seen = BTreeSet::new();
+            let mut ops = Vec::new();
+            for st in &batch {
+                if let Some(triple) = self.inner.full().lookup_statement(st) {
+                    if self.inner.full().contains_id(triple) && seen.insert(triple) {
+                        ops.push(WalRecord::remove(triple));
+                    }
+                }
+            }
+            self.log_records(ops)?;
+        }
+        let mut removed = 0;
+        for st in batch {
+            if self.inner.remove(st) {
+                removed += 1;
+            }
+        }
+        self.publish_epoch();
+        Ok(removed)
+    }
+
+    /// Sets a weighted confidence for a statement (logged first when
+    /// durable). Values at or above 1.0 restore the default and drop the
+    /// entry; anything non-finite is rejected. The statement need not be
+    /// present — imports record confidences before facts land.
+    pub fn set_confidence(&mut self, st: &Statement, value: f64) -> Result<(), DurableError> {
+        if !value.is_finite() {
+            return Err(DurableError::Corrupt(format!(
+                "confidence {value} is not finite"
+            )));
+        }
+        let triple = self.inner.base().dict().intern_statement(st);
+        let current = self.confidence.get(&triple).copied();
+        let next = (value < 1.0).then_some(value);
+        if current == next {
+            return Ok(());
+        }
+        if self.durability.is_some() {
+            self.log_records(vec![WalRecord::confidence(triple, value)])?;
+        }
+        let map = Arc::make_mut(&mut self.confidence);
+        match next {
+            Some(v) => {
+                map.insert(triple, v);
+            }
+            None => {
+                map.remove(&triple);
+            }
+        }
+        self.publish_epoch();
+        Ok(())
+    }
+
+    /// Sets many confidences under one WAL group commit and one epoch
+    /// publish; same per-entry semantics as
+    /// [`set_confidence`](Self::set_confidence). Returns how many entries
+    /// changed.
+    pub fn set_confidence_batch(
+        &mut self,
+        items: impl IntoIterator<Item = (Statement, f64)>,
+    ) -> Result<usize, DurableError> {
+        let mut resolved: Vec<(IdTriple, f64, Option<f64>)> = Vec::new();
+        for (st, value) in items {
+            if !value.is_finite() {
+                return Err(DurableError::Corrupt(format!(
+                    "confidence {value} is not finite"
+                )));
+            }
+            let triple = self.inner.base().dict().intern_statement(&st);
+            let current = self.confidence.get(&triple).copied();
+            let next = (value < 1.0).then_some(value);
+            if current != next {
+                resolved.push((triple, value, next));
+            }
+        }
+        if resolved.is_empty() {
+            return Ok(0);
+        }
+        if self.durability.is_some() {
+            let ops = resolved
+                .iter()
+                .map(|&(t, v, _)| WalRecord::confidence(t, v))
+                .collect();
+            self.log_records(ops)?;
+        }
+        let changed = resolved.len();
+        let map = Arc::make_mut(&mut self.confidence);
+        for (triple, _, next) in resolved {
+            match next {
+                Some(v) => {
+                    map.insert(triple, v);
+                }
+                None => {
+                    map.remove(&triple);
+                }
+            }
+        }
+        self.publish_epoch();
+        Ok(changed)
+    }
+
+    /// The confidence recorded for a statement, default 1.0.
+    pub fn confidence_of(&self, st: &Statement) -> f64 {
+        self.inner
+            .full()
+            .lookup_statement(st)
+            .and_then(|t| self.confidence.get(&t).copied())
+            .unwrap_or(1.0)
+    }
+
+    /// The authoritative confidence map (entries below 1.0 only).
+    pub fn confidences(&self) -> &Arc<HashMap<IdTriple, f64>> {
+        &self.confidence
     }
 
     /// Enables RDFS entailment as a standing ruleset.
@@ -352,7 +539,9 @@ impl DurableStore {
         if !self.inner.config().rdfs {
             self.log_records(vec![WalRecord::EnableRdfs])?;
         }
-        Ok(self.inner.enable_rdfs())
+        let changed = self.inner.enable_rdfs();
+        self.publish_epoch();
+        Ok(changed)
     }
 
     /// Enables OWL/Lite entailment (implies RDFS) as a standing ruleset.
@@ -361,7 +550,9 @@ impl DurableStore {
         if !cfg.owl || !cfg.rdfs {
             self.log_records(vec![WalRecord::EnableOwl])?;
         }
-        Ok(self.inner.enable_owl())
+        let changed = self.inner.enable_owl();
+        self.publish_epoch();
+        Ok(changed)
     }
 
     /// Registers predicates as transitive.
@@ -378,7 +569,9 @@ impl DurableStore {
                 .collect();
             self.log_records(ops)?;
         }
-        Ok(self.inner.add_transitive(predicates))
+        let changed = self.inner.add_transitive(predicates);
+        self.publish_epoch();
+        Ok(changed)
     }
 
     /// Adds standing user rules.
@@ -391,13 +584,17 @@ impl DurableStore {
         if !fresh.is_empty() {
             self.log_records(vec![WalRecord::AddRules(fresh)])?;
         }
-        Ok(self.inner.add_rules(rules))
+        let changed = self.inner.add_rules(rules);
+        self.publish_epoch();
+        Ok(changed)
     }
 
     /// Brings the derived closure up to date (pure in-memory work; the
     /// closure is never persisted). Returns newly derived facts.
     pub fn materialize(&mut self) -> usize {
-        self.inner.materialize()
+        let derived = self.inner.materialize();
+        self.publish_epoch();
+        derived
     }
 
     /// Replaces all facts with `graph` as the stated base, keeping the
@@ -405,12 +602,14 @@ impl DurableStore {
     /// snapshot (the old WAL no longer describes the state).
     pub fn reset(&mut self, graph: Graph) -> Result<(), DurableError> {
         self.inner.reset(graph);
+        self.confidence = Arc::new(HashMap::new());
         if let Some(d) = self.durability.as_mut() {
             d.dict_watermark = 0;
         }
         if self.durability.is_some() {
             self.snapshot()?;
         }
+        self.publish_epoch();
         Ok(())
     }
 
@@ -424,7 +623,16 @@ impl DurableStore {
         };
         let dict = self.inner.base().dict();
         let triples: Vec<IdTriple> = self.inner.base().iter_ids().collect();
-        let bytes = write_snapshot(d.fs.as_ref(), dict, &triples, self.inner.config())?;
+        let mut confidence: Vec<(IdTriple, f64)> =
+            self.confidence.iter().map(|(&t, &v)| (t, v)).collect();
+        confidence.sort_by_key(|&(t, _)| t);
+        let bytes = write_snapshot(
+            d.fs.as_ref(),
+            dict,
+            &triples,
+            self.inner.config(),
+            &confidence,
+        )?;
         d.wal.reset()?;
         d.dict_watermark = dict.len();
         Ok(bytes)
@@ -571,6 +779,37 @@ mod tests {
     }
 
     #[test]
+    fn remove_batch_group_commits_and_survives_reopen() {
+        let fs = Arc::new(SimFs::new(10));
+        let mut store = open(&fs);
+        let batch: Vec<Statement> = (0..8)
+            .map(|i| st("ex:a", "ex:p", &format!("ex:o{i}")))
+            .collect();
+        store.insert_batch(batch.clone()).unwrap();
+        let keep = st("ex:keep", "ex:p", "ex:o");
+        store.insert(keep.clone()).unwrap();
+
+        let fsyncs_before = store.wal_stats().fsyncs;
+        let epoch_before = store.epochs().pin().epoch();
+        // Retract the batch plus a duplicate and an absent fact: one
+        // group commit, one epoch publish, absent facts uncounted.
+        let absent = st("ex:never", "ex:p", "ex:o");
+        let removed = store
+            .remove_batch(batch.iter().chain([&batch[0], &absent]))
+            .unwrap();
+        assert_eq!(removed, 8);
+        assert_eq!(store.wal_stats().fsyncs, fsyncs_before + 1);
+        assert_eq!(store.epochs().pin().epoch(), epoch_before + 1);
+        assert_eq!(store.len(), 1);
+        drop(store);
+
+        let recovered = open(&fs);
+        assert_eq!(recovered.len(), 1);
+        assert!(recovered.contains(&keep));
+        assert!(!recovered.contains(&batch[0]));
+    }
+
+    #[test]
     fn crash_between_snapshot_rename_and_wal_truncate_is_idempotent() {
         let fs = Arc::new(SimFs::new(4));
         let mut store = open(&fs);
@@ -633,6 +872,66 @@ mod tests {
         assert_eq!(recovered.full(), &expected);
         assert_eq!(recovered.config().transitive.len(), 1);
         assert_eq!(recovered.config().rules.len(), 1);
+    }
+
+    #[test]
+    fn confidences_survive_reopen_via_wal_and_snapshot() {
+        let fs = Arc::new(SimFs::new(8));
+        let mut store = open(&fs);
+        store.insert(st("ex:a", "ex:p", "ex:b")).unwrap();
+        store.insert(st("ex:c", "ex:p", "ex:d")).unwrap();
+        store
+            .set_confidence(&st("ex:a", "ex:p", "ex:b"), 0.6)
+            .unwrap();
+        store
+            .set_confidence(&st("ex:c", "ex:p", "ex:d"), 0.3)
+            .unwrap();
+        // Restored to the default: the entry must not survive.
+        store
+            .set_confidence(&st("ex:c", "ex:p", "ex:d"), 1.0)
+            .unwrap();
+        drop(store);
+
+        // First reopen replays the confidence records from the WAL.
+        let mut recovered = open(&fs);
+        assert_eq!(recovered.confidence_of(&st("ex:a", "ex:p", "ex:b")), 0.6);
+        assert_eq!(recovered.confidence_of(&st("ex:c", "ex:p", "ex:d")), 1.0);
+        assert_eq!(recovered.confidences().len(), 1);
+        recovered.snapshot().unwrap();
+        drop(recovered);
+
+        // Second reopen reads them from the snapshot (WAL is empty).
+        let recovered = open(&fs);
+        assert_eq!(recovered.recovery_stats().unwrap().replayed_records, 0);
+        assert_eq!(recovered.confidence_of(&st("ex:a", "ex:p", "ex:b")), 0.6);
+        assert_eq!(recovered.confidences().len(), 1);
+    }
+
+    #[test]
+    fn every_mutation_publishes_a_fully_materialized_epoch() {
+        let fs = Arc::new(SimFs::new(9));
+        let mut store = open(&fs);
+        let epochs = store.epochs().clone();
+        store.enable_rdfs().unwrap();
+        store
+            .insert(st("ex:cat", vocab::SUB_CLASS_OF, "ex:animal"))
+            .unwrap();
+        store.insert(st("ex:felix", vocab::TYPE, "ex:cat")).unwrap();
+        let snap = epochs.pin();
+        assert!(
+            snap.contains(&st("ex:felix", vocab::TYPE, "ex:animal")),
+            "pinned epoch includes the derived closure without an explicit materialize"
+        );
+        assert_eq!(snap.len(), store.len());
+
+        store
+            .set_confidence(&st("ex:felix", vocab::TYPE, "ex:cat"), 0.8)
+            .unwrap();
+        let snap = epochs.pin();
+        let t = snap
+            .dict()
+            .lookup_statement(&st("ex:felix", vocab::TYPE, "ex:cat"));
+        assert_eq!(snap.confidence_of(t.unwrap()), Some(0.8));
     }
 
     #[test]

@@ -456,6 +456,78 @@ impl TripleView for Graph {
     }
 }
 
+/// What the query planner and executor need from a triple source: a
+/// dictionary for constant lookup, index-ordered pattern scans, and
+/// capped cardinality estimates.
+///
+/// Implemented by [`Graph`] (the mutable write-side store) and by
+/// [`EpochSnapshot`](crate::EpochSnapshot) (an immutable published
+/// epoch), so one compiled plan can execute against either — which is
+/// how queries run against a pinned snapshot without holding any lock.
+pub trait QueryView: TripleView {
+    /// The dictionary ids in this view are relative to.
+    fn dict(&self) -> &TermDict;
+
+    /// Triples matching a pattern, in the serving index's sort order
+    /// (the same order contract as [`Graph::match_ids`]; merge joins
+    /// rely on it).
+    fn match_ids(
+        &self,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+    ) -> Vec<IdTriple>;
+
+    /// Cardinality estimate for a pattern, saturating at `cap`. May
+    /// over-count (it only ranks join candidates) but must never report
+    /// zero for a pattern that has matches. [`Graph`] returns an exact
+    /// count capped at `cap`; snapshots return an upper bound.
+    fn count_ids_capped(
+        &self,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+        cap: usize,
+    ) -> usize;
+
+    /// Number of triples in the view.
+    fn len(&self) -> usize;
+
+    /// Whether the view holds no triples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl QueryView for Graph {
+    fn dict(&self) -> &TermDict {
+        Graph::dict(self)
+    }
+
+    fn match_ids(
+        &self,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+    ) -> Vec<IdTriple> {
+        Graph::match_ids(self, subject, predicate, object)
+    }
+
+    fn count_ids_capped(
+        &self,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+        cap: usize,
+    ) -> usize {
+        Graph::count_ids_capped(self, subject, predicate, object, cap)
+    }
+
+    fn len(&self) -> usize {
+        Graph::len(self)
+    }
+}
+
 /// A union view of two graphs that are disjoint by construction (a stated
 /// base plus the derived closure). Queries hit both indexes and concatenate,
 /// which keeps semi-naive rounds from ever cloning the base graph.

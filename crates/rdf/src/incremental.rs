@@ -21,6 +21,7 @@
 //! materialized during maintenance.
 
 use crate::dict::{IdTriple, TermDict, TermId};
+use crate::epoch::EpochDelta;
 use crate::graph::{Graph, Overlay, TripleView};
 use crate::model::{Statement, Term};
 use crate::owl::owl_delta;
@@ -125,6 +126,9 @@ pub struct IncrementalMaterializer {
     /// Whether `derived` is the fixpoint of `config` over `base`. Cleared
     /// when a ruleset is enabled after facts already arrived.
     clean: bool,
+    /// Net changes to the full view since the last
+    /// [`take_delta`](Self::take_delta) — what an epoch publish consumes.
+    delta: EpochDelta,
 }
 
 impl Default for IncrementalMaterializer {
@@ -145,6 +149,7 @@ impl IncrementalMaterializer {
             derived,
             full,
             clean: true,
+            delta: EpochDelta::default(),
         }
     }
 
@@ -157,7 +162,14 @@ impl IncrementalMaterializer {
             full: graph.clone(),
             base: graph,
             clean: true,
+            delta: EpochDelta::rebuild(),
         }
+    }
+
+    /// Drains the net full-view changes accumulated since the last call.
+    /// The epoch publisher consumes this to build the next snapshot.
+    pub(crate) fn take_delta(&mut self) -> EpochDelta {
+        std::mem::take(&mut self.delta)
     }
 
     /// The maintained `base ∪ derived` view.
@@ -260,14 +272,18 @@ impl IncrementalMaterializer {
         if self.derived.remove_id(t) {
             return false;
         }
-        self.full.insert_id(t);
+        if self.full.insert_id(t) {
+            self.delta.record(t, true);
+        }
         if self.config.is_active() && self.clean {
             let compiled = self.config.compile(self.base.dict());
             let new_facts = propagate(&self.base, &mut self.derived, vec![t], &mut |v, d| {
                 compiled.delta(v, d)
             });
             for f in new_facts {
-                self.full.insert_id(f);
+                if self.full.insert_id(f) {
+                    self.delta.record(f, true);
+                }
             }
         }
         true
@@ -285,7 +301,9 @@ impl IncrementalMaterializer {
             if self.derived.remove_id(t) {
                 continue;
             }
-            self.full.insert_id(t);
+            if self.full.insert_id(t) {
+                self.delta.record(t, true);
+            }
             seed.push(t);
         }
         let added = seed.len();
@@ -295,7 +313,9 @@ impl IncrementalMaterializer {
                 compiled.delta(v, d)
             });
             for f in new_facts {
-                self.full.insert_id(f);
+                if self.full.insert_id(f) {
+                    self.delta.record(f, true);
+                }
             }
         }
         added
@@ -341,10 +361,14 @@ impl IncrementalMaterializer {
         }
         self.base.remove_id(t);
         self.derived.remove_id(t);
-        self.full.remove_id(t);
+        if self.full.remove_id(t) {
+            self.delta.record(t, false);
+        }
         for &o in &overdeleted {
             self.derived.remove_id(o);
-            self.full.remove_id(o);
+            if self.full.remove_id(o) {
+                self.delta.record(o, false);
+            }
         }
         // Rederivation: one naive round over what remains picks up every
         // suspect fact that still has a one-step derivation; semi-naive
@@ -359,7 +383,9 @@ impl IncrementalMaterializer {
             for c in candidates {
                 let suspect = overdeleted.contains(&c) || c == t;
                 if suspect && !self.full.contains_id(c) && self.derived.insert_id(c) {
-                    self.full.insert_id(c);
+                    if self.full.insert_id(c) {
+                        self.delta.record(c, true);
+                    }
                     seeds.push(c);
                 }
             }
@@ -368,7 +394,9 @@ impl IncrementalMaterializer {
                     compiled.delta(v, d)
                 });
                 for f in new_facts {
-                    self.full.insert_id(f);
+                    if self.full.insert_id(f) {
+                        self.delta.record(f, true);
+                    }
                 }
             }
         }
@@ -390,7 +418,9 @@ impl IncrementalMaterializer {
         });
         let added = new_facts.len();
         for f in new_facts {
-            self.full.insert_id(f);
+            if self.full.insert_id(f) {
+                self.delta.record(f, true);
+            }
         }
         self.clean = true;
         added
@@ -405,6 +435,7 @@ impl IncrementalMaterializer {
         self.full = graph.clone();
         self.base = graph;
         self.clean = !self.config.is_active() || self.full.is_empty();
+        self.delta = EpochDelta::rebuild();
     }
 }
 

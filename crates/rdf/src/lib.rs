@@ -43,6 +43,7 @@
 
 pub mod dict;
 pub mod durable;
+pub mod epoch;
 pub mod graph;
 pub mod incremental;
 pub mod model;
@@ -56,7 +57,8 @@ pub mod weighted;
 
 pub use dict::{IdTriple, TermDict, TermId};
 pub use durable::{DurableError, DurableOptions, DurableStore, RecoveryStats, WalStats};
-pub use graph::{Graph, Overlay, TripleView};
+pub use epoch::{EpochSnapshot, EpochStore};
+pub use graph::{Graph, Overlay, QueryView, TripleView};
 pub use incremental::{IncrementalMaterializer, MaterializerConfig};
 pub use model::{Literal, Statement, Term};
 pub use owl::OwlLiteReasoner;

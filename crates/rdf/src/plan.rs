@@ -7,7 +7,7 @@
 //! order:
 //!
 //! 1. **Selectivity estimation.** Each pattern's cardinality is read off
-//!    the SPO/POS/OSP indexes with [`Graph::count_ids_capped`]: constants
+//!    the SPO/POS/OSP indexes with [`Graph::count_ids_capped`](crate::Graph::count_ids_capped): constants
 //!    bound, variables wild, counts saturating at a fixed cap (4096) so
 //!    planning stays cheap on large graphs. No samples, no histograms —
 //!    the indexes *are* the statistics.
@@ -52,7 +52,7 @@
 //! ```
 
 use crate::dict::{IdTriple, TermDict, TermId};
-use crate::graph::Graph;
+use crate::graph::QueryView;
 use crate::query::Solution;
 use crate::reason::{var_index, IdPattern, IdPatternTerm, PatternTerm, TriplePattern};
 use crate::RdfError;
@@ -149,12 +149,14 @@ impl BgpQuery {
         self
     }
 
-    /// Compiles the query into an executable plan against `graph`: greedy
-    /// cost-based join ordering with merge joins where the index sort
-    /// orders line up. The plan borrows nothing but holds term ids from
-    /// the graph's dictionary, so it must execute against the same graph
-    /// (or one sharing its dictionary, e.g. a [`Graph::clone`] snapshot).
-    pub fn plan(&self, graph: &Graph) -> ExecPlan {
+    /// Compiles the query into an executable plan against any
+    /// [`QueryView`] — the live [`Graph`](crate::Graph) or a pinned
+    /// [`EpochSnapshot`](crate::EpochSnapshot): greedy cost-based join
+    /// ordering with merge joins where the index sort orders line up. The
+    /// plan borrows nothing but holds term ids from the view's
+    /// dictionary, so it must execute against the same view (or one
+    /// sharing its dictionary, e.g. a paging snapshot).
+    pub fn plan<V: QueryView>(&self, graph: &V) -> ExecPlan {
         self.plan_inner(graph, true)
     }
 
@@ -162,22 +164,22 @@ impl BgpQuery {
     /// pattern-at-a-time in the order they were added, always via nested
     /// loops. This is the reference baseline the oracle suite and the
     /// `ablation_query` bench compare the planner against.
-    pub fn plan_textual(&self, graph: &Graph) -> ExecPlan {
+    pub fn plan_textual<V: QueryView>(&self, graph: &V) -> ExecPlan {
         self.plan_inner(graph, false)
     }
 
     /// Plans and executes in one call.
-    pub fn execute(&self, graph: &Graph) -> Vec<Solution> {
+    pub fn execute<V: QueryView>(&self, graph: &V) -> Vec<Solution> {
         self.plan(graph).execute(graph)
     }
 
     /// Executes with the optimizer bypassed (see
     /// [`plan_textual`](Self::plan_textual)).
-    pub fn execute_textual(&self, graph: &Graph) -> Vec<Solution> {
+    pub fn execute_textual<V: QueryView>(&self, graph: &V) -> Vec<Solution> {
         self.plan_textual(graph).execute(graph)
     }
 
-    fn plan_inner(&self, graph: &Graph, optimize: bool) -> ExecPlan {
+    fn plan_inner<V: QueryView>(&self, graph: &V, optimize: bool) -> ExecPlan {
         let start = Instant::now();
         let dict = graph.dict();
         let mut vars: Vec<String> = Vec::new();
@@ -439,9 +441,9 @@ impl ExecPlan {
     }
 
     /// Executes the plan, returning raw binding rows (indexes match
-    /// [`vars`](Self::vars); `None` = unbound, ids relative to the graph's
+    /// [`vars`](Self::vars); `None` = unbound, ids relative to the view's
     /// dictionary). The offset/limit slice is applied; projection is not.
-    pub fn rows(&self, graph: &Graph) -> Vec<Vec<Option<TermId>>> {
+    pub fn rows<V: QueryView>(&self, graph: &V) -> Vec<Vec<Option<TermId>>> {
         if self.empty {
             return Vec::new();
         }
@@ -498,13 +500,13 @@ impl ExecPlan {
     /// Executes the plan and materializes terms for the projected
     /// variables. Unbound variables (e.g. from unmatched optionals) are
     /// simply absent from their row.
-    pub fn execute(&self, graph: &Graph) -> Vec<Solution> {
+    pub fn execute<V: QueryView>(&self, graph: &V) -> Vec<Solution> {
         self.materialize(graph, self.rows(graph))
     }
 
     /// Like [`execute`](Self::execute), also returning the stats record
     /// the knowledge base publishes as `sdk_query_*` metrics.
-    pub fn execute_with_stats(&self, graph: &Graph) -> (Vec<Solution>, QueryStats) {
+    pub fn execute_with_stats<V: QueryView>(&self, graph: &V) -> (Vec<Solution>, QueryStats) {
         let out = self.execute(graph);
         let stats = QueryStats {
             plan_micros: self.plan_micros,
@@ -516,7 +518,11 @@ impl ExecPlan {
         (out, stats)
     }
 
-    fn materialize(&self, graph: &Graph, rows: Vec<Vec<Option<TermId>>>) -> Vec<Solution> {
+    fn materialize<V: QueryView>(
+        &self,
+        graph: &V,
+        rows: Vec<Vec<Option<TermId>>>,
+    ) -> Vec<Solution> {
         let dict = graph.dict();
         let proj: Vec<usize> = if self.select.is_empty() {
             (0..self.vars.len()).collect()
@@ -537,9 +543,9 @@ impl ExecPlan {
 }
 
 /// Pattern-at-a-time expansion of `rows` through one pattern.
-fn solve_all(
+fn solve_all<V: QueryView>(
     pattern: &IdPattern,
-    graph: &Graph,
+    graph: &V,
     rows: &[Vec<Option<TermId>>],
 ) -> Vec<Vec<Option<TermId>>> {
     let mut next = Vec::new();
@@ -550,9 +556,9 @@ fn solve_all(
 }
 
 /// Expands one row through every pattern of a group (inner join).
-fn solve_group(
+fn solve_group<V: QueryView>(
     group: &[IdPattern],
-    graph: &Graph,
+    graph: &V,
     row: &[Option<TermId>],
 ) -> Vec<Vec<Option<TermId>>> {
     let mut sub = vec![row.to_vec()];

@@ -22,7 +22,7 @@
 //! patterns are join-reordered by selectivity and executed with merge or
 //! index nested-loop joins (see [`Query::explain`] for the chosen plan).
 
-use crate::graph::Graph;
+use crate::graph::QueryView;
 use crate::model::{Literal, Term};
 use crate::plan::{BgpQuery, QueryStats};
 use crate::reason::{PatternTerm, TriplePattern};
@@ -258,22 +258,24 @@ impl Query {
         &self.select
     }
 
-    /// Executes the query against a graph.
+    /// Executes the query against any [`QueryView`] — the live
+    /// [`Graph`](crate::Graph) or a pinned
+    /// [`EpochSnapshot`](crate::EpochSnapshot).
     ///
     /// The pattern block compiles through the cost-based planner
     /// ([`BgpQuery::plan`]): join order is chosen by selectivity, joins run
     /// as merge or index nested-loop operators on id triples, and terms
-    /// are materialized only for the surviving rows. A constant the graph
+    /// are materialized only for the surviving rows. A constant the view
     /// never interned yields zero rows for a *required* pattern, but is
     /// local to its arm inside `OPTIONAL`/`UNION`. Filters, ordering, the
     /// offset/limit slice and projection then apply in that order.
-    pub fn execute(&self, graph: &Graph) -> Vec<Solution> {
+    pub fn execute<V: QueryView>(&self, graph: &V) -> Vec<Solution> {
         self.execute_with_stats(graph).0
     }
 
     /// Like [`execute`](Self::execute), also returning plan/join counters
     /// for metrics ([`QueryStats::rows`] reflects the final row count).
-    pub fn execute_with_stats(&self, graph: &Graph) -> (Vec<Solution>, QueryStats) {
+    pub fn execute_with_stats<V: QueryView>(&self, graph: &V) -> (Vec<Solution>, QueryStats) {
         let plan = self.to_bgp().plan(graph);
         let (mut bindings, mut stats) = plan.execute_with_stats(graph);
         bindings.retain(|b| self.filters.iter().all(|f| f.eval(b)));
@@ -310,7 +312,7 @@ impl Query {
 
     /// Renders the plan the query would run with against `graph` (see
     /// [`crate::plan::ExecPlan::explain`]).
-    pub fn explain(&self, graph: &Graph) -> String {
+    pub fn explain<V: QueryView>(&self, graph: &V) -> String {
         self.to_bgp().plan(graph).explain().to_string()
     }
 
@@ -586,6 +588,7 @@ fn parse_operand(tokens: &mut Vec<Token>) -> Result<Operand, RdfError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
     use crate::model::Statement;
 
     fn sample() -> Graph {

@@ -28,7 +28,11 @@ pub(crate) const SNAPSHOT_FILE: &str = "snapshot.db";
 /// In-flight temp name, renamed over [`SNAPSHOT_FILE`] on completion.
 pub(crate) const SNAPSHOT_TMP: &str = "snapshot.tmp";
 
-const MAGIC: &[u8; 8] = b"CGSNAP1\0";
+/// Version 1 layout: dict + base triples + config.
+const MAGIC_V1: &[u8; 8] = b"CGSNAP1\0";
+/// Version 2 appends a weighted-confidence section. New snapshots are
+/// always written as v2; v1 files still load (with no confidences).
+const MAGIC: &[u8; 8] = b"CGSNAP2\0";
 
 /// Decoded snapshot contents.
 #[derive(Debug)]
@@ -36,9 +40,15 @@ pub(crate) struct SnapshotData {
     pub dict: TermDict,
     pub triples: Vec<IdTriple>,
     pub config: MaterializerConfig,
+    pub confidence: Vec<(IdTriple, f64)>,
 }
 
-fn encode(dict: &TermDict, triples: &[IdTriple], config: &MaterializerConfig) -> Vec<u8> {
+fn encode(
+    dict: &TermDict,
+    triples: &[IdTriple],
+    config: &MaterializerConfig,
+    confidence: &[(IdTriple, f64)],
+) -> Vec<u8> {
     let terms = dict.terms_from(0);
     let mut payload = Vec::new();
     put_u32(&mut payload, terms.len() as u32);
@@ -60,6 +70,13 @@ fn encode(dict: &TermDict, triples: &[IdTriple], config: &MaterializerConfig) ->
     put_u32(&mut payload, config.rules.len() as u32);
     for rule in &config.rules {
         put_rule(&mut payload, rule);
+    }
+    put_u32(&mut payload, confidence.len() as u32);
+    for &((s, p, o), value) in confidence {
+        put_u32(&mut payload, s.raw());
+        put_u32(&mut payload, p.raw());
+        put_u32(&mut payload, o.raw());
+        put_u64(&mut payload, value.to_bits());
     }
 
     let mut out = Vec::with_capacity(MAGIC.len() + 12 + payload.len());
@@ -106,9 +123,15 @@ pub(crate) fn check_triple(
 }
 
 fn decode(data: &[u8]) -> Result<SnapshotData, DurableError> {
-    if data.len() < MAGIC.len() + 12 || &data[..MAGIC.len()] != MAGIC {
+    if data.len() < MAGIC.len() + 12 {
         return Err(DurableError::Corrupt("snapshot header malformed".into()));
     }
+    let magic = &data[..MAGIC.len()];
+    let has_confidence = match () {
+        _ if magic == MAGIC => true,
+        _ if magic == MAGIC_V1 => false,
+        _ => return Err(DurableError::Corrupt("snapshot header malformed".into())),
+    };
     let mut header = Reader::new(&data[MAGIC.len()..MAGIC.len() + 12]);
     let crc = header.u32()?;
     let len = header.u64()? as usize;
@@ -153,6 +176,22 @@ fn decode(data: &[u8]) -> Result<SnapshotData, DurableError> {
     for _ in 0..n {
         rules.push(read_rule(&mut r)?);
     }
+    let mut confidence = Vec::new();
+    if has_confidence {
+        let n = r.u32()? as usize;
+        confidence.reserve(n.min(1 << 20));
+        for _ in 0..n {
+            let raw = (r.u32()?, r.u32()?, r.u32()?);
+            let triple = check_triple(raw, term_count)?;
+            let value = f64::from_bits(r.u64()?);
+            if !value.is_finite() {
+                return Err(DurableError::Corrupt(format!(
+                    "confidence for {raw:?} is not finite"
+                )));
+            }
+            confidence.push((triple, value));
+        }
+    }
     if !r.is_empty() {
         return Err(DurableError::Corrupt(
             "trailing bytes after snapshot payload".into(),
@@ -167,6 +206,7 @@ fn decode(data: &[u8]) -> Result<SnapshotData, DurableError> {
             transitive,
             rules,
         },
+        confidence,
     })
 }
 
@@ -176,8 +216,9 @@ pub(crate) fn write_snapshot(
     dict: &TermDict,
     triples: &[IdTriple],
     config: &MaterializerConfig,
+    confidence: &[(IdTriple, f64)],
 ) -> Result<u64, DurableError> {
-    let bytes = encode(dict, triples, config);
+    let bytes = encode(dict, triples, config, confidence);
     fs.write(SNAPSHOT_TMP, &bytes)?;
     fs.fsync(SNAPSHOT_TMP)?;
     fs.rename(SNAPSHOT_TMP, SNAPSHOT_FILE)?;
@@ -220,7 +261,8 @@ mod tests {
     fn snapshot_round_trips_dict_triples_and_config() {
         let fs = SimFs::new(1);
         let (dict, triples, config) = sample();
-        write_snapshot(&fs, &dict, &triples, &config).unwrap();
+        let confidence = vec![(triples[0], 0.75), (triples[1], 0.4)];
+        write_snapshot(&fs, &dict, &triples, &config, &confidence).unwrap();
         let loaded = load_snapshot(&fs).unwrap().expect("snapshot present");
         assert_eq!(loaded.dict.len(), dict.len());
         for triple in &triples {
@@ -235,6 +277,27 @@ mod tests {
         assert_eq!(loaded.config.owl, config.owl);
         assert_eq!(loaded.config.transitive, config.transitive);
         assert_eq!(loaded.config.rules, config.rules);
+        assert_eq!(loaded.confidence, confidence);
+    }
+
+    #[test]
+    fn v1_snapshots_still_load_with_no_confidences() {
+        let fs = SimFs::new(6);
+        let (dict, triples, config) = sample();
+        write_snapshot(&fs, &dict, &triples, &config, &[]).unwrap();
+        // Rewrite the file as a v1 snapshot: v1 is exactly the v2 layout
+        // minus the (empty here) confidence count, under the old magic.
+        let v2 = fs.read(SNAPSHOT_FILE).unwrap();
+        let mut payload = v2[MAGIC.len() + 12..v2.len() - 4].to_vec();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC_V1);
+        put_u32(&mut v1, crc32(&payload));
+        put_u64(&mut v1, payload.len() as u64);
+        v1.append(&mut payload);
+        fs.write(SNAPSHOT_FILE, &v1).unwrap();
+        let loaded = load_snapshot(&fs).unwrap().expect("v1 snapshot loads");
+        assert_eq!(loaded.triples, triples);
+        assert!(loaded.confidence.is_empty());
     }
 
     #[test]
@@ -247,7 +310,7 @@ mod tests {
     fn corrupt_snapshot_is_a_hard_error() {
         let fs = SimFs::new(3);
         let (dict, triples, config) = sample();
-        write_snapshot(&fs, &dict, &triples, &config).unwrap();
+        write_snapshot(&fs, &dict, &triples, &config, &[]).unwrap();
         let size = fs.size(SNAPSHOT_FILE).unwrap();
         fs.flip_bit(SNAPSHOT_FILE, size / 2, 1);
         let err = load_snapshot(&fs).unwrap_err();
@@ -258,14 +321,14 @@ mod tests {
     fn crash_before_rename_preserves_the_old_snapshot() {
         let fs = SimFs::new(4);
         let (dict, triples, config) = sample();
-        write_snapshot(&fs, &dict, &triples, &config).unwrap();
+        write_snapshot(&fs, &dict, &triples, &config, &[]).unwrap();
         // Second snapshot crashes on the temp-file write.
         fs.fail_after_ops(0);
         let bigger = MaterializerConfig {
             owl: true,
             ..config.clone()
         };
-        assert!(write_snapshot(&fs, &dict, &triples, &bigger).is_err());
+        assert!(write_snapshot(&fs, &dict, &triples, &bigger, &[]).is_err());
         fs.crash();
         let loaded = load_snapshot(&fs).unwrap().expect("old snapshot intact");
         assert!(!loaded.config.owl, "old config survives");
@@ -279,7 +342,7 @@ mod tests {
         // Out-of-range object id.
         let bogus = TermId::from_raw(400);
         let config = MaterializerConfig::default();
-        write_snapshot(&fs, &dict, &[(a, a, bogus)], &config).unwrap();
+        write_snapshot(&fs, &dict, &[(a, a, bogus)], &config, &[]).unwrap();
         let err = load_snapshot(&fs).unwrap_err();
         assert!(matches!(err, DurableError::Corrupt(_)), "got {err}");
     }

@@ -288,6 +288,7 @@ const REC_ENABLE_RDFS: u8 = 4;
 const REC_ENABLE_OWL: u8 = 5;
 const REC_ADD_TRANSITIVE: u8 = 6;
 const REC_ADD_RULES: u8 = 7;
+const REC_CONFIDENCE: u8 = 8;
 
 /// One logical WAL record.
 #[derive(Debug, Clone, PartialEq)]
@@ -307,6 +308,10 @@ pub(crate) enum WalRecord {
     AddTransitive(Term),
     /// User rules added to the standing generic ruleset.
     AddRules(Vec<Rule>),
+    /// A statement's confidence, by raw term ids and IEEE-754 bits.
+    /// Values at or above 1.0 clear the entry (1.0 is the default every
+    /// unlisted statement already has). Later records win on replay.
+    Confidence(u32, u32, u32, u64),
 }
 
 impl WalRecord {
@@ -316,6 +321,10 @@ impl WalRecord {
 
     pub(crate) fn remove(t: (TermId, TermId, TermId)) -> WalRecord {
         WalRecord::Remove(t.0.raw(), t.1.raw(), t.2.raw())
+    }
+
+    pub(crate) fn confidence(t: (TermId, TermId, TermId), value: f64) -> WalRecord {
+        WalRecord::Confidence(t.0.raw(), t.1.raw(), t.2.raw(), value.to_bits())
     }
 
     fn encode(&self, buf: &mut Vec<u8>) {
@@ -350,6 +359,13 @@ impl WalRecord {
                     put_rule(buf, rule);
                 }
             }
+            WalRecord::Confidence(s, p, o, bits) => {
+                buf.push(REC_CONFIDENCE);
+                put_u32(buf, *s);
+                put_u32(buf, *p);
+                put_u32(buf, *o);
+                put_u64(buf, *bits);
+            }
         }
     }
 
@@ -373,6 +389,7 @@ impl WalRecord {
                 }
                 WalRecord::AddRules(rules)
             }
+            REC_CONFIDENCE => WalRecord::Confidence(r.u32()?, r.u32()?, r.u32()?, r.u64()?),
             tag => return Err(DurableError::Corrupt(format!("unknown record tag {tag}"))),
         };
         if !r.is_empty() {
@@ -607,6 +624,7 @@ mod tests {
             WalRecord::AddRules(vec![
                 Rule::parse("[(?a ex:parent ?b) -> (?b ex:child ?a)]").unwrap()
             ]),
+            WalRecord::Confidence(0, 4, 8, 0.85f64.to_bits()),
         ]
     }
 

@@ -4,9 +4,9 @@
 //! (cheap: the dictionary is shared, the indexes are persistent-ish
 //! BTree copies) and walks every page against that snapshot.
 
-use cogsdk_rdf::{BgpQuery, Graph, Statement, Term};
+use cogsdk_rdf::{BgpQuery, DurableStore, Graph, Statement, Term};
 use std::collections::BTreeSet;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
 
 fn item(i: usize) -> Statement {
@@ -89,11 +89,77 @@ fn pages_from_one_snapshot_are_stable_and_duplicate_free_under_ingest() {
     // The live graph kept growing the whole time; a fresh query sees
     // everything, proving the pager's stability came from the snapshot,
     // not from the writer being idle.
-    assert_eq!(q.execute(&live.read().unwrap()).len(), SEEDED + INGESTED);
+    assert_eq!(q.execute(&*live.read().unwrap()).len(), SEEDED + INGESTED);
 
     // And the two graphs still share one dictionary, so a plan built on
     // the snapshot can execute against the live graph (it just sees the
     // larger bag) — the documented snapshot-compatibility contract.
     let plan = q.plan(&snapshot);
-    assert_eq!(plan.execute(&live.read().unwrap()).len(), SEEDED + INGESTED);
+    assert_eq!(
+        plan.execute(&*live.read().unwrap()).len(),
+        SEEDED + INGESTED
+    );
+}
+
+/// The epoch-store variant of the same contract: a pinned
+/// [`EpochSnapshot`](cogsdk_rdf::EpochSnapshot) replaces the full graph
+/// clone. Pinning is one `Arc` bump — no copy of the indexes — and the
+/// pinned epoch stays queryable for as long as the pager holds it, even
+/// after the writer has published hundreds of later epochs.
+#[test]
+fn pages_from_one_pinned_epoch_are_stable_under_epoch_publishing() {
+    const SEEDED: usize = 400;
+    const INGESTED: usize = 600;
+    const PAGE: usize = 41;
+
+    let store = Arc::new(Mutex::new(DurableStore::in_memory()));
+    {
+        let mut s = store.lock().unwrap();
+        for i in 0..SEEDED {
+            s.insert(item(i)).unwrap();
+        }
+    }
+    // Pin before the writer starts: the epoch's universe is exactly the
+    // seed set, and nothing the writer does can change it.
+    let snapshot = store.lock().unwrap().epochs().pin();
+    assert_eq!(snapshot.len(), SEEDED);
+
+    let writer_store = Arc::clone(&store);
+    let writer = thread::spawn(move || {
+        for i in SEEDED..SEEDED + INGESTED {
+            writer_store.lock().unwrap().insert(item(i)).unwrap();
+        }
+    });
+
+    let q = BgpQuery::new()
+        .pattern_text("(?x rdf:type ex:Item)")
+        .unwrap();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut offset = 0usize;
+    loop {
+        // Queries run on the pinned snapshot without touching the store
+        // lock — the writer never blocks this loop.
+        let page = q.clone().offset(offset).limit(PAGE).execute(&*snapshot);
+        if page.is_empty() {
+            break;
+        }
+        for row in &page {
+            assert!(
+                seen.insert(row["x"].to_string()),
+                "duplicate row across pages at offset {offset}"
+            );
+        }
+        offset += PAGE;
+    }
+    writer.join().unwrap();
+
+    // The pinned universe never grew: pages tile exactly the seed set.
+    assert_eq!(seen.len(), SEEDED);
+    let expected: BTreeSet<String> = (0..SEEDED).map(|i| format!("<ex:item_{i}>")).collect();
+    assert_eq!(seen, expected);
+
+    // A fresh pin sees every published epoch's work.
+    let fresh = store.lock().unwrap().epochs().pin();
+    assert!(fresh.epoch() > snapshot.epoch());
+    assert_eq!(q.execute(&*fresh).len(), SEEDED + INGESTED);
 }
