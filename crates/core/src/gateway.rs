@@ -363,6 +363,14 @@ pub type SnapshotHandler = Box<dyn Fn() -> Result<Json, String> + Send + Sync>;
 /// answered as a 400.
 pub type QueryHandler = Box<dyn Fn(&HttpRequest) -> Result<Json, String> + Send + Sync>;
 
+/// Bulk-ingest hook behind `POST /ingest/bulk`: the host wires in a
+/// closure driving its streaming bulk loader (e.g. built with
+/// `cogsdk_kb::gateway_ingest_handler`). The handler receives the full
+/// request so it can honor tuning fields in the body (batch size, worker
+/// count, queue bounds); it returns the JSON ingest report, or an error
+/// message answered as a 400.
+pub type IngestHandler = Box<dyn Fn(&HttpRequest) -> Result<Json, String> + Send + Sync>;
+
 /// The gateway: routes HTTP requests onto a shared [`RichSdk`].
 pub struct HttpGateway {
     sdk: Arc<RichSdk>,
@@ -370,6 +378,7 @@ pub struct HttpGateway {
     slo: Option<Arc<SloEngine>>,
     snapshot: Option<SnapshotHandler>,
     query: Option<QueryHandler>,
+    ingest: Option<IngestHandler>,
 }
 
 impl std::fmt::Debug for HttpGateway {
@@ -392,6 +401,7 @@ impl HttpGateway {
             slo: None,
             snapshot: None,
             query: None,
+            ingest: None,
         }
     }
 
@@ -410,6 +420,7 @@ impl HttpGateway {
             slo: Some(slo),
             snapshot: None,
             query: None,
+            ingest: None,
         }
     }
 
@@ -432,6 +443,14 @@ impl HttpGateway {
     /// 404 until one is attached.
     pub fn set_query_handler(&mut self, handler: QueryHandler) {
         self.query = Some(handler);
+    }
+
+    /// Attaches the `POST /ingest/bulk` handler. The host passes a
+    /// closure driving its streaming bulk loader (e.g. built with
+    /// `cogsdk_kb::gateway_ingest_handler`); the route answers 404 until
+    /// one is attached.
+    pub fn set_ingest_handler(&mut self, handler: IngestHandler) {
+        self.ingest = Some(handler);
     }
 
     /// Routes one parsed request through the bulkhead. No I/O.
@@ -634,6 +653,7 @@ impl HttpGateway {
             ("GET", ["slo"]) => self.slo_response(),
             ("POST", ["snapshot"]) => self.snapshot_response(),
             ("POST", ["query"]) => self.query_response(request),
+            ("POST", ["ingest", "bulk"]) => self.ingest_response(request),
             ("GET", ["profile"]) => self.profile_response(request),
             ("GET", ["monitor", service]) => match self.sdk.monitor().history(service) {
                 Some(history) => {
@@ -743,6 +763,20 @@ impl HttpGateway {
         let handler = match &self.query {
             Some(handler) => handler,
             None => return HttpResponse::error(404, "no query handler attached"),
+        };
+        match handler(request) {
+            Ok(body) => HttpResponse::ok(body),
+            Err(e) => HttpResponse::error(400, e),
+        }
+    }
+
+    /// `POST /ingest/bulk`: streams the request's documents through the
+    /// attached bulk loader. Handler errors (bad bodies, failed commits)
+    /// answer 400.
+    fn ingest_response(&self, request: &HttpRequest) -> HttpResponse {
+        let handler = match &self.ingest {
+            Some(handler) => handler,
+            None => return HttpResponse::error(404, "no ingest handler attached"),
         };
         match handler(request) {
             Ok(body) => HttpResponse::ok(body),

@@ -1,4 +1,5 @@
-//! Gateway glue: a `POST /query` handler over a shared knowledge base.
+//! Gateway glue: `POST /query` and `POST /ingest/bulk` handlers over a
+//! shared knowledge base.
 //!
 //! The HTTP gateway (§2's cross-language surface) carries no KB
 //! dependency; hosts wire query evaluation in as a closure. This module
@@ -14,8 +15,10 @@
 //! {"rows": [{"c": "<kb:usa>"}], "stats": {…}, "plan": "bgp 1 patterns …"}
 //! ```
 
+use crate::ingest::{chunk_documents, IngestConfig};
 use crate::kb::PersonalKnowledgeBase;
-use cogsdk_core::gateway::QueryHandler;
+use cogsdk_core::gateway::{IngestHandler, QueryHandler};
+use cogsdk_core::ThreadPool;
 use cogsdk_json::Json;
 use std::sync::Arc;
 
@@ -83,6 +86,70 @@ pub fn gateway_query_handler(kb: Arc<PersonalKnowledgeBase>) -> QueryHandler {
                     .map_err(|e| format!("explain failed: {e}"))?,
             );
         }
+        Ok(out)
+    })
+}
+
+/// Builds an [`IngestHandler`] for
+/// [`HttpGateway::set_ingest_handler`](cogsdk_core::HttpGateway::set_ingest_handler):
+/// `POST /ingest/bulk` streams the request's documents through the
+/// knowledge base's pipelined bulk loader
+/// ([`PersonalKnowledgeBase::ingest_stream`]) on the shared thread pool.
+/// Body fields:
+///
+/// * `documents` (array of strings) — one entry per document; **or**
+/// * `text` (string) — a corpus chunked into documents on blank-line
+///   boundaries.
+/// * `batch_size`, `workers`, `max_in_flight` (integers, optional) —
+///   pipeline tuning; defaults from [`IngestConfig::default`].
+///
+/// The response reports the committed work:
+///
+/// ```text
+/// {"documents": 1000, "batches": 4, "statements": 5210,
+///  "docs_per_sec": 8421.3, "peak_in_flight": 512}
+/// ```
+///
+/// A commit failure answers as an error (the gateway serves it as a
+/// 400); batches acked before the failure remain durable.
+pub fn gateway_ingest_handler(
+    kb: Arc<PersonalKnowledgeBase>,
+    pool: Arc<ThreadPool>,
+) -> IngestHandler {
+    Box::new(move |request| {
+        let body = Json::parse(&request.body).map_err(|e| format!("invalid JSON body: {e}"))?;
+        let docs: Vec<String> = if let Some(list) = body.get("documents").and_then(Json::as_array) {
+            list.iter()
+                .map(|d| {
+                    d.as_str()
+                        .map(str::to_string)
+                        .ok_or("'documents' entries must be strings")
+                })
+                .collect::<Result<_, _>>()?
+        } else if let Some(text) = body.get("text").and_then(Json::as_str) {
+            chunk_documents(text).map(str::to_string).collect()
+        } else {
+            return Err("body needs a 'documents' array or a 'text' string".to_string());
+        };
+        let mut config = IngestConfig::default();
+        if let Some(n) = body.get("batch_size").and_then(Json::as_usize) {
+            config.batch_size = n;
+        }
+        if let Some(n) = body.get("workers").and_then(Json::as_usize) {
+            config.workers = n;
+        }
+        if let Some(n) = body.get("max_in_flight").and_then(Json::as_usize) {
+            config.max_in_flight = n;
+        }
+        let report = kb
+            .ingest_stream(&pool, docs, config)
+            .map_err(|e| format!("ingest failed: {e}"))?;
+        let mut out = Json::object();
+        out.insert("documents", report.documents);
+        out.insert("batches", report.batches);
+        out.insert("statements", report.statements);
+        out.insert("docs_per_sec", report.docs_per_sec);
+        out.insert("peak_in_flight", report.peak_in_flight);
         Ok(out)
     })
 }
@@ -215,5 +282,65 @@ mod tests {
         assert!(handler(&post(r#"{"sparql": "SELECT"}"#))
             .unwrap_err()
             .starts_with("query failed"));
+    }
+
+    fn post_ingest(body: &str) -> HttpRequest {
+        HttpRequest {
+            method: "POST".to_string(),
+            path: "/ingest/bulk".to_string(),
+            query: Vec::new(),
+            tenant: None,
+            body: body.to_string(),
+        }
+    }
+
+    #[test]
+    fn ingest_handler_streams_a_documents_array() {
+        let kb = sample_kb();
+        let pool = Arc::new(cogsdk_core::ThreadPool::new(2));
+        let handler = gateway_ingest_handler(kb.clone(), pool);
+        let out = handler(&post_ingest(
+            r#"{"documents": ["IBM acquired Oracle.", "The USA praised the deal."],
+                "batch_size": 2, "workers": 1}"#,
+        ))
+        .unwrap();
+        assert_eq!(out.get("documents").and_then(Json::as_usize), Some(2));
+        assert_eq!(out.get("batches").and_then(Json::as_usize), Some(1));
+        assert!(out.get("statements").and_then(Json::as_usize).unwrap() > 0);
+        let mentions = kb
+            .query("SELECT ?d WHERE { ?d <kb:mentions> <kb:ibm> }")
+            .unwrap();
+        assert_eq!(mentions.len(), 1);
+    }
+
+    #[test]
+    fn ingest_handler_chunks_a_text_corpus_on_blank_lines() {
+        let kb = sample_kb();
+        let pool = Arc::new(cogsdk_core::ThreadPool::new(2));
+        let handler = gateway_ingest_handler(kb.clone(), pool);
+        let out = handler(&post_ingest(
+            r#"{"text": "IBM acquired Oracle.\n\nThe USA praised the deal."}"#,
+        ))
+        .unwrap();
+        assert_eq!(out.get("documents").and_then(Json::as_usize), Some(2));
+        let docs = kb
+            .query("SELECT ?d WHERE { ?d <rdf:type> <kb:Document> }")
+            .unwrap();
+        assert_eq!(docs.len(), 2);
+    }
+
+    #[test]
+    fn ingest_handler_rejects_bad_bodies() {
+        let pool = Arc::new(cogsdk_core::ThreadPool::new(1));
+        let handler = gateway_ingest_handler(sample_kb(), pool);
+        assert!(handler(&post_ingest("not json"))
+            .unwrap_err()
+            .starts_with("invalid JSON body"));
+        assert!(handler(&post_ingest(r#"{"batch_size": 4}"#))
+            .unwrap_err()
+            .contains("documents"));
+        assert!(handler(&post_ingest(r#"{"documents": [42]}"#))
+            .unwrap_err()
+            .contains("strings"));
     }
 }

@@ -45,6 +45,10 @@ pub struct KbOptions {
     pub compress: bool,
     /// Client-side cache entries for the remote store.
     pub cache_capacity: usize,
+    /// NLU quality profile used by text ingest (`None` = perfect
+    /// analysis, the historical default). Reconfigurable later via
+    /// [`PersonalKnowledgeBase::set_nlu_config`].
+    pub nlu: Option<NluConfig>,
 }
 
 /// The personalized knowledge base.
@@ -85,6 +89,10 @@ pub struct PersonalKnowledgeBase {
     epochs: Arc<EpochStore>,
     catalog: RwLock<EntityCatalog>,
     analyzer: Analyzer,
+    /// NLU quality profile applied by `ingest_text` (and the streaming
+    /// pipeline when its config doesn't override it) — degraded/chaos
+    /// analysis paths are reachable from ingest by configuring this.
+    nlu: RwLock<NluConfig>,
     spell: SpellChecker,
     store: LocalFirstStore,
     /// Retained handle on the enhanced client so its cache counters can
@@ -197,6 +205,7 @@ impl PersonalKnowledgeBase {
             graph: RwLock::new(graph),
             catalog: RwLock::new(EntityCatalog::builtin()),
             analyzer: Analyzer::with_default_lexicons(),
+            nlu: RwLock::new(options.nlu.clone().unwrap_or_else(NluConfig::perfect)),
             spell: SpellChecker::with_builtin_dictionary(),
             store: LocalFirstStore::new(Arc::new(MemoryKv::new()), enhanced.clone()),
             enhanced,
@@ -473,40 +482,101 @@ impl PersonalKnowledgeBase {
     /// [`KbError::Durability`] if the WAL append fails (nothing is
     /// applied in memory).
     pub fn ingest_text(&self, text: &str) -> Result<usize, KbError> {
-        let analysis = self.analyzer.analyze(text, &NluConfig::perfect());
+        self.ingest_text_with(text, &self.nlu_config())
+    }
+
+    /// As [`ingest_text`](Self::ingest_text) under an explicit NLU
+    /// quality profile, overriding the base's configured one for this
+    /// document only.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ingest_text`](Self::ingest_text).
+    pub fn ingest_text_with(&self, text: &str, config: &NluConfig) -> Result<usize, KbError> {
+        let analysis = self.analyzer.analyze(text, config);
         let doc_id = self.doc_counter.fetch_add(1, Ordering::Relaxed);
-        let doc = Term::iri(format!("kb:doc_{doc_id}"));
-        let mut batch = vec![Statement::new(
-            doc.clone(),
-            Term::iri("rdf:type"),
-            Term::iri("kb:Document"),
-        )];
-        for e in &analysis.entities {
-            let entity = Term::iri(format!("kb:{}", e.canonical));
-            batch.push(Statement::new(
-                entity.clone(),
-                Term::iri("rdf:type"),
-                Term::iri(format!("kb:{}", e.kind)),
-            ));
-            batch.push(Statement::new(
-                doc.clone(),
-                Term::iri("kb:mentions"),
-                entity.clone(),
-            ));
-            batch.push(Statement::new(
-                entity,
-                Term::iri(format!("kb:sentiment_in_doc_{doc_id}")),
-                Term::double(e.sentiment.score),
-            ));
-        }
-        for r in &analysis.relations {
-            batch.push(Statement::new(
-                Term::iri(format!("kb:{}", r.subject)),
-                Term::iri(format!("kb:{}", r.predicate)),
-                Term::iri(format!("kb:{}", r.object)),
-            ));
-        }
+        let batch = crate::ingest::doc_statements(doc_id, &analysis);
         Ok(self.with_graph_mut(|g| g.insert_batch(batch))?)
+    }
+
+    /// The NLU quality profile text ingest currently analyzes under.
+    pub fn nlu_config(&self) -> NluConfig {
+        self.nlu.read().clone()
+    }
+
+    /// Reconfigures the NLU quality profile for later text ingest —
+    /// e.g. a degraded vendor profile so chaos experiments exercise the
+    /// same ingest path production does.
+    pub fn set_nlu_config(&self, config: NluConfig) {
+        *self.nlu.write() = config;
+    }
+
+    /// Reserves the next document id. Ids are handed out in call order,
+    /// so a streaming session that pushes documents sequentially gets
+    /// the same ids a sequential `ingest_text` loop would.
+    pub(crate) fn allocate_doc_id(&self) -> usize {
+        self.doc_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// A clone of the analyzer for pipeline workers (the lexicon tables
+    /// inside are `Arc`-shared, so this is cheap).
+    pub(crate) fn clone_analyzer(&self) -> Analyzer {
+        self.analyzer.clone()
+    }
+
+    /// The live term dictionary (shared with every epoch), for the
+    /// ingest pipeline's off-lock intern stage. Interning ahead of the
+    /// commit is safe: the WAL's dictionary watermark logs *all* terms
+    /// interned since the last commit, whichever thread interned them.
+    pub(crate) fn shared_dict(&self) -> cogsdk_rdf::TermDict {
+        self.epochs.pin().dict().clone()
+    }
+
+    /// Commits one prepared ingest batch: a single WAL group commit and
+    /// a single closure-complete epoch publish. The streaming loader's
+    /// whole crash contract rests on this being the only way a batch
+    /// lands.
+    pub(crate) fn commit_ingest_batch(&self, batch: Vec<Statement>) -> Result<usize, KbError> {
+        Ok(self.with_graph_mut(|g| g.insert_batch(batch))?)
+    }
+
+    /// The metrics registry and tenant attribution for ingest-pipeline
+    /// gauges, or `None` when telemetry is disabled.
+    pub(crate) fn ingest_metrics_handle(
+        &self,
+    ) -> Option<(&cogsdk_obs::MetricsRegistry, Option<&str>)> {
+        if !self.telemetry.is_enabled() {
+            return None;
+        }
+        Some((self.telemetry.metrics(), self.tenant.as_deref()))
+    }
+
+    /// An order-insensitive digest of the full view (stated plus
+    /// inferred), computed over *resolved* statements so two bases whose
+    /// dictionaries interned the same knowledge in different orders —
+    /// e.g. a pipelined bulk load vs a sequential one — digest equal.
+    pub fn contents_digest(&self) -> u64 {
+        let snap = self.epochs.pin();
+        let dict = snap.dict();
+        let mut lines: Vec<String> = snap
+            .iter_ids()
+            .into_iter()
+            .map(|triple| {
+                let st = dict.resolve_triple(triple);
+                format!("{} {} {}", st.subject, st.predicate, st.object)
+            })
+            .collect();
+        lines.sort_unstable();
+        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+        for line in &lines {
+            for &b in line.as_bytes() {
+                digest ^= u64::from(b);
+                digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            digest ^= u64::from(b'\n');
+            digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        digest
     }
 
     /// Runs a SPARQL-subset query against the graph.
@@ -1534,6 +1604,7 @@ mod tests {
                 encryption_passphrase: Some("kb secret".into()),
                 compress: true,
                 cache_capacity: 16,
+                ..KbOptions::default()
             },
         );
         kb.add_fact("IBM", "ticker", "IBM common stock").unwrap();

@@ -24,10 +24,12 @@ pub mod analytics;
 pub mod convert;
 pub mod federation;
 pub mod gateway;
+pub mod ingest;
 pub mod kb;
 
 pub use analytics::RegressionFacts;
-pub use gateway::gateway_query_handler;
+pub use gateway::{gateway_ingest_handler, gateway_query_handler};
+pub use ingest::{chunk_documents, IngestConfig, IngestReport, IngestSession, IngestWatcher};
 pub use kb::{KbOptions, PersonalKnowledgeBase};
 
 use std::error::Error;

@@ -810,6 +810,46 @@ mod tests {
     }
 
     #[test]
+    fn insert_batch_nets_intra_batch_duplicates() {
+        let fs = Arc::new(SimFs::new(21));
+        let mut store = open(&fs);
+        let a = st("ex:a", "ex:p", "ex:b");
+        let b = st("ex:c", "ex:p", "ex:d");
+        let fsyncs_before = store.wal_stats().fsyncs;
+        let epoch_before = store.epochs().pin().epoch();
+        // The same statement three times in one batch: logged once,
+        // counted once, one group commit, one epoch publish.
+        let added = store
+            .insert_batch(vec![a.clone(), b.clone(), a.clone(), a.clone()])
+            .unwrap();
+        assert_eq!(added, 2, "duplicates must not double count");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.wal_stats().fsyncs, fsyncs_before + 1);
+        assert_eq!(store.epochs().pin().epoch(), epoch_before + 1);
+        assert_eq!(store.epochs().pin().len(), 2, "epoch delta netted");
+        // Re-inserting an already-stored fact alongside a fresh one logs
+        // only the fresh one.
+        let appends_before = store.wal_stats().appends;
+        let c = st("ex:e", "ex:p", "ex:f");
+        assert_eq!(store.insert_batch(vec![a.clone(), c.clone()]).unwrap(), 1);
+        assert_eq!(
+            store.wal_stats().appends,
+            appends_before + 1,
+            "one group append for the fresh fact"
+        );
+        drop(store);
+
+        let recovered = open(&fs);
+        let stats = recovered.recovery_stats().unwrap();
+        // 7 dict terms (ex:a ex:p ex:b ex:c ex:d ex:e ex:f) + 3 inserts.
+        assert_eq!(stats.replayed_records, 10, "{stats:?}");
+        assert_eq!(recovered.len(), 3);
+        assert!(recovered.contains(&a));
+        assert!(recovered.contains(&b));
+        assert!(recovered.contains(&c));
+    }
+
+    #[test]
     fn crash_between_snapshot_rename_and_wal_truncate_is_idempotent() {
         let fs = Arc::new(SimFs::new(4));
         let mut store = open(&fs);

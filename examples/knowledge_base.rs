@@ -18,6 +18,7 @@ fn main() {
             encryption_passphrase: Some("personal kb passphrase".into()),
             compress: true,
             cache_capacity: 128,
+            ..KbOptions::default()
         },
     );
 

@@ -139,6 +139,7 @@ fn encrypted_compressed_snapshots_are_opaque_and_recoverable() {
             encryption_passphrase: Some("attic key".into()),
             compress: true,
             cache_capacity: 4,
+            ..KbOptions::default()
         },
     );
     for i in 0..20 {
@@ -162,6 +163,7 @@ fn encrypted_compressed_snapshots_are_opaque_and_recoverable() {
             encryption_passphrase: Some("attic key".into()),
             compress: true,
             cache_capacity: 4,
+            ..KbOptions::default()
         },
     );
     assert_eq!(kb2.load_graph("hr").unwrap(), 20);
@@ -172,6 +174,7 @@ fn encrypted_compressed_snapshots_are_opaque_and_recoverable() {
             encryption_passphrase: Some("wrong".into()),
             compress: true,
             cache_capacity: 4,
+            ..KbOptions::default()
         },
     );
     assert!(kb3.load_graph("hr").is_err());
